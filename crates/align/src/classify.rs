@@ -1,0 +1,99 @@
+//! Divergence diagnosis: mapping observed divergences to the paper's §5
+//! error taxonomy.
+
+use crate::diff::Divergence;
+use serde::{Deserialize, Serialize};
+
+/// The diagnosis categories (§5's "two categories of issues", refined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DivergenceClass {
+    /// The cloud rejects, the emulator silently succeeds — a missing
+    /// check ("it returned a success code. This creates a dangerous state
+    /// inconsistency that the DevOps program cannot detect").
+    SilentSuccess,
+    /// Both reject but with different codes — "failure to return the
+    /// specific error codes required by client-side tooling".
+    WrongErrorCode,
+    /// The cloud succeeds, the emulator rejects — an over-strict or
+    /// corrupted check, or missing state/resource context.
+    SpuriousFailure,
+    /// Both succeed but the responses differ — missing state variables
+    /// render attributes invisible or stale.
+    StateMismatch,
+}
+
+impl DivergenceClass {
+    /// The paper's top-level split.
+    pub fn category(&self) -> &'static str {
+        match self {
+            DivergenceClass::StateMismatch | DivergenceClass::SpuriousFailure => "state",
+            DivergenceClass::SilentSuccess | DivergenceClass::WrongErrorCode => "transition",
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DivergenceClass::SilentSuccess => "silent success (missing check)",
+            DivergenceClass::WrongErrorCode => "wrong error code",
+            DivergenceClass::SpuriousFailure => "spurious failure",
+            DivergenceClass::StateMismatch => "state mismatch",
+        }
+    }
+}
+
+/// Classify one divergence.
+pub fn classify_divergence(d: &Divergence) -> DivergenceClass {
+    match (&d.golden, &d.learned) {
+        (Some(_), None) => DivergenceClass::SilentSuccess,
+        (None, Some(_)) => DivergenceClass::SpuriousFailure,
+        (Some(a), Some(b)) if a != b => DivergenceClass::WrongErrorCode,
+        _ => DivergenceClass::StateMismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::SmName;
+
+    fn d(golden: Option<&str>, learned: Option<&str>) -> Divergence {
+        Divergence {
+            case_index: 0,
+            case_sm: SmName::new("Vpc"),
+            case_api: "DeleteVpc".into(),
+            class: "ok[1]".into(),
+            step: 0,
+            step_api: "DeleteVpc".into(),
+            golden: golden.map(|s| s.to_string()),
+            learned: learned.map(|s| s.to_string()),
+            description: String::new(),
+        }
+    }
+
+    #[test]
+    fn classifies_all_shapes() {
+        assert_eq!(
+            classify_divergence(&d(Some("DependencyViolation"), None)),
+            DivergenceClass::SilentSuccess
+        );
+        assert_eq!(
+            classify_divergence(&d(None, Some("InternalFailure"))),
+            DivergenceClass::SpuriousFailure
+        );
+        assert_eq!(
+            classify_divergence(&d(Some("A"), Some("B"))),
+            DivergenceClass::WrongErrorCode
+        );
+        assert_eq!(
+            classify_divergence(&d(None, None)),
+            DivergenceClass::StateMismatch
+        );
+    }
+
+    #[test]
+    fn category_split_matches_paper() {
+        assert_eq!(DivergenceClass::SilentSuccess.category(), "transition");
+        assert_eq!(DivergenceClass::StateMismatch.category(), "state");
+    }
+}

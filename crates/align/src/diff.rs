@@ -1,0 +1,142 @@
+//! Differential execution: the suite against two backends.
+
+use crate::tracegen::TestCase;
+use lce_devops::{compare_runs, run_program};
+use lce_emulator::Backend;
+use lce_spec::SmName;
+use serde::{Deserialize, Serialize};
+
+/// One observed divergence, localized per §4.3 ("track down the source of
+/// errors, e.g., to a specific SM implementation, a specific interaction").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Index of the test case in the executed suite (for re-running /
+    /// probing during repair).
+    pub case_index: usize,
+    /// Machine the probed case targeted.
+    pub case_sm: SmName,
+    /// Transition the probed case targeted.
+    pub case_api: String,
+    /// Symbolic class / probe label.
+    pub class: String,
+    /// Index of the first divergent step.
+    pub step: usize,
+    /// The API actually invoked at the divergent step (may belong to a
+    /// different machine when setup diverged).
+    pub step_api: String,
+    /// Golden outcome: `None` = success, `Some(code)` = error code.
+    pub golden: Option<String>,
+    /// Learned outcome.
+    pub learned: Option<String>,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// The outcome of one suite execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteOutcome {
+    /// Cases executed.
+    pub total_cases: usize,
+    /// Cases whose every step aligned.
+    pub aligned_cases: usize,
+    /// First divergence of every misaligned case.
+    pub divergences: Vec<Divergence>,
+}
+
+impl SuiteOutcome {
+    /// Aligned fraction in `[0, 1]`.
+    pub fn aligned_fraction(&self) -> f64 {
+        if self.total_cases == 0 {
+            return 1.0;
+        }
+        self.aligned_cases as f64 / self.total_cases as f64
+    }
+}
+
+/// Run every case on both backends (resetting between cases) and collect
+/// the first divergence of each misaligned case.
+pub fn run_suite<G, L>(cases: &[TestCase], golden: &mut G, learned: &mut L) -> SuiteOutcome
+where
+    G: Backend + ?Sized,
+    L: Backend + ?Sized,
+{
+    let mut aligned = 0usize;
+    let mut divergences = Vec::new();
+    for (case_index, case) in cases.iter().enumerate() {
+        golden.reset();
+        learned.reset();
+        let rg = run_program(&case.program, golden);
+        let rl = run_program(&case.program, learned);
+        let cmp = compare_runs(&rg, &rl);
+        if cmp.fully_aligned() {
+            aligned += 1;
+            continue;
+        }
+        let (step, description) = cmp.divergences[0].clone();
+        let step_api = case
+            .program
+            .steps
+            .get(step)
+            .map(|s| s.api.clone())
+            .unwrap_or_default();
+        divergences.push(Divergence {
+            case_index,
+            case_sm: case.sm.clone(),
+            case_api: case.api.clone(),
+            class: case.class.clone(),
+            step,
+            step_api,
+            golden: rg
+                .steps
+                .get(step)
+                .and_then(|s| s.response.error_code().map(|c| c.to_string())),
+            learned: rl
+                .steps
+                .get(step)
+                .and_then(|s| s.response.error_code().map(|c| c.to_string())),
+            description,
+        });
+    }
+    SuiteOutcome {
+        total_cases: cases.len(),
+        aligned_cases: aligned,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::generate_suite;
+    use lce_cloud::nimbus_provider;
+
+    #[test]
+    fn golden_vs_golden_is_fully_aligned() {
+        let catalog = nimbus_provider().catalog;
+        let (cases, _) = generate_suite(&catalog, 16);
+        // Subsample for test speed: every 5th case.
+        let sample: Vec<_> = cases.into_iter().step_by(5).collect();
+        let mut a = nimbus_provider().golden_cloud();
+        let mut b = nimbus_provider().golden_cloud();
+        let outcome = run_suite(&sample, &mut a, &mut b);
+        assert_eq!(
+            outcome.aligned_cases, outcome.total_cases,
+            "golden vs golden diverged: {:#?}",
+            outcome.divergences.first()
+        );
+    }
+
+    #[test]
+    fn moto_vs_golden_diverges() {
+        let catalog = nimbus_provider().catalog;
+        let (cases, _) = generate_suite(&catalog, 8);
+        let sample: Vec<_> = cases.into_iter().step_by(7).collect();
+        let mut golden = nimbus_provider().golden_cloud();
+        let mut moto = lce_baselines::MotoLike::new();
+        let outcome = run_suite(&sample, &mut golden, &mut moto);
+        assert!(outcome.aligned_cases < outcome.total_cases);
+        // Divergences carry localization.
+        let d = &outcome.divergences[0];
+        assert!(!d.step_api.is_empty());
+    }
+}

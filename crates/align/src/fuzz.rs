@@ -1,0 +1,259 @@
+//! Random API fuzzing — the baseline §4.3 argues against.
+//!
+//! "Whereas prior work has found emulator discrepancy using API fuzzing,
+//! randomly fuzzing the entire emulator is inefficient and can make check
+//! mining inefficient." This module implements that baseline so the claim
+//! is measurable: seeded random DevOps programs over a catalog's API
+//! surface, comparable head-to-head with the symbolic suite on divergences
+//! found per program budget (ablation A4).
+
+use lce_devops::{Arg, Program, Step};
+use lce_spec::{Catalog, SmName, StateType};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration for the random program generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Calls per program.
+    pub program_len: usize,
+    /// Probability of reusing a previously created resource for a
+    /// reference argument (vs fabricating an id).
+    pub p_reuse_ref: f64,
+    /// Probability of omitting an optional argument.
+    pub p_omit_optional: f64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            program_len: 6,
+            p_reuse_ref: 0.8,
+            p_omit_optional: 0.5,
+        }
+    }
+}
+
+/// Generate one random program against the catalog's public API surface.
+/// Deterministic in `rng`.
+pub fn random_program(catalog: &Catalog, cfg: &FuzzConfig, rng: &mut StdRng, name: usize) -> Program {
+    // The callable surface, with owning machine.
+    let apis: Vec<(&SmName, &lce_spec::Transition)> = catalog
+        .iter()
+        .flat_map(|sm| {
+            sm.transitions
+                .iter()
+                .filter(|t| !t.internal)
+                .map(move |t| (&sm.name, t))
+        })
+        .collect();
+    // String literal pool harvested from the whole catalog.
+    let mut str_pool: Vec<String> = Vec::new();
+    for sm in catalog.iter() {
+        for t in &sm.transitions {
+            for s in t.all_stmts() {
+                let exprs: Vec<&lce_spec::Expr> = match s {
+                    lce_spec::Stmt::Write { value, .. } | lce_spec::Stmt::Emit { value, .. } => {
+                        vec![value]
+                    }
+                    lce_spec::Stmt::Assert { pred, .. } | lce_spec::Stmt::If { pred, .. } => {
+                        vec![pred]
+                    }
+                    lce_spec::Stmt::Call { args, .. } => args.iter().collect(),
+                };
+                for e in exprs {
+                    e.visit(&mut |e| {
+                        if let lce_spec::Expr::Lit(lce_spec::Literal::Str(s)) = e {
+                            if !str_pool.contains(s) {
+                                str_pool.push(s.clone());
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    str_pool.push("fuzz".to_string());
+
+    let mut program = Program::new(format!("fuzz-{}", name));
+    // Track bindings per created resource type.
+    let mut created: BTreeMap<SmName, Vec<String>> = BTreeMap::new();
+    for i in 0..cfg.program_len {
+        let Some((owner, t)) = apis.choose(rng) else {
+            break;
+        };
+        let owner_spec = catalog.get(owner).expect("api table");
+        let mut args: Vec<(String, Arg)> = Vec::new();
+        // Non-create calls need the target id.
+        if t.kind != lce_spec::TransitionKind::Create {
+            let arg = ref_arg(owner, &created, cfg, rng);
+            args.push((owner_spec.id_param.clone(), arg));
+        }
+        for p in &t.params {
+            if p.optional && rng.gen_bool(cfg.p_omit_optional) {
+                continue;
+            }
+            args.push((p.name.clone(), random_value(&p.ty, &created, &str_pool, cfg, rng)));
+        }
+        let bind = if t.kind == lce_spec::TransitionKind::Create {
+            let b = format!("f{}", i);
+            created.entry((*owner).clone()).or_default().push(b.clone());
+            Some(b)
+        } else {
+            None
+        };
+        program.steps.push(Step {
+            bind,
+            api: t.name.as_str().to_string(),
+            args,
+        });
+    }
+    program
+}
+
+fn ref_arg(
+    target: &SmName,
+    created: &BTreeMap<SmName, Vec<String>>,
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+) -> Arg {
+    if rng.gen_bool(cfg.p_reuse_ref) {
+        if let Some(bindings) = created.get(target) {
+            if let Some(b) = bindings.choose(rng) {
+                return Arg::field(b, format!("{}Id", target.as_str()));
+            }
+        }
+    }
+    Arg::str(format!(
+        "{}-{:06x}",
+        lce_emulator::value::id_prefix(target),
+        rng.gen_range(0..0xffffffu32)
+    ))
+}
+
+fn random_value(
+    ty: &StateType,
+    created: &BTreeMap<SmName, Vec<String>>,
+    str_pool: &[String],
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+) -> Arg {
+    use lce_emulator::Value;
+    match ty {
+        StateType::Bool => Arg::Lit(Value::Bool(rng.gen())),
+        StateType::Int => {
+            let boundary = [-1i64, 0, 1, 2, 8, 16, 28, 29, 64, 100, 1000, 16384, 65535];
+            Arg::Lit(Value::Int(*boundary.choose(rng).expect("non-empty")))
+        }
+        StateType::Str => Arg::Lit(Value::str(
+            str_pool.choose(rng).cloned().unwrap_or_default(),
+        )),
+        StateType::Enum(vs) => Arg::Lit(Value::Enum(
+            vs.choose(rng).cloned().unwrap_or_default(),
+        )),
+        StateType::Ref(target) => {
+            // The id field name must match the target's id_param; we use
+            // the `{Name}Id` convention which holds across the catalogs.
+            ref_arg(target, created, cfg, rng)
+        }
+        StateType::List(_) => Arg::Lit(Value::List(Vec::new())),
+    }
+}
+
+/// Generate a seeded corpus of random programs.
+pub fn fuzz_corpus(catalog: &Catalog, cfg: &FuzzConfig, seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| random_program(catalog, cfg, &mut rng, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_devops::run_program;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let a = fuzz_corpus(&catalog, &FuzzConfig::default(), 9, 5);
+        let b = fuzz_corpus(&catalog, &FuzzConfig::default(), 9, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fuzz_programs_execute_without_internal_faults() {
+        // Random programs may fail plenty — but never with interpreter
+        // faults (InternalFailure indicates a spec/interpreter bug, not a
+        // bad request).
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let corpus = fuzz_corpus(&catalog, &FuzzConfig::default(), 7, 40);
+        let mut cloud = lce_cloud::nimbus_provider().golden_cloud();
+        for p in &corpus {
+            use lce_emulator::Backend;
+            cloud.reset();
+            let run = run_program(p, &mut cloud);
+            for step in &run.steps {
+                assert_ne!(
+                    step.response.error_code(),
+                    Some("InternalFailure"),
+                    "interpreter fault on {}: {:?}",
+                    step.call,
+                    step.response.error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzing_finds_fewer_divergences_than_symbolic_per_budget() {
+        use crate::diff::run_suite;
+        use crate::tracegen::{generate_suite, ProbeKind, TestCase};
+        use lce_baselines::d2c_emulator;
+        use std::collections::BTreeSet;
+
+        let provider = lce_cloud::nimbus_provider();
+        let budget = 120;
+
+        // Symbolic suite, subsampled evenly to the budget (the full suite
+        // is ordered by machine; taking a prefix would bias coverage).
+        let (cases, _) = generate_suite(&provider.catalog, 16);
+        let stride = (cases.len() / budget).max(1);
+        let symbolic: Vec<TestCase> = cases.into_iter().step_by(stride).take(budget).collect();
+
+        // Random corpus of the same size, wrapped as cases.
+        let corpus = fuzz_corpus(&provider.catalog, &FuzzConfig::default(), 3, budget);
+        let fuzz_cases: Vec<TestCase> = corpus
+            .into_iter()
+            .map(|program| TestCase {
+                sm: lce_spec::SmName::new("fuzz"),
+                api: String::new(),
+                class: "fuzz".into(),
+                kind: ProbeKind::Symbolic { exact: false },
+                program,
+            })
+            .collect();
+
+        let distinct = |cases: &[TestCase]| {
+            let mut golden = provider.golden_cloud();
+            let (mut d2c, _) = d2c_emulator(&provider, 42);
+            let outcome = run_suite(cases, &mut golden, &mut d2c);
+            outcome
+                .divergences
+                .iter()
+                .map(|d| (d.step_api.clone(), d.golden.clone(), d.learned.clone()))
+                .collect::<BTreeSet<_>>()
+                .len()
+        };
+        let sym = distinct(&symbolic);
+        let fz = distinct(&fuzz_cases);
+        assert!(
+            sym > fz,
+            "symbolic should find more distinct divergences per budget: {} vs {}",
+            sym,
+            fz
+        );
+    }
+}

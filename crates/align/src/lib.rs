@@ -1,0 +1,47 @@
+#![deny(missing_docs)]
+
+//! # lce-align — automated alignment
+//!
+//! The closing loop of the learned-emulator workflow (§4.3 of the paper):
+//! make the synthesized emulator behave like the cloud, treating the cloud
+//! as a black box.
+//!
+//! * [`symbolic`] — symbolic passes over the SM transition bodies divide
+//!   the input space into **symbolically equivalent classes** (one per
+//!   control-flow path: every assert's pass/fail side, every branch).
+//! * [`solver`] — a finite-domain constraint solver concretizes one
+//!   witness per class (enum variants, booleans, integer boundaries,
+//!   observed string literals, reference liveness).
+//! * [`tracegen`] — plans an executable DevOps program per witness: the
+//!   dependency-chain setup (create parents, reach required states via
+//!   modify transitions) followed by the probed call. Classes the planner
+//!   cannot reach through public APIs are reported, not silently dropped.
+//! * [`diff`] — runs each program on the learned emulator and the golden
+//!   cloud, recording divergences with root-cause context (machine,
+//!   transition, class).
+//! * [`classify`] — maps divergences to the paper's §5 taxonomy (state
+//!   errors vs transition errors).
+//! * [`repair`] — closes the loop: divergent transitions are re-extracted
+//!   from the documentation (modelling re-prompting with the diagnosis
+//!   delta); checks the documentation never contained are **mined from
+//!   probes** against the black-box cloud (single-argument domain sweeps
+//!   synthesizing membership/range guards).
+//! * [`report`] — alignment and error-message-quality reports.
+
+pub mod classify;
+pub mod diff;
+pub mod fuzz;
+pub mod repair;
+pub mod report;
+pub mod solver;
+pub mod symbolic;
+pub mod tracegen;
+
+pub use classify::{classify_divergence, DivergenceClass};
+pub use diff::{run_suite, Divergence, SuiteOutcome};
+pub use fuzz::{fuzz_corpus, random_program, FuzzConfig};
+pub use repair::{run_alignment, AlignmentOptions, AlignmentReport, Repair, RepairStrategy};
+pub use report::message_quality;
+pub use solver::{solve_path, Witness};
+pub use symbolic::{symbolic_paths, PathOutcome, SymPath};
+pub use tracegen::{generate_suite, plan_test, TestCase};

@@ -1,0 +1,802 @@
+//! The alignment loop: detect → diagnose → repair → re-test.
+//!
+//! §4.3: *"If any discrepancy is identified […] we feed the LLM with the
+//! delta to diagnose the error: are the differences attributed to the
+//! extracted spec, or the cloud documentation? Eventually, based on the
+//! diagnoses, the LLM updates the emulator to align with the cloud
+//! behavior."*
+//!
+//! Diagnosis and repair here:
+//!
+//! * If the learned transition **differs from the documentation** the
+//!   error is in the extracted spec → re-extract that transition (and any
+//!   state variables it needs) from the docs. This models re-prompting
+//!   with the divergence delta, which succeeds because the information
+//!   exists.
+//! * If the learned transition **matches the documentation** but the cloud
+//!   rejects inputs the emulator accepts, the documentation itself is
+//!   incomplete (§6, "Underspecified Documentation") → the missing check
+//!   is **mined** by probing the black-box cloud: sweep the offending
+//!   argument over its finite domain, partition into accepted/rejected
+//!   values, and synthesize a membership or range guard with the observed
+//!   error code.
+//! * A spurious failure whose guard was itself mined earlier is relaxed
+//!   (mined guards are marked and never confused with documented checks).
+
+use crate::classify::{classify_divergence, DivergenceClass};
+use crate::diff::{run_suite, Divergence, SuiteOutcome};
+use crate::tracegen::{generate_suite, SuiteStats, TestCase, INT_SWEEP};
+use lce_devops::{run_program, Arg, Program};
+use lce_emulator::{Backend, Emulator, EmulatorConfig, Value};
+use lce_spec::{
+    ApiName, Catalog, ErrorCode, Expr, SmName, SmSpec, StateType, Stmt,
+};
+use lce_synth::extract_resource;
+use lce_wrangle::ResourceDoc;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Marker message for guards synthesized from probes, so they can be
+/// relaxed (and audited) later without touching documented checks.
+pub const MINED_MESSAGE: &str = "mined via alignment probing";
+
+/// Alignment configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignmentOptions {
+    /// Detect/repair rounds (the final round only verifies).
+    pub max_rounds: usize,
+    /// Symbolic path cap per transition.
+    pub max_paths: usize,
+    /// Enable probe mining for undocumented checks.
+    pub enable_probe_mining: bool,
+}
+
+impl Default for AlignmentOptions {
+    fn default() -> Self {
+        AlignmentOptions {
+            max_rounds: 4,
+            max_paths: 64,
+            enable_probe_mining: true,
+        }
+    }
+}
+
+/// How a repair was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairStrategy {
+    /// Re-extracted from the documentation.
+    ReExtract,
+    /// Guard mined from black-box probes.
+    ProbeMined,
+    /// A previously mined guard was removed.
+    RelaxMinedGuard,
+}
+
+/// One applied repair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repair {
+    /// Machine repaired.
+    pub sm: SmName,
+    /// Transition repaired.
+    pub api: String,
+    /// Strategy used.
+    pub strategy: RepairStrategy,
+}
+
+/// Per-round statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Cases executed.
+    pub cases: usize,
+    /// Fully aligned cases.
+    pub aligned: usize,
+    /// Divergent cases.
+    pub divergent: usize,
+}
+
+/// The alignment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentReport {
+    /// One entry per executed round.
+    pub rounds: Vec<RoundStats>,
+    /// Applied repairs, in order.
+    pub repairs: Vec<Repair>,
+    /// Divergences remaining after the final round.
+    pub unrepaired: Vec<Divergence>,
+    /// Suite statistics of the final round.
+    pub suite_stats: SuiteStats,
+}
+
+impl AlignmentReport {
+    /// Aligned fraction before any repair.
+    pub fn initial_aligned_fraction(&self) -> f64 {
+        self.rounds
+            .first()
+            .map(|r| r.aligned as f64 / r.cases.max(1) as f64)
+            .unwrap_or(1.0)
+    }
+
+    /// Aligned fraction after the final round.
+    pub fn final_aligned_fraction(&self) -> f64 {
+        self.rounds
+            .last()
+            .map(|r| r.aligned as f64 / r.cases.max(1) as f64)
+            .unwrap_or(1.0)
+    }
+
+    /// `true` if the emulator ended fully aligned on the generated suite.
+    pub fn fully_aligned(&self) -> bool {
+        self.unrepaired.is_empty()
+            && self.rounds.last().is_some_and(|r| r.divergent == 0)
+    }
+}
+
+/// Run the alignment loop, mutating the learned catalog in place.
+/// The golden cloud is driven strictly through its [`Backend`] interface
+/// (it is the black box being imitated).
+pub fn run_alignment(
+    learned: &mut Catalog,
+    learned_cfg: EmulatorConfig,
+    golden_catalog: &Catalog,
+    golden_cfg: EmulatorConfig,
+    sections: &[ResourceDoc],
+    opts: &AlignmentOptions,
+) -> AlignmentReport {
+    // Faithful comprehension of the docs, used by the re-extract strategy.
+    let faithful: BTreeMap<SmName, SmSpec> = sections
+        .iter()
+        .filter_map(|s| extract_resource(s).ok())
+        .map(|s| (s.name.clone(), s))
+        .collect();
+
+    let mut golden =
+        Emulator::with_config(golden_catalog.clone(), golden_cfg).named("golden-cloud");
+
+    let mut report = AlignmentReport {
+        rounds: Vec::new(),
+        repairs: Vec::new(),
+        unrepaired: Vec::new(),
+        suite_stats: SuiteStats::default(),
+    };
+
+    for round in 0..opts.max_rounds {
+        let (cases, stats) = generate_suite(learned, opts.max_paths);
+        report.suite_stats = stats;
+        let mut learned_emu =
+            Emulator::with_config(learned.clone(), learned_cfg.clone()).named("learned");
+        let outcome: SuiteOutcome = run_suite(&cases, &mut golden, &mut learned_emu);
+        report.rounds.push(RoundStats {
+            cases: outcome.total_cases,
+            aligned: outcome.aligned_cases,
+            divergent: outcome.divergences.len(),
+        });
+        if outcome.divergences.is_empty() {
+            report.unrepaired.clear();
+            break;
+        }
+        if round + 1 == opts.max_rounds {
+            report.unrepaired = outcome.divergences;
+            break;
+        }
+        // Repair phase: one repair per (machine, transition) per round.
+        let mut repaired: Vec<(SmName, String)> = Vec::new();
+        for d in &outcome.divergences {
+            // Localize the culprit: the machine owning the divergent step's
+            // API (setup steps may implicate other machines).
+            let culprit = learned
+                .sm_for_api(&d.step_api)
+                .map(|sm| sm.name.clone())
+                .unwrap_or_else(|| d.case_sm.clone());
+            let key = (culprit.clone(), d.step_api.clone());
+            if repaired.contains(&key) {
+                continue;
+            }
+            if let Some(repair) = repair_one(
+                learned,
+                &culprit,
+                &d.step_api,
+                d,
+                &faithful,
+                &mut golden,
+                &cases,
+                opts,
+            ) {
+                report.repairs.push(repair);
+                repaired.push(key);
+            }
+        }
+        if repaired.is_empty() {
+            // Nothing repairable: record and stop.
+            report.unrepaired = outcome.divergences;
+            break;
+        }
+    }
+    report
+}
+
+/// Attempt one repair. Returns `None` when no strategy applies.
+#[allow(clippy::too_many_arguments)]
+fn repair_one(
+    learned: &mut Catalog,
+    sm_name: &SmName,
+    api: &str,
+    d: &Divergence,
+    faithful: &BTreeMap<SmName, SmSpec>,
+    golden: &mut Emulator,
+    cases: &[TestCase],
+    opts: &AlignmentOptions,
+) -> Option<Repair> {
+    let truth = faithful.get(sm_name)?;
+    let truth_t = truth.transition(api);
+    let learned_sm = learned.get(sm_name)?;
+    let learned_t = learned_sm.transition(api);
+
+    // Strategy 1: the extracted spec differs from the docs → re-extract.
+    // Mined guards are not part of the docs; ignore them when comparing.
+    let differs = match (learned_t, truth_t) {
+        (Some(a), Some(b)) => {
+            let mut a = a.clone();
+            a.body.retain(|s| !is_mined(s));
+            a != *b
+        }
+        (None, Some(_)) => true,
+        _ => false,
+    };
+    let missing_states: Vec<_> = truth
+        .states
+        .iter()
+        .filter(|s| learned_sm.state(&s.name).is_none())
+        .cloned()
+        .collect();
+    if differs || !missing_states.is_empty() {
+        let spec = learned.get_mut(sm_name)?;
+        for s in missing_states {
+            spec.states.push(s);
+        }
+        if let Some(tt) = truth_t {
+            match spec.transitions.iter_mut().find(|t| t.name.as_str() == api) {
+                Some(slot) => *slot = tt.clone(),
+                None => spec.transitions.push(tt.clone()),
+            }
+        }
+        return Some(Repair {
+            sm: sm_name.clone(),
+            api: api.to_string(),
+            strategy: RepairStrategy::ReExtract,
+        });
+    }
+
+    // Strategy 1b: the divergent transition matches the docs but the
+    // machine as a whole does not — the root cause sits in a *different*
+    // transition of the same machine (e.g. a corrupted create observed
+    // through a describe). Re-extract the machine ("track down the source
+    // of errors … to a specific SM implementation"). Mined guards are not
+    // part of the docs and are preserved across the re-extraction.
+    if strip_mined(learned_sm) != *truth {
+        let fresh = reextract_machine(learned_sm, truth);
+        learned.insert(fresh);
+        return Some(Repair {
+            sm: sm_name.clone(),
+            api: api.to_string(),
+            strategy: RepairStrategy::ReExtract,
+        });
+    }
+
+    // Strategy 1c: the culprit machine matches its documentation, so the
+    // fault sits in a machine it *interacts with* through `call`s ("a
+    // specific interaction"): scan the referenced machines and re-extract
+    // the first one that deviates from the docs.
+    for referenced in learned_sm.referenced_sms() {
+        let (Some(l), Some(t)) = (learned.get(&referenced), faithful.get(&referenced)) else {
+            continue;
+        };
+        if strip_mined(l) != *t {
+            let fresh = reextract_machine(l, t);
+            learned.insert(fresh);
+            return Some(Repair {
+                sm: referenced,
+                api: d.step_api.clone(),
+                strategy: RepairStrategy::ReExtract,
+            });
+        }
+    }
+
+    // The spec matches the docs: the documentation is incomplete.
+    match classify_divergence(d) {
+        DivergenceClass::SilentSuccess | DivergenceClass::WrongErrorCode
+            if opts.enable_probe_mining =>
+        {
+            let code = d.golden.clone()?;
+            let case = cases.get(d.case_index)?;
+            // Structural mining from the probe's minimal trace ("we
+            // leverage the SM abstraction to find the minimal API traces
+            // that could trigger the discrepancies"), then fall back to
+            // argument-domain sweeps.
+            let guard = mine_structural(&case.kind, &code, learned, sm_name, api, d)
+                .or_else(|| {
+                    if classify_divergence(d) == DivergenceClass::SilentSuccess {
+                        mine_guard(
+                            golden,
+                            &case.program,
+                            d.step,
+                            &code,
+                            learned.get(sm_name)?,
+                            api,
+                        )
+                    } else {
+                        None
+                    }
+                })?;
+            let spec = learned.get_mut(sm_name)?;
+            let t = spec
+                .transitions
+                .iter_mut()
+                .find(|t| t.name.as_str() == api)?;
+            t.body.insert(0, guard);
+            Some(Repair {
+                sm: sm_name.clone(),
+                api: api.to_string(),
+                strategy: RepairStrategy::ProbeMined,
+            })
+        }
+        DivergenceClass::SpuriousFailure => {
+            // Relax a previously mined guard with this code, if any.
+            let code = d.learned.clone()?;
+            let spec = learned.get_mut(sm_name)?;
+            let t = spec
+                .transitions
+                .iter_mut()
+                .find(|t| t.name.as_str() == api)?;
+            let before = t.body.len();
+            t.body.retain(|s| {
+                !matches!(s, Stmt::Assert { error, message, .. }
+                    if error.as_str() == code && message == MINED_MESSAGE)
+            });
+            if t.body.len() < before {
+                Some(Repair {
+                    sm: sm_name.clone(),
+                    api: api.to_string(),
+                    strategy: RepairStrategy::RelaxMinedGuard,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Structural mining: the probe family that exposed the divergence tells
+/// us *which* kind of check is missing, and the SM's own effects tell us
+/// which state it ranges over.
+///
+/// * A repeat-call/repeat-create probe where the cloud rejected the second
+///   identical call ⇒ a uniqueness check over whatever list the transition
+///   appends to: `assert(!(arg(p) in read(v))) else E` (or, for appends
+///   delegated to a parent via an internal call, a `field` read on the
+///   call target).
+/// * A child-blocks-destroy probe with a diverging error code ⇒ the
+///   cloud's own containment code: `assert(child_count(C) == 0) else E`.
+/// * A destroy-dependency probe ⇒ an in-use check over the reference the
+///   dependent's creation bound: `assert(is_null(read(v))) else E`.
+fn mine_structural(
+    kind: &crate::tracegen::ProbeKind,
+    code: &str,
+    learned: &Catalog,
+    sm_name: &SmName,
+    api: &str,
+    d: &Divergence,
+) -> Option<Stmt> {
+    use crate::tracegen::ProbeKind;
+    let sm = learned.get(sm_name)?;
+    let t = sm.transition(api)?;
+    let mined = |pred: Expr| Stmt::Assert {
+        pred,
+        error: ErrorCode::new(code),
+        message: MINED_MESSAGE.to_string(),
+    };
+    match kind {
+        ProbeKind::RepeatCall | ProbeKind::RepeatCreate => {
+            // Direct append to own state: write(v, append(read(v), arg(p)))
+            // ⇒ uniqueness; direct removal: write(v, remove(read(v), arg(p)))
+            // ⇒ presence.
+            for s in t.all_stmts() {
+                if let Stmt::Write { state, value: Expr::Append(list, item) } = s {
+                    if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
+                        if v == state {
+                            return Some(mined(Expr::not(Expr::Binary(
+                                lce_spec::BinOp::In,
+                                Box::new(Expr::arg(p)),
+                                Box::new(Expr::read(v)),
+                            ))));
+                        }
+                    }
+                }
+                if let Stmt::Write { state, value: Expr::Remove(list, item) } = s {
+                    if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
+                        if v == state {
+                            return Some(mined(Expr::Binary(
+                                lce_spec::BinOp::In,
+                                Box::new(Expr::arg(p)),
+                                Box::new(Expr::read(v)),
+                            )));
+                        }
+                    }
+                }
+            }
+            // Plain value setter: write(v, arg(p)) ⇒ the cloud rejects
+            // setting the value the resource already has.
+            for s in t.all_stmts() {
+                if let Stmt::Write { state, value: Expr::Arg(p) } = s {
+                    if t.param(p).is_some_and(|q| !q.optional) {
+                        return Some(mined(Expr::ne(Expr::arg(p), Expr::read(state))));
+                    }
+                }
+            }
+            // Delegated append: call(target, Api, [arg(p)]) where the
+            // callee appends its argument to a list variable.
+            for s in t.all_stmts() {
+                if let Stmt::Call { target, api: callee_api, args } = s {
+                    let [Expr::Arg(p)] = args.as_slice() else { continue };
+                    // Resolve the callee's machine through the target type.
+                    let target_ty = match target {
+                        Expr::Arg(q) => match &t.param(q)?.ty {
+                            StateType::Ref(n) => n.clone(),
+                            _ => continue,
+                        },
+                        Expr::Read(v) => match &sm.state(v)?.ty {
+                            StateType::Ref(n) => n.clone(),
+                            _ => continue,
+                        },
+                        _ => continue,
+                    };
+                    let callee_sm = learned.get(&target_ty)?;
+                    let callee = callee_sm.transition(callee_api.as_str())?;
+                    for cs in callee.all_stmts() {
+                        if let Stmt::Write { state: v, value: Expr::Append(..) } = cs {
+                            return Some(mined(Expr::not(Expr::Binary(
+                                lce_spec::BinOp::In,
+                                Box::new(Expr::arg(p)),
+                                Box::new(Expr::Field(Box::new(target.clone()), v.clone())),
+                            ))));
+                        }
+                    }
+                }
+            }
+            None
+        }
+        ProbeKind::ChildBlocksDestroy => {
+            // The class label carries the child type:
+            // `destroy-with-live-<Child>`.
+            let child = d.class.strip_prefix("destroy-with-live-")?;
+            Some(mined(Expr::eq(
+                Expr::ChildCount(SmName::new(child)),
+                Expr::int(0),
+            )))
+        }
+        ProbeKind::DestroyDependency { dependent } => {
+            // Which of this machine's ref variables does the dependent's
+            // creation bind (through an internal call)?
+            let dep = learned.get(dependent)?;
+            let create = dep.creates().next()?;
+            for s in create.all_stmts() {
+                if let Stmt::Call { target, api: callee_api, .. } = s {
+                    let targets_us = match target {
+                        Expr::Arg(q) => {
+                            matches!(&create.param(q).map(|p| &p.ty), Some(StateType::Ref(n)) if n == sm_name)
+                        }
+                        _ => false,
+                    };
+                    if !targets_us {
+                        continue;
+                    }
+                    let callee = sm.transition(callee_api.as_str())?;
+                    for cs in callee.all_stmts() {
+                        if let Stmt::Write { state: v, value } = cs {
+                            // Reference binding ⇒ must be unbound to destroy.
+                            if matches!(&sm.state(v).map(|s| &s.ty), Some(StateType::Ref(_))) {
+                                return Some(mined(Expr::is_null(Expr::read(v))));
+                            }
+                            // Counter increment ⇒ must be zero to destroy.
+                            if matches!(&sm.state(v).map(|s| &s.ty), Some(StateType::Int))
+                                && matches!(value, Expr::Binary(lce_spec::BinOp::Add, ..))
+                            {
+                                return Some(mined(Expr::eq(Expr::read(v), Expr::int(0))));
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        }
+        ProbeKind::Symbolic { .. } | ProbeKind::DomainSweep { .. } | ProbeKind::PairProbe { .. } => {
+            // A success-class probe the cloud rejected on a fresh instance:
+            // if the transition removes an argument from a list, the cloud
+            // is enforcing presence.
+            for s in t.all_stmts() {
+                if let Stmt::Write { state, value: Expr::Remove(list, item) } = s {
+                    if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
+                        if v == state {
+                            return Some(mined(Expr::Binary(
+                                lce_spec::BinOp::In,
+                                Box::new(Expr::arg(p)),
+                                Box::new(Expr::read(v)),
+                            )));
+                        }
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Mine a guard for an undocumented check: sweep each finite-domain
+/// parameter of the divergent call across its domain against the golden
+/// cloud; if exactly the rejected values share the observed error code,
+/// synthesize the corresponding membership/range assert.
+fn mine_guard(
+    golden: &mut Emulator,
+    program: &Program,
+    step: usize,
+    code: &str,
+    sm: &SmSpec,
+    api: &str,
+) -> Option<Stmt> {
+    let t = sm.transition(api)?;
+    for p in &t.params {
+        let domain: Vec<Value> = match &p.ty {
+            StateType::Bool => vec![Value::Bool(true), Value::Bool(false)],
+            StateType::Enum(vs) => vs.iter().map(|v| Value::Enum(v.clone())).collect(),
+            StateType::Int => INT_SWEEP.iter().map(|i| Value::Int(*i)).collect(),
+            _ => continue,
+        };
+        let mut ok_values = Vec::new();
+        let mut fail_values = Vec::new();
+        let mut foreign_failure = false;
+        for v in &domain {
+            let mut variant = program.clone();
+            let s = variant.steps.get_mut(step)?;
+            if s.api != api {
+                return None; // divergent step is not the probed transition
+            }
+            // Override (or add) the swept argument.
+            if let Some(slot) = s.args.iter_mut().find(|(name, _)| name == &p.name) {
+                slot.1 = Arg::Lit(v.clone());
+            } else {
+                s.args.push((p.name.clone(), Arg::Lit(v.clone())));
+            }
+            golden.reset();
+            let run = run_program(&variant, golden);
+            // Setup must succeed for the observation to be attributable.
+            if run.steps[..step].iter().any(|r| !r.response.is_ok()) {
+                continue;
+            }
+            match run.steps.get(step)?.response.error_code() {
+                None => ok_values.push(v.clone()),
+                Some(c) if c == code => fail_values.push(v.clone()),
+                Some(_) => foreign_failure = true,
+            }
+        }
+        if foreign_failure || fail_values.is_empty() || ok_values.is_empty() {
+            continue;
+        }
+        return synthesize_guard(p, &ok_values, &fail_values, code);
+    }
+    None
+}
+
+/// Build the guard statement from observed accept/reject sets.
+fn synthesize_guard(
+    p: &lce_spec::Param,
+    ok: &[Value],
+    fail: &[Value],
+    code: &str,
+) -> Option<Stmt> {
+    let arg = Expr::arg(&p.name);
+    let pred = match &p.ty {
+        StateType::Enum(_) => {
+            let items = ok
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Enum(s) => Some(Expr::enum_val(s.clone())),
+                    _ => None,
+                })
+                .collect::<Vec<_>>();
+            Expr::Binary(
+                lce_spec::BinOp::In,
+                Box::new(arg),
+                Box::new(Expr::ListOf(items)),
+            )
+        }
+        StateType::Bool => {
+            let ok_true = ok.iter().any(|v| v == &Value::Bool(true));
+            let ok_false = ok.iter().any(|v| v == &Value::Bool(false));
+            if ok_true && ok_false {
+                return None;
+            }
+            Expr::eq(arg, Expr::bool(ok_true))
+        }
+        StateType::Int => {
+            let ok_ints: Vec<i64> = ok.iter().filter_map(|v| v.as_int()).collect();
+            let min = *ok_ints.iter().min()?;
+            let max = *ok_ints.iter().max()?;
+            // The range must separate accept from reject cleanly.
+            let clean = fail
+                .iter()
+                .filter_map(|v| v.as_int())
+                .all(|f| f < min || f > max);
+            if !clean {
+                let items = ok_ints.into_iter().map(Expr::int).collect();
+                Expr::Binary(
+                    lce_spec::BinOp::In,
+                    Box::new(arg),
+                    Box::new(Expr::ListOf(items)),
+                )
+            } else {
+                Expr::and(
+                    Expr::Binary(
+                        lce_spec::BinOp::Ge,
+                        Box::new(arg.clone()),
+                        Box::new(Expr::int(min)),
+                    ),
+                    Expr::Binary(lce_spec::BinOp::Le, Box::new(arg), Box::new(Expr::int(max))),
+                )
+            }
+        }
+        _ => return None,
+    };
+    // Optional parameters may always be omitted.
+    let pred = if p.optional {
+        Expr::Binary(
+            lce_spec::BinOp::Or,
+            Box::new(Expr::is_null(Expr::arg(&p.name))),
+            Box::new(pred),
+        )
+    } else {
+        pred
+    };
+    Some(Stmt::Assert {
+        pred,
+        error: ErrorCode::new(code),
+        message: MINED_MESSAGE.to_string(),
+    })
+}
+
+/// Replace a machine with its faithful extraction, preserving any mined
+/// guards (they are not part of the docs and must survive re-extraction).
+fn reextract_machine(learned_sm: &SmSpec, truth: &SmSpec) -> SmSpec {
+    let mined: Vec<(String, Vec<Stmt>)> = learned_sm
+        .transitions
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str().to_string(),
+                t.body.iter().filter(|s| is_mined(s)).cloned().collect::<Vec<_>>(),
+            )
+        })
+        .filter(|(_, g)| !g.is_empty())
+        .collect();
+    let mut fresh = truth.clone();
+    for (api, guards) in mined {
+        if let Some(t) = fresh.transitions.iter_mut().find(|t| t.name.as_str() == api) {
+            for (i, g) in guards.into_iter().enumerate() {
+                t.body.insert(i, g);
+            }
+        }
+    }
+    fresh
+}
+
+/// `true` if the statement is a guard synthesized by probe mining.
+fn is_mined(s: &Stmt) -> bool {
+    matches!(s, Stmt::Assert { message, .. } if message == MINED_MESSAGE)
+}
+
+/// A copy of the machine with all mined guards removed (for comparison
+/// against the documentation).
+fn strip_mined(sm: &SmSpec) -> SmSpec {
+    let mut out = sm.clone();
+    for t in &mut out.transitions {
+        t.body.retain(|s| !is_mined(s));
+    }
+    out
+}
+
+/// Convenience: the APIs a repair list touched, for reports.
+pub fn repaired_apis(repairs: &[Repair]) -> Vec<(SmName, ApiName)> {
+    repairs
+        .iter()
+        .map(|r| (r.sm.clone(), ApiName::new(r.api.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{nimbus_provider, DocFidelity};
+    use lce_wrangle::wrangle_provider;
+
+    fn nimbus_sections() -> Vec<ResourceDoc> {
+        let p = nimbus_provider();
+        let (docs, _) = p.render_docs(DocFidelity::Complete);
+        wrangle_provider(&p, &docs).unwrap()
+    }
+
+    /// End-to-end: synthesize a noisy learned catalog, align it, verify it
+    /// ends behaviourally aligned with the golden cloud.
+    #[test]
+    fn alignment_repairs_learned_catalog() {
+        let provider = nimbus_provider();
+        let sections = nimbus_sections();
+        let (mut catalog, _) =
+            lce_synth::synthesize(&sections, &lce_synth::PipelineConfig::learned(11)).unwrap();
+        let opts = AlignmentOptions {
+            max_paths: 24,
+            ..AlignmentOptions::default()
+        };
+        let report = run_alignment(
+            &mut catalog,
+            EmulatorConfig::framework(),
+            &provider.catalog,
+            EmulatorConfig::framework(),
+            &sections,
+            &opts,
+        );
+        assert!(
+            report.final_aligned_fraction() > report.initial_aligned_fraction()
+                || report.initial_aligned_fraction() == 1.0,
+            "alignment must improve: {:?} -> {:?}",
+            report.initial_aligned_fraction(),
+            report.final_aligned_fraction()
+        );
+        assert!(
+            report.fully_aligned(),
+            "residual divergences: {:#?} (rounds {:?})",
+            report.unrepaired.first(),
+            report.rounds
+        );
+        assert!(!report.repairs.is_empty());
+    }
+
+    /// Underspecified docs: the omitted checks are not re-extractable, so
+    /// probe mining must carry the load (and §6's completeness caveat
+    /// shows up as possibly-unrepaired stragglers).
+    #[test]
+    fn alignment_mines_undocumented_checks() {
+        let provider = nimbus_provider();
+        // Render *underspecified* docs: some failure clauses are missing.
+        let (docs, omitted) = provider.render_docs(DocFidelity::OmitAsserts { every_nth: 8 });
+        assert!(omitted > 0);
+        let sections = wrangle_provider(&provider, &docs).unwrap();
+        // Noiseless pipeline: the only gaps are the documentation's.
+        let (mut catalog, _) =
+            lce_synth::synthesize(&sections, &lce_synth::PipelineConfig::noiseless(3)).unwrap();
+        let opts = AlignmentOptions {
+            max_paths: 24,
+            ..AlignmentOptions::default()
+        };
+        let report = run_alignment(
+            &mut catalog,
+            EmulatorConfig::framework(),
+            &provider.catalog,
+            EmulatorConfig::framework(),
+            &sections,
+            &opts,
+        );
+        assert!(
+            report
+                .repairs
+                .iter()
+                .any(|r| r.strategy == RepairStrategy::ProbeMined),
+            "expected mined repairs, got {:?}",
+            report.repairs
+        );
+        assert!(
+            report.final_aligned_fraction() >= report.initial_aligned_fraction(),
+            "{} -> {}",
+            report.initial_aligned_fraction(),
+            report.final_aligned_fraction()
+        );
+    }
+}

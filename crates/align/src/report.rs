@@ -1,0 +1,118 @@
+//! Error-message quality reporting.
+//!
+//! §4.3 hypothesizes that "error codes" and "error messages" should be
+//! treated differently: codes must align exactly; messages are for
+//! developer consumption and may deviate — and the emulator can decode
+//! failure context into responses *richer* than the cloud's. This module
+//! measures both: code-match rate and message similarity over the error
+//! responses of a suite, plus how often the emulator's decoded explanation
+//! carries strictly more context than the raw message.
+
+use crate::tracegen::TestCase;
+use lce_devops::run_program;
+use lce_emulator::Backend;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Message-quality metrics over a suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageQuality {
+    /// Error responses observed on both backends at the same step.
+    pub paired_errors: usize,
+    /// Pairs with identical error codes.
+    pub code_matches: usize,
+    /// Mean Jaccard word-overlap between the paired messages.
+    pub mean_message_similarity: f64,
+    /// Fraction of learned errors whose decoded explanation strictly
+    /// extends the raw message (extra context lines / hints).
+    pub richer_explanations: f64,
+}
+
+/// Compute message quality for a suite over two backends.
+pub fn message_quality<G, L>(cases: &[TestCase], golden: &mut G, learned: &mut L) -> MessageQuality
+where
+    G: Backend + ?Sized,
+    L: Backend + ?Sized,
+{
+    let mut paired = 0usize;
+    let mut code_matches = 0usize;
+    let mut sim_sum = 0.0f64;
+    let mut richer = 0usize;
+    let mut learned_errors = 0usize;
+    for case in cases {
+        golden.reset();
+        learned.reset();
+        let rg = run_program(&case.program, golden);
+        let rl = run_program(&case.program, learned);
+        for (sg, sl) in rg.steps.iter().zip(rl.steps.iter()) {
+            if let Some(el) = &sl.response.error {
+                learned_errors += 1;
+                if el.explain().lines().count() > 1 {
+                    richer += 1;
+                }
+            }
+            if let (Some(eg), Some(el)) = (&sg.response.error, &sl.response.error) {
+                paired += 1;
+                if eg.code == el.code {
+                    code_matches += 1;
+                }
+                sim_sum += jaccard(&eg.message, &el.message);
+            }
+        }
+    }
+    MessageQuality {
+        paired_errors: paired,
+        code_matches,
+        mean_message_similarity: if paired > 0 {
+            sim_sum / paired as f64
+        } else {
+            1.0
+        },
+        richer_explanations: if learned_errors > 0 {
+            richer as f64 / learned_errors as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Word-set Jaccard similarity.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let wa: BTreeSet<&str> = a.split_whitespace().collect();
+    let wb: BTreeSet<&str> = b.split_whitespace().collect();
+    if wa.is_empty() && wb.is_empty() {
+        return 1.0;
+    }
+    let inter = wa.intersection(&wb).count() as f64;
+    let union = wa.union(&wb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::generate_suite;
+    use lce_cloud::nimbus_provider;
+
+    #[test]
+    fn jaccard_basics() {
+        assert!((jaccard("a b c", "a b c") - 1.0).abs() < 1e-9);
+        assert!((jaccard("a b", "c d") - 0.0).abs() < 1e-9);
+        assert!((jaccard("", "") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_vs_golden_messages_identical() {
+        let catalog = nimbus_provider().catalog;
+        let (cases, _) = generate_suite(&catalog, 8);
+        let sample: Vec<_> = cases.into_iter().step_by(11).collect();
+        let mut a = nimbus_provider().golden_cloud();
+        let mut b = nimbus_provider().golden_cloud();
+        let q = message_quality(&sample, &mut a, &mut b);
+        assert!(q.paired_errors > 0);
+        assert_eq!(q.code_matches, q.paired_errors);
+        assert!((q.mean_message_similarity - 1.0).abs() < 1e-9);
+        // Decoded explanations carry context beyond the raw message.
+        assert!(q.richer_explanations > 0.9);
+    }
+}

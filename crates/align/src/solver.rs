@@ -1,0 +1,570 @@
+//! Finite-domain witness solving for symbolic classes.
+//!
+//! Every leaf of a path constraint is either a transition argument
+//! (`arg(p)`) or a state variable of the target instance (`read(v)`).
+//! Their types induce small finite domains — enum variants, booleans,
+//! integer literals ±1 (boundary probing), string literals observed in the
+//! spec, and reference liveness markers — so witness finding is a bounded
+//! enumeration rather than SMT.
+//!
+//! Constraints whose sub-expressions the solver cannot evaluate (cross-
+//! machine `field` reads, list membership against mutable state) are
+//! treated as *undecidable-satisfiable*: the witness is marked inexact and
+//! the differential phase still runs it (any program is a valid
+//! differential test; exactness only affects which class it lands in).
+
+use crate::symbolic::SymPath;
+use lce_emulator::Value;
+use lce_spec::{BinOp, Expr, Literal, SmSpec, StateType, Transition, UnOp};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Marker prefix for reference-typed witness values; interpreted by the
+/// trace planner.
+pub const REF_SHARED: &str = "@ref:shared";
+/// A reference that must be a *fresh, distinct* live instance.
+pub const REF_FRESH: &str = "@ref:fresh";
+/// A reference to a non-existent resource.
+pub const REF_DANGLING: &str = "@ref:dangling";
+
+/// A concrete witness for one symbolic class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Witness {
+    /// Argument values (reference args carry `@ref:*` markers; `Null`
+    /// means "omit the optional parameter").
+    pub args: BTreeMap<String, Value>,
+    /// Required pre-state of the target instance (empty for create).
+    pub state_reqs: BTreeMap<String, Value>,
+    /// `true` if every constraint was decidable under this assignment.
+    pub exact: bool,
+}
+
+/// Solve one path. Returns `None` when the decidable constraints are
+/// unsatisfiable within the domains (e.g. a `child_count != 0` requirement,
+/// which needs a structural probe instead).
+pub fn solve_path(sm: &SmSpec, t: &Transition, path: &SymPath) -> Option<Witness> {
+    solve_path_k(sm, t, path, 1).into_iter().next()
+}
+
+/// Like [`solve_path`], but returns up to `k` distinct witnesses — the
+/// trace planner tries them in order, since the first witness may require
+/// a pre-state no public-API plan can reach while a later one does.
+pub fn solve_path_k(sm: &SmSpec, t: &Transition, path: &SymPath, k: usize) -> Vec<Witness> {
+    // Collect the leaves that occur in constraints.
+    let mut arg_leaves: BTreeSet<String> = BTreeSet::new();
+    let mut read_leaves: BTreeSet<String> = BTreeSet::new();
+    for c in &path.constraints {
+        c.pred.visit(&mut |e| match e {
+            Expr::Arg(p) => {
+                arg_leaves.insert(p.clone());
+            }
+            Expr::Read(v) => {
+                read_leaves.insert(v.clone());
+            }
+            _ => {}
+        });
+    }
+
+    // Literal pools for int/str domains, collected *per leaf* from the
+    // constraints that mention the leaf (pooling across all constraints
+    // would leak, say, a region literal into a CIDR argument's domain).
+    let pools = |is_arg: bool, name: &str| -> (BTreeSet<i64>, BTreeSet<String>) {
+        let mut ints = BTreeSet::new();
+        let mut strs = BTreeSet::new();
+        for c in &path.constraints {
+            let mut mentions = false;
+            c.pred.visit(&mut |e| match e {
+                Expr::Arg(p) if is_arg && p == name => mentions = true,
+                Expr::Read(v) if !is_arg && v == name => mentions = true,
+                _ => {}
+            });
+            if !mentions {
+                continue;
+            }
+            c.pred.visit(&mut |e| {
+                if let Expr::Lit(Literal::Int(i)) = e {
+                    ints.insert(*i);
+                }
+                if let Expr::Lit(Literal::Str(s)) = e {
+                    strs.insert(s.clone());
+                }
+            });
+        }
+        (ints, strs)
+    };
+
+    // Values documented as creatable: literals guarding the create
+    // transition's argument that feeds each state variable. They extend
+    // `read` domains so pre-state requirements stay plannable (e.g. an
+    // instance type that is valid to create but not burstable).
+    let create_literals = |var: &str| -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for c in sm.creates() {
+            // Find the argument written into `var`.
+            let mut param: Option<String> = None;
+            for st in c.all_stmts() {
+                if let lce_spec::Stmt::Write {
+                    state,
+                    value: Expr::Arg(p),
+                } = st
+                {
+                    if state == var {
+                        param = Some(p.clone());
+                    }
+                }
+            }
+            let Some(param) = param else { continue };
+            for st in c.all_stmts() {
+                if let lce_spec::Stmt::Assert { pred, .. } = st {
+                    let mut mentions = false;
+                    pred.visit(&mut |e| {
+                        if matches!(e, Expr::Arg(p) if *p == param) {
+                            mentions = true;
+                        }
+                    });
+                    if mentions {
+                        pred.visit(&mut |e| {
+                            if let Expr::Lit(Literal::Str(s)) = e {
+                                out.insert(s.clone());
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        out
+    };
+
+
+    // Build per-leaf domains, constrained leaves first.
+    let mut leaves: Vec<(LeafKey, Vec<Value>)> = Vec::new();
+    for p in &arg_leaves {
+        let Some(param) = t.param(p) else { continue };
+        let (int_lits, str_lits) = pools(true, p);
+        let domain = domain_for(
+            &param.ty,
+            param.optional,
+            &int_lits,
+            &str_lits,
+            &format!("arg:{}", p),
+        );
+        leaves.push((LeafKey::Arg(p.clone()), domain));
+    }
+    for v in &read_leaves {
+        let Some(decl) = sm.state(v) else { continue };
+        let (int_lits, mut str_lits) = pools(false, v);
+        if matches!(decl.ty, StateType::Str) {
+            str_lits.extend(create_literals(v));
+        }
+        let domain = domain_for(
+            &decl.ty,
+            decl.nullable,
+            &int_lits,
+            &str_lits,
+            &format!("read:{}", v),
+        );
+        leaves.push((LeafKey::Read(v.clone()), domain));
+    }
+
+    // Bounded enumeration over the cartesian product.
+    const MAX_ASSIGNMENTS: usize = 50_000;
+    let total: usize = leaves
+        .iter()
+        .map(|(_, d)| d.len().max(1))
+        .try_fold(1usize, |a, b| a.checked_mul(b))
+        .unwrap_or(usize::MAX);
+    let budget = total.min(MAX_ASSIGNMENTS);
+
+    let mut found: Vec<Witness> = Vec::new();
+    let mut assignment: BTreeMap<LeafKey, Value> = BTreeMap::new();
+    for idx in 0..budget {
+        // Decode the mixed-radix index.
+        let mut rem = idx;
+        assignment.clear();
+        for (key, domain) in &leaves {
+            if domain.is_empty() {
+                continue;
+            }
+            let v = &domain[rem % domain.len()];
+            rem /= domain.len();
+            assignment.insert(key.clone(), v.clone());
+        }
+        let mut exact = true;
+        let mut ok = true;
+        for c in &path.constraints {
+            match eval(&c.pred, &assignment) {
+                Some(Value::Bool(b)) => {
+                    if b != c.expected {
+                        ok = false;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    ok = false;
+                    break;
+                }
+                None => exact = false, // undecidable: optimistically satisfied
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Found a satisfying assignment; fill in unconstrained params.
+        let mut args = BTreeMap::new();
+        for p in &t.params {
+            let v = match assignment.get(&LeafKey::Arg(p.name.clone())) {
+                Some(v) => v.clone(),
+                None => default_value(&p.ty, p.optional),
+            };
+            args.insert(p.name.clone(), v);
+        }
+        let state_reqs: BTreeMap<String, Value> = assignment
+            .iter()
+            .filter_map(|(k, v)| match k {
+                LeafKey::Read(var) => Some((var.clone(), v.clone())),
+                LeafKey::Arg(_) => None,
+            })
+            .collect();
+        let w = Witness {
+            args,
+            state_reqs,
+            exact,
+        };
+        // Deduplicate by pre-state requirements: extra witnesses exist to
+        // offer the planner *different* setups, not different arguments.
+        if !found.iter().any(|f| f.state_reqs == w.state_reqs) {
+            found.push(w);
+        }
+        if found.len() >= k {
+            break;
+        }
+    }
+    found
+}
+
+/// Evaluate an expression given concrete argument values and a concrete
+/// (tracked) instance state. Used by the trace planner's abstract
+/// interpretation of setup steps. `None` = undecidable.
+pub(crate) fn eval_concrete(
+    expr: &Expr,
+    args: &BTreeMap<String, Value>,
+    state: &BTreeMap<String, Value>,
+) -> Option<Value> {
+    let mut assignment: BTreeMap<LeafKey, Value> = BTreeMap::new();
+    for (k, v) in args {
+        assignment.insert(LeafKey::Arg(k.clone()), v.clone());
+    }
+    for (k, v) in state {
+        assignment.insert(LeafKey::Read(k.clone()), v.clone());
+    }
+    eval(expr, &assignment)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum LeafKey {
+    Arg(String),
+    Read(String),
+}
+
+/// The finite domain of a leaf, ordered so "ordinary" values come first
+/// (shared live refs, defaults) and exotica later (dangling refs, nulls).
+fn domain_for(
+    ty: &StateType,
+    nullable: bool,
+    int_lits: &BTreeSet<i64>,
+    str_lits: &BTreeSet<String>,
+    leaf_id: &str,
+) -> Vec<Value> {
+    let mut out = match ty {
+        StateType::Bool => vec![Value::Bool(true), Value::Bool(false)],
+        StateType::Enum(vs) => vs.iter().map(|v| Value::Enum(v.clone())).collect(),
+        StateType::Int => {
+            let mut vals: BTreeSet<i64> = BTreeSet::new();
+            for l in int_lits {
+                vals.insert(l - 1);
+                vals.insert(*l);
+                vals.insert(l + 1);
+            }
+            vals.insert(0);
+            vals.insert(1);
+            vals.into_iter().take(16).map(Value::Int).collect()
+        }
+        StateType::Str => {
+            // The uniquifiable fallback first, so unconstrained leaves
+            // pick it; observed literals next; the empty string last.
+            let mut vals: Vec<Value> = vec![Value::str("witness")];
+            vals.extend(str_lits.iter().map(|s| Value::str(s.clone())));
+            vals.push(Value::str(""));
+            vals
+        }
+        StateType::Ref(_) => vec![
+            Value::str(REF_SHARED),
+            Value::str(format!("{}:{}", REF_FRESH, leaf_id)),
+            Value::str(REF_DANGLING),
+        ],
+        StateType::List(_) => vec![Value::List(Vec::new())],
+    };
+    if nullable {
+        out.push(Value::Null);
+    }
+    out
+}
+
+/// A sensible default for parameters that no constraint mentions.
+fn default_value(ty: &StateType, optional: bool) -> Value {
+    if optional {
+        return Value::Null;
+    }
+    match ty {
+        StateType::Bool => Value::Bool(false),
+        StateType::Int => Value::Int(1),
+        StateType::Str => Value::str("witness"),
+        StateType::Enum(vs) => Value::Enum(vs.first().cloned().unwrap_or_default()),
+        StateType::Ref(_) => Value::str(REF_SHARED),
+        StateType::List(_) => Value::List(Vec::new()),
+    }
+}
+
+/// Concretely evaluate an expression under a partial leaf assignment.
+/// `None` = undecidable.
+fn eval(expr: &Expr, assignment: &BTreeMap<LeafKey, Value>) -> Option<Value> {
+    match expr {
+        Expr::Lit(l) => Some(Value::from_literal(l)),
+        Expr::Null => Some(Value::Null),
+        Expr::Arg(p) => assignment.get(&LeafKey::Arg(p.clone())).cloned(),
+        Expr::Read(v) => assignment.get(&LeafKey::Read(v.clone())).cloned(),
+        Expr::SelfId | Expr::Field(_, _) | Expr::Append(_, _) | Expr::Remove(_, _) => None,
+        // Fresh-instance assumption: a newly created target has no children.
+        Expr::ChildCount(_) => Some(Value::Int(0)),
+        Expr::Unary(op, inner) => {
+            let v = eval(inner, assignment);
+            match op {
+                UnOp::Not => match v? {
+                    Value::Bool(b) => Some(Value::Bool(!b)),
+                    _ => None,
+                },
+                UnOp::IsNull => Some(Value::Bool(v?.is_null())),
+                UnOp::Exists => match v? {
+                    Value::Null => Some(Value::Bool(false)),
+                    Value::Str(s) if s == REF_DANGLING => Some(Value::Bool(false)),
+                    Value::Str(s) if s.starts_with("@ref:") => Some(Value::Bool(true)),
+                    Value::Ref(_) => Some(Value::Bool(true)),
+                    _ => None,
+                },
+                UnOp::Len => match v? {
+                    Value::Str(s) => Some(Value::Int(s.chars().count() as i64)),
+                    Value::List(items) => Some(Value::Int(items.len() as i64)),
+                    _ => None,
+                },
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval(a, assignment);
+            let vb = eval(b, assignment);
+            match op {
+                BinOp::And => match (as_bool(&va), as_bool(&vb)) {
+                    (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                    (Some(true), Some(true)) => Some(Value::Bool(true)),
+                    _ => None,
+                },
+                BinOp::Or => match (as_bool(&va), as_bool(&vb)) {
+                    (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                    (Some(false), Some(false)) => Some(Value::Bool(false)),
+                    _ => None,
+                },
+                BinOp::Eq => Some(Value::Bool(va?.loose_eq(&vb?))),
+                BinOp::Ne => Some(Value::Bool(!va?.loose_eq(&vb?))),
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let (x, y) = (va?.as_int()?, vb?.as_int()?);
+                    Some(Value::Bool(match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    }))
+                }
+                BinOp::In => match vb? {
+                    Value::List(items) => {
+                        let v = va?;
+                        Some(Value::Bool(items.iter().any(|i| v.loose_eq(i))))
+                    }
+                    _ => None,
+                },
+                BinOp::Add => Some(Value::Int(va?.as_int()? + vb?.as_int()?)),
+                BinOp::Sub => Some(Value::Int(va?.as_int()? - vb?.as_int()?)),
+            }
+        }
+        Expr::ListOf(items) => {
+            let vals: Option<Vec<Value>> = items.iter().map(|e| eval(e, assignment)).collect();
+            Some(Value::List(vals?))
+        }
+    }
+}
+
+fn as_bool(v: &Option<Value>) -> Option<bool> {
+    match v {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{symbolic_paths, PathOutcome};
+    use lce_spec::parse_sm;
+
+    fn sm_and_t(src: &str) -> (SmSpec, Transition) {
+        let sm = parse_sm(src).unwrap();
+        let t = sm.transition("T").unwrap().clone();
+        (sm, t)
+    }
+
+    #[test]
+    fn solves_enum_membership_both_sides() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T(Region: str) kind modify {
+                assert(arg(Region) in ["us-east", "us-west"]) else Bad "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        // Error path: a string outside the set.
+        let err = solve_path(&sm, &t, &paths[0]).unwrap();
+        let v = err.args.get("Region").unwrap().as_str().unwrap();
+        assert!(!["us-east", "us-west"].contains(&v));
+        assert!(err.exact);
+        // Success path: a member.
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        let v = ok.args.get("Region").unwrap().as_str().unwrap();
+        assert!(["us-east", "us-west"].contains(&v));
+    }
+
+    #[test]
+    fn solves_integer_boundaries() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T(N: int) kind modify {
+                assert(arg(N) >= 16) else Low "m";
+                assert(arg(N) <= 28) else High "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        for p in &paths {
+            let w = solve_path(&sm, &t, p).unwrap();
+            let n = w.args.get("N").unwrap().as_int().unwrap();
+            match &p.outcome {
+                PathOutcome::Error(e) if e.as_str() == "Low" => assert!(n < 16),
+                PathOutcome::Error(e) if e.as_str() == "High" => assert!(!(16..=28).contains(&n) && n > 28),
+                _ => assert!((16..=28).contains(&n)),
+            }
+        }
+    }
+
+    #[test]
+    fn solves_state_requirement() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { st: enum(running, stopped) = running; }
+              transition T() kind modify {
+                assert(read(st) == stopped) else IncorrectState "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert_eq!(ok.state_reqs.get("st"), Some(&Value::enum_val("stopped")));
+    }
+
+    #[test]
+    fn solves_ref_liveness() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T(B: ref(B)) kind modify {
+                assert(exists(arg(B))) else NotFound "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        let err = solve_path(&sm, &t, &paths[0]).unwrap();
+        assert_eq!(err.args.get("B").unwrap().as_str(), Some(REF_DANGLING));
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert!(ok.args.get("B").unwrap().as_str().unwrap().starts_with("@ref:"));
+        assert_ne!(ok.args.get("B").unwrap().as_str(), Some(REF_DANGLING));
+    }
+
+    #[test]
+    fn distinct_refs_for_inequality() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T(X: ref(B), Y: ref(B)) kind modify {
+                assert(arg(X) != arg(Y)) else Same "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        // Error path (equal): both shared.
+        let err = solve_path(&sm, &t, &paths[0]).unwrap();
+        assert_eq!(err.args.get("X"), err.args.get("Y"));
+        // Success path (distinct).
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert_ne!(ok.args.get("X"), ok.args.get("Y"));
+    }
+
+    #[test]
+    fn child_count_nonzero_is_unsatisfiable_here() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T() kind destroy {
+                assert(child_count(B) == 0) else DependencyViolation "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        // Fail side needs children, which the fresh-instance assumption
+        // forbids — structural probes cover it instead.
+        assert!(solve_path(&sm, &t, &paths[0]).is_none());
+        assert!(solve_path(&sm, &t, &paths[1]).is_some());
+    }
+
+    #[test]
+    fn undecidable_constraints_mark_inexact() {
+        // A cross-machine `field` read is opaque to the solver.
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { }
+              transition T(B: ref(B)) kind modify {
+                assert(field(arg(B), zone) == "z") else Mismatch "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert!(!ok.exact);
+    }
+
+    #[test]
+    fn list_state_decides_via_empty_default() {
+        // Membership against own list state decides under the
+        // fresh-instance (empty list) assumption.
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { routes: list(str); }
+              transition T(D: str) kind modify {
+                assert(!(arg(D) in read(routes))) else Dup "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert!(ok.exact);
+        // The duplicate class is unreachable on a fresh instance (the
+        // repeat-call probe covers it instead).
+        assert!(solve_path(&sm, &t, &paths[0]).is_none());
+    }
+
+    #[test]
+    fn optional_params_default_to_null() {
+        let (sm, t) = sm_and_t(
+            r#"sm A { service "s"; states { x: int = 0; }
+              transition T(N: int?, M: int) kind modify {
+                assert(arg(M) > 0) else Bad "m";
+              } }"#,
+        );
+        let paths = symbolic_paths(&t, 10);
+        let ok = solve_path(&sm, &t, &paths[1]).unwrap();
+        assert_eq!(ok.args.get("N"), Some(&Value::Null));
+    }
+}

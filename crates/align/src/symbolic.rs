@@ -1,0 +1,345 @@
+//! Symbolic execution over transition bodies.
+//!
+//! A transition body is a tree of straight-line effects with two kinds of
+//! branch points: `if/else` and `assert` (whose failing side terminates
+//! the path with an error). Enumerating root-to-exit paths yields the
+//! *symbolically equivalent classes* of §4.3: all concrete inputs that
+//! drive execution down the same path are behaviourally interchangeable,
+//! so one witness per path suffices for differential testing — and a
+//! violating trace pins the root cause to a *single* check.
+//!
+//! Nested `call`s are treated as opaque successes here; their own paths
+//! are enumerated when the callee's transition is analyzed. (A call that
+//! fails at runtime shows up as a divergence attributed to this class,
+//! which is still localized enough for repair.)
+
+use lce_spec::{ErrorCode, Expr, Stmt, Transition};
+use serde::{Deserialize, Serialize};
+
+/// How a path terminates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathOutcome {
+    /// The transition completes.
+    Success,
+    /// The path fails the assert carrying this code.
+    Error(ErrorCode),
+}
+
+/// One constraint along a path: the predicate must evaluate to `expected`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The branch/assert predicate.
+    pub pred: Expr,
+    /// Required truth value.
+    pub expected: bool,
+}
+
+/// One symbolic path (equivalence class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymPath {
+    /// Constraints in encounter order.
+    pub constraints: Vec<Constraint>,
+    /// Terminal outcome.
+    pub outcome: PathOutcome,
+}
+
+impl SymPath {
+    /// A short stable label for reports: `ok`, or the error code, plus the
+    /// constraint count.
+    pub fn label(&self) -> String {
+        match &self.outcome {
+            PathOutcome::Success => format!("ok[{}]", self.constraints.len()),
+            PathOutcome::Error(e) => format!("{}[{}]", e, self.constraints.len()),
+        }
+    }
+}
+
+/// Enumerate the symbolic paths of a transition, up to `max_paths`.
+/// Paths are produced error-paths-first at each assert (shallow failures
+/// before deep ones), then the success continuation.
+///
+/// For `create`-kinded transitions the symbolic store starts from the
+/// declared defaults (a create runs on a fresh instance); for all others,
+/// `read(v)` of a not-yet-written variable denotes the *pre-state* and
+/// stays a free leaf. Writes update the store so later reads substitute
+/// the written expression — path constraints are therefore expressed over
+/// arguments and pre-state only.
+pub fn symbolic_paths(t: &Transition, max_paths: usize) -> Vec<SymPath> {
+    symbolic_paths_for(t, None, max_paths)
+}
+
+/// Like [`symbolic_paths`], but with the machine's declarations available
+/// so that create transitions substitute declared defaults for reads.
+pub fn symbolic_paths_in(sm: &lce_spec::SmSpec, t: &Transition, max_paths: usize) -> Vec<SymPath> {
+    symbolic_paths_for(t, Some(sm), max_paths)
+}
+
+fn symbolic_paths_for(
+    t: &Transition,
+    sm: Option<&lce_spec::SmSpec>,
+    max_paths: usize,
+) -> Vec<SymPath> {
+    let mut out = Vec::new();
+    let mut store: Store = Store::new();
+    if t.kind == lce_spec::TransitionKind::Create {
+        if let Some(sm) = sm {
+            for s in &sm.states {
+                let init = match &s.default {
+                    Some(lit) => Some(Expr::Lit(lit.clone())),
+                    None if s.nullable => Some(Expr::Null),
+                    None => default_expr(&s.ty),
+                };
+                if let Some(e) = init {
+                    store.insert(s.name.clone(), e);
+                }
+            }
+        }
+    }
+    let work: Vec<&[Stmt]> = vec![&t.body];
+    walk(work, Vec::new(), store, &mut out, max_paths);
+    out
+}
+
+/// The default expression for a type, mirroring
+/// [`lce_emulator::Value::default_for`]. `None` for types whose default is
+/// better left opaque.
+fn default_expr(ty: &lce_spec::StateType) -> Option<Expr> {
+    use lce_spec::{Literal, StateType};
+    Some(match ty {
+        StateType::Str => Expr::Lit(Literal::Str(String::new())),
+        StateType::Int => Expr::Lit(Literal::Int(0)),
+        StateType::Bool => Expr::Lit(Literal::Bool(false)),
+        StateType::Enum(vs) => Expr::Lit(Literal::EnumVal(vs.first()?.clone())),
+        StateType::Ref(_) => Expr::Null,
+        StateType::List(_) => Expr::ListOf(Vec::new()),
+    })
+}
+
+type Store = std::collections::BTreeMap<String, Expr>;
+
+/// Substitute stored write expressions for `read(v)` occurrences.
+fn substitute(expr: &Expr, store: &Store) -> Expr {
+    match expr {
+        Expr::Read(v) => match store.get(v) {
+            Some(e) => e.clone(),
+            None => expr.clone(),
+        },
+        Expr::Field(inner, f) => Expr::Field(Box::new(substitute(inner, store)), f.clone()),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(substitute(inner, store))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(substitute(a, store)),
+            Box::new(substitute(b, store)),
+        ),
+        Expr::ListOf(items) => Expr::ListOf(items.iter().map(|e| substitute(e, store)).collect()),
+        Expr::Append(a, b) => Expr::Append(
+            Box::new(substitute(a, store)),
+            Box::new(substitute(b, store)),
+        ),
+        Expr::Remove(a, b) => Expr::Remove(
+            Box::new(substitute(a, store)),
+            Box::new(substitute(b, store)),
+        ),
+        Expr::Lit(_) | Expr::Null | Expr::Arg(_) | Expr::SelfId | Expr::ChildCount(_) => {
+            expr.clone()
+        }
+    }
+}
+
+/// `work` is a stack of statement slices to execute in order (innermost
+/// first). This lets branch bodies prepend to the continuation without
+/// cloning statements.
+fn walk(
+    work: Vec<&[Stmt]>,
+    constraints: Vec<Constraint>,
+    store: Store,
+    out: &mut Vec<SymPath>,
+    max: usize,
+) {
+    if out.len() >= max {
+        return;
+    }
+    // Find the next statement.
+    let mut work = work;
+    let (stmt, rest_work) = loop {
+        match work.pop() {
+            None => {
+                out.push(SymPath {
+                    constraints,
+                    outcome: PathOutcome::Success,
+                });
+                return;
+            }
+            Some(slice) => {
+                if let Some((first, rest)) = slice.split_first() {
+                    if !rest.is_empty() {
+                        work.push(rest);
+                    }
+                    break (first, work);
+                }
+                // Empty slice: continue popping.
+            }
+        }
+    };
+    match stmt {
+        Stmt::Assert { pred, error, .. } => {
+            let pred = substitute(pred, &store);
+            // Failing side.
+            let mut c = constraints.clone();
+            c.push(Constraint {
+                pred: pred.clone(),
+                expected: false,
+            });
+            out.push(SymPath {
+                constraints: c,
+                outcome: PathOutcome::Error(error.clone()),
+            });
+            // Passing side.
+            let mut c = constraints;
+            c.push(Constraint {
+                pred,
+                expected: true,
+            });
+            walk(rest_work, c, store, out, max);
+        }
+        Stmt::If { pred, then, els } => {
+            let pred = substitute(pred, &store);
+            let mut then_work = rest_work.clone();
+            if !then.is_empty() {
+                then_work.push(then);
+            }
+            let mut c = constraints.clone();
+            c.push(Constraint {
+                pred: pred.clone(),
+                expected: true,
+            });
+            walk(then_work, c, store.clone(), out, max);
+
+            let mut else_work = rest_work;
+            if !els.is_empty() {
+                else_work.push(els);
+            }
+            let mut c = constraints;
+            c.push(Constraint {
+                pred,
+                expected: false,
+            });
+            walk(else_work, c, store, out, max);
+        }
+        Stmt::Write { state, value } => {
+            let mut store = store;
+            let substituted = substitute(value, &store);
+            store.insert(state.clone(), substituted);
+            walk(rest_work, constraints, store, out, max);
+        }
+        // Other effects don't branch and don't touch local state.
+        Stmt::Emit { .. } | Stmt::Call { .. } => {
+            walk(rest_work, constraints, store, out, max);
+        }
+    }
+}
+
+/// Count state transitions (symbolic paths) for a whole machine — one of
+/// the cloud-complexity metrics of §4.4 ("counting the number of state
+/// transitions could quantify cloud complexity").
+pub fn path_count(t: &Transition) -> usize {
+    symbolic_paths(t, 10_000).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_sm;
+
+    fn transition(body: &str, params: &str) -> Transition {
+        let src = format!(
+            r#"sm A {{ service "s";
+              states {{ x: int = 0; flag: bool = false; st: enum(on, off) = off; }}
+              transition T({}) kind modify {{ {} }} }}"#,
+            params, body
+        );
+        parse_sm(&src).unwrap().transition("T").unwrap().clone()
+    }
+
+    #[test]
+    fn straight_line_has_one_path() {
+        let t = transition("write(x, 1); emit(X, read(x));", "");
+        let paths = symbolic_paths(&t, 100);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].outcome, PathOutcome::Success);
+        assert!(paths[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn assert_forks_two_paths() {
+        let t = transition(r#"assert(arg(N) > 0) else Bad "m"; write(x, arg(N));"#, "N: int");
+        let paths = symbolic_paths(&t, 100);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].outcome, PathOutcome::Error(ErrorCode::new("Bad")));
+        assert!(!paths[0].constraints[0].expected);
+        assert_eq!(paths[1].outcome, PathOutcome::Success);
+        assert!(paths[1].constraints[0].expected);
+    }
+
+    #[test]
+    fn two_asserts_three_paths() {
+        let t = transition(
+            r#"assert(arg(N) > 0) else A "m"; assert(arg(N) < 10) else B "m";"#,
+            "N: int",
+        );
+        let paths = symbolic_paths(&t, 100);
+        assert_eq!(paths.len(), 3);
+        let errs: Vec<String> = paths.iter().map(|p| p.label()).collect();
+        assert_eq!(errs, vec!["A[1]", "B[2]", "ok[2]"]);
+    }
+
+    #[test]
+    fn if_else_forks() {
+        let t = transition(
+            "if read(flag) { write(x, 1); } else { write(x, 2); }",
+            "",
+        );
+        let paths = symbolic_paths(&t, 100);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.outcome == PathOutcome::Success));
+    }
+
+    #[test]
+    fn assert_inside_if_composes() {
+        let t = transition(
+            r#"if !is_null(arg(V)) {
+                 assert(arg(V) > 0) else Bad "m";
+                 write(x, arg(V));
+               }"#,
+            "V: int?",
+        );
+        let paths = symbolic_paths(&t, 100);
+        // then+fail, then+ok, else.
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().any(|p| p.outcome == PathOutcome::Error(ErrorCode::new("Bad"))));
+    }
+
+    #[test]
+    fn path_cap_respected() {
+        // 8 sequential asserts → 9 paths uncapped.
+        let body: String = (0..8)
+            .map(|i| format!(r#"assert(arg(N) != {}) else E{} "m";"#, i, i))
+            .collect();
+        let t = transition(&body, "N: int");
+        assert_eq!(symbolic_paths(&t, 4).len(), 4);
+        assert_eq!(symbolic_paths(&t, 100).len(), 9);
+    }
+
+    #[test]
+    fn golden_vpc_paths_cover_all_error_codes() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let vpc = catalog.get(&lce_spec::SmName::new("Vpc")).unwrap();
+        let del = vpc.transition("DeleteVpc").unwrap();
+        let paths = symbolic_paths(del, 100);
+        let error_paths = paths
+            .iter()
+            .filter(|p| matches!(p.outcome, PathOutcome::Error(_)))
+            .count();
+        assert_eq!(error_paths, del.error_codes().len());
+    }
+}

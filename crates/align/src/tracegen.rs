@@ -1,0 +1,1089 @@
+//! Trace planning: turn symbolic witnesses into executable programs.
+//!
+//! Every symbolic class yields (at most) one [`TestCase`]: a DevOps
+//! program that builds the dependency chain (creating parents and
+//! referenced resources), drives the target instance into the required
+//! pre-state via documented modify transitions, and finally issues the
+//! probed call with the witness arguments. Two structural probe families
+//! supplement the symbolic classes for behaviours that are invisible to a
+//! fresh instance's path conditions: *repeat-call* probes (duplicate /
+//! idempotency checks) and *child-blocks-destroy* probes (containment
+//! checks over live children).
+//!
+//! Classes the planner cannot reach through public APIs are counted, not
+//! silently dropped ("Alignment Completeness", §6: hardening targets the
+//! reachable paths).
+
+use crate::solver::{eval_concrete, solve_path, solve_path_k, Witness, REF_DANGLING, REF_FRESH, REF_SHARED};
+use crate::symbolic::{symbolic_paths_in, PathOutcome, SymPath};
+use lce_devops::{Arg, Program};
+use lce_emulator::Value;
+use lce_spec::{Catalog, SmName, SmSpec, StateType, Stmt, Transition, TransitionKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What produced a test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// A symbolic equivalence class; `exact` mirrors the witness.
+    Symbolic {
+        /// Every path constraint was decidable for the witness.
+        exact: bool,
+    },
+    /// The same successful modify issued twice in a row.
+    RepeatCall,
+    /// The same create issued twice with identical arguments — catches
+    /// duplicate/conflict checks (CIDR overlap, name uniqueness).
+    RepeatCreate,
+    /// Destroying a resource another resource's creation bound to —
+    /// catches in-use checks on non-containment associations.
+    DestroyDependency {
+        /// The dependent machine whose create bound the target.
+        dependent: SmName,
+    },
+    /// Destroying a parent while a child is alive.
+    ChildBlocksDestroy,
+    /// A success-path program with one argument swept across its finite
+    /// domain. This is the probe family that *detects* checks the spec
+    /// never had (a dropped assert leaves no symbolic class behind, so
+    /// only black-box probing can expose it).
+    DomainSweep {
+        /// The swept parameter.
+        param: String,
+    },
+    /// Two sequential calls of the same modify with different single
+    /// parameters — pairwise interaction testing (cf. combinatorial API
+    /// testing), catching cross-attribute couplings such as "DNS
+    /// hostnames require DNS support".
+    PairProbe {
+        /// First call's parameter.
+        first: String,
+        /// Second call's parameter.
+        second: String,
+    },
+}
+
+/// One differential test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Machine under test.
+    pub sm: SmName,
+    /// Transition under test.
+    pub api: String,
+    /// Class label (see [`SymPath::label`]) or probe name.
+    pub class: String,
+    /// Probe family.
+    pub kind: ProbeKind,
+    /// The program (setup steps + final probed step).
+    pub program: Program,
+}
+
+/// Suite generation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteStats {
+    /// Symbolic classes enumerated.
+    pub classes: usize,
+    /// Classes with no witness in the finite domains.
+    pub unsatisfiable: usize,
+    /// Classes whose setup could not be planned via public APIs.
+    pub unplanned: usize,
+    /// Test cases emitted (symbolic + structural probes).
+    pub cases: usize,
+}
+
+/// Generate the full differential suite for a catalog.
+pub fn generate_suite(catalog: &Catalog, max_paths_per_transition: usize) -> (Vec<TestCase>, SuiteStats) {
+    let mut cases = Vec::new();
+    let mut stats = SuiteStats::default();
+    for sm in catalog.iter() {
+        for t in &sm.transitions {
+            if t.internal {
+                continue; // not part of the public API surface
+            }
+            let paths = symbolic_paths_in(sm, t, max_paths_per_transition);
+            for path in &paths {
+                stats.classes += 1;
+                let witnesses = solve_path_k(sm, t, path, 4);
+                if witnesses.is_empty() {
+                    stats.unsatisfiable += 1;
+                    continue;
+                }
+                let mut planned = false;
+                for witness in &witnesses {
+                    if let Some(program) = plan_test(catalog, sm, t, path, witness) {
+                        cases.push(TestCase {
+                            sm: sm.name.clone(),
+                            api: t.name.as_str().to_string(),
+                            class: path.label(),
+                            kind: ProbeKind::Symbolic {
+                                exact: witness.exact,
+                            },
+                            program,
+                        });
+                        planned = true;
+                        break;
+                    }
+                }
+                if !planned {
+                    stats.unplanned += 1;
+                }
+            }
+            // Repeat-call probe for modifies with a success path.
+            if t.kind == TransitionKind::Modify {
+                if let Some(program) = plan_repeat_call(catalog, sm, t) {
+                    cases.push(TestCase {
+                        sm: sm.name.clone(),
+                        api: t.name.as_str().to_string(),
+                        class: "repeat-call".into(),
+                        kind: ProbeKind::RepeatCall,
+                        program,
+                    });
+                }
+            }
+            // Repeat-create probe: the same create twice, same arguments.
+            if t.kind == TransitionKind::Create {
+                if let Some(program) = plan_repeat_create(catalog, sm, t) {
+                    cases.push(TestCase {
+                        sm: sm.name.clone(),
+                        api: t.name.as_str().to_string(),
+                        class: "repeat-create".into(),
+                        kind: ProbeKind::RepeatCreate,
+                        program,
+                    });
+                }
+            }
+            // Domain sweeps over finite-domain parameters.
+            for (param, value, program) in plan_domain_sweeps(catalog, sm, t) {
+                cases.push(TestCase {
+                    sm: sm.name.clone(),
+                    api: t.name.as_str().to_string(),
+                    class: format!("sweep-{}={}", param, value),
+                    kind: ProbeKind::DomainSweep { param },
+                    program,
+                });
+            }
+            // Pairwise interaction probes over small-domain parameters.
+            if t.kind == TransitionKind::Modify {
+                for (first, v1, second, v2, program) in plan_pair_probes(catalog, sm, t) {
+                    cases.push(TestCase {
+                        sm: sm.name.clone(),
+                        api: t.name.as_str().to_string(),
+                        class: format!("pair-{}={}-then-{}={}", first, v1, second, v2),
+                        kind: ProbeKind::PairProbe { first, second },
+                        program,
+                    });
+                }
+            }
+        }
+        // Destroy-dependency probes: create this machine, then attempt to
+        // destroy each resource its create bound (skip the containment
+        // parent, which the child-blocks-destroy probe already covers).
+        for (dep, destroy_api, program) in plan_destroy_dependency(catalog, sm) {
+            cases.push(TestCase {
+                sm: dep.clone(),
+                api: destroy_api,
+                class: format!("destroy-dep-of-{}", sm.name),
+                kind: ProbeKind::DestroyDependency {
+                    dependent: sm.name.clone(),
+                },
+                program,
+            });
+        }
+        // Child-blocks-destroy probe.
+        if let Some((parent, _)) = &sm.parent {
+            if let Some(program) = plan_child_blocks_destroy(catalog, sm, parent) {
+                let destroy_api = catalog
+                    .get(parent)
+                    .and_then(|p| {
+                        p.transitions
+                            .iter()
+                            .find(|t| t.kind == TransitionKind::Destroy)
+                    })
+                    .map(|t| t.name.as_str().to_string())
+                    .unwrap_or_default();
+                cases.push(TestCase {
+                    sm: parent.clone(),
+                    api: destroy_api,
+                    class: format!("destroy-with-live-{}", sm.name),
+                    kind: ProbeKind::ChildBlocksDestroy,
+                    program,
+                });
+            }
+        }
+    }
+    stats.cases = cases.len();
+    (cases, stats)
+}
+
+/// Plan one symbolic test case.
+pub fn plan_test(
+    catalog: &Catalog,
+    sm: &SmSpec,
+    t: &Transition,
+    _path: &SymPath,
+    witness: &Witness,
+) -> Option<Program> {
+    let mut planner = Planner::new(catalog, format!("sym-{}-{}", sm.name, t.name));
+    if t.kind == TransitionKind::Create {
+        let args = planner.resolve_args(t, &witness.args)?;
+        planner.push_call(None, t.name.as_str(), args);
+    } else {
+        let target = planner.instantiate_with(&sm.name, &witness.state_reqs)?;
+        let mut args = planner.resolve_args(t, &witness.args)?;
+        args.push((sm.id_param.clone(), Arg::field(&target, &sm.id_param)));
+        planner.push_call(None, t.name.as_str(), args);
+    }
+    Some(planner.finish())
+}
+
+/// Plan a repeat-call probe: run the transition's success witness twice.
+fn plan_repeat_call(catalog: &Catalog, sm: &SmSpec, t: &Transition) -> Option<Program> {
+    let paths = symbolic_paths_in(sm, t, 64);
+    let success = paths
+        .iter()
+        .find(|p| p.outcome == PathOutcome::Success)?;
+    let witness = solve_path(sm, t, success)?;
+    let mut planner = Planner::new(catalog, format!("repeat-{}-{}", sm.name, t.name));
+    let target = planner.instantiate_with(&sm.name, &witness.state_reqs)?;
+    for _ in 0..2 {
+        let mut args = planner.resolve_args(t, &witness.args)?;
+        args.push((sm.id_param.clone(), Arg::field(&target, &sm.id_param)));
+        planner.push_call(None, t.name.as_str(), args);
+    }
+    Some(planner.finish())
+}
+
+/// Integer boundary candidates for sweeps. Without access to the cloud's
+/// spec (it is a black box), probing uses a standard boundary ladder —
+/// the "Alignment Completeness" caveat of §6 applies: sweeps harden common
+/// boundaries, they do not prove the absence of exotic ones.
+pub const INT_SWEEP: &[i64] = &[
+    -1, 0, 1, 2, 3, 7, 8, 15, 16, 28, 29, 30, 100, 1000, 16384, 16385, 30000, 30001, 64511,
+    64512, 65534, 65535,
+];
+
+/// Plan the sweep programs for one transition: the success-path witness
+/// program, re-issued with each finite-domain value of each parameter.
+/// Returns `(param, value-label, program)` triples.
+pub fn plan_domain_sweeps(
+    catalog: &Catalog,
+    sm: &SmSpec,
+    t: &Transition,
+) -> Vec<(String, String, Program)> {
+    let paths = symbolic_paths_in(sm, t, 64);
+    let Some(success) = paths.iter().find(|p| p.outcome == PathOutcome::Success) else {
+        return Vec::new();
+    };
+    let Some(witness) = solve_path(sm, t, success) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for p in &t.params {
+        let sweep: Vec<Value> = match &p.ty {
+            StateType::Bool => vec![Value::Bool(true), Value::Bool(false)],
+            StateType::Enum(vs) => vs.iter().map(|v| Value::Enum(v.clone())).collect(),
+            StateType::Int => INT_SWEEP.iter().map(|i| Value::Int(*i)).collect(),
+            _ => continue,
+        };
+        for v in sweep {
+            if witness.args.get(&p.name).is_some_and(|w| w.loose_eq(&v)) {
+                continue; // the base witness already covers this value
+            }
+            let mut args = witness.args.clone();
+            args.insert(p.name.clone(), v.clone());
+            let mut planner = Planner::new(
+                catalog,
+                format!("sweep-{}-{}-{}={}", sm.name, t.name, p.name, v),
+            );
+            let plan = (|| {
+                if t.kind == TransitionKind::Create {
+                    let resolved = planner.resolve_args(t, &args)?;
+                    planner.push_call(None, t.name.as_str(), resolved);
+                } else {
+                    let target = planner.instantiate_with(&sm.name, &witness.state_reqs)?;
+                    let mut resolved = planner.resolve_args(t, &args)?;
+                    resolved.push((sm.id_param.clone(), Arg::field(&target, &sm.id_param)));
+                    planner.push_call(None, t.name.as_str(), resolved);
+                }
+                Some(())
+            })();
+            if plan.is_some() {
+                out.push((p.name.clone(), v.to_string(), planner.finish()));
+            }
+        }
+    }
+    out
+}
+
+/// Plan pairwise interaction probes: the transition is called twice in
+/// sequence, each call supplying a *single* small-domain parameter. The
+/// first call establishes state, the second observes any coupling check.
+/// Returns `(param1, value1-label, param2, value2-label, program)`.
+pub fn plan_pair_probes(
+    catalog: &Catalog,
+    sm: &SmSpec,
+    t: &Transition,
+) -> Vec<(String, String, String, String, Program)> {
+    // Only bool/enum parameters participate; others stay at defaults.
+    let small: Vec<(&str, Vec<Value>)> = t
+        .params
+        .iter()
+        .filter_map(|p| match &p.ty {
+            StateType::Bool => {
+                Some((p.name.as_str(), vec![Value::Bool(true), Value::Bool(false)]))
+            }
+            StateType::Enum(vs) if vs.len() <= 4 => Some((
+                p.name.as_str(),
+                vs.iter().map(|v| Value::Enum(v.clone())).collect(),
+            )),
+            _ => None,
+        })
+        .collect();
+    if small.len() < 2 {
+        return Vec::new();
+    }
+    // Require every non-optional parameter to be in the small set (we
+    // cannot omit required parameters).
+    if t.params.iter().any(|p| {
+        !p.optional && !small.iter().any(|(n, _)| *n == p.name)
+    }) {
+        return Vec::new();
+    }
+    const MAX_COMBOS: usize = 32;
+    let mut out = Vec::new();
+    for (p1, d1) in &small {
+        for (p2, d2) in &small {
+            if p1 == p2 {
+                continue;
+            }
+            for v1 in d1 {
+                for v2 in d2 {
+                    if out.len() >= MAX_COMBOS {
+                        return out;
+                    }
+                    let mut planner = Planner::new(
+                        catalog,
+                        format!("pair-{}-{}-{}-{}", sm.name, t.name, p1, p2),
+                    );
+                    let plan = (|| {
+                        let target = planner.instantiate(&sm.name)?;
+                        for (p, v) in [(p1, v1), (p2, v2)] {
+                            let mut args = vec![(
+                                sm.id_param.clone(),
+                                Arg::field(&target, &sm.id_param),
+                            )];
+                            args.push((p.to_string(), Arg::Lit((*v).clone())));
+                            // Required params beyond the probed one still
+                            // need values.
+                            for q in &t.params {
+                                if !q.optional && q.name != **p {
+                                    let (_, dq) = small
+                                        .iter()
+                                        .find(|(n, _)| *n == q.name)
+                                        .expect("checked above");
+                                    args.push((q.name.clone(), Arg::Lit(dq[0].clone())));
+                                }
+                            }
+                            planner.push_call(None, t.name.as_str(), args);
+                        }
+                        Some(())
+                    })();
+                    if plan.is_some() {
+                        out.push((
+                            p1.to_string(),
+                            v1.to_string(),
+                            p2.to_string(),
+                            v2.to_string(),
+                            planner.finish(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plan a repeat-create probe: issue the same create twice with identical
+/// arguments. Conflict checks (unique CIDR, unique name) fire on the
+/// second call in the cloud; an emulator that lost them silently creates a
+/// duplicate.
+fn plan_repeat_create(catalog: &Catalog, sm: &SmSpec, t: &Transition) -> Option<Program> {
+    let paths = symbolic_paths_in(sm, t, 64);
+    let success = paths.iter().find(|p| p.outcome == PathOutcome::Success)?;
+    let witness = solve_path(sm, t, success)?;
+    let mut planner = Planner::new(catalog, format!("recreate-{}-{}", sm.name, t.name));
+    let args = planner.resolve_args(t, &witness.args)?;
+    planner.push_call(None, t.name.as_str(), args.clone());
+    planner.push_call(None, t.name.as_str(), args);
+    Some(planner.finish())
+}
+
+/// Plan destroy-dependency probes: create `sm` (binding its required
+/// references), then attempt to destroy each bound reference. Returns
+/// `(dependency machine, destroy API, program)` triples.
+fn plan_destroy_dependency(
+    catalog: &Catalog,
+    sm: &SmSpec,
+) -> Vec<(SmName, String, Program)> {
+    let mut out = Vec::new();
+    let Some(create) = sm.creates().next() else {
+        return out;
+    };
+    let parent = sm.parent.as_ref().map(|(p, _)| p.clone());
+    for p in &create.params {
+        let StateType::Ref(dep) = &p.ty else { continue };
+        if p.optional || Some(dep) == parent.as_ref() || dep == &sm.name {
+            continue;
+        }
+        let Some(dep_spec) = catalog.get(dep) else { continue };
+        let Some(destroy) = dep_spec
+            .transitions
+            .iter()
+            .find(|t| t.kind == TransitionKind::Destroy)
+        else {
+            continue;
+        };
+        let mut planner = Planner::new(
+            catalog,
+            format!("destroydep-{}-{}", sm.name, dep),
+        );
+        let plan = (|| {
+            planner.instantiate(&sm.name)?;
+            let dep_binding = planner.shared.get(dep)?.clone();
+            let args = vec![(
+                dep_spec.id_param.clone(),
+                Arg::field(&dep_binding, &dep_spec.id_param),
+            )];
+            planner.push_call(None, destroy.name.as_str(), args);
+            Some(())
+        })();
+        if plan.is_some() {
+            out.push((
+                dep.clone(),
+                destroy.name.as_str().to_string(),
+                planner.finish(),
+            ));
+        }
+    }
+    out
+}
+
+/// Plan a child-blocks-destroy probe.
+fn plan_child_blocks_destroy(
+    catalog: &Catalog,
+    child: &SmSpec,
+    parent: &SmName,
+) -> Option<Program> {
+    let parent_spec = catalog.get(parent)?;
+    let destroy = parent_spec
+        .transitions
+        .iter()
+        .find(|t| t.kind == TransitionKind::Destroy)?;
+    let mut planner = Planner::new(catalog, format!("contain-{}-{}", parent, child.name));
+    // Creating the child pulls in (and memoizes) the shared parent.
+    let _child = planner.instantiate(&child.name)?;
+    let parent_binding = planner.shared.get(parent)?.clone();
+    let args = vec![(
+        parent_spec.id_param.clone(),
+        Arg::field(&parent_binding, &parent_spec.id_param),
+    )];
+    planner.push_call(None, destroy.name.as_str(), args);
+    Some(planner.finish())
+}
+
+/// The incremental program planner.
+struct Planner<'a> {
+    catalog: &'a Catalog,
+    program: Program,
+    /// Shared (memoized) instance binding per resource type.
+    shared: BTreeMap<SmName, String>,
+    /// Tracked abstract state per binding (defaults + decidable writes).
+    tracked: BTreeMap<String, BTreeMap<String, Value>>,
+    counter: usize,
+    in_progress: BTreeSet<SmName>,
+}
+
+impl<'a> Planner<'a> {
+    fn new(catalog: &'a Catalog, name: String) -> Self {
+        Planner {
+            catalog,
+            program: Program::new(name),
+            shared: BTreeMap::new(),
+            tracked: BTreeMap::new(),
+            counter: 0,
+            in_progress: BTreeSet::new(),
+        }
+    }
+
+    fn finish(self) -> Program {
+        self.program
+    }
+
+    fn fresh_binding(&mut self) -> String {
+        self.counter += 1;
+        format!("r{}", self.counter)
+    }
+
+    fn push_call(&mut self, bind: Option<String>, api: &str, args: Vec<(String, Arg)>) {
+        self.program.steps.push(lce_devops::Step {
+            bind,
+            api: api.to_string(),
+            args,
+        });
+    }
+
+    /// Get (or create) the shared instance of a type; returns its binding.
+    fn instantiate(&mut self, sm: &SmName) -> Option<String> {
+        if let Some(b) = self.shared.get(sm) {
+            return Some(b.clone());
+        }
+        let b = self.create_instance(sm, &BTreeMap::new())?;
+        self.shared.insert(sm.clone(), b.clone());
+        Some(b)
+    }
+
+    /// Create the probed instance and drive it into the required
+    /// pre-state. Requirements the create transition can satisfy directly
+    /// (variables written from create arguments) are folded into the
+    /// create call; the rest go through modify-transition planning.
+    fn instantiate_with(
+        &mut self,
+        sm_name: &SmName,
+        reqs: &BTreeMap<String, Value>,
+    ) -> Option<String> {
+        if reqs.is_empty() {
+            return self.instantiate(sm_name);
+        }
+        let sm = self.catalog.get(sm_name)?.clone();
+        let create = sm.creates().next()?.clone();
+        // Split requirements into create-settable and post-create.
+        let mut create_reqs = BTreeMap::new();
+        let mut post_reqs = BTreeMap::new();
+        for (var, value) in reqs {
+            if arg_setter_param(&create, var).is_some()
+                && !matches!(value, Value::Str(m) if m.starts_with("@ref:"))
+            {
+                create_reqs.insert(var.clone(), value.clone());
+            } else {
+                post_reqs.insert(var.clone(), value.clone());
+            }
+        }
+        let binding = self.create_instance(sm_name, &create_reqs)?;
+        self.reach_state(sm_name, &binding, &post_reqs)?;
+        Some(binding)
+    }
+
+    /// Create a fresh (non-memoized) instance of a type, folding the given
+    /// state requirements into the create arguments where possible.
+    fn create_instance(
+        &mut self,
+        sm_name: &SmName,
+        create_reqs: &BTreeMap<String, Value>,
+    ) -> Option<String> {
+        if self.in_progress.contains(sm_name) {
+            return None; // dependency cycle
+        }
+        self.in_progress.insert(sm_name.clone());
+        let result = self.create_instance_inner(sm_name, create_reqs);
+        self.in_progress.remove(sm_name);
+        result
+    }
+
+    fn create_instance_inner(
+        &mut self,
+        sm_name: &SmName,
+        create_reqs: &BTreeMap<String, Value>,
+    ) -> Option<String> {
+        let sm = self.catalog.get(sm_name)?.clone();
+        let create = sm.creates().next()?.clone();
+        let paths = symbolic_paths_in(&sm, &create, 128);
+        // Find a success path whose witness tolerates the pinned
+        // requirement arguments.
+        let mut witness = None;
+        for path in paths.iter().filter(|p| p.outcome == PathOutcome::Success) {
+            let Some(mut w) = solve_path(&sm, &create, path) else {
+                continue;
+            };
+            // Pin requirement-driven arguments.
+            for (var, value) in create_reqs {
+                if let Some(p) = arg_setter_param(&create, var) {
+                    w.args.insert(p, value.clone());
+                }
+            }
+            // Re-validate the path constraints under the pinned arguments.
+            let ok = path.constraints.iter().all(|c| {
+                match eval_concrete(&c.pred, &w.args, &BTreeMap::new()) {
+                    Some(Value::Bool(b)) => b == c.expected,
+                    _ => true, // undecidable: optimistic, verified at runtime
+                }
+            });
+            if ok {
+                witness = Some(w);
+                break;
+            }
+        }
+        let mut witness = witness?;
+        // Uniquify fallback strings so sibling instances are
+        // distinguishable (peering CIDR overlap, duplicate names, …).
+        let unique = format!("witness-{}", self.counter + 1);
+        for v in witness.args.values_mut() {
+            if let Value::Str(s) = v {
+                if s == "witness" {
+                    *s = unique.clone();
+                }
+            }
+        }
+        let resolved = self.resolve_args(&create, &witness.args)?;
+        let binding = self.fresh_binding();
+        self.push_call(Some(binding.clone()), create.name.as_str(), resolved);
+        // Track the new instance's abstract state: defaults, then the
+        // create body's decidable writes.
+        let mut state: BTreeMap<String, Value> = sm
+            .states
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    Value::default_for(&s.ty, s.nullable, &s.default),
+                )
+            })
+            .collect();
+        apply_writes(&create.body, &witness.args, &mut state);
+        self.tracked.insert(binding.clone(), state);
+        Some(binding)
+    }
+
+    /// Resolve witness argument values into program arguments, creating
+    /// referenced resources as needed. `Null` values omit the parameter.
+    fn resolve_args(
+        &mut self,
+        t: &Transition,
+        args: &BTreeMap<String, Value>,
+    ) -> Option<Vec<(String, Arg)>> {
+        let mut out = Vec::new();
+        for p in &t.params {
+            let v = args.get(&p.name).cloned().unwrap_or(Value::Null);
+            if v.is_null() {
+                continue;
+            }
+            let arg = match (&p.ty, &v) {
+                (StateType::Ref(target), Value::Str(marker)) if marker.starts_with("@ref:") => {
+                    if marker == REF_DANGLING {
+                        Arg::Lit(Value::str(format!("{}-ffffff", dangling_prefix(target))))
+                    } else {
+                        let binding = if marker == REF_SHARED {
+                            self.instantiate(target)?
+                        } else if marker.starts_with(REF_FRESH) {
+                            self.create_instance(target, &BTreeMap::new())?
+                        } else {
+                            self.instantiate(target)?
+                        };
+                        let id_param = self.catalog.get(target)?.id_param.clone();
+                        Arg::field(&binding, &id_param)
+                    }
+                }
+                _ => Arg::Lit(v.clone()),
+            };
+            out.push((p.name.clone(), arg));
+        }
+        Some(out)
+    }
+
+    /// Drive the target instance's state variables to the required values
+    /// using documented modify transitions (direct argument setters first,
+    /// then bounded chains of literal setters).
+    fn reach_state(
+        &mut self,
+        sm_name: &SmName,
+        binding: &String,
+        reqs: &BTreeMap<String, Value>,
+    ) -> Option<()> {
+        let sm = self.catalog.get(sm_name)?.clone();
+        for (var, value) in reqs {
+            let current = self
+                .tracked
+                .get(binding)
+                .and_then(|s| s.get(var))
+                .cloned()
+                .unwrap_or(Value::Null);
+            if current.loose_eq(value) {
+                continue;
+            }
+            // Reference-state requirements (e.g. "nic must be associated")
+            // and list requirements are not plannable generically.
+            if matches!(value, Value::Str(m) if m.starts_with("@ref:")) {
+                return None;
+            }
+            if !self.set_var(&sm, binding, var, value) {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    /// Try to set one variable. Returns false if no documented setter
+    /// reaches the value.
+    fn set_var(&mut self, sm: &SmSpec, binding: &String, var: &str, value: &Value) -> bool {
+        // 1. Direct argument setter: a modify with a (possibly
+        //    optional-guarded) `write(var, arg(P))`, invoked with *minimal*
+        //    arguments — only the pinned parameter plus required ones — so
+        //    unrelated guarded branches stay untaken.
+        for t in &sm.transitions {
+            if t.kind != TransitionKind::Modify {
+                continue;
+            }
+            if let Some(param) = arg_setter_param(t, var) {
+                let mut args: BTreeMap<String, Value> = BTreeMap::new();
+                for p in &t.params {
+                    if p.name == param {
+                        args.insert(p.name.clone(), value.clone());
+                    } else if !p.optional {
+                        args.insert(p.name.clone(), default_value_for(&p.ty));
+                    } else {
+                        args.insert(p.name.clone(), Value::Null);
+                    }
+                }
+                // Verify the minimal call against the tracked state.
+                let state = self.tracked.get(binding).cloned().unwrap_or_default();
+                if !preconditions_hold(&t.body, &args, &state) {
+                    continue;
+                }
+                let Some(mut resolved) = self.resolve_args(t, &args) else {
+                    continue;
+                };
+                resolved.push((sm.id_param.clone(), Arg::field(binding, &sm.id_param)));
+                self.push_call(None, t.name.as_str(), resolved);
+                if let Some(state) = self.tracked.get_mut(binding) {
+                    apply_writes(&t.body, &args, state);
+                    state.insert(var.to_string(), value.clone());
+                }
+                return true;
+            }
+        }
+        // 2. Literal-setter chains, breadth-first up to depth 3 (e.g.
+        //    running → stopped via StopInstance).
+        let start = match self.tracked.get(binding) {
+            Some(s) => s.clone(),
+            None => return false,
+        };
+        type Chain<'c> = Vec<(&'c Transition, BTreeMap<String, Value>)>;
+        let mut frontier: Vec<(BTreeMap<String, Value>, Chain)> = vec![(start, vec![])];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for (state, chain) in &frontier {
+                for t in &sm.transitions {
+                    if t.kind != TransitionKind::Modify
+                        || chain.iter().any(|(c, _)| std::ptr::eq(*c, t))
+                    {
+                        continue;
+                    }
+                    if !writes_any_literal(t) {
+                        continue;
+                    }
+                    // Solve the setter's own success witness so required
+                    // arguments are supplied.
+                    let paths = symbolic_paths_in(sm, t, 32);
+                    let Some(success) =
+                        paths.iter().find(|p| p.outcome == PathOutcome::Success)
+                    else {
+                        continue;
+                    };
+                    let Some(witness) = solve_path(sm, t, success) else {
+                        continue;
+                    };
+                    if !preconditions_hold(&t.body, &witness.args, state) {
+                        continue;
+                    }
+                    let mut new_state = state.clone();
+                    apply_writes(&t.body, &witness.args, &mut new_state);
+                    let mut new_chain = chain.clone();
+                    new_chain.push((t, witness.args.clone()));
+                    if new_state.get(var).is_some_and(|v| v.loose_eq(value)) {
+                        // Emit the chain with full argument lists.
+                        for (step, step_args) in &new_chain {
+                            let Some(mut resolved) = self.resolve_args(step, step_args) else {
+                                return false;
+                            };
+                            resolved
+                                .push((sm.id_param.clone(), Arg::field(binding, &sm.id_param)));
+                            self.push_call(None, step.name.as_str(), resolved);
+                        }
+                        if let Some(s) = self.tracked.get_mut(binding) {
+                            *s = new_state;
+                        }
+                        return true;
+                    }
+                    next.push((new_state, new_chain));
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        false
+    }
+}
+
+/// The id prefix a dangling reference should imitate.
+fn dangling_prefix(sm: &SmName) -> String {
+    lce_emulator::value::id_prefix(sm)
+}
+
+/// A non-null default for a required setter parameter.
+fn default_value_for(ty: &StateType) -> Value {
+    match ty {
+        StateType::Bool => Value::Bool(false),
+        StateType::Int => Value::Int(1),
+        StateType::Str => Value::str("witness"),
+        StateType::Enum(vs) => Value::Enum(vs.first().cloned().unwrap_or_default()),
+        StateType::Ref(_) => Value::str(crate::solver::REF_SHARED),
+        StateType::List(_) => Value::List(Vec::new()),
+    }
+}
+
+/// If the transition contains `write(var, arg(P))` (top-level or inside an
+/// if), return `P`.
+fn arg_setter_param(t: &Transition, var: &str) -> Option<String> {
+    for s in t.all_stmts() {
+        if let Stmt::Write {
+            state,
+            value: lce_spec::Expr::Arg(p),
+        } = s
+        {
+            if state == var {
+                return Some(p.clone());
+            }
+        }
+    }
+    None
+}
+
+/// `true` if the transition writes at least one literal value.
+fn writes_any_literal(t: &Transition) -> bool {
+    t.all_stmts().iter().any(|s| {
+        matches!(
+            s,
+            Stmt::Write {
+                value: lce_spec::Expr::Lit(_),
+                ..
+            }
+        )
+    })
+}
+
+/// Abstractly check that every decidable assert in the body passes.
+fn preconditions_hold(
+    body: &[Stmt],
+    args: &BTreeMap<String, Value>,
+    state: &BTreeMap<String, Value>,
+) -> bool {
+    for s in body {
+        match s {
+            Stmt::Assert { pred, .. } => {
+                if let Some(Value::Bool(false)) = eval_concrete(pred, args, state) {
+                    return false;
+                }
+            }
+            Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
+                Some(Value::Bool(true))
+                    if !preconditions_hold(then, args, state) => {
+                        return false;
+                    }
+                Some(Value::Bool(false))
+                    if !preconditions_hold(els, args, state) => {
+                        return false;
+                    }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Apply the body's decidable writes to a tracked state (branches follow
+/// decidable conditions; undecidable writes erase the variable).
+fn apply_writes(body: &[Stmt], args: &BTreeMap<String, Value>, state: &mut BTreeMap<String, Value>) {
+    for s in body {
+        match s {
+            Stmt::Write { state: var, value } => {
+                match eval_concrete(value, args, state) {
+                    Some(v) => {
+                        state.insert(var.clone(), v);
+                    }
+                    None => {
+                        state.remove(var);
+                    }
+                }
+            }
+            Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
+                Some(Value::Bool(true)) => apply_writes(then, args, state),
+                Some(Value::Bool(false)) => apply_writes(els, args, state),
+                _ => {
+                    // Unknown branch: writes on either side become unknown.
+                    let mut vars = Vec::new();
+                    for branch in [then, els] {
+                        for st in branch {
+                            st.visit(&mut |s| {
+                                if let Stmt::Write { state: var, .. } = s {
+                                    vars.push(var.clone());
+                                }
+                            });
+                        }
+                    }
+                    for v in vars {
+                        state.remove(&v);
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::nimbus_provider;
+    use lce_devops::run_program;
+    
+
+    fn catalog() -> Catalog {
+        nimbus_provider().catalog
+    }
+
+    #[test]
+    fn suite_covers_every_public_transition() {
+        let c = catalog();
+        let (cases, stats) = generate_suite(&c, 64);
+        assert!(stats.classes > 400, "classes: {}", stats.classes);
+        assert!(cases.len() > 300, "cases: {}", cases.len());
+        // Every machine appears.
+        let probed: BTreeSet<&SmName> = cases.iter().map(|c| &c.sm).collect();
+        assert_eq!(probed.len(), c.len(), "all machines probed");
+    }
+
+    #[test]
+    fn planned_setups_execute_on_golden_cloud() {
+        // Setup steps (everything before the probe) must succeed on the
+        // golden cloud for symbolic cases planned from the golden catalog.
+        let c = catalog();
+        let (cases, _) = generate_suite(&c, 64);
+        let mut setup_failures = 0usize;
+        let mut total = 0usize;
+        for case in &cases {
+            if !matches!(case.kind, ProbeKind::Symbolic { exact: true }) {
+                continue;
+            }
+            total += 1;
+            let mut cloud = nimbus_provider().golden_cloud();
+            let run = run_program(&case.program, &mut cloud);
+            let setup = &run.steps[..run.steps.len().saturating_sub(1)];
+            if setup.iter().any(|s| !s.response.is_ok()) {
+                setup_failures += 1;
+            }
+        }
+        assert!(total > 100);
+        // Allow a small long tail (cross-machine constraints the planner
+        // cannot see), but the overwhelming majority must work.
+        assert!(
+            (setup_failures as f64) < (total as f64) * 0.05,
+            "{}/{} setups failed",
+            setup_failures,
+            total
+        );
+    }
+
+    #[test]
+    fn exact_probes_land_in_their_class_on_golden() {
+        // For exact symbolic witnesses, the probed step's outcome on the
+        // golden cloud must match the class outcome (success vs the
+        // specific error code).
+        let c = catalog();
+        let (cases, _) = generate_suite(&c, 64);
+        let mut mismatches = 0usize;
+        let mut checked = 0usize;
+        for case in &cases {
+            let ProbeKind::Symbolic { exact: true } = case.kind else {
+                continue;
+            };
+            let mut cloud = nimbus_provider().golden_cloud();
+            let run = run_program(&case.program, &mut cloud);
+            let setup_ok = run.steps[..run.steps.len() - 1]
+                .iter()
+                .all(|s| s.response.is_ok());
+            if !setup_ok {
+                continue;
+            }
+            checked += 1;
+            let probe = run.steps.last().unwrap();
+            let expected_err = case.class.split('[').next().unwrap();
+            let matches = match probe.response.error_code() {
+                None => expected_err == "ok",
+                Some(code) => code == expected_err,
+            };
+            if !matches {
+                mismatches += 1;
+            }
+        }
+        assert!(checked > 100, "checked only {}", checked);
+        assert!(
+            (mismatches as f64) < (checked as f64) * 0.10,
+            "{}/{} probes missed their class",
+            mismatches,
+            checked
+        );
+    }
+
+    #[test]
+    fn instance_state_reachable_via_literal_setters() {
+        // StartInstance's success class needs state == stopped, reached
+        // via StopInstance. The planner must find that chain.
+        let c = catalog();
+        let sm = c.get(&SmName::new("Instance")).unwrap();
+        let t = sm.transition("StartInstance").unwrap();
+        let paths = symbolic_paths_in(sm, t, 16);
+        let success = paths
+            .iter()
+            .find(|p| p.outcome == PathOutcome::Success)
+            .unwrap();
+        let w = solve_path(sm, t, success).unwrap();
+        let program = plan_test(&c, sm, t, success, &w).expect("plannable");
+        let apis: Vec<&str> = program.steps.iter().map(|s| s.api.as_str()).collect();
+        assert!(apis.contains(&"StopInstance"), "{:?}", apis);
+        // And it actually works on the golden cloud.
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&program, &mut cloud);
+        assert!(run.all_ok(), "{:?}", run.error_codes());
+    }
+
+    #[test]
+    fn child_blocks_destroy_probe_hits_dependency_violation() {
+        let c = catalog();
+        let (cases, _) = generate_suite(&c, 8);
+        let case = cases
+            .iter()
+            .find(|c| c.kind == ProbeKind::ChildBlocksDestroy && c.sm.as_str() == "Vpc")
+            .expect("vpc containment probe");
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&case.program, &mut cloud);
+        let last = run.steps.last().unwrap();
+        assert_eq!(last.response.error_code(), Some("DependencyViolation"));
+    }
+
+    #[test]
+    fn repeat_call_probe_catches_duplicate_checks() {
+        let c = catalog();
+        let (cases, _) = generate_suite(&c, 8);
+        let case = cases
+            .iter()
+            .find(|c| c.api == "CreateRoute" && c.kind == ProbeKind::RepeatCall)
+            .expect("route repeat probe");
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&case.program, &mut cloud);
+        let last = run.steps.last().unwrap();
+        assert_eq!(last.response.error_code(), Some("RouteAlreadyExists"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Alignment-suite checks against the second provider: the symbolic
+//! machinery is provider-agnostic, so everything that holds for Nimbus
+//! must hold for Stratus.
+
+use lce_align::tracegen::generate_suite;
+use lce_align::run_suite;
+use lce_cloud::stratus_provider;
+use std::collections::BTreeSet;
+
+#[test]
+fn stratus_suite_covers_every_machine() {
+    let catalog = stratus_provider().catalog;
+    let (cases, stats) = generate_suite(&catalog, 32);
+    let probed: BTreeSet<&str> = cases.iter().map(|c| c.sm.as_str()).collect();
+    for sm in catalog.iter() {
+        assert!(
+            probed.contains(sm.name.as_str()),
+            "machine {} has no test case",
+            sm.name
+        );
+    }
+    assert!(stats.classes > 80, "classes: {}", stats.classes);
+    // The planner reaches the overwhelming majority of classes.
+    assert!(
+        (stats.unplanned as f64) < 0.25 * stats.classes as f64,
+        "unplanned {}/{}",
+        stats.unplanned,
+        stats.classes
+    );
+}
+
+#[test]
+fn stratus_golden_vs_golden_fully_aligned() {
+    let provider = stratus_provider();
+    let (cases, _) = generate_suite(&provider.catalog, 16);
+    let mut a = provider.golden_cloud();
+    let mut b = provider.golden_cloud();
+    let outcome = run_suite(&cases, &mut a, &mut b);
+    assert_eq!(
+        outcome.aligned_cases, outcome.total_cases,
+        "first divergence: {:#?}",
+        outcome.divergences.first()
+    );
+}
+
+#[test]
+fn stratus_vm_power_lifecycle_classes_reachable() {
+    // ResizeVirtualMachine requires a deallocated VM: the planner must
+    // find the PowerOff → Deallocate chain.
+    let provider = stratus_provider();
+    let (cases, _) = generate_suite(&provider.catalog, 32);
+    let resize_ok = cases
+        .iter()
+        .find(|c| c.api == "ResizeVirtualMachine" && c.class.starts_with("ok"))
+        .expect("resize success class must be planned");
+    let apis: Vec<&str> = resize_ok
+        .program
+        .steps
+        .iter()
+        .map(|s| s.api.as_str())
+        .collect();
+    assert!(
+        apis.contains(&"DeallocateVirtualMachine"),
+        "setup must deallocate: {:?}",
+        apis
+    );
+    // And the plan executes on the golden cloud.
+    let mut cloud = provider.golden_cloud();
+    let run = lce_devops::run_program(&resize_ok.program, &mut cloud);
+    assert!(run.all_ok(), "{:?}", run.error_codes());
+}
+
+#[test]
+fn cross_machine_binding_probes_exist_for_stratus() {
+    // The NIC in-use check (BindVm via CreateVirtualMachine) must have a
+    // destroy-dependency probe.
+    let provider = stratus_provider();
+    let (cases, _) = generate_suite(&provider.catalog, 16);
+    let probe = cases
+        .iter()
+        .find(|c| c.class == "destroy-dep-of-VirtualMachine")
+        .expect("destroy-dependency probe for the VM's NIC");
+    let mut cloud = provider.golden_cloud();
+    let run = lce_devops::run_program(&probe.program, &mut cloud);
+    let last = run.steps.last().unwrap();
+    assert_eq!(last.response.error_code(), Some("NicInUse"));
+}

@@ -1,0 +1,96 @@
+//! Assembly helpers for the generated emulators compared in Fig. 3.
+//!
+//! Both run the synthesis pipeline over a provider's wrangled docs and
+//! load the resulting catalog into the shared interpreter — the difference
+//! is the whole point of the paper:
+//!
+//! * [`d2c_emulator`] — direct-to-code: high-noise generation, no
+//!   SM-abstraction safety net, and an interpreter with every framework
+//!   guarantee disabled (generated code enforces nothing it wasn't told
+//!   to).
+//! * [`learned_emulator`] — the constrained pipeline with framework
+//!   guarantees on (alignment is applied separately by `lce-align`).
+
+use lce_cloud::{DocFidelity, Provider};
+use lce_emulator::{Emulator, EmulatorConfig};
+use lce_synth::{synthesize, PipelineConfig, SynthesisReport};
+use lce_wrangle::wrangle_provider;
+
+/// Build the direct-to-code baseline emulator for a provider.
+pub fn d2c_emulator(provider: &Provider, seed: u64) -> (Emulator, SynthesisReport) {
+    build(provider, PipelineConfig::direct_to_code(seed), EmulatorConfig::direct_to_code(), "d2c")
+}
+
+/// Build the (pre-alignment) learned emulator for a provider.
+pub fn learned_emulator(provider: &Provider, seed: u64) -> (Emulator, SynthesisReport) {
+    build(provider, PipelineConfig::learned(seed), EmulatorConfig::framework(), "learned")
+}
+
+fn build(
+    provider: &Provider,
+    pipeline: PipelineConfig,
+    config: EmulatorConfig,
+    name: &str,
+) -> (Emulator, SynthesisReport) {
+    let (docs, _) = provider.render_docs(DocFidelity::Complete);
+    let sections = wrangle_provider(provider, &docs).expect("built-in docs must wrangle");
+    let (catalog, report) =
+        synthesize(&sections, &pipeline).expect("built-in docs must extract");
+    let emulator = Emulator::with_config(catalog, config)
+        .named(format!("{}-{}", provider.name, name));
+    (emulator, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::nimbus_provider;
+    use lce_devops::{compare_runs, run_program, scenarios};
+    use lce_emulator::Backend;
+
+    #[test]
+    fn d2c_covers_apis_but_diverges_behaviourally() {
+        let provider = nimbus_provider();
+        let (mut d2c, report) = d2c_emulator(&provider, 11);
+        // Similar API coverage to the learned emulator (the paper: "D2C
+        // has achieved similar API coverage").
+        assert_eq!(
+            d2c.catalog().len(),
+            provider.catalog.len(),
+            "D2C generates every machine"
+        );
+        assert!(report.total_faults() > 0);
+
+        // …but diverges from the golden cloud on at least one Fig. 3 trace.
+        let mut golden = provider.golden_cloud();
+        let mut diverged = 0;
+        for s in scenarios::fig3_nimbus() {
+            golden.reset();
+            d2c.reset();
+            let a = run_program(&s.program, &mut golden);
+            let b = run_program(&s.program, &mut d2c);
+            if !compare_runs(&a, &b).fully_aligned() {
+                diverged += 1;
+            }
+        }
+        assert!(diverged >= 6, "expected most traces to diverge, got {}", diverged);
+    }
+
+    #[test]
+    fn learned_emulator_close_to_golden_before_alignment() {
+        let provider = nimbus_provider();
+        let (mut learned, _) = learned_emulator(&provider, 11);
+        let mut golden = provider.golden_cloud();
+        let mut aligned = 0;
+        for s in scenarios::fig3_nimbus() {
+            golden.reset();
+            learned.reset();
+            let a = run_program(&s.program, &mut golden);
+            let b = run_program(&s.program, &mut learned);
+            if compare_runs(&a, &b).fully_aligned() {
+                aligned += 1;
+            }
+        }
+        assert!(aligned >= 6, "learned should align on most traces, got {}", aligned);
+    }
+}

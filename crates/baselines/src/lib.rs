@@ -1,0 +1,20 @@
+#![deny(missing_docs)]
+
+//! # lce-baselines — the comparison emulators
+//!
+//! Two baselines, matching §5 of the paper:
+//!
+//! * [`moto`] — a **Moto-like manually engineered emulator**: partial API
+//!   coverage (roughly the per-service ratios of the paper's Table 1) and
+//!   known behavioural discrepancies, including the paper's §2 example of
+//!   `DeleteVpc` succeeding while an internet gateway is still attached.
+//! * [`d2c`] — the **direct-to-code baseline**: the same simulated
+//!   generator as the learned pipeline, run without the SM abstraction —
+//!   no constrained decoding, no consistency checks, no linking, and an
+//!   interpreter configuration with every framework guarantee off.
+
+pub mod d2c;
+pub mod moto;
+
+pub use d2c::{d2c_emulator, learned_emulator};
+pub use moto::MotoLike;

@@ -1,0 +1,35 @@
+//! P2 — emulator API throughput: the interpreter vs the handcrafted
+//! Moto-like baseline on an identical call mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lce_baselines::MotoLike;
+use lce_cloud::nimbus_provider;
+use lce_devops::{run_program, scenarios};
+use lce_emulator::Backend;
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let program = scenarios::basic_functionality();
+    let mut g = c.benchmark_group("emulator");
+    g.bench_function("interpreter_basic_program", |b| {
+        b.iter(|| {
+            let mut cloud = nimbus_provider().golden_cloud();
+            black_box(run_program(&program, &mut cloud))
+        })
+    });
+    g.bench_function("moto_like_basic_program", |b| {
+        b.iter(|| {
+            let mut moto = MotoLike::new();
+            black_box(run_program(&program, &mut moto))
+        })
+    });
+    g.bench_function("interpreter_call_throughput", |b| {
+        let mut cloud = nimbus_provider().golden_cloud();
+        let call = lce_emulator::ApiCall::new("CreateInternetGateway");
+        b.iter(|| black_box(cloud.invoke(&call)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! P3 — symbolic machinery: path enumeration, witness solving, suite
+//! planning over the full Nimbus catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lce_align::{generate_suite, solve_path, symbolic_paths};
+use lce_cloud::nimbus_provider;
+use std::hint::black_box;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let catalog = nimbus_provider().catalog;
+    let vpc = catalog.get(&lce_spec::SmName::new("Vpc")).unwrap();
+    let create = vpc.transition("CreateVpc").unwrap();
+
+    let mut g = c.benchmark_group("symbolic");
+    g.bench_function("paths_create_vpc", |b| {
+        b.iter(|| black_box(symbolic_paths(create, 64)))
+    });
+    g.bench_function("solve_create_vpc_all_paths", |b| {
+        let paths = symbolic_paths(create, 64);
+        b.iter(|| {
+            for p in &paths {
+                black_box(solve_path(vpc, create, p));
+            }
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("generate_full_suite", |b| {
+        b.iter(|| black_box(generate_suite(&catalog, 32)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

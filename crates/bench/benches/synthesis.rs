@@ -1,0 +1,34 @@
+//! P1 — synthesis pipeline performance: documentation rendering, wrangling
+//! and spec extraction (the paper reports "a couple of minutes" including
+//! LLM latency; the symbolic machinery itself runs in milliseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lce_cloud::{nimbus_provider, DocFidelity};
+use lce_synth::{synthesize, PipelineConfig};
+use lce_wrangle::wrangle_provider;
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let provider = nimbus_provider();
+    let (docs, _) = provider.render_docs(DocFidelity::Complete);
+    let sections = wrangle_provider(&provider, &docs).unwrap();
+
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    g.bench_function("render_docs", |b| {
+        b.iter(|| black_box(provider.render_docs(DocFidelity::Complete)))
+    });
+    g.bench_function("wrangle", |b| {
+        b.iter(|| black_box(wrangle_provider(&provider, &docs).unwrap()))
+    });
+    g.bench_function("pipeline_learned", |b| {
+        b.iter(|| black_box(synthesize(&sections, &PipelineConfig::learned(42)).unwrap()))
+    });
+    g.bench_function("pipeline_noiseless", |b| {
+        b.iter(|| black_box(synthesize(&sections, &PipelineConfig::noiseless(42)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! A3 — alignment convergence.
+fn main() {
+    print!("{}", lce_bench::run_ablation_align_rounds(42));
+}

@@ -1,0 +1,4 @@
+//! A2 — consistency checks ablation.
+fn main() {
+    print!("{}", lce_bench::run_ablation_checks(42));
+}

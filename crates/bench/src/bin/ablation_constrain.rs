@@ -1,0 +1,4 @@
+//! A1 — constrained decoding ablation.
+fn main() {
+    print!("{}", lce_bench::run_ablation_constrain(42));
+}

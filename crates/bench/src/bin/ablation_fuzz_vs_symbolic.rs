@@ -1,0 +1,5 @@
+//! A4 — symbolic classes vs random fuzzing per program budget.
+fn main() {
+    let rows = lce_bench::run_fuzz_comparison(42, &[50, 100, 200, 400, 800]);
+    print!("{}", lce_bench::render_fuzz_comparison(&rows));
+}

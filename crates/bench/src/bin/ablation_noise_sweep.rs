@@ -1,0 +1,4 @@
+//! A5 — noise-rate sweep.
+fn main() {
+    print!("{}", lce_bench::run_noise_sweep(42));
+}

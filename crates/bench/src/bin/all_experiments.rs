@@ -1,0 +1,50 @@
+//! Run every experiment in sequence (the EXPERIMENTS.md record).
+fn main() {
+    println!("===== E1 / Table 1 =====");
+    let rows = lce_bench::run_table1();
+    print!("{}", lce_bench::experiments::table1::render_table1(&rows));
+
+    println!("\n===== E2 / basic functionality =====");
+    let r = lce_bench::run_e2_basic_functionality(42);
+    println!("pipeline wall time: {:?}", r.synthesis);
+    println!("aligned: {} | state kept: {}", r.aligned, r.state_kept);
+
+    println!("\n===== E3 / versus manual engineering =====");
+    print!("{}", lce_bench::experiments::accuracy::run_e3_vs_manual(42));
+
+    println!("\n===== E4 / Figure 3 =====");
+    let rows = lce_bench::run_fig3(&[11, 42, 77, 1234, 9001]);
+    print!("{}", lce_bench::experiments::accuracy::render_fig3(&rows));
+
+    println!("\n===== E5 / Figure 4 =====");
+    let series = lce_bench::run_fig4();
+    print!("{}", lce_bench::experiments::fig4::render_fig4(&series));
+
+    println!("\n===== E6 / multi-cloud =====");
+    let rows = lce_bench::run_e6_multicloud(&[11, 42, 77]);
+    print!("{}", lce_bench::experiments::accuracy::render_fig3(&rows));
+
+    println!("\n===== E7 / D2C error taxonomy =====");
+    for (k, v) in lce_bench::run_e7_taxonomy(42) {
+        println!("  {:<32} {}", k, v);
+    }
+
+    println!("\n===== A1 / constrained decoding =====");
+    print!("{}", lce_bench::run_ablation_constrain(42));
+
+    println!("\n===== A2 / consistency checks =====");
+    print!("{}", lce_bench::run_ablation_checks(42));
+
+    println!("\n===== A3 / alignment rounds =====");
+    print!("{}", lce_bench::run_ablation_align_rounds(42));
+
+    println!("\n===== A5 / noise-rate sweep =====");
+    print!("{}", lce_bench::run_noise_sweep(42));
+
+    println!("\n===== A4 / symbolic vs fuzzing =====");
+    let rows = lce_bench::run_fuzz_comparison(42, &[50, 100, 200, 400, 800]);
+    print!("{}", lce_bench::render_fuzz_comparison(&rows));
+
+    println!("\n===== O1 / new opportunities =====");
+    print!("{}", lce_bench::run_opportunities(42));
+}

@@ -1,0 +1,9 @@
+//! E2 — the §5 basic functionality experiment.
+fn main() {
+    let r = lce_bench::run_e2_basic_functionality(42);
+    println!("E2: basic functionality (create VPC -> subnet -> ModifySubnetAttribute)");
+    println!("  pipeline wall time (wrangle+synthesize+align): {:?}", r.synthesis);
+    println!("  steps in program: {}", r.steps);
+    println!("  responses aligned with the cloud: {}", r.aligned);
+    println!("  required state kept (MapPublicIpOnLaunch=true): {}", r.state_kept);
+}

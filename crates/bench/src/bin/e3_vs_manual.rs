@@ -1,0 +1,4 @@
+//! E3 — versus manual engineering.
+fn main() {
+    print!("{}", lce_bench::experiments::accuracy::run_e3_vs_manual(42));
+}

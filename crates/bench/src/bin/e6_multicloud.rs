@@ -1,0 +1,7 @@
+//! E6 — the multi-cloud replication on Stratus.
+fn main() {
+    let rows = lce_bench::run_e6_multicloud(&[11, 42, 77]);
+    println!("E6: multi-cloud — the same workflow on the Stratus provider");
+    println!("(only the documentation-wrangling adapter is provider-specific)\n");
+    print!("{}", lce_bench::experiments::accuracy::render_fig3(&rows));
+}

@@ -1,0 +1,8 @@
+//! E7 — classify the direct-to-code emulator's divergences.
+fn main() {
+    let counts = lce_bench::run_e7_taxonomy(42);
+    println!("E7: D2C divergence taxonomy (alignment suite, seed 42)");
+    for (k, v) in &counts {
+        println!("  {:<32} {}", k, v);
+    }
+}

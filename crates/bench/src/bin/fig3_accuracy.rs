@@ -1,0 +1,5 @@
+//! E4 — regenerate Figure 3.
+fn main() {
+    let rows = lce_bench::run_fig3(&[11, 42, 77, 1234, 9001]);
+    print!("{}", lce_bench::experiments::accuracy::render_fig3(&rows));
+}

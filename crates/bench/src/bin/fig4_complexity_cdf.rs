@@ -1,0 +1,5 @@
+//! E5 — regenerate Figure 4.
+fn main() {
+    let series = lce_bench::run_fig4();
+    print!("{}", lce_bench::experiments::fig4::render_fig4(&series));
+}

@@ -1,0 +1,5 @@
+//! O1 — the §4.4 analyses (complexity, anti-patterns, portability,
+//! error-message quality).
+fn main() {
+    print!("{}", lce_bench::run_opportunities(42));
+}

@@ -1,0 +1,5 @@
+//! E1 — regenerate Table 1.
+fn main() {
+    let rows = lce_bench::run_table1();
+    print!("{}", lce_bench::experiments::table1::render_table1(&rows));
+}

@@ -1,0 +1,208 @@
+//! A1–A3 — ablations of the design choices DESIGN.md calls out.
+
+use lce_align::{run_alignment, AlignmentOptions};
+use lce_cloud::{nimbus_provider, DocFidelity};
+use lce_emulator::EmulatorConfig;
+use lce_synth::{synthesize, FaultKind, NoiseConfig, PipelineConfig};
+use lce_wrangle::{wrangle_provider, ResourceDoc};
+
+fn sections() -> Vec<ResourceDoc> {
+    let p = nimbus_provider();
+    let (docs, _) = p.render_docs(DocFidelity::Complete);
+    wrangle_provider(&p, &docs).expect("docs wrangle")
+}
+
+/// A1 — constrained decoding: machine coverage and decode effort with and
+/// without the grammar constraint, across grammar-noise rates.
+pub fn run_ablation_constrain(seed: u64) -> String {
+    let sections = sections();
+    let mut out = String::new();
+    out.push_str("A1: constrained decoding ablation\n");
+    out.push_str(&format!(
+        "{:>9} {:>12} {:>22} {:>22}\n",
+        "p_grammar", "mode", "machines generated", "rejections/reprompts"
+    ));
+    for p_grammar in [0.1, 0.3, 0.5, 0.8] {
+        for constrained in [true, false] {
+            let cfg = PipelineConfig {
+                noise: NoiseConfig {
+                    p_grammar,
+                    ..NoiseConfig::none()
+                },
+                seed,
+                constrained_decoding: constrained,
+                // Without constrained decoding *and* without re-prompting,
+                // ill-formed machines are lost — the raw-LLM failure mode.
+                syntax_reprompt: false,
+                consistency_checks: false,
+                linking: false,
+                max_regen_rounds: 0,
+                noise_decay: 1.0,
+            };
+            let (catalog, report) = synthesize(&sections, &cfg).expect("synthesis");
+            let effort: usize = report
+                .per_sm
+                .iter()
+                .map(|s| s.grammar_rejections + s.syntax_reprompts)
+                .sum();
+            out.push_str(&format!(
+                "{:>9.1} {:>12} {:>15}/{:<6} {:>22}\n",
+                p_grammar,
+                if constrained { "constrained" } else { "raw" },
+                catalog.len(),
+                sections.len(),
+                effort
+            ));
+        }
+    }
+    out
+}
+
+/// A2 — consistency checks: residual semantic faults with and without the
+/// checking + targeted-regeneration stage.
+pub fn run_ablation_checks(seed: u64) -> String {
+    let sections = sections();
+    let mut out = String::new();
+    out.push_str("A2: consistency checks ablation (residual faults by class)\n");
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10}\n",
+        "fault class", "with", "without"
+    ));
+    let run = |checks: bool| {
+        let cfg = PipelineConfig {
+            consistency_checks: checks,
+            linking: checks,
+            max_regen_rounds: if checks { 4 } else { 0 },
+            ..PipelineConfig::learned(seed)
+        };
+        synthesize(&sections, &cfg).expect("synthesis").1
+    };
+    let with = run(true);
+    let without = run(false);
+    for (label, kind) in [
+        ("describe side effects", FaultKind::DescribeSideEffect),
+        ("unreachable calls", FaultKind::UnreachableCall),
+        ("dropped state vars", FaultKind::DropStateVar),
+        ("dropped checks", FaultKind::DropAssert),
+        ("wrong error codes", FaultKind::WrongErrorCode),
+        ("shallow checks", FaultKind::ShallowCheck),
+    ] {
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10}\n",
+            label,
+            with.fault_count(kind),
+            without.fault_count(kind)
+        ));
+    }
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10}\n",
+        "total",
+        with.total_faults(),
+        without.total_faults()
+    ));
+    out
+}
+
+/// A3 — alignment rounds: the convergence curve of the aligned fraction.
+pub fn run_ablation_align_rounds(seed: u64) -> String {
+    let provider = nimbus_provider();
+    let sections = sections();
+    let (mut catalog, _) =
+        synthesize(&sections, &PipelineConfig::learned(seed)).expect("synthesis");
+    let opts = AlignmentOptions {
+        max_rounds: 6,
+        max_paths: 32,
+        enable_probe_mining: true,
+    };
+    let report = run_alignment(
+        &mut catalog,
+        EmulatorConfig::framework(),
+        &provider.catalog,
+        EmulatorConfig::framework(),
+        &sections,
+        &opts,
+    );
+    let mut out = String::new();
+    out.push_str("A3: alignment convergence (aligned fraction per round)\n");
+    out.push_str(&format!("{:>6} {:>8} {:>9} {:>10}\n", "round", "cases", "aligned", "fraction"));
+    for (i, r) in report.rounds.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>9} {:>9.1}%\n",
+            i,
+            r.cases,
+            r.aligned,
+            100.0 * r.aligned as f64 / r.cases.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "repairs applied: {} (re-extracted: {}, probe-mined: {})\n",
+        report.repairs.len(),
+        report
+            .repairs
+            .iter()
+            .filter(|r| r.strategy == lce_align::RepairStrategy::ReExtract)
+            .count(),
+        report
+            .repairs
+            .iter()
+            .filter(|r| r.strategy == lce_align::RepairStrategy::ProbeMined)
+            .count(),
+    ));
+    out
+}
+
+/// A5 — noise-rate sweep: how the pre-alignment accuracy of the learned
+/// emulator degrades as generation error rates grow, and how much the
+/// consistency stage is carrying at each level. The Fig. 3 ordering
+/// (learned ≫ D2C) should be robust across rates, not an artifact of one
+/// noise setting.
+pub fn run_noise_sweep(seed: u64) -> String {
+    use lce_align::{generate_suite, run_suite};
+    use lce_emulator::{Emulator, EmulatorConfig};
+    let provider = nimbus_provider();
+    let sections = sections();
+    let scenarios = lce_devops::scenarios::fig3_nimbus();
+    let mut out = String::new();
+    out.push_str(
+        "A5: noise-rate sweep (learned pipeline, pre-alignment fidelity)\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>15} {:>14} {:>17}\n",
+        "noise scale", "Fig. 3 traces", "suite aligned", "residual faults"
+    ));
+    // One suite from the golden catalog, reused across noise levels so the
+    // metric is comparable (sampled for speed).
+    let (all_cases, _) = generate_suite(&provider.catalog, 16);
+    let sample: Vec<_> = all_cases.into_iter().step_by(3).collect();
+    for factor in [0.5, 1.0, 2.0, 4.0] {
+        let cfg = PipelineConfig {
+            noise: lce_synth::NoiseConfig::llm_typical().scale(factor),
+            ..PipelineConfig::learned(seed)
+        };
+        let (catalog, report) = synthesize(&sections, &cfg).expect("synthesis");
+        let mut aligned = 0;
+        for s in &scenarios {
+            let mut golden = provider.golden_cloud();
+            let mut learned =
+                Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
+            let rg = lce_devops::run_program(&s.program, &mut golden);
+            let rl = lce_devops::run_program(&s.program, &mut learned);
+            if lce_devops::compare_runs(&rg, &rl).fully_aligned() {
+                aligned += 1;
+            }
+        }
+        let mut golden = provider.golden_cloud();
+        let mut learned =
+            Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
+        let outcome = run_suite(&sample, &mut golden, &mut learned);
+        out.push_str(&format!(
+            "{:>11.1}x {:>12}/{:<2} {:>13.1}% {:>17}\n",
+            factor,
+            aligned,
+            scenarios.len(),
+            100.0 * outcome.aligned_fraction(),
+            report.total_faults()
+        ));
+    }
+    out
+}

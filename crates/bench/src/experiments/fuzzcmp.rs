@@ -1,0 +1,91 @@
+//! A4 — symbolic classes vs random fuzzing (§4.3: "randomly fuzzing the
+//! entire emulator is inefficient").
+//!
+//! Both approaches get the same program budget against the same
+//! direct-to-code emulator; the metric is *distinct* divergences found
+//! (deduplicated by divergent API and error-code pair), i.e. useful
+//! check-mining signal per unit of testing effort.
+
+use lce_align::tracegen::{ProbeKind, TestCase};
+use lce_align::{fuzz_corpus, generate_suite, run_suite, FuzzConfig};
+use lce_baselines::d2c_emulator;
+use lce_cloud::nimbus_provider;
+use std::collections::BTreeSet;
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct FuzzCmpRow {
+    /// Program budget.
+    pub budget: usize,
+    /// Distinct divergences the symbolic suite found.
+    pub symbolic: usize,
+    /// Distinct divergences random fuzzing found.
+    pub fuzz: usize,
+}
+
+/// Run the comparison across budgets.
+pub fn run_fuzz_comparison(seed: u64, budgets: &[usize]) -> Vec<FuzzCmpRow> {
+    let provider = nimbus_provider();
+    let (all_symbolic, _) = generate_suite(&provider.catalog, 24);
+
+    let distinct = |cases: &[TestCase]| {
+        let mut golden = provider.golden_cloud();
+        let (mut d2c, _) = d2c_emulator(&provider, seed);
+        let outcome = run_suite(cases, &mut golden, &mut d2c);
+        outcome
+            .divergences
+            .iter()
+            .map(|d| (d.step_api.clone(), d.golden.clone(), d.learned.clone()))
+            .collect::<BTreeSet<_>>()
+            .len()
+    };
+
+    budgets
+        .iter()
+        .map(|&budget| {
+            let stride = (all_symbolic.len() / budget).max(1);
+            let symbolic: Vec<TestCase> = all_symbolic
+                .iter()
+                .step_by(stride)
+                .take(budget)
+                .cloned()
+                .collect();
+            let corpus = fuzz_corpus(&provider.catalog, &FuzzConfig::default(), seed, budget);
+            let fuzz_cases: Vec<TestCase> = corpus
+                .into_iter()
+                .map(|program| TestCase {
+                    sm: lce_spec::SmName::new("fuzz"),
+                    api: String::new(),
+                    class: "fuzz".into(),
+                    kind: ProbeKind::Symbolic { exact: false },
+                    program,
+                })
+                .collect();
+            FuzzCmpRow {
+                budget,
+                symbolic: distinct(&symbolic),
+                fuzz: distinct(&fuzz_cases),
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison table.
+pub fn render_fuzz_comparison(rows: &[FuzzCmpRow]) -> String {
+    let mut out = String::new();
+    out.push_str("A4: distinct divergences found per program budget (vs D2C emulator)\n");
+    out.push_str(&format!(
+        "{:>8} {:>16} {:>14} {:>8}\n",
+        "budget", "symbolic suite", "random fuzz", "ratio"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>16} {:>14} {:>7.1}x\n",
+            r.budget,
+            r.symbolic,
+            r.fuzz,
+            r.symbolic as f64 / r.fuzz.max(1) as f64
+        ));
+    }
+    out
+}

@@ -1,0 +1,26 @@
+//! Experiment implementations (see DESIGN.md §3 for the index).
+
+pub mod ablations;
+pub mod accuracy;
+pub mod fig4;
+pub mod fuzzcmp;
+pub mod opportunities;
+pub mod table1;
+
+pub use ablations::{run_ablation_align_rounds, run_ablation_checks, run_ablation_constrain, run_noise_sweep};
+pub use accuracy::{
+    evaluate_backend, run_e2_basic_functionality, run_e6_multicloud, run_e7_taxonomy,
+    run_fig3, Fig3Row,
+};
+pub use fig4::run_fig4;
+pub use fuzzcmp::{run_fuzz_comparison, render_fuzz_comparison};
+pub use opportunities::run_opportunities;
+pub use table1::run_table1;
+
+/// Render a fraction as the paper prints coverage ("31%").
+pub fn pct(n: usize, d: usize) -> String {
+    if d == 0 {
+        return "-".to_string();
+    }
+    format!("{:.0}%", 100.0 * n as f64 / d as f64)
+}

@@ -1,0 +1,12 @@
+#![deny(missing_docs)]
+
+//! # lce-bench — experiment harnesses
+//!
+//! One module per experiment from DESIGN.md §3; each has a `run` function
+//! returning a structured result and a `render` producing the table/series
+//! the paper reports. The `src/bin/` binaries are thin wrappers;
+//! `all_experiments` composes everything into the EXPERIMENTS.md record.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,8 @@
+//! Documentation rendering: golden specs → provider-styled documentation.
+
+pub mod pdf;
+pub mod template;
+pub mod web;
+
+pub use template::{Clause, DocFidelity, FidelityFilter};
+pub use web::DocPage;

@@ -1,0 +1,196 @@
+//! The Nimbus documentation renderer: one consolidated, paginated,
+//! PDF-style API reference (the AWS model — "a set of PDFs, spanning
+//! hundreds to thousands of pages […] with clear pagination with marked
+//! sections indexed on resource names", §4.1).
+
+use crate::docs::template::{render_body, Clause, FidelityFilter};
+use lce_spec::{Catalog, SmSpec};
+use std::fmt::Write;
+
+/// Approximate number of text lines per rendered "page".
+const LINES_PER_PAGE: usize = 48;
+
+/// Render the whole catalog as one consolidated paginated document.
+pub fn render_consolidated(
+    provider: &str,
+    catalog: &Catalog,
+    filter: &mut FidelityFilter,
+) -> String {
+    // First render the body of every resource section, so the table of
+    // contents can carry real page numbers.
+    let sections: Vec<(String, Vec<String>)> = catalog
+        .iter()
+        .map(|sm| (sm.name.to_string(), render_resource_lines(sm, filter)))
+        .collect();
+
+    let mut header = Vec::new();
+    header.push(format!(
+        "{} CLOUD — COMPLETE API REFERENCE",
+        provider.to_uppercase()
+    ));
+    header.push(String::new());
+    header.push("TABLE OF CONTENTS".to_string());
+
+    // Compute page numbers: the TOC occupies page 1..k, sections follow.
+    let toc_lines = sections.len() + header.len();
+    let toc_pages = toc_lines.div_ceil(LINES_PER_PAGE);
+    let mut page = toc_pages + 1;
+    let mut toc = Vec::new();
+    let mut placed: Vec<(usize, &(String, Vec<String>))> = Vec::new();
+    for section in &sections {
+        placed.push((page, section));
+        toc.push(format!("  {} ...... page {}", section.0, page));
+        page += section.1.len().div_ceil(LINES_PER_PAGE).max(1);
+    }
+
+    let mut out = String::new();
+    let mut state = PageState {
+        line_no: 0,
+        page_no: 1,
+    };
+    for l in header.iter().chain(toc.iter()) {
+        emit(&mut out, &mut state, l);
+    }
+    for (start_page, (_, lines)) in placed {
+        // Pad to the section's promised page boundary.
+        while (state.line_no / LINES_PER_PAGE) + 1 < start_page {
+            emit(&mut out, &mut state, "");
+        }
+        for l in lines {
+            emit(&mut out, &mut state, l);
+        }
+    }
+    out
+}
+
+struct PageState {
+    line_no: usize,
+    page_no: usize,
+}
+
+fn emit(out: &mut String, state: &mut PageState, line: &str) {
+    if state.line_no.is_multiple_of(LINES_PER_PAGE) {
+        let _ = writeln!(out, "--- Page {} ---", state.page_no);
+        state.page_no += 1;
+    }
+    let _ = writeln!(out, "{}", line);
+    state.line_no += 1;
+}
+
+/// Render one resource section as raw lines (no pagination).
+fn render_resource_lines(sm: &SmSpec, filter: &mut FidelityFilter) -> Vec<String> {
+    let mut lines = Vec::new();
+    lines.push(format!("==== Resource: {} ====", sm.name));
+    lines.push(format!("Service: {}", sm.service));
+    if !sm.doc.is_empty() {
+        lines.push(format!("Summary: {}", sm.doc));
+    }
+    lines.push(format!("Identifier parameter: {}", sm.id_param));
+    match &sm.parent {
+        Some((p, via)) => lines.push(format!("Contained in: {} (via attribute `{}`)", p, via)),
+        None => lines.push("Contained in: (none)".to_string()),
+    }
+    lines.push(String::new());
+    lines.push("State attributes:".to_string());
+    for s in &sm.states {
+        let mut l = format!("  - {}: {}", s.name, s.ty);
+        if s.nullable {
+            l.push_str(" [nullable]");
+        }
+        if let Some(d) = &s.default {
+            let _ = write!(l, " [default: {}]", d);
+        }
+        lines.push(l);
+    }
+    for t in &sm.transitions {
+        lines.push(String::new());
+        if t.internal {
+            lines.push(format!("Internal API: {}", t.name));
+        } else {
+            lines.push(format!("API: {}", t.name));
+        }
+        lines.push(format!("Category: {}", t.kind));
+        if !t.doc.is_empty() {
+            lines.push(format!("Summary: {}", t.doc));
+        }
+        if t.params.is_empty() {
+            lines.push("Parameters: none".to_string());
+        } else {
+            lines.push("Parameters:".to_string());
+            for p in &t.params {
+                let opt = if p.optional { " [optional]" } else { "" };
+                lines.push(format!("  - {}: {}{}", p.name, p.ty, opt));
+            }
+        }
+        let clauses = filter.filter(render_body(&t.body));
+        if clauses.is_empty() {
+            lines.push("Behavior: none documented.".to_string());
+        } else {
+            lines.push("Behavior:".to_string());
+            for Clause { depth, text } in clauses {
+                let indent = "  ".repeat(depth + 1);
+                lines.push(format!("{}- {}", indent, text));
+            }
+        }
+    }
+    lines.push(String::new());
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::template::DocFidelity;
+    use lce_spec::parse_catalog;
+
+    fn toy_catalog() -> Catalog {
+        Catalog::from_specs(
+            parse_catalog(
+                r#"
+            sm Vpc { service "compute"; doc "A VPC.";
+              states { cidr: str; n: int = 0; }
+              transition CreateVpc(CidrBlock: str) kind create doc "Creates." {
+                assert(len(arg(CidrBlock)) > 0) else MissingParameter "need cidr";
+                write(cidr, arg(CidrBlock));
+              }
+              transition Bump() kind modify internal { write(n, read(n) + 1); }
+            }
+            "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn renders_section_headers_and_toc() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let doc = render_consolidated("nimbus", &toy_catalog(), &mut f);
+        assert!(doc.contains("NIMBUS CLOUD — COMPLETE API REFERENCE"));
+        assert!(doc.contains("TABLE OF CONTENTS"));
+        assert!(doc.contains("Vpc ...... page"));
+        assert!(doc.contains("==== Resource: Vpc ===="));
+        assert!(doc.contains("--- Page 1 ---"));
+    }
+
+    #[test]
+    fn renders_behavior_clauses() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let doc = render_consolidated("nimbus", &toy_catalog(), &mut f);
+        assert!(doc.contains("- Sets attribute `cidr` to `arg(CidrBlock)`."));
+        assert!(doc.contains("Fails with error `MissingParameter`"));
+    }
+
+    #[test]
+    fn internal_apis_marked() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let doc = render_consolidated("nimbus", &toy_catalog(), &mut f);
+        assert!(doc.contains("Internal API: Bump"));
+    }
+
+    #[test]
+    fn parameters_section_lists_types() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let doc = render_consolidated("nimbus", &toy_catalog(), &mut f);
+        assert!(doc.contains("  - CidrBlock: str"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared behaviour-clause templates.
+//!
+//! Cloud documentation describes API behaviour in stylized prose. Our
+//! renderers generate that prose from the golden specs through a fixed set
+//! of clause templates; the wrangler and synthesizer later recover the
+//! behaviour by parsing the clauses back. This mirrors the paper's
+//! observation that cloud docs are *semi-structured*: "The documentation
+//! follows a set template indexed by resource type and has ordered
+//! information for each API" (§4.1).
+//!
+//! Clause forms (each carries a nesting depth):
+//!
+//! * `Sets attribute `var` to `expr`.`
+//! * `Fails with error `Code` ("message") unless `pred`.`
+//! * `Invokes `Api` on `target` with arguments [`a`, `b`].`
+//! * `Returns field `Field` as `expr`.`
+//! * `When `pred`:` … `Otherwise:` … (children at depth+1)
+
+use lce_spec::{print_expr, Stmt};
+
+/// One behaviour clause with its nesting depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Nesting depth (0 = top level of the behaviour list).
+    pub depth: usize,
+    /// The clause text (no list marker, no indentation).
+    pub text: String,
+}
+
+impl Clause {
+    fn new(depth: usize, text: String) -> Self {
+        Clause { depth, text }
+    }
+}
+
+/// Render a transition body into a flat clause list.
+pub fn render_body(body: &[Stmt]) -> Vec<Clause> {
+    let mut out = Vec::new();
+    for s in body {
+        render_stmt(s, 0, &mut out);
+    }
+    out
+}
+
+fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
+    match stmt {
+        Stmt::Write { state, value } => {
+            out.push(Clause::new(
+                depth,
+                format!("Sets attribute `{}` to `{}`.", state, print_expr(value)),
+            ));
+        }
+        Stmt::Assert {
+            pred,
+            error,
+            message,
+        } => {
+            out.push(Clause::new(
+                depth,
+                format!(
+                    "Fails with error `{}` ({:?}) unless `{}`.",
+                    error,
+                    message,
+                    print_expr(pred)
+                ),
+            ));
+        }
+        Stmt::Call { target, api, args } => {
+            let rendered: Vec<String> =
+                args.iter().map(|a| format!("`{}`", print_expr(a))).collect();
+            out.push(Clause::new(
+                depth,
+                format!(
+                    "Invokes `{}` on `{}` with arguments [{}].",
+                    api,
+                    print_expr(target),
+                    rendered.join(", ")
+                ),
+            ));
+        }
+        Stmt::Emit { field, value } => {
+            out.push(Clause::new(
+                depth,
+                format!("Returns field `{}` as `{}`.", field, print_expr(value)),
+            ));
+        }
+        Stmt::If { pred, then, els } => {
+            out.push(Clause::new(depth, format!("When `{}`:", print_expr(pred))));
+            for s in then {
+                render_stmt(s, depth + 1, out);
+            }
+            if !els.is_empty() {
+                out.push(Clause::new(depth, "Otherwise:".to_string()));
+                for s in els {
+                    render_stmt(s, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Controls how faithful the rendered documentation is to the golden spec.
+/// Underspecified documentation (§6) is modelled by omitting a fraction of
+/// the failure clauses — the extractor cannot know what is missing, so only
+/// the alignment phase can recover the behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocFidelity {
+    /// Every behaviour clause is documented.
+    Complete,
+    /// Every `n`-th failure (`assert`) clause is silently omitted,
+    /// counting across the whole corpus (1-based: `every_nth = 4` drops
+    /// clauses number 4, 8, 12, …).
+    OmitAsserts {
+        /// Period of omission.
+        every_nth: usize,
+    },
+}
+
+/// Stateful omission filter applied while rendering a corpus.
+#[derive(Debug)]
+pub struct FidelityFilter {
+    fidelity: DocFidelity,
+    assert_counter: usize,
+    omitted: usize,
+}
+
+impl FidelityFilter {
+    /// Create a filter for the given fidelity level.
+    pub fn new(fidelity: DocFidelity) -> Self {
+        FidelityFilter {
+            fidelity,
+            assert_counter: 0,
+            omitted: 0,
+        }
+    }
+
+    /// Number of clauses omitted so far.
+    pub fn omitted(&self) -> usize {
+        self.omitted
+    }
+
+    /// Apply the filter to a clause list.
+    pub fn filter(&mut self, clauses: Vec<Clause>) -> Vec<Clause> {
+        match self.fidelity {
+            DocFidelity::Complete => clauses,
+            DocFidelity::OmitAsserts { every_nth } => {
+                let n = every_nth.max(1);
+                clauses
+                    .into_iter()
+                    .filter(|c| {
+                        if c.text.starts_with("Fails with error") {
+                            self.assert_counter += 1;
+                            if self.assert_counter.is_multiple_of(n) {
+                                self.omitted += 1;
+                                return false;
+                            }
+                        }
+                        true
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_sm;
+
+    fn clauses_for(body_src: &str) -> Vec<Clause> {
+        let src = format!(
+            r#"sm A {{ service "s"; states {{ x: int = 0; flag: bool = false; }}
+                transition T(N: int?) kind modify {{ {} }} }}"#,
+            body_src
+        );
+        let sm = parse_sm(&src).unwrap();
+        render_body(&sm.transition("T").unwrap().body)
+    }
+
+    #[test]
+    fn write_clause() {
+        let c = clauses_for("write(x, arg(N));");
+        assert_eq!(c[0].text, "Sets attribute `x` to `arg(N)`.");
+    }
+
+    #[test]
+    fn assert_clause_includes_code_and_message() {
+        let c = clauses_for(r#"assert(arg(N) > 0) else Bad "must be positive";"#);
+        assert_eq!(
+            c[0].text,
+            "Fails with error `Bad` (\"must be positive\") unless `arg(N) > 0`."
+        );
+    }
+
+    #[test]
+    fn if_else_produces_nested_depths() {
+        let c = clauses_for(
+            "if read(flag) { write(x, 1); } else { write(x, 2); emit(Out, read(x)); }",
+        );
+        let texts: Vec<(usize, &str)> = c.iter().map(|c| (c.depth, c.text.as_str())).collect();
+        assert_eq!(texts[0], (0, "When `read(flag)`:"));
+        assert_eq!(texts[1].0, 1);
+        assert_eq!(texts[2], (0, "Otherwise:"));
+        assert_eq!(texts[3].0, 1);
+        assert_eq!(texts[4], (1, "Returns field `Out` as `read(x)`."));
+    }
+
+    #[test]
+    fn fidelity_complete_keeps_everything() {
+        let c = clauses_for(r#"assert(read(flag)) else E "m"; write(x, 1);"#);
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        assert_eq!(f.filter(c.clone()).len(), c.len());
+        assert_eq!(f.omitted(), 0);
+    }
+
+    #[test]
+    fn fidelity_omits_every_nth_assert() {
+        let c = clauses_for(
+            r#"assert(read(flag)) else E "a";
+               assert(read(flag)) else E "b";
+               write(x, 1);"#,
+        );
+        let mut f = FidelityFilter::new(DocFidelity::OmitAsserts { every_nth: 2 });
+        let kept = f.filter(c);
+        assert_eq!(f.omitted(), 1);
+        assert!(kept.iter().any(|c| c.text.contains("\"a\"")));
+        assert!(!kept.iter().any(|c| c.text.contains("\"b\"")));
+        assert!(kept.iter().any(|c| c.text.starts_with("Sets attribute")));
+    }
+}

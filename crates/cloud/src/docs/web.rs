@@ -1,0 +1,189 @@
+//! The Stratus documentation renderer: scattered per-resource web pages
+//! (the Azure/GCP model — "relevant information is scattered across
+//! websites, and no consolidated PDF files exist", §4.1).
+//!
+//! The page markup is markdown-flavoured and deliberately *different* from
+//! the Nimbus PDF format: property tables instead of attribute lists,
+//! numbered behaviour steps with `If`/`Else:` keywords instead of bulleted
+//! `When`/`Otherwise:` clauses, and one page per resource. The wrangler
+//! needs a separate adapter for it — which is exactly the provider-specific
+//! effort the paper's multi-cloud experiment measures.
+
+use crate::docs::template::{render_body, Clause, FidelityFilter};
+use lce_spec::{Catalog, SmSpec};
+use std::fmt::Write;
+
+/// One rendered web page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocPage {
+    /// Pseudo-URL path, e.g. `docs/stratus/compute/virtual-network`.
+    pub path: String,
+    /// Page title.
+    pub title: String,
+    /// Markdown-ish body.
+    pub body: String,
+}
+
+/// Render the catalog as one page per resource.
+pub fn render_pages(provider: &str, catalog: &Catalog, filter: &mut FidelityFilter) -> Vec<DocPage> {
+    catalog
+        .iter()
+        .map(|sm| {
+            let slug = slugify(sm.name.as_str());
+            DocPage {
+                path: format!("docs/{}/{}/{}", provider, sm.service, slug),
+                title: format!("{} — {} reference", sm.name, provider),
+                body: render_page_body(sm, filter),
+            }
+        })
+        .collect()
+}
+
+fn slugify(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn render_page_body(sm: &SmSpec, filter: &mut FidelityFilter) -> String {
+    let mut b = String::new();
+    let _ = writeln!(b, "# Resource: {}", sm.name);
+    if !sm.doc.is_empty() {
+        let _ = writeln!(b, "> {}", sm.doc);
+    }
+    let _ = writeln!(b);
+    let _ = writeln!(b, "**Service:** {}", sm.service);
+    let _ = writeln!(b, "**Identifier argument:** {}", sm.id_param);
+    match &sm.parent {
+        Some((p, via)) => {
+            let _ = writeln!(b, "**Parent:** {} via `{}`", p, via);
+        }
+        None => {
+            let _ = writeln!(b, "**Parent:** none");
+        }
+    }
+    let _ = writeln!(b);
+    let _ = writeln!(b, "## Properties");
+    let _ = writeln!(b, "| Name | Type | Flags | Default |");
+    let _ = writeln!(b, "|---|---|---|---|");
+    for s in &sm.states {
+        let flags = if s.nullable { "nullable" } else { "" };
+        let default = s
+            .default
+            .as_ref()
+            .map(|d| d.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(b, "| {} | {} | {} | {} |", s.name, s.ty, flags, default);
+    }
+    for t in &sm.transitions {
+        let _ = writeln!(b);
+        let _ = writeln!(b, "## Operation: {}", t.name);
+        let _ = writeln!(b, "*Category:* {}", t.kind);
+        if t.internal {
+            let _ = writeln!(b, "*Visibility:* internal");
+        }
+        if !t.doc.is_empty() {
+            let _ = writeln!(b, "*Summary:* {}", t.doc);
+        }
+        if t.params.is_empty() {
+            let _ = writeln!(b, "*Request parameters:* none");
+        } else {
+            let _ = writeln!(b, "*Request parameters:*");
+            for p in &t.params {
+                let opt = if p.optional { " (optional)" } else { "" };
+                let _ = writeln!(b, "* `{}: {}`{}", p.name, p.ty, opt);
+            }
+        }
+        let clauses = filter.filter(render_body(&t.body));
+        if clauses.is_empty() {
+            let _ = writeln!(b, "*Behavior:* none documented.");
+        } else {
+            let _ = writeln!(b, "*Behavior:*");
+            let mut counters = vec![0usize];
+            for Clause { depth, text } in clauses {
+                counters.truncate(depth + 1);
+                while counters.len() < depth + 1 {
+                    counters.push(0);
+                }
+                // Translate the shared clause dialect into this provider's
+                // keywords.
+                let text = text
+                    .replace("When `", "If `")
+                    .replace("Otherwise:", "Else:");
+                let indent = "   ".repeat(depth);
+                if text == "Else:" {
+                    let _ = writeln!(b, "{}{}", indent, text);
+                } else {
+                    let n = counters.last_mut().expect("non-empty");
+                    *n += 1;
+                    let _ = writeln!(b, "{}{}. {}", indent, n, text);
+                }
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::template::DocFidelity;
+    use lce_spec::parse_catalog;
+
+    fn toy() -> Catalog {
+        Catalog::from_specs(
+            parse_catalog(
+                r#"
+            sm VirtualNetwork { service "compute"; doc "A vnet.";
+              states { space: str; ddos: bool = false; }
+              transition CreateVirtualNetwork(AddressSpace: str, Ddos: bool?) kind create {
+                write(space, arg(AddressSpace));
+                if !is_null(arg(Ddos)) {
+                  write(ddos, arg(Ddos));
+                } else {
+                  write(ddos, false);
+                }
+              }
+            }
+            "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn one_page_per_resource_with_slug() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let pages = render_pages("stratus", &toy(), &mut f);
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].path, "docs/stratus/compute/virtual-network");
+    }
+
+    #[test]
+    fn page_has_property_table() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let pages = render_pages("stratus", &toy(), &mut f);
+        assert!(pages[0].body.contains("| space | str |"));
+        assert!(pages[0].body.contains("| ddos | bool |  | false |"));
+    }
+
+    #[test]
+    fn behavior_steps_numbered_with_if_else() {
+        let mut f = FidelityFilter::new(DocFidelity::Complete);
+        let pages = render_pages("stratus", &toy(), &mut f);
+        let body = &pages[0].body;
+        assert!(body.contains("1. Sets attribute `space` to `arg(AddressSpace)`."));
+        assert!(body.contains("2. If `!is_null(arg(Ddos))`:"));
+        assert!(body.contains("   1. Sets attribute `ddos` to `arg(Ddos)`."));
+        assert!(body.contains("Else:"));
+    }
+}

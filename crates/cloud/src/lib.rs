@@ -1,0 +1,28 @@
+#![deny(missing_docs)]
+
+//! # lce-cloud — the synthetic multi-cloud
+//!
+//! Everything the experiments treat as "the real cloud":
+//!
+//! * **Golden catalogs** — complete, hand-authored SM specifications for
+//!   two fictional providers: [`nimbus`] (AWS-like: compute with 28 SMs,
+//!   database with 7, firewall with 8 and exactly 45 public APIs, k8s with
+//!   6, object storage with 7) and [`stratus`] (Azure-like: 8 compute SMs
+//!   with provider-specific naming). Executed on the shared interpreter they form the
+//!   authoritative behaviour oracle for alignment and accuracy experiments.
+//! * **Documentation renderers** ([`docs`]) — Nimbus publishes one
+//!   consolidated paginated PDF-style reference, Stratus scatters
+//!   per-resource web pages; both are generated *from* the golden specs
+//!   through fixed prose templates, optionally at reduced fidelity to model
+//!   underspecified documentation (§6 of the paper).
+//!
+//! See `DESIGN.md` §1 for why a synthetic cloud preserves the paper's
+//! experimental structure.
+
+pub mod docs;
+pub mod nimbus;
+pub mod provider;
+pub mod stratus;
+
+pub use docs::{DocFidelity, DocPage};
+pub use provider::{all_providers, nimbus as nimbus_provider, stratus as stratus_provider, DocStyle, Provider, RenderedDocs};

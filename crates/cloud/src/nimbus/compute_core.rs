@@ -1,0 +1,565 @@
+//! Nimbus compute service, part 1: the VPC networking core.
+//!
+//! Ten state machines: Vpc, Subnet, Instance, InternetGateway, NatGateway,
+//! RouteTable, SecurityGroup, NetworkInterface, Address, VpcEndpoint.
+//! These carry the behaviours §5 of the paper builds its accuracy scenarios
+//! on: tenancy and credit-specification attributes, DNS attribute coupling,
+//! delete-with-dependents checks, instance lifecycle state errors, CIDR
+//! conflict and prefix-length validation.
+
+/// DSL source for the networking core.
+pub const SRC: &str = r#"
+sm Vpc {
+  service "compute";
+  doc "A virtual private cloud: an isolated virtual network.";
+  id_param "VpcId";
+  states {
+    cidr: str;
+    region: str;
+    state: enum(pending, available) = available;
+    instance_tenancy: enum(default, dedicated, host) = default;
+    enable_dns_support: bool = true;
+    enable_dns_hostnames: bool = false;
+    is_default: bool = false;
+    used_cidrs: list(str);
+    attached_gateways: int = 0;
+  }
+  transition CreateVpc(CidrBlock: str, Region: str, InstanceTenancy: enum(default, dedicated, host)?) kind create
+  doc "Creates a VPC with the specified CIDR block in the given region." {
+    assert(arg(Region) in ["us-east", "us-west"]) else InvalidParameterValue "region must be us-east or us-west";
+    assert(len(arg(CidrBlock)) > 0) else MissingParameter "CidrBlock must be non-empty";
+    write(cidr, arg(CidrBlock));
+    write(region, arg(Region));
+    if !is_null(arg(InstanceTenancy)) {
+      write(instance_tenancy, arg(InstanceTenancy));
+    }
+    emit(State, read(state));
+    emit(CidrBlock, read(cidr));
+  }
+  transition DeleteVpc() kind destroy
+  doc "Deletes the VPC. Fails while subnets, attached gateways or endpoints remain." {
+    assert(child_count(Subnet) == 0) else DependencyViolation "the VPC still contains one or more subnets";
+    assert(read(attached_gateways) == 0) else DependencyViolation "the VPC still has an attached internet gateway";
+    assert(child_count(VpcEndpoint) == 0) else DependencyViolation "the VPC still contains one or more endpoints";
+    assert(child_count(NetworkAcl) == 0) else DependencyViolation "the VPC still contains one or more network ACLs";
+    assert(child_count(RouteTable) == 0) else DependencyViolation "the VPC still contains one or more route tables";
+    assert(child_count(SecurityGroup) == 0) else DependencyViolation "the VPC still contains one or more security groups";
+  }
+  transition DescribeVpc() kind describe
+  doc "Returns the attributes of the VPC." {
+    emit(CidrBlock, read(cidr));
+    emit(Region, read(region));
+    emit(State, read(state));
+    emit(InstanceTenancy, read(instance_tenancy));
+    emit(EnableDnsSupport, read(enable_dns_support));
+    emit(EnableDnsHostnames, read(enable_dns_hostnames));
+    emit(IsDefault, read(is_default));
+  }
+  transition ModifyVpcAttribute(EnableDnsSupport: bool?, EnableDnsHostnames: bool?) kind modify
+  doc "Modifies the DNS attributes of the VPC. DNS hostnames require DNS support." {
+    if !is_null(arg(EnableDnsSupport)) {
+      assert(arg(EnableDnsSupport) || !read(enable_dns_hostnames)) else InvalidParameterValue "cannot disable DNS support while DNS hostnames are enabled";
+      write(enable_dns_support, arg(EnableDnsSupport));
+    }
+    if !is_null(arg(EnableDnsHostnames)) {
+      assert(read(enable_dns_support) || !arg(EnableDnsHostnames)) else InvalidParameterValue "cannot enable DNS hostnames on a VPC with DNS support disabled";
+      write(enable_dns_hostnames, arg(EnableDnsHostnames));
+    }
+  }
+  transition ModifyVpcTenancy(InstanceTenancy: enum(default, dedicated, host)) kind modify
+  doc "Changes the tenancy of the VPC. Only 'default' may be set after creation." {
+    assert(arg(InstanceTenancy) == default) else InvalidParameterValue "tenancy can only be changed to 'default'";
+    write(instance_tenancy, arg(InstanceTenancy));
+  }
+  transition ReserveCidr(Cidr: str) kind modify internal
+  doc "Internal bookkeeping: records a subnet CIDR allocation within the VPC." {
+    write(used_cidrs, append(read(used_cidrs), arg(Cidr)));
+  }
+  transition ReleaseCidr(Cidr: str) kind modify internal
+  doc "Internal bookkeeping: releases a subnet CIDR allocation." {
+    write(used_cidrs, remove(read(used_cidrs), arg(Cidr)));
+  }
+  transition NotifyGatewayAttached() kind modify internal
+  doc "Internal bookkeeping: increments the attached gateway counter." {
+    write(attached_gateways, read(attached_gateways) + 1);
+  }
+  transition NotifyGatewayDetached() kind modify internal
+  doc "Internal bookkeeping: decrements the attached gateway counter." {
+    write(attached_gateways, read(attached_gateways) - 1);
+  }
+}
+
+sm Subnet {
+  service "compute";
+  doc "A range of IP addresses within a VPC, confined to one availability zone.";
+  id_param "SubnetId";
+  parent Vpc via vpc;
+  states {
+    vpc: ref(Vpc);
+    cidr: str;
+    prefix_length: int = 24;
+    zone: str;
+    state: enum(pending, available) = available;
+    map_public_ip_on_launch: bool = false;
+    assign_ipv6_on_creation: bool = false;
+  }
+  transition CreateSubnet(VpcId: ref(Vpc), CidrBlock: str, PrefixLength: int, Zone: str) kind create
+  doc "Creates a subnet in the VPC. The CIDR must be unused and the prefix length between /16 and /28." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(arg(PrefixLength) >= 16) else InvalidSubnetRange "the subnet prefix may not be larger than /16";
+    assert(arg(PrefixLength) <= 28) else InvalidSubnetRange "the subnet prefix may not be smaller than /28";
+    assert(!(arg(CidrBlock) in field(arg(VpcId), used_cidrs))) else InvalidSubnetConflict "the CIDR conflicts with an existing subnet in the VPC";
+    assert(arg(Zone) in ["us-east-1a", "us-east-1b", "us-west-1a", "us-west-1b"]) else InvalidParameterValue "unknown availability zone";
+    call(arg(VpcId), ReserveCidr, [arg(CidrBlock)]);
+    write(vpc, arg(VpcId));
+    write(cidr, arg(CidrBlock));
+    write(prefix_length, arg(PrefixLength));
+    write(zone, arg(Zone));
+    emit(State, read(state));
+  }
+  transition DeleteSubnet() kind destroy
+  doc "Deletes the subnet. Fails while instances or interfaces remain." {
+    assert(child_count(Instance) == 0) else DependencyViolation "the subnet still contains running instances";
+    assert(child_count(NetworkInterface) == 0) else DependencyViolation "the subnet still contains network interfaces";
+    assert(child_count(NatGateway) == 0) else DependencyViolation "the subnet still contains NAT gateways";
+    call(read(vpc), ReleaseCidr, [read(cidr)]);
+  }
+  transition DescribeSubnet() kind describe
+  doc "Returns the attributes of the subnet." {
+    emit(VpcId, read(vpc));
+    emit(CidrBlock, read(cidr));
+    emit(Zone, read(zone));
+    emit(State, read(state));
+    emit(MapPublicIpOnLaunch, read(map_public_ip_on_launch));
+  }
+  transition ModifySubnetAttribute(MapPublicIpOnLaunch: bool?, AssignIpv6AddressOnCreation: bool?) kind modify
+  doc "Modifies subnet attributes such as automatic public IP assignment." {
+    if !is_null(arg(MapPublicIpOnLaunch)) {
+      write(map_public_ip_on_launch, arg(MapPublicIpOnLaunch));
+    }
+    if !is_null(arg(AssignIpv6AddressOnCreation)) {
+      write(assign_ipv6_on_creation, arg(AssignIpv6AddressOnCreation));
+    }
+  }
+}
+
+sm Instance {
+  service "compute";
+  doc "A virtual machine instance launched into a subnet.";
+  id_param "InstanceId";
+  parent Subnet via subnet;
+  states {
+    subnet: ref(Subnet);
+    image: ref(Image);
+    state: enum(pending, running, stopping, stopped, shutting_down, terminated) = pending;
+    instance_type: str;
+    tenancy: enum(default, dedicated, host) = default;
+    credit_specification: enum(standard, unlimited) = standard;
+    key_name: str?;
+    security_group: ref(SecurityGroup)?;
+    ebs_optimized: bool = false;
+    source_dest_check: bool = true;
+  }
+  transition RunInstance(SubnetId: ref(Subnet), ImageId: ref(Image), InstanceType: str, KeyName: str?, SecurityGroupId: ref(SecurityGroup)?, Tenancy: enum(default, dedicated, host)?) kind create
+  doc "Launches an instance from an image into the subnet." {
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    assert(exists(arg(ImageId))) else NotFound "the specified image does not exist";
+    assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterValue "unsupported instance type";
+    if !is_null(arg(SecurityGroupId)) {
+      assert(exists(arg(SecurityGroupId))) else NotFound "the specified security group does not exist";
+      write(security_group, arg(SecurityGroupId));
+    }
+    write(subnet, arg(SubnetId));
+    write(image, arg(ImageId));
+    write(instance_type, arg(InstanceType));
+    write(key_name, arg(KeyName));
+    if !is_null(arg(Tenancy)) {
+      write(tenancy, arg(Tenancy));
+    }
+    write(state, running);
+    emit(State, read(state));
+  }
+  transition TerminateInstance() kind destroy
+  doc "Terminates the instance. Attached volumes must be detached first." {
+    assert(read(state) != terminated) else IncorrectInstanceState "the instance is already terminated";
+  }
+  transition DescribeInstance() kind describe
+  doc "Returns the attributes of the instance." {
+    emit(SubnetId, read(subnet));
+    emit(State, read(state));
+    emit(InstanceType, read(instance_type));
+    emit(Tenancy, read(tenancy));
+    emit(CreditSpecification, read(credit_specification));
+    emit(EbsOptimized, read(ebs_optimized));
+  }
+  transition StartInstance() kind modify
+  doc "Starts a stopped instance. Fails unless the instance is stopped." {
+    assert(read(state) == stopped) else IncorrectInstanceState "the instance is not in the 'stopped' state";
+    write(state, running);
+    emit(State, read(state));
+  }
+  transition StopInstance() kind modify
+  doc "Stops a running instance. Fails unless the instance is running." {
+    assert(read(state) == running) else IncorrectInstanceState "the instance is not in the 'running' state";
+    write(state, stopped);
+    emit(State, read(state));
+  }
+  transition RebootInstance() kind modify
+  doc "Reboots a running instance." {
+    assert(read(state) == running) else IncorrectInstanceState "the instance is not in the 'running' state";
+  }
+  transition ModifyInstanceAttribute(InstanceType: str?, EbsOptimized: bool?, SourceDestCheck: bool?) kind modify
+  doc "Modifies instance attributes. The instance must be stopped to change its type." {
+    if !is_null(arg(InstanceType)) {
+      assert(read(state) == stopped) else IncorrectInstanceState "the instance must be stopped to modify its type";
+      assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterValue "unsupported instance type";
+      write(instance_type, arg(InstanceType));
+    }
+    if !is_null(arg(EbsOptimized)) {
+      write(ebs_optimized, arg(EbsOptimized));
+    }
+    if !is_null(arg(SourceDestCheck)) {
+      write(source_dest_check, arg(SourceDestCheck));
+    }
+  }
+  transition ModifyInstanceCreditSpecification(CpuCredits: enum(standard, unlimited)) kind modify
+  doc "Changes the credit option for CPU usage of a burstable instance." {
+    assert(read(instance_type) in ["t2.micro", "t3.micro", "t3.small"]) else InvalidParameterValue "credit specification applies only to burstable instance types";
+    write(credit_specification, arg(CpuCredits));
+  }
+}
+
+sm InternetGateway {
+  service "compute";
+  doc "A gateway that connects a VPC to the internet.";
+  id_param "InternetGatewayId";
+  states {
+    vpc: ref(Vpc)?;
+    state: enum(detached, attached) = detached;
+  }
+  transition CreateInternetGateway() kind create
+  doc "Creates an internet gateway in the detached state." {
+    emit(State, read(state));
+  }
+  transition DeleteInternetGateway() kind destroy
+  doc "Deletes the gateway. It must be detached from any VPC first." {
+    assert(is_null(read(vpc))) else DependencyViolation "the gateway is still attached to a VPC";
+  }
+  transition DescribeInternetGateway() kind describe
+  doc "Returns the attachment state of the gateway." {
+    emit(State, read(state));
+    emit(VpcId, read(vpc));
+  }
+  transition AttachInternetGateway(VpcId: ref(Vpc)) kind modify
+  doc "Attaches the gateway to a VPC. A gateway attaches to at most one VPC." {
+    assert(is_null(read(vpc))) else ResourceAlreadyAssociated "the gateway is already attached to a VPC";
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    call(arg(VpcId), NotifyGatewayAttached, []);
+    write(vpc, arg(VpcId));
+    write(state, attached);
+  }
+  transition DetachInternetGateway() kind modify
+  doc "Detaches the gateway from its VPC." {
+    assert(!is_null(read(vpc))) else GatewayNotAttached "the gateway is not attached to a VPC";
+    call(read(vpc), NotifyGatewayDetached, []);
+    write(vpc, null);
+    write(state, detached);
+  }
+}
+
+sm NatGateway {
+  service "compute";
+  doc "A managed network address translation gateway living in a subnet.";
+  id_param "NatGatewayId";
+  parent Subnet via subnet;
+  states {
+    subnet: ref(Subnet);
+    address: ref(Address)?;
+    state: enum(pending, available, deleting, deleted) = available;
+    connectivity: enum(public, private) = public;
+  }
+  transition CreateNatGateway(SubnetId: ref(Subnet), AllocationId: ref(Address)?, ConnectivityType: enum(public, private)?) kind create
+  doc "Creates a NAT gateway in the subnet. Public gateways need an elastic IP allocation." {
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    if !is_null(arg(ConnectivityType)) {
+      write(connectivity, arg(ConnectivityType));
+    }
+    if read(connectivity) == public {
+      assert(!is_null(arg(AllocationId))) else MissingParameter "public NAT gateways require an elastic IP allocation";
+      assert(exists(arg(AllocationId))) else NotFound "the specified allocation does not exist";
+      write(address, arg(AllocationId));
+    }
+    write(subnet, arg(SubnetId));
+    emit(State, read(state));
+  }
+  transition DeleteNatGateway() kind destroy
+  doc "Deletes the NAT gateway." {
+    assert(read(state) == available) else IncorrectState "the NAT gateway is not available";
+  }
+  transition DescribeNatGateway() kind describe
+  doc "Returns the attributes of the NAT gateway." {
+    emit(SubnetId, read(subnet));
+    emit(State, read(state));
+    emit(ConnectivityType, read(connectivity));
+  }
+}
+
+sm RouteTable {
+  service "compute";
+  doc "A routing table controlling traffic leaving subnets of a VPC.";
+  id_param "RouteTableId";
+  parent Vpc via vpc;
+  states {
+    vpc: ref(Vpc);
+    routes: list(str);
+    associated_subnets: list(ref(Subnet));
+    is_main: bool = false;
+  }
+  transition CreateRouteTable(VpcId: ref(Vpc)) kind create
+  doc "Creates a route table for the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    write(vpc, arg(VpcId));
+  }
+  transition DeleteRouteTable() kind destroy
+  doc "Deletes the route table. It must not be associated with any subnet." {
+    assert(len(read(associated_subnets)) == 0) else DependencyViolation "the route table is still associated with one or more subnets";
+    assert(!read(is_main)) else InvalidParameterValue "the main route table cannot be deleted";
+  }
+  transition DescribeRouteTable() kind describe
+  doc "Returns the routes and associations of the table." {
+    emit(VpcId, read(vpc));
+    emit(Routes, read(routes));
+    emit(AssociatedSubnets, read(associated_subnets));
+  }
+  transition CreateRoute(DestinationCidrBlock: str) kind modify
+  doc "Adds a route for the destination CIDR. Duplicate destinations are rejected." {
+    assert(!(arg(DestinationCidrBlock) in read(routes))) else RouteAlreadyExists "a route for this destination already exists";
+    write(routes, append(read(routes), arg(DestinationCidrBlock)));
+  }
+  transition DeleteRoute(DestinationCidrBlock: str) kind modify
+  doc "Removes the route for the destination CIDR." {
+    assert(arg(DestinationCidrBlock) in read(routes)) else RouteNotFound "no route exists for this destination";
+    write(routes, remove(read(routes), arg(DestinationCidrBlock)));
+  }
+  transition AssociateRouteTable(SubnetId: ref(Subnet)) kind modify
+  doc "Associates the route table with a subnet in the same VPC." {
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    assert(field(arg(SubnetId), vpc) == read(vpc)) else InvalidParameterValue "the subnet belongs to a different VPC";
+    assert(!(arg(SubnetId) in read(associated_subnets))) else ResourceAlreadyAssociated "the subnet is already associated with this route table";
+    write(associated_subnets, append(read(associated_subnets), arg(SubnetId)));
+  }
+  transition DisassociateRouteTable(SubnetId: ref(Subnet)) kind modify
+  doc "Removes the association between the route table and a subnet." {
+    assert(arg(SubnetId) in read(associated_subnets)) else AssociationNotFound "the subnet is not associated with this route table";
+    write(associated_subnets, remove(read(associated_subnets), arg(SubnetId)));
+  }
+}
+
+sm SecurityGroup {
+  service "compute";
+  doc "A stateful virtual firewall for instances.";
+  id_param "SecurityGroupId";
+  parent Vpc via vpc;
+  states {
+    vpc: ref(Vpc);
+    group_name: str;
+    description: str;
+    ingress_rules: list(str);
+    egress_rules: list(str);
+  }
+  transition CreateSecurityGroup(VpcId: ref(Vpc), GroupName: str, Description: str) kind create
+  doc "Creates a security group in the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(len(arg(GroupName)) > 0) else MissingParameter "GroupName must be non-empty";
+    write(vpc, arg(VpcId));
+    write(group_name, arg(GroupName));
+    write(description, arg(Description));
+  }
+  transition DeleteSecurityGroup() kind destroy
+  doc "Deletes the security group." {
+    assert(read(group_name) != "default") else CannotDelete "the default security group cannot be deleted";
+  }
+  transition DescribeSecurityGroup() kind describe
+  doc "Returns the rules of the security group." {
+    emit(GroupName, read(group_name));
+    emit(IngressRules, read(ingress_rules));
+    emit(EgressRules, read(egress_rules));
+  }
+  transition AuthorizeSecurityGroupIngress(Rule: str) kind modify
+  doc "Adds an ingress rule. Duplicate rules are rejected." {
+    assert(!(arg(Rule) in read(ingress_rules))) else InvalidPermissionDuplicate "the ingress rule already exists";
+    write(ingress_rules, append(read(ingress_rules), arg(Rule)));
+  }
+  transition RevokeSecurityGroupIngress(Rule: str) kind modify
+  doc "Removes an ingress rule." {
+    assert(arg(Rule) in read(ingress_rules)) else InvalidPermissionNotFound "the ingress rule does not exist";
+    write(ingress_rules, remove(read(ingress_rules), arg(Rule)));
+  }
+  transition AuthorizeSecurityGroupEgress(Rule: str) kind modify
+  doc "Adds an egress rule. Duplicate rules are rejected." {
+    assert(!(arg(Rule) in read(egress_rules))) else InvalidPermissionDuplicate "the egress rule already exists";
+    write(egress_rules, append(read(egress_rules), arg(Rule)));
+  }
+  transition RevokeSecurityGroupEgress(Rule: str) kind modify
+  doc "Removes an egress rule." {
+    assert(arg(Rule) in read(egress_rules)) else InvalidPermissionNotFound "the egress rule does not exist";
+    write(egress_rules, remove(read(egress_rules), arg(Rule)));
+  }
+}
+
+sm NetworkInterface {
+  service "compute";
+  doc "An elastic network interface attachable to instances.";
+  id_param "NetworkInterfaceId";
+  parent Subnet via subnet;
+  states {
+    subnet: ref(Subnet);
+    zone: str;
+    status: enum(available, in_use) = available;
+    attached_instance: ref(Instance)?;
+    public_ip: ref(Address)?;
+    description: str = "";
+    source_dest_check: bool = true;
+  }
+  transition CreateNetworkInterface(SubnetId: ref(Subnet), Description: str?) kind create
+  doc "Creates a network interface in the subnet, inheriting its zone." {
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    write(subnet, arg(SubnetId));
+    write(zone, field(arg(SubnetId), zone));
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+    emit(Status, read(status));
+  }
+  transition DeleteNetworkInterface() kind destroy
+  doc "Deletes the interface. It must be detached and hold no public IP." {
+    assert(read(status) == available) else InvalidNetworkInterfaceInUse "the interface is attached to an instance";
+    assert(is_null(read(public_ip))) else DependencyViolation "a public IP is still associated with the interface";
+  }
+  transition DescribeNetworkInterface() kind describe
+  doc "Returns the attributes of the interface." {
+    emit(SubnetId, read(subnet));
+    emit(Zone, read(zone));
+    emit(Status, read(status));
+    emit(AttachedInstance, read(attached_instance));
+  }
+  transition AttachNetworkInterface(InstanceId: ref(Instance)) kind modify
+  doc "Attaches the interface to an instance in the same zone." {
+    assert(read(status) == available) else InvalidNetworkInterfaceInUse "the interface is already attached";
+    assert(exists(arg(InstanceId))) else NotFound "the specified instance does not exist";
+    assert(field(field(arg(InstanceId), subnet), zone) == read(zone)) else InvalidParameterValue "the instance is in a different availability zone";
+    write(attached_instance, arg(InstanceId));
+    write(status, in_use);
+  }
+  transition DetachNetworkInterface() kind modify
+  doc "Detaches the interface from its instance." {
+    assert(read(status) == in_use) else IncorrectState "the interface is not attached";
+    write(attached_instance, null);
+    write(status, available);
+  }
+  transition ModifyNetworkInterfaceAttribute(Description: str?, SourceDestCheck: bool?) kind modify
+  doc "Modifies interface attributes." {
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+    if !is_null(arg(SourceDestCheck)) {
+      write(source_dest_check, arg(SourceDestCheck));
+    }
+  }
+  transition AttachPublicIp(Ip: ref(Address)) kind modify internal
+  doc "Internal bookkeeping: records the public IP associated with this interface." {
+    assert(is_null(read(public_ip))) else ResourceAlreadyAssociated "a public IP is already associated with the interface";
+    write(public_ip, arg(Ip));
+  }
+  transition DetachPublicIp() kind modify internal
+  doc "Internal bookkeeping: clears the associated public IP." {
+    write(public_ip, null);
+  }
+}
+
+sm Address {
+  service "compute";
+  doc "An elastic public IP address that can be associated with a network interface.";
+  id_param "AllocationId";
+  states {
+    status: enum(idle, associated) = idle;
+    region: str;
+    nic: ref(NetworkInterface)?;
+  }
+  transition AllocateAddress(Region: str) kind create
+  doc "Allocates a public IP address in the given region." {
+    assert(arg(Region) in ["us-east", "us-west"]) else InvalidParameterValue "region must be us-east or us-west";
+    write(region, arg(Region));
+    emit(Status, read(status));
+  }
+  transition ReleaseAddress() kind destroy
+  doc "Releases the address. It must be disassociated first." {
+    assert(is_null(read(nic))) else AddressInUse "the address is still associated with a network interface";
+  }
+  transition DescribeAddress() kind describe
+  doc "Returns the association state of the address." {
+    emit(Status, read(status));
+    emit(Region, read(region));
+    emit(NetworkInterfaceId, read(nic));
+  }
+  transition AssociateAddress(NetworkInterfaceId: ref(NetworkInterface)) kind modify
+  doc "Associates the address with a network interface in the same region." {
+    assert(is_null(read(nic))) else ResourceAlreadyAssociated "the address is already associated";
+    assert(exists(arg(NetworkInterfaceId))) else NotFound "the specified network interface does not exist";
+    call(arg(NetworkInterfaceId), AttachPublicIp, [self_id()]);
+    write(nic, arg(NetworkInterfaceId));
+    write(status, associated);
+  }
+  transition DisassociateAddress() kind modify
+  doc "Removes the association between the address and its interface." {
+    assert(!is_null(read(nic))) else AssociationNotFound "the address is not associated";
+    call(read(nic), DetachPublicIp, []);
+    write(nic, null);
+    write(status, idle);
+  }
+}
+
+sm VpcEndpoint {
+  service "compute";
+  doc "A private connection between a VPC and a provider service.";
+  id_param "VpcEndpointId";
+  parent Vpc via vpc;
+  states {
+    vpc: ref(Vpc);
+    service_name: str;
+    endpoint_type: enum(Gateway, Interface) = Gateway;
+    state: enum(pending, available, deleting) = available;
+    private_dns_enabled: bool = false;
+  }
+  transition CreateVpcEndpoint(VpcId: ref(Vpc), ServiceName: str, EndpointType: enum(Gateway, Interface)?) kind create
+  doc "Creates an endpoint for the named service inside the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(arg(ServiceName) in ["storage", "database", "firewall", "k8s"]) else InvalidServiceName "unknown service name";
+    write(vpc, arg(VpcId));
+    write(service_name, arg(ServiceName));
+    if !is_null(arg(EndpointType)) {
+      write(endpoint_type, arg(EndpointType));
+    }
+    emit(State, read(state));
+  }
+  transition DeleteVpcEndpoint() kind destroy
+  doc "Deletes the endpoint." {
+    assert(read(state) == available) else IncorrectState "the endpoint is not available";
+  }
+  transition DescribeVpcEndpoint() kind describe
+  doc "Returns the attributes of the endpoint." {
+    emit(VpcId, read(vpc));
+    emit(ServiceName, read(service_name));
+    emit(EndpointType, read(endpoint_type));
+    emit(State, read(state));
+  }
+  transition ModifyVpcEndpoint(PrivateDnsEnabled: bool?) kind modify
+  doc "Modifies the endpoint. Private DNS requires an interface endpoint and VPC DNS support." {
+    if !is_null(arg(PrivateDnsEnabled)) {
+      assert(read(endpoint_type) == Interface || !arg(PrivateDnsEnabled)) else InvalidParameterValue "private DNS is only available for interface endpoints";
+      assert(field(read(vpc), enable_dns_support) || !arg(PrivateDnsEnabled)) else InvalidParameterValue "private DNS requires DNS support on the VPC";
+      write(private_dns_enabled, arg(PrivateDnsEnabled));
+    }
+  }
+}
+"#;

@@ -1,0 +1,424 @@
+//! Nimbus compute service, part 3: extended networking resources.
+//!
+//! Twelve state machines: VpcPeering, DhcpOptions, NetworkAcl, FlowLog,
+//! TransitGateway, TransitGatewayAttachment, CustomerGateway, VpnGateway,
+//! VpnConnection, EgressOnlyInternetGateway, PrefixList, CarrierGateway.
+
+/// DSL source for extended networking resources.
+pub const SRC: &str = r#"
+sm VpcPeering {
+  service "compute";
+  doc "A peering connection between two VPCs.";
+  id_param "VpcPeeringConnectionId";
+  states {
+    requester: ref(Vpc);
+    accepter: ref(Vpc);
+    status: enum(pending_acceptance, active, rejected, deleted) = pending_acceptance;
+  }
+  transition CreateVpcPeeringConnection(RequesterVpcId: ref(Vpc), AccepterVpcId: ref(Vpc)) kind create
+  doc "Requests a peering connection between two distinct VPCs." {
+    assert(exists(arg(RequesterVpcId))) else NotFound "the requester VPC does not exist";
+    assert(exists(arg(AccepterVpcId))) else NotFound "the accepter VPC does not exist";
+    assert(arg(RequesterVpcId) != arg(AccepterVpcId)) else InvalidParameterValue "a VPC cannot peer with itself";
+    assert(field(arg(RequesterVpcId), cidr) != field(arg(AccepterVpcId), cidr)) else InvalidParameterValue "peered VPCs may not have overlapping CIDR blocks";
+    write(requester, arg(RequesterVpcId));
+    write(accepter, arg(AccepterVpcId));
+    emit(Status, read(status));
+  }
+  transition DeleteVpcPeeringConnection() kind destroy
+  doc "Deletes the peering connection in any state." {
+  }
+  transition DescribeVpcPeeringConnection() kind describe
+  doc "Returns the attributes of the peering connection." {
+    emit(RequesterVpcId, read(requester));
+    emit(AccepterVpcId, read(accepter));
+    emit(Status, read(status));
+  }
+  transition AcceptVpcPeeringConnection() kind modify
+  doc "Accepts a pending peering request." {
+    assert(read(status) == pending_acceptance) else InvalidStateTransition "the peering connection is not pending acceptance";
+    write(status, active);
+    emit(Status, read(status));
+  }
+  transition RejectVpcPeeringConnection() kind modify
+  doc "Rejects a pending peering request." {
+    assert(read(status) == pending_acceptance) else InvalidStateTransition "the peering connection is not pending acceptance";
+    write(status, rejected);
+    emit(Status, read(status));
+  }
+}
+
+sm DhcpOptions {
+  service "compute";
+  doc "A set of DHCP configuration options for VPCs.";
+  id_param "DhcpOptionsId";
+  states {
+    domain_name: str = "internal";
+    ntp_servers: list(str);
+    associated_vpcs: list(ref(Vpc));
+  }
+  transition CreateDhcpOptions(DomainName: str?, NtpServer: str?) kind create
+  doc "Creates a DHCP options set." {
+    if !is_null(arg(DomainName)) {
+      write(domain_name, arg(DomainName));
+    }
+    if !is_null(arg(NtpServer)) {
+      write(ntp_servers, append(read(ntp_servers), arg(NtpServer)));
+    }
+  }
+  transition DeleteDhcpOptions() kind destroy
+  doc "Deletes the options set. It must not be associated with any VPC." {
+    assert(len(read(associated_vpcs)) == 0) else DependencyViolation "the options set is still associated with one or more VPCs";
+  }
+  transition DescribeDhcpOptions() kind describe
+  doc "Returns the attributes of the options set." {
+    emit(DomainName, read(domain_name));
+    emit(NtpServers, read(ntp_servers));
+  }
+  transition AssociateDhcpOptions(VpcId: ref(Vpc)) kind modify
+  doc "Associates the options set with a VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(!(arg(VpcId) in read(associated_vpcs))) else ResourceAlreadyAssociated "the VPC is already associated with this options set";
+    write(associated_vpcs, append(read(associated_vpcs), arg(VpcId)));
+  }
+  transition DisassociateDhcpOptions(VpcId: ref(Vpc)) kind modify
+  doc "Removes the association with a VPC." {
+    assert(arg(VpcId) in read(associated_vpcs)) else AssociationNotFound "the VPC is not associated with this options set";
+    write(associated_vpcs, remove(read(associated_vpcs), arg(VpcId)));
+  }
+}
+
+sm NetworkAcl {
+  service "compute";
+  doc "A stateless network access control list for subnets of a VPC.";
+  id_param "NetworkAclId";
+  parent Vpc via vpc;
+  states {
+    vpc: ref(Vpc);
+    entries: list(str);
+    is_default: bool = false;
+  }
+  transition CreateNetworkAcl(VpcId: ref(Vpc)) kind create
+  doc "Creates a network ACL in the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    write(vpc, arg(VpcId));
+  }
+  transition DeleteNetworkAcl() kind destroy
+  doc "Deletes the ACL. The default ACL cannot be deleted." {
+    assert(!read(is_default)) else InvalidParameterValue "the default network ACL cannot be deleted";
+  }
+  transition DescribeNetworkAcl() kind describe
+  doc "Returns the entries of the ACL." {
+    emit(VpcId, read(vpc));
+    emit(Entries, read(entries));
+  }
+  transition CreateNetworkAclEntry(Rule: str) kind modify
+  doc "Adds an entry. Duplicate rules are rejected." {
+    assert(!(arg(Rule) in read(entries))) else NetworkAclEntryAlreadyExists "an entry with this rule already exists";
+    write(entries, append(read(entries), arg(Rule)));
+  }
+  transition DeleteNetworkAclEntry(Rule: str) kind modify
+  doc "Removes an entry." {
+    assert(arg(Rule) in read(entries)) else NetworkAclEntryNotFound "no entry with this rule exists";
+    write(entries, remove(read(entries), arg(Rule)));
+  }
+}
+
+sm FlowLog {
+  service "compute";
+  doc "Captures IP traffic metadata for a VPC.";
+  id_param "FlowLogId";
+  states {
+    vpc: ref(Vpc);
+    traffic_type: enum(ACCEPT, REJECT, ALL) = ALL;
+    destination: str;
+    active: bool = true;
+  }
+  transition CreateFlowLog(VpcId: ref(Vpc), TrafficType: enum(ACCEPT, REJECT, ALL)?, LogDestination: str) kind create
+  doc "Creates a flow log for the VPC writing to the given destination." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(len(arg(LogDestination)) > 0) else MissingParameter "LogDestination must be non-empty";
+    write(vpc, arg(VpcId));
+    write(destination, arg(LogDestination));
+    if !is_null(arg(TrafficType)) {
+      write(traffic_type, arg(TrafficType));
+    }
+  }
+  transition DeleteFlowLog() kind destroy
+  doc "Deletes the flow log." {
+  }
+  transition DescribeFlowLog() kind describe
+  doc "Returns the attributes of the flow log." {
+    emit(VpcId, read(vpc));
+    emit(TrafficType, read(traffic_type));
+    emit(LogDestination, read(destination));
+    emit(Active, read(active));
+  }
+}
+
+sm TransitGateway {
+  service "compute";
+  doc "A regional hub interconnecting VPCs and on-premises networks.";
+  id_param "TransitGatewayId";
+  states {
+    state: enum(pending, available, deleting) = available;
+    amazon_side_asn: int = 64512;
+    dns_support: bool = true;
+    description: str = "";
+  }
+  transition CreateTransitGateway(Description: str?, AmazonSideAsn: int?) kind create
+  doc "Creates a transit gateway. The ASN must fall in the private range." {
+    if !is_null(arg(AmazonSideAsn)) {
+      assert(arg(AmazonSideAsn) >= 64512 && arg(AmazonSideAsn) <= 65534) else InvalidParameterValue "the ASN must be in the private range 64512-65534";
+      write(amazon_side_asn, arg(AmazonSideAsn));
+    }
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+    emit(State, read(state));
+  }
+  transition DeleteTransitGateway() kind destroy
+  doc "Deletes the transit gateway. All attachments must be deleted first." {
+    assert(child_count(TransitGatewayAttachment) == 0) else DependencyViolation "the transit gateway still has attachments";
+  }
+  transition DescribeTransitGateway() kind describe
+  doc "Returns the attributes of the transit gateway." {
+    emit(State, read(state));
+    emit(AmazonSideAsn, read(amazon_side_asn));
+    emit(DnsSupport, read(dns_support));
+  }
+  transition ModifyTransitGateway(DnsSupport: bool?, Description: str?) kind modify
+  doc "Modifies transit gateway options." {
+    if !is_null(arg(DnsSupport)) {
+      write(dns_support, arg(DnsSupport));
+    }
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+  }
+}
+
+sm TransitGatewayAttachment {
+  service "compute";
+  doc "An attachment binding a VPC to a transit gateway.";
+  id_param "TransitGatewayAttachmentId";
+  parent TransitGateway via tgw;
+  states {
+    tgw: ref(TransitGateway);
+    vpc: ref(Vpc);
+    state: enum(pending, available, deleting) = available;
+  }
+  transition CreateTransitGatewayAttachment(TransitGatewayId: ref(TransitGateway), VpcId: ref(Vpc)) kind create
+  doc "Attaches a VPC to the transit gateway." {
+    assert(exists(arg(TransitGatewayId))) else NotFound "the specified transit gateway does not exist";
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    write(tgw, arg(TransitGatewayId));
+    write(vpc, arg(VpcId));
+    emit(State, read(state));
+  }
+  transition DeleteTransitGatewayAttachment() kind destroy
+  doc "Deletes the attachment." {
+  }
+  transition DescribeTransitGatewayAttachment() kind describe
+  doc "Returns the attributes of the attachment." {
+    emit(TransitGatewayId, read(tgw));
+    emit(VpcId, read(vpc));
+    emit(State, read(state));
+  }
+}
+
+sm CustomerGateway {
+  service "compute";
+  doc "Metadata about an on-premises VPN endpoint.";
+  id_param "CustomerGatewayId";
+  states {
+    bgp_asn: int;
+    ip_address: str;
+    state: enum(pending, available, deleting) = available;
+  }
+  transition CreateCustomerGateway(BgpAsn: int, IpAddress: str) kind create
+  doc "Registers an on-premises gateway by ASN and public IP." {
+    assert(arg(BgpAsn) >= 1 && arg(BgpAsn) <= 65534) else InvalidParameterValue "the ASN must be between 1 and 65534";
+    assert(len(arg(IpAddress)) > 0) else MissingParameter "IpAddress must be non-empty";
+    write(bgp_asn, arg(BgpAsn));
+    write(ip_address, arg(IpAddress));
+    emit(State, read(state));
+  }
+  transition DeleteCustomerGateway() kind destroy
+  doc "Deletes the customer gateway." {
+  }
+  transition DescribeCustomerGateway() kind describe
+  doc "Returns the attributes of the customer gateway." {
+    emit(BgpAsn, read(bgp_asn));
+    emit(IpAddress, read(ip_address));
+    emit(State, read(state));
+  }
+}
+
+sm VpnGateway {
+  service "compute";
+  doc "The provider-side endpoint of a VPN connection.";
+  id_param "VpnGatewayId";
+  states {
+    vpc: ref(Vpc)?;
+    state: enum(pending, available, deleting) = available;
+  }
+  transition CreateVpnGateway() kind create
+  doc "Creates a VPN gateway in the detached state." {
+    emit(State, read(state));
+  }
+  transition DeleteVpnGateway() kind destroy
+  doc "Deletes the VPN gateway. It must be detached from any VPC." {
+    assert(is_null(read(vpc))) else DependencyViolation "the VPN gateway is still attached to a VPC";
+  }
+  transition DescribeVpnGateway() kind describe
+  doc "Returns the attachment state of the VPN gateway." {
+    emit(State, read(state));
+    emit(VpcId, read(vpc));
+  }
+  transition AttachVpnGateway(VpcId: ref(Vpc)) kind modify
+  doc "Attaches the VPN gateway to a VPC." {
+    assert(is_null(read(vpc))) else ResourceAlreadyAssociated "the VPN gateway is already attached";
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    call(arg(VpcId), NotifyGatewayAttached, []);
+    write(vpc, arg(VpcId));
+  }
+  transition DetachVpnGateway() kind modify
+  doc "Detaches the VPN gateway from its VPC." {
+    assert(!is_null(read(vpc))) else GatewayNotAttached "the VPN gateway is not attached";
+    call(read(vpc), NotifyGatewayDetached, []);
+    write(vpc, null);
+  }
+}
+
+sm VpnConnection {
+  service "compute";
+  doc "A site-to-site VPN between a VPN gateway and a customer gateway.";
+  id_param "VpnConnectionId";
+  states {
+    vpn_gateway: ref(VpnGateway);
+    customer_gateway: ref(CustomerGateway);
+    state: enum(pending, available, deleting) = available;
+    static_routes_only: bool = false;
+  }
+  transition CreateVpnConnection(VpnGatewayId: ref(VpnGateway), CustomerGatewayId: ref(CustomerGateway), StaticRoutesOnly: bool?) kind create
+  doc "Creates a VPN connection between the two gateways." {
+    assert(exists(arg(VpnGatewayId))) else NotFound "the specified VPN gateway does not exist";
+    assert(exists(arg(CustomerGatewayId))) else NotFound "the specified customer gateway does not exist";
+    write(vpn_gateway, arg(VpnGatewayId));
+    write(customer_gateway, arg(CustomerGatewayId));
+    if !is_null(arg(StaticRoutesOnly)) {
+      write(static_routes_only, arg(StaticRoutesOnly));
+    }
+    emit(State, read(state));
+  }
+  transition DeleteVpnConnection() kind destroy
+  doc "Deletes the VPN connection." {
+  }
+  transition DescribeVpnConnection() kind describe
+  doc "Returns the attributes of the VPN connection." {
+    emit(VpnGatewayId, read(vpn_gateway));
+    emit(CustomerGatewayId, read(customer_gateway));
+    emit(State, read(state));
+    emit(StaticRoutesOnly, read(static_routes_only));
+  }
+  transition ModifyVpnConnectionOptions(StaticRoutesOnly: bool) kind modify
+  doc "Modifies the routing options of the VPN connection." {
+    write(static_routes_only, arg(StaticRoutesOnly));
+  }
+}
+
+sm EgressOnlyInternetGateway {
+  service "compute";
+  doc "An IPv6-only gateway permitting outbound traffic from a VPC.";
+  id_param "EgressOnlyInternetGatewayId";
+  states {
+    vpc: ref(Vpc);
+    state: enum(attached, detached) = attached;
+  }
+  transition CreateEgressOnlyInternetGateway(VpcId: ref(Vpc)) kind create
+  doc "Creates an egress-only gateway attached to the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    call(arg(VpcId), NotifyGatewayAttached, []);
+    write(vpc, arg(VpcId));
+  }
+  transition DeleteEgressOnlyInternetGateway() kind destroy
+  doc "Deletes the gateway, detaching it from its VPC." {
+    call(read(vpc), NotifyGatewayDetached, []);
+  }
+  transition DescribeEgressOnlyInternetGateway() kind describe
+  doc "Returns the attributes of the gateway." {
+    emit(VpcId, read(vpc));
+    emit(State, read(state));
+  }
+}
+
+sm PrefixList {
+  service "compute";
+  doc "A named set of CIDR blocks referenced by security rules and routes.";
+  id_param "PrefixListId";
+  states {
+    name: str;
+    entries: list(str);
+    max_entries: int;
+    version: int = 1;
+  }
+  transition CreateManagedPrefixList(PrefixListName: str, MaxEntries: int) kind create
+  doc "Creates a managed prefix list with a fixed capacity." {
+    assert(len(arg(PrefixListName)) > 0) else MissingParameter "PrefixListName must be non-empty";
+    assert(arg(MaxEntries) >= 1 && arg(MaxEntries) <= 1000) else InvalidParameterValue "MaxEntries must be between 1 and 1000";
+    write(name, arg(PrefixListName));
+    write(max_entries, arg(MaxEntries));
+    emit(Version, read(version));
+  }
+  transition DeleteManagedPrefixList() kind destroy
+  doc "Deletes the prefix list." {
+  }
+  transition DescribeManagedPrefixList() kind describe
+  doc "Returns the entries of the prefix list." {
+    emit(Name, read(name));
+    emit(Entries, read(entries));
+    emit(MaxEntries, read(max_entries));
+    emit(Version, read(version));
+  }
+  transition ModifyManagedPrefixList(AddEntry: str?, RemoveEntry: str?) kind modify
+  doc "Adds or removes entries, bumping the version. Capacity is enforced." {
+    if !is_null(arg(AddEntry)) {
+      assert(len(read(entries)) < read(max_entries)) else PrefixListCapacityExceeded "the prefix list is full";
+      assert(!(arg(AddEntry) in read(entries))) else InvalidParameterValue "the entry already exists";
+      write(entries, append(read(entries), arg(AddEntry)));
+    }
+    if !is_null(arg(RemoveEntry)) {
+      assert(arg(RemoveEntry) in read(entries)) else InvalidParameterValue "the entry does not exist";
+      write(entries, remove(read(entries), arg(RemoveEntry)));
+    }
+    write(version, read(version) + 1);
+  }
+}
+
+sm CarrierGateway {
+  service "compute";
+  doc "A gateway routing traffic between a VPC and a carrier network.";
+  id_param "CarrierGatewayId";
+  states {
+    vpc: ref(Vpc);
+    state: enum(pending, available, deleting) = available;
+  }
+  transition CreateCarrierGateway(VpcId: ref(Vpc)) kind create
+  doc "Creates a carrier gateway for the VPC." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    call(arg(VpcId), NotifyGatewayAttached, []);
+    write(vpc, arg(VpcId));
+    emit(State, read(state));
+  }
+  transition DeleteCarrierGateway() kind destroy
+  doc "Deletes the carrier gateway." {
+    call(read(vpc), NotifyGatewayDetached, []);
+  }
+  transition DescribeCarrierGateway() kind describe
+  doc "Returns the attributes of the carrier gateway." {
+    emit(VpcId, read(vpc));
+    emit(State, read(state));
+  }
+}
+"#;

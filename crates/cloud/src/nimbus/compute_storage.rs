@@ -1,0 +1,265 @@
+//! Nimbus compute service, part 2: storage and launch resources.
+//!
+//! Six state machines: KeyPair, Volume, Snapshot, Image, LaunchTemplate,
+//! PlacementGroup.
+
+/// DSL source for storage and launch resources.
+pub const SRC: &str = r#"
+sm KeyPair {
+  service "compute";
+  doc "An SSH key pair used to log in to instances.";
+  id_param "KeyPairId";
+  states {
+    key_name: str;
+    fingerprint: str = "00:00";
+    key_type: enum(rsa, ed25519) = rsa;
+  }
+  transition CreateKeyPair(KeyName: str, KeyType: enum(rsa, ed25519)?) kind create
+  doc "Creates a key pair with the given name." {
+    assert(len(arg(KeyName)) > 0) else MissingParameter "KeyName must be non-empty";
+    write(key_name, arg(KeyName));
+    if !is_null(arg(KeyType)) {
+      write(key_type, arg(KeyType));
+    }
+    emit(KeyName, read(key_name));
+    emit(KeyFingerprint, read(fingerprint));
+  }
+  transition DeleteKeyPair() kind destroy
+  doc "Deletes the key pair." {
+  }
+  transition DescribeKeyPair() kind describe
+  doc "Returns the attributes of the key pair." {
+    emit(KeyName, read(key_name));
+    emit(KeyType, read(key_type));
+    emit(KeyFingerprint, read(fingerprint));
+  }
+  transition ImportKeyPairMaterial(PublicKeyMaterial: str) kind modify
+  doc "Replaces the public key material, refreshing the fingerprint." {
+    assert(len(arg(PublicKeyMaterial)) > 0) else InvalidParameterValue "public key material must be non-empty";
+    write(fingerprint, arg(PublicKeyMaterial));
+  }
+}
+
+sm Volume {
+  service "compute";
+  doc "A block storage volume attachable to one instance.";
+  id_param "VolumeId";
+  states {
+    size_gb: int;
+    zone: str;
+    volume_type: enum(gp2, gp3, io1) = gp3;
+    state: enum(creating, available, in_use, deleting) = available;
+    attached_instance: ref(Instance)?;
+    encrypted: bool = false;
+  }
+  transition CreateVolume(Size: int, Zone: str, VolumeType: enum(gp2, gp3, io1)?, Encrypted: bool?) kind create
+  doc "Creates a volume of the given size in an availability zone." {
+    assert(arg(Size) >= 1) else InvalidParameterValue "volume size must be at least 1 GiB";
+    assert(arg(Size) <= 16384) else InvalidParameterValue "volume size may not exceed 16384 GiB";
+    assert(arg(Zone) in ["us-east-1a", "us-east-1b", "us-west-1a", "us-west-1b"]) else InvalidParameterValue "unknown availability zone";
+    write(size_gb, arg(Size));
+    write(zone, arg(Zone));
+    if !is_null(arg(VolumeType)) {
+      write(volume_type, arg(VolumeType));
+    }
+    if !is_null(arg(Encrypted)) {
+      write(encrypted, arg(Encrypted));
+    }
+    emit(State, read(state));
+  }
+  transition DeleteVolume() kind destroy
+  doc "Deletes the volume. It must not be attached to an instance." {
+    assert(read(state) == available) else VolumeInUse "the volume is attached to an instance";
+  }
+  transition DescribeVolume() kind describe
+  doc "Returns the attributes of the volume." {
+    emit(Size, read(size_gb));
+    emit(Zone, read(zone));
+    emit(State, read(state));
+    emit(VolumeType, read(volume_type));
+    emit(Encrypted, read(encrypted));
+  }
+  transition AttachVolume(InstanceId: ref(Instance)) kind modify
+  doc "Attaches the volume to an instance in the same zone." {
+    assert(read(state) == available) else VolumeInUse "the volume is already attached";
+    assert(exists(arg(InstanceId))) else NotFound "the specified instance does not exist";
+    assert(field(field(arg(InstanceId), subnet), zone) == read(zone)) else InvalidParameterValue "the instance is in a different availability zone";
+    write(attached_instance, arg(InstanceId));
+    write(state, in_use);
+  }
+  transition DetachVolume() kind modify
+  doc "Detaches the volume from its instance." {
+    assert(read(state) == in_use) else IncorrectState "the volume is not attached";
+    write(attached_instance, null);
+    write(state, available);
+  }
+  transition ModifyVolume(Size: int?, VolumeType: enum(gp2, gp3, io1)?) kind modify
+  doc "Modifies the volume. The size can only grow." {
+    if !is_null(arg(Size)) {
+      assert(arg(Size) >= read(size_gb)) else InvalidParameterValue "volume size can only be increased";
+      assert(arg(Size) <= 16384) else InvalidParameterValue "volume size may not exceed 16384 GiB";
+      write(size_gb, arg(Size));
+    }
+    if !is_null(arg(VolumeType)) {
+      write(volume_type, arg(VolumeType));
+    }
+  }
+}
+
+sm Snapshot {
+  service "compute";
+  doc "A point-in-time copy of a volume.";
+  id_param "SnapshotId";
+  states {
+    volume: ref(Volume);
+    size_gb: int;
+    state: enum(pending, completed) = completed;
+    description: str = "";
+  }
+  transition CreateSnapshot(VolumeId: ref(Volume), Description: str?) kind create
+  doc "Creates a snapshot of the volume." {
+    assert(exists(arg(VolumeId))) else NotFound "the specified volume does not exist";
+    write(volume, arg(VolumeId));
+    write(size_gb, field(arg(VolumeId), size_gb));
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+    emit(State, read(state));
+  }
+  transition DeleteSnapshot() kind destroy
+  doc "Deletes the snapshot." {
+  }
+  transition DescribeSnapshot() kind describe
+  doc "Returns the attributes of the snapshot." {
+    emit(VolumeId, read(volume));
+    emit(Size, read(size_gb));
+    emit(State, read(state));
+  }
+  transition ModifySnapshotAttribute(Description: str) kind modify
+  doc "Updates the snapshot description." {
+    write(description, arg(Description));
+  }
+}
+
+sm Image {
+  service "compute";
+  doc "A machine image from which instances are launched.";
+  id_param "ImageId";
+  states {
+    name: str;
+    state: enum(pending, available, deregistered) = available;
+    architecture: enum(x86_64, arm64) = x86_64;
+    public: bool = false;
+    source_instance: ref(Instance)?;
+  }
+  transition RegisterImage(Name: str, Architecture: enum(x86_64, arm64)?) kind create
+  doc "Registers a new machine image." {
+    assert(len(arg(Name)) > 0) else MissingParameter "image name must be non-empty";
+    write(name, arg(Name));
+    if !is_null(arg(Architecture)) {
+      write(architecture, arg(Architecture));
+    }
+    emit(State, read(state));
+  }
+  transition DeregisterImage() kind destroy
+  doc "Deregisters the image. Instances already launched from it are unaffected." {
+    assert(read(state) == available) else IncorrectState "the image is not available";
+  }
+  transition DescribeImage() kind describe
+  doc "Returns the attributes of the image." {
+    emit(Name, read(name));
+    emit(State, read(state));
+    emit(Architecture, read(architecture));
+    emit(Public, read(public));
+  }
+  transition ModifyImageAttribute(Public: bool?) kind modify
+  doc "Modifies the launch permissions of the image." {
+    if !is_null(arg(Public)) {
+      write(public, arg(Public));
+    }
+  }
+}
+
+sm LaunchTemplate {
+  service "compute";
+  doc "A reusable template of instance launch parameters.";
+  id_param "LaunchTemplateId";
+  states {
+    name: str;
+    instance_type: str = "t3.micro";
+    image: ref(Image)?;
+    version: int = 1;
+    default_version: int = 1;
+  }
+  transition CreateLaunchTemplate(LaunchTemplateName: str, InstanceType: str?, ImageId: ref(Image)?) kind create
+  doc "Creates a launch template at version 1." {
+    assert(len(arg(LaunchTemplateName)) > 0) else MissingParameter "template name must be non-empty";
+    write(name, arg(LaunchTemplateName));
+    if !is_null(arg(InstanceType)) {
+      assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterValue "unsupported instance type";
+      write(instance_type, arg(InstanceType));
+    }
+    if !is_null(arg(ImageId)) {
+      assert(exists(arg(ImageId))) else NotFound "the specified image does not exist";
+      write(image, arg(ImageId));
+    }
+    emit(Version, read(version));
+  }
+  transition DeleteLaunchTemplate() kind destroy
+  doc "Deletes the launch template and all its versions." {
+  }
+  transition DescribeLaunchTemplate() kind describe
+  doc "Returns the attributes of the launch template." {
+    emit(Name, read(name));
+    emit(InstanceType, read(instance_type));
+    emit(Version, read(version));
+    emit(DefaultVersion, read(default_version));
+  }
+  transition CreateLaunchTemplateVersion(InstanceType: str) kind modify
+  doc "Adds a new version of the template with an updated instance type." {
+    assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterValue "unsupported instance type";
+    write(instance_type, arg(InstanceType));
+    write(version, read(version) + 1);
+    emit(Version, read(version));
+  }
+  transition ModifyLaunchTemplate(DefaultVersion: int) kind modify
+  doc "Sets the default version of the template." {
+    assert(arg(DefaultVersion) >= 1) else InvalidParameterValue "version numbers start at 1";
+    assert(arg(DefaultVersion) <= read(version)) else InvalidLaunchTemplateVersion "the specified version does not exist";
+    write(default_version, arg(DefaultVersion));
+  }
+}
+
+sm PlacementGroup {
+  service "compute";
+  doc "A logical grouping controlling instance placement strategy.";
+  id_param "PlacementGroupId";
+  states {
+    name: str;
+    strategy: enum(cluster, spread, partition) = cluster;
+    partition_count: int = 0;
+  }
+  transition CreatePlacementGroup(GroupName: str, Strategy: enum(cluster, spread, partition)?, PartitionCount: int?) kind create
+  doc "Creates a placement group. Partition count applies only to partition strategy." {
+    assert(len(arg(GroupName)) > 0) else MissingParameter "group name must be non-empty";
+    write(name, arg(GroupName));
+    if !is_null(arg(Strategy)) {
+      write(strategy, arg(Strategy));
+    }
+    if !is_null(arg(PartitionCount)) {
+      assert(read(strategy) == partition) else InvalidParameterValue "partition count applies only to partition placement groups";
+      assert(arg(PartitionCount) >= 1 && arg(PartitionCount) <= 7) else InvalidParameterValue "partition count must be between 1 and 7";
+      write(partition_count, arg(PartitionCount));
+    }
+  }
+  transition DeletePlacementGroup() kind destroy
+  doc "Deletes the placement group." {
+  }
+  transition DescribePlacementGroup() kind describe
+  doc "Returns the attributes of the placement group." {
+    emit(Name, read(name));
+    emit(Strategy, read(strategy));
+    emit(PartitionCount, read(partition_count));
+  }
+}
+"#;

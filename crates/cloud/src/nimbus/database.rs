@@ -1,0 +1,324 @@
+//! Nimbus database service (DynamoDB-like).
+//!
+//! Seven state machines, matching the paper's generated spec size for the
+//! database service ("7 for DynamoDB").
+
+/// DSL source for the database service.
+pub const SRC: &str = r#"
+sm Table {
+  service "database";
+  doc "A serverless key-value table with configurable throughput.";
+  id_param "TableName";
+  states {
+    name: str;
+    status: enum(CREATING, ACTIVE, UPDATING, DELETING) = ACTIVE;
+    billing_mode: enum(PROVISIONED, PAY_PER_REQUEST) = PROVISIONED;
+    read_capacity: int = 5;
+    write_capacity: int = 5;
+    ttl_enabled: bool = false;
+    ttl_attribute: str?;
+    deletion_protection: bool = false;
+    stream_enabled: bool = false;
+    tags: list(str);
+  }
+  transition CreateTable(Name: str, BillingMode: enum(PROVISIONED, PAY_PER_REQUEST)?, ReadCapacity: int?, WriteCapacity: int?) kind create
+  doc "Creates a table. Provisioned tables need positive read and write capacity." {
+    assert(len(arg(Name)) >= 3) else ValidationException "table names must be at least 3 characters";
+    write(name, arg(Name));
+    if !is_null(arg(BillingMode)) {
+      write(billing_mode, arg(BillingMode));
+    }
+    if read(billing_mode) == PROVISIONED {
+      if !is_null(arg(ReadCapacity)) {
+        assert(arg(ReadCapacity) >= 1) else ValidationException "read capacity must be at least 1";
+        write(read_capacity, arg(ReadCapacity));
+      }
+      if !is_null(arg(WriteCapacity)) {
+        assert(arg(WriteCapacity) >= 1) else ValidationException "write capacity must be at least 1";
+        write(write_capacity, arg(WriteCapacity));
+      }
+    } else {
+      write(read_capacity, 0);
+      write(write_capacity, 0);
+    }
+    emit(TableStatus, read(status));
+  }
+  transition DeleteTable() kind destroy
+  doc "Deletes the table. Deletion protection must be disabled and no indexes may remain." {
+    assert(!read(deletion_protection)) else ValidationException "the table has deletion protection enabled";
+    assert(child_count(GlobalSecondaryIndex) == 0) else ResourceInUseException "the table still has global secondary indexes";
+  }
+  transition DescribeTable() kind describe
+  doc "Returns the configuration of the table." {
+    emit(Name, read(name));
+    emit(TableStatus, read(status));
+    emit(BillingMode, read(billing_mode));
+    emit(ReadCapacity, read(read_capacity));
+    emit(WriteCapacity, read(write_capacity));
+    emit(DeletionProtection, read(deletion_protection));
+  }
+  transition UpdateTable(BillingMode: enum(PROVISIONED, PAY_PER_REQUEST)?, ReadCapacity: int?, WriteCapacity: int?, DeletionProtection: bool?) kind modify
+  doc "Updates billing mode, capacity or deletion protection." {
+    if !is_null(arg(BillingMode)) {
+      write(billing_mode, arg(BillingMode));
+    }
+    if !is_null(arg(ReadCapacity)) {
+      assert(read(billing_mode) == PROVISIONED) else ValidationException "capacity applies only to provisioned tables";
+      assert(arg(ReadCapacity) >= 1) else ValidationException "read capacity must be at least 1";
+      write(read_capacity, arg(ReadCapacity));
+    }
+    if !is_null(arg(WriteCapacity)) {
+      assert(read(billing_mode) == PROVISIONED) else ValidationException "capacity applies only to provisioned tables";
+      assert(arg(WriteCapacity) >= 1) else ValidationException "write capacity must be at least 1";
+      write(write_capacity, arg(WriteCapacity));
+    }
+    if !is_null(arg(DeletionProtection)) {
+      write(deletion_protection, arg(DeletionProtection));
+    }
+  }
+  transition UpdateTimeToLive(Enabled: bool, AttributeName: str?) kind modify
+  doc "Enables or disables TTL expiry. Enabling requires an attribute name." {
+    if arg(Enabled) {
+      assert(!is_null(arg(AttributeName))) else ValidationException "enabling TTL requires an attribute name";
+      write(ttl_attribute, arg(AttributeName));
+    } else {
+      write(ttl_attribute, null);
+    }
+    write(ttl_enabled, arg(Enabled));
+  }
+  transition UpdateStreamSpecification(StreamEnabled: bool) kind modify
+  doc "Enables or disables the change stream. Re-enabling an enabled stream is rejected." {
+    assert(read(stream_enabled) != arg(StreamEnabled)) else ValidationException "the stream is already in the requested state";
+    write(stream_enabled, arg(StreamEnabled));
+  }
+  transition TagTable(Tag: str) kind modify
+  doc "Adds a tag to the table." {
+    assert(!(arg(Tag) in read(tags))) else ValidationException "the tag already exists";
+    write(tags, append(read(tags), arg(Tag)));
+  }
+  transition UntagTable(Tag: str) kind modify
+  doc "Removes a tag from the table." {
+    assert(arg(Tag) in read(tags)) else ValidationException "the tag does not exist";
+    write(tags, remove(read(tags), arg(Tag)));
+  }
+}
+
+sm GlobalSecondaryIndex {
+  service "database";
+  doc "An alternate-key index maintained alongside a table.";
+  id_param "IndexName";
+  parent Table via table;
+  states {
+    table: ref(Table);
+    name: str;
+    key_attribute: str;
+    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+    projection: enum(ALL, KEYS_ONLY, INCLUDE) = ALL;
+  }
+  transition CreateGlobalSecondaryIndex(TableName: ref(Table), IndexName2: str, KeyAttribute: str) kind create
+  doc "Creates a global secondary index on the table." {
+    assert(exists(arg(TableName))) else ResourceNotFoundException "the specified table does not exist";
+    assert(len(arg(IndexName2)) >= 3) else ValidationException "index names must be at least 3 characters";
+    write(table, arg(TableName));
+    write(name, arg(IndexName2));
+    write(key_attribute, arg(KeyAttribute));
+    emit(IndexStatus, read(status));
+  }
+  transition DeleteGlobalSecondaryIndex() kind destroy
+  doc "Deletes the index." {
+  }
+  transition DescribeGlobalSecondaryIndex() kind describe
+  doc "Returns the configuration of the index." {
+    emit(TableName, read(table));
+    emit(Name, read(name));
+    emit(KeyAttribute, read(key_attribute));
+    emit(IndexStatus, read(status));
+    emit(Projection, read(projection));
+  }
+  transition UpdateGlobalSecondaryIndex(Projection: enum(ALL, KEYS_ONLY, INCLUDE)) kind modify
+  doc "Changes the attribute projection of the index." {
+    write(projection, arg(Projection));
+  }
+}
+
+sm Backup {
+  service "database";
+  doc "An on-demand backup of a table.";
+  id_param "BackupId";
+  states {
+    table: ref(Table);
+    name: str;
+    status: enum(CREATING, AVAILABLE, DELETED) = AVAILABLE;
+    size_bytes: int = 0;
+  }
+  transition CreateBackup(TableName: ref(Table), BackupName: str) kind create
+  doc "Creates a backup of the table." {
+    assert(exists(arg(TableName))) else ResourceNotFoundException "the specified table does not exist";
+    assert(len(arg(BackupName)) > 0) else ValidationException "BackupName must be non-empty";
+    write(table, arg(TableName));
+    write(name, arg(BackupName));
+    emit(BackupStatus, read(status));
+  }
+  transition DeleteBackup() kind destroy
+  doc "Deletes the backup." {
+    assert(read(status) == AVAILABLE) else BackupInUseException "the backup is not available";
+  }
+  transition DescribeBackup() kind describe
+  doc "Returns the attributes of the backup." {
+    emit(TableName, read(table));
+    emit(Name, read(name));
+    emit(BackupStatus, read(status));
+    emit(SizeBytes, read(size_bytes));
+  }
+}
+
+sm GlobalTable {
+  service "database";
+  doc "A table replicated across multiple regions.";
+  id_param "GlobalTableName";
+  states {
+    source_table: ref(Table);
+    replica_regions: list(str);
+    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+  }
+  transition CreateGlobalTable(SourceTableName: ref(Table), ReplicaRegion: str) kind create
+  doc "Promotes a table to a global table with an initial replica region." {
+    assert(exists(arg(SourceTableName))) else ResourceNotFoundException "the specified table does not exist";
+    assert(arg(ReplicaRegion) in ["us-east", "us-west", "eu-central"]) else ValidationException "unknown replica region";
+    write(source_table, arg(SourceTableName));
+    write(replica_regions, append(read(replica_regions), arg(ReplicaRegion)));
+    emit(GlobalTableStatus, read(status));
+  }
+  transition DeleteGlobalTable() kind destroy
+  doc "Deletes the global table configuration. Replicas must be removed first." {
+    assert(len(read(replica_regions)) == 0) else ValidationException "all replica regions must be removed before deletion";
+  }
+  transition DescribeGlobalTable() kind describe
+  doc "Returns the replica configuration." {
+    emit(SourceTableName, read(source_table));
+    emit(ReplicaRegions, read(replica_regions));
+    emit(GlobalTableStatus, read(status));
+  }
+  transition UpdateGlobalTable(AddRegion: str?, RemoveRegion: str?) kind modify
+  doc "Adds or removes replica regions." {
+    if !is_null(arg(AddRegion)) {
+      assert(arg(AddRegion) in ["us-east", "us-west", "eu-central"]) else ValidationException "unknown replica region";
+      assert(!(arg(AddRegion) in read(replica_regions))) else ValidationException "the region is already a replica";
+      write(replica_regions, append(read(replica_regions), arg(AddRegion)));
+    }
+    if !is_null(arg(RemoveRegion)) {
+      assert(arg(RemoveRegion) in read(replica_regions)) else ValidationException "the region is not a replica";
+      write(replica_regions, remove(read(replica_regions), arg(RemoveRegion)));
+    }
+  }
+}
+
+sm ExportJob {
+  service "database";
+  doc "An asynchronous export of table data to object storage.";
+  id_param "ExportJobId";
+  states {
+    table: ref(Table);
+    destination: str;
+    format: enum(JSON, ION, PARQUET) = JSON;
+    status: enum(IN_PROGRESS, COMPLETED, FAILED) = IN_PROGRESS;
+  }
+  transition ExportTableToPointInTime(TableName: ref(Table), Destination: str, Format: enum(JSON, ION, PARQUET)?) kind create
+  doc "Starts an export job for the table." {
+    assert(exists(arg(TableName))) else ResourceNotFoundException "the specified table does not exist";
+    assert(len(arg(Destination)) > 0) else ValidationException "Destination must be non-empty";
+    write(table, arg(TableName));
+    write(destination, arg(Destination));
+    if !is_null(arg(Format)) {
+      write(format, arg(Format));
+    }
+    emit(ExportStatus, read(status));
+  }
+  transition DeleteExportJob() kind destroy
+  doc "Discards a finished export job record." {
+    assert(read(status) != IN_PROGRESS) else ValidationException "the export is still in progress";
+  }
+  transition DescribeExport() kind describe
+  doc "Returns the status of the export job." {
+    emit(TableName, read(table));
+    emit(Destination, read(destination));
+    emit(Format, read(format));
+    emit(ExportStatus, read(status));
+  }
+  transition CompleteExport() kind modify
+  doc "Marks the export as completed." {
+    assert(read(status) == IN_PROGRESS) else ValidationException "the export already finished";
+    write(status, COMPLETED);
+  }
+}
+
+sm ImportJob {
+  service "database";
+  doc "An asynchronous import of data into a new table.";
+  id_param "ImportJobId";
+  states {
+    source: str;
+    target_table: ref(Table)?;
+    format: enum(CSV, JSON, ION) = CSV;
+    status: enum(IN_PROGRESS, COMPLETED, FAILED, CANCELLED) = IN_PROGRESS;
+  }
+  transition ImportTable(Source: str, Format: enum(CSV, JSON, ION)?) kind create
+  doc "Starts an import job from the given source." {
+    assert(len(arg(Source)) > 0) else ValidationException "Source must be non-empty";
+    write(source, arg(Source));
+    if !is_null(arg(Format)) {
+      write(format, arg(Format));
+    }
+    emit(ImportStatus, read(status));
+  }
+  transition DeleteImportJob() kind destroy
+  doc "Discards a finished import job record." {
+    assert(read(status) != IN_PROGRESS) else ValidationException "the import is still in progress";
+  }
+  transition DescribeImport() kind describe
+  doc "Returns the status of the import job." {
+    emit(Source, read(source));
+    emit(Format, read(format));
+    emit(ImportStatus, read(status));
+  }
+  transition CancelImport() kind modify
+  doc "Cancels an in-progress import." {
+    assert(read(status) == IN_PROGRESS) else ValidationException "only in-progress imports can be cancelled";
+    write(status, CANCELLED);
+  }
+}
+
+sm ContributorInsights {
+  service "database";
+  doc "Per-table access pattern analytics.";
+  id_param "ContributorInsightsId";
+  parent Table via table;
+  states {
+    table: ref(Table);
+    status: enum(ENABLING, ENABLED, DISABLING, DISABLED) = ENABLED;
+    mode: enum(ACCESSED_AND_THROTTLED, THROTTLED_ONLY) = ACCESSED_AND_THROTTLED;
+  }
+  transition CreateContributorInsights(TableName: ref(Table), Mode: enum(ACCESSED_AND_THROTTLED, THROTTLED_ONLY)?) kind create
+  doc "Enables contributor insights for the table." {
+    assert(exists(arg(TableName))) else ResourceNotFoundException "the specified table does not exist";
+    write(table, arg(TableName));
+    if !is_null(arg(Mode)) {
+      write(mode, arg(Mode));
+    }
+    emit(ContributorInsightsStatus, read(status));
+  }
+  transition DeleteContributorInsights() kind destroy
+  doc "Disables contributor insights for the table." {
+  }
+  transition DescribeContributorInsights() kind describe
+  doc "Returns the analytics configuration." {
+    emit(TableName, read(table));
+    emit(ContributorInsightsStatus, read(status));
+    emit(Mode, read(mode));
+  }
+  transition UpdateContributorInsights(Mode: enum(ACCESSED_AND_THROTTLED, THROTTLED_ONLY)) kind modify
+  doc "Changes the analytics mode." {
+    write(mode, arg(Mode));
+  }
+}
+"#;

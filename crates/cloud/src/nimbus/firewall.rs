@@ -1,0 +1,407 @@
+//! Nimbus network firewall service.
+//!
+//! Eight state machines and exactly **45 APIs** — mirroring the paper's
+//! headline coverage example (§5: "Whereas Moto only covers 11% APIs for
+//! Network Firewall […] our preliminary prototype captures all 45 API calls
+//! through automated generation").
+
+/// DSL source for the firewall service.
+pub const SRC: &str = r#"
+sm Firewall {
+  service "firewall";
+  doc "A stateful managed network firewall deployed into a VPC.";
+  id_param "FirewallId";
+  states {
+    vpc: ref(Vpc);
+    policy: ref(FirewallPolicy);
+    subnets: list(ref(Subnet));
+    description: str = "";
+    delete_protection: bool = false;
+    subnet_change_protection: bool = false;
+    status: enum(provisioning, ready, deleting) = ready;
+  }
+  transition CreateFirewall(VpcId: ref(Vpc), FirewallPolicyId: ref(FirewallPolicy), SubnetId: ref(Subnet), Description: str?) kind create
+  doc "Creates a firewall in the VPC bound to a policy and an initial subnet." {
+    assert(exists(arg(VpcId))) else NotFound "the specified VPC does not exist";
+    assert(exists(arg(FirewallPolicyId))) else NotFound "the specified firewall policy does not exist";
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    assert(field(arg(SubnetId), vpc) == arg(VpcId)) else InvalidParameterValue "the subnet belongs to a different VPC";
+    call(arg(FirewallPolicyId), NotifyPolicyAttached, []);
+    write(vpc, arg(VpcId));
+    write(policy, arg(FirewallPolicyId));
+    write(subnets, append(read(subnets), arg(SubnetId)));
+    if !is_null(arg(Description)) {
+      write(description, arg(Description));
+    }
+    emit(Status, read(status));
+  }
+  transition DeleteFirewall() kind destroy
+  doc "Deletes the firewall. Delete protection must be disabled." {
+    assert(!read(delete_protection)) else InvalidOperation "the firewall has delete protection enabled";
+    assert(child_count(LoggingConfiguration) == 0) else DependencyViolation "a logging configuration still references the firewall";
+    call(read(policy), NotifyPolicyDetached, []);
+  }
+  transition DescribeFirewall() kind describe
+  doc "Returns the configuration of the firewall." {
+    emit(VpcId, read(vpc));
+    emit(FirewallPolicyId, read(policy));
+    emit(Subnets, read(subnets));
+    emit(Status, read(status));
+    emit(DeleteProtection, read(delete_protection));
+  }
+  transition UpdateFirewallDescription(Description: str) kind modify
+  doc "Updates the firewall description." {
+    write(description, arg(Description));
+  }
+  transition UpdateFirewallDeleteProtection(DeleteProtection: bool) kind modify
+  doc "Enables or disables delete protection." {
+    write(delete_protection, arg(DeleteProtection));
+  }
+  transition UpdateSubnetChangeProtection(SubnetChangeProtection: bool) kind modify
+  doc "Enables or disables subnet change protection." {
+    write(subnet_change_protection, arg(SubnetChangeProtection));
+  }
+  transition AssociateSubnets(SubnetId: ref(Subnet)) kind modify
+  doc "Adds a subnet to the firewall. Subnet change protection must be off." {
+    assert(!read(subnet_change_protection)) else InvalidOperation "subnet change protection is enabled";
+    assert(exists(arg(SubnetId))) else NotFound "the specified subnet does not exist";
+    assert(field(arg(SubnetId), vpc) == read(vpc)) else InvalidParameterValue "the subnet belongs to a different VPC";
+    assert(!(arg(SubnetId) in read(subnets))) else ResourceAlreadyAssociated "the subnet is already associated";
+    write(subnets, append(read(subnets), arg(SubnetId)));
+  }
+  transition DisassociateSubnets(SubnetId: ref(Subnet)) kind modify
+  doc "Removes a subnet from the firewall. At least one subnet must remain." {
+    assert(!read(subnet_change_protection)) else InvalidOperation "subnet change protection is enabled";
+    assert(arg(SubnetId) in read(subnets)) else AssociationNotFound "the subnet is not associated with the firewall";
+    assert(len(read(subnets)) > 1) else InvalidOperation "a firewall must keep at least one subnet";
+    write(subnets, remove(read(subnets), arg(SubnetId)));
+  }
+  transition AssociateFirewallPolicy(FirewallPolicyId: ref(FirewallPolicy)) kind modify
+  doc "Replaces the policy bound to the firewall." {
+    assert(exists(arg(FirewallPolicyId))) else NotFound "the specified firewall policy does not exist";
+    call(read(policy), NotifyPolicyDetached, []);
+    call(arg(FirewallPolicyId), NotifyPolicyAttached, []);
+    write(policy, arg(FirewallPolicyId));
+  }
+  transition DescribeFirewallPolicyAssociation() kind describe
+  doc "Returns the policy currently bound to the firewall." {
+    emit(FirewallPolicyId, read(policy));
+  }
+}
+
+sm FirewallPolicy {
+  service "firewall";
+  doc "An ordered collection of rule groups applied by firewalls.";
+  id_param "FirewallPolicyId";
+  states {
+    name: str;
+    rule_groups: list(ref(RuleGroup));
+    stateless_default_action: enum(pass, drop, forward) = forward;
+    change_protection: bool = false;
+    attached_firewalls: int = 0;
+    description: str = "";
+  }
+  transition CreateFirewallPolicy(PolicyName: str, StatelessDefaultAction: enum(pass, drop, forward)?) kind create
+  doc "Creates a firewall policy." {
+    assert(len(arg(PolicyName)) > 0) else MissingParameter "PolicyName must be non-empty";
+    write(name, arg(PolicyName));
+    if !is_null(arg(StatelessDefaultAction)) {
+      write(stateless_default_action, arg(StatelessDefaultAction));
+    }
+  }
+  transition DeleteFirewallPolicy() kind destroy
+  doc "Deletes the policy. No firewall may still reference it." {
+    assert(read(attached_firewalls) == 0) else InUseException "the policy is still attached to one or more firewalls";
+  }
+  transition DescribeFirewallPolicy() kind describe
+  doc "Returns the configuration of the policy." {
+    emit(Name, read(name));
+    emit(RuleGroups, read(rule_groups));
+    emit(StatelessDefaultAction, read(stateless_default_action));
+  }
+  transition UpdateFirewallPolicy(AddRuleGroupId: ref(RuleGroup)?, RemoveRuleGroupId: ref(RuleGroup)?) kind modify
+  doc "Adds or removes rule groups. Change protection must be off." {
+    assert(!read(change_protection)) else InvalidOperation "policy change protection is enabled";
+    if !is_null(arg(AddRuleGroupId)) {
+      assert(exists(arg(AddRuleGroupId))) else NotFound "the specified rule group does not exist";
+      assert(!(arg(AddRuleGroupId) in read(rule_groups))) else ResourceAlreadyAssociated "the rule group is already in the policy";
+      call(arg(AddRuleGroupId), NotifyGroupReferenced, []);
+      write(rule_groups, append(read(rule_groups), arg(AddRuleGroupId)));
+    }
+    if !is_null(arg(RemoveRuleGroupId)) {
+      assert(arg(RemoveRuleGroupId) in read(rule_groups)) else AssociationNotFound "the rule group is not in the policy";
+      call(arg(RemoveRuleGroupId), NotifyGroupDereferenced, []);
+      write(rule_groups, remove(read(rule_groups), arg(RemoveRuleGroupId)));
+    }
+  }
+  transition UpdateFirewallPolicyChangeProtection(ChangeProtection: bool) kind modify
+  doc "Enables or disables policy change protection." {
+    write(change_protection, arg(ChangeProtection));
+  }
+  transition DescribeFirewallPolicyMetadata() kind describe
+  doc "Returns summary metadata about the policy." {
+    emit(Name, read(name));
+    emit(Description, read(description));
+    emit(AttachedFirewalls, read(attached_firewalls));
+  }
+  transition NotifyPolicyAttached() kind modify internal
+  doc "Internal bookkeeping: a firewall started referencing this policy." {
+    write(attached_firewalls, read(attached_firewalls) + 1);
+  }
+  transition NotifyPolicyDetached() kind modify internal
+  doc "Internal bookkeeping: a firewall stopped referencing this policy." {
+    write(attached_firewalls, read(attached_firewalls) - 1);
+  }
+}
+
+sm RuleGroup {
+  service "firewall";
+  doc "A reusable set of stateless or stateful traffic rules.";
+  id_param "RuleGroupId";
+  states {
+    name: str;
+    rule_type: enum(STATELESS, STATEFUL) = STATEFUL;
+    capacity: int;
+    rules: list(str);
+    change_protection: bool = false;
+    references: int = 0;
+  }
+  transition CreateRuleGroup(GroupName: str, Type: enum(STATELESS, STATEFUL), Capacity: int) kind create
+  doc "Creates a rule group with a fixed rule capacity." {
+    assert(len(arg(GroupName)) > 0) else MissingParameter "GroupName must be non-empty";
+    assert(arg(Capacity) >= 1 && arg(Capacity) <= 30000) else InvalidParameterValue "capacity must be between 1 and 30000";
+    write(name, arg(GroupName));
+    write(rule_type, arg(Type));
+    write(capacity, arg(Capacity));
+  }
+  transition DeleteRuleGroup() kind destroy
+  doc "Deletes the rule group. No policy may still reference it." {
+    assert(read(references) == 0) else InUseException "the rule group is still referenced by one or more policies";
+  }
+  transition DescribeRuleGroup() kind describe
+  doc "Returns the rules of the group." {
+    emit(Name, read(name));
+    emit(Type, read(rule_type));
+    emit(Capacity, read(capacity));
+    emit(Rules, read(rules));
+  }
+  transition UpdateRuleGroup(AddRule: str?, RemoveRule: str?) kind modify
+  doc "Adds or removes rules within the capacity limit." {
+    assert(!read(change_protection)) else InvalidOperation "rule group change protection is enabled";
+    if !is_null(arg(AddRule)) {
+      assert(len(read(rules)) < read(capacity)) else LimitExceededException "the rule group is at capacity";
+      assert(!(arg(AddRule) in read(rules))) else InvalidParameterValue "the rule already exists";
+      write(rules, append(read(rules), arg(AddRule)));
+    }
+    if !is_null(arg(RemoveRule)) {
+      assert(arg(RemoveRule) in read(rules)) else InvalidParameterValue "the rule does not exist";
+      write(rules, remove(read(rules), arg(RemoveRule)));
+    }
+  }
+  transition UpdateRuleGroupChangeProtection(ChangeProtection: bool) kind modify
+  doc "Enables or disables rule group change protection." {
+    write(change_protection, arg(ChangeProtection));
+  }
+  transition AnalyzeRuleGroup() kind describe
+  doc "Returns an analysis summary of the rule group." {
+    emit(RuleCount, len(read(rules)));
+    emit(CapacityRemaining, read(capacity) - len(read(rules)));
+  }
+  transition DescribeRuleGroupMetadata() kind describe
+  doc "Returns summary metadata about the rule group." {
+    emit(Name, read(name));
+    emit(Type, read(rule_type));
+    emit(References, read(references));
+  }
+  transition NotifyGroupReferenced() kind modify internal
+  doc "Internal bookkeeping: a policy started referencing this group." {
+    write(references, read(references) + 1);
+  }
+  transition NotifyGroupDereferenced() kind modify internal
+  doc "Internal bookkeeping: a policy stopped referencing this group." {
+    write(references, read(references) - 1);
+  }
+}
+
+sm LoggingConfiguration {
+  service "firewall";
+  doc "Destination configuration for firewall flow and alert logs.";
+  id_param "LoggingConfigurationId";
+  parent Firewall via firewall;
+  states {
+    firewall: ref(Firewall);
+    log_type: enum(FLOW, ALERT, TLS) = FLOW;
+    destination: str;
+  }
+  transition CreateLoggingConfiguration(FirewallId: ref(Firewall), LogType: enum(FLOW, ALERT, TLS), LogDestination: str) kind create
+  doc "Creates a logging configuration for the firewall." {
+    assert(exists(arg(FirewallId))) else NotFound "the specified firewall does not exist";
+    assert(len(arg(LogDestination)) > 0) else MissingParameter "LogDestination must be non-empty";
+    write(firewall, arg(FirewallId));
+    write(log_type, arg(LogType));
+    write(destination, arg(LogDestination));
+  }
+  transition DeleteLoggingConfiguration() kind destroy
+  doc "Deletes the logging configuration." {
+  }
+  transition DescribeLoggingConfiguration() kind describe
+  doc "Returns the logging configuration." {
+    emit(FirewallId, read(firewall));
+    emit(LogType, read(log_type));
+    emit(LogDestination, read(destination));
+  }
+  transition UpdateLoggingConfiguration(LogDestination: str) kind modify
+  doc "Changes the log destination." {
+    assert(len(arg(LogDestination)) > 0) else MissingParameter "LogDestination must be non-empty";
+    write(destination, arg(LogDestination));
+  }
+}
+
+sm TlsInspectionConfiguration {
+  service "firewall";
+  doc "TLS decryption settings referenced by firewall policies.";
+  id_param "TlsInspectionConfigurationId";
+  states {
+    name: str;
+    certificate: str;
+    scope: enum(INGRESS, EGRESS, BOTH) = BOTH;
+    revoked_action: enum(PASS, DROP, REJECT) = REJECT;
+  }
+  transition CreateTlsInspectionConfiguration(Name: str, Certificate: str, Scope: enum(INGRESS, EGRESS, BOTH)?) kind create
+  doc "Creates a TLS inspection configuration with a server certificate." {
+    assert(len(arg(Name)) > 0) else MissingParameter "Name must be non-empty";
+    assert(len(arg(Certificate)) > 0) else MissingParameter "Certificate must be non-empty";
+    write(name, arg(Name));
+    write(certificate, arg(Certificate));
+    if !is_null(arg(Scope)) {
+      write(scope, arg(Scope));
+    }
+  }
+  transition DeleteTlsInspectionConfiguration() kind destroy
+  doc "Deletes the TLS inspection configuration." {
+  }
+  transition DescribeTlsInspectionConfiguration() kind describe
+  doc "Returns the TLS inspection configuration." {
+    emit(Name, read(name));
+    emit(Scope, read(scope));
+    emit(RevokedAction, read(revoked_action));
+  }
+  transition UpdateTlsInspectionConfiguration(Certificate: str?, RevokedAction: enum(PASS, DROP, REJECT)?) kind modify
+  doc "Updates the certificate or the action on revoked certificates." {
+    if !is_null(arg(Certificate)) {
+      assert(len(arg(Certificate)) > 0) else MissingParameter "Certificate must be non-empty";
+      write(certificate, arg(Certificate));
+    }
+    if !is_null(arg(RevokedAction)) {
+      write(revoked_action, arg(RevokedAction));
+    }
+  }
+  transition DescribeTlsCertificates() kind describe
+  doc "Returns the certificates in use." {
+    emit(Certificate, read(certificate));
+  }
+}
+
+sm ResourcePolicy {
+  service "firewall";
+  doc "A sharing policy attached to a firewall policy or rule group.";
+  id_param "ResourcePolicyId";
+  states {
+    target: str;
+    policy_document: str;
+    scope: enum(ACCOUNT, ORGANIZATION) = ACCOUNT;
+  }
+  transition PutResourcePolicy(TargetArn: str, PolicyDocument: str) kind create
+  doc "Attaches a sharing policy to the target resource." {
+    assert(len(arg(TargetArn)) > 0) else MissingParameter "TargetArn must be non-empty";
+    assert(len(arg(PolicyDocument)) > 0) else MissingParameter "PolicyDocument must be non-empty";
+    write(target, arg(TargetArn));
+    write(policy_document, arg(PolicyDocument));
+  }
+  transition DeleteResourcePolicy() kind destroy
+  doc "Deletes the sharing policy." {
+  }
+  transition DescribeResourcePolicy() kind describe
+  doc "Returns the sharing policy document." {
+    emit(TargetArn, read(target));
+    emit(PolicyDocument, read(policy_document));
+    emit(Scope, read(scope));
+  }
+  transition UpdateResourcePolicyScope(Scope: enum(ACCOUNT, ORGANIZATION)) kind modify
+  doc "Changes the sharing scope of the policy." {
+    write(scope, arg(Scope));
+  }
+}
+
+sm VpcEndpointAssociation {
+  service "firewall";
+  doc "An association exposing the firewall through a VPC endpoint.";
+  id_param "VpcEndpointAssociationId";
+  states {
+    firewall: ref(Firewall);
+    endpoint: ref(VpcEndpoint);
+    status: enum(creating, active, deleting) = active;
+  }
+  transition CreateVpcEndpointAssociation(FirewallId: ref(Firewall), VpcEndpointId: ref(VpcEndpoint)) kind create
+  doc "Associates a VPC endpoint with the firewall." {
+    assert(exists(arg(FirewallId))) else NotFound "the specified firewall does not exist";
+    assert(exists(arg(VpcEndpointId))) else NotFound "the specified VPC endpoint does not exist";
+    write(firewall, arg(FirewallId));
+    write(endpoint, arg(VpcEndpointId));
+    emit(Status, read(status));
+  }
+  transition DeleteVpcEndpointAssociation() kind destroy
+  doc "Deletes the association." {
+  }
+  transition DescribeVpcEndpointAssociation() kind describe
+  doc "Returns the attributes of the association." {
+    emit(FirewallId, read(firewall));
+    emit(VpcEndpointId, read(endpoint));
+    emit(Status, read(status));
+  }
+  transition DescribeVpcEndpointAssociationStatus() kind describe
+  doc "Returns only the status of the association." {
+    emit(Status, read(status));
+  }
+}
+
+sm FlowOperation {
+  service "firewall";
+  doc "A capture or flush operation over the firewall's flow table.";
+  id_param "FlowOperationId";
+  states {
+    firewall: ref(Firewall);
+    operation_type: enum(CAPTURE, FLUSH) = CAPTURE;
+    status: enum(RUNNING, COMPLETED, FAILED) = RUNNING;
+    captured_flows: int = 0;
+  }
+  transition StartFlowCapture(FirewallId: ref(Firewall)) kind create
+  doc "Starts a flow capture operation on the firewall." {
+    assert(exists(arg(FirewallId))) else NotFound "the specified firewall does not exist";
+    write(firewall, arg(FirewallId));
+    emit(Status, read(status));
+  }
+  transition DeleteFlowOperation() kind destroy
+  doc "Discards a finished flow operation record." {
+    assert(read(status) != RUNNING) else InvalidOperation "the flow operation is still running";
+  }
+  transition DescribeFlowOperation() kind describe
+  doc "Returns the status of the flow operation." {
+    emit(FirewallId, read(firewall));
+    emit(OperationType, read(operation_type));
+    emit(Status, read(status));
+  }
+  transition CompleteFlowOperation(CapturedFlows: int) kind modify
+  doc "Marks the operation as completed with the number of captured flows." {
+    assert(read(status) == RUNNING) else InvalidOperation "the flow operation already finished";
+    assert(arg(CapturedFlows) >= 0) else InvalidParameterValue "captured flow count cannot be negative";
+    write(status, COMPLETED);
+    write(captured_flows, arg(CapturedFlows));
+  }
+  transition DescribeFlowOperationResults() kind describe
+  doc "Returns the results of a completed flow operation." {
+    emit(Status, read(status));
+    emit(CapturedFlows, read(captured_flows));
+  }
+}
+"#;

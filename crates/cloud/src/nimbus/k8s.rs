@@ -1,0 +1,289 @@
+//! Nimbus managed Kubernetes service (EKS-like).
+//!
+//! Six state machines. Appears in the Table 1 coverage experiment (the
+//! manual baseline covers ~26% of its APIs).
+
+/// DSL source for the k8s service.
+pub const SRC: &str = r#"
+sm Cluster {
+  service "k8s";
+  doc "A managed Kubernetes control plane.";
+  id_param "ClusterName";
+  states {
+    name: str;
+    version: str = "1.29";
+    status: enum(CREATING, ACTIVE, UPDATING, DELETING, FAILED) = ACTIVE;
+    subnet: ref(Subnet);
+    endpoint_public_access: bool = true;
+    endpoint_private_access: bool = false;
+    logging_enabled: bool = false;
+  }
+  transition CreateCluster(Name: str, SubnetId: ref(Subnet), Version: str?) kind create
+  doc "Creates a cluster whose control plane attaches to the subnet." {
+    assert(len(arg(Name)) > 0) else InvalidParameterException "cluster name must be non-empty";
+    assert(exists(arg(SubnetId))) else ResourceNotFoundException "the specified subnet does not exist";
+    write(name, arg(Name));
+    write(subnet, arg(SubnetId));
+    if !is_null(arg(Version)) {
+      assert(arg(Version) in ["1.27", "1.28", "1.29", "1.30"]) else InvalidParameterException "unsupported Kubernetes version";
+      write(version, arg(Version));
+    }
+    emit(Status, read(status));
+  }
+  transition DeleteCluster() kind destroy
+  doc "Deletes the cluster. Node groups and profiles must be deleted first." {
+    assert(child_count(NodeGroup) == 0) else ResourceInUseException "the cluster still has node groups";
+    assert(child_count(FargateProfile) == 0) else ResourceInUseException "the cluster still has compute profiles";
+    assert(child_count(Addon) == 0) else ResourceInUseException "the cluster still has addons";
+  }
+  transition DescribeCluster() kind describe
+  doc "Returns the configuration of the cluster." {
+    emit(Name, read(name));
+    emit(Version, read(version));
+    emit(Status, read(status));
+    emit(EndpointPublicAccess, read(endpoint_public_access));
+    emit(EndpointPrivateAccess, read(endpoint_private_access));
+  }
+  transition UpdateClusterVersion(Version: str) kind modify
+  doc "Upgrades the cluster version. Downgrades are rejected." {
+    assert(arg(Version) in ["1.27", "1.28", "1.29", "1.30"]) else InvalidParameterException "unsupported Kubernetes version";
+    assert(arg(Version) != read(version)) else InvalidParameterException "the cluster already runs this version";
+    write(version, arg(Version));
+  }
+  transition UpdateClusterConfig(EndpointPublicAccess: bool?, EndpointPrivateAccess: bool?, LoggingEnabled: bool?) kind modify
+  doc "Updates endpoint access and logging. At least one endpoint must stay enabled." {
+    if !is_null(arg(EndpointPublicAccess)) {
+      assert(arg(EndpointPublicAccess) || read(endpoint_private_access)) else InvalidParameterException "at least one of public or private endpoint access must remain enabled";
+      write(endpoint_public_access, arg(EndpointPublicAccess));
+    }
+    if !is_null(arg(EndpointPrivateAccess)) {
+      assert(arg(EndpointPrivateAccess) || read(endpoint_public_access)) else InvalidParameterException "at least one of public or private endpoint access must remain enabled";
+      write(endpoint_private_access, arg(EndpointPrivateAccess));
+    }
+    if !is_null(arg(LoggingEnabled)) {
+      write(logging_enabled, arg(LoggingEnabled));
+    }
+  }
+}
+
+sm NodeGroup {
+  service "k8s";
+  doc "A managed group of worker nodes attached to a cluster.";
+  id_param "NodeGroupName";
+  parent Cluster via cluster;
+  states {
+    cluster: ref(Cluster);
+    name: str;
+    instance_type: str = "t3.small";
+    desired_size: int = 2;
+    min_size: int = 1;
+    max_size: int = 4;
+    status: enum(CREATING, ACTIVE, UPDATING, DELETING) = ACTIVE;
+  }
+  transition CreateNodeGroup(ClusterName: ref(Cluster), NodeGroupName2: str, InstanceType: str?, DesiredSize: int?) kind create
+  doc "Creates a node group in the cluster." {
+    assert(exists(arg(ClusterName))) else ResourceNotFoundException "the specified cluster does not exist";
+    assert(len(arg(NodeGroupName2)) > 0) else InvalidParameterException "node group name must be non-empty";
+    write(cluster, arg(ClusterName));
+    write(name, arg(NodeGroupName2));
+    if !is_null(arg(InstanceType)) {
+      assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterException "unsupported instance type";
+      write(instance_type, arg(InstanceType));
+    }
+    if !is_null(arg(DesiredSize)) {
+      assert(arg(DesiredSize) >= read(min_size) && arg(DesiredSize) <= read(max_size)) else InvalidParameterException "desired size must be between min and max size";
+      write(desired_size, arg(DesiredSize));
+    }
+    emit(Status, read(status));
+  }
+  transition DeleteNodeGroup() kind destroy
+  doc "Deletes the node group." {
+  }
+  transition DescribeNodeGroup() kind describe
+  doc "Returns the configuration of the node group." {
+    emit(ClusterName, read(cluster));
+    emit(Name, read(name));
+    emit(InstanceType, read(instance_type));
+    emit(DesiredSize, read(desired_size));
+    emit(Status, read(status));
+  }
+  transition UpdateNodeGroupConfig(DesiredSize: int?, MinSize: int?, MaxSize: int?) kind modify
+  doc "Updates the scaling configuration. min <= desired <= max must hold." {
+    if !is_null(arg(MinSize)) {
+      assert(arg(MinSize) >= 0) else InvalidParameterException "min size cannot be negative";
+      write(min_size, arg(MinSize));
+    }
+    if !is_null(arg(MaxSize)) {
+      assert(arg(MaxSize) >= read(min_size)) else InvalidParameterException "max size must be at least min size";
+      write(max_size, arg(MaxSize));
+    }
+    if !is_null(arg(DesiredSize)) {
+      assert(arg(DesiredSize) >= read(min_size) && arg(DesiredSize) <= read(max_size)) else InvalidParameterException "desired size must be between min and max size";
+      write(desired_size, arg(DesiredSize));
+    }
+  }
+  transition UpdateNodeGroupVersion(InstanceType: str) kind modify
+  doc "Rolls the node group onto a new instance type." {
+    assert(arg(InstanceType) in ["t2.micro", "t3.micro", "t3.small", "m5.large", "m5.xlarge", "c5.large"]) else InvalidParameterException "unsupported instance type";
+    write(instance_type, arg(InstanceType));
+  }
+}
+
+sm FargateProfile {
+  service "k8s";
+  doc "A serverless compute profile selecting pods to run without nodes.";
+  id_param "FargateProfileName";
+  parent Cluster via cluster;
+  states {
+    cluster: ref(Cluster);
+    name: str;
+    namespace: str;
+    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+  }
+  transition CreateFargateProfile(ClusterName: ref(Cluster), ProfileName: str, Namespace: str) kind create
+  doc "Creates a serverless compute profile for a namespace." {
+    assert(exists(arg(ClusterName))) else ResourceNotFoundException "the specified cluster does not exist";
+    assert(len(arg(ProfileName)) > 0) else InvalidParameterException "profile name must be non-empty";
+    assert(len(arg(Namespace)) > 0) else InvalidParameterException "namespace must be non-empty";
+    write(cluster, arg(ClusterName));
+    write(name, arg(ProfileName));
+    write(namespace, arg(Namespace));
+    emit(Status, read(status));
+  }
+  transition DeleteFargateProfile() kind destroy
+  doc "Deletes the profile." {
+  }
+  transition DescribeFargateProfile() kind describe
+  doc "Returns the configuration of the profile." {
+    emit(ClusterName, read(cluster));
+    emit(Name, read(name));
+    emit(Namespace, read(namespace));
+    emit(Status, read(status));
+  }
+}
+
+sm Addon {
+  service "k8s";
+  doc "A managed cluster addon such as a CNI or DNS plugin.";
+  id_param "AddonName";
+  parent Cluster via cluster;
+  states {
+    cluster: ref(Cluster);
+    name: str;
+    addon_version: str = "v1";
+    status: enum(CREATING, ACTIVE, DEGRADED, DELETING) = ACTIVE;
+    conflict_resolution: enum(OVERWRITE, NONE, PRESERVE) = NONE;
+  }
+  transition CreateAddon(ClusterName: ref(Cluster), AddonName2: str, AddonVersion: str?) kind create
+  doc "Installs an addon on the cluster." {
+    assert(exists(arg(ClusterName))) else ResourceNotFoundException "the specified cluster does not exist";
+    assert(arg(AddonName2) in ["vpc-cni", "coredns", "kube-proxy", "ebs-csi"]) else InvalidParameterException "unknown addon";
+    write(cluster, arg(ClusterName));
+    write(name, arg(AddonName2));
+    if !is_null(arg(AddonVersion)) {
+      write(addon_version, arg(AddonVersion));
+    }
+    emit(Status, read(status));
+  }
+  transition DeleteAddon() kind destroy
+  doc "Removes the addon from the cluster." {
+  }
+  transition DescribeAddon() kind describe
+  doc "Returns the addon configuration." {
+    emit(ClusterName, read(cluster));
+    emit(Name, read(name));
+    emit(AddonVersion, read(addon_version));
+    emit(Status, read(status));
+  }
+  transition UpdateAddon(AddonVersion: str, ResolveConflicts: enum(OVERWRITE, NONE, PRESERVE)?) kind modify
+  doc "Upgrades the addon version." {
+    assert(arg(AddonVersion) != read(addon_version)) else InvalidParameterException "the addon already runs this version";
+    write(addon_version, arg(AddonVersion));
+    if !is_null(arg(ResolveConflicts)) {
+      write(conflict_resolution, arg(ResolveConflicts));
+    }
+  }
+}
+
+sm AccessEntry {
+  service "k8s";
+  doc "An IAM principal granted access to the cluster.";
+  id_param "AccessEntryId";
+  parent Cluster via cluster;
+  states {
+    cluster: ref(Cluster);
+    principal: str;
+    access_policy: enum(VIEW, EDIT, ADMIN) = VIEW;
+    groups: list(str);
+  }
+  transition CreateAccessEntry(ClusterName: ref(Cluster), PrincipalArn: str, AccessPolicy: enum(VIEW, EDIT, ADMIN)?) kind create
+  doc "Grants a principal access to the cluster." {
+    assert(exists(arg(ClusterName))) else ResourceNotFoundException "the specified cluster does not exist";
+    assert(len(arg(PrincipalArn)) > 0) else InvalidParameterException "principal ARN must be non-empty";
+    write(cluster, arg(ClusterName));
+    write(principal, arg(PrincipalArn));
+    if !is_null(arg(AccessPolicy)) {
+      write(access_policy, arg(AccessPolicy));
+    }
+  }
+  transition DeleteAccessEntry() kind destroy
+  doc "Revokes the principal's access." {
+  }
+  transition DescribeAccessEntry() kind describe
+  doc "Returns the access entry." {
+    emit(ClusterName, read(cluster));
+    emit(PrincipalArn, read(principal));
+    emit(AccessPolicy, read(access_policy));
+    emit(Groups, read(groups));
+  }
+  transition UpdateAccessEntry(AccessPolicy: enum(VIEW, EDIT, ADMIN)?, AddGroup: str?) kind modify
+  doc "Updates the policy or Kubernetes groups of the entry." {
+    if !is_null(arg(AccessPolicy)) {
+      write(access_policy, arg(AccessPolicy));
+    }
+    if !is_null(arg(AddGroup)) {
+      assert(!(arg(AddGroup) in read(groups))) else InvalidParameterException "the group is already granted";
+      write(groups, append(read(groups), arg(AddGroup)));
+    }
+  }
+}
+
+sm PodIdentityAssociation {
+  service "k8s";
+  doc "Binds a Kubernetes service account to an IAM role.";
+  id_param "PodIdentityAssociationId";
+  parent Cluster via cluster;
+  states {
+    cluster: ref(Cluster);
+    namespace: str;
+    service_account: str;
+    role: str;
+  }
+  transition CreatePodIdentityAssociation(ClusterName: ref(Cluster), Namespace: str, ServiceAccount: str, RoleArn: str) kind create
+  doc "Creates an identity association for a service account." {
+    assert(exists(arg(ClusterName))) else ResourceNotFoundException "the specified cluster does not exist";
+    assert(len(arg(Namespace)) > 0) else InvalidParameterException "namespace must be non-empty";
+    assert(len(arg(ServiceAccount)) > 0) else InvalidParameterException "service account must be non-empty";
+    assert(len(arg(RoleArn)) > 0) else InvalidParameterException "role ARN must be non-empty";
+    write(cluster, arg(ClusterName));
+    write(namespace, arg(Namespace));
+    write(service_account, arg(ServiceAccount));
+    write(role, arg(RoleArn));
+  }
+  transition DeletePodIdentityAssociation() kind destroy
+  doc "Deletes the identity association." {
+  }
+  transition DescribePodIdentityAssociation() kind describe
+  doc "Returns the identity association." {
+    emit(ClusterName, read(cluster));
+    emit(Namespace, read(namespace));
+    emit(ServiceAccount, read(service_account));
+    emit(RoleArn, read(role));
+  }
+  transition UpdatePodIdentityAssociation(RoleArn: str) kind modify
+  doc "Points the association at a different IAM role." {
+    assert(len(arg(RoleArn)) > 0) else InvalidParameterException "role ARN must be non-empty";
+    write(role, arg(RoleArn));
+  }
+}
+"#;

@@ -1,0 +1,205 @@
+//! The Nimbus provider: an AWS-like synthetic cloud with five services
+//! (compute, database, firewall, k8s, storage) and consolidated PDF-style
+//! documentation.
+
+pub mod compute_core;
+pub mod compute_net;
+pub mod compute_storage;
+pub mod database;
+pub mod firewall;
+pub mod k8s;
+pub mod storage;
+
+use lce_spec::{
+    parse_catalog, Catalog, Expr, SmSpec, StateDecl, StateType, Stmt, TransitionBuilder,
+    TransitionKind,
+};
+
+/// Concatenated DSL source of the core Nimbus catalog (before the uniform
+/// compute tagging layer is applied).
+pub fn catalog_src() -> String {
+    [
+        compute_core::SRC,
+        compute_storage::SRC,
+        compute_net::SRC,
+        database::SRC,
+        firewall::SRC,
+        k8s::SRC,
+        storage::SRC,
+    ]
+    .join("\n")
+}
+
+/// Parse the golden Nimbus specs. Panics on malformed built-in sources —
+/// those are validated by this crate's tests.
+///
+/// Like its real-world counterpart, the compute service exposes a uniform
+/// tagging sub-API on every resource type (`Tag<Resource>` /
+/// `Untag<Resource>` with a `tags` attribute); it is applied here
+/// programmatically rather than spelled out 28 times in the DSL sources.
+pub fn specs() -> Vec<SmSpec> {
+    let mut specs =
+        parse_catalog(&catalog_src()).expect("built-in Nimbus catalog must parse");
+    for sm in &mut specs {
+        if sm.service == "compute" {
+            add_tagging(sm);
+        }
+    }
+    specs
+}
+
+/// Add the uniform tagging layer to one machine.
+fn add_tagging(sm: &mut SmSpec) {
+    debug_assert!(sm.state("tags").is_none(), "{} already has tags", sm.name);
+    sm.states.push(StateDecl {
+        name: "tags".into(),
+        ty: StateType::List(Box::new(StateType::Str)),
+        nullable: false,
+        default: None,
+    });
+    let in_tags = |e: Expr| {
+        Expr::Binary(
+            lce_spec::BinOp::In,
+            Box::new(e),
+            Box::new(Expr::read("tags")),
+        )
+    };
+    sm.transitions.push(
+        TransitionBuilder::new(format!("Tag{}", sm.name), TransitionKind::Modify)
+            .doc("Adds a tag to the resource. Duplicate tags are rejected.")
+            .param("Tag", StateType::Str)
+            .assert(
+                Expr::not(in_tags(Expr::arg("Tag"))),
+                "InvalidParameterValue",
+                "the tag already exists on the resource",
+            )
+            .stmt(Stmt::Write {
+                state: "tags".into(),
+                value: Expr::Append(
+                    Box::new(Expr::read("tags")),
+                    Box::new(Expr::arg("Tag")),
+                ),
+            })
+            .build(),
+    );
+    sm.transitions.push(
+        TransitionBuilder::new(format!("Untag{}", sm.name), TransitionKind::Modify)
+            .doc("Removes a tag from the resource.")
+            .param("Tag", StateType::Str)
+            .assert(
+                in_tags(Expr::arg("Tag")),
+                "InvalidParameterValue",
+                "the tag does not exist on the resource",
+            )
+            .stmt(Stmt::Write {
+                state: "tags".into(),
+                value: Expr::Remove(
+                    Box::new(Expr::read("tags")),
+                    Box::new(Expr::arg("Tag")),
+                ),
+            })
+            .build(),
+    );
+}
+
+/// The golden Nimbus catalog.
+pub fn catalog() -> Catalog {
+    Catalog::from_specs(specs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::{check_catalog, TransitionKind};
+
+    #[test]
+    fn nimbus_catalog_parses_and_checks() {
+        let specs = specs();
+        let errs = check_catalog(&specs);
+        assert!(errs.is_empty(), "golden catalog has errors: {:#?}", errs);
+    }
+
+    #[test]
+    fn compute_has_28_sms() {
+        let c = catalog();
+        assert_eq!(c.service_sms("compute").len(), 28);
+    }
+
+    #[test]
+    fn database_has_7_sms() {
+        assert_eq!(catalog().service_sms("database").len(), 7);
+    }
+
+    #[test]
+    fn firewall_has_8_sms_and_45_public_apis() {
+        let c = catalog();
+        assert_eq!(c.service_sms("firewall").len(), 8);
+        let public: usize = c
+            .service_sms("firewall")
+            .iter()
+            .map(|sm| sm.transitions.iter().filter(|t| !t.internal).count())
+            .sum();
+        assert_eq!(public, 45);
+    }
+
+    #[test]
+    fn k8s_has_6_sms() {
+        assert_eq!(catalog().service_sms("k8s").len(), 6);
+    }
+
+    #[test]
+    fn storage_has_7_sms() {
+        assert_eq!(catalog().service_sms("storage").len(), 7);
+    }
+
+    #[test]
+    fn every_sm_has_create_destroy_describe() {
+        for sm in catalog().iter() {
+            let has = |k: TransitionKind| sm.transitions.iter().any(|t| t.kind == k);
+            assert!(has(TransitionKind::Create), "{} lacks create", sm.name);
+            assert!(has(TransitionKind::Destroy), "{} lacks destroy", sm.name);
+            assert!(has(TransitionKind::Describe), "{} lacks describe", sm.name);
+        }
+    }
+
+    #[test]
+    fn describe_transitions_are_pure() {
+        use lce_spec::Stmt;
+        for sm in catalog().iter() {
+            for t in &sm.transitions {
+                if t.kind == TransitionKind::Describe {
+                    for s in t.all_stmts() {
+                        assert!(
+                            !matches!(s, Stmt::Write { .. } | Stmt::Call { .. }),
+                            "{}::{} is a describe with side effects",
+                            sm.name,
+                            t.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn api_names_are_globally_unique() {
+        let c = catalog();
+        let mut names: Vec<&str> = c
+            .iter()
+            .flat_map(|sm| sm.transitions.iter().map(|t| t.name.as_str()))
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate API names across the catalog");
+    }
+
+    #[test]
+    fn compute_is_the_largest_service() {
+        let c = catalog();
+        let compute = c.api_count(Some("compute"));
+        for svc in ["database", "firewall", "k8s"] {
+            assert!(compute > c.api_count(Some(svc)));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Nimbus object storage service (S3-like).
+//!
+//! Seven state machines. Not part of the paper's Table 1 subset, but the
+//! cloud the paper motivates against has hundreds of services — object
+//! storage is the most used of them, and its versioning/lifecycle/policy
+//! interplay exercises the SM abstraction on a very different shape of
+//! resource (account-global names, object containment, multipart state).
+
+/// DSL source for the storage service.
+pub const SRC: &str = r#"
+sm Bucket {
+  service "storage";
+  doc "A globally named container for objects.";
+  id_param "BucketName";
+  states {
+    name: str;
+    region: str;
+    versioning: enum(Disabled, Enabled, Suspended) = Disabled;
+    public_access_blocked: bool = true;
+    object_lock: bool = false;
+    names_in_use: list(str);
+  }
+  transition CreateBucket(Name: str, Region: str, ObjectLock: bool?) kind create
+  doc "Creates a bucket. Names must be 3-63 characters; object lock can only be set at creation." {
+    assert(len(arg(Name)) >= 3) else InvalidBucketName "bucket names must be at least 3 characters";
+    assert(len(arg(Name)) <= 63) else InvalidBucketName "bucket names may not exceed 63 characters";
+    assert(arg(Region) in ["us-east", "us-west"]) else InvalidParameterValue "region must be us-east or us-west";
+    write(name, arg(Name));
+    write(region, arg(Region));
+    if !is_null(arg(ObjectLock)) {
+      write(object_lock, arg(ObjectLock));
+    }
+  }
+  transition DeleteBucket() kind destroy
+  doc "Deletes the bucket. It must hold no objects or configuration children." {
+    assert(child_count(StoredObject) == 0) else BucketNotEmpty "the bucket still contains objects";
+    assert(child_count(LifecycleRule) == 0) else BucketNotEmpty "the bucket still has lifecycle rules";
+    assert(child_count(MultipartUpload) == 0) else BucketNotEmpty "the bucket has in-progress multipart uploads";
+  }
+  transition DescribeBucket() kind describe
+  doc "Returns the configuration of the bucket." {
+    emit(Name, read(name));
+    emit(Region, read(region));
+    emit(Versioning, read(versioning));
+    emit(PublicAccessBlocked, read(public_access_blocked));
+    emit(ObjectLock, read(object_lock));
+  }
+  transition PutBucketVersioning(Status: enum(Enabled, Suspended)) kind modify
+  doc "Enables or suspends versioning. Buckets with object lock cannot suspend versioning." {
+    assert(!(read(object_lock) && arg(Status) == Suspended)) else InvalidBucketState "versioning cannot be suspended while object lock is enabled";
+    write(versioning, arg(Status));
+  }
+  transition PutPublicAccessBlock(Blocked: bool) kind modify
+  doc "Sets the public access block." {
+    write(public_access_blocked, arg(Blocked));
+  }
+  transition ReserveObjectKey(Key: str) kind modify internal
+  doc "Internal bookkeeping: records an object key in the bucket." {
+    write(names_in_use, append(read(names_in_use), arg(Key)));
+  }
+  transition ReleaseObjectKey(Key: str) kind modify internal
+  doc "Internal bookkeeping: releases an object key." {
+    write(names_in_use, remove(read(names_in_use), arg(Key)));
+  }
+}
+
+sm StoredObject {
+  service "storage";
+  doc "An object stored in a bucket under a unique key.";
+  id_param "ObjectId";
+  parent Bucket via bucket;
+  states {
+    bucket: ref(Bucket);
+    key: str;
+    size_bytes: int;
+    storage_class: enum(Standard, InfrequentAccess, Glacier) = Standard;
+    legal_hold: bool = false;
+  }
+  transition PutObject(BucketName: ref(Bucket), Key: str, SizeBytes: int, StorageClass: enum(Standard, InfrequentAccess, Glacier)?) kind create
+  doc "Stores an object. Keys are unique within the bucket; objects are capped at 5 TiB." {
+    assert(exists(arg(BucketName))) else NoSuchBucket "the specified bucket does not exist";
+    assert(len(arg(Key)) > 0) else InvalidObjectKey "object keys must be non-empty";
+    assert(!(arg(Key) in field(arg(BucketName), names_in_use))) else ObjectAlreadyExists "an object with this key already exists";
+    assert(arg(SizeBytes) >= 0) else InvalidParameterValue "object size cannot be negative";
+    assert(arg(SizeBytes) <= 5497558138880) else EntityTooLarge "objects may not exceed 5 TiB";
+    call(arg(BucketName), ReserveObjectKey, [arg(Key)]);
+    write(bucket, arg(BucketName));
+    write(key, arg(Key));
+    write(size_bytes, arg(SizeBytes));
+    if !is_null(arg(StorageClass)) {
+      write(storage_class, arg(StorageClass));
+    }
+  }
+  transition DeleteObject() kind destroy
+  doc "Deletes the object. Objects under legal hold cannot be deleted." {
+    assert(!read(legal_hold)) else ObjectLockedError "the object is under legal hold";
+    call(read(bucket), ReleaseObjectKey, [read(key)]);
+  }
+  transition DescribeObject() kind describe
+  doc "Returns the metadata of the object." {
+    emit(BucketName, read(bucket));
+    emit(Key, read(key));
+    emit(SizeBytes, read(size_bytes));
+    emit(StorageClass, read(storage_class));
+    emit(LegalHold, read(legal_hold));
+  }
+  transition PutObjectLegalHold(Hold: bool) kind modify
+  doc "Sets or clears the legal hold. Requires object lock on the bucket." {
+    assert(field(read(bucket), object_lock) || !arg(Hold)) else InvalidRequest "legal hold requires object lock on the bucket";
+    write(legal_hold, arg(Hold));
+  }
+  transition TransitionStorageClass(StorageClass: enum(Standard, InfrequentAccess, Glacier)) kind modify
+  doc "Moves the object to another storage class. Re-specifying the current class is rejected." {
+    assert(arg(StorageClass) != read(storage_class)) else InvalidStorageClassTransition "the object is already in this storage class";
+    write(storage_class, arg(StorageClass));
+  }
+}
+
+sm LifecycleRule {
+  service "storage";
+  doc "A lifecycle rule expiring or transitioning objects in a bucket.";
+  id_param "LifecycleRuleId";
+  parent Bucket via bucket;
+  states {
+    bucket: ref(Bucket);
+    prefix: str;
+    days: int;
+    action: enum(Expire, TransitionIA, TransitionGlacier) = Expire;
+    enabled: bool = true;
+  }
+  transition PutLifecycleRule(BucketName: ref(Bucket), Prefix: str, Days: int, Action: enum(Expire, TransitionIA, TransitionGlacier)?) kind create
+  doc "Adds a lifecycle rule. The day threshold must be between 1 and 3650." {
+    assert(exists(arg(BucketName))) else NoSuchBucket "the specified bucket does not exist";
+    assert(arg(Days) >= 1) else InvalidArgument "the day threshold must be at least 1";
+    assert(arg(Days) <= 3650) else InvalidArgument "the day threshold may not exceed 3650";
+    write(bucket, arg(BucketName));
+    write(prefix, arg(Prefix));
+    write(days, arg(Days));
+    if !is_null(arg(Action)) {
+      write(action, arg(Action));
+    }
+  }
+  transition DeleteLifecycleRule() kind destroy
+  doc "Removes the lifecycle rule." {
+  }
+  transition DescribeLifecycleRule() kind describe
+  doc "Returns the lifecycle rule." {
+    emit(BucketName, read(bucket));
+    emit(Prefix, read(prefix));
+    emit(Days, read(days));
+    emit(Action, read(action));
+    emit(Enabled, read(enabled));
+  }
+  transition SetLifecycleRuleStatus(Enabled: bool) kind modify
+  doc "Enables or disables the rule. Setting the current status is rejected." {
+    assert(arg(Enabled) != read(enabled)) else InvalidRequest "the rule is already in the requested state";
+    write(enabled, arg(Enabled));
+  }
+}
+
+sm BucketPolicy {
+  service "storage";
+  doc "An access policy document attached to a bucket.";
+  id_param "BucketPolicyId";
+  parent Bucket via bucket;
+  states {
+    bucket: ref(Bucket);
+    document: str;
+    allows_public_read: bool = false;
+  }
+  transition PutBucketPolicy(BucketName: ref(Bucket), Document: str, AllowsPublicRead: bool?) kind create
+  doc "Attaches a policy. Public-read policies require the public access block to be off." {
+    assert(exists(arg(BucketName))) else NoSuchBucket "the specified bucket does not exist";
+    assert(len(arg(Document)) > 0) else MalformedPolicy "the policy document must be non-empty";
+    if !is_null(arg(AllowsPublicRead)) {
+      assert(!(arg(AllowsPublicRead) && field(arg(BucketName), public_access_blocked))) else AccessDenied "public policies are forbidden while the public access block is on";
+      write(allows_public_read, arg(AllowsPublicRead));
+    }
+    write(bucket, arg(BucketName));
+    write(document, arg(Document));
+  }
+  transition DeleteBucketPolicy() kind destroy
+  doc "Removes the policy." {
+  }
+  transition DescribeBucketPolicy() kind describe
+  doc "Returns the policy document." {
+    emit(BucketName, read(bucket));
+    emit(Document, read(document));
+    emit(AllowsPublicRead, read(allows_public_read));
+  }
+}
+
+sm MultipartUpload {
+  service "storage";
+  doc "An in-progress multipart upload into a bucket.";
+  id_param "UploadId";
+  parent Bucket via bucket;
+  states {
+    bucket: ref(Bucket);
+    key: str;
+    parts: int = 0;
+    status: enum(InProgress, Completed, Aborted) = InProgress;
+  }
+  transition CreateMultipartUpload(BucketName: ref(Bucket), Key: str) kind create
+  doc "Starts a multipart upload." {
+    assert(exists(arg(BucketName))) else NoSuchBucket "the specified bucket does not exist";
+    assert(len(arg(Key)) > 0) else InvalidObjectKey "object keys must be non-empty";
+    write(bucket, arg(BucketName));
+    write(key, arg(Key));
+  }
+  transition AbortMultipartUpload() kind destroy
+  doc "Aborts the upload, discarding uploaded parts." {
+    assert(read(status) == InProgress) else NoSuchUpload "the upload already finished";
+  }
+  transition DescribeMultipartUpload() kind describe
+  doc "Returns the upload status." {
+    emit(BucketName, read(bucket));
+    emit(Key, read(key));
+    emit(Parts, read(parts));
+    emit(Status, read(status));
+  }
+  transition UploadPart(PartNumber: int) kind modify
+  doc "Uploads one part. Part numbers are 1-10000 and must arrive in order." {
+    assert(read(status) == InProgress) else NoSuchUpload "the upload is not in progress";
+    assert(arg(PartNumber) >= 1 && arg(PartNumber) <= 10000) else InvalidPartNumber "part numbers must be between 1 and 10000";
+    assert(arg(PartNumber) == read(parts) + 1) else InvalidPartOrder "parts must be uploaded sequentially";
+    write(parts, arg(PartNumber));
+  }
+  transition CompleteMultipartUpload() kind modify
+  doc "Completes the upload. At least one part must have been uploaded." {
+    assert(read(status) == InProgress) else NoSuchUpload "the upload is not in progress";
+    assert(read(parts) >= 1) else InvalidRequest "no parts have been uploaded";
+    write(status, Completed);
+  }
+}
+
+sm AccessPoint {
+  service "storage";
+  doc "A named network endpoint for accessing a bucket.";
+  id_param "AccessPointId";
+  states {
+    bucket: ref(Bucket);
+    name: str;
+    vpc_only: bool = false;
+    policy_document: str = "";
+  }
+  transition CreateAccessPoint(BucketName: ref(Bucket), Name: str, VpcOnly: bool?) kind create
+  doc "Creates an access point for the bucket." {
+    assert(exists(arg(BucketName))) else NoSuchBucket "the specified bucket does not exist";
+    assert(len(arg(Name)) >= 3) else InvalidAccessPointName "access point names must be at least 3 characters";
+    write(bucket, arg(BucketName));
+    write(name, arg(Name));
+    if !is_null(arg(VpcOnly)) {
+      write(vpc_only, arg(VpcOnly));
+    }
+  }
+  transition DeleteAccessPoint() kind destroy
+  doc "Deletes the access point." {
+  }
+  transition DescribeAccessPoint() kind describe
+  doc "Returns the access point configuration." {
+    emit(BucketName, read(bucket));
+    emit(Name, read(name));
+    emit(VpcOnly, read(vpc_only));
+  }
+  transition PutAccessPointPolicy(Document: str) kind modify
+  doc "Attaches a policy to the access point." {
+    assert(len(arg(Document)) > 0) else MalformedPolicy "the policy document must be non-empty";
+    write(policy_document, arg(Document));
+  }
+}
+
+sm ReplicationRule {
+  service "storage";
+  doc "A rule replicating a bucket's objects to a destination bucket.";
+  id_param "ReplicationRuleId";
+  states {
+    source: ref(Bucket);
+    destination: ref(Bucket);
+    priority: int;
+    status: enum(Enabled, Disabled) = Enabled;
+  }
+  transition PutReplicationRule(SourceBucket: ref(Bucket), DestinationBucket: ref(Bucket), Priority: int) kind create
+  doc "Creates a replication rule. Source and destination must differ and both need versioning enabled." {
+    assert(exists(arg(SourceBucket))) else NoSuchBucket "the source bucket does not exist";
+    assert(exists(arg(DestinationBucket))) else NoSuchBucket "the destination bucket does not exist";
+    assert(arg(SourceBucket) != arg(DestinationBucket)) else InvalidRequest "a bucket cannot replicate to itself";
+    assert(field(arg(SourceBucket), versioning) == Enabled) else InvalidBucketState "replication requires versioning on the source bucket";
+    assert(field(arg(DestinationBucket), versioning) == Enabled) else InvalidBucketState "replication requires versioning on the destination bucket";
+    assert(arg(Priority) >= 0 && arg(Priority) <= 1000) else InvalidArgument "priority must be between 0 and 1000";
+    write(source, arg(SourceBucket));
+    write(destination, arg(DestinationBucket));
+    write(priority, arg(Priority));
+  }
+  transition DeleteReplicationRule() kind destroy
+  doc "Deletes the replication rule." {
+  }
+  transition DescribeReplicationRule() kind describe
+  doc "Returns the replication rule." {
+    emit(SourceBucket, read(source));
+    emit(DestinationBucket, read(destination));
+    emit(Priority, read(priority));
+    emit(Status, read(status));
+  }
+  transition SetReplicationRuleStatus(Status: enum(Enabled, Disabled)) kind modify
+  doc "Enables or disables the rule." {
+    write(status, arg(Status));
+  }
+}
+"#;

@@ -1,0 +1,187 @@
+//! Providers: a golden behaviour model plus a documentation style.
+
+use crate::docs::template::{DocFidelity, FidelityFilter};
+use crate::docs::web::DocPage;
+use crate::docs::{pdf, web};
+use crate::{nimbus, stratus};
+use lce_emulator::{Emulator, EmulatorConfig};
+use lce_spec::Catalog;
+
+/// How a provider publishes its documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocStyle {
+    /// One consolidated, paginated PDF-style reference (the AWS model).
+    ConsolidatedPdf,
+    /// Scattered per-resource web pages (the Azure/GCP model).
+    WebPages,
+}
+
+/// The rendered documentation corpus of a provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderedDocs {
+    /// A single paginated document.
+    Consolidated(String),
+    /// A set of pages.
+    Pages(Vec<DocPage>),
+}
+
+impl RenderedDocs {
+    /// Total corpus size in bytes (a documentation-scale metric).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            RenderedDocs::Consolidated(s) => s.len(),
+            RenderedDocs::Pages(pages) => pages.iter().map(|p| p.body.len()).sum(),
+        }
+    }
+}
+
+/// A synthetic cloud provider: name, golden catalog, documentation style.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    /// Provider name (`"nimbus"` or `"stratus"`).
+    pub name: String,
+    /// Documentation publication style.
+    pub doc_style: DocStyle,
+    /// The golden (authoritative) behaviour catalog — this plays the role
+    /// of "the real cloud" in every experiment.
+    pub catalog: Catalog,
+}
+
+impl Provider {
+    /// The golden cloud: the authoritative behaviour model executed on the
+    /// shared interpreter. Alignment diffs learned emulators against this.
+    pub fn golden_cloud(&self) -> Emulator {
+        Emulator::with_config(self.catalog.clone(), EmulatorConfig::framework())
+            .named(format!("{}-golden", self.name))
+    }
+
+    /// Render the provider's documentation corpus at the given fidelity.
+    /// Returns the corpus and the number of silently omitted clauses.
+    pub fn render_docs(&self, fidelity: DocFidelity) -> (RenderedDocs, usize) {
+        let mut filter = FidelityFilter::new(fidelity);
+        let docs = match self.doc_style {
+            DocStyle::ConsolidatedPdf => RenderedDocs::Consolidated(pdf::render_consolidated(
+                &self.name,
+                &self.catalog,
+                &mut filter,
+            )),
+            DocStyle::WebPages => {
+                RenderedDocs::Pages(web::render_pages(&self.name, &self.catalog, &mut filter))
+            }
+        };
+        (docs, filter.omitted())
+    }
+}
+
+/// The Nimbus provider (AWS-like: consolidated PDF docs, four services).
+pub fn nimbus() -> Provider {
+    Provider {
+        name: "nimbus".into(),
+        doc_style: DocStyle::ConsolidatedPdf,
+        catalog: nimbus::catalog(),
+    }
+}
+
+/// The Stratus provider (Azure-like: web-page docs, one compute service).
+pub fn stratus() -> Provider {
+    Provider {
+        name: "stratus".into(),
+        doc_style: DocStyle::WebPages,
+        catalog: stratus::catalog(),
+    }
+}
+
+/// All built-in providers.
+pub fn all_providers() -> Vec<Provider> {
+    vec![nimbus(), stratus()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::{ApiCall, Backend, Value};
+
+    #[test]
+    fn nimbus_golden_cloud_answers_calls() {
+        let mut cloud = nimbus().golden_cloud();
+        let resp = cloud.invoke(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        );
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        assert!(resp.field("VpcId").is_some());
+    }
+
+    #[test]
+    fn stratus_golden_cloud_answers_calls() {
+        let mut cloud = stratus().golden_cloud();
+        let resp = cloud.invoke(
+            &ApiCall::new("CreateVirtualNetwork")
+                .arg_str("AddressSpace", "10.0.0.0/8")
+                .arg_str("Location", "north"),
+        );
+        assert!(resp.is_ok(), "{:?}", resp.error);
+    }
+
+    #[test]
+    fn nimbus_renders_consolidated_docs() {
+        let (docs, omitted) = nimbus().render_docs(DocFidelity::Complete);
+        assert_eq!(omitted, 0);
+        match docs {
+            RenderedDocs::Consolidated(text) => {
+                assert!(text.len() > 50_000, "docs suspiciously small: {}", text.len());
+                assert!(text.contains("==== Resource: Vpc ===="));
+            }
+            _ => panic!("nimbus must render a consolidated document"),
+        }
+    }
+
+    #[test]
+    fn stratus_renders_pages() {
+        let (docs, _) = stratus().render_docs(DocFidelity::Complete);
+        match docs {
+            RenderedDocs::Pages(pages) => {
+                assert_eq!(pages.len(), 8);
+                assert!(pages.iter().any(|p| p.path.ends_with("virtual-network")));
+            }
+            _ => panic!("stratus must render pages"),
+        }
+    }
+
+    #[test]
+    fn underspecified_docs_omit_clauses() {
+        let (_, omitted) = nimbus().render_docs(DocFidelity::OmitAsserts { every_nth: 5 });
+        assert!(omitted > 10, "expected many omissions, got {}", omitted);
+    }
+
+    #[test]
+    fn golden_cloud_dependency_violation_example() {
+        // The paper's §2 example: DeleteVpc with an attached internet
+        // gateway must fail with DependencyViolation (Moto got this wrong).
+        let mut cloud = nimbus().golden_cloud();
+        let vpc = cloud
+            .invoke(
+                &ApiCall::new("CreateVpc")
+                    .arg_str("CidrBlock", "10.0.0.0/16")
+                    .arg_str("Region", "us-east"),
+            )
+            .field("VpcId")
+            .unwrap()
+            .clone();
+        let igw = cloud
+            .invoke(&ApiCall::new("CreateInternetGateway"))
+            .field("InternetGatewayId")
+            .unwrap()
+            .clone();
+        let resp = cloud.invoke(
+            &ApiCall::new("AttachInternetGateway")
+                .arg("InternetGatewayId", igw)
+                .arg("VpcId", vpc.clone()),
+        );
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        let resp = cloud.invoke(&ApiCall::new("DeleteVpc").arg("VpcId", vpc));
+        assert_eq!(resp.error_code(), Some("DependencyViolation"));
+        let _ = Value::Null;
+    }
+}

@@ -1,0 +1,398 @@
+//! Stratus compute service (Azure-like second provider).
+//!
+//! Eight state machines with provider-specific API naming and semantics.
+//! Used by the multi-cloud experiment (E6): the pipeline must generalize to
+//! a second provider whose documentation is structured entirely differently
+//! (scattered per-resource web pages instead of one consolidated PDF).
+
+/// DSL source for the Stratus compute service.
+pub const SRC: &str = r#"
+sm VirtualNetwork {
+  service "compute";
+  doc "An isolated network address space for Stratus resources.";
+  id_param "VirtualNetworkId";
+  states {
+    address_space: str;
+    location: str;
+    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    ddos_protection: bool = false;
+    used_prefixes: list(str);
+  }
+  transition CreateVirtualNetwork(AddressSpace: str, Location: str, DdosProtection: bool?) kind create
+  doc "Creates a virtual network with the given address space." {
+    assert(arg(Location) in ["north", "south", "west-europe"]) else LocationNotAvailableForResourceType "the location is not available";
+    assert(len(arg(AddressSpace)) > 0) else InvalidRequestFormat "AddressSpace must be non-empty";
+    write(address_space, arg(AddressSpace));
+    write(location, arg(Location));
+    if !is_null(arg(DdosProtection)) {
+      write(ddos_protection, arg(DdosProtection));
+    }
+    emit(ProvisioningState, read(provisioning_state));
+  }
+  transition DeleteVirtualNetwork() kind destroy
+  doc "Deletes the virtual network. All subnets must be removed first." {
+    assert(child_count(VnetSubnet) == 0) else InUseSubnetCannotBeDeleted "the virtual network still contains subnets";
+  }
+  transition GetVirtualNetwork() kind describe
+  doc "Returns the properties of the virtual network." {
+    emit(AddressSpace, read(address_space));
+    emit(Location, read(location));
+    emit(ProvisioningState, read(provisioning_state));
+    emit(DdosProtection, read(ddos_protection));
+  }
+  transition UpdateVirtualNetworkTags(DdosProtection: bool) kind modify
+  doc "Updates mutable properties of the virtual network." {
+    write(ddos_protection, arg(DdosProtection));
+  }
+  transition ReservePrefix(Prefix: str) kind modify internal
+  doc "Internal bookkeeping: records a subnet prefix allocation." {
+    write(used_prefixes, append(read(used_prefixes), arg(Prefix)));
+  }
+  transition ReleasePrefix(Prefix: str) kind modify internal
+  doc "Internal bookkeeping: releases a subnet prefix allocation." {
+    write(used_prefixes, remove(read(used_prefixes), arg(Prefix)));
+  }
+}
+
+sm VnetSubnet {
+  service "compute";
+  doc "An address range within a virtual network.";
+  id_param "SubnetId";
+  parent VirtualNetwork via vnet;
+  states {
+    vnet: ref(VirtualNetwork);
+    address_prefix: str;
+    prefix_length: int = 24;
+    nsg: ref(NetworkSecurityGroup)?;
+    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+  }
+  transition CreateVnetSubnet(VirtualNetworkId: ref(VirtualNetwork), AddressPrefix: str, PrefixLength: int) kind create
+  doc "Creates a subnet. The prefix must be unused and between /16 and /29." {
+    assert(exists(arg(VirtualNetworkId))) else ResourceNotFound "the virtual network was not found";
+    assert(arg(PrefixLength) >= 16 && arg(PrefixLength) <= 29) else NetcfgInvalidSubnet "the prefix length must be between 16 and 29";
+    assert(!(arg(AddressPrefix) in field(arg(VirtualNetworkId), used_prefixes))) else NetcfgSubnetRangesOverlap "the prefix overlaps an existing subnet";
+    call(arg(VirtualNetworkId), ReservePrefix, [arg(AddressPrefix)]);
+    write(vnet, arg(VirtualNetworkId));
+    write(address_prefix, arg(AddressPrefix));
+    write(prefix_length, arg(PrefixLength));
+  }
+  transition DeleteVnetSubnet() kind destroy
+  doc "Deletes the subnet. Attached interfaces must be removed first." {
+    assert(child_count(NetworkInterfaceCard) == 0) else InUseSubnetCannotBeDeleted "the subnet still has attached network interfaces";
+    call(read(vnet), ReleasePrefix, [read(address_prefix)]);
+  }
+  transition GetVnetSubnet() kind describe
+  doc "Returns the properties of the subnet." {
+    emit(VirtualNetworkId, read(vnet));
+    emit(AddressPrefix, read(address_prefix));
+    emit(ProvisioningState, read(provisioning_state));
+    emit(NetworkSecurityGroupId, read(nsg));
+  }
+  transition AssociateNetworkSecurityGroup(NetworkSecurityGroupId: ref(NetworkSecurityGroup)) kind modify
+  doc "Associates a network security group with the subnet." {
+    assert(exists(arg(NetworkSecurityGroupId))) else ResourceNotFound "the network security group was not found";
+    assert(is_null(read(nsg))) else ResourceAlreadyExists "a network security group is already associated";
+    write(nsg, arg(NetworkSecurityGroupId));
+  }
+  transition DissociateNetworkSecurityGroup() kind modify
+  doc "Removes the network security group association." {
+    assert(!is_null(read(nsg))) else ResourceNotFound "no network security group is associated";
+    write(nsg, null);
+  }
+}
+
+sm NetworkSecurityGroup {
+  service "compute";
+  doc "A set of prioritized allow/deny traffic rules.";
+  id_param "NetworkSecurityGroupId";
+  states {
+    location: str;
+    rules: list(str);
+    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+  }
+  transition CreateNetworkSecurityGroup(Location: str) kind create
+  doc "Creates an empty network security group." {
+    assert(arg(Location) in ["north", "south", "west-europe"]) else LocationNotAvailableForResourceType "the location is not available";
+    write(location, arg(Location));
+  }
+  transition DeleteNetworkSecurityGroup() kind destroy
+  doc "Deletes the network security group." {
+  }
+  transition GetNetworkSecurityGroup() kind describe
+  doc "Returns the rules of the group." {
+    emit(Location, read(location));
+    emit(Rules, read(rules));
+  }
+  transition CreateSecurityRule(Rule: str) kind modify
+  doc "Adds a security rule. Duplicates are rejected." {
+    assert(!(arg(Rule) in read(rules))) else SecurityRuleAlreadyExists "a rule with this definition already exists";
+    write(rules, append(read(rules), arg(Rule)));
+  }
+  transition DeleteSecurityRule(Rule: str) kind modify
+  doc "Removes a security rule." {
+    assert(arg(Rule) in read(rules)) else ResourceNotFound "no rule with this definition exists";
+    write(rules, remove(read(rules), arg(Rule)));
+  }
+}
+
+sm PublicIpAddress {
+  service "compute";
+  doc "A static or dynamic public IP address.";
+  id_param "PublicIpAddressId";
+  states {
+    location: str;
+    allocation_method: enum(Static, Dynamic) = Dynamic;
+    nic: ref(NetworkInterfaceCard)?;
+    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+  }
+  transition CreatePublicIpAddress(Location: str, AllocationMethod: enum(Static, Dynamic)?) kind create
+  doc "Allocates a public IP address." {
+    assert(arg(Location) in ["north", "south", "west-europe"]) else LocationNotAvailableForResourceType "the location is not available";
+    write(location, arg(Location));
+    if !is_null(arg(AllocationMethod)) {
+      write(allocation_method, arg(AllocationMethod));
+    }
+  }
+  transition DeletePublicIpAddress() kind destroy
+  doc "Releases the address. It must not be associated with an interface." {
+    assert(is_null(read(nic))) else PublicIPAddressCannotBeDeleted "the address is associated with a network interface";
+  }
+  transition GetPublicIpAddress() kind describe
+  doc "Returns the properties of the address." {
+    emit(Location, read(location));
+    emit(AllocationMethod, read(allocation_method));
+    emit(NetworkInterfaceId, read(nic));
+  }
+  transition AssociateWithNic(NetworkInterfaceCardId: ref(NetworkInterfaceCard)) kind modify
+  doc "Associates the address with a network interface in the same location." {
+    assert(is_null(read(nic))) else ResourceAlreadyExists "the address is already associated";
+    assert(exists(arg(NetworkInterfaceCardId))) else ResourceNotFound "the network interface was not found";
+    assert(field(arg(NetworkInterfaceCardId), location) == read(location)) else InvalidResourceReference "the interface is in a different location";
+    call(arg(NetworkInterfaceCardId), BindPublicIp, [self_id()]);
+    write(nic, arg(NetworkInterfaceCardId));
+  }
+  transition DissociateFromNic() kind modify
+  doc "Removes the association with the network interface." {
+    assert(!is_null(read(nic))) else ResourceNotFound "the address is not associated";
+    call(read(nic), UnbindPublicIp, []);
+    write(nic, null);
+  }
+}
+
+sm NetworkInterfaceCard {
+  service "compute";
+  doc "A network interface connecting a virtual machine to a subnet.";
+  id_param "NetworkInterfaceCardId";
+  parent VnetSubnet via subnet;
+  states {
+    subnet: ref(VnetSubnet);
+    location: str;
+    public_ip: ref(PublicIpAddress)?;
+    attached_vm: ref(VirtualMachine)?;
+    accelerated_networking: bool = false;
+  }
+  transition CreateNetworkInterfaceCard(SubnetId: ref(VnetSubnet), Location: str) kind create
+  doc "Creates a network interface in the subnet." {
+    assert(exists(arg(SubnetId))) else ResourceNotFound "the subnet was not found";
+    assert(arg(Location) in ["north", "south", "west-europe"]) else LocationNotAvailableForResourceType "the location is not available";
+    write(subnet, arg(SubnetId));
+    write(location, arg(Location));
+  }
+  transition DeleteNetworkInterfaceCard() kind destroy
+  doc "Deletes the interface. It must be detached and hold no public IP." {
+    assert(is_null(read(attached_vm))) else NicInUse "the interface is attached to a virtual machine";
+    assert(is_null(read(public_ip))) else InUseNetworkInterfaceCannotBeDeleted "a public IP is still bound to the interface";
+  }
+  transition GetNetworkInterfaceCard() kind describe
+  doc "Returns the properties of the interface." {
+    emit(SubnetId, read(subnet));
+    emit(Location, read(location));
+    emit(PublicIpAddressId, read(public_ip));
+    emit(AttachedVmId, read(attached_vm));
+  }
+  transition UpdateNetworkInterfaceCard(AcceleratedNetworking: bool) kind modify
+  doc "Updates interface properties." {
+    write(accelerated_networking, arg(AcceleratedNetworking));
+  }
+  transition BindPublicIp(Ip: ref(PublicIpAddress)) kind modify internal
+  doc "Internal bookkeeping: records the bound public IP." {
+    assert(is_null(read(public_ip))) else ResourceAlreadyExists "a public IP is already bound";
+    write(public_ip, arg(Ip));
+  }
+  transition UnbindPublicIp() kind modify internal
+  doc "Internal bookkeeping: clears the bound public IP." {
+    write(public_ip, null);
+  }
+  transition BindVm(Vm: ref(VirtualMachine)) kind modify internal
+  doc "Internal bookkeeping: records the attached virtual machine." {
+    assert(is_null(read(attached_vm))) else NicInUse "the interface is already attached";
+    write(attached_vm, arg(Vm));
+  }
+  transition UnbindVm() kind modify internal
+  doc "Internal bookkeeping: clears the attached virtual machine." {
+    write(attached_vm, null);
+  }
+}
+
+sm VirtualMachine {
+  service "compute";
+  doc "A virtual machine with managed power state.";
+  id_param "VirtualMachineId";
+  states {
+    nic: ref(NetworkInterfaceCard);
+    size: str;
+    power_state: enum(starting, running, stopping, stopped, deallocating, deallocated) = running;
+    os_type: enum(Linux, Windows) = Linux;
+    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+  }
+  transition CreateVirtualMachine(NetworkInterfaceCardId: ref(NetworkInterfaceCard), Size: str, OsType: enum(Linux, Windows)?) kind create
+  doc "Creates a virtual machine attached to an existing network interface." {
+    assert(exists(arg(NetworkInterfaceCardId))) else ResourceNotFound "the network interface was not found";
+    assert(arg(Size) in ["Standard_B1s", "Standard_B2s", "Standard_D2s", "Standard_D4s"]) else InvalidParameter "the VM size is not available";
+    call(arg(NetworkInterfaceCardId), BindVm, [self_id()]);
+    write(nic, arg(NetworkInterfaceCardId));
+    write(size, arg(Size));
+    if !is_null(arg(OsType)) {
+      write(os_type, arg(OsType));
+    }
+    emit(PowerState, read(power_state));
+  }
+  transition DeleteVirtualMachine() kind destroy
+  doc "Deletes the virtual machine, releasing its network interface." {
+    call(read(nic), UnbindVm, []);
+  }
+  transition GetVirtualMachine() kind describe
+  doc "Returns the properties of the virtual machine." {
+    emit(Size, read(size));
+    emit(PowerState, read(power_state));
+    emit(OsType, read(os_type));
+    emit(NetworkInterfaceCardId, read(nic));
+  }
+  transition StartVirtualMachine() kind modify
+  doc "Starts a stopped or deallocated virtual machine." {
+    assert(read(power_state) == stopped || read(power_state) == deallocated) else OperationNotAllowed "the virtual machine is not stopped";
+    write(power_state, running);
+    emit(PowerState, read(power_state));
+  }
+  transition PowerOffVirtualMachine() kind modify
+  doc "Stops a running virtual machine (billing continues)." {
+    assert(read(power_state) == running) else OperationNotAllowed "the virtual machine is not running";
+    write(power_state, stopped);
+    emit(PowerState, read(power_state));
+  }
+  transition DeallocateVirtualMachine() kind modify
+  doc "Stops and deallocates the virtual machine (billing stops)." {
+    assert(read(power_state) == running || read(power_state) == stopped) else OperationNotAllowed "the virtual machine cannot be deallocated from its current state";
+    write(power_state, deallocated);
+    emit(PowerState, read(power_state));
+  }
+  transition ResizeVirtualMachine(Size: str) kind modify
+  doc "Changes the VM size. The machine must be deallocated." {
+    assert(read(power_state) == deallocated) else OperationNotAllowed "the virtual machine must be deallocated before resizing";
+    assert(arg(Size) in ["Standard_B1s", "Standard_B2s", "Standard_D2s", "Standard_D4s"]) else InvalidParameter "the VM size is not available";
+    write(size, arg(Size));
+  }
+}
+
+sm ManagedDisk {
+  service "compute";
+  doc "A managed block storage disk.";
+  id_param "ManagedDiskId";
+  states {
+    size_gb: int;
+    sku: enum(StandardHDD, StandardSSD, PremiumSSD) = StandardSSD;
+    state: enum(Unattached, Attached, Reserved) = Unattached;
+    attached_vm: ref(VirtualMachine)?;
+  }
+  transition CreateManagedDisk(SizeGb: int, Sku: enum(StandardHDD, StandardSSD, PremiumSSD)?) kind create
+  doc "Creates a managed disk." {
+    assert(arg(SizeGb) >= 4 && arg(SizeGb) <= 32768) else InvalidParameter "the disk size must be between 4 and 32768 GiB";
+    write(size_gb, arg(SizeGb));
+    if !is_null(arg(Sku)) {
+      write(sku, arg(Sku));
+    }
+  }
+  transition DeleteManagedDisk() kind destroy
+  doc "Deletes the disk. It must be unattached." {
+    assert(read(state) == Unattached) else DiskInUse "the disk is attached to a virtual machine";
+  }
+  transition GetManagedDisk() kind describe
+  doc "Returns the properties of the disk." {
+    emit(SizeGb, read(size_gb));
+    emit(Sku, read(sku));
+    emit(State, read(state));
+  }
+  transition AttachManagedDisk(VirtualMachineId: ref(VirtualMachine)) kind modify
+  doc "Attaches the disk to a virtual machine." {
+    assert(read(state) == Unattached) else DiskInUse "the disk is already attached";
+    assert(exists(arg(VirtualMachineId))) else ResourceNotFound "the virtual machine was not found";
+    write(attached_vm, arg(VirtualMachineId));
+    write(state, Attached);
+  }
+  transition DetachManagedDisk() kind modify
+  doc "Detaches the disk from its virtual machine." {
+    assert(read(state) == Attached) else OperationNotAllowed "the disk is not attached";
+    write(attached_vm, null);
+    write(state, Unattached);
+  }
+  transition ResizeManagedDisk(SizeGb: int) kind modify
+  doc "Grows the disk. It must be unattached and disks cannot shrink." {
+    assert(read(state) == Unattached) else DiskInUse "the disk must be detached before resizing";
+    assert(arg(SizeGb) >= read(size_gb)) else InvalidParameter "disks cannot shrink";
+    assert(arg(SizeGb) <= 32768) else InvalidParameter "the disk size may not exceed 32768 GiB";
+    write(size_gb, arg(SizeGb));
+  }
+}
+
+sm LoadBalancer {
+  service "compute";
+  doc "A layer-4 load balancer distributing traffic to backend interfaces.";
+  id_param "LoadBalancerId";
+  states {
+    location: str;
+    sku: enum(Basic, Standard) = Standard;
+    frontend_ip: ref(PublicIpAddress)?;
+    backends: list(ref(NetworkInterfaceCard));
+    rules: list(str);
+  }
+  transition CreateLoadBalancer(Location: str, Sku: enum(Basic, Standard)?, FrontendIpId: ref(PublicIpAddress)?) kind create
+  doc "Creates a load balancer, optionally with a public frontend IP." {
+    assert(arg(Location) in ["north", "south", "west-europe"]) else LocationNotAvailableForResourceType "the location is not available";
+    write(location, arg(Location));
+    if !is_null(arg(Sku)) {
+      write(sku, arg(Sku));
+    }
+    if !is_null(arg(FrontendIpId)) {
+      assert(exists(arg(FrontendIpId))) else ResourceNotFound "the frontend IP was not found";
+      write(frontend_ip, arg(FrontendIpId));
+    }
+  }
+  transition DeleteLoadBalancer() kind destroy
+  doc "Deletes the load balancer. The backend pool must be empty." {
+    assert(len(read(backends)) == 0) else InUseLoadBalancerCannotBeDeleted "the backend pool is not empty";
+  }
+  transition GetLoadBalancer() kind describe
+  doc "Returns the properties of the load balancer." {
+    emit(Location, read(location));
+    emit(Sku, read(sku));
+    emit(Backends, read(backends));
+    emit(Rules, read(rules));
+  }
+  transition AddBackend(NetworkInterfaceCardId: ref(NetworkInterfaceCard)) kind modify
+  doc "Adds an interface to the backend pool." {
+    assert(exists(arg(NetworkInterfaceCardId))) else ResourceNotFound "the network interface was not found";
+    assert(!(arg(NetworkInterfaceCardId) in read(backends))) else ResourceAlreadyExists "the interface is already in the backend pool";
+    write(backends, append(read(backends), arg(NetworkInterfaceCardId)));
+  }
+  transition RemoveBackend(NetworkInterfaceCardId: ref(NetworkInterfaceCard)) kind modify
+  doc "Removes an interface from the backend pool." {
+    assert(arg(NetworkInterfaceCardId) in read(backends)) else ResourceNotFound "the interface is not in the backend pool";
+    write(backends, remove(read(backends), arg(NetworkInterfaceCardId)));
+  }
+  transition AddLoadBalancingRule(Rule: str) kind modify
+  doc "Adds a load-balancing rule." {
+    assert(!(arg(Rule) in read(rules))) else ResourceAlreadyExists "a rule with this definition already exists";
+    write(rules, append(read(rules), arg(Rule)));
+  }
+}
+"#;

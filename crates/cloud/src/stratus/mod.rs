@@ -1,0 +1,58 @@
+//! The Stratus provider: an Azure-like synthetic cloud with one compute
+//! service and scattered per-resource web-page documentation.
+
+pub mod compute;
+
+use lce_spec::{parse_catalog, Catalog, SmSpec};
+
+/// Concatenated DSL source of the full Stratus catalog.
+pub fn catalog_src() -> String {
+    compute::SRC.to_string()
+}
+
+/// Parse the golden Stratus specs.
+pub fn specs() -> Vec<SmSpec> {
+    parse_catalog(&catalog_src()).expect("built-in Stratus catalog must parse")
+}
+
+/// The golden Stratus catalog.
+pub fn catalog() -> Catalog {
+    Catalog::from_specs(specs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::check_catalog;
+
+    #[test]
+    fn stratus_catalog_parses_and_checks() {
+        let specs = specs();
+        let errs = check_catalog(&specs);
+        assert!(errs.is_empty(), "golden catalog has errors: {:#?}", errs);
+    }
+
+    #[test]
+    fn stratus_has_8_sms() {
+        assert_eq!(catalog().len(), 8);
+    }
+
+    #[test]
+    fn stratus_apis_do_not_collide_with_nimbus() {
+        let stratus = catalog();
+        let nimbus = crate::nimbus::catalog();
+        let nimbus_apis: std::collections::BTreeSet<&str> = nimbus
+            .iter()
+            .flat_map(|sm| sm.transitions.iter().map(|t| t.name.as_str()))
+            .collect();
+        for sm in stratus.iter() {
+            for t in &sm.transitions {
+                assert!(
+                    !nimbus_apis.contains(t.name.as_str()),
+                    "API {} exists in both providers",
+                    t.name
+                );
+            }
+        }
+    }
+}

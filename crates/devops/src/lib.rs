@@ -1,0 +1,28 @@
+#![deny(missing_docs)]
+
+//! # lce-devops — DevOps programs and evaluation scenarios
+//!
+//! DevOps engineers drive the cloud programmatically; emulators exist so
+//! those programs can be developed and tested without provisioning real
+//! resources (§1–2 of the paper). This crate provides:
+//!
+//! * [`program::Program`] — a small IaC-style program: a sequence of API
+//!   steps whose arguments may reference the response fields of earlier
+//!   steps (`let vpc = CreateVpc(...); CreateSubnet(VpcId = vpc.VpcId)`),
+//!   which is what makes the same program runnable against *different*
+//!   backends that generate different resource ids;
+//! * [`runner`] — executes programs against any
+//!   [`Backend`](lce_emulator::Backend) and compares recorded runs across
+//!   backends (response alignment per §4.3: identical error codes,
+//!   loosely-equal fields, generated ids masked);
+//! * [`scenarios`] — the paper's evaluation programs: the §5 basic
+//!   functionality program, the 3 × 4 accuracy matrix of Fig. 3
+//!   (provisioning / state updates / edge cases), and the Stratus
+//!   multi-cloud replica.
+
+pub mod program;
+pub mod runner;
+pub mod scenarios;
+
+pub use program::{Arg, Program, Step};
+pub use runner::{compare_runs, run_program, ProgramRun, RunComparison, StepRecord};

@@ -1,0 +1,127 @@
+//! The DevOps program representation.
+
+use lce_emulator::Value;
+use serde::{Deserialize, Serialize};
+
+/// An argument in a program step: either a literal value or a reference to
+/// a response field of an earlier, named step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Arg {
+    /// A literal value.
+    Lit(Value),
+    /// `FieldOf(binding, field)` — the named earlier step's response field.
+    FieldOf(String, String),
+}
+
+impl Arg {
+    /// Convenience: string literal.
+    pub fn str(s: impl Into<String>) -> Arg {
+        Arg::Lit(Value::Str(s.into()))
+    }
+    /// Convenience: integer literal.
+    pub fn int(i: i64) -> Arg {
+        Arg::Lit(Value::Int(i))
+    }
+    /// Convenience: boolean literal.
+    pub fn bool(b: bool) -> Arg {
+        Arg::Lit(Value::Bool(b))
+    }
+    /// Convenience: reference to an earlier binding's field.
+    pub fn field(binding: impl Into<String>, field: impl Into<String>) -> Arg {
+        Arg::FieldOf(binding.into(), field.into())
+    }
+}
+
+/// One step of a program: an API call with (possibly symbolic) arguments,
+/// optionally binding the response to a name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Binding name for the response (`let <bind> = ...`), if any.
+    pub bind: Option<String>,
+    /// API to invoke.
+    pub api: String,
+    /// Named arguments.
+    pub args: Vec<(String, Arg)>,
+}
+
+/// A DevOps program: a named sequence of steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    /// Start building a program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a step that binds its response.
+    pub fn bind(
+        mut self,
+        bind: impl Into<String>,
+        api: impl Into<String>,
+        args: Vec<(&str, Arg)>,
+    ) -> Self {
+        self.steps.push(Step {
+            bind: Some(bind.into()),
+            api: api.into(),
+            args: args
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+        self
+    }
+
+    /// Append a step without binding.
+    pub fn call(mut self, api: impl Into<String>, args: Vec<(&str, Arg)>) -> Self {
+        self.steps.push(Step {
+            bind: None,
+            api: api.into(),
+            args: args
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_steps_in_order() {
+        let p = Program::new("demo")
+            .bind("vpc", "CreateVpc", vec![("CidrBlock", Arg::str("10.0.0.0/16"))])
+            .call(
+                "DeleteVpc",
+                vec![("VpcId", Arg::field("vpc", "VpcId"))],
+            );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.steps[0].bind.as_deref(), Some("vpc"));
+        assert_eq!(p.steps[1].api, "DeleteVpc");
+        assert_eq!(
+            p.steps[1].args[0].1,
+            Arg::FieldOf("vpc".into(), "VpcId".into())
+        );
+    }
+}

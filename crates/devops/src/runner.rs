@@ -1,0 +1,213 @@
+//! Executing programs against backends and comparing recorded runs.
+
+use crate::program::{Arg, Program};
+use lce_emulator::{ApiCall, ApiResponse, Backend, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One executed step: the concrete call sent and the response received.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Concrete call (references resolved).
+    pub call: ApiCall,
+    /// The backend's response.
+    pub response: ApiResponse,
+}
+
+/// A recorded program execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramRun {
+    /// Program name.
+    pub program: String,
+    /// Backend name.
+    pub backend: String,
+    /// Per-step records, in order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl ProgramRun {
+    /// `true` if every step succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.steps.iter().all(|s| s.response.is_ok())
+    }
+
+    /// Error codes in step order (`None` for successful steps).
+    pub fn error_codes(&self) -> Vec<Option<String>> {
+        self.steps
+            .iter()
+            .map(|s| s.response.error_code().map(|c| c.to_string()))
+            .collect()
+    }
+}
+
+/// Execute a program against a backend. References to earlier bindings
+/// resolve to response fields; a reference to a missing binding or field
+/// resolves to `null` (and the call proceeds — divergence in whether the
+/// backend then errors is precisely what differential testing compares).
+pub fn run_program<B: Backend + ?Sized>(program: &Program, backend: &mut B) -> ProgramRun {
+    let mut bindings: BTreeMap<String, ApiResponse> = BTreeMap::new();
+    let mut steps = Vec::new();
+    for step in &program.steps {
+        let mut call = ApiCall::new(step.api.clone());
+        for (name, arg) in &step.args {
+            let value = match arg {
+                Arg::Lit(v) => v.clone(),
+                Arg::FieldOf(binding, field) => bindings
+                    .get(binding)
+                    .and_then(|r| r.field(field))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            };
+            call.args.insert(name.clone(), value);
+        }
+        let response = backend.invoke(&call);
+        if let Some(bind) = &step.bind {
+            bindings.insert(bind.clone(), response.clone());
+        }
+        steps.push(StepRecord { call, response });
+    }
+    ProgramRun {
+        program: program.name.clone(),
+        backend: backend.name().to_string(),
+        steps,
+    }
+}
+
+/// The outcome of comparing the same program's runs on two backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunComparison {
+    /// Program name.
+    pub program: String,
+    /// Steps compared.
+    pub total_steps: usize,
+    /// Steps whose responses aligned (ids masked).
+    pub aligned_steps: usize,
+    /// Indices and a short description of each divergent step.
+    pub divergences: Vec<(usize, String)>,
+}
+
+impl RunComparison {
+    /// `true` if the whole run aligned — the per-trace accuracy criterion
+    /// of Fig. 3.
+    pub fn fully_aligned(&self) -> bool {
+        self.aligned_steps == self.total_steps
+    }
+}
+
+/// Compare two runs of the same program step by step.
+pub fn compare_runs(a: &ProgramRun, b: &ProgramRun) -> RunComparison {
+    let total = a.steps.len().max(b.steps.len());
+    let mut aligned = 0usize;
+    let mut divergences = Vec::new();
+    for i in 0..total {
+        match (a.steps.get(i), b.steps.get(i)) {
+            (Some(sa), Some(sb)) => {
+                if sa.response.aligned_with_ids_masked(&sb.response) {
+                    aligned += 1;
+                } else {
+                    divergences.push((i, describe_divergence(&sa.call, &sa.response, &sb.response)));
+                }
+            }
+            _ => divergences.push((i, "step missing in one run".to_string())),
+        }
+    }
+    RunComparison {
+        program: a.program.clone(),
+        total_steps: total,
+        aligned_steps: aligned,
+        divergences,
+    }
+}
+
+fn describe_divergence(call: &ApiCall, a: &ApiResponse, b: &ApiResponse) -> String {
+    match (&a.error, &b.error) {
+        (None, Some(e)) => format!("{}: first succeeded, second failed with {}", call.api, e.code),
+        (Some(e), None) => format!("{}: first failed with {}, second succeeded", call.api, e.code),
+        (Some(ea), Some(eb)) => format!(
+            "{}: error codes differ ({} vs {})",
+            call.api, ea.code, eb.code
+        ),
+        (None, None) => format!("{}: response fields differ", call.api),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use lce_cloud::nimbus_provider;
+
+    fn vpc_program() -> Program {
+        Program::new("vpc-subnet")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.0.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            .bind(
+                "subnet",
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.0.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            .call(
+                "DescribeSubnet",
+                vec![("SubnetId", Arg::field("subnet", "SubnetId"))],
+            )
+    }
+
+    #[test]
+    fn run_resolves_references() {
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&vpc_program(), &mut cloud);
+        assert!(run.all_ok(), "{:?}", run.error_codes());
+        assert_eq!(run.steps.len(), 3);
+        // The describe call received the subnet's real id.
+        let id = run.steps[2].call.args.get("SubnetId").unwrap();
+        assert!(matches!(id, Value::Ref(_)));
+    }
+
+    #[test]
+    fn missing_binding_resolves_to_null() {
+        let p = Program::new("bad").call(
+            "DescribeVpc",
+            vec![("VpcId", Arg::field("ghost", "VpcId"))],
+        );
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&p, &mut cloud);
+        assert!(!run.all_ok());
+    }
+
+    #[test]
+    fn identical_backends_align() {
+        let mut a = nimbus_provider().golden_cloud();
+        let mut b = nimbus_provider().golden_cloud();
+        // Make b's ids diverge by burning one.
+        let _ = b.invoke(&ApiCall::new("CreateInternetGateway"));
+        let p = vpc_program();
+        let ra = run_program(&p, &mut a);
+        let rb = run_program(&p, &mut b);
+        let cmp = compare_runs(&ra, &rb);
+        assert!(cmp.fully_aligned(), "{:?}", cmp.divergences);
+    }
+
+    #[test]
+    fn divergence_reported_with_context() {
+        let mut a = nimbus_provider().golden_cloud();
+        let p = vpc_program();
+        let ra = run_program(&p, &mut a);
+        let mut rb = ra.clone();
+        rb.steps[2].response = ApiResponse::err(lce_emulator::ApiError::new("Boom", "x"));
+        let cmp = compare_runs(&ra, &rb);
+        assert!(!cmp.fully_aligned());
+        assert_eq!(cmp.divergences.len(), 1);
+        assert!(cmp.divergences[0].1.contains("DescribeSubnet"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's evaluation scenarios.
+//!
+//! * [`basic_functionality`] — the §5 "basic functionality" program
+//!   (create VPC → attach subnet → `ModifySubnetAttribute` enabling
+//!   `MapPublicIpOnLaunch`).
+//! * [`fig3_nimbus`] — the Fig. 3 accuracy matrix: 3 scenario categories
+//!   (provisioning, state updates, edge cases) × 4 traces each, against
+//!   the Nimbus provider.
+//! * [`fig3_stratus`] — the multi-cloud replica of the same matrix against
+//!   Stratus (§5, "Multi-cloud").
+
+pub mod nimbus;
+pub mod stratus;
+
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 3 scenario categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Resource provisioning chains.
+    Provisioning,
+    /// State update flows.
+    StateUpdates,
+    /// Edge cases targeting subtle, underspecified checks.
+    EdgeCases,
+}
+
+impl Category {
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Provisioning => "provisioning",
+            Category::StateUpdates => "state updates",
+            Category::EdgeCases => "edge cases",
+        }
+    }
+}
+
+/// A categorized evaluation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Fig. 3 category.
+    pub category: Category,
+    /// The program to run.
+    pub program: Program,
+}
+
+pub use nimbus::{basic_functionality, fig3_nimbus};
+pub use stratus::fig3_stratus;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_program;
+    use lce_cloud::{nimbus_provider, stratus_provider};
+
+    #[test]
+    fn fig3_matrix_is_3_by_4() {
+        let scenarios = fig3_nimbus();
+        assert_eq!(scenarios.len(), 12);
+        for cat in [
+            Category::Provisioning,
+            Category::StateUpdates,
+            Category::EdgeCases,
+        ] {
+            assert_eq!(
+                scenarios.iter().filter(|s| s.category == cat).count(),
+                4,
+                "category {:?}",
+                cat
+            );
+        }
+    }
+
+    #[test]
+    fn stratus_matrix_is_3_by_4() {
+        let scenarios = fig3_stratus();
+        assert_eq!(scenarios.len(), 12);
+    }
+
+    /// Every scenario must be *meaningful* against the golden cloud: each
+    /// step either succeeds or fails with the error code the scenario
+    /// narrative expects — never with an accidental `InvalidAction`,
+    /// `MissingParameter` or internal fault, which would mean the scenario
+    /// itself is buggy.
+    #[test]
+    fn nimbus_scenarios_are_well_formed_against_golden_cloud() {
+        for s in fig3_nimbus() {
+            let mut cloud = nimbus_provider().golden_cloud();
+            let run = run_program(&s.program, &mut cloud);
+            for (i, step) in run.steps.iter().enumerate() {
+                if let Some(e) = &step.response.error {
+                    assert!(
+                        ![
+                            "InvalidAction",
+                            "MissingParameter",
+                            "UnknownParameter",
+                            "InternalFailure",
+                            "LimitExceeded"
+                        ]
+                        .contains(&e.code.as_str()),
+                        "{} step {} ({}) failed unexpectedly: {}",
+                        s.program.name,
+                        i,
+                        step.call.api,
+                        e
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratus_scenarios_are_well_formed_against_golden_cloud() {
+        for s in fig3_stratus() {
+            let mut cloud = stratus_provider().golden_cloud();
+            let run = run_program(&s.program, &mut cloud);
+            for (i, step) in run.steps.iter().enumerate() {
+                if let Some(e) = &step.response.error {
+                    assert!(
+                        !["InvalidAction", "MissingParameter", "UnknownParameter", "InternalFailure"]
+                            .contains(&e.code.as_str()),
+                        "{} step {} ({}) failed unexpectedly: {}",
+                        s.program.name,
+                        i,
+                        step.call.api,
+                        e
+                    );
+                }
+            }
+        }
+    }
+
+    /// Each category must exercise at least one expected failure (edge
+    /// cases) or succeed fully (provisioning) on the golden cloud.
+    #[test]
+    fn provisioning_scenarios_succeed_on_golden_cloud() {
+        for s in fig3_nimbus() {
+            if s.category == Category::Provisioning && s.program.name != "prov-teardown-order" {
+                let mut cloud = nimbus_provider().golden_cloud();
+                let run = run_program(&s.program, &mut cloud);
+                assert!(
+                    run.all_ok(),
+                    "{} should fully succeed: {:?}",
+                    s.program.name,
+                    run.error_codes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_case_scenarios_hit_expected_errors() {
+        for s in fig3_nimbus() {
+            if s.category == Category::EdgeCases {
+                let mut cloud = nimbus_provider().golden_cloud();
+                let run = run_program(&s.program, &mut cloud);
+                assert!(
+                    run.steps.iter().any(|st| !st.response.is_ok()),
+                    "{} should contain at least one expected failure",
+                    s.program.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basic_functionality_succeeds_and_keeps_state() {
+        let mut cloud = nimbus_provider().golden_cloud();
+        let run = run_program(&basic_functionality(), &mut cloud);
+        assert!(run.all_ok(), "{:?}", run.error_codes());
+        // The subnet attribute really changed.
+        let last = run.steps.last().unwrap();
+        assert_eq!(last.call.api, "DescribeSubnet");
+        assert_eq!(
+            last.response.field("MapPublicIpOnLaunch"),
+            Some(&lce_emulator::Value::Bool(true))
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! Nimbus evaluation programs.
+
+use super::{Category, Scenario};
+use crate::program::{Arg, Program};
+
+/// The §5 "basic functionality" program: create a VPC, attach a subnet,
+/// enable `MapPublicIpOnLaunch`, and read the state back.
+pub fn basic_functionality() -> Program {
+    Program::new("basic-functionality")
+        .bind(
+            "vpc",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.0.0.0/16")),
+                ("Region", Arg::str("us-east")),
+            ],
+        )
+        .bind(
+            "subnet",
+            "CreateSubnet",
+            vec![
+                ("VpcId", Arg::field("vpc", "VpcId")),
+                ("CidrBlock", Arg::str("10.0.1.0/24")),
+                ("PrefixLength", Arg::int(24)),
+                ("Zone", Arg::str("us-east-1a")),
+            ],
+        )
+        .call(
+            "ModifySubnetAttribute",
+            vec![
+                ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ("MapPublicIpOnLaunch", Arg::bool(true)),
+            ],
+        )
+        .call(
+            "DescribeSubnet",
+            vec![("SubnetId", Arg::field("subnet", "SubnetId"))],
+        )
+}
+
+/// Shared prelude: VPC + subnet + image, bound as `vpc`/`subnet`/`image`.
+fn with_network(name: &str) -> Program {
+    Program::new(name)
+        .bind(
+            "vpc",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.0.0.0/16")),
+                ("Region", Arg::str("us-east")),
+            ],
+        )
+        .bind(
+            "subnet",
+            "CreateSubnet",
+            vec![
+                ("VpcId", Arg::field("vpc", "VpcId")),
+                ("CidrBlock", Arg::str("10.0.1.0/24")),
+                ("PrefixLength", Arg::int(24)),
+                ("Zone", Arg::str("us-east-1a")),
+            ],
+        )
+        .bind(
+            "image",
+            "RegisterImage",
+            vec![("Name", Arg::str("base-linux"))],
+        )
+}
+
+/// The Fig. 3 matrix: 4 provisioning + 4 state-update + 4 edge-case traces.
+pub fn fig3_nimbus() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // ---------------- Provisioning ----------------
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: with_network("prov-instance-chain")
+            .bind(
+                "inst",
+                "RunInstance",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    ("ImageId", Arg::field("image", "ImageId")),
+                    ("InstanceType", Arg::str("t3.micro")),
+                ],
+            )
+            .call(
+                "DescribeInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            )
+            .call(
+                "DescribeVpc",
+                vec![("VpcId", Arg::field("vpc", "VpcId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: Program::new("prov-dedicated-tenancy")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.1.0.0/16")),
+                    ("Region", Arg::str("us-west")),
+                    ("InstanceTenancy", Arg::str("dedicated")),
+                ],
+            )
+            .call("DescribeVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: with_network("prov-routing")
+            .bind("igw", "CreateInternetGateway", vec![])
+            .call(
+                "AttachInternetGateway",
+                vec![
+                    ("InternetGatewayId", Arg::field("igw", "InternetGatewayId")),
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                ],
+            )
+            .bind(
+                "rt",
+                "CreateRouteTable",
+                vec![("VpcId", Arg::field("vpc", "VpcId"))],
+            )
+            .call(
+                "CreateRoute",
+                vec![
+                    ("RouteTableId", Arg::field("rt", "RouteTableId")),
+                    ("DestinationCidrBlock", Arg::str("0.0.0.0/0")),
+                ],
+            )
+            .call(
+                "AssociateRouteTable",
+                vec![
+                    ("RouteTableId", Arg::field("rt", "RouteTableId")),
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ],
+            )
+            .call(
+                "DescribeRouteTable",
+                vec![("RouteTableId", Arg::field("rt", "RouteTableId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: Program::new("prov-firewall")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.2.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            .bind(
+                "subnet",
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.2.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            .bind(
+                "policy",
+                "CreateFirewallPolicy",
+                vec![("PolicyName", Arg::str("default-policy"))],
+            )
+            .bind(
+                "rg",
+                "CreateRuleGroup",
+                vec![
+                    ("GroupName", Arg::str("web-rules")),
+                    ("Type", Arg::str("STATEFUL")),
+                    ("Capacity", Arg::int(100)),
+                ],
+            )
+            .call(
+                "UpdateFirewallPolicy",
+                vec![
+                    ("FirewallPolicyId", Arg::field("policy", "FirewallPolicyId")),
+                    ("AddRuleGroupId", Arg::field("rg", "RuleGroupId")),
+                ],
+            )
+            .bind(
+                "fw",
+                "CreateFirewall",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("FirewallPolicyId", Arg::field("policy", "FirewallPolicyId")),
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ],
+            )
+            .call(
+                "DescribeFirewall",
+                vec![("FirewallId", Arg::field("fw", "FirewallId"))],
+            ),
+    });
+
+    // ---------------- State updates ----------------
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: with_network("state-instance-lifecycle")
+            .bind(
+                "inst",
+                "RunInstance",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    ("ImageId", Arg::field("image", "ImageId")),
+                    ("InstanceType", Arg::str("m5.large")),
+                ],
+            )
+            .call(
+                "StopInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            )
+            .call(
+                "ModifyInstanceAttribute",
+                vec![
+                    ("InstanceId", Arg::field("inst", "InstanceId")),
+                    ("InstanceType", Arg::str("m5.xlarge")),
+                ],
+            )
+            .call(
+                "StartInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            )
+            .call(
+                "DescribeInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: Program::new("state-dns-coupling")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.3.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            .call(
+                "ModifyVpcAttribute",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("EnableDnsHostnames", Arg::bool(true)),
+                ],
+            )
+            // Disabling DNS support while hostnames are on must fail.
+            .call(
+                "ModifyVpcAttribute",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("EnableDnsSupport", Arg::bool(false)),
+                ],
+            )
+            .call("DescribeVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: with_network("state-credit-spec")
+            .bind(
+                "burst",
+                "RunInstance",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    ("ImageId", Arg::field("image", "ImageId")),
+                    ("InstanceType", Arg::str("t3.micro")),
+                ],
+            )
+            .call(
+                "ModifyInstanceCreditSpecification",
+                vec![
+                    ("InstanceId", Arg::field("burst", "InstanceId")),
+                    ("CpuCredits", Arg::str("unlimited")),
+                ],
+            )
+            .bind(
+                "big",
+                "RunInstance",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    ("ImageId", Arg::field("image", "ImageId")),
+                    ("InstanceType", Arg::str("m5.large")),
+                ],
+            )
+            // Credit specification on a non-burstable type must fail.
+            .call(
+                "ModifyInstanceCreditSpecification",
+                vec![
+                    ("InstanceId", Arg::field("big", "InstanceId")),
+                    ("CpuCredits", Arg::str("unlimited")),
+                ],
+            )
+            .call(
+                "DescribeInstance",
+                vec![("InstanceId", Arg::field("burst", "InstanceId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: Program::new("state-volume-resize")
+            .bind(
+                "vol",
+                "CreateVolume",
+                vec![
+                    ("Size", Arg::int(100)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            .call(
+                "ModifyVolume",
+                vec![
+                    ("VolumeId", Arg::field("vol", "VolumeId")),
+                    ("Size", Arg::int(200)),
+                ],
+            )
+            // Shrinking must fail.
+            .call(
+                "ModifyVolume",
+                vec![
+                    ("VolumeId", Arg::field("vol", "VolumeId")),
+                    ("Size", Arg::int(50)),
+                ],
+            )
+            .call(
+                "DescribeVolume",
+                vec![("VolumeId", Arg::field("vol", "VolumeId"))],
+            ),
+    });
+
+    // ---------------- Edge cases ----------------
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: with_network("edge-start-running")
+            .bind(
+                "inst",
+                "RunInstance",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    ("ImageId", Arg::field("image", "ImageId")),
+                    ("InstanceType", Arg::str("t3.micro")),
+                ],
+            )
+            // Starting an already-running instance: the cloud returns
+            // IncorrectInstanceState; a silent success is the paper's
+            // canonical D2C transition error.
+            .call(
+                "StartInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            )
+            .call(
+                "DescribeInstance",
+                vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: Program::new("edge-subnet-validation")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.4.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            // Invalid prefix size (/29): the paper's shallow-validation
+            // example.
+            .call(
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.4.1.0/29")),
+                    ("PrefixLength", Arg::int(29)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            .bind(
+                "s1",
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.4.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            // Conflicting CIDR.
+            .call(
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.4.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                    ("Zone", Arg::str("us-east-1b")),
+                ],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: Program::new("edge-delete-vpc-with-children")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.5.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            .bind(
+                "subnet",
+                "CreateSubnet",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("CidrBlock", Arg::str("10.5.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                    ("Zone", Arg::str("us-east-1a")),
+                ],
+            )
+            // Deleting the VPC while the subnet lives must fail with
+            // DependencyViolation (§2's Moto bug).
+            .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))])
+            .call(
+                "DeleteSubnet",
+                vec![("SubnetId", Arg::field("subnet", "SubnetId"))],
+            )
+            .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: Program::new("edge-duplicate-sg-rule")
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![
+                    ("CidrBlock", Arg::str("10.6.0.0/16")),
+                    ("Region", Arg::str("us-east")),
+                ],
+            )
+            .bind(
+                "sg",
+                "CreateSecurityGroup",
+                vec![
+                    ("VpcId", Arg::field("vpc", "VpcId")),
+                    ("GroupName", Arg::str("web")),
+                    ("Description", Arg::str("web tier")),
+                ],
+            )
+            .call(
+                "AuthorizeSecurityGroupIngress",
+                vec![
+                    ("SecurityGroupId", Arg::field("sg", "SecurityGroupId")),
+                    ("Rule", Arg::str("tcp/443 from 0.0.0.0/0")),
+                ],
+            )
+            // Duplicate rule must fail.
+            .call(
+                "AuthorizeSecurityGroupIngress",
+                vec![
+                    ("SecurityGroupId", Arg::field("sg", "SecurityGroupId")),
+                    ("Rule", Arg::str("tcp/443 from 0.0.0.0/0")),
+                ],
+            )
+            // Revoking a rule that was never added must fail.
+            .call(
+                "RevokeSecurityGroupIngress",
+                vec![
+                    ("SecurityGroupId", Arg::field("sg", "SecurityGroupId")),
+                    ("Rule", Arg::str("udp/53 from 10.0.0.0/8")),
+                ],
+            ),
+    });
+
+    out
+}

@@ -1,0 +1,402 @@
+//! Stratus evaluation programs — the multi-cloud replica of the Fig. 3
+//! matrix (§5, "Multi-cloud": "We replicated the same workflow on Azure
+//! and achieved comparable accuracy").
+
+use super::{Category, Scenario};
+use crate::program::{Arg, Program};
+
+/// Shared prelude: virtual network + subnet + NIC.
+fn with_vnet(name: &str) -> Program {
+    Program::new(name)
+        .bind(
+            "vnet",
+            "CreateVirtualNetwork",
+            vec![
+                ("AddressSpace", Arg::str("10.0.0.0/8")),
+                ("Location", Arg::str("north")),
+            ],
+        )
+        .bind(
+            "subnet",
+            "CreateVnetSubnet",
+            vec![
+                ("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId")),
+                ("AddressPrefix", Arg::str("10.0.1.0/24")),
+                ("PrefixLength", Arg::int(24)),
+            ],
+        )
+        .bind(
+            "nic",
+            "CreateNetworkInterfaceCard",
+            vec![
+                ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ("Location", Arg::str("north")),
+            ],
+        )
+}
+
+/// The Fig. 3 matrix against Stratus: 4 + 4 + 4 traces.
+pub fn fig3_stratus() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // ---------------- Provisioning ----------------
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: with_vnet("sprov-vm-chain")
+            .bind(
+                "vm",
+                "CreateVirtualMachine",
+                vec![
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                    ("Size", Arg::str("Standard_B2s")),
+                ],
+            )
+            .call(
+                "GetVirtualMachine",
+                vec![("VirtualMachineId", Arg::field("vm", "VirtualMachineId"))],
+            )
+            .call(
+                "GetVirtualNetwork",
+                vec![("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: Program::new("sprov-public-ip")
+            .bind(
+                "ip",
+                "CreatePublicIpAddress",
+                vec![
+                    ("Location", Arg::str("south")),
+                    ("AllocationMethod", Arg::str("Static")),
+                ],
+            )
+            .call(
+                "GetPublicIpAddress",
+                vec![("PublicIpAddressId", Arg::field("ip", "PublicIpAddressId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: with_vnet("sprov-nsg")
+            .bind(
+                "nsg",
+                "CreateNetworkSecurityGroup",
+                vec![("Location", Arg::str("north"))],
+            )
+            .call(
+                "AssociateNetworkSecurityGroup",
+                vec![
+                    ("SubnetId", Arg::field("subnet", "SubnetId")),
+                    (
+                        "NetworkSecurityGroupId",
+                        Arg::field("nsg", "NetworkSecurityGroupId"),
+                    ),
+                ],
+            )
+            .call(
+                "GetVnetSubnet",
+                vec![("SubnetId", Arg::field("subnet", "SubnetId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::Provisioning,
+        program: with_vnet("sprov-loadbalancer")
+            .bind(
+                "lb",
+                "CreateLoadBalancer",
+                vec![("Location", Arg::str("north"))],
+            )
+            .call(
+                "AddBackend",
+                vec![
+                    ("LoadBalancerId", Arg::field("lb", "LoadBalancerId")),
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                ],
+            )
+            .call(
+                "AddLoadBalancingRule",
+                vec![
+                    ("LoadBalancerId", Arg::field("lb", "LoadBalancerId")),
+                    ("Rule", Arg::str("tcp/80 -> tcp/8080")),
+                ],
+            )
+            .call(
+                "GetLoadBalancer",
+                vec![("LoadBalancerId", Arg::field("lb", "LoadBalancerId"))],
+            ),
+    });
+
+    // ---------------- State updates ----------------
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: with_vnet("sstate-vm-lifecycle")
+            .bind(
+                "vm",
+                "CreateVirtualMachine",
+                vec![
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                    ("Size", Arg::str("Standard_B1s")),
+                ],
+            )
+            .call(
+                "PowerOffVirtualMachine",
+                vec![("VirtualMachineId", Arg::field("vm", "VirtualMachineId"))],
+            )
+            .call(
+                "DeallocateVirtualMachine",
+                vec![("VirtualMachineId", Arg::field("vm", "VirtualMachineId"))],
+            )
+            .call(
+                "ResizeVirtualMachine",
+                vec![
+                    ("VirtualMachineId", Arg::field("vm", "VirtualMachineId")),
+                    ("Size", Arg::str("Standard_D2s")),
+                ],
+            )
+            .call(
+                "GetVirtualMachine",
+                vec![("VirtualMachineId", Arg::field("vm", "VirtualMachineId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: Program::new("sstate-disk-resize")
+            .bind(
+                "disk",
+                "CreateManagedDisk",
+                vec![("SizeGb", Arg::int(128))],
+            )
+            .call(
+                "ResizeManagedDisk",
+                vec![
+                    ("ManagedDiskId", Arg::field("disk", "ManagedDiskId")),
+                    ("SizeGb", Arg::int(256)),
+                ],
+            )
+            // Shrinking must fail.
+            .call(
+                "ResizeManagedDisk",
+                vec![
+                    ("ManagedDiskId", Arg::field("disk", "ManagedDiskId")),
+                    ("SizeGb", Arg::int(64)),
+                ],
+            )
+            .call(
+                "GetManagedDisk",
+                vec![("ManagedDiskId", Arg::field("disk", "ManagedDiskId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: with_vnet("sstate-ip-association")
+            .bind(
+                "ip",
+                "CreatePublicIpAddress",
+                vec![("Location", Arg::str("north"))],
+            )
+            .call(
+                "AssociateWithNic",
+                vec![
+                    ("PublicIpAddressId", Arg::field("ip", "PublicIpAddressId")),
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                ],
+            )
+            .call(
+                "GetNetworkInterfaceCard",
+                vec![(
+                    "NetworkInterfaceCardId",
+                    Arg::field("nic", "NetworkInterfaceCardId"),
+                )],
+            )
+            .call(
+                "DissociateFromNic",
+                vec![("PublicIpAddressId", Arg::field("ip", "PublicIpAddressId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::StateUpdates,
+        program: Program::new("sstate-nsg-rules")
+            .bind(
+                "nsg",
+                "CreateNetworkSecurityGroup",
+                vec![("Location", Arg::str("west-europe"))],
+            )
+            .call(
+                "CreateSecurityRule",
+                vec![
+                    (
+                        "NetworkSecurityGroupId",
+                        Arg::field("nsg", "NetworkSecurityGroupId"),
+                    ),
+                    ("Rule", Arg::str("allow tcp/22 priority 100")),
+                ],
+            )
+            .call(
+                "DeleteSecurityRule",
+                vec![
+                    (
+                        "NetworkSecurityGroupId",
+                        Arg::field("nsg", "NetworkSecurityGroupId"),
+                    ),
+                    ("Rule", Arg::str("allow tcp/22 priority 100")),
+                ],
+            )
+            .call(
+                "GetNetworkSecurityGroup",
+                vec![(
+                    "NetworkSecurityGroupId",
+                    Arg::field("nsg", "NetworkSecurityGroupId"),
+                )],
+            ),
+    });
+
+    // ---------------- Edge cases ----------------
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: with_vnet("sedge-start-running")
+            .bind(
+                "vm",
+                "CreateVirtualMachine",
+                vec![
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                    ("Size", Arg::str("Standard_B1s")),
+                ],
+            )
+            // Starting a running VM must fail with OperationNotAllowed.
+            .call(
+                "StartVirtualMachine",
+                vec![("VirtualMachineId", Arg::field("vm", "VirtualMachineId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: Program::new("sedge-subnet-overlap")
+            .bind(
+                "vnet",
+                "CreateVirtualNetwork",
+                vec![
+                    ("AddressSpace", Arg::str("10.0.0.0/8")),
+                    ("Location", Arg::str("north")),
+                ],
+            )
+            .bind(
+                "s1",
+                "CreateVnetSubnet",
+                vec![
+                    ("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId")),
+                    ("AddressPrefix", Arg::str("10.0.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                ],
+            )
+            // Overlapping prefix must fail.
+            .call(
+                "CreateVnetSubnet",
+                vec![
+                    ("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId")),
+                    ("AddressPrefix", Arg::str("10.0.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                ],
+            )
+            // Out-of-range prefix must fail.
+            .call(
+                "CreateVnetSubnet",
+                vec![
+                    ("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId")),
+                    ("AddressPrefix", Arg::str("10.0.2.0/30")),
+                    ("PrefixLength", Arg::int(30)),
+                ],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: Program::new("sedge-delete-vnet-with-subnet")
+            .bind(
+                "vnet",
+                "CreateVirtualNetwork",
+                vec![
+                    ("AddressSpace", Arg::str("172.16.0.0/12")),
+                    ("Location", Arg::str("south")),
+                ],
+            )
+            .bind(
+                "subnet",
+                "CreateVnetSubnet",
+                vec![
+                    ("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId")),
+                    ("AddressPrefix", Arg::str("172.16.1.0/24")),
+                    ("PrefixLength", Arg::int(24)),
+                ],
+            )
+            // Deleting the vnet with a live subnet must fail.
+            .call(
+                "DeleteVirtualNetwork",
+                vec![("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId"))],
+            )
+            .call(
+                "DeleteVnetSubnet",
+                vec![("SubnetId", Arg::field("subnet", "SubnetId"))],
+            )
+            .call(
+                "DeleteVirtualNetwork",
+                vec![("VirtualNetworkId", Arg::field("vnet", "VirtualNetworkId"))],
+            ),
+    });
+
+    out.push(Scenario {
+        category: Category::EdgeCases,
+        program: with_vnet("sedge-nic-in-use")
+            .bind(
+                "vm",
+                "CreateVirtualMachine",
+                vec![
+                    (
+                        "NetworkInterfaceCardId",
+                        Arg::field("nic", "NetworkInterfaceCardId"),
+                    ),
+                    ("Size", Arg::str("Standard_B1s")),
+                ],
+            )
+            // Deleting an attached NIC must fail.
+            .call(
+                "DeleteNetworkInterfaceCard",
+                vec![(
+                    "NetworkInterfaceCardId",
+                    Arg::field("nic", "NetworkInterfaceCardId"),
+                )],
+            )
+            // Resizing a running VM must fail (must deallocate first).
+            .call(
+                "ResizeVirtualMachine",
+                vec![
+                    ("VirtualMachineId", Arg::field("vm", "VirtualMachineId")),
+                    ("Size", Arg::str("Standard_D4s")),
+                ],
+            ),
+    });
+
+    out
+}

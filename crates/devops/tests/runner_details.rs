@@ -1,0 +1,159 @@
+//! Runner nuances: binding semantics, reference resolution through
+//! failures, and the id-masking comparison rules the differential engine
+//! depends on.
+
+use lce_cloud::nimbus_provider;
+use lce_devops::{compare_runs, run_program, Arg, Program};
+use lce_emulator::Value;
+
+fn vpc_args() -> Vec<(&'static str, Arg)> {
+    vec![
+        ("CidrBlock", Arg::str("10.0.0.0/16")),
+        ("Region", Arg::str("us-east")),
+    ]
+}
+
+#[test]
+fn later_binding_shadows_earlier() {
+    let p = Program::new("shadow")
+        .bind("x", "CreateVpc", vpc_args())
+        .bind(
+            "x",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.1.0.0/16")),
+                ("Region", Arg::str("us-west")),
+            ],
+        )
+        .call("DescribeVpc", vec![("VpcId", Arg::field("x", "VpcId"))]);
+    let mut cloud = nimbus_provider().golden_cloud();
+    let run = run_program(&p, &mut cloud);
+    assert!(run.all_ok(), "{:?}", run.error_codes());
+    // The describe targeted the *second* VPC.
+    assert_eq!(
+        run.steps[2].response.field("Region"),
+        Some(&Value::str("us-west"))
+    );
+}
+
+#[test]
+fn reference_into_failed_step_becomes_null() {
+    let p = Program::new("cascade")
+        .bind(
+            "bad",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.0.0.0/16")),
+                ("Region", Arg::str("mars-east")), // invalid region
+            ],
+        )
+        .call("DescribeVpc", vec![("VpcId", Arg::field("bad", "VpcId"))]);
+    let mut cloud = nimbus_provider().golden_cloud();
+    let run = run_program(&p, &mut cloud);
+    assert_eq!(
+        run.error_codes(),
+        vec![
+            Some("InvalidParameterValue".to_string()),
+            Some("MissingParameter".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn reference_to_missing_field_becomes_null() {
+    let p = Program::new("typo")
+        .bind("vpc", "CreateVpc", vpc_args())
+        .call("DescribeVpc", vec![("VpcId", Arg::field("vpc", "VpcIdd"))]);
+    let mut cloud = nimbus_provider().golden_cloud();
+    let run = run_program(&p, &mut cloud);
+    assert_eq!(
+        run.steps[1].response.error_code(),
+        Some("MissingParameter")
+    );
+}
+
+#[test]
+fn comparison_masks_ids_inside_lists() {
+    // Route tables return lists of subnet references; two backends with
+    // different counters must still align.
+    let p = Program::new("rt")
+        .bind("vpc", "CreateVpc", vpc_args())
+        .bind(
+            "subnet",
+            "CreateSubnet",
+            vec![
+                ("VpcId", Arg::field("vpc", "VpcId")),
+                ("CidrBlock", Arg::str("10.0.1.0/24")),
+                ("PrefixLength", Arg::int(24)),
+                ("Zone", Arg::str("us-east-1a")),
+            ],
+        )
+        .bind(
+            "rt",
+            "CreateRouteTable",
+            vec![("VpcId", Arg::field("vpc", "VpcId"))],
+        )
+        .call(
+            "AssociateRouteTable",
+            vec![
+                ("RouteTableId", Arg::field("rt", "RouteTableId")),
+                ("SubnetId", Arg::field("subnet", "SubnetId")),
+            ],
+        )
+        .call(
+            "DescribeRouteTable",
+            vec![("RouteTableId", Arg::field("rt", "RouteTableId"))],
+        );
+    let mut a = nimbus_provider().golden_cloud();
+    let mut b = nimbus_provider().golden_cloud();
+    // Skew b's counters so the subnet ids differ (counters are per-type,
+    // so burn subnet ids specifically, then tear the warm-up world down).
+    let warmup = Program::new("warmup")
+        .bind("vpc", "CreateVpc", vpc_args())
+        .bind(
+            "s",
+            "CreateSubnet",
+            vec![
+                ("VpcId", Arg::field("vpc", "VpcId")),
+                ("CidrBlock", Arg::str("10.0.9.0/24")),
+                ("PrefixLength", Arg::int(24)),
+                ("Zone", Arg::str("us-east-1a")),
+            ],
+        )
+        .call("DeleteSubnet", vec![("SubnetId", Arg::field("s", "SubnetId"))])
+        .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
+    assert!(run_program(&warmup, &mut b).all_ok());
+    let ra = run_program(&p, &mut a);
+    let rb = run_program(&p, &mut b);
+    assert!(ra.all_ok() && rb.all_ok());
+    // Raw field equality differs…
+    assert_ne!(
+        ra.steps[4].response.field("AssociatedSubnets"),
+        rb.steps[4].response.field("AssociatedSubnets")
+    );
+    // …but masked comparison aligns.
+    let cmp = compare_runs(&ra, &rb);
+    assert!(cmp.fully_aligned(), "{:?}", cmp.divergences);
+}
+
+#[test]
+fn run_records_resolved_concrete_calls() {
+    let p = Program::new("record")
+        .bind("vpc", "CreateVpc", vpc_args())
+        .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
+    let mut cloud = nimbus_provider().golden_cloud();
+    let run = run_program(&p, &mut cloud);
+    // The recorded call carries the concrete id, not the symbolic ref.
+    let arg = run.steps[1].call.args.get("VpcId").unwrap();
+    assert!(matches!(arg, Value::Ref(id) if id.as_str().starts_with("vpc-")));
+}
+
+#[test]
+fn programs_serialize_for_the_cli() {
+    let p = Program::new("persist")
+        .bind("vpc", "CreateVpc", vpc_args())
+        .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
+    let json = serde_json::to_string_pretty(&p).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+}

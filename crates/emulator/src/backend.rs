@@ -1,0 +1,82 @@
+//! The [`Backend`] trait: anything that can stand in for a cloud.
+//!
+//! Implemented by the interpreter ([`crate::Emulator`]) for golden, learned
+//! and direct-to-code behaviour models, and by the handcrafted Moto-like
+//! baseline in `lce-baselines`. The DevOps program runner and the alignment
+//! engine are generic over this trait, which is what lets every experiment
+//! compare emulators on identical traces.
+
+use crate::call::{ApiCall, ApiResponse};
+
+/// A mock cloud endpoint.
+pub trait Backend {
+    /// Display name used in reports (e.g. `"golden"`, `"learned"`).
+    fn name(&self) -> &str;
+
+    /// Invoke one API call, mutating internal state.
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse;
+
+    /// Drop all resources, returning to a fresh account.
+    fn reset(&mut self);
+
+    /// All API names this backend claims to support (used for coverage
+    /// accounting).
+    fn api_names(&self) -> Vec<String>;
+
+    /// `true` if the backend claims to support the API.
+    fn supports(&self, api: &str) -> bool {
+        self.api_names().iter().any(|a| a == api)
+    }
+}
+
+/// Run a sequence of calls, collecting responses.
+pub fn run_trace<B: Backend + ?Sized>(backend: &mut B, calls: &[ApiCall]) -> Vec<ApiResponse> {
+    calls.iter().map(|c| backend.invoke(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+
+    /// A trivial backend for trait-level tests.
+    struct Echo {
+        count: usize,
+    }
+
+    impl Backend for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+            self.count += 1;
+            let mut fields = BTreeMap::new();
+            fields.insert("Api".to_string(), Value::str(call.api.clone()));
+            ApiResponse::ok(fields)
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+        fn api_names(&self) -> Vec<String> {
+            vec!["Echo".into()]
+        }
+    }
+
+    #[test]
+    fn run_trace_preserves_order() {
+        let mut b = Echo { count: 0 };
+        let calls = vec![ApiCall::new("A"), ApiCall::new("B")];
+        let resps = run_trace(&mut b, &calls);
+        assert_eq!(resps.len(), 2);
+        assert_eq!(resps[1].field("Api"), Some(&Value::str("B")));
+        assert_eq!(b.count, 2);
+    }
+
+    #[test]
+    fn supports_uses_api_names() {
+        let b = Echo { count: 0 };
+        assert!(b.supports("Echo"));
+        assert!(!b.supports("Other"));
+    }
+}

@@ -1,0 +1,231 @@
+//! API calls and responses: the wire-level interface DevOps programs see.
+
+use crate::errors::ApiError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An API invocation: name plus named arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiCall {
+    /// API name (e.g. `CreateVpc`).
+    pub api: String,
+    /// Named arguments.
+    pub args: BTreeMap<String, Value>,
+}
+
+impl ApiCall {
+    /// Start building a call to the given API.
+    pub fn new(api: impl Into<String>) -> Self {
+        ApiCall {
+            api: api.into(),
+            args: BTreeMap::new(),
+        }
+    }
+
+    /// Add an argument.
+    pub fn arg(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.args.insert(name.into(), value);
+        self
+    }
+
+    /// Add a string argument.
+    pub fn arg_str(self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.arg(name, Value::Str(value.into()))
+    }
+
+    /// Add an integer argument.
+    pub fn arg_int(self, name: impl Into<String>, value: i64) -> Self {
+        self.arg(name, Value::Int(value))
+    }
+
+    /// Add a boolean argument.
+    pub fn arg_bool(self, name: impl Into<String>, value: bool) -> Self {
+        self.arg(name, Value::Bool(value))
+    }
+}
+
+impl fmt::Display for ApiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.api)?;
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", k, v)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The result of an API invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiResponse {
+    /// Response fields emitted by the transition (plus the auto-emitted
+    /// resource id on `create`).
+    pub fields: BTreeMap<String, Value>,
+    /// The error, if the call failed.
+    pub error: Option<ApiError>,
+}
+
+impl ApiResponse {
+    /// A successful response with the given fields.
+    pub fn ok(fields: BTreeMap<String, Value>) -> Self {
+        ApiResponse {
+            fields,
+            error: None,
+        }
+    }
+
+    /// A failed response.
+    pub fn err(error: ApiError) -> Self {
+        ApiResponse {
+            fields: BTreeMap::new(),
+            error: Some(error),
+        }
+    }
+
+    /// `true` if the call succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The error code, if the call failed.
+    pub fn error_code(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.code.as_str())
+    }
+
+    /// Look up a response field.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.get(name)
+    }
+
+    /// Alignment comparison per §4.3: *"error codes need to be identically
+    /// aligned with the cloud response, the messages are for developer
+    /// consumption and can deviate."* Two responses align iff they agree on
+    /// success/failure, successful responses expose the same fields with
+    /// [`Value::loose_eq`] values (modulo generated ids, see
+    /// [`Self::aligned_with_ids_masked`]), and failed responses carry the
+    /// same error code.
+    pub fn aligned_with(&self, other: &ApiResponse) -> bool {
+        match (&self.error, &other.error) {
+            (None, None) => {
+                if self.fields.len() != other.fields.len() {
+                    return false;
+                }
+                self.fields.iter().all(|(k, v)| {
+                    other.fields.get(k).is_some_and(|ov| v.loose_eq(ov))
+                })
+            }
+            (Some(a), Some(b)) => a.code == b.code,
+            _ => false,
+        }
+    }
+
+    /// Like [`Self::aligned_with`], but treats any two [`Value::Ref`] (or
+    /// ref-shaped string) values in the same field as equal: two independent
+    /// emulators generate ids from independent counters, so concrete ids
+    /// must be masked when diffing traces.
+    pub fn aligned_with_ids_masked(&self, other: &ApiResponse) -> bool {
+        match (&self.error, &other.error) {
+            (None, None) => {
+                if self.fields.len() != other.fields.len() {
+                    return false;
+                }
+                self.fields.iter().all(|(k, v)| match other.fields.get(k) {
+                    None => false,
+                    Some(ov) => ids_masked_eq(v, ov),
+                })
+            }
+            (Some(a), Some(b)) => a.code == b.code,
+            _ => false,
+        }
+    }
+}
+
+fn looks_like_id(s: &str) -> bool {
+    s.rsplit_once('-')
+        .is_some_and(|(_, tail)| !tail.is_empty() && tail.chars().all(|c| c.is_ascii_hexdigit()))
+}
+
+fn ids_masked_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Ref(_), Value::Ref(_)) => true,
+        (Value::Ref(_), Value::Str(s)) | (Value::Str(s), Value::Ref(_)) => looks_like_id(s),
+        (Value::Str(x), Value::Str(y)) if looks_like_id(x) && looks_like_id(y) => true,
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| ids_masked_eq(x, y))
+        }
+        (x, y) => x.loose_eq(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::ApiError;
+
+    fn ok(fields: &[(&str, Value)]) -> ApiResponse {
+        ApiResponse::ok(
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn aligned_same_fields() {
+        let a = ok(&[("State", Value::str("available"))]);
+        let b = ok(&[("State", Value::enum_val("available"))]);
+        assert!(a.aligned_with(&b));
+    }
+
+    #[test]
+    fn not_aligned_missing_field() {
+        let a = ok(&[("State", Value::str("available"))]);
+        let b = ok(&[]);
+        assert!(!a.aligned_with(&b));
+        assert!(!b.aligned_with(&a));
+    }
+
+    #[test]
+    fn aligned_errors_compare_codes_only() {
+        let a = ApiResponse::err(ApiError::new("DependencyViolation", "vpc busy"));
+        let b = ApiResponse::err(ApiError::new("DependencyViolation", "different words"));
+        let c = ApiResponse::err(ApiError::new("NotFound", "vpc busy"));
+        assert!(a.aligned_with(&b));
+        assert!(!a.aligned_with(&c));
+    }
+
+    #[test]
+    fn success_vs_error_never_aligned() {
+        let a = ok(&[]);
+        let b = ApiResponse::err(ApiError::new("X", "m"));
+        assert!(!a.aligned_with(&b));
+    }
+
+    #[test]
+    fn ids_masked_alignment() {
+        let a = ok(&[("VpcId", Value::reference("vpc-000001"))]);
+        let b = ok(&[("VpcId", Value::reference("vpc-00000a"))]);
+        assert!(!a.aligned_with(&b) || a.fields == b.fields);
+        assert!(a.aligned_with_ids_masked(&b));
+    }
+
+    #[test]
+    fn ids_masked_ref_vs_str() {
+        let a = ok(&[("VpcId", Value::reference("vpc-000001"))]);
+        let b = ok(&[("VpcId", Value::str("vpc-00000f"))]);
+        assert!(a.aligned_with_ids_masked(&b));
+        let c = ok(&[("VpcId", Value::str("not an id"))]);
+        assert!(!a.aligned_with_ids_masked(&c));
+    }
+
+    #[test]
+    fn call_display() {
+        let c = ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16");
+        assert_eq!(c.to_string(), "CreateVpc(CidrBlock=\"10.0.0.0/16\")");
+    }
+}

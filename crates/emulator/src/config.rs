@@ -1,0 +1,75 @@
+//! Interpreter configuration: which framework-level guarantees are active.
+//!
+//! The learned-emulator pipeline runs with all guarantees on; the
+//! direct-to-code baseline is modelled by switching them off, since code
+//! generated without the SM abstraction has no framework to enforce them
+//! (§5, "critical logic and state manipulation errors that our system
+//! prevents by design").
+
+use serde::{Deserialize, Serialize};
+
+/// Framework behaviour switches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmulatorConfig {
+    /// Enforce containment rules derived from the SM hierarchy: children
+    /// need live parents, parents with live children cannot be destroyed,
+    /// and `create` transitions may not destroy resources.
+    pub enforce_hierarchy: bool,
+    /// Discard any state changes made by `describe`-kinded transitions.
+    pub enforce_describe_readonly: bool,
+    /// Reject calls carrying parameters the API does not declare.
+    pub strict_params: bool,
+    /// Coerce written values to the declared state type, failing loudly on
+    /// mismatch (off = sloppy direct-to-code style writes).
+    pub strict_writes: bool,
+    /// Maximum nested `call` depth before aborting.
+    pub max_call_depth: usize,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig {
+            enforce_hierarchy: true,
+            enforce_describe_readonly: true,
+            strict_params: true,
+            strict_writes: true,
+            max_call_depth: 16,
+        }
+    }
+}
+
+impl EmulatorConfig {
+    /// The configuration used for learned emulators (all guarantees on).
+    pub fn framework() -> Self {
+        EmulatorConfig::default()
+    }
+
+    /// The configuration modelling the direct-to-code baseline: no
+    /// framework guarantees, silent sloppiness.
+    pub fn direct_to_code() -> Self {
+        EmulatorConfig {
+            enforce_hierarchy: false,
+            enforce_describe_readonly: false,
+            strict_params: false,
+            strict_writes: false,
+            max_call_depth: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_is_strict() {
+        let c = EmulatorConfig::framework();
+        assert!(c.enforce_hierarchy && c.enforce_describe_readonly && c.strict_params);
+    }
+
+    #[test]
+    fn d2c_is_lax() {
+        let c = EmulatorConfig::direct_to_code();
+        assert!(!c.enforce_hierarchy && !c.enforce_describe_readonly && !c.strict_params);
+    }
+}

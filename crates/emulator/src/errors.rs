@@ -1,0 +1,188 @@
+//! The error model: machine-checkable codes, human messages, and structured
+//! failure context from which richer explanations are decoded (§4.3).
+
+use crate::value::ResourceId;
+use lce_spec::{ApiName, ErrorCode, SmName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Well-known framework-level error codes. Spec-level `assert` statements
+/// carry their own codes; these are the ones the framework itself raises.
+pub mod codes {
+    /// The API name is not recognised by the emulator.
+    pub const INVALID_ACTION: &str = "InvalidAction";
+    /// A required parameter is missing.
+    pub const MISSING_PARAMETER: &str = "MissingParameter";
+    /// A parameter has the wrong type or an out-of-domain value.
+    pub const INVALID_PARAMETER_VALUE: &str = "InvalidParameterValue";
+    /// A parameter not declared by the API was supplied.
+    pub const UNKNOWN_PARAMETER: &str = "UnknownParameter";
+    /// The referenced resource does not exist.
+    pub const NOT_FOUND: &str = "NotFound";
+    /// A resource still has live dependents.
+    pub const DEPENDENCY_VIOLATION: &str = "DependencyViolation";
+    /// Internal interpreter limit exceeded (call depth).
+    pub const LIMIT_EXCEEDED: &str = "LimitExceeded";
+    /// A spec-level runtime fault (e.g. reading an undeclared variable) —
+    /// indicates a bad specification rather than a bad request.
+    pub const INTERNAL_FAILURE: &str = "InternalFailure";
+}
+
+/// Structured context attached to every failure. The paper proposes using
+/// this context to "decode" failures into root-cause suggestions richer than
+/// the cloud's own messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorContext {
+    /// The API whose invocation failed.
+    pub api: Option<ApiName>,
+    /// Resource type involved.
+    pub resource_type: Option<SmName>,
+    /// Resource instance involved, when resolved.
+    pub resource_id: Option<ResourceId>,
+    /// For assert failures: the index of the failing statement within the
+    /// transition body (pre-order), enabling root-cause localization.
+    pub assert_index: Option<usize>,
+    /// The call chain (`Api` names) for failures inside nested `call`s.
+    pub call_chain: Vec<ApiName>,
+}
+
+/// An API-level error: what the cloud (and the emulator) returns to the
+/// DevOps program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Machine-checkable code; alignment requires codes to match the cloud
+    /// exactly.
+    pub code: ErrorCode,
+    /// Human-oriented message; may deviate from the cloud's wording.
+    pub message: String,
+    /// Structured failure context.
+    pub context: ErrorContext,
+}
+
+impl ApiError {
+    /// Create an error with empty context.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError {
+            code: ErrorCode::new(code),
+            message: message.into(),
+            context: ErrorContext::default(),
+        }
+    }
+
+    /// Attach the failing API to the context.
+    pub fn with_api(mut self, api: &ApiName) -> Self {
+        self.context.api = Some(api.clone());
+        self
+    }
+
+    /// Attach the resource type to the context.
+    pub fn with_resource_type(mut self, sm: &SmName) -> Self {
+        self.context.resource_type = Some(sm.clone());
+        self
+    }
+
+    /// Attach the resource instance to the context.
+    pub fn with_resource_id(mut self, id: &ResourceId) -> Self {
+        self.context.resource_id = Some(id.clone());
+        self
+    }
+
+    /// Attach the failing assert's statement index.
+    pub fn with_assert_index(mut self, idx: usize) -> Self {
+        self.context.assert_index = Some(idx);
+        self
+    }
+
+    /// Render a decoded, developer-friendly explanation from the structured
+    /// context. This stands in for the paper's LLM-generated "informative
+    /// response": deterministic templates keyed on code and context, which
+    /// is the behaviour the LLM is prompted to produce.
+    pub fn explain(&self) -> String {
+        let mut out = format!("{}: {}", self.code, self.message);
+        if let (Some(api), Some(ty)) = (&self.context.api, &self.context.resource_type) {
+            out.push_str(&format!("\n  while calling {} on resource type {}", api, ty));
+        } else if let Some(api) = &self.context.api {
+            out.push_str(&format!("\n  while calling {}", api));
+        }
+        if let Some(id) = &self.context.resource_id {
+            out.push_str(&format!("\n  on instance {}", id));
+        }
+        if !self.context.call_chain.is_empty() {
+            let chain: Vec<&str> = self.context.call_chain.iter().map(|a| a.as_str()).collect();
+            out.push_str(&format!("\n  via call chain {}", chain.join(" -> ")));
+        }
+        let hint = match self.code.as_str() {
+            codes::NOT_FOUND => {
+                "Hint: the referenced resource may not exist yet or was already deleted; \
+                 check creation ordering in your DevOps program."
+            }
+            codes::DEPENDENCY_VIOLATION => {
+                "Hint: delete or detach all dependent child resources before retrying."
+            }
+            codes::MISSING_PARAMETER => {
+                "Hint: consult the API reference for the full list of required parameters."
+            }
+            codes::INVALID_PARAMETER_VALUE => {
+                "Hint: one of the supplied values is outside the documented domain."
+            }
+            codes::INVALID_ACTION => {
+                "Hint: the API name may be misspelled or not supported by this service."
+            }
+            "IncorrectInstanceState" => {
+                "Hint: the resource is not in a state that allows this operation; \
+                 describe it first and branch on its current status."
+            }
+            _ => "",
+        };
+        if !hint.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+            out.push_str(hint);
+        }
+        out
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_includes_context() {
+        let e = ApiError::new(codes::NOT_FOUND, "no such subnet")
+            .with_api(&ApiName::new("DeleteSubnet"))
+            .with_resource_type(&SmName::new("Subnet"))
+            .with_resource_id(&ResourceId::new("subnet-000001"));
+        let text = e.explain();
+        assert!(text.contains("DeleteSubnet"));
+        assert!(text.contains("subnet-000001"));
+        assert!(text.contains("Hint:"));
+    }
+
+    #[test]
+    fn explain_dependency_hint() {
+        let e = ApiError::new(codes::DEPENDENCY_VIOLATION, "vpc has children");
+        assert!(e.explain().contains("detach all dependent"));
+    }
+
+    #[test]
+    fn display_is_code_and_message() {
+        let e = ApiError::new("X", "boom");
+        assert_eq!(e.to_string(), "X: boom");
+    }
+
+    #[test]
+    fn call_chain_rendered() {
+        let mut e = ApiError::new("E", "m");
+        e.context.call_chain = vec![ApiName::new("A"), ApiName::new("B")];
+        assert!(e.explain().contains("A -> B"));
+    }
+}

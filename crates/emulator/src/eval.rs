@@ -1,0 +1,518 @@
+//! Expression evaluation and transition execution.
+//!
+//! Transitions run against a *scratch* store owned by the caller
+//! ([`crate::Emulator`] clones the live store first), so any error —
+//! assert violation, framework-rule violation, interpreter fault — simply
+//! abandons the scratch and the transition is atomic.
+
+use crate::config::EmulatorConfig;
+use crate::errors::{codes, ApiError};
+use crate::store::ResourceStore;
+use crate::value::{ResourceId, Value};
+use lce_spec::{ApiName, BinOp, Catalog, Expr, Stmt, Transition, TransitionKind, UnOp};
+use std::collections::BTreeMap;
+
+/// Everything constant across one top-level API invocation.
+pub struct ExecEnv<'a> {
+    /// The behaviour model being interpreted.
+    pub catalog: &'a Catalog,
+    /// Active framework guarantees.
+    pub config: &'a EmulatorConfig,
+    /// Whether destroy-kinded transitions are permitted in this invocation
+    /// (false inside `create` when hierarchy enforcement is on).
+    pub allow_destroy: bool,
+}
+
+/// One activation record: a transition running on an instance.
+pub struct Frame<'a> {
+    /// The spec of the SM being executed.
+    pub sm: &'a lce_spec::SmSpec,
+    /// The running transition.
+    pub transition: &'a Transition,
+    /// The instance the transition runs on.
+    pub self_id: ResourceId,
+    /// Coerced argument values (absent optional params are `Null`).
+    pub args: BTreeMap<String, Value>,
+}
+
+/// Outcome of a successful transition: emitted response fields.
+pub type Emits = BTreeMap<String, Value>;
+
+/// Run a transition body against `store`. On error the caller must discard
+/// `store`. `chain` is the API call chain for error context; `depth` guards
+/// recursion.
+pub fn run_transition(
+    env: &ExecEnv<'_>,
+    store: &mut ResourceStore,
+    frame: &Frame<'_>,
+    depth: usize,
+    chain: &mut Vec<ApiName>,
+) -> Result<Emits, ApiError> {
+    if depth > env.config.max_call_depth {
+        return Err(fault(
+            env,
+            frame,
+            chain,
+            codes::LIMIT_EXCEEDED,
+            format!("call depth exceeded {}", env.config.max_call_depth),
+        ));
+    }
+    chain.push(frame.transition.name.clone());
+    let mut emits = Emits::new();
+    let mut stmt_index = 0usize;
+    let result = run_stmts(
+        env,
+        store,
+        frame,
+        &frame.transition.body,
+        depth,
+        chain,
+        &mut emits,
+        &mut stmt_index,
+    );
+    chain.pop();
+    result.map(|_| emits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stmts(
+    env: &ExecEnv<'_>,
+    store: &mut ResourceStore,
+    frame: &Frame<'_>,
+    stmts: &[Stmt],
+    depth: usize,
+    chain: &mut Vec<ApiName>,
+    emits: &mut Emits,
+    stmt_index: &mut usize,
+) -> Result<(), ApiError> {
+    for stmt in stmts {
+        let this_index = *stmt_index;
+        *stmt_index += 1;
+        match stmt {
+            Stmt::Write { state, value } => {
+                let v = eval(env, store, frame, value, chain)?;
+                let decl = frame.sm.state(state).ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("write to undeclared state variable `{}`", state),
+                    )
+                })?;
+                let stored = if env.config.strict_writes {
+                    match v.coerce(&decl.ty) {
+                        Some(cv) => cv,
+                        None if v.is_null() && decl.nullable => Value::Null,
+                        None => {
+                            return Err(fault(
+                                env,
+                                frame,
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!(
+                                    "write of {} value to `{}: {}`",
+                                    v.type_name(),
+                                    state,
+                                    decl.ty
+                                ),
+                            ))
+                        }
+                    }
+                } else {
+                    v
+                };
+                let inst = store.get_mut(&frame.self_id).ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "self instance vanished mid-transition",
+                    )
+                })?;
+                inst.set(state, stored);
+            }
+            Stmt::Assert {
+                pred,
+                error,
+                message,
+            } => {
+                let v = eval(env, store, frame, pred, chain)?;
+                let ok = v.as_bool().ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "assert predicate did not evaluate to a boolean",
+                    )
+                })?;
+                if !ok {
+                    let mut e = ApiError::new(error.as_str(), message.clone())
+                        .with_api(&frame.transition.name)
+                        .with_resource_type(&frame.sm.name)
+                        .with_resource_id(&frame.self_id)
+                        .with_assert_index(this_index);
+                    e.context.call_chain = chain.clone();
+                    return Err(e);
+                }
+            }
+            Stmt::Emit { field, value } => {
+                let v = eval(env, store, frame, value, chain)?;
+                emits.insert(field.clone(), v);
+            }
+            Stmt::If { pred, then, els } => {
+                let v = eval(env, store, frame, pred, chain)?;
+                let cond = v.as_bool().ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "if condition did not evaluate to a boolean",
+                    )
+                })?;
+                let branch = if cond { then } else { els };
+                run_stmts(env, store, frame, branch, depth, chain, emits, stmt_index)?;
+            }
+            Stmt::Call { target, api, args } => {
+                let tv = eval(env, store, frame, target, chain)?;
+                let target_id = match tv {
+                    Value::Ref(id) => id,
+                    Value::Str(s) => ResourceId::new(s),
+                    other => {
+                        return Err(fault(
+                            env,
+                            frame,
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("call target is not a reference ({})", other.type_name()),
+                        ))
+                    }
+                };
+                let target_inst = store.get(&target_id).ok_or_else(|| {
+                    let mut e = ApiError::new(
+                        codes::NOT_FOUND,
+                        format!("resource {} does not exist", target_id),
+                    )
+                    .with_api(api)
+                    .with_resource_id(&target_id);
+                    e.context.call_chain = chain.clone();
+                    e
+                })?;
+                let target_sm_name = target_inst.sm.clone();
+                let target_sm = env.catalog.get(&target_sm_name).ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("no specification for resource type `{}`", target_sm_name),
+                    )
+                })?;
+                let callee = target_sm.transition(api.as_str()).ok_or_else(|| {
+                    fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("`{}` declares no transition `{}`", target_sm_name, api),
+                    )
+                })?;
+                if callee.kind == TransitionKind::Create {
+                    return Err(fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "calls may not target create transitions",
+                    ));
+                }
+                if callee.kind == TransitionKind::Destroy && !env.allow_destroy {
+                    return Err(fault(
+                        env,
+                        frame,
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "create transitions may not destroy resources",
+                    ));
+                }
+                // Bind positional args to the callee's parameters.
+                let mut bound = BTreeMap::new();
+                for (i, param) in callee.params.iter().enumerate() {
+                    let raw = match args.get(i) {
+                        Some(a) => eval(env, store, frame, a, chain)?,
+                        None if param.optional => Value::Null,
+                        None => {
+                            return Err(fault(
+                                env,
+                                frame,
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!(
+                                    "call to `{}::{}` missing argument `{}`",
+                                    target_sm_name, api, param.name
+                                ),
+                            ))
+                        }
+                    };
+                    let v = if env.config.strict_writes {
+                        raw.coerce(&param.ty).unwrap_or(raw)
+                    } else {
+                        raw
+                    };
+                    bound.insert(param.name.clone(), v);
+                }
+                let callee_frame = Frame {
+                    sm: target_sm,
+                    transition: callee,
+                    self_id: target_id.clone(),
+                    args: bound,
+                };
+                // Callee emits are internal and discarded.
+                run_transition(env, store, &callee_frame, depth + 1, chain)?;
+                if callee.kind == TransitionKind::Destroy {
+                    finish_destroy(env, store, frame, &target_id, chain)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Framework-level completion of a destroy: hierarchy check, then removal.
+pub fn finish_destroy(
+    env: &ExecEnv<'_>,
+    store: &mut ResourceStore,
+    frame: &Frame<'_>,
+    id: &ResourceId,
+    chain: &[ApiName],
+) -> Result<(), ApiError> {
+    if env.config.enforce_hierarchy {
+        let children = store.total_children(id);
+        if children > 0 {
+            let mut e = ApiError::new(
+                codes::DEPENDENCY_VIOLATION,
+                format!(
+                    "resource {} still contains {} live child resource(s)",
+                    id, children
+                ),
+            )
+            .with_api(&frame.transition.name)
+            .with_resource_id(id);
+            e.context.call_chain = chain.to_vec();
+            return Err(e);
+        }
+    }
+    store.remove(id);
+    Ok(())
+}
+
+fn fault(
+    _env: &ExecEnv<'_>,
+    frame: &Frame<'_>,
+    chain: &[ApiName],
+    code: &str,
+    message: impl Into<String>,
+) -> ApiError {
+    let mut e = ApiError::new(code, message)
+        .with_api(&frame.transition.name)
+        .with_resource_type(&frame.sm.name)
+        .with_resource_id(&frame.self_id);
+    e.context.call_chain = chain.to_vec();
+    e
+}
+
+/// Evaluate a side-effect-free expression.
+pub fn eval(
+    env: &ExecEnv<'_>,
+    store: &ResourceStore,
+    frame: &Frame<'_>,
+    expr: &Expr,
+    chain: &[ApiName],
+) -> Result<Value, ApiError> {
+    let fault = |code: &str, msg: String| -> ApiError {
+        let mut e = ApiError::new(code, msg)
+            .with_api(&frame.transition.name)
+            .with_resource_type(&frame.sm.name)
+            .with_resource_id(&frame.self_id);
+        e.context.call_chain = chain.to_vec();
+        e
+    };
+    match expr {
+        Expr::Lit(lit) => Ok(Value::from_literal(lit)),
+        Expr::Null => Ok(Value::Null),
+        Expr::SelfId => Ok(Value::Ref(frame.self_id.clone())),
+        Expr::Read(var) => {
+            let inst = store.get(&frame.self_id).ok_or_else(|| {
+                fault(codes::INTERNAL_FAILURE, "self instance vanished".into())
+            })?;
+            inst.get(var).cloned().ok_or_else(|| {
+                fault(
+                    codes::INTERNAL_FAILURE,
+                    format!("read of undeclared state variable `{}`", var),
+                )
+            })
+        }
+        Expr::Arg(name) => Ok(frame.args.get(name).cloned().unwrap_or(Value::Null)),
+        Expr::Field(inner, var) => {
+            let v = eval(env, store, frame, inner, chain)?;
+            let id = match v {
+                Value::Ref(id) => id,
+                Value::Str(s) => ResourceId::new(s),
+                Value::Null => {
+                    return Err(fault(
+                        codes::INTERNAL_FAILURE,
+                        format!("field access `{}` on null reference", var),
+                    ))
+                }
+                other => {
+                    return Err(fault(
+                        codes::INTERNAL_FAILURE,
+                        format!("field access on {} value", other.type_name()),
+                    ))
+                }
+            };
+            let inst = store.get(&id).ok_or_else(|| {
+                fault(
+                    codes::NOT_FOUND,
+                    format!("resource {} does not exist", id),
+                )
+            })?;
+            inst.get(var).cloned().ok_or_else(|| {
+                fault(
+                    codes::INTERNAL_FAILURE,
+                    format!("`{}` has no state variable `{}`", inst.sm, var),
+                )
+            })
+        }
+        Expr::ChildCount(child_ty) => Ok(Value::Int(
+            store.child_count(&frame.self_id, child_ty) as i64
+        )),
+        Expr::Unary(op, inner) => {
+            let v = eval(env, store, frame, inner, chain)?;
+            match op {
+                UnOp::Not => v
+                    .as_bool()
+                    .map(|b| Value::Bool(!b))
+                    .ok_or_else(|| fault(codes::INTERNAL_FAILURE, "`!` on non-boolean".into())),
+                UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+                UnOp::Exists => match v {
+                    Value::Ref(id) => Ok(Value::Bool(store.exists(&id))),
+                    Value::Str(s) => Ok(Value::Bool(store.exists(&ResourceId::new(s)))),
+                    Value::Null => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Bool(false)),
+                },
+                UnOp::Len => match &v {
+                    Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                    Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                    other => Err(fault(
+                        codes::INTERNAL_FAILURE,
+                        format!("`len` on {} value", other.type_name()),
+                    )),
+                },
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            // Short-circuit boolean operators.
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let va = eval(env, store, frame, a, chain)?;
+                let ba = va.as_bool().ok_or_else(|| {
+                    fault(codes::INTERNAL_FAILURE, "boolean operator on non-boolean".into())
+                })?;
+                return match (op, ba) {
+                    (BinOp::And, false) => Ok(Value::Bool(false)),
+                    (BinOp::Or, true) => Ok(Value::Bool(true)),
+                    _ => {
+                        let vb = eval(env, store, frame, b, chain)?;
+                        vb.as_bool().map(Value::Bool).ok_or_else(|| {
+                            fault(
+                                codes::INTERNAL_FAILURE,
+                                "boolean operator on non-boolean".into(),
+                            )
+                        })
+                    }
+                };
+            }
+            let va = eval(env, store, frame, a, chain)?;
+            let vb = eval(env, store, frame, b, chain)?;
+            match op {
+                BinOp::Eq => Ok(Value::Bool(va.loose_eq(&vb))),
+                BinOp::Ne => Ok(Value::Bool(!va.loose_eq(&vb))),
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let (x, y) = match (va.as_int(), vb.as_int()) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => {
+                            return Err(fault(
+                                codes::INTERNAL_FAILURE,
+                                "ordered comparison on non-integers".into(),
+                            ))
+                        }
+                    };
+                    Ok(Value::Bool(match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    }))
+                }
+                BinOp::In => match vb {
+                    Value::List(items) => Ok(Value::Bool(items.iter().any(|i| va.loose_eq(i)))),
+                    other => Err(fault(
+                        codes::INTERNAL_FAILURE,
+                        format!("`in` on {} value", other.type_name()),
+                    )),
+                },
+                BinOp::Add | BinOp::Sub => {
+                    let (x, y) = match (va.as_int(), vb.as_int()) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => {
+                            return Err(fault(
+                                codes::INTERNAL_FAILURE,
+                                "arithmetic on non-integers".into(),
+                            ))
+                        }
+                    };
+                    Ok(Value::Int(if *op == BinOp::Add { x + y } else { x - y }))
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::ListOf(items) => {
+            let vals: Result<Vec<Value>, ApiError> = items
+                .iter()
+                .map(|e| eval(env, store, frame, e, chain))
+                .collect();
+            Ok(Value::List(vals?))
+        }
+        Expr::Append(list, item) => {
+            let lv = eval(env, store, frame, list, chain)?;
+            let iv = eval(env, store, frame, item, chain)?;
+            match lv {
+                Value::List(mut items) => {
+                    items.push(iv);
+                    Ok(Value::List(items))
+                }
+                other => Err(fault(
+                    codes::INTERNAL_FAILURE,
+                    format!("`append` on {} value", other.type_name()),
+                )),
+            }
+        }
+        Expr::Remove(list, item) => {
+            let lv = eval(env, store, frame, list, chain)?;
+            let iv = eval(env, store, frame, item, chain)?;
+            match lv {
+                Value::List(items) => Ok(Value::List(
+                    items.into_iter().filter(|x| !x.loose_eq(&iv)).collect(),
+                )),
+                other => Err(fault(
+                    codes::INTERNAL_FAILURE,
+                    format!("`remove` on {} value", other.type_name()),
+                )),
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+#![deny(missing_docs)]
+
+//! # lce-emulator — the emulator framework
+//!
+//! The interpreter that turns SM specifications into a running mock cloud.
+//! In the paper's terms this is the *one-time manual engineering effort*
+//! (§4.2): an "executable specification" runner that maps grammar constructs
+//! to behaviour, so that everything resource-specific can be *learned* from
+//! documentation instead of handcoded.
+//!
+//! Design highlights:
+//!
+//! * **One interpreter, many behaviour models.** The golden cloud, the
+//!   learned emulator and the direct-to-code baseline all run here; they
+//!   differ only in the [`lce_spec::Catalog`] loaded and in the
+//!   [`EmulatorConfig`] (framework-level correctness enforcement on/off).
+//! * **Atomic transitions.** Every API call executes against a scratch copy
+//!   of the resource store and commits only on success, so a failed
+//!   `assert` rolls back all effects — including nested `call`s.
+//! * **Hierarchy enforcement.** With [`EmulatorConfig::enforce_hierarchy`],
+//!   the framework guarantees the containment rules the paper derives from
+//!   the SM hierarchy: children cannot be created under missing parents and
+//!   parents cannot be destroyed while children are alive — regardless of
+//!   what the (possibly mis-generated) spec says.
+//! * **Rich, aligned errors.** Failures carry a machine-checkable
+//!   [`ErrorCode`](lce_spec::ErrorCode) (aligned with the cloud) plus a
+//!   human-oriented message and a structured [`ErrorContext`] from which
+//!   richer explanations can be decoded.
+//!
+//! ```
+//! use lce_emulator::{Emulator, ApiCall, Value, Backend};
+//! use lce_spec::{parse_catalog, Catalog};
+//!
+//! let catalog = Catalog::from_specs(parse_catalog(r#"
+//!   sm Bucket {
+//!     service "storage";
+//!     states { name: str; versioning: bool = false; }
+//!     transition CreateBucket(Name: str) kind create {
+//!       write(name, arg(Name));
+//!     }
+//!     transition DeleteBucket() kind destroy { }
+//!   }
+//! "#).unwrap());
+//! let mut emu = Emulator::new(catalog);
+//! let resp = emu.invoke(&ApiCall::new("CreateBucket").arg("Name", Value::str("logs")));
+//! assert!(resp.is_ok());
+//! let id = resp.fields.get("BucketId").unwrap().clone();
+//! let resp = emu.invoke(&ApiCall::new("DeleteBucket").arg("BucketId", id));
+//! assert!(resp.is_ok());
+//! ```
+
+pub mod backend;
+pub mod call;
+pub mod config;
+pub mod emulator;
+pub mod errors;
+pub mod eval;
+pub mod store;
+pub mod value;
+
+pub use backend::Backend;
+pub use call::{ApiCall, ApiResponse};
+pub use config::EmulatorConfig;
+pub use emulator::Emulator;
+pub use errors::{codes, ApiError, ErrorContext};
+pub use store::{Instance, ResourceStore};
+pub use value::{ResourceId, Value};

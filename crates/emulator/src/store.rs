@@ -1,0 +1,220 @@
+//! The resource store: live instances, containment links, id generation.
+
+use crate::value::{id_prefix, ResourceId, Value};
+use lce_spec::{SmName, SmSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A live resource instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Unique id.
+    pub id: ResourceId,
+    /// Resource type (SM name).
+    pub sm: SmName,
+    /// State-variable values.
+    pub state: BTreeMap<String, Value>,
+    /// Containment parent, if the SM declares one.
+    pub parent: Option<ResourceId>,
+}
+
+impl Instance {
+    /// Read a state variable.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.state.get(var)
+    }
+
+    /// Write a state variable (must already be declared/initialised).
+    pub fn set(&mut self, var: &str, value: Value) {
+        self.state.insert(var.to_string(), value);
+    }
+}
+
+/// The mock cloud's resource store. Cloning is cheap enough at emulation
+/// scale that atomic transitions are implemented by executing against a
+/// clone and committing on success.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStore {
+    instances: BTreeMap<ResourceId, Instance>,
+    /// Monotonic per-type counters for id generation; never reset on
+    /// rollback so ids are not reused (matching cloud behaviour).
+    counters: BTreeMap<SmName, u64>,
+}
+
+impl ResourceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ResourceStore::default()
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` if no instances are live.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Generate a fresh id for the given resource type, e.g. `vpc-000001`.
+    pub fn fresh_id(&mut self, sm: &SmName) -> ResourceId {
+        let counter = self.counters.entry(sm.clone()).or_insert(0);
+        *counter += 1;
+        ResourceId::new(format!("{}-{:06x}", id_prefix(sm), counter))
+    }
+
+    /// Copy id counters from another store. Used to keep counters monotonic
+    /// when a failed transition's scratch store is discarded, so ids are
+    /// never reused even across failed creates.
+    pub fn adopt_counters(&mut self, other: &ResourceStore) {
+        for (sm, n) in &other.counters {
+            let e = self.counters.entry(sm.clone()).or_insert(0);
+            *e = (*e).max(*n);
+        }
+    }
+
+    /// Create an instance with default state for every declared variable.
+    /// The caller runs the `create` transition body afterwards.
+    pub fn instantiate(&mut self, spec: &SmSpec, id: ResourceId) -> &mut Instance {
+        let state: BTreeMap<String, Value> = spec
+            .states
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    Value::default_for(&s.ty, s.nullable, &s.default),
+                )
+            })
+            .collect();
+        let inst = Instance {
+            id: id.clone(),
+            sm: spec.name.clone(),
+            state,
+            parent: None,
+        };
+        self.instances.insert(id.clone(), inst);
+        self.instances.get_mut(&id).expect("just inserted")
+    }
+
+    /// Look up a live instance.
+    pub fn get(&self, id: &ResourceId) -> Option<&Instance> {
+        self.instances.get(id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: &ResourceId) -> Option<&mut Instance> {
+        self.instances.get_mut(id)
+    }
+
+    /// `true` if the id refers to a live instance.
+    pub fn exists(&self, id: &ResourceId) -> bool {
+        self.instances.contains_key(id)
+    }
+
+    /// Remove an instance (destroy).
+    pub fn remove(&mut self, id: &ResourceId) -> Option<Instance> {
+        self.instances.remove(id)
+    }
+
+    /// Set the containment parent of an instance.
+    pub fn set_parent(&mut self, child: &ResourceId, parent: ResourceId) {
+        if let Some(inst) = self.instances.get_mut(child) {
+            inst.parent = Some(parent);
+        }
+    }
+
+    /// Count live children of `parent` having the given resource type.
+    pub fn child_count(&self, parent: &ResourceId, child_type: &SmName) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.sm == *child_type && i.parent.as_ref() == Some(parent))
+            .count()
+    }
+
+    /// Count all live children of `parent` regardless of type.
+    pub fn total_children(&self, parent: &ResourceId) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.parent.as_ref() == Some(parent))
+            .count()
+    }
+
+    /// All live instances of a type, in id order.
+    pub fn of_type(&self, sm: &SmName) -> Vec<&Instance> {
+        self.instances.values().filter(|i| i.sm == *sm).collect()
+    }
+
+    /// Iterate over all live instances in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_sm;
+
+    fn vpc_spec() -> SmSpec {
+        parse_sm(
+            r#"sm Vpc { service "compute";
+                states { cidr: str; enable_dns: bool = true; }
+                transition CreateVpc(CidrBlock: str) kind create { write(cidr, arg(CidrBlock)); } }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_ids_unique_and_prefixed() {
+        let mut store = ResourceStore::new();
+        let a = store.fresh_id(&SmName::new("Vpc"));
+        let b = store.fresh_id(&SmName::new("Vpc"));
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("vpc-"));
+    }
+
+    #[test]
+    fn instantiate_sets_defaults() {
+        let mut store = ResourceStore::new();
+        let spec = vpc_spec();
+        let id = store.fresh_id(&spec.name);
+        store.instantiate(&spec, id.clone());
+        let inst = store.get(&id).unwrap();
+        assert_eq!(inst.get("enable_dns"), Some(&Value::Bool(true)));
+        assert_eq!(inst.get("cidr"), Some(&Value::Str(String::new())));
+    }
+
+    #[test]
+    fn child_count_tracks_parent_links() {
+        let mut store = ResourceStore::new();
+        let spec = vpc_spec();
+        let vpc = store.fresh_id(&spec.name);
+        store.instantiate(&spec, vpc.clone());
+
+        let subnet_spec = parse_sm(
+            r#"sm Subnet { service "compute"; states { } }"#,
+        )
+        .unwrap();
+        let s1 = store.fresh_id(&subnet_spec.name);
+        store.instantiate(&subnet_spec, s1.clone());
+        store.set_parent(&s1, vpc.clone());
+
+        assert_eq!(store.child_count(&vpc, &SmName::new("Subnet")), 1);
+        assert_eq!(store.child_count(&vpc, &SmName::new("Instance")), 0);
+        assert_eq!(store.total_children(&vpc), 1);
+
+        store.remove(&s1);
+        assert_eq!(store.child_count(&vpc, &SmName::new("Subnet")), 0);
+    }
+
+    #[test]
+    fn counters_survive_instance_removal() {
+        let mut store = ResourceStore::new();
+        let sm = SmName::new("Vpc");
+        let a = store.fresh_id(&sm);
+        store.remove(&a);
+        let b = store.fresh_id(&sm);
+        assert_ne!(a, b, "ids must never be reused");
+    }
+}

@@ -1,0 +1,330 @@
+//! Runtime values manipulated by the interpreter.
+
+use lce_spec::{Literal, SmName, StateType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque resource identifier, e.g. `vpc-000001`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub String);
+
+impl ResourceId {
+    /// Create an id from a raw string.
+    pub fn new(id: impl Into<String>) -> Self {
+        ResourceId(id.into())
+    }
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A runtime value: the dynamic counterpart of [`StateType`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// String.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Enum variant (stored by name).
+    Enum(String),
+    /// Reference to a resource instance.
+    Ref(ResourceId),
+    /// Homogeneous list.
+    List(Vec<Value>),
+    /// Absent / null.
+    Null,
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+    /// Convenience enum constructor.
+    pub fn enum_val(s: impl Into<String>) -> Value {
+        Value::Enum(s.into())
+    }
+    /// Convenience reference constructor.
+    pub fn reference(id: impl Into<String>) -> Value {
+        Value::Ref(ResourceId::new(id))
+    }
+
+    /// `true` if this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The resource id, if this is a reference.
+    pub fn as_ref_id(&self) -> Option<&ResourceId> {
+        match self {
+            Value::Ref(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Build the default runtime value for a state declaration: the declared
+    /// default if present, `null` for nullable variables, otherwise a
+    /// type-appropriate zero value.
+    pub fn default_for(ty: &StateType, nullable: bool, default: &Option<Literal>) -> Value {
+        if let Some(lit) = default {
+            return Value::from_literal(lit);
+        }
+        if nullable {
+            return Value::Null;
+        }
+        match ty {
+            StateType::Str => Value::Str(String::new()),
+            StateType::Int => Value::Int(0),
+            StateType::Bool => Value::Bool(false),
+            StateType::Enum(vs) => Value::Enum(vs.first().cloned().unwrap_or_default()),
+            StateType::Ref(_) => Value::Null,
+            StateType::List(_) => Value::List(Vec::new()),
+        }
+    }
+
+    /// Convert a spec literal to a runtime value.
+    pub fn from_literal(lit: &Literal) -> Value {
+        match lit {
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::EnumVal(v) => Value::Enum(v.clone()),
+        }
+    }
+
+    /// Loose structural equality as used by the spec language: enum variants
+    /// compare equal to strings with the same name (DevOps programs pass
+    /// enum values as strings).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Enum(a), Value::Str(b)) | (Value::Str(a), Value::Enum(b)) => a == b,
+            (Value::Ref(a), Value::Str(b)) | (Value::Str(b), Value::Ref(a)) => a.as_str() == b,
+            (a, b) => a == b,
+        }
+    }
+
+    /// Coerce an externally supplied value (e.g. from a DevOps program,
+    /// where everything tends to be a string) to the given spec type.
+    /// Returns `None` if the value cannot represent the type.
+    pub fn coerce(&self, ty: &StateType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (Value::Str(s), StateType::Str) => Some(Value::Str(s.clone())),
+            (Value::Str(s), StateType::Enum(vs)) if vs.contains(s) => {
+                Some(Value::Enum(s.clone()))
+            }
+            (Value::Enum(v), StateType::Enum(vs)) if vs.contains(v) => {
+                Some(Value::Enum(v.clone()))
+            }
+            (Value::Enum(v), StateType::Str) => Some(Value::Str(v.clone())),
+            (Value::Str(s), StateType::Ref(_)) => Some(Value::Ref(ResourceId::new(s.clone()))),
+            (Value::Ref(r), StateType::Ref(_)) => Some(Value::Ref(r.clone())),
+            (Value::Ref(r), StateType::Str) => Some(Value::Str(r.as_str().to_string())),
+            (Value::Int(i), StateType::Int) => Some(Value::Int(*i)),
+            (Value::Bool(b), StateType::Bool) => Some(Value::Bool(*b)),
+            (Value::Str(s), StateType::Bool) => match s.as_str() {
+                "true" => Some(Value::Bool(true)),
+                "false" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            (Value::Str(s), StateType::Int) => s.parse().ok().map(Value::Int),
+            (Value::List(items), StateType::List(inner)) => {
+                let coerced: Option<Vec<Value>> =
+                    items.iter().map(|v| v.coerce(inner)).collect();
+                coerced.map(Value::List)
+            }
+            _ => None,
+        }
+    }
+
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "str",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Enum(_) => "enum",
+            Value::Ref(_) => "ref",
+            Value::List(_) => "list",
+            Value::Null => "null",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{:?}", s),
+            Value::Int(i) => write!(f, "{}", i),
+            Value::Bool(b) => write!(f, "{}", b),
+            Value::Enum(v) => write!(f, "{}", v),
+            Value::Ref(r) => write!(f, "{}", r),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, "]")
+            }
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Generate the id prefix for a resource type, e.g. `Vpc` → `vpc`,
+/// `RouteTable` → `rtb` (initial letters of camel-case words for multi-word
+/// names, mimicking real cloud id conventions).
+pub fn id_prefix(name: &SmName) -> String {
+    let words: Vec<String> = split_camel(name.as_str());
+    if words.len() == 1 {
+        words[0].to_lowercase()
+    } else {
+        words
+            .iter()
+            .map(|w| w.chars().next().unwrap_or('x').to_lowercase().to_string())
+            .collect::<Vec<_>>()
+            .join("")
+    }
+}
+
+fn split_camel(s: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_uppercase() && !cur.is_empty() {
+            words.push(cur.clone());
+            cur.clear();
+        }
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coerce_str_to_enum() {
+        let ty = StateType::Enum(vec!["On".into(), "Off".into()]);
+        assert_eq!(Value::str("On").coerce(&ty), Some(Value::enum_val("On")));
+        assert_eq!(Value::str("Meh").coerce(&ty), None);
+    }
+
+    #[test]
+    fn coerce_str_to_ref() {
+        let ty = StateType::Ref(SmName::new("Vpc"));
+        assert_eq!(
+            Value::str("vpc-1").coerce(&ty),
+            Some(Value::reference("vpc-1"))
+        );
+    }
+
+    #[test]
+    fn coerce_str_to_bool_and_int() {
+        assert_eq!(Value::str("true").coerce(&StateType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::str("17").coerce(&StateType::Int), Some(Value::Int(17)));
+        assert_eq!(Value::str("x").coerce(&StateType::Int), None);
+    }
+
+    #[test]
+    fn coerce_list_elementwise() {
+        let ty = StateType::List(Box::new(StateType::Int));
+        let v = Value::List(vec![Value::str("1"), Value::Int(2)]);
+        assert_eq!(
+            v.coerce(&ty),
+            Some(Value::List(vec![Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn loose_eq_enum_vs_str() {
+        assert!(Value::enum_val("Running").loose_eq(&Value::str("Running")));
+        assert!(!Value::enum_val("Running").loose_eq(&Value::str("Stopped")));
+    }
+
+    #[test]
+    fn default_for_nullable_is_null() {
+        assert_eq!(
+            Value::default_for(&StateType::Str, true, &None),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn default_for_enum_is_first_variant() {
+        let ty = StateType::Enum(vec!["Pending".into(), "Ready".into()]);
+        assert_eq!(
+            Value::default_for(&ty, false, &None),
+            Value::enum_val("Pending")
+        );
+    }
+
+    #[test]
+    fn default_honours_declared_literal() {
+        assert_eq!(
+            Value::default_for(&StateType::Int, false, &Some(Literal::Int(9))),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn id_prefix_single_word() {
+        assert_eq!(id_prefix(&SmName::new("Vpc")), "vpc");
+        assert_eq!(id_prefix(&SmName::new("Subnet")), "subnet");
+    }
+
+    #[test]
+    fn id_prefix_multi_word() {
+        assert_eq!(id_prefix(&SmName::new("RouteTable")), "rt");
+        assert_eq!(id_prefix(&SmName::new("InternetGateway")), "ig");
+        assert_eq!(id_prefix(&SmName::new("NetworkInterface")), "ni");
+    }
+}

@@ -1,0 +1,378 @@
+//! Deep semantics tests for the interpreter: atomicity, nesting,
+//! hierarchy enforcement, describe purity, configuration switches,
+//! expression corner cases.
+
+use lce_emulator::{codes, ApiCall, Backend, Emulator, EmulatorConfig, Value};
+use lce_spec::{parse_catalog, Catalog};
+
+fn emulator(src: &str) -> Emulator {
+    Emulator::new(Catalog::from_specs(parse_catalog(src).unwrap()))
+}
+
+fn emulator_with(src: &str, config: EmulatorConfig) -> Emulator {
+    Emulator::with_config(Catalog::from_specs(parse_catalog(src).unwrap()), config)
+}
+
+#[test]
+fn nested_call_effects_roll_back_on_later_assert() {
+    // The callee's write must be undone when the caller fails afterwards.
+    let mut emu = emulator(
+        r#"
+        sm Counter { service "s";
+          states { n: int = 0; }
+          transition CreateCounter() kind create { }
+          transition DeleteCounter() kind destroy { }
+          transition DescribeCounter() kind describe { emit(N, read(n)); }
+          transition Bump() kind modify { write(n, read(n) + 1); }
+        }
+        sm Driver { service "s";
+          states { target: ref(Counter)?; }
+          transition CreateDriver() kind create { }
+          transition DeleteDriver() kind destroy { }
+          transition DescribeDriver() kind describe { emit(T, read(target)); }
+          transition SetTarget(CounterId: ref(Counter)) kind modify {
+            write(target, arg(CounterId));
+          }
+          transition BumpThenFail() kind modify {
+            call(read(target), Bump, []);
+            assert(false) else Boom "always fails after the call";
+          }
+        }
+        "#,
+    );
+    let counter = emu
+        .invoke(&ApiCall::new("CreateCounter"))
+        .field("CounterId")
+        .unwrap()
+        .clone();
+    let driver = emu
+        .invoke(&ApiCall::new("CreateDriver"))
+        .field("DriverId")
+        .unwrap()
+        .clone();
+    assert!(emu
+        .invoke(
+            &ApiCall::new("SetTarget")
+                .arg("DriverId", driver.clone())
+                .arg("CounterId", counter.clone())
+        )
+        .is_ok());
+
+    let resp = emu.invoke(&ApiCall::new("BumpThenFail").arg("DriverId", driver));
+    assert_eq!(resp.error_code(), Some("Boom"));
+    // The nested Bump was rolled back.
+    let resp = emu.invoke(&ApiCall::new("DescribeCounter").arg("CounterId", counter));
+    assert_eq!(resp.field("N"), Some(&Value::Int(0)));
+}
+
+#[test]
+fn call_depth_limit_enforced() {
+    // Two machines calling each other forever must hit the depth guard,
+    // not the stack.
+    let mut emu = emulator(
+        r#"
+        sm Ping { service "s";
+          states { peer: ref(Pong)?; }
+          transition CreatePing() kind create { }
+          transition DeletePing() kind destroy { }
+          transition DescribePing() kind describe { }
+          transition SetPeer(PongId: ref(Pong)) kind modify { write(peer, arg(PongId)); }
+          transition Echo() kind modify { call(read(peer), EchoBack, []); }
+        }
+        sm Pong { service "s";
+          states { peer: ref(Ping)?; }
+          transition CreatePong() kind create { }
+          transition DeletePong() kind destroy { }
+          transition DescribePong() kind describe { }
+          transition SetPeerBack(PingId: ref(Ping)) kind modify { write(peer, arg(PingId)); }
+          transition EchoBack() kind modify { call(read(peer), Echo, []); }
+        }
+        "#,
+    );
+    let ping = emu.invoke(&ApiCall::new("CreatePing")).field("PingId").unwrap().clone();
+    let pong = emu.invoke(&ApiCall::new("CreatePong")).field("PongId").unwrap().clone();
+    emu.invoke(&ApiCall::new("SetPeer").arg("PingId", ping.clone()).arg("PongId", pong.clone()));
+    emu.invoke(&ApiCall::new("SetPeerBack").arg("PongId", pong).arg("PingId", ping.clone()));
+    let resp = emu.invoke(&ApiCall::new("Echo").arg("PingId", ping));
+    assert_eq!(resp.error_code(), Some(codes::LIMIT_EXCEEDED));
+}
+
+#[test]
+fn describe_side_effects_discarded_in_framework_mode_applied_in_d2c() {
+    let src = r#"
+        sm Leaky { service "s";
+          states { n: int = 0; }
+          transition CreateLeaky() kind create { }
+          transition DeleteLeaky() kind destroy { }
+          transition DescribeLeaky() kind describe {
+            write(n, read(n) + 1);
+            emit(N, read(n));
+          }
+        }
+    "#;
+    // Framework: the write is discarded (read-only describes).
+    let mut framework = emulator(src);
+    let id = framework
+        .invoke(&ApiCall::new("CreateLeaky"))
+        .field("LeakyId")
+        .unwrap()
+        .clone();
+    for _ in 0..3 {
+        let r = framework.invoke(&ApiCall::new("DescribeLeaky").arg("LeakyId", id.clone()));
+        assert_eq!(r.field("N"), Some(&Value::Int(1)), "describe must not accumulate");
+    }
+
+    // D2C configuration: the leak persists — the divergence the paper's
+    // consistency checks exist to prevent.
+    let mut d2c = emulator_with(src, EmulatorConfig::direct_to_code());
+    let id = d2c
+        .invoke(&ApiCall::new("CreateLeaky"))
+        .field("LeakyId")
+        .unwrap()
+        .clone();
+    let mut last = 0;
+    for _ in 0..3 {
+        let r = d2c.invoke(&ApiCall::new("DescribeLeaky").arg("LeakyId", id.clone()));
+        last = r.field("N").unwrap().as_int().unwrap();
+    }
+    assert_eq!(last, 3, "d2c mode keeps describe mutations");
+}
+
+#[test]
+fn hierarchy_off_allows_orphan_children_and_parent_deletion() {
+    let src = r#"
+        sm P { service "s";
+          states { }
+          transition CreateP() kind create { }
+          transition DeleteP() kind destroy { }
+          transition DescribeP() kind describe { }
+        }
+        sm C { service "s";
+          parent P via p;
+          states { p: ref(P); }
+          transition CreateC(PId: ref(P)) kind create { write(p, arg(PId)); }
+          transition DeleteC() kind destroy { }
+          transition DescribeC() kind describe { }
+        }
+    "#;
+    // Framework: deleting P with a live C is a DependencyViolation even
+    // though the spec declares no explicit check.
+    let mut strict = emulator(src);
+    let p = strict.invoke(&ApiCall::new("CreateP")).field("PId").unwrap().clone();
+    assert!(strict.invoke(&ApiCall::new("CreateC").arg("PId", p.clone())).is_ok());
+    let resp = strict.invoke(&ApiCall::new("DeleteP").arg("PId", p));
+    assert_eq!(resp.error_code(), Some(codes::DEPENDENCY_VIOLATION));
+
+    // D2C: the framework guarantee is off; the delete silently succeeds.
+    let mut lax = emulator_with(src, EmulatorConfig::direct_to_code());
+    let p = lax.invoke(&ApiCall::new("CreateP")).field("PId").unwrap().clone();
+    assert!(lax.invoke(&ApiCall::new("CreateC").arg("PId", p.clone())).is_ok());
+    let resp = lax.invoke(&ApiCall::new("DeleteP").arg("PId", p));
+    assert!(resp.is_ok(), "d2c mode misses the containment check");
+}
+
+#[test]
+fn create_transitions_may_not_destroy() {
+    // The framework rule from §1: "resource creation APIs should not be
+    // allowed to delete their parent resources."
+    let src = r#"
+        sm Victim { service "s";
+          states { }
+          transition CreateVictim() kind create { }
+          transition DeleteVictim() kind destroy { }
+          transition DescribeVictim() kind describe { }
+        }
+        sm Aggressor { service "s";
+          states { }
+          transition CreateAggressor(VictimId: ref(Victim)) kind create {
+            call(arg(VictimId), DeleteVictim, []);
+          }
+          transition DeleteAggressor() kind destroy { }
+          transition DescribeAggressor() kind describe { }
+        }
+    "#;
+    let mut strict = emulator(src);
+    let v = strict.invoke(&ApiCall::new("CreateVictim")).field("VictimId").unwrap().clone();
+    let resp = strict.invoke(&ApiCall::new("CreateAggressor").arg("VictimId", v.clone()));
+    assert_eq!(resp.error_code(), Some(codes::INTERNAL_FAILURE));
+    // And the victim survives.
+    assert!(strict
+        .invoke(&ApiCall::new("DescribeVictim").arg("VictimId", v))
+        .is_ok());
+}
+
+#[test]
+fn short_circuit_avoids_evaluating_poisoned_operands() {
+    // `||` must not evaluate a failing right operand when the left decides.
+    let mut emu = emulator(
+        r#"
+        sm S { service "s";
+          states { r: ref(S)?; ok: bool = true; }
+          transition CreateS() kind create { }
+          transition DeleteS() kind destroy { }
+          transition DescribeS() kind describe { }
+          transition Guarded() kind modify {
+            assert(read(ok) || field(read(r), ok)) else Bad "m";
+          }
+        }
+        "#,
+    );
+    let id = emu.invoke(&ApiCall::new("CreateS")).field("SId").unwrap().clone();
+    // read(r) is null; field() on it would fault — but `ok` short-circuits.
+    let resp = emu.invoke(&ApiCall::new("Guarded").arg("SId", id));
+    assert!(resp.is_ok(), "{:?}", resp.error);
+}
+
+#[test]
+fn list_append_remove_and_membership() {
+    let mut emu = emulator(
+        r#"
+        sm L { service "s";
+          states { items: list(str); }
+          transition CreateL() kind create { }
+          transition DeleteL() kind destroy { }
+          transition DescribeL() kind describe { emit(Items, read(items)); emit(Len, len(read(items))); }
+          transition Add(X: str) kind modify {
+            assert(!(arg(X) in read(items))) else Dup "m";
+            write(items, append(read(items), arg(X)));
+          }
+          transition Del(X: str) kind modify {
+            assert(arg(X) in read(items)) else Missing "m";
+            write(items, remove(read(items), arg(X)));
+          }
+        }
+        "#,
+    );
+    let id = emu.invoke(&ApiCall::new("CreateL")).field("LId").unwrap().clone();
+    let call = |emu: &mut Emulator, api: &str, x: &str| {
+        emu.invoke(&ApiCall::new(api).arg("LId", id.clone()).arg_str("X", x))
+    };
+    assert!(call(&mut emu, "Add", "a").is_ok());
+    assert!(call(&mut emu, "Add", "b").is_ok());
+    assert_eq!(call(&mut emu, "Add", "a").error_code(), Some("Dup"));
+    assert_eq!(call(&mut emu, "Del", "z").error_code(), Some("Missing"));
+    assert!(call(&mut emu, "Del", "a").is_ok());
+    let resp = emu.invoke(&ApiCall::new("DescribeL").arg("LId", id));
+    assert_eq!(resp.field("Len"), Some(&Value::Int(1)));
+    assert_eq!(
+        resp.field("Items"),
+        Some(&Value::List(vec![Value::str("b")]))
+    );
+}
+
+#[test]
+fn id_param_can_reference_wrong_resource_type() {
+    // Passing a live id of the wrong type must be NotFound, not a type
+    // confusion.
+    let mut emu = emulator(
+        r#"
+        sm A { service "s"; states { }
+          transition CreateA() kind create { }
+          transition DeleteA() kind destroy { }
+          transition DescribeA() kind describe { } }
+        sm B { service "s"; states { }
+          transition CreateB() kind create { }
+          transition DeleteB() kind destroy { }
+          transition DescribeB() kind describe { } }
+        "#,
+    );
+    let a = emu.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    let resp = emu.invoke(&ApiCall::new("DescribeB").arg("BId", a));
+    assert_eq!(resp.error_code(), Some(codes::NOT_FOUND));
+}
+
+#[test]
+fn lax_params_mode_ignores_unknown_arguments() {
+    let src = r#"
+        sm A { service "s"; states { }
+          transition CreateA() kind create { }
+          transition DeleteA() kind destroy { }
+          transition DescribeA() kind describe { } }
+    "#;
+    let mut lax = emulator_with(src, EmulatorConfig::direct_to_code());
+    let resp = lax.invoke(&ApiCall::new("CreateA").arg_str("Color", "red"));
+    assert!(resp.is_ok(), "lax mode ignores unknown params");
+
+    let mut strict = emulator(src);
+    let resp = strict.invoke(&ApiCall::new("CreateA").arg_str("Color", "red"));
+    assert_eq!(resp.error_code(), Some(codes::UNKNOWN_PARAMETER));
+}
+
+#[test]
+fn emits_inside_branches_follow_the_taken_path() {
+    let mut emu = emulator(
+        r#"
+        sm F { service "s";
+          states { flag: bool = false; }
+          transition CreateF() kind create { }
+          transition DeleteF() kind destroy { }
+          transition DescribeF() kind describe { }
+          transition Check(On: bool) kind modify {
+            write(flag, arg(On));
+            if read(flag) {
+              emit(Which, "then");
+            } else {
+              emit(Which, "else");
+            }
+          }
+        }
+        "#,
+    );
+    let id = emu.invoke(&ApiCall::new("CreateF")).field("FId").unwrap().clone();
+    let resp = emu.invoke(&ApiCall::new("Check").arg("FId", id.clone()).arg_bool("On", true));
+    assert_eq!(resp.field("Which"), Some(&Value::str("then")));
+    let resp = emu.invoke(&ApiCall::new("Check").arg("FId", id).arg_bool("On", false));
+    assert_eq!(resp.field("Which"), Some(&Value::str("else")));
+}
+
+#[test]
+fn store_round_trips_through_json() {
+    // CLI state persistence depends on this.
+    let mut emu = emulator(
+        r#"
+        sm A { service "s"; states { n: int = 0; }
+          transition CreateA() kind create { write(n, 7); }
+          transition DeleteA() kind destroy { }
+          transition DescribeA() kind describe { emit(N, read(n)); } }
+        "#,
+    );
+    let id = emu.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    let json = serde_json::to_string(emu.store()).unwrap();
+    let restored: lce_emulator::ResourceStore = serde_json::from_str(&json).unwrap();
+
+    let mut emu2 = emulator(
+        r#"
+        sm A { service "s"; states { n: int = 0; }
+          transition CreateA() kind create { write(n, 7); }
+          transition DeleteA() kind destroy { }
+          transition DescribeA() kind describe { emit(N, read(n)); } }
+        "#,
+    );
+    emu2.set_store(restored);
+    let resp = emu2.invoke(&ApiCall::new("DescribeA").arg("AId", id));
+    assert_eq!(resp.field("N"), Some(&Value::Int(7)));
+    // Counters survive too: the next create must not reuse the id.
+    let id2 = emu2.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    assert_eq!(id2, Value::reference("a-000002"));
+}
+
+#[test]
+fn self_id_is_usable_in_emits_and_calls() {
+    let mut emu = emulator(
+        r#"
+        sm S { service "s";
+          states { me: ref(S)?; }
+          transition CreateS() kind create { emit(Me, self_id()); }
+          transition DeleteS() kind destroy { }
+          transition DescribeS() kind describe { emit(Me, read(me)); }
+          transition Selfie() kind modify { write(me, self_id()); }
+        }
+        "#,
+    );
+    let resp = emu.invoke(&ApiCall::new("CreateS"));
+    assert_eq!(resp.field("Me"), resp.field("SId"));
+    let id = resp.field("SId").unwrap().clone();
+    assert!(emu.invoke(&ApiCall::new("Selfie").arg("SId", id.clone())).is_ok());
+    let resp = emu.invoke(&ApiCall::new("DescribeS").arg("SId", id.clone()));
+    assert_eq!(resp.field("Me"), Some(&id));
+}

@@ -1,0 +1,315 @@
+#![deny(missing_docs)]
+
+//! # lce-gym — a playground for cloud-management agents
+//!
+//! §4.4 of the paper: *"This emulation framework can also act as a
+//! playground for learning and testing cloud services for AI agents. […]
+//! To train these agents, we need a high-fidelity gym with a no-cost and
+//! zero-risk environment."*
+//!
+//! [`CloudGym`] wraps any emulator in an episodic environment: an agent
+//! issues API calls as actions, observes responses plus a summarized view
+//! of live resources, and earns reward when the episode's [`Task`] goal
+//! predicate is satisfied over the resource store. Tasks carry step
+//! budgets, so an episode always terminates.
+//!
+//! ```
+//! use lce_gym::{CloudGym, Task, tasks};
+//! use lce_emulator::{ApiCall, Value};
+//!
+//! let mut gym = CloudGym::new(
+//!     lce_cloud::nimbus_provider().golden_cloud(),
+//!     tasks::public_subnet(),
+//! );
+//! let obs = gym.reset();
+//! assert_eq!(obs.live_resources, 0);
+//! let step = gym.step(
+//!     &ApiCall::new("CreateVpc")
+//!         .arg_str("CidrBlock", "10.0.0.0/16")
+//!         .arg_str("Region", "us-east"),
+//! );
+//! assert!(step.response.is_ok());
+//! assert!(!step.done);
+//! ```
+
+use lce_emulator::{ApiCall, ApiResponse, Emulator, Instance, ResourceStore, Value};
+use lce_spec::SmName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A goal predicate over the resource store.
+pub type Goal = Arc<dyn Fn(&ResourceStore) -> bool + Send + Sync>;
+
+/// An episodic task.
+#[derive(Clone)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Natural-language instruction shown to the agent.
+    pub instruction: String,
+    /// Goal predicate.
+    pub goal: Goal,
+    /// Maximum steps per episode.
+    pub max_steps: usize,
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.name)
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+/// What the agent observes after each step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Live resource count.
+    pub live_resources: usize,
+    /// (type, id) of every live resource, sorted.
+    pub resources: Vec<(String, String)>,
+    /// Steps taken this episode.
+    pub steps_taken: usize,
+    /// Steps remaining.
+    pub steps_remaining: usize,
+}
+
+/// The result of one action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResult {
+    /// The emulator's response to the action.
+    pub response: ApiResponse,
+    /// Updated observation.
+    pub observation: Observation,
+    /// Reward: 1.0 on reaching the goal, small negative step cost
+    /// otherwise (−0.01), −0.05 extra for failed calls.
+    pub reward: f64,
+    /// Episode over (goal reached or budget exhausted).
+    pub done: bool,
+    /// Goal reached.
+    pub success: bool,
+}
+
+/// The episodic environment.
+pub struct CloudGym {
+    emulator: Emulator,
+    task: Task,
+    steps: usize,
+    finished: bool,
+}
+
+impl CloudGym {
+    /// Create a gym over an emulator backend with a task.
+    pub fn new(emulator: Emulator, task: Task) -> Self {
+        CloudGym {
+            emulator,
+            task,
+            steps: 0,
+            finished: false,
+        }
+    }
+
+    /// The active task.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// Start a fresh episode.
+    pub fn reset(&mut self) -> Observation {
+        use lce_emulator::Backend;
+        self.emulator.reset();
+        self.steps = 0;
+        self.finished = false;
+        self.observe()
+    }
+
+    /// Current observation.
+    pub fn observe(&self) -> Observation {
+        let store = self.emulator.store();
+        let mut resources: Vec<(String, String)> = store
+            .iter()
+            .map(|i| (i.sm.to_string(), i.id.to_string()))
+            .collect();
+        resources.sort();
+        Observation {
+            live_resources: store.len(),
+            resources,
+            steps_taken: self.steps,
+            steps_remaining: self.task.max_steps.saturating_sub(self.steps),
+        }
+    }
+
+    /// Take one action.
+    pub fn step(&mut self, action: &ApiCall) -> StepResult {
+        use lce_emulator::Backend;
+        assert!(!self.finished, "episode is over; call reset()");
+        self.steps += 1;
+        let response = self.emulator.invoke(action);
+        let success = (self.task.goal)(self.emulator.store());
+        let done = success || self.steps >= self.task.max_steps;
+        self.finished = done;
+        let mut reward = if success { 1.0 } else { -0.01 };
+        if !response.is_ok() && !success {
+            reward -= 0.05;
+        }
+        StepResult {
+            response,
+            observation: self.observe(),
+            reward,
+            done,
+            success,
+        }
+    }
+}
+
+/// Helper predicates for building goals.
+pub mod predicates {
+    use super::*;
+
+    /// At least `n` live instances of the given type.
+    pub fn at_least(ty: &str, n: usize) -> Goal {
+        let ty = SmName::new(ty);
+        Arc::new(move |store: &ResourceStore| store.of_type(&ty).len() >= n)
+    }
+
+    /// Some live instance of the type satisfies the field predicate.
+    pub fn some_with(ty: &str, f: impl Fn(&Instance) -> bool + Send + Sync + 'static) -> Goal {
+        let ty = SmName::new(ty);
+        Arc::new(move |store: &ResourceStore| store.of_type(&ty).iter().any(|i| f(i)))
+    }
+
+    /// Conjunction of goals.
+    pub fn all(goals: Vec<Goal>) -> Goal {
+        Arc::new(move |store: &ResourceStore| goals.iter().all(|g| g(store)))
+    }
+}
+
+/// The built-in task library.
+pub mod tasks {
+    use super::*;
+
+    /// Create a VPC with a subnet whose `MapPublicIpOnLaunch` is enabled —
+    /// the paper's §5 basic-functionality flow as an agent task.
+    pub fn public_subnet() -> Task {
+        Task {
+            name: "public-subnet".into(),
+            instruction: "Create a VPC containing a subnet that automatically assigns \
+                          public IPs to launched instances."
+                .into(),
+            goal: predicates::some_with("Subnet", |i| {
+                i.get("map_public_ip_on_launch") == Some(&Value::Bool(true))
+            }),
+            max_steps: 12,
+        }
+    }
+
+    /// Stand up a running instance (VPC → subnet → image → instance).
+    pub fn running_instance() -> Task {
+        Task {
+            name: "running-instance".into(),
+            instruction: "Launch a virtual machine instance and ensure it is running.".into(),
+            goal: predicates::some_with("Instance", |i| {
+                i.get("state") == Some(&Value::enum_val("running"))
+            }),
+            max_steps: 16,
+        }
+    }
+
+    /// Deploy a firewall guarding a VPC.
+    pub fn guarded_vpc() -> Task {
+        Task {
+            name: "guarded-vpc".into(),
+            instruction: "Deploy a network firewall (with a policy) into a VPC.".into(),
+            goal: predicates::all(vec![
+                predicates::at_least("Firewall", 1),
+                predicates::at_least("FirewallPolicy", 1),
+            ]),
+            max_steps: 20,
+        }
+    }
+
+    /// All built-in tasks.
+    pub fn all_tasks() -> Vec<Task> {
+        vec![public_subnet(), running_instance(), guarded_vpc()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::nimbus_provider;
+
+    fn gym(task: Task) -> CloudGym {
+        CloudGym::new(nimbus_provider().golden_cloud(), task)
+    }
+
+    #[test]
+    fn scripted_agent_solves_public_subnet() {
+        let mut g = gym(tasks::public_subnet());
+        g.reset();
+        let r = g.step(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        );
+        let vpc = r.response.field("VpcId").unwrap().clone();
+        let r = g.step(
+            &ApiCall::new("CreateSubnet")
+                .arg("VpcId", vpc)
+                .arg_str("CidrBlock", "10.0.1.0/24")
+                .arg("PrefixLength", Value::Int(24))
+                .arg_str("Zone", "us-east-1a"),
+        );
+        let subnet = r.response.field("SubnetId").unwrap().clone();
+        assert!(!r.done);
+        let r = g.step(
+            &ApiCall::new("ModifySubnetAttribute")
+                .arg("SubnetId", subnet)
+                .arg_bool("MapPublicIpOnLaunch", true),
+        );
+        assert!(r.success && r.done);
+        assert!((r.reward - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exhaustion_ends_episode() {
+        let mut g = gym(Task {
+            max_steps: 2,
+            ..tasks::public_subnet()
+        });
+        g.reset();
+        let r = g.step(&ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-x"));
+        assert!(!r.done);
+        assert!(r.reward < 0.0, "failed call is penalized: {}", r.reward);
+        let r = g.step(&ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-x"));
+        assert!(r.done && !r.success);
+    }
+
+    #[test]
+    fn reset_clears_world() {
+        let mut g = gym(tasks::running_instance());
+        g.reset();
+        g.step(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        );
+        assert_eq!(g.observe().live_resources, 1);
+        let obs = g.reset();
+        assert_eq!(obs.live_resources, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "episode is over")]
+    fn step_after_done_panics() {
+        let mut g = gym(Task {
+            max_steps: 1,
+            ..tasks::public_subnet()
+        });
+        g.reset();
+        g.step(&ApiCall::new("CreateInternetGateway"));
+        g.step(&ApiCall::new("CreateInternetGateway"));
+    }
+}

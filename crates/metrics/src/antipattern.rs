@@ -1,0 +1,195 @@
+//! API anti-pattern detection ("documentation engineering", §4.4).
+//!
+//! "By analyzing the specifications, we can detect potential design flaws
+//! and anti-patterns. For instance, a modify() call that requires a long
+//! and complex chain of actions updating multiple dependencies across
+//! resources may indicate a poorly designed API."
+
+use lce_spec::{ApiName, Catalog, SmName, Stmt, TransitionKind};
+use serde::{Deserialize, Serialize};
+
+/// A detected anti-pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AntiPattern {
+    /// A modify transition fanning out into many cross-machine calls.
+    WideModifyFanout {
+        /// Machine.
+        sm: SmName,
+        /// Transition.
+        api: ApiName,
+        /// Cross-machine calls in the body.
+        calls: usize,
+    },
+    /// A transition with deeply nested conditional logic.
+    DeepBranching {
+        /// Machine.
+        sm: SmName,
+        /// Transition.
+        api: ApiName,
+        /// Maximum nesting depth.
+        depth: usize,
+    },
+    /// A machine exposing many distinct error codes (hard to handle
+    /// client-side).
+    ErrorCodeSprawl {
+        /// Machine.
+        sm: SmName,
+        /// Distinct error codes.
+        codes: usize,
+    },
+    /// A create transition with many required parameters.
+    OverloadedCreate {
+        /// Machine.
+        sm: SmName,
+        /// Transition.
+        api: ApiName,
+        /// Required parameters.
+        required_params: usize,
+    },
+}
+
+/// Thresholds for detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Cross-machine calls in one modify body.
+    pub fanout: usize,
+    /// Conditional nesting depth.
+    pub depth: usize,
+    /// Distinct error codes per machine.
+    pub codes: usize,
+    /// Required create parameters.
+    pub create_params: usize,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            fanout: 1,
+            depth: 3,
+            codes: 6,
+            create_params: 3,
+        }
+    }
+}
+
+fn max_depth(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If { then, els, .. } => 1 + max_depth(then).max(max_depth(els)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Scan a catalog for anti-patterns.
+pub fn detect_antipatterns(catalog: &Catalog, thresholds: &Thresholds) -> Vec<AntiPattern> {
+    let mut out = Vec::new();
+    for sm in catalog.iter() {
+        let mut codes: Vec<&str> = sm
+            .transitions
+            .iter()
+            .flat_map(|t| t.error_codes())
+            .map(|c| c.as_str())
+            .collect();
+        codes.sort();
+        codes.dedup();
+        if codes.len() > thresholds.codes {
+            out.push(AntiPattern::ErrorCodeSprawl {
+                sm: sm.name.clone(),
+                codes: codes.len(),
+            });
+        }
+        for t in &sm.transitions {
+            let calls = t
+                .all_stmts()
+                .iter()
+                .filter(|s| matches!(s, Stmt::Call { .. }))
+                .count();
+            if t.kind == TransitionKind::Modify && calls > thresholds.fanout {
+                out.push(AntiPattern::WideModifyFanout {
+                    sm: sm.name.clone(),
+                    api: t.name.clone(),
+                    calls,
+                });
+            }
+            let depth = max_depth(&t.body);
+            if depth > thresholds.depth {
+                out.push(AntiPattern::DeepBranching {
+                    sm: sm.name.clone(),
+                    api: t.name.clone(),
+                    depth,
+                });
+            }
+            if t.kind == TransitionKind::Create {
+                let required = t.params.iter().filter(|p| !p.optional).count();
+                if required > thresholds.create_params {
+                    out.push(AntiPattern::OverloadedCreate {
+                        sm: sm.name.clone(),
+                        api: t.name.clone(),
+                        required_params: required,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::{parse_catalog, Catalog};
+
+    #[test]
+    fn detects_wide_fanout_and_deep_branching() {
+        let catalog = Catalog::from_specs(
+            parse_catalog(
+                r#"
+            sm B { service "s"; states { n: int = 0; }
+              transition Poke() kind modify { write(n, read(n) + 1); } }
+            sm A { service "s"; states { x: ref(B)?; y: ref(B)?; z: ref(B)?; f: bool = false; }
+              transition Fan() kind modify {
+                call(read(x), Poke, []);
+                call(read(y), Poke, []);
+                call(read(z), Poke, []);
+              }
+              transition Deep() kind modify {
+                if read(f) { if read(f) { if read(f) { if read(f) { write(f, false); } } } }
+              } }
+            "#,
+            )
+            .unwrap(),
+        );
+        let found = detect_antipatterns(&catalog, &Thresholds::default());
+        assert!(found
+            .iter()
+            .any(|a| matches!(a, AntiPattern::WideModifyFanout { calls: 3, .. })));
+        assert!(found
+            .iter()
+            .any(|a| matches!(a, AntiPattern::DeepBranching { depth: 4, .. })));
+    }
+
+    #[test]
+    fn golden_catalog_yields_findings() {
+        // The golden catalog intentionally includes a few rich machines;
+        // the detector should find at least one pattern at strict
+        // thresholds and none at absurdly lax ones.
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let strict = Thresholds {
+            fanout: 0,
+            depth: 0,
+            codes: 1,
+            create_params: 1,
+        };
+        assert!(!detect_antipatterns(&catalog, &strict).is_empty());
+        let lax = Thresholds {
+            fanout: 100,
+            depth: 100,
+            codes: 100,
+            create_params: 100,
+        };
+        assert!(detect_antipatterns(&catalog, &lax).is_empty());
+    }
+}

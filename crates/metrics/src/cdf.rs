@@ -1,0 +1,123 @@
+//! Empirical CDF computation for figure series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over integer samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted distinct sample values.
+    pub values: Vec<usize>,
+    /// `fractions[i]` is P(X <= `values[i]`).
+    pub fractions: Vec<f64>,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn from_samples(mut samples: Vec<usize>) -> Self {
+        samples.sort_unstable();
+        let n = samples.len();
+        let mut values = Vec::new();
+        let mut fractions = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = samples[i];
+            let mut j = i;
+            while j < n && samples[j] == v {
+                j += 1;
+            }
+            values.push(v);
+            fractions.push(j as f64 / n as f64);
+            i = j;
+        }
+        Cdf {
+            values,
+            fractions,
+            n,
+        }
+    }
+
+    /// P(X <= x).
+    pub fn at(&self, x: usize) -> f64 {
+        let mut out = 0.0;
+        for (v, f) in self.values.iter().zip(&self.fractions) {
+            if *v <= x {
+                out = *f;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The q-th quantile value (0 < q <= 1).
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        self.values
+            .iter()
+            .zip(&self.fractions)
+            .find(|(_, f)| **f >= q)
+            .map(|(v, _)| *v)
+    }
+
+    /// `true` if this distribution (weakly) stochastically dominates
+    /// `other`: for every x, P(self <= x) <= P(other <= x) — i.e. `self`
+    /// is shifted toward larger values.
+    pub fn dominates(&self, other: &Cdf) -> bool {
+        let xs: Vec<usize> = self
+            .values
+            .iter()
+            .chain(other.values.iter())
+            .copied()
+            .collect();
+        xs.iter().all(|x| self.at(*x) <= other.at(*x) + 1e-9)
+    }
+
+    /// Render as `value<TAB>fraction` lines (for figure regeneration).
+    pub fn to_series(&self) -> String {
+        self.values
+            .iter()
+            .zip(&self.fractions)
+            .map(|(v, f)| format!("{}\t{:.4}", v, f))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_monotone_to_one() {
+        let cdf = Cdf::from_samples(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        assert!(cdf
+            .fractions
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+        assert!((cdf.fractions.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_and_quantile() {
+        let cdf = Cdf::from_samples(vec![1, 2, 2, 4]);
+        assert!((cdf.at(2) - 0.75).abs() < 1e-9);
+        assert!((cdf.at(0) - 0.0).abs() < 1e-9);
+        assert_eq!(cdf.quantile(0.5), Some(2));
+        assert_eq!(cdf.quantile(1.0), Some(4));
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cdf::from_samples(vec![1, 2, 3]);
+        let large = Cdf::from_samples(vec![4, 5, 6]);
+        assert!(large.dominates(&small));
+        assert!(!small.dominates(&large));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let cdf = Cdf::from_samples(vec![1, 2]);
+        assert_eq!(cdf.to_series(), "1\t0.5000\n2\t1.0000");
+    }
+}

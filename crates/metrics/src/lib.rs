@@ -1,0 +1,21 @@
+#![deny(missing_docs)]
+
+//! # lce-metrics — analyzing extracted specifications
+//!
+//! §4.4 of the paper argues that once cloud behaviour is formalized as a
+//! graph of state machines, the model itself becomes an analysis target:
+//! objective complexity metrics, API anti-pattern detection, cross-provider
+//! comparisons. This crate implements those analyses plus the coverage
+//! accounting behind Table 1.
+
+pub mod antipattern;
+pub mod cdf;
+pub mod complexity;
+pub mod coverage;
+pub mod interop;
+
+pub use antipattern::{detect_antipatterns, AntiPattern};
+pub use cdf::Cdf;
+pub use complexity::{catalog_complexity, sm_complexity, ServiceComplexity, SmComplexity};
+pub use coverage::{coverage_table, coverage_table_for, CoverageRow};
+pub use interop::{compare_providers, EquivalenceReport};

@@ -1,0 +1,667 @@
+//! Abstract syntax for the SM specification language.
+//!
+//! The grammar follows Fig. 1 of the paper: a specification is a set of
+//! state machines; each machine declares typed state variables and
+//! transitions; transitions are sequences of `write`/`assert`/`call`/`emit`
+//! primitives with `if/else` branching over side-effect-free predicate
+//! expressions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The name of a state machine, i.e. a cloud resource type (e.g. `Vpc`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SmName(pub String);
+
+impl SmName {
+    /// Create a new SM name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SmName(name.into())
+    }
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SmName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SmName {
+    fn from(s: &str) -> Self {
+        SmName(s.to_string())
+    }
+}
+
+/// The name of an API / transition (e.g. `CreateVpc`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ApiName(pub String);
+
+impl ApiName {
+    /// Create a new API name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApiName(name.into())
+    }
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ApiName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ApiName {
+    fn from(s: &str) -> Self {
+        ApiName(s.to_string())
+    }
+}
+
+/// A machine-readable error code, aligned between emulator and cloud
+/// (e.g. `DependencyViolation`, `IncorrectInstanceState`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ErrorCode(pub String);
+
+impl ErrorCode {
+    /// Create a new error code.
+    pub fn new(code: impl Into<String>) -> Self {
+        ErrorCode(code.into())
+    }
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ErrorCode {
+    fn from(s: &str) -> Self {
+        ErrorCode(s.to_string())
+    }
+}
+
+/// The type of a state variable or transition parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateType {
+    /// A free-form string.
+    Str,
+    /// A signed integer.
+    Int,
+    /// A boolean flag.
+    Bool,
+    /// An enumeration over a closed set of symbolic values.
+    Enum(Vec<String>),
+    /// A reference to an instance of another state machine.
+    Ref(SmName),
+    /// A homogeneous list.
+    List(Box<StateType>),
+}
+
+impl StateType {
+    /// `true` if values of this type can be compared with `<`/`<=`/…
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, StateType::Int)
+    }
+    /// The enum variants, if this is an enum type.
+    pub fn enum_variants(&self) -> Option<&[String]> {
+        match self {
+            StateType::Enum(vs) => Some(vs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateType::Str => write!(f, "str"),
+            StateType::Int => write!(f, "int"),
+            StateType::Bool => write!(f, "bool"),
+            StateType::Enum(vs) => write!(f, "enum({})", vs.join(", ")),
+            StateType::Ref(sm) => write!(f, "ref({})", sm),
+            StateType::List(t) => write!(f, "list({})", t),
+        }
+    }
+}
+
+/// A literal value appearing in a specification.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Literal {
+    /// String literal, e.g. `"us-east"`.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// A bare enum variant, e.g. `Assigned`.
+    EnumVal(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "{:?}", s),
+            Literal::Int(i) => write!(f, "{}", i),
+            Literal::Bool(b) => write!(f, "{}", b),
+            Literal::EnumVal(v) => write!(f, "{}", v),
+        }
+    }
+}
+
+/// A declared state variable of a state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateDecl {
+    /// Variable name (snake_case by convention).
+    pub name: String,
+    /// Variable type.
+    pub ty: StateType,
+    /// `true` if the variable may hold `null` (syntax: `ty?`).
+    pub nullable: bool,
+    /// Initial value assigned at instance creation, before the `create`
+    /// transition body runs.
+    pub default: Option<Literal>,
+}
+
+/// The four API categories the paper identifies (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Initiates a resource instance.
+    Create,
+    /// Destroys a resource instance.
+    Destroy,
+    /// Reads resource attributes; must be side-effect free.
+    Describe,
+    /// Changes existing state, possibly on other resources.
+    Modify,
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransitionKind::Create => "create",
+            TransitionKind::Destroy => "destroy",
+            TransitionKind::Describe => "describe",
+            TransitionKind::Modify => "modify",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed transition parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: StateType,
+    /// `true` if the caller may omit the parameter (value `null`).
+    pub optional: bool,
+}
+
+/// Unary operators over expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Logical negation of a boolean.
+    Not,
+    /// `true` iff the operand is `null`.
+    IsNull,
+    /// `true` iff the operand is a reference to a *live* instance.
+    Exists,
+    /// Length of a list or string.
+    Len,
+}
+
+/// Binary operators over expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Structural equality.
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Logical conjunction (short-circuit).
+    And,
+    /// Logical disjunction (short-circuit).
+    Or,
+    /// Membership: `x in list`.
+    In,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+}
+
+impl BinOp {
+    /// `true` for operators producing a boolean result.
+    pub fn is_predicate(&self) -> bool {
+        !matches!(self, BinOp::Add | BinOp::Sub)
+    }
+}
+
+/// A side-effect-free expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Literal),
+    /// `null`.
+    Null,
+    /// `read(var)` — read a state variable of the current instance.
+    Read(String),
+    /// `arg(name)` — read a transition parameter.
+    Arg(String),
+    /// `field(refexpr, var)` — read a state variable of a referenced
+    /// instance.
+    Field(Box<Expr>, String),
+    /// `self_id()` — the id of the current instance.
+    SelfId,
+    /// `child_count(Sm)` — number of live child instances of the given type
+    /// contained in the current instance.
+    ChildCount(SmName),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A list display, e.g. `["a", "b"]`.
+    ListOf(Vec<Expr>),
+    /// `append(list, elem)` — the list with `elem` appended.
+    Append(Box<Expr>, Box<Expr>),
+    /// `remove(list, elem)` — the list with all occurrences of `elem`
+    /// removed.
+    Remove(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: literal string expression.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Lit(Literal::Str(s.into()))
+    }
+    /// Convenience: literal int expression.
+    pub fn int(i: i64) -> Expr {
+        Expr::Lit(Literal::Int(i))
+    }
+    /// Convenience: literal bool expression.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Literal::Bool(b))
+    }
+    /// Convenience: enum variant expression.
+    pub fn enum_val(v: impl Into<String>) -> Expr {
+        Expr::Lit(Literal::EnumVal(v.into()))
+    }
+    /// Convenience: read a state variable.
+    pub fn read(v: impl Into<String>) -> Expr {
+        Expr::Read(v.into())
+    }
+    /// Convenience: read an argument.
+    pub fn arg(v: impl Into<String>) -> Expr {
+        Expr::Arg(v.into())
+    }
+    /// Convenience: equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(a), Box::new(b))
+    }
+    /// Convenience: inequality.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(a), Box::new(b))
+    }
+    /// Convenience: conjunction.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(a), Box::new(b))
+    }
+    /// Convenience: negation.
+    pub fn not(a: Expr) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(a))
+    }
+    /// Convenience: null test.
+    pub fn is_null(a: Expr) -> Expr {
+        Expr::Unary(UnOp::IsNull, Box::new(a))
+    }
+    /// Convenience: liveness test for a reference.
+    pub fn exists(a: Expr) -> Expr {
+        Expr::Unary(UnOp::Exists, Box::new(a))
+    }
+
+    /// Visit this expression and all sub-expressions, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Field(e, _) | Expr::Unary(_, e) => e.visit(f),
+            Expr::Binary(_, a, b) | Expr::Append(a, b) | Expr::Remove(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::ListOf(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+            Expr::Lit(_)
+            | Expr::Null
+            | Expr::Read(_)
+            | Expr::Arg(_)
+            | Expr::SelfId
+            | Expr::ChildCount(_) => {}
+        }
+    }
+}
+
+/// A statement in a transition body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `write(var, expr)` — assign a state variable of the current instance.
+    Write {
+        /// Target state variable.
+        state: String,
+        /// Value to assign.
+        value: Expr,
+    },
+    /// `assert(pred) else Code "message"` — abort the transition with the
+    /// given error code if the predicate is false. All effects of the
+    /// transition are rolled back (transitions are atomic).
+    Assert {
+        /// Predicate that must hold.
+        pred: Expr,
+        /// Error code returned on violation.
+        error: ErrorCode,
+        /// Human-readable error message template.
+        message: String,
+    },
+    /// `call(refexpr, Api, [args...])` — trigger a transition on another
+    /// instance.
+    Call {
+        /// Expression evaluating to a reference to the target instance.
+        target: Expr,
+        /// Transition to invoke on the target.
+        api: ApiName,
+        /// Positional arguments matched to the target transition's params.
+        args: Vec<Expr>,
+    },
+    /// `emit(field, expr)` — add a field to the API response.
+    Emit {
+        /// Response field name.
+        field: String,
+        /// Field value.
+        value: Expr,
+    },
+    /// `if pred { ... } else { ... }`.
+    If {
+        /// Branch condition.
+        pred: Expr,
+        /// Statements executed when the condition holds.
+        then: Vec<Stmt>,
+        /// Statements executed otherwise (may be empty).
+        els: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Visit this statement and all nested statements, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        if let Stmt::If { then, els, .. } = self {
+            for s in then {
+                s.visit(f);
+            }
+            for s in els {
+                s.visit(f);
+            }
+        }
+    }
+}
+
+/// A transition of a state machine, corresponding to one cloud API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// API name (e.g. `CreateVpc`).
+    pub name: ApiName,
+    /// API category.
+    pub kind: TransitionKind,
+    /// Typed parameters.
+    pub params: Vec<Param>,
+    /// Body statements, executed in order; atomic with rollback on assert
+    /// failure.
+    pub body: Vec<Stmt>,
+    /// One-line behavioural summary (used by the documentation renderer).
+    pub doc: String,
+    /// `true` for internal bookkeeping transitions that other machines
+    /// `call` but that are not part of the public API surface (and thus do
+    /// not count toward API coverage).
+    pub internal: bool,
+}
+
+impl Transition {
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Iterate over all statements in the body, including nested ones.
+    pub fn all_stmts(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.visit(&mut |st| out.push(st));
+        }
+        out
+    }
+
+    /// All error codes this transition can return.
+    pub fn error_codes(&self) -> Vec<&ErrorCode> {
+        self.all_stmts()
+            .into_iter()
+            .filter_map(|s| match s {
+                Stmt::Assert { error, .. } => Some(error),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A complete state machine specification for one cloud resource type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmSpec {
+    /// Resource type name.
+    pub name: SmName,
+    /// Service this resource belongs to (e.g. `"compute"`).
+    pub service: String,
+    /// Containment parent, if any, together with the state variable holding
+    /// the parent reference (must be a `ref(parent)` variable written by the
+    /// create transition).
+    pub parent: Option<(SmName, String)>,
+    /// Name of the API parameter that carries this resource's id on
+    /// non-create transitions (e.g. `"VpcId"`).
+    pub id_param: String,
+    /// Declared state variables.
+    pub states: Vec<StateDecl>,
+    /// Declared transitions.
+    pub transitions: Vec<Transition>,
+    /// One-line resource description (used by the documentation renderer).
+    pub doc: String,
+}
+
+impl SmSpec {
+    /// Look up a state variable declaration by name.
+    pub fn state(&self, name: &str) -> Option<&StateDecl> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a transition by API name.
+    pub fn transition(&self, api: &str) -> Option<&Transition> {
+        self.transitions.iter().find(|t| t.name.as_str() == api)
+    }
+
+    /// The unique `create`-kinded transitions of this SM.
+    pub fn creates(&self) -> impl Iterator<Item = &Transition> {
+        self.transitions
+            .iter()
+            .filter(|t| t.kind == TransitionKind::Create)
+    }
+
+    /// The SM names this spec references (via `ref` types, `call` targets
+    /// resolve through those, and `child_count`).
+    pub fn referenced_sms(&self) -> Vec<SmName> {
+        let mut out: Vec<SmName> = Vec::new();
+        let mut push = |n: &SmName| {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        };
+        for s in &self.states {
+            collect_refs_in_type(&s.ty, &mut push);
+        }
+        for t in &self.transitions {
+            for p in &t.params {
+                collect_refs_in_type(&p.ty, &mut push);
+            }
+            for s in t.all_stmts() {
+                let mut exprs: Vec<&Expr> = Vec::new();
+                match s {
+                    Stmt::Write { value, .. } | Stmt::Emit { value, .. } => exprs.push(value),
+                    Stmt::Assert { pred, .. } | Stmt::If { pred, .. } => exprs.push(pred),
+                    Stmt::Call { target, args, .. } => {
+                        exprs.push(target);
+                        exprs.extend(args.iter());
+                    }
+                }
+                for e in exprs {
+                    e.visit(&mut |e| {
+                        if let Expr::ChildCount(n) = e {
+                            push(n);
+                        }
+                    });
+                }
+            }
+        }
+        if let Some((p, _)) = &self.parent {
+            push(p);
+        }
+        out.retain(|n| n != &self.name);
+        out
+    }
+
+    /// Total number of statements across all transition bodies — the
+    /// "transition complexity" metric used in Fig. 4.
+    pub fn complexity(&self) -> usize {
+        self.states.len()
+            + self
+                .transitions
+                .iter()
+                .map(|t| t.all_stmts().len())
+                .sum::<usize>()
+    }
+}
+
+fn collect_refs_in_type(ty: &StateType, push: &mut impl FnMut(&SmName)) {
+    match ty {
+        StateType::Ref(n) => push(n),
+        StateType::List(inner) => collect_refs_in_type(inner, push),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sm() -> SmSpec {
+        SmSpec {
+            name: SmName::new("PublicIp"),
+            service: "compute".into(),
+            parent: None,
+            id_param: "PublicIpId".into(),
+            states: vec![
+                StateDecl {
+                    name: "status".into(),
+                    ty: StateType::Enum(vec!["Idle".into(), "Assigned".into()]),
+                    nullable: false,
+                    default: Some(Literal::EnumVal("Idle".into())),
+                },
+                StateDecl {
+                    name: "nic".into(),
+                    ty: StateType::Ref(SmName::new("NetworkInterface")),
+                    nullable: true,
+                    default: None,
+                },
+            ],
+            transitions: vec![Transition {
+                name: ApiName::new("ReleasePublicIp"),
+                kind: TransitionKind::Destroy,
+                params: vec![],
+                body: vec![Stmt::Assert {
+                    pred: Expr::is_null(Expr::read("nic")),
+                    error: ErrorCode::new("DependencyViolation"),
+                    message: "still attached".into(),
+                }],
+                doc: String::new(),
+                internal: false,
+            }],
+            doc: String::new(),
+        }
+    }
+
+    #[test]
+    fn state_lookup() {
+        let sm = toy_sm();
+        assert!(sm.state("status").is_some());
+        assert!(sm.state("missing").is_none());
+    }
+
+    #[test]
+    fn referenced_sms_includes_ref_types() {
+        let sm = toy_sm();
+        assert_eq!(sm.referenced_sms(), vec![SmName::new("NetworkInterface")]);
+    }
+
+    #[test]
+    fn error_codes_collected() {
+        let sm = toy_sm();
+        let t = sm.transition("ReleasePublicIp").unwrap();
+        assert_eq!(t.error_codes(), vec![&ErrorCode::new("DependencyViolation")]);
+    }
+
+    #[test]
+    fn complexity_counts_states_and_stmts() {
+        let sm = toy_sm();
+        assert_eq!(sm.complexity(), 2 + 1);
+    }
+
+    #[test]
+    fn expr_visit_reaches_nested() {
+        let e = Expr::and(
+            Expr::eq(Expr::read("a"), Expr::int(1)),
+            Expr::not(Expr::is_null(Expr::arg("b"))),
+        );
+        let mut reads = 0;
+        let mut args = 0;
+        e.visit(&mut |e| match e {
+            Expr::Read(_) => reads += 1,
+            Expr::Arg(_) => args += 1,
+            _ => {}
+        });
+        assert_eq!((reads, args), (1, 1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sm = toy_sm();
+        let json = serde_json::to_string(&sm).unwrap();
+        let back: SmSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(sm, back);
+    }
+}

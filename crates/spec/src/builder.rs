@@ -1,0 +1,292 @@
+//! Fluent builders for constructing SM specifications from Rust code.
+//!
+//! The golden catalogs in `lce-cloud` are mostly written in the DSL itself,
+//! but tests, baselines and the synthesizer's repair stage frequently need
+//! to assemble or tweak specs programmatically; the builders keep that
+//! readable.
+
+use crate::ast::*;
+
+/// Builder for an [`SmSpec`].
+#[derive(Debug, Clone)]
+pub struct SmBuilder {
+    spec: SmSpec,
+}
+
+impl SmBuilder {
+    /// Start building an SM with the given resource-type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = SmName::new(name);
+        let id_param = format!("{}Id", name.as_str());
+        SmBuilder {
+            spec: SmSpec {
+                name,
+                service: String::new(),
+                parent: None,
+                id_param,
+                states: Vec::new(),
+                transitions: Vec::new(),
+                doc: String::new(),
+            },
+        }
+    }
+
+    /// Set the owning service.
+    pub fn service(mut self, service: impl Into<String>) -> Self {
+        self.spec.service = service.into();
+        self
+    }
+
+    /// Set the one-line resource description.
+    pub fn doc(mut self, doc: impl Into<String>) -> Self {
+        self.spec.doc = doc.into();
+        self
+    }
+
+    /// Set the id-carrying parameter name.
+    pub fn id_param(mut self, p: impl Into<String>) -> Self {
+        self.spec.id_param = p.into();
+        self
+    }
+
+    /// Declare the containment parent and the `ref` state variable holding
+    /// the link.
+    pub fn parent(mut self, parent: impl Into<String>, via: impl Into<String>) -> Self {
+        self.spec.parent = Some((SmName::new(parent), via.into()));
+        self
+    }
+
+    /// Declare a state variable.
+    pub fn state(mut self, name: impl Into<String>, ty: StateType) -> Self {
+        self.spec.states.push(StateDecl {
+            name: name.into(),
+            ty,
+            nullable: false,
+            default: None,
+        });
+        self
+    }
+
+    /// Declare a nullable state variable.
+    pub fn state_nullable(mut self, name: impl Into<String>, ty: StateType) -> Self {
+        self.spec.states.push(StateDecl {
+            name: name.into(),
+            ty,
+            nullable: true,
+            default: None,
+        });
+        self
+    }
+
+    /// Declare a state variable with a default value.
+    pub fn state_default(
+        mut self,
+        name: impl Into<String>,
+        ty: StateType,
+        default: Literal,
+    ) -> Self {
+        self.spec.states.push(StateDecl {
+            name: name.into(),
+            ty,
+            nullable: false,
+            default: Some(default),
+        });
+        self
+    }
+
+    /// Add a fully built transition.
+    pub fn transition(mut self, t: Transition) -> Self {
+        self.spec.transitions.push(t);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SmSpec {
+        self.spec
+    }
+}
+
+/// Builder for a [`Transition`].
+#[derive(Debug, Clone)]
+pub struct TransitionBuilder {
+    t: Transition,
+}
+
+impl TransitionBuilder {
+    /// Start building a transition with the given API name and kind.
+    pub fn new(name: impl Into<String>, kind: TransitionKind) -> Self {
+        TransitionBuilder {
+            t: Transition {
+                name: ApiName::new(name),
+                kind,
+                params: Vec::new(),
+                body: Vec::new(),
+                doc: String::new(),
+                internal: false,
+            },
+        }
+    }
+
+    /// Mark this transition as internal bookkeeping (not a public API).
+    pub fn internal(mut self) -> Self {
+        self.t.internal = true;
+        self
+    }
+
+    /// Set the one-line behavioural summary.
+    pub fn doc(mut self, doc: impl Into<String>) -> Self {
+        self.t.doc = doc.into();
+        self
+    }
+
+    /// Add a required parameter.
+    pub fn param(mut self, name: impl Into<String>, ty: StateType) -> Self {
+        self.t.params.push(Param {
+            name: name.into(),
+            ty,
+            optional: false,
+        });
+        self
+    }
+
+    /// Add an optional parameter.
+    pub fn param_opt(mut self, name: impl Into<String>, ty: StateType) -> Self {
+        self.t.params.push(Param {
+            name: name.into(),
+            ty,
+            optional: true,
+        });
+        self
+    }
+
+    /// Append a `write` statement.
+    pub fn write(mut self, state: impl Into<String>, value: Expr) -> Self {
+        self.t.body.push(Stmt::Write {
+            state: state.into(),
+            value,
+        });
+        self
+    }
+
+    /// Append an `assert ... else Code "msg"` statement.
+    pub fn assert(
+        mut self,
+        pred: Expr,
+        error: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        self.t.body.push(Stmt::Assert {
+            pred,
+            error: ErrorCode::new(error),
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Append a `call` statement.
+    pub fn call(mut self, target: Expr, api: impl Into<String>, args: Vec<Expr>) -> Self {
+        self.t.body.push(Stmt::Call {
+            target,
+            api: ApiName::new(api),
+            args,
+        });
+        self
+    }
+
+    /// Append an `emit` statement.
+    pub fn emit(mut self, field: impl Into<String>, value: Expr) -> Self {
+        self.t.body.push(Stmt::Emit {
+            field: field.into(),
+            value,
+        });
+        self
+    }
+
+    /// Append an `if` statement.
+    pub fn if_then(mut self, pred: Expr, then: Vec<Stmt>) -> Self {
+        self.t.body.push(Stmt::If {
+            pred,
+            then,
+            els: Vec::new(),
+        });
+        self
+    }
+
+    /// Append an `if/else` statement.
+    pub fn if_then_else(mut self, pred: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Self {
+        self.t.body.push(Stmt::If { pred, then, els });
+        self
+    }
+
+    /// Append an arbitrary statement.
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.t.body.push(s);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Transition {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_sm;
+    use crate::parser::parse_sm;
+    use crate::printer::print_sm;
+
+    #[test]
+    fn builder_produces_checkable_sm() {
+        let sm = SmBuilder::new("Volume")
+            .service("compute")
+            .doc("A block storage volume.")
+            .state_default(
+                "state",
+                StateType::Enum(vec!["Available".into(), "InUse".into()]),
+                Literal::EnumVal("Available".into()),
+            )
+            .state("size_gb", StateType::Int)
+            .transition(
+                TransitionBuilder::new("CreateVolume", TransitionKind::Create)
+                    .param("Size", StateType::Int)
+                    .assert(
+                        Expr::Binary(
+                            BinOp::Gt,
+                            Box::new(Expr::arg("Size")),
+                            Box::new(Expr::int(0)),
+                        ),
+                        "InvalidParameterValue",
+                        "size must be positive",
+                    )
+                    .write("size_gb", Expr::arg("Size"))
+                    .build(),
+            )
+            .build();
+        assert!(check_sm(&sm).is_empty());
+    }
+
+    #[test]
+    fn builder_output_round_trips_through_printer() {
+        let sm = SmBuilder::new("KeyPair")
+            .service("compute")
+            .state("name", StateType::Str)
+            .transition(
+                TransitionBuilder::new("CreateKeyPair", TransitionKind::Create)
+                    .param("KeyName", StateType::Str)
+                    .write("name", Expr::arg("KeyName"))
+                    .emit("key_fingerprint", Expr::str("aa:bb"))
+                    .build(),
+            )
+            .build();
+        let reparsed = parse_sm(&print_sm(&sm)).unwrap();
+        assert_eq!(sm, reparsed);
+    }
+
+    #[test]
+    fn default_id_param() {
+        let sm = SmBuilder::new("RouteTable").service("s").build();
+        assert_eq!(sm.id_param, "RouteTableId");
+    }
+}

@@ -1,0 +1,337 @@
+//! Catalogs: collections of SM specifications plus the resource-level
+//! dependency graph the paper's incremental extraction iterates over.
+
+use crate::ast::{SmName, SmSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of state machines forming one emulation target (typically a
+/// provider, spanning several services).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    sms: BTreeMap<SmName, SmSpec>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Build a catalog from a list of specs. Later duplicates replace
+    /// earlier ones.
+    pub fn from_specs(specs: impl IntoIterator<Item = SmSpec>) -> Self {
+        let mut c = Catalog::new();
+        for s in specs {
+            c.insert(s);
+        }
+        c
+    }
+
+    /// Insert (or replace) a spec.
+    pub fn insert(&mut self, spec: SmSpec) {
+        self.sms.insert(spec.name.clone(), spec);
+    }
+
+    /// Remove a spec by name.
+    pub fn remove(&mut self, name: &SmName) -> Option<SmSpec> {
+        self.sms.remove(name)
+    }
+
+    /// Look up a spec by resource-type name.
+    pub fn get(&self, name: &SmName) -> Option<&SmSpec> {
+        self.sms.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &SmName) -> Option<&mut SmSpec> {
+        self.sms.get_mut(name)
+    }
+
+    /// Iterate over specs in deterministic (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = &SmSpec> {
+        self.sms.values()
+    }
+
+    /// Number of SMs.
+    pub fn len(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// `true` if the catalog has no SMs.
+    pub fn is_empty(&self) -> bool {
+        self.sms.is_empty()
+    }
+
+    /// All SM names, sorted.
+    pub fn names(&self) -> Vec<SmName> {
+        self.sms.keys().cloned().collect()
+    }
+
+    /// The distinct services covered by this catalog, sorted.
+    pub fn services(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self.sms.values().map(|s| s.service.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// All specs belonging to the given service.
+    pub fn service_sms(&self, service: &str) -> Vec<&SmSpec> {
+        self.sms.values().filter(|s| s.service == service).collect()
+    }
+
+    /// Total number of APIs (transitions) in a service; `None` service
+    /// counts the whole catalog.
+    pub fn api_count(&self, service: Option<&str>) -> usize {
+        self.sms
+            .values()
+            .filter(|s| service.is_none_or(|svc| s.service == svc))
+            .map(|s| s.transitions.len())
+            .sum()
+    }
+
+    /// Find the SM declaring the given API, if exactly one does.
+    pub fn sm_for_api(&self, api: &str) -> Option<&SmSpec> {
+        let mut found = None;
+        for sm in self.sms.values() {
+            if sm.transition(api).is_some() {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(sm);
+            }
+        }
+        found
+    }
+
+    /// Serialize the catalog to pretty JSON (the persistence format used
+    /// by the `lce` CLI to save and reload learned emulators).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalogs are always serializable")
+    }
+
+    /// Load a catalog from its JSON form.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Build the resource-level dependency graph (edges from each SM to the
+    /// SMs it references).
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        let mut edges = BTreeMap::new();
+        for sm in self.sms.values() {
+            edges.insert(sm.name.clone(), sm.referenced_sms());
+        }
+        DependencyGraph { edges }
+    }
+}
+
+impl FromIterator<SmSpec> for Catalog {
+    fn from_iter<T: IntoIterator<Item = SmSpec>>(iter: T) -> Self {
+        Catalog::from_specs(iter)
+    }
+}
+
+/// The resource-level dependency graph extracted from API input/output
+/// dependencies (§4.2). Nodes are SM names, edges point from a resource to
+/// the resources it depends on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    edges: BTreeMap<SmName, Vec<SmName>>,
+}
+
+impl DependencyGraph {
+    /// Dependencies of one node.
+    pub fn deps(&self, name: &SmName) -> &[SmName] {
+        self.edges.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All nodes, sorted.
+    pub fn nodes(&self) -> Vec<SmName> {
+        self.edges.keys().cloned().collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|v| v.len()).sum()
+    }
+
+    /// Edge density: edges / (n * (n-1)) for n > 1, else 0 — one of the
+    /// cloud-complexity metrics of §4.4.
+    pub fn edge_density(&self) -> f64 {
+        let n = self.node_count();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Transitive closure of dependencies from a set of roots — the
+    /// *completeness* set of §4.2: every resource reachable from the roots
+    /// must be present in a complete specification.
+    pub fn closure(&self, roots: &[SmName]) -> BTreeSet<SmName> {
+        let mut seen: BTreeSet<SmName> = BTreeSet::new();
+        let mut stack: Vec<SmName> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.clone()) {
+                for d in self.deps(&n) {
+                    if !seen.contains(d) {
+                        stack.push(d.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// A topological-ish generation order: dependencies first. Cycles (which
+    /// are legal — e.g. a PublicIp and a NIC reference each other) are
+    /// broken arbitrarily but deterministically; the incremental extractor
+    /// leaves stubs for back-edges exactly as the paper describes.
+    pub fn generation_order(&self) -> Vec<SmName> {
+        let mut order = Vec::new();
+        let mut state: BTreeMap<&SmName, u8> = BTreeMap::new(); // 0 new, 1 visiting, 2 done
+        for root in self.edges.keys() {
+            self.visit(root, &mut state, &mut order);
+        }
+        order
+    }
+
+    fn visit<'a>(
+        &'a self,
+        node: &'a SmName,
+        state: &mut BTreeMap<&'a SmName, u8>,
+        order: &mut Vec<SmName>,
+    ) {
+        match state.get(node) {
+            Some(1) | Some(2) => return, // cycle back-edge or done
+            _ => {}
+        }
+        state.insert(node, 1);
+        for d in self.deps(node) {
+            if self.edges.contains_key(d) {
+                // Resolve the reference to the stored key so lifetimes line up.
+                let key = self.edges.keys().find(|k| *k == d).expect("checked");
+                self.visit(key, state, order);
+            }
+        }
+        state.insert(node, 2);
+        order.push(node.clone());
+    }
+
+    /// Edges that participate in a dependency cycle (back-edges in the DFS
+    /// used by [`Self::generation_order`]); these are the stubs the
+    /// specification-linking pass must patch.
+    pub fn back_edges(&self) -> Vec<(SmName, SmName)> {
+        let order = self.generation_order();
+        let pos: BTreeMap<&SmName, usize> =
+            order.iter().enumerate().map(|(i, n)| (n, i)).collect();
+        let mut out = Vec::new();
+        for (from, deps) in &self.edges {
+            for to in deps {
+                if let (Some(&pf), Some(&pt)) = (pos.get(from), pos.get(to)) {
+                    if pt > pf {
+                        out.push((from.clone(), to.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_catalog;
+
+    fn catalog(src: &str) -> Catalog {
+        Catalog::from_specs(parse_catalog(src).unwrap())
+    }
+
+    const CHAIN: &str = r#"
+        sm Vpc { service "compute"; states { } transition CreateVpc() kind create { } }
+        sm Subnet { service "compute"; parent Vpc via vpc;
+          states { vpc: ref(Vpc); }
+          transition CreateSubnet(VpcId: ref(Vpc)) kind create { write(vpc, arg(VpcId)); } }
+        sm Instance { service "compute"; parent Subnet via subnet;
+          states { subnet: ref(Subnet); }
+          transition RunInstance(SubnetId: ref(Subnet)) kind create { write(subnet, arg(SubnetId)); } }
+        sm Table { service "database"; states { } transition CreateTable() kind create { } }
+    "#;
+
+    #[test]
+    fn services_listed() {
+        let c = catalog(CHAIN);
+        assert_eq!(c.services(), vec!["compute".to_string(), "database".to_string()]);
+        assert_eq!(c.service_sms("compute").len(), 3);
+    }
+
+    #[test]
+    fn api_counts() {
+        let c = catalog(CHAIN);
+        assert_eq!(c.api_count(Some("compute")), 3);
+        assert_eq!(c.api_count(None), 4);
+    }
+
+    #[test]
+    fn sm_for_api_resolves() {
+        let c = catalog(CHAIN);
+        assert_eq!(c.sm_for_api("CreateSubnet").unwrap().name.as_str(), "Subnet");
+        assert!(c.sm_for_api("Missing").is_none());
+    }
+
+    #[test]
+    fn dependency_graph_edges() {
+        let c = catalog(CHAIN);
+        let g = c.dependency_graph();
+        assert_eq!(g.deps(&SmName::new("Subnet")), &[SmName::new("Vpc")]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let c = catalog(CHAIN);
+        let g = c.dependency_graph();
+        let cl = g.closure(&[SmName::new("Instance")]);
+        assert!(cl.contains(&SmName::new("Vpc")));
+        assert!(cl.contains(&SmName::new("Subnet")));
+        assert!(!cl.contains(&SmName::new("Table")));
+    }
+
+    #[test]
+    fn generation_order_deps_first() {
+        let c = catalog(CHAIN);
+        let order = c.dependency_graph().generation_order();
+        let pos = |n: &str| order.iter().position(|x| x.as_str() == n).unwrap();
+        assert!(pos("Vpc") < pos("Subnet"));
+        assert!(pos("Subnet") < pos("Instance"));
+    }
+
+    #[test]
+    fn cyclic_graph_still_orders_and_reports_back_edges() {
+        let c = catalog(
+            r#"
+            sm Nic { service "s"; states { ip: ref(Ip)?; } }
+            sm Ip { service "s"; states { nic: ref(Nic)?; } }
+            "#,
+        );
+        let g = c.dependency_graph();
+        let order = g.generation_order();
+        assert_eq!(order.len(), 2);
+        assert_eq!(g.back_edges().len(), 1);
+    }
+
+    #[test]
+    fn edge_density_bounds() {
+        let c = catalog(CHAIN);
+        let g = c.dependency_graph();
+        let d = g.edge_density();
+        assert!(d > 0.0 && d < 1.0);
+    }
+}

@@ -1,0 +1,868 @@
+//! Static checking of SM specifications.
+//!
+//! Two levels, mirroring the paper's *incremental extraction*:
+//!
+//! * [`check_sm`] validates one SM in isolation (name resolution inside the
+//!   machine, expression typing). References to *other* machines are left
+//!   unresolved — they type as [`Ty::Unknown`] so that an SM generated with
+//!   stubs can be checked before its dependencies exist.
+//! * [`check_catalog`] re-runs the local checks with full cross-SM
+//!   resolution, validating `ref` targets, `call` arity and argument types,
+//!   `parent` declarations and `child_count` scoping.
+//!
+//! These are *structural* checks. Behavioural soundness templates (e.g.
+//! "`describe` must not modify state") belong to the synthesis pipeline
+//! (`lce-synth::consistency`), because catching those in generated specs is
+//! one of the paper's claims.
+
+use crate::ast::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A semantic error found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// The SM the error is in.
+    pub sm: SmName,
+    /// The transition, if the error is inside one.
+    pub transition: Option<ApiName>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CheckError {
+    fn new(sm: &SmName, transition: Option<&ApiName>, message: impl Into<String>) -> Self {
+        CheckError {
+            sm: sm.clone(),
+            transition: transition.cloned(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.transition {
+            Some(t) => write!(f, "{}::{}: {}", self.sm, t, self.message),
+            None => write!(f, "{}: {}", self.sm, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The type of an expression during checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// String.
+    Str,
+    /// Integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// A resolved enum with its variant set.
+    Enum(Vec<String>),
+    /// A bare enum literal whose enclosing enum is not yet known.
+    EnumLit(String),
+    /// Reference to a named SM.
+    Ref(SmName),
+    /// Homogeneous list.
+    List(Box<Ty>),
+    /// The empty list (element type unconstrained).
+    EmptyList,
+    /// `null`.
+    Null,
+    /// Unresolvable without the full catalog; unifies with anything.
+    Unknown,
+}
+
+impl Ty {
+    fn from_state_type(ty: &StateType) -> Ty {
+        match ty {
+            StateType::Str => Ty::Str,
+            StateType::Int => Ty::Int,
+            StateType::Bool => Ty::Bool,
+            StateType::Enum(vs) => Ty::Enum(vs.clone()),
+            StateType::Ref(sm) => Ty::Ref(sm.clone()),
+            StateType::List(inner) => Ty::List(Box::new(Ty::from_state_type(inner))),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Str => write!(f, "str"),
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Enum(vs) => write!(f, "enum({})", vs.join(", ")),
+            Ty::EnumLit(v) => write!(f, "enum literal `{}`", v),
+            Ty::Ref(sm) => write!(f, "ref({})", sm),
+            Ty::List(t) => write!(f, "list({})", t),
+            Ty::EmptyList => write!(f, "empty list"),
+            Ty::Null => write!(f, "null"),
+            Ty::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// `true` if a value of type `actual` may be used where `expected` is
+/// required. `nullable` allows `null`.
+fn assignable(actual: &Ty, expected: &Ty, nullable: bool) -> bool {
+    match (actual, expected) {
+        (Ty::Unknown, _) | (_, Ty::Unknown) => true,
+        (Ty::Null, _) => nullable,
+        (Ty::EnumLit(v), Ty::Enum(vs)) => vs.contains(v),
+        (Ty::EnumLit(_), Ty::EnumLit(_)) => true,
+        (Ty::EmptyList, Ty::List(_)) => true,
+        (Ty::List(a), Ty::List(b)) => assignable(a, b, false),
+        // Subset assignment: values drawn from a narrower enum may flow
+        // into a wider one (e.g. a Status parameter without the initial
+        // variant written into the full lifecycle enum).
+        (Ty::Enum(a), Ty::Enum(b)) => a.iter().all(|v| b.contains(v)),
+        (a, b) => a == b,
+    }
+}
+
+/// `true` if two expression types may be compared with `==`/`!=`.
+fn comparable(a: &Ty, b: &Ty) -> bool {
+    assignable(a, b, true) || assignable(b, a, true)
+}
+
+/// Context used by the expression typer: the SM being checked plus an
+/// optional catalog for cross-SM resolution.
+struct Ctx<'a> {
+    sm: &'a SmSpec,
+    transition: Option<&'a Transition>,
+    catalog: Option<&'a BTreeMap<SmName, &'a SmSpec>>,
+    errors: Vec<CheckError>,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&mut self, message: impl Into<String>) {
+        self.errors.push(CheckError::new(
+            &self.sm.name,
+            self.transition.map(|t| &t.name),
+            message,
+        ));
+    }
+
+    fn resolve_sm(&self, name: &SmName) -> Option<&'a SmSpec> {
+        self.catalog.and_then(|c| c.get(name).copied())
+    }
+
+    /// Infer the type of an expression, recording errors. Returns
+    /// [`Ty::Unknown`] on error so checking continues.
+    fn infer(&mut self, e: &Expr) -> Ty {
+        match e {
+            Expr::Lit(Literal::Str(_)) => Ty::Str,
+            Expr::Lit(Literal::Int(_)) => Ty::Int,
+            Expr::Lit(Literal::Bool(_)) => Ty::Bool,
+            Expr::Lit(Literal::EnumVal(v)) => Ty::EnumLit(v.clone()),
+            Expr::Null => Ty::Null,
+            Expr::Read(v) => match self.sm.state(v) {
+                Some(s) => Ty::from_state_type(&s.ty),
+                None => {
+                    self.err(format!("read of undeclared state variable `{}`", v));
+                    Ty::Unknown
+                }
+            },
+            Expr::Arg(v) => match self.transition.and_then(|t| t.param(v)) {
+                Some(p) => Ty::from_state_type(&p.ty),
+                None => {
+                    self.err(format!("reference to undeclared parameter `{}`", v));
+                    Ty::Unknown
+                }
+            },
+            Expr::Field(inner, var) => {
+                let ity = self.infer(inner);
+                match ity {
+                    Ty::Ref(sm_name) => match self.resolve_sm(&sm_name) {
+                        Some(target) => match target.state(var) {
+                            Some(s) => Ty::from_state_type(&s.ty),
+                            None => {
+                                self.err(format!(
+                                    "field `{}` not declared on `{}`",
+                                    var, sm_name
+                                ));
+                                Ty::Unknown
+                            }
+                        },
+                        None => Ty::Unknown, // deferred to catalog check
+                    },
+                    Ty::Unknown => Ty::Unknown,
+                    other => {
+                        self.err(format!(
+                            "field access on non-reference expression of type {}",
+                            other
+                        ));
+                        Ty::Unknown
+                    }
+                }
+            }
+            Expr::SelfId => Ty::Ref(self.sm.name.clone()),
+            Expr::ChildCount(_) => Ty::Int,
+            Expr::Unary(op, inner) => {
+                let ity = self.infer(inner);
+                match op {
+                    UnOp::Not => {
+                        if !assignable(&ity, &Ty::Bool, false) {
+                            self.err(format!("`!` applied to non-boolean ({})", ity));
+                        }
+                        Ty::Bool
+                    }
+                    UnOp::IsNull => Ty::Bool,
+                    UnOp::Exists => {
+                        if !matches!(ity, Ty::Ref(_) | Ty::Null | Ty::Unknown) {
+                            self.err(format!("`exists` applied to non-reference ({})", ity));
+                        }
+                        Ty::Bool
+                    }
+                    UnOp::Len => {
+                        if !matches!(ity, Ty::List(_) | Ty::EmptyList | Ty::Str | Ty::Unknown) {
+                            self.err(format!("`len` applied to non-list/str ({})", ity));
+                        }
+                        Ty::Int
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.infer(a);
+                let tb = self.infer(b);
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        for (side, t) in [("left", &ta), ("right", &tb)] {
+                            if !assignable(t, &Ty::Bool, false) {
+                                self.err(format!(
+                                    "{} operand of `{}` is not boolean ({})",
+                                    side,
+                                    if *op == BinOp::And { "&&" } else { "||" },
+                                    t
+                                ));
+                            }
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if !comparable(&ta, &tb) {
+                            self.err(format!("cannot compare {} with {}", ta, tb));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        for t in [&ta, &tb] {
+                            if !assignable(t, &Ty::Int, false) {
+                                self.err(format!("ordered comparison on non-integer ({})", t));
+                            }
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::In => {
+                        match &tb {
+                            Ty::List(elem) => {
+                                if !comparable(&ta, elem) {
+                                    self.err(format!(
+                                        "`in` element type {} does not match list of {}",
+                                        ta, elem
+                                    ));
+                                }
+                            }
+                            Ty::EmptyList | Ty::Unknown => {}
+                            other => {
+                                self.err(format!("`in` right operand is not a list ({})", other))
+                            }
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Add | BinOp::Sub => {
+                        for t in [&ta, &tb] {
+                            if !assignable(t, &Ty::Int, false) {
+                                self.err(format!("arithmetic on non-integer ({})", t));
+                            }
+                        }
+                        Ty::Int
+                    }
+                }
+            }
+            Expr::ListOf(items) => {
+                let mut elem: Option<Ty> = None;
+                for it in items {
+                    let t = self.infer(it);
+                    match &elem {
+                        None => elem = Some(t),
+                        Some(prev) => {
+                            if !comparable(prev, &t) {
+                                self.err(format!(
+                                    "heterogeneous list: {} vs {}",
+                                    prev, t
+                                ));
+                            }
+                        }
+                    }
+                }
+                match elem {
+                    Some(t) => Ty::List(Box::new(t)),
+                    None => Ty::EmptyList,
+                }
+            }
+            Expr::Append(list, item) | Expr::Remove(list, item) => {
+                let tl = self.infer(list);
+                let ti = self.infer(item);
+                match &tl {
+                    Ty::List(elem) => {
+                        if !comparable(elem, &ti) {
+                            self.err(format!(
+                                "list element type {} does not match {}",
+                                elem, ti
+                            ));
+                        }
+                        tl.clone()
+                    }
+                    Ty::EmptyList => Ty::List(Box::new(ti)),
+                    Ty::Unknown => Ty::Unknown,
+                    other => {
+                        self.err(format!("append/remove on non-list ({})", other));
+                        Ty::Unknown
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.check_stmt(s);
+        }
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Write { state, value } => {
+                let vty = self.infer(value);
+                match self.sm.state(state) {
+                    None => self.err(format!("write to undeclared state variable `{}`", state)),
+                    Some(decl) => {
+                        let expected = Ty::from_state_type(&decl.ty);
+                        if !assignable(&vty, &expected, decl.nullable) {
+                            self.err(format!(
+                                "write of {} to `{}: {}`",
+                                vty, state, decl.ty
+                            ));
+                        }
+                    }
+                }
+            }
+            Stmt::Assert { pred, .. } => {
+                let t = self.infer(pred);
+                if !assignable(&t, &Ty::Bool, false) {
+                    self.err(format!("assert predicate is not boolean ({})", t));
+                }
+            }
+            Stmt::Emit { value, .. } => {
+                let _ = self.infer(value);
+            }
+            Stmt::If { pred, then, els } => {
+                let t = self.infer(pred);
+                if !assignable(&t, &Ty::Bool, false) {
+                    self.err(format!("if condition is not boolean ({})", t));
+                }
+                self.check_stmts(then);
+                self.check_stmts(els);
+            }
+            Stmt::Call { target, api, args } => {
+                let tty = self.infer(target);
+                let target_sm = match &tty {
+                    Ty::Ref(name) => self.resolve_sm(name).map(|s| (name.clone(), s)),
+                    Ty::Unknown => None,
+                    other => {
+                        self.err(format!("call target is not a reference ({})", other));
+                        None
+                    }
+                };
+                // Infer arg types regardless, to surface nested errors.
+                let arg_tys: Vec<Ty> = args.iter().map(|a| self.infer(a)).collect();
+                if let Some((name, target)) = target_sm {
+                    match target.transition(api.as_str()) {
+                        None => self.err(format!(
+                            "call to undeclared transition `{}` on `{}`",
+                            api, name
+                        )),
+                        Some(t) => {
+                            let required =
+                                t.params.iter().filter(|p| !p.optional).count();
+                            if arg_tys.len() < required || arg_tys.len() > t.params.len() {
+                                self.err(format!(
+                                    "call to `{}::{}` with {} args (expects {}..={})",
+                                    name,
+                                    api,
+                                    arg_tys.len(),
+                                    required,
+                                    t.params.len()
+                                ));
+                            } else {
+                                for (ty, p) in arg_tys.iter().zip(&t.params) {
+                                    let expected = Ty::from_state_type(&p.ty);
+                                    if !assignable(ty, &expected, p.optional) {
+                                        self.err(format!(
+                                            "call to `{}::{}`: argument `{}` has type {} (expects {})",
+                                            name, api, p.name, ty, p.ty
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run local (single-SM) checks. Cross-SM references type as `Unknown` and
+/// are *not* reported; run [`check_catalog`] for full resolution.
+pub fn check_sm(sm: &SmSpec) -> Vec<CheckError> {
+    check_sm_with(sm, None)
+}
+
+fn check_sm_with(sm: &SmSpec, catalog: Option<&BTreeMap<SmName, &SmSpec>>) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+
+    // Duplicate declarations.
+    for (i, s) in sm.states.iter().enumerate() {
+        if sm.states[..i].iter().any(|p| p.name == s.name) {
+            errors.push(CheckError::new(
+                &sm.name,
+                None,
+                format!("duplicate state variable `{}`", s.name),
+            ));
+        }
+        if let Some(d) = &s.default {
+            let dty = match d {
+                Literal::Str(_) => Ty::Str,
+                Literal::Int(_) => Ty::Int,
+                Literal::Bool(_) => Ty::Bool,
+                Literal::EnumVal(v) => Ty::EnumLit(v.clone()),
+            };
+            if !assignable(&dty, &Ty::from_state_type(&s.ty), s.nullable) {
+                errors.push(CheckError::new(
+                    &sm.name,
+                    None,
+                    format!("default for `{}: {}` has wrong type", s.name, s.ty),
+                ));
+            }
+        }
+    }
+    for (i, t) in sm.transitions.iter().enumerate() {
+        if sm.transitions[..i].iter().any(|p| p.name == t.name) {
+            errors.push(CheckError::new(
+                &sm.name,
+                None,
+                format!("duplicate transition `{}`", t.name),
+            ));
+        }
+        for (j, p) in t.params.iter().enumerate() {
+            if t.params[..j].iter().any(|q| q.name == p.name) {
+                errors.push(CheckError::new(
+                    &sm.name,
+                    Some(&t.name),
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+        }
+    }
+
+    // Parent linkage.
+    if let Some((parent, via)) = &sm.parent {
+        match sm.state(via) {
+            None => errors.push(CheckError::new(
+                &sm.name,
+                None,
+                format!("parent link variable `{}` is not declared", via),
+            )),
+            Some(decl) => {
+                if decl.ty != StateType::Ref(parent.clone()) {
+                    errors.push(CheckError::new(
+                        &sm.name,
+                        None,
+                        format!(
+                            "parent link variable `{}` must have type ref({}), found {}",
+                            via, parent, decl.ty
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Transition bodies.
+    for t in &sm.transitions {
+        let mut ctx = Ctx {
+            sm,
+            transition: Some(t),
+            catalog,
+            errors: Vec::new(),
+        };
+        ctx.check_stmts(&t.body);
+        errors.extend(ctx.errors);
+    }
+
+    errors
+}
+
+/// Run full catalog checks: local checks with cross-SM resolution plus
+/// catalog-level structural rules.
+pub fn check_catalog(sms: &[SmSpec]) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    let index: BTreeMap<SmName, &SmSpec> =
+        sms.iter().map(|sm| (sm.name.clone(), sm)).collect();
+
+    // Duplicate SM names.
+    for (i, sm) in sms.iter().enumerate() {
+        if sms[..i].iter().any(|p| p.name == sm.name) {
+            errors.push(CheckError::new(
+                &sm.name,
+                None,
+                "duplicate state machine definition",
+            ));
+        }
+    }
+
+    for sm in sms {
+        errors.extend(check_sm_with(sm, Some(&index)));
+
+        // Every referenced SM must exist (completeness precondition).
+        for r in sm.referenced_sms() {
+            if !index.contains_key(&r) {
+                errors.push(CheckError::new(
+                    &sm.name,
+                    None,
+                    format!("references undefined state machine `{}`", r),
+                ));
+            }
+        }
+
+        // Parent must exist, and child_count scoping must respect the
+        // hierarchy: `child_count(X)` inside SM `P` requires X.parent == P.
+        if let Some((parent, _)) = &sm.parent {
+            if !index.contains_key(parent) {
+                errors.push(CheckError::new(
+                    &sm.name,
+                    None,
+                    format!("parent `{}` is not defined", parent),
+                ));
+            }
+        }
+        for t in &sm.transitions {
+            for s in t.all_stmts() {
+                let exprs: Vec<&Expr> = match s {
+                    Stmt::Write { value, .. } | Stmt::Emit { value, .. } => vec![value],
+                    Stmt::Assert { pred, .. } | Stmt::If { pred, .. } => vec![pred],
+                    Stmt::Call { target, args, .. } => {
+                        let mut v = vec![target];
+                        v.extend(args.iter());
+                        v
+                    }
+                };
+                for e in exprs {
+                    e.visit(&mut |e| {
+                        if let Expr::ChildCount(child) = e {
+                            match index.get(child) {
+                                None => errors.push(CheckError::new(
+                                    &sm.name,
+                                    Some(&t.name),
+                                    format!("child_count of undefined SM `{}`", child),
+                                )),
+                                Some(c) => {
+                                    let ok = c
+                                        .parent
+                                        .as_ref()
+                                        .is_some_and(|(p, _)| p == &sm.name);
+                                    if !ok {
+                                        errors.push(CheckError::new(
+                                            &sm.name,
+                                            Some(&t.name),
+                                            format!(
+                                                "child_count({}) but `{}` does not declare `{}` as parent",
+                                                child, child, sm.name
+                                            ),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_catalog, parse_sm};
+
+    fn ok_sm(src: &str) {
+        let sm = parse_sm(src).unwrap();
+        let errs = check_sm(&sm);
+        assert!(errs.is_empty(), "unexpected errors: {:?}", errs);
+    }
+
+    fn err_sm(src: &str, needle: &str) {
+        let sm = parse_sm(src).unwrap();
+        let errs = check_sm(&sm);
+        assert!(
+            errs.iter().any(|e| e.message.contains(needle)),
+            "expected error containing {:?}, got {:?}",
+            needle,
+            errs
+        );
+    }
+
+    #[test]
+    fn accepts_well_typed_sm() {
+        ok_sm(
+            r#"sm A { service "s"; states { n: int = 0; s: str; f: bool = false; }
+              transition T(x: int) kind modify {
+                assert(arg(x) >= 0 && !read(f)) else E "m";
+                write(n, read(n) + arg(x));
+                write(s, "done");
+                emit(total, read(n));
+              } }"#,
+        );
+    }
+
+    #[test]
+    fn rejects_undeclared_state_read() {
+        err_sm(
+            r#"sm A { service "s"; states { }
+              transition T() kind modify { emit(x, read(ghost)); } }"#,
+            "undeclared state variable `ghost`",
+        );
+    }
+
+    #[test]
+    fn rejects_undeclared_param() {
+        err_sm(
+            r#"sm A { service "s"; states { n: int = 0; }
+              transition T() kind modify { write(n, arg(ghost)); } }"#,
+            "undeclared parameter `ghost`",
+        );
+    }
+
+    #[test]
+    fn rejects_type_mismatch_write() {
+        err_sm(
+            r#"sm A { service "s"; states { n: int = 0; }
+              transition T() kind modify { write(n, "oops"); } }"#,
+            "write of str",
+        );
+    }
+
+    #[test]
+    fn rejects_enum_variant_not_in_enum() {
+        err_sm(
+            r#"sm A { service "s"; states { st: enum(On, Off) = Off; }
+              transition T() kind modify { write(st, Exploded); } }"#,
+            "write of enum literal",
+        );
+    }
+
+    #[test]
+    fn rejects_null_write_to_non_nullable() {
+        err_sm(
+            r#"sm A { service "s"; states { n: int = 0; }
+              transition T() kind modify { write(n, null); } }"#,
+            "write of null",
+        );
+    }
+
+    #[test]
+    fn accepts_null_write_to_nullable() {
+        ok_sm(
+            r#"sm A { service "s"; states { r: ref(B)?; }
+              transition T() kind modify { write(r, null); } }"#,
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_state() {
+        err_sm(
+            r#"sm A { service "s"; states { x: int = 0; x: str; } }"#,
+            "duplicate state variable",
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_transition() {
+        err_sm(
+            r#"sm A { service "s"; states { }
+              transition T() kind modify { }
+              transition T() kind modify { } }"#,
+            "duplicate transition",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_default() {
+        err_sm(
+            r#"sm A { service "s"; states { n: int = "zero"; } }"#,
+            "default for `n: int`",
+        );
+    }
+
+    #[test]
+    fn rejects_non_bool_assert() {
+        err_sm(
+            r#"sm A { service "s"; states { n: int = 0; }
+              transition T() kind modify { assert(read(n)) else E "m"; } }"#,
+            "assert predicate",
+        );
+    }
+
+    #[test]
+    fn rejects_parent_via_missing_var() {
+        err_sm(
+            r#"sm A { service "s"; parent B via ghost; states { } }"#,
+            "parent link variable `ghost`",
+        );
+    }
+
+    #[test]
+    fn rejects_parent_via_wrong_type() {
+        err_sm(
+            r#"sm A { service "s"; parent B via v; states { v: str; } }"#,
+            "must have type ref(B)",
+        );
+    }
+
+    #[test]
+    fn local_check_defers_cross_sm() {
+        // Field on an undefined SM: fine locally…
+        ok_sm(
+            r#"sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify {
+                assert(field(read(b), zone) == "z") else E "m";
+              } }"#,
+        );
+    }
+
+    #[test]
+    fn catalog_check_catches_undefined_reference() {
+        let sms = parse_catalog(
+            r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.iter().any(|e| e.message.contains("undefined state machine `Ghost`")));
+    }
+
+    #[test]
+    fn catalog_check_resolves_field_types() {
+        let sms = parse_catalog(
+            r#"
+            sm B { service "s"; states { zone: str; } }
+            sm A { service "s"; states { b: ref(B)?; n: int = 0; }
+              transition T() kind modify {
+                write(n, field(read(b), zone));
+              } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(
+            errs.iter().any(|e| e.message.contains("write of str")),
+            "{:?}",
+            errs
+        );
+    }
+
+    #[test]
+    fn catalog_check_call_arity() {
+        let sms = parse_catalog(
+            r#"
+            sm B { service "s"; states { }
+              transition Poke(a: int, b: int) kind modify { } }
+            sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify {
+                call(read(b), Poke, [1]);
+              } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.iter().any(|e| e.message.contains("with 1 args")), "{:?}", errs);
+    }
+
+    #[test]
+    fn catalog_check_call_unknown_api() {
+        let sms = parse_catalog(
+            r#"
+            sm B { service "s"; states { } }
+            sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify { call(read(b), Ghost, []); } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.iter().any(|e| e.message.contains("undeclared transition `Ghost`")));
+    }
+
+    #[test]
+    fn catalog_check_optional_call_args_may_be_omitted() {
+        let sms = parse_catalog(
+            r#"
+            sm B { service "s"; states { }
+              transition Poke(a: int, b: int?) kind modify { } }
+            sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify { call(read(b), Poke, [1]); } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.is_empty(), "{:?}", errs);
+    }
+
+    #[test]
+    fn catalog_check_child_count_requires_parent_decl() {
+        let sms = parse_catalog(
+            r#"
+            sm Vpc { service "s"; states { }
+              transition DeleteVpc() kind destroy {
+                assert(child_count(Subnet) == 0) else DependencyViolation "m";
+              } }
+            sm Subnet { service "s"; states { } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.iter().any(|e| e.message.contains("does not declare `Vpc` as parent")));
+    }
+
+    #[test]
+    fn catalog_check_child_count_ok_with_parent() {
+        let sms = parse_catalog(
+            r#"
+            sm Vpc { service "s"; states { }
+              transition DeleteVpc() kind destroy {
+                assert(child_count(Subnet) == 0) else DependencyViolation "m";
+              } }
+            sm Subnet { service "s"; parent Vpc via vpc; states { vpc: ref(Vpc); } }
+            "#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.is_empty(), "{:?}", errs);
+    }
+
+    #[test]
+    fn catalog_check_duplicate_sm() {
+        let sms = parse_catalog(
+            r#"sm A { service "s"; states { } } sm A { service "s"; states { } }"#,
+        )
+        .unwrap();
+        let errs = check_catalog(&sms);
+        assert!(errs.iter().any(|e| e.message.contains("duplicate state machine")));
+    }
+}

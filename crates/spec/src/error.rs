@@ -1,0 +1,65 @@
+//! Error types for parsing and validating specifications.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing specification source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+}
+
+impl ParseError {
+    /// Create a new parse error at the given position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any error arising from the spec crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A syntax error.
+    Parse(ParseError),
+    /// A semantic (type/consistency) error; see [`crate::check`].
+    Check(crate::check::CheckError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "{}", e),
+            SpecError::Check(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ParseError> for SpecError {
+    fn from(e: ParseError) -> Self {
+        SpecError::Parse(e)
+    }
+}
+
+impl From<crate::check::CheckError> for SpecError {
+    fn from(e: crate::check::CheckError) -> Self {
+        SpecError::Check(e)
+    }
+}

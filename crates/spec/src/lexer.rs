@@ -1,0 +1,336 @@
+//! Lexer for the SM specification concrete syntax.
+//!
+//! The syntax is line-comment friendly (`//`) and whitespace-insensitive.
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_]*`; keywords are contextual (the
+//! parser decides), which keeps the token set small and the grammar easy to
+//! extend.
+
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize specification source into a vector of tokens terminated by
+/// [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            '?' => push!(TokenKind::Question, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::EqEq, 2)
+                } else {
+                    push!(TokenKind::Assign, 1)
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::NotEq, 2)
+                } else {
+                    push!(TokenKind::Bang, 1)
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::Le, 2)
+                } else {
+                    push!(TokenKind::Lt, 1)
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::Ge, 2)
+                } else {
+                    push!(TokenKind::Gt, 1)
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push!(TokenKind::AndAnd, 2)
+                } else {
+                    return Err(ParseError::new("unexpected `&` (did you mean `&&`?)", line, col));
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push!(TokenKind::OrOr, 2)
+                } else {
+                    return Err(ParseError::new("unexpected `|` (did you mean `||`?)", line, col));
+                }
+            }
+            '"' => {
+                let (s, len, newlines) = lex_string(&src[i..], line, col)?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
+                i += len;
+                if newlines > 0 {
+                    line += newlines;
+                    col = 1; // approximate; strings rarely span lines
+                } else {
+                    col += len;
+                }
+            }
+            '-' => {
+                // Either a negative integer literal or a minus operator.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (n, len) = lex_int(&src[i..]);
+                    push!(TokenKind::Int(n), len);
+                } else {
+                    push!(TokenKind::Minus, 1)
+                }
+            }
+            '0'..='9' => {
+                let (n, len) = lex_int(&src[i..]);
+                push!(TokenKind::Int(n), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident.to_string()),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other),
+                    line,
+                    col,
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+/// Lex a string literal starting at `src[0] == '"'`. Returns the unescaped
+/// contents, the byte length consumed (including quotes), and the number of
+/// raw newlines inside.
+fn lex_string(src: &str, line: usize, col: usize) -> Result<(String, usize, usize), ParseError> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = String::new();
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1, newlines)),
+            b'\\' => {
+                if i + 1 >= bytes.len() {
+                    break;
+                }
+                let esc = bytes[i + 1] as char;
+                match esc {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    '\\' => out.push('\\'),
+                    '"' => out.push('"'),
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unknown escape `\\{}` in string", other),
+                            line,
+                            col,
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                // Consume a full UTF-8 character.
+                let ch_len = src[i..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+                out.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    Err(ParseError::new("unterminated string literal", line, col))
+}
+
+/// Lex an integer literal (optionally preceded by `-`). Returns the value
+/// and the byte length consumed.
+fn lex_int(src: &str) -> (i64, usize) {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    if bytes[0] == b'-' {
+        i = 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let n: i64 = src[..i].parse().unwrap_or(0);
+    (n, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_punctuation() {
+        assert_eq!(
+            kinds("{ } ( ) [ ] , ; : ?"),
+            vec![
+                T::LBrace,
+                T::RBrace,
+                T::LParen,
+                T::RParen,
+                T::LBracket,
+                T::RBracket,
+                T::Comma,
+                T::Semi,
+                T::Colon,
+                T::Question,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("== != < <= > >= && || ! = + -"),
+            vec![
+                T::EqEq,
+                T::NotEq,
+                T::Lt,
+                T::Le,
+                T::Gt,
+                T::Ge,
+                T::AndAnd,
+                T::OrOr,
+                T::Bang,
+                T::Assign,
+                T::Plus,
+                T::Minus,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_idents_and_ints() {
+        assert_eq!(
+            kinds("sm Vpc_2 x 42 -7"),
+            vec![
+                T::Ident("sm".into()),
+                T::Ident("Vpc_2".into()),
+                T::Ident("x".into()),
+                T::Int(42),
+                T::Int(-7),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello \"world\"\n""#),
+            vec![T::Str("hello \"world\"\n".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn lex_lone_ampersand_is_error() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn lex_unicode_in_string() {
+        assert_eq!(kinds("\"héllo\""), vec![T::Str("héllo".into()), T::Eof]);
+    }
+
+    #[test]
+    fn minus_before_ident_is_operator() {
+        assert_eq!(
+            kinds("a - b"),
+            vec![T::Ident("a".into()), T::Minus, T::Ident("b".into()), T::Eof]
+        );
+    }
+}

@@ -1,0 +1,76 @@
+#![deny(missing_docs)]
+
+//! # lce-spec — the state-machine specification language
+//!
+//! This crate implements the specification grammar of *"A Case for Learned
+//! Cloud Emulators"* (HotNets '25, Fig. 1). Every cloud resource is modelled
+//! as a **state machine (SM)**: a collection of typed state variables plus a
+//! set of transitions triggered by API invocations. Transitions are built
+//! from a deliberately narrow set of primitives — `read`, `write`, `assert`,
+//! `call`, `emit` and `if/else` — so that generated specifications can be
+//! checked, symbolically executed, and interpreted by the emulator
+//! framework.
+//!
+//! The crate provides:
+//!
+//! * an [`ast`] module with the abstract syntax ([`SmSpec`], [`Transition`],
+//!   [`Stmt`], [`Expr`], …),
+//! * a [`lexer`] and recursive-descent [`parser`] for the concrete syntax,
+//! * a [`printer`] that renders an AST back to canonical source (the
+//!   parser/printer pair round-trips),
+//! * a [`check`] module with the local (per-SM) and catalog-wide (cross-SM)
+//!   type checker,
+//! * a [`builder`] with a fluent API for constructing specs from Rust code,
+//! * a [`catalog`] type grouping the SMs of a service together with its
+//!   dependency graph.
+//!
+//! ## Example
+//!
+//! ```
+//! use lce_spec::parse_sm;
+//!
+//! let src = r#"
+//! sm PublicIp {
+//!   service "compute";
+//!   id_param "PublicIpId";
+//!   states {
+//!     status: enum(Idle, Assigned) = Idle;
+//!     zone: str;
+//!     nic: ref(NetworkInterface)?;
+//!   }
+//!   transition CreatePublicIp(region: str) kind create {
+//!     assert(arg(region) in ["us-east", "us-west"])
+//!       else InvalidParameterValue "unknown region";
+//!     write(status, Assigned);
+//!     write(zone, arg(region));
+//!   }
+//!   transition ReleasePublicIp() kind destroy {
+//!     assert(is_null(read(nic))) else DependencyViolation "still attached";
+//!   }
+//! }
+//! "#;
+//! let sm = parse_sm(src).unwrap();
+//! assert_eq!(sm.name.as_str(), "PublicIp");
+//! assert_eq!(sm.transitions.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod catalog;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::{
+    ApiName, BinOp, ErrorCode, Expr, Literal, Param, SmName, SmSpec, StateDecl, StateType, Stmt,
+    Transition, TransitionKind, UnOp,
+};
+pub use builder::{SmBuilder, TransitionBuilder};
+pub use catalog::{Catalog, DependencyGraph};
+pub use check::{check_catalog, check_sm, CheckError};
+pub use error::{ParseError, SpecError};
+pub use parser::{parse_catalog, parse_expr, parse_literal, parse_sm, parse_state_type, parse_stmt};
+pub use printer::{print_catalog, print_expr, print_sm};

@@ -1,0 +1,882 @@
+//! Recursive-descent parser for the SM specification language.
+//!
+//! The concrete grammar (an executable refinement of the paper's Fig. 1):
+//!
+//! ```text
+//! catalog     := sm*
+//! sm          := "sm" NAME "{" item* "}"
+//! item        := "service" STR ";"
+//!              | "doc" STR ";"
+//!              | "id_param" STR ";"
+//!              | "parent" NAME "via" IDENT ";"
+//!              | "states" "{" state* "}"
+//!              | transition
+//! state       := IDENT ":" type "?"? ("=" literal)? ";"
+//! type        := "str" | "int" | "bool"
+//!              | "enum" "(" IDENT ("," IDENT)* ")"
+//!              | "ref" "(" NAME ")"
+//!              | "list" "(" type ")"
+//! transition  := "transition" NAME "(" params? ")" "kind" kind
+//!                ("doc" STR)? "{" stmt* "}"
+//! kind        := "create" | "destroy" | "describe" | "modify"
+//! params      := param ("," param)*
+//! param       := IDENT ":" type "?"?
+//! stmt        := "write" "(" IDENT "," expr ")" ";"
+//!              | "assert" "(" expr ")" "else" IDENT STR ";"
+//!              | "call" "(" expr "," NAME "," "[" exprs? "]" ")" ";"
+//!              | "emit" "(" IDENT "," expr ")" ";"
+//!              | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+//! expr        := or ; standard precedence (|| < && < cmp/in < +- < unary)
+//! primary     := literal | "null" | "read(v)" | "arg(v)"
+//!              | "field(e, v)" | "self_id()" | "child_count(Sm)"
+//!              | "is_null(e)" | "exists(e)" | "len(e)"
+//!              | "append(e, e)" | "remove(e, e)"
+//!              | "[" exprs? "]" | "(" expr ")" | IDENT   // enum variant
+//! ```
+//!
+//! Keywords are contextual, so resource and variable names may freely reuse
+//! words like `status` or `list`-like names without clashing.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parse a single `sm { ... }` definition.
+pub fn parse_sm(src: &str) -> Result<SmSpec, ParseError> {
+    let mut p = Parser::new(src)?;
+    let sm = p.sm()?;
+    p.expect_eof()?;
+    Ok(sm)
+}
+
+/// Parse a sequence of `sm` definitions (a whole service specification).
+pub fn parse_catalog(src: &str) -> Result<Vec<SmSpec>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut sms = Vec::new();
+    while !p.at_eof() {
+        sms.push(p.sm()?);
+    }
+    Ok(sms)
+}
+
+/// Parse a standalone expression (used when recovering specs from
+/// documentation text, where expressions appear inline).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parse a standalone type, e.g. `ref(Vpc)` or `list(str)`.
+pub fn parse_state_type(src: &str) -> Result<StateType, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.ty()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+/// Parse a standalone literal, e.g. `"us-east"`, `5`, `true`, `Idle`.
+pub fn parse_literal(src: &str) -> Result<Literal, ParseError> {
+    let mut p = Parser::new(src)?;
+    let l = p.literal()?;
+    p.expect_eof()?;
+    Ok(l)
+}
+
+/// Parse a standalone statement (used by the synthesizer when recovering
+/// behaviour lines from documentation).
+pub fn parse_stmt(src: &str) -> Result<Stmt, ParseError> {
+    let mut p = Parser::new(src)?;
+    let s = p.stmt()?;
+    p.expect_eof()?;
+    Ok(s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(msg, t.line, t.col)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", kind, self.peek().kind)))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek().kind)))
+        }
+    }
+
+    /// Consume an identifier token and return its text.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other))),
+        }
+    }
+
+    /// Consume a specific contextual keyword.
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{}`, found {}", kw, other))),
+        }
+    }
+
+    /// `true` if the next token is the given contextual keyword.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected string literal, found {}", other))),
+        }
+    }
+
+    fn sm(&mut self) -> Result<SmSpec, ParseError> {
+        self.keyword("sm")?;
+        let name = SmName::new(self.ident()?);
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut sm = SmSpec {
+            name: name.clone(),
+            service: String::new(),
+            parent: None,
+            id_param: format!("{}Id", name.as_str()),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            doc: String::new(),
+        };
+
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            match &self.peek().kind {
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "service" => {
+                        self.next();
+                        sm.service = self.string()?;
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "doc" => {
+                        self.next();
+                        sm.doc = self.string()?;
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "id_param" => {
+                        self.next();
+                        sm.id_param = self.string()?;
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "parent" => {
+                        self.next();
+                        let parent = SmName::new(self.ident()?);
+                        self.keyword("via")?;
+                        let via = self.ident()?;
+                        self.expect(&TokenKind::Semi)?;
+                        sm.parent = Some((parent, via));
+                    }
+                    "states" => {
+                        self.next();
+                        self.expect(&TokenKind::LBrace)?;
+                        while !matches!(self.peek().kind, TokenKind::RBrace) {
+                            sm.states.push(self.state_decl()?);
+                        }
+                        self.expect(&TokenKind::RBrace)?;
+                    }
+                    "transition" => {
+                        sm.transitions.push(self.transition()?);
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `service`, `doc`, `id_param`, `parent`, `states` or `transition`, found `{}`",
+                            other
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.err(format!("expected SM item, found {}", other)));
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(sm)
+    }
+
+    fn state_decl(&mut self) -> Result<StateDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        let nullable = if matches!(self.peek().kind, TokenKind::Question) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let default = if matches!(self.peek().kind, TokenKind::Assign) {
+            self.next();
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(StateDecl {
+            name,
+            ty,
+            nullable,
+            default,
+        })
+    }
+
+    fn ty(&mut self) -> Result<StateType, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "str" => Ok(StateType::Str),
+            "int" => Ok(StateType::Int),
+            "bool" => Ok(StateType::Bool),
+            "enum" => {
+                self.expect(&TokenKind::LParen)?;
+                let mut variants = vec![self.ident()?];
+                while matches!(self.peek().kind, TokenKind::Comma) {
+                    self.next();
+                    variants.push(self.ident()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(StateType::Enum(variants))
+            }
+            "ref" => {
+                self.expect(&TokenKind::LParen)?;
+                let sm = SmName::new(self.ident()?);
+                self.expect(&TokenKind::RParen)?;
+                Ok(StateType::Ref(sm))
+            }
+            "list" => {
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.ty()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(StateType::List(Box::new(inner)))
+            }
+            other => Err(self.err(format!("unknown type `{}`", other))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(Literal::Int(i))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.next();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.next();
+                Ok(Literal::Bool(false))
+            }
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(Literal::EnumVal(s))
+            }
+            TokenKind::LBracket => Err(self.err("list literals are not allowed as defaults")),
+            other => Err(self.err(format!("expected literal, found {}", other))),
+        }
+    }
+
+    fn transition(&mut self) -> Result<Transition, ParseError> {
+        self.keyword("transition")?;
+        let name = ApiName::new(self.ident()?);
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.ty()?;
+                let optional = if matches!(self.peek().kind, TokenKind::Question) {
+                    self.next();
+                    true
+                } else {
+                    false
+                };
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    optional,
+                });
+                if matches!(self.peek().kind, TokenKind::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.keyword("kind")?;
+        let kind_name = self.ident()?;
+        let kind = match kind_name.as_str() {
+            "create" => TransitionKind::Create,
+            "destroy" => TransitionKind::Destroy,
+            "describe" => TransitionKind::Describe,
+            "modify" => TransitionKind::Modify,
+            other => return Err(self.err(format!("unknown transition kind `{}`", other))),
+        };
+        let internal = if self.at_keyword("internal") {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let doc = if self.at_keyword("doc") {
+            self.next();
+            self.string()?
+        } else {
+            String::new()
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.block_body()?;
+        Ok(Transition {
+            name,
+            kind,
+            params,
+            body,
+            doc,
+            internal,
+        })
+    }
+
+    /// Parse statements until the matching `}` (consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let kw = match &self.peek().kind {
+            TokenKind::Ident(s) => s.clone(),
+            other => return Err(self.err(format!("expected statement, found {}", other))),
+        };
+        match kw.as_str() {
+            "write" => {
+                self.next();
+                self.expect(&TokenKind::LParen)?;
+                let state = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Write { state, value })
+            }
+            "assert" => {
+                self.next();
+                self.expect(&TokenKind::LParen)?;
+                let pred = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.keyword("else")?;
+                let error = ErrorCode::new(self.ident()?);
+                let message = self.string()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Assert {
+                    pred,
+                    error,
+                    message,
+                })
+            }
+            "call" => {
+                self.next();
+                self.expect(&TokenKind::LParen)?;
+                let target = self.expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let api = ApiName::new(self.ident()?);
+                self.expect(&TokenKind::Comma)?;
+                self.expect(&TokenKind::LBracket)?;
+                let mut args = Vec::new();
+                if !matches!(self.peek().kind, TokenKind::RBracket) {
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek().kind, TokenKind::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Call { target, api, args })
+            }
+            "emit" => {
+                self.next();
+                self.expect(&TokenKind::LParen)?;
+                let field = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Emit { field, value })
+            }
+            "if" => {
+                self.next();
+                let pred = self.expr()?;
+                self.expect(&TokenKind::LBrace)?;
+                let then = self.block_body()?;
+                let els = if self.at_keyword("else") {
+                    self.next();
+                    self.expect(&TokenKind::LBrace)?;
+                    self.block_body()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { pred, then, els })
+            }
+            other => Err(self.err(format!(
+                "expected `write`, `assert`, `call`, `emit` or `if`, found `{}`",
+                other
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek().kind, TokenKind::OrOr) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek().kind, TokenKind::AndAnd) {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match &self.peek().kind {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            TokenKind::Ident(s) if s == "in" => Some(BinOp::In),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek().kind, TokenKind::Bang) {
+            self.next();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Expr::Lit(Literal::Str(s)))
+            }
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(Expr::Lit(Literal::Int(i)))
+            }
+            TokenKind::LBracket => {
+                self.next();
+                let mut items = Vec::new();
+                if !matches!(self.peek().kind, TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if matches!(self.peek().kind, TokenKind::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::ListOf(items))
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.next();
+                match name.as_str() {
+                    "null" => Ok(Expr::Null),
+                    "true" => Ok(Expr::Lit(Literal::Bool(true))),
+                    "false" => Ok(Expr::Lit(Literal::Bool(false))),
+                    "read" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let v = self.ident()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Read(v))
+                    }
+                    "arg" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let v = self.ident()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Arg(v))
+                    }
+                    "field" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let e = self.expr()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let v = self.ident()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Field(Box::new(e), v))
+                    }
+                    "self_id" => {
+                        self.expect(&TokenKind::LParen)?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::SelfId)
+                    }
+                    "child_count" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let sm = SmName::new(self.ident()?);
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::ChildCount(sm))
+                    }
+                    "is_null" => self.unary_fn(UnOp::IsNull),
+                    "exists" => self.unary_fn(UnOp::Exists),
+                    "len" => self.unary_fn(UnOp::Len),
+                    "append" => self.binary_fn(|a, b| Expr::Append(Box::new(a), Box::new(b))),
+                    "remove" => self.binary_fn(|a, b| Expr::Remove(Box::new(a), Box::new(b))),
+                    // Any other bare identifier is an enum variant literal.
+                    _ => Ok(Expr::Lit(Literal::EnumVal(name))),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", other))),
+        }
+    }
+
+    fn unary_fn(&mut self, op: UnOp) -> Result<Expr, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let e = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::Unary(op, Box::new(e)))
+    }
+
+    fn binary_fn(&mut self, mk: impl FnOnce(Expr, Expr) -> Expr) -> Result<Expr, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let a = self.expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let b = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(mk(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+    sm PublicIp {
+      service "compute";
+      doc "A public IP address.";
+      id_param "PublicIpId";
+      states {
+        status: enum(Idle, Assigned) = Idle;
+        zone: str;
+        nic: ref(NetworkInterface)?;
+        tags: list(str);
+        quota: int = 5;
+      }
+      transition CreatePublicIp(region: str) kind create doc "Allocates an address." {
+        assert(arg(region) in ["us-east", "us-west"]) else InvalidParameterValue "bad region";
+        write(status, Assigned);
+        write(zone, arg(region));
+        emit(allocation_id, self_id());
+      }
+      transition AssociateNic(NicId: ref(NetworkInterface)) kind modify {
+        assert(exists(arg(NicId))) else NotFound "no such NIC";
+        assert(read(zone) == field(arg(NicId), zone)) else InvalidParameterValue "zone mismatch";
+        call(arg(NicId), AttachPublicIp, [self_id()]);
+        write(nic, arg(NicId));
+      }
+      transition DescribePublicIp() kind describe {
+        emit(status, read(status));
+      }
+      transition ReleasePublicIp() kind destroy {
+        assert(is_null(read(nic))) else DependencyViolation "still attached";
+        if read(status) == Assigned {
+          write(status, Idle);
+        } else {
+          emit(warning, "already idle");
+        }
+      }
+    }
+    "#;
+
+    #[test]
+    fn parse_toy_sm() {
+        let sm = parse_sm(TOY).unwrap();
+        assert_eq!(sm.name.as_str(), "PublicIp");
+        assert_eq!(sm.service, "compute");
+        assert_eq!(sm.id_param, "PublicIpId");
+        assert_eq!(sm.states.len(), 5);
+        assert_eq!(sm.transitions.len(), 4);
+    }
+
+    #[test]
+    fn parse_state_types() {
+        let sm = parse_sm(TOY).unwrap();
+        assert_eq!(
+            sm.state("status").unwrap().ty,
+            StateType::Enum(vec!["Idle".into(), "Assigned".into()])
+        );
+        assert!(sm.state("nic").unwrap().nullable);
+        assert_eq!(
+            sm.state("tags").unwrap().ty,
+            StateType::List(Box::new(StateType::Str))
+        );
+        assert_eq!(sm.state("quota").unwrap().default, Some(Literal::Int(5)));
+    }
+
+    #[test]
+    fn parse_transition_kinds() {
+        let sm = parse_sm(TOY).unwrap();
+        assert_eq!(
+            sm.transition("CreatePublicIp").unwrap().kind,
+            TransitionKind::Create
+        );
+        assert_eq!(
+            sm.transition("ReleasePublicIp").unwrap().kind,
+            TransitionKind::Destroy
+        );
+    }
+
+    #[test]
+    fn parse_in_operator() {
+        let sm = parse_sm(TOY).unwrap();
+        let t = sm.transition("CreatePublicIp").unwrap();
+        match &t.body[0] {
+            Stmt::Assert { pred, .. } => {
+                assert!(matches!(pred, Expr::Binary(BinOp::In, _, _)));
+            }
+            other => panic!("expected assert, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_call_stmt() {
+        let sm = parse_sm(TOY).unwrap();
+        let t = sm.transition("AssociateNic").unwrap();
+        let call = t
+            .body
+            .iter()
+            .find(|s| matches!(s, Stmt::Call { .. }))
+            .unwrap();
+        match call {
+            Stmt::Call { api, args, .. } => {
+                assert_eq!(api.as_str(), "AttachPublicIp");
+                assert_eq!(args.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_if_else() {
+        let sm = parse_sm(TOY).unwrap();
+        let t = sm.transition("ReleasePublicIp").unwrap();
+        match &t.body[1] {
+            Stmt::If { then, els, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("expected if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_parent_clause() {
+        let src = r#"
+        sm Subnet {
+          service "compute";
+          parent Vpc via vpc;
+          states { vpc: ref(Vpc); }
+          transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+            write(vpc, arg(VpcId));
+          }
+        }
+        "#;
+        let sm = parse_sm(src).unwrap();
+        assert_eq!(sm.parent, Some((SmName::new("Vpc"), "vpc".into())));
+    }
+
+    #[test]
+    fn parse_catalog_of_two() {
+        let src = r#"
+        sm A { service "s"; states { } transition CreateA() kind create { } }
+        sm B { service "s"; states { } transition CreateB() kind create { } }
+        "#;
+        let sms = parse_catalog(src).unwrap();
+        assert_eq!(sms.len(), 2);
+        assert_eq!(sms[1].name.as_str(), "B");
+    }
+
+    #[test]
+    fn default_id_param_derived_from_name() {
+        let src = r#"sm Vpc { service "s"; states { } }"#;
+        let sm = parse_sm(src).unwrap();
+        assert_eq!(sm.id_param, "VpcId");
+    }
+
+    #[test]
+    fn optional_param_marked() {
+        let src = r#"
+        sm A { service "s"; states { }
+          transition ModifyA(Flag: bool?) kind modify { }
+        }"#;
+        let sm = parse_sm(src).unwrap();
+        assert!(sm.transition("ModifyA").unwrap().params[0].optional);
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        assert!(parse_sm(r#"sm A { service "s"; states { } } junk"#).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_stmt() {
+        let src = r#"sm A { service "s"; states { }
+          transition T() kind modify { frobnicate(x); } }"#;
+        assert!(parse_sm(src).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_kind() {
+        let src = r#"sm A { service "s"; states { } transition T() kind explode { } }"#;
+        assert!(parse_sm(src).is_err());
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let src = r#"sm A { service "s"; states { a: bool; b: bool; c: bool; }
+          transition T() kind modify {
+            assert(read(a) || read(b) && read(c)) else E "m";
+          } }"#;
+        let sm = parse_sm(src).unwrap();
+        let t = sm.transition("T").unwrap();
+        match &t.body[0] {
+            Stmt::Assert { pred, .. } => match pred {
+                Expr::Binary(BinOp::Or, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
+                }
+                other => panic!("expected Or at top, got {:?}", other),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn arithmetic_in_expr() {
+        let src = r#"sm A { service "s"; states { n: int = 0; }
+          transition T() kind modify { write(n, read(n) + 1); } }"#;
+        let sm = parse_sm(src).unwrap();
+        let t = sm.transition("T").unwrap();
+        match &t.body[0] {
+            Stmt::Write { value, .. } => {
+                assert!(matches!(value, Expr::Binary(BinOp::Add, _, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Canonical pretty-printer for SM specifications.
+//!
+//! `parse_sm(print_sm(&sm))` reproduces the input AST exactly; this is
+//! exercised by a property test. The printer is also used by the
+//! documentation renderer and by the synthesizer's "constrained decoding"
+//! stage (which emits canonical source and re-parses it).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a full catalog (multiple SMs) to canonical source.
+pub fn print_catalog(sms: &[SmSpec]) -> String {
+    sms.iter().map(print_sm).collect::<Vec<_>>().join("\n")
+}
+
+/// Render one SM to canonical source.
+pub fn print_sm(sm: &SmSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "sm {} {{", sm.name);
+    let _ = writeln!(out, "  service {:?};", sm.service);
+    if !sm.doc.is_empty() {
+        let _ = writeln!(out, "  doc {:?};", sm.doc);
+    }
+    let _ = writeln!(out, "  id_param {:?};", sm.id_param);
+    if let Some((parent, via)) = &sm.parent {
+        let _ = writeln!(out, "  parent {} via {};", parent, via);
+    }
+    let _ = writeln!(out, "  states {{");
+    for s in &sm.states {
+        let mut line = format!("    {}: {}", s.name, s.ty);
+        if s.nullable {
+            line.push('?');
+        }
+        if let Some(d) = &s.default {
+            let _ = write!(line, " = {}", print_literal(d));
+        }
+        line.push(';');
+        let _ = writeln!(out, "{}", line);
+    }
+    let _ = writeln!(out, "  }}");
+    for t in &sm.transitions {
+        let params = t
+            .params
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}: {}{}",
+                    p.name,
+                    p.ty,
+                    if p.optional { "?" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let internal = if t.internal { " internal" } else { "" };
+        let doc = if t.doc.is_empty() {
+            String::new()
+        } else {
+            format!(" doc {:?}", t.doc)
+        };
+        let _ = writeln!(
+            out,
+            "  transition {}({}) kind {}{}{} {{",
+            t.name, params, t.kind, internal, doc
+        );
+        for s in &t.body {
+            print_stmt(&mut out, s, 2);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Write { state, value } => {
+            let _ = writeln!(out, "write({}, {});", state, print_expr(value));
+        }
+        Stmt::Assert {
+            pred,
+            error,
+            message,
+        } => {
+            let _ = writeln!(out, "assert({}) else {} {:?};", print_expr(pred), error, message);
+        }
+        Stmt::Call { target, api, args } => {
+            let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "call({}, {}, [{}]);", print_expr(target), api, args);
+        }
+        Stmt::Emit { field, value } => {
+            let _ = writeln!(out, "emit({}, {});", field, print_expr(value));
+        }
+        Stmt::If { pred, then, els } => {
+            let _ = writeln!(out, "if {} {{", print_expr(pred));
+            for s in then {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            if els.is_empty() {
+                let _ = writeln!(out, "}}");
+            } else {
+                let _ = writeln!(out, "}} else {{");
+                for s in els {
+                    print_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+}
+
+fn print_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Str(s) => format!("{:?}", s),
+        Literal::Int(i) => i.to_string(),
+        Literal::Bool(b) => b.to_string(),
+        Literal::EnumVal(v) => v.clone(),
+    }
+}
+
+/// Render an expression to canonical source.
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e, 0)
+}
+
+/// Precedence levels: 0 = or, 1 = and, 2 = cmp, 3 = add, 4 = unary/primary.
+fn prec_of(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary(BinOp::Or, _, _) => 0,
+        Expr::Binary(BinOp::And, _, _) => 1,
+        Expr::Binary(
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::In,
+            _,
+            _,
+        ) => 2,
+        Expr::Binary(BinOp::Add | BinOp::Sub, _, _) => 3,
+        _ => 4,
+    }
+}
+
+fn print_prec(e: &Expr, min: u8) -> String {
+    let p = prec_of(e);
+    let s = match e {
+        Expr::Lit(l) => print_literal(l),
+        Expr::Null => "null".into(),
+        Expr::Read(v) => format!("read({})", v),
+        Expr::Arg(v) => format!("arg({})", v),
+        Expr::Field(e, v) => format!("field({}, {})", print_prec(e, 0), v),
+        Expr::SelfId => "self_id()".into(),
+        Expr::ChildCount(sm) => format!("child_count({})", sm),
+        Expr::Unary(UnOp::Not, e) => format!("!{}", print_prec(e, 4)),
+        Expr::Unary(UnOp::IsNull, e) => format!("is_null({})", print_prec(e, 0)),
+        Expr::Unary(UnOp::Exists, e) => format!("exists({})", print_prec(e, 0)),
+        Expr::Unary(UnOp::Len, e) => format!("len({})", print_prec(e, 0)),
+        Expr::Binary(op, a, b) => {
+            let ops = match op {
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::In => "in",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+            };
+            // Left-associative: the left child may share this precedence,
+            // the right child must bind strictly tighter. Comparison is
+            // non-associative, so both sides must bind tighter.
+            let (lmin, rmin) = if p == 2 { (p + 1, p + 1) } else { (p, p + 1) };
+            format!(
+                "{} {} {}",
+                print_prec(a, lmin),
+                ops,
+                print_prec(b, rmin)
+            )
+        }
+        Expr::ListOf(items) => {
+            let inner = items
+                .iter()
+                .map(|e| print_prec(e, 0))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("[{}]", inner)
+        }
+        Expr::Append(a, b) => format!("append({}, {})", print_prec(a, 0), print_prec(b, 0)),
+        Expr::Remove(a, b) => format!("remove({}, {})", print_prec(a, 0), print_prec(b, 0)),
+    };
+    if p < min {
+        format!("({})", s)
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sm;
+
+    const TOY: &str = r#"
+    sm PublicIp {
+      service "compute";
+      doc "A public IP.";
+      id_param "PublicIpId";
+      states {
+        status: enum(Idle, Assigned) = Idle;
+        zone: str;
+        nic: ref(NetworkInterface)?;
+      }
+      transition CreatePublicIp(region: str) kind create doc "Allocates." {
+        assert(arg(region) in ["us-east", "us-west"]) else InvalidParameterValue "bad region";
+        write(status, Assigned);
+        write(zone, arg(region));
+      }
+      transition ReleasePublicIp() kind destroy {
+        assert(is_null(read(nic)) || read(status) == Idle) else DependencyViolation "attached";
+        if read(status) == Assigned {
+          write(status, Idle);
+        } else {
+          emit(warning, "already idle");
+        }
+      }
+    }
+    "#;
+
+    #[test]
+    fn round_trip_toy() {
+        let sm = parse_sm(TOY).unwrap();
+        let printed = print_sm(&sm);
+        let reparsed = parse_sm(&printed).expect("printed source should parse");
+        assert_eq!(sm, reparsed);
+    }
+
+    #[test]
+    fn round_trip_nested_precedence() {
+        let src = r#"sm A { service "s"; states { a: bool; b: bool; c: bool; }
+          transition T() kind modify {
+            assert((read(a) || read(b)) && !read(c)) else E "m";
+            write(a, read(b) == (read(c) != read(a)));
+          } }"#;
+        let sm = parse_sm(src).unwrap();
+        let reparsed = parse_sm(&print_sm(&sm)).unwrap();
+        assert_eq!(sm, reparsed);
+    }
+
+    #[test]
+    fn round_trip_arithmetic() {
+        let src = r#"sm A { service "s"; states { n: int = 0; }
+          transition T() kind modify {
+            write(n, read(n) + 1 - 2);
+            assert(len(read(n)) - 1 >= 0) else E "m";
+          } }"#;
+        let sm = parse_sm(src).unwrap();
+        let reparsed = parse_sm(&print_sm(&sm)).unwrap();
+        assert_eq!(sm, reparsed);
+    }
+
+    #[test]
+    fn printed_strings_escaped() {
+        let src = r#"sm A { service "s"; states { x: str; }
+          transition T() kind modify { write(x, "a\"b\n"); } }"#;
+        let sm = parse_sm(src).unwrap();
+        let reparsed = parse_sm(&print_sm(&sm)).unwrap();
+        assert_eq!(sm, reparsed);
+    }
+}

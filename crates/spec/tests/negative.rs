@@ -1,0 +1,215 @@
+//! Negative-path tests for the specification language: every rejection the
+//! parser and checker promise, plus grammar corner cases the generators
+//! are known to produce.
+
+use lce_spec::{check_catalog, check_sm, parse_catalog, parse_expr, parse_sm, parse_state_type};
+
+fn parse_err(src: &str) -> String {
+    parse_sm(src).unwrap_err().to_string()
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let e = parse_sm("sm A {\n  service 42;\n}").unwrap_err();
+    assert_eq!(e.line, 2, "{}", e);
+}
+
+#[test]
+fn reject_missing_braces() {
+    assert!(parse_err(r#"sm A { service "s"; states { "#).contains("expected"));
+}
+
+#[test]
+fn reject_param_without_type() {
+    assert!(parse_sm(r#"sm A { service "s"; states { } transition T(X) kind modify { } }"#).is_err());
+}
+
+#[test]
+fn reject_assert_without_else() {
+    assert!(parse_sm(
+        r#"sm A { service "s"; states { x: bool; }
+          transition T() kind modify { assert(read(x)); } }"#
+    )
+    .is_err());
+}
+
+#[test]
+fn reject_call_without_args_brackets() {
+    assert!(parse_sm(
+        r#"sm A { service "s"; states { b: ref(B)?; }
+          transition T() kind modify { call(read(b), Poke); } }"#
+    )
+    .is_err());
+}
+
+#[test]
+fn reject_nested_sm() {
+    assert!(parse_sm(r#"sm A { sm B { } }"#).is_err());
+}
+
+#[test]
+fn reject_list_default() {
+    assert!(parse_sm(r#"sm A { service "s"; states { xs: list(str) = []; } }"#).is_err());
+}
+
+#[test]
+fn reject_unknown_type() {
+    assert!(parse_state_type("complex128").is_err());
+    assert!(parse_state_type("list(").is_err());
+    assert!(parse_state_type("ref()").is_err());
+}
+
+#[test]
+fn expr_parse_rejects_trailing_tokens() {
+    assert!(parse_expr("read(x) read(y)").is_err());
+    assert!(parse_expr("").is_err());
+}
+
+#[test]
+fn expr_parse_accepts_full_grammar() {
+    for src in [
+        "read(a) in [\"x\", \"y\"] || !is_null(arg(B))",
+        "len(read(items)) - 1 >= child_count(Subnet)",
+        "append(remove(read(xs), arg(A)), arg(B)) == read(xs)",
+        "field(field(arg(I), subnet), zone) != self_id()",
+        "(read(a) || read(b)) && read(c)",
+    ] {
+        assert!(parse_expr(src).is_ok(), "should parse: {}", src);
+    }
+}
+
+#[test]
+fn checker_rejects_call_arg_type_mismatch() {
+    let sms = parse_catalog(
+        r#"
+        sm B { service "s"; states { }
+          transition Poke(N: int) kind modify { } }
+        sm A { service "s"; states { b: ref(B)?; }
+          transition T() kind modify { call(read(b), Poke, ["nope"]); } }
+        "#,
+    )
+    .unwrap();
+    let errs = check_catalog(&sms);
+    assert!(
+        errs.iter().any(|e| e.message.contains("argument `N`")),
+        "{:?}",
+        errs
+    );
+}
+
+#[test]
+fn checker_rejects_in_on_non_list() {
+    let sm = parse_sm(
+        r#"sm A { service "s"; states { n: int = 0; }
+          transition T() kind modify { assert(read(n) in read(n)) else E "m"; } }"#,
+    )
+    .unwrap();
+    assert!(check_sm(&sm)
+        .iter()
+        .any(|e| e.message.contains("not a list")));
+}
+
+#[test]
+fn checker_rejects_ordered_comparison_on_strings() {
+    let sm = parse_sm(
+        r#"sm A { service "s"; states { s: str; }
+          transition T() kind modify { assert(read(s) < "z") else E "m"; } }"#,
+    )
+    .unwrap();
+    assert!(check_sm(&sm)
+        .iter()
+        .any(|e| e.message.contains("non-integer")));
+}
+
+#[test]
+fn checker_rejects_arith_on_bools() {
+    let sm = parse_sm(
+        r#"sm A { service "s"; states { b: bool = false; n: int = 0; }
+          transition T() kind modify { write(n, read(b) + 1); } }"#,
+    )
+    .unwrap();
+    assert!(check_sm(&sm)
+        .iter()
+        .any(|e| e.message.contains("arithmetic")));
+}
+
+#[test]
+fn checker_rejects_heterogeneous_list_display() {
+    let sm = parse_sm(
+        r#"sm A { service "s"; states { s: str; }
+          transition T() kind modify { assert(read(s) in ["a", 2]) else E "m"; } }"#,
+    )
+    .unwrap();
+    assert!(check_sm(&sm)
+        .iter()
+        .any(|e| e.message.contains("heterogeneous")));
+}
+
+#[test]
+fn catalog_json_round_trip() {
+    let catalog = lce_spec::Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm A { service "s"; states { n: int = 3; }
+              transition CreateA() kind create { }
+              transition DeleteA() kind destroy { } }
+            "#,
+        )
+        .unwrap(),
+    );
+    let json = catalog.to_json();
+    let back = lce_spec::Catalog::from_json(&json).unwrap();
+    assert_eq!(catalog, back);
+    assert!(lce_spec::Catalog::from_json("{ nope").is_err());
+}
+
+#[test]
+fn comments_allowed_everywhere() {
+    let src = r#"
+    // machine comment
+    sm A { // trailing
+      service "s"; // after field
+      states {
+        // inside states
+        n: int = 0;
+      }
+      transition T() kind modify {
+        // inside body
+        write(n, 1); // after stmt
+      }
+    }
+    "#;
+    assert!(parse_sm(src).is_ok());
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // A generator can emit arbitrarily deep conjunctions; the parser must
+    // not choke on reasonable depth.
+    let mut pred = "read(b)".to_string();
+    for _ in 0..200 {
+        pred = format!("({} && read(b))", pred);
+    }
+    let src = format!(
+        r#"sm A {{ service "s"; states {{ b: bool = true; }}
+          transition T() kind modify {{ assert({}) else E "m"; }} }}"#,
+        pred
+    );
+    assert!(parse_sm(&src).is_ok());
+}
+
+#[test]
+fn duplicate_api_across_machines_is_ambiguous_for_dispatch() {
+    // The catalog itself allows it (names are per-machine); dispatch
+    // resolution reports ambiguity by returning None.
+    let catalog = lce_spec::Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm A { service "s"; states { } transition Shared() kind modify { } }
+            sm B { service "s"; states { } transition Shared() kind modify { } }
+            "#,
+        )
+        .unwrap(),
+    );
+    assert!(catalog.sm_for_api("Shared").is_none());
+}

@@ -1,0 +1,268 @@
+//! Consistency checking: completeness and soundness of generated specs.
+//!
+//! §4.2: *"we perform consistency checks with the goal of achieving
+//! completeness on resource type coverage and soundness against arbitrary
+//! errors."* Completeness is the transitive closure over the resource
+//! dependency graph; soundness is a set of template checks against
+//! behavioural requirements — e.g. a `describe()` API that modifies state,
+//! or a transition calling machines unreachable in its dependency
+//! hierarchy. Structural typing is delegated to [`lce_spec::check_sm`] /
+//! [`lce_spec::check_catalog`].
+
+use lce_spec::{
+    check_catalog, check_sm, ApiName, Catalog, SmName, SmSpec, Stmt, TransitionKind,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One soundness-template violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoundnessViolation {
+    /// Offending machine.
+    pub sm: SmName,
+    /// Offending transition, when transition-local.
+    pub transition: Option<ApiName>,
+    /// The violated template.
+    pub template: &'static str,
+    /// Details.
+    pub message: String,
+}
+
+impl fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.transition {
+            Some(t) => write!(f, "[{}] {}::{}: {}", self.template, self.sm, t, self.message),
+            None => write!(f, "[{}] {}: {}", self.template, self.sm, self.message),
+        }
+    }
+}
+
+/// Run the soundness templates over one machine in the context of its
+/// catalog (which may still contain stubs — cross-machine checks degrade
+/// gracefully for machines not yet generated).
+pub fn check_soundness(sm: &SmSpec, catalog: &Catalog) -> Vec<SoundnessViolation> {
+    let mut out = Vec::new();
+
+    // Template 1: describe() must be read-only.
+    for t in &sm.transitions {
+        if t.kind == TransitionKind::Describe {
+            for s in t.all_stmts() {
+                if matches!(s, Stmt::Write { .. } | Stmt::Call { .. }) {
+                    out.push(SoundnessViolation {
+                        sm: sm.name.clone(),
+                        transition: Some(t.name.clone()),
+                        template: "describe-readonly",
+                        message: "a describe API inadvertently modifies state".into(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Template 2: every `call` must resolve to a declared transition on a
+    // machine this SM can reach through its dependency hierarchy.
+    let reachable: BTreeSet<SmName> = sm.referenced_sms().into_iter().collect();
+    for t in &sm.transitions {
+        for s in t.all_stmts() {
+            if let Stmt::Call { target, api, .. } = s {
+                // Determine the static target type from the expression.
+                if let Some(target_ty) = static_ref_type(sm, t, target) {
+                    if target_ty != sm.name && !reachable.contains(&target_ty) {
+                        out.push(SoundnessViolation {
+                            sm: sm.name.clone(),
+                            transition: Some(t.name.clone()),
+                            template: "call-reachability",
+                            message: format!(
+                                "calls `{}` on `{}`, which is unreachable in the dependency graph",
+                                api, target_ty
+                            ),
+                        });
+                        continue;
+                    }
+                    if let Some(target_spec) = catalog.get(&target_ty) {
+                        if target_spec.transition(api.as_str()).is_none() {
+                            out.push(SoundnessViolation {
+                                sm: sm.name.clone(),
+                                transition: Some(t.name.clone()),
+                                template: "call-resolution",
+                                message: format!(
+                                    "calls `{}` on `{}`, which declares no such transition",
+                                    api, target_ty
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Template 3: a machine with a declared parent must write the link in
+    // every create transition ("resource creation APIs should not be
+    // allowed to [leave] their parent resources [unset]").
+    if let Some((parent, via)) = &sm.parent {
+        for t in sm.creates() {
+            let writes_link = t
+                .all_stmts()
+                .iter()
+                .any(|s| matches!(s, Stmt::Write { state, .. } if state == via));
+            if !writes_link {
+                out.push(SoundnessViolation {
+                    sm: sm.name.clone(),
+                    transition: Some(t.name.clone()),
+                    template: "parent-link",
+                    message: format!(
+                        "create does not set `{}`, leaving the containment under {} dangling",
+                        via, parent
+                    ),
+                });
+            }
+        }
+    }
+
+    // Template 4: destroy transitions must not create dangling children:
+    // nothing to check statically beyond the framework guarantee, but a
+    // destroy that *writes* non-self state is suspicious and flagged.
+    //
+    // Template 5: structural typing.
+    for e in check_sm(sm) {
+        out.push(SoundnessViolation {
+            sm: e.sm,
+            transition: e.transition,
+            template: "typing",
+            message: e.message,
+        });
+    }
+
+    out
+}
+
+/// Infer the static resource type of a call-target expression, if
+/// decidable from the local declarations.
+fn static_ref_type(
+    sm: &SmSpec,
+    t: &lce_spec::Transition,
+    target: &lce_spec::Expr,
+) -> Option<SmName> {
+    use lce_spec::{Expr, StateType};
+    match target {
+        Expr::SelfId => Some(sm.name.clone()),
+        Expr::Read(v) => match &sm.state(v)?.ty {
+            StateType::Ref(n) => Some(n.clone()),
+            _ => None,
+        },
+        Expr::Arg(p) => match &t.param(p)?.ty {
+            StateType::Ref(n) => Some(n.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Catalog-level consistency: completeness (every resource reachable from
+/// the generated set is itself generated) plus cross-machine structural
+/// checks. Returns human-readable findings.
+pub fn check_catalog_consistency(catalog: &Catalog) -> Vec<String> {
+    let mut out = Vec::new();
+    let names: BTreeSet<SmName> = catalog.names().into_iter().collect();
+    let graph = catalog.dependency_graph();
+    let closure = graph.closure(&catalog.names());
+    for needed in &closure {
+        if !names.contains(needed) {
+            out.push(format!(
+                "completeness: resource `{}` is referenced but not generated",
+                needed
+            ));
+        }
+    }
+    for e in check_catalog(&catalog.iter().cloned().collect::<Vec<_>>()) {
+        out.push(format!("catalog: {}", e));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_catalog;
+
+    fn catalog_of(src: &str) -> Catalog {
+        Catalog::from_specs(parse_catalog(src).unwrap())
+    }
+
+    #[test]
+    fn clean_spec_has_no_violations() {
+        let c = catalog_of(
+            r#"
+            sm B { service "s"; states { n: int = 0; }
+              transition Poke() kind modify { write(n, read(n) + 1); } }
+            sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify { call(read(b), Poke, []); }
+              transition D() kind describe { emit(B, read(b)); } }
+            "#,
+        );
+        for sm in c.iter() {
+            assert!(check_soundness(sm, &c).is_empty());
+        }
+        assert!(check_catalog_consistency(&c).is_empty());
+    }
+
+    #[test]
+    fn flags_describe_with_side_effect() {
+        let c = catalog_of(
+            r#"sm A { service "s"; states { n: int = 0; }
+              transition D() kind describe { write(n, 1); emit(N, read(n)); } }"#,
+        );
+        let v = check_soundness(c.iter().next().unwrap(), &c);
+        assert!(v.iter().any(|v| v.template == "describe-readonly"));
+    }
+
+    #[test]
+    fn flags_unresolved_call() {
+        let c = catalog_of(
+            r#"
+            sm B { service "s"; states { } }
+            sm A { service "s"; states { b: ref(B)?; }
+              transition T() kind modify { call(read(b), Ghost, []); } }
+            "#,
+        );
+        let a = c.get(&SmName::new("A")).unwrap();
+        let v = check_soundness(a, &c);
+        assert!(v.iter().any(|v| v.template == "call-resolution"), "{:?}", v);
+    }
+
+    #[test]
+    fn flags_missing_parent_link_write() {
+        let c = catalog_of(
+            r#"
+            sm P { service "s"; states { } }
+            sm A { service "s"; parent P via p; states { p: ref(P); }
+              transition CreateA(PId: ref(P)) kind create { } }
+            "#,
+        );
+        let a = c.get(&SmName::new("A")).unwrap();
+        let v = check_soundness(a, &c);
+        assert!(v.iter().any(|v| v.template == "parent-link"));
+    }
+
+    #[test]
+    fn completeness_detects_missing_resource() {
+        let c = catalog_of(
+            r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#,
+        );
+        let findings = check_catalog_consistency(&c);
+        assert!(findings.iter().any(|f| f.contains("Ghost")));
+    }
+
+    #[test]
+    fn golden_catalogs_are_sound() {
+        let nimbus = lce_cloud::nimbus_provider().catalog;
+        for sm in nimbus.iter() {
+            let v = check_soundness(sm, &nimbus);
+            assert!(v.is_empty(), "{}: {:?}", sm.name, v);
+        }
+        assert!(check_catalog_consistency(&nimbus).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Faithful extraction: a wrangled resource section → an SM specification.
+//!
+//! This is the "comprehension" half of the simulated LLM: given structured
+//! documentation it reconstructs the specification exactly. The noise model
+//! in [`crate::noise`] then degrades the result to model real generation
+//! error; zero noise ⇒ extraction is a perfect round trip (a property test
+//! in this crate proves that against both providers' golden catalogs).
+
+use crate::sentence::parse_clauses;
+use lce_spec::{
+    parse_literal, parse_state_type, ApiName, Param, SmName, SmSpec, StateDecl, Transition,
+    TransitionKind,
+};
+use lce_wrangle::ResourceDoc;
+use std::fmt;
+
+/// An error during extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError {
+    /// Description with enough context to locate the offending clause.
+    pub message: String,
+}
+
+impl ExtractError {
+    /// Create a new extraction error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExtractError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extract error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extract one SM specification from a resource section.
+pub fn extract_resource(doc: &ResourceDoc) -> Result<SmSpec, ExtractError> {
+    let mut spec = SmSpec {
+        name: SmName::new(doc.name.clone()),
+        service: doc.service.clone(),
+        parent: doc
+            .parent
+            .as_ref()
+            .map(|(p, via)| (SmName::new(p.clone()), via.clone())),
+        id_param: doc.id_param.clone(),
+        states: Vec::new(),
+        transitions: Vec::new(),
+        doc: doc.summary.clone(),
+    };
+    for s in &doc.states {
+        let ty = parse_state_type(&s.ty_text).map_err(|e| {
+            ExtractError::new(format!(
+                "{}: bad type for attribute `{}`: {}",
+                doc.name, s.name, e
+            ))
+        })?;
+        let default = match &s.default_text {
+            None => None,
+            Some(text) => Some(parse_literal(text).map_err(|e| {
+                ExtractError::new(format!(
+                    "{}: bad default for attribute `{}`: {}",
+                    doc.name, s.name, e
+                ))
+            })?),
+        };
+        spec.states.push(StateDecl {
+            name: s.name.clone(),
+            ty,
+            nullable: s.nullable,
+            default,
+        });
+    }
+    for a in &doc.apis {
+        let kind = match a.kind_text.as_str() {
+            "create" => TransitionKind::Create,
+            "destroy" => TransitionKind::Destroy,
+            "describe" => TransitionKind::Describe,
+            "modify" => TransitionKind::Modify,
+            other => {
+                return Err(ExtractError::new(format!(
+                    "{}: unknown API category `{}` for {}",
+                    doc.name, other, a.name
+                )))
+            }
+        };
+        let mut params = Vec::new();
+        for p in &a.params {
+            let ty = parse_state_type(&p.ty_text).map_err(|e| {
+                ExtractError::new(format!(
+                    "{}: bad type for parameter `{}` of {}: {}",
+                    doc.name, p.name, a.name, e
+                ))
+            })?;
+            params.push(Param {
+                name: p.name.clone(),
+                ty,
+                optional: p.optional,
+            });
+        }
+        let body = parse_clauses(&a.behavior).map_err(|e| {
+            ExtractError::new(format!("{}::{}: {}", doc.name, a.name, e.message))
+        })?;
+        spec.transitions.push(Transition {
+            name: ApiName::new(a.name.clone()),
+            kind,
+            params,
+            body,
+            doc: a.summary.clone(),
+            internal: a.internal,
+        });
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
+    use lce_wrangle::wrangle_provider;
+
+    /// The headline round-trip property: render docs from the golden specs,
+    /// wrangle them back, extract with zero noise — the result must equal
+    /// the golden catalog exactly.
+    fn assert_round_trip(provider: &Provider) {
+        let (docs, omitted) = provider.render_docs(DocFidelity::Complete);
+        assert_eq!(omitted, 0);
+        let sections = wrangle_provider(provider, &docs).unwrap();
+        assert_eq!(sections.len(), provider.catalog.len());
+        for section in &sections {
+            let extracted = extract_resource(section)
+                .unwrap_or_else(|e| panic!("extraction failed: {}", e));
+            let golden = provider
+                .catalog
+                .get(&extracted.name)
+                .unwrap_or_else(|| panic!("unknown resource {}", extracted.name));
+            assert_eq!(
+                &extracted, golden,
+                "round trip mismatch for {}",
+                extracted.name
+            );
+        }
+    }
+
+    #[test]
+    fn nimbus_zero_noise_round_trip_is_exact() {
+        assert_round_trip(&nimbus_provider());
+    }
+
+    #[test]
+    fn stratus_zero_noise_round_trip_is_exact() {
+        assert_round_trip(&stratus_provider());
+    }
+
+    #[test]
+    fn underspecified_docs_extract_cleanly_but_lose_checks() {
+        let provider = nimbus_provider();
+        let (docs, omitted) = provider.render_docs(DocFidelity::OmitAsserts { every_nth: 3 });
+        assert!(omitted > 0);
+        let sections = wrangle_provider(&provider, &docs).unwrap();
+        let mut missing = 0usize;
+        for section in &sections {
+            let extracted = extract_resource(section).unwrap();
+            let golden = provider.catalog.get(&extracted.name).unwrap();
+            let count_asserts = |sm: &lce_spec::SmSpec| {
+                sm.transitions
+                    .iter()
+                    .map(|t| t.error_codes().len())
+                    .sum::<usize>()
+            };
+            missing += count_asserts(golden) - count_asserts(&extracted);
+        }
+        assert_eq!(missing, omitted, "every omitted clause is a lost check");
+    }
+}

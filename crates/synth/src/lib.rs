@@ -1,0 +1,48 @@
+#![deny(missing_docs)]
+
+//! # lce-synth — specification extraction
+//!
+//! The generation half of the learned-emulator workflow (§4.2 of the
+//! paper): turn wrangled documentation into executable SM specifications.
+//!
+//! The paper uses an LLM for this step. This reproduction substitutes a
+//! **simulated neural synthesizer**: a deterministic extractor
+//! ([`extract`]) composed with a seeded **noise model** ([`noise`]) that
+//! injects exactly the error classes the paper observed in real LLM output
+//! — dropped state variables, missing checks, wrong error codes, shallow
+//! validation, `describe` side effects, calls to unreachable machines, and
+//! grammar violations. See DESIGN.md §1 for why this preserves the paper's
+//! argument: the contribution is not the LLM but the claim that the SM
+//! abstraction, constrained decoding, consistency checks and alignment
+//! *catch and repair* whatever errors generation makes.
+//!
+//! Pipeline stages (all orchestrated by [`pipeline::synthesize`]):
+//!
+//! 1. **Faithful extraction** — parse behaviour clauses back into ASTs
+//!    ([`sentence`], [`extract`]).
+//! 2. **Noisy generation** — corrupt the extraction per the noise model
+//!    ([`noise`]).
+//! 3. **Constrained decoding** — the generator emits concrete spec text;
+//!    output that violates the grammar is rejected and resampled
+//!    ([`constrain`]).
+//! 4. **Consistency checking** — completeness (dependency closure) and
+//!    soundness templates (read-only `describe`, resolvable `call`s, parent
+//!    links written on create); flagged machines are regenerated with
+//!    decaying noise, modelling re-prompting with feedback
+//!    ([`consistency`]).
+//! 5. **Incremental extraction & linking** — machines are generated in
+//!    dependency order; dangling cross-machine calls (stubs) are patched in
+//!    a final linking pass ([`pipeline`]).
+
+pub mod constrain;
+pub mod consistency;
+pub mod extract;
+pub mod noise;
+pub mod pipeline;
+pub mod sentence;
+
+pub use constrain::{decode, DecodeOutcome};
+pub use consistency::{check_soundness, SoundnessViolation};
+pub use extract::{extract_resource, ExtractError};
+pub use noise::{apply_noise, apply_noise_seeded, FaultKind, InjectedFault, NoiseConfig};
+pub use pipeline::{synthesize, PipelineConfig, SmSynthesis, SynthesisReport};

@@ -1,0 +1,574 @@
+//! The noise model: seeded injection of realistic generation errors.
+//!
+//! §5 of the paper taxonomizes the failures of LLM-generated emulation
+//! code into *state errors* (missing state variables such as
+//! `InstanceTenancy` or `CreditSpecification`, missing state checks,
+//! missing resource context) and *transition errors* (silent success
+//! instead of `IncorrectInstanceState`, shallow validation that misses
+//! invalid prefix sizes, wrong error codes). [`NoiseConfig`] parameterizes
+//! exactly these classes plus grammar violations; every injection is
+//! recorded as an [`InjectedFault`] so experiments can measure which
+//! pipeline stage removes which class.
+
+use lce_spec::{ApiName, ErrorCode, Expr, SmName, SmSpec, Stmt, TransitionKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The error classes of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A state variable (and everything referencing it) is missing.
+    DropStateVar,
+    /// A check is missing entirely — the transition silently succeeds
+    /// where the cloud errors.
+    DropAssert,
+    /// The check exists but returns the wrong error code.
+    WrongErrorCode,
+    /// The check exists but is vacuous ("shallow validation").
+    ShallowCheck,
+    /// A `describe` transition mutates state.
+    DescribeSideEffect,
+    /// A `call` targets a transition that does not exist.
+    UnreachableCall,
+    /// The emitted spec text violates the grammar.
+    GrammarViolation,
+}
+
+impl FaultKind {
+    /// The paper's two top-level categories.
+    pub fn category(&self) -> &'static str {
+        match self {
+            FaultKind::DropStateVar | FaultKind::DescribeSideEffect => "state",
+            FaultKind::DropAssert
+            | FaultKind::WrongErrorCode
+            | FaultKind::ShallowCheck
+            | FaultKind::UnreachableCall => "transition",
+            FaultKind::GrammarViolation => "syntax",
+        }
+    }
+}
+
+/// A recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Machine the fault was injected into.
+    pub sm: SmName,
+    /// Transition, when the fault is transition-local.
+    pub transition: Option<ApiName>,
+    /// Error class.
+    pub kind: FaultKind,
+    /// Human-readable description of what was corrupted.
+    pub detail: String,
+}
+
+/// Per-class injection probabilities. Each probability applies per
+/// *opportunity* (per state variable, per assert, per call, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Probability of dropping each (eligible) state variable.
+    pub p_drop_state: f64,
+    /// Probability of dropping each assert.
+    pub p_drop_assert: f64,
+    /// Probability of mangling each assert's error code.
+    pub p_wrong_error: f64,
+    /// Probability of weakening each assert's predicate.
+    pub p_shallow_check: f64,
+    /// Probability of injecting a mutation into each describe transition.
+    pub p_describe_side_effect: f64,
+    /// Probability of retargeting each cross-machine call.
+    pub p_unreachable_call: f64,
+    /// Probability of emitting grammar-violating text per machine.
+    pub p_grammar: f64,
+}
+
+impl NoiseConfig {
+    /// No noise: generation is a perfect round trip.
+    pub fn none() -> Self {
+        NoiseConfig {
+            p_drop_state: 0.0,
+            p_drop_assert: 0.0,
+            p_wrong_error: 0.0,
+            p_shallow_check: 0.0,
+            p_describe_side_effect: 0.0,
+            p_unreachable_call: 0.0,
+            p_grammar: 0.0,
+        }
+    }
+
+    /// Error rates typical of constrained LLM generation (the learned
+    /// pipeline's generator). Semantic rates are a fraction of the
+    /// direct-to-code rates: generating against the narrow SM grammar with
+    /// resource-scoped context leaves far fewer degrees of freedom to get
+    /// wrong (§1: "By targeting this narrow abstraction, we can drastically
+    /// narrow the range of errors in an otherwise unfettered generation").
+    pub fn llm_typical() -> Self {
+        NoiseConfig {
+            p_drop_state: 0.02,
+            p_drop_assert: 0.04,
+            p_wrong_error: 0.03,
+            p_shallow_check: 0.025,
+            p_describe_side_effect: 0.06,
+            p_unreachable_call: 0.08,
+            p_grammar: 0.10,
+        }
+    }
+
+    /// Error rates of unconstrained direct-to-code generation: markedly
+    /// higher semantic error rates (no abstraction guides the model), no
+    /// grammar rate (its output is free-form code, not our grammar).
+    pub fn direct_to_code() -> Self {
+        NoiseConfig {
+            p_drop_state: 0.15,
+            p_drop_assert: 0.30,
+            p_wrong_error: 0.25,
+            p_shallow_check: 0.20,
+            p_describe_side_effect: 0.15,
+            p_unreachable_call: 0.10,
+            p_grammar: 0.0,
+        }
+    }
+
+    /// Scale every probability (used for noise decay across re-prompt
+    /// rounds and for noise-sweep ablations).
+    pub fn scale(&self, f: f64) -> Self {
+        NoiseConfig {
+            p_drop_state: (self.p_drop_state * f).clamp(0.0, 1.0),
+            p_drop_assert: (self.p_drop_assert * f).clamp(0.0, 1.0),
+            p_wrong_error: (self.p_wrong_error * f).clamp(0.0, 1.0),
+            p_shallow_check: (self.p_shallow_check * f).clamp(0.0, 1.0),
+            p_describe_side_effect: (self.p_describe_side_effect * f).clamp(0.0, 1.0),
+            p_unreachable_call: (self.p_unreachable_call * f).clamp(0.0, 1.0),
+            p_grammar: (self.p_grammar * f).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Convenience wrapper over [`apply_noise`] seeding its own RNG — the
+/// determinism contract is `apply_noise_seeded(s, c, seed)` is a pure
+/// function of its arguments.
+pub fn apply_noise_seeded(
+    spec: &SmSpec,
+    cfg: &NoiseConfig,
+    seed: u64,
+) -> (SmSpec, Vec<InjectedFault>) {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    apply_noise(spec, cfg, &mut rng)
+}
+
+/// Apply semantic noise to a faithfully extracted spec. Returns the
+/// corrupted spec and the record of injections. Deterministic in `rng`.
+pub fn apply_noise(spec: &SmSpec, cfg: &NoiseConfig, rng: &mut StdRng) -> (SmSpec, Vec<InjectedFault>) {
+    let mut out = spec.clone();
+    let mut faults = Vec::new();
+
+    // 1. Drop state variables. The parent link is structural and never
+    // dropped (the model "understands" containment from the doc skeleton).
+    let parent_var = spec.parent.as_ref().map(|(_, via)| via.clone());
+    let mut dropped: Vec<String> = Vec::new();
+    out.states.retain(|s| {
+        let eligible = Some(&s.name) != parent_var.as_ref();
+        if eligible && rng.gen_bool(cfg.p_drop_state) {
+            dropped.push(s.name.clone());
+            false
+        } else {
+            true
+        }
+    });
+    for var in &dropped {
+        faults.push(InjectedFault {
+            sm: spec.name.clone(),
+            transition: None,
+            kind: FaultKind::DropStateVar,
+            detail: format!("state variable `{}` missing", var),
+        });
+    }
+
+    // 2. Per-transition corruptions.
+    let mutation = describe_mutation(&out);
+    for t in &mut out.transitions {
+        let mut ctx = TransitionNoise {
+            cfg,
+            rng,
+            sm: &spec.name,
+            api: &t.name,
+            dropped: &dropped,
+            faults: &mut faults,
+        };
+        t.body = ctx.transform(std::mem::take(&mut t.body));
+        if t.kind == TransitionKind::Describe && rng.gen_bool(cfg.p_describe_side_effect) {
+            if let Some(mutation) = &mutation {
+                t.body.push(mutation.clone());
+                faults.push(InjectedFault {
+                    sm: spec.name.clone(),
+                    transition: Some(t.name.clone()),
+                    kind: FaultKind::DescribeSideEffect,
+                    detail: format!("describe mutates state: {:?}", mutation),
+
+                });
+            }
+        }
+    }
+    (out, faults)
+}
+
+/// Pick a state-visible mutation for the describe-side-effect fault.
+fn describe_mutation(spec: &SmSpec) -> Option<Stmt> {
+    use lce_spec::StateType;
+    for s in &spec.states {
+        let value = match &s.ty {
+            StateType::Bool => Expr::not(Expr::read(&s.name)),
+            StateType::Int => Expr::Binary(
+                lce_spec::BinOp::Add,
+                Box::new(Expr::read(&s.name)),
+                Box::new(Expr::int(1)),
+            ),
+            StateType::Str => Expr::str("described"),
+            StateType::Enum(vs) if vs.len() > 1 => Expr::enum_val(vs.last().cloned()?),
+            _ => continue,
+        };
+        return Some(Stmt::Write {
+            state: s.name.clone(),
+            value,
+        });
+    }
+    None
+}
+
+struct TransitionNoise<'a> {
+    cfg: &'a NoiseConfig,
+    rng: &'a mut StdRng,
+    sm: &'a SmName,
+    api: &'a ApiName,
+    dropped: &'a [String],
+    faults: &'a mut Vec<InjectedFault>,
+}
+
+impl TransitionNoise<'_> {
+    fn fault(&mut self, kind: FaultKind, detail: String) {
+        self.faults.push(InjectedFault {
+            sm: self.sm.clone(),
+            transition: Some(self.api.clone()),
+            kind,
+            detail,
+        });
+    }
+
+    fn mentions_dropped(&self, e: &Expr) -> bool {
+        let mut hit = false;
+        e.visit(&mut |e| {
+            if let Expr::Read(v) = e {
+                if self.dropped.iter().any(|d| d == v) {
+                    hit = true;
+                }
+            }
+        });
+        hit
+    }
+
+    fn transform(&mut self, stmts: Vec<Stmt>) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Write { state, value } => {
+                    if self.dropped.iter().any(|d| d == &state)
+                        || self.mentions_dropped(&value)
+                    {
+                        continue; // writes to/through missing state vanish
+                    }
+                    out.push(Stmt::Write { state, value });
+                }
+                Stmt::Emit { field, value } => {
+                    if self.mentions_dropped(&value) {
+                        continue;
+                    }
+                    out.push(Stmt::Emit { field, value });
+                }
+                Stmt::Assert {
+                    pred,
+                    error,
+                    message,
+                } => {
+                    if self.mentions_dropped(&pred) {
+                        // A check over a missing variable cannot be written
+                        // down — it is silently lost (a "missing state
+                        // check" in the paper's taxonomy).
+                        self.fault(
+                            FaultKind::DropAssert,
+                            format!("check lost with its state variable ({})", error),
+                        );
+                        continue;
+                    }
+                    if self.rng.gen_bool(self.cfg.p_drop_assert) {
+                        self.fault(
+                            FaultKind::DropAssert,
+                            format!("check `{}` missing — silent success", error),
+                        );
+                        continue;
+                    }
+                    let (pred, shallow) = if self.rng.gen_bool(self.cfg.p_shallow_check) {
+                        (weaken(pred), true)
+                    } else {
+                        (pred, false)
+                    };
+                    if shallow {
+                        self.fault(
+                            FaultKind::ShallowCheck,
+                            format!("check `{}` weakened to a vacuous predicate", error),
+                        );
+                    }
+                    let error = if self.rng.gen_bool(self.cfg.p_wrong_error) {
+                        self.fault(
+                            FaultKind::WrongErrorCode,
+                            format!("error code `{}` replaced with `InternalError`", error),
+                        );
+                        ErrorCode::new("InternalError")
+                    } else {
+                        error
+                    };
+                    out.push(Stmt::Assert {
+                        pred,
+                        error,
+                        message,
+                    });
+                }
+                Stmt::Call { target, api, args } => {
+                    if self.mentions_dropped(&target)
+                        || args.iter().any(|a| self.mentions_dropped(a))
+                    {
+                        continue;
+                    }
+                    if self.rng.gen_bool(self.cfg.p_unreachable_call) {
+                        let bogus = ApiName::new(format!("Sync{}", api.as_str()));
+                        self.fault(
+                            FaultKind::UnreachableCall,
+                            format!("call retargeted from `{}` to `{}`", api, bogus),
+                        );
+                        out.push(Stmt::Call {
+                            target,
+                            api: bogus,
+                            args,
+                        });
+                    } else {
+                        out.push(Stmt::Call { target, api, args });
+                    }
+                }
+                Stmt::If { pred, then, els } => {
+                    if self.mentions_dropped(&pred) {
+                        // "Lack of resource context": the guard is gone, the
+                        // then-branch runs unconditionally.
+                        self.fault(
+                            FaultKind::DropStateVar,
+                            "guard over missing state removed; branch unconditional".into(),
+                        );
+                        let mut flattened = self.transform(then);
+                        out.append(&mut flattened);
+                        continue;
+                    }
+                    let then = self.transform(then);
+                    let els = self.transform(els);
+                    out.push(Stmt::If { pred, then, els });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Weaken a predicate to something plausible-but-vacuous. Models "its check
+/// validation logic is shallow" (§5): membership and range checks collapse
+/// to mere presence checks.
+fn weaken(pred: Expr) -> Expr {
+    match &pred {
+        Expr::Binary(_, lhs, _) => Expr::not(Expr::is_null((**lhs).clone())),
+        Expr::Unary(_, inner) => Expr::not(Expr::is_null((**inner).clone())),
+        _ => Expr::bool(true),
+    }
+}
+
+/// Corrupt emitted spec text so it violates the grammar — the raw-LLM
+/// failure mode that constrained decoding exists to eliminate.
+pub fn corrupt_text(text: &str, rng: &mut StdRng) -> String {
+    let candidates: Vec<usize> = text
+        .char_indices()
+        .filter(|(_, c)| *c == ';' || *c == ')' || *c == '}')
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return format!("{} ???", text);
+    }
+    let victim = candidates[rng.gen_range(0..candidates.len())];
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..victim]);
+    out.push_str(&text[victim + 1..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::{check_sm, parse_sm};
+    use rand::SeedableRng;
+
+    fn toy() -> SmSpec {
+        parse_sm(
+            r#"sm Instance { service "compute";
+              states {
+                state: enum(running, stopped) = stopped;
+                tenancy: enum(default, dedicated) = default;
+                nic: ref(Nic)?;
+              }
+              transition RunInstance(Tenancy: enum(default, dedicated)?) kind create {
+                assert(is_null(arg(Tenancy)) || arg(Tenancy) == default) else InvalidParameterValue "m";
+                write(state, running);
+                if !is_null(arg(Tenancy)) {
+                  write(tenancy, arg(Tenancy));
+                }
+              }
+              transition StartInstance() kind modify {
+                assert(read(state) == stopped) else IncorrectInstanceState "m";
+                write(state, running);
+              }
+              transition DescribeInstance() kind describe {
+                emit(State, read(state));
+                emit(Tenancy, read(tenancy));
+              }
+              transition TerminateInstance() kind destroy { }
+              transition Attach(NicId: ref(Nic)) kind modify {
+                call(arg(NicId), Bind, [self_id()]);
+                write(nic, arg(NicId));
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let spec = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, faults) = apply_noise(&spec, &NoiseConfig::none(), &mut rng);
+        assert_eq!(out, spec);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_seed() {
+        let spec = toy();
+        let cfg = NoiseConfig::direct_to_code();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            apply_noise(&spec, &cfg, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn dropped_state_var_prunes_references() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_drop_state: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(out.states.is_empty());
+        assert!(faults.iter().any(|f| f.kind == FaultKind::DropStateVar));
+        // The corrupted spec must still type check: no dangling reads.
+        let errs = check_sm(&out);
+        assert!(errs.is_empty(), "noise left dangling references: {:?}", errs);
+    }
+
+    #[test]
+    fn drop_assert_records_fault() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_drop_assert: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(faults.iter().all(|f| f.kind == FaultKind::DropAssert));
+        assert_eq!(faults.len(), 2);
+        let start = out.transition("StartInstance").unwrap();
+        assert!(start.error_codes().is_empty(), "assert should be gone");
+    }
+
+    #[test]
+    fn wrong_error_code_keeps_check() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_wrong_error: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(faults.iter().all(|f| f.kind == FaultKind::WrongErrorCode));
+        let start = out.transition("StartInstance").unwrap();
+        assert_eq!(start.error_codes(), vec![&ErrorCode::new("InternalError")]);
+    }
+
+    #[test]
+    fn describe_side_effect_injects_write() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_describe_side_effect: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(faults.iter().any(|f| f.kind == FaultKind::DescribeSideEffect));
+        let desc = out.transition("DescribeInstance").unwrap();
+        assert!(desc
+            .all_stmts()
+            .iter()
+            .any(|s| matches!(s, Stmt::Write { .. })));
+    }
+
+    #[test]
+    fn unreachable_call_retargets() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_unreachable_call: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(faults.iter().any(|f| f.kind == FaultKind::UnreachableCall));
+        let attach = out.transition("Attach").unwrap();
+        let has_bogus = attach.all_stmts().iter().any(|s| {
+            matches!(s, Stmt::Call { api, .. } if api.as_str() == "SyncBind")
+        });
+        assert!(has_bogus);
+    }
+
+    #[test]
+    fn shallow_check_weakens_predicate() {
+        let spec = toy();
+        let cfg = NoiseConfig {
+            p_shallow_check: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
+        assert!(faults.iter().any(|f| f.kind == FaultKind::ShallowCheck));
+        // Weakened specs still type check.
+        assert!(check_sm(&out).is_empty());
+    }
+
+    #[test]
+    fn corrupt_text_breaks_parsing() {
+        let spec = toy();
+        let text = lce_spec::print_sm(&spec);
+        let mut rng = StdRng::seed_from_u64(3);
+        let broken = corrupt_text(&text, &mut rng);
+        assert!(lce_spec::parse_sm(&broken).is_err());
+    }
+
+    #[test]
+    fn scale_halves_rates() {
+        let cfg = NoiseConfig::llm_typical().scale(0.5);
+        assert!((cfg.p_drop_assert - NoiseConfig::llm_typical().p_drop_assert / 2.0).abs() < 1e-9);
+    }
+}

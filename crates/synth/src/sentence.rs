@@ -1,0 +1,257 @@
+//! Behaviour-clause parsing: prose sentences → statements.
+//!
+//! Inverts the clause templates of the documentation renderers. Every
+//! clause embeds its expressions in backticks using the spec language's
+//! canonical syntax, so recovery is exact when the docs are faithful.
+
+use crate::extract::ExtractError;
+use lce_spec::{parse_expr, ApiName, ErrorCode, Expr, Stmt};
+use lce_wrangle::BehaviorLine;
+
+/// Parse a flat clause list (with depths) into a statement block.
+pub fn parse_clauses(lines: &[BehaviorLine]) -> Result<Vec<Stmt>, ExtractError> {
+    let (stmts, consumed) = parse_block(lines, 0)?;
+    if consumed != lines.len() {
+        return Err(ExtractError::new(format!(
+            "unparsed behaviour clause: {:?}",
+            lines[consumed].text
+        )));
+    }
+    Ok(stmts)
+}
+
+fn parse_block(lines: &[BehaviorLine], depth: usize) -> Result<(Vec<Stmt>, usize), ExtractError> {
+    let mut stmts = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.depth < depth {
+            break;
+        }
+        if line.depth > depth {
+            return Err(ExtractError::new(format!(
+                "unexpected indentation at clause {:?}",
+                line.text
+            )));
+        }
+        if line.text == "Otherwise:" {
+            break; // handled by the enclosing `When`
+        }
+        if let Some(pred_text) = line.text.strip_prefix("When `").and_then(|r| r.strip_suffix("`:")) {
+            let pred = parse_embedded_expr(pred_text)?;
+            i += 1;
+            let (then, consumed) = parse_block(&lines[i..], depth + 1)?;
+            i += consumed;
+            let mut els = Vec::new();
+            if i < lines.len() && lines[i].depth == depth && lines[i].text == "Otherwise:" {
+                i += 1;
+                let (e, consumed) = parse_block(&lines[i..], depth + 1)?;
+                els = e;
+                i += consumed;
+            }
+            stmts.push(Stmt::If { pred, then, els });
+        } else {
+            stmts.push(parse_simple_clause(&line.text)?);
+            i += 1;
+        }
+    }
+    Ok((stmts, i))
+}
+
+fn parse_embedded_expr(text: &str) -> Result<Expr, ExtractError> {
+    parse_expr(text).map_err(|e| {
+        ExtractError::new(format!("bad expression in clause: {} ({})", text, e))
+    })
+}
+
+/// Parse one non-branching clause.
+pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
+    if let Some(rest) = text.strip_prefix("Sets attribute `") {
+        // `var` to `expr`.
+        let (var, rest) = rest
+            .split_once("` to `")
+            .ok_or_else(|| ExtractError::new(format!("bad set clause: {}", text)))?;
+        let expr_text = rest
+            .strip_suffix("`.")
+            .ok_or_else(|| ExtractError::new(format!("bad set clause: {}", text)))?;
+        return Ok(Stmt::Write {
+            state: var.to_string(),
+            value: parse_embedded_expr(expr_text)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("Fails with error `") {
+        // `Code` ("message") unless `pred`.
+        let (code, rest) = rest
+            .split_once("` (")
+            .ok_or_else(|| ExtractError::new(format!("bad failure clause: {}", text)))?;
+        let marker = ") unless `";
+        let split = rest
+            .rfind(marker)
+            .ok_or_else(|| ExtractError::new(format!("bad failure clause: {}", text)))?;
+        let quoted_message = &rest[..split];
+        let message: String = serde_json::from_str(quoted_message).map_err(|_| {
+            ExtractError::new(format!("bad failure message in clause: {}", text))
+        })?;
+        let pred_text = rest[split + marker.len()..]
+            .strip_suffix("`.")
+            .ok_or_else(|| ExtractError::new(format!("bad failure clause: {}", text)))?;
+        return Ok(Stmt::Assert {
+            pred: parse_embedded_expr(pred_text)?,
+            error: ErrorCode::new(code),
+            message,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("Invokes `") {
+        // `Api` on `target` with arguments [`a`, `b`].
+        let (api, rest) = rest
+            .split_once("` on `")
+            .ok_or_else(|| ExtractError::new(format!("bad invoke clause: {}", text)))?;
+        let (target_text, rest) = rest
+            .split_once("` with arguments [")
+            .ok_or_else(|| ExtractError::new(format!("bad invoke clause: {}", text)))?;
+        let args_text = rest
+            .strip_suffix("].")
+            .ok_or_else(|| ExtractError::new(format!("bad invoke clause: {}", text)))?;
+        let mut args = Vec::new();
+        if !args_text.is_empty() {
+            for piece in args_text.split(", ") {
+                let inner = piece
+                    .strip_prefix('`')
+                    .and_then(|p| p.strip_suffix('`'))
+                    .ok_or_else(|| {
+                        ExtractError::new(format!("bad invoke argument: {}", piece))
+                    })?;
+                args.push(parse_embedded_expr(inner)?);
+            }
+        }
+        return Ok(Stmt::Call {
+            target: parse_embedded_expr(target_text)?,
+            api: ApiName::new(api),
+            args,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("Returns field `") {
+        let (field, rest) = rest
+            .split_once("` as `")
+            .ok_or_else(|| ExtractError::new(format!("bad return clause: {}", text)))?;
+        let expr_text = rest
+            .strip_suffix("`.")
+            .ok_or_else(|| ExtractError::new(format!("bad return clause: {}", text)))?;
+        return Ok(Stmt::Emit {
+            field: field.to_string(),
+            value: parse_embedded_expr(expr_text)?,
+        });
+    }
+    Err(ExtractError::new(format!(
+        "unrecognized behaviour clause: {}",
+        text
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(depth: usize, text: &str) -> BehaviorLine {
+        BehaviorLine {
+            depth,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_set_clause() {
+        let stmts =
+            parse_clauses(&[line(0, "Sets attribute `cidr` to `arg(CidrBlock)`.")]).unwrap();
+        assert!(matches!(&stmts[0], Stmt::Write { state, .. } if state == "cidr"));
+    }
+
+    #[test]
+    fn parse_failure_clause_with_quotes_in_message() {
+        let stmts = parse_clauses(&[line(
+            0,
+            r#"Fails with error `Bad` ("say \"no\"") unless `read(x) > 0`."#,
+        )])
+        .unwrap();
+        match &stmts[0] {
+            Stmt::Assert { error, message, .. } => {
+                assert_eq!(error.as_str(), "Bad");
+                assert_eq!(message, "say \"no\"");
+            }
+            other => panic!("expected assert, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_invoke_clause() {
+        let stmts = parse_clauses(&[line(
+            0,
+            "Invokes `AttachPublicIp` on `arg(NicId)` with arguments [`self_id()`].",
+        )])
+        .unwrap();
+        match &stmts[0] {
+            Stmt::Call { api, args, .. } => {
+                assert_eq!(api.as_str(), "AttachPublicIp");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected call, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_invoke_no_args() {
+        let stmts = parse_clauses(&[line(
+            0,
+            "Invokes `NotifyGatewayAttached` on `arg(VpcId)` with arguments [].",
+        )])
+        .unwrap();
+        match &stmts[0] {
+            Stmt::Call { args, .. } => assert!(args.is_empty()),
+            other => panic!("expected call, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_when_otherwise_nesting() {
+        let stmts = parse_clauses(&[
+            line(0, "When `!is_null(arg(X))`:"),
+            line(1, "Sets attribute `a` to `arg(X)`."),
+            line(0, "Otherwise:"),
+            line(1, "Sets attribute `a` to `0`."),
+            line(0, "Returns field `A` as `read(a)`."),
+        ])
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        match &stmts[0] {
+            Stmt::If { then, els, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("expected if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_deeply_nested_when() {
+        let stmts = parse_clauses(&[
+            line(0, "When `read(a) > 0`:"),
+            line(1, "When `read(a) > 1`:"),
+            line(2, "Sets attribute `a` to `2`."),
+            line(0, "Sets attribute `a` to `1`."),
+        ])
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn reject_unknown_clause() {
+        let err = parse_clauses(&[line(0, "Frobnicates the widget.")]).unwrap_err();
+        assert!(err.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn reject_bad_indentation() {
+        let err = parse_clauses(&[line(1, "Sets attribute `a` to `1`.")]).unwrap_err();
+        assert!(err.message.contains("indentation"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The provider-adapter trait and dispatch.
+
+use crate::nimbus::NimbusAdapter;
+use crate::section::ResourceDoc;
+use crate::stratus::StratusAdapter;
+use lce_cloud::{DocStyle, Provider, RenderedDocs};
+use std::fmt;
+
+/// An error while wrangling documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrangleError {
+    /// What went wrong, with enough context to find the offending text.
+    pub message: String,
+}
+
+impl WrangleError {
+    /// Create a new wrangle error.
+    pub fn new(message: impl Into<String>) -> Self {
+        WrangleError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WrangleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wrangle error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WrangleError {}
+
+/// A provider-specific documentation parser. Implementations recover the
+/// structured [`ResourceDoc`] sections from a raw corpus. Per the paper,
+/// this adapter is *the* provider-specific part of the whole pipeline
+/// ("The primary additional effort in generalizing to other cloud providers
+/// lies in documentation wrangling", §5).
+pub trait DocAdapter {
+    /// The provider this adapter understands.
+    fn provider_name(&self) -> &str;
+
+    /// Parse the corpus into resource sections, in document order.
+    fn wrangle(&self, docs: &RenderedDocs) -> Result<Vec<ResourceDoc>, WrangleError>;
+}
+
+/// Render nothing: pick the right adapter for a provider's doc style and
+/// run it over the given corpus.
+pub fn wrangle_provider(
+    provider: &Provider,
+    docs: &RenderedDocs,
+) -> Result<Vec<ResourceDoc>, WrangleError> {
+    match provider.doc_style {
+        DocStyle::ConsolidatedPdf => NimbusAdapter.wrangle(docs),
+        DocStyle::WebPages => StratusAdapter.wrangle(docs),
+    }
+}
+
+/// Split an `optional`-suffixed or plain `name: type` signature fragment.
+/// Shared by both adapters.
+pub(crate) fn split_name_type(s: &str) -> Option<(String, String)> {
+    let (name, ty) = s.split_once(':')?;
+    Some((name.trim().to_string(), ty.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity};
+
+    #[test]
+    fn dispatch_selects_adapter_by_style() {
+        let nim = nimbus_provider();
+        let (docs, _) = nim.render_docs(DocFidelity::Complete);
+        let sections = wrangle_provider(&nim, &docs).unwrap();
+        assert_eq!(sections.len(), nim.catalog.len());
+
+        let strat = stratus_provider();
+        let (docs, _) = strat.render_docs(DocFidelity::Complete);
+        let sections = wrangle_provider(&strat, &docs).unwrap();
+        assert_eq!(sections.len(), strat.catalog.len());
+    }
+}

@@ -1,0 +1,33 @@
+#![deny(missing_docs)]
+
+//! # lce-wrangle — documentation wrangling
+//!
+//! The preprocessing step of the learned-emulator workflow (§4.1 of the
+//! paper): turn a provider's raw documentation corpus into structured,
+//! resource-indexed sections the synthesizer can consume. The paper's
+//! observation is that cloud docs are *semi-structured* — "we should be
+//! able to create a symbolic parser, based on documentation structure, to
+//! preprocess information" — and that the required effort is
+//! provider-specific (AWS ships one consolidated PDF; Azure scatters web
+//! pages).
+//!
+//! Accordingly this crate exposes:
+//!
+//! * [`section::ResourceDoc`] — the provider-neutral structured form: one
+//!   resource with its state table, API signatures and behaviour clauses;
+//! * [`adapter::DocAdapter`] — the provider-adapter trait;
+//! * [`nimbus::NimbusAdapter`] — parses the consolidated paginated PDF-style
+//!   reference;
+//! * [`stratus::StratusAdapter`] — parses scattered markdown-ish web pages;
+//! * [`adapter::wrangle_provider`] — convenience: pick the right adapter
+//!   for a [`lce_cloud::Provider`] and run it.
+
+pub mod adapter;
+pub mod nimbus;
+pub mod section;
+pub mod stratus;
+
+pub use adapter::{wrangle_provider, DocAdapter, WrangleError};
+pub use nimbus::NimbusAdapter;
+pub use section::{ApiDoc, BehaviorLine, ParamDoc, ResourceDoc, StateDoc};
+pub use stratus::StratusAdapter;

@@ -1,0 +1,320 @@
+//! Adapter for the Nimbus consolidated PDF-style reference.
+//!
+//! Handles the format's pagination (strips `--- Page N ---` markers and the
+//! table of contents), then parses `==== Resource: X ====` sections with
+//! their attribute lists, API blocks and indented behaviour clauses.
+
+use crate::adapter::{split_name_type, DocAdapter, WrangleError};
+use crate::section::{ApiDoc, BehaviorLine, ParamDoc, ResourceDoc, StateDoc};
+use lce_cloud::RenderedDocs;
+
+/// Parser for Nimbus-style consolidated documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NimbusAdapter;
+
+impl DocAdapter for NimbusAdapter {
+    fn provider_name(&self) -> &str {
+        "nimbus"
+    }
+
+    fn wrangle(&self, docs: &RenderedDocs) -> Result<Vec<ResourceDoc>, WrangleError> {
+        let text = match docs {
+            RenderedDocs::Consolidated(text) => text,
+            RenderedDocs::Pages(_) => {
+                return Err(WrangleError::new(
+                    "the Nimbus adapter expects a consolidated document, found web pages",
+                ))
+            }
+        };
+        // Depaginate: drop page markers, keep everything else verbatim.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with("--- Page "))
+            .collect();
+
+        let mut sections = Vec::new();
+        let mut i = 0;
+        while i < lines.len() {
+            if let Some(name) = parse_section_header(lines[i]) {
+                let start = i;
+                let mut end = i + 1;
+                while end < lines.len() && parse_section_header(lines[end]).is_none() {
+                    end += 1;
+                }
+                sections.push(parse_resource(&name, &lines[start..end])?);
+                i = end;
+            } else {
+                i += 1;
+            }
+        }
+        if sections.is_empty() {
+            return Err(WrangleError::new("no resource sections found"));
+        }
+        Ok(sections)
+    }
+}
+
+fn parse_section_header(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("==== Resource: ")?;
+    let name = rest.strip_suffix(" ====")?;
+    Some(name.to_string())
+}
+
+/// Strip a backtick-quoted value: `` `x` `` → `x`.
+fn unquote(s: &str) -> &str {
+    s.trim().trim_matches('`')
+}
+
+fn parse_resource(name: &str, lines: &[&str]) -> Result<ResourceDoc, WrangleError> {
+    let mut doc = ResourceDoc {
+        name: name.to_string(),
+        service: String::new(),
+        summary: String::new(),
+        id_param: String::new(),
+        parent: None,
+        states: Vec::new(),
+        apis: Vec::new(),
+    };
+    let mut i = 1; // skip header
+    // Resource-level fields until the attribute list.
+    while i < lines.len() {
+        let l = lines[i].trim_end();
+        if let Some(v) = l.strip_prefix("Service: ") {
+            doc.service = v.to_string();
+        } else if let Some(v) = l.strip_prefix("Summary: ") {
+            doc.summary = v.to_string();
+        } else if let Some(v) = l.strip_prefix("Identifier parameter: ") {
+            doc.id_param = v.to_string();
+        } else if let Some(v) = l.strip_prefix("Contained in: ") {
+            if v != "(none)" {
+                // `Vpc (via attribute `vpc`)`
+                let (parent, rest) = v
+                    .split_once(" (via attribute ")
+                    .ok_or_else(|| WrangleError::new(format!("bad containment line: {}", l)))?;
+                let via = unquote(rest.trim_end_matches(')'));
+                doc.parent = Some((parent.to_string(), via.to_string()));
+            }
+        } else if l == "State attributes:" {
+            i += 1;
+            break;
+        }
+        i += 1;
+    }
+    // State attributes: `  - name: ty [nullable] [default: lit]`.
+    while i < lines.len() {
+        let l = lines[i];
+        let Some(item) = l.strip_prefix("  - ") else {
+            break;
+        };
+        doc.states.push(parse_state_line(item)?);
+        i += 1;
+    }
+    // API blocks.
+    while i < lines.len() {
+        let l = lines[i].trim_end();
+        let (api_name, internal) = if let Some(v) = l.strip_prefix("Internal API: ") {
+            (v.to_string(), true)
+        } else if let Some(v) = l.strip_prefix("API: ") {
+            (v.to_string(), false)
+        } else {
+            i += 1;
+            continue;
+        };
+        let mut api = ApiDoc {
+            name: api_name,
+            kind_text: String::new(),
+            summary: String::new(),
+            internal,
+            params: Vec::new(),
+            behavior: Vec::new(),
+        };
+        i += 1;
+        while i < lines.len() {
+            let l = lines[i].trim_end();
+            if l.starts_with("API: ") || l.starts_with("Internal API: ") {
+                break;
+            }
+            if let Some(v) = l.strip_prefix("Category: ") {
+                api.kind_text = v.to_string();
+            } else if let Some(v) = l.strip_prefix("Summary: ") {
+                api.summary = v.to_string();
+            } else if l == "Parameters: none" {
+                // nothing
+            } else if l == "Parameters:" {
+                i += 1;
+                while i < lines.len() {
+                    let Some(item) = lines[i].strip_prefix("  - ") else {
+                        break;
+                    };
+                    api.params.push(parse_param_line(item)?);
+                    i += 1;
+                }
+                continue;
+            } else if l == "Behavior: none documented." {
+                // nothing
+            } else if l == "Behavior:" {
+                i += 1;
+                while i < lines.len() {
+                    let raw = lines[i];
+                    let trimmed = raw.trim_start();
+                    if !trimmed.starts_with("- ") {
+                        break;
+                    }
+                    let indent = raw.len() - trimmed.len();
+                    if indent < 2 || !indent.is_multiple_of(2) {
+                        return Err(WrangleError::new(format!(
+                            "bad behaviour indentation in {}: {:?}",
+                            api.name, raw
+                        )));
+                    }
+                    api.behavior.push(BehaviorLine {
+                        depth: indent / 2 - 1,
+                        text: trimmed[2..].to_string(),
+                    });
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+        }
+        doc.apis.push(api);
+    }
+    if doc.id_param.is_empty() {
+        return Err(WrangleError::new(format!(
+            "resource {} lacks an identifier parameter",
+            name
+        )));
+    }
+    Ok(doc)
+}
+
+fn parse_state_line(item: &str) -> Result<StateDoc, WrangleError> {
+    // `name: ty [nullable] [default: lit]`
+    let mut rest = item.to_string();
+    let mut nullable = false;
+    let mut default_text = None;
+    if let Some(pos) = rest.find(" [default: ") {
+        let tail = rest[pos + 11..].to_string();
+        let val = tail
+            .strip_suffix(']')
+            .ok_or_else(|| WrangleError::new(format!("bad default in state line: {}", item)))?;
+        default_text = Some(val.to_string());
+        rest.truncate(pos);
+    }
+    if let Some(pos) = rest.find(" [nullable]") {
+        nullable = true;
+        rest.replace_range(pos..pos + 11, "");
+    }
+    let (name, ty_text) = split_name_type(&rest)
+        .ok_or_else(|| WrangleError::new(format!("bad state line: {}", item)))?;
+    Ok(StateDoc {
+        name,
+        ty_text,
+        nullable,
+        default_text,
+    })
+}
+
+fn parse_param_line(item: &str) -> Result<ParamDoc, WrangleError> {
+    let mut rest = item.to_string();
+    let mut optional = false;
+    if let Some(stripped) = rest.strip_suffix(" [optional]") {
+        optional = true;
+        rest = stripped.to_string();
+    }
+    let (name, ty_text) = split_name_type(&rest)
+        .ok_or_else(|| WrangleError::new(format!("bad parameter line: {}", item)))?;
+    Ok(ParamDoc {
+        name,
+        ty_text,
+        optional,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{nimbus_provider, DocFidelity};
+
+    fn sections() -> Vec<ResourceDoc> {
+        let p = nimbus_provider();
+        let (docs, _) = p.render_docs(DocFidelity::Complete);
+        NimbusAdapter.wrangle(&docs).unwrap()
+    }
+
+    #[test]
+    fn recovers_every_resource() {
+        let p = nimbus_provider();
+        let secs = sections();
+        assert_eq!(secs.len(), p.catalog.len());
+    }
+
+    #[test]
+    fn vpc_section_fields() {
+        let secs = sections();
+        let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
+        assert_eq!(vpc.service, "compute");
+        assert_eq!(vpc.id_param, "VpcId");
+        assert!(vpc.parent.is_none());
+        assert!(vpc.states.iter().any(|s| s.name == "instance_tenancy"));
+        let create = vpc.api("CreateVpc").unwrap();
+        assert_eq!(create.kind_text, "create");
+        assert!(create.params.iter().any(|p| p.name == "CidrBlock"));
+        assert!(create
+            .behavior
+            .iter()
+            .any(|b| b.text.contains("Sets attribute `cidr`")));
+    }
+
+    #[test]
+    fn subnet_parent_recovered() {
+        let secs = sections();
+        let subnet = secs.iter().find(|s| s.name == "Subnet").unwrap();
+        assert_eq!(
+            subnet.parent,
+            Some(("Vpc".to_string(), "vpc".to_string()))
+        );
+    }
+
+    #[test]
+    fn nested_behavior_depths_recovered() {
+        let secs = sections();
+        let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
+        let modify = vpc.api("ModifyVpcAttribute").unwrap();
+        assert!(modify.behavior.iter().any(|b| b.depth == 0 && b.text.starts_with("When")));
+        assert!(modify.behavior.iter().any(|b| b.depth == 1));
+    }
+
+    #[test]
+    fn internal_apis_flagged() {
+        let secs = sections();
+        let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
+        assert!(vpc.api("ReserveCidr").unwrap().internal);
+        assert!(!vpc.api("CreateVpc").unwrap().internal);
+    }
+
+    #[test]
+    fn optional_params_flagged() {
+        let secs = sections();
+        let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
+        let create = vpc.api("CreateVpc").unwrap();
+        let tenancy = create.params.iter().find(|p| p.name == "InstanceTenancy").unwrap();
+        assert!(tenancy.optional);
+        let cidr = create.params.iter().find(|p| p.name == "CidrBlock").unwrap();
+        assert!(!cidr.optional);
+    }
+
+    #[test]
+    fn defaults_recovered() {
+        let secs = sections();
+        let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
+        let dns = vpc.states.iter().find(|s| s.name == "enable_dns_support").unwrap();
+        assert_eq!(dns.default_text.as_deref(), Some("true"));
+    }
+
+    #[test]
+    fn rejects_pages_input() {
+        let err = NimbusAdapter.wrangle(&RenderedDocs::Pages(vec![])).unwrap_err();
+        assert!(err.message.contains("consolidated"));
+    }
+}

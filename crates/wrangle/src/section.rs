@@ -1,0 +1,157 @@
+//! The provider-neutral structured documentation form.
+
+use serde::{Deserialize, Serialize};
+
+/// One documented state attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateDoc {
+    /// Attribute name.
+    pub name: String,
+    /// Type text in the spec language's type syntax (e.g. `ref(Vpc)`).
+    pub ty_text: String,
+    /// Documented as nullable.
+    pub nullable: bool,
+    /// Default value text, if documented.
+    pub default_text: Option<String>,
+}
+
+/// One documented API parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDoc {
+    /// Parameter name.
+    pub name: String,
+    /// Type text.
+    pub ty_text: String,
+    /// Documented as optional.
+    pub optional: bool,
+}
+
+/// One behaviour clause recovered from the docs, with its nesting depth.
+/// The clause text is in the shared dialect (`Sets attribute …`,
+/// `Fails with error …`, `When …:`, `Otherwise:`) regardless of provider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehaviorLine {
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Normalized clause text.
+    pub text: String,
+}
+
+/// One documented API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiDoc {
+    /// API name.
+    pub name: String,
+    /// Category text: `create`/`destroy`/`describe`/`modify`.
+    pub kind_text: String,
+    /// One-line summary, if documented.
+    pub summary: String,
+    /// Marked internal (bookkeeping) in the docs.
+    pub internal: bool,
+    /// Parameters in order.
+    pub params: Vec<ParamDoc>,
+    /// Behaviour clauses in order.
+    pub behavior: Vec<BehaviorLine>,
+}
+
+/// One resource section: everything the docs say about a resource type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceDoc {
+    /// Resource type name.
+    pub name: String,
+    /// Owning service.
+    pub service: String,
+    /// One-line summary.
+    pub summary: String,
+    /// Identifier parameter name.
+    pub id_param: String,
+    /// Containment parent and linking attribute, if documented.
+    pub parent: Option<(String, String)>,
+    /// State attributes.
+    pub states: Vec<StateDoc>,
+    /// APIs.
+    pub apis: Vec<ApiDoc>,
+}
+
+impl ResourceDoc {
+    /// Look up an API by name.
+    pub fn api(&self, name: &str) -> Option<&ApiDoc> {
+        self.apis.iter().find(|a| a.name == name)
+    }
+
+    /// Names of other resources this section mentions in `ref(...)` types —
+    /// the raw material for the resource-level dependency graph the
+    /// incremental extractor walks.
+    pub fn referenced_resources(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |tyt: &str| {
+            // Find every `ref(Name)` occurrence in the type text.
+            let mut rest = tyt;
+            while let Some(pos) = rest.find("ref(") {
+                let tail = &rest[pos + 4..];
+                if let Some(end) = tail.find(')') {
+                    let name = tail[..end].to_string();
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                    rest = &tail[end..];
+                } else {
+                    break;
+                }
+            }
+        };
+        for s in &self.states {
+            push(&s.ty_text);
+        }
+        for a in &self.apis {
+            for p in &a.params {
+                push(&p.ty_text);
+            }
+        }
+        if let Some((p, _)) = &self.parent {
+            if !out.contains(p) {
+                out.push(p.clone());
+            }
+        }
+        out.retain(|n| n != &self.name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_resources_from_type_texts() {
+        let doc = ResourceDoc {
+            name: "Subnet".into(),
+            service: "compute".into(),
+            summary: String::new(),
+            id_param: "SubnetId".into(),
+            parent: Some(("Vpc".into(), "vpc".into())),
+            states: vec![StateDoc {
+                name: "vpc".into(),
+                ty_text: "ref(Vpc)".into(),
+                nullable: false,
+                default_text: None,
+            }],
+            apis: vec![ApiDoc {
+                name: "CreateSubnet".into(),
+                kind_text: "create".into(),
+                summary: String::new(),
+                internal: false,
+                params: vec![ParamDoc {
+                    name: "GatewayId".into(),
+                    ty_text: "list(ref(InternetGateway))".into(),
+                    optional: false,
+                }],
+                behavior: vec![],
+            }],
+        };
+        let refs = doc.referenced_resources();
+        assert!(refs.contains(&"Vpc".to_string()));
+        assert!(refs.contains(&"InternetGateway".to_string()));
+        assert!(!refs.contains(&"Subnet".to_string()));
+    }
+}

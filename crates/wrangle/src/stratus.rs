@@ -1,0 +1,272 @@
+//! Adapter for the Stratus scattered web-page documentation.
+//!
+//! Parses one markdown-flavoured page per resource: `# Resource:` headers,
+//! bold key/value fields, a properties table, and `## Operation:` blocks
+//! whose behaviour is a numbered list using `If`/`Else:` keywords. The
+//! adapter normalizes the behaviour clauses back to the shared dialect
+//! (`When`/`Otherwise:`) so downstream synthesis is provider-agnostic.
+
+use crate::adapter::{split_name_type, DocAdapter, WrangleError};
+use crate::section::{ApiDoc, BehaviorLine, ParamDoc, ResourceDoc, StateDoc};
+use lce_cloud::RenderedDocs;
+
+/// Parser for Stratus-style web documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StratusAdapter;
+
+impl DocAdapter for StratusAdapter {
+    fn provider_name(&self) -> &str {
+        "stratus"
+    }
+
+    fn wrangle(&self, docs: &RenderedDocs) -> Result<Vec<ResourceDoc>, WrangleError> {
+        let pages = match docs {
+            RenderedDocs::Pages(pages) => pages,
+            RenderedDocs::Consolidated(_) => {
+                return Err(WrangleError::new(
+                    "the Stratus adapter expects web pages, found a consolidated document",
+                ))
+            }
+        };
+        pages.iter().map(|p| parse_page(&p.body)).collect()
+    }
+}
+
+fn unquote(s: &str) -> &str {
+    s.trim().trim_matches('`')
+}
+
+fn parse_page(body: &str) -> Result<ResourceDoc, WrangleError> {
+    let lines: Vec<&str> = body.lines().collect();
+    let mut doc = ResourceDoc {
+        name: String::new(),
+        service: String::new(),
+        summary: String::new(),
+        id_param: String::new(),
+        parent: None,
+        states: Vec::new(),
+        apis: Vec::new(),
+    };
+    let mut i = 0;
+    while i < lines.len() {
+        let l = lines[i].trim_end();
+        if let Some(v) = l.strip_prefix("# Resource: ") {
+            doc.name = v.to_string();
+        } else if let Some(v) = l.strip_prefix("> ") {
+            doc.summary = v.to_string();
+        } else if let Some(v) = l.strip_prefix("**Service:** ") {
+            doc.service = v.to_string();
+        } else if let Some(v) = l.strip_prefix("**Identifier argument:** ") {
+            doc.id_param = v.to_string();
+        } else if let Some(v) = l.strip_prefix("**Parent:** ") {
+            if v != "none" {
+                let (parent, via) = v
+                    .split_once(" via ")
+                    .ok_or_else(|| WrangleError::new(format!("bad parent line: {}", l)))?;
+                doc.parent = Some((parent.to_string(), unquote(via).to_string()));
+            }
+        } else if l == "## Properties" {
+            i += 1;
+            // Skip the header and separator rows.
+            while i < lines.len() && lines[i].starts_with('|') {
+                let row = lines[i];
+                i += 1;
+                if row.starts_with("| Name") || row.starts_with("|---") {
+                    continue;
+                }
+                doc.states.push(parse_property_row(row)?);
+            }
+            continue;
+        } else if l.starts_with("## Operation: ") {
+            let (api, consumed) = parse_operation(&lines[i..])?;
+            doc.apis.push(api);
+            i += consumed;
+            continue;
+        }
+        i += 1;
+    }
+    if doc.name.is_empty() {
+        return Err(WrangleError::new("page lacks a resource header"));
+    }
+    Ok(doc)
+}
+
+fn parse_property_row(row: &str) -> Result<StateDoc, WrangleError> {
+    let cells: Vec<&str> = row
+        .trim_matches('|')
+        .split('|')
+        .map(|c| c.trim())
+        .collect();
+    if cells.len() != 4 {
+        return Err(WrangleError::new(format!("bad property row: {}", row)));
+    }
+    Ok(StateDoc {
+        name: cells[0].to_string(),
+        ty_text: cells[1].to_string(),
+        nullable: cells[2].contains("nullable"),
+        default_text: if cells[3].is_empty() {
+            None
+        } else {
+            Some(cells[3].to_string())
+        },
+    })
+}
+
+/// Parse one `## Operation:` block; returns the ApiDoc and lines consumed.
+fn parse_operation(lines: &[&str]) -> Result<(ApiDoc, usize), WrangleError> {
+    let name = lines[0]
+        .trim_end()
+        .strip_prefix("## Operation: ")
+        .expect("caller checked")
+        .to_string();
+    let mut api = ApiDoc {
+        name,
+        kind_text: String::new(),
+        summary: String::new(),
+        internal: false,
+        params: Vec::new(),
+        behavior: Vec::new(),
+    };
+    let mut i = 1;
+    while i < lines.len() {
+        let l = lines[i].trim_end();
+        if l.starts_with("## ") {
+            break;
+        }
+        if let Some(v) = l.strip_prefix("*Category:* ") {
+            api.kind_text = v.to_string();
+        } else if l == "*Visibility:* internal" {
+            api.internal = true;
+        } else if let Some(v) = l.strip_prefix("*Summary:* ") {
+            api.summary = v.to_string();
+        } else if l == "*Request parameters:* none" {
+            // nothing
+        } else if l == "*Request parameters:*" {
+            i += 1;
+            while i < lines.len() {
+                let Some(item) = lines[i].strip_prefix("* ") else {
+                    break;
+                };
+                api.params.push(parse_request_param(item)?);
+                i += 1;
+            }
+            continue;
+        } else if l == "*Behavior:* none documented." {
+            // nothing
+        } else if l == "*Behavior:*" {
+            i += 1;
+            while i < lines.len() {
+                let raw = lines[i];
+                let trimmed = raw.trim_start();
+                let indent = raw.len() - trimmed.len();
+                if !indent.is_multiple_of(3) {
+                    break;
+                }
+                let depth = indent / 3;
+                let text = if trimmed == "Else:" {
+                    "Otherwise:".to_string()
+                } else if let Some((_num, rest)) = split_numbered(trimmed) {
+                    rest.replace("If `", "When `")
+                } else {
+                    break;
+                };
+                api.behavior.push(BehaviorLine { depth, text });
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    Ok((api, i))
+}
+
+/// Split `3. rest` into (3, "rest").
+fn split_numbered(s: &str) -> Option<(usize, String)> {
+    let (num, rest) = s.split_once(". ")?;
+    let n: usize = num.parse().ok()?;
+    Some((n, rest.to_string()))
+}
+
+fn parse_request_param(item: &str) -> Result<ParamDoc, WrangleError> {
+    // `` `Name: ty` `` optionally followed by ` (optional)`.
+    let mut optional = false;
+    let mut body = item.trim();
+    if let Some(stripped) = body.strip_suffix(" (optional)") {
+        optional = true;
+        body = stripped;
+    }
+    let inner = unquote(body);
+    let (name, ty_text) = split_name_type(inner)
+        .ok_or_else(|| WrangleError::new(format!("bad request parameter: {}", item)))?;
+    Ok(ParamDoc {
+        name,
+        ty_text,
+        optional,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_cloud::{stratus_provider, DocFidelity};
+
+    fn sections() -> Vec<ResourceDoc> {
+        let p = stratus_provider();
+        let (docs, _) = p.render_docs(DocFidelity::Complete);
+        StratusAdapter.wrangle(&docs).unwrap()
+    }
+
+    #[test]
+    fn recovers_every_resource() {
+        assert_eq!(sections().len(), stratus_provider().catalog.len());
+    }
+
+    #[test]
+    fn vnet_fields_recovered() {
+        let secs = sections();
+        let vnet = secs.iter().find(|s| s.name == "VirtualNetwork").unwrap();
+        assert_eq!(vnet.service, "compute");
+        assert_eq!(vnet.id_param, "VirtualNetworkId");
+        assert!(vnet.states.iter().any(|s| s.name == "address_space"));
+        let ddos = vnet.states.iter().find(|s| s.name == "ddos_protection").unwrap();
+        assert_eq!(ddos.default_text.as_deref(), Some("false"));
+    }
+
+    #[test]
+    fn behavior_clauses_normalized_to_shared_dialect() {
+        let secs = sections();
+        let vm = secs.iter().find(|s| s.name == "VirtualMachine").unwrap();
+        let create = vm.api("CreateVirtualMachine").unwrap();
+        assert!(create
+            .behavior
+            .iter()
+            .any(|b| b.text.starts_with("When `") || b.text.starts_with("Sets attribute")));
+        assert!(!create.behavior.iter().any(|b| b.text.starts_with("If `")));
+    }
+
+    #[test]
+    fn parent_recovered() {
+        let secs = sections();
+        let subnet = secs.iter().find(|s| s.name == "VnetSubnet").unwrap();
+        assert_eq!(
+            subnet.parent,
+            Some(("VirtualNetwork".to_string(), "vnet".to_string()))
+        );
+    }
+
+    #[test]
+    fn internal_operations_flagged() {
+        let secs = sections();
+        let nic = secs.iter().find(|s| s.name == "NetworkInterfaceCard").unwrap();
+        assert!(nic.api("BindPublicIp").unwrap().internal);
+        assert!(!nic.api("CreateNetworkInterfaceCard").unwrap().internal);
+    }
+
+    #[test]
+    fn rejects_consolidated_input() {
+        let err = StratusAdapter
+            .wrangle(&RenderedDocs::Consolidated(String::new()))
+            .unwrap_err();
+        assert!(err.message.contains("web pages"));
+    }
+}

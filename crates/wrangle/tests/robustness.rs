@@ -1,0 +1,146 @@
+//! Robustness tests for the wrangling adapters: malformed documentation
+//! must produce diagnosable errors, and benign noise (pagination, blank
+//! lines, unknown sections) must be tolerated — real documentation is
+//! messy.
+
+use lce_cloud::{nimbus_provider, DocFidelity, RenderedDocs};
+use lce_wrangle::{DocAdapter, NimbusAdapter, StratusAdapter};
+
+fn nimbus_text() -> String {
+    let (docs, _) = nimbus_provider().render_docs(DocFidelity::Complete);
+    match docs {
+        RenderedDocs::Consolidated(t) => t,
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn empty_document_is_an_error() {
+    let err = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(String::new()))
+        .unwrap_err();
+    assert!(err.message.contains("no resource sections"));
+}
+
+#[test]
+fn extra_page_markers_are_harmless() {
+    // Pagination is cosmetic; injecting extra markers must not change the
+    // parse.
+    let text = nimbus_text();
+    let baseline = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(text.clone()))
+        .unwrap();
+    let noisy: String = text
+        .lines()
+        .flat_map(|l| [l.to_string(), "--- Page 999 ---".to_string()])
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reparsed = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(noisy))
+        .unwrap();
+    assert_eq!(baseline, reparsed);
+}
+
+#[test]
+fn unknown_prose_lines_are_skipped() {
+    // Cloud docs interleave marketing prose; unknown lines between
+    // sections must not break resource recovery.
+    let text = nimbus_text().replace(
+        "==== Resource: Vpc ====",
+        "Try our new console experience!\n==== Resource: Vpc ====",
+    );
+    let sections = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(text))
+        .unwrap();
+    assert!(sections.iter().any(|s| s.name == "Vpc"));
+}
+
+#[test]
+fn malformed_containment_line_is_reported() {
+    let text = nimbus_text().replace(
+        "Contained in: Vpc (via attribute `vpc`)",
+        "Contained in: Vpc sort of",
+    );
+    let err = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(text))
+        .unwrap_err();
+    assert!(err.message.contains("containment"), "{}", err);
+}
+
+#[test]
+fn bad_behaviour_indentation_is_reported() {
+    let text = nimbus_text().replace("  - Sets attribute `cidr`", "   - Sets attribute `cidr`");
+    let err = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(text))
+        .unwrap_err();
+    assert!(err.message.contains("indentation"), "{}", err);
+}
+
+#[test]
+fn section_without_id_param_is_reported() {
+    let text = nimbus_text().replace("Identifier parameter: VpcId\n", "");
+    let err = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(text))
+        .unwrap_err();
+    assert!(err.message.contains("identifier parameter"), "{}", err);
+}
+
+#[test]
+fn stratus_page_without_header_is_reported() {
+    let page = lce_cloud::DocPage {
+        path: "docs/x".into(),
+        title: "broken".into(),
+        body: "**Service:** compute\n".into(),
+    };
+    let err = StratusAdapter
+        .wrangle(&RenderedDocs::Pages(vec![page]))
+        .unwrap_err();
+    assert!(err.message.contains("resource header"), "{}", err);
+}
+
+#[test]
+fn stratus_bad_property_row_is_reported() {
+    let (docs, _) = lce_cloud::stratus_provider().render_docs(DocFidelity::Complete);
+    let RenderedDocs::Pages(mut pages) = docs else {
+        unreachable!()
+    };
+    let page = pages
+        .iter_mut()
+        .find(|p| p.body.contains("| address_space | str |  |  |"))
+        .expect("virtual-network page");
+    page.body = page.body.replace(
+        "| address_space | str |  |  |",
+        "| address_space | str |",
+    );
+    let err = StratusAdapter
+        .wrangle(&RenderedDocs::Pages(pages))
+        .unwrap_err();
+    assert!(err.message.contains("property row"), "{}", err);
+}
+
+#[test]
+fn wrangled_sections_preserve_document_order() {
+    let sections = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(nimbus_text()))
+        .unwrap();
+    // The renderer iterates the catalog in name order; the adapter must
+    // preserve it (the dependency graph builder relies on names only, but
+    // order stability keeps everything deterministic).
+    let names: Vec<&str> = sections.iter().map(|s| s.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn behaviour_clause_text_is_verbatim() {
+    // The clause text must come through byte-identical — extraction
+    // depends on it.
+    let sections = NimbusAdapter
+        .wrangle(&RenderedDocs::Consolidated(nimbus_text()))
+        .unwrap();
+    let vpc = sections.iter().find(|s| s.name == "Vpc").unwrap();
+    let create = vpc.api("CreateVpc").unwrap();
+    assert!(create.behavior.iter().any(|b| b.text
+        == "Fails with error `InvalidParameterValue` (\"region must be us-east or us-west\") unless `arg(Region) in [\"us-east\", \"us-west\"]`."));
+}

@@ -1,0 +1,91 @@
+//! The cloud gym (§4.4): a zero-cost, zero-risk playground for
+//! cloud-management agents, built on the learned emulator.
+//!
+//! A tiny scripted agent solves the built-in tasks; a real training loop
+//! would plug an RL or LLM policy into the same reset/step interface.
+//!
+//! Run with: `cargo run --release --example cloud_gym`
+
+use learned_cloud_emulators::gym::{tasks, CloudGym};
+use learned_cloud_emulators::prelude::*;
+
+/// A scripted policy: a fixed call sequence per task.
+fn policy(task: &str, step: usize, memory: &mut Vec<Value>) -> Option<ApiCall> {
+    let remember = |memory: &Vec<Value>, i: usize| memory.get(i).cloned().unwrap_or(Value::Null);
+    match (task, step) {
+        (_, 0) => Some(
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        ),
+        (_, 1) => Some(
+            ApiCall::new("CreateSubnet")
+                .arg("VpcId", remember(memory, 0))
+                .arg_str("CidrBlock", "10.0.1.0/24")
+                .arg_int("PrefixLength", 24)
+                .arg_str("Zone", "us-east-1a"),
+        ),
+        ("public-subnet", 2) => Some(
+            ApiCall::new("ModifySubnetAttribute")
+                .arg("SubnetId", remember(memory, 1))
+                .arg_bool("MapPublicIpOnLaunch", true),
+        ),
+        ("running-instance", 2) => {
+            Some(ApiCall::new("RegisterImage").arg_str("Name", "agent-image"))
+        }
+        ("running-instance", 3) => Some(
+            ApiCall::new("RunInstance")
+                .arg("SubnetId", remember(memory, 1))
+                .arg("ImageId", remember(memory, 2))
+                .arg_str("InstanceType", "t3.micro"),
+        ),
+        ("guarded-vpc", 2) => Some(
+            ApiCall::new("CreateFirewallPolicy").arg_str("PolicyName", "agent-policy"),
+        ),
+        ("guarded-vpc", 3) => Some(
+            ApiCall::new("CreateFirewall")
+                .arg("VpcId", remember(memory, 0))
+                .arg("FirewallPolicyId", remember(memory, 2))
+                .arg("SubnetId", remember(memory, 1)),
+        ),
+        _ => None,
+    }
+}
+
+fn main() {
+    for task in tasks::all_tasks() {
+        let mut gym = CloudGym::new(nimbus_provider().golden_cloud(), task.clone());
+        let _obs = gym.reset();
+        println!("task: {} — {}", task.name, task.instruction);
+        let mut memory: Vec<Value> = Vec::new();
+        let mut total_reward = 0.0;
+        for step in 0..task.max_steps {
+            let Some(action) = policy(&task.name, step, &mut memory) else {
+                break;
+            };
+            let result = gym.step(&action);
+            // Remember the first id-like response field for later steps.
+            if let Some((_, v)) = result
+                .response
+                .fields
+                .iter()
+                .find(|(k, _)| k.ends_with("Id"))
+            {
+                memory.push(v.clone());
+            } else {
+                memory.push(Value::Null);
+            }
+            total_reward += result.reward;
+            if result.done {
+                println!(
+                    "  {} after {} steps (reward {:.2}, {} live resources)\n",
+                    if result.success { "solved" } else { "failed" },
+                    step + 1,
+                    total_reward,
+                    result.observation.live_resources
+                );
+                break;
+            }
+        }
+    }
+}

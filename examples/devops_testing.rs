@@ -1,0 +1,78 @@
+//! DevOps program testing — the paper's motivating use case (§1–2).
+//!
+//! A DevOps engineer wrote an infrastructure program with a teardown-order
+//! bug. Testing it against the real cloud would cost money and minutes of
+//! provisioning; testing it against a *bad* emulator lets the bug through
+//! (Moto's known `DeleteVpc` issue). The learned emulator catches it
+//! locally, with the cloud's error code and a decoded explanation.
+//!
+//! Run with: `cargo run --release --example devops_testing`
+
+use learned_cloud_emulators::prelude::*;
+
+/// An IaC-style program with a bug: it deletes the VPC before detaching
+/// the internet gateway.
+fn buggy_teardown() -> Program {
+    Program::new("web-tier")
+        .bind(
+            "vpc",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.0.0.0/16")),
+                ("Region", Arg::str("us-east")),
+            ],
+        )
+        .bind("igw", "CreateInternetGateway", vec![])
+        .call(
+            "AttachInternetGateway",
+            vec![
+                ("InternetGatewayId", Arg::field("igw", "InternetGatewayId")),
+                ("VpcId", Arg::field("vpc", "VpcId")),
+            ],
+        )
+        // BUG: the gateway is still attached.
+        .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))])
+}
+
+fn verdict(run: &lce_devops::ProgramRun) -> String {
+    match run.steps.iter().find(|s| !s.response.is_ok()) {
+        None => "all steps succeeded — the bug slipped through".to_string(),
+        Some(s) => format!(
+            "caught at {}:\n{}",
+            s.call.api,
+            s.response
+                .error
+                .as_ref()
+                .map(|e| e.explain())
+                .unwrap_or_default()
+        ),
+    }
+}
+
+fn main() {
+    let provider = nimbus_provider();
+    let program = buggy_teardown();
+
+    // The real cloud (ground truth).
+    let mut cloud = provider.golden_cloud();
+    let cloud_run = run_program(&program, &mut cloud);
+    println!("== real cloud ==\n{}\n", verdict(&cloud_run));
+
+    // The manually engineered emulator, with its known fidelity bug.
+    let mut moto = MotoLike::new();
+    let moto_run = run_program(&program, &mut moto);
+    println!("== moto-like (manual) ==\n{}\n", verdict(&moto_run));
+
+    // The learned emulator.
+    let (mut learned, _) = learned_emulator(&provider, 42);
+    let learned_run = run_program(&program, &mut learned);
+    println!("== learned emulator ==\n{}\n", verdict(&learned_run));
+
+    // Differential summary.
+    let vs_moto = compare_runs(&cloud_run, &moto_run);
+    let vs_learned = compare_runs(&cloud_run, &learned_run);
+    println!(
+        "alignment with the cloud: moto-like {}/{} steps, learned {}/{} steps",
+        vs_moto.aligned_steps, vs_moto.total_steps, vs_learned.aligned_steps, vs_learned.total_steps
+    );
+}

@@ -1,0 +1,78 @@
+#![deny(missing_docs)]
+
+//! # learned-cloud-emulators
+//!
+//! A full-system Rust implementation of **"A Case for Learned Cloud
+//! Emulators"** (HotNets '25): synthesizing executable cloud-emulation
+//! logic from provider documentation, constrained by a hierarchy-of-state-
+//! machines abstraction, and aligned against the cloud by symbolic
+//! differential testing.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`spec`] | `lce-spec` | the SM specification language (grammar of Fig. 1) |
+//! | [`emulator`] | `lce-emulator` | the interpreter framework executing SM specs |
+//! | [`cloud`] | `lce-cloud` | the synthetic multi-cloud (golden catalogs + doc renderers) |
+//! | [`wrangle`] | `lce-wrangle` | documentation wrangling (provider adapters) |
+//! | [`synth`] | `lce-synth` | specification extraction with constrained decoding and consistency checks |
+//! | [`align`] | `lce-align` | symbolic trace generation, differential testing, repair |
+//! | [`baselines`] | `lce-baselines` | the Moto-like and direct-to-code baselines |
+//! | [`devops`] | `lce-devops` | DevOps programs, the runner, the evaluation scenarios |
+//! | [`metrics`] | `lce-metrics` | complexity/coverage/anti-pattern analyses |
+//! | [`gym`] | `lce-gym` | the cloud gym environment for agents |
+//!
+//! ## Quickstart
+//!
+//! Learn an emulator for the Nimbus provider from its documentation and run
+//! a DevOps program against it:
+//!
+//! ```
+//! use learned_cloud_emulators::prelude::*;
+//!
+//! // 1. The provider publishes documentation (rendered from its golden
+//! //    behaviour model — the stand-in for the real cloud).
+//! let provider = nimbus_provider();
+//! let (docs, _) = provider.render_docs(DocFidelity::Complete);
+//!
+//! // 2. Wrangle the docs into structured resource sections.
+//! let sections = wrangle_provider(&provider, &docs).unwrap();
+//!
+//! // 3. Synthesize SM specifications (constrained generation +
+//! //    consistency checks).
+//! let (catalog, report) = synthesize(&sections, &PipelineConfig::learned(42)).unwrap();
+//! assert_eq!(report.dropped_sms(), 0);
+//!
+//! // 4. Load them into the emulator framework and call cloud APIs.
+//! let mut emulator = Emulator::new(catalog);
+//! let resp = emulator.invoke(
+//!     &ApiCall::new("CreateVpc")
+//!         .arg_str("CidrBlock", "10.0.0.0/16")
+//!         .arg_str("Region", "us-east"),
+//! );
+//! assert!(resp.is_ok());
+//! ```
+
+pub use lce_align as align;
+pub use lce_baselines as baselines;
+pub use lce_cloud as cloud;
+pub use lce_devops as devops;
+pub use lce_emulator as emulator;
+pub use lce_gym as gym;
+pub use lce_metrics as metrics;
+pub use lce_spec as spec;
+pub use lce_synth as synth;
+pub use lce_wrangle as wrangle;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lce_align::{run_alignment, AlignmentOptions};
+    pub use lce_baselines::{d2c_emulator, learned_emulator, MotoLike};
+    pub use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
+    pub use lce_devops::{compare_runs, run_program, Arg, Program};
+    pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
+    pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, SmSpec};
+    pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
+    pub use lce_wrangle::wrangle_provider;
+}

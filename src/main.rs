@@ -1,0 +1,268 @@
+//! `lce` — the learned-cloud-emulators command-line tool.
+//!
+//! ```text
+//! lce docs   --provider <nimbus|stratus> [--omit-every N]
+//! lce synth  --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
+//! lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
+//! lce run    --catalog FILE [--state FILE] --program FILE.json
+//! lce spec   --provider <nimbus|stratus> [--resource Name]
+//! ```
+//!
+//! `synth` learns an emulator from the provider's documentation and saves
+//! the catalog as JSON; `call`/`run` reload it and drive it like a cloud
+//! endpoint. Programs for `run` are `lce_devops::Program` JSON.
+
+use learned_cloud_emulators::prelude::*;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "docs" => cmd_docs(rest),
+        "synth" => cmd_synth(rest),
+        "call" => cmd_call(rest),
+        "run" => cmd_run(rest),
+        "spec" => cmd_spec(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{}`\n{}", other, USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "lce — learned cloud emulators
+
+USAGE:
+  lce docs   --provider <nimbus|stratus> [--omit-every N]
+  lce synth  --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
+  lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
+  lce run    --catalog FILE [--state FILE] --program FILE.json
+  lce spec   --provider <nimbus|stratus> [--resource Name]";
+
+/// Parse `--key value` flags and positional arguments.
+fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            // Boolean flags have no value or are followed by another flag.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") && needs_value(key) {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+fn needs_value(key: &str) -> bool {
+    !matches!(key, "d2c" | "no-align")
+}
+
+fn provider_of(flags: &BTreeMap<String, String>) -> Result<Provider, String> {
+    match flags.get("provider").map(|s| s.as_str()) {
+        Some("nimbus") | None => Ok(nimbus_provider()),
+        Some("stratus") => Ok(stratus_provider()),
+        Some(other) => Err(format!("unknown provider `{}`", other)),
+    }
+}
+
+fn cmd_docs(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let provider = provider_of(&flags)?;
+    let fidelity = match flags.get("omit-every") {
+        None => DocFidelity::Complete,
+        Some(n) => DocFidelity::OmitAsserts {
+            every_nth: n.parse().map_err(|_| "bad --omit-every value")?,
+        },
+    };
+    let (docs, omitted) = provider.render_docs(fidelity);
+    match docs {
+        learned_cloud_emulators::cloud::RenderedDocs::Consolidated(text) => println!("{}", text),
+        learned_cloud_emulators::cloud::RenderedDocs::Pages(pages) => {
+            for p in pages {
+                println!("### {} ({})\n{}", p.title, p.path, p.body);
+            }
+        }
+    }
+    if omitted > 0 {
+        eprintln!("({} behaviour clauses silently omitted)", omitted);
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let provider = provider_of(&flags)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let (docs, _) = provider.render_docs(DocFidelity::Complete);
+    let sections = wrangle_provider(&provider, &docs).map_err(|e| e.to_string())?;
+    let config = if flags.contains_key("d2c") {
+        PipelineConfig::direct_to_code(seed)
+    } else {
+        PipelineConfig::learned(seed)
+    };
+    let (mut catalog, report) = synthesize(&sections, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "synthesized {} machines ({} residual faults, {} stubs patched)",
+        catalog.len(),
+        report.total_faults(),
+        report.stubs_patched
+    );
+    if !flags.contains_key("d2c") && !flags.contains_key("no-align") {
+        let alignment = run_alignment(
+            &mut catalog,
+            EmulatorConfig::framework(),
+            &provider.catalog,
+            EmulatorConfig::framework(),
+            &sections,
+            &AlignmentOptions::default(),
+        );
+        eprintln!(
+            "aligned {:.1}% -> {:.1}% over {} cases ({} repairs)",
+            100.0 * alignment.initial_aligned_fraction(),
+            100.0 * alignment.final_aligned_fraction(),
+            alignment.rounds.last().map(|r| r.cases).unwrap_or(0),
+            alignment.repairs.len()
+        );
+    }
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, catalog.to_json()).map_err(|e| e.to_string())?;
+            eprintln!("catalog written to {}", path);
+        }
+        None => println!("{}", catalog.to_json()),
+    }
+    Ok(())
+}
+
+/// Build an emulator, restoring the resource store from `--state` when
+/// the file exists — sequential CLI invocations then share one mock cloud.
+fn emulator_with_state(flags: &BTreeMap<String, String>) -> Result<Emulator, String> {
+    let catalog = load_catalog(flags)?;
+    let mut emulator = Emulator::new(catalog);
+    if let Some(path) = flags.get("state") {
+        if let Ok(json) = std::fs::read_to_string(path) {
+            let store = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+            emulator.set_store(store);
+        }
+    }
+    Ok(emulator)
+}
+
+/// Persist the store back if `--state` was given.
+fn save_state(flags: &BTreeMap<String, String>, emulator: &Emulator) -> Result<(), String> {
+    if let Some(path) = flags.get("state") {
+        let json = serde_json::to_string_pretty(emulator.store()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn load_catalog(flags: &BTreeMap<String, String>) -> Result<Catalog, String> {
+    let path = flags.get("catalog").ok_or("--catalog FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Catalog::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_call(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let Some((api, kvs)) = positional.split_first() else {
+        return Err("usage: lce call --catalog FILE <Api> [Key=Value ...]".into());
+    };
+    let mut call = ApiCall::new(api.clone());
+    for kv in kvs {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad argument `{}` (expected Key=Value)", kv))?;
+        // Best-effort typing: bools and ints parse, everything else is a
+        // string (the emulator coerces against the declared types).
+        let value = if v == "true" || v == "false" {
+            Value::Bool(v == "true")
+        } else if let Ok(i) = v.parse::<i64>() {
+            Value::Int(i)
+        } else {
+            Value::str(v)
+        };
+        call.args.insert(k.to_string(), value);
+    }
+    let mut emulator = emulator_with_state(&flags)?;
+    let resp = emulator.invoke(&call);
+    save_state(&flags, &emulator)?;
+    match &resp.error {
+        None => println!(
+            "{}",
+            serde_json::to_string_pretty(&resp.fields).map_err(|e| e.to_string())?
+        ),
+        Some(e) => {
+            eprintln!("{}", e.explain());
+            return Err(format!("{} failed with {}", api, e.code));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let path = flags.get("program").ok_or("--program FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let program: Program = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let mut emulator = emulator_with_state(&flags)?;
+    let run = run_program(&program, &mut emulator);
+    save_state(&flags, &emulator)?;
+    for step in &run.steps {
+        match &step.response.error {
+            None => println!("ok   {}", step.call),
+            Some(e) => println!("FAIL {} -> {}", step.call, e),
+        }
+    }
+    if run.all_ok() {
+        Ok(())
+    } else {
+        Err("program had failing steps".into())
+    }
+}
+
+fn cmd_spec(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let provider = provider_of(&flags)?;
+    match flags.get("resource") {
+        Some(name) => {
+            let sm = provider
+                .catalog
+                .get(&lce_spec::SmName::new(name.clone()))
+                .ok_or_else(|| format!("unknown resource `{}`", name))?;
+            println!("{}", print_sm(sm));
+        }
+        None => {
+            for sm in provider.catalog.iter() {
+                println!("{}", print_sm(sm));
+            }
+        }
+    }
+    Ok(())
+}

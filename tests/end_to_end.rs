@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the complete workflow of the paper,
+//! exercised through the public facade API.
+
+use learned_cloud_emulators::align::RepairStrategy;
+use learned_cloud_emulators::prelude::*;
+
+/// The full §4 workflow: docs → wrangle → synthesize → align → emulate,
+/// ending behaviourally indistinguishable from the golden cloud on the
+/// generated differential suite.
+#[test]
+fn full_workflow_nimbus() {
+    let provider = nimbus_provider();
+    let (docs, omitted) = provider.render_docs(DocFidelity::Complete);
+    assert_eq!(omitted, 0);
+
+    let sections = wrangle_provider(&provider, &docs).unwrap();
+    assert_eq!(sections.len(), provider.catalog.len());
+
+    let (mut catalog, synth_report) =
+        synthesize(&sections, &PipelineConfig::learned(2024)).unwrap();
+    assert_eq!(catalog.len(), provider.catalog.len());
+    assert_eq!(synth_report.dropped_sms(), 0);
+
+    let report = run_alignment(
+        &mut catalog,
+        EmulatorConfig::framework(),
+        &provider.catalog,
+        EmulatorConfig::framework(),
+        &sections,
+        &AlignmentOptions {
+            max_paths: 24,
+            ..AlignmentOptions::default()
+        },
+    );
+    assert!(
+        report.fully_aligned(),
+        "rounds {:?}, first residual {:?}",
+        report.rounds,
+        report.unrepaired.first()
+    );
+
+    // The aligned emulator reproduces all evaluation scenarios.
+    let mut emulator = Emulator::new(catalog);
+    for s in learned_cloud_emulators::devops::scenarios::fig3_nimbus() {
+        let mut golden = provider.golden_cloud();
+        emulator.reset();
+        let rg = run_program(&s.program, &mut golden);
+        let rl = run_program(&s.program, &mut emulator);
+        assert!(
+            compare_runs(&rg, &rl).fully_aligned(),
+            "scenario {} diverged",
+            s.program.name
+        );
+    }
+}
+
+/// The multi-cloud claim: the identical pipeline works on the second
+/// provider; only the wrangling adapter differs.
+#[test]
+fn full_workflow_stratus() {
+    let provider = stratus_provider();
+    let (docs, _) = provider.render_docs(DocFidelity::Complete);
+    let sections = wrangle_provider(&provider, &docs).unwrap();
+    let (mut catalog, _) = synthesize(&sections, &PipelineConfig::learned(7)).unwrap();
+    let report = run_alignment(
+        &mut catalog,
+        EmulatorConfig::framework(),
+        &provider.catalog,
+        EmulatorConfig::framework(),
+        &sections,
+        &AlignmentOptions {
+            max_paths: 24,
+            ..AlignmentOptions::default()
+        },
+    );
+    assert!(report.fully_aligned(), "{:?}", report.rounds);
+}
+
+/// The motivating bug (§2): a teardown-order mistake passes on the
+/// Moto-like emulator but is caught by the cloud and the learned emulator.
+#[test]
+fn delete_vpc_bug_caught_by_learned_not_by_moto() {
+    let provider = nimbus_provider();
+    let program = Program::new("buggy-teardown")
+        .bind(
+            "vpc",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.9.0.0/16")),
+                ("Region", Arg::str("us-east")),
+            ],
+        )
+        .bind("igw", "CreateInternetGateway", vec![])
+        .call(
+            "AttachInternetGateway",
+            vec![
+                ("InternetGatewayId", Arg::field("igw", "InternetGatewayId")),
+                ("VpcId", Arg::field("vpc", "VpcId")),
+            ],
+        )
+        .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
+
+    let mut cloud = provider.golden_cloud();
+    let cloud_run = run_program(&program, &mut cloud);
+    assert_eq!(
+        cloud_run.steps.last().unwrap().response.error_code(),
+        Some("DependencyViolation")
+    );
+
+    let mut moto = MotoLike::new();
+    let moto_run = run_program(&program, &mut moto);
+    assert!(moto_run.all_ok(), "moto-like must miss the bug");
+
+    let (mut learned, _) = learned_emulator(&provider, 42);
+    let learned_run = run_program(&program, &mut learned);
+    assert_eq!(
+        learned_run.steps.last().unwrap().response.error_code(),
+        Some("DependencyViolation"),
+        "the learned emulator must catch the bug"
+    );
+}
+
+/// Underspecified documentation (§6): alignment recovers undocumented
+/// checks by probing the black-box cloud.
+#[test]
+fn probe_mining_recovers_undocumented_checks() {
+    let provider = nimbus_provider();
+    let (docs, omitted) = provider.render_docs(DocFidelity::OmitAsserts { every_nth: 10 });
+    assert!(omitted > 0);
+    let sections = wrangle_provider(&provider, &docs).unwrap();
+    let (mut catalog, _) = synthesize(&sections, &PipelineConfig::noiseless(5)).unwrap();
+    let report = run_alignment(
+        &mut catalog,
+        EmulatorConfig::framework(),
+        &provider.catalog,
+        EmulatorConfig::framework(),
+        &sections,
+        &AlignmentOptions {
+            max_paths: 24,
+            ..AlignmentOptions::default()
+        },
+    );
+    assert!(report
+        .repairs
+        .iter()
+        .any(|r| r.strategy == RepairStrategy::ProbeMined));
+    assert!(report.final_aligned_fraction() >= report.initial_aligned_fraction());
+}
+
+/// The learned emulator is a drop-in backend: the gym runs on it.
+#[test]
+fn gym_runs_on_learned_emulator() {
+    use learned_cloud_emulators::gym::{tasks, CloudGym};
+    let provider = nimbus_provider();
+    let (learned, _) = learned_emulator(&provider, 42);
+    let mut gym = CloudGym::new(learned, tasks::public_subnet());
+    let obs = gym.reset();
+    assert_eq!(obs.live_resources, 0);
+    let r = gym.step(
+        &ApiCall::new("CreateVpc")
+            .arg_str("CidrBlock", "10.0.0.0/16")
+            .arg_str("Region", "us-east"),
+    );
+    assert!(r.response.is_ok());
+}

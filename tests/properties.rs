@@ -1,0 +1,161 @@
+//! Property-based tests over the core data structures and pipeline
+//! invariants, using generated SM specifications.
+
+use learned_cloud_emulators::prelude::*;
+use lce_spec::{
+    check_sm, print_sm, Expr, SmBuilder, StateType, TransitionBuilder, TransitionKind,
+};
+use proptest::prelude::*;
+
+/// Strategy: a lowercase identifier.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+/// Strategy: a simple scalar state type.
+fn scalar_type() -> impl Strategy<Value = StateType> {
+    prop_oneof![
+        Just(StateType::Str),
+        Just(StateType::Int),
+        Just(StateType::Bool),
+        prop::collection::vec("[A-Z][a-z]{1,6}", 1..4).prop_map(|mut vs| {
+            vs.sort();
+            vs.dedup();
+            StateType::Enum(vs)
+        }),
+    ]
+}
+
+/// Strategy: a well-formed single machine with scalar state and simple
+/// transitions (guaranteed to pass `check_sm`).
+fn arb_sm() -> impl Strategy<Value = lce_spec::SmSpec> {
+    (
+        "[A-Z][a-zA-Z]{1,8}",
+        prop::collection::btree_map(ident(), scalar_type(), 1..5),
+        1..4usize,
+    )
+        .prop_map(|(name, states, n_modifies)| {
+            let mut b = SmBuilder::new(&name).service("prop").doc("generated");
+            for (var, ty) in &states {
+                b = b.state(var.clone(), ty.clone());
+            }
+            b = b.transition(
+                TransitionBuilder::new(format!("Create{}", name), TransitionKind::Create)
+                    .doc("create")
+                    .build(),
+            );
+            b = b.transition(
+                TransitionBuilder::new(format!("Delete{}", name), TransitionKind::Destroy)
+                    .doc("destroy")
+                    .build(),
+            );
+            let mut describe =
+                TransitionBuilder::new(format!("Describe{}", name), TransitionKind::Describe);
+            for var in states.keys() {
+                describe = describe.emit(format!("F_{}", var), Expr::read(var.clone()));
+            }
+            b = b.transition(describe.build());
+            for (i, (var, ty)) in states.iter().enumerate().take(n_modifies) {
+                b = b.transition(
+                    TransitionBuilder::new(
+                        format!("Set{}{}", name, i),
+                        TransitionKind::Modify,
+                    )
+                    .param("V", ty.clone())
+                    .write(var.clone(), Expr::arg("V"))
+                    .build(),
+                );
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The printer/parser pair round-trips every generated machine.
+    #[test]
+    fn printer_parser_round_trip(sm in arb_sm()) {
+        let printed = print_sm(&sm);
+        let reparsed = parse_sm(&printed).expect("printed source must parse");
+        prop_assert_eq!(sm, reparsed);
+    }
+
+    /// Generated machines type check.
+    #[test]
+    fn generated_machines_check(sm in arb_sm()) {
+        prop_assert!(check_sm(&sm).is_empty());
+    }
+
+    /// Emulator invariant: a failed call never mutates visible state, and
+    /// a successful destroy removes exactly one instance.
+    #[test]
+    fn emulator_atomicity(sm in arb_sm(), bogus in "[a-z]{1,8}") {
+        let create_api = format!("Create{}", sm.name);
+        let delete_api = format!("Delete{}", sm.name);
+        let id_param = sm.id_param.clone();
+        let mut emu = Emulator::new(Catalog::from_specs([sm]));
+
+        let resp = emu.invoke(&ApiCall::new(&create_api));
+        prop_assert!(resp.is_ok());
+        let before = emu.store().len();
+
+        // A call against a nonexistent instance fails and changes nothing.
+        let resp = emu.invoke(&ApiCall::new(&delete_api).arg_str(&id_param, format!("{}-ffffff", bogus)));
+        prop_assert!(!resp.is_ok());
+        prop_assert_eq!(emu.store().len(), before);
+
+        // Destroying the real instance removes exactly it.
+        let id = resp_id(&mut emu, &create_api);
+        let resp = emu.invoke(&ApiCall::new(&delete_api).arg(&id_param, id));
+        prop_assert!(resp.is_ok());
+        prop_assert_eq!(emu.store().len(), before);
+    }
+
+    /// Doc round trip: rendering a generated machine's documentation and
+    /// re-extracting it reproduces the machine exactly (the zero-noise
+    /// fidelity property, on arbitrary machines rather than the built-in
+    /// catalogs).
+    #[test]
+    fn doc_extraction_round_trip(sm in arb_sm()) {
+        use learned_cloud_emulators::cloud::docs::{pdf, DocFidelity as DF, FidelityFilter};
+        use learned_cloud_emulators::wrangle::{DocAdapter, NimbusAdapter};
+        use learned_cloud_emulators::cloud::RenderedDocs;
+        use learned_cloud_emulators::synth::extract_resource;
+
+        let catalog = Catalog::from_specs([sm.clone()]);
+        let mut filter = FidelityFilter::new(DF::Complete);
+        let text = pdf::render_consolidated("prop", &catalog, &mut filter);
+        let sections = NimbusAdapter
+            .wrangle(&RenderedDocs::Consolidated(text))
+            .expect("wrangle");
+        prop_assert_eq!(sections.len(), 1);
+        let extracted = extract_resource(&sections[0]).expect("extract");
+        prop_assert_eq!(extracted, sm);
+    }
+
+    /// Synthesis determinism: the same seed reproduces the same catalog.
+    #[test]
+    fn noise_determinism(seed in 0u64..1000) {
+        use learned_cloud_emulators::synth::{apply_noise_seeded};
+        let sm = nimbus_provider()
+            .catalog
+            .get(&lce_spec::SmName::new("Instance"))
+            .unwrap()
+            .clone();
+        let a = apply_noise_seeded(&sm, &NoiseConfig::direct_to_code(), seed);
+        let b = apply_noise_seeded(&sm, &NoiseConfig::direct_to_code(), seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Helper: create an instance and return its id value.
+fn resp_id(emu: &mut Emulator, create_api: &str) -> Value {
+    let resp = emu.invoke(&ApiCall::new(create_api));
+    assert!(resp.is_ok());
+    resp.fields
+        .values()
+        .find(|v| matches!(v, Value::Ref(_)))
+        .cloned()
+        .expect("create must return an id")
+}
