@@ -120,7 +120,8 @@ mod tests {
         let mut b = nimbus_provider().golden_cloud();
         let outcome = run_suite(&sample, &mut a, &mut b);
         assert_eq!(
-            outcome.aligned_cases, outcome.total_cases,
+            outcome.aligned_cases,
+            outcome.total_cases,
             "golden vs golden diverged: {:#?}",
             outcome.divergences.first()
         );

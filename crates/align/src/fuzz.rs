@@ -38,7 +38,12 @@ impl Default for FuzzConfig {
 
 /// Generate one random program against the catalog's public API surface.
 /// Deterministic in `rng`.
-pub fn random_program(catalog: &Catalog, cfg: &FuzzConfig, rng: &mut StdRng, name: usize) -> Program {
+pub fn random_program(
+    catalog: &Catalog,
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+    name: usize,
+) -> Program {
     // The callable surface, with owning machine.
     let apis: Vec<(&SmName, &lce_spec::Transition)> = catalog
         .iter()
@@ -95,7 +100,10 @@ pub fn random_program(catalog: &Catalog, cfg: &FuzzConfig, rng: &mut StdRng, nam
             if p.optional && rng.gen_bool(cfg.p_omit_optional) {
                 continue;
             }
-            args.push((p.name.clone(), random_value(&p.ty, &created, &str_pool, cfg, rng)));
+            args.push((
+                p.name.clone(),
+                random_value(&p.ty, &created, &str_pool, cfg, rng),
+            ));
         }
         let bind = if t.kind == lce_spec::TransitionKind::Create {
             let b = format!("f{}", i);
@@ -150,9 +158,7 @@ fn random_value(
         StateType::Str => Arg::Lit(Value::str(
             str_pool.choose(rng).cloned().unwrap_or_default(),
         )),
-        StateType::Enum(vs) => Arg::Lit(Value::Enum(
-            vs.choose(rng).cloned().unwrap_or_default(),
-        )),
+        StateType::Enum(vs) => Arg::Lit(Value::Enum(vs.choose(rng).cloned().unwrap_or_default())),
         StateType::Ref(target) => {
             // The id field name must match the target's id_param; we use
             // the `{Name}Id` convention which holds across the catalogs.

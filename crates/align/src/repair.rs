@@ -28,9 +28,7 @@ use crate::diff::{run_suite, Divergence, SuiteOutcome};
 use crate::tracegen::{generate_suite, SuiteStats, TestCase, INT_SWEEP};
 use lce_devops::{run_program, Arg, Program};
 use lce_emulator::{Backend, Emulator, EmulatorConfig, Value};
-use lce_spec::{
-    ApiName, Catalog, ErrorCode, Expr, SmName, SmSpec, StateType, Stmt,
-};
+use lce_spec::{ApiName, Catalog, ErrorCode, Expr, SmName, SmSpec, StateType, Stmt};
 use lce_synth::extract_resource;
 use lce_wrangle::ResourceDoc;
 use serde::{Deserialize, Serialize};
@@ -126,8 +124,7 @@ impl AlignmentReport {
 
     /// `true` if the emulator ended fully aligned on the generated suite.
     pub fn fully_aligned(&self) -> bool {
-        self.unrepaired.is_empty()
-            && self.rounds.last().is_some_and(|r| r.divergent == 0)
+        self.unrepaired.is_empty() && self.rounds.last().is_some_and(|r| r.divergent == 0)
     }
 }
 
@@ -312,8 +309,8 @@ fn repair_one(
             // leverage the SM abstraction to find the minimal API traces
             // that could trigger the discrepancies"), then fall back to
             // argument-domain sweeps.
-            let guard = mine_structural(&case.kind, &code, learned, sm_name, api, d)
-                .or_else(|| {
+            let guard =
+                mine_structural(&case.kind, &code, learned, sm_name, api, d).or_else(|| {
                     if classify_divergence(d) == DivergenceClass::SilentSuccess {
                         mine_guard(
                             golden,
@@ -401,7 +398,11 @@ fn mine_structural(
             // ⇒ uniqueness; direct removal: write(v, remove(read(v), arg(p)))
             // ⇒ presence.
             for s in t.all_stmts() {
-                if let Stmt::Write { state, value: Expr::Append(list, item) } = s {
+                if let Stmt::Write {
+                    state,
+                    value: Expr::Append(list, item),
+                } = s
+                {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
                         if v == state {
                             return Some(mined(Expr::not(Expr::Binary(
@@ -412,7 +413,11 @@ fn mine_structural(
                         }
                     }
                 }
-                if let Stmt::Write { state, value: Expr::Remove(list, item) } = s {
+                if let Stmt::Write {
+                    state,
+                    value: Expr::Remove(list, item),
+                } = s
+                {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
                         if v == state {
                             return Some(mined(Expr::Binary(
@@ -427,7 +432,11 @@ fn mine_structural(
             // Plain value setter: write(v, arg(p)) ⇒ the cloud rejects
             // setting the value the resource already has.
             for s in t.all_stmts() {
-                if let Stmt::Write { state, value: Expr::Arg(p) } = s {
+                if let Stmt::Write {
+                    state,
+                    value: Expr::Arg(p),
+                } = s
+                {
                     if t.param(p).is_some_and(|q| !q.optional) {
                         return Some(mined(Expr::ne(Expr::arg(p), Expr::read(state))));
                     }
@@ -436,8 +445,15 @@ fn mine_structural(
             // Delegated append: call(target, Api, [arg(p)]) where the
             // callee appends its argument to a list variable.
             for s in t.all_stmts() {
-                if let Stmt::Call { target, api: callee_api, args } = s {
-                    let [Expr::Arg(p)] = args.as_slice() else { continue };
+                if let Stmt::Call {
+                    target,
+                    api: callee_api,
+                    args,
+                } = s
+                {
+                    let [Expr::Arg(p)] = args.as_slice() else {
+                        continue;
+                    };
                     // Resolve the callee's machine through the target type.
                     let target_ty = match target {
                         Expr::Arg(q) => match &t.param(q)?.ty {
@@ -453,7 +469,11 @@ fn mine_structural(
                     let callee_sm = learned.get(&target_ty)?;
                     let callee = callee_sm.transition(callee_api.as_str())?;
                     for cs in callee.all_stmts() {
-                        if let Stmt::Write { state: v, value: Expr::Append(..) } = cs {
+                        if let Stmt::Write {
+                            state: v,
+                            value: Expr::Append(..),
+                        } = cs
+                        {
                             return Some(mined(Expr::not(Expr::Binary(
                                 lce_spec::BinOp::In,
                                 Box::new(Expr::arg(p)),
@@ -480,7 +500,12 @@ fn mine_structural(
             let dep = learned.get(dependent)?;
             let create = dep.creates().next()?;
             for s in create.all_stmts() {
-                if let Stmt::Call { target, api: callee_api, .. } = s {
+                if let Stmt::Call {
+                    target,
+                    api: callee_api,
+                    ..
+                } = s
+                {
                     let targets_us = match target {
                         Expr::Arg(q) => {
                             matches!(&create.param(q).map(|p| &p.ty), Some(StateType::Ref(n)) if n == sm_name)
@@ -509,12 +534,18 @@ fn mine_structural(
             }
             None
         }
-        ProbeKind::Symbolic { .. } | ProbeKind::DomainSweep { .. } | ProbeKind::PairProbe { .. } => {
+        ProbeKind::Symbolic { .. }
+        | ProbeKind::DomainSweep { .. }
+        | ProbeKind::PairProbe { .. } => {
             // A success-class probe the cloud rejected on a fresh instance:
             // if the transition removes an argument from a list, the cloud
             // is enforcing presence.
             for s in t.all_stmts() {
-                if let Stmt::Write { state, value: Expr::Remove(list, item) } = s {
+                if let Stmt::Write {
+                    state,
+                    value: Expr::Remove(list, item),
+                } = s
+                {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
                         if v == state {
                             return Some(mined(Expr::Binary(
@@ -587,12 +618,7 @@ fn mine_guard(
 }
 
 /// Build the guard statement from observed accept/reject sets.
-fn synthesize_guard(
-    p: &lce_spec::Param,
-    ok: &[Value],
-    fail: &[Value],
-    code: &str,
-) -> Option<Stmt> {
+fn synthesize_guard(p: &lce_spec::Param, ok: &[Value], fail: &[Value], code: &str) -> Option<Stmt> {
     let arg = Expr::arg(&p.name);
     let pred = match &p.ty {
         StateType::Enum(_) => {
@@ -672,14 +698,22 @@ fn reextract_machine(learned_sm: &SmSpec, truth: &SmSpec) -> SmSpec {
         .map(|t| {
             (
                 t.name.as_str().to_string(),
-                t.body.iter().filter(|s| is_mined(s)).cloned().collect::<Vec<_>>(),
+                t.body
+                    .iter()
+                    .filter(|s| is_mined(s))
+                    .cloned()
+                    .collect::<Vec<_>>(),
             )
         })
         .filter(|(_, g)| !g.is_empty())
         .collect();
     let mut fresh = truth.clone();
     for (api, guards) in mined {
-        if let Some(t) = fresh.transitions.iter_mut().find(|t| t.name.as_str() == api) {
+        if let Some(t) = fresh
+            .transitions
+            .iter_mut()
+            .find(|t| t.name.as_str() == api)
+        {
             for (i, g) in guards.into_iter().enumerate() {
                 t.body.insert(i, g);
             }

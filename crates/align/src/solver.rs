@@ -135,7 +135,6 @@ pub fn solve_path_k(sm: &SmSpec, t: &Transition, path: &SymPath, k: usize) -> Ve
         out
     };
 
-
     // Build per-leaf domains, constrained leaves first.
     let mut leaves: Vec<(LeafKey, Vec<Value>)> = Vec::new();
     for p in &arg_leaves {
@@ -456,7 +455,9 @@ mod tests {
             let n = w.args.get("N").unwrap().as_int().unwrap();
             match &p.outcome {
                 PathOutcome::Error(e) if e.as_str() == "Low" => assert!(n < 16),
-                PathOutcome::Error(e) if e.as_str() == "High" => assert!(!(16..=28).contains(&n) && n > 28),
+                PathOutcome::Error(e) if e.as_str() == "High" => {
+                    assert!(!(16..=28).contains(&n) && n > 28)
+                }
                 _ => assert!((16..=28).contains(&n)),
             }
         }
@@ -487,7 +488,13 @@ mod tests {
         let err = solve_path(&sm, &t, &paths[0]).unwrap();
         assert_eq!(err.args.get("B").unwrap().as_str(), Some(REF_DANGLING));
         let ok = solve_path(&sm, &t, &paths[1]).unwrap();
-        assert!(ok.args.get("B").unwrap().as_str().unwrap().starts_with("@ref:"));
+        assert!(ok
+            .args
+            .get("B")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("@ref:"));
         assert_ne!(ok.args.get("B").unwrap().as_str(), Some(REF_DANGLING));
     }
 

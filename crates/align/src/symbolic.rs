@@ -272,7 +272,10 @@ mod tests {
 
     #[test]
     fn assert_forks_two_paths() {
-        let t = transition(r#"assert(arg(N) > 0) else Bad "m"; write(x, arg(N));"#, "N: int");
+        let t = transition(
+            r#"assert(arg(N) > 0) else Bad "m"; write(x, arg(N));"#,
+            "N: int",
+        );
         let paths = symbolic_paths(&t, 100);
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].outcome, PathOutcome::Error(ErrorCode::new("Bad")));
@@ -295,10 +298,7 @@ mod tests {
 
     #[test]
     fn if_else_forks() {
-        let t = transition(
-            "if read(flag) { write(x, 1); } else { write(x, 2); }",
-            "",
-        );
+        let t = transition("if read(flag) { write(x, 1); } else { write(x, 2); }", "");
         let paths = symbolic_paths(&t, 100);
         assert_eq!(paths.len(), 2);
         assert!(paths.iter().all(|p| p.outcome == PathOutcome::Success));
@@ -316,7 +316,9 @@ mod tests {
         let paths = symbolic_paths(&t, 100);
         // then+fail, then+ok, else.
         assert_eq!(paths.len(), 3);
-        assert!(paths.iter().any(|p| p.outcome == PathOutcome::Error(ErrorCode::new("Bad"))));
+        assert!(paths
+            .iter()
+            .any(|p| p.outcome == PathOutcome::Error(ErrorCode::new("Bad"))));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! silently dropped ("Alignment Completeness", §6: hardening targets the
 //! reachable paths).
 
-use crate::solver::{eval_concrete, solve_path, solve_path_k, Witness, REF_DANGLING, REF_FRESH, REF_SHARED};
+use crate::solver::{
+    eval_concrete, solve_path, solve_path_k, Witness, REF_DANGLING, REF_FRESH, REF_SHARED,
+};
 use crate::symbolic::{symbolic_paths_in, PathOutcome, SymPath};
 use lce_devops::{Arg, Program};
 use lce_emulator::Value;
@@ -92,7 +94,10 @@ pub struct SuiteStats {
 }
 
 /// Generate the full differential suite for a catalog.
-pub fn generate_suite(catalog: &Catalog, max_paths_per_transition: usize) -> (Vec<TestCase>, SuiteStats) {
+pub fn generate_suite(
+    catalog: &Catalog,
+    max_paths_per_transition: usize,
+) -> (Vec<TestCase>, SuiteStats) {
     let mut cases = Vec::new();
     let mut stats = SuiteStats::default();
     for sm in catalog.iter() {
@@ -239,9 +244,7 @@ pub fn plan_test(
 /// Plan a repeat-call probe: run the transition's success witness twice.
 fn plan_repeat_call(catalog: &Catalog, sm: &SmSpec, t: &Transition) -> Option<Program> {
     let paths = symbolic_paths_in(sm, t, 64);
-    let success = paths
-        .iter()
-        .find(|p| p.outcome == PathOutcome::Success)?;
+    let success = paths.iter().find(|p| p.outcome == PathOutcome::Success)?;
     let witness = solve_path(sm, t, success)?;
     let mut planner = Planner::new(catalog, format!("repeat-{}-{}", sm.name, t.name));
     let target = planner.instantiate_with(&sm.name, &witness.state_reqs)?;
@@ -258,8 +261,8 @@ fn plan_repeat_call(catalog: &Catalog, sm: &SmSpec, t: &Transition) -> Option<Pr
 /// the "Alignment Completeness" caveat of §6 applies: sweeps harden common
 /// boundaries, they do not prove the absence of exotic ones.
 pub const INT_SWEEP: &[i64] = &[
-    -1, 0, 1, 2, 3, 7, 8, 15, 16, 28, 29, 30, 100, 1000, 16384, 16385, 30000, 30001, 64511,
-    64512, 65534, 65535,
+    -1, 0, 1, 2, 3, 7, 8, 15, 16, 28, 29, 30, 100, 1000, 16384, 16385, 30000, 30001, 64511, 64512,
+    65534, 65535,
 ];
 
 /// Plan the sweep programs for one transition: the success-path witness
@@ -329,9 +332,7 @@ pub fn plan_pair_probes(
         .params
         .iter()
         .filter_map(|p| match &p.ty {
-            StateType::Bool => {
-                Some((p.name.as_str(), vec![Value::Bool(true), Value::Bool(false)]))
-            }
+            StateType::Bool => Some((p.name.as_str(), vec![Value::Bool(true), Value::Bool(false)])),
             StateType::Enum(vs) if vs.len() <= 4 => Some((
                 p.name.as_str(),
                 vs.iter().map(|v| Value::Enum(v.clone())).collect(),
@@ -344,9 +345,10 @@ pub fn plan_pair_probes(
     }
     // Require every non-optional parameter to be in the small set (we
     // cannot omit required parameters).
-    if t.params.iter().any(|p| {
-        !p.optional && !small.iter().any(|(n, _)| *n == p.name)
-    }) {
+    if t.params
+        .iter()
+        .any(|p| !p.optional && !small.iter().any(|(n, _)| *n == p.name))
+    {
         return Vec::new();
     }
     const MAX_COMBOS: usize = 32;
@@ -368,10 +370,8 @@ pub fn plan_pair_probes(
                     let plan = (|| {
                         let target = planner.instantiate(&sm.name)?;
                         for (p, v) in [(p1, v1), (p2, v2)] {
-                            let mut args = vec![(
-                                sm.id_param.clone(),
-                                Arg::field(&target, &sm.id_param),
-                            )];
+                            let mut args =
+                                vec![(sm.id_param.clone(), Arg::field(&target, &sm.id_param))];
                             args.push((p.to_string(), Arg::Lit((*v).clone())));
                             // Required params beyond the probed one still
                             // need values.
@@ -422,10 +422,7 @@ fn plan_repeat_create(catalog: &Catalog, sm: &SmSpec, t: &Transition) -> Option<
 /// Plan destroy-dependency probes: create `sm` (binding its required
 /// references), then attempt to destroy each bound reference. Returns
 /// `(dependency machine, destroy API, program)` triples.
-fn plan_destroy_dependency(
-    catalog: &Catalog,
-    sm: &SmSpec,
-) -> Vec<(SmName, String, Program)> {
+fn plan_destroy_dependency(catalog: &Catalog, sm: &SmSpec) -> Vec<(SmName, String, Program)> {
     let mut out = Vec::new();
     let Some(create) = sm.creates().next() else {
         return out;
@@ -436,7 +433,9 @@ fn plan_destroy_dependency(
         if p.optional || Some(dep) == parent.as_ref() || dep == &sm.name {
             continue;
         }
-        let Some(dep_spec) = catalog.get(dep) else { continue };
+        let Some(dep_spec) = catalog.get(dep) else {
+            continue;
+        };
         let Some(destroy) = dep_spec
             .transitions
             .iter()
@@ -444,10 +443,7 @@ fn plan_destroy_dependency(
         else {
             continue;
         };
-        let mut planner = Planner::new(
-            catalog,
-            format!("destroydep-{}-{}", sm.name, dep),
-        );
+        let mut planner = Planner::new(catalog, format!("destroydep-{}-{}", sm.name, dep));
         let plan = (|| {
             planner.instantiate(&sm.name)?;
             let dep_binding = planner.shared.get(dep)?.clone();
@@ -784,8 +780,7 @@ impl<'a> Planner<'a> {
                     // Solve the setter's own success witness so required
                     // arguments are supplied.
                     let paths = symbolic_paths_in(sm, t, 32);
-                    let Some(success) =
-                        paths.iter().find(|p| p.outcome == PathOutcome::Success)
+                    let Some(success) = paths.iter().find(|p| p.outcome == PathOutcome::Success)
                     else {
                         continue;
                     };
@@ -805,8 +800,7 @@ impl<'a> Planner<'a> {
                             let Some(mut resolved) = self.resolve_args(step, step_args) else {
                                 return false;
                             };
-                            resolved
-                                .push((sm.id_param.clone(), Arg::field(binding, &sm.id_param)));
+                            resolved.push((sm.id_param.clone(), Arg::field(binding, &sm.id_param)));
                             self.push_call(None, step.name.as_str(), resolved);
                         }
                         if let Some(s) = self.tracked.get_mut(binding) {
@@ -887,14 +881,12 @@ fn preconditions_hold(
                 }
             }
             Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
-                Some(Value::Bool(true))
-                    if !preconditions_hold(then, args, state) => {
-                        return false;
-                    }
-                Some(Value::Bool(false))
-                    if !preconditions_hold(els, args, state) => {
-                        return false;
-                    }
+                Some(Value::Bool(true)) if !preconditions_hold(then, args, state) => {
+                    return false;
+                }
+                Some(Value::Bool(false)) if !preconditions_hold(els, args, state) => {
+                    return false;
+                }
                 _ => {}
             },
             _ => {}
@@ -905,19 +897,21 @@ fn preconditions_hold(
 
 /// Apply the body's decidable writes to a tracked state (branches follow
 /// decidable conditions; undecidable writes erase the variable).
-fn apply_writes(body: &[Stmt], args: &BTreeMap<String, Value>, state: &mut BTreeMap<String, Value>) {
+fn apply_writes(
+    body: &[Stmt],
+    args: &BTreeMap<String, Value>,
+    state: &mut BTreeMap<String, Value>,
+) {
     for s in body {
         match s {
-            Stmt::Write { state: var, value } => {
-                match eval_concrete(value, args, state) {
-                    Some(v) => {
-                        state.insert(var.clone(), v);
-                    }
-                    None => {
-                        state.remove(var);
-                    }
+            Stmt::Write { state: var, value } => match eval_concrete(value, args, state) {
+                Some(v) => {
+                    state.insert(var.clone(), v);
                 }
-            }
+                None => {
+                    state.remove(var);
+                }
+            },
             Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
                 Some(Value::Bool(true)) => apply_writes(then, args, state),
                 Some(Value::Bool(false)) => apply_writes(els, args, state),
@@ -948,7 +942,6 @@ mod tests {
     use super::*;
     use lce_cloud::nimbus_provider;
     use lce_devops::run_program;
-    
 
     fn catalog() -> Catalog {
         nimbus_provider().catalog

@@ -2,8 +2,8 @@
 //! machinery is provider-agnostic, so everything that holds for Nimbus
 //! must hold for Stratus.
 
-use lce_align::tracegen::generate_suite;
 use lce_align::run_suite;
+use lce_align::tracegen::generate_suite;
 use lce_cloud::stratus_provider;
 use std::collections::BTreeSet;
 
@@ -37,7 +37,8 @@ fn stratus_golden_vs_golden_fully_aligned() {
     let mut b = provider.golden_cloud();
     let outcome = run_suite(&cases, &mut a, &mut b);
     assert_eq!(
-        outcome.aligned_cases, outcome.total_cases,
+        outcome.aligned_cases,
+        outcome.total_cases,
         "first divergence: {:#?}",
         outcome.divergences.first()
     );

@@ -18,12 +18,22 @@ use lce_wrangle::wrangle_provider;
 
 /// Build the direct-to-code baseline emulator for a provider.
 pub fn d2c_emulator(provider: &Provider, seed: u64) -> (Emulator, SynthesisReport) {
-    build(provider, PipelineConfig::direct_to_code(seed), EmulatorConfig::direct_to_code(), "d2c")
+    build(
+        provider,
+        PipelineConfig::direct_to_code(seed),
+        EmulatorConfig::direct_to_code(),
+        "d2c",
+    )
 }
 
 /// Build the (pre-alignment) learned emulator for a provider.
 pub fn learned_emulator(provider: &Provider, seed: u64) -> (Emulator, SynthesisReport) {
-    build(provider, PipelineConfig::learned(seed), EmulatorConfig::framework(), "learned")
+    build(
+        provider,
+        PipelineConfig::learned(seed),
+        EmulatorConfig::framework(),
+        "learned",
+    )
 }
 
 fn build(
@@ -34,10 +44,9 @@ fn build(
 ) -> (Emulator, SynthesisReport) {
     let (docs, _) = provider.render_docs(DocFidelity::Complete);
     let sections = wrangle_provider(provider, &docs).expect("built-in docs must wrangle");
-    let (catalog, report) =
-        synthesize(&sections, &pipeline).expect("built-in docs must extract");
-    let emulator = Emulator::with_config(catalog, config)
-        .named(format!("{}-{}", provider.name, name));
+    let (catalog, report) = synthesize(&sections, &pipeline).expect("built-in docs must extract");
+    let emulator =
+        Emulator::with_config(catalog, config).named(format!("{}-{}", provider.name, name));
     (emulator, report)
 }
 
@@ -73,7 +82,11 @@ mod tests {
                 diverged += 1;
             }
         }
-        assert!(diverged >= 6, "expected most traces to diverge, got {}", diverged);
+        assert!(
+            diverged >= 6,
+            "expected most traces to diverge, got {}",
+            diverged
+        );
     }
 
     #[test]
@@ -91,6 +104,10 @@ mod tests {
                 aligned += 1;
             }
         }
-        assert!(aligned >= 6, "learned should align on most traces, got {}", aligned);
+        assert!(
+            aligned >= 6,
+            "learned should align on most traces, got {}",
+            aligned
+        );
     }
 }

@@ -227,10 +227,14 @@ fn apply_known_bugs(sm: &mut SmSpec) {
             // Bug 1 (§2 of the paper): DeleteVpc succeeds even if an
             // internet gateway is attached — the gateway-counter check is
             // simply not implemented.
-            if let Some(t) = sm.transitions.iter_mut().find(|t| t.name.as_str() == "DeleteVpc") {
-                t.body.retain(|s| {
-                    !matches!(s, Stmt::Assert { message, .. } if message.contains("gateway"))
-                });
+            if let Some(t) = sm
+                .transitions
+                .iter_mut()
+                .find(|t| t.name.as_str() == "DeleteVpc")
+            {
+                t.body.retain(
+                    |s| !matches!(s, Stmt::Assert { message, .. } if message.contains("gateway")),
+                );
             }
             // Bug 2: the DNS attribute coupling is not enforced.
             if let Some(t) = sm
@@ -243,7 +247,11 @@ fn apply_known_bugs(sm: &mut SmSpec) {
         }
         "Subnet" => {
             // Bug 3: prefix-length validation is missing.
-            if let Some(t) = sm.transitions.iter_mut().find(|t| t.name.as_str() == "CreateSubnet") {
+            if let Some(t) = sm
+                .transitions
+                .iter_mut()
+                .find(|t| t.name.as_str() == "CreateSubnet")
+            {
                 t.body.retain(|s| {
                     !matches!(s, Stmt::Assert { error, .. } if error.as_str() == "InvalidSubnetRange")
                 });
@@ -287,6 +295,11 @@ impl Backend for MotoLike {
 
     fn api_names(&self) -> Vec<String> {
         self.supported.iter().cloned().collect()
+    }
+
+    /// Set lookup instead of the default's full `api_names()` clone.
+    fn supports(&self, api: &str) -> bool {
+        self.supported.contains(api)
     }
 }
 
@@ -435,5 +448,14 @@ mod tests {
     fn api_names_is_supported_set() {
         let moto = MotoLike::new();
         assert_eq!(moto.api_names().len(), 59 + 21 + 5 + 7 + 17);
+    }
+
+    #[test]
+    fn supports_is_set_membership() {
+        let moto = MotoLike::new();
+        assert!(moto.supports("CreateVpc"));
+        assert!(moto.supports("CreateFirewall"));
+        assert!(!moto.supports("DeleteFirewall"), "the coverage gap");
+        assert!(!moto.supports("LaunchRocket"));
     }
 }

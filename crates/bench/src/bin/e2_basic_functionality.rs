@@ -2,8 +2,14 @@
 fn main() {
     let r = lce_bench::run_e2_basic_functionality(42);
     println!("E2: basic functionality (create VPC -> subnet -> ModifySubnetAttribute)");
-    println!("  pipeline wall time (wrangle+synthesize+align): {:?}", r.synthesis);
+    println!(
+        "  pipeline wall time (wrangle+synthesize+align): {:?}",
+        r.synthesis
+    );
     println!("  steps in program: {}", r.steps);
     println!("  responses aligned with the cloud: {}", r.aligned);
-    println!("  required state kept (MapPublicIpOnLaunch=true): {}", r.state_kept);
+    println!(
+        "  required state kept (MapPublicIpOnLaunch=true): {}",
+        r.state_kept
+    );
 }

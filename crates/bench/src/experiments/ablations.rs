@@ -124,7 +124,10 @@ pub fn run_ablation_align_rounds(seed: u64) -> String {
     );
     let mut out = String::new();
     out.push_str("A3: alignment convergence (aligned fraction per round)\n");
-    out.push_str(&format!("{:>6} {:>8} {:>9} {:>10}\n", "round", "cases", "aligned", "fraction"));
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>9} {:>10}\n",
+        "round", "cases", "aligned", "fraction"
+    ));
     for (i, r) in report.rounds.iter().enumerate() {
         out.push_str(&format!(
             "{:>6} {:>8} {:>9} {:>9.1}%\n",
@@ -163,9 +166,7 @@ pub fn run_noise_sweep(seed: u64) -> String {
     let sections = sections();
     let scenarios = lce_devops::scenarios::fig3_nimbus();
     let mut out = String::new();
-    out.push_str(
-        "A5: noise-rate sweep (learned pipeline, pre-alignment fidelity)\n",
-    );
+    out.push_str("A5: noise-rate sweep (learned pipeline, pre-alignment fidelity)\n");
     out.push_str(&format!(
         "{:>12} {:>15} {:>14} {:>17}\n",
         "noise scale", "Fig. 3 traces", "suite aligned", "residual faults"
@@ -183,8 +184,7 @@ pub fn run_noise_sweep(seed: u64) -> String {
         let mut aligned = 0;
         for s in &scenarios {
             let mut golden = provider.golden_cloud();
-            let mut learned =
-                Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
+            let mut learned = Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
             let rg = lce_devops::run_program(&s.program, &mut golden);
             let rl = lce_devops::run_program(&s.program, &mut learned);
             if lce_devops::compare_runs(&rg, &rl).fully_aligned() {
@@ -192,8 +192,7 @@ pub fn run_noise_sweep(seed: u64) -> String {
             }
         }
         let mut golden = provider.golden_cloud();
-        let mut learned =
-            Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
+        let mut learned = Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
         let outcome = run_suite(&sample, &mut golden, &mut learned);
         out.push_str(&format!(
             "{:>11.1}x {:>12}/{:<2} {:>13.1}% {:>17}\n",

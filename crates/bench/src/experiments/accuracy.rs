@@ -80,13 +80,17 @@ pub fn aligned_learned_emulator(provider: &Provider, seed: u64) -> Emulator {
 pub fn run_fig3(seeds: &[u64]) -> Vec<Fig3Row> {
     let provider = nimbus_provider();
     let scenarios = lce_devops::scenarios::fig3_nimbus();
-    let mut rows: Vec<Fig3Row> = ["direct-to-code", "learned (no alignment)", "learned + alignment"]
-        .iter()
-        .map(|name| Fig3Row {
-            emulator: name.to_string(),
-            cells: BTreeMap::new(),
-        })
-        .collect();
+    let mut rows: Vec<Fig3Row> = [
+        "direct-to-code",
+        "learned (no alignment)",
+        "learned + alignment",
+    ]
+    .iter()
+    .map(|name| Fig3Row {
+        emulator: name.to_string(),
+        cells: BTreeMap::new(),
+    })
+    .collect();
 
     let add = |row: &mut Fig3Row, cells: BTreeMap<&'static str, (usize, usize)>| {
         for (k, (a, t)) in cells {
@@ -99,8 +103,11 @@ pub fn run_fig3(seeds: &[u64]) -> Vec<Fig3Row> {
     for &seed in seeds {
         let d2c = evaluate_backend(&provider, || d2c_emulator(&provider, seed).0, &scenarios);
         add(&mut rows[0], d2c);
-        let learned =
-            evaluate_backend(&provider, || learned_emulator(&provider, seed).0, &scenarios);
+        let learned = evaluate_backend(
+            &provider,
+            || learned_emulator(&provider, seed).0,
+            &scenarios,
+        );
         add(&mut rows[1], learned);
         let aligned_emulator = aligned_learned_emulator(&provider, seed);
         let aligned = evaluate_backend(&provider, || aligned_emulator.clone(), &scenarios);
@@ -215,13 +222,17 @@ pub fn run_e3_vs_manual(seed: u64) -> String {
 pub fn run_e6_multicloud(seeds: &[u64]) -> Vec<Fig3Row> {
     let provider = stratus_provider();
     let scenarios = lce_devops::scenarios::fig3_stratus();
-    let mut rows: Vec<Fig3Row> = ["direct-to-code", "learned (no alignment)", "learned + alignment"]
-        .iter()
-        .map(|name| Fig3Row {
-            emulator: name.to_string(),
-            cells: BTreeMap::new(),
-        })
-        .collect();
+    let mut rows: Vec<Fig3Row> = [
+        "direct-to-code",
+        "learned (no alignment)",
+        "learned + alignment",
+    ]
+    .iter()
+    .map(|name| Fig3Row {
+        emulator: name.to_string(),
+        cells: BTreeMap::new(),
+    })
+    .collect();
     let add = |row: &mut Fig3Row, cells: BTreeMap<&'static str, (usize, usize)>| {
         for (k, (a, t)) in cells {
             let cell = row.cells.entry(k).or_insert((0, 0));
@@ -232,8 +243,11 @@ pub fn run_e6_multicloud(seeds: &[u64]) -> Vec<Fig3Row> {
     for &seed in seeds {
         let d2c = evaluate_backend(&provider, || d2c_emulator(&provider, seed).0, &scenarios);
         add(&mut rows[0], d2c);
-        let learned =
-            evaluate_backend(&provider, || learned_emulator(&provider, seed).0, &scenarios);
+        let learned = evaluate_backend(
+            &provider,
+            || learned_emulator(&provider, seed).0,
+            &scenarios,
+        );
         add(&mut rows[1], learned);
         let aligned_emulator = aligned_learned_emulator(&provider, seed);
         let aligned = evaluate_backend(&provider, || aligned_emulator.clone(), &scenarios);

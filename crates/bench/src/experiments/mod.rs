@@ -7,13 +7,15 @@ pub mod fuzzcmp;
 pub mod opportunities;
 pub mod table1;
 
-pub use ablations::{run_ablation_align_rounds, run_ablation_checks, run_ablation_constrain, run_noise_sweep};
+pub use ablations::{
+    run_ablation_align_rounds, run_ablation_checks, run_ablation_constrain, run_noise_sweep,
+};
 pub use accuracy::{
-    evaluate_backend, run_e2_basic_functionality, run_e6_multicloud, run_e7_taxonomy,
-    run_fig3, Fig3Row,
+    evaluate_backend, run_e2_basic_functionality, run_e6_multicloud, run_e7_taxonomy, run_fig3,
+    Fig3Row,
 };
 pub use fig4::run_fig4;
-pub use fuzzcmp::{run_fuzz_comparison, render_fuzz_comparison};
+pub use fuzzcmp::{render_fuzz_comparison, run_fuzz_comparison};
 pub use opportunities::run_opportunities;
 pub use table1::run_table1;
 

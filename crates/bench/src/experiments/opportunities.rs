@@ -16,7 +16,10 @@ pub fn run_opportunities(seed: u64) -> String {
     let nimbus = nimbus_provider();
 
     // Quantifying cloud complexity.
-    let _ = writeln!(out, "O1a: quantifying cloud complexity (learned Nimbus model)");
+    let _ = writeln!(
+        out,
+        "O1a: quantifying cloud complexity (learned Nimbus model)"
+    );
     let graph = nimbus.catalog.dependency_graph();
     let _ = writeln!(
         out,
@@ -44,16 +47,29 @@ pub fn run_opportunities(seed: u64) -> String {
     for f in findings.iter().take(10) {
         let line = match f {
             AntiPattern::WideModifyFanout { sm, api, calls } => {
-                format!("wide modify fan-out: {}::{} issues {} cross-machine calls", sm, api, calls)
+                format!(
+                    "wide modify fan-out: {}::{} issues {} cross-machine calls",
+                    sm, api, calls
+                )
             }
             AntiPattern::DeepBranching { sm, api, depth } => {
-                format!("deep branching: {}::{} nests {} conditionals", sm, api, depth)
+                format!(
+                    "deep branching: {}::{} nests {} conditionals",
+                    sm, api, depth
+                )
             }
             AntiPattern::ErrorCodeSprawl { sm, codes } => {
                 format!("error-code sprawl: {} exposes {} distinct codes", sm, codes)
             }
-            AntiPattern::OverloadedCreate { sm, api, required_params } => {
-                format!("overloaded create: {}::{} requires {} parameters", sm, api, required_params)
+            AntiPattern::OverloadedCreate {
+                sm,
+                api,
+                required_params,
+            } => {
+                format!(
+                    "overloaded create: {}::{} requires {} parameters",
+                    sm, api, required_params
+                )
             }
         };
         let _ = writeln!(out, "  {}", line);
@@ -77,7 +93,10 @@ pub fn run_opportunities(seed: u64) -> String {
 
     // Error-message quality (§4.3: codes align exactly; messages may
     // deviate; decoded explanations are richer).
-    let _ = writeln!(out, "\nO1d: error-message quality (learned vs golden cloud)");
+    let _ = writeln!(
+        out,
+        "\nO1d: error-message quality (learned vs golden cloud)"
+    );
     let (cases, _) = generate_suite(&nimbus.catalog, 8);
     let sample: Vec<_> = cases.into_iter().step_by(4).collect();
     let mut golden = nimbus.golden_cloud();

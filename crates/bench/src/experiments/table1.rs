@@ -27,14 +27,16 @@ pub fn render_table1(rows: &[CoverageRow]) -> String {
         "{:<22} {:>6} {:>10} {:>10}\n",
         "Service", "APIs", "Emulated", "Coverage"
     ));
-    let label = |service: &str| -> &'static str { match service {
-        "compute" => "Compute (ec2-like)",
-        "database" => "DB (dynamodb-like)",
-        "firewall" => "Network Firewall",
-        "k8s" => "Kubernetes (eks-like)",
-        "overall" => "Overall (subset)",
-        _ => "Other",
-    } };
+    let label = |service: &str| -> &'static str {
+        match service {
+            "compute" => "Compute (ec2-like)",
+            "database" => "DB (dynamodb-like)",
+            "firewall" => "Network Firewall",
+            "k8s" => "Kubernetes (eks-like)",
+            "overall" => "Overall (subset)",
+            _ => "Other",
+        }
+    };
     for r in rows {
         out.push_str(&format!(
             "{:<22} {:>6} {:>10} {:>9}%\n",

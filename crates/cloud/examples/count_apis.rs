@@ -1,10 +1,19 @@
 fn main() {
     let c = lce_cloud::nimbus_provider().catalog;
     for svc in c.services() {
-        let total: usize = c.service_sms(&svc).iter().map(|sm| sm.transitions.iter().filter(|t| !t.internal).count()).sum();
+        let total: usize = c
+            .service_sms(&svc)
+            .iter()
+            .map(|sm| sm.transitions.iter().filter(|t| !t.internal).count())
+            .sum();
         println!("{svc}: {total} public APIs");
         for sm in c.service_sms(&svc) {
-            let names: Vec<&str> = sm.transitions.iter().filter(|t| !t.internal).map(|t| t.name.as_str()).collect();
+            let names: Vec<&str> = sm
+                .transitions
+                .iter()
+                .filter(|t| !t.internal)
+                .map(|t| t.name.as_str())
+                .collect();
             println!("  {} ({}): {}", sm.name, names.len(), names.join(", "));
         }
     }

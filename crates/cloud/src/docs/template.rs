@@ -66,8 +66,10 @@ fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
             ));
         }
         Stmt::Call { target, api, args } => {
-            let rendered: Vec<String> =
-                args.iter().map(|a| format!("`{}`", print_expr(a))).collect();
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| format!("`{}`", print_expr(a)))
+                .collect();
             out.push(Clause::new(
                 depth,
                 format!(
@@ -195,9 +197,8 @@ mod tests {
 
     #[test]
     fn if_else_produces_nested_depths() {
-        let c = clauses_for(
-            "if read(flag) { write(x, 1); } else { write(x, 2); emit(Out, read(x)); }",
-        );
+        let c =
+            clauses_for("if read(flag) { write(x, 1); } else { write(x, 2); emit(Out, read(x)); }");
         let texts: Vec<(usize, &str)> = c.iter().map(|c| (c.depth, c.text.as_str())).collect();
         assert_eq!(texts[0], (0, "When `read(flag)`:"));
         assert_eq!(texts[1].0, 1);

@@ -25,7 +25,11 @@ pub struct DocPage {
 }
 
 /// Render the catalog as one page per resource.
-pub fn render_pages(provider: &str, catalog: &Catalog, filter: &mut FidelityFilter) -> Vec<DocPage> {
+pub fn render_pages(
+    provider: &str,
+    catalog: &Catalog,
+    filter: &mut FidelityFilter,
+) -> Vec<DocPage> {
     catalog
         .iter()
         .map(|sm| {

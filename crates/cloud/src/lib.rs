@@ -25,4 +25,7 @@ pub mod provider;
 pub mod stratus;
 
 pub use docs::{DocFidelity, DocPage};
-pub use provider::{all_providers, nimbus as nimbus_provider, stratus as stratus_provider, DocStyle, Provider, RenderedDocs};
+pub use provider::{
+    all_providers, nimbus as nimbus_provider, stratus as stratus_provider, DocStyle, Provider,
+    RenderedDocs,
+};

@@ -38,8 +38,7 @@ pub fn catalog_src() -> String {
 /// `Untag<Resource>` with a `tags` attribute); it is applied here
 /// programmatically rather than spelled out 28 times in the DSL sources.
 pub fn specs() -> Vec<SmSpec> {
-    let mut specs =
-        parse_catalog(&catalog_src()).expect("built-in Nimbus catalog must parse");
+    let mut specs = parse_catalog(&catalog_src()).expect("built-in Nimbus catalog must parse");
     for sm in &mut specs {
         if sm.service == "compute" {
             add_tagging(sm);
@@ -75,10 +74,7 @@ fn add_tagging(sm: &mut SmSpec) {
             )
             .stmt(Stmt::Write {
                 state: "tags".into(),
-                value: Expr::Append(
-                    Box::new(Expr::read("tags")),
-                    Box::new(Expr::arg("Tag")),
-                ),
+                value: Expr::Append(Box::new(Expr::read("tags")), Box::new(Expr::arg("Tag"))),
             })
             .build(),
     );
@@ -93,10 +89,7 @@ fn add_tagging(sm: &mut SmSpec) {
             )
             .stmt(Stmt::Write {
                 state: "tags".into(),
-                value: Expr::Remove(
-                    Box::new(Expr::read("tags")),
-                    Box::new(Expr::arg("Tag")),
-                ),
+                value: Expr::Remove(Box::new(Expr::read("tags")), Box::new(Expr::arg("Tag"))),
             })
             .build(),
     );
@@ -191,7 +184,11 @@ mod tests {
         let before = names.len();
         names.sort();
         names.dedup();
-        assert_eq!(before, names.len(), "duplicate API names across the catalog");
+        assert_eq!(
+            before,
+            names.len(),
+            "duplicate API names across the catalog"
+        );
     }
 
     #[test]

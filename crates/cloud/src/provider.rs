@@ -130,7 +130,11 @@ mod tests {
         assert_eq!(omitted, 0);
         match docs {
             RenderedDocs::Consolidated(text) => {
-                assert!(text.len() > 50_000, "docs suspiciously small: {}", text.len());
+                assert!(
+                    text.len() > 50_000,
+                    "docs suspiciously small: {}",
+                    text.len()
+                );
                 assert!(text.contains("==== Resource: Vpc ===="));
             }
             _ => panic!("nimbus must render a consolidated document"),

@@ -1,20 +1,48 @@
 use lce_devops::{Arg, Program};
 fn main() {
     let p = Program::new("web-tier")
-        .bind("vpc", "CreateVpc", vec![("CidrBlock", Arg::str("10.0.0.0/16")), ("Region", Arg::str("us-east"))])
-        .bind("subnet", "CreateSubnet", vec![
-            ("VpcId", Arg::field("vpc", "VpcId")),
-            ("CidrBlock", Arg::str("10.0.1.0/24")),
-            ("PrefixLength", Arg::int(24)),
-            ("Zone", Arg::str("us-east-1a"))])
-        .call("ModifySubnetAttribute", vec![
-            ("SubnetId", Arg::field("subnet", "SubnetId")),
-            ("MapPublicIpOnLaunch", Arg::bool(true))])
-        .bind("image", "RegisterImage", vec![("Name", Arg::str("web-base"))])
-        .bind("inst", "RunInstance", vec![
-            ("SubnetId", Arg::field("subnet", "SubnetId")),
-            ("ImageId", Arg::field("image", "ImageId")),
-            ("InstanceType", Arg::str("t3.micro"))])
-        .call("DescribeInstance", vec![("InstanceId", Arg::field("inst", "InstanceId"))]);
+        .bind(
+            "vpc",
+            "CreateVpc",
+            vec![
+                ("CidrBlock", Arg::str("10.0.0.0/16")),
+                ("Region", Arg::str("us-east")),
+            ],
+        )
+        .bind(
+            "subnet",
+            "CreateSubnet",
+            vec![
+                ("VpcId", Arg::field("vpc", "VpcId")),
+                ("CidrBlock", Arg::str("10.0.1.0/24")),
+                ("PrefixLength", Arg::int(24)),
+                ("Zone", Arg::str("us-east-1a")),
+            ],
+        )
+        .call(
+            "ModifySubnetAttribute",
+            vec![
+                ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ("MapPublicIpOnLaunch", Arg::bool(true)),
+            ],
+        )
+        .bind(
+            "image",
+            "RegisterImage",
+            vec![("Name", Arg::str("web-base"))],
+        )
+        .bind(
+            "inst",
+            "RunInstance",
+            vec![
+                ("SubnetId", Arg::field("subnet", "SubnetId")),
+                ("ImageId", Arg::field("image", "ImageId")),
+                ("InstanceType", Arg::str("t3.micro")),
+            ],
+        )
+        .call(
+            "DescribeInstance",
+            vec![("InstanceId", Arg::field("inst", "InstanceId"))],
+        );
     println!("{}", serde_json::to_string_pretty(&p).unwrap());
 }

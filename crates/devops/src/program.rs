@@ -72,10 +72,7 @@ impl Program {
         self.steps.push(Step {
             bind: Some(bind.into()),
             api: api.into(),
-            args: args
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            args: args.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         });
         self
     }
@@ -85,10 +82,7 @@ impl Program {
         self.steps.push(Step {
             bind: None,
             api: api.into(),
-            args: args
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            args: args.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         });
         self
     }
@@ -111,11 +105,12 @@ mod tests {
     #[test]
     fn builder_produces_steps_in_order() {
         let p = Program::new("demo")
-            .bind("vpc", "CreateVpc", vec![("CidrBlock", Arg::str("10.0.0.0/16"))])
-            .call(
-                "DeleteVpc",
-                vec![("VpcId", Arg::field("vpc", "VpcId"))],
-            );
+            .bind(
+                "vpc",
+                "CreateVpc",
+                vec![("CidrBlock", Arg::str("10.0.0.0/16"))],
+            )
+            .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.steps[0].bind.as_deref(), Some("vpc"));
         assert_eq!(p.steps[1].api, "DeleteVpc");

@@ -105,7 +105,8 @@ pub fn compare_runs(a: &ProgramRun, b: &ProgramRun) -> RunComparison {
                 if sa.response.aligned_with_ids_masked(&sb.response) {
                     aligned += 1;
                 } else {
-                    divergences.push((i, describe_divergence(&sa.call, &sa.response, &sb.response)));
+                    divergences
+                        .push((i, describe_divergence(&sa.call, &sa.response, &sb.response)));
                 }
             }
             _ => divergences.push((i, "step missing in one run".to_string())),
@@ -121,8 +122,14 @@ pub fn compare_runs(a: &ProgramRun, b: &ProgramRun) -> RunComparison {
 
 fn describe_divergence(call: &ApiCall, a: &ApiResponse, b: &ApiResponse) -> String {
     match (&a.error, &b.error) {
-        (None, Some(e)) => format!("{}: first succeeded, second failed with {}", call.api, e.code),
-        (Some(e), None) => format!("{}: first failed with {}, second succeeded", call.api, e.code),
+        (None, Some(e)) => format!(
+            "{}: first succeeded, second failed with {}",
+            call.api, e.code
+        ),
+        (Some(e), None) => format!(
+            "{}: first failed with {}, second succeeded",
+            call.api, e.code
+        ),
         (Some(ea), Some(eb)) => format!(
             "{}: error codes differ ({} vs {})",
             call.api, ea.code, eb.code
@@ -176,10 +183,8 @@ mod tests {
 
     #[test]
     fn missing_binding_resolves_to_null() {
-        let p = Program::new("bad").call(
-            "DescribeVpc",
-            vec![("VpcId", Arg::field("ghost", "VpcId"))],
-        );
+        let p =
+            Program::new("bad").call("DescribeVpc", vec![("VpcId", Arg::field("ghost", "VpcId"))]);
         let mut cloud = nimbus_provider().golden_cloud();
         let run = run_program(&p, &mut cloud);
         assert!(!run.all_ok());

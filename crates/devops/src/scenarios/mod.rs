@@ -119,8 +119,13 @@ mod tests {
             for (i, step) in run.steps.iter().enumerate() {
                 if let Some(e) = &step.response.error {
                     assert!(
-                        !["InvalidAction", "MissingParameter", "UnknownParameter", "InternalFailure"]
-                            .contains(&e.code.as_str()),
+                        ![
+                            "InvalidAction",
+                            "MissingParameter",
+                            "UnknownParameter",
+                            "InternalFailure"
+                        ]
+                        .contains(&e.code.as_str()),
                         "{} step {} ({}) failed unexpectedly: {}",
                         s.program.name,
                         i,

@@ -87,10 +87,7 @@ pub fn fig3_nimbus() -> Vec<Scenario> {
                 "DescribeInstance",
                 vec![("InstanceId", Arg::field("inst", "InstanceId"))],
             )
-            .call(
-                "DescribeVpc",
-                vec![("VpcId", Arg::field("vpc", "VpcId"))],
-            ),
+            .call("DescribeVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]),
     });
 
     out.push(Scenario {
@@ -312,10 +309,7 @@ pub fn fig3_nimbus() -> Vec<Scenario> {
             .bind(
                 "vol",
                 "CreateVolume",
-                vec![
-                    ("Size", Arg::int(100)),
-                    ("Zone", Arg::str("us-east-1a")),
-                ],
+                vec![("Size", Arg::int(100)), ("Zone", Arg::str("us-east-1a"))],
             )
             .call(
                 "ModifyVolume",

@@ -175,11 +175,7 @@ pub fn fig3_stratus() -> Vec<Scenario> {
     out.push(Scenario {
         category: Category::StateUpdates,
         program: Program::new("sstate-disk-resize")
-            .bind(
-                "disk",
-                "CreateManagedDisk",
-                vec![("SizeGb", Arg::int(128))],
-            )
+            .bind("disk", "CreateManagedDisk", vec![("SizeGb", Arg::int(128))])
             .call(
                 "ResizeManagedDisk",
                 vec![

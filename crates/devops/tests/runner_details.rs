@@ -66,10 +66,7 @@ fn reference_to_missing_field_becomes_null() {
         .call("DescribeVpc", vec![("VpcId", Arg::field("vpc", "VpcIdd"))]);
     let mut cloud = nimbus_provider().golden_cloud();
     let run = run_program(&p, &mut cloud);
-    assert_eq!(
-        run.steps[1].response.error_code(),
-        Some("MissingParameter")
-    );
+    assert_eq!(run.steps[1].response.error_code(), Some("MissingParameter"));
 }
 
 #[test]
@@ -120,7 +117,10 @@ fn comparison_masks_ids_inside_lists() {
                 ("Zone", Arg::str("us-east-1a")),
             ],
         )
-        .call("DeleteSubnet", vec![("SubnetId", Arg::field("s", "SubnetId"))])
+        .call(
+            "DeleteSubnet",
+            vec![("SubnetId", Arg::field("s", "SubnetId"))],
+        )
         .call("DeleteVpc", vec![("VpcId", Arg::field("vpc", "VpcId"))]);
     assert!(run_program(&warmup, &mut b).all_ok());
     let ra = run_program(&p, &mut a);

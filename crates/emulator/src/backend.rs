@@ -24,8 +24,35 @@ pub trait Backend {
     fn api_names(&self) -> Vec<String>;
 
     /// `true` if the backend claims to support the API.
+    ///
+    /// The default walks [`Self::api_names`], which allocates a fresh
+    /// `Vec` per query; backends with a catalog or an index
+    /// ([`crate::Emulator`], the Moto-like baseline) override it with a
+    /// direct lookup.
     fn supports(&self, api: &str) -> bool {
         self.api_names().iter().any(|a| a == api)
+    }
+}
+
+/// Boxed trait objects are backends themselves, so the serving router and
+/// remote client can store `Box<dyn Backend>` (or `Box<dyn Backend +
+/// Send>`) and still hand it to everything generic over `B: Backend`
+/// without ad-hoc shims.
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        (**self).invoke(call)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn api_names(&self) -> Vec<String> {
+        (**self).api_names()
+    }
+    fn supports(&self, api: &str) -> bool {
+        (**self).supports(api)
     }
 }
 
@@ -78,5 +105,28 @@ mod tests {
         let b = Echo { count: 0 };
         assert!(b.supports("Echo"));
         assert!(!b.supports("Other"));
+    }
+
+    /// Compile-time proof that `Backend` stays object-safe: if a change
+    /// ever breaks `dyn Backend`, this stops compiling.
+    #[allow(dead_code)]
+    fn backend_is_object_safe(b: &dyn Backend) -> &dyn Backend {
+        b
+    }
+
+    #[test]
+    fn boxed_trait_objects_are_backends() {
+        let mut boxed: Box<dyn Backend> = Box::new(Echo { count: 0 });
+        // The box is usable directly as a trait object…
+        assert_eq!(boxed.name(), "echo");
+        // …and, via the blanket impl, wherever a `B: Backend` is expected.
+        let resps = run_trace(&mut boxed, &[ApiCall::new("Ping")]);
+        assert_eq!(resps.len(), 1);
+        assert!(boxed.supports("Echo"));
+        boxed.reset();
+
+        let mut sendable: Box<dyn Backend + Send> = Box::new(Echo { count: 0 });
+        let resps = run_trace(&mut sendable, &[ApiCall::new("Ping")]);
+        assert_eq!(resps.len(), 1);
     }
 }

@@ -114,9 +114,9 @@ impl ApiResponse {
                 if self.fields.len() != other.fields.len() {
                     return false;
                 }
-                self.fields.iter().all(|(k, v)| {
-                    other.fields.get(k).is_some_and(|ov| v.loose_eq(ov))
-                })
+                self.fields
+                    .iter()
+                    .all(|(k, v)| other.fields.get(k).is_some_and(|ov| v.loose_eq(ov)))
             }
             (Some(a), Some(b)) => a.code == b.code,
             _ => false,

@@ -200,9 +200,7 @@ impl Emulator {
                 .unwrap_or(Value::Null);
             match link {
                 Value::Ref(pid) => {
-                    let ok = scratch
-                        .get(&pid)
-                        .is_some_and(|p| &p.sm == parent_ty);
+                    let ok = scratch.get(&pid).is_some_and(|p| &p.sm == parent_ty);
                     if !ok && env.config.enforce_hierarchy {
                         return Err(ApiError::new(
                             codes::NOT_FOUND,
@@ -302,6 +300,13 @@ impl Backend for Emulator {
             .collect();
         out.sort();
         out
+    }
+
+    /// Direct catalog lookup — avoids materializing the full API list
+    /// (which the default impl does) on a hot path queried per call by
+    /// coverage accounting and the serving layer.
+    fn supports(&self, api: &str) -> bool {
+        self.catalog.sm_for_api(api).is_some()
     }
 }
 
@@ -525,6 +530,15 @@ mod tests {
         let names = emu.api_names();
         assert_eq!(names.len(), 7);
         assert!(names.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn supports_matches_catalog_lookup() {
+        let emu = vpc_world();
+        for api in emu.api_names() {
+            assert!(emu.supports(&api), "{}", api);
+        }
+        assert!(!emu.supports("LaunchRocket"));
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl ApiError {
     pub fn explain(&self) -> String {
         let mut out = format!("{}: {}", self.code, self.message);
         if let (Some(api), Some(ty)) = (&self.context.api, &self.context.resource_type) {
-            out.push_str(&format!("\n  while calling {} on resource type {}", api, ty));
+            out.push_str(&format!(
+                "\n  while calling {} on resource type {}",
+                api, ty
+            ));
         } else if let Some(api) = &self.context.api {
             out.push_str(&format!("\n  while calling {}", api));
         }

@@ -345,9 +345,9 @@ pub fn eval(
         Expr::Null => Ok(Value::Null),
         Expr::SelfId => Ok(Value::Ref(frame.self_id.clone())),
         Expr::Read(var) => {
-            let inst = store.get(&frame.self_id).ok_or_else(|| {
-                fault(codes::INTERNAL_FAILURE, "self instance vanished".into())
-            })?;
+            let inst = store
+                .get(&frame.self_id)
+                .ok_or_else(|| fault(codes::INTERNAL_FAILURE, "self instance vanished".into()))?;
             inst.get(var).cloned().ok_or_else(|| {
                 fault(
                     codes::INTERNAL_FAILURE,
@@ -375,10 +375,7 @@ pub fn eval(
                 }
             };
             let inst = store.get(&id).ok_or_else(|| {
-                fault(
-                    codes::NOT_FOUND,
-                    format!("resource {} does not exist", id),
-                )
+                fault(codes::NOT_FOUND, format!("resource {} does not exist", id))
             })?;
             inst.get(var).cloned().ok_or_else(|| {
                 fault(
@@ -419,7 +416,10 @@ pub fn eval(
             if matches!(op, BinOp::And | BinOp::Or) {
                 let va = eval(env, store, frame, a, chain)?;
                 let ba = va.as_bool().ok_or_else(|| {
-                    fault(codes::INTERNAL_FAILURE, "boolean operator on non-boolean".into())
+                    fault(
+                        codes::INTERNAL_FAILURE,
+                        "boolean operator on non-boolean".into(),
+                    )
                 })?;
                 return match (op, ba) {
                     (BinOp::And, false) => Ok(Value::Bool(false)),

@@ -192,10 +192,7 @@ mod tests {
         let vpc = store.fresh_id(&spec.name);
         store.instantiate(&spec, vpc.clone());
 
-        let subnet_spec = parse_sm(
-            r#"sm Subnet { service "compute"; states { } }"#,
-        )
-        .unwrap();
+        let subnet_spec = parse_sm(r#"sm Subnet { service "compute"; states { } }"#).unwrap();
         let s1 = store.fresh_id(&subnet_spec.name);
         store.instantiate(&subnet_spec, s1.clone());
         store.set_parent(&s1, vpc.clone());

@@ -151,12 +151,8 @@ impl Value {
         match (self, ty) {
             (Value::Null, _) => Some(Value::Null),
             (Value::Str(s), StateType::Str) => Some(Value::Str(s.clone())),
-            (Value::Str(s), StateType::Enum(vs)) if vs.contains(s) => {
-                Some(Value::Enum(s.clone()))
-            }
-            (Value::Enum(v), StateType::Enum(vs)) if vs.contains(v) => {
-                Some(Value::Enum(v.clone()))
-            }
+            (Value::Str(s), StateType::Enum(vs)) if vs.contains(s) => Some(Value::Enum(s.clone())),
+            (Value::Enum(v), StateType::Enum(vs)) if vs.contains(v) => Some(Value::Enum(v.clone())),
             (Value::Enum(v), StateType::Str) => Some(Value::Str(v.clone())),
             (Value::Str(s), StateType::Ref(_)) => Some(Value::Ref(ResourceId::new(s.clone()))),
             (Value::Ref(r), StateType::Ref(_)) => Some(Value::Ref(r.clone())),
@@ -170,8 +166,7 @@ impl Value {
             },
             (Value::Str(s), StateType::Int) => s.parse().ok().map(Value::Int),
             (Value::List(items), StateType::List(inner)) => {
-                let coerced: Option<Vec<Value>> =
-                    items.iter().map(|v| v.coerce(inner)).collect();
+                let coerced: Option<Vec<Value>> = items.iter().map(|v| v.coerce(inner)).collect();
                 coerced.map(Value::List)
             }
             _ => None,
@@ -269,8 +264,14 @@ mod tests {
 
     #[test]
     fn coerce_str_to_bool_and_int() {
-        assert_eq!(Value::str("true").coerce(&StateType::Bool), Some(Value::Bool(true)));
-        assert_eq!(Value::str("17").coerce(&StateType::Int), Some(Value::Int(17)));
+        assert_eq!(
+            Value::str("true").coerce(&StateType::Bool),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            Value::str("17").coerce(&StateType::Int),
+            Some(Value::Int(17))
+        );
         assert_eq!(Value::str("x").coerce(&StateType::Int), None);
     }
 

@@ -89,10 +89,26 @@ fn call_depth_limit_enforced() {
         }
         "#,
     );
-    let ping = emu.invoke(&ApiCall::new("CreatePing")).field("PingId").unwrap().clone();
-    let pong = emu.invoke(&ApiCall::new("CreatePong")).field("PongId").unwrap().clone();
-    emu.invoke(&ApiCall::new("SetPeer").arg("PingId", ping.clone()).arg("PongId", pong.clone()));
-    emu.invoke(&ApiCall::new("SetPeerBack").arg("PongId", pong).arg("PingId", ping.clone()));
+    let ping = emu
+        .invoke(&ApiCall::new("CreatePing"))
+        .field("PingId")
+        .unwrap()
+        .clone();
+    let pong = emu
+        .invoke(&ApiCall::new("CreatePong"))
+        .field("PongId")
+        .unwrap()
+        .clone();
+    emu.invoke(
+        &ApiCall::new("SetPeer")
+            .arg("PingId", ping.clone())
+            .arg("PongId", pong.clone()),
+    );
+    emu.invoke(
+        &ApiCall::new("SetPeerBack")
+            .arg("PongId", pong)
+            .arg("PingId", ping.clone()),
+    );
     let resp = emu.invoke(&ApiCall::new("Echo").arg("PingId", ping));
     assert_eq!(resp.error_code(), Some(codes::LIMIT_EXCEEDED));
 }
@@ -119,7 +135,11 @@ fn describe_side_effects_discarded_in_framework_mode_applied_in_d2c() {
         .clone();
     for _ in 0..3 {
         let r = framework.invoke(&ApiCall::new("DescribeLeaky").arg("LeakyId", id.clone()));
-        assert_eq!(r.field("N"), Some(&Value::Int(1)), "describe must not accumulate");
+        assert_eq!(
+            r.field("N"),
+            Some(&Value::Int(1)),
+            "describe must not accumulate"
+        );
     }
 
     // D2C configuration: the leak persists — the divergence the paper's
@@ -158,15 +178,27 @@ fn hierarchy_off_allows_orphan_children_and_parent_deletion() {
     // Framework: deleting P with a live C is a DependencyViolation even
     // though the spec declares no explicit check.
     let mut strict = emulator(src);
-    let p = strict.invoke(&ApiCall::new("CreateP")).field("PId").unwrap().clone();
-    assert!(strict.invoke(&ApiCall::new("CreateC").arg("PId", p.clone())).is_ok());
+    let p = strict
+        .invoke(&ApiCall::new("CreateP"))
+        .field("PId")
+        .unwrap()
+        .clone();
+    assert!(strict
+        .invoke(&ApiCall::new("CreateC").arg("PId", p.clone()))
+        .is_ok());
     let resp = strict.invoke(&ApiCall::new("DeleteP").arg("PId", p));
     assert_eq!(resp.error_code(), Some(codes::DEPENDENCY_VIOLATION));
 
     // D2C: the framework guarantee is off; the delete silently succeeds.
     let mut lax = emulator_with(src, EmulatorConfig::direct_to_code());
-    let p = lax.invoke(&ApiCall::new("CreateP")).field("PId").unwrap().clone();
-    assert!(lax.invoke(&ApiCall::new("CreateC").arg("PId", p.clone())).is_ok());
+    let p = lax
+        .invoke(&ApiCall::new("CreateP"))
+        .field("PId")
+        .unwrap()
+        .clone();
+    assert!(lax
+        .invoke(&ApiCall::new("CreateC").arg("PId", p.clone()))
+        .is_ok());
     let resp = lax.invoke(&ApiCall::new("DeleteP").arg("PId", p));
     assert!(resp.is_ok(), "d2c mode misses the containment check");
 }
@@ -192,7 +224,11 @@ fn create_transitions_may_not_destroy() {
         }
     "#;
     let mut strict = emulator(src);
-    let v = strict.invoke(&ApiCall::new("CreateVictim")).field("VictimId").unwrap().clone();
+    let v = strict
+        .invoke(&ApiCall::new("CreateVictim"))
+        .field("VictimId")
+        .unwrap()
+        .clone();
     let resp = strict.invoke(&ApiCall::new("CreateAggressor").arg("VictimId", v.clone()));
     assert_eq!(resp.error_code(), Some(codes::INTERNAL_FAILURE));
     // And the victim survives.
@@ -217,7 +253,11 @@ fn short_circuit_avoids_evaluating_poisoned_operands() {
         }
         "#,
     );
-    let id = emu.invoke(&ApiCall::new("CreateS")).field("SId").unwrap().clone();
+    let id = emu
+        .invoke(&ApiCall::new("CreateS"))
+        .field("SId")
+        .unwrap()
+        .clone();
     // read(r) is null; field() on it would fault — but `ok` short-circuits.
     let resp = emu.invoke(&ApiCall::new("Guarded").arg("SId", id));
     assert!(resp.is_ok(), "{:?}", resp.error);
@@ -243,7 +283,11 @@ fn list_append_remove_and_membership() {
         }
         "#,
     );
-    let id = emu.invoke(&ApiCall::new("CreateL")).field("LId").unwrap().clone();
+    let id = emu
+        .invoke(&ApiCall::new("CreateL"))
+        .field("LId")
+        .unwrap()
+        .clone();
     let call = |emu: &mut Emulator, api: &str, x: &str| {
         emu.invoke(&ApiCall::new(api).arg("LId", id.clone()).arg_str("X", x))
     };
@@ -276,7 +320,11 @@ fn id_param_can_reference_wrong_resource_type() {
           transition DescribeB() kind describe { } }
         "#,
     );
-    let a = emu.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    let a = emu
+        .invoke(&ApiCall::new("CreateA"))
+        .field("AId")
+        .unwrap()
+        .clone();
     let resp = emu.invoke(&ApiCall::new("DescribeB").arg("BId", a));
     assert_eq!(resp.error_code(), Some(codes::NOT_FOUND));
 }
@@ -318,8 +366,16 @@ fn emits_inside_branches_follow_the_taken_path() {
         }
         "#,
     );
-    let id = emu.invoke(&ApiCall::new("CreateF")).field("FId").unwrap().clone();
-    let resp = emu.invoke(&ApiCall::new("Check").arg("FId", id.clone()).arg_bool("On", true));
+    let id = emu
+        .invoke(&ApiCall::new("CreateF"))
+        .field("FId")
+        .unwrap()
+        .clone();
+    let resp = emu.invoke(
+        &ApiCall::new("Check")
+            .arg("FId", id.clone())
+            .arg_bool("On", true),
+    );
     assert_eq!(resp.field("Which"), Some(&Value::str("then")));
     let resp = emu.invoke(&ApiCall::new("Check").arg("FId", id).arg_bool("On", false));
     assert_eq!(resp.field("Which"), Some(&Value::str("else")));
@@ -336,7 +392,11 @@ fn store_round_trips_through_json() {
           transition DescribeA() kind describe { emit(N, read(n)); } }
         "#,
     );
-    let id = emu.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    let id = emu
+        .invoke(&ApiCall::new("CreateA"))
+        .field("AId")
+        .unwrap()
+        .clone();
     let json = serde_json::to_string(emu.store()).unwrap();
     let restored: lce_emulator::ResourceStore = serde_json::from_str(&json).unwrap();
 
@@ -352,7 +412,11 @@ fn store_round_trips_through_json() {
     let resp = emu2.invoke(&ApiCall::new("DescribeA").arg("AId", id));
     assert_eq!(resp.field("N"), Some(&Value::Int(7)));
     // Counters survive too: the next create must not reuse the id.
-    let id2 = emu2.invoke(&ApiCall::new("CreateA")).field("AId").unwrap().clone();
+    let id2 = emu2
+        .invoke(&ApiCall::new("CreateA"))
+        .field("AId")
+        .unwrap()
+        .clone();
     assert_eq!(id2, Value::reference("a-000002"));
 }
 
@@ -372,7 +436,9 @@ fn self_id_is_usable_in_emits_and_calls() {
     let resp = emu.invoke(&ApiCall::new("CreateS"));
     assert_eq!(resp.field("Me"), resp.field("SId"));
     let id = resp.field("SId").unwrap().clone();
-    assert!(emu.invoke(&ApiCall::new("Selfie").arg("SId", id.clone())).is_ok());
+    assert!(emu
+        .invoke(&ApiCall::new("Selfie").arg("SId", id.clone()))
+        .is_ok());
     let resp = emu.invoke(&ApiCall::new("DescribeS").arg("SId", id.clone()));
     assert_eq!(resp.field("Me"), Some(&id));
 }

@@ -91,10 +91,7 @@ mod tests {
     #[test]
     fn cdf_fractions_monotone_to_one() {
         let cdf = Cdf::from_samples(vec![3, 1, 4, 1, 5, 9, 2, 6]);
-        assert!(cdf
-            .fractions
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(cdf.fractions.windows(2).all(|w| w[0] <= w[1]));
         assert!((cdf.fractions.last().unwrap() - 1.0).abs() < 1e-9);
     }
 

@@ -48,11 +48,7 @@ pub fn sm_complexity(sm: &SmSpec) -> SmComplexity {
         service: sm.service.clone(),
         state_vars: sm.states.len(),
         transitions: sm.transitions.len(),
-        statements: sm
-            .transitions
-            .iter()
-            .map(|t| t.all_stmts().len())
-            .sum(),
+        statements: sm.transitions.iter().map(|t| t.all_stmts().len()).sum(),
         error_codes: codes.len(),
         dependencies: sm.referenced_sms().len(),
     }

@@ -100,7 +100,11 @@ mod tests {
             &["compute", "database", "firewall", "k8s"],
         );
         let pct = |svc: &str| rows.iter().find(|r| r.service == svc).unwrap().percent();
-        assert!((31..=33).contains(&pct("compute")), "compute {}", pct("compute"));
+        assert!(
+            (31..=33).contains(&pct("compute")),
+            "compute {}",
+            pct("compute")
+        );
         assert_eq!(pct("database"), 68);
         assert_eq!(pct("firewall"), 11);
         assert!((24..=28).contains(&pct("k8s")), "k8s {}", pct("k8s"));

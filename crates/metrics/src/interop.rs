@@ -68,9 +68,17 @@ fn categorize(code: &str) -> &'static str {
         "missing-dependency"
     } else if c.contains("dependency") || c.contains("inuse") || c.contains("cannotbedeleted") {
         "live-dependents"
-    } else if c.contains("conflict") || c.contains("overlap") || c.contains("alreadyexists") || c.contains("duplicate") {
+    } else if c.contains("conflict")
+        || c.contains("overlap")
+        || c.contains("alreadyexists")
+        || c.contains("duplicate")
+    {
         "uniqueness"
-    } else if c.contains("invalid") || c.contains("validation") || c.contains("range") || c.contains("notavailable") {
+    } else if c.contains("invalid")
+        || c.contains("validation")
+        || c.contains("range")
+        || c.contains("notavailable")
+    {
         "validation"
     } else if c.contains("missing") {
         "required-input"
@@ -101,11 +109,7 @@ fn jaccard(a: &[&'static str], b: &[&'static str]) -> f64 {
 }
 
 /// Compare two providers over a name-mapping of equivalent resources.
-pub fn compare_providers(
-    a: &Catalog,
-    b: &Catalog,
-    mapping: &[(&str, &str)],
-) -> EquivalenceReport {
+pub fn compare_providers(a: &Catalog, b: &Catalog, mapping: &[(&str, &str)]) -> EquivalenceReport {
     let mut pairs = Vec::new();
     for (na, nb) in mapping {
         let (Some(sa), Some(sb)) = (

@@ -1,0 +1,269 @@
+//! A blocking Rust client for a served emulator that itself implements
+//! [`Backend`] — a remote endpoint plugs into the DevOps runner, the
+//! differential alignment engine and the gym with zero changes, so a
+//! served learned emulator can be diff-tested against an in-process
+//! golden model over real sockets.
+//!
+//! The client keeps one keep-alive connection and transparently
+//! reconnects once per request if the server closed it (e.g. after an
+//! idle timeout or a rolling restart). Transport failures surface as
+//! `ApiResponse` errors with code `TransportError`, so differential
+//! comparisons treat an unreachable endpoint as a divergence rather than
+//! a crash.
+
+use crate::http::{self, HttpLimits, ParsedResponse};
+use bytes::BytesMut;
+use lce_emulator::{ApiCall, ApiError, ApiResponse, Backend};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Error code used for responses the emulator never produced: transport
+/// failures and protocol violations between client and server.
+pub const TRANSPORT_ERROR: &str = "TransportError";
+
+/// A blocking remote-backend client bound to one account.
+pub struct Client {
+    addr: SocketAddr,
+    account: String,
+    name: String,
+    apis: Vec<String>,
+    limits: HttpLimits,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server and bind to `account`, fetching the supported
+    /// API list up front (which doubles as a handshake).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        account: impl Into<String>,
+    ) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        let account = account.into();
+        let mut client = Client {
+            addr,
+            name: format!("remote:{}", account),
+            account,
+            apis: Vec::new(),
+            limits: HttpLimits::default(),
+            timeout: Duration::from_secs(10),
+            stream: None,
+        };
+        let (status, body) = client
+            .roundtrip("GET", "/_apis", &[])
+            .map_err(std::io::Error::other)?;
+        if status != 200 {
+            return Err(std::io::Error::other(format!(
+                "handshake failed with HTTP {}",
+                status
+            )));
+        }
+        let parsed: serde_json::Value = serde_json::from_slice(&body)
+            .map_err(|e| std::io::Error::other(format!("bad /_apis body: {}", e)))?;
+        client.apis = parsed["apis"]
+            .as_array()
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(|s| s.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(client)
+    }
+
+    /// Override the per-request I/O timeout (default 10s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The account this client is bound to.
+    pub fn account(&self) -> &str {
+        &self.account
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` if the server answers `GET /_health` with 200.
+    pub fn health(&mut self) -> bool {
+        matches!(self.roundtrip("GET", "/_health", &[]), Ok((200, _)))
+    }
+
+    /// Explicit, fallible reset (the [`Backend::reset`] impl ignores
+    /// transport failures by necessity of the trait signature).
+    pub fn try_reset(&mut self) -> Result<(), String> {
+        let path = format!("/{}/_reset", self.account);
+        match self.roundtrip("POST", &path, &[])? {
+            (200, _) => Ok(()),
+            (status, body) => Err(format!(
+                "reset failed with HTTP {}: {}",
+                status,
+                String::from_utf8_lossy(&body)
+            )),
+        }
+    }
+
+    fn connect_stream(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange, reusing the keep-alive connection.
+    /// If a *reused* connection fails before a single response byte
+    /// arrives (the signature of a server-side idle close), the request is
+    /// retried exactly once on a fresh connection — the server cannot have
+    /// processed it, so the retry never double-applies a mutation. Once
+    /// response bytes have been seen, failures are final.
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), String> {
+        let had_stream = self.stream.is_some();
+        if !had_stream {
+            self.stream = Some(self.connect_stream().map_err(|e| e.to_string())?);
+        }
+        match self.exchange(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err((saw_response_bytes, first)) => {
+                self.stream = None;
+                if !had_stream || saw_response_bytes {
+                    return Err(first);
+                }
+                self.stream = Some(self.connect_stream().map_err(|e| e.to_string())?);
+                self.exchange(method, path, body).map_err(|(_, e)| {
+                    self.stream = None;
+                    e
+                })
+            }
+        }
+    }
+
+    /// Returns `Err((saw_response_bytes, message))` on failure.
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), (bool, String)> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| (false, "not connected".to_string()))?;
+        let head = format!(
+            "{} {} HTTP/1.1\r\nHost: lce\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            method,
+            path,
+            body.len()
+        );
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body);
+        stream
+            .write_all(&wire)
+            .map_err(|e| (false, e.to_string()))?;
+
+        let mut buf = BytesMut::with_capacity(8 * 1024);
+        loop {
+            let saw_bytes = !buf.is_empty();
+            match http::parse_response(&mut buf, &self.limits)
+                .map_err(|e| (saw_bytes, e.message))?
+            {
+                Some(ParsedResponse {
+                    status,
+                    keep_alive,
+                    body,
+                }) => {
+                    if !keep_alive {
+                        self.stream = None;
+                    }
+                    return Ok((status, body));
+                }
+                None => {
+                    let stream = self
+                        .stream
+                        .as_mut()
+                        .ok_or_else(|| (saw_bytes, "not connected".to_string()))?;
+                    let mut chunk = [0u8; 8 * 1024];
+                    match stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err((saw_bytes, "connection closed mid-response".to_string()))
+                        }
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err((saw_bytes, e.to_string())),
+                    }
+                }
+            }
+        }
+    }
+
+    fn transport_error(&self, context: &str, detail: String) -> ApiResponse {
+        ApiResponse::err(ApiError::new(
+            TRANSPORT_ERROR,
+            format!("{} against {}: {}", context, self.addr, detail),
+        ))
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("account", &self.account)
+            .field("apis", &self.apis.len())
+            .finish()
+    }
+}
+
+impl Backend for Client {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        let body = match serde_json::to_vec(&call.args) {
+            Ok(b) => b,
+            Err(e) => return self.transport_error("encoding call", e.to_string()),
+        };
+        let path = format!("/{}/{}", self.account, call.api);
+        match self.roundtrip("POST", &path, &body) {
+            Ok((200, resp_body)) => match serde_json::from_slice::<ApiResponse>(&resp_body) {
+                Ok(resp) => resp,
+                Err(e) => self.transport_error("decoding response", e.to_string()),
+            },
+            Ok((status, resp_body)) => self.transport_error(
+                "invoking",
+                format!("HTTP {}: {}", status, String::from_utf8_lossy(&resp_body)),
+            ),
+            Err(e) => self.transport_error("invoking", e),
+        }
+    }
+
+    fn reset(&mut self) {
+        // The trait signature is infallible; a failed remote reset
+        // surfaces on the next invoke as stale state or a transport error.
+        let _ = self.try_reset();
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.apis.clone()
+    }
+
+    fn supports(&self, api: &str) -> bool {
+        // The handshake list is sorted server-side.
+        self.apis.binary_search_by(|a| a.as_str().cmp(api)).is_ok()
+    }
+}

@@ -1,0 +1,568 @@
+//! A minimal, robust HTTP/1.1 implementation: incremental request parsing
+//! over [`BytesMut`], response encoding, and the response-side parser used
+//! by the blocking client.
+//!
+//! Scope is deliberately narrow — exactly what a local cloud endpoint
+//! needs: `Content-Length`-framed bodies, keep-alive and pipelining,
+//! configurable header/body size limits, and 4xx/5xx on anything
+//! malformed. Chunked transfer encoding is rejected with `501`. The parser
+//! must never panic on arbitrary bytes (property-tested in
+//! `tests/parser_never_panics.rs`).
+
+use bytes::BytesMut;
+
+/// Size limits applied while parsing a request.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum size of the request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (e.g. `GET`, `POST`), uppercased as received.
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header name/value pairs in arrival order (names as received).
+    pub headers: Vec<(String, String)>,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` if the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 requires an explicit `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// A protocol-level parse failure, carrying the status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to respond with (4xx/5xx).
+    pub status: u16,
+    /// Human-oriented description of what was malformed.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// Render this error as a JSON response that closes the connection.
+    pub fn to_response(&self) -> Response {
+        Response {
+            status: self.status,
+            body: format!(
+                "{{\"error\":{}}}",
+                serde_json::Value::String(self.message.clone())
+            )
+            .into_bytes(),
+            content_type: "application/json",
+            keep_alive: false,
+        }
+    }
+}
+
+/// Find the end of the head: the index of the first `\r\n\r\n`.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some(request))` after
+/// consuming exactly one request (leaving any pipelined successor bytes in
+/// `buf`), and `Err` on malformed input. The call is idempotent until it
+/// returns `Some`: nothing is consumed on `None` or `Err`.
+pub fn parse_request(
+    buf: &mut BytesMut,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    let head_end = match find_head_end(&buf[..]) {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_head_bytes {
+                return Err(HttpError::new(431, "request head exceeds size limit"));
+            }
+            return Ok(None);
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(HttpError::new(431, "request head exceeds size limit"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, "malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            "request target must be an absolute path",
+        ));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(HttpError::new(
+                505,
+                "only HTTP/1.0 and HTTP/1.1 are supported",
+            ))
+        }
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "malformed header line"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(HttpError::new(501, "transfer-encoding is not supported"));
+    }
+
+    let mut content_length = 0usize;
+    let mut seen_length: Option<&str> = None;
+    for (n, v) in &headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            if seen_length.is_some_and(|prev| prev != v) {
+                return Err(HttpError::new(400, "conflicting content-length headers"));
+            }
+            seen_length = Some(v);
+            content_length = v
+                .parse::<usize>()
+                .map_err(|_| HttpError::new(400, "bad content-length"))?;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::new(413, "request body exceeds size limit"));
+    }
+
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let method = method.to_string();
+    let _head = buf.split_to(head_end + 4);
+    let body = buf.split_to(content_length).to_vec();
+    Ok(Some(Request {
+        method,
+        path,
+        http11,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response ready to encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Whether to advertise (and honour) keep-alive.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            content_type: "application/json",
+            keep_alive: true,
+        }
+    }
+
+    /// A JSON error response (`{"error": message}`) with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            body: format!(
+                "{{\"error\":{}}}",
+                serde_json::Value::String(message.to_string())
+            )
+            .into_bytes(),
+            content_type: "application/json",
+            keep_alive: true,
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Serialize a response to wire bytes.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason_phrase(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if resp.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    );
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `true` if the server advertised keep-alive.
+    pub keep_alive: bool,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Incrementally parse one response from the front of `buf` (client side).
+/// Same contract as [`parse_request`].
+pub fn parse_response(
+    buf: &mut BytesMut,
+    limits: &HttpLimits,
+) -> Result<Option<ParsedResponse>, HttpError> {
+    let head_end = match find_head_end(&buf[..]) {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_head_bytes {
+                return Err(HttpError::new(431, "response head exceeds size limit"));
+            }
+            return Ok(None);
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "response head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::new(400, "malformed status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "malformed status line"));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header line"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::new(400, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::new(413, "response body exceeds size limit"));
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let _head = buf.split_to(head_end + 4);
+    let body = buf.split_to(content_length).to_vec();
+    Ok(Some(ParsedResponse {
+        status,
+        keep_alive,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(bytes: &[u8]) -> BytesMut {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(bytes);
+        b
+    }
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let mut b = buf(b"GET /_health HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/_health");
+        assert!(req.http11);
+        assert!(req.body.is_empty());
+        assert!(req.wants_keep_alive());
+        assert!(b.is_empty(), "request fully consumed");
+    }
+
+    #[test]
+    fn split_reads_accumulate() {
+        // Feed the request one byte at a time: the parser must return
+        // `None` until the final byte, then produce the full request.
+        let wire = b"POST /acct/CreateVpc HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut b = BytesMut::new();
+        for (i, byte) in wire.iter().enumerate() {
+            b.extend_from_slice(&[*byte]);
+            let parsed = parse_request(&mut b, &limits()).unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "complete at byte {}", i);
+            } else {
+                let req = parsed.unwrap();
+                assert_eq!(req.body, b"{}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_body_waits_for_content_length() {
+        let mut b = buf(b"POST /a/B HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345");
+        assert_eq!(parse_request(&mut b, &limits()).unwrap(), None);
+        b.extend_from_slice(b"67890");
+        let req = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(req.body, b"1234567890");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut b = buf(b"POST /a/X HTTP/1.1\r\nContent-Length: 1\r\n\r\n1\
+              GET /_health HTTP/1.1\r\n\r\n");
+        let first = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(first.path, "/a/X");
+        assert_eq!(first.body, b"1");
+        let second = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(second.path, "/_health");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let tight = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        // No terminator and already over the limit.
+        let mut b = buf(&[b'A'; 100]);
+        assert_eq!(parse_request(&mut b, &tight).unwrap_err().status, 431);
+        // Terminated but still over the limit.
+        let mut long = Vec::from(&b"GET / HTTP/1.1\r\nX: "[..]);
+        long.extend_from_slice(&[b'y'; 80]);
+        long.extend_from_slice(b"\r\n\r\n");
+        let mut b = buf(&long);
+        assert_eq!(parse_request(&mut b, &tight).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_body_rejected_from_declared_length() {
+        let tight = HttpLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let mut b = buf(b"POST /a/B HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(parse_request(&mut b, &tight).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        for bad in ["abc", "-1", "1e3", "18446744073709551616"] {
+            let wire = format!("POST /a/B HTTP/1.1\r\nContent-Length: {}\r\n\r\n", bad);
+            let mut b = buf(wire.as_bytes());
+            assert_eq!(
+                parse_request(&mut b, &limits()).unwrap_err().status,
+                400,
+                "content-length {:?}",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected() {
+        let mut b = buf(b"POST /a/B HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n");
+        assert_eq!(parse_request(&mut b, &limits()).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn duplicate_equal_content_lengths_tolerated() {
+        let mut b = buf(b"POST /a/B HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx");
+        let req = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(req.body, b"x");
+    }
+
+    #[test]
+    fn transfer_encoding_not_implemented() {
+        let mut b = buf(b"POST /a/B HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert_eq!(parse_request(&mut b, &limits()).unwrap_err().status, 501);
+    }
+
+    #[test]
+    fn malformed_request_lines_rejected() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        ] {
+            let mut b = buf(bad.as_bytes());
+            assert!(
+                parse_request(&mut b, &limits()).is_err(),
+                "accepted {:?}",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_head_rejected() {
+        let mut b = buf(b"GET /\xff\xfe HTTP/1.1\r\n\r\n");
+        assert_eq!(parse_request(&mut b, &limits()).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn query_string_is_stripped() {
+        let mut b = buf(b"GET /_apis?verbose=1 HTTP/1.1\r\n\r\n");
+        let req = parse_request(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(req.path, "/_apis");
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let mut b = buf(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!parse_request(&mut b, &limits())
+            .unwrap()
+            .unwrap()
+            .wants_keep_alive());
+        let mut b = buf(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!parse_request(&mut b, &limits())
+            .unwrap()
+            .unwrap()
+            .wants_keep_alive());
+        let mut b = buf(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(parse_request(&mut b, &limits())
+            .unwrap()
+            .unwrap()
+            .wants_keep_alive());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json(br#"{"ok":true}"#.to_vec());
+        let mut b = buf(&encode_response(&resp));
+        let parsed = parse_response(&mut b, &limits()).unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert!(parsed.keep_alive);
+        assert_eq!(parsed.body, br#"{"ok":true}"#);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn error_response_closes_connection() {
+        let e = HttpError::new(400, "nope");
+        let resp = e.to_response();
+        assert!(!resp.keep_alive);
+        let wire = encode_response(&resp);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"error\":\"nope\"}"));
+    }
+
+    #[test]
+    fn split_response_reads_accumulate() {
+        let wire = encode_response(&Response::json(b"abc".to_vec()));
+        let mut b = BytesMut::new();
+        for (i, byte) in wire.iter().enumerate() {
+            b.extend_from_slice(&[*byte]);
+            let parsed = parse_response(&mut b, &limits()).unwrap();
+            assert_eq!(parsed.is_some(), i + 1 == wire.len());
+        }
+    }
+}

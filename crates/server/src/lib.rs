@@ -1,0 +1,54 @@
+#![deny(missing_docs)]
+
+//! # lce-server — the HTTP serving layer
+//!
+//! Turns any [`lce_emulator::Backend`] into a LocalStack-style local cloud
+//! endpoint: a concurrent HTTP/1.1 server on `std::net`, a JSON wire
+//! protocol mapping `POST /<account>/<Api>` to [`lce_emulator::ApiCall`],
+//! and a blocking [`Client`] that itself implements `Backend`, so remote
+//! endpoints compose with the DevOps runner, differential alignment and
+//! the gym unchanged.
+//!
+//! The paper's premise is that learned emulators replace LocalStack/Moto
+//! as the *endpoint developer tools point their SDKs at*; this crate is
+//! the subsystem that puts a learned (or golden, or Moto-like) emulator
+//! on a socket. Design:
+//!
+//! * [`http`] — a minimal, robust HTTP/1.1 parser and writer: incremental
+//!   parsing over `bytes::BytesMut`, `Content-Length` bodies, keep-alive
+//!   and pipelining, size limits, 4xx on malformed input, never panics.
+//! * [`wire`] — the JSON protocol plus control endpoints
+//!   (`POST /<account>/_reset`, `GET /_health`, `GET /_apis`).
+//! * [`router`] — multi-account sharding: one backend instance per
+//!   account behind its own lock, so accounts never contend.
+//! * [`serve`](mod@serve) — a bounded worker pool fed by a crossbeam
+//!   channel, with graceful shutdown and connection drain.
+//! * [`client`] — the blocking remote `Backend`.
+//!
+//! ```no_run
+//! use lce_server::{serve, Client, ServerConfig};
+//! use lce_emulator::{ApiCall, Backend, Emulator};
+//!
+//! # fn catalog() -> lce_spec::Catalog { lce_spec::Catalog::new() }
+//! let catalog = catalog();
+//! let handle = serve(ServerConfig::default(), move || {
+//!     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
+//! })
+//! .unwrap();
+//!
+//! let mut remote = Client::connect(handle.addr(), "dev-account").unwrap();
+//! let resp = remote.invoke(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"));
+//! println!("{:?}", resp);
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod serve;
+pub mod wire;
+
+pub use client::{Client, TRANSPORT_ERROR};
+pub use http::{HttpLimits, Request, Response};
+pub use router::{BackendFactory, Router};
+pub use serve::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,222 @@
+//! Multi-account routing: one independent [`Backend`] instance per account
+//! id, created on demand from a backend factory.
+//!
+//! Each account's backend sits behind its own `parking_lot::Mutex`, so
+//! calls from different accounts execute concurrently and never contend on
+//! a shared lock — only calls *within* one account serialize, which is
+//! exactly the consistency a single cloud account provides. The account
+//! map itself is behind an `RwLock` that is only write-locked on first
+//! sight of a new account id.
+
+use lce_emulator::{ApiCall, ApiResponse, Backend};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe backend constructor: called once per account id.
+pub type BackendFactory = Box<dyn Fn() -> Box<dyn Backend + Send> + Send + Sync>;
+
+/// A shareable handle to one account's backend.
+pub type AccountHandle = Arc<Mutex<Box<dyn Backend + Send>>>;
+
+/// Routes calls to per-account backend shards.
+pub struct Router {
+    factory: BackendFactory,
+    apis: Vec<String>,
+    backend_name: String,
+    accounts: RwLock<BTreeMap<String, AccountHandle>>,
+}
+
+impl Router {
+    /// Build a router. The factory is probed once, up front, to cache the
+    /// supported API list (every account shares one catalog by
+    /// construction).
+    pub fn new(factory: BackendFactory) -> Self {
+        let probe = factory();
+        let mut apis = probe.api_names();
+        apis.sort();
+        apis.dedup();
+        let backend_name = probe.name().to_string();
+        Router {
+            factory,
+            apis,
+            backend_name,
+            accounts: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// `true` if the account id is well-formed: nonempty ASCII
+    /// alphanumerics, `-`, `_` or `.`, not starting with `_` (reserved for
+    /// control endpoints).
+    pub fn valid_account_id(id: &str) -> bool {
+        !id.is_empty()
+            && !id.starts_with('_')
+            && id
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+    }
+
+    /// The account's backend, created on first use.
+    pub fn account(&self, id: &str) -> AccountHandle {
+        if let Some(h) = self.accounts.read().get(id) {
+            return Arc::clone(h);
+        }
+        let mut map = self.accounts.write();
+        Arc::clone(
+            map.entry(id.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new((self.factory)()))),
+        )
+    }
+
+    /// Invoke one call on the account's backend. Holds only that account's
+    /// lock for the duration of the call.
+    pub fn invoke(&self, account: &str, call: &ApiCall) -> ApiResponse {
+        let handle = self.account(account);
+        let mut backend = handle.lock();
+        backend.invoke(call)
+    }
+
+    /// Reset the account to a fresh state. Returns `true` if the account
+    /// had existing state (an unknown account is already fresh — it is
+    /// created so subsequent calls observe an explicit reset point).
+    pub fn reset(&self, account: &str) -> bool {
+        let existed = self.accounts.read().contains_key(account);
+        let handle = self.account(account);
+        handle.lock().reset();
+        existed
+    }
+
+    /// The sorted API list every account supports (coverage accounting).
+    pub fn api_names(&self) -> &[String] {
+        &self.apis
+    }
+
+    /// Display name of the served backend (from the factory's probe).
+    pub fn backend_name(&self) -> &str {
+        &self.backend_name
+    }
+
+    /// Currently materialized account ids, sorted.
+    pub fn accounts(&self) -> Vec<String> {
+        self.accounts.read().keys().cloned().collect()
+    }
+
+    /// Number of materialized accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.read().len()
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("backend", &self.backend_name)
+            .field("apis", &self.apis.len())
+            .field("accounts", &self.account_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::Value;
+    use std::collections::BTreeMap as Map;
+
+    /// A counter backend: `Bump` increments, `Get` reads.
+    struct Counter {
+        n: i64,
+    }
+
+    impl Backend for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+            if call.api == "Bump" {
+                self.n += 1;
+            }
+            let mut fields = Map::new();
+            fields.insert("N".to_string(), Value::Int(self.n));
+            ApiResponse::ok(fields)
+        }
+        fn reset(&mut self) {
+            self.n = 0;
+        }
+        fn api_names(&self) -> Vec<String> {
+            vec!["Get".into(), "Bump".into()]
+        }
+    }
+
+    fn router() -> Router {
+        Router::new(Box::new(|| Box::new(Counter { n: 0 })))
+    }
+
+    #[test]
+    fn accounts_are_independent() {
+        let r = router();
+        r.invoke("alice", &ApiCall::new("Bump"));
+        r.invoke("alice", &ApiCall::new("Bump"));
+        r.invoke("bob", &ApiCall::new("Bump"));
+        let a = r.invoke("alice", &ApiCall::new("Get"));
+        let b = r.invoke("bob", &ApiCall::new("Get"));
+        assert_eq!(a.field("N"), Some(&Value::Int(2)));
+        assert_eq!(b.field("N"), Some(&Value::Int(1)));
+        assert_eq!(r.accounts(), vec!["alice".to_string(), "bob".to_string()]);
+    }
+
+    #[test]
+    fn reset_clears_one_account_only() {
+        let r = router();
+        r.invoke("a", &ApiCall::new("Bump"));
+        r.invoke("b", &ApiCall::new("Bump"));
+        assert!(r.reset("a"));
+        assert!(!r.reset("fresh"), "unknown account was already fresh");
+        assert_eq!(
+            r.invoke("a", &ApiCall::new("Get")).field("N"),
+            Some(&Value::Int(0))
+        );
+        assert_eq!(
+            r.invoke("b", &ApiCall::new("Get")).field("N"),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn api_names_probed_once_and_sorted() {
+        let r = router();
+        assert_eq!(r.api_names(), &["Bump".to_string(), "Get".to_string()]);
+        assert_eq!(r.backend_name(), "counter");
+        assert_eq!(r.account_count(), 0, "the probe is not an account");
+    }
+
+    #[test]
+    fn account_id_validation() {
+        for ok in ["default", "alice-1", "a.b_c", "0"] {
+            assert!(Router::valid_account_id(ok), "{}", ok);
+        }
+        for bad in ["", "_reset", "a/b", "a b", "é"] {
+            assert!(!Router::valid_account_id(bad), "{:?}", bad);
+        }
+    }
+
+    #[test]
+    fn concurrent_accounts_do_not_interfere() {
+        let r = Arc::new(router());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let account = format!("acct-{}", t);
+                for _ in 0..100 {
+                    r.invoke(&account, &ApiCall::new("Bump"));
+                }
+                r.invoke(&account, &ApiCall::new("Get"))
+            }));
+        }
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.field("N"), Some(&Value::Int(100)));
+        }
+    }
+}

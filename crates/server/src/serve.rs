@@ -1,0 +1,270 @@
+//! The connection server: a `TcpListener` accept loop feeding a bounded
+//! crossbeam channel drained by a fixed pool of worker threads.
+//!
+//! * The accept loop runs nonblocking and polls a shutdown flag, so
+//!   [`ServerHandle::shutdown`] takes effect within one poll interval.
+//! * Workers drain already-accepted connections before exiting (graceful
+//!   drain): dropping the channel sender after the accept loop stops turns
+//!   the workers' `recv()` into a clean termination signal.
+//! * Keep-alive connections poll the shutdown flag between requests; the
+//!   last response before closing advertises `Connection: close`.
+
+use crate::http::{self, HttpLimits, Response};
+use crate::router::{BackendFactory, Router};
+use crate::wire;
+use crossbeam::channel;
+use lce_emulator::Backend;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7583` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker thread count (concurrent connection limit).
+    pub threads: usize,
+    /// HTTP parsing limits.
+    pub limits: HttpLimits,
+    /// Idle read timeout: a connection with no complete request for this
+    /// long is closed (with `408` if a partial request was buffered).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router, e.g. for in-process inspection in tests.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Signal shutdown and wait for the accept loop and all workers to
+    /// drain their connections and exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the server stops (for a foreground `lce serve`). The
+    /// accept loop only exits on shutdown, so this parks the caller
+    /// indefinitely in normal operation.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Start serving backends built by `factory` under `config`.
+///
+/// ```no_run
+/// use lce_server::{serve, ServerConfig};
+/// use lce_emulator::{Backend, Emulator};
+/// use lce_spec::Catalog;
+///
+/// let catalog = Catalog::new();
+/// let handle = serve(ServerConfig::default(), move || {
+///     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
+/// })
+/// .unwrap();
+/// println!("listening on {}", handle.addr());
+/// handle.join();
+/// ```
+pub fn serve<F>(config: ServerConfig, factory: F) -> std::io::Result<ServerHandle>
+where
+    F: Fn() -> Box<dyn Backend + Send> + Send + Sync + 'static,
+{
+    serve_boxed(config, Box::new(factory))
+}
+
+fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let router = Arc::new(Router::new(factory));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = config.threads.max(1);
+    let (tx, rx) = channel::bounded::<TcpStream>(threads * 2);
+
+    let mut workers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let rx = rx.clone();
+        let router = Arc::clone(&router);
+        let shutdown = Arc::clone(&shutdown);
+        let limits = config.limits.clone();
+        let read_timeout = config.read_timeout;
+        workers.push(
+            thread::Builder::new()
+                .name(format!("lce-server-worker-{}", i))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        handle_connection(stream, &router, &limits, read_timeout, &shutdown);
+                    }
+                })?,
+        );
+    }
+    drop(rx);
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = thread::Builder::new()
+        .name("lce-server-accept".to_string())
+        .spawn(move || {
+            loop {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Hand the worker a blocking socket regardless of
+                        // what it inherited from the listener.
+                        let _ = stream.set_nonblocking(false);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => thread::sleep(POLL_INTERVAL),
+                }
+            }
+            // Dropping the sender lets idle workers exit their recv loop.
+            drop(tx);
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        router,
+        shutdown,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// Serve one connection: parse → dispatch → respond, honouring keep-alive
+/// and pipelining, until EOF, error, timeout or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    limits: &HttpLimits,
+    read_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut buf = bytes::BytesMut::with_capacity(8 * 1024);
+    let mut last_activity = Instant::now();
+    loop {
+        // Drain complete buffered requests first (pipelining).
+        match http::parse_request(&mut buf, limits) {
+            Err(e) => {
+                let _ = stream.write_all(&http::encode_response(&e.to_response()));
+                return;
+            }
+            Ok(Some(req)) => {
+                last_activity = Instant::now();
+                let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
+                let mut resp = wire::handle(&req, router);
+                resp.keep_alive = keep_alive;
+                if stream.write_all(&http::encode_response(&resp)).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) => {}
+        }
+        if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+            return;
+        }
+        let mut chunk = [0u8; 8 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if last_activity.elapsed() >= read_timeout {
+                    if !buf.is_empty() {
+                        let timeout = Response {
+                            status: 408,
+                            body: b"{\"error\":\"request timed out\"}".to_vec(),
+                            content_type: "application/json",
+                            keep_alive: false,
+                        };
+                        let _ = stream.write_all(&http::encode_response(&timeout));
+                    }
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The JSON wire protocol: URL + body ↔ [`ApiCall`] / [`ApiResponse`].
+//!
+//! Routes:
+//!
+//! * `POST /<account>/<Api>` — invoke an API. The body is a JSON object of
+//!   call arguments; the response body is the backend's [`ApiResponse`]
+//!   serialized with serde (byte-identical to in-process serialization,
+//!   which is what lets remote runs be diffed against local ones).
+//! * `POST /<account>/_reset` — drop the account's resources.
+//! * `GET /_health` — liveness plus account count.
+//! * `GET /_apis` — the sorted API list, for coverage accounting.
+//!
+//! Argument values accept two encodings per field: the exact serde form of
+//! [`lce_emulator::Value`] (e.g. `{"Str": "10.0.0.0/16"}`, produced by the
+//! Rust [`crate::Client`] for loss-free round-trips) and a lenient plain
+//! JSON form (`"10.0.0.0/16"`, `true`, `7`, `null`, arrays) for humans
+//! with `curl`. Plain strings become [`Value::Str`]; the emulator's
+//! argument coercion handles the rest, exactly as it does for the CLI.
+//!
+//! API-level failures (unknown API, missing parameter, assert failures…)
+//! are **HTTP 200** with the error inside the `ApiResponse` — they are
+//! emulated cloud behaviour, not protocol errors. HTTP 4xx/5xx is reserved
+//! for malformed requests: bad paths, bad JSON, bad accounts.
+
+use crate::http::{Request, Response};
+use crate::router::Router;
+use lce_emulator::{ApiCall, Value};
+use std::collections::BTreeMap;
+
+/// Dispatch one parsed request against the router.
+pub fn handle(req: &Request, router: &Router) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/_health") => Response::json(format!(
+            "{{\"status\":\"ok\",\"backend\":{},\"accounts\":{}}}",
+            serde_json::Value::String(router.backend_name().to_string()),
+            router.account_count()
+        )),
+        ("GET", "/_apis") => {
+            let apis =
+                serde_json::to_string(router.api_names()).unwrap_or_else(|_| "[]".to_string());
+            Response::json(format!(
+                "{{\"count\":{},\"apis\":{}}}",
+                router.api_names().len(),
+                apis
+            ))
+        }
+        ("POST", path) => handle_post(path, &req.body, router),
+        ("GET", _) => Response::error(404, "unknown path"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn handle_post(path: &str, body: &[u8], router: &Router) -> Response {
+    let mut segments = path.trim_start_matches('/').split('/');
+    let (Some(account), Some(op), None) = (segments.next(), segments.next(), segments.next())
+    else {
+        return Response::error(404, "expected POST /<account>/<Api>");
+    };
+    if !Router::valid_account_id(account) {
+        return Response::error(400, "invalid account id");
+    }
+    if op == "_reset" {
+        let existed = router.reset(account);
+        return Response::json(format!(
+            "{{\"reset\":true,\"account\":{},\"existed\":{}}}",
+            serde_json::Value::String(account.to_string()),
+            existed
+        ));
+    }
+    if op.is_empty() || op.starts_with('_') {
+        return Response::error(404, "unknown control endpoint");
+    }
+    let args = match decode_args(body) {
+        Ok(a) => a,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let call = ApiCall {
+        api: op.to_string(),
+        args,
+    };
+    let resp = router.invoke(account, &call);
+    match serde_json::to_vec(&resp) {
+        Ok(bytes) => Response::json(bytes),
+        Err(e) => Response::error(500, &format!("response serialization failed: {}", e)),
+    }
+}
+
+/// Decode the request body into call arguments. An empty body means an
+/// argument-less call.
+fn decode_args(body: &[u8]) -> Result<BTreeMap<String, Value>, String> {
+    if body.iter().all(|b| b.is_ascii_whitespace()) {
+        return Ok(BTreeMap::new());
+    }
+    let json: serde_json::Value =
+        serde_json::from_slice(body).map_err(|e| format!("body is not valid JSON: {}", e))?;
+    let serde_json::Value::Object(map) = json else {
+        return Err("body must be a JSON object of call arguments".to_string());
+    };
+    let mut args = BTreeMap::new();
+    for (name, value) in map {
+        let decoded =
+            decode_value(value).map_err(|e| format!("argument `{}` is malformed: {}", name, e))?;
+        args.insert(name, decoded);
+    }
+    Ok(args)
+}
+
+/// Decode one argument value: exact serde [`Value`] objects pass through
+/// losslessly; plain JSON scalars/arrays map to the obvious variants.
+fn decode_value(json: serde_json::Value) -> Result<Value, String> {
+    match json {
+        serde_json::Value::Null => Ok(Value::Null),
+        serde_json::Value::Bool(b) => Ok(Value::Bool(b)),
+        serde_json::Value::Number(n) => n
+            .as_i64()
+            .map(Value::Int)
+            .ok_or_else(|| "only integer numbers are supported".to_string()),
+        serde_json::Value::String(s) => Ok(Value::Str(s)),
+        serde_json::Value::Array(items) => items
+            .into_iter()
+            .map(decode_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Value::List),
+        obj @ serde_json::Value::Object(_) => serde_json::from_value::<Value>(obj)
+            .map_err(|_| "objects must be serde-encoded emulator values".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::{ApiResponse, Backend};
+
+    /// Echoes its arguments back; `Fail` returns an API error.
+    struct Echo;
+
+    impl Backend for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+            if call.api == "Fail" {
+                return ApiResponse::err(lce_emulator::ApiError::new("Boom", "requested"));
+            }
+            ApiResponse::ok(call.args.clone())
+        }
+        fn reset(&mut self) {}
+        fn api_names(&self) -> Vec<String> {
+            vec!["Echo".into(), "Fail".into()]
+        }
+    }
+
+    fn router() -> Router {
+        Router::new(Box::new(|| Box::new(Echo)))
+    }
+
+    fn post(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            http11: true,
+            headers: vec![],
+            body: body.to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        post(path, b"")
+    }
+
+    #[test]
+    fn health_and_apis() {
+        let r = router();
+        let mut req = get("/_health");
+        req.method = "GET".into();
+        let resp = handle(&req, &r);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "{}", text);
+
+        let mut req = get("/_apis");
+        req.method = "GET".into();
+        let resp = handle(&req, &r);
+        let json: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(json["count"], 2);
+        assert_eq!(json["apis"][0], "Echo");
+    }
+
+    #[test]
+    fn invoke_round_trips_exact_values() {
+        let r = router();
+        let call = ApiCall::new("Echo")
+            .arg_str("S", "hello")
+            .arg_int("I", 7)
+            .arg("R", Value::reference("vpc-000001"));
+        let body = serde_json::to_vec(&call.args).unwrap();
+        let resp = handle(&post("/acct/Echo", &body), &r);
+        assert_eq!(resp.status, 200);
+        let parsed: ApiResponse = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed.fields, call.args, "tagged values survive unchanged");
+    }
+
+    #[test]
+    fn invoke_accepts_plain_json() {
+        let r = router();
+        let resp = handle(
+            &post(
+                "/acct/Echo",
+                br#"{"S":"x","B":true,"I":3,"L":[1,2],"N":null}"#,
+            ),
+            &r,
+        );
+        let parsed: ApiResponse = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed.field("S"), Some(&Value::str("x")));
+        assert_eq!(parsed.field("B"), Some(&Value::Bool(true)));
+        assert_eq!(parsed.field("I"), Some(&Value::Int(3)));
+        assert_eq!(
+            parsed.field("L"),
+            Some(&Value::List(vec![Value::Int(1), Value::Int(2)]))
+        );
+        assert_eq!(parsed.field("N"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn api_errors_are_http_200() {
+        let r = router();
+        let resp = handle(&post("/acct/Fail", b""), &r);
+        assert_eq!(resp.status, 200);
+        let parsed: ApiResponse = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed.error_code(), Some("Boom"));
+    }
+
+    #[test]
+    fn protocol_errors_are_4xx() {
+        let r = router();
+        assert_eq!(handle(&post("/acct", b""), &r).status, 404);
+        assert_eq!(handle(&post("/acct/Api/extra", b""), &r).status, 404);
+        assert_eq!(handle(&post("/_bad/Api", b""), &r).status, 400);
+        assert_eq!(handle(&post("/acct/_rejig", b""), &r).status, 404);
+        assert_eq!(handle(&post("/acct/Echo", b"not json"), &r).status, 400);
+        assert_eq!(handle(&post("/acct/Echo", b"[1,2]"), &r).status, 400);
+        assert_eq!(handle(&post("/acct/Echo", br#"{"X":1.5}"#), &r).status, 400);
+        assert_eq!(
+            handle(&post("/acct/Echo", br#"{"X":{"Weird":1}}"#), &r).status,
+            400
+        );
+        let mut req = get("/nope");
+        req.method = "GET".into();
+        assert_eq!(handle(&req, &r).status, 404);
+        let mut req = get("/_health");
+        req.method = "DELETE".into();
+        assert_eq!(handle(&req, &r).status, 405);
+    }
+
+    #[test]
+    fn reset_endpoint() {
+        let r = router();
+        let resp = handle(&post("/acct/_reset", b""), &r);
+        assert_eq!(resp.status, 200);
+        let json: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(json["reset"], true);
+        assert_eq!(json["existed"], false);
+        let resp = handle(&post("/acct/_reset", b""), &r);
+        let json: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(json["existed"], true);
+    }
+
+    #[test]
+    fn whitespace_body_is_empty_args() {
+        let r = router();
+        let resp = handle(&post("/acct/Echo", b"  \r\n "), &r);
+        let parsed: ApiResponse = serde_json::from_slice(&resp.body).unwrap();
+        assert!(parsed.is_ok());
+        assert!(parsed.fields.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Socket-level integration tests: a real server on an ephemeral port,
+//! driven by the `Client`, by raw TCP writes, and concurrently.
+
+use lce_cloud::nimbus_provider;
+use lce_emulator::{ApiCall, Backend, Value};
+use lce_server::{serve, Client, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server(threads: usize) -> ServerHandle {
+    let catalog = nimbus_provider().catalog;
+    serve(
+        ServerConfig {
+            threads,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+        move || {
+            Box::new(lce_emulator::Emulator::new(catalog.clone()).named("served-golden"))
+                as Box<dyn Backend + Send>
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Send raw bytes, read everything until the server closes or times out.
+fn raw_exchange(handle: &ServerHandle, wire: &[u8]) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(wire).unwrap();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn health_apis_and_invoke_over_the_wire() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr(), "t1").unwrap();
+    assert!(client.health());
+    assert_eq!(client.name(), "remote:t1");
+
+    let apis = client.api_names();
+    assert!(!apis.is_empty());
+    assert!(apis.windows(2).all(|w| w[0] <= w[1]), "apis sorted");
+    assert!(client.supports("CreateVpc"));
+    assert!(!client.supports("LaunchRocket"));
+
+    let resp = client.invoke(
+        &ApiCall::new("CreateVpc")
+            .arg_str("CidrBlock", "10.0.0.0/16")
+            .arg_str("Region", "us-east"),
+    );
+    assert!(resp.is_ok(), "{:?}", resp.error);
+    let vpc = resp.field("VpcId").unwrap().clone();
+    assert!(matches!(vpc, Value::Ref(_)));
+
+    // API-level errors pass through with their real codes.
+    let resp = client.invoke(&ApiCall::new("LaunchRocket"));
+    assert_eq!(resp.error_code(), Some("InvalidAction"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn reset_isolates_and_clears_accounts() {
+    let handle = start_server(2);
+    let mut a = Client::connect(handle.addr(), "alpha").unwrap();
+    let mut b = Client::connect(handle.addr(), "beta").unwrap();
+
+    let make_vpc = |c: &mut Client| {
+        c.invoke(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        )
+    };
+    let ra = make_vpc(&mut a);
+    let rb = make_vpc(&mut b);
+    // Independent id counters prove independent stores.
+    assert_eq!(ra.field("VpcId"), Some(&Value::reference("vpc-000001")));
+    assert_eq!(rb.field("VpcId"), Some(&Value::reference("vpc-000001")));
+
+    a.reset();
+    // Alpha is fresh again; beta kept its resources.
+    assert_eq!(
+        make_vpc(&mut a).field("VpcId"),
+        Some(&Value::reference("vpc-000001"))
+    );
+    assert_eq!(
+        make_vpc(&mut b).field("VpcId"),
+        Some(&Value::reference("vpc-000002"))
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_close() {
+    let handle = start_server(1);
+    let text = raw_exchange(&handle, b"NONSENSE\r\n\r\n");
+    assert!(text.starts_with("HTTP/1.1 400"), "{}", text);
+    assert!(text.contains("Connection: close"), "{}", text);
+
+    let text = raw_exchange(
+        &handle,
+        b"POST /a/B HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    );
+    assert!(text.starts_with("HTTP/1.1 400"), "{}", text);
+
+    let text = raw_exchange(
+        &handle,
+        b"POST /a/B HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert!(text.starts_with("HTTP/1.1 501"), "{}", text);
+
+    let text = raw_exchange(
+        &handle,
+        b"POST /a/Echo HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!",
+    );
+    assert!(text.starts_with("HTTP/1.1 400"), "{}", text);
+    handle.shutdown();
+}
+
+#[test]
+fn curl_style_plain_json_works() {
+    let handle = start_server(1);
+    let body = br#"{"CidrBlock":"10.0.0.0/16","Region":"us-east"}"#;
+    let wire = format!(
+        "POST /dev/CreateVpc HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut full = wire.into_bytes();
+    full.extend_from_slice(body);
+    let text = raw_exchange(&handle, &full);
+    assert!(text.starts_with("HTTP/1.1 200"), "{}", text);
+    assert!(text.contains("\"VpcId\""), "{}", text);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_answered_in_order() {
+    let handle = start_server(1);
+    // Two healths + a close: written in one burst, answered in order.
+    let wire = b"GET /_health HTTP/1.1\r\n\r\n\
+                 GET /_apis HTTP/1.1\r\n\r\n\
+                 GET /_health HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let text = raw_exchange(&handle, wire);
+    let responses: Vec<_> = text.matches("HTTP/1.1 200").collect();
+    assert_eq!(responses.len(), 3, "{}", text);
+    let apis_at = text.find("\"apis\"").unwrap();
+    let first_health = text.find("\"status\"").unwrap();
+    assert!(first_health < apis_at, "order preserved: {}", text);
+    assert!(text.trim_end().ends_with('}'));
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_calls() {
+    let handle = start_server(1);
+    let mut client = Client::connect(handle.addr(), "ka").unwrap();
+    for i in 0..20 {
+        let resp = client.invoke(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", format!("10.{}.0.0/16", i))
+                .arg_str("Region", "us-east"),
+        );
+        assert!(resp.is_ok(), "call {}: {:?}", i, resp.error);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_on_distinct_accounts() {
+    let handle = start_server(4);
+    let addr = handle.addr();
+    let mut threads = Vec::new();
+    for t in 0..8 {
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr, format!("acct-{}", t)).unwrap();
+            let mut ids = Vec::new();
+            for i in 0..10 {
+                let resp = client.invoke(
+                    &ApiCall::new("CreateVpc")
+                        .arg_str("CidrBlock", format!("10.{}.0.0/16", i))
+                        .arg_str("Region", "us-east"),
+                );
+                assert!(resp.is_ok(), "{:?}", resp.error);
+                ids.push(resp.field("VpcId").unwrap().clone());
+            }
+            ids
+        }));
+    }
+    for t in threads {
+        let ids = t.join().unwrap();
+        // Every account sees its own private counter: 1..=10.
+        let expect: Vec<Value> = (1..=10)
+            .map(|i| Value::reference(format!("vpc-{:06}", i)))
+            .collect();
+        assert_eq!(ids, expect);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn transport_error_when_server_is_gone() {
+    let handle = start_server(1);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr, "doomed").unwrap();
+    handle.shutdown();
+    let resp = client.invoke(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"));
+    assert_eq!(resp.error_code(), Some(lce_server::TRANSPORT_ERROR));
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_work() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr(), "x").unwrap();
+    assert!(client.health());
+    // Shutdown returns only after workers drained: subsequent connects fail.
+    let addr = handle.addr();
+    handle.shutdown();
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}

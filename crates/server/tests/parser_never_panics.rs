@@ -1,0 +1,122 @@
+//! Property tests: the HTTP parser must never panic, whatever bytes arrive
+//! and however they are fragmented, and must round-trip every well-formed
+//! request it could be fed.
+
+use bytes::BytesMut;
+use lce_server::http::{encode_response, parse_request, parse_response, HttpLimits, Response};
+use proptest::prelude::*;
+
+fn limits() -> HttpLimits {
+    HttpLimits {
+        max_head_bytes: 2 * 1024,
+        max_body_bytes: 8 * 1024,
+    }
+}
+
+/// Drive the parser the way a connection handler does: append a chunk,
+/// parse until it yields `None` or an error, repeat.
+fn drive(chunks: &[Vec<u8>]) -> usize {
+    let mut buf = BytesMut::new();
+    let mut parsed = 0usize;
+    for chunk in chunks {
+        buf.extend_from_slice(chunk);
+        loop {
+            match parse_request(&mut buf, &limits()) {
+                Ok(Some(_)) => parsed += 1,
+                Ok(None) => break,
+                Err(_) => return parsed, // a real server closes here
+            }
+        }
+    }
+    parsed
+}
+
+proptest! {
+    /// Arbitrary byte soup, arbitrarily fragmented: no panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 0..8)
+    ) {
+        drive(&chunks);
+    }
+
+    /// Byte soup seeded with HTTP-ish tokens, to reach deeper parser
+    /// states than uniform noise does: still no panic.
+    #[test]
+    fn http_flavoured_bytes_never_panic(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just(b"POST /a/B HTTP/1.1".to_vec()),
+                Just(b"GET /_health HTTP/1.0".to_vec()),
+                Just(b"\r\n".to_vec()),
+                Just(b"\r\n\r\n".to_vec()),
+                Just(b"Content-Length: 5".to_vec()),
+                Just(b"Content-Length: 99999999999999999999".to_vec()),
+                Just(b"Transfer-Encoding: chunked".to_vec()),
+                Just(b"Connection: close".to_vec()),
+                Just(b"{\"a\":1}".to_vec()),
+                Just(b"\xff\xfe\x00".to_vec()),
+            ],
+            0..12
+        )
+    ) {
+        let joined: Vec<u8> = parts.concat();
+        drive(&[joined]);
+    }
+
+    /// A well-formed request with an arbitrary binary body parses whole
+    /// under any fragmentation, and the body survives byte-for-byte.
+    #[test]
+    fn well_formed_requests_round_trip(
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        split in 1usize..64,
+    ) {
+        let head = format!(
+            "POST /acct/Api HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&body);
+
+        let mut buf = BytesMut::new();
+        let mut got = None;
+        for chunk in wire.chunks(split) {
+            buf.extend_from_slice(chunk);
+            if let Some(req) = parse_request(&mut buf, &limits()).unwrap() {
+                got = Some(req);
+            }
+        }
+        let req = got.expect("request must complete");
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), "/acct/Api");
+        prop_assert_eq!(req.body, body);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Responses round-trip through encode + parse under fragmentation.
+    #[test]
+    fn responses_round_trip(
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        split in 1usize..64,
+        keep_alive in any::<bool>(),
+    ) {
+        let wire = encode_response(&Response {
+            status: 200,
+            body: body.clone(),
+            content_type: "application/json",
+            keep_alive,
+        });
+        let mut buf = BytesMut::new();
+        let mut got = None;
+        for chunk in wire.chunks(split) {
+            buf.extend_from_slice(chunk);
+            if let Some(resp) = parse_response(&mut buf, &limits()).unwrap() {
+                got = Some(resp);
+            }
+        }
+        let resp = got.expect("response must complete");
+        prop_assert_eq!(resp.status, 200);
+        prop_assert_eq!(resp.keep_alive, keep_alive);
+        prop_assert_eq!(resp.body, body);
+    }
+}

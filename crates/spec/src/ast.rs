@@ -632,7 +632,10 @@ mod tests {
     fn error_codes_collected() {
         let sm = toy_sm();
         let t = sm.transition("ReleasePublicIp").unwrap();
-        assert_eq!(t.error_codes(), vec![&ErrorCode::new("DependencyViolation")]);
+        assert_eq!(
+            t.error_codes(),
+            vec![&ErrorCode::new("DependencyViolation")]
+        );
     }
 
     #[test]

@@ -228,8 +228,7 @@ impl DependencyGraph {
     /// specification-linking pass must patch.
     pub fn back_edges(&self) -> Vec<(SmName, SmName)> {
         let order = self.generation_order();
-        let pos: BTreeMap<&SmName, usize> =
-            order.iter().enumerate().map(|(i, n)| (n, i)).collect();
+        let pos: BTreeMap<&SmName, usize> = order.iter().enumerate().map(|(i, n)| (n, i)).collect();
         let mut out = Vec::new();
         for (from, deps) in &self.edges {
             for to in deps {
@@ -267,7 +266,10 @@ mod tests {
     #[test]
     fn services_listed() {
         let c = catalog(CHAIN);
-        assert_eq!(c.services(), vec!["compute".to_string(), "database".to_string()]);
+        assert_eq!(
+            c.services(),
+            vec!["compute".to_string(), "database".to_string()]
+        );
         assert_eq!(c.service_sms("compute").len(), 3);
     }
 
@@ -281,7 +283,10 @@ mod tests {
     #[test]
     fn sm_for_api_resolves() {
         let c = catalog(CHAIN);
-        assert_eq!(c.sm_for_api("CreateSubnet").unwrap().name.as_str(), "Subnet");
+        assert_eq!(
+            c.sm_for_api("CreateSubnet").unwrap().name.as_str(),
+            "Subnet"
+        );
         assert!(c.sm_for_api("Missing").is_none());
     }
 

@@ -181,10 +181,7 @@ impl<'a> Ctx<'a> {
                         Some(target) => match target.state(var) {
                             Some(s) => Ty::from_state_type(&s.ty),
                             None => {
-                                self.err(format!(
-                                    "field `{}` not declared on `{}`",
-                                    var, sm_name
-                                ));
+                                self.err(format!("field `{}` not declared on `{}`", var, sm_name));
                                 Ty::Unknown
                             }
                         },
@@ -292,10 +289,7 @@ impl<'a> Ctx<'a> {
                         None => elem = Some(t),
                         Some(prev) => {
                             if !comparable(prev, &t) {
-                                self.err(format!(
-                                    "heterogeneous list: {} vs {}",
-                                    prev, t
-                                ));
+                                self.err(format!("heterogeneous list: {} vs {}", prev, t));
                             }
                         }
                     }
@@ -311,10 +305,7 @@ impl<'a> Ctx<'a> {
                 match &tl {
                     Ty::List(elem) => {
                         if !comparable(elem, &ti) {
-                            self.err(format!(
-                                "list element type {} does not match {}",
-                                elem, ti
-                            ));
+                            self.err(format!("list element type {} does not match {}", elem, ti));
                         }
                         tl.clone()
                     }
@@ -344,10 +335,7 @@ impl<'a> Ctx<'a> {
                     Some(decl) => {
                         let expected = Ty::from_state_type(&decl.ty);
                         if !assignable(&vty, &expected, decl.nullable) {
-                            self.err(format!(
-                                "write of {} to `{}: {}`",
-                                vty, state, decl.ty
-                            ));
+                            self.err(format!("write of {} to `{}: {}`", vty, state, decl.ty));
                         }
                     }
                 }
@@ -388,8 +376,7 @@ impl<'a> Ctx<'a> {
                             api, name
                         )),
                         Some(t) => {
-                            let required =
-                                t.params.iter().filter(|p| !p.optional).count();
+                            let required = t.params.iter().filter(|p| !p.optional).count();
                             if arg_tys.len() < required || arg_tys.len() > t.params.len() {
                                 self.err(format!(
                                     "call to `{}::{}` with {} args (expects {}..={})",
@@ -513,8 +500,7 @@ fn check_sm_with(sm: &SmSpec, catalog: Option<&BTreeMap<SmName, &SmSpec>>) -> Ve
 /// catalog-level structural rules.
 pub fn check_catalog(sms: &[SmSpec]) -> Vec<CheckError> {
     let mut errors = Vec::new();
-    let index: BTreeMap<SmName, &SmSpec> =
-        sms.iter().map(|sm| (sm.name.clone(), sm)).collect();
+    let index: BTreeMap<SmName, &SmSpec> = sms.iter().map(|sm| (sm.name.clone(), sm)).collect();
 
     // Duplicate SM names.
     for (i, sm) in sms.iter().enumerate() {
@@ -750,12 +736,11 @@ mod tests {
 
     #[test]
     fn catalog_check_catches_undefined_reference() {
-        let sms = parse_catalog(
-            r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#,
-        )
-        .unwrap();
+        let sms = parse_catalog(r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#).unwrap();
         let errs = check_catalog(&sms);
-        assert!(errs.iter().any(|e| e.message.contains("undefined state machine `Ghost`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undefined state machine `Ghost`")));
     }
 
     #[test]
@@ -792,7 +777,11 @@ mod tests {
         )
         .unwrap();
         let errs = check_catalog(&sms);
-        assert!(errs.iter().any(|e| e.message.contains("with 1 args")), "{:?}", errs);
+        assert!(
+            errs.iter().any(|e| e.message.contains("with 1 args")),
+            "{:?}",
+            errs
+        );
     }
 
     #[test]
@@ -806,7 +795,9 @@ mod tests {
         )
         .unwrap();
         let errs = check_catalog(&sms);
-        assert!(errs.iter().any(|e| e.message.contains("undeclared transition `Ghost`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undeclared transition `Ghost`")));
     }
 
     #[test]
@@ -837,7 +828,9 @@ mod tests {
         )
         .unwrap();
         let errs = check_catalog(&sms);
-        assert!(errs.iter().any(|e| e.message.contains("does not declare `Vpc` as parent")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("does not declare `Vpc` as parent")));
     }
 
     #[test]
@@ -858,11 +851,12 @@ mod tests {
 
     #[test]
     fn catalog_check_duplicate_sm() {
-        let sms = parse_catalog(
-            r#"sm A { service "s"; states { } } sm A { service "s"; states { } }"#,
-        )
-        .unwrap();
+        let sms =
+            parse_catalog(r#"sm A { service "s"; states { } } sm A { service "s"; states { } }"#)
+                .unwrap();
         let errs = check_catalog(&sms);
-        assert!(errs.iter().any(|e| e.message.contains("duplicate state machine")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate state machine")));
     }
 }

@@ -89,14 +89,22 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
                     push!(TokenKind::AndAnd, 2)
                 } else {
-                    return Err(ParseError::new("unexpected `&` (did you mean `&&`?)", line, col));
+                    return Err(ParseError::new(
+                        "unexpected `&` (did you mean `&&`?)",
+                        line,
+                        col,
+                    ));
                 }
             }
             '|' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
                     push!(TokenKind::OrOr, 2)
                 } else {
-                    return Err(ParseError::new("unexpected `|` (did you mean `||`?)", line, col));
+                    return Err(ParseError::new(
+                        "unexpected `|` (did you mean `||`?)",
+                        line,
+                        col,
+                    ));
                 }
             }
             '"' => {

@@ -72,5 +72,7 @@ pub use builder::{SmBuilder, TransitionBuilder};
 pub use catalog::{Catalog, DependencyGraph};
 pub use check::{check_catalog, check_sm, CheckError};
 pub use error::{ParseError, SpecError};
-pub use parser::{parse_catalog, parse_expr, parse_literal, parse_sm, parse_state_type, parse_stmt};
+pub use parser::{
+    parse_catalog, parse_expr, parse_literal, parse_sm, parse_state_type, parse_stmt,
+};
 pub use printer::{print_catalog, print_expr, print_sm};

@@ -42,14 +42,7 @@ pub fn print_sm(sm: &SmSpec) -> String {
         let params = t
             .params
             .iter()
-            .map(|p| {
-                format!(
-                    "{}: {}{}",
-                    p.name,
-                    p.ty,
-                    if p.optional { "?" } else { "" }
-                )
-            })
+            .map(|p| format!("{}: {}{}", p.name, p.ty, if p.optional { "?" } else { "" }))
             .collect::<Vec<_>>()
             .join(", ");
         let internal = if t.internal { " internal" } else { "" };
@@ -89,7 +82,13 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             error,
             message,
         } => {
-            let _ = writeln!(out, "assert({}) else {} {:?};", print_expr(pred), error, message);
+            let _ = writeln!(
+                out,
+                "assert({}) else {} {:?};",
+                print_expr(pred),
+                error,
+                message
+            );
         }
         Stmt::Call { target, api, args } => {
             let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
@@ -179,12 +178,7 @@ fn print_prec(e: &Expr, min: u8) -> String {
             // the right child must bind strictly tighter. Comparison is
             // non-associative, so both sides must bind tighter.
             let (lmin, rmin) = if p == 2 { (p + 1, p + 1) } else { (p, p + 1) };
-            format!(
-                "{} {} {}",
-                print_prec(a, lmin),
-                ops,
-                print_prec(b, rmin)
-            )
+            format!("{} {} {}", print_prec(a, lmin), ops, print_prec(b, rmin))
         }
         Expr::ListOf(items) => {
             let inner = items

@@ -21,7 +21,9 @@ fn reject_missing_braces() {
 
 #[test]
 fn reject_param_without_type() {
-    assert!(parse_sm(r#"sm A { service "s"; states { } transition T(X) kind modify { } }"#).is_err());
+    assert!(
+        parse_sm(r#"sm A { service "s"; states { } transition T(X) kind modify { } }"#).is_err()
+    );
 }
 
 #[test]

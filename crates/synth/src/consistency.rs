@@ -9,9 +9,7 @@
 //! hierarchy. Structural typing is delegated to [`lce_spec::check_sm`] /
 //! [`lce_spec::check_catalog`].
 
-use lce_spec::{
-    check_catalog, check_sm, ApiName, Catalog, SmName, SmSpec, Stmt, TransitionKind,
-};
+use lce_spec::{check_catalog, check_sm, ApiName, Catalog, SmName, SmSpec, Stmt, TransitionKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -32,7 +30,11 @@ pub struct SoundnessViolation {
 impl fmt::Display for SoundnessViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.transition {
-            Some(t) => write!(f, "[{}] {}::{}: {}", self.template, self.sm, t, self.message),
+            Some(t) => write!(
+                f,
+                "[{}] {}::{}: {}",
+                self.template, self.sm, t, self.message
+            ),
             None => write!(f, "[{}] {}: {}", self.template, self.sm, self.message),
         }
     }
@@ -249,9 +251,7 @@ mod tests {
 
     #[test]
     fn completeness_detects_missing_resource() {
-        let c = catalog_of(
-            r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#,
-        );
+        let c = catalog_of(r#"sm A { service "s"; states { b: ref(Ghost)?; } }"#);
         let findings = check_catalog_consistency(&c);
         assert!(findings.iter().any(|f| f.contains("Ghost")));
     }

@@ -100,7 +100,10 @@ mod tests {
         let spec = toy();
         let mut rng = StdRng::seed_from_u64(1);
         match decode(&spec, &NoiseConfig::none(), true, &mut rng) {
-            DecodeOutcome::Ok { spec: out, rejected } => {
+            DecodeOutcome::Ok {
+                spec: out,
+                rejected,
+            } => {
                 assert_eq!(*out, spec);
                 assert_eq!(rejected, 0);
             }
@@ -152,6 +155,9 @@ mod tests {
                 total += rejected;
             }
         }
-        assert!(total > 0, "with p_grammar=0.95 some samples must be rejected");
+        assert!(
+            total > 0,
+            "with p_grammar=0.95 some samples must be rejected"
+        );
     }
 }

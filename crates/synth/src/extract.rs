@@ -102,9 +102,8 @@ pub fn extract_resource(doc: &ResourceDoc) -> Result<SmSpec, ExtractError> {
                 optional: p.optional,
             });
         }
-        let body = parse_clauses(&a.behavior).map_err(|e| {
-            ExtractError::new(format!("{}::{}: {}", doc.name, a.name, e.message))
-        })?;
+        let body = parse_clauses(&a.behavior)
+            .map_err(|e| ExtractError::new(format!("{}::{}: {}", doc.name, a.name, e.message)))?;
         spec.transitions.push(Transition {
             name: ApiName::new(a.name.clone()),
             kind,
@@ -132,8 +131,8 @@ mod tests {
         let sections = wrangle_provider(provider, &docs).unwrap();
         assert_eq!(sections.len(), provider.catalog.len());
         for section in &sections {
-            let extracted = extract_resource(section)
-                .unwrap_or_else(|e| panic!("extraction failed: {}", e));
+            let extracted =
+                extract_resource(section).unwrap_or_else(|e| panic!("extraction failed: {}", e));
             let golden = provider
                 .catalog
                 .get(&extracted.name)

@@ -34,15 +34,15 @@
 //!    dependency order; dangling cross-machine calls (stubs) are patched in
 //!    a final linking pass ([`pipeline`]).
 
-pub mod constrain;
 pub mod consistency;
+pub mod constrain;
 pub mod extract;
 pub mod noise;
 pub mod pipeline;
 pub mod sentence;
 
-pub use constrain::{decode, DecodeOutcome};
 pub use consistency::{check_soundness, SoundnessViolation};
+pub use constrain::{decode, DecodeOutcome};
 pub use extract::{extract_resource, ExtractError};
 pub use noise::{apply_noise, apply_noise_seeded, FaultKind, InjectedFault, NoiseConfig};
 pub use pipeline::{synthesize, PipelineConfig, SmSynthesis, SynthesisReport};

@@ -159,7 +159,11 @@ pub fn apply_noise_seeded(
 
 /// Apply semantic noise to a faithfully extracted spec. Returns the
 /// corrupted spec and the record of injections. Deterministic in `rng`.
-pub fn apply_noise(spec: &SmSpec, cfg: &NoiseConfig, rng: &mut StdRng) -> (SmSpec, Vec<InjectedFault>) {
+pub fn apply_noise(
+    spec: &SmSpec,
+    cfg: &NoiseConfig,
+    rng: &mut StdRng,
+) -> (SmSpec, Vec<InjectedFault>) {
     let mut out = spec.clone();
     let mut faults = Vec::new();
 
@@ -205,7 +209,6 @@ pub fn apply_noise(spec: &SmSpec, cfg: &NoiseConfig, rng: &mut StdRng) -> (SmSpe
                     transition: Some(t.name.clone()),
                     kind: FaultKind::DescribeSideEffect,
                     detail: format!("describe mutates state: {:?}", mutation),
-
                 });
             }
         }
@@ -272,9 +275,7 @@ impl TransitionNoise<'_> {
         for stmt in stmts {
             match stmt {
                 Stmt::Write { state, value } => {
-                    if self.dropped.iter().any(|d| d == &state)
-                        || self.mentions_dropped(&value)
-                    {
+                    if self.dropped.iter().any(|d| d == &state) || self.mentions_dropped(&value) {
                         continue; // writes to/through missing state vanish
                     }
                     out.push(Stmt::Write { state, value });
@@ -477,7 +478,11 @@ mod tests {
         assert!(faults.iter().any(|f| f.kind == FaultKind::DropStateVar));
         // The corrupted spec must still type check: no dangling reads.
         let errs = check_sm(&out);
-        assert!(errs.is_empty(), "noise left dangling references: {:?}", errs);
+        assert!(
+            errs.is_empty(),
+            "noise left dangling references: {:?}",
+            errs
+        );
     }
 
     #[test]
@@ -518,7 +523,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(3);
         let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
-        assert!(faults.iter().any(|f| f.kind == FaultKind::DescribeSideEffect));
+        assert!(faults
+            .iter()
+            .any(|f| f.kind == FaultKind::DescribeSideEffect));
         let desc = out.transition("DescribeInstance").unwrap();
         assert!(desc
             .all_stmts()
@@ -537,9 +544,10 @@ mod tests {
         let (out, faults) = apply_noise(&spec, &cfg, &mut rng);
         assert!(faults.iter().any(|f| f.kind == FaultKind::UnreachableCall));
         let attach = out.transition("Attach").unwrap();
-        let has_bogus = attach.all_stmts().iter().any(|s| {
-            matches!(s, Stmt::Call { api, .. } if api.as_str() == "SyncBind")
-        });
+        let has_bogus = attach
+            .all_stmts()
+            .iter()
+            .any(|s| matches!(s, Stmt::Call { api, .. } if api.as_str() == "SyncBind"));
         assert!(has_bogus);
     }
 

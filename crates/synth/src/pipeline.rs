@@ -396,38 +396,37 @@ fn patch_stmts(
     let mut patched = 0usize;
     for s in stmts.iter_mut() {
         match s {
-            Stmt::Call { api, .. }
-                if !resolves(api) => {
-                    // Try the documented call name: strip the corruption
-                    // prefix, or find the unique documented call in the
-                    // same transition.
-                    let mut fixed = None;
-                    if let Some(stripped) = api.as_str().strip_prefix("Sync") {
-                        let candidate = ApiName::new(stripped);
-                        if resolves(&candidate) {
-                            fixed = Some(candidate);
-                        }
-                    }
-                    if fixed.is_none() {
-                        if let Some(truth_t) = truth {
-                            let doc_calls: Vec<&ApiName> = truth_t
-                                .all_stmts()
-                                .into_iter()
-                                .filter_map(|s| match s {
-                                    Stmt::Call { api, .. } => Some(api),
-                                    _ => None,
-                                })
-                                .collect();
-                            if doc_calls.len() == 1 && resolves(doc_calls[0]) {
-                                fixed = Some(doc_calls[0].clone());
-                            }
-                        }
-                    }
-                    if let Some(f) = fixed {
-                        *api = f;
-                        patched += 1;
+            Stmt::Call { api, .. } if !resolves(api) => {
+                // Try the documented call name: strip the corruption
+                // prefix, or find the unique documented call in the
+                // same transition.
+                let mut fixed = None;
+                if let Some(stripped) = api.as_str().strip_prefix("Sync") {
+                    let candidate = ApiName::new(stripped);
+                    if resolves(&candidate) {
+                        fixed = Some(candidate);
                     }
                 }
+                if fixed.is_none() {
+                    if let Some(truth_t) = truth {
+                        let doc_calls: Vec<&ApiName> = truth_t
+                            .all_stmts()
+                            .into_iter()
+                            .filter_map(|s| match s {
+                                Stmt::Call { api, .. } => Some(api),
+                                _ => None,
+                            })
+                            .collect();
+                        if doc_calls.len() == 1 && resolves(doc_calls[0]) {
+                            fixed = Some(doc_calls[0].clone());
+                        }
+                    }
+                }
+                if let Some(f) = fixed {
+                    *api = f;
+                    patched += 1;
+                }
+            }
             Stmt::If { then, els, .. } => {
                 patched += patch_stmts(then, truth, declared);
                 patched += patch_stmts(els, truth, declared);
@@ -474,7 +473,11 @@ mod tests {
         // the consistency + linking stages.
         assert_eq!(report.fault_count(FaultKind::DescribeSideEffect), 0);
         assert_eq!(report.fault_count(FaultKind::UnreachableCall), 0);
-        assert!(report.catalog_findings.is_empty(), "{:?}", report.catalog_findings);
+        assert!(
+            report.catalog_findings.is_empty(),
+            "{:?}",
+            report.catalog_findings
+        );
     }
 
     #[test]

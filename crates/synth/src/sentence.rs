@@ -37,7 +37,11 @@ fn parse_block(lines: &[BehaviorLine], depth: usize) -> Result<(Vec<Stmt>, usize
         if line.text == "Otherwise:" {
             break; // handled by the enclosing `When`
         }
-        if let Some(pred_text) = line.text.strip_prefix("When `").and_then(|r| r.strip_suffix("`:")) {
+        if let Some(pred_text) = line
+            .text
+            .strip_prefix("When `")
+            .and_then(|r| r.strip_suffix("`:"))
+        {
             let pred = parse_embedded_expr(pred_text)?;
             i += 1;
             let (then, consumed) = parse_block(&lines[i..], depth + 1)?;
@@ -59,9 +63,8 @@ fn parse_block(lines: &[BehaviorLine], depth: usize) -> Result<(Vec<Stmt>, usize
 }
 
 fn parse_embedded_expr(text: &str) -> Result<Expr, ExtractError> {
-    parse_expr(text).map_err(|e| {
-        ExtractError::new(format!("bad expression in clause: {} ({})", text, e))
-    })
+    parse_expr(text)
+        .map_err(|e| ExtractError::new(format!("bad expression in clause: {} ({})", text, e)))
 }
 
 /// Parse one non-branching clause.
@@ -89,9 +92,8 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
             .rfind(marker)
             .ok_or_else(|| ExtractError::new(format!("bad failure clause: {}", text)))?;
         let quoted_message = &rest[..split];
-        let message: String = serde_json::from_str(quoted_message).map_err(|_| {
-            ExtractError::new(format!("bad failure message in clause: {}", text))
-        })?;
+        let message: String = serde_json::from_str(quoted_message)
+            .map_err(|_| ExtractError::new(format!("bad failure message in clause: {}", text)))?;
         let pred_text = rest[split + marker.len()..]
             .strip_suffix("`.")
             .ok_or_else(|| ExtractError::new(format!("bad failure clause: {}", text)))?;
@@ -118,9 +120,7 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
                 let inner = piece
                     .strip_prefix('`')
                     .and_then(|p| p.strip_suffix('`'))
-                    .ok_or_else(|| {
-                        ExtractError::new(format!("bad invoke argument: {}", piece))
-                    })?;
+                    .ok_or_else(|| ExtractError::new(format!("bad invoke argument: {}", piece)))?;
                 args.push(parse_embedded_expr(inner)?);
             }
         }

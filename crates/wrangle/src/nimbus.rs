@@ -76,7 +76,7 @@ fn parse_resource(name: &str, lines: &[&str]) -> Result<ResourceDoc, WrangleErro
         apis: Vec::new(),
     };
     let mut i = 1; // skip header
-    // Resource-level fields until the attribute list.
+                   // Resource-level fields until the attribute list.
     while i < lines.len() {
         let l = lines[i].trim_end();
         if let Some(v) = l.strip_prefix("Service: ") {
@@ -270,10 +270,7 @@ mod tests {
     fn subnet_parent_recovered() {
         let secs = sections();
         let subnet = secs.iter().find(|s| s.name == "Subnet").unwrap();
-        assert_eq!(
-            subnet.parent,
-            Some(("Vpc".to_string(), "vpc".to_string()))
-        );
+        assert_eq!(subnet.parent, Some(("Vpc".to_string(), "vpc".to_string())));
     }
 
     #[test]
@@ -281,7 +278,10 @@ mod tests {
         let secs = sections();
         let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
         let modify = vpc.api("ModifyVpcAttribute").unwrap();
-        assert!(modify.behavior.iter().any(|b| b.depth == 0 && b.text.starts_with("When")));
+        assert!(modify
+            .behavior
+            .iter()
+            .any(|b| b.depth == 0 && b.text.starts_with("When")));
         assert!(modify.behavior.iter().any(|b| b.depth == 1));
     }
 
@@ -298,9 +298,17 @@ mod tests {
         let secs = sections();
         let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
         let create = vpc.api("CreateVpc").unwrap();
-        let tenancy = create.params.iter().find(|p| p.name == "InstanceTenancy").unwrap();
+        let tenancy = create
+            .params
+            .iter()
+            .find(|p| p.name == "InstanceTenancy")
+            .unwrap();
         assert!(tenancy.optional);
-        let cidr = create.params.iter().find(|p| p.name == "CidrBlock").unwrap();
+        let cidr = create
+            .params
+            .iter()
+            .find(|p| p.name == "CidrBlock")
+            .unwrap();
         assert!(!cidr.optional);
     }
 
@@ -308,13 +316,19 @@ mod tests {
     fn defaults_recovered() {
         let secs = sections();
         let vpc = secs.iter().find(|s| s.name == "Vpc").unwrap();
-        let dns = vpc.states.iter().find(|s| s.name == "enable_dns_support").unwrap();
+        let dns = vpc
+            .states
+            .iter()
+            .find(|s| s.name == "enable_dns_support")
+            .unwrap();
         assert_eq!(dns.default_text.as_deref(), Some("true"));
     }
 
     #[test]
     fn rejects_pages_input() {
-        let err = NimbusAdapter.wrangle(&RenderedDocs::Pages(vec![])).unwrap_err();
+        let err = NimbusAdapter
+            .wrangle(&RenderedDocs::Pages(vec![]))
+            .unwrap_err();
         assert!(err.message.contains("consolidated"));
     }
 }

@@ -92,11 +92,7 @@ fn parse_page(body: &str) -> Result<ResourceDoc, WrangleError> {
 }
 
 fn parse_property_row(row: &str) -> Result<StateDoc, WrangleError> {
-    let cells: Vec<&str> = row
-        .trim_matches('|')
-        .split('|')
-        .map(|c| c.trim())
-        .collect();
+    let cells: Vec<&str> = row.trim_matches('|').split('|').map(|c| c.trim()).collect();
     if cells.len() != 4 {
         return Err(WrangleError::new(format!("bad property row: {}", row)));
     }
@@ -228,7 +224,11 @@ mod tests {
         assert_eq!(vnet.service, "compute");
         assert_eq!(vnet.id_param, "VirtualNetworkId");
         assert!(vnet.states.iter().any(|s| s.name == "address_space"));
-        let ddos = vnet.states.iter().find(|s| s.name == "ddos_protection").unwrap();
+        let ddos = vnet
+            .states
+            .iter()
+            .find(|s| s.name == "ddos_protection")
+            .unwrap();
         assert_eq!(ddos.default_text.as_deref(), Some("false"));
     }
 
@@ -257,7 +257,10 @@ mod tests {
     #[test]
     fn internal_operations_flagged() {
         let secs = sections();
-        let nic = secs.iter().find(|s| s.name == "NetworkInterfaceCard").unwrap();
+        let nic = secs
+            .iter()
+            .find(|s| s.name == "NetworkInterfaceCard")
+            .unwrap();
         assert!(nic.api("BindPublicIp").unwrap().internal);
         assert!(!nic.api("CreateNetworkInterfaceCard").unwrap().internal);
     }

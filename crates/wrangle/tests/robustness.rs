@@ -108,10 +108,9 @@ fn stratus_bad_property_row_is_reported() {
         .iter_mut()
         .find(|p| p.body.contains("| address_space | str |  |  |"))
         .expect("virtual-network page");
-    page.body = page.body.replace(
-        "| address_space | str |  |  |",
-        "| address_space | str |",
-    );
+    page.body = page
+        .body
+        .replace("| address_space | str |  |  |", "| address_space | str |");
     let err = StratusAdapter
         .wrangle(&RenderedDocs::Pages(pages))
         .unwrap_err();

@@ -22,8 +22,7 @@ fn main() {
     );
 
     let sections = wrangle_provider(&provider, &docs).expect("wrangle");
-    let (mut catalog, _) =
-        synthesize(&sections, &PipelineConfig::learned(3)).expect("synthesize");
+    let (mut catalog, _) = synthesize(&sections, &PipelineConfig::learned(3)).expect("synthesize");
 
     let report = run_alignment(
         &mut catalog,
@@ -44,9 +43,18 @@ fn main() {
 
     let by = |s: RepairStrategy| report.repairs.iter().filter(|r| r.strategy == s).count();
     println!("\nrepairs applied: {}", report.repairs.len());
-    println!("  re-extracted from docs : {}", by(RepairStrategy::ReExtract));
-    println!("  mined from cloud probes: {}", by(RepairStrategy::ProbeMined));
-    println!("  relaxed mined guards   : {}", by(RepairStrategy::RelaxMinedGuard));
+    println!(
+        "  re-extracted from docs : {}",
+        by(RepairStrategy::ReExtract)
+    );
+    println!(
+        "  mined from cloud probes: {}",
+        by(RepairStrategy::ProbeMined)
+    );
+    println!(
+        "  relaxed mined guards   : {}",
+        by(RepairStrategy::RelaxMinedGuard)
+    );
 
     if report.unrepaired.is_empty() {
         println!("\nno residual divergences on the generated suite");
@@ -56,7 +64,10 @@ fn main() {
             report.unrepaired.len()
         );
         for d in report.unrepaired.iter().take(5) {
-            println!("  {}::{} [{}] — {}", d.case_sm, d.case_api, d.class, d.description);
+            println!(
+                "  {}::{} [{}] — {}",
+                d.case_sm, d.case_api, d.class, d.description
+            );
         }
     }
 
@@ -64,7 +75,12 @@ fn main() {
     'outer: for sm in catalog.iter() {
         for t in &sm.transitions {
             for s in t.all_stmts() {
-                if let lce_spec::Stmt::Assert { pred, error, message } = s {
+                if let lce_spec::Stmt::Assert {
+                    pred,
+                    error,
+                    message,
+                } = s
+                {
                     if message == "mined via alignment probing" {
                         println!(
                             "\nexample mined guard on {}::{}:\n  assert({}) else {}",

@@ -39,9 +39,9 @@ fn policy(task: &str, step: usize, memory: &mut Vec<Value>) -> Option<ApiCall> {
                 .arg("ImageId", remember(memory, 2))
                 .arg_str("InstanceType", "t3.micro"),
         ),
-        ("guarded-vpc", 2) => Some(
-            ApiCall::new("CreateFirewallPolicy").arg_str("PolicyName", "agent-policy"),
-        ),
+        ("guarded-vpc", 2) => {
+            Some(ApiCall::new("CreateFirewallPolicy").arg_str("PolicyName", "agent-policy"))
+        }
         ("guarded-vpc", 3) => Some(
             ApiCall::new("CreateFirewall")
                 .arg("VpcId", remember(memory, 0))

@@ -73,6 +73,9 @@ fn main() {
     let vs_learned = compare_runs(&cloud_run, &learned_run);
     println!(
         "alignment with the cloud: moto-like {}/{} steps, learned {}/{} steps",
-        vs_moto.aligned_steps, vs_moto.total_steps, vs_learned.aligned_steps, vs_learned.total_steps
+        vs_moto.aligned_steps,
+        vs_moto.total_steps,
+        vs_learned.aligned_steps,
+        vs_learned.total_steps
     );
 }

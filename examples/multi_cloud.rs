@@ -15,8 +15,7 @@ use learned_cloud_emulators::prelude::*;
 fn learn(provider: &Provider) -> Catalog {
     let (docs, _) = provider.render_docs(DocFidelity::Complete);
     let sections = wrangle_provider(provider, &docs).expect("wrangle");
-    let (mut catalog, _) =
-        synthesize(&sections, &PipelineConfig::learned(7)).expect("synthesize");
+    let (mut catalog, _) = synthesize(&sections, &PipelineConfig::learned(7)).expect("synthesize");
     run_alignment(
         &mut catalog,
         EmulatorConfig::framework(),

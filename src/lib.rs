@@ -22,6 +22,7 @@
 //! | [`devops`] | `lce-devops` | DevOps programs, the runner, the evaluation scenarios |
 //! | [`metrics`] | `lce-metrics` | complexity/coverage/anti-pattern analyses |
 //! | [`gym`] | `lce-gym` | the cloud gym environment for agents |
+//! | [`server`] | `lce-server` | the HTTP serving layer + remote-backend client |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use lce_devops as devops;
 pub use lce_emulator as emulator;
 pub use lce_gym as gym;
 pub use lce_metrics as metrics;
+pub use lce_server as server;
 pub use lce_spec as spec;
 pub use lce_synth as synth;
 pub use lce_wrangle as wrangle;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
     pub use lce_devops::{compare_runs, run_program, Arg, Program};
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
+    pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
     pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, SmSpec};
     pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
     pub use lce_wrangle::wrangle_provider;

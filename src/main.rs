@@ -6,11 +6,14 @@
 //! lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
 //! lce run    --catalog FILE [--state FILE] --program FILE.json
 //! lce spec   --provider <nimbus|stratus> [--resource Name]
+//! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
 //! ```
 //!
 //! `synth` learns an emulator from the provider's documentation and saves
 //! the catalog as JSON; `call`/`run` reload it and drive it like a cloud
-//! endpoint. Programs for `run` are `lce_devops::Program` JSON.
+//! endpoint. Programs for `run` are `lce_devops::Program` JSON. `serve`
+//! exposes the catalog as a LocalStack-style HTTP endpoint with one
+//! isolated emulator per account (`POST /<account>/<Api>`).
 
 use learned_cloud_emulators::prelude::*;
 use std::collections::BTreeMap;
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
         "call" => cmd_call(rest),
         "run" => cmd_run(rest),
         "spec" => cmd_spec(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -50,7 +54,8 @@ USAGE:
   lce synth  --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
   lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
   lce run    --catalog FILE [--state FILE] --program FILE.json
-  lce spec   --provider <nimbus|stratus> [--resource Name]";
+  lce spec   --provider <nimbus|stratus> [--resource Name]
+  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]";
 
 /// Parse `--key value` flags and positional arguments.
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
@@ -245,6 +250,40 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         Err("program had failing steps".into())
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let catalog = load_catalog(&flags)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7583".to_string());
+    let threads: usize = flags
+        .get("threads")
+        .map(|s| s.parse().map_err(|_| "bad --threads value"))
+        .transpose()?
+        .unwrap_or(4);
+    let config = ServerConfig {
+        addr,
+        threads,
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, move || {
+        Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "lce-server listening on http://{} ({} workers)",
+        handle.addr(),
+        threads
+    );
+    eprintln!("  POST /<account>/<Api>    invoke (JSON body of arguments)");
+    eprintln!("  POST /<account>/_reset   drop the account's resources");
+    eprintln!("  GET  /_health            liveness");
+    eprintln!("  GET  /_apis              supported API list");
+    handle.join();
+    Ok(())
 }
 
 fn cmd_spec(args: &[String]) -> Result<(), String> {

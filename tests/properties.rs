@@ -1,10 +1,8 @@
 //! Property-based tests over the core data structures and pipeline
 //! invariants, using generated SM specifications.
 
+use lce_spec::{check_sm, print_sm, Expr, SmBuilder, StateType, TransitionBuilder, TransitionKind};
 use learned_cloud_emulators::prelude::*;
-use lce_spec::{
-    check_sm, print_sm, Expr, SmBuilder, StateType, TransitionBuilder, TransitionKind,
-};
 use proptest::prelude::*;
 
 /// Strategy: a lowercase identifier.
@@ -57,13 +55,10 @@ fn arb_sm() -> impl Strategy<Value = lce_spec::SmSpec> {
             b = b.transition(describe.build());
             for (i, (var, ty)) in states.iter().enumerate().take(n_modifies) {
                 b = b.transition(
-                    TransitionBuilder::new(
-                        format!("Set{}{}", name, i),
-                        TransitionKind::Modify,
-                    )
-                    .param("V", ty.clone())
-                    .write(var.clone(), Expr::arg("V"))
-                    .build(),
+                    TransitionBuilder::new(format!("Set{}{}", name, i), TransitionKind::Modify)
+                        .param("V", ty.clone())
+                        .write(var.clone(), Expr::arg("V"))
+                        .build(),
                 );
             }
             b.build()
