@@ -28,7 +28,7 @@ use crate::diff::{run_suite, Divergence, SuiteOutcome};
 use crate::tracegen::{generate_suite, SuiteStats, TestCase, INT_SWEEP};
 use lce_devops::{run_program, Arg, Program};
 use lce_emulator::{Backend, Emulator, EmulatorConfig, Value};
-use lce_spec::{ApiName, Catalog, ErrorCode, Expr, SmName, SmSpec, StateType, Stmt};
+use lce_spec::{ApiName, Catalog, ErrorCode, Expr, SmName, SmSpec, Span, StateType, Stmt};
 use lce_synth::extract_resource;
 use lce_wrangle::ResourceDoc;
 use serde::{Deserialize, Serialize};
@@ -391,6 +391,7 @@ fn mine_structural(
         pred,
         error: ErrorCode::new(code),
         message: MINED_MESSAGE.to_string(),
+        span: Span::NONE,
     };
     match kind {
         ProbeKind::RepeatCall | ProbeKind::RepeatCreate => {
@@ -401,6 +402,7 @@ fn mine_structural(
                 if let Stmt::Write {
                     state,
                     value: Expr::Append(list, item),
+                    ..
                 } = s
                 {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
@@ -416,6 +418,7 @@ fn mine_structural(
                 if let Stmt::Write {
                     state,
                     value: Expr::Remove(list, item),
+                    ..
                 } = s
                 {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
@@ -435,6 +438,7 @@ fn mine_structural(
                 if let Stmt::Write {
                     state,
                     value: Expr::Arg(p),
+                    ..
                 } = s
                 {
                     if t.param(p).is_some_and(|q| !q.optional) {
@@ -449,6 +453,7 @@ fn mine_structural(
                     target,
                     api: callee_api,
                     args,
+                    ..
                 } = s
                 {
                     let [Expr::Arg(p)] = args.as_slice() else {
@@ -472,6 +477,7 @@ fn mine_structural(
                         if let Stmt::Write {
                             state: v,
                             value: Expr::Append(..),
+                            ..
                         } = cs
                         {
                             return Some(mined(Expr::not(Expr::Binary(
@@ -517,7 +523,10 @@ fn mine_structural(
                     }
                     let callee = sm.transition(callee_api.as_str())?;
                     for cs in callee.all_stmts() {
-                        if let Stmt::Write { state: v, value } = cs {
+                        if let Stmt::Write {
+                            state: v, value, ..
+                        } = cs
+                        {
                             // Reference binding ⇒ must be unbound to destroy.
                             if matches!(&sm.state(v).map(|s| &s.ty), Some(StateType::Ref(_))) {
                                 return Some(mined(Expr::is_null(Expr::read(v))));
@@ -544,6 +553,7 @@ fn mine_structural(
                 if let Stmt::Write {
                     state,
                     value: Expr::Remove(list, item),
+                    ..
                 } = s
                 {
                     if let (Expr::Read(v), Expr::Arg(p)) = (&**list, &**item) {
@@ -686,6 +696,7 @@ fn synthesize_guard(p: &lce_spec::Param, ok: &[Value], fail: &[Value], code: &st
         pred,
         error: ErrorCode::new(code),
         message: MINED_MESSAGE.to_string(),
+        span: Span::NONE,
     })
 }
 

@@ -106,6 +106,7 @@ pub fn solve_path_k(sm: &SmSpec, t: &Transition, path: &SymPath, k: usize) -> Ve
                 if let lce_spec::Stmt::Write {
                     state,
                     value: Expr::Arg(p),
+                    ..
                 } = st
                 {
                     if state == var {

@@ -202,7 +202,9 @@ fn walk(
             });
             walk(rest_work, c, store, out, max);
         }
-        Stmt::If { pred, then, els } => {
+        Stmt::If {
+            pred, then, els, ..
+        } => {
             let pred = substitute(pred, &store);
             let mut then_work = rest_work.clone();
             if !then.is_empty() {
@@ -226,7 +228,7 @@ fn walk(
             });
             walk(else_work, c, store, out, max);
         }
-        Stmt::Write { state, value } => {
+        Stmt::Write { state, value, .. } => {
             let mut store = store;
             let substituted = substitute(value, &store);
             store.insert(state.clone(), substituted);

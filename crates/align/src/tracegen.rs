@@ -844,6 +844,7 @@ fn arg_setter_param(t: &Transition, var: &str) -> Option<String> {
         if let Stmt::Write {
             state,
             value: lce_spec::Expr::Arg(p),
+            ..
         } = s
         {
             if state == var {
@@ -880,7 +881,9 @@ fn preconditions_hold(
                     return false;
                 }
             }
-            Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
+            Stmt::If {
+                pred, then, els, ..
+            } => match eval_concrete(pred, args, state) {
                 Some(Value::Bool(true)) if !preconditions_hold(then, args, state) => {
                     return false;
                 }
@@ -904,7 +907,9 @@ fn apply_writes(
 ) {
     for s in body {
         match s {
-            Stmt::Write { state: var, value } => match eval_concrete(value, args, state) {
+            Stmt::Write {
+                state: var, value, ..
+            } => match eval_concrete(value, args, state) {
                 Some(v) => {
                     state.insert(var.clone(), v);
                 }
@@ -912,7 +917,9 @@ fn apply_writes(
                     state.remove(var);
                 }
             },
-            Stmt::If { pred, then, els } => match eval_concrete(pred, args, state) {
+            Stmt::If {
+                pred, then, els, ..
+            } => match eval_concrete(pred, args, state) {
                 Some(Value::Bool(true)) => apply_writes(then, args, state),
                 Some(Value::Bool(false)) => apply_writes(els, args, state),
                 _ => {

@@ -35,6 +35,7 @@ pub fn run_ablation_constrain(seed: u64) -> String {
                 // ill-formed machines are lost — the raw-LLM failure mode.
                 syntax_reprompt: false,
                 consistency_checks: false,
+                lint: false,
                 linking: false,
                 max_regen_rounds: 0,
                 noise_decay: 1.0,
@@ -71,6 +72,7 @@ pub fn run_ablation_checks(seed: u64) -> String {
     let run = |checks: bool| {
         let cfg = PipelineConfig {
             consistency_checks: checks,
+            lint: checks,
             linking: checks,
             max_regen_rounds: if checks { 4 } else { 0 },
             ..PipelineConfig::learned(seed)

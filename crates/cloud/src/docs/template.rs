@@ -44,7 +44,7 @@ pub fn render_body(body: &[Stmt]) -> Vec<Clause> {
 
 fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
     match stmt {
-        Stmt::Write { state, value } => {
+        Stmt::Write { state, value, .. } => {
             out.push(Clause::new(
                 depth,
                 format!("Sets attribute `{}` to `{}`.", state, print_expr(value)),
@@ -54,6 +54,7 @@ fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
             pred,
             error,
             message,
+            ..
         } => {
             out.push(Clause::new(
                 depth,
@@ -65,7 +66,9 @@ fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
                 ),
             ));
         }
-        Stmt::Call { target, api, args } => {
+        Stmt::Call {
+            target, api, args, ..
+        } => {
             let rendered: Vec<String> = args
                 .iter()
                 .map(|a| format!("`{}`", print_expr(a)))
@@ -80,13 +83,15 @@ fn render_stmt(stmt: &Stmt, depth: usize, out: &mut Vec<Clause>) {
                 ),
             ));
         }
-        Stmt::Emit { field, value } => {
+        Stmt::Emit { field, value, .. } => {
             out.push(Clause::new(
                 depth,
                 format!("Returns field `{}` as `{}`.", field, print_expr(value)),
             ));
         }
-        Stmt::If { pred, then, els } => {
+        Stmt::If {
+            pred, then, els, ..
+        } => {
             out.push(Clause::new(depth, format!("When `{}`:", print_expr(pred))));
             for s in then {
                 render_stmt(s, depth + 1, out);

@@ -16,7 +16,7 @@ sm Vpc {
   states {
     cidr: str;
     region: str;
-    state: enum(pending, available) = available;
+    state: enum(available) = available;
     instance_tenancy: enum(default, dedicated, host) = default;
     enable_dns_support: bool = true;
     enable_dns_hostnames: bool = false;
@@ -99,7 +99,7 @@ sm Subnet {
     cidr: str;
     prefix_length: int = 24;
     zone: str;
-    state: enum(pending, available) = available;
+    state: enum(available) = available;
     map_public_ip_on_launch: bool = false;
     assign_ipv6_on_creation: bool = false;
   }
@@ -131,6 +131,8 @@ sm Subnet {
     emit(Zone, read(zone));
     emit(State, read(state));
     emit(MapPublicIpOnLaunch, read(map_public_ip_on_launch));
+    emit(PrefixLength, read(prefix_length));
+    emit(AssignIpv6AddressOnCreation, read(assign_ipv6_on_creation));
   }
   transition ModifySubnetAttribute(MapPublicIpOnLaunch: bool?, AssignIpv6AddressOnCreation: bool?) kind modify
   doc "Modifies subnet attributes such as automatic public IP assignment." {
@@ -151,7 +153,7 @@ sm Instance {
   states {
     subnet: ref(Subnet);
     image: ref(Image);
-    state: enum(pending, running, stopping, stopped, shutting_down, terminated) = pending;
+    state: enum(pending, running, stopped, terminated) = pending;
     instance_type: str;
     tenancy: enum(default, dedicated, host) = default;
     credit_specification: enum(standard, unlimited) = standard;
@@ -182,6 +184,7 @@ sm Instance {
   transition TerminateInstance() kind destroy
   doc "Terminates the instance. Attached volumes must be detached first." {
     assert(read(state) != terminated) else IncorrectInstanceState "the instance is already terminated";
+    write(state, terminated);
   }
   transition DescribeInstance() kind describe
   doc "Returns the attributes of the instance." {
@@ -191,6 +194,10 @@ sm Instance {
     emit(Tenancy, read(tenancy));
     emit(CreditSpecification, read(credit_specification));
     emit(EbsOptimized, read(ebs_optimized));
+    emit(ImageId, read(image));
+    emit(KeyName, read(key_name));
+    emit(SecurityGroupId, read(security_group));
+    emit(SourceDestCheck, read(source_dest_check));
   }
   transition StartInstance() kind modify
   doc "Starts a stopped instance. Fails unless the instance is stopped." {
@@ -275,7 +282,7 @@ sm NatGateway {
   states {
     subnet: ref(Subnet);
     address: ref(Address)?;
-    state: enum(pending, available, deleting, deleted) = available;
+    state: enum(available, deleted) = available;
     connectivity: enum(public, private) = public;
   }
   transition CreateNatGateway(SubnetId: ref(Subnet), AllocationId: ref(Address)?, ConnectivityType: enum(public, private)?) kind create
@@ -295,12 +302,14 @@ sm NatGateway {
   transition DeleteNatGateway() kind destroy
   doc "Deletes the NAT gateway." {
     assert(read(state) == available) else IncorrectState "the NAT gateway is not available";
+    write(state, deleted);
   }
   transition DescribeNatGateway() kind describe
   doc "Returns the attributes of the NAT gateway." {
     emit(SubnetId, read(subnet));
     emit(State, read(state));
     emit(ConnectivityType, read(connectivity));
+    emit(AllocationId, read(address));
   }
 }
 
@@ -384,6 +393,7 @@ sm SecurityGroup {
     emit(GroupName, read(group_name));
     emit(IngressRules, read(ingress_rules));
     emit(EgressRules, read(egress_rules));
+    emit(Description, read(description));
   }
   transition AuthorizeSecurityGroupIngress(Rule: str) kind modify
   doc "Adds an ingress rule. Duplicate rules are rejected." {
@@ -442,6 +452,8 @@ sm NetworkInterface {
     emit(Zone, read(zone));
     emit(Status, read(status));
     emit(AttachedInstance, read(attached_instance));
+    emit(Description, read(description));
+    emit(SourceDestCheck, read(source_dest_check));
   }
   transition AttachNetworkInterface(InstanceId: ref(Instance)) kind modify
   doc "Attaches the interface to an instance in the same zone." {
@@ -528,7 +540,7 @@ sm VpcEndpoint {
     vpc: ref(Vpc);
     service_name: str;
     endpoint_type: enum(Gateway, Interface) = Gateway;
-    state: enum(pending, available, deleting) = available;
+    state: enum(available, deleting) = available;
     private_dns_enabled: bool = false;
   }
   transition CreateVpcEndpoint(VpcId: ref(Vpc), ServiceName: str, EndpointType: enum(Gateway, Interface)?) kind create
@@ -545,6 +557,7 @@ sm VpcEndpoint {
   transition DeleteVpcEndpoint() kind destroy
   doc "Deletes the endpoint." {
     assert(read(state) == available) else IncorrectState "the endpoint is not available";
+    write(state, deleting);
   }
   transition DescribeVpcEndpoint() kind describe
   doc "Returns the attributes of the endpoint." {
@@ -552,6 +565,7 @@ sm VpcEndpoint {
     emit(ServiceName, read(service_name));
     emit(EndpointType, read(endpoint_type));
     emit(State, read(state));
+    emit(PrivateDnsEnabled, read(private_dns_enabled));
   }
   transition ModifyVpcEndpoint(PrivateDnsEnabled: bool?) kind modify
   doc "Modifies the endpoint. Private DNS requires an interface endpoint and VPC DNS support." {

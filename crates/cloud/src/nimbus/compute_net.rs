@@ -13,7 +13,7 @@ sm VpcPeering {
   states {
     requester: ref(Vpc);
     accepter: ref(Vpc);
-    status: enum(pending_acceptance, active, rejected, deleted) = pending_acceptance;
+    status: enum(pending_acceptance, active, rejected) = pending_acceptance;
   }
   transition CreateVpcPeeringConnection(RequesterVpcId: ref(Vpc), AccepterVpcId: ref(Vpc)) kind create
   doc "Requests a peering connection between two distinct VPCs." {
@@ -161,7 +161,7 @@ sm TransitGateway {
   doc "A regional hub interconnecting VPCs and on-premises networks.";
   id_param "TransitGatewayId";
   states {
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
     amazon_side_asn: int = 64512;
     dns_support: bool = true;
     description: str = "";
@@ -186,6 +186,7 @@ sm TransitGateway {
     emit(State, read(state));
     emit(AmazonSideAsn, read(amazon_side_asn));
     emit(DnsSupport, read(dns_support));
+    emit(Description, read(description));
   }
   transition ModifyTransitGateway(DnsSupport: bool?, Description: str?) kind modify
   doc "Modifies transit gateway options." {
@@ -206,7 +207,7 @@ sm TransitGatewayAttachment {
   states {
     tgw: ref(TransitGateway);
     vpc: ref(Vpc);
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
   }
   transition CreateTransitGatewayAttachment(TransitGatewayId: ref(TransitGateway), VpcId: ref(Vpc)) kind create
   doc "Attaches a VPC to the transit gateway." {
@@ -234,7 +235,7 @@ sm CustomerGateway {
   states {
     bgp_asn: int;
     ip_address: str;
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
   }
   transition CreateCustomerGateway(BgpAsn: int, IpAddress: str) kind create
   doc "Registers an on-premises gateway by ASN and public IP." {
@@ -261,7 +262,7 @@ sm VpnGateway {
   id_param "VpnGatewayId";
   states {
     vpc: ref(Vpc)?;
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
   }
   transition CreateVpnGateway() kind create
   doc "Creates a VPN gateway in the detached state." {
@@ -298,7 +299,7 @@ sm VpnConnection {
   states {
     vpn_gateway: ref(VpnGateway);
     customer_gateway: ref(CustomerGateway);
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
     static_routes_only: bool = false;
   }
   transition CreateVpnConnection(VpnGatewayId: ref(VpnGateway), CustomerGatewayId: ref(CustomerGateway), StaticRoutesOnly: bool?) kind create
@@ -334,7 +335,7 @@ sm EgressOnlyInternetGateway {
   id_param "EgressOnlyInternetGatewayId";
   states {
     vpc: ref(Vpc);
-    state: enum(attached, detached) = attached;
+    state: enum(attached) = attached;
   }
   transition CreateEgressOnlyInternetGateway(VpcId: ref(Vpc)) kind create
   doc "Creates an egress-only gateway attached to the VPC." {
@@ -402,7 +403,7 @@ sm CarrierGateway {
   id_param "CarrierGatewayId";
   states {
     vpc: ref(Vpc);
-    state: enum(pending, available, deleting) = available;
+    state: enum(available) = available;
   }
   transition CreateCarrierGateway(VpcId: ref(Vpc)) kind create
   doc "Creates a carrier gateway for the VPC." {

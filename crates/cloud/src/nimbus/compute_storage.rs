@@ -48,7 +48,7 @@ sm Volume {
     size_gb: int;
     zone: str;
     volume_type: enum(gp2, gp3, io1) = gp3;
-    state: enum(creating, available, in_use, deleting) = available;
+    state: enum(available, in_use) = available;
     attached_instance: ref(Instance)?;
     encrypted: bool = false;
   }
@@ -78,6 +78,7 @@ sm Volume {
     emit(State, read(state));
     emit(VolumeType, read(volume_type));
     emit(Encrypted, read(encrypted));
+    emit(AttachedInstanceId, read(attached_instance));
   }
   transition AttachVolume(InstanceId: ref(Instance)) kind modify
   doc "Attaches the volume to an instance in the same zone." {
@@ -113,7 +114,7 @@ sm Snapshot {
   states {
     volume: ref(Volume);
     size_gb: int;
-    state: enum(pending, completed) = completed;
+    state: enum(completed) = completed;
     description: str = "";
   }
   transition CreateSnapshot(VolumeId: ref(Volume), Description: str?) kind create
@@ -134,6 +135,7 @@ sm Snapshot {
     emit(VolumeId, read(volume));
     emit(Size, read(size_gb));
     emit(State, read(state));
+    emit(Description, read(description));
   }
   transition ModifySnapshotAttribute(Description: str) kind modify
   doc "Updates the snapshot description." {
@@ -147,7 +149,7 @@ sm Image {
   id_param "ImageId";
   states {
     name: str;
-    state: enum(pending, available, deregistered) = available;
+    state: enum(available, deregistered) = available;
     architecture: enum(x86_64, arm64) = x86_64;
     public: bool = false;
     source_instance: ref(Instance)?;
@@ -164,6 +166,7 @@ sm Image {
   transition DeregisterImage() kind destroy
   doc "Deregisters the image. Instances already launched from it are unaffected." {
     assert(read(state) == available) else IncorrectState "the image is not available";
+    write(state, deregistered);
   }
   transition DescribeImage() kind describe
   doc "Returns the attributes of the image." {
@@ -214,6 +217,7 @@ sm LaunchTemplate {
     emit(InstanceType, read(instance_type));
     emit(Version, read(version));
     emit(DefaultVersion, read(default_version));
+    emit(ImageId, read(image));
   }
   transition CreateLaunchTemplateVersion(InstanceType: str) kind modify
   doc "Adds a new version of the template with an updated instance type." {

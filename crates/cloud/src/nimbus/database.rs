@@ -11,7 +11,7 @@ sm Table {
   id_param "TableName";
   states {
     name: str;
-    status: enum(CREATING, ACTIVE, UPDATING, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
     billing_mode: enum(PROVISIONED, PAY_PER_REQUEST) = PROVISIONED;
     read_capacity: int = 5;
     write_capacity: int = 5;
@@ -56,6 +56,8 @@ sm Table {
     emit(ReadCapacity, read(read_capacity));
     emit(WriteCapacity, read(write_capacity));
     emit(DeletionProtection, read(deletion_protection));
+    emit(TtlEnabled, read(ttl_enabled));
+    emit(TtlAttribute, read(ttl_attribute));
   }
   transition UpdateTable(BillingMode: enum(PROVISIONED, PAY_PER_REQUEST)?, ReadCapacity: int?, WriteCapacity: int?, DeletionProtection: bool?) kind modify
   doc "Updates billing mode, capacity or deletion protection." {
@@ -112,7 +114,7 @@ sm GlobalSecondaryIndex {
     table: ref(Table);
     name: str;
     key_attribute: str;
-    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
     projection: enum(ALL, KEYS_ONLY, INCLUDE) = ALL;
   }
   transition CreateGlobalSecondaryIndex(TableName: ref(Table), IndexName2: str, KeyAttribute: str) kind create
@@ -148,7 +150,7 @@ sm Backup {
   states {
     table: ref(Table);
     name: str;
-    status: enum(CREATING, AVAILABLE, DELETED) = AVAILABLE;
+    status: enum(AVAILABLE, DELETED) = AVAILABLE;
     size_bytes: int = 0;
   }
   transition CreateBackup(TableName: ref(Table), BackupName: str) kind create
@@ -162,6 +164,7 @@ sm Backup {
   transition DeleteBackup() kind destroy
   doc "Deletes the backup." {
     assert(read(status) == AVAILABLE) else BackupInUseException "the backup is not available";
+    write(status, DELETED);
   }
   transition DescribeBackup() kind describe
   doc "Returns the attributes of the backup." {
@@ -179,7 +182,7 @@ sm GlobalTable {
   states {
     source_table: ref(Table);
     replica_regions: list(str);
-    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
   }
   transition CreateGlobalTable(SourceTableName: ref(Table), ReplicaRegion: str) kind create
   doc "Promotes a table to a global table with an initial replica region." {
@@ -221,7 +224,7 @@ sm ExportJob {
     table: ref(Table);
     destination: str;
     format: enum(JSON, ION, PARQUET) = JSON;
-    status: enum(IN_PROGRESS, COMPLETED, FAILED) = IN_PROGRESS;
+    status: enum(IN_PROGRESS, COMPLETED) = IN_PROGRESS;
   }
   transition ExportTableToPointInTime(TableName: ref(Table), Destination: str, Format: enum(JSON, ION, PARQUET)?) kind create
   doc "Starts an export job for the table." {
@@ -260,7 +263,7 @@ sm ImportJob {
     source: str;
     target_table: ref(Table)?;
     format: enum(CSV, JSON, ION) = CSV;
-    status: enum(IN_PROGRESS, COMPLETED, FAILED, CANCELLED) = IN_PROGRESS;
+    status: enum(IN_PROGRESS, CANCELLED) = IN_PROGRESS;
   }
   transition ImportTable(Source: str, Format: enum(CSV, JSON, ION)?) kind create
   doc "Starts an import job from the given source." {
@@ -295,7 +298,7 @@ sm ContributorInsights {
   parent Table via table;
   states {
     table: ref(Table);
-    status: enum(ENABLING, ENABLED, DISABLING, DISABLED) = ENABLED;
+    status: enum(ENABLED) = ENABLED;
     mode: enum(ACCESSED_AND_THROTTLED, THROTTLED_ONLY) = ACCESSED_AND_THROTTLED;
   }
   transition CreateContributorInsights(TableName: ref(Table), Mode: enum(ACCESSED_AND_THROTTLED, THROTTLED_ONLY)?) kind create

@@ -18,7 +18,7 @@ sm Firewall {
     description: str = "";
     delete_protection: bool = false;
     subnet_change_protection: bool = false;
-    status: enum(provisioning, ready, deleting) = ready;
+    status: enum(ready) = ready;
   }
   transition CreateFirewall(VpcId: ref(Vpc), FirewallPolicyId: ref(FirewallPolicy), SubnetId: ref(Subnet), Description: str?) kind create
   doc "Creates a firewall in the VPC bound to a policy and an initial subnet." {
@@ -48,6 +48,7 @@ sm Firewall {
     emit(Subnets, read(subnets));
     emit(Status, read(status));
     emit(DeleteProtection, read(delete_protection));
+    emit(Description, read(description));
   }
   transition UpdateFirewallDescription(Description: str) kind modify
   doc "Updates the firewall description." {
@@ -340,7 +341,7 @@ sm VpcEndpointAssociation {
   states {
     firewall: ref(Firewall);
     endpoint: ref(VpcEndpoint);
-    status: enum(creating, active, deleting) = active;
+    status: enum(active) = active;
   }
   transition CreateVpcEndpointAssociation(FirewallId: ref(Firewall), VpcEndpointId: ref(VpcEndpoint)) kind create
   doc "Associates a VPC endpoint with the firewall." {
@@ -371,8 +372,8 @@ sm FlowOperation {
   id_param "FlowOperationId";
   states {
     firewall: ref(Firewall);
-    operation_type: enum(CAPTURE, FLUSH) = CAPTURE;
-    status: enum(RUNNING, COMPLETED, FAILED) = RUNNING;
+    operation_type: enum(CAPTURE) = CAPTURE;
+    status: enum(RUNNING, COMPLETED) = RUNNING;
     captured_flows: int = 0;
   }
   transition StartFlowCapture(FirewallId: ref(Firewall)) kind create

@@ -12,7 +12,7 @@ sm Cluster {
   states {
     name: str;
     version: str = "1.29";
-    status: enum(CREATING, ACTIVE, UPDATING, DELETING, FAILED) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
     subnet: ref(Subnet);
     endpoint_public_access: bool = true;
     endpoint_private_access: bool = false;
@@ -43,6 +43,7 @@ sm Cluster {
     emit(Status, read(status));
     emit(EndpointPublicAccess, read(endpoint_public_access));
     emit(EndpointPrivateAccess, read(endpoint_private_access));
+    emit(LoggingEnabled, read(logging_enabled));
   }
   transition UpdateClusterVersion(Version: str) kind modify
   doc "Upgrades the cluster version. Downgrades are rejected." {
@@ -78,7 +79,7 @@ sm NodeGroup {
     desired_size: int = 2;
     min_size: int = 1;
     max_size: int = 4;
-    status: enum(CREATING, ACTIVE, UPDATING, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
   }
   transition CreateNodeGroup(ClusterName: ref(Cluster), NodeGroupName2: str, InstanceType: str?, DesiredSize: int?) kind create
   doc "Creates a node group in the cluster." {
@@ -138,7 +139,7 @@ sm FargateProfile {
     cluster: ref(Cluster);
     name: str;
     namespace: str;
-    status: enum(CREATING, ACTIVE, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
   }
   transition CreateFargateProfile(ClusterName: ref(Cluster), ProfileName: str, Namespace: str) kind create
   doc "Creates a serverless compute profile for a namespace." {
@@ -171,7 +172,7 @@ sm Addon {
     cluster: ref(Cluster);
     name: str;
     addon_version: str = "v1";
-    status: enum(CREATING, ACTIVE, DEGRADED, DELETING) = ACTIVE;
+    status: enum(ACTIVE) = ACTIVE;
     conflict_resolution: enum(OVERWRITE, NONE, PRESERVE) = NONE;
   }
   transition CreateAddon(ClusterName: ref(Cluster), AddonName2: str, AddonVersion: str?) kind create
@@ -194,6 +195,7 @@ sm Addon {
     emit(Name, read(name));
     emit(AddonVersion, read(addon_version));
     emit(Status, read(status));
+    emit(ResolveConflicts, read(conflict_resolution));
   }
   transition UpdateAddon(AddonVersion: str, ResolveConflicts: enum(OVERWRITE, NONE, PRESERVE)?) kind modify
   doc "Upgrades the addon version." {

@@ -11,7 +11,7 @@ pub mod k8s;
 pub mod storage;
 
 use lce_spec::{
-    parse_catalog, Catalog, Expr, SmSpec, StateDecl, StateType, Stmt, TransitionBuilder,
+    parse_catalog, Catalog, Expr, SmSpec, Span, StateDecl, StateType, Stmt, TransitionBuilder,
     TransitionKind,
 };
 
@@ -75,6 +75,7 @@ fn add_tagging(sm: &mut SmSpec) {
             .stmt(Stmt::Write {
                 state: "tags".into(),
                 value: Expr::Append(Box::new(Expr::read("tags")), Box::new(Expr::arg("Tag"))),
+                span: Span::NONE,
             })
             .build(),
     );
@@ -90,6 +91,7 @@ fn add_tagging(sm: &mut SmSpec) {
             .stmt(Stmt::Write {
                 state: "tags".into(),
                 value: Expr::Remove(Box::new(Expr::read("tags")), Box::new(Expr::arg("Tag"))),
+                span: Span::NONE,
             })
             .build(),
     );

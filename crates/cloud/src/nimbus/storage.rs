@@ -199,7 +199,7 @@ sm MultipartUpload {
     bucket: ref(Bucket);
     key: str;
     parts: int = 0;
-    status: enum(InProgress, Completed, Aborted) = InProgress;
+    status: enum(InProgress, Completed) = InProgress;
   }
   transition CreateMultipartUpload(BucketName: ref(Bucket), Key: str) kind create
   doc "Starts a multipart upload." {
@@ -262,6 +262,7 @@ sm AccessPoint {
     emit(BucketName, read(bucket));
     emit(Name, read(name));
     emit(VpcOnly, read(vpc_only));
+    emit(Policy, read(policy_document));
   }
   transition PutAccessPointPolicy(Document: str) kind modify
   doc "Attaches a policy to the access point." {

@@ -14,7 +14,7 @@ sm VirtualNetwork {
   states {
     address_space: str;
     location: str;
-    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    provisioning_state: enum(Succeeded) = Succeeded;
     ddos_protection: bool = false;
     used_prefixes: list(str);
   }
@@ -64,7 +64,7 @@ sm VnetSubnet {
     address_prefix: str;
     prefix_length: int = 24;
     nsg: ref(NetworkSecurityGroup)?;
-    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    provisioning_state: enum(Succeeded) = Succeeded;
   }
   transition CreateVnetSubnet(VirtualNetworkId: ref(VirtualNetwork), AddressPrefix: str, PrefixLength: int) kind create
   doc "Creates a subnet. The prefix must be unused and between /16 and /29." {
@@ -87,6 +87,7 @@ sm VnetSubnet {
     emit(AddressPrefix, read(address_prefix));
     emit(ProvisioningState, read(provisioning_state));
     emit(NetworkSecurityGroupId, read(nsg));
+    emit(PrefixLength, read(prefix_length));
   }
   transition AssociateNetworkSecurityGroup(NetworkSecurityGroupId: ref(NetworkSecurityGroup)) kind modify
   doc "Associates a network security group with the subnet." {
@@ -108,7 +109,7 @@ sm NetworkSecurityGroup {
   states {
     location: str;
     rules: list(str);
-    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    provisioning_state: enum(Succeeded) = Succeeded;
   }
   transition CreateNetworkSecurityGroup(Location: str) kind create
   doc "Creates an empty network security group." {
@@ -143,7 +144,7 @@ sm PublicIpAddress {
     location: str;
     allocation_method: enum(Static, Dynamic) = Dynamic;
     nic: ref(NetworkInterfaceCard)?;
-    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    provisioning_state: enum(Succeeded) = Succeeded;
   }
   transition CreatePublicIpAddress(Location: str, AllocationMethod: enum(Static, Dynamic)?) kind create
   doc "Allocates a public IP address." {
@@ -209,6 +210,7 @@ sm NetworkInterfaceCard {
     emit(Location, read(location));
     emit(PublicIpAddressId, read(public_ip));
     emit(AttachedVmId, read(attached_vm));
+    emit(AcceleratedNetworking, read(accelerated_networking));
   }
   transition UpdateNetworkInterfaceCard(AcceleratedNetworking: bool) kind modify
   doc "Updates interface properties." {
@@ -241,9 +243,9 @@ sm VirtualMachine {
   states {
     nic: ref(NetworkInterfaceCard);
     size: str;
-    power_state: enum(starting, running, stopping, stopped, deallocating, deallocated) = running;
+    power_state: enum(running, stopped, deallocated) = running;
     os_type: enum(Linux, Windows) = Linux;
-    provisioning_state: enum(Updating, Succeeded, Deleting, Failed) = Succeeded;
+    provisioning_state: enum(Succeeded) = Succeeded;
   }
   transition CreateVirtualMachine(NetworkInterfaceCardId: ref(NetworkInterfaceCard), Size: str, OsType: enum(Linux, Windows)?) kind create
   doc "Creates a virtual machine attached to an existing network interface." {
@@ -301,7 +303,7 @@ sm ManagedDisk {
   states {
     size_gb: int;
     sku: enum(StandardHDD, StandardSSD, PremiumSSD) = StandardSSD;
-    state: enum(Unattached, Attached, Reserved) = Unattached;
+    state: enum(Unattached, Attached) = Unattached;
     attached_vm: ref(VirtualMachine)?;
   }
   transition CreateManagedDisk(SizeGb: int, Sku: enum(StandardHDD, StandardSSD, PremiumSSD)?) kind create
@@ -321,6 +323,7 @@ sm ManagedDisk {
     emit(SizeGb, read(size_gb));
     emit(Sku, read(sku));
     emit(State, read(state));
+    emit(AttachedVmId, read(attached_vm));
   }
   transition AttachManagedDisk(VirtualMachineId: ref(VirtualMachine)) kind modify
   doc "Attaches the disk to a virtual machine." {
@@ -377,6 +380,7 @@ sm LoadBalancer {
     emit(Sku, read(sku));
     emit(Backends, read(backends));
     emit(Rules, read(rules));
+    emit(FrontendIpId, read(frontend_ip));
   }
   transition AddBackend(NetworkInterfaceCardId: ref(NetworkInterfaceCard)) kind modify
   doc "Adds an interface to the backend pool." {

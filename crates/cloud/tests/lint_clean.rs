@@ -1,0 +1,78 @@
+//! The golden catalogs are the analyzer's reference corpus: `lce lint
+//! --deny warn` must be clean on both, and CI gates on exactly that. A
+//! finding here means either a golden spec regressed (dead variant,
+//! write-only variable, contradictory guard) or a lint got noisier —
+//! both are worth failing the build over.
+
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_spec::{lint_catalog, Diagnostic};
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn nimbus_golden_catalog_is_lint_clean() {
+    let diags = lint_catalog(&nimbus_provider().catalog);
+    assert!(
+        diags.is_empty(),
+        "nimbus golden catalog has lint findings:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn stratus_golden_catalog_is_lint_clean() {
+    let diags = lint_catalog(&stratus_provider().catalog);
+    assert!(
+        diags.is_empty(),
+        "stratus golden catalog has lint findings:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn seeded_defect_is_caught() {
+    // The acceptance property of the CI gate: corrupting a golden spec
+    // with a contradictory guard or a write-only variable must surface as
+    // a finding. Take a real machine and seed both defects.
+    let catalog = nimbus_provider().catalog;
+    let mut sm = catalog
+        .get(&lce_spec::SmName::new("Vpc"))
+        .expect("Vpc exists")
+        .clone();
+    sm.states.push(lce_spec::StateDecl {
+        name: "unobserved".into(),
+        ty: lce_spec::StateType::Int,
+        nullable: false,
+        default: None,
+    });
+    for t in &mut sm.transitions {
+        if t.name.as_str() == "CreateVpc" {
+            t.body.push(lce_spec::Stmt::Write {
+                state: "unobserved".into(),
+                value: lce_spec::Expr::int(1),
+                span: lce_spec::Span::NONE,
+            });
+            // `state` defaults to `available`; this guard can never pass.
+            t.body.push(lce_spec::Stmt::Assert {
+                pred: lce_spec::parse_expr("read(state) != available").unwrap(),
+                error: lce_spec::ErrorCode::new("InvalidVpcState"),
+                message: "seeded contradiction".into(),
+                span: lce_spec::Span::NONE,
+            });
+        }
+    }
+    let diags = lce_spec::lint_sm(&sm, Some(&catalog));
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert!(
+        codes.contains(&"L005"),
+        "write-only var missed: {:?}",
+        codes
+    );
+    assert!(codes.contains(&"L002"), "contradiction missed: {:?}", codes);
+}

@@ -89,7 +89,7 @@ fn run_stmts(
         let this_index = *stmt_index;
         *stmt_index += 1;
         match stmt {
-            Stmt::Write { state, value } => {
+            Stmt::Write { state, value, .. } => {
                 let v = eval(env, store, frame, value, chain)?;
                 let decl = frame.sm.state(state).ok_or_else(|| {
                     fault(
@@ -137,6 +137,7 @@ fn run_stmts(
                 pred,
                 error,
                 message,
+                ..
             } => {
                 let v = eval(env, store, frame, pred, chain)?;
                 let ok = v.as_bool().ok_or_else(|| {
@@ -158,11 +159,13 @@ fn run_stmts(
                     return Err(e);
                 }
             }
-            Stmt::Emit { field, value } => {
+            Stmt::Emit { field, value, .. } => {
                 let v = eval(env, store, frame, value, chain)?;
                 emits.insert(field.clone(), v);
             }
-            Stmt::If { pred, then, els } => {
+            Stmt::If {
+                pred, then, els, ..
+            } => {
                 let v = eval(env, store, frame, pred, chain)?;
                 let cond = v.as_bool().ok_or_else(|| {
                     fault(
@@ -176,7 +179,9 @@ fn run_stmts(
                 let branch = if cond { then } else { els };
                 run_stmts(env, store, frame, branch, depth, chain, emits, stmt_index)?;
             }
-            Stmt::Call { target, api, args } => {
+            Stmt::Call {
+                target, api, args, ..
+            } => {
                 let tv = eval(env, store, frame, target, chain)?;
                 let target_id = match tv {
                     Value::Ref(id) => id,

@@ -1,0 +1,284 @@
+//! Pass 1: per-transition abstract interpretation.
+//!
+//! Walks each transition body forward through the [`domain`](super::domain)
+//! lattice, deciding `assert` and `if` predicates where possible:
+//!
+//! * `L001` — an `assert` whose predicate is always true (the guard and its
+//!   error code are unreachable).
+//! * `L002` — an `assert` whose predicate is always false (the transition
+//!   can never get past it).
+//! * `L003` — an `if` whose condition is constant (one branch is dead).
+//! * `L004` — statements that can never execute because an earlier
+//!   statement always fails.
+//! * `L011` — `==`/`!=` over two bare enum literals that no declared enum
+//!   contains together (the comparison is vacuously constant).
+//!
+//! Transition bodies are loop-free, so a single forward walk is exact with
+//! respect to the domain; no fixpoint iteration is required.
+
+use super::domain::{AbsEnv, AbsVal, Dom, Truth};
+use super::Diagnostic;
+use crate::ast::{BinOp, Expr, Literal, SmSpec, StateType, Stmt, Transition, TransitionKind};
+use crate::catalog::Catalog;
+use crate::printer::print_expr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The abstraction of the value a state variable holds *before* a `create`
+/// body runs. Mirrors the emulator's `Value::default_for` exactly.
+fn initial_create_value(decl: &crate::ast::StateDecl) -> AbsVal {
+    if let Some(lit) = &decl.default {
+        return AbsVal::of_literal(lit);
+    }
+    if decl.nullable {
+        return AbsVal::null();
+    }
+    match &decl.ty {
+        StateType::Str => AbsVal::of_dom(Dom::Str(Some(String::new()))),
+        StateType::Int => AbsVal::of_dom(Dom::Int(0, 0)),
+        StateType::Bool => AbsVal::of_literal(&Literal::Bool(false)),
+        StateType::Enum(vs) => match vs.first() {
+            Some(v) => AbsVal::of_literal(&Literal::EnumVal(v.clone())),
+            None => AbsVal::of_dom(Dom::Enum(BTreeSet::new())),
+        },
+        StateType::Ref(_) => AbsVal::null(),
+        StateType::List(_) => AbsVal::of_dom(Dom::Any),
+    }
+}
+
+/// Build the entry environment for a transition.
+fn entry_env(sm: &SmSpec, t: &Transition) -> AbsEnv {
+    let mut vars = BTreeMap::new();
+    for decl in &sm.states {
+        let v = if t.kind == TransitionKind::Create {
+            initial_create_value(decl)
+        } else {
+            AbsVal::of_type(&decl.ty, decl.nullable)
+        };
+        vars.insert(decl.name.clone(), v);
+    }
+    let mut args = BTreeMap::new();
+    for p in &t.params {
+        // The dispatcher rejects calls that omit a required parameter, so
+        // inside the body a required parameter is non-null.
+        args.insert(p.name.clone(), AbsVal::of_type(&p.ty, p.optional));
+    }
+    AbsEnv {
+        vars,
+        args,
+        reachable: true,
+    }
+}
+
+/// Run the dataflow pass over one transition, appending findings.
+pub fn check_transition(sm: &SmSpec, t: &Transition, diags: &mut Vec<Diagnostic>) {
+    let env = entry_env(sm, t);
+    walk(sm, t, &t.body, env, diags);
+}
+
+/// Interpret a statement list, reporting decidable predicates along the
+/// way. Returns the environment after the last statement.
+fn walk(
+    sm: &SmSpec,
+    t: &Transition,
+    stmts: &[Stmt],
+    mut env: AbsEnv,
+    diags: &mut Vec<Diagnostic>,
+) -> AbsEnv {
+    for (i, stmt) in stmts.iter().enumerate() {
+        if !env.reachable {
+            let remaining = stmts.len() - i;
+            diags.push(Diagnostic::new(
+                "L004",
+                &sm.name,
+                Some(&t.name),
+                stmt.span(),
+                format!(
+                    "{} statement{} unreachable: a preceding assert always fails",
+                    remaining,
+                    if remaining == 1 { " is" } else { "s are" },
+                ),
+            ));
+            return env;
+        }
+        match stmt {
+            Stmt::Write { state, value, .. } => {
+                let v = env.eval(value);
+                env.vars.insert(state.clone(), v);
+            }
+            Stmt::Emit { .. } => {}
+            Stmt::Call { .. } => {
+                // The callee may call back into this instance (directly or
+                // transitively), so all state knowledge is invalidated.
+                for decl in &sm.states {
+                    env.vars
+                        .insert(decl.name.clone(), AbsVal::of_type(&decl.ty, decl.nullable));
+                }
+            }
+            Stmt::Assert {
+                pred, error, span, ..
+            } => match env.eval(pred).truth() {
+                Truth::True => diags.push(Diagnostic::new(
+                    "L001",
+                    &sm.name,
+                    Some(&t.name),
+                    *span,
+                    format!(
+                        "assert is always true: `{}` cannot fail here, error {} is unreachable",
+                        print_expr(pred),
+                        error
+                    ),
+                )),
+                Truth::False => {
+                    diags.push(Diagnostic::new(
+                        "L002",
+                        &sm.name,
+                        Some(&t.name),
+                        *span,
+                        format!(
+                            "assert always fails: `{}` is false on every execution reaching it",
+                            print_expr(pred)
+                        ),
+                    ));
+                    env.reachable = false;
+                }
+                Truth::Unknown => env.assume(pred, true),
+            },
+            Stmt::If {
+                pred,
+                then,
+                els,
+                span,
+            } => match env.eval(pred).truth() {
+                Truth::True => {
+                    diags.push(Diagnostic::new(
+                        "L003",
+                        &sm.name,
+                        Some(&t.name),
+                        *span,
+                        format!(
+                            "if condition is always true: `{}`{}",
+                            print_expr(pred),
+                            if els.is_empty() {
+                                "; the guard is redundant"
+                            } else {
+                                "; the else branch is dead"
+                            }
+                        ),
+                    ));
+                    env.assume(pred, true);
+                    env = walk(sm, t, then, env, diags);
+                }
+                Truth::False => {
+                    diags.push(Diagnostic::new(
+                        "L003",
+                        &sm.name,
+                        Some(&t.name),
+                        *span,
+                        format!(
+                            "if condition is always false: `{}`; the then branch is dead",
+                            print_expr(pred)
+                        ),
+                    ));
+                    env.assume(pred, false);
+                    env = walk(sm, t, els, env, diags);
+                }
+                Truth::Unknown => {
+                    let mut then_env = env.clone();
+                    then_env.assume(pred, true);
+                    let then_env = walk(sm, t, then, then_env, diags);
+                    let mut else_env = env.clone();
+                    else_env.assume(pred, false);
+                    let else_env = walk(sm, t, els, else_env, diags);
+                    env = then_env.join(&else_env);
+                    if !then_env.reachable && !else_env.reachable {
+                        env.reachable = false;
+                    }
+                }
+            },
+        }
+    }
+    env
+}
+
+/// Collect every declared enum variant set visible from `sm` (and, when
+/// available, from the rest of the catalog — bare literals may be compared
+/// against fields of other machines).
+fn enum_universes(sm: &SmSpec, catalog: Option<&Catalog>) -> Vec<BTreeSet<String>> {
+    fn collect_ty(ty: &StateType, out: &mut Vec<BTreeSet<String>>) {
+        match ty {
+            StateType::Enum(vs) => out.push(vs.iter().cloned().collect()),
+            StateType::List(inner) => collect_ty(inner, out),
+            _ => {}
+        }
+    }
+    fn collect_sm(sm: &SmSpec, out: &mut Vec<BTreeSet<String>>) {
+        for s in &sm.states {
+            collect_ty(&s.ty, out);
+        }
+        for t in &sm.transitions {
+            for p in &t.params {
+                collect_ty(&p.ty, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match catalog {
+        Some(c) => {
+            for spec in c.iter() {
+                collect_sm(spec, &mut out);
+            }
+        }
+        None => collect_sm(sm, &mut out),
+    }
+    out
+}
+
+/// Run the `L011` check: flag `==`/`!=` between two bare enum literals that
+/// no single declared enum contains together. Such comparisons type-check
+/// (bare literals are untyped until matched against a declaration) but are
+/// constant, which almost always means a typo in a variant name.
+pub fn check_enum_literal_comparisons(
+    sm: &SmSpec,
+    catalog: Option<&Catalog>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let universes = enum_universes(sm, catalog);
+    for t in &sm.transitions {
+        for stmt in t.all_stmts() {
+            let span = stmt.span();
+            let mut exprs: Vec<&Expr> = Vec::new();
+            match stmt {
+                Stmt::Write { value, .. } | Stmt::Emit { value, .. } => exprs.push(value),
+                Stmt::Assert { pred, .. } | Stmt::If { pred, .. } => exprs.push(pred),
+                Stmt::Call { target, args, .. } => {
+                    exprs.push(target);
+                    exprs.extend(args.iter());
+                }
+            }
+            for e in exprs {
+                e.visit(&mut |e| {
+                    if let Expr::Binary(BinOp::Eq | BinOp::Ne, a, b) = e {
+                        if let (Expr::Lit(Literal::EnumVal(va)), Expr::Lit(Literal::EnumVal(vb))) =
+                            (a.as_ref(), b.as_ref())
+                        {
+                            let shared = universes.iter().any(|u| u.contains(va) && u.contains(vb));
+                            if !shared {
+                                diags.push(Diagnostic::new(
+                                    "L011",
+                                    &sm.name,
+                                    Some(&t.name),
+                                    span,
+                                    format!(
+                                        "enum literals `{}` and `{}` belong to provably \
+                                         disjoint enums; the comparison is constant",
+                                        va, vb
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,756 @@
+//! The abstract domain for the dataflow lint pass.
+//!
+//! A deliberately small non-relational domain: integer intervals, enum
+//! variant sets, boolean truth sets, known string constants, and a
+//! two-flag nullability lattice. It is precise enough to decide the
+//! predicates that appear in SM specs (equality with literals, interval
+//! guards, null tests) while staying trivially terminating — transition
+//! bodies are loop-free, so a single forward walk suffices and no widening
+//! is needed.
+
+use crate::ast::{BinOp, Expr, Literal, StateType, UnOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Three-valued truth for abstract predicate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// The predicate holds on every concrete execution.
+    True,
+    /// The predicate fails on every concrete execution.
+    False,
+    /// The analysis cannot decide.
+    Unknown,
+}
+
+impl Truth {
+    /// Logical negation (three-valued).
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+    /// Three-valued conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+    /// Three-valued disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// The value-domain component of an abstract value (ignoring nullability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dom {
+    /// No information (references, lists, cross-SM fields).
+    Any,
+    /// An integer interval (inclusive); `i64::MIN`/`MAX` mean unbounded.
+    Int(i64, i64),
+    /// Which boolean values are possible.
+    Bool {
+        /// `true` is a possible value.
+        can_true: bool,
+        /// `false` is a possible value.
+        can_false: bool,
+    },
+    /// The set of possible enum variants.
+    Enum(BTreeSet<String>),
+    /// A string; `Some` means exactly this constant.
+    Str(Option<String>),
+}
+
+/// An abstract value: a nullability pair plus a value domain.
+///
+/// `maybe_null` / `maybe_value` describe which of {null, non-null} are
+/// possible; both `false` denotes an unreachable (bottom) value, which only
+/// arises from contradictory refinements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsVal {
+    /// The value may be `null`.
+    pub maybe_null: bool,
+    /// The value may be non-null (described by `dom`).
+    pub maybe_value: bool,
+    /// Domain of the non-null part.
+    pub dom: Dom,
+}
+
+impl AbsVal {
+    /// The unconstrained value (any type, possibly null).
+    pub fn top() -> AbsVal {
+        AbsVal {
+            maybe_null: true,
+            maybe_value: true,
+            dom: Dom::Any,
+        }
+    }
+
+    /// Definitely `null`.
+    pub fn null() -> AbsVal {
+        AbsVal {
+            maybe_null: true,
+            maybe_value: false,
+            dom: Dom::Any,
+        }
+    }
+
+    /// A non-null value with the given domain.
+    pub fn of_dom(dom: Dom) -> AbsVal {
+        AbsVal {
+            maybe_null: false,
+            maybe_value: true,
+            dom,
+        }
+    }
+
+    /// The unconstrained value of a declared type.
+    pub fn of_type(ty: &StateType, nullable: bool) -> AbsVal {
+        let dom = match ty {
+            StateType::Int => Dom::Int(i64::MIN, i64::MAX),
+            StateType::Bool => Dom::Bool {
+                can_true: true,
+                can_false: true,
+            },
+            StateType::Enum(vs) => Dom::Enum(vs.iter().cloned().collect()),
+            StateType::Str => Dom::Str(None),
+            StateType::Ref(_) | StateType::List(_) => Dom::Any,
+        };
+        AbsVal {
+            maybe_null: nullable,
+            maybe_value: true,
+            dom,
+        }
+    }
+
+    /// The abstraction of a literal.
+    pub fn of_literal(lit: &Literal) -> AbsVal {
+        let dom = match lit {
+            Literal::Int(i) => Dom::Int(*i, *i),
+            Literal::Bool(b) => Dom::Bool {
+                can_true: *b,
+                can_false: !*b,
+            },
+            Literal::EnumVal(v) => Dom::Enum(std::iter::once(v.clone()).collect()),
+            Literal::Str(s) => Dom::Str(Some(s.clone())),
+        };
+        AbsVal::of_dom(dom)
+    }
+
+    /// `true` if this value is definitely `null`.
+    pub fn is_definitely_null(&self) -> bool {
+        self.maybe_null && !self.maybe_value
+    }
+
+    /// `true` if this value is definitely non-null.
+    pub fn is_definitely_nonnull(&self) -> bool {
+        !self.maybe_null && self.maybe_value
+    }
+
+    /// `true` if the non-null domain describes exactly one value.
+    fn dom_is_singleton(&self) -> bool {
+        match &self.dom {
+            Dom::Int(lo, hi) => lo == hi,
+            Dom::Bool {
+                can_true,
+                can_false,
+            } => can_true != can_false,
+            Dom::Enum(vs) => vs.len() == 1,
+            Dom::Str(s) => s.is_some(),
+            Dom::Any => false,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            maybe_null: self.maybe_null || other.maybe_null,
+            maybe_value: self.maybe_value || other.maybe_value,
+            dom: match (self.maybe_value, other.maybe_value) {
+                // A definitely-null side contributes no value domain.
+                (true, false) => self.dom.clone(),
+                (false, true) => other.dom.clone(),
+                _ => join_dom(&self.dom, &other.dom),
+            },
+        }
+    }
+
+    /// Greatest lower bound (used when assuming an equality). A
+    /// contradiction leaves `maybe_value = maybe_null = false`.
+    pub fn meet(&self, other: &AbsVal) -> AbsVal {
+        let maybe_null = self.maybe_null && other.maybe_null;
+        let (dom, feasible) = meet_dom(&self.dom, &other.dom);
+        AbsVal {
+            maybe_null,
+            maybe_value: self.maybe_value && other.maybe_value && feasible,
+            dom,
+        }
+    }
+
+    /// Interpret this value as a three-valued boolean.
+    pub fn truth(&self) -> Truth {
+        if !self.maybe_value {
+            return Truth::Unknown; // null/bottom predicate: a runtime fault, not decidable here
+        }
+        match &self.dom {
+            Dom::Bool {
+                can_true: true,
+                can_false: false,
+            } if !self.maybe_null => Truth::True,
+            Dom::Bool {
+                can_true: false,
+                can_false: true,
+            } if !self.maybe_null => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// A boolean abstract value with both outcomes possible.
+fn bool_top() -> AbsVal {
+    AbsVal::of_dom(Dom::Bool {
+        can_true: true,
+        can_false: true,
+    })
+}
+
+/// A boolean abstract value for a decided truth.
+fn bool_of(t: Truth) -> AbsVal {
+    match t {
+        Truth::True => AbsVal::of_literal(&Literal::Bool(true)),
+        Truth::False => AbsVal::of_literal(&Literal::Bool(false)),
+        Truth::Unknown => bool_top(),
+    }
+}
+
+fn join_dom(a: &Dom, b: &Dom) -> Dom {
+    match (a, b) {
+        (Dom::Int(al, ah), Dom::Int(bl, bh)) => Dom::Int(*al.min(bl), *ah.max(bh)),
+        (
+            Dom::Bool {
+                can_true: at,
+                can_false: af,
+            },
+            Dom::Bool {
+                can_true: bt,
+                can_false: bf,
+            },
+        ) => Dom::Bool {
+            can_true: *at || *bt,
+            can_false: *af || *bf,
+        },
+        (Dom::Enum(x), Dom::Enum(y)) => Dom::Enum(x.union(y).cloned().collect()),
+        (Dom::Str(Some(x)), Dom::Str(Some(y))) if x == y => Dom::Str(Some(x.clone())),
+        (Dom::Str(_), Dom::Str(_)) => Dom::Str(None),
+        _ => Dom::Any,
+    }
+}
+
+/// Meet of two domains; the second component is `false` when the
+/// intersection is empty.
+fn meet_dom(a: &Dom, b: &Dom) -> (Dom, bool) {
+    match (a, b) {
+        (Dom::Any, other) | (other, Dom::Any) => (other.clone(), true),
+        (Dom::Int(al, ah), Dom::Int(bl, bh)) => {
+            let lo = *al.max(bl);
+            let hi = *ah.min(bh);
+            (Dom::Int(lo, hi), lo <= hi)
+        }
+        (
+            Dom::Bool {
+                can_true: at,
+                can_false: af,
+            },
+            Dom::Bool {
+                can_true: bt,
+                can_false: bf,
+            },
+        ) => {
+            let t = *at && *bt;
+            let f = *af && *bf;
+            (
+                Dom::Bool {
+                    can_true: t,
+                    can_false: f,
+                },
+                t || f,
+            )
+        }
+        (Dom::Enum(x), Dom::Enum(y)) => {
+            let inter: BTreeSet<String> = x.intersection(y).cloned().collect();
+            let ok = !inter.is_empty();
+            (Dom::Enum(inter), ok)
+        }
+        (Dom::Str(Some(x)), Dom::Str(Some(y))) => (Dom::Str(Some(x.clone())), x == y),
+        (Dom::Str(x), Dom::Str(y)) => (Dom::Str(x.clone().or_else(|| y.clone())), true),
+        // Mismatched kinds: the type checker owns this; stay permissive.
+        _ => (Dom::Any, true),
+    }
+}
+
+/// `true` if the two domains can describe a common concrete value.
+fn doms_overlap(a: &Dom, b: &Dom) -> bool {
+    meet_dom(a, b).1
+}
+
+/// `true` if the two domains can describe two *different* concrete values.
+fn doms_can_differ(a: &Dom, b: &Dom) -> bool {
+    let singleton = |d: &Dom| match d {
+        Dom::Int(lo, hi) => (lo == hi).then(|| format!("i{}", lo)),
+        Dom::Bool {
+            can_true,
+            can_false,
+        } => match (can_true, can_false) {
+            (true, false) => Some("bt".to_string()),
+            (false, true) => Some("bf".to_string()),
+            _ => None,
+        },
+        Dom::Enum(vs) => (vs.len() == 1).then(|| format!("e{}", vs.iter().next().unwrap())),
+        Dom::Str(Some(s)) => Some(format!("s{}", s)),
+        _ => None,
+    };
+    match (singleton(a), singleton(b)) {
+        (Some(x), Some(y)) => x != y,
+        _ => true,
+    }
+}
+
+/// The abstract store for one transition: state variables and parameters,
+/// plus a reachability flag for the current program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsEnv {
+    /// Abstract values of the machine's state variables.
+    pub vars: BTreeMap<String, AbsVal>,
+    /// Abstract values of the transition's parameters.
+    pub args: BTreeMap<String, AbsVal>,
+    /// `false` once control provably cannot reach this point.
+    pub reachable: bool,
+}
+
+impl AbsEnv {
+    /// Pointwise join of two environments (for merging branches). A side
+    /// that is unreachable contributes nothing.
+    pub fn join(&self, other: &AbsEnv) -> AbsEnv {
+        if !self.reachable {
+            return other.clone();
+        }
+        if !other.reachable {
+            return self.clone();
+        }
+        let mut vars = BTreeMap::new();
+        for (k, v) in &self.vars {
+            match other.vars.get(k) {
+                Some(o) => {
+                    vars.insert(k.clone(), v.join(o));
+                }
+                None => {
+                    vars.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        for (k, v) in &other.vars {
+            vars.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        let mut args = BTreeMap::new();
+        for (k, v) in &self.args {
+            match other.args.get(k) {
+                Some(o) => {
+                    args.insert(k.clone(), v.join(o));
+                }
+                None => {
+                    args.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        for (k, v) in &other.args {
+            args.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        AbsEnv {
+            vars,
+            args,
+            reachable: true,
+        }
+    }
+
+    /// Abstractly evaluate an expression in this environment.
+    pub fn eval(&self, e: &Expr) -> AbsVal {
+        match e {
+            Expr::Lit(l) => AbsVal::of_literal(l),
+            Expr::Null => AbsVal::null(),
+            Expr::Read(v) => self.vars.get(v).cloned().unwrap_or_else(AbsVal::top),
+            Expr::Arg(p) => self.args.get(p).cloned().unwrap_or_else(AbsVal::top),
+            // Cross-instance state is outside the per-transition domain.
+            Expr::Field(..) => AbsVal::top(),
+            Expr::SelfId => AbsVal::of_dom(Dom::Any),
+            Expr::ChildCount(_) => AbsVal::of_dom(Dom::Int(0, i64::MAX)),
+            Expr::Unary(op, inner) => {
+                let iv = self.eval(inner);
+                match op {
+                    UnOp::Not => match iv.truth() {
+                        Truth::Unknown => bool_top(),
+                        t => bool_of(t.not()),
+                    },
+                    UnOp::IsNull => AbsVal::of_dom(Dom::Bool {
+                        can_true: iv.maybe_null,
+                        can_false: iv.maybe_value,
+                    }),
+                    UnOp::Exists => {
+                        if iv.is_definitely_null() {
+                            bool_of(Truth::False)
+                        } else {
+                            // A non-null reference may still be dangling.
+                            AbsVal::of_dom(Dom::Bool {
+                                can_true: iv.maybe_value,
+                                can_false: true,
+                            })
+                        }
+                    }
+                    UnOp::Len => match &iv.dom {
+                        Dom::Str(Some(s)) if iv.is_definitely_nonnull() => {
+                            let n = s.chars().count() as i64;
+                            AbsVal::of_dom(Dom::Int(n, n))
+                        }
+                        _ => AbsVal::of_dom(Dom::Int(0, i64::MAX)),
+                    },
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.eval(a);
+                let bv = self.eval(b);
+                match op {
+                    BinOp::And => bool_of(av.truth().and(bv.truth())),
+                    BinOp::Or => bool_of(av.truth().or(bv.truth())),
+                    BinOp::Eq => bool_of(abs_eq(&av, &bv)),
+                    BinOp::Ne => bool_of(abs_eq(&av, &bv).not()),
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        bool_of(abs_cmp(*op, &av, &bv))
+                    }
+                    BinOp::In => bool_top(),
+                    BinOp::Add | BinOp::Sub => match (&av.dom, &bv.dom) {
+                        (Dom::Int(al, ah), Dom::Int(bl, bh))
+                            if av.is_definitely_nonnull() && bv.is_definitely_nonnull() =>
+                        {
+                            let (lo, hi) = if *op == BinOp::Add {
+                                (al.saturating_add(*bl), ah.saturating_add(*bh))
+                            } else {
+                                (al.saturating_sub(*bh), ah.saturating_sub(*bl))
+                            };
+                            AbsVal::of_dom(Dom::Int(lo, hi))
+                        }
+                        _ => AbsVal::of_dom(Dom::Int(i64::MIN, i64::MAX)),
+                    },
+                }
+            }
+            Expr::ListOf(_) | Expr::Append(..) | Expr::Remove(..) => AbsVal::of_dom(Dom::Any),
+        }
+    }
+
+    /// Refine this environment under the assumption that `pred` evaluates
+    /// to `want`. Unsupported shapes refine nothing (sound: refinement only
+    /// ever narrows).
+    pub fn assume(&mut self, pred: &Expr, want: bool) {
+        match pred {
+            Expr::Unary(UnOp::Not, inner) => self.assume(inner, !want),
+            Expr::Binary(BinOp::And, a, b) if want => {
+                self.assume(a, true);
+                self.assume(b, true);
+            }
+            Expr::Binary(BinOp::Or, a, b) if !want => {
+                self.assume(a, false);
+                self.assume(b, false);
+            }
+            Expr::Binary(BinOp::Eq, a, b) => {
+                let av = self.eval(a);
+                let bv = self.eval(b);
+                self.refine_eq(a, &bv, want);
+                self.refine_eq(b, &av, want);
+            }
+            Expr::Binary(BinOp::Ne, a, b) => {
+                let av = self.eval(a);
+                let bv = self.eval(b);
+                self.refine_eq(a, &bv, !want);
+                self.refine_eq(b, &av, !want);
+            }
+            Expr::Binary(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), a, b) => {
+                let av = self.eval(a);
+                let bv = self.eval(b);
+                // Normalize to `a <op> b` known to be true.
+                let op = if want { *op } else { flip_cmp(*op) };
+                self.refine_cmp(a, op, &bv, true);
+                self.refine_cmp(b, flip_sides(op), &av, true);
+            }
+            Expr::Unary(UnOp::IsNull, inner) => self.refine_nullness(inner, want),
+            Expr::Unary(UnOp::Exists, inner) if want => {
+                // exists(x) implies x is non-null.
+                self.refine_nullness(inner, false);
+            }
+            _ => {}
+        }
+    }
+
+    /// If `e` is a variable or parameter, narrow it under `e == other`
+    /// (`positive`) or `e != other` (`!positive`).
+    fn refine_eq(&mut self, e: &Expr, other: &AbsVal, positive: bool) {
+        let Some(slot) = self.slot_mut(e) else {
+            return;
+        };
+        if positive {
+            *slot = slot.meet(other);
+        } else {
+            // Only singleton exclusions are representable.
+            if other.is_definitely_null() {
+                slot.maybe_null = false;
+            } else if other.is_definitely_nonnull() && other.dom_is_singleton() {
+                match (&mut slot.dom, &other.dom) {
+                    (Dom::Enum(vs), Dom::Enum(os)) => {
+                        if let Some(v) = os.iter().next() {
+                            vs.remove(v);
+                            if vs.is_empty() {
+                                slot.maybe_value = false;
+                            }
+                        }
+                    }
+                    (
+                        Dom::Bool {
+                            can_true,
+                            can_false,
+                        },
+                        Dom::Bool {
+                            can_true: ot,
+                            can_false: _,
+                        },
+                    ) => {
+                        if *ot {
+                            *can_true = false;
+                        } else {
+                            *can_false = false;
+                        }
+                        if !*can_true && !*can_false {
+                            slot.maybe_value = false;
+                        }
+                    }
+                    (Dom::Int(lo, hi), Dom::Int(olo, _)) => {
+                        // Representable only at the interval ends.
+                        if lo == hi && lo == olo {
+                            slot.maybe_value = false;
+                        } else if olo == lo {
+                            *lo += 1;
+                        } else if olo == hi {
+                            *hi -= 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Narrow an integer slot under `e <op> bound` known to hold.
+    fn refine_cmp(&mut self, e: &Expr, op: BinOp, bound: &AbsVal, _positive: bool) {
+        if !bound.maybe_value {
+            return;
+        }
+        let Dom::Int(blo, bhi) = bound.dom else {
+            return;
+        };
+        let Some(slot) = self.slot_mut(e) else {
+            return;
+        };
+        if let Dom::Int(lo, hi) = &mut slot.dom {
+            match op {
+                // e < b  ⇒  e <= bhi - 1
+                BinOp::Lt => *hi = (*hi).min(bhi.saturating_sub(1)),
+                BinOp::Le => *hi = (*hi).min(bhi),
+                // e > b  ⇒  e >= blo + 1
+                BinOp::Gt => *lo = (*lo).max(blo.saturating_add(1)),
+                BinOp::Ge => *lo = (*lo).max(blo),
+                _ => {}
+            }
+            if lo > hi {
+                slot.maybe_value = false;
+            }
+            // An ordered comparison evaluating successfully implies the
+            // operand was non-null.
+            slot.maybe_null = false;
+        }
+    }
+
+    /// Narrow nullability: `is_null(e)` is `want`.
+    fn refine_nullness(&mut self, e: &Expr, want: bool) {
+        let Some(slot) = self.slot_mut(e) else {
+            return;
+        };
+        if want {
+            slot.maybe_value = false;
+        } else {
+            slot.maybe_null = false;
+        }
+    }
+
+    /// The mutable store slot behind a `read`/`arg` expression, if any.
+    fn slot_mut(&mut self, e: &Expr) -> Option<&mut AbsVal> {
+        match e {
+            Expr::Read(v) => self.vars.get_mut(v),
+            Expr::Arg(p) => self.args.get_mut(p),
+            _ => None,
+        }
+    }
+}
+
+/// Abstract equality of two values.
+fn abs_eq(a: &AbsVal, b: &AbsVal) -> Truth {
+    if (!a.maybe_value && !a.maybe_null) || (!b.maybe_value && !b.maybe_null) {
+        return Truth::Unknown; // bottom: unreachable anyway
+    }
+    let possible_eq = (a.maybe_null && b.maybe_null)
+        || (a.maybe_value && b.maybe_value && doms_overlap(&a.dom, &b.dom));
+    let possible_ne = (a.maybe_null && b.maybe_value)
+        || (a.maybe_value && b.maybe_null)
+        || (a.maybe_value && b.maybe_value && doms_can_differ(&a.dom, &b.dom));
+    match (possible_eq, possible_ne) {
+        (true, false) => Truth::True,
+        (false, true) => Truth::False,
+        _ => Truth::Unknown,
+    }
+}
+
+/// Abstract ordered comparison (integers only).
+fn abs_cmp(op: BinOp, a: &AbsVal, b: &AbsVal) -> Truth {
+    if !a.is_definitely_nonnull() || !b.is_definitely_nonnull() {
+        return Truth::Unknown;
+    }
+    let (Dom::Int(al, ah), Dom::Int(bl, bh)) = (&a.dom, &b.dom) else {
+        return Truth::Unknown;
+    };
+    match op {
+        BinOp::Lt => {
+            if ah < bl {
+                Truth::True
+            } else if al >= bh {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        BinOp::Le => {
+            if ah <= bl {
+                Truth::True
+            } else if al > bh {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        BinOp::Gt => abs_cmp(BinOp::Le, a, b).not(),
+        BinOp::Ge => abs_cmp(BinOp::Lt, a, b).not(),
+        _ => Truth::Unknown,
+    }
+}
+
+/// `a <op> b` ⇔ `a <flip(op)> b` is false… no: flip for negation
+/// (`!(a < b)` ⇔ `a >= b`).
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        other => other,
+    }
+}
+
+/// `a <op> b` ⇔ `b <mirror(op)> a` (mirror across the operands).
+fn flip_sides(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with_var(name: &str, v: AbsVal) -> AbsEnv {
+        let mut vars = BTreeMap::new();
+        vars.insert(name.to_string(), v);
+        AbsEnv {
+            vars,
+            args: BTreeMap::new(),
+            reachable: true,
+        }
+    }
+
+    #[test]
+    fn literal_equality_decides() {
+        let env = AbsEnv {
+            vars: BTreeMap::new(),
+            args: BTreeMap::new(),
+            reachable: true,
+        };
+        let t = env.eval(&Expr::eq(Expr::int(1), Expr::int(1)));
+        assert_eq!(t.truth(), Truth::True);
+        let f = env.eval(&Expr::eq(Expr::int(1), Expr::int(2)));
+        assert_eq!(f.truth(), Truth::False);
+    }
+
+    #[test]
+    fn enum_default_refines_equality() {
+        let env = env_with_var(
+            "status",
+            AbsVal::of_literal(&Literal::EnumVal("Idle".into())),
+        );
+        let pred = Expr::eq(Expr::read("status"), Expr::enum_val("Idle"));
+        assert_eq!(env.eval(&pred).truth(), Truth::True);
+        let pred = Expr::eq(Expr::read("status"), Expr::enum_val("Assigned"));
+        assert_eq!(env.eval(&pred).truth(), Truth::False);
+    }
+
+    #[test]
+    fn interval_refinement_through_assume() {
+        let mut env = env_with_var("n", AbsVal::of_dom(Dom::Int(0, 100)));
+        env.assume(
+            &Expr::Binary(
+                BinOp::Lt,
+                Box::new(Expr::read("n")),
+                Box::new(Expr::int(10)),
+            ),
+            true,
+        );
+        assert_eq!(env.vars["n"].dom, Dom::Int(0, 9));
+    }
+
+    #[test]
+    fn null_refinement() {
+        let mut env = env_with_var("r", AbsVal::top());
+        env.assume(&Expr::is_null(Expr::read("r")), false);
+        assert!(env.vars["r"].is_definitely_nonnull());
+        let pred = Expr::is_null(Expr::read("r"));
+        assert_eq!(env.eval(&pred).truth(), Truth::False);
+    }
+
+    #[test]
+    fn join_widens() {
+        let a = AbsVal::of_dom(Dom::Int(0, 0));
+        let b = AbsVal::of_dom(Dom::Int(5, 5));
+        assert_eq!(a.join(&b).dom, Dom::Int(0, 5));
+    }
+
+    #[test]
+    fn contradictory_meet_is_bottom() {
+        let a = AbsVal::of_literal(&Literal::EnumVal("on".into()));
+        let b = AbsVal::of_literal(&Literal::EnumVal("off".into()));
+        assert!(!a.meet(&b).maybe_value);
+    }
+}

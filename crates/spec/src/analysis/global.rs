@@ -1,0 +1,232 @@
+//! Pass 3: cross-SM analysis over a whole catalog.
+//!
+//! * `L008` — the transition-level `call` graph contains a cycle. Calls are
+//!   synchronous and re-entrant in the emulator, so a cycle is potential
+//!   non-termination (`A::Attach` calls `B::Sync` calls `A::Attach` …).
+//! * `L009` — an SM that other machines declare as their containment
+//!   parent has a `destroy` transition with no `child_count` guard:
+//!   destroying it silently orphans live children.
+//! * `L010` — an SM that no `create` entrypoint can reach through the
+//!   dependency closure: nothing can ever instantiate or touch it.
+
+use super::Diagnostic;
+use crate::ast::{ApiName, Expr, SmName, SmSpec, StateType, Stmt, Transition};
+use crate::catalog::Catalog;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run the global pass over a catalog, appending findings.
+pub fn check_catalog(catalog: &Catalog, diags: &mut Vec<Diagnostic>) {
+    check_call_cycles(catalog, diags);
+    check_unguarded_destroys(catalog, diags);
+    check_unreachable_sms(catalog, diags);
+}
+
+/// Infer the static resource type a call target refers to, when decidable
+/// from the local declarations (mirrors the synthesizer's resolution).
+fn static_ref_type(sm: &SmSpec, t: &Transition, target: &Expr) -> Option<SmName> {
+    match target {
+        Expr::SelfId => Some(sm.name.clone()),
+        Expr::Read(v) => match &sm.state(v)?.ty {
+            StateType::Ref(n) => Some(n.clone()),
+            _ => None,
+        },
+        Expr::Arg(p) => match &t.param(p)?.ty {
+            StateType::Ref(n) => Some(n.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A node in the call graph: one transition of one SM.
+type Node = (SmName, ApiName);
+
+/// `L008`: cycles in the transition-level call graph (Tarjan SCC).
+fn check_call_cycles(catalog: &Catalog, diags: &mut Vec<Diagnostic>) {
+    // Build the graph. Only edges to transitions that exist are recorded;
+    // dangling calls are the soundness checker's business, not ours.
+    let mut edges: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
+    for sm in catalog.iter() {
+        for t in &sm.transitions {
+            let from: Node = (sm.name.clone(), t.name.clone());
+            let out = edges.entry(from).or_default();
+            for stmt in t.all_stmts() {
+                if let Stmt::Call { target, api, .. } = stmt {
+                    if let Some(target_ty) = static_ref_type(sm, t, target) {
+                        if catalog
+                            .get(&target_ty)
+                            .is_some_and(|s| s.transition(api.as_str()).is_some())
+                        {
+                            out.insert((target_ty, api.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC.
+    let nodes: Vec<Node> = edges.keys().cloned().collect();
+    let index_of: BTreeMap<&Node, usize> = nodes.iter().enumerate().map(|(i, n)| (n, i)).collect();
+    let succs: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            edges[n]
+                .iter()
+                .filter_map(|m| index_of.get(m).copied())
+                .collect()
+        })
+        .collect();
+
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack of (node, next-successor position).
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(*pos) {
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    for comp in sccs {
+        let cyclic = comp.len() > 1 || comp.iter().any(|&v| succs[v].contains(&v));
+        if !cyclic {
+            continue;
+        }
+        let mut members: Vec<&Node> = comp.iter().map(|&v| &nodes[v]).collect();
+        members.sort();
+        let anchor = members[0];
+        let path = members
+            .iter()
+            .map(|(s, a)| format!("{}::{}", s, a))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let span = catalog
+            .get(&anchor.0)
+            .and_then(|s| s.transition(anchor.1.as_str()))
+            .map(|t| t.span)
+            .unwrap_or_default();
+        diags.push(Diagnostic::new(
+            "L008",
+            &anchor.0,
+            Some(&anchor.1),
+            span,
+            format!(
+                "call graph cycle: {} -> {} (calls are synchronous; this can recurse forever)",
+                path,
+                format_args!("{}::{}", anchor.0, anchor.1)
+            ),
+        ));
+    }
+}
+
+/// `L009`: destroy transitions with no `child_count` guard on SMs that
+/// other machines declare as parent.
+fn check_unguarded_destroys(catalog: &Catalog, diags: &mut Vec<Diagnostic>) {
+    let mut children: BTreeMap<&SmName, Vec<&SmName>> = BTreeMap::new();
+    for sm in catalog.iter() {
+        if let Some((parent, _)) = &sm.parent {
+            children.entry(parent).or_default().push(&sm.name);
+        }
+    }
+    for sm in catalog.iter() {
+        let Some(kids) = children.get(&sm.name) else {
+            continue;
+        };
+        for t in &sm.transitions {
+            if t.kind != crate::ast::TransitionKind::Destroy {
+                continue;
+            }
+            let mut guarded = false;
+            for stmt in t.all_stmts() {
+                for e in super::usedef::stmt_exprs(stmt) {
+                    e.visit(&mut |e| {
+                        if matches!(e, Expr::ChildCount(_)) {
+                            guarded = true;
+                        }
+                    });
+                }
+            }
+            if !guarded {
+                let names = kids
+                    .iter()
+                    .map(|k| format!("`{}`", k))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                diags.push(Diagnostic::new(
+                    "L009",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!(
+                        "destroy has no child_count guard, but {} declare{} this SM as parent; \
+                         destroying it orphans live children",
+                        names,
+                        if kids.len() == 1 { "s" } else { "" }
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `L010`: SMs outside the dependency closure of every create entrypoint.
+fn check_unreachable_sms(catalog: &Catalog, diags: &mut Vec<Diagnostic>) {
+    let roots: Vec<SmName> = catalog
+        .iter()
+        .filter(|sm| sm.creates().any(|t| !t.internal))
+        .map(|sm| sm.name.clone())
+        .collect();
+    let reachable = catalog.dependency_graph().closure(&roots);
+    for sm in catalog.iter() {
+        if !reachable.contains(&sm.name) {
+            diags.push(Diagnostic::new(
+                "L010",
+                &sm.name,
+                None,
+                crate::ast::Span::NONE,
+                "SM has no create transition and is unreachable from every create entrypoint"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! `lce-lint`: a dataflow static analyzer for SM specs.
+//!
+//! Three passes over a spec (or a whole catalog) produce span-carrying
+//! [`Diagnostic`]s, each tagged with a stable lint code from the
+//! [`REGISTRY`]:
+//!
+//! 1. **Dataflow** ([`dataflow`]) — abstract interpretation of each
+//!    transition body over a constant/interval/variant-set domain, catching
+//!    predicates that are decidable at lint time (`L001`–`L004`, `L011`).
+//! 2. **Use-def** ([`usedef`]) — liveness of state variables, parameters,
+//!    and enum variants (`L005`–`L007`).
+//! 3. **Global** ([`global`]) — cross-SM properties of the `call` graph and
+//!    the dependency closure (`L008`–`L010`).
+//!
+//! The analyzer is *advisory by construction*: every lint describes code
+//! that type-checks and runs, but is dead, redundant, or structurally
+//! suspect. Severities classify how strongly a finding predicts a spec bug;
+//! [`LintConfig`] lets callers reclassify or silence individual codes.
+
+pub mod dataflow;
+pub mod domain;
+pub mod global;
+pub mod usedef;
+
+use crate::ast::{ApiName, SmName, Span};
+use crate::catalog::Catalog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How strongly a lint finding predicts a genuine spec bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Silenced; the finding is dropped.
+    Allow,
+    /// Suspicious but plausibly intentional.
+    Warn,
+    /// Almost certainly a bug; fails strict gates.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case display name (`allow`/`warn`/`deny`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+    /// Parse a severity name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.to_ascii_lowercase().as_str() {
+            "allow" => Some(Severity::Allow),
+            "warn" | "warning" => Some(Severity::Warn),
+            "deny" | "error" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A registered lint: stable code, default severity, and a one-line
+/// description of what it catches.
+#[derive(Debug, Clone, Copy)]
+pub struct LintDescriptor {
+    /// Stable code (`L001`, `L002`, …) used in diagnostics and config.
+    pub code: &'static str,
+    /// Default severity, before [`LintConfig`] overrides.
+    pub severity: Severity,
+    /// Short human-readable summary of the condition the lint detects.
+    pub summary: &'static str,
+}
+
+/// The registry of every lint the analyzer can emit.
+pub const REGISTRY: &[LintDescriptor] = &[
+    LintDescriptor {
+        code: "L001",
+        severity: Severity::Warn,
+        summary: "assert predicate is always true (redundant guard)",
+    },
+    LintDescriptor {
+        code: "L002",
+        severity: Severity::Deny,
+        summary: "assert predicate is always false (transition can never get past it)",
+    },
+    LintDescriptor {
+        code: "L003",
+        severity: Severity::Warn,
+        summary: "if condition is constant; one branch is dead",
+    },
+    LintDescriptor {
+        code: "L004",
+        severity: Severity::Deny,
+        summary: "statements are unreachable after an always-failing assert",
+    },
+    LintDescriptor {
+        code: "L005",
+        severity: Severity::Warn,
+        summary: "state variable is written but never read or emitted",
+    },
+    LintDescriptor {
+        code: "L006",
+        severity: Severity::Warn,
+        summary: "transition parameter is never used in the body",
+    },
+    LintDescriptor {
+        code: "L007",
+        severity: Severity::Warn,
+        summary: "enum variant can never be reached (neither default nor written)",
+    },
+    LintDescriptor {
+        code: "L008",
+        severity: Severity::Deny,
+        summary: "call graph contains a cycle (potential non-termination)",
+    },
+    LintDescriptor {
+        code: "L009",
+        severity: Severity::Warn,
+        summary: "destroy transition has no child_count guard despite declared children",
+    },
+    LintDescriptor {
+        code: "L010",
+        severity: Severity::Warn,
+        summary: "SM is unreachable from every create entrypoint",
+    },
+    LintDescriptor {
+        code: "L011",
+        severity: Severity::Warn,
+        summary: "comparison of bare enum literals from provably disjoint enums",
+    },
+];
+
+/// Look up a lint descriptor by code.
+pub fn lint(code: &str) -> Option<&'static LintDescriptor> {
+    REGISTRY.iter().find(|l| l.code == code)
+}
+
+/// One finding produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Lint code (`L001`, …).
+    pub code: String,
+    /// Effective severity (default, or overridden by [`LintConfig`]).
+    pub severity: Severity,
+    /// The SM the finding is about.
+    pub sm: SmName,
+    /// The transition the finding is about, when it is transition-scoped.
+    pub transition: Option<ApiName>,
+    /// Source position, when the spec was parsed from text.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic with the registry's default severity for
+    /// `code` (panics on unregistered codes: a bug in the analyzer itself).
+    pub fn new(
+        code: &'static str,
+        sm: &SmName,
+        transition: Option<&ApiName>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        let desc = lint(code).unwrap_or_else(|| panic!("unregistered lint code {code}"));
+        Diagnostic {
+            code: code.to_string(),
+            severity: desc.severity,
+            sm: sm.clone(),
+            transition: transition.cloned(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sm)?;
+        if let Some(t) = &self.transition {
+            write!(f, "::{}", t)?;
+        }
+        if self.span.is_known() {
+            write!(f, " @ {}", self.span)?;
+        }
+        write!(f, ": [{}/{}] {}", self.code, self.severity, self.message)
+    }
+}
+
+/// Per-code severity overrides applied after analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintConfig {
+    /// Map from lint code to the severity it should be reported at.
+    pub overrides: BTreeMap<String, Severity>,
+}
+
+impl LintConfig {
+    /// Override the severity of one code (builder-style).
+    pub fn set(mut self, code: &str, severity: Severity) -> LintConfig {
+        self.overrides.insert(code.to_string(), severity);
+        self
+    }
+
+    /// Apply overrides and drop `Allow`-level findings.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter_map(|mut d| {
+                if let Some(sev) = self.overrides.get(&d.code) {
+                    d.severity = *sev;
+                }
+                (d.severity != Severity::Allow).then_some(d)
+            })
+            .collect()
+    }
+}
+
+/// The highest severity present in a batch of findings.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Lint a single SM: the per-transition dataflow pass and the use-def pass.
+///
+/// `catalog` supplies cross-SM context (enum declarations for `L011`,
+/// cross-SM `field` reads for `L005`); pass `None` when linting a spec in
+/// isolation, which makes those lints more conservative, never noisier.
+pub fn lint_sm(sm: &crate::ast::SmSpec, catalog: Option<&Catalog>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for t in &sm.transitions {
+        dataflow::check_transition(sm, t, &mut diags);
+    }
+    dataflow::check_enum_literal_comparisons(sm, catalog, &mut diags);
+    usedef::check_sm(sm, catalog, &mut diags);
+    diags
+}
+
+/// Lint a whole catalog: every per-SM pass plus the global pass.
+pub fn lint_catalog(catalog: &Catalog) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for sm in catalog.iter() {
+        diags.extend(lint_sm(sm, Some(catalog)));
+    }
+    global::check_catalog(catalog, &mut diags);
+    diags.sort_by(|a, b| {
+        (&a.sm, &a.transition, &a.code, &a.message).cmp(&(
+            &b.sm,
+            &b.transition,
+            &b.code,
+            &b.message,
+        ))
+    });
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = REGISTRY.iter().map(|l| l.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry codes must be unique and ordered");
+    }
+
+    #[test]
+    fn severity_parse_round_trips() {
+        for sev in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(sev.as_str()), Some(sev));
+        }
+        assert_eq!(Severity::parse("ERROR"), Some(Severity::Deny));
+        assert_eq!(Severity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn config_overrides_and_drops_allowed() {
+        let sm = SmName::new("Vpc");
+        let d = Diagnostic::new("L001", &sm, None, Span::NONE, "x");
+        let cfg = LintConfig::default().set("L001", Severity::Allow);
+        assert!(cfg.apply(vec![d.clone()]).is_empty());
+        let cfg = LintConfig::default().set("L001", Severity::Deny);
+        assert_eq!(cfg.apply(vec![d])[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn diagnostic_display_format() {
+        let sm = SmName::new("Vpc");
+        let api = ApiName::new("DeleteVpc");
+        let d = Diagnostic::new(
+            "L002",
+            &sm,
+            Some(&api),
+            Span::at(12, 5),
+            "guard always fails",
+        );
+        assert_eq!(
+            d.to_string(),
+            "Vpc::DeleteVpc @ 12:5: [L002/deny] guard always fails"
+        );
+        let d2 = Diagnostic::new("L010", &sm, None, Span::NONE, "unreachable");
+        assert_eq!(d2.to_string(), "Vpc: [L010/warn] unreachable");
+    }
+}

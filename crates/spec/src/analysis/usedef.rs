@@ -1,0 +1,223 @@
+//! Pass 2: use-def / liveness over one SM.
+//!
+//! * `L005` — a state variable that is written but never read or emitted.
+//!   Reads count local `read(var)`, cross-SM `field(_, var)` projections
+//!   (anywhere in the catalog, since any machine may hold a reference), and
+//!   the parent-link variable, which the runtime itself consults for
+//!   containment.
+//! * `L006` — a transition parameter that never occurs in the body. The
+//!   SM's `id_param` is exempt: the dispatcher consumes it for routing
+//!   before the body runs.
+//! * `L007` — an enum variant that no execution can reach: it is not the
+//!   initial value of any variable of that enum type and no write can
+//!   produce it. Write values are approximated by type: a write of
+//!   `read(x)`/`arg(p)` contributes every variant of the source's declared
+//!   enum; a write of an opaque expression (e.g. a cross-SM field) makes
+//!   every variant reachable.
+
+use super::Diagnostic;
+use crate::ast::{Expr, Literal, SmSpec, Span, StateType, Stmt, Transition};
+use crate::catalog::Catalog;
+use std::collections::BTreeSet;
+
+/// All expressions directly contained in a statement (not recursing into
+/// sub-expressions — use `Expr::visit` for that).
+pub(super) fn stmt_exprs(stmt: &Stmt) -> Vec<&Expr> {
+    match stmt {
+        Stmt::Write { value, .. } | Stmt::Emit { value, .. } => vec![value],
+        Stmt::Assert { pred, .. } | Stmt::If { pred, .. } => vec![pred],
+        Stmt::Call { target, args, .. } => {
+            let mut v = vec![target];
+            v.extend(args.iter());
+            v
+        }
+    }
+}
+
+/// Visit every expression (including sub-expressions) of an SM.
+fn visit_exprs<'a>(sm: &'a SmSpec, f: &mut impl FnMut(&'a Expr)) {
+    for t in &sm.transitions {
+        for stmt in t.all_stmts() {
+            for e in stmt_exprs(stmt) {
+                e.visit(f);
+            }
+        }
+    }
+}
+
+/// Run the use-def pass over one SM, appending findings.
+pub fn check_sm(sm: &SmSpec, catalog: Option<&Catalog>, diags: &mut Vec<Diagnostic>) {
+    check_dead_state_vars(sm, catalog, diags);
+    check_unused_params(sm, diags);
+    check_unreachable_variants(sm, diags);
+}
+
+/// `L005`: state variables written but never read or emitted.
+fn check_dead_state_vars(sm: &SmSpec, catalog: Option<&Catalog>, diags: &mut Vec<Diagnostic>) {
+    // Locally-read names and the spans of first writes.
+    let mut read: BTreeSet<&str> = BTreeSet::new();
+    visit_exprs(sm, &mut |e| {
+        if let Expr::Read(v) = e {
+            read.insert(v);
+        }
+    });
+    // `field(_, name)` projections may dereference any machine's variable;
+    // resolving the target type precisely is not always possible, so any
+    // projected name anywhere counts as a read of a same-named variable.
+    let mut projected: BTreeSet<String> = BTreeSet::new();
+    let mut collect_fields = |spec: &SmSpec| {
+        let mut grab = |e: &Expr| {
+            if let Expr::Field(_, name) = e {
+                projected.insert(name.clone());
+            }
+        };
+        for t in &spec.transitions {
+            for stmt in t.all_stmts() {
+                for e in stmt_exprs(stmt) {
+                    e.visit(&mut grab);
+                }
+            }
+        }
+    };
+    match catalog {
+        Some(c) => c.iter().for_each(&mut collect_fields),
+        None => collect_fields(sm),
+    }
+
+    for decl in &sm.states {
+        let name = decl.name.as_str();
+        let first_write = sm.transitions.iter().find_map(|t| {
+            t.all_stmts().into_iter().find_map(|s| match s {
+                Stmt::Write { state, span, .. } if state == name => Some(*span),
+                _ => None,
+            })
+        });
+        let Some(span) = first_write else {
+            continue; // never written: nothing to flag (likely init-only)
+        };
+        let is_parent_link = matches!(&sm.parent, Some((_, link)) if link == name);
+        if !read.contains(name) && !projected.contains(name) && !is_parent_link {
+            diags.push(Diagnostic::new(
+                "L005",
+                &sm.name,
+                None,
+                span,
+                format!(
+                    "state variable `{}` is written but never read or emitted",
+                    name
+                ),
+            ));
+        }
+    }
+}
+
+/// `L006`: parameters that never occur in the transition body.
+fn check_unused_params(sm: &SmSpec, diags: &mut Vec<Diagnostic>) {
+    for t in &sm.transitions {
+        let mut used: BTreeSet<&str> = BTreeSet::new();
+        for stmt in t.all_stmts() {
+            for e in stmt_exprs(stmt) {
+                e.visit(&mut |e| {
+                    if let Expr::Arg(p) = e {
+                        used.insert(p);
+                    }
+                });
+            }
+        }
+        for p in &t.params {
+            if p.name == sm.id_param {
+                continue;
+            }
+            if !used.contains(p.name.as_str()) {
+                diags.push(Diagnostic::new(
+                    "L006",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!("parameter `{}` is never used in the body", p.name),
+                ));
+            }
+        }
+    }
+}
+
+/// The enum variants a write value can statically produce. `None` means
+/// "cannot bound" (every variant becomes reachable).
+fn producible_variants(sm: &SmSpec, t: &Transition, value: &Expr) -> Option<BTreeSet<String>> {
+    match value {
+        Expr::Lit(Literal::EnumVal(v)) => Some(std::iter::once(v.clone()).collect()),
+        Expr::Null => Some(BTreeSet::new()),
+        Expr::Read(u) => match sm.state(u).map(|d| &d.ty) {
+            Some(StateType::Enum(vs)) => Some(vs.iter().cloned().collect()),
+            _ => None,
+        },
+        Expr::Arg(p) => match t.param(p).map(|d| &d.ty) {
+            Some(StateType::Enum(vs)) => Some(vs.iter().cloned().collect()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `L007`: enum variants that no execution can reach.
+fn check_unreachable_variants(sm: &SmSpec, diags: &mut Vec<Diagnostic>) {
+    for decl in &sm.states {
+        let StateType::Enum(declared) = &decl.ty else {
+            continue;
+        };
+        let mut reachable: BTreeSet<String> = BTreeSet::new();
+        // Initial value: the declared default, or — for a non-nullable
+        // variable without one — the first variant (the runtime's zero
+        // value). Nullable variables without a default start at null.
+        match &decl.default {
+            Some(Literal::EnumVal(v)) => {
+                reachable.insert(v.clone());
+            }
+            Some(_) => {}
+            None => {
+                if !decl.nullable {
+                    if let Some(first) = declared.first() {
+                        reachable.insert(first.clone());
+                    }
+                }
+            }
+        }
+        let mut unbounded = false;
+        for t in &sm.transitions {
+            for stmt in t.all_stmts() {
+                if let Stmt::Write { state, value, .. } = stmt {
+                    if state == &decl.name {
+                        match producible_variants(sm, t, value) {
+                            Some(vs) => reachable.extend(vs),
+                            None => unbounded = true,
+                        }
+                    }
+                }
+            }
+        }
+        if unbounded {
+            continue;
+        }
+        let dead: Vec<&String> = declared
+            .iter()
+            .filter(|v| !reachable.contains(*v))
+            .collect();
+        if !dead.is_empty() {
+            diags.push(Diagnostic::new(
+                "L007",
+                &sm.name,
+                None,
+                Span::NONE,
+                format!(
+                    "enum variant{} {} of `{}` can never be reached (neither default nor written)",
+                    if dead.len() == 1 { "" } else { "s" },
+                    dead.iter()
+                        .map(|v| format!("`{}`", v))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    decl.name
+                ),
+            ));
+        }
+    }
+}

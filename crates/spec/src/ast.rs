@@ -9,6 +9,70 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A source position (1-based line and column) attached to AST nodes by the
+/// parser, or [`Span::NONE`] for programmatically built nodes.
+///
+/// Spans are *metadata*: two ASTs that differ only in spans are the same
+/// specification. `PartialEq`/`Hash` are therefore span-transparent (all
+/// spans compare equal), which keeps parse/print round-trips and
+/// golden-vs-synthesized comparisons exact while still letting diagnostics
+/// point at `file:line:col`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based source line, or 0 when unknown.
+    pub line: u32,
+    /// 1-based source column, or 0 when unknown.
+    pub col: u32,
+}
+
+impl Span {
+    /// The unknown span (programmatically constructed nodes).
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// Create a span at the given 1-based position.
+    pub fn at(line: usize, col: usize) -> Span {
+        Span {
+            line: line as u32,
+            col: col as u32,
+        }
+    }
+
+    /// `true` if this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true // spans are metadata, not identity
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl PartialOrd for Span {
+    fn partial_cmp(&self, other: &Span) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Span {
+    fn cmp(&self, _: &Span) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// The name of a state machine, i.e. a cloud resource type (e.g. `Vpc`).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SmName(pub String);
@@ -371,6 +435,9 @@ pub enum Stmt {
         state: String,
         /// Value to assign.
         value: Expr,
+        /// Source position of the statement.
+        #[serde(default)]
+        span: Span,
     },
     /// `assert(pred) else Code "message"` — abort the transition with the
     /// given error code if the predicate is false. All effects of the
@@ -382,6 +449,9 @@ pub enum Stmt {
         error: ErrorCode,
         /// Human-readable error message template.
         message: String,
+        /// Source position of the statement.
+        #[serde(default)]
+        span: Span,
     },
     /// `call(refexpr, Api, [args...])` — trigger a transition on another
     /// instance.
@@ -392,6 +462,9 @@ pub enum Stmt {
         api: ApiName,
         /// Positional arguments matched to the target transition's params.
         args: Vec<Expr>,
+        /// Source position of the statement.
+        #[serde(default)]
+        span: Span,
     },
     /// `emit(field, expr)` — add a field to the API response.
     Emit {
@@ -399,6 +472,9 @@ pub enum Stmt {
         field: String,
         /// Field value.
         value: Expr,
+        /// Source position of the statement.
+        #[serde(default)]
+        span: Span,
     },
     /// `if pred { ... } else { ... }`.
     If {
@@ -408,6 +484,9 @@ pub enum Stmt {
         then: Vec<Stmt>,
         /// Statements executed otherwise (may be empty).
         els: Vec<Stmt>,
+        /// Source position of the statement.
+        #[serde(default)]
+        span: Span,
     },
 }
 
@@ -422,6 +501,18 @@ impl Stmt {
             for s in els {
                 s.visit(f);
             }
+        }
+    }
+
+    /// The source position of this statement ([`Span::NONE`] when built
+    /// programmatically).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Write { span, .. }
+            | Stmt::Assert { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Emit { span, .. }
+            | Stmt::If { span, .. } => *span,
         }
     }
 }
@@ -444,6 +535,9 @@ pub struct Transition {
     /// `call` but that are not part of the public API surface (and thus do
     /// not count toward API coverage).
     pub internal: bool,
+    /// Source position of the transition header.
+    #[serde(default)]
+    pub span: Span,
 }
 
 impl Transition {
@@ -607,9 +701,11 @@ mod tests {
                     pred: Expr::is_null(Expr::read("nic")),
                     error: ErrorCode::new("DependencyViolation"),
                     message: "still attached".into(),
+                    span: Span::NONE,
                 }],
                 doc: String::new(),
                 internal: false,
+                span: Span::NONE,
             }],
             doc: String::new(),
         }

@@ -123,6 +123,7 @@ impl TransitionBuilder {
                 body: Vec::new(),
                 doc: String::new(),
                 internal: false,
+                span: Span::NONE,
             },
         }
     }
@@ -164,6 +165,7 @@ impl TransitionBuilder {
         self.t.body.push(Stmt::Write {
             state: state.into(),
             value,
+            span: Span::NONE,
         });
         self
     }
@@ -179,6 +181,7 @@ impl TransitionBuilder {
             pred,
             error: ErrorCode::new(error),
             message: message.into(),
+            span: Span::NONE,
         });
         self
     }
@@ -189,6 +192,7 @@ impl TransitionBuilder {
             target,
             api: ApiName::new(api),
             args,
+            span: Span::NONE,
         });
         self
     }
@@ -198,6 +202,7 @@ impl TransitionBuilder {
         self.t.body.push(Stmt::Emit {
             field: field.into(),
             value,
+            span: Span::NONE,
         });
         self
     }
@@ -208,13 +213,19 @@ impl TransitionBuilder {
             pred,
             then,
             els: Vec::new(),
+            span: Span::NONE,
         });
         self
     }
 
     /// Append an `if/else` statement.
     pub fn if_then_else(mut self, pred: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Self {
-        self.t.body.push(Stmt::If { pred, then, els });
+        self.t.body.push(Stmt::If {
+            pred,
+            then,
+            els,
+            span: Span::NONE,
+        });
         self
     }
 

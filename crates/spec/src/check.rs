@@ -26,6 +26,9 @@ pub struct CheckError {
     pub sm: SmName,
     /// The transition, if the error is inside one.
     pub transition: Option<ApiName>,
+    /// Source position of the offending construct ([`Span::NONE`] when the
+    /// spec was built programmatically).
+    pub span: Span,
     /// Human-readable description.
     pub message: String,
 }
@@ -35,17 +38,27 @@ impl CheckError {
         CheckError {
             sm: sm.clone(),
             transition: transition.cloned(),
+            span: Span::NONE,
             message: message.into(),
         }
+    }
+
+    fn at(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.transition {
-            Some(t) => write!(f, "{}::{}: {}", self.sm, t, self.message),
-            None => write!(f, "{}: {}", self.sm, self.message),
+            Some(t) => write!(f, "{}::{}", self.sm, t)?,
+            None => write!(f, "{}", self.sm)?,
         }
+        if self.span.is_known() {
+            write!(f, " @ {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -113,6 +126,10 @@ fn assignable(actual: &Ty, expected: &Ty, nullable: bool) -> bool {
         (Ty::Unknown, _) | (_, Ty::Unknown) => true,
         (Ty::Null, _) => nullable,
         (Ty::EnumLit(v), Ty::Enum(vs)) => vs.contains(v),
+        // Two bare enum literals are structurally comparable here; the
+        // lint pass (`analysis`, lint L011) flags comparisons of literals
+        // drawn from provably disjoint enums, which this structural rule
+        // cannot see without whole-catalog variant knowledge.
         (Ty::EnumLit(_), Ty::EnumLit(_)) => true,
         (Ty::EmptyList, Ty::List(_)) => true,
         (Ty::List(a), Ty::List(b)) => assignable(a, b, false),
@@ -135,16 +152,16 @@ struct Ctx<'a> {
     sm: &'a SmSpec,
     transition: Option<&'a Transition>,
     catalog: Option<&'a BTreeMap<SmName, &'a SmSpec>>,
+    /// Span of the statement currently being checked (for diagnostics).
+    span: Span,
     errors: Vec<CheckError>,
 }
 
 impl<'a> Ctx<'a> {
     fn err(&mut self, message: impl Into<String>) {
-        self.errors.push(CheckError::new(
-            &self.sm.name,
-            self.transition.map(|t| &t.name),
-            message,
-        ));
+        self.errors.push(
+            CheckError::new(&self.sm.name, self.transition.map(|t| &t.name), message).at(self.span),
+        );
     }
 
     fn resolve_sm(&self, name: &SmName) -> Option<&'a SmSpec> {
@@ -327,8 +344,9 @@ impl<'a> Ctx<'a> {
     }
 
     fn check_stmt(&mut self, stmt: &Stmt) {
+        self.span = stmt.span();
         match stmt {
-            Stmt::Write { state, value } => {
+            Stmt::Write { state, value, .. } => {
                 let vty = self.infer(value);
                 match self.sm.state(state) {
                     None => self.err(format!("write to undeclared state variable `{}`", state)),
@@ -349,15 +367,20 @@ impl<'a> Ctx<'a> {
             Stmt::Emit { value, .. } => {
                 let _ = self.infer(value);
             }
-            Stmt::If { pred, then, els } => {
+            Stmt::If {
+                pred, then, els, ..
+            } => {
                 let t = self.infer(pred);
                 if !assignable(&t, &Ty::Bool, false) {
                     self.err(format!("if condition is not boolean ({})", t));
                 }
                 self.check_stmts(then);
                 self.check_stmts(els);
+                self.span = stmt.span();
             }
-            Stmt::Call { target, api, args } => {
+            Stmt::Call {
+                target, api, args, ..
+            } => {
                 let tty = self.infer(target);
                 let target_sm = match &tty {
                     Ty::Ref(name) => self.resolve_sm(name).map(|s| (name.clone(), s)),
@@ -441,11 +464,10 @@ fn check_sm_with(sm: &SmSpec, catalog: Option<&BTreeMap<SmName, &SmSpec>>) -> Ve
     }
     for (i, t) in sm.transitions.iter().enumerate() {
         if sm.transitions[..i].iter().any(|p| p.name == t.name) {
-            errors.push(CheckError::new(
-                &sm.name,
-                None,
-                format!("duplicate transition `{}`", t.name),
-            ));
+            errors.push(
+                CheckError::new(&sm.name, None, format!("duplicate transition `{}`", t.name))
+                    .at(t.span),
+            );
         }
         for (j, p) in t.params.iter().enumerate() {
             if t.params[..j].iter().any(|q| q.name == p.name) {
@@ -487,6 +509,7 @@ fn check_sm_with(sm: &SmSpec, catalog: Option<&BTreeMap<SmName, &SmSpec>>) -> Ve
             sm,
             transition: Some(t),
             catalog,
+            span: t.span,
             errors: Vec::new(),
         };
         ctx.check_stmts(&t.body);

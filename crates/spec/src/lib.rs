@@ -22,7 +22,10 @@
 //!   type checker,
 //! * a [`builder`] with a fluent API for constructing specs from Rust code,
 //! * a [`catalog`] type grouping the SMs of a service together with its
-//!   dependency graph.
+//!   dependency graph,
+//! * an [`analysis`] module — `lce-lint` — a dataflow static analyzer
+//!   producing span-carrying, severity-coded diagnostics ([`Diagnostic`])
+//!   for specs that type-check but contain dead or contradictory logic.
 //!
 //! ## Example
 //!
@@ -54,6 +57,7 @@
 //! assert_eq!(sm.transitions.len(), 2);
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod builder;
 pub mod catalog;
@@ -64,9 +68,10 @@ pub mod parser;
 pub mod printer;
 pub mod token;
 
+pub use analysis::{lint_catalog, lint_sm, Diagnostic, LintConfig, Severity};
 pub use ast::{
-    ApiName, BinOp, ErrorCode, Expr, Literal, Param, SmName, SmSpec, StateDecl, StateType, Stmt,
-    Transition, TransitionKind, UnOp,
+    ApiName, BinOp, ErrorCode, Expr, Literal, Param, SmName, SmSpec, Span, StateDecl, StateType,
+    Stmt, Transition, TransitionKind, UnOp,
 };
 pub use builder::{SmBuilder, TransitionBuilder};
 pub use catalog::{Catalog, DependencyGraph};

@@ -336,7 +336,14 @@ impl Parser {
         }
     }
 
+    /// The source position of the next token, as a [`Span`].
+    fn span(&self) -> Span {
+        let t = self.peek();
+        Span::at(t.line, t.col)
+    }
+
     fn transition(&mut self) -> Result<Transition, ParseError> {
+        let span = self.span();
         self.keyword("transition")?;
         let name = ApiName::new(self.ident()?);
         self.expect(&TokenKind::LParen)?;
@@ -395,6 +402,7 @@ impl Parser {
             body,
             doc,
             internal,
+            span,
         })
     }
 
@@ -409,6 +417,7 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.span();
         let kw = match &self.peek().kind {
             TokenKind::Ident(s) => s.clone(),
             other => return Err(self.err(format!("expected statement, found {}", other))),
@@ -422,7 +431,7 @@ impl Parser {
                 let value = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Write { state, value })
+                Ok(Stmt::Write { state, value, span })
             }
             "assert" => {
                 self.next();
@@ -437,6 +446,7 @@ impl Parser {
                     pred,
                     error,
                     message,
+                    span,
                 })
             }
             "call" => {
@@ -461,7 +471,12 @@ impl Parser {
                 self.expect(&TokenKind::RBracket)?;
                 self.expect(&TokenKind::RParen)?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Call { target, api, args })
+                Ok(Stmt::Call {
+                    target,
+                    api,
+                    args,
+                    span,
+                })
             }
             "emit" => {
                 self.next();
@@ -471,7 +486,7 @@ impl Parser {
                 let value = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Emit { field, value })
+                Ok(Stmt::Emit { field, value, span })
             }
             "if" => {
                 self.next();
@@ -485,7 +500,12 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { pred, then, els })
+                Ok(Stmt::If {
+                    pred,
+                    then,
+                    els,
+                    span,
+                })
             }
             other => Err(self.err(format!(
                 "expected `write`, `assert`, `call`, `emit` or `if`, found `{}`",

@@ -74,13 +74,14 @@ fn indent(out: &mut String, level: usize) {
 fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
     indent(out, level);
     match stmt {
-        Stmt::Write { state, value } => {
+        Stmt::Write { state, value, .. } => {
             let _ = writeln!(out, "write({}, {});", state, print_expr(value));
         }
         Stmt::Assert {
             pred,
             error,
             message,
+            ..
         } => {
             let _ = writeln!(
                 out,
@@ -90,14 +91,18 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
                 message
             );
         }
-        Stmt::Call { target, api, args } => {
+        Stmt::Call {
+            target, api, args, ..
+        } => {
             let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
             let _ = writeln!(out, "call({}, {}, [{}]);", print_expr(target), api, args);
         }
-        Stmt::Emit { field, value } => {
+        Stmt::Emit { field, value, .. } => {
             let _ = writeln!(out, "emit({}, {});", field, print_expr(value));
         }
-        Stmt::If { pred, then, els } => {
+        Stmt::If {
+            pred, then, els, ..
+        } => {
             let _ = writeln!(out, "if {} {{", print_expr(pred));
             for s in then {
                 print_stmt(out, s, level + 1);

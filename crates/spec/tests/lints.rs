@@ -1,0 +1,329 @@
+//! Lint-coverage tests: every registered lint code has a fixture it fires
+//! on and a near-identical fixture it stays quiet on, plus property tests
+//! that the analyzer is invariant under the printer/parser round trip.
+
+use lce_spec::analysis::REGISTRY;
+use lce_spec::{
+    lint_catalog, lint_sm, parse_catalog, parse_sm, print_sm, Catalog, Expr, SmBuilder,
+    TransitionBuilder, TransitionKind,
+};
+use proptest::prelude::*;
+
+/// One registry entry's coverage pair. `catalog` selects whether the
+/// sources are linted as a whole catalog (the cross-SM codes) or as a
+/// single machine in isolation.
+struct Case {
+    code: &'static str,
+    catalog: bool,
+    /// A minimal spec the lint must fire on.
+    fires: &'static str,
+    /// The same spec with the defect repaired; the lint must stay quiet.
+    quiet: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        code: "L001",
+        catalog: false,
+        // A required parameter is non-null by dispatch; guarding it is a
+        // no-op. Making it optional gives the guard something to do.
+        fires: r#"sm A { service "s"; states { }
+          transition T(X: str) kind modify {
+            assert(!is_null(arg(X))) else MissingParameter "m";
+            emit(X, arg(X));
+          } }"#,
+        quiet: r#"sm A { service "s"; states { }
+          transition T(X: str?) kind modify {
+            assert(!is_null(arg(X))) else MissingParameter "m";
+            emit(X, arg(X));
+          } }"#,
+    },
+    Case {
+        code: "L002",
+        catalog: false,
+        // On entry to a create, `st` holds its declared default `a`.
+        fires: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition CreateA() kind create {
+            assert(read(st) == b) else InvalidState "m";
+          }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+        quiet: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition T() kind modify {
+            assert(read(st) == b) else InvalidState "m";
+          }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+    },
+    Case {
+        code: "L003",
+        catalog: false,
+        fires: r#"sm A { service "s"; states { on: bool = false; }
+          transition CreateA() kind create {
+            if read(on) { write(on, true); }
+          }
+          transition D() kind describe { emit(On, read(on)); } }"#,
+        quiet: r#"sm A { service "s"; states { on: bool = false; }
+          transition T() kind modify {
+            if read(on) { write(on, false); }
+          }
+          transition D() kind describe { emit(On, read(on)); } }"#,
+    },
+    Case {
+        code: "L004",
+        catalog: false,
+        // The write is dead behind the always-failing assert; dropping it
+        // leaves only the (still-reported) L002.
+        fires: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition CreateA() kind create {
+            assert(read(st) == b) else InvalidState "m";
+            write(st, b);
+          }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+        quiet: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition CreateA() kind create {
+            assert(read(st) == b) else InvalidState "m";
+          }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+    },
+    Case {
+        code: "L005",
+        catalog: false,
+        fires: r#"sm A { service "s"; states { ghost: str; }
+          transition T() kind modify { write(ghost, "x"); } }"#,
+        quiet: r#"sm A { service "s"; states { ghost: str; }
+          transition T() kind modify { write(ghost, "x"); }
+          transition D() kind describe { emit(Ghost, read(ghost)); } }"#,
+    },
+    Case {
+        code: "L006",
+        catalog: false,
+        fires: r#"sm A { service "s"; states { n: int = 0; }
+          transition T(Count: int) kind modify { write(n, 1); }
+          transition D() kind describe { emit(N, read(n)); } }"#,
+        quiet: r#"sm A { service "s"; states { n: int = 0; }
+          transition T(Count: int) kind modify { write(n, arg(Count)); }
+          transition D() kind describe { emit(N, read(n)); } }"#,
+    },
+    Case {
+        code: "L007",
+        catalog: false,
+        // `c` is neither the default nor producible by any write.
+        fires: r#"sm A { service "s"; states { st: enum(a, b, c) = a; }
+          transition T() kind modify { write(st, b); }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+        quiet: r#"sm A { service "s"; states { st: enum(a, b, c) = a; }
+          transition T(To: enum(a, b, c)) kind modify { write(st, arg(To)); }
+          transition D() kind describe { emit(St, read(st)); } }"#,
+    },
+    Case {
+        code: "L008",
+        catalog: true,
+        // A self-loop in the transition call graph: Poke re-invokes itself
+        // on the same instance.
+        fires: r#"sm A { service "s"; states { }
+          transition CreateA() kind create { }
+          transition Poke() kind modify { call(self_id(), Poke, []); } }"#,
+        quiet: r#"sm A { service "s"; states { }
+          transition CreateA() kind create { }
+          transition Poke() kind modify { call(self_id(), Nudge, []); }
+          transition Nudge() kind modify { } }"#,
+    },
+    Case {
+        code: "L009",
+        catalog: true,
+        fires: r#"
+          sm Vpc { service "s"; states { }
+            transition CreateVpc() kind create { }
+            transition DeleteVpc() kind destroy { } }
+          sm Subnet { service "s"; parent Vpc via vpc;
+            states { vpc: ref(Vpc); }
+            transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+              write(vpc, arg(VpcId));
+            }
+            transition DeleteSubnet() kind destroy { } }"#,
+        quiet: r#"
+          sm Vpc { service "s"; states { }
+            transition CreateVpc() kind create { }
+            transition DeleteVpc() kind destroy {
+              assert(child_count(Subnet) == 0) else DependencyViolation "m";
+            } }
+          sm Subnet { service "s"; parent Vpc via vpc;
+            states { vpc: ref(Vpc); }
+            transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+              write(vpc, arg(VpcId));
+            }
+            transition DeleteSubnet() kind destroy { } }"#,
+    },
+    Case {
+        code: "L010",
+        catalog: true,
+        // Nothing creates a Widget and nothing references one.
+        fires: r#"
+          sm Root { service "s"; states { }
+            transition CreateRoot() kind create { } }
+          sm Widget { service "s"; states { }
+            transition PokeWidget() kind modify { } }"#,
+        quiet: r#"
+          sm Root { service "s"; states { w: ref(Widget)?; }
+            transition CreateRoot() kind create { }
+            transition Attach(WidgetId: ref(Widget)) kind modify {
+              write(w, arg(WidgetId));
+            }
+            transition D() kind describe { emit(W, read(w)); } }
+          sm Widget { service "s"; states { }
+            transition PokeWidget() kind modify { } }"#,
+    },
+    Case {
+        code: "L011",
+        catalog: false,
+        // `zz` belongs to no declared enum: the comparison is constant.
+        fires: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition D() kind describe { emit(Same, a == zz); } }"#,
+        quiet: r#"sm A { service "s"; states { st: enum(a, b) = a; }
+          transition D() kind describe { emit(Same, a == b); } }"#,
+    },
+];
+
+fn lint_codes(src: &str, catalog: bool) -> Vec<String> {
+    let diags = if catalog {
+        let specs = parse_catalog(src).unwrap_or_else(|e| panic!("fixture must parse: {}", e));
+        lint_catalog(&Catalog::from_specs(specs))
+    } else {
+        let sm = parse_sm(src).unwrap_or_else(|e| panic!("fixture must parse: {}", e));
+        lint_sm(&sm, None)
+    };
+    diags.into_iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn every_lint_fires_on_its_fixture() {
+    for case in CASES {
+        let codes = lint_codes(case.fires, case.catalog);
+        assert!(
+            codes.iter().any(|c| c == case.code),
+            "{} did not fire; got {:?}",
+            case.code,
+            codes
+        );
+    }
+}
+
+#[test]
+fn every_lint_stays_quiet_on_the_repaired_fixture() {
+    for case in CASES {
+        let codes = lint_codes(case.quiet, case.catalog);
+        assert!(
+            codes.iter().all(|c| c != case.code),
+            "{} fired on the repaired fixture: {:?}",
+            case.code,
+            codes
+        );
+    }
+}
+
+#[test]
+fn fixtures_cover_the_whole_registry() {
+    for desc in REGISTRY {
+        assert!(
+            CASES.iter().any(|c| c.code == desc.code),
+            "no coverage fixture for {}",
+            desc.code
+        );
+    }
+    assert_eq!(
+        CASES.len(),
+        REGISTRY.len(),
+        "stale fixture for a removed lint"
+    );
+}
+
+#[test]
+fn firing_fixtures_produce_spanned_transition_scoped_diagnostics() {
+    // The transition-scoped lints must point into the source: parsed specs
+    // carry spans and the diagnostics render them.
+    let sm = parse_sm(CASES[0].fires).unwrap();
+    let diags = lint_sm(&sm, None);
+    let d = diags.iter().find(|d| d.code == "L001").unwrap();
+    assert!(d.span.is_known(), "L001 should carry the assert's span");
+    assert!(
+        d.to_string().contains(" @ "),
+        "rendered diagnostic should include a position: {}",
+        d
+    );
+}
+
+/// Strategy: a well-formed machine exercising the shapes the analyzer
+/// walks — defaults, optional params, branches, and enum writes.
+fn arb_sm() -> impl Strategy<Value = lce_spec::SmSpec> {
+    (
+        "[A-Z][a-zA-Z]{1,8}",
+        prop::collection::vec("[A-Z][a-z]{1,6}", 1..4),
+        any::<bool>(),
+        0..3usize,
+    )
+        .prop_map(|(name, mut variants, guarded, extra_writes)| {
+            variants.sort();
+            variants.dedup();
+            let ty = lce_spec::StateType::Enum(variants.clone());
+            let mut create =
+                TransitionBuilder::new(format!("Create{}", name), TransitionKind::Create)
+                    .doc("create");
+            if guarded {
+                create = create.assert(
+                    Expr::not(Expr::is_null(Expr::arg("Mode"))),
+                    "InvalidParameterValue",
+                    "m",
+                );
+            }
+            let mut b = SmBuilder::new(&name)
+                .service("prop")
+                .doc("generated")
+                .state("st", ty.clone())
+                .transition(create.param("Mode", ty.clone()).build())
+                .transition(
+                    TransitionBuilder::new(format!("Delete{}", name), TransitionKind::Destroy)
+                        .doc("destroy")
+                        .build(),
+                )
+                .transition(
+                    TransitionBuilder::new(format!("Describe{}", name), TransitionKind::Describe)
+                        .doc("describe")
+                        .emit("St", Expr::read("st"))
+                        .build(),
+                );
+            for (i, v) in variants.iter().enumerate().take(extra_writes) {
+                b = b.transition(
+                    TransitionBuilder::new(format!("Set{}{}", name, i), TransitionKind::Modify)
+                        .write("st", Expr::enum_val(v.clone()))
+                        .build(),
+                );
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linting is invariant under print → parse: the analyzer sees the
+    /// same machine whether it was built in memory or reparsed from its
+    /// canonical rendering (spans differ, but spans are transparent to
+    /// diagnostic equality).
+    #[test]
+    fn lint_is_invariant_under_print_parse_round_trip(sm in arb_sm()) {
+        let direct = lint_sm(&sm, None);
+        let reparsed = parse_sm(&print_sm(&sm)).expect("printed source must parse");
+        let round_tripped = lint_sm(&reparsed, None);
+        prop_assert_eq!(direct, round_tripped);
+    }
+
+    /// Catalog-level linting is likewise round-trip invariant.
+    #[test]
+    fn catalog_lint_survives_round_trip(sm in arb_sm()) {
+        let catalog = Catalog::from_specs([sm]);
+        let direct = lint_catalog(&catalog);
+        let specs: Vec<lce_spec::SmSpec> = catalog.iter().cloned().collect();
+        let printed = lce_spec::print_catalog(&specs);
+        let reparsed = Catalog::from_specs(parse_catalog(&printed).expect("must parse"));
+        prop_assert_eq!(direct, lint_catalog(&reparsed));
+    }
+}

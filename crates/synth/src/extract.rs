@@ -8,7 +8,7 @@
 
 use crate::sentence::parse_clauses;
 use lce_spec::{
-    parse_literal, parse_state_type, ApiName, Param, SmName, SmSpec, StateDecl, Transition,
+    parse_literal, parse_state_type, ApiName, Param, SmName, SmSpec, Span, StateDecl, Transition,
     TransitionKind,
 };
 use lce_wrangle::ResourceDoc;
@@ -111,6 +111,7 @@ pub fn extract_resource(doc: &ResourceDoc) -> Result<SmSpec, ExtractError> {
             body,
             doc: a.summary.clone(),
             internal: a.internal,
+            span: Span::NONE,
         });
     }
     Ok(spec)

@@ -10,7 +10,7 @@
 //! recorded as an [`InjectedFault`] so experiments can measure which
 //! pipeline stage removes which class.
 
-use lce_spec::{ApiName, ErrorCode, Expr, SmName, SmSpec, Stmt, TransitionKind};
+use lce_spec::{ApiName, ErrorCode, Expr, SmName, SmSpec, Span, Stmt, TransitionKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -234,6 +234,7 @@ fn describe_mutation(spec: &SmSpec) -> Option<Stmt> {
         return Some(Stmt::Write {
             state: s.name.clone(),
             value,
+            span: Span::NONE,
         });
     }
     None
@@ -274,22 +275,23 @@ impl TransitionNoise<'_> {
         let mut out = Vec::new();
         for stmt in stmts {
             match stmt {
-                Stmt::Write { state, value } => {
+                Stmt::Write { state, value, span } => {
                     if self.dropped.iter().any(|d| d == &state) || self.mentions_dropped(&value) {
                         continue; // writes to/through missing state vanish
                     }
-                    out.push(Stmt::Write { state, value });
+                    out.push(Stmt::Write { state, value, span });
                 }
-                Stmt::Emit { field, value } => {
+                Stmt::Emit { field, value, span } => {
                     if self.mentions_dropped(&value) {
                         continue;
                     }
-                    out.push(Stmt::Emit { field, value });
+                    out.push(Stmt::Emit { field, value, span });
                 }
                 Stmt::Assert {
                     pred,
                     error,
                     message,
+                    span,
                 } => {
                     if self.mentions_dropped(&pred) {
                         // A check over a missing variable cannot be written
@@ -332,9 +334,15 @@ impl TransitionNoise<'_> {
                         pred,
                         error,
                         message,
+                        span,
                     });
                 }
-                Stmt::Call { target, api, args } => {
+                Stmt::Call {
+                    target,
+                    api,
+                    args,
+                    span,
+                } => {
                     if self.mentions_dropped(&target)
                         || args.iter().any(|a| self.mentions_dropped(a))
                     {
@@ -350,12 +358,23 @@ impl TransitionNoise<'_> {
                             target,
                             api: bogus,
                             args,
+                            span,
                         });
                     } else {
-                        out.push(Stmt::Call { target, api, args });
+                        out.push(Stmt::Call {
+                            target,
+                            api,
+                            args,
+                            span,
+                        });
                     }
                 }
-                Stmt::If { pred, then, els } => {
+                Stmt::If {
+                    pred,
+                    then,
+                    els,
+                    span,
+                } => {
                     if self.mentions_dropped(&pred) {
                         // "Lack of resource context": the guard is gone, the
                         // then-branch runs unconditionally.
@@ -369,7 +388,12 @@ impl TransitionNoise<'_> {
                     }
                     let then = self.transform(then);
                     let els = self.transform(els);
-                    out.push(Stmt::If { pred, then, els });
+                    out.push(Stmt::If {
+                        pred,
+                        then,
+                        els,
+                        span,
+                    });
                 }
             }
         }

@@ -7,6 +7,14 @@
 //! with feedback); finally a *specification linking* pass patches dangling
 //! cross-machine calls left as stubs for machines that had not been
 //! generated yet.
+//!
+//! When [`PipelineConfig::lint`] is on, the `lce-lint` static analyzer runs
+//! alongside the consistency checks: deny-severity findings (always-false
+//! guards, statements dead behind them, call-graph cycles) join the
+//! soundness violations as regeneration feedback, both per machine and at
+//! catalog level. Warn-level findings never trigger regeneration — they
+//! describe suspect-but-runnable specs, and re-prompting on them would
+//! churn machines the checks cannot actually improve.
 
 use crate::consistency::{check_catalog_consistency, check_soundness};
 use crate::constrain::{decode, DecodeOutcome};
@@ -37,6 +45,9 @@ pub struct PipelineConfig {
     pub syntax_reprompt: bool,
     /// Enable consistency checks with targeted regeneration.
     pub consistency_checks: bool,
+    /// Run `lce-lint` next to the consistency checks; deny-severity
+    /// findings become regeneration feedback.
+    pub lint: bool,
     /// Enable the specification-linking pass.
     pub linking: bool,
     /// Maximum regeneration rounds per machine.
@@ -55,6 +66,7 @@ impl PipelineConfig {
             constrained_decoding: true,
             syntax_reprompt: true,
             consistency_checks: true,
+            lint: true,
             linking: true,
             max_regen_rounds: 4,
             noise_decay: 0.5,
@@ -71,6 +83,7 @@ impl PipelineConfig {
             constrained_decoding: false,
             syntax_reprompt: true,
             consistency_checks: false,
+            lint: false,
             linking: false,
             max_regen_rounds: 0,
             noise_decay: 1.0,
@@ -211,6 +224,9 @@ pub fn synthesize(
     if cfg.consistency_checks {
         for round in 0..=cfg.max_regen_rounds {
             catalog_findings = check_catalog_consistency(&accepted);
+            if cfg.lint {
+                catalog_findings.extend(lint_feedback(lce_spec::lint_catalog(&accepted)));
+            }
             if catalog_findings.is_empty() || round == cfg.max_regen_rounds {
                 break;
             }
@@ -248,6 +264,26 @@ pub fn synthesize(
         generation_order: order,
     };
     Ok((accepted, report))
+}
+
+/// Render deny-severity `lce-lint` findings as repair-loop feedback.
+/// Warn-level findings are advisory and dropped here — regenerating on
+/// them would churn machines the pipeline cannot actually improve. SM
+/// names are backticked so [`culprit_sms`] localizes catalog-level
+/// findings to the machine to regenerate.
+fn lint_feedback(diags: Vec<lce_spec::Diagnostic>) -> Vec<String> {
+    diags
+        .into_iter()
+        .filter(|d| d.severity == lce_spec::Severity::Deny)
+        .map(|d| {
+            let api = d
+                .transition
+                .as_ref()
+                .map(|a| format!("::{}", a))
+                .unwrap_or_default();
+            format!("lint: `{}`{}: [{}] {}", d.sm, api, d.code, d.message)
+        })
+        .collect()
 }
 
 /// Localize catalog findings to culprit machines: the machine named in the
@@ -318,8 +354,10 @@ fn generate_one(
             continue;
         };
 
-        // Consistency stage.
-        let findings: Vec<String> = if cfg.consistency_checks {
+        // Consistency stage. The lint stage feeds the same re-prompt
+        // channel: a machine with an always-false guard is as unacceptable
+        // as an unsound one, and the diagnostic text is the feedback.
+        let mut findings: Vec<String> = if cfg.consistency_checks {
             check_soundness(&decoded, context)
                 .into_iter()
                 .map(|v| v.to_string())
@@ -327,6 +365,9 @@ fn generate_one(
         } else {
             Vec::new()
         };
+        if cfg.lint {
+            findings.extend(lint_feedback(lce_spec::lint_sm(&decoded, Some(context))));
+        }
 
         let better = match &best {
             None => true,
@@ -536,6 +577,46 @@ mod tests {
     }
 
     #[test]
+    fn lint_feedback_keeps_deny_findings_only() {
+        // A create whose guard contradicts the default state: L002 (the
+        // guard always fails) and L004 (the write behind it is dead) are
+        // deny-level and survive; the analyzer's warn-level findings do
+        // not reach the repair loop.
+        let sm = lce_spec::parse_sm(
+            r#"sm Gizmo { service "s";
+              states { st: enum(a, b) = a; }
+              transition CreateGizmo() kind create {
+                assert(read(st) == b) else InvalidGizmoState "m";
+                write(st, b);
+              }
+              transition DeleteGizmo() kind destroy { }
+              transition DescribeGizmo() kind describe { emit(St, read(st)); }
+            }"#,
+        )
+        .unwrap();
+        let feedback = lint_feedback(lce_spec::lint_sm(&sm, None));
+        assert!(
+            feedback.iter().any(|f| f.contains("[L002]")),
+            "{:?}",
+            feedback
+        );
+        assert!(feedback.iter().any(|f| f.contains("[L004]")));
+        // Every line is localizable to the machine to regenerate.
+        assert!(feedback.iter().all(|f| f.starts_with("lint: `Gizmo`")));
+        assert!(feedback.iter().all(|f| !f.contains("warn")));
+    }
+
+    #[test]
+    fn golden_synthesis_is_lint_quiet() {
+        // The noiseless pipeline reproduces the golden catalog, which is
+        // deny-clean: the lint stage must contribute no findings.
+        let sections = nimbus_sections();
+        let (catalog, report) = synthesize(&sections, &PipelineConfig::noiseless(1)).unwrap();
+        assert!(report.catalog_findings.is_empty());
+        assert!(lint_feedback(lce_spec::lint_catalog(&catalog)).is_empty());
+    }
+
+    #[test]
     fn no_reprompt_no_constrain_drops_machines() {
         let sections = nimbus_sections();
         let cfg = PipelineConfig {
@@ -547,6 +628,7 @@ mod tests {
             constrained_decoding: false,
             syntax_reprompt: false,
             consistency_checks: false,
+            lint: false,
             linking: false,
             max_regen_rounds: 0,
             noise_decay: 1.0,

@@ -5,7 +5,7 @@
 //! canonical syntax, so recovery is exact when the docs are faithful.
 
 use crate::extract::ExtractError;
-use lce_spec::{parse_expr, ApiName, ErrorCode, Expr, Stmt};
+use lce_spec::{parse_expr, ApiName, ErrorCode, Expr, Span, Stmt};
 use lce_wrangle::BehaviorLine;
 
 /// Parse a flat clause list (with depths) into a statement block.
@@ -53,7 +53,12 @@ fn parse_block(lines: &[BehaviorLine], depth: usize) -> Result<(Vec<Stmt>, usize
                 els = e;
                 i += consumed;
             }
-            stmts.push(Stmt::If { pred, then, els });
+            stmts.push(Stmt::If {
+                pred,
+                then,
+                els,
+                span: Span::NONE,
+            });
         } else {
             stmts.push(parse_simple_clause(&line.text)?);
             i += 1;
@@ -80,6 +85,7 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
         return Ok(Stmt::Write {
             state: var.to_string(),
             value: parse_embedded_expr(expr_text)?,
+            span: Span::NONE,
         });
     }
     if let Some(rest) = text.strip_prefix("Fails with error `") {
@@ -101,6 +107,7 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
             pred: parse_embedded_expr(pred_text)?,
             error: ErrorCode::new(code),
             message,
+            span: Span::NONE,
         });
     }
     if let Some(rest) = text.strip_prefix("Invokes `") {
@@ -128,6 +135,7 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
             target: parse_embedded_expr(target_text)?,
             api: ApiName::new(api),
             args,
+            span: Span::NONE,
         });
     }
     if let Some(rest) = text.strip_prefix("Returns field `") {
@@ -140,6 +148,7 @@ pub fn parse_simple_clause(text: &str) -> Result<Stmt, ExtractError> {
         return Ok(Stmt::Emit {
             field: field.to_string(),
             value: parse_embedded_expr(expr_text)?,
+            span: Span::NONE,
         });
     }
     Err(ExtractError::new(format!(

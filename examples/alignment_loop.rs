@@ -79,6 +79,7 @@ fn main() {
                     pred,
                     error,
                     message,
+                    ..
                 } = s
                 {
                     if message == "mined via alignment probing" {

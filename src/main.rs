@@ -7,13 +7,16 @@
 //! lce run    --catalog FILE [--state FILE] --program FILE.json
 //! lce spec   --provider <nimbus|stratus> [--resource Name]
 //! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
+//! lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
 //! ```
 //!
 //! `synth` learns an emulator from the provider's documentation and saves
 //! the catalog as JSON; `call`/`run` reload it and drive it like a cloud
 //! endpoint. Programs for `run` are `lce_devops::Program` JSON. `serve`
 //! exposes the catalog as a LocalStack-style HTTP endpoint with one
-//! isolated emulator per account (`POST /<account>/<Api>`).
+//! isolated emulator per account (`POST /<account>/<Api>`). `lint` runs the
+//! static analyzer over a golden or synthesized catalog and exits non-zero
+//! when findings at or above the `--deny` threshold remain.
 
 use learned_cloud_emulators::prelude::*;
 use std::collections::BTreeMap;
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -55,7 +59,8 @@ USAGE:
   lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
   lce run    --catalog FILE [--state FILE] --program FILE.json
   lce spec   --provider <nimbus|stratus> [--resource Name]
-  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]";
+  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
+  lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]";
 
 /// Parse `--key value` flags and positional arguments.
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
@@ -283,6 +288,46 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     eprintln!("  GET  /_health            liveness");
     eprintln!("  GET  /_apis              supported API list");
     handle.join();
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let catalog = match flags.get("catalog") {
+        Some(_) => load_catalog(&flags)?,
+        None => provider_of(&flags)?.catalog,
+    };
+    let threshold = match flags.get("deny").map(|s| s.as_str()) {
+        None => lce_spec::Severity::Deny,
+        Some(s) => lce_spec::Severity::parse(s).ok_or_else(|| format!("bad --deny `{}`", s))?,
+    };
+    let mut config = lce_spec::LintConfig::default();
+    if let Some(codes) = flags.get("allow") {
+        for code in codes.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            if lce_spec::analysis::lint(code).is_none() {
+                return Err(format!("unknown lint code `{}` in --allow", code));
+            }
+            config = config.set(code, lce_spec::Severity::Allow);
+        }
+    }
+    let diags = config.apply(lce_spec::lint_catalog(&catalog));
+    for d in &diags {
+        println!("{}", d);
+    }
+    let failing = diags.iter().filter(|d| d.severity >= threshold).count();
+    eprintln!(
+        "lint: {} finding{} ({} at or above {})",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" },
+        failing,
+        threshold
+    );
+    if failing > 0 {
+        return Err(format!(
+            "{} lint finding(s) at or above {}",
+            failing, threshold
+        ));
+    }
     Ok(())
 }
 
