@@ -67,6 +67,7 @@ fn with_network(name: &str) -> Program {
 }
 
 /// The Fig. 3 matrix: 4 provisioning + 4 state-update + 4 edge-case traces.
+#[allow(clippy::vec_init_then_push)]
 pub fn fig3_nimbus() -> Vec<Scenario> {
     let mut out = Vec::new();
 

@@ -36,6 +36,7 @@ fn with_vnet(name: &str) -> Program {
 }
 
 /// The Fig. 3 matrix against Stratus: 4 + 4 + 4 traces.
+#[allow(clippy::vec_init_then_push)]
 pub fn fig3_stratus() -> Vec<Scenario> {
     let mut out = Vec::new();
 

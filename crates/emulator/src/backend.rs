@@ -32,6 +32,17 @@ pub trait Backend {
     fn supports(&self, api: &str) -> bool {
         self.api_names().iter().any(|a| a == api)
     }
+
+    /// A copy of the backend's resource store, if it has one to expose.
+    ///
+    /// The chaos harness uses this to compare final states between faulted
+    /// and fault-free runs. The default is `None`: backends without a
+    /// local store (e.g. the remote client, which would need a network
+    /// round-trip) simply opt out, and callers must treat `None` as
+    /// "unavailable", not "empty".
+    fn snapshot(&self) -> Option<crate::ResourceStore> {
+        None
+    }
 }
 
 /// Boxed trait objects are backends themselves, so the serving router and
@@ -53,6 +64,9 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
     }
     fn supports(&self, api: &str) -> bool {
         (**self).supports(api)
+    }
+    fn snapshot(&self) -> Option<crate::ResourceStore> {
+        (**self).snapshot()
     }
 }
 
@@ -112,6 +126,14 @@ mod tests {
     #[allow(dead_code)]
     fn backend_is_object_safe(b: &dyn Backend) -> &dyn Backend {
         b
+    }
+
+    #[test]
+    fn snapshot_defaults_to_none_and_forwards_through_box() {
+        let plain = Echo { count: 0 };
+        assert!(plain.snapshot().is_none(), "default snapshot is None");
+        let boxed: Box<dyn Backend> = Box::new(Echo { count: 0 });
+        assert!(boxed.snapshot().is_none(), "Box forwards the default");
     }
 
     #[test]

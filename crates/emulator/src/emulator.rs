@@ -308,6 +308,10 @@ impl Backend for Emulator {
     fn supports(&self, api: &str) -> bool {
         self.catalog.sm_for_api(api).is_some()
     }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        Some(self.store.clone())
+    }
 }
 
 #[cfg(test)]

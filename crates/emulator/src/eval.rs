@@ -330,6 +330,7 @@ fn fault(
 }
 
 /// Evaluate a side-effect-free expression.
+#[allow(clippy::only_used_in_recursion)]
 pub fn eval(
     env: &ExecEnv<'_>,
     store: &ResourceStore,

@@ -1,4 +1,8 @@
 #![deny(missing_docs)]
+// `ApiError` deliberately carries rich structured context (api, resource,
+// call chain) and is returned by value throughout the interpreter; boxing
+// it everywhere would obscure the eval code for a cold error path.
+#![allow(clippy::result_large_err)]
 
 //! # lce-emulator — the emulator framework
 //!

@@ -1,0 +1,254 @@
+//! [`FaultyBackend`]: a [`Backend`] wrapper that injects plan-scheduled
+//! backend faults *before* delegating to the wrapped backend.
+//!
+//! Injection happens pre-invoke: an injected error or throttle returns
+//! without touching the inner backend at all, so the wrapped store is
+//! exactly as if the call never arrived — a retry can never double-apply.
+//! Injected latency sleeps (via an injectable sleeper, so tests never
+//! wall-sleep) and then delegates normally.
+
+use crate::backoff::{real_sleep, SleepFn};
+use crate::plan::{BackendFault, FaultPlan};
+use lce_emulator::{ApiCall, ApiError, ApiResponse, Backend, ResourceStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error code carried by an injected transient error.
+pub const INJECTED_INTERNAL_ERROR: &str = "InternalError";
+/// Error code carried by an injected throttle.
+pub const INJECTED_THROTTLE: &str = "ThrottlingException";
+
+/// The error codes a retry policy should treat as transient. These are the
+/// exact codes [`FaultyBackend`] injects.
+pub fn retryable_codes() -> Vec<String> {
+    vec![
+        INJECTED_INTERNAL_ERROR.to_string(),
+        INJECTED_THROTTLE.to_string(),
+    ]
+}
+
+/// A [`Backend`] wrapper injecting the backend-level faults of a
+/// [`FaultPlan`], scoped to one key (normally the account id).
+///
+/// The invocation sequence number is an owned atomic, not shared state:
+/// each wrapper counts its own invocations, so the schedule a given
+/// account sees depends only on `(plan, scope, how many calls that account
+/// made)` — not on what other accounts or threads are doing.
+pub struct FaultyBackend<B: Backend> {
+    inner: B,
+    plan: Arc<FaultPlan>,
+    scope: String,
+    seq: AtomicU64,
+    sleeper: SleepFn,
+    injected: AtomicU64,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Wrap `inner`, drawing fault decisions from `plan` under `scope`.
+    pub fn new(inner: B, plan: Arc<FaultPlan>, scope: impl Into<String>) -> Self {
+        FaultyBackend {
+            inner,
+            plan,
+            scope: scope.into(),
+            seq: AtomicU64::new(0),
+            sleeper: real_sleep(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the sleeper used for injected latency (tests pass a no-op
+    /// or counting sleeper so they never wall-sleep).
+    pub fn with_sleeper(mut self, sleeper: SleepFn) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// How many faults this wrapper has injected so far.
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        match self.plan.decide_invoke(&self.scope, &call.api, seq) {
+            Some(BackendFault::TransientError) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                ApiResponse::err(ApiError::new(
+                    INJECTED_INTERNAL_ERROR,
+                    "injected transient internal error",
+                ))
+            }
+            Some(BackendFault::Throttle) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                ApiResponse::err(ApiError::new(
+                    INJECTED_THROTTLE,
+                    "injected throttle: rate exceeded",
+                ))
+            }
+            Some(BackendFault::Latency(d)) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                (self.sleeper)(d);
+                self.inner.invoke(call)
+            }
+            None => self.inner.invoke(call),
+        }
+    }
+
+    fn reset(&mut self) {
+        // The fault schedule keeps advancing across resets: `_reset` is
+        // part of the workload, not a schedule boundary.
+        self.inner.reset();
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.inner.api_names()
+    }
+
+    fn supports(&self, api: &str) -> bool {
+        self.inner.supports(api)
+    }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        self.inner.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backoff::counting_sleep;
+    use lce_emulator::Value;
+    use std::collections::BTreeMap;
+
+    /// A tiny backend that counts invocations and supports everything.
+    struct Probe {
+        calls: u64,
+    }
+
+    impl Backend for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn invoke(&mut self, _call: &ApiCall) -> ApiResponse {
+            self.calls += 1;
+            let mut fields = BTreeMap::new();
+            fields.insert("Calls".to_string(), Value::Int(self.calls as i64));
+            ApiResponse::ok(fields)
+        }
+        fn reset(&mut self) {
+            self.calls = 0;
+        }
+        fn api_names(&self) -> Vec<String> {
+            vec!["Ping".into()]
+        }
+    }
+
+    fn call() -> ApiCall {
+        ApiCall {
+            api: "Ping".into(),
+            args: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_pure_passthrough() {
+        let plan = Arc::new(FaultPlan::none(7));
+        let mut fb = FaultyBackend::new(Probe { calls: 0 }, plan, "acct");
+        for i in 1..=50 {
+            let r = fb.invoke(&call());
+            assert!(r.is_ok());
+            assert_eq!(r.field("Calls"), Some(&Value::Int(i)));
+        }
+        assert_eq!(fb.injected_count(), 0);
+        assert_eq!(fb.name(), "probe");
+        assert!(fb.supports("Ping"));
+        assert_eq!(fb.api_names(), vec!["Ping".to_string()]);
+    }
+
+    #[test]
+    fn injected_errors_never_reach_inner() {
+        let mut plan = FaultPlan::none(3);
+        plan.backend.error_per_mille = 1000;
+        let mut fb = FaultyBackend::new(Probe { calls: 0 }, Arc::new(plan), "acct");
+        for _ in 0..20 {
+            let r = fb.invoke(&call());
+            assert_eq!(r.error_code(), Some(INJECTED_INTERNAL_ERROR));
+        }
+        assert_eq!(fb.inner().calls, 0, "inner backend untouched");
+        assert_eq!(fb.injected_count(), 20);
+    }
+
+    #[test]
+    fn throttle_code_is_distinct() {
+        let mut plan = FaultPlan::none(3);
+        plan.backend.throttle_per_mille = 1000;
+        let mut fb = FaultyBackend::new(Probe { calls: 0 }, Arc::new(plan), "acct");
+        let r = fb.invoke(&call());
+        assert_eq!(r.error_code(), Some(INJECTED_THROTTLE));
+        assert!(retryable_codes().contains(&INJECTED_THROTTLE.to_string()));
+    }
+
+    #[test]
+    fn latency_sleeps_then_delegates() {
+        let mut plan = FaultPlan::none(3);
+        plan.backend.latency_per_mille = 1000;
+        plan.backend.max_latency_ms = 4;
+        let (sleeper, slept) = counting_sleep();
+        let mut fb =
+            FaultyBackend::new(Probe { calls: 0 }, Arc::new(plan), "acct").with_sleeper(sleeper);
+        for _ in 0..10 {
+            assert!(fb.invoke(&call()).is_ok());
+        }
+        assert_eq!(fb.inner().calls, 10, "latency still delegates");
+        assert_eq!(slept.lock().unwrap().len(), 10);
+        assert!(slept
+            .lock()
+            .unwrap()
+            .iter()
+            .all(|d| (1..=4).contains(&d.as_millis())));
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan::standard(11);
+        let run = |plan: FaultPlan| -> Vec<Option<String>> {
+            let mut fb = FaultyBackend::new(Probe { calls: 0 }, Arc::new(plan), "acct");
+            (0..200)
+                .map(|_| fb.invoke(&call()).error_code().map(str::to_string))
+                .collect()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn reset_clears_inner_but_not_schedule() {
+        let mut plan = FaultPlan::none(3);
+        plan.backend.error_per_mille = 500;
+        let plan = Arc::new(plan);
+        // Record the first 40 outcomes without a reset...
+        let mut a = FaultyBackend::new(Probe { calls: 0 }, plan.clone(), "acct");
+        let seq_a: Vec<bool> = (0..40).map(|_| a.invoke(&call()).is_ok()).collect();
+        // ...and with a reset in the middle: the schedule must not rewind.
+        let mut b = FaultyBackend::new(Probe { calls: 0 }, plan, "acct");
+        let mut seq_b = Vec::new();
+        for i in 0..40 {
+            if i == 20 {
+                b.reset();
+                assert_eq!(b.inner().calls, 0, "reset reached inner");
+            }
+            seq_b.push(b.invoke(&call()).is_ok());
+        }
+        assert_eq!(seq_a, seq_b, "reset must not rewind the fault schedule");
+    }
+}

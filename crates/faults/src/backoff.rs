@@ -1,0 +1,222 @@
+//! Retry policies with capped exponential backoff and decorrelated jitter.
+//!
+//! The backoff follows the "decorrelated jitter" recipe (next delay drawn
+//! uniformly from `[base, prev * 3]`, capped): it decorrelates competing
+//! clients while keeping the expected delay growing geometrically. All
+//! randomness comes from a seeded [`DetRng`], and sleeping goes through an
+//! injectable [`SleepFn`], so a test can make retries deterministic and
+//! instantaneous while production code wall-sleeps.
+
+use crate::rng::DetRng;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// An injectable sleep. Production uses [`real_sleep`]; tests use
+/// [`no_sleep`] or [`counting_sleep`] so nothing ever wall-sleeps.
+pub type SleepFn = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// A [`SleepFn`] that actually blocks the thread.
+pub fn real_sleep() -> SleepFn {
+    Arc::new(std::thread::sleep)
+}
+
+/// A [`SleepFn`] that returns immediately.
+pub fn no_sleep() -> SleepFn {
+    Arc::new(|_| {})
+}
+
+/// A [`SleepFn`] that records every requested duration instead of
+/// sleeping. Returns the sleeper and the shared log of durations.
+pub fn counting_sleep() -> (SleepFn, Arc<Mutex<Vec<Duration>>>) {
+    let log: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let log2 = log.clone();
+    let f: SleepFn = Arc::new(move |d| log2.lock().unwrap().push(d));
+    (f, log)
+}
+
+/// A capped decorrelated-jitter backoff stream.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    rng: DetRng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// A stream seeded deterministically, starting at `base` and never
+    /// exceeding `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        Backoff {
+            rng: DetRng::new(seed),
+            base,
+            cap,
+            prev: base,
+        }
+    }
+
+    /// The next delay: `min(cap, uniform(base, prev * 3))`.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_ms = self.base.as_millis() as u64;
+        let hi = (self.prev.as_millis() as u64)
+            .saturating_mul(3)
+            .max(base_ms);
+        let drawn = self.rng.next_in(base_ms, hi);
+        let capped = drawn.min(self.cap.as_millis() as u64);
+        self.prev = Duration::from_millis(capped);
+        self.prev
+    }
+}
+
+/// A retry policy for the remote client: which errors to retry, how many
+/// attempts, and how to back off between them.
+#[derive(Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff floor.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Application error codes considered transient.
+    pub retry_codes: Vec<String>,
+    /// Whether transport errors (resets, truncation) are retried.
+    pub retry_transport: bool,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// The sleep used between attempts.
+    pub sleep: SleepFn,
+}
+
+impl std::fmt::Debug for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryPolicy")
+            .field("max_attempts", &self.max_attempts)
+            .field("base", &self.base)
+            .field("cap", &self.cap)
+            .field("retry_codes", &self.retry_codes)
+            .field("retry_transport", &self.retry_transport)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RetryPolicy {
+    /// A conservative default: 4 attempts, 25ms..1s backoff, retrying the
+    /// injected transient codes and transport errors.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            retry_codes: crate::backend::retryable_codes(),
+            retry_transport: true,
+            seed,
+            sleep: real_sleep(),
+        }
+    }
+
+    /// The chaos-harness policy: generous attempts and a tiny backoff so
+    /// aggressive plans still converge quickly, with no wall-sleeping.
+    pub fn chaos(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 25,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            retry_codes: crate::backend::retryable_codes(),
+            retry_transport: true,
+            seed,
+            sleep: no_sleep(),
+        }
+    }
+
+    /// Override the attempt budget.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Override the sleeper.
+    pub fn with_sleep(mut self, sleep: SleepFn) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Disable transport-error retries.
+    pub fn without_transport_retry(mut self) -> Self {
+        self.retry_transport = false;
+        self
+    }
+
+    /// `true` if `code` is in the transient set.
+    pub fn should_retry_code(&self, code: &str) -> bool {
+        self.retry_codes.iter().any(|c| c == code)
+    }
+
+    /// A fresh backoff stream for one logical operation. The extra salt
+    /// keeps concurrent operations under the same policy decorrelated.
+    pub fn backoff(&self, salt: u64) -> Backoff {
+        Backoff::new(self.seed ^ salt.rotate_left(32), self.base, self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_and_capped() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut a = Backoff::new(7, base, cap);
+        let mut b = Backoff::new(7, base, cap);
+        let seq_a: Vec<_> = (0..20).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<_> = (0..20).map(|_| b.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same delays");
+        assert!(seq_a.iter().all(|d| *d >= base && *d <= cap));
+        let mut c = Backoff::new(8, base, cap);
+        let seq_c: Vec<_> = (0..20).map(|_| c.next_delay()).collect();
+        assert_ne!(seq_a, seq_c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn backoff_grows_toward_cap() {
+        let mut b = Backoff::new(3, Duration::from_millis(10), Duration::from_millis(500));
+        let delays: Vec<_> = (0..30).map(|_| b.next_delay().as_millis()).collect();
+        let late_max = delays[10..].iter().max().unwrap();
+        assert!(*late_max > 10, "delays should grow beyond the base");
+        assert!(delays.iter().all(|d| *d <= 500));
+    }
+
+    #[test]
+    fn counting_sleeper_records() {
+        let (sleep, log) = counting_sleep();
+        sleep(Duration::from_millis(3));
+        sleep(Duration::from_millis(5));
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![Duration::from_millis(3), Duration::from_millis(5)]
+        );
+    }
+
+    #[test]
+    fn policy_classifies_codes() {
+        let p = RetryPolicy::new(1);
+        assert!(p.should_retry_code("InternalError"));
+        assert!(p.should_retry_code("ThrottlingException"));
+        assert!(!p.should_retry_code("NotFound"));
+        assert!(p.retry_transport);
+        assert!(!p.clone().without_transport_retry().retry_transport);
+        assert_eq!(p.with_max_attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn per_operation_backoffs_are_decorrelated() {
+        let p = RetryPolicy::new(9);
+        let mut a = p.backoff(1);
+        let mut b = p.backoff(2);
+        let seq_a: Vec<_> = (0..10).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<_> = (0..10).map(|_| b.next_delay()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+}

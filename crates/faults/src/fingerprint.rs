@@ -1,0 +1,248 @@
+//! Interleaving-invariant store fingerprints.
+//!
+//! Two chaos runs that apply the same program steps in different thread
+//! interleavings can end with stores that are *semantically* identical but
+//! differ in concrete resource ids: if two accounts' creates race, one
+//! run's `subnet-000001` may parent `vpc-000001` while another's parents
+//! `vpc-000002` — same shape, different labels. A convergence check that
+//! compared raw stores would flake on that.
+//!
+//! [`store_digest`] canonicalises away concrete ids: every instance is
+//! rendered as its type plus its state, with each [`Value::Ref`] and
+//! parent link replaced (recursively) by the *target's* canonical content
+//! rather than its id. The per-instance lines are then sorted and folded
+//! with FNV-1a into a short hex digest. Identical shapes produce identical
+//! digests no matter how the id counters were interleaved.
+
+use crate::rng::fnv1a64;
+use lce_emulator::{Instance, ResourceId, ResourceStore, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Canonicalise one value: refs dissolve into the target's canonical
+/// rendering so concrete ids never appear in the output.
+fn canon_value(store: &ResourceStore, v: &Value, visiting: &mut BTreeSet<ResourceId>) -> String {
+    match v {
+        Value::Str(s) => format!("str:{s}"),
+        Value::Int(i) => format!("int:{i}"),
+        Value::Bool(b) => format!("bool:{b}"),
+        Value::Enum(e) => format!("enum:{e}"),
+        Value::Null => "null".to_string(),
+        Value::List(items) => {
+            let inner: Vec<String> = items
+                .iter()
+                .map(|i| canon_value(store, i, visiting))
+                .collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Ref(id) => match store.get(id) {
+            None => "ref:<dangling>".to_string(),
+            Some(target) => {
+                if visiting.contains(id) {
+                    return "ref:<cycle>".to_string();
+                }
+                visiting.insert(id.clone());
+                let rendered = format!("ref:{{{}}}", canon_instance(store, target, visiting));
+                visiting.remove(id);
+                rendered
+            }
+        },
+    }
+}
+
+/// Canonicalise one instance: type, sorted state, and the parent rendered
+/// by content.
+fn canon_instance(
+    store: &ResourceStore,
+    inst: &Instance,
+    visiting: &mut BTreeSet<ResourceId>,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "sm={}", inst.sm.as_str());
+    for (var, val) in &inst.state {
+        let _ = write!(out, ";{}={}", var, canon_value(store, val, visiting));
+    }
+    match &inst.parent {
+        None => out.push_str(";parent=none"),
+        Some(pid) => {
+            let rendered = canon_value(store, &Value::Ref(pid.clone()), visiting);
+            let _ = write!(out, ";parent={rendered}");
+        }
+    }
+    out
+}
+
+/// An interleaving-invariant digest of a store: identical resource shapes
+/// give identical digests even when concrete ids were assigned in a
+/// different order. Format: `"{fnv:016x}:{instance count}"`.
+pub fn store_digest(store: &ResourceStore) -> String {
+    let mut lines: Vec<String> = store
+        .iter()
+        .map(|inst| {
+            let mut visiting = BTreeSet::new();
+            visiting.insert(inst.id.clone());
+            canon_instance(store, inst, &mut visiting)
+        })
+        .collect();
+    lines.sort();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for line in &lines {
+        h ^= fnv1a64(line.as_bytes());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{:016x}:{}", h, lines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_sm;
+
+    /// One instance spec for building stores through the public API.
+    struct Spec<'a> {
+        id: &'a str,
+        sm: &'a str,
+        state: Vec<(&'a str, Value)>,
+        parent: Option<&'a str>,
+    }
+
+    fn inst<'a>(
+        id: &'a str,
+        sm: &'a str,
+        state: &[(&'a str, Value)],
+        parent: Option<&'a str>,
+    ) -> Spec<'a> {
+        Spec {
+            id,
+            sm,
+            state: state.to_vec(),
+            parent,
+        }
+    }
+
+    fn store_of(specs: Vec<Spec<'_>>) -> ResourceStore {
+        let mut store = ResourceStore::new();
+        for s in &specs {
+            let sm_spec = parse_sm(&format!(
+                r#"sm {} {{ service "test"; states {{ }} }}"#,
+                s.sm
+            ))
+            .unwrap();
+            let rid = ResourceId::new(s.id);
+            let instance = store.instantiate(&sm_spec, rid.clone());
+            for (k, v) in &s.state {
+                instance.set(k, v.clone());
+            }
+            if let Some(p) = s.parent {
+                store.set_parent(&rid, ResourceId::new(p));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn digest_ignores_concrete_ids() {
+        // Run A: vpc-000001 owns subnet-000001.
+        let a = store_of(vec![
+            inst(
+                "vpc-000001",
+                "Vpc",
+                &[("cidr", Value::str("10.0.0.0/16"))],
+                None,
+            ),
+            inst(
+                "subnet-000001",
+                "Subnet",
+                &[("vpc", Value::Ref(ResourceId::new("vpc-000001")))],
+                Some("vpc-000001"),
+            ),
+        ]);
+        // Run B: same shape, ids swapped by a different interleaving.
+        let b = store_of(vec![
+            inst(
+                "vpc-000002",
+                "Vpc",
+                &[("cidr", Value::str("10.0.0.0/16"))],
+                None,
+            ),
+            inst(
+                "subnet-000005",
+                "Subnet",
+                &[("vpc", Value::Ref(ResourceId::new("vpc-000002")))],
+                Some("vpc-000002"),
+            ),
+        ]);
+        assert_eq!(store_digest(&a), store_digest(&b));
+    }
+
+    #[test]
+    fn digest_sees_content_differences() {
+        let a = store_of(vec![inst(
+            "vpc-000001",
+            "Vpc",
+            &[("cidr", Value::str("10.0.0.0/16"))],
+            None,
+        )]);
+        let b = store_of(vec![inst(
+            "vpc-000001",
+            "Vpc",
+            &[("cidr", Value::str("10.9.0.0/16"))],
+            None,
+        )]);
+        assert_ne!(store_digest(&a), store_digest(&b));
+    }
+
+    #[test]
+    fn digest_sees_link_differences() {
+        let vpcs = || {
+            vec![
+                inst("vpc-000001", "Vpc", &[("cidr", Value::str("a"))], None),
+                inst("vpc-000002", "Vpc", &[("cidr", Value::str("b"))], None),
+            ]
+        };
+        let mut a_insts = vpcs();
+        a_insts.push(inst("subnet-000001", "Subnet", &[], Some("vpc-000001")));
+        let mut b_insts = vpcs();
+        b_insts.push(inst("subnet-000001", "Subnet", &[], Some("vpc-000002")));
+        assert_ne!(
+            store_digest(&store_of(a_insts)),
+            store_digest(&store_of(b_insts)),
+            "parenting a different-content vpc must change the digest"
+        );
+    }
+
+    #[test]
+    fn digest_handles_cycles_and_dangling_refs() {
+        let cyclic = store_of(vec![
+            inst(
+                "a-000001",
+                "A",
+                &[("peer", Value::Ref(ResourceId::new("b-000001")))],
+                None,
+            ),
+            inst(
+                "b-000001",
+                "B",
+                &[("peer", Value::Ref(ResourceId::new("a-000001")))],
+                None,
+            ),
+        ]);
+        let d = store_digest(&cyclic);
+        assert_eq!(d, store_digest(&cyclic), "cycle digest is stable");
+
+        let dangling = store_of(vec![inst(
+            "a-000001",
+            "A",
+            &[("peer", Value::Ref(ResourceId::new("gone-000009")))],
+            None,
+        )]);
+        assert!(store_digest(&dangling).ends_with(":1"));
+    }
+
+    #[test]
+    fn empty_store_digest_is_fixed() {
+        let empty = ResourceStore::new();
+        assert_eq!(store_digest(&empty), store_digest(&ResourceStore::new()));
+        assert!(store_digest(&empty).ends_with(":0"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # lce-faults: seeded, deterministic fault injection
+//!
+//! The paper's alignment loop (§4) only trusts a divergence when the
+//! emulator's behaviour is reproducible. This crate makes *misbehaviour*
+//! reproducible too: a seeded [`FaultPlan`] schedules transient errors,
+//! throttles, latency, response truncation and connection resets as pure
+//! functions of `(seed, fault point, scope, sequence)` — no shared
+//! counters, no global RNG — so the same schedule replays byte-for-byte
+//! across runs *and* across thread interleavings.
+//!
+//! Pieces:
+//!
+//! * [`FaultPlan`] — the deterministic schedule ([`plan`]).
+//! * [`FaultyBackend`] — wraps any [`Backend`](lce_emulator::Backend),
+//!   injecting backend-level faults pre-invoke ([`backend`]).
+//! * [`RetryPolicy`] / [`Backoff`] — capped exponential backoff with
+//!   decorrelated jitter and injectable sleep ([`backoff`]).
+//! * [`store_digest`] — interleaving-invariant store fingerprints for
+//!   convergence checks ([`fingerprint`]).
+//!
+//! The wire-level hooks (accept/read/write fault points) live in
+//! `lce-server`, driven by the same [`FaultPlan`]; the chaos harness that
+//! puts it all together lives in the root crate (`lce chaos`).
+
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod backoff;
+pub mod fingerprint;
+pub mod plan;
+pub mod rng;
+
+pub use backend::{retryable_codes, FaultyBackend, INJECTED_INTERNAL_ERROR, INJECTED_THROTTLE};
+pub use backoff::{counting_sleep, no_sleep, real_sleep, Backoff, RetryPolicy, SleepFn};
+pub use fingerprint::store_digest;
+pub use plan::{BackendFault, BackendFaults, FaultPlan, WireFault, WireFaults, WriteFaultScope};
+pub use rng::DetRng;

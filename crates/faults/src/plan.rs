@@ -1,0 +1,406 @@
+//! The [`FaultPlan`]: a seeded, fully deterministic schedule of faults.
+//!
+//! A plan never stores mutable state. Every decision is a pure function of
+//! the seed, the fault point, a scope key (account id, connection number)
+//! and a sequence number — so the same plan replays the same schedule
+//! byte-for-byte, regardless of how threads interleave, and two plans with
+//! the same seed and rates are interchangeable.
+//!
+//! Two layers of faults share one plan:
+//!
+//! * **Backend faults** ([`BackendFault`]), injected by
+//!   [`FaultyBackend`](crate::FaultyBackend) *before* the wrapped backend
+//!   runs: transient 5xx-style errors, throttles, and added latency. They
+//!   never mutate backend state, so a retry is always safe.
+//! * **Wire faults** ([`WireFault`]), injected by the serving layer at its
+//!   accept/read/write points: connection resets and response truncation.
+//!   Accept and read faults fire before a request is dispatched (safe to
+//!   retry); write faults fire after dispatch and are therefore restricted
+//!   by [`WriteFaultScope`] to idempotent traffic unless a test explicitly
+//!   opts into mutating-request faults.
+
+use crate::rng::{fnv1a64, hits, mix};
+use std::time::Duration;
+
+/// A backend-level fault, decided per `(account, api, invocation)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendFault {
+    /// A transient internal error (the emulated cloud's 5xx).
+    TransientError,
+    /// A throttling rejection (retry-after style).
+    Throttle,
+    /// Added latency before the real invocation proceeds.
+    Latency(Duration),
+}
+
+/// A wire-level fault at one of the server's accept/read/write points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Drop the connection immediately, without a response.
+    Reset,
+    /// Write a prefix of the response, then drop the connection.
+    Truncate,
+}
+
+/// Which requests are eligible for *write*-point faults. Write faults drop
+/// or truncate a response **after** the request was dispatched, so a lost
+/// response to a mutating call leaves the mutation applied — only
+/// idempotent traffic can be faulted there without breaking convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultScope {
+    /// Only idempotent requests (GETs, `_reset`, `Describe*`/`List*`/`Get*`).
+    IdempotentOnly,
+    /// Only mutating requests — used by regression tests that pin the
+    /// client's no-double-apply behaviour under mid-response failures.
+    MutatingOnly,
+    /// Every request. Convergence is NOT guaranteed under this scope.
+    All,
+}
+
+/// Backend-level fault rates (per-mille, i.e. N/1000 per invocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendFaults {
+    /// Rate of injected transient errors.
+    pub error_per_mille: u32,
+    /// Rate of injected throttles.
+    pub throttle_per_mille: u32,
+    /// Rate of injected latency.
+    pub latency_per_mille: u32,
+    /// Upper bound on injected latency, in milliseconds (the concrete
+    /// duration is derived deterministically from the decision hash).
+    pub max_latency_ms: u64,
+}
+
+impl BackendFaults {
+    /// No backend faults at all.
+    pub fn none() -> Self {
+        BackendFaults {
+            error_per_mille: 0,
+            throttle_per_mille: 0,
+            latency_per_mille: 0,
+            max_latency_ms: 0,
+        }
+    }
+}
+
+/// Wire-level fault rates (per-mille, per decision point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFaults {
+    /// Rate of dropping a connection straight after accept.
+    pub accept_reset_per_mille: u32,
+    /// Rate of dropping a connection after a read event (always before the
+    /// buffered request is dispatched).
+    pub read_reset_per_mille: u32,
+    /// Rate of truncating a response mid-write.
+    pub write_truncate_per_mille: u32,
+    /// Rate of dropping a connection instead of writing the response.
+    pub write_reset_per_mille: u32,
+    /// Which requests write faults may hit.
+    pub write_scope: WriteFaultScope,
+}
+
+impl WireFaults {
+    /// No wire faults at all.
+    pub fn none() -> Self {
+        WireFaults {
+            accept_reset_per_mille: 0,
+            read_reset_per_mille: 0,
+            write_truncate_per_mille: 0,
+            write_reset_per_mille: 0,
+            write_scope: WriteFaultScope::IdempotentOnly,
+        }
+    }
+}
+
+// Distinct salts keep the per-point decision streams independent even when
+// scope keys and sequence numbers coincide.
+const SALT_INVOKE_ERROR: u64 = 0x01;
+const SALT_INVOKE_THROTTLE: u64 = 0x02;
+const SALT_INVOKE_LATENCY: u64 = 0x03;
+const SALT_ACCEPT: u64 = 0x11;
+const SALT_READ: u64 = 0x12;
+const SALT_WRITE: u64 = 0x13;
+
+/// A seeded, deterministic fault schedule over backend and wire points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Backend-level rates.
+    pub backend: BackendFaults,
+    /// Wire-level rates.
+    pub wire: WireFaults,
+}
+
+impl FaultPlan {
+    /// An empty plan: zero rates everywhere. Wrapping a backend or a
+    /// server in an empty plan must be byte-for-byte behaviour-preserving
+    /// (pinned by the serving passthrough test).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            backend: BackendFaults::none(),
+            wire: WireFaults::none(),
+        }
+    }
+
+    /// The standard chaos mix: a few percent of everything, convergence-safe
+    /// write scope.
+    pub fn standard(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            backend: BackendFaults {
+                error_per_mille: 30,
+                throttle_per_mille: 20,
+                latency_per_mille: 40,
+                max_latency_ms: 3,
+            },
+            wire: WireFaults {
+                accept_reset_per_mille: 25,
+                read_reset_per_mille: 15,
+                write_truncate_per_mille: 100,
+                write_reset_per_mille: 50,
+                write_scope: WriteFaultScope::IdempotentOnly,
+            },
+        }
+    }
+
+    /// A heavy mix for stress runs: roughly an order of magnitude more
+    /// faults than [`FaultPlan::standard`], still convergence-safe.
+    pub fn aggressive(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            backend: BackendFaults {
+                error_per_mille: 150,
+                throttle_per_mille: 100,
+                latency_per_mille: 120,
+                max_latency_ms: 3,
+            },
+            wire: WireFaults {
+                accept_reset_per_mille: 120,
+                read_reset_per_mille: 80,
+                write_truncate_per_mille: 250,
+                write_reset_per_mille: 150,
+                write_scope: WriteFaultScope::IdempotentOnly,
+            },
+        }
+    }
+
+    /// Look up a plan preset by name (`none`, `standard`/`default`,
+    /// `aggressive`).
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" | "empty" => Some(FaultPlan::none(seed)),
+            "standard" | "default" => Some(FaultPlan::standard(seed)),
+            "aggressive" | "heavy" => Some(FaultPlan::aggressive(seed)),
+            _ => None,
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` if every rate is zero — the plan can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.backend.error_per_mille == 0
+            && self.backend.throttle_per_mille == 0
+            && self.backend.latency_per_mille == 0
+            && self.wire.accept_reset_per_mille == 0
+            && self.wire.read_reset_per_mille == 0
+            && self.wire.write_truncate_per_mille == 0
+            && self.wire.write_reset_per_mille == 0
+    }
+
+    /// A stable, single-line description of the plan — safe to embed in
+    /// reports that must be byte-identical across runs.
+    pub fn describe(&self) -> String {
+        let scope = match self.wire.write_scope {
+            WriteFaultScope::IdempotentOnly => "idempotent-only",
+            WriteFaultScope::MutatingOnly => "mutating-only",
+            WriteFaultScope::All => "all",
+        };
+        format!(
+            "seed={} backend[err={}/1000 throttle={}/1000 latency={}/1000<={}ms] \
+             wire[accept-reset={}/1000 read-reset={}/1000 write-truncate={}/1000 \
+             write-reset={}/1000 scope={}]",
+            self.seed,
+            self.backend.error_per_mille,
+            self.backend.throttle_per_mille,
+            self.backend.latency_per_mille,
+            self.backend.max_latency_ms,
+            self.wire.accept_reset_per_mille,
+            self.wire.read_reset_per_mille,
+            self.wire.write_truncate_per_mille,
+            self.wire.write_reset_per_mille,
+            scope,
+        )
+    }
+
+    /// Decide the fault (if any) for the `seq`-th invocation of `api`
+    /// within `scope` (an account id). Pure: identical inputs give the
+    /// identical decision on every call, in every thread, in every run.
+    pub fn decide_invoke(&self, scope: &str, api: &str, seq: u64) -> Option<BackendFault> {
+        let key = &[
+            self.seed,
+            SALT_INVOKE_ERROR,
+            fnv1a64(scope.as_bytes()),
+            fnv1a64(api.as_bytes()),
+            seq,
+        ];
+        if hits(mix(key), self.backend.error_per_mille) {
+            return Some(BackendFault::TransientError);
+        }
+        let key = &[
+            self.seed,
+            SALT_INVOKE_THROTTLE,
+            fnv1a64(scope.as_bytes()),
+            fnv1a64(api.as_bytes()),
+            seq,
+        ];
+        if hits(mix(key), self.backend.throttle_per_mille) {
+            return Some(BackendFault::Throttle);
+        }
+        let key = &[
+            self.seed,
+            SALT_INVOKE_LATENCY,
+            fnv1a64(scope.as_bytes()),
+            fnv1a64(api.as_bytes()),
+            seq,
+        ];
+        let h = mix(key);
+        if hits(h, self.backend.latency_per_mille) && self.backend.max_latency_ms > 0 {
+            let ms = 1 + (h >> 10) % self.backend.max_latency_ms;
+            return Some(BackendFault::Latency(Duration::from_millis(ms)));
+        }
+        None
+    }
+
+    /// Decide whether connection number `conn` is reset at accept.
+    pub fn decide_accept(&self, conn: u64) -> Option<WireFault> {
+        let h = mix(&[self.seed, SALT_ACCEPT, conn]);
+        hits(h, self.wire.accept_reset_per_mille).then_some(WireFault::Reset)
+    }
+
+    /// Decide whether connection `conn` is reset after its `event`-th
+    /// successful read (always before any buffered request is dispatched).
+    pub fn decide_read(&self, conn: u64, event: u64) -> Option<WireFault> {
+        let h = mix(&[self.seed, SALT_READ, conn, event]);
+        hits(h, self.wire.read_reset_per_mille).then_some(WireFault::Reset)
+    }
+
+    /// Decide the write-point fault for the `req`-th response on connection
+    /// `conn`. `idempotent` classifies the request being answered; the
+    /// plan's [`WriteFaultScope`] gates eligibility.
+    pub fn decide_write(&self, conn: u64, req: u64, idempotent: bool) -> Option<WireFault> {
+        let eligible = match self.wire.write_scope {
+            WriteFaultScope::IdempotentOnly => idempotent,
+            WriteFaultScope::MutatingOnly => !idempotent,
+            WriteFaultScope::All => true,
+        };
+        if !eligible {
+            return None;
+        }
+        let h = mix(&[self.seed, SALT_WRITE, conn, req]);
+        if hits(h, self.wire.write_truncate_per_mille) {
+            return Some(WireFault::Truncate);
+        }
+        // Salt the second draw by rotating so truncate and reset rates are
+        // independent rather than nested.
+        if hits(h.rotate_left(17), self.wire.write_reset_per_mille) {
+            return Some(WireFault::Reset);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::none(7);
+        assert!(p.is_empty());
+        for seq in 0..500 {
+            assert_eq!(p.decide_invoke("acct", "CreateVpc", seq), None);
+            assert_eq!(p.decide_accept(seq), None);
+            assert_eq!(p.decide_read(seq, 0), None);
+            assert_eq!(p.decide_write(seq, 0, true), None);
+            assert_eq!(p.decide_write(seq, 0, false), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure() {
+        let p = FaultPlan::aggressive(42);
+        for seq in 0..200 {
+            assert_eq!(
+                p.decide_invoke("a", "CreateVpc", seq),
+                p.decide_invoke("a", "CreateVpc", seq)
+            );
+            assert_eq!(p.decide_write(3, seq, true), p.decide_write(3, seq, true));
+        }
+    }
+
+    #[test]
+    fn scopes_get_independent_schedules() {
+        let p = FaultPlan::aggressive(42);
+        let a: Vec<_> = (0..300).map(|s| p.decide_invoke("a", "X", s)).collect();
+        let b: Vec<_> = (0..300).map(|s| p.decide_invoke("b", "X", s)).collect();
+        assert_ne!(a, b, "distinct accounts see distinct schedules");
+    }
+
+    #[test]
+    fn latency_is_bounded_and_deterministic() {
+        let p = FaultPlan {
+            backend: BackendFaults {
+                error_per_mille: 0,
+                throttle_per_mille: 0,
+                latency_per_mille: 1000,
+                max_latency_ms: 5,
+            },
+            ..FaultPlan::none(9)
+        };
+        for seq in 0..200 {
+            match p.decide_invoke("a", "X", seq) {
+                Some(BackendFault::Latency(d)) => {
+                    assert!((1..=5).contains(&d.as_millis()), "{:?}", d)
+                }
+                other => panic!("expected latency, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn write_scope_gates_eligibility() {
+        let mut p = FaultPlan::none(1);
+        p.wire.write_truncate_per_mille = 1000;
+        p.wire.write_scope = WriteFaultScope::IdempotentOnly;
+        assert_eq!(p.decide_write(0, 0, true), Some(WireFault::Truncate));
+        assert_eq!(p.decide_write(0, 0, false), None);
+        p.wire.write_scope = WriteFaultScope::MutatingOnly;
+        assert_eq!(p.decide_write(0, 0, true), None);
+        assert_eq!(p.decide_write(0, 0, false), Some(WireFault::Truncate));
+        p.wire.write_scope = WriteFaultScope::All;
+        assert_eq!(p.decide_write(0, 0, true), Some(WireFault::Truncate));
+        assert_eq!(p.decide_write(0, 0, false), Some(WireFault::Truncate));
+    }
+
+    #[test]
+    fn named_presets_resolve() {
+        assert!(FaultPlan::named("none", 1).unwrap().is_empty());
+        assert_eq!(FaultPlan::named("default", 1), Some(FaultPlan::standard(1)));
+        assert_eq!(FaultPlan::named("heavy", 1), Some(FaultPlan::aggressive(1)));
+        assert_eq!(FaultPlan::named("bogus", 1), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let a = FaultPlan::standard(7).describe();
+        let b = FaultPlan::standard(7).describe();
+        assert_eq!(a, b);
+        assert!(a.contains("seed=7"), "{}", a);
+        assert_ne!(a, FaultPlan::standard(8).describe());
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic pseudo-randomness for fault schedules.
+//!
+//! Fault decisions must be *pure functions* of `(seed, fault point, scope,
+//! sequence number)` so that a schedule replays identically across runs and
+//! across thread interleavings: no shared counters, no global RNG state,
+//! no wall clock. Everything here is a stateless hash (SplitMix64 over
+//! FNV-1a'd keys) except [`DetRng`], a tiny owned stream used where an
+//! ordered sequence is genuinely local to one owner (backoff jitter).
+
+/// One SplitMix64 scramble step: a high-quality 64-bit finalizer.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over raw bytes; used to fold string keys (account ids, API
+/// names) into the decision hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fold an arbitrary tuple of parts into one decision hash. Order matters:
+/// `mix(&[a, b]) != mix(&[b, a])` in general, which keeps distinct fault
+/// points with the same operands independent.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    for p in parts {
+        h = splitmix64(h ^ *p);
+    }
+    h
+}
+
+/// `true` with probability `per_mille / 1000`, decided purely by the hash.
+pub fn hits(hash: u64, per_mille: u32) -> bool {
+    (hash % 1000) < u64::from(per_mille.min(1000))
+}
+
+/// A small owned SplitMix64 stream. Deterministic given the seed; used for
+/// backoff jitter, where the consumer owns the whole sequence.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// A stream seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: splitmix64(seed ^ 0x6a09e667f3bcc909),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive). `lo > hi` is treated as the
+    /// single point `lo`.
+    pub fn next_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_pure_and_spreads() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn hits_edges() {
+        for h in [0u64, 1, 999, 1000, u64::MAX] {
+            assert!(!hits(h, 0), "rate 0 never fires");
+            assert!(hits(h, 1000), "rate 1000 always fires");
+        }
+    }
+
+    #[test]
+    fn hits_rate_roughly_respected() {
+        let n = 10_000u64;
+        let fired = (0..n).filter(|i| hits(splitmix64(*i), 250)).count();
+        let frac = fired as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "got {}", frac);
+    }
+
+    #[test]
+    fn det_rng_reproducible_and_bounded() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+        for _ in 0..1000 {
+            let v = c.next_in(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(c.next_in(5, 5), 5);
+        assert_eq!(c.next_in(9, 3), 9, "inverted range collapses to lo");
+    }
+}

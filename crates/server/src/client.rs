@@ -13,7 +13,8 @@
 
 use crate::http::{self, HttpLimits, ParsedResponse};
 use bytes::BytesMut;
-use lce_emulator::{ApiCall, ApiError, ApiResponse, Backend};
+use lce_emulator::{ApiCall, ApiError, ApiResponse, Backend, ResourceStore};
+use lce_faults::RetryPolicy;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -31,6 +32,9 @@ pub struct Client {
     limits: HttpLimits,
     timeout: Duration,
     stream: Option<TcpStream>,
+    retry: Option<RetryPolicy>,
+    /// Salts the per-call backoff stream; bumped once per retried call.
+    retry_calls: u64,
 }
 
 impl Client {
@@ -53,6 +57,8 @@ impl Client {
             limits: HttpLimits::default(),
             timeout: Duration::from_secs(10),
             stream: None,
+            retry: None,
+            retry_calls: 0,
         };
         let (status, body) = client
             .roundtrip("GET", "/_apis", &[])
@@ -75,6 +81,44 @@ impl Client {
             })
             .unwrap_or_default();
         Ok(client)
+    }
+
+    /// Like [`Client::connect`], but keep retrying a failed connection
+    /// handshake under the policy's backoff (the server may be resetting
+    /// connections at accept under a fault plan), and install the policy
+    /// on the resulting client for per-call retries.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        account: impl Into<String> + Clone,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let mut backoff = policy.backoff(0x636f6e6e); // "conn"
+        let mut last_err = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                (policy.sleep)(backoff.next_delay());
+            }
+            match Client::connect(addr.clone(), account.clone()) {
+                Ok(client) => return Ok(client.with_retry(policy)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("connect failed")))
+    }
+
+    /// Install a retry policy: transient application errors (as classified
+    /// by the policy) and transport failures are retried with capped
+    /// decorrelated-jitter backoff.
+    ///
+    /// Transport-error retries re-send the request, so they are only safe
+    /// when a lost response implies the mutation either never applied
+    /// (connect/accept/read faults) or the request was idempotent — which
+    /// is exactly the guarantee of the default `WriteFaultScope`. Against
+    /// a server that drops *mutating* responses mid-write, disable
+    /// transport retries ([`RetryPolicy::without_transport_retry`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Override the per-request I/O timeout (default 10s).
@@ -110,6 +154,50 @@ impl Client {
                 String::from_utf8_lossy(&body)
             )),
         }
+    }
+
+    /// Fetch a snapshot of the account's resource store over the wire
+    /// (`GET /<account>/_store`). This is the remote counterpart of
+    /// [`Backend::snapshot`], which this client deliberately leaves at
+    /// `None`: `snapshot` is infallible and `&self`, while a network fetch
+    /// can fail and needs `&mut self`.
+    pub fn fetch_store(&mut self) -> Result<ResourceStore, String> {
+        let path = format!("/{}/_store", self.account);
+        match self.roundtrip("GET", &path, &[])? {
+            (200, body) => {
+                serde_json::from_slice(&body).map_err(|e| format!("bad /_store body: {}", e))
+            }
+            (status, body) => Err(format!(
+                "store fetch failed with HTTP {}: {}",
+                status,
+                String::from_utf8_lossy(&body)
+            )),
+        }
+    }
+
+    /// One invoke under the installed retry policy.
+    fn invoke_with_retry(&mut self, call: &ApiCall, policy: &RetryPolicy) -> ApiResponse {
+        self.retry_calls += 1;
+        let mut backoff = policy.backoff(self.retry_calls);
+        let mut last = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                (policy.sleep)(backoff.next_delay());
+            }
+            let resp = self.invoke_once(call);
+            match resp.error_code() {
+                Some(TRANSPORT_ERROR) if policy.retry_transport => {
+                    // Whatever the failure was, the connection is suspect.
+                    self.stream = None;
+                    last = Some(resp);
+                }
+                Some(code) if policy.should_retry_code(code) => last = Some(resp),
+                _ => return resp,
+            }
+        }
+        last.unwrap_or_else(|| {
+            ApiResponse::err(ApiError::new(TRANSPORT_ERROR, "retry budget exhausted"))
+        })
     }
 
     fn connect_stream(&self) -> std::io::Result<TcpStream> {
@@ -210,6 +298,26 @@ impl Client {
         }
     }
 
+    /// One invoke attempt, no retries.
+    fn invoke_once(&mut self, call: &ApiCall) -> ApiResponse {
+        let body = match serde_json::to_vec(&call.args) {
+            Ok(b) => b,
+            Err(e) => return self.transport_error("encoding call", e.to_string()),
+        };
+        let path = format!("/{}/{}", self.account, call.api);
+        match self.roundtrip("POST", &path, &body) {
+            Ok((200, resp_body)) => match serde_json::from_slice::<ApiResponse>(&resp_body) {
+                Ok(resp) => resp,
+                Err(e) => self.transport_error("decoding response", e.to_string()),
+            },
+            Ok((status, resp_body)) => self.transport_error(
+                "invoking",
+                format!("HTTP {}: {}", status, String::from_utf8_lossy(&resp_body)),
+            ),
+            Err(e) => self.transport_error("invoking", e),
+        }
+    }
+
     fn transport_error(&self, context: &str, detail: String) -> ApiResponse {
         ApiResponse::err(ApiError::new(
             TRANSPORT_ERROR,
@@ -234,21 +342,9 @@ impl Backend for Client {
     }
 
     fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
-        let body = match serde_json::to_vec(&call.args) {
-            Ok(b) => b,
-            Err(e) => return self.transport_error("encoding call", e.to_string()),
-        };
-        let path = format!("/{}/{}", self.account, call.api);
-        match self.roundtrip("POST", &path, &body) {
-            Ok((200, resp_body)) => match serde_json::from_slice::<ApiResponse>(&resp_body) {
-                Ok(resp) => resp,
-                Err(e) => self.transport_error("decoding response", e.to_string()),
-            },
-            Ok((status, resp_body)) => self.transport_error(
-                "invoking",
-                format!("HTTP {}: {}", status, String::from_utf8_lossy(&resp_body)),
-            ),
-            Err(e) => self.transport_error("invoking", e),
+        match self.retry.clone() {
+            Some(policy) => self.invoke_with_retry(call, &policy),
+            None => self.invoke_once(call),
         }
     }
 

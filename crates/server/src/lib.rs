@@ -22,8 +22,11 @@
 //! * [`router`] — multi-account sharding: one backend instance per
 //!   account behind its own lock, so accounts never contend.
 //! * [`serve`](mod@serve) — a bounded worker pool fed by a crossbeam
-//!   channel, with graceful shutdown and connection drain.
-//! * [`client`] — the blocking remote `Backend`.
+//!   channel, with graceful shutdown, connection drain, and optional
+//!   deterministic wire-fault injection (accept/read/write points driven
+//!   by an `lce_faults::FaultPlan` via [`ServerConfig::faults`]).
+//! * [`client`] — the blocking remote `Backend`, with optional seeded
+//!   retry/backoff ([`Client::with_retry`]).
 //!
 //! ```no_run
 //! use lce_server::{serve, Client, ServerConfig};
@@ -31,7 +34,7 @@
 //!
 //! # fn catalog() -> lce_spec::Catalog { lce_spec::Catalog::new() }
 //! let catalog = catalog();
-//! let handle = serve(ServerConfig::default(), move || {
+//! let handle = serve(ServerConfig::default(), move |_account| {
 //!     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
 //! })
 //! .unwrap();
@@ -50,5 +53,6 @@ pub mod wire;
 
 pub use client::{Client, TRANSPORT_ERROR};
 pub use http::{HttpLimits, Request, Response};
-pub use router::{BackendFactory, Router};
+pub use router::{BackendFactory, Router, PROBE_ACCOUNT};
 pub use serve::{serve, ServerConfig, ServerHandle};
+pub use wire::is_idempotent;

@@ -8,13 +8,22 @@
 //! map itself is behind an `RwLock` that is only write-locked on first
 //! sight of a new account id.
 
-use lce_emulator::{ApiCall, ApiResponse, Backend};
+use lce_emulator::{ApiCall, ApiResponse, Backend, ResourceStore};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// A thread-safe backend constructor: called once per account id.
-pub type BackendFactory = Box<dyn Fn() -> Box<dyn Backend + Send> + Send + Sync>;
+/// A thread-safe backend constructor: called once per account id, which is
+/// passed in so wrappers (e.g. fault injection) can scope behaviour per
+/// account. The router's one up-front capability probe passes
+/// [`PROBE_ACCOUNT`].
+pub type BackendFactory = Box<dyn Fn(&str) -> Box<dyn Backend + Send> + Send + Sync>;
+
+/// The reserved account id the router passes when probing the factory for
+/// the API list and backend name. Underscore-prefixed, so it can never
+/// collide with a real account ([`Router::valid_account_id`] rejects
+/// leading underscores).
+pub const PROBE_ACCOUNT: &str = "_probe";
 
 /// A shareable handle to one account's backend.
 pub type AccountHandle = Arc<Mutex<Box<dyn Backend + Send>>>;
@@ -32,7 +41,7 @@ impl Router {
     /// supported API list (every account shares one catalog by
     /// construction).
     pub fn new(factory: BackendFactory) -> Self {
-        let probe = factory();
+        let probe = factory(PROBE_ACCOUNT);
         let mut apis = probe.api_names();
         apis.sort();
         apis.dedup();
@@ -64,8 +73,20 @@ impl Router {
         let mut map = self.accounts.write();
         Arc::clone(
             map.entry(id.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new((self.factory)()))),
+                .or_insert_with(|| Arc::new(Mutex::new((self.factory)(id)))),
         )
+    }
+
+    /// A copy of the account's resource store, if the account exists and
+    /// its backend exposes one ([`Backend::snapshot`]). A never-seen
+    /// account returns `None` rather than being materialized.
+    pub fn snapshot(&self, id: &str) -> Option<ResourceStore> {
+        let handle = {
+            let map = self.accounts.read();
+            Arc::clone(map.get(id)?)
+        };
+        let backend = handle.lock();
+        backend.snapshot()
     }
 
     /// Invoke one call on the account's backend. Holds only that account's
@@ -149,7 +170,7 @@ mod tests {
     }
 
     fn router() -> Router {
-        Router::new(Box::new(|| Box::new(Counter { n: 0 })))
+        Router::new(Box::new(|_account| Box::new(Counter { n: 0 })))
     }
 
     #[test]
@@ -198,6 +219,43 @@ mod tests {
         for bad in ["", "_reset", "a/b", "a b", "é"] {
             assert!(!Router::valid_account_id(bad), "{:?}", bad);
         }
+    }
+
+    #[test]
+    fn factory_sees_account_ids_and_probe() {
+        use parking_lot::Mutex as PMutex;
+        let seen: Arc<PMutex<Vec<String>>> = Arc::new(PMutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let r = Router::new(Box::new(move |account| {
+            seen2.lock().push(account.to_string());
+            Box::new(Counter { n: 0 })
+        }));
+        r.invoke("alice", &ApiCall::new("Bump"));
+        r.invoke("bob", &ApiCall::new("Bump"));
+        r.invoke("alice", &ApiCall::new("Get"));
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                PROBE_ACCOUNT.to_string(),
+                "alice".to_string(),
+                "bob".to_string()
+            ],
+            "probe first, then one construction per account"
+        );
+        assert!(
+            !Router::valid_account_id(PROBE_ACCOUNT),
+            "the probe id must never be reachable from the wire"
+        );
+    }
+
+    #[test]
+    fn snapshot_of_unknown_account_is_none() {
+        let r = router();
+        assert!(r.snapshot("ghost").is_none());
+        assert_eq!(r.account_count(), 0, "snapshot must not materialize");
+        r.invoke("a", &ApiCall::new("Bump"));
+        // Counter has no store, so even an existing account returns None.
+        assert!(r.snapshot("a").is_none());
     }
 
     #[test]

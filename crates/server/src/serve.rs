@@ -8,12 +8,24 @@
 //!   the workers' `recv()` into a clean termination signal.
 //! * Keep-alive connections poll the shutdown flag between requests; the
 //!   last response before closing advertises `Connection: close`.
+//!
+//! When [`ServerConfig::faults`] carries a [`FaultPlan`], the server
+//! injects wire-level faults at three points, all decided deterministically
+//! from the plan and a per-connection id assigned in accept order:
+//!
+//! * **accept** — the connection is dropped before any byte is read;
+//! * **read** — the connection is dropped after a successful read, always
+//!   *before* the buffered request is dispatched (so nothing mutated);
+//! * **write** — the response is truncated mid-write or dropped entirely,
+//!   *after* dispatch — which is why the plan's `WriteFaultScope` gates
+//!   these to idempotent requests by default.
 
 use crate::http::{self, HttpLimits, Response};
 use crate::router::{BackendFactory, Router};
 use crate::wire;
 use crossbeam::channel;
 use lce_emulator::Backend;
+use lce_faults::{FaultPlan, WireFault};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +48,9 @@ pub struct ServerConfig {
     /// Idle read timeout: a connection with no complete request for this
     /// long is closed (with `408` if a partial request was buffered).
     pub read_timeout: Duration,
+    /// Optional wire-level fault plan. `None` (the default) and an empty
+    /// plan are both byte-for-byte identical to fault-free serving.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -45,7 +60,19 @@ impl Default for ServerConfig {
             threads: 4,
             limits: HttpLimits::default(),
             read_timeout: Duration::from_secs(30),
+            faults: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Attach a wire-level fault plan. An empty plan still exercises every
+    /// fault hook — each decision just comes back `None` — which is what
+    /// lets the passthrough test prove zero-fault means zero behaviour
+    /// change.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -111,7 +138,9 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Start serving backends built by `factory` under `config`.
+/// Start serving backends built by `factory` under `config`. The factory
+/// receives the account id (or [`crate::router::PROBE_ACCOUNT`] for the
+/// one capability probe), so wrappers can scope behaviour per account.
 ///
 /// ```no_run
 /// use lce_server::{serve, ServerConfig};
@@ -119,7 +148,7 @@ impl std::fmt::Debug for ServerHandle {
 /// use lce_spec::Catalog;
 ///
 /// let catalog = Catalog::new();
-/// let handle = serve(ServerConfig::default(), move || {
+/// let handle = serve(ServerConfig::default(), move |_account| {
 ///     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
 /// })
 /// .unwrap();
@@ -128,7 +157,7 @@ impl std::fmt::Debug for ServerHandle {
 /// ```
 pub fn serve<F>(config: ServerConfig, factory: F) -> std::io::Result<ServerHandle>
 where
-    F: Fn() -> Box<dyn Backend + Send> + Send + Sync + 'static,
+    F: Fn(&str) -> Box<dyn Backend + Send> + Send + Sync + 'static,
 {
     serve_boxed(config, Box::new(factory))
 }
@@ -141,7 +170,9 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
     let router = Arc::new(Router::new(factory));
     let shutdown = Arc::new(AtomicBool::new(false));
     let threads = config.threads.max(1);
-    let (tx, rx) = channel::bounded::<TcpStream>(threads * 2);
+    // Connections travel with their accept-order id so fault decisions
+    // are tied to a stable, schedule-independent key.
+    let (tx, rx) = channel::bounded::<(TcpStream, u64)>(threads * 2);
 
     let mut workers = Vec::with_capacity(threads);
     for i in 0..threads {
@@ -150,12 +181,21 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
         let shutdown = Arc::clone(&shutdown);
         let limits = config.limits.clone();
         let read_timeout = config.read_timeout;
+        let faults = config.faults.clone();
         workers.push(
             thread::Builder::new()
                 .name(format!("lce-server-worker-{}", i))
                 .spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        handle_connection(stream, &router, &limits, read_timeout, &shutdown);
+                    while let Ok((stream, conn)) = rx.recv() {
+                        handle_connection(
+                            stream,
+                            conn,
+                            &router,
+                            &limits,
+                            read_timeout,
+                            &shutdown,
+                            faults.as_deref(),
+                        );
                     }
                 })?,
         );
@@ -163,19 +203,32 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
     drop(rx);
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_faults = config.faults.clone();
     let accept = thread::Builder::new()
         .name("lce-server-accept".to_string())
         .spawn(move || {
+            let mut next_conn: u64 = 0;
             loop {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        let conn = next_conn;
+                        next_conn += 1;
+                        if let Some(plan) = &accept_faults {
+                            if plan.decide_accept(conn).is_some() {
+                                // Accept-point reset: drop before reading a
+                                // byte. The client sees a closed connection
+                                // and nothing was dispatched.
+                                drop(stream);
+                                continue;
+                            }
+                        }
                         // Hand the worker a blocking socket regardless of
                         // what it inherited from the listener.
                         let _ = stream.set_nonblocking(false);
-                        if tx.send(stream).is_err() {
+                        if tx.send((stream, conn)).is_err() {
                             break;
                         }
                     }
@@ -199,18 +252,23 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
 }
 
 /// Serve one connection: parse → dispatch → respond, honouring keep-alive
-/// and pipelining, until EOF, error, timeout or shutdown.
+/// and pipelining, until EOF, error, timeout, shutdown or an injected
+/// wire fault.
 fn handle_connection(
     mut stream: TcpStream,
+    conn: u64,
     router: &Router,
     limits: &HttpLimits,
     read_timeout: Duration,
     shutdown: &AtomicBool,
+    faults: Option<&FaultPlan>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut buf = bytes::BytesMut::with_capacity(8 * 1024);
     let mut last_activity = Instant::now();
+    let mut read_events: u64 = 0;
+    let mut req_seq: u64 = 0;
     loop {
         // Drain complete buffered requests first (pipelining).
         match http::parse_request(&mut buf, limits) {
@@ -221,9 +279,27 @@ fn handle_connection(
             Ok(Some(req)) => {
                 last_activity = Instant::now();
                 let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
+                let write_fault = faults
+                    .and_then(|plan| plan.decide_write(conn, req_seq, wire::is_idempotent(&req)));
+                req_seq += 1;
+                if write_fault == Some(WireFault::Reset) {
+                    // Write-point reset models a server that died between
+                    // commit and reply: dispatch the request, then drop
+                    // the connection without writing any response byte.
+                    let _ = wire::handle(&req, router);
+                    return;
+                }
                 let mut resp = wire::handle(&req, router);
                 resp.keep_alive = keep_alive;
-                if stream.write_all(&http::encode_response(&resp)).is_err() {
+                let encoded = http::encode_response(&resp);
+                if write_fault == Some(WireFault::Truncate) {
+                    // Write half the response, then drop the connection.
+                    let half = encoded.len() / 2;
+                    let _ = stream.write_all(&encoded[..half]);
+                    let _ = stream.flush();
+                    return;
+                }
+                if stream.write_all(&encoded).is_err() {
                     return;
                 }
                 if !keep_alive {
@@ -242,6 +318,15 @@ fn handle_connection(
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
                 last_activity = Instant::now();
+                let event = read_events;
+                read_events += 1;
+                if let Some(plan) = faults {
+                    if plan.decide_read(conn, event).is_some() {
+                        // Read-point reset: drop with the request still in
+                        // the parse buffer — nothing was dispatched.
+                        return;
+                    }
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock

@@ -7,6 +7,9 @@
 //!   serialized with serde (byte-identical to in-process serialization,
 //!   which is what lets remote runs be diffed against local ones).
 //! * `POST /<account>/_reset` — drop the account's resources.
+//! * `GET /<account>/_store` — a snapshot of the account's resource store
+//!   (serde-encoded), for convergence checks; 404 if the account was never
+//!   seen, 501 if the served backend exposes no store.
 //! * `GET /_health` — liveness plus account count.
 //! * `GET /_apis` — the sorted API list, for coverage accounting.
 //!
@@ -45,9 +48,47 @@ pub fn handle(req: &Request, router: &Router) -> Response {
             ))
         }
         ("POST", path) => handle_post(path, &req.body, router),
-        ("GET", _) => Response::error(404, "unknown path"),
+        ("GET", path) => handle_get(path, router),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// `true` if replaying the request cannot change server state: reads,
+/// control probes, `_reset` (resetting twice is still reset) and the
+/// `Describe*`/`List*`/`Get*` API families. Used to scope write-point
+/// fault injection to requests whose lost response is safe to retry.
+pub fn is_idempotent(req: &Request) -> bool {
+    if req.method != "POST" {
+        return true;
+    }
+    let mut segments = req.path.trim_start_matches('/').split('/');
+    let (Some(_account), Some(op)) = (segments.next(), segments.next()) else {
+        // Malformed paths get a 404 without touching any backend.
+        return true;
+    };
+    op == "_reset" || op.starts_with("Describe") || op.starts_with("List") || op.starts_with("Get")
+}
+
+fn handle_get(path: &str, router: &Router) -> Response {
+    let mut segments = path.trim_start_matches('/').split('/');
+    if let (Some(account), Some("_store"), None) =
+        (segments.next(), segments.next(), segments.next())
+    {
+        if !Router::valid_account_id(account) {
+            return Response::error(400, "invalid account id");
+        }
+        if !router.accounts().iter().any(|a| a == account) {
+            return Response::error(404, "unknown account");
+        }
+        return match router.snapshot(account) {
+            None => Response::error(501, "served backend exposes no resource store"),
+            Some(store) => match serde_json::to_vec(&store) {
+                Ok(bytes) => Response::json(bytes),
+                Err(e) => Response::error(500, &format!("store serialization failed: {}", e)),
+            },
+        };
+    }
+    Response::error(404, "unknown path")
 }
 
 fn handle_post(path: &str, body: &[u8], router: &Router) -> Response {
@@ -151,7 +192,7 @@ mod tests {
     }
 
     fn router() -> Router {
-        Router::new(Box::new(|| Box::new(Echo)))
+        Router::new(Box::new(|_account| Box::new(Echo)))
     }
 
     fn post(path: &str, body: &[u8]) -> Request {
@@ -263,6 +304,71 @@ mod tests {
         let resp = handle(&post("/acct/_reset", b""), &r);
         let json: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(json["existed"], true);
+    }
+
+    #[test]
+    fn idempotence_classification() {
+        let mut req = post("/acct/CreateVpc", b"");
+        assert!(!is_idempotent(&req));
+        req.path = "/acct/DeleteVpc".into();
+        assert!(!is_idempotent(&req));
+        req.path = "/acct/ModifySubnetAttribute".into();
+        assert!(!is_idempotent(&req));
+        for safe in [
+            "/acct/DescribeSubnet",
+            "/acct/ListBuckets",
+            "/acct/GetObject",
+            "/acct/_reset",
+        ] {
+            req.path = safe.into();
+            assert!(is_idempotent(&req), "{}", safe);
+        }
+        req.path = "/acct/CreateVpc".into();
+        req.method = "GET".into();
+        assert!(is_idempotent(&req), "non-POST is never a mutation");
+    }
+
+    #[test]
+    fn store_endpoint_errors() {
+        let r = router();
+        let mut req = get("/acct/_store");
+        req.method = "GET".into();
+        assert_eq!(handle(&req, &r).status, 404, "unknown account");
+        // Materialize the account; Echo has no store → 501.
+        handle(&post("/acct/Echo", b"{}"), &r);
+        assert_eq!(handle(&req, &r).status, 501, "no store to expose");
+        let mut bad = get("/_probe/_store");
+        bad.method = "GET".into();
+        assert_eq!(handle(&bad, &r).status, 400, "reserved account id");
+    }
+
+    #[test]
+    fn store_endpoint_round_trips_a_real_store() {
+        use lce_emulator::{Emulator, ResourceStore};
+        use lce_spec::parse_catalog;
+        let catalog = lce_spec::Catalog::from_specs(
+            parse_catalog(
+                r#"sm Vpc { service "compute";
+                    states { cidr: str; }
+                    transition CreateVpc(CidrBlock: str) kind create {
+                        write(cidr, arg(CidrBlock)); } }"#,
+            )
+            .unwrap(),
+        );
+        let r = Router::new(Box::new(move |_account| {
+            Box::new(Emulator::new(catalog.clone()))
+        }));
+        handle(
+            &post("/acct/CreateVpc", br#"{"CidrBlock":"10.0.0.0/16"}"#),
+            &r,
+        );
+        let mut req = get("/acct/_store");
+        req.method = "GET".into();
+        let resp = handle(&req, &r);
+        assert_eq!(resp.status, 200);
+        let store: ResourceStore = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store, r.snapshot("acct").unwrap(), "wire == in-process");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Fault-injection integration tests against a real served emulator:
+//! mid-response resets and truncation (the no-double-apply regression),
+//! retry/backoff behaviour, and `_reset` racing in-flight faulted traffic.
+
+use lce_cloud::nimbus_provider;
+use lce_emulator::{ApiCall, Backend, Emulator};
+use lce_faults::{
+    counting_sleep, FaultPlan, FaultyBackend, RetryPolicy, WireFaults, WriteFaultScope,
+};
+use lce_server::{serve, Client, ServerConfig, ServerHandle, TRANSPORT_ERROR};
+use std::sync::Arc;
+
+/// A golden server with `wire` faults installed and (optionally) backend
+/// faults injected per account through `FaultyBackend`.
+fn start_faulted_server(threads: usize, plan: FaultPlan) -> ServerHandle {
+    let plan = Arc::new(plan);
+    let catalog = nimbus_provider().catalog;
+    let backend_plan = Arc::clone(&plan);
+    serve(
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        }
+        .with_faults(Arc::clone(&plan)),
+        move |account| {
+            Box::new(FaultyBackend::new(
+                Emulator::new(catalog.clone()).named("served-golden"),
+                Arc::clone(&backend_plan),
+                account,
+            )) as Box<dyn Backend + Send>
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn create_vpc() -> ApiCall {
+    ApiCall::new("CreateVpc")
+        .arg_str("CidrBlock", "10.0.0.0/16")
+        .arg_str("Region", "us-east")
+}
+
+fn vpc_count(handle: &ServerHandle, account: &str) -> usize {
+    handle
+        .router()
+        .snapshot(account)
+        .map(|s| s.len())
+        .unwrap_or(0)
+}
+
+/// Satellite regression: a mid-response connection *truncation* of a
+/// mutating request surfaces as `TransportError` and the client does NOT
+/// silently retry — the mutation applies exactly once per explicit send.
+/// This pins the idempotence claim in `client.rs`: once response bytes
+/// have been seen, failures are final.
+#[test]
+fn truncated_mutating_response_is_transport_error_without_double_apply() {
+    let mut plan = FaultPlan::none(3);
+    plan.wire = WireFaults {
+        accept_reset_per_mille: 0,
+        read_reset_per_mille: 0,
+        write_truncate_per_mille: 1000,
+        write_reset_per_mille: 0,
+        write_scope: WriteFaultScope::MutatingOnly,
+    };
+    let handle = start_faulted_server(2, plan);
+    // The handshake (GET /_apis) is idempotent and therefore unfaulted.
+    let mut client = Client::connect(handle.addr(), "trunc").unwrap();
+
+    // First send: the server applies the mutation, then truncates the
+    // response mid-write. Response bytes were seen, so no silent retry.
+    let resp = client.invoke(&create_vpc());
+    assert_eq!(resp.error_code(), Some(TRANSPORT_ERROR), "{:?}", resp);
+    assert_eq!(
+        vpc_count(&handle, "trunc"),
+        1,
+        "mutation must apply exactly once — a silent retry would make 2"
+    );
+
+    // A second *explicit* send is a new mutation: exactly one more.
+    let resp = client.invoke(&create_vpc());
+    assert_eq!(resp.error_code(), Some(TRANSPORT_ERROR), "{:?}", resp);
+    assert_eq!(vpc_count(&handle, "trunc"), 2);
+
+    // Reads still work (idempotent scope is unfaulted), proving the
+    // truncation really did land only on the mutating path.
+    let resp = client.invoke(&ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-000001"));
+    assert!(resp.is_ok(), "{:?}", resp);
+    handle.shutdown();
+}
+
+/// A write-point *reset* (zero response bytes) on a fresh connection is
+/// also final: the client only ever silently retries on a *reused*
+/// keep-alive connection, and a transport-retry policy is what would make
+/// it re-send — which is exactly why transport retries must only be
+/// combined with idempotent-scope write faults.
+#[test]
+fn write_reset_on_fresh_connection_is_final() {
+    let mut plan = FaultPlan::none(9);
+    plan.wire.write_reset_per_mille = 1000;
+    plan.wire.write_scope = WriteFaultScope::MutatingOnly;
+    let handle = start_faulted_server(2, plan);
+    let mut client = Client::connect(handle.addr(), "reset").unwrap();
+
+    // First invoke rides the handshake's keep-alive connection; the
+    // server dispatches, then drops without a byte. The *reused*
+    // connection heuristic fires and retries once on a fresh connection
+    // (this is the documented boundary of the heuristic: an idle-close is
+    // indistinguishable from a post-dispatch reset). That retry is also
+    // reset — and being on a fresh connection, it is final.
+    let resp = client.invoke(&create_vpc());
+    assert_eq!(resp.error_code(), Some(TRANSPORT_ERROR), "{:?}", resp);
+    let after_first = vpc_count(&handle, "reset");
+    assert_eq!(
+        after_first, 2,
+        "reused-connection heuristic re-sends once: dispatch + retry"
+    );
+
+    // Subsequent invokes start from a cleared stream (fresh connection):
+    // no silent retry, exactly one application per send.
+    let resp = client.invoke(&create_vpc());
+    assert_eq!(resp.error_code(), Some(TRANSPORT_ERROR), "{:?}", resp);
+    assert_eq!(
+        vpc_count(&handle, "reset"),
+        after_first + 1,
+        "fresh-connection sends apply exactly once"
+    );
+    handle.shutdown();
+}
+
+/// Injected backend faults (transient errors/throttles) are retried under
+/// the policy's seeded backoff without wall-sleeping, and every logical
+/// call eventually lands exactly once.
+#[test]
+fn retry_policy_rides_out_injected_backend_faults() {
+    let mut plan = FaultPlan::none(42);
+    plan.backend.error_per_mille = 300;
+    plan.backend.throttle_per_mille = 200;
+    // Sanity: the schedule really contains faults for this account.
+    let scheduled: usize = (0..200)
+        .filter(|seq| plan.decide_invoke("retry", "CreateVpc", *seq).is_some())
+        .count();
+    assert!(scheduled > 10, "seed 42 schedules {} faults", scheduled);
+
+    let handle = start_faulted_server(2, plan);
+    let (sleeper, slept) = counting_sleep();
+    let policy = RetryPolicy::new(42)
+        .with_max_attempts(30)
+        .with_sleep(sleeper);
+    let mut client = Client::connect(handle.addr(), "retry")
+        .unwrap()
+        .with_retry(policy);
+
+    let n = 20;
+    for i in 0..n {
+        let resp = client.invoke(&create_vpc());
+        assert!(resp.is_ok(), "call {} failed after retries: {:?}", i, resp);
+    }
+    assert_eq!(
+        vpc_count(&handle, "retry"),
+        n,
+        "each call landed exactly once"
+    );
+    let sleeps = slept.lock().unwrap();
+    assert!(
+        !sleeps.is_empty(),
+        "with {} scheduled faults some retries must have backed off",
+        scheduled
+    );
+    handle.shutdown();
+}
+
+/// Accept- and read-point resets always fire before dispatch, so a
+/// transport-retrying client converges to exactly one application per
+/// logical call even when connections are being torn down around it.
+#[test]
+fn pre_dispatch_resets_are_always_safe_to_retry() {
+    let mut plan = FaultPlan::none(11);
+    plan.wire.accept_reset_per_mille = 300;
+    plan.wire.read_reset_per_mille = 200;
+    let handle = start_faulted_server(4, plan);
+    let policy = RetryPolicy::chaos(11).with_max_attempts(40);
+    let mut client = Client::connect_with_retry(handle.addr(), "predispatch", policy).unwrap();
+
+    let n = 20;
+    for i in 0..n {
+        let resp = client.invoke(&create_vpc());
+        assert!(resp.is_ok(), "call {} failed after retries: {:?}", i, resp);
+    }
+    assert_eq!(
+        vpc_count(&handle, "predispatch"),
+        n,
+        "pre-dispatch resets lost requests, never duplicated them"
+    );
+    handle.shutdown();
+}
+
+/// `GET /<account>/_store` round-trips the account's store through the
+/// remote client, matching the in-process snapshot byte for byte.
+#[test]
+fn fetch_store_round_trips_the_snapshot() {
+    let handle = start_faulted_server(2, FaultPlan::none(1));
+    let mut client = Client::connect(handle.addr(), "stores").unwrap();
+    for _ in 0..3 {
+        assert!(client.invoke(&create_vpc()).is_ok());
+    }
+    let remote = client.fetch_store().expect("store fetch");
+    let local = handle.router().snapshot("stores").expect("snapshot");
+    assert_eq!(remote, local);
+    assert_eq!(remote.len(), 3);
+    // An account the server never saw is a clean error, not a panic.
+    let mut ghost = Client::connect(handle.addr(), "ghost").unwrap();
+    assert!(ghost.fetch_store().is_err());
+    handle.shutdown();
+}
+
+/// Satellite: `_reset` racing in-flight faulted requests. Writer threads
+/// hammer one account with create calls (under retries) while a resetter
+/// fires `_reset` in between; per-account serialization means the final
+/// drained store must be internally coherent — every containment parent
+/// resolves — never a torn mix of pre- and post-reset state.
+#[test]
+fn reset_racing_faulted_writers_never_tears_the_store() {
+    let mut plan = FaultPlan::standard(13);
+    // Keep write faults idempotent-only (the default) so convergence of
+    // the mutating traffic is well-defined.
+    assert_eq!(plan.wire.write_scope, WriteFaultScope::IdempotentOnly);
+    plan.backend.max_latency_ms = 1;
+    let handle = start_faulted_server(4, plan);
+    let addr = handle.addr();
+
+    let mut workers = Vec::new();
+    for w in 0..4 {
+        workers.push(std::thread::spawn(move || {
+            let policy = RetryPolicy::chaos(13 ^ w as u64).with_max_attempts(20);
+            let mut client = Client::connect_with_retry(addr, "racy", policy).unwrap();
+            for _ in 0..10 {
+                // CreateVpc then a dependent CreateSubnet; the subnet call
+                // may legitimately fail with NotFound if a reset landed in
+                // between — the store must still be coherent.
+                let vpc = client.invoke(&create_vpc());
+                if let Some(lce_emulator::Value::Ref(vpc_id)) = vpc.field("VpcId") {
+                    let _ = client.invoke(
+                        &ApiCall::new("CreateSubnet")
+                            .arg("VpcId", lce_emulator::Value::Ref(vpc_id.clone()))
+                            .arg_str("CidrBlock", "10.0.1.0/24")
+                            .arg_int("PrefixLength", 24)
+                            .arg_str("Zone", "us-east-1a"),
+                    );
+                }
+            }
+        }));
+    }
+    let resetter = std::thread::spawn(move || {
+        let policy = RetryPolicy::chaos(99).with_max_attempts(20);
+        let mut client = Client::connect_with_retry(addr, "racy", policy).unwrap();
+        for _ in 0..6 {
+            // Reset may itself be hit by (idempotent-scope) write faults;
+            // failures are fine, the server-side application is atomic.
+            let _ = client.try_reset();
+            std::thread::yield_now();
+        }
+    });
+    for w in workers {
+        w.join().unwrap();
+    }
+    resetter.join().unwrap();
+
+    // Drain everything in flight, then inspect the final store.
+    let store = handle.router().snapshot("racy").expect("store");
+    handle.shutdown();
+    for inst in store.iter() {
+        if let Some(parent) = &inst.parent {
+            assert!(
+                store.exists(parent),
+                "torn store: {} has dangling parent {}",
+                inst.id,
+                parent
+            );
+        }
+        for (var, value) in &inst.state {
+            if let lce_emulator::Value::Ref(target) = value {
+                assert!(
+                    store.exists(target),
+                    "torn store: {}.{} references missing {}",
+                    inst.id,
+                    var,
+                    target
+                );
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@ fn start_server(threads: usize) -> ServerHandle {
             read_timeout: Duration::from_secs(5),
             ..ServerConfig::default()
         },
-        move || {
+        move |_account| {
             Box::new(lce_emulator::Emulator::new(catalog.clone()).named("served-golden"))
                 as Box<dyn Backend + Send>
         },
@@ -202,9 +202,10 @@ fn concurrent_clients_on_distinct_accounts() {
     }
     for t in threads {
         let ids = t.join().unwrap();
-        // Every account sees its own private counter: 1..=10.
+        // Every account sees its own private counter: 1..=10 (the store
+        // renders counters in hex, so the 10th id is `vpc-00000a`).
         let expect: Vec<Value> = (1..=10)
-            .map(|i| Value::reference(format!("vpc-{:06}", i)))
+            .map(|i| Value::reference(format!("vpc-{:06x}", i)))
             .collect();
         assert_eq!(ids, expect);
     }

@@ -24,6 +24,7 @@ pub enum Truth {
 
 impl Truth {
     /// Logical negation (three-valued).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -390,6 +390,7 @@ impl Expr {
         Expr::Binary(BinOp::And, Box::new(a), Box::new(b))
     }
     /// Convenience: negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Expr) -> Expr {
         Expr::Unary(UnOp::Not, Box::new(a))
     }

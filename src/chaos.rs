@@ -1,0 +1,357 @@
+//! The chaos harness: seeded DevOps programs through a faulted server,
+//! checked for convergence against a fault-free run.
+//!
+//! One chaos run:
+//!
+//! 1. Computes a **fault-free baseline** per account: the E2 DevOps
+//!    scenario executed serially, in process, as many times as the fault
+//!    matrix will execute it for that account.
+//! 2. Serves golden emulators wrapped in
+//!    [`FaultyBackend`](lce_faults::FaultyBackend) behind wire-level fault
+//!    hooks, all driven by one seeded [`FaultPlan`].
+//! 3. Hammers the server from `threads` clients spread over `accounts`
+//!    accounts, each with seeded retry/backoff
+//!    ([`RetryPolicy::chaos`](lce_faults::RetryPolicy::chaos) — no
+//!    wall-sleeping).
+//! 4. Asserts **convergence**: every program step eventually succeeded,
+//!    and each account's final store has the same
+//!    interleaving-invariant fingerprint
+//!    ([`store_digest`](lce_faults::store_digest)) as its baseline — no
+//!    lost mutations, no double-applies.
+//!
+//! The resulting [`ChaosReport`] renders only schedule-determined data
+//! (seed, plan, matrix, digests, verdicts) — no timings or retry counts —
+//! so two runs with the same seed emit byte-identical reports.
+
+use lce_cloud::nimbus_provider;
+use lce_devops::run_program;
+use lce_devops::scenarios::nimbus::basic_functionality;
+use lce_emulator::{Backend, Emulator};
+use lce_faults::{no_sleep, store_digest, FaultPlan, FaultyBackend, RetryPolicy};
+use lce_server::{serve, Client, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Configuration for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed: drives the fault plan and every client's backoff.
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Accounts the threads are spread over (thread `t` uses account
+    /// `acct-{t % accounts}`).
+    pub accounts: usize,
+    /// Fault plan preset name (`none`, `standard`, `aggressive`).
+    pub plan: String,
+    /// Per-call retry attempt budget for the clients.
+    pub max_attempts: u32,
+    /// Server worker threads.
+    pub server_threads: usize,
+}
+
+impl ChaosConfig {
+    /// The default matrix: 16 threads × 8 accounts under the `standard`
+    /// plan.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            threads: 16,
+            accounts: 8,
+            plan: "standard".to_string(),
+            max_attempts: 25,
+            server_threads: 8,
+        }
+    }
+
+    /// Override the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the account count.
+    pub fn with_accounts(mut self, accounts: usize) -> Self {
+        self.accounts = accounts.max(1);
+        self
+    }
+
+    /// Override the plan preset by name.
+    pub fn with_plan(mut self, plan: impl Into<String>) -> Self {
+        self.plan = plan.into();
+        self
+    }
+
+    /// The configured fault plan, or `None` for an unknown preset name.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        FaultPlan::named(&self.plan, self.seed)
+    }
+}
+
+/// Per-account outcome of a chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountOutcome {
+    /// Account id (`acct-N`).
+    pub account: String,
+    /// How many program executions the matrix assigned to this account.
+    pub runs: usize,
+    /// Fingerprint of the fault-free baseline store.
+    pub baseline_digest: String,
+    /// Fingerprint of the faulted final store.
+    pub faulted_digest: String,
+    /// `true` if every step of every run succeeded (after retries).
+    pub all_steps_ok: bool,
+}
+
+impl AccountOutcome {
+    /// Converged: all steps succeeded and the stores fingerprint equal.
+    pub fn converged(&self) -> bool {
+        self.all_steps_ok && self.baseline_digest == self.faulted_digest
+    }
+}
+
+/// The outcome of one chaos run. [`ChaosReport::render`] is deterministic:
+/// same seed and config ⇒ byte-identical text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Stable description of the fault plan.
+    pub plan: String,
+    /// Client threads.
+    pub threads: usize,
+    /// Program name and step count, for the header.
+    pub program: String,
+    /// Per-account outcomes, sorted by account id.
+    pub outcomes: Vec<AccountOutcome>,
+}
+
+impl ChaosReport {
+    /// `true` if every account converged.
+    pub fn converged(&self) -> bool {
+        self.outcomes.iter().all(AccountOutcome::converged)
+    }
+
+    /// Render the report. Contains only schedule-determined data — no
+    /// timings, retry counts or wire statistics — so repeat runs with the
+    /// same seed produce byte-identical output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("lce chaos report\n");
+        out.push_str(&format!("seed:    {}\n", self.seed));
+        out.push_str(&format!("plan:    {}\n", self.plan));
+        out.push_str(&format!(
+            "matrix:  {} threads x {} accounts\n",
+            self.threads,
+            self.outcomes.len()
+        ));
+        out.push_str(&format!("program: {}\n", self.program));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "account {}: runs={} baseline={} faulted={} {}\n",
+                o.account,
+                o.runs,
+                o.baseline_digest,
+                o.faulted_digest,
+                if o.converged() {
+                    "converged"
+                } else if o.all_steps_ok {
+                    "DIVERGED"
+                } else {
+                    "FAILED"
+                }
+            ));
+        }
+        let ok = self.outcomes.iter().filter(|o| o.converged()).count();
+        out.push_str(&format!(
+            "verdict: {} ({}/{} accounts converged)\n",
+            if self.converged() {
+                "CONVERGED"
+            } else {
+                "NOT CONVERGED"
+            },
+            ok,
+            self.outcomes.len()
+        ));
+        out
+    }
+}
+
+/// Account id for matrix slot `a`.
+fn account_name(a: usize) -> String {
+    format!("acct-{}", a)
+}
+
+/// Run the chaos matrix described by `config`. Returns an error only for
+/// infrastructure failures (bad plan name, bind failure, thread panic);
+/// step failures and divergence are reported in the [`ChaosReport`].
+pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
+    let plan = Arc::new(
+        config
+            .fault_plan()
+            .ok_or_else(|| format!("unknown fault plan `{}`", config.plan))?,
+    );
+    let catalog = nimbus_provider().catalog;
+    let program = basic_functionality();
+    let threads = config.threads.max(1);
+    let accounts = config.accounts.max(1);
+
+    // 1. Fault-free baselines: each account executes the program serially,
+    //    once per matrix slot that maps to it.
+    let mut baselines: BTreeMap<String, (String, usize, bool)> = BTreeMap::new();
+    for a in 0..accounts {
+        let runs = (0..threads).filter(|t| t % accounts == a).count();
+        let mut emulator = Emulator::new(catalog.clone());
+        let mut ok = true;
+        for _ in 0..runs {
+            ok &= run_program(&program, &mut emulator).all_ok();
+        }
+        if !ok {
+            return Err("fault-free baseline run had failing steps".to_string());
+        }
+        let store = emulator.snapshot().expect("emulator always has a store");
+        baselines.insert(account_name(a), (store_digest(&store), runs, ok));
+    }
+
+    // 2. The faulted server: per-account FaultyBackend over a golden
+    //    emulator, wire faults from the same plan. Injected latency uses a
+    //    no-op sleeper so chaos runs never wall-sleep.
+    let factory_plan = Arc::clone(&plan);
+    let factory_catalog = catalog.clone();
+    let server_config = ServerConfig {
+        threads: config.server_threads.max(1),
+        ..ServerConfig::default()
+    }
+    .with_faults(Arc::clone(&plan));
+    let handle = serve(server_config, move |account| {
+        Box::new(
+            FaultyBackend::new(
+                Emulator::new(factory_catalog.clone()).named("chaos-golden"),
+                Arc::clone(&factory_plan),
+                account,
+            )
+            .with_sleeper(no_sleep()),
+        ) as Box<dyn Backend + Send>
+    })
+    .map_err(|e| format!("failed to start chaos server: {}", e))?;
+    let addr = handle.addr();
+
+    // 3. The client matrix. The barrier fires before connecting so every
+    //    thread races the server from the first SYN on.
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let barrier = Arc::clone(&barrier);
+        let policy = RetryPolicy::chaos(config.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .with_max_attempts(config.max_attempts);
+        joins.push(thread::spawn(move || -> Result<(String, bool), String> {
+            let account = account_name(t % accounts);
+            barrier.wait();
+            let mut client = Client::connect_with_retry(addr, account.clone(), policy)
+                .map_err(|e| format!("{}: connect failed: {}", account, e))?;
+            let run = run_program(&basic_functionality(), &mut client);
+            Ok((account, run.all_ok()))
+        }));
+    }
+    let mut ran_ok: BTreeMap<String, bool> = BTreeMap::new();
+    for join in joins {
+        let (account, ok) = join
+            .join()
+            .map_err(|_| "chaos client thread panicked".to_string())??;
+        *ran_ok.entry(account).or_insert(true) &= ok;
+    }
+
+    // 4. Snapshot every account through the router (the server is still
+    //    up, so this observes exactly the drained final state), then shut
+    //    down and compare fingerprints.
+    let mut outcomes = Vec::new();
+    for a in 0..accounts {
+        let account = account_name(a);
+        let (baseline_digest, runs, _) = baselines
+            .remove(&account)
+            .expect("baseline computed for every account");
+        let store = handle.router().snapshot(&account).unwrap_or_default();
+        outcomes.push(AccountOutcome {
+            faulted_digest: store_digest(&store),
+            all_steps_ok: runs == 0 || *ran_ok.get(&account).unwrap_or(&false),
+            account,
+            runs,
+            baseline_digest,
+        });
+    }
+    handle.shutdown();
+
+    Ok(ChaosReport {
+        seed: config.seed,
+        plan: plan.describe(),
+        threads,
+        program: format!("{} ({} steps)", program.name, program.steps.len()),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_config_builders() {
+        let c = ChaosConfig::new(7)
+            .with_threads(0)
+            .with_accounts(0)
+            .with_plan("aggressive");
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.accounts, 1);
+        assert_eq!(c.fault_plan(), FaultPlan::named("aggressive", 7));
+        assert!(ChaosConfig::new(1)
+            .with_plan("bogus")
+            .fault_plan()
+            .is_none());
+    }
+
+    #[test]
+    fn report_render_flags_failures() {
+        let report = ChaosReport {
+            seed: 3,
+            plan: "p".into(),
+            threads: 2,
+            program: "prog (4 steps)".into(),
+            outcomes: vec![
+                AccountOutcome {
+                    account: "acct-0".into(),
+                    runs: 1,
+                    baseline_digest: "aa:1".into(),
+                    faulted_digest: "aa:1".into(),
+                    all_steps_ok: true,
+                },
+                AccountOutcome {
+                    account: "acct-1".into(),
+                    runs: 1,
+                    baseline_digest: "aa:1".into(),
+                    faulted_digest: "bb:1".into(),
+                    all_steps_ok: true,
+                },
+            ],
+        };
+        assert!(!report.converged());
+        let text = report.render();
+        assert!(text.contains("acct-0: runs=1 baseline=aa:1 faulted=aa:1 converged"));
+        assert!(text.contains("acct-1: runs=1 baseline=aa:1 faulted=bb:1 DIVERGED"));
+        assert!(text.contains("verdict: NOT CONVERGED (1/2 accounts converged)"));
+    }
+
+    /// A minimal end-to-end smoke run (the full 16×8 matrix lives in
+    /// `tests/chaos.rs`).
+    #[test]
+    fn small_chaos_run_converges_and_repeats() {
+        let config = ChaosConfig::new(5)
+            .with_threads(4)
+            .with_accounts(2)
+            .with_plan("standard");
+        let a = run_chaos(&config).unwrap();
+        assert!(a.converged(), "\n{}", a.render());
+        let b = run_chaos(&config).unwrap();
+        assert_eq!(a.render(), b.render(), "same seed, same bytes");
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`metrics`] | `lce-metrics` | complexity/coverage/anti-pattern analyses |
 //! | [`gym`] | `lce-gym` | the cloud gym environment for agents |
 //! | [`server`] | `lce-server` | the HTTP serving layer + remote-backend client |
+//! | [`faults`] | `lce-faults` | deterministic fault injection, retry/backoff, store fingerprints |
 //!
 //! ## Quickstart
 //!
@@ -60,12 +61,15 @@ pub use lce_baselines as baselines;
 pub use lce_cloud as cloud;
 pub use lce_devops as devops;
 pub use lce_emulator as emulator;
+pub use lce_faults as faults;
 pub use lce_gym as gym;
 pub use lce_metrics as metrics;
 pub use lce_server as server;
 pub use lce_spec as spec;
 pub use lce_synth as synth;
 pub use lce_wrangle as wrangle;
+
+pub mod chaos;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -74,7 +78,10 @@ pub mod prelude {
     pub use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
     pub use lce_devops::{compare_runs, run_program, Arg, Program};
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
+    pub use lce_faults::{store_digest, FaultPlan, FaultyBackend, RetryPolicy};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
+
+    pub use crate::chaos::{run_chaos, ChaosConfig, ChaosReport};
     pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, SmSpec};
     pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
     pub use lce_wrangle::wrangle_provider;

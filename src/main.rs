@@ -8,6 +8,7 @@
 //! lce spec   --provider <nimbus|stratus> [--resource Name]
 //! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
 //! lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
+//! lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive>] [--repeat N]
 //! ```
 //!
 //! `synth` learns an emulator from the provider's documentation and saves
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
         "lint" => cmd_lint(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -60,7 +62,8 @@ USAGE:
   lce run    --catalog FILE [--state FILE] --program FILE.json
   lce spec   --provider <nimbus|stratus> [--resource Name]
   lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
-  lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]";
+  lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
+  lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive>] [--repeat N]";
 
 /// Parse `--key value` flags and positional arguments.
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
@@ -274,7 +277,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         threads,
         ..ServerConfig::default()
     };
-    let handle = serve(config, move || {
+    let handle = serve(config, move |_account| {
         Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
     })
     .map_err(|e| e.to_string())?;
@@ -289,6 +292,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     eprintln!("  GET  /_apis              supported API list");
     handle.join();
     Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse().map_err(|_| format!("bad --{} value", key)))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let seed = parse_num("seed", 7)?;
+    let threads = parse_num("threads", 16)? as usize;
+    let accounts = parse_num("accounts", 8)? as usize;
+    let repeat = parse_num("repeat", 1)?.max(1);
+    let mut config = ChaosConfig::new(seed)
+        .with_threads(threads)
+        .with_accounts(accounts);
+    if let Some(plan) = flags.get("plan") {
+        config = config.with_plan(plan.clone());
+    }
+
+    let first = run_chaos(&config)?;
+    for round in 1..repeat {
+        let again = run_chaos(&config)?;
+        if again.render() != first.render() {
+            println!("{}", first.render());
+            return Err(format!(
+                "repeat run {} produced a different report — determinism violated",
+                round + 1
+            ));
+        }
+    }
+    print!("{}", first.render());
+    if repeat > 1 {
+        println!("repeat:  {} runs, byte-identical reports", repeat);
+    }
+    if first.converged() {
+        Ok(())
+    } else {
+        Err("chaos run did not converge".to_string())
+    }
 }
 
 fn cmd_lint(args: &[String]) -> Result<(), String> {

@@ -14,7 +14,33 @@ fn start_golden_server(threads: usize) -> ServerHandle {
             threads,
             ..ServerConfig::default()
         },
-        move || Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>,
+        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>,
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Like [`start_golden_server`], but with every backend wrapped in a
+/// `FaultyBackend` under an **empty** fault plan, and the same empty plan
+/// installed at the server's wire fault hooks. Zero-fault must mean zero
+/// behaviour change.
+fn start_passthrough_faulted_server(threads: usize) -> ServerHandle {
+    let catalog = nimbus_provider().catalog;
+    let plan = Arc::new(FaultPlan::none(7));
+    assert!(plan.is_empty());
+    let wire_plan = Arc::clone(&plan);
+    serve(
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        }
+        .with_faults(wire_plan),
+        move |account| {
+            Box::new(FaultyBackend::new(
+                Emulator::new(catalog.clone()),
+                Arc::clone(&plan),
+                account,
+            )) as Box<dyn Backend + Send>
+        },
     )
     .expect("bind ephemeral port")
 }
@@ -45,6 +71,42 @@ fn e2_scenario_remote_equals_in_process_byte_for_byte() {
             i, r.call.api
         );
     }
+    handle.shutdown();
+}
+
+/// Passthrough proof (the zero-fault contract): the byte-identical E2
+/// check still holds with the whole fault apparatus installed — wire
+/// hooks armed with an empty plan, every backend behind `FaultyBackend` —
+/// because an empty plan decides `None` at every fault point.
+#[test]
+fn e2_scenario_byte_identical_through_empty_fault_plan() {
+    let handle = start_passthrough_faulted_server(2);
+    let mut remote = RemoteClient::connect(handle.addr(), "e2e").unwrap();
+    let mut local = Emulator::new(nimbus_provider().catalog);
+
+    let program = basic_functionality();
+    let remote_run = run_program(&program, &mut remote);
+    let local_run = run_program(&program, &mut local);
+
+    assert!(remote_run.all_ok(), "{:?}", remote_run.error_codes());
+    assert!(local_run.all_ok(), "{:?}", local_run.error_codes());
+    assert_eq!(remote_run.steps.len(), local_run.steps.len());
+    for (i, (r, l)) in remote_run.steps.iter().zip(&local_run.steps).enumerate() {
+        let remote_json = serde_json::to_string(&r.response).unwrap();
+        let local_json = serde_json::to_string(&l.response).unwrap();
+        assert_eq!(
+            remote_json, local_json,
+            "step {} ({}) diverged through the empty-plan FaultyBackend",
+            i, r.call.api
+        );
+    }
+    // The server-side store is reachable and identical to a local replay's.
+    let store = handle.router().snapshot("e2e").expect("emulator store");
+    assert_eq!(
+        store_digest(&store),
+        store_digest(&local.snapshot().unwrap()),
+        "final stores diverged through the empty-plan FaultyBackend"
+    );
     handle.shutdown();
 }
 
@@ -111,8 +173,13 @@ fn sixteen_threads_over_eight_accounts_no_interference() {
         let barrier = Arc::clone(&barrier);
         threads.push(std::thread::spawn(move || {
             let account = format!("acct-{}", t % 8);
-            let mut client = RemoteClient::connect(addr, account.clone()).unwrap();
+            // Rendezvous BEFORE connecting: a client that handshakes and
+            // then parks at a barrier pins a server worker with its idle
+            // keep-alive connection, and with more clients than workers
+            // the late handshakes starve until they time out. Connecting
+            // after the barrier lets early finishers release workers.
             barrier.wait();
+            let mut client = RemoteClient::connect(addr, account.clone()).unwrap();
             let run = run_program(&basic_functionality(), &mut client);
             (account, run)
         }));
