@@ -216,18 +216,19 @@ mod tests {
     #[test]
     fn fuzzing_finds_fewer_divergences_than_symbolic_per_budget() {
         use crate::diff::run_suite;
-        use crate::tracegen::{generate_suite, ProbeKind, TestCase};
+        use crate::tracegen::{generate_suite, subsample_suite, ProbeKind, TestCase};
         use lce_baselines::d2c_emulator;
         use std::collections::BTreeSet;
 
         let provider = lce_cloud::nimbus_provider();
         let budget = 120;
 
-        // Symbolic suite, subsampled evenly to the budget (the full suite
-        // is ordered by machine; taking a prefix would bias coverage).
+        // Symbolic suite, subsampled round-robin by machine to the budget
+        // (the full suite is ordered by machine; a prefix or stride sample
+        // would bias coverage toward early machines and can drop late
+        // machines entirely).
         let (cases, _) = generate_suite(&provider.catalog, 16);
-        let stride = (cases.len() / budget).max(1);
-        let symbolic: Vec<TestCase> = cases.into_iter().step_by(stride).take(budget).collect();
+        let symbolic = subsample_suite(cases, budget);
 
         // Random corpus of the same size, wrapped as cases.
         let corpus = fuzz_corpus(&provider.catalog, &FuzzConfig::default(), 3, budget);

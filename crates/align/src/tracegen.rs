@@ -220,6 +220,39 @@ pub fn generate_suite(
     (cases, stats)
 }
 
+/// Subsample a suite down to `budget` cases, round-robin by state machine.
+///
+/// [`generate_suite`] emits cases machine-by-machine, so any prefix- or
+/// stride-based subsample is biased toward whichever machines the catalog
+/// iterates first and can drop later machines entirely. Taking one case
+/// per machine per round keeps every machine represented and preserves the
+/// within-machine planning order (create probes before sweeps before pair
+/// probes), which is the order the planner ranks them by expected yield.
+pub fn subsample_suite(cases: Vec<TestCase>, budget: usize) -> Vec<TestCase> {
+    use std::collections::{BTreeMap, VecDeque};
+    let mut by_sm: BTreeMap<String, VecDeque<TestCase>> = BTreeMap::new();
+    for c in cases {
+        by_sm.entry(c.sm.to_string()).or_default().push_back(c);
+    }
+    let mut out = Vec::new();
+    while out.len() < budget {
+        let mut any = false;
+        for q in by_sm.values_mut() {
+            if out.len() >= budget {
+                break;
+            }
+            if let Some(c) = q.pop_front() {
+                out.push(c);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    out
+}
+
 /// Plan one symbolic test case.
 pub fn plan_test(
     catalog: &Catalog,
@@ -963,6 +996,32 @@ mod tests {
         // Every machine appears.
         let probed: BTreeSet<&SmName> = cases.iter().map(|c| &c.sm).collect();
         assert_eq!(probed.len(), c.len(), "all machines probed");
+    }
+
+    #[test]
+    fn subsample_keeps_every_machine_represented() {
+        let c = catalog();
+        let (cases, _) = generate_suite(&c, 16);
+        let machines: BTreeSet<&SmName> = cases.iter().map(|c| &c.sm).collect();
+        let budget = 120;
+        assert!(cases.len() > budget);
+        let sampled = subsample_suite(cases.clone(), budget);
+        assert_eq!(sampled.len(), budget);
+        // Every machine survives the subsample (a stride sample drops
+        // machines late in catalog order — the bias this helper fixes).
+        let kept: BTreeSet<&SmName> = sampled.iter().map(|c| &c.sm).collect();
+        assert_eq!(kept.len(), machines.len(), "all machines kept");
+        // Deterministic: same input, same output.
+        let again = subsample_suite(cases, budget);
+        let key = |cs: &[TestCase]| {
+            cs.iter()
+                .map(|c| (c.sm.to_string(), c.class.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&sampled), key(&again));
+        // Budget larger than the suite returns everything.
+        let tiny = subsample_suite(sampled.clone(), budget * 10);
+        assert_eq!(tiny.len(), budget);
     }
 
     #[test]

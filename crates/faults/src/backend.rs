@@ -27,6 +27,12 @@ pub fn retryable_codes() -> Vec<String> {
     ]
 }
 
+/// A callback invoked with every fault a [`FaultyBackend`] injects —
+/// the seam the observability layer hooks without this crate depending
+/// on it. Called synchronously from `invoke`, so implementations must be
+/// cheap and must not call back into the backend.
+pub type FaultListener = Arc<dyn Fn(&BackendFault) + Send + Sync>;
+
 /// A [`Backend`] wrapper injecting the backend-level faults of a
 /// [`FaultPlan`], scoped to one key (normally the account id).
 ///
@@ -41,6 +47,7 @@ pub struct FaultyBackend<B: Backend> {
     seq: AtomicU64,
     sleeper: SleepFn,
     injected: AtomicU64,
+    listener: Option<FaultListener>,
 }
 
 impl<B: Backend> FaultyBackend<B> {
@@ -53,6 +60,7 @@ impl<B: Backend> FaultyBackend<B> {
             seq: AtomicU64::new(0),
             sleeper: real_sleep(),
             injected: AtomicU64::new(0),
+            listener: None,
         }
     }
 
@@ -60,6 +68,13 @@ impl<B: Backend> FaultyBackend<B> {
     /// or counting sleeper so they never wall-sleep).
     pub fn with_sleeper(mut self, sleeper: SleepFn) -> Self {
         self.sleeper = sleeper;
+        self
+    }
+
+    /// Install a listener called with every injected fault, after the
+    /// internal injected-count bump and before the fault takes effect.
+    pub fn with_fault_listener(mut self, listener: FaultListener) -> Self {
+        self.listener = Some(listener);
         self
     }
 
@@ -81,23 +96,23 @@ impl<B: Backend> Backend for FaultyBackend<B> {
 
     fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        match self.plan.decide_invoke(&self.scope, &call.api, seq) {
-            Some(BackendFault::TransientError) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                ApiResponse::err(ApiError::new(
-                    INJECTED_INTERNAL_ERROR,
-                    "injected transient internal error",
-                ))
+        let decision = self.plan.decide_invoke(&self.scope, &call.api, seq);
+        if let Some(fault) = &decision {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            if let Some(listener) = &self.listener {
+                listener(fault);
             }
-            Some(BackendFault::Throttle) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                ApiResponse::err(ApiError::new(
-                    INJECTED_THROTTLE,
-                    "injected throttle: rate exceeded",
-                ))
-            }
+        }
+        match decision {
+            Some(BackendFault::TransientError) => ApiResponse::err(ApiError::new(
+                INJECTED_INTERNAL_ERROR,
+                "injected transient internal error",
+            )),
+            Some(BackendFault::Throttle) => ApiResponse::err(ApiError::new(
+                INJECTED_THROTTLE,
+                "injected throttle: rate exceeded",
+            )),
             Some(BackendFault::Latency(d)) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
                 (self.sleeper)(d);
                 self.inner.invoke(call)
             }
@@ -229,6 +244,27 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn listener_sees_every_injected_fault_and_only_those() {
+        use std::sync::Mutex;
+        let plan = Arc::new(FaultPlan::standard(13));
+        let seen: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let (sleeper, _) = counting_sleep();
+        let mut fb = FaultyBackend::new(Probe { calls: 0 }, Arc::clone(&plan), "acct")
+            .with_sleeper(sleeper)
+            .with_fault_listener(Arc::new(move |f| seen2.lock().unwrap().push(f.kind())));
+        let expected: Vec<&'static str> = (0..300)
+            .filter_map(|seq| plan.decide_invoke("acct", "Ping", seq).map(|f| f.kind()))
+            .collect();
+        for _ in 0..300 {
+            fb.invoke(&call());
+        }
+        assert!(!expected.is_empty(), "standard plan must fire in 300 calls");
+        assert_eq!(*seen.lock().unwrap(), expected);
+        assert_eq!(fb.injected_count(), expected.len() as u64);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod fingerprint;
 pub mod plan;
 pub mod rng;
 
-pub use backend::{retryable_codes, FaultyBackend, INJECTED_INTERNAL_ERROR, INJECTED_THROTTLE};
+pub use backend::{
+    retryable_codes, FaultListener, FaultyBackend, INJECTED_INTERNAL_ERROR, INJECTED_THROTTLE,
+};
 pub use backoff::{counting_sleep, no_sleep, real_sleep, Backoff, RetryPolicy, SleepFn};
 pub use fingerprint::store_digest;
 pub use plan::{BackendFault, BackendFaults, FaultPlan, WireFault, WireFaults, WriteFaultScope};

@@ -33,6 +33,18 @@ pub enum BackendFault {
     Latency(Duration),
 }
 
+impl BackendFault {
+    /// A stable label for the fault kind, used as the `kind` label of the
+    /// observability layer's `lce_faults_injected_total` counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BackendFault::TransientError => "transient-error",
+            BackendFault::Throttle => "throttle",
+            BackendFault::Latency(_) => "latency",
+        }
+    }
+}
+
 /// A wire-level fault at one of the server's accept/read/write points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireFault {
@@ -40,6 +52,17 @@ pub enum WireFault {
     Reset,
     /// Write a prefix of the response, then drop the connection.
     Truncate,
+}
+
+impl WireFault {
+    /// A stable label for the fault kind (`kind` label of
+    /// `lce_wire_faults_total`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireFault::Reset => "reset",
+            WireFault::Truncate => "truncate",
+        }
+    }
 }
 
 /// Which requests are eligible for *write*-point faults. Write faults drop
@@ -185,13 +208,29 @@ impl FaultPlan {
         }
     }
 
+    /// The standard backend-fault rates with **no wire faults**. Wire
+    /// faults key on accept-order connection ids, which are racy across
+    /// interleavings; backend faults key on each account's invocation
+    /// sequence, which is deterministic whenever one client drives each
+    /// account. This preset is therefore the one whose schedule-class
+    /// metrics are byte-identical across repeat runs and thread counts —
+    /// the plan the metrics-determinism tests and the CI `obs` job use.
+    pub fn backend_only(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            backend: FaultPlan::standard(seed).backend,
+            wire: WireFaults::none(),
+        }
+    }
+
     /// Look up a plan preset by name (`none`, `standard`/`default`,
-    /// `aggressive`).
+    /// `aggressive`, `backend-only`).
     pub fn named(name: &str, seed: u64) -> Option<Self> {
         match name {
             "none" | "empty" => Some(FaultPlan::none(seed)),
             "standard" | "default" => Some(FaultPlan::standard(seed)),
             "aggressive" | "heavy" => Some(FaultPlan::aggressive(seed)),
+            "backend-only" | "backend" => Some(FaultPlan::backend_only(seed)),
             _ => None,
         }
     }
@@ -210,6 +249,17 @@ impl FaultPlan {
             && self.wire.read_reset_per_mille == 0
             && self.wire.write_truncate_per_mille == 0
             && self.wire.write_reset_per_mille == 0
+    }
+
+    /// `true` if any wire-level rate is nonzero. Wire faults key on racy
+    /// accept-order connection ids, so a plan with wire faults cannot
+    /// promise schedule-deterministic metrics (see
+    /// [`FaultPlan::backend_only`]).
+    pub fn has_wire_faults(&self) -> bool {
+        self.wire.accept_reset_per_mille > 0
+            || self.wire.read_reset_per_mille > 0
+            || self.wire.write_truncate_per_mille > 0
+            || self.wire.write_reset_per_mille > 0
     }
 
     /// A stable, single-line description of the plan — safe to embed in
@@ -392,7 +442,43 @@ mod tests {
         assert!(FaultPlan::named("none", 1).unwrap().is_empty());
         assert_eq!(FaultPlan::named("default", 1), Some(FaultPlan::standard(1)));
         assert_eq!(FaultPlan::named("heavy", 1), Some(FaultPlan::aggressive(1)));
+        assert_eq!(
+            FaultPlan::named("backend-only", 1),
+            Some(FaultPlan::backend_only(1))
+        );
         assert_eq!(FaultPlan::named("bogus", 1), None);
+    }
+
+    #[test]
+    fn backend_only_fires_no_wire_faults_but_matches_standard_backend() {
+        let p = FaultPlan::backend_only(7);
+        assert!(!p.is_empty());
+        assert_eq!(p.backend, FaultPlan::standard(7).backend);
+        for conn in 0..500 {
+            assert_eq!(p.decide_accept(conn), None);
+            assert_eq!(p.decide_read(conn, 0), None);
+            assert_eq!(p.decide_write(conn, 0, true), None);
+        }
+        // Same seed ⇒ the backend schedule is identical to standard's.
+        let std = FaultPlan::standard(7);
+        for seq in 0..200 {
+            assert_eq!(
+                p.decide_invoke("a", "CreateVpc", seq),
+                std.decide_invoke("a", "CreateVpc", seq)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_kind_labels_are_stable() {
+        assert_eq!(BackendFault::TransientError.kind(), "transient-error");
+        assert_eq!(BackendFault::Throttle.kind(), "throttle");
+        assert_eq!(
+            BackendFault::Latency(Duration::from_millis(1)).kind(),
+            "latency"
+        );
+        assert_eq!(WireFault::Reset.kind(), "reset");
+        assert_eq!(WireFault::Truncate.kind(), "truncate");
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! [`ObservedBackend`]: a [`Backend`] wrapper tallying per-API call
+//! counts, error classes and invoke latency into an account registry and
+//! the global registry simultaneously.
+//!
+//! The wrapper is pure observation: it never alters the call, the
+//! response or the delegation order, so wrapping is behaviour-preserving
+//! by construction (pinned by the serving passthrough test). Counter
+//! handles are cached per API inside the wrapper — `invoke` takes
+//! `&mut self`, so the cache needs no lock — and increments are
+//! lock-free.
+
+use crate::hist::Histogram;
+use crate::hub::{API_CALLS_HELP, API_ERRORS_HELP, INVOKE_LATENCY_HELP};
+use crate::registry::{Class, Registry};
+use crate::Counter;
+use lce_emulator::{ApiCall, ApiResponse, Backend, ResourceStore};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Metric name: per-API invocation counter.
+pub const API_CALLS: &str = "lce_api_calls_total";
+/// Metric name: per-API, per-error-code counter.
+pub const API_ERRORS: &str = "lce_api_errors_total";
+/// Metric name: invoke latency histogram (microseconds).
+pub const INVOKE_LATENCY: &str = "lce_backend_invoke_latency_us";
+
+/// A [`Backend`] wrapper that instruments every `invoke`.
+pub struct ObservedBackend<B: Backend> {
+    inner: B,
+    global: Arc<Registry>,
+    account: Arc<Registry>,
+    latency: [Arc<Histogram>; 2],
+    calls: BTreeMap<String, [Arc<Counter>; 2]>,
+    errors: BTreeMap<(String, String), [Arc<Counter>; 2]>,
+}
+
+impl<B: Backend> ObservedBackend<B> {
+    /// Wrap `inner`, writing to both `global` and the per-`account`
+    /// registry (normally obtained via
+    /// [`ObsHub::observe_backend`](crate::ObsHub::observe_backend)).
+    pub fn new(inner: B, global: Arc<Registry>, account: Arc<Registry>) -> Self {
+        let latency = [
+            global.histogram(INVOKE_LATENCY, INVOKE_LATENCY_HELP, Class::Timing, &[]),
+            account.histogram(INVOKE_LATENCY, INVOKE_LATENCY_HELP, Class::Timing, &[]),
+        ];
+        ObservedBackend {
+            inner,
+            global,
+            account,
+            latency,
+            calls: BTreeMap::new(),
+            errors: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn call_counters(&mut self, api: &str) -> &[Arc<Counter>; 2] {
+        if !self.calls.contains_key(api) {
+            let handles = [
+                self.global
+                    .counter(API_CALLS, API_CALLS_HELP, Class::Schedule, &[("api", api)]),
+                self.account
+                    .counter(API_CALLS, API_CALLS_HELP, Class::Schedule, &[("api", api)]),
+            ];
+            self.calls.insert(api.to_string(), handles);
+        }
+        &self.calls[api]
+    }
+
+    fn error_counters(&mut self, api: &str, code: &str) -> &[Arc<Counter>; 2] {
+        let key = (api.to_string(), code.to_string());
+        if !self.errors.contains_key(&key) {
+            let labels = [("api", api), ("code", code)];
+            let handles = [
+                self.global
+                    .counter(API_ERRORS, API_ERRORS_HELP, Class::Schedule, &labels),
+                self.account
+                    .counter(API_ERRORS, API_ERRORS_HELP, Class::Schedule, &labels),
+            ];
+            self.errors.insert(key.clone(), handles);
+        }
+        &self.errors[&key]
+    }
+}
+
+impl<B: Backend> Backend for ObservedBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        let start = Instant::now();
+        let resp = self.inner.invoke(call);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        for c in self.call_counters(&call.api) {
+            c.inc();
+        }
+        if let Some(code) = resp.error_code() {
+            let code = code.to_string();
+            for c in self.error_counters(&call.api, &code) {
+                c.inc();
+            }
+        }
+        for h in &self.latency {
+            h.observe(elapsed_us);
+        }
+        resp
+    }
+
+    fn reset(&mut self) {
+        // Metrics are monotonic run evidence; a workload `_reset` clears
+        // the store, not the tallies.
+        self.inner.reset();
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.inner.api_names()
+    }
+
+    fn supports(&self, api: &str) -> bool {
+        self.inner.supports(api)
+    }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        self.inner.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::ApiError;
+
+    struct Flaky {
+        calls: u64,
+    }
+
+    impl Backend for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+            self.calls += 1;
+            if call.api == "Fail" {
+                ApiResponse::err(ApiError::new("Boom", "requested"))
+            } else {
+                ApiResponse::ok(BTreeMap::new())
+            }
+        }
+        fn reset(&mut self) {
+            self.calls = 0;
+        }
+        fn api_names(&self) -> Vec<String> {
+            vec!["Ok".into(), "Fail".into()]
+        }
+    }
+
+    #[test]
+    fn tallies_calls_and_error_classes_in_both_registries() {
+        let global = Arc::new(Registry::new());
+        let account = Arc::new(Registry::new());
+        let mut b = ObservedBackend::new(
+            Flaky { calls: 0 },
+            Arc::clone(&global),
+            Arc::clone(&account),
+        );
+        for _ in 0..3 {
+            assert!(b.invoke(&ApiCall::new("Ok")).is_ok());
+        }
+        assert!(!b.invoke(&ApiCall::new("Fail")).is_ok());
+        for r in [&global, &account] {
+            assert_eq!(r.counter_value(API_CALLS, &[("api", "Ok")]), Some(3));
+            assert_eq!(r.counter_value(API_CALLS, &[("api", "Fail")]), Some(1));
+            assert_eq!(
+                r.counter_value(API_ERRORS, &[("api", "Fail"), ("code", "Boom")]),
+                Some(1)
+            );
+            assert_eq!(
+                r.counter_value(API_ERRORS, &[("api", "Ok"), ("code", "Boom")]),
+                None
+            );
+        }
+        assert_eq!(b.inner().calls, 4, "delegation untouched");
+    }
+
+    #[test]
+    fn passthrough_surface_is_untouched() {
+        let global = Arc::new(Registry::new());
+        let account = Arc::new(Registry::new());
+        let mut b = ObservedBackend::new(Flaky { calls: 0 }, global, account);
+        assert_eq!(b.name(), "flaky");
+        assert!(b.supports("Ok"));
+        assert_eq!(b.api_names().len(), 2);
+        assert!(b.snapshot().is_none());
+        b.invoke(&ApiCall::new("Ok"));
+        b.reset();
+        assert_eq!(b.inner().calls, 0, "reset reaches inner");
+    }
+}

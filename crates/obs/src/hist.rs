@@ -1,0 +1,210 @@
+//! Fixed-bucket latency histograms, sharded like [`Counter`]s.
+//!
+//! Bucket bounds are a fixed microsecond ladder shared by every latency
+//! metric, so histograms from different shards, accounts or runs are
+//! always merge-compatible. Observation is lock-free: one relaxed
+//! `fetch_add` on the bucket, the count and the sum of the calling
+//! thread's shard.
+
+use crate::counter::{my_shard, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared bucket upper bounds, in microseconds. An implicit overflow
+/// bucket (`+Inf`) follows the last bound.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000,
+];
+
+/// One shard: per-bucket counts (including the overflow slot), the
+/// observation count and the value sum.
+struct Shard {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: (0..=LATENCY_BOUNDS_US.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A sharded fixed-bucket histogram over microsecond values.
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The bucket index for a value: the first bound ≥ the value, or the
+    /// overflow slot.
+    fn bucket_of(value_us: u64) -> usize {
+        LATENCY_BOUNDS_US
+            .iter()
+            .position(|b| value_us <= *b)
+            .unwrap_or(LATENCY_BOUNDS_US.len())
+    }
+
+    /// Record one observation on the calling thread's shard (lock-free).
+    pub fn observe(&self, value_us: u64) {
+        self.observe_in_shard(my_shard(), value_us);
+    }
+
+    /// Record one observation on an explicit shard — used by tests
+    /// proving shard interleaving does not change the snapshot.
+    pub fn observe_in_shard(&self, shard: usize, value_us: u64) {
+        let s = &self.shards[shard % SHARDS];
+        s.buckets[Self::bucket_of(value_us)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    /// Sum the shards into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = vec![0u64; LATENCY_BOUNDS_US.len() + 1];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for s in &self.shards {
+            for (out, b) in buckets.iter_mut().zip(&s.buckets) {
+                *out += b.load(Ordering::Relaxed);
+            }
+            count += s.count.load(Ordering::Relaxed);
+            sum += s.sum.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count,
+            sum,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+/// A merged view of a histogram: per-bucket (non-cumulative) counts with
+/// the overflow slot last, plus the observation count and value sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, `LATENCY_BOUNDS_US.len() + 1` entries (the last
+    /// is the `+Inf` overflow slot).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (microseconds).
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; LATENCY_BOUNDS_US.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Merge two snapshots bucket-wise. Commutative and associative, so
+    /// any shard or account merge order gives the same result.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+
+    /// Expand the buckets into representative samples (each bucket's
+    /// upper bound, repeated by its count; the overflow bucket uses twice
+    /// the last bound) — the shape [`lce-metrics`'s `Cdf`] consumes for
+    /// percentile reporting.
+    pub fn representative_samples(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for (i, n) in self.buckets.iter().enumerate() {
+            let bound = LATENCY_BOUNDS_US
+                .get(i)
+                .copied()
+                .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2);
+            for _ in 0..*n {
+                out.push(bound as usize);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_values() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(10);
+        h.observe(11);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 2, "0 and 10 land in the first bucket");
+        assert_eq!(snap.buckets[1], 1, "11 lands in the 25us bucket");
+        assert_eq!(*snap.buckets.last().unwrap(), 1, "overflow slot");
+        assert_eq!(snap.count, snap.buckets.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Histogram::new();
+        a.observe(5);
+        a.observe(600);
+        let b = Histogram::new();
+        b.observe(5);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        assert_eq!(sa.merge(&sb).count, 3);
+        assert_eq!(sa.merge(&sb).sum, 610);
+    }
+
+    #[test]
+    fn representative_samples_match_counts() {
+        let h = Histogram::new();
+        for v in [1, 1, 30, 10_000_000] {
+            h.observe(v);
+        }
+        let samples = h.snapshot().representative_samples();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.iter().filter(|s| **s == 10).count(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! [`ObsHub`]: the shared observability handle — one global registry,
+//! one registry per account, a trace buffer, and adapters that plug the
+//! hub into backends ([`ObsHub::observe_backend`]) and fault injection
+//! ([`ObsHub::fault_listener`]).
+
+use crate::backend::ObservedBackend;
+use crate::registry::{Class, Registry, RenderMode};
+use crate::trace::TraceBuf;
+use lce_emulator::Backend;
+use lce_faults::{BackendFault, FaultListener};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Metric name: injected-fault counter, labeled by fault `kind`.
+pub const FAULTS_INJECTED: &str = "lce_faults_injected_total";
+/// Metric name: dispatched HTTP request counter, labeled `route`/`status`.
+pub const HTTP_REQUESTS: &str = "lce_http_requests_total";
+/// Metric name: wire-fault counter, labeled `point`/`kind`.
+pub const WIRE_FAULTS: &str = "lce_wire_faults_total";
+/// Metric name: connection lifecycle counter, labeled `event`.
+pub const CONNECTIONS: &str = "lce_connections_total";
+/// Metric name: request phase latency histogram, labeled `phase`.
+pub const PHASE_LATENCY: &str = "lce_request_phase_latency_us";
+
+pub(crate) const API_CALLS_HELP: &str = "Backend invocations by API.";
+pub(crate) const API_ERRORS_HELP: &str = "Backend error responses by API and error code.";
+pub(crate) const INVOKE_LATENCY_HELP: &str = "Backend invoke latency in microseconds.";
+/// Help text for [`FAULTS_INJECTED`].
+pub const FAULTS_INJECTED_HELP: &str = "Faults injected by the seeded fault plan, by kind.";
+/// Help text for [`HTTP_REQUESTS`].
+pub const HTTP_REQUESTS_HELP: &str = "Dispatched HTTP requests by route class and status.";
+/// Help text for [`WIRE_FAULTS`].
+pub const WIRE_FAULTS_HELP: &str = "Injected wire faults by fault point and kind.";
+/// Help text for [`CONNECTIONS`].
+pub const CONNECTIONS_HELP: &str = "Connection lifecycle events (accepted, reused, drained).";
+/// Help text for [`PHASE_LATENCY`].
+pub const PHASE_LATENCY_HELP: &str = "Request lifecycle phase latency in microseconds.";
+
+/// The shared observability hub (see module docs). Cheap to share via
+/// `Arc`; every write path is lock-free after first registration.
+pub struct ObsHub {
+    global: Arc<Registry>,
+    accounts: Mutex<BTreeMap<String, Arc<Registry>>>,
+    trace: TraceBuf,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new()
+    }
+}
+
+impl ObsHub {
+    /// A fresh hub with an empty global registry and no accounts.
+    pub fn new() -> Self {
+        ObsHub {
+            global: Arc::new(Registry::new()),
+            accounts: Mutex::new(BTreeMap::new()),
+            trace: TraceBuf::new(4096),
+        }
+    }
+
+    /// The global registry (server lifecycle + cross-account totals).
+    pub fn global(&self) -> &Arc<Registry> {
+        &self.global
+    }
+
+    /// The account's registry, created on first use.
+    pub fn account(&self, id: &str) -> Arc<Registry> {
+        Arc::clone(
+            self.accounts
+                .lock()
+                .entry(id.to_string())
+                .or_insert_with(|| Arc::new(Registry::new())),
+        )
+    }
+
+    /// Accounts with a registry, sorted.
+    pub fn account_ids(&self) -> Vec<String> {
+        self.accounts.lock().keys().cloned().collect()
+    }
+
+    /// `true` if the account has a registry (no creation).
+    pub fn has_account(&self, id: &str) -> bool {
+        self.accounts.lock().contains_key(id)
+    }
+
+    /// The trace event buffer.
+    pub fn trace(&self) -> &TraceBuf {
+        &self.trace
+    }
+
+    /// Render the global registry as Prometheus text.
+    pub fn render_global(&self, mode: RenderMode) -> String {
+        self.global.render(mode)
+    }
+
+    /// Render one account's registry, or `None` if the account has no
+    /// registry yet (rendering never materializes an account).
+    pub fn render_account(&self, id: &str, mode: RenderMode) -> Option<String> {
+        let registry = Arc::clone(self.accounts.lock().get(id)?);
+        Some(registry.render(mode))
+    }
+
+    /// Wrap a backend so its invocations are tallied under `account` (and
+    /// in the global registry).
+    pub fn observe_backend<B: Backend>(&self, inner: B, account: &str) -> ObservedBackend<B> {
+        ObservedBackend::new(inner, Arc::clone(&self.global), self.account(account))
+    }
+
+    /// A [`FaultListener`] for
+    /// [`FaultyBackend::with_fault_listener`](lce_faults::FaultyBackend::with_fault_listener):
+    /// every injected fault bumps `lce_faults_injected_total{kind=…}` in
+    /// both the global and the account registry.
+    pub fn fault_listener(self: &Arc<Self>, account: &str) -> FaultListener {
+        let registry = self.account(account);
+        let global = Arc::clone(&self.global);
+        Arc::new(move |fault: &BackendFault| {
+            let kind = fault.kind();
+            for r in [&global, &registry] {
+                r.counter(
+                    FAULTS_INJECTED,
+                    FAULTS_INJECTED_HELP,
+                    Class::Schedule,
+                    &[("kind", kind)],
+                )
+                .inc();
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("accounts", &self.accounts.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::{ApiCall, ApiResponse};
+    use lce_faults::{FaultPlan, FaultyBackend};
+
+    struct Nop;
+    impl Backend for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn invoke(&mut self, _call: &ApiCall) -> ApiResponse {
+            ApiResponse::ok(Default::default())
+        }
+        fn reset(&mut self) {}
+        fn api_names(&self) -> Vec<String> {
+            vec!["Ping".into()]
+        }
+    }
+
+    #[test]
+    fn account_registries_are_isolated() {
+        let hub = Arc::new(ObsHub::new());
+        let mut a = hub.observe_backend(Nop, "a");
+        let mut b = hub.observe_backend(Nop, "b");
+        a.invoke(&ApiCall::new("Ping"));
+        a.invoke(&ApiCall::new("Ping"));
+        b.invoke(&ApiCall::new("Ping"));
+        let calls = |acct: &str| {
+            hub.account(acct)
+                .counter_value(crate::backend::API_CALLS, &[("api", "Ping")])
+        };
+        assert_eq!(calls("a"), Some(2));
+        assert_eq!(calls("b"), Some(1));
+        assert_eq!(
+            hub.global()
+                .counter_value(crate::backend::API_CALLS, &[("api", "Ping")]),
+            Some(3),
+            "global aggregates every account"
+        );
+        assert_eq!(hub.account_ids(), vec!["a".to_string(), "b".to_string()]);
+        assert!(hub.render_account("ghost", RenderMode::Full).is_none());
+        assert!(!hub.has_account("ghost"));
+    }
+
+    #[test]
+    fn fault_listener_counts_exactly_the_injected_schedule() {
+        let hub = Arc::new(ObsHub::new());
+        let mut plan = FaultPlan::none(11);
+        plan.backend.error_per_mille = 300;
+        plan.backend.throttle_per_mille = 200;
+        let plan = Arc::new(plan);
+        let mut fb = FaultyBackend::new(Nop, Arc::clone(&plan), "acct")
+            .with_fault_listener(hub.fault_listener("acct"));
+        // Replay the schedule independently to get the oracle counts.
+        let mut expected: BTreeMap<&str, u64> = BTreeMap::new();
+        for seq in 0..400u64 {
+            fb.invoke(&ApiCall::new("Ping"));
+            if let Some(fault) = plan.decide_invoke("acct", "Ping", seq) {
+                *expected.entry(fault.kind()).or_insert(0) += 1;
+            }
+        }
+        assert!(expected.values().sum::<u64>() > 0, "plan must fire");
+        for (kind, n) in expected {
+            assert_eq!(
+                hub.global()
+                    .counter_value(FAULTS_INJECTED, &[("kind", kind)]),
+                Some(n),
+                "kind {}",
+                kind
+            );
+            assert_eq!(
+                hub.account("acct")
+                    .counter_value(FAULTS_INJECTED, &[("kind", kind)]),
+                Some(n)
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # lce-obs: lock-free, shard-per-thread observability
+//!
+//! Production emulators are judged on measured behaviour — latency,
+//! throughput, error and fault tallies — not just pass/fail oracles. This
+//! crate gives the serving stack that evidence without giving up the
+//! repo's signature property: under a seeded
+//! [`FaultPlan`](lce_faults::FaultPlan) every schedule-class metric is
+//! *exactly* predictable, and with observability disabled the server stays
+//! byte-identical to uninstrumented behaviour.
+//!
+//! Pieces:
+//!
+//! * [`Counter`] / [`Histogram`] — monotonic counters and fixed-bucket
+//!   latency histograms, sharded per thread: increments touch one
+//!   cache-line-aligned atomic shard (no locks, no contention), reads sum
+//!   the shards ([`counter`], [`hist`]).
+//! * [`Registry`] — named metric families with labels and a
+//!   [`Class`] taxonomy separating schedule-deterministic counters from
+//!   best-effort and timing data; renders deterministic, sorted
+//!   Prometheus text ([`registry`]).
+//! * [`prom`] — the text renderer plus a minimal parser
+//!   ([`parse_text`]) used by round-trip tests and the `lce metrics` CLI.
+//! * [`TraceBuf`] — a bounded buffer of structured trace events
+//!   ([`trace`]).
+//! * [`ObservedBackend`] — wraps any
+//!   [`Backend`](lce_emulator::Backend), tallying per-API calls, error
+//!   classes and invoke latency ([`backend`]).
+//! * [`ObsHub`] — one global registry plus per-account registries, the
+//!   handle the server, the chaos harness and the fault-injection
+//!   listener all share ([`hub`]).
+
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod counter;
+pub mod hist;
+pub mod hub;
+pub mod prom;
+pub mod registry;
+pub mod trace;
+
+pub use backend::{ObservedBackend, API_CALLS, API_ERRORS, INVOKE_LATENCY};
+pub use counter::{Counter, SHARDS};
+pub use hist::{HistSnapshot, Histogram, LATENCY_BOUNDS_US};
+pub use hub::{ObsHub, CONNECTIONS, FAULTS_INJECTED, HTTP_REQUESTS, PHASE_LATENCY, WIRE_FAULTS};
+pub use prom::{parse_histograms, parse_text, ParsedHistogram, ParsedMetrics};
+pub use registry::{Class, Registry, RenderMode};
+pub use trace::{TraceBuf, TraceEvent};

@@ -1,0 +1,364 @@
+//! Prometheus exposition-format text: rendering helpers used by
+//! [`Registry`](crate::Registry) and a minimal parser used by round-trip
+//! tests, the chaos scrape/schedule equality check and the `lce metrics`
+//! CLI.
+//!
+//! The parser handles exactly what the renderer emits: `# HELP` /
+//! `# TYPE` comments, `name value` and `name{labels} value` samples with
+//! unsigned integer values. It is not a general OpenMetrics parser.
+
+use crate::hist::{HistSnapshot, LATENCY_BOUNDS_US};
+use std::collections::BTreeMap;
+
+/// Canonical label rendering: keys sorted, values escaped, `{}`-wrapped;
+/// the empty label set renders as `""`.
+pub fn label_string(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort();
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Merge extra labels into an already-canonical label string (used to
+/// splice `le` into histogram bucket series).
+fn with_extra_label(labels: &str, key: &str, value: &str) -> String {
+    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+    let mut pairs: Vec<String> = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::to_string).collect()
+    };
+    pairs.push(format!("{}=\"{}\"", key, escape(value)));
+    pairs.sort();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn unescape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Append one counter sample line.
+pub fn render_counter(out: &mut String, name: &str, labels: &str, value: u64) {
+    out.push_str(&format!("{}{} {}\n", name, labels, value));
+}
+
+/// Append one histogram: cumulative `_bucket` series (ending in
+/// `le="+Inf"`), then `_sum` and `_count`.
+pub fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, n) in snap.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = match LATENCY_BOUNDS_US.get(i) {
+            Some(bound) => bound.to_string(),
+            None => "+Inf".to_string(),
+        };
+        let bucket_labels = with_extra_label(labels, "le", &le);
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name, bucket_labels, cumulative
+        ));
+    }
+    out.push_str(&format!("{}_sum{} {}\n", name, labels, snap.sum));
+    out.push_str(&format!("{}_count{} {}\n", name, labels, snap.count));
+}
+
+/// Parsed metrics: every sample line, keyed by `name{labels}` exactly as
+/// rendered, plus the `# TYPE` declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedMetrics {
+    /// `name{labels}` → value for every sample line.
+    pub samples: BTreeMap<String, u64>,
+    /// Family name → declared type (`counter` or `histogram`).
+    pub types: BTreeMap<String, String>,
+}
+
+impl ParsedMetrics {
+    /// Look up one sample by its full rendered series name.
+    pub fn get(&self, series: &str) -> Option<u64> {
+        self.samples.get(series).copied()
+    }
+
+    /// Sum every sample of `name` whose label string contains
+    /// `key="value"` (e.g. all `lce_faults_injected_total` with
+    /// `kind="throttle"` across series).
+    pub fn sum_where(&self, name: &str, key: &str, value: &str) -> u64 {
+        let needle = format!("{}=\"{}\"", key, escape(value));
+        self.samples
+            .iter()
+            .filter(|(series, _)| {
+                series.starts_with(name)
+                    && series[name.len()..].starts_with('{')
+                    && series.contains(&needle)
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Parse Prometheus text produced by [`Registry::render`]
+/// (crate::Registry::render). Returns an error message on any line it
+/// does not understand.
+pub fn parse_text(text: &str) -> Result<ParsedMetrics, String> {
+    let mut parsed = ParsedMetrics::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return Err(format!("malformed TYPE line: `{}`", line));
+            };
+            parsed.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line: `{}`", line))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("non-integer sample value in `{}`", line))?;
+        if let Some(brace) = series.find('{') {
+            if !series.ends_with('}') {
+                return Err(format!("unterminated label set in `{}`", line));
+            }
+            // Validate the label body decodes (keys and quoted values).
+            let body = &series[brace + 1..series.len() - 1];
+            for pair in split_label_pairs(body)? {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label in `{}`", line))?;
+                if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    return Err(format!("malformed label `{}` in `{}`", pair, line));
+                }
+                let _ = unescape(&v[1..v.len() - 1]);
+            }
+        }
+        parsed.samples.insert(series.to_string(), value);
+    }
+    Ok(parsed)
+}
+
+/// Split a label body on commas that are outside quoted values.
+fn split_label_pairs(body: &str) -> Result<Vec<&str>, String> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated quote in label body `{}`", body));
+    }
+    if !body.is_empty() {
+        out.push(&body[start..]);
+    }
+    Ok(out)
+}
+
+/// One histogram family instance reassembled from parsed text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedHistogram {
+    /// Family name (without `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// The series' label string with `le` removed (canonical form).
+    pub labels: String,
+    /// Per-bucket (non-cumulative) counts in bound order, overflow last.
+    pub buckets: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+    /// Value sum (microseconds).
+    pub sum: u64,
+}
+
+impl ParsedHistogram {
+    /// Representative samples for percentile reporting (see
+    /// [`HistSnapshot::representative_samples`]).
+    pub fn representative_samples(&self) -> Vec<usize> {
+        HistSnapshot {
+            buckets: self.buckets.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+        .representative_samples()
+    }
+}
+
+/// Reassemble every histogram in parsed metrics text.
+pub fn parse_histograms(parsed: &ParsedMetrics) -> Vec<ParsedHistogram> {
+    let mut out: BTreeMap<(String, String), ParsedHistogram> = BTreeMap::new();
+    let hist_names: Vec<&String> = parsed
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name)
+        .collect();
+    for (series, value) in &parsed.samples {
+        for name in &hist_names {
+            let Some(rest) = series.strip_prefix(name.as_str()) else {
+                continue;
+            };
+            if let Some(labels) = rest.strip_prefix("_bucket") {
+                let (bare, le) = strip_le(labels);
+                let entry = out
+                    .entry((name.to_string(), bare.clone()))
+                    .or_insert_with(|| empty_hist(name, &bare));
+                let idx = match le.as_str() {
+                    "+Inf" => LATENCY_BOUNDS_US.len(),
+                    bound => LATENCY_BOUNDS_US
+                        .iter()
+                        .position(|b| b.to_string() == bound)
+                        .unwrap_or(LATENCY_BOUNDS_US.len()),
+                };
+                // Stored cumulative; decumulated below.
+                entry.buckets[idx] = *value;
+            } else if let Some(labels) = rest.strip_prefix("_sum") {
+                out.entry((name.to_string(), labels.to_string()))
+                    .or_insert_with(|| empty_hist(name, labels))
+                    .sum = *value;
+            } else if let Some(labels) = rest.strip_prefix("_count") {
+                out.entry((name.to_string(), labels.to_string()))
+                    .or_insert_with(|| empty_hist(name, labels))
+                    .count = *value;
+            }
+        }
+    }
+    let mut hists: Vec<ParsedHistogram> = out.into_values().collect();
+    for h in &mut hists {
+        // Cumulative → per-bucket.
+        for i in (1..h.buckets.len()).rev() {
+            h.buckets[i] = h.buckets[i].saturating_sub(h.buckets[i - 1]);
+        }
+    }
+    hists
+}
+
+fn empty_hist(name: &str, labels: &str) -> ParsedHistogram {
+    ParsedHistogram {
+        name: name.to_string(),
+        labels: labels.to_string(),
+        buckets: vec![0; LATENCY_BOUNDS_US.len() + 1],
+        count: 0,
+        sum: 0,
+    }
+}
+
+/// Remove the `le` label from a bucket label string, returning the bare
+/// label string and the `le` value.
+fn strip_le(labels: &str) -> (String, String) {
+    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+    let mut kept = Vec::new();
+    let mut le = String::new();
+    for pair in split_label_pairs(inner).unwrap_or_default() {
+        if let Some(v) = pair.strip_prefix("le=\"") {
+            le = unescape(v.trim_end_matches('"'));
+        } else {
+            kept.push(pair.to_string());
+        }
+    }
+    let bare = if kept.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", kept.join(","))
+    };
+    (bare, le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Class, Registry, RenderMode};
+
+    #[test]
+    fn label_string_sorts_and_escapes() {
+        assert_eq!(label_string(&[]), "");
+        assert_eq!(
+            label_string(&[("b", "x\"y"), ("a", "1")]),
+            "{a=\"1\",b=\"x\\\"y\"}"
+        );
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let r = Registry::new();
+        r.counter("a_total", "first", Class::Schedule, &[]).add(7);
+        r.counter(
+            "b_total",
+            "second",
+            Class::Schedule,
+            &[("api", "CreateVpc")],
+        )
+        .add(3);
+        let h = r.histogram("lat_us", "latency", Class::Timing, &[("phase", "parse")]);
+        h.observe(12);
+        h.observe(700_000);
+        let text = r.render(RenderMode::Full);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.get("a_total"), Some(7));
+        assert_eq!(parsed.get("b_total{api=\"CreateVpc\"}"), Some(3));
+        assert_eq!(
+            parsed.types.get("lat_us").map(String::as_str),
+            Some("histogram")
+        );
+        let hists = parse_histograms(&parsed);
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].labels, "{phase=\"parse\"}");
+        assert_eq!(hists[0].count, 2);
+        assert_eq!(hists[0].sum, 700_012);
+        assert_eq!(hists[0].buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn sum_where_aggregates_across_series() {
+        let text = "x_total{kind=\"a\",who=\"1\"} 2\nx_total{kind=\"a\",who=\"2\"} 3\nx_total{kind=\"b\"} 9\n";
+        let parsed = parse_text(text).unwrap();
+        assert_eq!(parsed.sum_where("x_total", "kind", "a"), 5);
+        assert_eq!(parsed.sum_where("x_total", "kind", "b"), 9);
+        assert_eq!(parsed.sum_where("x_total", "kind", "zzz"), 0);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_text("name_without_value\n").is_err());
+        assert!(parse_text("x 1.5\n").is_err());
+        assert!(parse_text("x{unterminated 3\n").is_err());
+    }
+}

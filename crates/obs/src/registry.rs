@@ -1,0 +1,235 @@
+//! Named metric families with labels, a determinism taxonomy, and
+//! deterministic Prometheus-text rendering.
+//!
+//! Registration (get-or-create of a family or a labeled series) takes a
+//! short mutex — it happens once per distinct series. Increments go
+//! through the returned [`Counter`]/[`Histogram`] handles and are
+//! lock-free.
+//!
+//! Every family declares a [`Class`]:
+//!
+//! * [`Class::Schedule`] — the value is a pure function of the fault
+//!   plan and each account's invocation sequence. Under a backend-only
+//!   plan with one client per account these are byte-identical across
+//!   runs and thread counts.
+//! * [`Class::BestEffort`] — keyed on racy identities (e.g. wire fault
+//!   points keyed by accept-order connection ids), so totals vary across
+//!   interleavings.
+//! * [`Class::Timing`] — wall-clock measurements; never deterministic.
+//!
+//! [`RenderMode::Deterministic`] renders only `Schedule` families, which
+//! is what the `/_metrics/deterministic` endpoint and the chaos
+//! determinism tests scrape.
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::prom;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Determinism class of a metric family (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Schedule-determined: byte-identical across runs under the
+    /// documented conditions.
+    Schedule,
+    /// Keyed on racy identities; totals vary across interleavings.
+    BestEffort,
+    /// Wall-clock timing data.
+    Timing,
+}
+
+/// Which families a render includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderMode {
+    /// Every family.
+    Full,
+    /// Only [`Class::Schedule`] families.
+    Deterministic,
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: &'static str,
+    class: Class,
+    /// Canonical rendered label string → series.
+    series: BTreeMap<String, Series>,
+}
+
+/// A set of metric families, rendered as sorted Prometheus text.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name{labels}`. `help` and `class` are
+    /// fixed by the first registration of the family.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        class: Class,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let key = prom::label_string(labels);
+        let mut families = self.families.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            class,
+            series: BTreeMap::new(),
+        });
+        match family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Arc::new(Counter::new())))
+        {
+            Series::Counter(c) => Arc::clone(c),
+            Series::Histogram(_) => unreachable!("family `{}` registered as histogram", name),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        class: Class,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let key = prom::label_string(labels);
+        let mut families = self.families.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            class,
+            series: BTreeMap::new(),
+        });
+        match family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Arc::new(Histogram::new())))
+        {
+            Series::Histogram(h) => Arc::clone(h),
+            Series::Counter(_) => unreachable!("family `{}` registered as counter", name),
+        }
+    }
+
+    /// Read one counter series, if it exists (no creation).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = prom::label_string(labels);
+        let families = self.families.lock();
+        match families.get(name)?.series.get(&key)? {
+            Series::Counter(c) => Some(c.get()),
+            Series::Histogram(_) => None,
+        }
+    }
+
+    /// Render as Prometheus text: families sorted by name, series sorted
+    /// by label string — byte-deterministic for identical counter states.
+    pub fn render(&self, mode: RenderMode) -> String {
+        let families = self.families.lock();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            if mode == RenderMode::Deterministic && family.class != Class::Schedule {
+                continue;
+            }
+            let kind = match family.series.values().next() {
+                Some(Series::Histogram(_)) => "histogram",
+                _ => "counter",
+            };
+            out.push_str(&format!("# HELP {} {}\n", name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", name, kind));
+            for (labels, series) in family.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        prom::render_counter(&mut out, name, labels, c.get());
+                    }
+                    Series::Histogram(h) => {
+                        prom::render_histogram(&mut out, name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("families", &self.families.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", Class::Schedule, &[("k", "v")]);
+        let b = r.counter("x_total", "help", Class::Schedule, &[("k", "v")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("x_total", &[("k", "v")]), Some(3));
+        assert_eq!(r.counter_value("x_total", &[("k", "w")]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let r = Registry::new();
+        let a = r.counter("y_total", "h", Class::Schedule, &[("b", "2"), ("a", "1")]);
+        let b = r.counter("y_total", "h", Class::Schedule, &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same series regardless of label order");
+    }
+
+    #[test]
+    fn deterministic_render_drops_non_schedule_families() {
+        let r = Registry::new();
+        r.counter("sched_total", "h", Class::Schedule, &[]).inc();
+        r.counter("racy_total", "h", Class::BestEffort, &[]).inc();
+        r.histogram("lat_us", "h", Class::Timing, &[]).observe(5);
+        let full = r.render(RenderMode::Full);
+        assert!(full.contains("sched_total 1"), "{}", full);
+        assert!(full.contains("racy_total 1"), "{}", full);
+        assert!(full.contains("lat_us_bucket"), "{}", full);
+        let det = r.render(RenderMode::Deterministic);
+        assert!(det.contains("sched_total 1"), "{}", det);
+        assert!(!det.contains("racy_total"), "{}", det);
+        assert!(!det.contains("lat_us"), "{}", det);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter("b_total", "h", Class::Schedule, &[("z", "1")])
+            .inc();
+        r.counter("b_total", "h", Class::Schedule, &[("a", "1")])
+            .inc();
+        r.counter("a_total", "h", Class::Schedule, &[]).inc();
+        let once = r.render(RenderMode::Full);
+        assert_eq!(once, r.render(RenderMode::Full));
+        let a = once.find("a_total").unwrap();
+        let b = once.find("b_total").unwrap();
+        assert!(a < b, "families sorted by name:\n{}", once);
+        assert!(
+            once.find("{a=\"1\"}").unwrap() < once.find("{z=\"1\"}").unwrap(),
+            "series sorted by labels:\n{}",
+            once
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Structured trace events: a bounded, process-wide event buffer for
+//! after-the-fact inspection (`lce serve --metrics` debugging, tests).
+//!
+//! Events carry a monotonically assigned sequence number and no wall
+//! clock — the buffer is evidence of *what* happened in *what order* per
+//! producer, never of when, keeping it out of determinism arguments.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global assignment order (unique per buffer).
+    pub seq: u64,
+    /// Event kind (e.g. `accept`, `fault`, `drain`).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded FIFO of trace events; pushing past capacity evicts the
+/// oldest event.
+pub struct TraceBuf {
+    capacity: usize,
+    next_seq: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceBuf {
+    /// A buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuf {
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one event.
+    pub fn push(&self, kind: impl Into<String>, detail: impl Into<String>) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(TraceEvent {
+            seq,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// How many events have ever been pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuf")
+            .field("capacity", &self.capacity)
+            .field("pushed", &self.total_pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fifo_evicts_oldest() {
+        let buf = TraceBuf::new(3);
+        for i in 0..5 {
+            buf.push("k", format!("e{}", i));
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "e2");
+        assert_eq!(events[2].detail, "e4");
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(buf.total_pushed(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for `lce-obs` (satellites): histogram snapshots are
+//! invariant under shard assignment and observation order, total count
+//! always equals the sum of bucket counts, snapshot merging is
+//! commutative/associative, and rendered Prometheus text round-trips
+//! through the crate's own minimal parser.
+
+use lce_obs::{
+    parse_histograms, parse_text, Class, HistSnapshot, Histogram, Registry, RenderMode, SHARDS,
+};
+use proptest::prelude::*;
+
+/// An arbitrary observation batch: (shard, value) pairs where the value
+/// spans the whole bucket ladder including the overflow slot.
+fn arb_observations() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..SHARDS * 2, 0u64..20_000_000), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The snapshot depends only on the multiset of observed values:
+    /// which shard each observation lands on, and in what order the
+    /// observations happen, must not change it.
+    #[test]
+    fn snapshot_is_shard_and_order_invariant(obs in arb_observations()) {
+        let scattered = Histogram::new();
+        for (shard, v) in &obs {
+            scattered.observe_in_shard(*shard, *v);
+        }
+        // Same values, reversed order, all on one shard.
+        let serial = Histogram::new();
+        for (_, v) in obs.iter().rev() {
+            serial.observe_in_shard(0, *v);
+        }
+        prop_assert_eq!(scattered.snapshot(), serial.snapshot());
+    }
+
+    /// Structural invariants of any snapshot: the count equals the sum of
+    /// the bucket counts, and the sum equals the sum of observed values.
+    #[test]
+    fn count_equals_bucket_sum(obs in arb_observations()) {
+        let h = Histogram::new();
+        for (shard, v) in &obs {
+            h.observe_in_shard(*shard, *v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, obs.len() as u64);
+        prop_assert_eq!(snap.count, snap.buckets.iter().sum::<u64>());
+        prop_assert_eq!(snap.sum, obs.iter().map(|(_, v)| *v).sum::<u64>());
+        prop_assert_eq!(snap.representative_samples().len(), obs.len());
+    }
+
+    /// Merging is commutative and associative, and merging any shard-wise
+    /// split of one batch reproduces the whole-batch snapshot — so the
+    /// order accounts or shards are folded in never matters.
+    #[test]
+    fn merge_is_order_invariant(obs in arb_observations(), split in 0usize..=100) {
+        let cut = obs.len() * split / 100;
+        let whole = Histogram::new();
+        let (left, right) = (Histogram::new(), Histogram::new());
+        for (i, (shard, v)) in obs.iter().enumerate() {
+            whole.observe_in_shard(*shard, *v);
+            let part = if i < cut { &left } else { &right };
+            part.observe_in_shard(*shard, *v);
+        }
+        let (l, r) = (left.snapshot(), right.snapshot());
+        prop_assert_eq!(l.merge(&r), r.merge(&l));
+        prop_assert_eq!(l.merge(&r), whole.snapshot());
+        let empty = HistSnapshot::empty();
+        prop_assert_eq!(l.merge(&empty).merge(&r), empty.merge(&l).merge(&r));
+    }
+
+    /// Rendered Prometheus text round-trips through the minimal parser:
+    /// every counter value and every histogram's buckets/count/sum are
+    /// recovered exactly, in both render modes.
+    #[test]
+    fn prometheus_text_round_trips(
+        counts in prop::collection::vec(0u64..1_000_000, 1..8),
+        obs in arb_observations(),
+    ) {
+        let r = Registry::new();
+        for (i, n) in counts.iter().enumerate() {
+            let api = format!("Api{}", i);
+            r.counter("lce_api_calls_total", "calls", Class::Schedule, &[("api", &api)])
+                .add(*n);
+        }
+        r.counter("lce_plain_total", "unlabeled", Class::BestEffort, &[]).add(42);
+        let h = r.histogram("lce_lat_us", "latency", Class::Timing, &[("phase", "parse")]);
+        for (shard, v) in &obs {
+            h.observe_in_shard(*shard, *v);
+        }
+
+        let parsed = parse_text(&r.render(RenderMode::Full)).unwrap();
+        for (i, n) in counts.iter().enumerate() {
+            let series = format!("lce_api_calls_total{{api=\"Api{}\"}}", i);
+            prop_assert_eq!(parsed.get(&series), Some(*n));
+            prop_assert_eq!(parsed.sum_where("lce_api_calls_total", "api", &format!("Api{}", i)), *n);
+        }
+        prop_assert_eq!(parsed.get("lce_plain_total"), Some(42));
+        prop_assert_eq!(
+            parsed.types.get("lce_api_calls_total").map(String::as_str),
+            Some("counter")
+        );
+        let hists = parse_histograms(&parsed);
+        prop_assert_eq!(hists.len(), 1);
+        let got = HistSnapshot {
+            buckets: hists[0].buckets.clone(),
+            count: hists[0].count,
+            sum: hists[0].sum,
+        };
+        prop_assert_eq!(got, h.snapshot());
+
+        // Deterministic mode renders only schedule-class families, and
+        // what it renders agrees with the full render.
+        let det = parse_text(&r.render(RenderMode::Deterministic)).unwrap();
+        prop_assert_eq!(det.types.len(), 1);
+        for (series, value) in &det.samples {
+            prop_assert_eq!(parsed.get(series), Some(*value));
+        }
+        prop_assert!(det.get("lce_plain_total").is_none());
+    }
+}

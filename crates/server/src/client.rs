@@ -175,6 +175,37 @@ impl Client {
         }
     }
 
+    /// Fetch the Prometheus text of this account's metrics
+    /// (`GET /<account>/_metrics`, or the `/deterministic` variant with
+    /// only schedule-exact families). Errors if the server has no
+    /// observability attached or the account has no metrics yet.
+    pub fn fetch_metrics(&mut self, deterministic: bool) -> Result<String, String> {
+        let suffix = if deterministic { "/deterministic" } else { "" };
+        let path = format!("/{}/_metrics{}", self.account, suffix);
+        self.fetch_text(&path)
+    }
+
+    /// Fetch the server-wide Prometheus text (`GET /_metrics`, or the
+    /// `/deterministic` variant).
+    pub fn fetch_global_metrics(&mut self, deterministic: bool) -> Result<String, String> {
+        let suffix = if deterministic { "/deterministic" } else { "" };
+        self.fetch_text(&format!("/_metrics{}", suffix))
+    }
+
+    fn fetch_text(&mut self, path: &str) -> Result<String, String> {
+        match self.roundtrip("GET", path, &[])? {
+            (200, body) => {
+                String::from_utf8(body).map_err(|_| format!("{} body is not UTF-8", path))
+            }
+            (status, body) => Err(format!(
+                "GET {} failed with HTTP {}: {}",
+                path,
+                status,
+                String::from_utf8_lossy(&body)
+            )),
+        }
+    }
+
     /// One invoke under the installed retry policy.
     fn invoke_with_retry(&mut self, call: &ApiCall, policy: &RetryPolicy) -> ApiResponse {
         self.retry_calls += 1;

@@ -233,6 +233,16 @@ impl Response {
         }
     }
 
+    /// A `200 OK` Prometheus-text response (`GET /_metrics`).
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
+            keep_alive: true,
+        }
+    }
+
     /// A JSON error response (`{"error": message}`) with the given status.
     pub fn error(status: u16, message: &str) -> Response {
         Response {

@@ -27,6 +27,12 @@
 //!   by an `lce_faults::FaultPlan` via [`ServerConfig::faults`]).
 //! * [`client`] — the blocking remote `Backend`, with optional seeded
 //!   retry/backoff ([`Client::with_retry`]).
+//! * [`obs`] — optional observability: with an `lce_obs::ObsHub` attached
+//!   via [`ServerConfig::with_observability`], backends are wrapped in
+//!   `ObservedBackend`, the request lifecycle is timed, wire faults are
+//!   tallied, and `GET /_metrics` (global) plus
+//!   `GET /<account>/_metrics` (per account, `/deterministic` variants
+//!   for the schedule-exact subset) serve Prometheus text.
 //!
 //! ```no_run
 //! use lce_server::{serve, Client, ServerConfig};
@@ -47,12 +53,14 @@
 
 pub mod client;
 pub mod http;
+pub mod obs;
 pub mod router;
 pub mod serve;
 pub mod wire;
 
 pub use client::{Client, TRANSPORT_ERROR};
 pub use http::{HttpLimits, Request, Response};
+pub use obs::ServeMetrics;
 pub use router::{BackendFactory, Router, PROBE_ACCOUNT};
 pub use serve::{serve, ServerConfig, ServerHandle};
-pub use wire::is_idempotent;
+pub use wire::{is_idempotent, route_class};

@@ -1,0 +1,179 @@
+//! Server-side observability: cached handles into an
+//! [`ObsHub`]'s global registry for the metrics the serving loop emits on
+//! hot paths — connection lifecycle events, injected wire faults and
+//! request phase latency.
+//!
+//! Everything here is optional: the server only constructs a
+//! [`ServeMetrics`] when [`ServerConfig::obs`](crate::ServerConfig::obs)
+//! carries a hub, and with no hub every instrumentation site is skipped
+//! entirely, keeping the uninstrumented byte-for-byte behaviour.
+
+use lce_obs::hub::{CONNECTIONS_HELP, PHASE_LATENCY_HELP, WIRE_FAULTS_HELP};
+use lce_obs::{Class, Counter, Histogram, ObsHub, CONNECTIONS, PHASE_LATENCY, WIRE_FAULTS};
+use std::sync::Arc;
+
+/// Request lifecycle phases timed by the connection loop.
+pub const PHASES: &[&str] = &["parse", "dispatch", "write"];
+
+/// Cached counter/histogram handles for the serving loop. Constructing one
+/// registers every series up front, so scrapes show zeroed families even
+/// before the first event, and hot-path increments never take the
+/// registry's registration lock.
+pub struct ServeMetrics {
+    hub: Arc<ObsHub>,
+    accepted: Arc<Counter>,
+    reused: Arc<Counter>,
+    drained: Arc<Counter>,
+    accept_reset: Arc<Counter>,
+    read_reset: Arc<Counter>,
+    write_reset: Arc<Counter>,
+    write_truncate: Arc<Counter>,
+    parse_latency: Arc<Histogram>,
+    dispatch_latency: Arc<Histogram>,
+    write_latency: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Pre-register every serving-loop series in the hub's global registry.
+    pub fn new(hub: Arc<ObsHub>) -> Self {
+        let g = hub.global();
+        // Connection ids are assigned in racy accept order, so everything
+        // keyed off them is best-effort, not schedule-deterministic.
+        let conn = |event| {
+            g.counter(
+                CONNECTIONS,
+                CONNECTIONS_HELP,
+                Class::BestEffort,
+                &[("event", event)],
+            )
+        };
+        let wire_fault = |point, kind| {
+            g.counter(
+                WIRE_FAULTS,
+                WIRE_FAULTS_HELP,
+                Class::BestEffort,
+                &[("point", point), ("kind", kind)],
+            )
+        };
+        let phase = |p| {
+            g.histogram(
+                PHASE_LATENCY,
+                PHASE_LATENCY_HELP,
+                Class::Timing,
+                &[("phase", p)],
+            )
+        };
+        ServeMetrics {
+            accepted: conn("accepted"),
+            reused: conn("reused"),
+            drained: conn("drained"),
+            accept_reset: wire_fault("accept", "reset"),
+            read_reset: wire_fault("read", "reset"),
+            write_reset: wire_fault("write", "reset"),
+            write_truncate: wire_fault("write", "truncate"),
+            parse_latency: phase(PHASES[0]),
+            dispatch_latency: phase(PHASES[1]),
+            write_latency: phase(PHASES[2]),
+            hub,
+        }
+    }
+
+    /// The hub these handles write into.
+    pub fn hub(&self) -> &Arc<ObsHub> {
+        &self.hub
+    }
+
+    /// A connection was accepted (before any fault decision).
+    pub fn connection_accepted(&self) {
+        self.accepted.inc();
+    }
+
+    /// A keep-alive connection served a request beyond its first.
+    pub fn connection_reused(&self) {
+        self.reused.inc();
+    }
+
+    /// A connection was closed by graceful shutdown drain.
+    pub fn connection_drained(&self) {
+        self.drained.inc();
+    }
+
+    /// An injected accept-point reset fired.
+    pub fn accept_fault(&self) {
+        self.accept_reset.inc();
+    }
+
+    /// An injected read-point reset fired.
+    pub fn read_fault(&self) {
+        self.read_reset.inc();
+    }
+
+    /// An injected write-point fault fired.
+    pub fn write_fault(&self, fault: &lce_faults::WireFault) {
+        match fault {
+            lce_faults::WireFault::Reset => self.write_reset.inc(),
+            lce_faults::WireFault::Truncate => self.write_truncate.inc(),
+        }
+    }
+
+    /// Record one phase duration in microseconds.
+    pub fn observe_phase(&self, phase: &str, micros: u64) {
+        match phase {
+            "parse" => self.parse_latency.observe(micros),
+            "dispatch" => self.dispatch_latency.observe(micros),
+            "write" => self.write_latency.observe(micros),
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_obs::RenderMode;
+
+    #[test]
+    fn events_land_in_the_expected_series() {
+        let hub = Arc::new(ObsHub::new());
+        let m = ServeMetrics::new(Arc::clone(&hub));
+        m.connection_accepted();
+        m.connection_accepted();
+        m.connection_reused();
+        m.accept_fault();
+        m.write_fault(&lce_faults::WireFault::Truncate);
+        m.observe_phase("parse", 12);
+        let g = hub.global();
+        assert_eq!(
+            g.counter_value(CONNECTIONS, &[("event", "accepted")]),
+            Some(2)
+        );
+        assert_eq!(
+            g.counter_value(CONNECTIONS, &[("event", "reused")]),
+            Some(1)
+        );
+        assert_eq!(
+            g.counter_value(CONNECTIONS, &[("event", "drained")]),
+            Some(0)
+        );
+        assert_eq!(
+            g.counter_value(WIRE_FAULTS, &[("point", "accept"), ("kind", "reset")]),
+            Some(1)
+        );
+        assert_eq!(
+            g.counter_value(WIRE_FAULTS, &[("point", "write"), ("kind", "truncate")]),
+            Some(1)
+        );
+        let text = hub.render_global(RenderMode::Full);
+        assert!(text.contains("lce_request_phase_latency_us_count{phase=\"parse\"} 1"));
+        // Best-effort and timing families stay out of the deterministic render.
+        let det = hub.render_global(RenderMode::Deterministic);
+        assert!(!det.contains(CONNECTIONS));
+        assert!(!det.contains(PHASE_LATENCY));
+    }
+}

@@ -21,11 +21,13 @@
 //!   these to idempotent requests by default.
 
 use crate::http::{self, HttpLimits, Response};
-use crate::router::{BackendFactory, Router};
+use crate::obs::ServeMetrics;
+use crate::router::{BackendFactory, Router, PROBE_ACCOUNT};
 use crate::wire;
 use crossbeam::channel;
 use lce_emulator::Backend;
 use lce_faults::{FaultPlan, WireFault};
+use lce_obs::ObsHub;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,6 +53,11 @@ pub struct ServerConfig {
     /// Optional wire-level fault plan. `None` (the default) and an empty
     /// plan are both byte-for-byte identical to fault-free serving.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional observability hub. `None` (the default) serves with zero
+    /// instrumentation — no wrapper around backends, no metrics routes —
+    /// and is byte-for-byte identical to a server built without
+    /// observability at all.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +68,7 @@ impl Default for ServerConfig {
             limits: HttpLimits::default(),
             read_timeout: Duration::from_secs(30),
             faults: None,
+            obs: None,
         }
     }
 }
@@ -72,6 +80,14 @@ impl ServerConfig {
     /// change.
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach an observability hub: backends get wrapped in
+    /// [`lce_obs::ObservedBackend`], the request lifecycle is timed, wire
+    /// faults are tallied and the `/_metrics` routes come alive.
+    pub fn with_observability(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
         self
     }
 }
@@ -167,6 +183,27 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // With a hub, every real account's backend is built wrapped in an
+    // ObservedBackend; the router's capability probe stays unwrapped so
+    // it never shows up in the metrics.
+    let factory: BackendFactory = match &config.obs {
+        None => factory,
+        Some(hub) => {
+            let hub = Arc::clone(hub);
+            Box::new(move |account| {
+                if account == PROBE_ACCOUNT {
+                    factory(account)
+                } else {
+                    Box::new(hub.observe_backend(factory(account), account))
+                }
+            })
+        }
+    };
+    let metrics = config
+        .obs
+        .as_ref()
+        .map(|hub| Arc::new(ServeMetrics::new(Arc::clone(hub))));
+
     let router = Arc::new(Router::new(factory));
     let shutdown = Arc::new(AtomicBool::new(false));
     let threads = config.threads.max(1);
@@ -182,6 +219,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
         let limits = config.limits.clone();
         let read_timeout = config.read_timeout;
         let faults = config.faults.clone();
+        let metrics = metrics.clone();
         workers.push(
             thread::Builder::new()
                 .name(format!("lce-server-worker-{}", i))
@@ -195,6 +233,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                             read_timeout,
                             &shutdown,
                             faults.as_deref(),
+                            metrics.as_deref(),
                         );
                     }
                 })?,
@@ -204,6 +243,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
 
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_faults = config.faults.clone();
+    let accept_metrics = metrics.clone();
     let accept = thread::Builder::new()
         .name("lce-server-accept".to_string())
         .spawn(move || {
@@ -216,11 +256,17 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                     Ok((stream, _peer)) => {
                         let conn = next_conn;
                         next_conn += 1;
+                        if let Some(m) = &accept_metrics {
+                            m.connection_accepted();
+                        }
                         if let Some(plan) = &accept_faults {
                             if plan.decide_accept(conn).is_some() {
                                 // Accept-point reset: drop before reading a
                                 // byte. The client sees a closed connection
                                 // and nothing was dispatched.
+                                if let Some(m) = &accept_metrics {
+                                    m.accept_fault();
+                                }
                                 drop(stream);
                                 continue;
                             }
@@ -254,6 +300,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
 /// Serve one connection: parse → dispatch → respond, honouring keep-alive
 /// and pipelining, until EOF, error, timeout, shutdown or an injected
 /// wire fault.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     conn: u64,
@@ -262,34 +309,59 @@ fn handle_connection(
     read_timeout: Duration,
     shutdown: &AtomicBool,
     faults: Option<&FaultPlan>,
+    metrics: Option<&ServeMetrics>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
+    let obs = metrics.map(ServeMetrics::hub).map(Arc::as_ref);
+    // Time one closure's run in µs, only when metrics are on.
+    let timed = |phase: &str, f: &mut dyn FnMut()| {
+        let start = metrics.map(|_| Instant::now());
+        f();
+        if let (Some(m), Some(start)) = (metrics, start) {
+            m.observe_phase(phase, start.elapsed().as_micros() as u64);
+        }
+    };
     let mut buf = bytes::BytesMut::with_capacity(8 * 1024);
     let mut last_activity = Instant::now();
     let mut read_events: u64 = 0;
     let mut req_seq: u64 = 0;
     loop {
         // Drain complete buffered requests first (pipelining).
-        match http::parse_request(&mut buf, limits) {
+        let mut parsed = Ok(None);
+        timed("parse", &mut || {
+            parsed = http::parse_request(&mut buf, limits)
+        });
+        match parsed {
             Err(e) => {
                 let _ = stream.write_all(&http::encode_response(&e.to_response()));
                 return;
             }
             Ok(Some(req)) => {
                 last_activity = Instant::now();
+                if req_seq > 0 {
+                    if let Some(m) = metrics {
+                        m.connection_reused();
+                    }
+                }
                 let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
                 let write_fault = faults
                     .and_then(|plan| plan.decide_write(conn, req_seq, wire::is_idempotent(&req)));
                 req_seq += 1;
+                if let (Some(m), Some(fault)) = (metrics, &write_fault) {
+                    m.write_fault(fault);
+                }
                 if write_fault == Some(WireFault::Reset) {
                     // Write-point reset models a server that died between
                     // commit and reply: dispatch the request, then drop
                     // the connection without writing any response byte.
-                    let _ = wire::handle(&req, router);
+                    let _ = wire::handle_observed(&req, router, obs);
                     return;
                 }
-                let mut resp = wire::handle(&req, router);
+                let mut resp = Response::error(500, "unreachable");
+                timed("dispatch", &mut || {
+                    resp = wire::handle_observed(&req, router, obs)
+                });
                 resp.keep_alive = keep_alive;
                 let encoded = http::encode_response(&resp);
                 if write_fault == Some(WireFault::Truncate) {
@@ -299,10 +371,19 @@ fn handle_connection(
                     let _ = stream.flush();
                     return;
                 }
-                if stream.write_all(&encoded).is_err() {
+                let mut write_ok = true;
+                timed("write", &mut || {
+                    write_ok = stream.write_all(&encoded).is_ok()
+                });
+                if !write_ok {
                     return;
                 }
                 if !keep_alive {
+                    if shutdown.load(Ordering::SeqCst) && req.wants_keep_alive() {
+                        if let Some(m) = metrics {
+                            m.connection_drained();
+                        }
+                    }
                     return;
                 }
                 continue;
@@ -310,6 +391,9 @@ fn handle_connection(
             Ok(None) => {}
         }
         if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+            if let Some(m) = metrics {
+                m.connection_drained();
+            }
             return;
         }
         let mut chunk = [0u8; 8 * 1024];
@@ -324,6 +408,9 @@ fn handle_connection(
                     if plan.decide_read(conn, event).is_some() {
                         // Read-point reset: drop with the request still in
                         // the parse buffer — nothing was dispatched.
+                        if let Some(m) = metrics {
+                            m.read_fault();
+                        }
                         return;
                     }
                 }

@@ -28,10 +28,93 @@
 use crate::http::{Request, Response};
 use crate::router::Router;
 use lce_emulator::{ApiCall, Value};
+use lce_obs::hub::HTTP_REQUESTS_HELP;
+use lce_obs::{Class, ObsHub, RenderMode, HTTP_REQUESTS};
 use std::collections::BTreeMap;
 
-/// Dispatch one parsed request against the router.
+/// Dispatch one parsed request against the router, with no observability.
+/// Exactly [`handle_observed`] with no hub — kept as the uninstrumented
+/// entry point the passthrough tests pin byte-for-byte.
 pub fn handle(req: &Request, router: &Router) -> Response {
+    handle_observed(req, router, None)
+}
+
+/// Dispatch one parsed request against the router. With a hub, the
+/// metrics routes are served and every dispatched request bumps
+/// `lce_http_requests_total{route,status}` — *after* the response is
+/// computed, so a scrape never includes itself. With `None` the metrics
+/// routes fall through to the ordinary 404, keeping the disabled-path
+/// bytes identical to an uninstrumented server.
+pub fn handle_observed(req: &Request, router: &Router, obs: Option<&ObsHub>) -> Response {
+    let resp = match obs.and_then(|hub| metrics_route(req, hub)) {
+        Some(resp) => resp,
+        None => handle_inner(req, router),
+    };
+    if let Some(hub) = obs {
+        hub.global()
+            .counter(
+                HTTP_REQUESTS,
+                HTTP_REQUESTS_HELP,
+                Class::Schedule,
+                &[
+                    ("route", route_class(req)),
+                    ("status", &resp.status.to_string()),
+                ],
+            )
+            .inc();
+    }
+    resp
+}
+
+/// Serve the metrics routes, or `None` if the request is not one:
+///
+/// * `GET /_metrics` — the global registry, full render.
+/// * `GET /_metrics/deterministic` — schedule-class families only.
+/// * `GET /<account>/_metrics[/deterministic]` — one account's registry;
+///   404 for an account with no metrics (never materializes one).
+fn metrics_route(req: &Request, hub: &ObsHub) -> Option<Response> {
+    if req.method != "GET" {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.trim_start_matches('/').split('/').collect();
+    let (account, mode) = match segments.as_slice() {
+        ["_metrics"] => (None, RenderMode::Full),
+        ["_metrics", "deterministic"] => (None, RenderMode::Deterministic),
+        [account, "_metrics"] => (Some(*account), RenderMode::Full),
+        [account, "_metrics", "deterministic"] => (Some(*account), RenderMode::Deterministic),
+        _ => return None,
+    };
+    Some(match account {
+        None => Response::text(hub.render_global(mode)),
+        Some(account) => {
+            if !Router::valid_account_id(account) {
+                return Some(Response::error(400, "invalid account id"));
+            }
+            match hub.render_account(account, mode) {
+                Some(text) => Response::text(text),
+                None => Response::error(404, "no metrics for account"),
+            }
+        }
+    })
+}
+
+/// Coarse route class for `lce_http_requests_total`: bounded label
+/// cardinality no matter what paths clients throw at the server.
+pub fn route_class(req: &Request) -> &'static str {
+    let mut segments = req.path.trim_start_matches('/').split('/');
+    match (req.method.as_str(), segments.next(), segments.next()) {
+        ("GET", Some("_health"), None) => "health",
+        ("GET", Some("_apis"), None) => "apis",
+        ("GET", Some("_metrics"), _) => "metrics",
+        ("GET", Some(_), Some("_metrics")) => "metrics",
+        ("GET", Some(_), Some("_store")) => "store",
+        ("POST", Some(_), Some("_reset")) => "reset",
+        ("POST", Some(_), Some(op)) if !op.is_empty() && !op.starts_with('_') => "api",
+        _ => "other",
+    }
+}
+
+fn handle_inner(req: &Request, router: &Router) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/_health") => Response::json(format!(
             "{{\"status\":\"ok\",\"backend\":{},\"accounts\":{}}}",
@@ -369,6 +452,71 @@ mod tests {
         let store: ResourceStore = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store, r.snapshot("acct").unwrap(), "wire == in-process");
+    }
+
+    #[test]
+    fn metrics_routes_require_observability() {
+        let r = router();
+        let mut req = get("/_metrics");
+        req.method = "GET".into();
+        // Disabled: byte-identical to the ordinary unknown-path 404.
+        let mut plain = get("/definitely/not/a/route");
+        plain.method = "GET".into();
+        assert_eq!(handle(&req, &r), handle(&plain, &r));
+
+        let hub = std::sync::Arc::new(lce_obs::ObsHub::new());
+        let resp = handle_observed(&req, &r, Some(&hub));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+
+        // The scrape never counts itself: the first scrape shows no
+        // http_requests samples, the second shows exactly the first.
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(!text.contains("lce_http_requests_total{"), "{}", text);
+        let resp2 = handle_observed(&req, &r, Some(&hub));
+        let text2 = String::from_utf8(resp2.body).unwrap();
+        assert!(text2.contains("lce_http_requests_total{route=\"metrics\",status=\"200\"} 1"));
+
+        // Per-account: 404 until the account has metrics, then exactly
+        // the hub's render.
+        let mut acct = get("/acct/_metrics");
+        acct.method = "GET".into();
+        assert_eq!(handle_observed(&acct, &r, Some(&hub)).status, 404);
+        hub.account("acct");
+        let resp = handle_observed(&acct, &r, Some(&hub));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            hub.render_account("acct", RenderMode::Full)
+                .unwrap()
+                .into_bytes()
+        );
+        let mut det = get("/acct/_metrics/deterministic");
+        det.method = "GET".into();
+        assert_eq!(handle_observed(&det, &r, Some(&hub)).status, 200);
+        let mut bad = get("/_probe/_metrics");
+        bad.method = "GET".into();
+        assert_eq!(handle_observed(&bad, &r, Some(&hub)).status, 400);
+    }
+
+    #[test]
+    fn route_classes_are_bounded() {
+        let route = |method: &str, path: &str| {
+            let mut req = post(path, b"");
+            req.method = method.into();
+            route_class(&req)
+        };
+        assert_eq!(route("GET", "/_health"), "health");
+        assert_eq!(route("GET", "/_apis"), "apis");
+        assert_eq!(route("GET", "/_metrics"), "metrics");
+        assert_eq!(route("GET", "/_metrics/deterministic"), "metrics");
+        assert_eq!(route("GET", "/acct/_metrics"), "metrics");
+        assert_eq!(route("GET", "/acct/_store"), "store");
+        assert_eq!(route("POST", "/acct/_reset"), "reset");
+        assert_eq!(route("POST", "/acct/CreateVpc"), "api");
+        assert_eq!(route("POST", "/acct/_rejig"), "other");
+        assert_eq!(route("DELETE", "/_health"), "other");
+        assert_eq!(route("GET", "/random/garbage/path"), "other");
     }
 
     #[test]

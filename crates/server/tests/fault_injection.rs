@@ -5,9 +5,12 @@
 use lce_cloud::nimbus_provider;
 use lce_emulator::{ApiCall, Backend, Emulator};
 use lce_faults::{
-    counting_sleep, FaultPlan, FaultyBackend, RetryPolicy, WireFaults, WriteFaultScope,
+    counting_sleep, BackendFault, FaultPlan, FaultyBackend, RetryPolicy, WireFaults,
+    WriteFaultScope,
 };
+use lce_obs::{parse_text, ObsHub};
 use lce_server::{serve, Client, ServerConfig, ServerHandle, TRANSPORT_ERROR};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A golden server with `wire` faults installed and (optionally) backend
@@ -210,6 +213,102 @@ fn fetch_store_round_trips_the_snapshot() {
     // An account the server never saw is a clean error, not a panic.
     let mut ghost = Client::connect(handle.addr(), "ghost").unwrap();
     assert!(ghost.fetch_store().is_err());
+    handle.shutdown();
+}
+
+/// Observability exactness over the wire: an observed server with a
+/// listener-wired `FaultyBackend` is driven by a retrying client, then the
+/// scraped `lce_faults_injected_total{kind}` counters are compared against
+/// an independent replay of `FaultPlan::decide_invoke` — the schedule the
+/// plan *must* have decided for the client's deterministic invoke
+/// sequence. Scrape equals schedule, exactly.
+#[test]
+fn scraped_fault_counters_equal_the_decided_schedule() {
+    let mut plan = FaultPlan::none(77);
+    plan.backend.error_per_mille = 250;
+    plan.backend.throttle_per_mille = 150;
+    plan.backend.latency_per_mille = 200;
+    plan.backend.max_latency_ms = 1;
+    let plan = Arc::new(plan);
+
+    let hub = Arc::new(ObsHub::new());
+    let catalog = nimbus_provider().catalog;
+    let backend_plan = Arc::clone(&plan);
+    let listener_hub = Arc::clone(&hub);
+    let handle = serve(
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        }
+        .with_observability(Arc::clone(&hub)),
+        move |account| {
+            Box::new(
+                FaultyBackend::new(
+                    Emulator::new(catalog.clone()),
+                    Arc::clone(&backend_plan),
+                    account,
+                )
+                .with_fault_listener(listener_hub.fault_listener(account)),
+            ) as Box<dyn Backend + Send>
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let (sleeper, _) = counting_sleep();
+    let policy = RetryPolicy::new(5)
+        .with_max_attempts(50)
+        .with_sleep(sleeper);
+    let mut client = Client::connect(handle.addr(), "oracle")
+        .unwrap()
+        .with_retry(policy);
+    let n = 30;
+    for i in 0..n {
+        let resp = client.invoke(&create_vpc());
+        assert!(resp.is_ok(), "call {} failed after retries: {:?}", i, resp);
+    }
+
+    // Independent oracle: replay the decisions for the invoke sequence the
+    // retrying client must have produced. Error/throttle faults fail the
+    // attempt (the client re-sends, consuming the next seq); a latency
+    // fault delays but succeeds, completing the logical call.
+    let mut expected: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut seq = 0u64;
+    for _ in 0..n {
+        loop {
+            let decision = plan.decide_invoke("oracle", "CreateVpc", seq);
+            seq += 1;
+            match decision {
+                None => break,
+                Some(fault) => {
+                    *expected.entry(fault.kind()).or_insert(0) += 1;
+                    if matches!(fault, BackendFault::Latency(_)) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        expected.values().sum::<u64>() > 0,
+        "seed 77 must schedule at least one fault for the walk to mean anything"
+    );
+
+    let parsed = parse_text(&client.fetch_metrics(false).unwrap()).unwrap();
+    for kind in ["transient-error", "throttle", "latency"] {
+        assert_eq!(
+            parsed.sum_where("lce_faults_injected_total", "kind", kind),
+            expected.get(kind).copied().unwrap_or(0),
+            "scraped {} count diverged from the decided schedule",
+            kind
+        );
+    }
+    // The observed wrapper also counted every server-side attempt: the
+    // oracle walk knows exactly how many invokes that was.
+    assert_eq!(
+        parsed.get("lce_api_calls_total{api=\"CreateVpc\"}"),
+        Some(seq),
+        "every attempt (including faulted ones) is one observed call"
+    );
     handle.shutdown();
 }
 

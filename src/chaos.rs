@@ -27,10 +27,11 @@ use lce_cloud::nimbus_provider;
 use lce_devops::run_program;
 use lce_devops::scenarios::nimbus::basic_functionality;
 use lce_emulator::{Backend, Emulator};
-use lce_faults::{no_sleep, store_digest, FaultPlan, FaultyBackend, RetryPolicy};
-use lce_server::{serve, Client, ServerConfig};
+use lce_faults::{no_sleep, store_digest, BackendFault, FaultPlan, FaultyBackend, RetryPolicy};
+use lce_obs::{parse_text, ObsHub};
+use lce_server::{serve, Client, ServerConfig, PROBE_ACCOUNT};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
 /// Configuration for one chaos run.
@@ -49,6 +50,10 @@ pub struct ChaosConfig {
     pub max_attempts: u32,
     /// Server worker threads.
     pub server_threads: usize,
+    /// Attach an [`ObsHub`] to the server, scrape `/_metrics` after the
+    /// run, and enforce that the scraped injected-fault counters equal the
+    /// schedule the plan actually decided.
+    pub metrics: bool,
 }
 
 impl ChaosConfig {
@@ -62,6 +67,7 @@ impl ChaosConfig {
             plan: "standard".to_string(),
             max_attempts: 25,
             server_threads: 8,
+            metrics: false,
         }
     }
 
@@ -83,9 +89,34 @@ impl ChaosConfig {
         self
     }
 
+    /// Turn metrics scraping (and the scrape-equals-schedule check) on.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Override the server worker thread count.
+    pub fn with_server_threads(mut self, server_threads: usize) -> Self {
+        self.server_threads = server_threads.max(1);
+        self
+    }
+
     /// The configured fault plan, or `None` for an unknown preset name.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         FaultPlan::named(&self.plan, self.seed)
+    }
+
+    /// `true` if this configuration's *deterministic* metrics scrape is
+    /// expected to be byte-identical across repeat runs and server thread
+    /// counts: the plan must inject no wire faults (connection ids are
+    /// racy) and each account must be driven by exactly one client (so
+    /// every account's invocation sequence is schedule-determined).
+    pub fn metrics_deterministic(&self) -> bool {
+        self.threads == self.accounts
+            && self
+                .fault_plan()
+                .map(|plan| !plan.has_wire_faults())
+                .unwrap_or(false)
     }
 }
 
@@ -111,6 +142,23 @@ impl AccountOutcome {
     }
 }
 
+/// Post-run metrics scrapes, captured when [`ChaosConfig::metrics`] is on.
+/// Scrapes go over the wire (`GET /_metrics`), so they observe exactly
+/// what an external Prometheus would. Excluded from
+/// [`ChaosReport::render`]: the full scrapes contain timing histograms,
+/// which are never byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosMetrics {
+    /// `GET /_metrics` — the global registry, full render.
+    pub global_scrape: String,
+    /// `GET /_metrics/deterministic` — schedule-class families only. Under
+    /// [`ChaosConfig::metrics_deterministic`] conditions this text is
+    /// byte-identical across repeat runs and server thread counts.
+    pub deterministic_scrape: String,
+    /// `GET /<account>/_metrics` per account, full render.
+    pub account_scrapes: BTreeMap<String, String>,
+}
+
 /// The outcome of one chaos run. [`ChaosReport::render`] is deterministic:
 /// same seed and config ⇒ byte-identical text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +173,8 @@ pub struct ChaosReport {
     pub program: String,
     /// Per-account outcomes, sorted by account id.
     pub outcomes: Vec<AccountOutcome>,
+    /// Post-run scrapes ([`ChaosConfig::metrics`]); never rendered.
+    pub metrics: Option<ChaosMetrics>,
 }
 
 impl ChaosReport {
@@ -216,23 +266,45 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
 
     // 2. The faulted server: per-account FaultyBackend over a golden
     //    emulator, wire faults from the same plan. Injected latency uses a
-    //    no-op sleeper so chaos runs never wall-sleep.
+    //    no-op sleeper so chaos runs never wall-sleep. With metrics on,
+    //    every injected backend fault is reported both to the hub (which
+    //    the server scrapes) and to an independent in-process tally — the
+    //    oracle the scrape is checked against.
+    let hub = config.metrics.then(|| Arc::new(ObsHub::new()));
+    let tally: Arc<Mutex<BTreeMap<(String, String), u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
     let factory_plan = Arc::clone(&plan);
     let factory_catalog = catalog.clone();
-    let server_config = ServerConfig {
+    let factory_hub = hub.clone();
+    let factory_tally = Arc::clone(&tally);
+    let mut server_config = ServerConfig {
         threads: config.server_threads.max(1),
         ..ServerConfig::default()
     }
     .with_faults(Arc::clone(&plan));
+    if let Some(hub) = &hub {
+        server_config = server_config.with_observability(Arc::clone(hub));
+    }
     let handle = serve(server_config, move |account| {
-        Box::new(
-            FaultyBackend::new(
-                Emulator::new(factory_catalog.clone()).named("chaos-golden"),
-                Arc::clone(&factory_plan),
-                account,
-            )
-            .with_sleeper(no_sleep()),
-        ) as Box<dyn Backend + Send>
+        let mut faulty = FaultyBackend::new(
+            Emulator::new(factory_catalog.clone()).named("chaos-golden"),
+            Arc::clone(&factory_plan),
+            account,
+        )
+        .with_sleeper(no_sleep());
+        if let Some(hub) = factory_hub.as_ref().filter(|_| account != PROBE_ACCOUNT) {
+            let hub_listener = hub.fault_listener(account);
+            let tally = Arc::clone(&factory_tally);
+            let account = account.to_string();
+            faulty = faulty.with_fault_listener(Arc::new(move |fault: &BackendFault| {
+                hub_listener(fault);
+                *tally
+                    .lock()
+                    .unwrap()
+                    .entry((account.clone(), fault.kind().to_string()))
+                    .or_insert(0) += 1;
+            }));
+        }
+        Box::new(faulty) as Box<dyn Backend + Send>
     })
     .map_err(|e| format!("failed to start chaos server: {}", e))?;
     let addr = handle.addr();
@@ -280,6 +352,16 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
             baseline_digest,
         });
     }
+
+    // 5. With metrics on: scrape over the wire while the server is still
+    //    up, in a fixed order (accounts sorted, then global full, then
+    //    global deterministic), and check the headline exactness property:
+    //    the scraped `lce_faults_injected_total{kind}` counters equal the
+    //    schedule the plan actually decided, per account and in aggregate.
+    let metrics = match &hub {
+        None => None,
+        Some(_) => Some(scrape_and_check(addr, accounts, &tally)?),
+    };
     handle.shutdown();
 
     Ok(ChaosReport {
@@ -288,6 +370,85 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
         threads,
         program: format!("{} ({} steps)", program.name, program.steps.len()),
         outcomes,
+        metrics,
+    })
+}
+
+/// Scrape every account's metrics plus the global registry over HTTP and
+/// verify the injected-fault counters against the in-process tally of
+/// what the fault plan decided. Any mismatch is an infrastructure error:
+/// it means the observability pipeline lost or invented a fault.
+fn scrape_and_check(
+    addr: std::net::SocketAddr,
+    accounts: usize,
+    tally: &Mutex<BTreeMap<(String, String), u64>>,
+) -> Result<ChaosMetrics, String> {
+    // Scraping is read-only, so a scrape torn by the server's own wire
+    // faults (reset/truncate hit the metrics route like any other) is
+    // simply retried on a fresh connection. Under the deterministic gate
+    // the plan has no wire faults and the first attempt always succeeds,
+    // so retries cannot perturb the deterministic scrape.
+    let scrape = |account: &str, fetch: &dyn Fn(&mut Client) -> Result<String, String>| {
+        let mut last = String::new();
+        for _ in 0..32 {
+            match Client::connect(addr, account.to_string()) {
+                Err(e) => last = e.to_string(),
+                Ok(mut client) => match fetch(&mut client) {
+                    Ok(text) => return Ok(text),
+                    Err(e) => last = e,
+                },
+            }
+        }
+        Err(format!(
+            "metrics scrape for {} failed after 32 attempts: {}",
+            account, last
+        ))
+    };
+
+    let tally = tally.lock().unwrap().clone();
+    let mut account_scrapes = BTreeMap::new();
+    for a in 0..accounts {
+        let account = account_name(a);
+        let text = scrape(&account, &|c| c.fetch_metrics(false))?;
+        let parsed = parse_text(&text).map_err(|e| format!("{}: bad scrape: {}", account, e))?;
+        for kind in ["transient-error", "throttle", "latency"] {
+            let scraped = parsed.sum_where("lce_faults_injected_total", "kind", kind);
+            let decided = tally
+                .get(&(account.clone(), kind.to_string()))
+                .copied()
+                .unwrap_or(0);
+            if scraped != decided {
+                return Err(format!(
+                    "{}: scraped lce_faults_injected_total{{kind=\"{}\"}} = {} \
+                     but the plan decided {}",
+                    account, kind, scraped, decided
+                ));
+            }
+        }
+        account_scrapes.insert(account, text);
+    }
+    let global_scrape = scrape("scraper", &|c| c.fetch_global_metrics(false))?;
+    let parsed = parse_text(&global_scrape).map_err(|e| format!("bad global scrape: {}", e))?;
+    for kind in ["transient-error", "throttle", "latency"] {
+        let scraped = parsed.sum_where("lce_faults_injected_total", "kind", kind);
+        let decided: u64 = tally
+            .iter()
+            .filter(|((_, k), _)| k.as_str() == kind)
+            .map(|(_, n)| n)
+            .sum();
+        if scraped != decided {
+            return Err(format!(
+                "global: scraped lce_faults_injected_total{{kind=\"{}\"}} = {} \
+                 but the plan decided {}",
+                kind, scraped, decided
+            ));
+        }
+    }
+    let deterministic_scrape = scrape("scraper", &|c| c.fetch_global_metrics(true))?;
+    Ok(ChaosMetrics {
+        global_scrape,
+        deterministic_scrape,
+        account_scrapes,
     })
 }
 
@@ -333,6 +494,7 @@ mod tests {
                     all_steps_ok: true,
                 },
             ],
+            metrics: None,
         };
         assert!(!report.converged());
         let text = report.render();

@@ -24,6 +24,7 @@
 //! | [`gym`] | `lce-gym` | the cloud gym environment for agents |
 //! | [`server`] | `lce-server` | the HTTP serving layer + remote-backend client |
 //! | [`faults`] | `lce-faults` | deterministic fault injection, retry/backoff, store fingerprints |
+//! | [`obs`] | `lce-obs` | lock-free observability: counters, histograms, Prometheus text |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use lce_emulator as emulator;
 pub use lce_faults as faults;
 pub use lce_gym as gym;
 pub use lce_metrics as metrics;
+pub use lce_obs as obs;
 pub use lce_server as server;
 pub use lce_spec as spec;
 pub use lce_synth as synth;
@@ -79,9 +81,10 @@ pub mod prelude {
     pub use lce_devops::{compare_runs, run_program, Arg, Program};
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
     pub use lce_faults::{store_digest, FaultPlan, FaultyBackend, RetryPolicy};
+    pub use lce_obs::{ObsHub, ObservedBackend};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
 
-    pub use crate::chaos::{run_chaos, ChaosConfig, ChaosReport};
+    pub use crate::chaos::{run_chaos, ChaosConfig, ChaosMetrics, ChaosReport};
     pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, SmSpec};
     pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
     pub use lce_wrangle::wrangle_provider;

@@ -6,9 +6,10 @@
 //! lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
 //! lce run    --catalog FILE [--state FILE] --program FILE.json
 //! lce spec   --provider <nimbus|stratus> [--resource Name]
-//! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
+//! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics]
 //! lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-//! lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive>] [--repeat N]
+//! lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics]
+//! lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
 //! ```
 //!
 //! `synth` learns an emulator from the provider's documentation and saves
@@ -17,7 +18,9 @@
 //! exposes the catalog as a LocalStack-style HTTP endpoint with one
 //! isolated emulator per account (`POST /<account>/<Api>`). `lint` runs the
 //! static analyzer over a golden or synthesized catalog and exits non-zero
-//! when findings at or above the `--deny` threshold remain.
+//! when findings at or above the `--deny` threshold remain. `metrics`
+//! scrapes a running server's Prometheus endpoint (or reads a saved
+//! scrape) and prints a human summary with latency percentiles.
 
 use learned_cloud_emulators::prelude::*;
 use std::collections::BTreeMap;
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "lint" => cmd_lint(rest),
         "chaos" => cmd_chaos(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -61,9 +65,10 @@ USAGE:
   lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
   lce run    --catalog FILE [--state FILE] --program FILE.json
   lce spec   --provider <nimbus|stratus> [--resource Name]
-  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N]
+  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics]
   lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-  lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive>] [--repeat N]";
+  lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics]
+  lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]";
 
 /// Parse `--key value` flags and positional arguments.
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
@@ -89,7 +94,7 @@ fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
 }
 
 fn needs_value(key: &str) -> bool {
-    !matches!(key, "d2c" | "no-align")
+    !matches!(key, "d2c" | "no-align" | "metrics" | "deterministic")
 }
 
 fn provider_of(flags: &BTreeMap<String, String>) -> Result<Provider, String> {
@@ -272,11 +277,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --threads value"))
         .transpose()?
         .unwrap_or(4);
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         addr,
         threads,
         ..ServerConfig::default()
     };
+    let metrics = flags.contains_key("metrics");
+    if metrics {
+        config = config.with_observability(std::sync::Arc::new(ObsHub::new()));
+    }
     let handle = serve(config, move |_account| {
         Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
     })
@@ -290,6 +299,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     eprintln!("  POST /<account>/_reset   drop the account's resources");
     eprintln!("  GET  /_health            liveness");
     eprintln!("  GET  /_apis              supported API list");
+    if metrics {
+        eprintln!("  GET  /_metrics           Prometheus text (global)");
+        eprintln!("  GET  /<account>/_metrics Prometheus text (one account)");
+    }
     handle.join();
     Ok(())
 }
@@ -309,10 +322,15 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let repeat = parse_num("repeat", 1)?.max(1);
     let mut config = ChaosConfig::new(seed)
         .with_threads(threads)
-        .with_accounts(accounts);
+        .with_accounts(accounts)
+        .with_metrics(flags.contains_key("metrics"));
     if let Some(plan) = flags.get("plan") {
         config = config.with_plan(plan.clone());
     }
+    // With metrics on, each run already enforces scrape == decided
+    // schedule; across repeats we additionally pin the deterministic
+    // scrape byte-for-byte when the config promises that.
+    let check_scrape = config.metrics && config.metrics_deterministic();
 
     let first = run_chaos(&config)?;
     for round in 1..repeat {
@@ -324,16 +342,117 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 round + 1
             ));
         }
+        if check_scrape {
+            let (a, b) = (&first.metrics, &again.metrics);
+            if a.as_ref().map(|m| &m.deterministic_scrape)
+                != b.as_ref().map(|m| &m.deterministic_scrape)
+            {
+                return Err(format!(
+                    "repeat run {} produced a different deterministic metrics \
+                     scrape — metrics determinism violated",
+                    round + 1
+                ));
+            }
+        }
     }
     print!("{}", first.render());
     if repeat > 1 {
         println!("repeat:  {} runs, byte-identical reports", repeat);
+    }
+    if let Some(metrics) = &first.metrics {
+        println!(
+            "metrics: scrape matches the decided fault schedule ({} accounts{})",
+            metrics.account_scrapes.len(),
+            if check_scrape && repeat > 1 {
+                "; deterministic scrape byte-identical across repeats"
+            } else {
+                ""
+            }
+        );
     }
     if first.converged() {
         Ok(())
     } else {
         Err("chaos run did not converge".to_string())
     }
+}
+
+/// Scrape a running server's metrics endpoint (or read a saved scrape)
+/// and print a human summary: counters grouped by family, histograms with
+/// percentile latencies via [`lce_metrics::Cdf`].
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let deterministic = flags.contains_key("deterministic");
+    let text = match (flags.get("addr"), flags.get("file")) {
+        (Some(_), Some(_)) => return Err("--addr and --file are mutually exclusive".into()),
+        (None, None) => return Err("one of --addr or --file is required".into()),
+        (None, Some(path)) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        (Some(addr), None) => {
+            let account = flags.get("account");
+            let mut client =
+                RemoteClient::connect(addr.as_str(), account.cloned().unwrap_or_default())
+                    .map_err(|e| format!("connect to {} failed: {}", addr, e))?;
+            match account {
+                Some(_) => client.fetch_metrics(deterministic)?,
+                None => client.fetch_global_metrics(deterministic)?,
+            }
+        }
+    };
+    print!("{}", summarize_metrics(&text)?);
+    Ok(())
+}
+
+/// Render parsed Prometheus text as a counter table plus per-histogram
+/// percentile lines.
+fn summarize_metrics(text: &str) -> Result<String, String> {
+    use learned_cloud_emulators::metrics::Cdf;
+    use learned_cloud_emulators::obs::{parse_histograms, parse_text};
+
+    let parsed = parse_text(text).map_err(|e| format!("bad metrics text: {}", e))?;
+    let histograms = parse_histograms(&parsed);
+    let hist_names: Vec<&String> = parsed
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name)
+        .collect();
+    let mut out = String::new();
+    out.push_str("counters:\n");
+    let mut any = false;
+    for (series, value) in &parsed.samples {
+        // Histogram component series are summarized separately.
+        if hist_names.iter().any(|n| series.starts_with(n.as_str())) {
+            continue;
+        }
+        out.push_str(&format!("  {:<60} {}\n", series, value));
+        any = true;
+    }
+    if !any {
+        out.push_str("  (none)\n");
+    }
+    out.push_str("histograms:\n");
+    if histograms.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for h in &histograms {
+        let series = format!("{}{}", h.name, h.labels);
+        if h.count == 0 {
+            out.push_str(&format!("  {:<60} count=0\n", series));
+            continue;
+        }
+        let cdf = Cdf::from_samples(h.representative_samples());
+        let q = |p: f64| cdf.quantile(p).unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<60} count={} mean={}us p50<={}us p90<={}us p99<={}us\n",
+            series,
+            h.count,
+            h.sum / h.count,
+            q(0.50),
+            q(0.90),
+            q(0.99),
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_lint(args: &[String]) -> Result<(), String> {

@@ -57,3 +57,91 @@ fn none_plan_is_a_trivially_converging_floor() {
     let report = run_chaos(&config).unwrap();
     assert!(report.converged(), "\n{}", report.render());
 }
+
+/// Metrics exactness at full scale: with scraping on, `run_chaos` itself
+/// enforces that every scraped `lce_faults_injected_total{kind}` counter —
+/// per account and globally — equals an independent in-process tally of
+/// the faults the plan actually decided. `Ok` means that held even under
+/// the standard plan's wire faults and retries.
+#[test]
+fn standard_plan_scrape_equals_decided_fault_schedule() {
+    let config = ChaosConfig::new(7).with_metrics(true);
+    let report = run_chaos(&config).unwrap();
+    assert!(report.converged(), "\n{}", report.render());
+    let metrics = report.metrics.expect("metrics requested");
+    assert_eq!(metrics.account_scrapes.len(), 8);
+    // Faults actually fired (the exactness check was not vacuous).
+    assert!(
+        metrics.global_scrape.contains("lce_faults_injected_total"),
+        "{}",
+        metrics.global_scrape
+    );
+}
+
+/// Deterministic-metrics headline: under a backend-only plan with one
+/// client per account, the deterministic scrape (Schedule-class series
+/// only) is byte-identical across repeat runs AND across server thread
+/// counts — server parallelism may reorder wall-clock events but not the
+/// decided schedule.
+#[test]
+fn deterministic_scrape_is_stable_across_repeats_and_server_threads() {
+    let base = ChaosConfig::new(13)
+        .with_plan("backend-only")
+        .with_threads(4)
+        .with_accounts(4)
+        .with_metrics(true);
+    assert!(base.metrics_deterministic());
+
+    let mut scrapes = Vec::new();
+    for server_threads in [1, 4, 8] {
+        let config = base.clone().with_server_threads(server_threads);
+        let report = run_chaos(&config).unwrap();
+        assert!(report.converged(), "\n{}", report.render());
+        scrapes.push(
+            report
+                .metrics
+                .expect("metrics requested")
+                .deterministic_scrape,
+        );
+    }
+    // Repeat run at the first thread count too.
+    let again = run_chaos(&base.clone().with_server_threads(1)).unwrap();
+    scrapes.push(
+        again
+            .metrics
+            .expect("metrics requested")
+            .deterministic_scrape,
+    );
+
+    assert!(
+        scrapes[0].contains("lce_faults_injected_total"),
+        "deterministic scrape should carry the fault schedule:\n{}",
+        scrapes[0]
+    );
+    for (i, s) in scrapes.iter().enumerate().skip(1) {
+        assert_eq!(
+            &scrapes[0], s,
+            "deterministic scrape {} diverged from the first",
+            i
+        );
+    }
+}
+
+/// Wire faults make the scrape best-effort, not wrong: the exactness
+/// check inside `run_chaos` still passes under the aggressive plan, and
+/// the deterministic gate correctly reports false.
+#[test]
+fn aggressive_plan_with_metrics_still_exact_but_not_deterministic() {
+    let config = ChaosConfig::new(11)
+        .with_plan("aggressive")
+        .with_threads(4)
+        .with_accounts(4)
+        .with_metrics(true);
+    assert!(
+        !config.metrics_deterministic(),
+        "wire faults break the gate"
+    );
+    let report = run_chaos(&config).unwrap();
+    assert!(report.converged(), "\n{}", report.render());
+    assert!(report.metrics.is_some());
+}

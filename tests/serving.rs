@@ -3,6 +3,7 @@
 //! in-process execution, and concurrent accounts must not interfere.
 
 use learned_cloud_emulators::devops::scenarios::nimbus::basic_functionality;
+use learned_cloud_emulators::obs::{parse_text, RenderMode};
 use learned_cloud_emulators::prelude::*;
 use std::sync::Arc;
 use std::sync::Barrier;
@@ -154,6 +155,151 @@ fn remote_backend_composes_with_compare_runs() {
     let golden_run = run_program(&program, &mut golden);
     let cmp = compare_runs(&golden_run, &remote_run);
     assert!(cmp.fully_aligned(), "{:?}", cmp.divergences);
+    handle.shutdown();
+}
+
+/// One raw HTTP/1.1 GET over a fresh connection, response bytes returned
+/// verbatim (headers + body).
+fn raw_get(addr: std::net::SocketAddr, path: &str) -> Vec<u8> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {} HTTP/1.1\r\nHost: lce\r\nConnection: close\r\n\r\n",
+        path
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    buf
+}
+
+/// Zero-overhead contract, observed at the socket: without
+/// `with_observability` the metrics routes do not exist — every scrape
+/// path answers with bytes identical to an ordinary unknown-route 404,
+/// so a server without observability is indistinguishable from the seed.
+#[test]
+fn metrics_routes_are_invisible_without_observability() {
+    let handle = start_golden_server(2);
+    let addr = handle.addr();
+
+    // Drive some real traffic first so the server is warm either way.
+    let mut client = RemoteClient::connect(addr, "plain").unwrap();
+    assert!(run_program(&basic_functionality(), &mut client).all_ok());
+
+    let unknown = raw_get(addr, "/definitely/not/a/route");
+    assert!(
+        String::from_utf8_lossy(&unknown).starts_with("HTTP/1.1 404"),
+        "expected a 404 baseline"
+    );
+    for path in [
+        "/_metrics",
+        "/_metrics/deterministic",
+        "/plain/_metrics",
+        "/plain/_metrics/deterministic",
+    ] {
+        assert_eq!(
+            raw_get(addr, path),
+            unknown,
+            "{} must be byte-identical to an unknown-route 404 when \
+             observability is disabled",
+            path
+        );
+    }
+    handle.shutdown();
+}
+
+/// The loopback exactness property: 16 clients over 8 accounts run the
+/// E2 scenario against an observed server; afterwards every account's
+/// scraped Prometheus text is byte-identical to the hub's in-process
+/// render, per-API call counters equal the exact schedule (2 runs × 1
+/// call each), and the global registry sums the whole fleet.
+#[test]
+fn observed_serving_scrape_equals_in_process_counters() {
+    let catalog = nimbus_provider().catalog;
+    let hub = Arc::new(ObsHub::new());
+    let handle = serve(
+        ServerConfig {
+            threads: 8,
+            ..ServerConfig::default()
+        }
+        .with_observability(Arc::clone(&hub)),
+        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>,
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(16));
+
+    let mut threads = Vec::new();
+    for t in 0..16 {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let account = format!("acct-{}", t % 8);
+            barrier.wait();
+            let mut client = RemoteClient::connect(addr, account.clone()).unwrap();
+            let run = run_program(&basic_functionality(), &mut client);
+            (account, run)
+        }));
+    }
+    for th in threads {
+        let (account, run) = th.join().unwrap();
+        assert!(run.all_ok(), "account {}: {:?}", account, run.error_codes());
+    }
+
+    let program_apis = [
+        "CreateVpc",
+        "CreateSubnet",
+        "ModifySubnetAttribute",
+        "DescribeSubnet",
+    ];
+    for a in 0..8 {
+        let account = format!("acct-{}", a);
+        let mut scraper = RemoteClient::connect(addr, account.clone()).unwrap();
+        let text = scraper.fetch_metrics(false).unwrap();
+        assert_eq!(
+            text,
+            hub.render_account(&account, RenderMode::Full).unwrap(),
+            "account {} scrape is not the in-process render",
+            account
+        );
+        let parsed = parse_text(&text).unwrap();
+        for api in program_apis {
+            assert_eq!(
+                parsed.get(&format!("lce_api_calls_total{{api=\"{}\"}}", api)),
+                Some(2),
+                "account {} api {}: two E2 runs call each API exactly once",
+                account,
+                api
+            );
+        }
+        assert_eq!(
+            parsed.sum_where("lce_api_errors_total", "api", "CreateVpc"),
+            0
+        );
+        assert_eq!(
+            parsed.get("lce_backend_invoke_latency_us_count"),
+            Some(8),
+            "account {}: invoke histogram must count all 8 calls",
+            account
+        );
+    }
+
+    // The global registry is the fleet-wide sum: 16 runs × 1 call per API.
+    let mut scraper = RemoteClient::connect(addr, "scraper").unwrap();
+    let global = parse_text(&scraper.fetch_global_metrics(false).unwrap()).unwrap();
+    for api in program_apis {
+        assert_eq!(
+            global.sum_where("lce_api_calls_total", "api", api),
+            16,
+            "global count for {} should sum all accounts",
+            api
+        );
+    }
+    assert_eq!(global.get("lce_backend_invoke_latency_us_count"), Some(64));
+    assert_eq!(
+        global.sum_where("lce_faults_injected_total", "kind", "transient-error"),
+        0
+    );
     handle.shutdown();
 }
 
