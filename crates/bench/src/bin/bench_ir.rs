@@ -1,0 +1,347 @@
+//! Interpreter vs. compiled-IR microbenchmark (`BENCH_ir.json`).
+//!
+//! Records concrete call traces from the golden scenario suites (Nimbus:
+//! basic functionality + the Fig. 3 matrix; Stratus: the Fig. 3 matrix) by
+//! running each program once through the interpreter, then replays the
+//! identical traces against both engines and reports throughput
+//! (calls/sec) and per-call latency percentiles (p50/p99). Replaying a
+//! fixed trace keeps the scenario driver's bookkeeping out of the timed
+//! region, so the numbers measure `Backend::invoke` and nothing else; the
+//! engines are byte-identical on these catalogs (the differential suite
+//! enforces it), so one trace is valid for both. Each replay starts from
+//! `reset()`, and the compiled engine's responses are cross-checked
+//! against the recorded ones once before timing.
+//!
+//! ```text
+//! bench_ir [--iters N] [--out FILE] [--check FILE]
+//! ```
+//!
+//! `--check FILE` re-runs the benchmark and fails (exit 1) if the compiled
+//! engine's throughput fell below two-thirds of the committed numbers or
+//! the measured speedup fell below 4x — the CI regression gate. (The
+//! committed file carries the ≥5x acceptance numbers; single-vCPU runners
+//! swing absolute throughput by ±25% run to run, so the live floors only
+//! catch structural regressions, not scheduler noise.)
+//!
+//! The JSON is hand-rendered with integer fields only, so the committed
+//! file is bit-stable across serializer versions and trivially parseable.
+
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_devops::scenarios::{basic_functionality, fig3_nimbus, fig3_stratus};
+use lce_devops::{run_program, Program};
+use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator};
+use lce_ir::CompiledEmulator;
+use lce_spec::Catalog;
+use std::time::Instant;
+
+/// One program's resolved calls and the interpreter's responses to them.
+struct Trace {
+    calls: Vec<ApiCall>,
+    responses: Vec<ApiResponse>,
+}
+
+/// Capture every resolved call a program issues.
+struct Capture<B> {
+    inner: B,
+    calls: Vec<ApiCall>,
+}
+
+impl<B: Backend> Backend for Capture<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        self.calls.push(call.clone());
+        self.inner.invoke(call)
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+    fn api_names(&self) -> Vec<String> {
+        self.inner.api_names()
+    }
+    fn supports(&self, api: &str) -> bool {
+        self.inner.supports(api)
+    }
+}
+
+/// Run each program once through the interpreter, recording the concrete
+/// call sequence and the oracle responses.
+fn record(catalog: &Catalog, suite: &[Program]) -> Vec<Trace> {
+    let mut cap = Capture {
+        inner: Emulator::new(catalog.clone()),
+        calls: Vec::new(),
+    };
+    suite
+        .iter()
+        .map(|program| {
+            cap.reset();
+            cap.calls.clear();
+            let run = run_program(program, &mut cap);
+            Trace {
+                calls: std::mem::take(&mut cap.calls),
+                responses: run.steps.into_iter().map(|s| s.response).collect(),
+            }
+        })
+        .collect()
+}
+
+/// One engine's numbers over one suite.
+struct EngineResult {
+    calls_per_sec: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replay the traces `iters` times for throughput, then a few
+/// instrumented passes for the latency distribution. The throughput loop
+/// is split into rounds and the best round wins — on a shared machine the
+/// fastest round is the least perturbed by unrelated load.
+fn bench_engine<B: Backend>(mut backend: B, traces: &[Trace], iters: usize) -> EngineResult {
+    const ROUNDS: usize = 5;
+    // Warmup.
+    for trace in traces {
+        backend.reset();
+        for call in &trace.calls {
+            backend.invoke(call);
+        }
+    }
+    // Throughput: best of ROUNDS.
+    let per_round = (iters / ROUNDS).max(1);
+    let mut best = 0f64;
+    for _ in 0..ROUNDS {
+        let mut calls = 0usize;
+        let t = Instant::now();
+        for _ in 0..per_round {
+            for trace in traces {
+                backend.reset();
+                for call in &trace.calls {
+                    backend.invoke(call);
+                    calls += 1;
+                }
+            }
+        }
+        best = best.max(calls as f64 / t.elapsed().as_secs_f64());
+    }
+    // Latency distribution.
+    let mut lat_ns = Vec::with_capacity(traces.iter().map(|t| t.calls.len()).sum::<usize>() * 8);
+    for _ in 0..8 {
+        for trace in traces {
+            backend.reset();
+            for call in &trace.calls {
+                let t0 = Instant::now();
+                backend.invoke(call);
+                lat_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    lat_ns.sort_unstable();
+    EngineResult {
+        calls_per_sec: best as u64,
+        p50_ns: percentile(&lat_ns, 0.50),
+        p99_ns: percentile(&lat_ns, 0.99),
+    }
+}
+
+struct SuiteResult {
+    provider: &'static str,
+    programs: usize,
+    calls_per_iter: usize,
+    interp: EngineResult,
+    ir: EngineResult,
+}
+
+impl SuiteResult {
+    fn speedup(&self) -> f64 {
+        self.ir.calls_per_sec as f64 / (self.interp.calls_per_sec as f64).max(1.0)
+    }
+}
+
+fn bench_suite(
+    provider: &'static str,
+    catalog: &Catalog,
+    suite: &[Program],
+    iters: usize,
+) -> SuiteResult {
+    let traces = record(catalog, suite);
+    // Cross-check once: the compiled engine must reproduce the oracle's
+    // responses on the trace before its numbers mean anything.
+    let mut ir = CompiledEmulator::new(catalog).expect("golden catalog compiles");
+    for trace in &traces {
+        ir.reset();
+        for (call, expected) in trace.calls.iter().zip(&trace.responses) {
+            let got = ir.invoke(call);
+            assert_eq!(&got, expected, "engines diverged on {}", call.api);
+        }
+    }
+    let calls_per_iter = traces.iter().map(|t| t.calls.len()).sum();
+    let interp = bench_engine(Emulator::new(catalog.clone()), &traces, iters);
+    let ir = bench_engine(ir, &traces, iters);
+    SuiteResult {
+        provider,
+        programs: suite.len(),
+        calls_per_iter,
+        interp,
+        ir,
+    }
+}
+
+fn render(results: &[SuiteResult], iters: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ir-vs-interp\",\n");
+    out.push_str(&format!("  \"iters\": {},\n", iters));
+    out.push_str("  \"suites\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"provider\": \"{}\",\n", s.provider));
+        out.push_str(&format!("      \"programs\": {},\n", s.programs));
+        out.push_str(&format!(
+            "      \"calls_per_iter\": {},\n",
+            s.calls_per_iter
+        ));
+        for (name, e) in [("interp", &s.interp), ("ir", &s.ir)] {
+            out.push_str(&format!(
+                "      \"{}\": {{ \"calls_per_sec\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
+                name, e.calls_per_sec, e.p50_ns, e.p99_ns
+            ));
+        }
+        out.push_str(&format!(
+            "      \"speedup_pct\": {}\n",
+            (s.speedup() * 100.0) as u64
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"key": N` out of `text` after the `"provider": "<provider>"`
+/// marker and within the named engine object. Committed files use integer
+/// fields only, so naive scanning is exact.
+fn extract(text: &str, provider: &str, engine: &str, key: &str) -> Option<u64> {
+    let suite = text
+        .split(&format!("\"provider\": \"{}\"", provider))
+        .nth(1)?;
+    let block = suite.split(&format!("\"{}\":", engine)).nth(1)?;
+    let field = block.split(&format!("\"{}\":", key)).nth(1)?;
+    let digits: String = field
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 200usize;
+    let mut out_file: Option<String> = None;
+    let mut check_file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(iters);
+                i += 2;
+            }
+            "--out" => {
+                out_file = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--check" => {
+                check_file = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{}`", other);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let nimbus = nimbus_provider().catalog;
+    let stratus = stratus_provider().catalog;
+    let mut nimbus_suite = vec![basic_functionality()];
+    nimbus_suite.extend(fig3_nimbus().into_iter().map(|s| s.program));
+    let stratus_suite: Vec<Program> = fig3_stratus().into_iter().map(|s| s.program).collect();
+
+    let results = vec![
+        bench_suite("nimbus", &nimbus, &nimbus_suite, iters),
+        bench_suite("stratus", &stratus, &stratus_suite, iters),
+    ];
+    let text = render(&results, iters);
+
+    for s in &results {
+        eprintln!(
+            "{:8} interp {:>9} calls/s (p50 {:>6}ns p99 {:>7}ns)  ir {:>9} calls/s \
+             (p50 {:>6}ns p99 {:>7}ns)  speedup {:.1}x",
+            s.provider,
+            s.interp.calls_per_sec,
+            s.interp.p50_ns,
+            s.interp.p99_ns,
+            s.ir.calls_per_sec,
+            s.ir.p50_ns,
+            s.ir.p99_ns,
+            s.speedup()
+        );
+    }
+
+    match out_file {
+        Some(path) => {
+            std::fs::write(&path, &text).expect("write bench file");
+            eprintln!("written to {}", path);
+        }
+        None => print!("{}", text),
+    }
+
+    if let Some(path) = check_file {
+        let committed = std::fs::read_to_string(&path).expect("read committed bench file");
+        let mut failed = false;
+        for s in &results {
+            let Some(committed_ir) = extract(&committed, s.provider, "ir", "calls_per_sec") else {
+                eprintln!("check: {} missing from {}", s.provider, path);
+                failed = true;
+                continue;
+            };
+            let floor = committed_ir * 2 / 3;
+            if s.ir.calls_per_sec < floor {
+                eprintln!(
+                    "check FAIL: {} ir {} calls/s is below 2/3 of committed {} ({})",
+                    s.provider, s.ir.calls_per_sec, committed_ir, floor
+                );
+                failed = true;
+            }
+            // The committed file proves the 5x acceptance number; the live
+            // floor is 4x so a noisy CI neighbour can't fail the gate.
+            if s.speedup() < 4.0 {
+                eprintln!(
+                    "check FAIL: {} speedup {:.2}x is below the 4x regression floor",
+                    s.provider,
+                    s.speedup()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check: throughput within 2/3 of {} and speedup >= 4x", path);
+    }
+}

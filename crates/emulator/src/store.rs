@@ -97,6 +97,17 @@ impl ResourceStore {
         self.instances.get_mut(&id).expect("just inserted")
     }
 
+    /// Insert a fully-formed instance, replacing (and returning) any
+    /// existing one with the same id. Used by engines that build instances
+    /// from precomputed templates (the compiled IR executor) and by
+    /// journal-based rollback, which must reinstate removed instances
+    /// verbatim. Id prefixes are not unique across SM types, so a caller
+    /// minting fresh ids must inspect the displaced instance to keep
+    /// rollback faithful.
+    pub fn put(&mut self, inst: Instance) -> Option<Instance> {
+        self.instances.insert(inst.id.clone(), inst)
+    }
+
     /// Look up a live instance.
     pub fn get(&self, id: &ResourceId) -> Option<&Instance> {
         self.instances.get(id)

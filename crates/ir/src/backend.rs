@@ -1,0 +1,632 @@
+//! [`CompiledEmulator`]: the compiled engine behind the same [`Backend`]
+//! trait the interpreter implements, so it drops into the serving router,
+//! the fault harness and every experiment driver unchanged.
+
+use crate::exec::{finish_destroy, Chain, Journal, RegPool, Undo, Vm};
+use crate::lower::{compile, CompileError};
+use crate::program::{CompiledCatalog, CompiledSm, CompiledTransition};
+use lce_emulator::{
+    codes, ApiCall, ApiError, ApiResponse, Backend, EmulatorConfig, Instance, ResourceId,
+    ResourceStore, Value,
+};
+use lce_spec::{Catalog, TransitionKind};
+use std::collections::BTreeMap;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// An emulator that executes the compiled IR instead of walking the spec
+/// AST. Behaviour is byte-identical to [`lce_emulator::Emulator`] on the
+/// same catalog and configuration — responses, error contexts, id
+/// sequences and final stores all match, which [`crate::DualBackend`] and
+/// the differential test suite enforce.
+#[derive(Debug, Clone)]
+pub struct CompiledEmulator {
+    name: String,
+    cc: Arc<CompiledCatalog>,
+    config: EmulatorConfig,
+    store: ResourceStore,
+    // Scratch buffers reused across invocations so the hot path does not
+    // re-allocate the journal, call chain and argument slots per call.
+    journal_buf: Journal,
+    chain_buf: Chain,
+    args_buf: Vec<Value>,
+    regs_pool: RegPool,
+}
+
+impl CompiledEmulator {
+    /// Compile a catalog and wrap it with the default (framework)
+    /// configuration.
+    pub fn new(catalog: &Catalog) -> Result<Self, CompileError> {
+        Self::with_config(catalog, EmulatorConfig::framework())
+    }
+
+    /// Compile a catalog with an explicit configuration.
+    pub fn with_config(catalog: &Catalog, config: EmulatorConfig) -> Result<Self, CompileError> {
+        Ok(Self::from_compiled(Arc::new(compile(catalog)?), config))
+    }
+
+    /// Wrap an already-compiled catalog (compilation is per-catalog, not
+    /// per-engine: clones share the `Arc`).
+    pub fn from_compiled(cc: Arc<CompiledCatalog>, config: EmulatorConfig) -> Self {
+        CompiledEmulator {
+            name: "compiled".into(),
+            cc,
+            config,
+            store: ResourceStore::new(),
+            journal_buf: Journal::default(),
+            chain_buf: Chain::new(),
+            args_buf: Vec::new(),
+            regs_pool: RegPool::new(),
+        }
+    }
+
+    /// Set a display name (used in experiment reports).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The compiled program.
+    pub fn compiled(&self) -> &CompiledCatalog {
+        &self.cc
+    }
+
+    /// The live resource store (read-only).
+    pub fn store(&self) -> &ResourceStore {
+        &self.store
+    }
+
+    /// Replace the live store (used by test drivers to start from a
+    /// prepared state).
+    pub fn set_store(&mut self, store: ResourceStore) {
+        self.store = store;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EmulatorConfig {
+        &self.config
+    }
+
+    /// Validate and coerce the caller's arguments into positional slots.
+    /// Mirrors the interpreter's `bind_args` exactly, including error
+    /// order: declared parameters first, then (under `strict_params`) the
+    /// caller's keys in sorted order.
+    fn bind_args(
+        &self,
+        sm: &CompiledSm,
+        t: &CompiledTransition,
+        call: &ApiCall,
+        bound: &mut Vec<Value>,
+    ) -> Result<(), ApiError> {
+        bound.clear();
+        bound.resize(t.params.len(), Value::Null);
+        for (i, p) in t.params.iter().enumerate() {
+            match call.args.get(&p.name) {
+                None | Some(Value::Null) => {
+                    if p.optional {
+                        bound[i] = Value::Null;
+                    } else {
+                        return Err(ApiError::new(
+                            codes::MISSING_PARAMETER,
+                            format!("required parameter `{}` is missing", p.name),
+                        )
+                        .with_api(&t.name)
+                        .with_resource_type(&sm.name));
+                    }
+                }
+                Some(v) => match v.coerce(&p.ty) {
+                    Some(cv) => {
+                        bound[i] = cv;
+                    }
+                    None => {
+                        return Err(ApiError::new(
+                            codes::INVALID_PARAMETER_VALUE,
+                            format!(
+                                "parameter `{}` has invalid value {} (expected {})",
+                                p.name, v, p.ty_display
+                            ),
+                        )
+                        .with_api(&t.name)
+                        .with_resource_type(&sm.name));
+                    }
+                },
+            }
+        }
+        if self.config.strict_params {
+            for k in call.args.keys() {
+                if !t.params.iter().any(|p| &p.name == k) && k != &sm.id_param {
+                    return Err(ApiError::new(
+                        codes::UNKNOWN_PARAMETER,
+                        format!("parameter `{}` is not accepted by {}", k, t.name),
+                    )
+                    .with_api(&t.name)
+                    .with_resource_type(&sm.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn invoke_inner(&mut self, call: &ApiCall) -> ApiResponse {
+        let (sm_idx, t_idx) = match self.cc.dispatch.get(call.api.as_str()) {
+            Some(&entry) => entry,
+            None => {
+                return ApiResponse::err(ApiError::new(
+                    codes::INVALID_ACTION,
+                    format!("the API `{}` is not supported by this emulator", call.api),
+                ));
+            }
+        };
+        let cc = Arc::clone(&self.cc);
+        let sm = &cc.sms[sm_idx as usize];
+        let t = &sm.transitions[t_idx as usize];
+        let mut args = std::mem::take(&mut self.args_buf);
+        if let Err(e) = self.bind_args(sm, t, call, &mut args) {
+            self.args_buf = args;
+            return ApiResponse::err(e);
+        }
+
+        // Detach the (small) config from `self` so the Vm's borrows don't
+        // conflict with `&mut self.store` in the run_* methods.
+        let config = self.config.clone();
+        let vm = Vm {
+            cc: &cc,
+            config: &config,
+            allow_destroy: !(config.enforce_hierarchy && t.kind == TransitionKind::Create),
+        };
+        let mut journal = std::mem::take(&mut self.journal_buf);
+        journal.clear();
+        let mut chain = std::mem::take(&mut self.chain_buf);
+        chain.clear();
+        let mut pool = std::mem::take(&mut self.regs_pool);
+
+        let result = match t.kind {
+            TransitionKind::Create => self.run_create(
+                &vm,
+                &mut journal,
+                &mut chain,
+                &mut pool,
+                sm,
+                sm_idx,
+                t_idx,
+                &args,
+            ),
+            _ => self.run_on_instance(
+                &vm,
+                &mut journal,
+                &mut chain,
+                &mut pool,
+                sm,
+                sm_idx,
+                t_idx,
+                call,
+                &args,
+            ),
+        };
+
+        let resp = match result {
+            Ok(fields) => {
+                if t.kind == TransitionKind::Describe && self.config.enforce_describe_readonly {
+                    // Describes are read-only: undo any state changes the
+                    // (possibly mis-generated) body made.
+                    journal.rollback(&mut self.store, &cc);
+                }
+                ApiResponse::ok(fields)
+            }
+            Err(e) => {
+                // Roll back all effects; id counters are bumped in place
+                // and never journalled, so ids stay monotonic across
+                // failures exactly like the interpreter's `adopt_counters`.
+                journal.rollback(&mut self.store, &cc);
+                ApiResponse::err(e)
+            }
+        };
+        // Hand the (now drained or stale) scratch buffers back for reuse.
+        self.args_buf = args;
+        self.journal_buf = journal;
+        self.chain_buf = chain;
+        self.regs_pool = pool;
+        resp
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_create(
+        &mut self,
+        vm: &Vm<'_>,
+        journal: &mut Journal,
+        chain: &mut Chain,
+        pool: &mut RegPool,
+        sm: &CompiledSm,
+        sm_idx: u32,
+        t_idx: u32,
+        args: &[Value],
+    ) -> Result<BTreeMap<String, Value>, ApiError> {
+        let t = &sm.transitions[t_idx as usize];
+        let id = self.store.fresh_id(&sm.name);
+        // Id prefixes are not unique across SM types (CarrierGateway and
+        // CustomerGateway both mint `cg-…`), so a fresh id can collide with
+        // a live instance of another type. `put` then replaces it — exactly
+        // what the interpreter's `instantiate` does on its scratch — and the
+        // undo must reinstate the displaced instance, not drop the id.
+        let displaced = self.store.put(Instance {
+            id: id.clone(),
+            sm: sm.name.clone(),
+            state: sm.default_state.clone(),
+            parent: None,
+        });
+        journal.push(match displaced {
+            Some(prev) => Undo::Remove { inst: prev },
+            None => Undo::Insert { id: id.clone() },
+        });
+        journal.mark_created(id.clone());
+        let mut emits = vm.run_transition(
+            &mut self.store,
+            journal,
+            sm_idx,
+            t_idx,
+            &id,
+            args,
+            0,
+            chain,
+            pool,
+        )?;
+
+        // Containment: resolve the declared parent link.
+        if let Some((parent_ty, via)) = &sm.parent {
+            let link = self
+                .store
+                .get(&id)
+                .and_then(|inst| inst.get(via))
+                .cloned()
+                .unwrap_or(Value::Null);
+            match link {
+                Value::Ref(pid) => {
+                    let ok = self.store.get(&pid).is_some_and(|p| &p.sm == parent_ty);
+                    if !ok && self.config.enforce_hierarchy {
+                        return Err(ApiError::new(
+                            codes::NOT_FOUND,
+                            format!("parent {} {} does not exist", parent_ty, pid),
+                        )
+                        .with_api(&t.name)
+                        .with_resource_type(&sm.name));
+                    }
+                    // No undo needed: this is the invocation's own created
+                    // instance, and rollback removes or replaces it whole.
+                    self.store.set_parent(&id, pid);
+                }
+                Value::Null if self.config.enforce_hierarchy => {
+                    return Err(ApiError::new(
+                        codes::MISSING_PARAMETER,
+                        format!(
+                            "resource type {} requires a parent {} but `{}` was not set",
+                            sm.name, parent_ty, via
+                        ),
+                    )
+                    .with_api(&t.name)
+                    .with_resource_type(&sm.name));
+                }
+                _ => {}
+            }
+        }
+
+        emits.insert(sm.id_param.clone(), Value::Ref(id));
+        Ok(emits)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_on_instance(
+        &mut self,
+        vm: &Vm<'_>,
+        journal: &mut Journal,
+        chain: &mut Chain,
+        pool: &mut RegPool,
+        sm: &CompiledSm,
+        sm_idx: u32,
+        t_idx: u32,
+        call: &ApiCall,
+        args: &[Value],
+    ) -> Result<BTreeMap<String, Value>, ApiError> {
+        let t = &sm.transitions[t_idx as usize];
+        // Borrow the target id straight out of the call when possible — the
+        // hot path (`Ref` argument) never clones the id string.
+        let coerced;
+        let id: &ResourceId = match call.args.get(&sm.id_param) {
+            Some(Value::Ref(id)) => id,
+            Some(Value::Str(s)) => {
+                coerced = ResourceId::new(s.clone());
+                &coerced
+            }
+            _ => {
+                return Err(ApiError::new(
+                    codes::MISSING_PARAMETER,
+                    format!("required parameter `{}` is missing", sm.id_param),
+                )
+                .with_api(&t.name)
+                .with_resource_type(&sm.name));
+            }
+        };
+        match self.store.get(id) {
+            Some(inst) if inst.sm == sm.name => {}
+            _ => {
+                return Err(ApiError::new(
+                    codes::NOT_FOUND,
+                    format!("the {} `{}` does not exist", sm.name, id),
+                )
+                .with_api(&t.name)
+                .with_resource_type(&sm.name)
+                .with_resource_id(id));
+            }
+        }
+        let emits = vm.run_transition(
+            &mut self.store,
+            journal,
+            sm_idx,
+            t_idx,
+            id,
+            args,
+            0,
+            chain,
+            pool,
+        )?;
+        if t.kind == TransitionKind::Destroy {
+            finish_destroy(vm, &mut self.store, journal, &t.name, id, chain)?;
+        }
+        Ok(emits)
+    }
+}
+
+impl Backend for CompiledEmulator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        self.invoke_inner(call)
+    }
+
+    fn reset(&mut self) {
+        self.store = ResourceStore::new();
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.cc.api_names.clone()
+    }
+
+    /// O(1) lookup in the compiled jump table — no catalog walk, no
+    /// allocation.
+    fn supports(&self, api: &str) -> bool {
+        self.cc.supports(api)
+    }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        Some(self.store.clone())
+    }
+}
+
+/// Which execution engine serves a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The spec interpreter ([`lce_emulator::Emulator`]).
+    #[default]
+    Interp,
+    /// The compiled IR executor ([`CompiledEmulator`]).
+    Ir,
+    /// Both, lock-step, asserting byte-identical behaviour
+    /// ([`crate::DualBackend`]).
+    Dual,
+}
+
+impl Engine {
+    /// The flag spelling (`interp` / `ir` / `dual`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Interp => "interp",
+            Engine::Ir => "ir",
+            Engine::Dual => "dual",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" => Ok(Engine::Interp),
+            "ir" | "compiled" => Ok(Engine::Ir),
+            "dual" => Ok(Engine::Dual),
+            other => Err(format!(
+                "unknown engine `{}` (expected interp, ir or dual)",
+                other
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_catalog;
+
+    fn world() -> Catalog {
+        Catalog::from_specs(
+            parse_catalog(
+                r#"
+        sm Vpc {
+          service "compute";
+          states { cidr: str; state: enum(pending, available) = available; }
+          transition CreateVpc(CidrBlock: str) kind create {
+            write(cidr, arg(CidrBlock));
+            emit(State, read(state));
+          }
+          transition DescribeVpc() kind describe {
+            emit(CidrBlock, read(cidr));
+          }
+          transition DeleteVpc() kind destroy { }
+        }
+        sm Subnet {
+          service "compute";
+          parent Vpc via vpc;
+          states { vpc: ref(Vpc); cidr: str; }
+          transition CreateSubnet(VpcId: ref(Vpc), CidrBlock: str) kind create {
+            assert(exists(arg(VpcId))) else NotFound "no such vpc";
+            write(vpc, arg(VpcId));
+            write(cidr, arg(CidrBlock));
+          }
+          transition DeleteSubnet() kind destroy { }
+        }
+        "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn both(catalog: &Catalog) -> (lce_emulator::Emulator, CompiledEmulator) {
+        (
+            lce_emulator::Emulator::new(catalog.clone()),
+            CompiledEmulator::new(catalog).unwrap(),
+        )
+    }
+
+    fn lockstep(calls: &[ApiCall]) {
+        let catalog = world();
+        let (mut interp, mut ir) = both(&catalog);
+        for call in calls {
+            let a = interp.invoke(call);
+            let b = ir.invoke(call);
+            assert_eq!(a, b, "diverged on {:?}", call.api);
+        }
+        assert_eq!(interp.store(), ir.store(), "final stores differ");
+    }
+
+    #[test]
+    fn create_describe_delete_match_interpreter() {
+        lockstep(&[
+            ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"),
+            ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-000001"),
+            ApiCall::new("CreateSubnet")
+                .arg_str("VpcId", "vpc-000001")
+                .arg_str("CidrBlock", "10.0.1.0/24"),
+            ApiCall::new("DeleteVpc").arg_str("VpcId", "vpc-000001"),
+            ApiCall::new("DeleteSubnet").arg_str("SubnetId", "subnet-000001"),
+            ApiCall::new("DeleteVpc").arg_str("VpcId", "vpc-000001"),
+        ]);
+    }
+
+    #[test]
+    fn error_paths_match_interpreter() {
+        lockstep(&[
+            ApiCall::new("LaunchRocket"),
+            ApiCall::new("CreateVpc"),
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Color", "red"),
+            ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-dead"),
+            ApiCall::new("CreateSubnet")
+                .arg_str("VpcId", "vpc-ghost")
+                .arg_str("CidrBlock", "x"),
+        ]);
+    }
+
+    #[test]
+    fn failed_create_burns_ids_like_interpreter() {
+        lockstep(&[
+            ApiCall::new("CreateSubnet")
+                .arg_str("VpcId", "vpc-ghost")
+                .arg_str("CidrBlock", "x"),
+            ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"),
+            ApiCall::new("CreateSubnet")
+                .arg_str("VpcId", "vpc-000001")
+                .arg_str("CidrBlock", "10.0.1.0/24"),
+        ]);
+    }
+
+    /// `CarrierGateway` and `CustomerGateway` both mint `cg-…` ids, so a
+    /// fresh id can collide with a live instance of the other type. A
+    /// *failed* create must reinstate the displaced instance on rollback —
+    /// the interpreter keeps it by discarding its scratch store.
+    #[test]
+    fn failed_create_with_colliding_id_restores_displaced_instance() {
+        let catalog = Catalog::from_specs(
+            parse_catalog(
+                r#"
+        sm CustomerGateway {
+          service "compute";
+          states { ip: str; }
+          transition CreateCustomerGateway(Ip: str) kind create { write(ip, arg(Ip)); }
+          transition DeleteCustomerGateway() kind destroy { }
+        }
+        sm CarrierGateway {
+          service "compute";
+          states { vpc: str; }
+          transition CreateCarrierGateway(VpcId: str) kind create {
+            assert(exists(arg(VpcId))) else NotFound "no such vpc";
+            write(vpc, arg(VpcId));
+          }
+          transition DeleteCarrierGateway() kind destroy { }
+        }
+        "#,
+            )
+            .unwrap(),
+        );
+        let (mut interp, mut ir) = (
+            lce_emulator::Emulator::new(catalog.clone()),
+            CompiledEmulator::new(&catalog).unwrap(),
+        );
+        for call in [
+            // cg-000001 is a CustomerGateway…
+            ApiCall::new("CreateCustomerGateway").arg_str("Ip", "1.2.3.4"),
+            // …and the failing CreateCarrierGateway also mints cg-000001.
+            ApiCall::new("CreateCarrierGateway").arg_str("VpcId", "vpc-ghost"),
+        ] {
+            let a = interp.invoke(&call);
+            let b = ir.invoke(&call);
+            assert_eq!(a, b, "diverged on {:?}", call.api);
+        }
+        assert_eq!(interp.store(), ir.store(), "final stores differ");
+        assert_eq!(ir.store().len(), 1, "customer gateway must survive");
+    }
+
+    #[test]
+    fn supports_is_jump_table_lookup() {
+        let catalog = world();
+        let ir = CompiledEmulator::new(&catalog).unwrap();
+        assert!(ir.supports("CreateVpc"));
+        assert!(!ir.supports("LaunchRocket"));
+        assert_eq!(
+            ir.api_names(),
+            lce_emulator::Emulator::new(catalog.clone()).api_names()
+        );
+    }
+
+    /// Compile-time proof that `CompiledEmulator` is usable as a trait
+    /// object wherever the serving stack stores `Box<dyn Backend>`.
+    #[test]
+    fn compiled_emulator_is_object_safe() {
+        fn as_dyn(b: &dyn Backend) -> &dyn Backend {
+            b
+        }
+        let catalog = world();
+        let ir = CompiledEmulator::new(&catalog).unwrap();
+        assert_eq!(as_dyn(&ir).name(), "compiled");
+        let mut boxed: Box<dyn Backend> = Box::new(ir);
+        let resp = boxed.invoke(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"));
+        assert!(resp.is_ok());
+        assert!(boxed.snapshot().is_some());
+    }
+
+    #[test]
+    fn engine_round_trips_from_str() {
+        for e in [Engine::Interp, Engine::Ir, Engine::Dual] {
+            assert_eq!(e.as_str().parse::<Engine>().unwrap(), e);
+        }
+        assert!("warp".parse::<Engine>().is_err());
+        assert_eq!(Engine::default(), Engine::Interp);
+    }
+}

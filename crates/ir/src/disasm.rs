@@ -1,0 +1,122 @@
+//! Human-readable listings of compiled programs (`lce compile --dump`).
+
+use crate::program::{CompiledCatalog, CompiledTransition, Op};
+use std::fmt::Write;
+
+fn fmt_op(cc: &CompiledCatalog, t: &CompiledTransition, op: &Op) -> String {
+    match op {
+        Op::Const { dst, idx } => format!("r{} <- const {}", dst, t.consts[*idx as usize]),
+        Op::SelfId { dst } => format!("r{} <- self", dst),
+        Op::Arg { dst, slot } => format!(
+            "r{} <- arg[{}] ({})",
+            dst, slot, t.params[*slot as usize].name
+        ),
+        Op::Read { dst, var } => format!("r{} <- read {}", dst, cc.interner.resolve(*var)),
+        Op::Field { dst, obj, var } => {
+            format!("r{} <- r{}.{}", dst, obj, cc.interner.resolve(*var))
+        }
+        Op::ChildCount { dst, sm } => {
+            format!("r{} <- child_count {}", dst, cc.sm_names[*sm as usize])
+        }
+        Op::Not { dst, src } => format!("r{} <- !r{}", dst, src),
+        Op::IsNull { dst, src } => format!("r{} <- is_null r{}", dst, src),
+        Op::Exists { dst, src } => format!("r{} <- exists r{}", dst, src),
+        Op::Len { dst, src } => format!("r{} <- len r{}", dst, src),
+        Op::Bin { op, dst, a, b } => format!("r{} <- r{} {:?} r{}", dst, a, op, b),
+        Op::ListOf { dst, items } => {
+            let regs: Vec<String> = items.iter().map(|r| format!("r{}", r)).collect();
+            format!("r{} <- [{}]", dst, regs.join(", "))
+        }
+        Op::Append { dst, list, item } => format!("r{} <- append r{} r{}", dst, list, item),
+        Op::Remove { dst, list, item } => format!("r{} <- remove r{} r{}", dst, list, item),
+        Op::Move { dst, src } => format!("r{} <- r{}", dst, src),
+        Op::Jump { target } => format!("jump {}", target),
+        Op::JumpIfFalse { cond, target, .. } => format!("jump_if_false r{} -> {}", cond, target),
+        Op::JumpIfTrue { cond, target, .. } => format!("jump_if_true r{} -> {}", cond, target),
+        Op::CheckBool { src, .. } => format!("check_bool r{}", src),
+        Op::Bump => "bump".to_string(),
+        Op::Write { var, src, .. } => {
+            format!("write {} <- r{}", cc.interner.resolve(*var), src)
+        }
+        Op::Assert { pred, info } => {
+            let a = &t.asserts[*info as usize];
+            format!("assert r{} else {} {:?}", pred, a.code, a.message)
+        }
+        Op::Emit { field, src } => format!("emit {} <- r{}", cc.interner.resolve(*field), src),
+        Op::Call { target, site } => {
+            let s = &t.sites[*site as usize];
+            format!("call r{} . {} ({} args)", target, s.api, s.args.len())
+        }
+    }
+}
+
+/// Render the whole compiled catalog as an assembly-style listing.
+pub fn disassemble(cc: &CompiledCatalog) -> String {
+    let mut out = String::new();
+    for sm in &cc.sms {
+        let _ = writeln!(out, "sm {} (id_param {})", sm.name, sm.id_param);
+        for t in &sm.transitions {
+            let _ = writeln!(
+                out,
+                "  transition {} kind {:?} ({} regs, {} consts)",
+                t.name,
+                t.kind,
+                t.n_regs,
+                t.consts.len()
+            );
+            for (i, op) in t.code.iter().enumerate() {
+                let _ = writeln!(out, "    {:4}  {}", i, fmt_op(cc, t, op));
+            }
+            for (si, site) in t.sites.iter().enumerate() {
+                for (ai, block) in site.args.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "    site {} arg {} (result r{}):",
+                        si, ai, block.result
+                    );
+                    for (i, op) in block.code.iter().enumerate() {
+                        let _ = writeln!(out, "      {:4}  {}", i, fmt_op(cc, t, op));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+    use lce_spec::{parse_catalog, Catalog};
+
+    #[test]
+    fn listing_covers_every_transition() {
+        let catalog = Catalog::from_specs(
+            parse_catalog(
+                r#"
+            sm Queue {
+              service "mq";
+              states { depth: int = 0; tags: list(str); }
+              transition CreateQueue(Tag: str?) kind create {
+                if !is_null(arg(Tag)) { write(tags, append(read(tags), arg(Tag))); }
+              }
+              transition SendMessage() kind modify {
+                assert(read(depth) < 100 && len(read(tags)) >= 0) else LimitExceeded "full";
+                write(depth, read(depth) + 1);
+              }
+              transition DeleteQueue() kind destroy { }
+            }
+            "#,
+            )
+            .unwrap(),
+        );
+        let cc = compile(&catalog).unwrap();
+        let text = disassemble(&cc);
+        assert!(text.contains("sm Queue"));
+        assert!(text.contains("transition SendMessage"));
+        assert!(text.contains("assert"), "{}", text);
+        assert!(text.contains("jump_if_false"), "{}", text);
+        assert!(text.contains("write depth"), "{}", text);
+    }
+}

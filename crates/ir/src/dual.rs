@@ -1,0 +1,295 @@
+//! [`DualBackend`]: the interpreter as differential oracle.
+//!
+//! Runs every call through both engines — the spec interpreter and the
+//! compiled IR executor — and asserts byte-identical behaviour: equal
+//! [`ApiResponse`]s (fields, error codes, messages, structured context),
+//! equal stores, and equal [`store_digest`] fingerprints. `lce serve
+//! --engine dual` and `lce chaos --engine dual` put the oracle on every
+//! request; `lce compile --check` uses record mode to report divergences
+//! instead of panicking.
+
+use crate::backend::CompiledEmulator;
+use crate::lower::CompileError;
+use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, ResourceStore};
+use lce_faults::store_digest;
+use lce_spec::Catalog;
+
+/// What to do when the engines disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DivergencePolicy {
+    /// Panic with a diff of the two behaviours (test/serving default: a
+    /// divergence is a compiler bug and must not be papered over).
+    #[default]
+    Panic,
+    /// Record the divergence and keep going (used by `lce compile --check`
+    /// to report all divergences in one pass).
+    Record,
+}
+
+/// One observed divergence between the engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the call in the invocation sequence (0-based).
+    pub call_index: usize,
+    /// The API invoked.
+    pub api: String,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "call #{} ({}): {}",
+            self.call_index, self.api, self.detail
+        )
+    }
+}
+
+/// A backend running the interpreter and the compiled engine in lock-step.
+///
+/// The interpreter's response is returned (it is the oracle); the compiled
+/// engine's must match it exactly, along with the resulting stores and
+/// their digests.
+#[derive(Debug)]
+pub struct DualBackend {
+    name: String,
+    interp: Emulator,
+    ir: CompiledEmulator,
+    policy: DivergencePolicy,
+    calls: usize,
+    divergences: Vec<Divergence>,
+}
+
+impl DualBackend {
+    /// Build both engines from one catalog with the default (framework)
+    /// configuration.
+    pub fn new(catalog: &Catalog) -> Result<Self, CompileError> {
+        Self::with_config(catalog, EmulatorConfig::framework())
+    }
+
+    /// Build both engines from one catalog with an explicit configuration.
+    pub fn with_config(catalog: &Catalog, config: EmulatorConfig) -> Result<Self, CompileError> {
+        Ok(DualBackend {
+            name: "dual".into(),
+            interp: Emulator::with_config(catalog.clone(), config.clone()),
+            ir: CompiledEmulator::with_config(catalog, config)?,
+            policy: DivergencePolicy::default(),
+            calls: 0,
+            divergences: Vec::new(),
+        })
+    }
+
+    /// Pair an already-built interpreter and compiled engine. The caller
+    /// is responsible for handing over engines built from the same catalog
+    /// and configuration; serving stacks use this to share one
+    /// pre-compiled [`crate::CompiledCatalog`] across per-account duals.
+    pub fn from_engines(interp: Emulator, ir: CompiledEmulator) -> Self {
+        DualBackend {
+            name: "dual".into(),
+            interp,
+            ir,
+            policy: DivergencePolicy::default(),
+            calls: 0,
+            divergences: Vec::new(),
+        }
+    }
+
+    /// Set a display name (used in experiment reports).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Select the divergence policy.
+    pub fn with_policy(mut self, policy: DivergencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Calls invoked so far (across resets).
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Divergences recorded so far (always empty under
+    /// [`DivergencePolicy::Panic`] — it panics instead).
+    pub fn divergences(&self) -> &[Divergence] {
+        &self.divergences
+    }
+
+    /// The current store digest (both engines agree whenever this is
+    /// reachable, so either store serves).
+    pub fn digest(&self) -> String {
+        store_digest(self.interp.store())
+    }
+
+    fn diverge(&mut self, api: &str, detail: String) {
+        let d = Divergence {
+            call_index: self.calls - 1,
+            api: api.to_string(),
+            detail,
+        };
+        match self.policy {
+            DivergencePolicy::Panic => panic!("engine divergence: {}", d),
+            DivergencePolicy::Record => self.divergences.push(d),
+        }
+    }
+
+    fn check(&mut self, call: &ApiCall, a: &ApiResponse, b: &ApiResponse) {
+        if a != b {
+            let detail = format!("responses differ\n  interp: {:?}\n  ir:     {:?}", a, b);
+            self.diverge(&call.api, detail);
+            return;
+        }
+        let sa = self.interp.store();
+        let sb = self.ir.store();
+        if sa != sb {
+            let detail = format!(
+                "stores differ ({} vs {} instances)\n  interp digest: {}\n  ir digest:     {}",
+                sa.len(),
+                sb.len(),
+                store_digest(sa),
+                store_digest(sb)
+            );
+            self.diverge(&call.api, detail);
+            return;
+        }
+        // Stores compare equal, so the interleaving-invariant fingerprints
+        // must too; a mismatch here means the digest itself is broken.
+        let da = store_digest(sa);
+        let db = store_digest(sb);
+        if da != db {
+            self.diverge(&call.api, format!("digests differ: {} vs {}", da, db));
+        }
+    }
+}
+
+impl Backend for DualBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        self.calls += 1;
+        let a = self.interp.invoke(call);
+        let b = self.ir.invoke(call);
+        self.check(call, &a, &b);
+        a
+    }
+
+    fn reset(&mut self) {
+        self.interp.reset();
+        self.ir.reset();
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.ir.api_names()
+    }
+
+    fn supports(&self, api: &str) -> bool {
+        self.ir.supports(api)
+    }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        self.interp.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_spec::parse_catalog;
+
+    fn catalog() -> Catalog {
+        Catalog::from_specs(
+            parse_catalog(
+                r#"
+        sm Bucket {
+          service "storage";
+          states { name: str; versioning: bool = false; }
+          transition CreateBucket(Name: str) kind create { write(name, arg(Name)); }
+          transition PutBucketVersioning(Status: bool) kind modify {
+            write(versioning, arg(Status));
+          }
+          transition DeleteBucket() kind destroy { }
+        }
+        "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn agreeing_engines_pass_through() {
+        let mut dual = DualBackend::new(&catalog()).unwrap();
+        let resp = dual.invoke(&ApiCall::new("CreateBucket").arg_str("Name", "logs"));
+        assert!(resp.is_ok());
+        let id = resp.field("BucketId").unwrap().clone();
+        let resp = dual.invoke(
+            &ApiCall::new("PutBucketVersioning")
+                .arg("BucketId", id.clone())
+                .arg_bool("Status", true),
+        );
+        assert!(resp.is_ok());
+        let resp = dual.invoke(&ApiCall::new("DeleteBucket").arg("BucketId", id));
+        assert!(resp.is_ok());
+        assert!(dual.divergences().is_empty());
+        assert_eq!(dual.calls(), 3);
+    }
+
+    #[test]
+    fn errors_agree_too() {
+        let mut dual = DualBackend::new(&catalog()).unwrap();
+        let resp = dual.invoke(&ApiCall::new("CreateBucket"));
+        assert!(!resp.is_ok());
+        let resp = dual.invoke(&ApiCall::new("NoSuchApi"));
+        assert!(!resp.is_ok());
+        assert!(dual.divergences().is_empty());
+    }
+
+    #[test]
+    fn record_mode_captures_injected_divergence() {
+        let mut dual = DualBackend::new(&catalog())
+            .unwrap()
+            .with_policy(DivergencePolicy::Record);
+        // Sabotage the compiled engine's store so the next call diverges.
+        let mut store = ResourceStore::new();
+        let id = store.fresh_id(&lce_spec::SmName::new("Bucket"));
+        store.put(lce_emulator::Instance {
+            id,
+            sm: lce_spec::SmName::new("Bucket"),
+            state: Default::default(),
+            parent: None,
+        });
+        dual.ir.set_store(store);
+        let _ = dual.invoke(&ApiCall::new("CreateBucket").arg_str("Name", "x"));
+        assert_eq!(dual.divergences().len(), 1);
+        let text = dual.divergences()[0].to_string();
+        assert!(text.contains("CreateBucket"), "{}", text);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine divergence")]
+    fn panic_mode_panics_on_divergence() {
+        let mut dual = DualBackend::new(&catalog()).unwrap();
+        dual.ir.set_store({
+            let mut s = ResourceStore::new();
+            s.fresh_id(&lce_spec::SmName::new("Bucket"));
+            s
+        });
+        // Id counters now disagree, so the first create yields different ids.
+        let _ = dual.invoke(&ApiCall::new("CreateBucket").arg_str("Name", "x"));
+    }
+
+    #[test]
+    fn digest_tracks_store() {
+        let mut dual = DualBackend::new(&catalog()).unwrap();
+        let d0 = dual.digest();
+        let _ = dual.invoke(&ApiCall::new("CreateBucket").arg_str("Name", "logs"));
+        assert_ne!(d0, dual.digest());
+        dual.reset();
+        assert_eq!(d0, dual.digest());
+    }
+}

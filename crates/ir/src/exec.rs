@@ -1,0 +1,677 @@
+//! The IR executor: a register VM running compiled transitions against the
+//! live [`ResourceStore`], with an undo journal providing the interpreter's
+//! atomicity without its per-call store clone.
+//!
+//! Every fault site reproduces the interpreter's error code, message string
+//! and structured context byte-for-byte — the differential test family
+//! ([`crate::DualBackend`], `tests/differential.rs`, the chaos `--engine
+//! dual` gate) holds this to account.
+
+use crate::program::*;
+use lce_emulator::errors::{codes, ApiError};
+use lce_emulator::{EmulatorConfig, Instance, ResourceId, ResourceStore, Value};
+use lce_spec::{ApiName, BinOp, TransitionKind};
+
+/// Emitted response fields, keyed by field name.
+pub type Emits = std::collections::BTreeMap<String, Value>;
+
+/// The call chain as (SM, transition) jump-table indices. Names are only
+/// materialised on the error path — the hot path never clones a string for
+/// fault context it will almost never need.
+pub(crate) type Chain = Vec<(u32, u32)>;
+
+/// Recycled register files, one per live frame. `run_transition` pops a
+/// spent file (or starts a fresh one), resizes it, and returns it after
+/// the frame exits, so steady-state execution allocates no registers.
+pub(crate) type RegPool = Vec<Vec<Value>>;
+
+/// Resolve a chain of indices to the interpreter's `call_chain` names.
+fn chain_names(cc: &CompiledCatalog, chain: &[(u32, u32)]) -> Vec<ApiName> {
+    chain
+        .iter()
+        .map(|&(s, t)| cc.sms[s as usize].transitions[t as usize].name.clone())
+        .collect()
+}
+
+/// One reversible store mutation.
+#[derive(Debug, Clone)]
+pub(crate) enum Undo {
+    /// A state-variable write: restore the previous value.
+    SetState {
+        id: ResourceId,
+        var: Sym,
+        old: Option<Value>,
+    },
+    /// An instance creation: remove it.
+    Insert { id: ResourceId },
+    /// An instance removal: reinstate it verbatim.
+    Remove { inst: Instance },
+}
+
+/// The undo journal of one top-level invocation. Id counters are *not*
+/// journalled: they stay monotonic across rollback, which is exactly the
+/// interpreter's `adopt_counters` behaviour on failure.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Journal {
+    entries: Vec<Undo>,
+    /// The instance minted by this invocation, if any (nested creates are
+    /// rejected at runtime, so there is at most one). State writes to it
+    /// need no undo entries: its own `Insert`/`Remove` entry already
+    /// removes or wholesale-replaces the instance on rollback.
+    created: Option<ResourceId>,
+}
+
+impl Journal {
+    pub(crate) fn push(&mut self, u: Undo) {
+        self.entries.push(u);
+    }
+
+    /// Record the id minted by this invocation's create transition.
+    pub(crate) fn mark_created(&mut self, id: ResourceId) {
+        self.created = Some(id);
+    }
+
+    /// Whether `id` was minted by this invocation.
+    pub(crate) fn is_created(&self, id: &ResourceId) -> bool {
+        self.created.as_ref() == Some(id)
+    }
+
+    /// Drop any leftover entries (a successful call leaves its journal
+    /// populated) so the allocation can be reused by the next invocation.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.created = None;
+    }
+
+    /// Revert every journalled mutation, newest first.
+    pub(crate) fn rollback(&mut self, store: &mut ResourceStore, cc: &CompiledCatalog) {
+        while let Some(u) = self.entries.pop() {
+            match u {
+                Undo::SetState { id, var, old } => {
+                    if let Some(inst) = store.get_mut(&id) {
+                        let name = cc.interner.resolve(var);
+                        match old {
+                            Some(v) => {
+                                inst.state.insert(name.to_string(), v);
+                            }
+                            None => {
+                                inst.state.remove(name);
+                            }
+                        }
+                    }
+                }
+                Undo::Insert { id } => {
+                    store.remove(&id);
+                }
+                Undo::Remove { inst } => {
+                    store.put(inst);
+                }
+            }
+        }
+    }
+}
+
+/// Everything constant across one top-level invocation.
+pub(crate) struct Vm<'a> {
+    pub cc: &'a CompiledCatalog,
+    pub config: &'a EmulatorConfig,
+    pub allow_destroy: bool,
+}
+
+/// The executing frame: indices into the compiled catalog plus the bound
+/// argument slots.
+struct FrameCtx<'a> {
+    cc: &'a CompiledCatalog,
+    sm: &'a CompiledSm,
+    t: &'a CompiledTransition,
+    self_id: &'a ResourceId,
+    args: &'a [Value],
+}
+
+impl FrameCtx<'_> {
+    /// Interpreter-identical fault context: api, resource type, resource
+    /// id, call chain.
+    fn fault(&self, chain: &[(u32, u32)], code: &str, message: impl Into<String>) -> ApiError {
+        let mut e = ApiError::new(code, message)
+            .with_api(&self.t.name)
+            .with_resource_type(&self.sm.name)
+            .with_resource_id(self.self_id);
+        e.context.call_chain = chain_names(self.cc, chain);
+        e
+    }
+}
+
+impl Vm<'_> {
+    /// Run one compiled transition: the compiled counterpart of
+    /// `lce_emulator::eval::run_transition`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_transition(
+        &self,
+        store: &mut ResourceStore,
+        journal: &mut Journal,
+        sm_idx: u32,
+        t_idx: u32,
+        self_id: &ResourceId,
+        args: &[Value],
+        depth: usize,
+        chain: &mut Chain,
+        pool: &mut RegPool,
+    ) -> Result<Emits, ApiError> {
+        let sm = &self.cc.sms[sm_idx as usize];
+        let t = &sm.transitions[t_idx as usize];
+        let frame = FrameCtx {
+            cc: self.cc,
+            sm,
+            t,
+            self_id,
+            args,
+        };
+        if depth > self.config.max_call_depth {
+            return Err(frame.fault(
+                chain,
+                codes::LIMIT_EXCEEDED,
+                format!("call depth exceeded {}", self.config.max_call_depth),
+            ));
+        }
+        chain.push((sm_idx, t_idx));
+        let mut emits = Emits::new();
+        let mut regs = pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(t.n_regs as usize, Value::Null);
+        let mut stmt_index = 0usize;
+        let result = self.exec(
+            &t.code,
+            &mut regs,
+            store,
+            journal,
+            &frame,
+            depth,
+            chain,
+            &mut emits,
+            &mut stmt_index,
+            pool,
+        );
+        chain.pop();
+        pool.push(regs);
+        result.map(|_| emits)
+    }
+
+    /// Execute a linear opcode sequence. Also used for the deferred
+    /// argument blocks of `call` statements, which share the caller's
+    /// register file and contain no statement opcodes.
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &self,
+        code: &[Op],
+        regs: &mut [Value],
+        store: &mut ResourceStore,
+        journal: &mut Journal,
+        f: &FrameCtx<'_>,
+        depth: usize,
+        chain: &mut Chain,
+        emits: &mut Emits,
+        stmt_index: &mut usize,
+        pool: &mut RegPool,
+    ) -> Result<(), ApiError> {
+        let mut pc = 0usize;
+        let mut this_index = 0usize;
+        while pc < code.len() {
+            match &code[pc] {
+                Op::Const { dst, idx } => {
+                    regs[*dst as usize] = f.t.consts[*idx as usize].clone();
+                }
+                Op::SelfId { dst } => {
+                    regs[*dst as usize] = Value::Ref(f.self_id.clone());
+                }
+                Op::Arg { dst, slot } => {
+                    regs[*dst as usize] = f.args[*slot as usize].clone();
+                }
+                Op::Read { dst, var } => {
+                    let inst = store.get(f.self_id).ok_or_else(|| {
+                        f.fault(chain, codes::INTERNAL_FAILURE, "self instance vanished")
+                    })?;
+                    let name = self.cc.interner.resolve(*var);
+                    regs[*dst as usize] = inst.get(name).cloned().ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("read of undeclared state variable `{}`", name),
+                        )
+                    })?;
+                }
+                Op::Field { dst, obj, var } => {
+                    let name = self.cc.interner.resolve(*var);
+                    let id = match &regs[*obj as usize] {
+                        Value::Ref(id) => id.clone(),
+                        Value::Str(s) => ResourceId::new(s.clone()),
+                        Value::Null => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("field access `{}` on null reference", name),
+                            ))
+                        }
+                        other => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("field access on {} value", other.type_name()),
+                            ))
+                        }
+                    };
+                    let inst = store.get(&id).ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::NOT_FOUND,
+                            format!("resource {} does not exist", id),
+                        )
+                    })?;
+                    regs[*dst as usize] = inst.get(name).cloned().ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("`{}` has no state variable `{}`", inst.sm, name),
+                        )
+                    })?;
+                }
+                Op::ChildCount { dst, sm } => {
+                    let child = &self.cc.sm_names[*sm as usize];
+                    regs[*dst as usize] = Value::Int(store.child_count(f.self_id, child) as i64);
+                }
+                Op::Not { dst, src } => {
+                    let b = regs[*src as usize].as_bool().ok_or_else(|| {
+                        f.fault(chain, codes::INTERNAL_FAILURE, "`!` on non-boolean")
+                    })?;
+                    regs[*dst as usize] = Value::Bool(!b);
+                }
+                Op::IsNull { dst, src } => {
+                    regs[*dst as usize] = Value::Bool(regs[*src as usize].is_null());
+                }
+                Op::Exists { dst, src } => {
+                    let alive = match &regs[*src as usize] {
+                        Value::Ref(id) => store.exists(id),
+                        Value::Str(s) => store.exists(&ResourceId::new(s.clone())),
+                        _ => false,
+                    };
+                    regs[*dst as usize] = Value::Bool(alive);
+                }
+                Op::Len { dst, src } => {
+                    regs[*dst as usize] = match &regs[*src as usize] {
+                        Value::List(items) => Value::Int(items.len() as i64),
+                        Value::Str(s) => Value::Int(s.chars().count() as i64),
+                        other => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("`len` on {} value", other.type_name()),
+                            ))
+                        }
+                    };
+                }
+                Op::Bin { op, dst, a, b } => {
+                    let va = &regs[*a as usize];
+                    let vb = &regs[*b as usize];
+                    regs[*dst as usize] = match op {
+                        BinOp::Eq => Value::Bool(va.loose_eq(vb)),
+                        BinOp::Ne => Value::Bool(!va.loose_eq(vb)),
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                            let (x, y) = match (va.as_int(), vb.as_int()) {
+                                (Some(x), Some(y)) => (x, y),
+                                _ => {
+                                    return Err(f.fault(
+                                        chain,
+                                        codes::INTERNAL_FAILURE,
+                                        "ordered comparison on non-integers",
+                                    ))
+                                }
+                            };
+                            Value::Bool(match op {
+                                BinOp::Lt => x < y,
+                                BinOp::Le => x <= y,
+                                BinOp::Gt => x > y,
+                                _ => x >= y,
+                            })
+                        }
+                        BinOp::In => match vb {
+                            Value::List(items) => Value::Bool(items.iter().any(|i| va.loose_eq(i))),
+                            other => {
+                                return Err(f.fault(
+                                    chain,
+                                    codes::INTERNAL_FAILURE,
+                                    format!("`in` on {} value", other.type_name()),
+                                ))
+                            }
+                        },
+                        BinOp::Add | BinOp::Sub => {
+                            let (x, y) = match (va.as_int(), vb.as_int()) {
+                                (Some(x), Some(y)) => (x, y),
+                                _ => {
+                                    return Err(f.fault(
+                                        chain,
+                                        codes::INTERNAL_FAILURE,
+                                        "arithmetic on non-integers",
+                                    ))
+                                }
+                            };
+                            Value::Int(if *op == BinOp::Add { x + y } else { x - y })
+                        }
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("short-circuit operators lower to jumps")
+                        }
+                    };
+                }
+                Op::ListOf { dst, items } => {
+                    let vals: Vec<Value> =
+                        items.iter().map(|r| regs[*r as usize].clone()).collect();
+                    regs[*dst as usize] = Value::List(vals);
+                }
+                Op::Append { dst, list, item } => {
+                    let iv = regs[*item as usize].clone();
+                    regs[*dst as usize] = match regs[*list as usize].clone() {
+                        Value::List(mut items) => {
+                            items.push(iv);
+                            Value::List(items)
+                        }
+                        other => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("`append` on {} value", other.type_name()),
+                            ))
+                        }
+                    };
+                }
+                Op::Remove { dst, list, item } => {
+                    let iv = regs[*item as usize].clone();
+                    regs[*dst as usize] = match regs[*list as usize].clone() {
+                        Value::List(items) => {
+                            Value::List(items.into_iter().filter(|x| !x.loose_eq(&iv)).collect())
+                        }
+                        other => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("`remove` on {} value", other.type_name()),
+                            ))
+                        }
+                    };
+                }
+                Op::Move { dst, src } => {
+                    regs[*dst as usize] = regs[*src as usize].clone();
+                }
+                Op::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::JumpIfFalse { cond, target, ctx } => {
+                    let b = regs[*cond as usize]
+                        .as_bool()
+                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+                    if !b {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue { cond, target, ctx } => {
+                    let b = regs[*cond as usize]
+                        .as_bool()
+                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+                    if b {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::CheckBool { src, ctx } => {
+                    regs[*src as usize]
+                        .as_bool()
+                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+                }
+                Op::Bump => {
+                    this_index = *stmt_index;
+                    *stmt_index += 1;
+                }
+                Op::Write { var, src, decl } => {
+                    let v = regs[*src as usize].clone();
+                    let d = &f.t.writes[*decl as usize];
+                    let name = self.cc.interner.resolve(*var);
+                    let stored = if self.config.strict_writes {
+                        match v.coerce(&d.ty) {
+                            Some(cv) => cv,
+                            None if v.is_null() && d.nullable => Value::Null,
+                            None => {
+                                return Err(f.fault(
+                                    chain,
+                                    codes::INTERNAL_FAILURE,
+                                    format!(
+                                        "write of {} value to `{}: {}`",
+                                        v.type_name(),
+                                        name,
+                                        d.ty_display
+                                    ),
+                                ))
+                            }
+                        }
+                    } else {
+                        v
+                    };
+                    let inst = store.get_mut(f.self_id).ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            "self instance vanished mid-transition",
+                        )
+                    })?;
+                    // Declared state variables are pre-populated from the
+                    // default state, so the slot almost always exists —
+                    // replace in place instead of allocating a fresh key.
+                    let old = match inst.state.get_mut(name) {
+                        Some(slot) => Some(std::mem::replace(slot, stored)),
+                        None => {
+                            inst.state.insert(name.to_string(), stored);
+                            None
+                        }
+                    };
+                    // Writes to the instance this invocation minted need no
+                    // undo: rollback removes or replaces it outright.
+                    if !journal.is_created(f.self_id) {
+                        journal.push(Undo::SetState {
+                            id: f.self_id.clone(),
+                            var: *var,
+                            old,
+                        });
+                    }
+                }
+                Op::Assert { pred, info } => {
+                    let ok = regs[*pred as usize].as_bool().ok_or_else(|| {
+                        f.fault(chain, codes::INTERNAL_FAILURE, BoolCtx::Assert.message())
+                    })?;
+                    if !ok {
+                        let a = &f.t.asserts[*info as usize];
+                        let mut e = ApiError::new(a.code.as_str(), a.message.clone())
+                            .with_api(&f.t.name)
+                            .with_resource_type(&f.sm.name)
+                            .with_resource_id(f.self_id)
+                            .with_assert_index(this_index);
+                        e.context.call_chain = chain_names(f.cc, chain);
+                        return Err(e);
+                    }
+                }
+                Op::Emit { field, src } => {
+                    let name = self.cc.interner.resolve(*field);
+                    emits.insert(name.to_string(), regs[*src as usize].clone());
+                }
+                Op::Call { target, site } => {
+                    self.exec_call(
+                        *target, *site, regs, store, journal, f, depth, chain, stmt_index, pool,
+                    )?;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Runtime `call` dispatch through the (SM, API) jump table.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &self,
+        target: u16,
+        site: u32,
+        regs: &mut [Value],
+        store: &mut ResourceStore,
+        journal: &mut Journal,
+        f: &FrameCtx<'_>,
+        depth: usize,
+        chain: &mut Chain,
+        stmt_index: &mut usize,
+        pool: &mut RegPool,
+    ) -> Result<(), ApiError> {
+        let site = &f.t.sites[site as usize];
+        let target_id = match &regs[target as usize] {
+            Value::Ref(id) => id.clone(),
+            Value::Str(s) => ResourceId::new(s.clone()),
+            other => {
+                return Err(f.fault(
+                    chain,
+                    codes::INTERNAL_FAILURE,
+                    format!("call target is not a reference ({})", other.type_name()),
+                ))
+            }
+        };
+        let target_sm_name = match store.get(&target_id) {
+            Some(inst) => inst.sm.clone(),
+            None => {
+                let mut e = ApiError::new(
+                    codes::NOT_FOUND,
+                    format!("resource {} does not exist", target_id),
+                )
+                .with_api(&site.api)
+                .with_resource_id(&target_id);
+                e.context.call_chain = chain_names(f.cc, chain);
+                return Err(e);
+            }
+        };
+        let callee_sm_idx = *self.cc.sm_index.get(&target_sm_name).ok_or_else(|| {
+            f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                format!("no specification for resource type `{}`", target_sm_name),
+            )
+        })?;
+        let callee_sm = &self.cc.sms[callee_sm_idx as usize];
+        let callee_t_idx = *callee_sm.api_index.get(site.api.as_str()).ok_or_else(|| {
+            f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                format!("`{}` declares no transition `{}`", target_sm_name, site.api),
+            )
+        })?;
+        let callee = &callee_sm.transitions[callee_t_idx as usize];
+        if callee.kind == TransitionKind::Create {
+            return Err(f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                "calls may not target create transitions",
+            ));
+        }
+        if callee.kind == TransitionKind::Destroy && !self.allow_destroy {
+            return Err(f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                "create transitions may not destroy resources",
+            ));
+        }
+        // Bind positional args: evaluated lazily, one per callee parameter,
+        // in the caller's register file (interpreter argument order).
+        let mut bound = vec![Value::Null; callee.params.len()];
+        for (i, param) in callee.params.iter().enumerate() {
+            let raw = match site.args.get(i) {
+                Some(block) => {
+                    let mut no_emits = Emits::new();
+                    let mut no_index = 0usize;
+                    self.exec(
+                        &block.code,
+                        regs,
+                        store,
+                        journal,
+                        f,
+                        depth,
+                        chain,
+                        &mut no_emits,
+                        &mut no_index,
+                        pool,
+                    )?;
+                    regs[block.result as usize].clone()
+                }
+                None if param.optional => Value::Null,
+                None => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!(
+                            "call to `{}::{}` missing argument `{}`",
+                            target_sm_name, site.api, param.name
+                        ),
+                    ))
+                }
+            };
+            bound[i] = if self.config.strict_writes {
+                raw.coerce(&param.ty).unwrap_or(raw)
+            } else {
+                raw
+            };
+        }
+        // Duplicate parameter names: the interpreter's arg map keeps the
+        // last binding, and `Arg` slots were resolved to the last
+        // declaration at lowering time, so positional slots already agree.
+        self.run_transition(
+            store,
+            journal,
+            callee_sm_idx,
+            callee_t_idx,
+            &target_id,
+            &bound,
+            depth + 1,
+            chain,
+            pool,
+        )?;
+        if callee.kind == TransitionKind::Destroy {
+            finish_destroy(self, store, journal, &f.t.name, &target_id, chain)?;
+        }
+        let _ = stmt_index;
+        Ok(())
+    }
+}
+
+/// Framework-level completion of a destroy: hierarchy check, then removal.
+/// `api` is the transition in whose context the failure is reported — the
+/// caller's for nested calls, the destroy itself at top level.
+pub(crate) fn finish_destroy(
+    vm: &Vm<'_>,
+    store: &mut ResourceStore,
+    journal: &mut Journal,
+    api: &ApiName,
+    id: &ResourceId,
+    chain: &[(u32, u32)],
+) -> Result<(), ApiError> {
+    if vm.config.enforce_hierarchy {
+        let children = store.total_children(id);
+        if children > 0 {
+            let mut e = ApiError::new(
+                codes::DEPENDENCY_VIOLATION,
+                format!(
+                    "resource {} still contains {} live child resource(s)",
+                    id, children
+                ),
+            )
+            .with_api(api)
+            .with_resource_id(id);
+            e.context.call_chain = chain_names(vm.cc, chain);
+            return Err(e);
+        }
+    }
+    if let Some(inst) = store.remove(id) {
+        journal.push(Undo::Remove { inst });
+    }
+    Ok(())
+}

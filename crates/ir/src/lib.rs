@@ -1,0 +1,70 @@
+#![deny(missing_docs)]
+// Like the interpreter, the executor returns rich `ApiError`s by value on a
+// cold path; boxing them would obscure the hot loop.
+#![allow(clippy::result_large_err)]
+
+//! # lce-ir — compiled execution for SM specifications
+//!
+//! The interpreter in `lce-emulator` walks the spec AST on every call: it
+//! resolves the SM by scanning the catalog, clones the SM and transition,
+//! clones the whole resource store for atomicity, and looks every variable
+//! and parameter up by name. That is the right shape for an *executable
+//! specification* — and the wrong one for a serving hot path.
+//!
+//! This crate adds a lowering pass ([`compile`]) from specs to a compact
+//! slot-based IR ([`CompiledCatalog`]):
+//!
+//! * **Interned strings** — state variables, emit fields and SM names
+//!   become `u32` symbols resolved once at compile time.
+//! * **Pre-resolved slots** — `arg(X)` becomes an index into a positional
+//!   argument array; no hashmap lookups in the hot path.
+//! * **Jump-table dispatch** — API name → (SM, transition) in one hash
+//!   lookup, with ambiguity resolved at compile time exactly as
+//!   `Catalog::sm_for_api` does.
+//! * **Flattened bodies** — guards and effects become a linear opcode
+//!   sequence over a per-transition register file; `if` and short-circuit
+//!   booleans become jumps; error paths (assert codes, messages, type
+//!   strings) are pre-compiled into side tables.
+//! * **Journal-based atomicity** — instead of cloning the store per call,
+//!   the executor runs in place and rolls an undo journal back on failure
+//!   (and after read-only describes), preserving the interpreter's
+//!   observable semantics including monotonic id counters.
+//!
+//! [`CompiledEmulator`] executes the IR behind the same
+//! [`Backend`](lce_emulator::Backend) trait as the interpreter, so it drops
+//! into the serving router, fault harness, observability layer and chaos
+//! harness unchanged. The interpreter stays on as *differential oracle*:
+//! [`DualBackend`] runs both engines in lock-step and asserts byte-identical
+//! responses, stores and [`store_digest`](lce_faults::store_digest)
+//! fingerprints.
+//!
+//! ```
+//! use lce_ir::CompiledEmulator;
+//! use lce_emulator::{ApiCall, Backend};
+//! use lce_spec::{parse_catalog, Catalog};
+//!
+//! let catalog = Catalog::from_specs(parse_catalog(r#"
+//!   sm Bucket {
+//!     service "storage";
+//!     states { name: str; }
+//!     transition CreateBucket(Name: str) kind create { write(name, arg(Name)); }
+//!     transition DeleteBucket() kind destroy { }
+//!   }
+//! "#).unwrap());
+//! let mut emu = CompiledEmulator::new(&catalog).unwrap();
+//! let resp = emu.invoke(&ApiCall::new("CreateBucket").arg_str("Name", "logs"));
+//! assert!(resp.is_ok());
+//! ```
+
+pub mod backend;
+pub mod disasm;
+pub mod dual;
+mod exec;
+pub mod lower;
+pub mod program;
+
+pub use backend::{CompiledEmulator, Engine};
+pub use disasm::disassemble;
+pub use dual::{Divergence, DivergencePolicy, DualBackend};
+pub use lower::{compile, CompileError};
+pub use program::{CompiledCatalog, IrStats};

@@ -1,0 +1,449 @@
+//! Lowering: SM specs → [`CompiledCatalog`].
+//!
+//! The pass is *deliberately conservative about rejection*: it refuses only
+//! what it cannot compile faithfully — reads and writes of undeclared state
+//! variables, whose slots do not exist. Everything else (unknown call
+//! targets, missing call arguments, non-boolean predicates, …) is dynamic
+//! in the interpreter and stays a runtime fault in the compiled form, so a
+//! spec that lowers executes byte-identically to the interpreter. The
+//! rejected defects are exactly the ones `lce_spec::check` already reports,
+//! a property the differential test suite cross-checks against the checker
+//! and the `lce-lint` deny set.
+
+use crate::program::*;
+use lce_emulator::Value;
+use lce_spec::{ApiName, BinOp, Catalog, Expr, SmName, SmSpec, Stmt, Transition};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A spec construct the lowering pass cannot compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The SM the offending construct is in.
+    pub sm: SmName,
+    /// The transition, when inside one.
+    pub transition: Option<ApiName>,
+    /// What could not be lowered.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.transition {
+            Some(t) => write!(f, "{}::{}: {}", self.sm, t, self.message),
+            None => write!(f, "{}: {}", self.sm, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lower a whole catalog to its compiled form.
+pub fn compile(catalog: &Catalog) -> Result<CompiledCatalog, CompileError> {
+    let mut interner = Interner::default();
+    let mut sm_names: Vec<SmName> = Vec::new();
+    let mut sm_name_index: HashMap<SmName, u32> = HashMap::new();
+    let mut intern_sm =
+        |name: &SmName, pool: &mut Vec<SmName>, idx: &mut HashMap<SmName, u32>| -> u32 {
+            if let Some(&i) = idx.get(name) {
+                return i;
+            }
+            let i = pool.len() as u32;
+            pool.push(name.clone());
+            idx.insert(name.clone(), i);
+            i
+        };
+
+    let mut sms = Vec::new();
+    let mut sm_index = HashMap::new();
+    for (i, sm) in catalog.iter().enumerate() {
+        sm_index.insert(sm.name.clone(), i as u32);
+        let mut transitions = Vec::new();
+        let mut api_index = HashMap::new();
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            // First declaration wins, matching `SmSpec::transition`.
+            api_index
+                .entry(t.name.as_str().to_string())
+                .or_insert(ti as u32);
+            let mut lowerer = Lowerer {
+                sm,
+                transition: t,
+                interner: &mut interner,
+                sm_names: &mut sm_names,
+                sm_name_index: &mut sm_name_index,
+                intern_sm: &mut intern_sm,
+                next_reg: 0,
+                n_regs: 0,
+                consts: Vec::new(),
+                asserts: Vec::new(),
+                sites: Vec::new(),
+                writes: Vec::new(),
+            };
+            let mut code = Vec::new();
+            lowerer.lower_stmts(&t.body, &mut code)?;
+            transitions.push(CompiledTransition {
+                name: t.name.clone(),
+                kind: t.kind,
+                params: t
+                    .params
+                    .iter()
+                    .map(|p| CompiledParam {
+                        name: p.name.clone(),
+                        ty: p.ty.clone(),
+                        ty_display: p.ty.to_string(),
+                        optional: p.optional,
+                    })
+                    .collect(),
+                code,
+                n_regs: lowerer.n_regs,
+                consts: lowerer.consts,
+                asserts: lowerer.asserts,
+                sites: lowerer.sites,
+                writes: lowerer.writes,
+            });
+        }
+        sms.push(CompiledSm {
+            name: sm.name.clone(),
+            id_param: sm.id_param.clone(),
+            parent: sm.parent.clone(),
+            default_state: sm
+                .states
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        Value::default_for(&s.ty, s.nullable, &s.default),
+                    )
+                })
+                .collect(),
+            api_index,
+            transitions,
+        });
+    }
+
+    // Top-level jump table: skip ambiguous APIs, matching `sm_for_api`.
+    let mut dispatch: HashMap<String, (u32, u32)> = HashMap::new();
+    let mut ambiguous: Vec<String> = Vec::new();
+    for (si, sm) in sms.iter().enumerate() {
+        for api in sm.api_index.keys() {
+            if dispatch.contains_key(api) || ambiguous.iter().any(|a| a == api) {
+                dispatch.remove(api);
+                if !ambiguous.iter().any(|a| a == api) {
+                    ambiguous.push(api.clone());
+                }
+                continue;
+            }
+            dispatch.insert(api.clone(), (si as u32, sm.api_index[api]));
+        }
+    }
+
+    let mut api_names: Vec<String> = sms
+        .iter()
+        .flat_map(|sm| sm.transitions.iter().map(|t| t.name.as_str().to_string()))
+        .collect();
+    api_names.sort();
+
+    Ok(CompiledCatalog {
+        interner,
+        sm_names,
+        sms,
+        sm_index,
+        dispatch,
+        api_names,
+    })
+}
+
+/// Per-transition lowering context.
+struct Lowerer<'a, F> {
+    sm: &'a SmSpec,
+    transition: &'a Transition,
+    interner: &'a mut Interner,
+    sm_names: &'a mut Vec<SmName>,
+    sm_name_index: &'a mut HashMap<SmName, u32>,
+    intern_sm: &'a mut F,
+    next_reg: u32,
+    n_regs: u16,
+    consts: Vec<Value>,
+    asserts: Vec<AssertInfo>,
+    sites: Vec<CallSite>,
+    writes: Vec<WriteDecl>,
+}
+
+impl<F> Lowerer<'_, F>
+where
+    F: FnMut(&SmName, &mut Vec<SmName>, &mut HashMap<SmName, u32>) -> u32,
+{
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError {
+            sm: self.sm.name.clone(),
+            transition: Some(self.transition.name.clone()),
+            message: message.into(),
+        }
+    }
+
+    fn reg(&mut self) -> Result<u16, CompileError> {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        if self.next_reg > u16::MAX as u32 {
+            return Err(self.err("transition body needs more than 65535 registers"));
+        }
+        self.n_regs = self.n_regs.max(self.next_reg as u16);
+        Ok(r as u16)
+    }
+
+    fn pool_const(&mut self, v: Value) -> u32 {
+        if let Some(i) = self.consts.iter().position(|c| *c == v) {
+            return i as u32;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], code: &mut Vec<Op>) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s, code)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, code: &mut Vec<Op>) -> Result<(), CompileError> {
+        // Temporaries are dead across statements; recycling keeps register
+        // files at expression depth. (`If` branches recycle per nested
+        // statement in turn.)
+        self.next_reg = 0;
+        code.push(Op::Bump);
+        match stmt {
+            Stmt::Write { state, value, .. } => {
+                let src = self.lower_expr(value, code)?;
+                let decl = self.sm.state(state).ok_or_else(|| {
+                    self.err(format!("write to undeclared state variable `{}`", state))
+                })?;
+                let var = self.interner.intern(state);
+                self.writes.push(WriteDecl {
+                    ty: decl.ty.clone(),
+                    nullable: decl.nullable,
+                    ty_display: decl.ty.to_string(),
+                });
+                code.push(Op::Write {
+                    var,
+                    src,
+                    decl: (self.writes.len() - 1) as u32,
+                });
+            }
+            Stmt::Assert {
+                pred,
+                error,
+                message,
+                ..
+            } => {
+                let r = self.lower_expr(pred, code)?;
+                self.asserts.push(AssertInfo {
+                    code: error.clone(),
+                    message: message.clone(),
+                });
+                code.push(Op::Assert {
+                    pred: r,
+                    info: (self.asserts.len() - 1) as u32,
+                });
+            }
+            Stmt::Emit { field, value, .. } => {
+                let src = self.lower_expr(value, code)?;
+                let field = self.interner.intern(field);
+                code.push(Op::Emit { field, src });
+            }
+            Stmt::If {
+                pred, then, els, ..
+            } => {
+                let cond = self.lower_expr(pred, code)?;
+                let branch_at = code.len();
+                code.push(Op::JumpIfFalse {
+                    cond,
+                    target: 0,
+                    ctx: BoolCtx::If,
+                });
+                self.lower_stmts(then, code)?;
+                let jump_at = code.len();
+                code.push(Op::Jump { target: 0 });
+                let else_target = code.len() as u32;
+                self.lower_stmts(els, code)?;
+                let end_target = code.len() as u32;
+                if let Op::JumpIfFalse { target, .. } = &mut code[branch_at] {
+                    *target = else_target;
+                }
+                if let Op::Jump { target } = &mut code[jump_at] {
+                    *target = end_target;
+                }
+            }
+            Stmt::Call {
+                target, api, args, ..
+            } => {
+                let t = self.lower_expr(target, code)?;
+                let mut blocks = Vec::new();
+                for a in args {
+                    let mut block = Vec::new();
+                    let result = self.lower_expr(a, &mut block)?;
+                    blocks.push(ExprBlock {
+                        code: block,
+                        result,
+                    });
+                }
+                self.sites.push(CallSite {
+                    api: api.clone(),
+                    args: blocks,
+                });
+                code.push(Op::Call {
+                    target: t,
+                    site: (self.sites.len() - 1) as u32,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, e: &Expr, code: &mut Vec<Op>) -> Result<u16, CompileError> {
+        Ok(match e {
+            Expr::Lit(lit) => {
+                let dst = self.reg()?;
+                let idx = self.pool_const(Value::from_literal(lit));
+                code.push(Op::Const { dst, idx });
+                dst
+            }
+            Expr::Null => {
+                let dst = self.reg()?;
+                let idx = self.pool_const(Value::Null);
+                code.push(Op::Const { dst, idx });
+                dst
+            }
+            Expr::SelfId => {
+                let dst = self.reg()?;
+                code.push(Op::SelfId { dst });
+                dst
+            }
+            Expr::Read(var) => {
+                if self.sm.state(var).is_none() {
+                    return Err(self.err(format!("read of undeclared state variable `{}`", var)));
+                }
+                let dst = self.reg()?;
+                let var = self.interner.intern(var);
+                code.push(Op::Read { dst, var });
+                dst
+            }
+            Expr::Arg(name) => {
+                // The interpreter binds args into a map, so a duplicated
+                // parameter name resolves to its last declaration, and an
+                // undeclared name reads as `null`.
+                match self.transition.params.iter().rposition(|p| &p.name == name) {
+                    Some(slot) => {
+                        let dst = self.reg()?;
+                        code.push(Op::Arg {
+                            dst,
+                            slot: slot as u16,
+                        });
+                        dst
+                    }
+                    None => {
+                        let dst = self.reg()?;
+                        let idx = self.pool_const(Value::Null);
+                        code.push(Op::Const { dst, idx });
+                        dst
+                    }
+                }
+            }
+            Expr::Field(inner, var) => {
+                let obj = self.lower_expr(inner, code)?;
+                let dst = self.reg()?;
+                let var = self.interner.intern(var);
+                code.push(Op::Field { dst, obj, var });
+                dst
+            }
+            Expr::ChildCount(child) => {
+                let dst = self.reg()?;
+                let sm = (self.intern_sm)(child, self.sm_names, self.sm_name_index);
+                code.push(Op::ChildCount { dst, sm });
+                dst
+            }
+            Expr::Unary(op, inner) => {
+                let src = self.lower_expr(inner, code)?;
+                let dst = self.reg()?;
+                code.push(match op {
+                    lce_spec::UnOp::Not => Op::Not { dst, src },
+                    lce_spec::UnOp::IsNull => Op::IsNull { dst, src },
+                    lce_spec::UnOp::Exists => Op::Exists { dst, src },
+                    lce_spec::UnOp::Len => Op::Len { dst, src },
+                });
+                dst
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
+                let ra = self.lower_expr(a, code)?;
+                let branch_at = code.len();
+                code.push(match op {
+                    BinOp::And => Op::JumpIfFalse {
+                        cond: ra,
+                        target: 0,
+                        ctx: BoolCtx::BoolOp,
+                    },
+                    _ => Op::JumpIfTrue {
+                        cond: ra,
+                        target: 0,
+                        ctx: BoolCtx::BoolOp,
+                    },
+                });
+                let rb = self.lower_expr(b, code)?;
+                code.push(Op::CheckBool {
+                    src: rb,
+                    ctx: BoolCtx::BoolOp,
+                });
+                code.push(Op::Move { dst: ra, src: rb });
+                let end = code.len() as u32;
+                match &mut code[branch_at] {
+                    Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => *target = end,
+                    _ => unreachable!("patched op is the branch we just pushed"),
+                }
+                ra
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.lower_expr(a, code)?;
+                let rb = self.lower_expr(b, code)?;
+                let dst = self.reg()?;
+                code.push(Op::Bin {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
+                dst
+            }
+            Expr::ListOf(items) => {
+                let regs: Vec<u16> = items
+                    .iter()
+                    .map(|it| self.lower_expr(it, code))
+                    .collect::<Result<_, _>>()?;
+                let dst = self.reg()?;
+                code.push(Op::ListOf { dst, items: regs });
+                dst
+            }
+            Expr::Append(list, item) => {
+                let l = self.lower_expr(list, code)?;
+                let i = self.lower_expr(item, code)?;
+                let dst = self.reg()?;
+                code.push(Op::Append {
+                    dst,
+                    list: l,
+                    item: i,
+                });
+                dst
+            }
+            Expr::Remove(list, item) => {
+                let l = self.lower_expr(list, code)?;
+                let i = self.lower_expr(item, code)?;
+                let dst = self.reg()?;
+                code.push(Op::Remove {
+                    dst,
+                    list: l,
+                    item: i,
+                });
+                dst
+            }
+        })
+    }
+}

@@ -1,0 +1,453 @@
+//! The compiled program representation: interned strings, per-SM layouts,
+//! flattened opcode sequences, and the (SM, API) jump tables the executor
+//! dispatches through.
+//!
+//! Everything here is *data*. The lowering pass ([`crate::lower`]) builds a
+//! [`CompiledCatalog`] once; the executor ([`crate::exec`]) then runs calls
+//! against it without touching the spec AST, resolving any name at dispatch
+//! time, or cloning a single `SmSpec`.
+
+use lce_emulator::Value;
+use lce_spec::{ApiName, BinOp, ErrorCode, SmName, StateType, TransitionKind};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An interned string: an index into the catalog-wide [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub(crate) u32);
+
+/// Catalog-wide string pool. State-variable names, emit fields and write
+/// targets are interned once at lowering time so the hot path moves `u32`s,
+/// not `String`s.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Intern a string, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&i) = self.map.get(s) {
+            return Sym(i);
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), i);
+        Sym(i)
+    }
+
+    /// Resolve a symbol back to its string.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Which construct required a boolean — selects the interpreter-identical
+/// fault message when the value is not one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolCtx {
+    /// `assert(pred)` predicate.
+    Assert,
+    /// `if pred { … }` condition.
+    If,
+    /// Operand of `&&` / `||`.
+    BoolOp,
+}
+
+impl BoolCtx {
+    /// The exact interpreter message for a non-boolean in this context.
+    pub(crate) fn message(self) -> &'static str {
+        match self {
+            BoolCtx::Assert => "assert predicate did not evaluate to a boolean",
+            BoolCtx::If => "if condition did not evaluate to a boolean",
+            BoolCtx::BoolOp => "boolean operator on non-boolean",
+        }
+    }
+}
+
+/// One opcode of the linear register machine. Register operands index the
+/// frame's register file; `Sym` operands are pre-resolved names; table
+/// operands (`info`, `site`) index per-transition side tables.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `dst ← consts[idx]`.
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Index into the transition's constant pool.
+        idx: u32,
+    },
+    /// `dst ← Ref(self_id)`.
+    SelfId {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst ← args[slot]` — pre-resolved parameter slot.
+    Arg {
+        /// Destination register.
+        dst: u16,
+        /// Parameter slot (declaration order; duplicates resolve to the
+        /// last declaration, matching the interpreter's map semantics).
+        slot: u16,
+    },
+    /// `dst ← self.state[var]`.
+    Read {
+        /// Destination register.
+        dst: u16,
+        /// Interned state-variable name.
+        var: Sym,
+    },
+    /// `dst ← deref(regs[obj]).state[var]` — target type is dynamic, so the
+    /// variable stays a name lookup on the referenced instance.
+    Field {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the reference.
+        obj: u16,
+        /// Interned field name.
+        var: Sym,
+    },
+    /// `dst ← child_count(self, sm_names[sm])`.
+    ChildCount {
+        /// Destination register.
+        dst: u16,
+        /// Index into the catalog's SM-name pool.
+        sm: u32,
+    },
+    /// `dst ← !regs[src]` (faults on non-boolean).
+    Not {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst ← is_null(regs[src])`.
+    IsNull {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst ← exists(regs[src])`.
+    Exists {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst ← len(regs[src])` (faults on non-list/str).
+    Len {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst ← regs[a] ⊕ regs[b]` for non-short-circuit operators.
+    Bin {
+        /// The operator (never `And`/`Or`; those lower to jumps).
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `dst ← [regs[i] for i in items]`.
+    ListOf {
+        /// Destination register.
+        dst: u16,
+        /// Element registers, in order.
+        items: Vec<u16>,
+    },
+    /// `dst ← append(regs[list], regs[item])`.
+    Append {
+        /// Destination register.
+        dst: u16,
+        /// List operand register.
+        list: u16,
+        /// Element operand register.
+        item: u16,
+    },
+    /// `dst ← remove(regs[list], regs[item])`.
+    Remove {
+        /// Destination register.
+        dst: u16,
+        /// List operand register.
+        list: u16,
+        /// Element operand register.
+        item: u16,
+    },
+    /// `dst ← regs[src]` (joins the two arms of a short-circuit operator).
+    Move {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Absolute opcode index.
+        target: u32,
+    },
+    /// Fault if `regs[cond]` is not a boolean (message from `ctx`), else
+    /// jump to `target` when it is `false`.
+    JumpIfFalse {
+        /// Condition register.
+        cond: u16,
+        /// Absolute opcode index.
+        target: u32,
+        /// Message selector for the non-boolean fault.
+        ctx: BoolCtx,
+    },
+    /// Fault if `regs[cond]` is not a boolean, else jump when `true`.
+    JumpIfTrue {
+        /// Condition register.
+        cond: u16,
+        /// Absolute opcode index.
+        target: u32,
+        /// Message selector for the non-boolean fault.
+        ctx: BoolCtx,
+    },
+    /// Fault if `regs[src]` is not a boolean; no jump (closes the second
+    /// arm of a short-circuit operator).
+    CheckBool {
+        /// Checked register.
+        src: u16,
+        /// Message selector for the non-boolean fault.
+        ctx: BoolCtx,
+    },
+    /// Start of a source statement: advances the execution-order statement
+    /// counter that assert failures report as `assert_index`.
+    Bump,
+    /// `self.state[var] ← regs[src]`, with `strict_writes` coercion against
+    /// the pre-resolved declaration.
+    Write {
+        /// Interned state-variable name.
+        var: Sym,
+        /// Value register.
+        src: u16,
+        /// Index into the transition's write-declaration table.
+        decl: u32,
+    },
+    /// Fail the transition with the pre-compiled error when `regs[pred]` is
+    /// false (faults first if it is not a boolean).
+    Assert {
+        /// Predicate register.
+        pred: u16,
+        /// Index into the transition's assert table.
+        info: u32,
+    },
+    /// `emits[field] ← regs[src]`.
+    Emit {
+        /// Interned response-field name.
+        field: Sym,
+        /// Value register.
+        src: u16,
+    },
+    /// Invoke a transition on the instance referenced by `regs[target]`,
+    /// dispatching through the (SM, API) jump table at runtime.
+    Call {
+        /// Register holding the target reference.
+        target: u16,
+        /// Index into the transition's call-site table.
+        site: u32,
+    },
+}
+
+/// A deferred argument expression of a `call` statement: the interpreter
+/// evaluates call arguments lazily, one per callee parameter, *after*
+/// resolving the callee — so the compiled form keeps each argument as its
+/// own opcode block sharing the caller's register file.
+#[derive(Debug, Clone)]
+pub struct ExprBlock {
+    /// Opcodes computing the argument.
+    pub code: Vec<Op>,
+    /// Register left holding the result.
+    pub result: u16,
+}
+
+/// Pre-compiled data of one `call` statement.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The callee API name.
+    pub api: ApiName,
+    /// Deferred positional argument expressions.
+    pub args: Vec<ExprBlock>,
+}
+
+/// Pre-compiled data of one `assert` statement's failure path.
+#[derive(Debug, Clone)]
+pub struct AssertInfo {
+    /// The spec-declared error code.
+    pub code: ErrorCode,
+    /// The spec-declared message.
+    pub message: String,
+}
+
+/// Pre-resolved declaration backing a `write` statement.
+#[derive(Debug, Clone)]
+pub struct WriteDecl {
+    /// Declared type (drives `strict_writes` coercion).
+    pub ty: StateType,
+    /// Whether the variable is nullable.
+    pub nullable: bool,
+    /// `format!("{}", ty)`, precomputed for the fault message.
+    pub ty_display: String,
+}
+
+/// One compiled parameter: the declaration plus everything error paths
+/// would otherwise re-format per call.
+#[derive(Debug, Clone)]
+pub struct CompiledParam {
+    /// Parameter name (used to bind the caller's named arguments).
+    pub name: String,
+    /// Declared type.
+    pub ty: StateType,
+    /// `format!("{}", ty)`, precomputed.
+    pub ty_display: String,
+    /// Whether the caller may omit it.
+    pub optional: bool,
+}
+
+/// One compiled transition: flattened body plus side tables.
+#[derive(Debug)]
+pub struct CompiledTransition {
+    /// API name.
+    pub name: ApiName,
+    /// API category.
+    pub kind: TransitionKind,
+    /// Parameter slots, in declaration order.
+    pub params: Vec<CompiledParam>,
+    /// The flattened opcode sequence.
+    pub code: Vec<Op>,
+    /// Size of the register file.
+    pub n_regs: u16,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Assert failure paths.
+    pub asserts: Vec<AssertInfo>,
+    /// Call sites.
+    pub sites: Vec<CallSite>,
+    /// Write declarations.
+    pub writes: Vec<WriteDecl>,
+}
+
+/// One compiled state machine: identity, templates, and its API jump table.
+#[derive(Debug)]
+pub struct CompiledSm {
+    /// Resource-type name.
+    pub name: SmName,
+    /// The id-carrying parameter of non-create transitions.
+    pub id_param: String,
+    /// Containment parent `(type, via-variable)`, if declared.
+    pub parent: Option<(SmName, String)>,
+    /// Default state template: cloned into each new instance instead of
+    /// re-deriving defaults from the spec per create.
+    pub default_state: BTreeMap<String, Value>,
+    /// API → transition index for runtime `call` dispatch.
+    pub api_index: HashMap<String, u32>,
+    /// Compiled transitions, in declaration order.
+    pub transitions: Vec<CompiledTransition>,
+}
+
+/// A whole catalog lowered to executable form.
+#[derive(Debug)]
+pub struct CompiledCatalog {
+    /// The string pool.
+    pub interner: Interner,
+    /// SM-name pool referenced by `ChildCount` opcodes.
+    pub sm_names: Vec<SmName>,
+    /// Compiled SMs, in catalog (name) order.
+    pub sms: Vec<CompiledSm>,
+    /// SM name → index, for runtime `call` dispatch.
+    pub sm_index: HashMap<SmName, u32>,
+    /// Top-level jump table: API → (SM, transition). APIs declared by more
+    /// than one SM are absent, exactly as `Catalog::sm_for_api` treats
+    /// ambiguity as "unsupported".
+    pub dispatch: HashMap<String, (u32, u32)>,
+    /// Every transition name, sorted with duplicates preserved — the
+    /// byte-identical answer to the interpreter's `api_names()`.
+    pub api_names: Vec<String>,
+}
+
+impl CompiledCatalog {
+    /// O(1) support query against the jump table.
+    #[inline]
+    pub fn supports(&self, api: &str) -> bool {
+        self.dispatch.contains_key(api)
+    }
+
+    /// Aggregate size statistics over the compiled program.
+    pub fn stats(&self) -> IrStats {
+        let mut s = IrStats {
+            sms: self.sms.len(),
+            apis: self.api_names.len(),
+            dispatchable_apis: self.dispatch.len(),
+            interned_strings: self.interner.len(),
+            ..IrStats::default()
+        };
+        for sm in &self.sms {
+            for t in &sm.transitions {
+                s.ops += t.code.len();
+                s.consts += t.consts.len();
+                s.call_sites += t.sites.len();
+                for site in &t.sites {
+                    s.ops += site.args.iter().map(|b| b.code.len()).sum::<usize>();
+                }
+                s.asserts += t.asserts.len();
+                s.max_regs = s.max_regs.max(t.n_regs as usize);
+            }
+        }
+        s
+    }
+}
+
+/// Size statistics of a compiled catalog (`lce compile --stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrStats {
+    /// Number of state machines.
+    pub sms: usize,
+    /// Number of transitions (with duplicates).
+    pub apis: usize,
+    /// Jump-table entries (unambiguous APIs).
+    pub dispatchable_apis: usize,
+    /// Total flattened opcodes, including deferred call-argument blocks.
+    pub ops: usize,
+    /// Total pooled constants.
+    pub consts: usize,
+    /// Total call sites.
+    pub call_sites: usize,
+    /// Total assert failure paths.
+    pub asserts: usize,
+    /// Distinct interned strings.
+    pub interned_strings: usize,
+    /// Largest register file of any transition.
+    pub max_regs: usize,
+}
+
+impl fmt::Display for IrStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sms:               {}", self.sms)?;
+        writeln!(f, "apis:              {}", self.apis)?;
+        writeln!(f, "dispatchable apis: {}", self.dispatchable_apis)?;
+        writeln!(f, "opcodes:           {}", self.ops)?;
+        writeln!(f, "constants:         {}", self.consts)?;
+        writeln!(f, "call sites:        {}", self.call_sites)?;
+        writeln!(f, "assert paths:      {}", self.asserts)?;
+        writeln!(f, "interned strings:  {}", self.interned_strings)?;
+        write!(f, "max registers:     {}", self.max_regs)
+    }
+}

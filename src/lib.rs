@@ -25,6 +25,7 @@
 //! | [`server`] | `lce-server` | the HTTP serving layer + remote-backend client |
 //! | [`faults`] | `lce-faults` | deterministic fault injection, retry/backoff, store fingerprints |
 //! | [`obs`] | `lce-obs` | lock-free observability: counters, histograms, Prometheus text |
+//! | [`ir`] | `lce-ir` | compiled execution: slot-based IR + register VM, interpreter as oracle |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use lce_devops as devops;
 pub use lce_emulator as emulator;
 pub use lce_faults as faults;
 pub use lce_gym as gym;
+pub use lce_ir as ir;
 pub use lce_metrics as metrics;
 pub use lce_obs as obs;
 pub use lce_server as server;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use lce_devops::{compare_runs, run_program, Arg, Program};
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
     pub use lce_faults::{store_digest, FaultPlan, FaultyBackend, RetryPolicy};
+    pub use lce_ir::{compile, CompiledEmulator, DualBackend, Engine};
     pub use lce_obs::{ObsHub, ObservedBackend};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
 

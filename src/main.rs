@@ -1,14 +1,15 @@
 //! `lce` — the learned-cloud-emulators command-line tool.
 //!
 //! ```text
-//! lce docs   --provider <nimbus|stratus> [--omit-every N]
-//! lce synth  --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
-//! lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
-//! lce run    --catalog FILE [--state FILE] --program FILE.json
-//! lce spec   --provider <nimbus|stratus> [--resource Name]
-//! lce serve  --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics]
-//! lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-//! lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics]
+//! lce docs    --provider <nimbus|stratus> [--omit-every N]
+//! lce synth   --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
+//! lce call    --catalog FILE [--state FILE] <Api> [Key=Value ...]
+//! lce run     --catalog FILE [--state FILE] --program FILE.json
+//! lce spec    --provider <nimbus|stratus> [--resource Name]
+//! lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>]
+//! lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
+//! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>]
+//! lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--check]
 //! lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
 //! ```
 //!
@@ -16,7 +17,13 @@
 //! the catalog as JSON; `call`/`run` reload it and drive it like a cloud
 //! endpoint. Programs for `run` are `lce_devops::Program` JSON. `serve`
 //! exposes the catalog as a LocalStack-style HTTP endpoint with one
-//! isolated emulator per account (`POST /<account>/<Api>`). `lint` runs the
+//! isolated emulator per account (`POST /<account>/<Api>`); `--engine`
+//! selects the execution engine: the spec interpreter, the compiled IR
+//! executor, or both in lock-step with divergence panics. `compile` lowers
+//! a catalog to the slot-based IR and prints size statistics (`--stats`),
+//! a disassembly listing (`--dump`), or differentially checks the compiled
+//! engine against the interpreter over the golden scenario suites
+//! (`--check`). `lint` runs the
 //! static analyzer over a golden or synthesized catalog and exits non-zero
 //! when findings at or above the `--deny` threshold remain. `metrics`
 //! scrapes a running server's Prometheus endpoint (or reads a saved
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "lint" => cmd_lint(rest),
         "chaos" => cmd_chaos(rest),
+        "compile" => cmd_compile(rest),
         "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
@@ -60,14 +68,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "lce — learned cloud emulators
 
 USAGE:
-  lce docs   --provider <nimbus|stratus> [--omit-every N]
-  lce synth  --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
-  lce call   --catalog FILE [--state FILE] <Api> [Key=Value ...]
-  lce run    --catalog FILE [--state FILE] --program FILE.json
-  lce spec   --provider <nimbus|stratus> [--resource Name]
-  lce serve  --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics]
-  lce lint   [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-  lce chaos  [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics]
+  lce docs    --provider <nimbus|stratus> [--omit-every N]
+  lce synth   --provider <nimbus|stratus> [--seed S] [--d2c] [--no-align] [--out FILE]
+  lce call    --catalog FILE [--state FILE] <Api> [Key=Value ...]
+  lce run     --catalog FILE [--state FILE] --program FILE.json
+  lce spec    --provider <nimbus|stratus> [--resource Name]
+  lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>]
+  lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
+  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>]
+  lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--check]
   lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]";
 
 /// Parse `--key value` flags and positional arguments.
@@ -94,7 +103,17 @@ fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
 }
 
 fn needs_value(key: &str) -> bool {
-    !matches!(key, "d2c" | "no-align" | "metrics" | "deterministic")
+    !matches!(
+        key,
+        "d2c" | "no-align" | "metrics" | "deterministic" | "stats" | "dump" | "check"
+    )
+}
+
+fn engine_of(flags: &BTreeMap<String, String>) -> Result<Engine, String> {
+    match flags.get("engine") {
+        None => Ok(Engine::Interp),
+        Some(s) => s.parse(),
+    }
 }
 
 fn provider_of(flags: &BTreeMap<String, String>) -> Result<Provider, String> {
@@ -268,6 +287,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args);
     let catalog = load_catalog(&flags)?;
+    let engine = engine_of(&flags)?;
     let addr = flags
         .get("addr")
         .cloned()
@@ -286,14 +306,41 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if metrics {
         config = config.with_observability(std::sync::Arc::new(ObsHub::new()));
     }
-    let handle = serve(config, move |_account| {
-        Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
+    // Compile once; per-account compiled engines share the Arc.
+    let compiled = match engine {
+        Engine::Interp => None,
+        Engine::Ir | Engine::Dual => Some(std::sync::Arc::new(
+            compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?,
+        )),
+    };
+    let handle = serve(config, move |_account| match engine {
+        Engine::Interp => {
+            Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
+        }
+        Engine::Ir => Box::new(
+            CompiledEmulator::from_compiled(
+                compiled.clone().expect("compiled for ir engine"),
+                EmulatorConfig::framework(),
+            )
+            .named("served"),
+        ),
+        Engine::Dual => Box::new(
+            DualBackend::from_engines(
+                Emulator::new(catalog.clone()),
+                CompiledEmulator::from_compiled(
+                    compiled.clone().expect("compiled for dual engine"),
+                    EmulatorConfig::framework(),
+                ),
+            )
+            .named("served"),
+        ),
     })
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "lce-server listening on http://{} ({} workers)",
+        "lce-server listening on http://{} ({} workers, {} engine)",
         handle.addr(),
-        threads
+        threads,
+        engine
     );
     eprintln!("  POST /<account>/<Api>    invoke (JSON body of arguments)");
     eprintln!("  POST /<account>/_reset   drop the account's resources");
@@ -323,7 +370,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut config = ChaosConfig::new(seed)
         .with_threads(threads)
         .with_accounts(accounts)
-        .with_metrics(flags.contains_key("metrics"));
+        .with_metrics(flags.contains_key("metrics"))
+        .with_engine(engine_of(&flags)?);
     if let Some(plan) = flags.get("plan") {
         config = config.with_plan(plan.clone());
     }
@@ -375,6 +423,74 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     } else {
         Err("chaos run did not converge".to_string())
     }
+}
+
+/// Lower a catalog to the slot-based IR. Prints size statistics by
+/// default (or with `--stats`), an assembly-style listing under `--dump`,
+/// and under `--check` runs the golden scenario suites through
+/// [`DualBackend`] in record mode, reporting every divergence between the
+/// compiled engine and the interpreter and exiting non-zero if any exist.
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    use learned_cloud_emulators::devops::scenarios::{
+        basic_functionality, fig3_nimbus, fig3_stratus,
+    };
+    use learned_cloud_emulators::ir::{disassemble, DivergencePolicy};
+
+    let (flags, _) = parse_flags(args);
+    let catalog = match flags.get("catalog") {
+        Some(_) => load_catalog(&flags)?,
+        None => provider_of(&flags)?.catalog,
+    };
+    let cc = compile(&catalog).map_err(|e| format!("compile failed: {}", e))?;
+    if flags.contains_key("dump") {
+        print!("{}", disassemble(&cc));
+    }
+    if !flags.contains_key("dump") || flags.contains_key("stats") {
+        println!("{}", cc.stats());
+    }
+    if flags.contains_key("check") {
+        // Both suites: against a provider catalog one exercises the full
+        // behaviour surface and the other the error paths; both must be
+        // byte-identical across engines either way.
+        let mut suite: Vec<(String, Program)> =
+            vec![("basic-functionality".to_string(), basic_functionality())];
+        for s in fig3_nimbus() {
+            suite.push((
+                format!("nimbus/{}/{}", s.category.label(), s.program.name),
+                s.program,
+            ));
+        }
+        for s in fig3_stratus() {
+            suite.push((
+                format!("stratus/{}/{}", s.category.label(), s.program.name),
+                s.program,
+            ));
+        }
+        let mut calls = 0usize;
+        let mut divergences = 0usize;
+        for (name, program) in &suite {
+            let mut dual = DualBackend::new(&catalog)
+                .map_err(|e| format!("compile failed: {}", e))?
+                .with_policy(DivergencePolicy::Record);
+            run_program(program, &mut dual);
+            calls += dual.calls();
+            for d in dual.divergences() {
+                println!("{}: {}", name, d);
+                divergences += 1;
+            }
+        }
+        eprintln!(
+            "check: {} calls across {} scenario programs, {} divergence{}",
+            calls,
+            suite.len(),
+            divergences,
+            if divergences == 1 { "" } else { "s" }
+        );
+        if divergences > 0 {
+            return Err(format!("{} engine divergence(s)", divergences));
+        }
+    }
+    Ok(())
 }
 
 /// Scrape a running server's metrics endpoint (or read a saved scrape)

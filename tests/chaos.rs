@@ -4,6 +4,7 @@
 //! across same-seed repeat runs.
 
 use learned_cloud_emulators::chaos::{run_chaos, ChaosConfig};
+use learned_cloud_emulators::ir::Engine;
 
 /// The headline acceptance criterion: under the `standard` fault plan the
 /// 16×8 matrix converges — every account's faulted final store fingerprints
@@ -125,6 +126,74 @@ fn deterministic_scrape_is_stable_across_repeats_and_server_threads() {
             i
         );
     }
+}
+
+/// The compiled engine drops into the chaos harness: the standard plan
+/// converges with `--engine ir` serving the faulted stack. Baselines
+/// always run on the interpreter, so convergence here is itself a
+/// cross-engine equivalence check — every faulted compiled-engine store
+/// must fingerprint-match an interpreter baseline.
+#[test]
+fn standard_plan_converges_on_compiled_engine() {
+    let config = ChaosConfig::new(7)
+        .with_threads(4)
+        .with_accounts(4)
+        .with_engine(Engine::Ir);
+    let report = run_chaos(&config).unwrap();
+    assert!(report.converged(), "\n{}", report.render());
+}
+
+/// `--engine dual` puts the differential oracle on every faulted request:
+/// both engines execute each call in lock-step and panic on divergence
+/// (which would surface as a failed run). Convergence means the engines
+/// stayed byte-identical under faults, retries and 4-way parallelism.
+#[test]
+fn standard_plan_converges_on_dual_engine_oracle() {
+    let config = ChaosConfig::new(7)
+        .with_threads(4)
+        .with_accounts(4)
+        .with_engine(Engine::Dual);
+    let report = run_chaos(&config).unwrap();
+    assert!(report.converged(), "\n{}", report.render());
+}
+
+/// Engine invariance at the report level: the same seed and plan render
+/// byte-identical chaos reports whichever engine serves — the engine is
+/// an implementation detail, not an observable of the experiment.
+#[test]
+fn same_seed_reports_are_byte_identical_across_engines() {
+    let base = ChaosConfig::new(21).with_threads(4).with_accounts(4);
+    let interp = run_chaos(&base.clone().with_engine(Engine::Interp)).unwrap();
+    assert!(interp.converged(), "\n{}", interp.render());
+    for engine in [Engine::Ir, Engine::Dual] {
+        let other = run_chaos(&base.clone().with_engine(engine)).unwrap();
+        assert_eq!(
+            interp.render(),
+            other.render(),
+            "report diverged on engine {}",
+            engine
+        );
+    }
+}
+
+/// Metrics exactness is engine-independent: the compiled engine under the
+/// standard plan still scrapes fault counters that equal the decided
+/// schedule (enforced inside `run_chaos`).
+#[test]
+fn compiled_engine_scrape_equals_decided_fault_schedule() {
+    let config = ChaosConfig::new(7)
+        .with_threads(4)
+        .with_accounts(4)
+        .with_engine(Engine::Ir)
+        .with_metrics(true);
+    let report = run_chaos(&config).unwrap();
+    assert!(report.converged(), "\n{}", report.render());
+    let metrics = report.metrics.expect("metrics requested");
+    assert!(
+        metrics.global_scrape.contains("lce_faults_injected_total"),
+        "{}",
+        metrics.global_scrape
+    );
 }
 
 /// Wire faults make the scrape best-effort, not wrong: the exactness
