@@ -1,27 +1,32 @@
-//! Interpreter vs. compiled-IR microbenchmark (`BENCH_ir.json`).
+//! Interpreter vs. compiled-IR vs. optimized-IR microbenchmark
+//! (`BENCH_ir.json`).
 //!
 //! Records concrete call traces from the golden scenario suites (Nimbus:
 //! basic functionality + the Fig. 3 matrix; Stratus: the Fig. 3 matrix) by
 //! running each program once through the interpreter, then replays the
-//! identical traces against both engines and reports throughput
-//! (calls/sec) and per-call latency percentiles (p50/p99). Replaying a
-//! fixed trace keeps the scenario driver's bookkeeping out of the timed
-//! region, so the numbers measure `Backend::invoke` and nothing else; the
-//! engines are byte-identical on these catalogs (the differential suite
-//! enforces it), so one trace is valid for both. Each replay starts from
-//! `reset()`, and the compiled engine's responses are cross-checked
-//! against the recorded ones once before timing.
+//! identical traces against three engines — the interpreter, the compiled
+//! IR at `O0`, and the IR at the maximum optimization level — and reports
+//! throughput (calls/sec) and per-call latency percentiles (p50/p99).
+//! Replaying a fixed trace keeps the scenario driver's bookkeeping out of
+//! the timed region, so the numbers measure `Backend::invoke` and nothing
+//! else; the engines are byte-identical on these catalogs (the
+//! differential suite enforces it), so one trace is valid for all three.
+//! Each replay starts from `reset()`, and both compiled engines'
+//! responses are cross-checked against the recorded ones once before
+//! timing.
 //!
 //! ```text
 //! bench_ir [--iters N] [--out FILE] [--check FILE]
 //! ```
 //!
-//! `--check FILE` re-runs the benchmark and fails (exit 1) if the compiled
-//! engine's throughput fell below two-thirds of the committed numbers or
-//! the measured speedup fell below 4x — the CI regression gate. (The
-//! committed file carries the ≥5x acceptance numbers; single-vCPU runners
-//! swing absolute throughput by ±25% run to run, so the live floors only
-//! catch structural regressions, not scheduler noise.)
+//! `--check FILE` re-runs the benchmark and fails (exit 1) if either
+//! compiled engine's throughput fell below two-thirds of the committed
+//! numbers, the measured `O0` speedup fell below 4x, or the optimized
+//! engine fell below 90% of the unoptimized one — the CI regression
+//! gates. (The committed file carries the ≥5x acceptance numbers and an
+//! opt-to-unopt ratio ≥ 1.0; single-vCPU runners swing absolute
+//! throughput by ±25% run to run, so the live floors only catch
+//! structural regressions, not scheduler noise.)
 //!
 //! The JSON is hand-rendered with integer fields only, so the committed
 //! file is bit-stable across serializer versions and trivially parseable.
@@ -29,9 +34,10 @@
 use lce_cloud::{nimbus_provider, stratus_provider};
 use lce_devops::scenarios::{basic_functionality, fig3_nimbus, fig3_stratus};
 use lce_devops::{run_program, Program};
-use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator};
-use lce_ir::CompiledEmulator;
+use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig};
+use lce_ir::{compile, optimize, CompiledEmulator, OptLevel};
 use lce_spec::Catalog;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One program's resolved calls and the interpreter's responses to them.
@@ -157,11 +163,21 @@ struct SuiteResult {
     calls_per_iter: usize,
     interp: EngineResult,
     ir: EngineResult,
+    ir_opt: EngineResult,
 }
 
 impl SuiteResult {
     fn speedup(&self) -> f64 {
         self.ir.calls_per_sec as f64 / (self.interp.calls_per_sec as f64).max(1.0)
+    }
+
+    fn opt_speedup(&self) -> f64 {
+        self.ir_opt.calls_per_sec as f64 / (self.interp.calls_per_sec as f64).max(1.0)
+    }
+
+    /// Optimized over unoptimized IR throughput.
+    fn opt_ratio(&self) -> f64 {
+        self.ir_opt.calls_per_sec as f64 / (self.ir.calls_per_sec as f64).max(1.0)
     }
 }
 
@@ -172,25 +188,32 @@ fn bench_suite(
     iters: usize,
 ) -> SuiteResult {
     let traces = record(catalog, suite);
-    // Cross-check once: the compiled engine must reproduce the oracle's
+    // Cross-check once: each compiled engine must reproduce the oracle's
     // responses on the trace before its numbers mean anything.
     let mut ir = CompiledEmulator::new(catalog).expect("golden catalog compiles");
-    for trace in &traces {
-        ir.reset();
-        for (call, expected) in trace.calls.iter().zip(&trace.responses) {
-            let got = ir.invoke(call);
-            assert_eq!(&got, expected, "engines diverged on {}", call.api);
+    let mut opt_cc = compile(catalog).expect("golden catalog compiles");
+    optimize(&mut opt_cc, OptLevel::MAX).expect("golden catalog optimizes");
+    let mut ir_opt = CompiledEmulator::from_compiled(Arc::new(opt_cc), EmulatorConfig::framework());
+    for engine in [&mut ir, &mut ir_opt] {
+        for trace in &traces {
+            engine.reset();
+            for (call, expected) in trace.calls.iter().zip(&trace.responses) {
+                let got = engine.invoke(call);
+                assert_eq!(&got, expected, "engines diverged on {}", call.api);
+            }
         }
     }
     let calls_per_iter = traces.iter().map(|t| t.calls.len()).sum();
     let interp = bench_engine(Emulator::new(catalog.clone()), &traces, iters);
     let ir = bench_engine(ir, &traces, iters);
+    let ir_opt = bench_engine(ir_opt, &traces, iters);
     SuiteResult {
         provider,
         programs: suite.len(),
         calls_per_iter,
         interp,
         ir,
+        ir_opt,
     }
 }
 
@@ -208,15 +231,23 @@ fn render(results: &[SuiteResult], iters: usize) -> String {
             "      \"calls_per_iter\": {},\n",
             s.calls_per_iter
         ));
-        for (name, e) in [("interp", &s.interp), ("ir", &s.ir)] {
+        for (name, e) in [("interp", &s.interp), ("ir", &s.ir), ("ir_opt", &s.ir_opt)] {
             out.push_str(&format!(
                 "      \"{}\": {{ \"calls_per_sec\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
                 name, e.calls_per_sec, e.p50_ns, e.p99_ns
             ));
         }
         out.push_str(&format!(
-            "      \"speedup_pct\": {}\n",
+            "      \"speedup_pct\": {},\n",
             (s.speedup() * 100.0) as u64
+        ));
+        out.push_str(&format!(
+            "      \"opt_speedup_pct\": {},\n",
+            (s.opt_speedup() * 100.0) as u64
+        ));
+        out.push_str(&format!(
+            "      \"opt_ratio_pct\": {}\n",
+            (s.opt_ratio() * 100.0) as u64
         ));
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -291,7 +322,8 @@ fn main() {
     for s in &results {
         eprintln!(
             "{:8} interp {:>9} calls/s (p50 {:>6}ns p99 {:>7}ns)  ir {:>9} calls/s \
-             (p50 {:>6}ns p99 {:>7}ns)  speedup {:.1}x",
+             (p50 {:>6}ns p99 {:>7}ns)  ir+opt {:>9} calls/s (p50 {:>6}ns p99 {:>7}ns)  \
+             speedup {:.1}x / {:.1}x",
             s.provider,
             s.interp.calls_per_sec,
             s.interp.p50_ns,
@@ -299,7 +331,11 @@ fn main() {
             s.ir.calls_per_sec,
             s.ir.p50_ns,
             s.ir.p99_ns,
-            s.speedup()
+            s.ir_opt.calls_per_sec,
+            s.ir_opt.p50_ns,
+            s.ir_opt.p99_ns,
+            s.speedup(),
+            s.opt_speedup()
         );
     }
 
@@ -315,18 +351,21 @@ fn main() {
         let committed = std::fs::read_to_string(&path).expect("read committed bench file");
         let mut failed = false;
         for s in &results {
-            let Some(committed_ir) = extract(&committed, s.provider, "ir", "calls_per_sec") else {
-                eprintln!("check: {} missing from {}", s.provider, path);
-                failed = true;
-                continue;
-            };
-            let floor = committed_ir * 2 / 3;
-            if s.ir.calls_per_sec < floor {
-                eprintln!(
-                    "check FAIL: {} ir {} calls/s is below 2/3 of committed {} ({})",
-                    s.provider, s.ir.calls_per_sec, committed_ir, floor
-                );
-                failed = true;
+            for (engine, live) in [("ir", &s.ir), ("ir_opt", &s.ir_opt)] {
+                let Some(committed_cps) = extract(&committed, s.provider, engine, "calls_per_sec")
+                else {
+                    eprintln!("check: {} {} missing from {}", s.provider, engine, path);
+                    failed = true;
+                    continue;
+                };
+                let floor = committed_cps * 2 / 3;
+                if live.calls_per_sec < floor {
+                    eprintln!(
+                        "check FAIL: {} {} {} calls/s is below 2/3 of committed {} ({})",
+                        s.provider, engine, live.calls_per_sec, committed_cps, floor
+                    );
+                    failed = true;
+                }
             }
             // The committed file proves the 5x acceptance number; the live
             // floor is 4x so a noisy CI neighbour can't fail the gate.
@@ -338,10 +377,25 @@ fn main() {
                 );
                 failed = true;
             }
+            // Optimization must not regress the unoptimized engine. The
+            // committed file shows >= 1.0x; the live floor tolerates 10%
+            // of scheduler noise.
+            if s.opt_ratio() < 0.9 {
+                eprintln!(
+                    "check FAIL: {} optimized IR is {:.2}x the unoptimized engine \
+                     (floor 0.9x)",
+                    s.provider,
+                    s.opt_ratio()
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);
         }
-        eprintln!("check: throughput within 2/3 of {} and speedup >= 4x", path);
+        eprintln!(
+            "check: throughput within 2/3 of {}, speedup >= 4x, opt ratio >= 0.9x",
+            path
+        );
     }
 }

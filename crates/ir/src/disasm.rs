@@ -1,6 +1,10 @@
-//! Human-readable listings of compiled programs (`lce compile --dump`).
+//! Human-readable listings of compiled programs (`lce compile --dump`),
+//! analysis-annotated listings (`--dump-analysis`), and a structural
+//! re-parser that keeps the listing format honest (the round-trip test
+//! rebuilds the opcode skeleton from the rendered text).
 
-use crate::program::{CompiledCatalog, CompiledTransition, Op};
+use crate::opt::analysis::{self, AbsTy};
+use crate::program::{CompiledCatalog, CompiledTransition, JournalMode, Op};
 use std::fmt::Write;
 
 fn fmt_op(cc: &CompiledCatalog, t: &CompiledTransition, op: &Op) -> String {
@@ -34,9 +38,17 @@ fn fmt_op(cc: &CompiledCatalog, t: &CompiledTransition, op: &Op) -> String {
         Op::JumpIfFalse { cond, target, .. } => format!("jump_if_false r{} -> {}", cond, target),
         Op::JumpIfTrue { cond, target, .. } => format!("jump_if_true r{} -> {}", cond, target),
         Op::CheckBool { src, .. } => format!("check_bool r{}", src),
-        Op::Bump => "bump".to_string(),
-        Op::Write { var, src, .. } => {
-            format!("write {} <- r{}", cc.interner.resolve(*var), src)
+        Op::Bump { stmt } => format!("bump stmt[{}]", stmt),
+        Op::Nop => "nop".to_string(),
+        Op::Write {
+            var, src, journal, ..
+        } => {
+            let mode = match journal {
+                JournalMode::Dynamic => "",
+                JournalMode::Elide => " !elide",
+                JournalMode::Journal => " !journal",
+            };
+            format!("write {} <- r{}{}", cc.interner.resolve(*var), src, mode)
         }
         Op::Assert { pred, info } => {
             let a = &t.asserts[*info as usize];
@@ -50,8 +62,38 @@ fn fmt_op(cc: &CompiledCatalog, t: &CompiledTransition, op: &Op) -> String {
     }
 }
 
-/// Render the whole compiled catalog as an assembly-style listing.
-pub fn disassemble(cc: &CompiledCatalog) -> String {
+/// The opcode mnemonic, as the structural re-parser classifies it.
+fn mnemonic(op: &Op) -> &'static str {
+    match op {
+        Op::Const { .. } => "const",
+        Op::SelfId { .. } => "self_id",
+        Op::Arg { .. } => "arg",
+        Op::Read { .. } => "read",
+        Op::Field { .. } => "field",
+        Op::ChildCount { .. } => "child_count",
+        Op::Not { .. } => "not",
+        Op::IsNull { .. } => "is_null",
+        Op::Exists { .. } => "exists",
+        Op::Len { .. } => "len",
+        Op::Bin { .. } => "bin",
+        Op::ListOf { .. } => "list_of",
+        Op::Append { .. } => "append",
+        Op::Remove { .. } => "remove",
+        Op::Move { .. } => "move",
+        Op::Jump { .. } => "jump",
+        Op::JumpIfFalse { .. } => "jump_if_false",
+        Op::JumpIfTrue { .. } => "jump_if_true",
+        Op::CheckBool { .. } => "check_bool",
+        Op::Bump { .. } => "bump",
+        Op::Nop => "nop",
+        Op::Write { .. } => "write",
+        Op::Assert { .. } => "assert",
+        Op::Emit { .. } => "emit",
+        Op::Call { .. } => "call",
+    }
+}
+
+fn render(cc: &CompiledCatalog, annotate: bool) -> String {
     let mut out = String::new();
     for sm in &cc.sms {
         let _ = writeln!(out, "sm {} (id_param {})", sm.name, sm.id_param);
@@ -64,8 +106,21 @@ pub fn disassemble(cc: &CompiledCatalog) -> String {
                 t.n_regs,
                 t.consts.len()
             );
+            let facts = if annotate {
+                op_facts(cc, t, &t.code)
+            } else {
+                Vec::new()
+            };
             for (i, op) in t.code.iter().enumerate() {
-                let _ = writeln!(out, "    {:4}  {}", i, fmt_op(cc, t, op));
+                let note = facts.get(i).filter(|f| !f.is_empty());
+                match note {
+                    Some(f) => {
+                        let _ = writeln!(out, "    {:4}  {:40} ; {}", i, fmt_op(cc, t, op), f);
+                    }
+                    None => {
+                        let _ = writeln!(out, "    {:4}  {}", i, fmt_op(cc, t, op));
+                    }
+                }
             }
             for (si, site) in t.sites.iter().enumerate() {
                 for (ai, block) in site.args.iter().enumerate() {
@@ -84,15 +139,238 @@ pub fn disassemble(cc: &CompiledCatalog) -> String {
     out
 }
 
+/// Per-opcode analysis facts for the annotated listing: effect class,
+/// the abstract type the opcode leaves in its destination, the constant
+/// value when propagation proves one, and liveness of the destination.
+fn op_facts(cc: &CompiledCatalog, t: &CompiledTransition, code: &[Op]) -> Vec<String> {
+    let entry = vec![AbsTy::EMPTY; t.n_regs as usize];
+    let Ok(flow) = analysis::type_flow(cc, t, code, entry) else {
+        return vec!["unverified".to_string(); code.len()];
+    };
+    let consts = analysis::const_flow(t, code);
+    let live = analysis::liveness(
+        code,
+        t.n_regs as usize,
+        &analysis::RegSet::empty(t.n_regs as usize),
+    );
+    code.iter()
+        .enumerate()
+        .map(|(pc, op)| {
+            let mut f = String::new();
+            let class = match analysis::classify(op) {
+                analysis::OpClass::Pure => "pure",
+                analysis::OpClass::PureReadsStore => "pure+store",
+                analysis::OpClass::MayFault => "may-fault",
+                analysis::OpClass::Effect => "effect",
+                analysis::OpClass::Control => "control",
+            };
+            let _ = write!(f, "{}", class);
+            if let Some(dst) = analysis::def_of(op) {
+                if let Some(Some(st)) = flow.before.get(pc + 1) {
+                    let _ = write!(f, " ty={}", st[dst as usize]);
+                }
+                if let Some(Some(st)) = consts.get(pc + 1) {
+                    if let Some(v) = &st[dst as usize] {
+                        let _ = write!(f, " const={}", v);
+                    }
+                }
+                if !live[pc + 1].contains(dst) {
+                    let _ = write!(f, " dead");
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// Render the whole compiled catalog as an assembly-style listing.
+pub fn disassemble(cc: &CompiledCatalog) -> String {
+    render(cc, false)
+}
+
+/// Render the listing with per-opcode analysis facts (`--dump-analysis`)
+/// so optimizer diffs are reviewable: each main-code opcode is annotated
+/// with its effect class, inferred destination type, propagated constant,
+/// and destination liveness — the exact facts that license the rewrites.
+pub fn disassemble_with_analysis(cc: &CompiledCatalog) -> String {
+    render(cc, true)
+}
+
+/// The structural shape of a listing: opcode mnemonics per block, used by
+/// the round-trip fidelity test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skeleton {
+    /// One entry per SM: `(name, transitions)`.
+    pub sms: Vec<(String, Vec<TransitionSkeleton>)>,
+}
+
+/// One transition's structural shape.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransitionSkeleton {
+    /// API name.
+    pub name: String,
+    /// Main-code opcode mnemonics, in order.
+    pub code: Vec<String>,
+    /// Deferred argument blocks' mnemonics, in listing order.
+    pub blocks: Vec<Vec<String>>,
+}
+
+/// The skeleton computed directly from the compiled form (the round-trip
+/// oracle for [`reparse`]).
+pub fn skeleton(cc: &CompiledCatalog) -> Skeleton {
+    Skeleton {
+        sms: cc
+            .sms
+            .iter()
+            .map(|sm| {
+                (
+                    sm.name.to_string(),
+                    sm.transitions
+                        .iter()
+                        .map(|t| TransitionSkeleton {
+                            name: t.name.to_string(),
+                            code: t.code.iter().map(|op| mnemonic(op).to_string()).collect(),
+                            blocks: t
+                                .sites
+                                .iter()
+                                .flat_map(|site| site.args.iter())
+                                .map(|b| b.code.iter().map(|op| mnemonic(op).to_string()).collect())
+                                .collect(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Classify one rendered opcode line back to its mnemonic.
+fn classify_line(text: &str) -> Result<String, String> {
+    let bad = |t: &str| format!("unparseable opcode line `{}`", t);
+    if let Some(rest) = text.split_once(" <- ").filter(|(dst, _)| {
+        dst.len() > 1 && dst.starts_with('r') && dst[1..].chars().all(|c| c.is_ascii_digit())
+    }) {
+        let (_, rhs) = rest;
+        let m = if rhs.starts_with("const ") {
+            "const"
+        } else if rhs == "self" {
+            "self_id"
+        } else if rhs.starts_with("arg[") {
+            "arg"
+        } else if rhs.starts_with("read ") {
+            "read"
+        } else if rhs.starts_with("child_count ") {
+            "child_count"
+        } else if rhs.starts_with('!') {
+            "not"
+        } else if rhs.starts_with("is_null r") {
+            "is_null"
+        } else if rhs.starts_with("exists r") {
+            "exists"
+        } else if rhs.starts_with("len r") {
+            "len"
+        } else if rhs.starts_with("append r") {
+            "append"
+        } else if rhs.starts_with("remove r") {
+            "remove"
+        } else if rhs.starts_with('[') {
+            "list_of"
+        } else if let Some(after_r) = rhs.strip_prefix('r') {
+            let digits = after_r
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(after_r.len());
+            match after_r[digits..].chars().next() {
+                None => "move",
+                Some('.') => "field",
+                Some(' ') => "bin",
+                _ => return Err(bad(text)),
+            }
+        } else {
+            return Err(bad(text));
+        };
+        return Ok(m.to_string());
+    }
+    for (prefix, m) in [
+        ("jump_if_false ", "jump_if_false"),
+        ("jump_if_true ", "jump_if_true"),
+        ("jump ", "jump"),
+        ("check_bool ", "check_bool"),
+        ("bump", "bump"),
+        ("nop", "nop"),
+        ("write ", "write"),
+        ("assert ", "assert"),
+        ("emit ", "emit"),
+        ("call ", "call"),
+    ] {
+        if text.starts_with(prefix) {
+            return Ok(m.to_string());
+        }
+    }
+    Err(bad(text))
+}
+
+/// Structurally re-parse a listing produced by [`disassemble`] (or the
+/// annotated variant) back into its [`Skeleton`]. The fidelity test
+/// asserts `reparse(disassemble(cc)) == skeleton(cc)` — every opcode the
+/// catalog contains appears in the text, correctly classifiable, in
+/// order, in the right block.
+pub fn reparse(text: &str) -> Result<Skeleton, String> {
+    let mut sms: Vec<(String, Vec<TransitionSkeleton>)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let err = |m: &str| format!("line {}: {}", ln + 1, m);
+        if raw.is_empty() {
+            continue;
+        }
+        if let Some(rest) = raw.strip_prefix("sm ") {
+            let name = rest
+                .split(' ')
+                .next()
+                .ok_or_else(|| err("missing SM name"))?;
+            sms.push((name.to_string(), Vec::new()));
+        } else if let Some(rest) = raw.strip_prefix("  transition ") {
+            let name = rest.split(' ').next().ok_or_else(|| err("missing name"))?;
+            let sm = sms.last_mut().ok_or_else(|| err("transition before sm"))?;
+            sm.1.push(TransitionSkeleton {
+                name: name.to_string(),
+                ..TransitionSkeleton::default()
+            });
+        } else if raw.starts_with("    site ") {
+            // Opcode lines after a site header belong to that argument
+            // block; everything before the first site header is main code
+            // (the renderer emits main code first, then blocks, and both
+            // right-align indices so indentation alone is ambiguous).
+            let t = sms
+                .last_mut()
+                .and_then(|sm| sm.1.last_mut())
+                .ok_or_else(|| err("site block before transition"))?;
+            t.blocks.push(Vec::new());
+        } else if let Some(rest) = raw.strip_prefix("    ") {
+            let body = rest.trim_start_matches(|c: char| c.is_ascii_digit() || c == ' ');
+            let body = body.split(" ; ").next().unwrap_or(body).trim_end();
+            let t = sms
+                .last_mut()
+                .and_then(|sm| sm.1.last_mut())
+                .ok_or_else(|| err("opcode before transition"))?;
+            let mnem = classify_line(body).map_err(|m| err(&m))?;
+            match t.blocks.last_mut() {
+                Some(block) => block.push(mnem),
+                None => t.code.push(mnem),
+            }
+        } else {
+            return Err(err("unrecognized line"));
+        }
+    }
+    Ok(Skeleton { sms })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lower::compile;
     use lce_spec::{parse_catalog, Catalog};
 
-    #[test]
-    fn listing_covers_every_transition() {
-        let catalog = Catalog::from_specs(
+    fn queue_catalog() -> Catalog {
+        Catalog::from_specs(
             parse_catalog(
                 r#"
             sm Queue {
@@ -110,13 +388,32 @@ mod tests {
             "#,
             )
             .unwrap(),
-        );
-        let cc = compile(&catalog).unwrap();
+        )
+    }
+
+    #[test]
+    fn listing_covers_every_transition() {
+        let cc = compile(&queue_catalog()).unwrap();
         let text = disassemble(&cc);
         assert!(text.contains("sm Queue"));
         assert!(text.contains("transition SendMessage"));
         assert!(text.contains("assert"), "{}", text);
         assert!(text.contains("jump_if_false"), "{}", text);
         assert!(text.contains("write depth"), "{}", text);
+    }
+
+    #[test]
+    fn roundtrip_reparse_matches_skeleton() {
+        let cc = compile(&queue_catalog()).unwrap();
+        assert_eq!(reparse(&disassemble(&cc)).unwrap(), skeleton(&cc));
+    }
+
+    #[test]
+    fn analysis_dump_annotates_and_still_reparses() {
+        let cc = compile(&queue_catalog()).unwrap();
+        let text = disassemble_with_analysis(&cc);
+        assert!(text.contains("; effect"), "{}", text);
+        assert!(text.contains("ty="), "{}", text);
+        assert_eq!(reparse(&text).unwrap(), skeleton(&cc));
     }
 }

@@ -426,11 +426,17 @@ impl Vm<'_> {
                         .as_bool()
                         .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
                 }
-                Op::Bump => {
+                Op::Bump { .. } => {
                     this_index = *stmt_index;
                     *stmt_index += 1;
                 }
-                Op::Write { var, src, decl } => {
+                Op::Nop => {}
+                Op::Write {
+                    var,
+                    src,
+                    decl,
+                    journal: mode,
+                } => {
                     let v = regs[*src as usize].clone();
                     let d = &f.t.writes[*decl as usize];
                     let name = self.cc.interner.resolve(*var);
@@ -472,8 +478,15 @@ impl Vm<'_> {
                         }
                     };
                     // Writes to the instance this invocation minted need no
-                    // undo: rollback removes or replaces it outright.
-                    if !journal.is_created(f.self_id) {
+                    // undo: rollback removes or replaces it outright. The
+                    // static modes skip the created-instance probe where the
+                    // verifier proved its outcome.
+                    let push = match mode {
+                        JournalMode::Dynamic => !journal.is_created(f.self_id),
+                        JournalMode::Elide => false,
+                        JournalMode::Journal => true,
+                    };
+                    if push {
                         journal.push(Undo::SetState {
                             id: f.self_id.clone(),
                             var: *var,

@@ -60,11 +60,17 @@ pub mod backend;
 pub mod disasm;
 pub mod dual;
 mod exec;
+pub mod lints;
 pub mod lower;
+pub mod opt;
 pub mod program;
+pub mod verify;
 
 pub use backend::{CompiledEmulator, Engine};
-pub use disasm::disassemble;
+pub use disasm::{disassemble, disassemble_with_analysis};
 pub use dual::{Divergence, DivergencePolicy, DualBackend};
+pub use lints::ir_lints;
 pub use lower::{compile, CompileError};
+pub use opt::{optimize, OptLevel, OptReport};
 pub use program::{CompiledCatalog, IrStats};
+pub use verify::{verify, OpAddr, VerifyError, VerifyReport};

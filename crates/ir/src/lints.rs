@@ -1,0 +1,106 @@
+//! IR-level lints, fed back to spec spans.
+//!
+//! The compiled form sees facts the AST-level analyzer cannot: the actual
+//! dispatch tables (so *runtime* reachability, not syntactic reachability)
+//! and the flattened opcode stream (so dead effects across desugared
+//! control flow). Two codes, both registered in the `lce-spec` registry so
+//! `lce lint` severity policy and `--allow` handling apply uniformly:
+//!
+//! - **L012 unreachable-transition** — the transition can never execute:
+//!   either an earlier declaration of the same API in the same SM shadows
+//!   it (per-SM dispatch is first-declaration-wins), or its API is
+//!   ambiguous across SMs (absent from the top-level jump table) *and* no
+//!   `call` statement anywhere in the catalog names it (nested dispatch
+//!   is per-SM, so a call site keeps an ambiguous API alive).
+//! - **L013 dead-effect** — a `write` whose value is provably overwritten
+//!   before anything can observe it (same straight-line region, nothing
+//!   reading the store or able to fail in between, constant value that
+//!   provably passes declaration coercion). These are exactly the stores
+//!   the `O2` optimizer deletes; the lint shows them at the source span.
+
+use crate::opt::analysis::dead_stores;
+use crate::program::*;
+use lce_spec::Diagnostic;
+use std::collections::HashSet;
+
+/// Run the IR-level lints over a compiled catalog. Spans come from the
+/// provenance the lowering pass records (transition declarations and
+/// per-statement spans), so findings land on spec lines even though the
+/// analysis ran on opcodes.
+pub fn ir_lints(cc: &CompiledCatalog) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Every API name referenced by a call site anywhere in the catalog.
+    let called: HashSet<&str> = cc
+        .sms
+        .iter()
+        .flat_map(|sm| sm.transitions.iter())
+        .flat_map(|t| t.sites.iter())
+        .map(|site| site.api.as_str())
+        .collect();
+
+    for sm in &cc.sms {
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            // L012: shadowed within the SM.
+            if sm.api_index.get(t.name.as_str()) != Some(&(ti as u32)) {
+                out.push(Diagnostic::new(
+                    "L012",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!(
+                        "unreachable: shadowed by an earlier declaration of `{}` in `{}`",
+                        t.name, sm.name
+                    ),
+                ));
+                continue;
+            }
+            // L012: ambiguous across SMs and never called.
+            if !cc.dispatch.contains_key(t.name.as_str()) && !called.contains(t.name.as_str()) {
+                out.push(Diagnostic::new(
+                    "L012",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!(
+                        "unreachable: `{}` is ambiguous across SMs (unsupported at top \
+                         level) and no call site references it",
+                        t.name
+                    ),
+                ));
+                continue;
+            }
+            // L013: dead stores, at the span of the dead statement.
+            for (pc, stmt) in dead_stores(t) {
+                let Op::Write { var, .. } = &t.code[pc] else {
+                    continue;
+                };
+                let span = t
+                    .stmt_spans
+                    .get(stmt as usize)
+                    .copied()
+                    .unwrap_or(lce_spec::Span::NONE);
+                out.push(Diagnostic::new(
+                    "L013",
+                    &sm.name,
+                    Some(&t.name),
+                    span,
+                    format!(
+                        "dead effect: write to `{}` is overwritten before any possible read",
+                        cc.interner.resolve(*var)
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.sm, &a.transition, a.span.line, a.span.col, &a.code).cmp(&(
+            &b.sm,
+            &b.transition,
+            b.span.line,
+            b.span.col,
+            &b.code,
+        ))
+    });
+    out
+}

@@ -39,7 +39,27 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Lower a whole catalog to its compiled form.
+///
+/// Every compiled catalog is passed through [`crate::verify::verify`]
+/// before it is returned: no program this crate ever executes has skipped
+/// the static checks. Lowering itself is proven sound by that gate (and by
+/// the differential proptests), so a verifier rejection here indicates a
+/// lowering bug, not a spec defect.
 pub fn compile(catalog: &Catalog) -> Result<CompiledCatalog, CompileError> {
+    let cc = lower(catalog)?;
+    if let Err(e) = crate::verify::verify(&cc) {
+        return Err(CompileError {
+            sm: e.sm.clone(),
+            transition: e.transition.clone(),
+            message: format!("verifier rejected lowered program: {}", e.detail()),
+        });
+    }
+    Ok(cc)
+}
+
+/// The raw lowering pass, without the verification gate (the verifier's
+/// own tests corrupt its output deliberately).
+fn lower(catalog: &Catalog) -> Result<CompiledCatalog, CompileError> {
     let mut interner = Interner::default();
     let mut sm_names: Vec<SmName> = Vec::new();
     let mut sm_name_index: HashMap<SmName, u32> = HashMap::new();
@@ -78,6 +98,7 @@ pub fn compile(catalog: &Catalog) -> Result<CompiledCatalog, CompileError> {
                 asserts: Vec::new(),
                 sites: Vec::new(),
                 writes: Vec::new(),
+                stmt_spans: Vec::new(),
             };
             let mut code = Vec::new();
             lowerer.lower_stmts(&t.body, &mut code)?;
@@ -100,6 +121,8 @@ pub fn compile(catalog: &Catalog) -> Result<CompiledCatalog, CompileError> {
                 asserts: lowerer.asserts,
                 sites: lowerer.sites,
                 writes: lowerer.writes,
+                span: t.span,
+                stmt_spans: lowerer.stmt_spans,
             });
         }
         sms.push(CompiledSm {
@@ -167,6 +190,7 @@ struct Lowerer<'a, F> {
     asserts: Vec<AssertInfo>,
     sites: Vec<CallSite>,
     writes: Vec<WriteDecl>,
+    stmt_spans: Vec<lce_spec::Span>,
 }
 
 impl<F> Lowerer<'_, F>
@@ -211,7 +235,10 @@ where
         // files at expression depth. (`If` branches recycle per nested
         // statement in turn.)
         self.next_reg = 0;
-        code.push(Op::Bump);
+        self.stmt_spans.push(stmt.span());
+        code.push(Op::Bump {
+            stmt: (self.stmt_spans.len() - 1) as u32,
+        });
         match stmt {
             Stmt::Write { state, value, .. } => {
                 let src = self.lower_expr(value, code)?;
@@ -228,6 +255,7 @@ where
                     var,
                     src,
                     decl: (self.writes.len() - 1) as u32,
+                    journal: JournalMode::Dynamic,
                 });
             }
             Stmt::Assert {

@@ -1,0 +1,843 @@
+//! Shared static analyses over compiled code.
+//!
+//! Everything here exploits one structural property the lowering pass
+//! guarantees and the verifier enforces: **jumps only go forward**. That
+//! makes every opcode block a DAG in program order, so a single forward
+//! pass computes sound dataflow facts (types, constants, reachability) and
+//! a single backward pass computes liveness — no fixpoints needed.
+//!
+//! The verifier ([`crate::verify`]) consumes [`type_flow`] to prove
+//! register soundness; the optimizer ([`crate::opt`]) consumes all of it;
+//! the disassembler renders the same facts under `--dump-analysis`, so a
+//! reviewer sees exactly what licensed each rewrite.
+
+use crate::program::*;
+use lce_emulator::Value;
+use lce_spec::{BinOp, StateType, TransitionKind};
+
+/// An abstract value type: a bitset over the emulator's runtime type tags.
+/// The empty set means "no value here yet" — an uninitialized register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsTy(u8);
+
+impl AbsTy {
+    /// Uninitialized (⊥).
+    pub const EMPTY: AbsTy = AbsTy(0);
+    /// `Value::Null`.
+    pub const NULL: AbsTy = AbsTy(1);
+    /// `Value::Bool`.
+    pub const BOOL: AbsTy = AbsTy(2);
+    /// `Value::Int`.
+    pub const INT: AbsTy = AbsTy(4);
+    /// `Value::Str`.
+    pub const STR: AbsTy = AbsTy(8);
+    /// `Value::Enum`.
+    pub const ENUM: AbsTy = AbsTy(16);
+    /// `Value::Ref`.
+    pub const REF: AbsTy = AbsTy(32);
+    /// `Value::List`.
+    pub const LIST: AbsTy = AbsTy(64);
+    /// Any initialized value (⊤).
+    pub const ANY: AbsTy = AbsTy(127);
+
+    /// Set union (dataflow join of two initialized states).
+    pub fn union(self, other: AbsTy) -> AbsTy {
+        AbsTy(self.0 | other.0)
+    }
+
+    /// `true` when the register provably holds some value.
+    pub fn is_defined(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The abstract type of a concrete value.
+    pub fn of_value(v: &Value) -> AbsTy {
+        match v {
+            Value::Null => AbsTy::NULL,
+            Value::Bool(_) => AbsTy::BOOL,
+            Value::Int(_) => AbsTy::INT,
+            Value::Str(_) => AbsTy::STR,
+            Value::Enum(_) => AbsTy::ENUM,
+            Value::Ref(_) => AbsTy::REF,
+            Value::List(_) => AbsTy::LIST,
+        }
+    }
+
+    /// The abstract type of a declared spec type.
+    pub fn of_state_type(ty: &StateType) -> AbsTy {
+        match ty {
+            StateType::Str => AbsTy::STR,
+            StateType::Int => AbsTy::INT,
+            StateType::Bool => AbsTy::BOOL,
+            StateType::Enum(_) => AbsTy::ENUM,
+            StateType::Ref(_) => AbsTy::REF,
+            StateType::List(_) => AbsTy::LIST,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == 0 {
+            return write!(f, "undef");
+        }
+        if self.0 == AbsTy::ANY.0 {
+            return write!(f, "any");
+        }
+        let names = [
+            (AbsTy::NULL, "null"),
+            (AbsTy::BOOL, "bool"),
+            (AbsTy::INT, "int"),
+            (AbsTy::STR, "str"),
+            (AbsTy::ENUM, "enum"),
+            (AbsTy::REF, "ref"),
+            (AbsTy::LIST, "list"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.0 & bit.0 != 0 {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{}", name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The abstract types call-time argument binding can leave in each
+/// parameter slot. Top-level creates go through `bind_args`, which coerces
+/// to the declared type or rejects the call (optional/null-passed
+/// parameters bind `Null`); every other transition is also reachable
+/// through nested `call` dispatch, whose binding falls back to the raw
+/// caller value when coercion fails — so only creates get precise slots.
+pub fn arg_types(t: &CompiledTransition) -> Vec<AbsTy> {
+    t.params
+        .iter()
+        .map(|p| {
+            if t.kind == TransitionKind::Create {
+                AbsTy::of_state_type(&p.ty).union(AbsTy::NULL)
+            } else {
+                AbsTy::ANY
+            }
+        })
+        .collect()
+}
+
+/// Effect/fault classification of one opcode, as rendered by
+/// `--dump-analysis` and consumed by the elimination/scheduling passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Defines its destination, never faults, touches nothing else.
+    /// Removable when the destination is dead; movable within its block.
+    Pure,
+    /// Defines its destination and never faults, but reads the store
+    /// (`exists`, `child_count`): removable when dead, not movable across
+    /// store mutations.
+    PureReadsStore,
+    /// Defines its destination but may fault; only removable when the
+    /// operand types prove the fault impossible.
+    MayFault,
+    /// Statement-level effect (store write, emit, nested call, assert,
+    /// statement-counter bump) — never removed by liveness alone.
+    Effect,
+    /// Control flow.
+    Control,
+}
+
+/// Classify an opcode. `Read`/`Field` read the store *and* may fault, so
+/// they classify as [`OpClass::MayFault`] (the stricter bucket).
+pub fn classify(op: &Op) -> OpClass {
+    match op {
+        Op::Const { .. }
+        | Op::SelfId { .. }
+        | Op::Arg { .. }
+        | Op::IsNull { .. }
+        | Op::ListOf { .. }
+        | Op::Move { .. }
+        | Op::Nop => OpClass::Pure,
+        Op::Exists { .. } | Op::ChildCount { .. } => OpClass::PureReadsStore,
+        Op::Read { .. }
+        | Op::Field { .. }
+        | Op::Not { .. }
+        | Op::Len { .. }
+        | Op::Bin { .. }
+        | Op::Append { .. }
+        | Op::Remove { .. } => OpClass::MayFault,
+        Op::Bump { .. }
+        | Op::Write { .. }
+        | Op::Assert { .. }
+        | Op::Emit { .. }
+        | Op::Call { .. }
+        | Op::CheckBool { .. } => OpClass::Effect,
+        Op::Jump { .. } | Op::JumpIfFalse { .. } | Op::JumpIfTrue { .. } => OpClass::Control,
+    }
+}
+
+/// The destination register an opcode defines, if any.
+pub fn def_of(op: &Op) -> Option<u16> {
+    match op {
+        Op::Const { dst, .. }
+        | Op::SelfId { dst }
+        | Op::Arg { dst, .. }
+        | Op::Read { dst, .. }
+        | Op::Field { dst, .. }
+        | Op::ChildCount { dst, .. }
+        | Op::Not { dst, .. }
+        | Op::IsNull { dst, .. }
+        | Op::Exists { dst, .. }
+        | Op::Len { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::ListOf { dst, .. }
+        | Op::Append { dst, .. }
+        | Op::Remove { dst, .. }
+        | Op::Move { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// The registers an opcode reads, appended to `out`.
+pub fn uses_of(op: &Op, out: &mut Vec<u16>) {
+    match op {
+        Op::Field { obj, .. } => out.push(*obj),
+        Op::Not { src, .. }
+        | Op::IsNull { src, .. }
+        | Op::Exists { src, .. }
+        | Op::Len { src, .. }
+        | Op::Move { src, .. }
+        | Op::CheckBool { src, .. }
+        | Op::Write { src, .. }
+        | Op::Emit { src, .. } => out.push(*src),
+        Op::Bin { a, b, .. } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        Op::ListOf { items, .. } => out.extend_from_slice(items),
+        Op::Append { list, item, .. } | Op::Remove { list, item, .. } => {
+            out.push(*list);
+            out.push(*item);
+        }
+        Op::JumpIfFalse { cond, .. } | Op::JumpIfTrue { cond, .. } => out.push(*cond),
+        Op::Assert { pred, .. } => out.push(*pred),
+        Op::Call { target, .. } => out.push(*target),
+        Op::Const { .. }
+        | Op::SelfId { .. }
+        | Op::Arg { .. }
+        | Op::Read { .. }
+        | Op::ChildCount { .. }
+        | Op::Jump { .. }
+        | Op::Bump { .. }
+        | Op::Nop => {}
+    }
+}
+
+/// Result of the forward type/initialization pass over one opcode block.
+pub struct TypeFlow {
+    /// Abstract register state *entering* each opcode; index `len` is the
+    /// block's exit state. `None` marks an unreachable opcode.
+    pub before: Vec<Option<Vec<AbsTy>>>,
+}
+
+impl TypeFlow {
+    /// The exit state of the block (registers live past the last opcode).
+    pub fn exit(&self) -> Option<&Vec<AbsTy>> {
+        self.before.last().and_then(|s| s.as_ref())
+    }
+}
+
+/// A dataflow violation: the offending opcode index and what went wrong.
+pub type FlowError = (usize, String);
+
+fn join(into: &mut Option<Vec<AbsTy>>, state: &[AbsTy]) {
+    match into {
+        None => *into = Some(state.to_vec()),
+        Some(dst) => {
+            for (d, s) in dst.iter_mut().zip(state) {
+                *d = if d.is_defined() && s.is_defined() {
+                    d.union(*s)
+                } else {
+                    AbsTy::EMPTY
+                };
+            }
+        }
+    }
+}
+
+/// Forward abstract interpretation over one opcode block: proves every
+/// register read is preceded by a definition on **every** path (register
+/// files are pooled across transitions without clearing, so an
+/// uninitialized read would observe stale values from an unrelated call —
+/// a silent-wrong-answer hazard, not a clean fault), that every jump goes
+/// forward to a real opcode boundary, that every table operand (constant,
+/// write declaration, assert path, call site, statement span, interned
+/// symbol, SM name, parameter slot) is in bounds, and that no
+/// short-circuit operator survived lowering into a `Bin` opcode (the VM
+/// declares that arm unreachable).
+///
+/// `entry` is the register state at block entry: all-`EMPTY` for main code
+/// and argument blocks. Returns the per-opcode states so callers can
+/// render or further analyze them.
+pub fn type_flow(
+    cc: &CompiledCatalog,
+    t: &CompiledTransition,
+    code: &[Op],
+    entry: Vec<AbsTy>,
+) -> Result<TypeFlow, FlowError> {
+    let n_regs = t.n_regs as usize;
+    let args = arg_types(t);
+    let mut before: Vec<Option<Vec<AbsTy>>> = vec![None; code.len() + 1];
+    before[0] = Some(entry);
+
+    let reg = |st: &[AbsTy], r: u16, pc: usize, what: &str| -> Result<AbsTy, FlowError> {
+        let i = r as usize;
+        if i >= n_regs {
+            return Err((
+                pc,
+                format!("{} register r{} exceeds file size {}", what, r, n_regs),
+            ));
+        }
+        if !st[i].is_defined() {
+            return Err((
+                pc,
+                format!("read of possibly-uninitialized register r{}", r),
+            ));
+        }
+        Ok(st[i])
+    };
+    let def = |st: &mut [AbsTy], r: u16, ty: AbsTy, pc: usize| -> Result<(), FlowError> {
+        let i = r as usize;
+        if i >= n_regs {
+            return Err((
+                pc,
+                format!("destination register r{} exceeds file size {}", r, n_regs),
+            ));
+        }
+        st[i] = ty;
+        Ok(())
+    };
+    let sym = |s: Sym, pc: usize, what: &str| -> Result<(), FlowError> {
+        if cc.interner.get(s).is_none() {
+            return Err((pc, format!("{} symbol out of interner bounds", what)));
+        }
+        Ok(())
+    };
+    let fwd = |target: u32, pc: usize| -> Result<usize, FlowError> {
+        let tgt = target as usize;
+        if tgt <= pc {
+            return Err((pc, format!("backward jump to op {}", tgt)));
+        }
+        if tgt > code.len() {
+            return Err((
+                pc,
+                format!("jump target {} out of bounds (len {})", tgt, code.len()),
+            ));
+        }
+        Ok(tgt)
+    };
+
+    for pc in 0..code.len() {
+        let mut st = match &before[pc] {
+            Some(s) => s.clone(),
+            None => return Err((pc, "unreachable opcode".to_string())),
+        };
+        let mut fallthrough = true;
+        match &code[pc] {
+            Op::Const { dst, idx } => {
+                let v = t
+                    .consts
+                    .get(*idx as usize)
+                    .ok_or_else(|| (pc, format!("constant index {} out of bounds", idx)))?;
+                def(&mut st, *dst, AbsTy::of_value(v), pc)?;
+            }
+            Op::SelfId { dst } => def(&mut st, *dst, AbsTy::REF, pc)?,
+            Op::Arg { dst, slot } => {
+                let ty = *args.get(*slot as usize).ok_or_else(|| {
+                    (
+                        pc,
+                        format!(
+                            "argument slot {} out of bounds ({} params)",
+                            slot,
+                            args.len()
+                        ),
+                    )
+                })?;
+                def(&mut st, *dst, ty, pc)?;
+            }
+            Op::Read { dst, var } => {
+                sym(*var, pc, "state-variable")?;
+                def(&mut st, *dst, AbsTy::ANY, pc)?;
+            }
+            Op::Field { dst, obj, var } => {
+                sym(*var, pc, "field")?;
+                reg(&st, *obj, pc, "object")?;
+                def(&mut st, *dst, AbsTy::ANY, pc)?;
+            }
+            Op::ChildCount { dst, sm } => {
+                if *sm as usize >= cc.sm_names.len() {
+                    return Err((pc, format!("SM-name index {} out of bounds", sm)));
+                }
+                def(&mut st, *dst, AbsTy::INT, pc)?;
+            }
+            Op::Not { dst, src } | Op::IsNull { dst, src } | Op::Exists { dst, src } => {
+                reg(&st, *src, pc, "operand")?;
+                def(&mut st, *dst, AbsTy::BOOL, pc)?;
+            }
+            Op::Len { dst, src } => {
+                reg(&st, *src, pc, "operand")?;
+                def(&mut st, *dst, AbsTy::INT, pc)?;
+            }
+            Op::Bin { op, dst, a, b } => {
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return Err((
+                        pc,
+                        "short-circuit operator in `Bin` (must lower to jumps)".to_string(),
+                    ));
+                }
+                reg(&st, *a, pc, "left operand")?;
+                reg(&st, *b, pc, "right operand")?;
+                let ty = match op {
+                    BinOp::Add | BinOp::Sub => AbsTy::INT,
+                    _ => AbsTy::BOOL,
+                };
+                def(&mut st, *dst, ty, pc)?;
+            }
+            Op::ListOf { dst, items } => {
+                for r in items {
+                    reg(&st, *r, pc, "element")?;
+                }
+                def(&mut st, *dst, AbsTy::LIST, pc)?;
+            }
+            Op::Append { dst, list, item } | Op::Remove { dst, list, item } => {
+                reg(&st, *list, pc, "list operand")?;
+                reg(&st, *item, pc, "element operand")?;
+                def(&mut st, *dst, AbsTy::LIST, pc)?;
+            }
+            Op::Move { dst, src } => {
+                let ty = reg(&st, *src, pc, "source")?;
+                def(&mut st, *dst, ty, pc)?;
+            }
+            Op::Jump { target } => {
+                let tgt = fwd(*target, pc)?;
+                join(&mut before[tgt], &st);
+                fallthrough = false;
+            }
+            Op::JumpIfFalse { cond, target, .. } | Op::JumpIfTrue { cond, target, .. } => {
+                reg(&st, *cond, pc, "condition")?;
+                let tgt = fwd(*target, pc)?;
+                // Both continuations require the condition to have been a
+                // boolean (a non-boolean faults before either).
+                st[*cond as usize] = AbsTy::BOOL;
+                join(&mut before[tgt], &st);
+            }
+            Op::CheckBool { src, .. } => {
+                reg(&st, *src, pc, "checked")?;
+                st[*src as usize] = AbsTy::BOOL;
+            }
+            Op::Bump { stmt } => {
+                if *stmt as usize >= t.stmt_spans.len() {
+                    return Err((pc, format!("statement-span index {} out of bounds", stmt)));
+                }
+            }
+            Op::Nop => {}
+            Op::Write { var, src, decl, .. } => {
+                sym(*var, pc, "state-variable")?;
+                reg(&st, *src, pc, "value")?;
+                if *decl as usize >= t.writes.len() {
+                    return Err((
+                        pc,
+                        format!("write-declaration index {} out of bounds", decl),
+                    ));
+                }
+            }
+            Op::Assert { pred, info } => {
+                reg(&st, *pred, pc, "predicate")?;
+                if *info as usize >= t.asserts.len() {
+                    return Err((pc, format!("assert-path index {} out of bounds", info)));
+                }
+                // Falling through means the predicate was a true boolean.
+                st[*pred as usize] = AbsTy::BOOL;
+            }
+            Op::Emit { field, src } => {
+                sym(*field, pc, "response-field")?;
+                reg(&st, *src, pc, "value")?;
+            }
+            Op::Call { target, site } => {
+                reg(&st, *target, pc, "call target")?;
+                if *site as usize >= t.sites.len() {
+                    return Err((pc, format!("call-site index {} out of bounds", site)));
+                }
+                // The callee's deferred argument blocks run in this
+                // register file, so a call clobbers every register.
+                for r in st.iter_mut() {
+                    *r = AbsTy::EMPTY;
+                }
+            }
+        }
+        if fallthrough {
+            join(&mut before[pc + 1], &st);
+        }
+    }
+    Ok(TypeFlow { before })
+}
+
+/// Forward constant propagation: the concrete value each register provably
+/// holds *entering* each opcode (`None` register = unknown, `None` state =
+/// unreachable). Assumes already-verified code. A register is only "known"
+/// when every path to the opcode assigns it the same value, and only
+/// opcodes whose result is a pure function of known operands propagate
+/// (reads of the store, arguments, and `self` never do).
+pub fn const_flow(t: &CompiledTransition, code: &[Op]) -> Vec<Option<Vec<Option<Value>>>> {
+    let n_regs = t.n_regs as usize;
+    let mut before: Vec<Option<Vec<Option<Value>>>> = vec![None; code.len() + 1];
+    before[0] = Some(vec![None; n_regs]);
+
+    fn join_consts(into: &mut Option<Vec<Option<Value>>>, state: &[Option<Value>]) {
+        match into {
+            None => *into = Some(state.to_vec()),
+            Some(dst) => {
+                for (d, s) in dst.iter_mut().zip(state) {
+                    if d.as_ref() != s.as_ref() {
+                        *d = None;
+                    }
+                }
+            }
+        }
+    }
+
+    for pc in 0..code.len() {
+        let mut st = match &before[pc] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        let mut fallthrough = true;
+        let folded = eval_op(&code[pc], &st, &t.consts);
+        match &code[pc] {
+            Op::Jump { target } => {
+                join_consts(&mut before[*target as usize], &st);
+                fallthrough = false;
+            }
+            Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
+                join_consts(&mut before[*target as usize], &st);
+            }
+            Op::Call { .. } => {
+                for r in st.iter_mut() {
+                    *r = None;
+                }
+            }
+            op => {
+                if let Some(dst) = def_of(op) {
+                    st[dst as usize] = folded;
+                }
+            }
+        }
+        if fallthrough {
+            join_consts(&mut before[pc + 1], &st);
+        }
+    }
+    before
+}
+
+/// Evaluate one opcode over partially-known registers, returning the
+/// concrete result when it is a pure, provably non-faulting function of
+/// known operands. Arithmetic only folds when it cannot overflow (the VM's
+/// native `+`/`-` would otherwise wrap or panic depending on build
+/// profile, and folding must not change either behavior).
+pub fn eval_op(op: &Op, st: &[Option<Value>], consts: &[Value]) -> Option<Value> {
+    let known = |r: &u16| st.get(*r as usize).and_then(|v| v.clone());
+    match op {
+        Op::Const { idx, .. } => consts.get(*idx as usize).cloned(),
+        Op::Move { src, .. } => known(src),
+        Op::IsNull { src, .. } => Some(Value::Bool(known(src)?.is_null())),
+        Op::Not { src, .. } => match known(src)? {
+            Value::Bool(b) => Some(Value::Bool(!b)),
+            _ => None,
+        },
+        Op::Len { src, .. } => match known(src)? {
+            Value::List(items) => Some(Value::Int(items.len() as i64)),
+            Value::Str(s) => Some(Value::Int(s.chars().count() as i64)),
+            _ => None,
+        },
+        Op::ListOf { items, .. } => {
+            let vals: Option<Vec<Value>> = items.iter().map(known).collect();
+            Some(Value::List(vals?))
+        }
+        Op::Append { list, item, .. } => match (known(list)?, known(item)?) {
+            (Value::List(mut items), iv) => {
+                items.push(iv);
+                Some(Value::List(items))
+            }
+            _ => None,
+        },
+        Op::Remove { list, item, .. } => match (known(list)?, known(item)?) {
+            (Value::List(items), iv) => Some(Value::List(
+                items.into_iter().filter(|x| !x.loose_eq(&iv)).collect(),
+            )),
+            _ => None,
+        },
+        Op::Bin { op, a, b, .. } => {
+            let (va, vb) = (known(a)?, known(b)?);
+            match op {
+                BinOp::Eq => Some(Value::Bool(va.loose_eq(&vb))),
+                BinOp::Ne => Some(Value::Bool(!va.loose_eq(&vb))),
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (va.as_int(), vb.as_int()) {
+                    (Some(x), Some(y)) => Some(Value::Bool(match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        _ => x >= y,
+                    })),
+                    _ => None,
+                },
+                BinOp::In => match &vb {
+                    Value::List(items) => Some(Value::Bool(items.iter().any(|i| va.loose_eq(i)))),
+                    _ => None,
+                },
+                BinOp::Add => match (va.as_int(), vb.as_int()) {
+                    (Some(x), Some(y)) => x.checked_add(y).map(Value::Int),
+                    _ => None,
+                },
+                BinOp::Sub => match (va.as_int(), vb.as_int()) {
+                    (Some(x), Some(y)) => x.checked_sub(y).map(Value::Int),
+                    _ => None,
+                },
+                BinOp::And | BinOp::Or => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// A tiny dense register set for the backward liveness pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `n_regs` registers.
+    pub fn empty(n_regs: usize) -> RegSet {
+        RegSet {
+            words: vec![0; n_regs.div_ceil(64)],
+        }
+    }
+
+    /// Insert a register.
+    pub fn insert(&mut self, r: u16) {
+        self.words[r as usize / 64] |= 1 << (r as usize % 64);
+    }
+
+    /// Remove a register.
+    pub fn remove(&mut self, r: u16) {
+        self.words[r as usize / 64] &= !(1 << (r as usize % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: u16) -> bool {
+        self.words[r as usize / 64] & (1 << (r as usize % 64)) != 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RegSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Set every register dead.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Backward liveness over one block: `live[pc]` is the set of registers
+/// that may be read at or after opcode `pc` before being redefined.
+/// Nothing is live at block exit for main code; argument blocks keep their
+/// result register live (the caller reads it after the block runs).
+pub fn liveness(code: &[Op], n_regs: usize, live_at_exit: &RegSet) -> Vec<RegSet> {
+    let mut live: Vec<RegSet> = vec![RegSet::empty(n_regs); code.len() + 1];
+    live[code.len()] = live_at_exit.clone();
+    let mut uses = Vec::new();
+    for pc in (0..code.len()).rev() {
+        let mut l = match &code[pc] {
+            Op::Jump { target } => live[*target as usize].clone(),
+            Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
+                let mut l = live[pc + 1].clone();
+                l.union_with(&live[*target as usize]);
+                l
+            }
+            _ => live[pc + 1].clone(),
+        };
+        match &code[pc] {
+            // A call clobbers the whole file (deferred argument blocks
+            // share it), then reads only its target register.
+            Op::Call { target, .. } => {
+                l.clear();
+                l.insert(*target);
+            }
+            op => {
+                if let Some(dst) = def_of(op) {
+                    l.remove(dst);
+                }
+                uses.clear();
+                uses_of(op, &mut uses);
+                for &u in &uses {
+                    l.insert(u);
+                }
+            }
+        }
+        live[pc] = l;
+    }
+    live
+}
+
+/// The set of `(sm, transition)` pairs that can execute while the undo
+/// journal's created-instance marker is set — i.e. the transitions
+/// transitively reachable from create-transition bodies via nested `call`
+/// statements, resolved conservatively by API name. Create transitions
+/// themselves are excluded (the VM rejects them as call targets
+/// unconditionally), so a transition outside this closure can never
+/// observe `is_created(self) == true` and its writes may journal
+/// unconditionally.
+pub fn create_closure(cc: &CompiledCatalog) -> Vec<Vec<bool>> {
+    use std::collections::HashMap;
+    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (si, sm) in cc.sms.iter().enumerate() {
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            by_name.entry(t.name.as_str()).or_default().push((si, ti));
+        }
+    }
+    let mut marked: Vec<Vec<bool>> = cc
+        .sms
+        .iter()
+        .map(|sm| vec![false; sm.transitions.len()])
+        .collect();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    let visit =
+        |t: &CompiledTransition, marked: &mut Vec<Vec<bool>>, work: &mut Vec<(usize, usize)>| {
+            for site in &t.sites {
+                for &(sj, tj) in by_name.get(site.api.as_str()).into_iter().flatten() {
+                    let callee = &cc.sms[sj].transitions[tj];
+                    if callee.kind == TransitionKind::Create {
+                        continue;
+                    }
+                    if !marked[sj][tj] {
+                        marked[sj][tj] = true;
+                        work.push((sj, tj));
+                    }
+                }
+            }
+        };
+    for sm in &cc.sms {
+        for t in &sm.transitions {
+            if t.kind == TransitionKind::Create {
+                visit(t, &mut marked, &mut work);
+            }
+        }
+    }
+    while let Some((si, ti)) = work.pop() {
+        let t = &cc.sms[si].transitions[ti];
+        visit(t, &mut marked, &mut work);
+    }
+    marked
+}
+
+/// Dead stores in a transition's main code: pairs of writes to the same
+/// variable where the first is provably overwritten before any possible
+/// read. Returns `(pc, stmt)` of each dead write.
+///
+/// The claim is conservative on four axes: the two writes must sit in the
+/// same straight-line region (no control-flow opcode and no jump target
+/// between them, so the second write executes whenever the first does),
+/// nothing between them may observe the store (`Read`/`Field`/`Exists`/
+/// `ChildCount`/`Call`) or fail the transition (`Assert`), and the first
+/// write's value must be a known constant that provably passes the
+/// declaration coercion — so removing it cannot suppress a fault the VM
+/// would have raised. Journal entries are the one observable difference,
+/// and they are not: rollback replays newest-first, so the second write's
+/// undo entry already restores the original value.
+pub fn dead_stores(t: &CompiledTransition) -> Vec<(usize, u32)> {
+    let code = &t.code;
+    let consts = const_flow(t, code);
+    let mut is_target = vec![false; code.len() + 1];
+    for op in code.iter() {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. } => is_target[*target as usize] = true,
+            _ => {}
+        }
+    }
+    let mut dead = Vec::new();
+    let mut stmt_at = 0u32;
+    for (pc, op) in code.iter().enumerate() {
+        if let Op::Bump { stmt } = op {
+            stmt_at = *stmt;
+        }
+        let Op::Write { var, src, decl, .. } = op else {
+            continue;
+        };
+        // The written value must be a known, declaration-compatible
+        // constant, or removal could suppress a coercion fault.
+        let Some(Some(v)) = consts[pc].as_ref().map(|st| st[*src as usize].clone()) else {
+            continue;
+        };
+        let d = &t.writes[*decl as usize];
+        let coerces = v.coerce(&d.ty).is_some() || (v.is_null() && d.nullable);
+        if !coerces {
+            continue;
+        }
+        // Scan forward for an overwrite within the straight-line region.
+        let mut killed = false;
+        for (later_pc, later) in code.iter().enumerate().skip(pc + 1) {
+            if is_target[later_pc] {
+                break;
+            }
+            match later {
+                Op::Write { var: v2, .. } if v2 == var => {
+                    killed = true;
+                    break;
+                }
+                Op::Read { .. }
+                | Op::Field { .. }
+                | Op::Exists { .. }
+                | Op::ChildCount { .. }
+                | Op::Call { .. }
+                | Op::Assert { .. }
+                | Op::Write { .. }
+                | Op::Jump { .. }
+                | Op::JumpIfFalse { .. }
+                | Op::JumpIfTrue { .. } => break,
+                _ => {}
+            }
+        }
+        if killed {
+            dead.push((pc, stmt_at));
+        }
+    }
+    dead
+}
+
+/// Remove every `Nop`, retargeting jumps. A jump into a removed region
+/// lands on the next surviving opcode (or the block's end).
+pub fn compact(code: &mut Vec<Op>) {
+    let mut new_index = vec![0u32; code.len() + 1];
+    let mut n = 0u32;
+    for (i, op) in code.iter().enumerate() {
+        new_index[i] = n;
+        if !matches!(op, Op::Nop) {
+            n += 1;
+        }
+    }
+    new_index[code.len()] = n;
+    code.retain(|op| !matches!(op, Op::Nop));
+    for op in code.iter_mut() {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. } => *target = new_index[*target as usize],
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Dead-opcode, dead-bump, and dead-store elimination.
+//!
+//! The backward liveness walk doubles as the eliminator: an opcode whose
+//! class proves it never faults and touches nothing but its destination
+//! register is dropped the moment that destination is dead, and — because
+//! the walk runs back-to-front and a dropped opcode contributes no uses —
+//! whole dead chains cascade out in one pass.
+
+use super::analysis::{self, compact, dead_stores, RegSet};
+use super::OptReport;
+use crate::program::*;
+
+pub(super) fn run(cc: &mut CompiledCatalog, report: &mut OptReport) {
+    for sm in &mut cc.sms {
+        for t in &mut sm.transitions {
+            let n_regs = t.n_regs as usize;
+            let exit = RegSet::empty(n_regs);
+            dce_block(&mut t.code, n_regs, &exit, report);
+            remove_bumps(&mut t.code, report);
+            compact(&mut t.code);
+            for site in &mut t.sites {
+                for block in &mut site.args {
+                    // The caller reads the result register after the
+                    // block runs; everything else dies at block exit.
+                    let mut exit = RegSet::empty(n_regs);
+                    exit.insert(block.result);
+                    dce_block(&mut block.code, n_regs, &exit, report);
+                    compact(&mut block.code);
+                }
+            }
+        }
+    }
+}
+
+/// Apply the dead-store analysis (the facts behind lint L013): writes
+/// provably overwritten before any possible observation are removed. Runs
+/// before [`run`] so the stranded value computations fall to liveness.
+pub(super) fn dead_store_pass(cc: &mut CompiledCatalog, report: &mut OptReport) {
+    for sm in &mut cc.sms {
+        for t in &mut sm.transitions {
+            let dead = dead_stores(t);
+            for &(pc, _) in &dead {
+                t.code[pc] = Op::Nop;
+                report.dead_stores_removed += 1;
+            }
+            if !dead.is_empty() {
+                compact(&mut t.code);
+            }
+        }
+    }
+}
+
+fn dce_block(code: &mut [Op], n_regs: usize, exit: &RegSet, report: &mut OptReport) {
+    let mut live: Vec<RegSet> = vec![RegSet::empty(n_regs); code.len() + 1];
+    live[code.len()] = exit.clone();
+    let mut uses = Vec::new();
+    for pc in (0..code.len()).rev() {
+        let mut l = match &code[pc] {
+            Op::Jump { target } => live[*target as usize].clone(),
+            Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
+                let mut l = live[pc + 1].clone();
+                l.union_with(&live[*target as usize]);
+                l
+            }
+            _ => live[pc + 1].clone(),
+        };
+        let op = &mut code[pc];
+        // Removable: provably never faults, no effect beyond its dead
+        // destination. Dropping it before transferring uses lets chains
+        // cascade within this single backward pass.
+        let dead_def = analysis::def_of(op)
+            .map(|dst| !l.contains(dst))
+            .unwrap_or(false);
+        let harmless = matches!(
+            analysis::classify(op),
+            analysis::OpClass::Pure | analysis::OpClass::PureReadsStore
+        );
+        if dead_def && harmless {
+            *op = Op::Nop;
+            report.dead_ops_removed += 1;
+            live[pc] = l;
+            continue;
+        }
+        match op {
+            // A call clobbers the whole register file (its deferred
+            // argument blocks share it), then reads only its target.
+            Op::Call { target, .. } => {
+                l.clear();
+                l.insert(*target);
+            }
+            op => {
+                if let Some(dst) = analysis::def_of(op) {
+                    l.remove(dst);
+                }
+                uses.clear();
+                analysis::uses_of(op, &mut uses);
+                for &u in &uses {
+                    l.insert(u);
+                }
+            }
+        }
+        live[pc] = l;
+    }
+}
+
+/// Remove statement-counter bumps no assert can observe. `this_index` is
+/// only read by `Assert` failure paths, execution order is monotone in
+/// `pc` (jumps only go forward), and nested calls get fresh counters — so
+/// with no assert at all, every bump is dead, and any bump past the last
+/// assert can only ever execute after it.
+fn remove_bumps(code: &mut [Op], report: &mut OptReport) {
+    let last_assert = code.iter().rposition(|op| matches!(op, Op::Assert { .. }));
+    for (pc, op) in code.iter_mut().enumerate() {
+        if matches!(op, Op::Bump { .. }) && last_assert.is_none_or(|la| pc > la) {
+            *op = Op::Nop;
+            report.bumps_removed += 1;
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Constant folding + branch resolution + unreachable-arm elimination.
+//!
+//! A forward constant-propagation pass ([`super::analysis::const_flow`])
+//! computes which registers hold known values at each opcode; pure opcodes
+//! whose result is a known, provably non-faulting function of those values
+//! are rewritten to `Const`, boolean checks over known booleans disappear,
+//! and conditional branches with known conditions become unconditional.
+//! Opcodes stranded unreachable by a decided branch are then removed and
+//! the block compacted, so the verifier's no-unreachable-opcode invariant
+//! holds on exit.
+
+use super::analysis::{self, compact, eval_op};
+use super::OptReport;
+use crate::program::*;
+use lce_emulator::Value;
+
+pub(super) fn run(cc: &mut CompiledCatalog, report: &mut OptReport) {
+    for sm in &mut cc.sms {
+        for t in &mut sm.transitions {
+            let mut code = std::mem::take(&mut t.code);
+            fold_block(&mut code, t, report);
+            t.code = code;
+            let mut sites = std::mem::take(&mut t.sites);
+            for site in &mut sites {
+                for block in &mut site.args {
+                    let mut code = std::mem::take(&mut block.code);
+                    fold_block(&mut code, t, report);
+                    block.code = code;
+                }
+            }
+            t.sites = sites;
+        }
+    }
+}
+
+fn pool_const(consts: &mut Vec<Value>, v: Value) -> u32 {
+    if let Some(i) = consts.iter().position(|c| *c == v) {
+        return i as u32;
+    }
+    consts.push(v);
+    (consts.len() - 1) as u32
+}
+
+fn fold_block(code: &mut Vec<Op>, t: &mut CompiledTransition, report: &mut OptReport) {
+    // Phase 1: propagate constants over the original code (rewrites below
+    // preserve per-register values, so the facts stay valid as we apply
+    // them in program order).
+    let flow = analysis::const_flow(t, code);
+
+    // Phase 2: rewrite in place.
+    for (pc, op) in code.iter_mut().enumerate() {
+        let Some(st) = &flow[pc] else { continue };
+        match op {
+            Op::JumpIfFalse { cond, target, .. } => {
+                if let Some(Value::Bool(b)) = &st[*cond as usize] {
+                    *op = if *b {
+                        Op::Nop
+                    } else {
+                        Op::Jump { target: *target }
+                    };
+                    report.branches_resolved += 1;
+                }
+            }
+            Op::JumpIfTrue { cond, target, .. } => {
+                if let Some(Value::Bool(b)) = &st[*cond as usize] {
+                    *op = if *b {
+                        Op::Jump { target: *target }
+                    } else {
+                        Op::Nop
+                    };
+                    report.branches_resolved += 1;
+                }
+            }
+            Op::CheckBool { src, .. } => {
+                if matches!(&st[*src as usize], Some(Value::Bool(_))) {
+                    *op = Op::Nop;
+                    report.branches_resolved += 1;
+                }
+            }
+            Op::Assert { pred, .. } => {
+                // An assert over a known `true` can neither fault nor
+                // fail; a known `false` must stay (it is the error path).
+                if matches!(&st[*pred as usize], Some(Value::Bool(true))) {
+                    *op = Op::Nop;
+                    report.branches_resolved += 1;
+                }
+            }
+            Op::Const { .. } | Op::Nop => {}
+            _ => {
+                let (Some(dst), Some(v)) = (analysis::def_of(op), eval_op(op, st, &t.consts))
+                else {
+                    continue;
+                };
+                *op = Op::Const {
+                    dst,
+                    idx: pool_const(&mut t.consts, v),
+                };
+                report.folded += 1;
+            }
+        }
+    }
+
+    // Phase 3: opcodes stranded by decided branches.
+    let mut reach = vec![false; code.len() + 1];
+    if !code.is_empty() {
+        reach[0] = true;
+    }
+    for pc in 0..code.len() {
+        if !reach[pc] {
+            continue;
+        }
+        match &code[pc] {
+            Op::Jump { target } => reach[*target as usize] = true,
+            Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
+                reach[*target as usize] = true;
+                reach[pc + 1] = true;
+            }
+            _ => reach[pc + 1] = true,
+        }
+    }
+    for (pc, op) in code.iter_mut().enumerate() {
+        if !reach[pc] && !matches!(op, Op::Nop) {
+            *op = Op::Nop;
+            report.unreachable_removed += 1;
+        }
+    }
+    compact(code);
+}

@@ -1,0 +1,88 @@
+//! Guard scheduling: sink pure definitions to their first use.
+//!
+//! Lowering emits operands strictly left-to-right, so the left operand of
+//! a binary expression is computed before the (possibly long) right
+//! operand even though nothing reads it until the very end. This pass
+//! moves such definitions down to just before their first use — shrinking
+//! the live range so the value stays hot — and is *licensed* by the
+//! purity/effect analysis: only opcodes proven never-faulting and
+//! effect-free ([`analysis::OpClass::Pure`]) move, they never cross a
+//! branch, a jump target, or a `call` (which clobbers the shared register
+//! file), and no opcode that can fault or touch the world is ever
+//! reordered — so the observable execution (faults, effects, error order)
+//! is untouched, which the differential oracle then confirms.
+
+use super::analysis;
+use super::OptReport;
+use crate::program::*;
+
+pub(super) fn run(cc: &mut CompiledCatalog, report: &mut OptReport) {
+    for sm in &mut cc.sms {
+        for t in &mut sm.transitions {
+            sink_block(&mut t.code, report);
+            for site in &mut t.sites {
+                for block in &mut site.args {
+                    sink_block(&mut block.code, report);
+                }
+            }
+        }
+    }
+}
+
+fn sink_block(code: &mut [Op], report: &mut OptReport) {
+    let mut is_target = vec![false; code.len() + 1];
+    for op in code.iter() {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. } => is_target[*target as usize] = true,
+            _ => {}
+        }
+    }
+    let mut uses = Vec::new();
+    // Back to front, one visit per index: each rotation only shuffles
+    // already-visited opcodes, so the pass terminates even when two
+    // independent definitions could otherwise swap forever.
+    for pc in (0..code.len()).rev() {
+        let candidate = &code[pc];
+        let Some(dst) = analysis::def_of(candidate) else {
+            continue;
+        };
+        if analysis::classify(candidate) != analysis::OpClass::Pure {
+            continue;
+        }
+        let mut deps = Vec::new();
+        analysis::uses_of(candidate, &mut deps);
+        // Find how far the definition can slide: stop at the first use of
+        // `dst`, at any redefinition of an input (or of `dst` itself —
+        // then it was dead, liveness's business), and never cross control
+        // flow, a jump target, or a call.
+        let mut stop = pc + 1;
+        while stop < code.len() && !is_target[stop] {
+            let here = &code[stop];
+            if matches!(analysis::classify(here), analysis::OpClass::Control)
+                || matches!(here, Op::Call { .. })
+            {
+                break;
+            }
+            uses.clear();
+            analysis::uses_of(here, &mut uses);
+            if uses.contains(&dst) {
+                break;
+            }
+            if let Some(d) = analysis::def_of(here) {
+                if d == dst || deps.contains(&d) {
+                    break;
+                }
+            }
+            stop += 1;
+        }
+        if stop > pc + 1 {
+            // Rotate the definition from `pc` down to `stop - 1`. Opcode
+            // count is unchanged and the region contains no jump target,
+            // so absolute jump targets stay valid.
+            code[pc..stop].rotate_left(1);
+            report.sunk += 1;
+        }
+    }
+}

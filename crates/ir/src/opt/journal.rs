@@ -1,0 +1,50 @@
+//! Analysis-proven journal elision.
+//!
+//! The VM's default `Write` behavior probes the undo journal's
+//! created-instance marker on every store mutation. The create-closure
+//! analysis decides that probe statically wherever possible:
+//!
+//! - a **create body** only ever runs on the instance its own invocation
+//!   just minted (the VM rejects creates as nested call targets), so its
+//!   writes [`JournalMode::Elide`] — no probe, no undo entry;
+//! - a transition **outside the create closure** can never execute while
+//!   the marker is set, so the probe is provably false and its writes
+//!   [`JournalMode::Journal`] unconditionally;
+//! - transitions reachable from create bodies keep the runtime probe
+//!   ([`JournalMode::Dynamic`]).
+//!
+//! The verifier re-derives the closure and checks every stamped mode
+//! against it — the elision PR 6 shipped as a trusted runtime check is
+//! now a theorem the pipeline re-proves after every pass.
+
+use super::analysis::create_closure;
+use super::OptReport;
+use crate::program::*;
+use lce_spec::TransitionKind;
+
+pub(super) fn run(cc: &mut CompiledCatalog, report: &mut OptReport) {
+    let closure = create_closure(cc);
+    for (si, sm) in cc.sms.iter_mut().enumerate() {
+        for (ti, t) in sm.transitions.iter_mut().enumerate() {
+            let mode = if t.kind == TransitionKind::Create {
+                JournalMode::Elide
+            } else if !closure[si][ti] {
+                JournalMode::Journal
+            } else {
+                JournalMode::Dynamic
+            };
+            for op in t.code.iter_mut() {
+                if let Op::Write { journal, .. } = op {
+                    if *journal != mode {
+                        *journal = mode;
+                        match mode {
+                            JournalMode::Elide => report.writes_elided += 1,
+                            JournalMode::Journal => report.writes_journaled += 1,
+                            JournalMode::Dynamic => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

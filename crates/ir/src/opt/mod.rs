@@ -1,0 +1,161 @@
+//! The analysis-driven optimization pipeline.
+//!
+//! Four passes, each licensed by a static analysis from
+//! [`analysis`] and each followed by a full [`crate::verify::verify`]
+//! run — an optimized catalog has been re-proven sound after every
+//! rewrite, and the `DualBackend` differential oracle holds the end
+//! result to byte-identical responses, stores, and digests:
+//!
+//! - **Constant folding** ([`OptLevel::O2`]) — forward constant
+//!   propagation over the interned pools; pure opcodes with known,
+//!   provably non-faulting results become `Const`, decided branches
+//!   become `Jump`/`Nop`, always-true boolean checks disappear, and the
+//!   unreachable arms they strand are eliminated.
+//! - **Dead-effect elimination** ([`OptLevel::O2`]) — writes proven
+//!   overwritten before any possible observation are dropped (the same
+//!   facts surface as lint **L013**).
+//! - **Dead-opcode elimination** ([`OptLevel::O1`]) — backward liveness
+//!   removes never-faulting, effect-free opcodes whose destination is
+//!   dead, and statement-counter bumps that no assert can observe.
+//! - **Journal elision** ([`OptLevel::O1`]) — the create-closure analysis
+//!   replaces the per-write runtime created-instance probe with a static
+//!   [`JournalMode`], proven by the verifier's journal-completeness
+//!   check.
+//! - **Guard scheduling** ([`OptLevel::O2`]) — pure, never-faulting
+//!   definitions sink to their first use within straight-line regions
+//!   (the purity/effect analysis is the license; faulting or
+//!   effectful opcodes never move, so observable order is untouched).
+
+pub mod analysis;
+mod dce;
+mod fold;
+mod guards;
+mod journal;
+
+use crate::program::*;
+use crate::verify::{verify, VerifyError};
+use std::fmt;
+
+/// How hard to optimize a compiled catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// No rewrites: the catalog exactly as lowered.
+    #[default]
+    O0,
+    /// Liveness-based dead-opcode elimination + static journal modes.
+    O1,
+    /// Everything: constant folding, dead branches, dead effects, guard
+    /// scheduling, on top of O1.
+    O2,
+}
+
+impl OptLevel {
+    /// The maximum level.
+    pub const MAX: OptLevel = OptLevel::O2;
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        match s {
+            "0" => Ok(OptLevel::O0),
+            "1" => Ok(OptLevel::O1),
+            "2" | "max" => Ok(OptLevel::O2),
+            other => Err(format!(
+                "unknown opt level `{}` (expected 0, 1, 2, max)",
+                other
+            )),
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "0"),
+            OptLevel::O1 => write!(f, "1"),
+            OptLevel::O2 => write!(f, "2"),
+        }
+    }
+}
+
+/// What the pipeline did (`lce compile --opt --stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// The level that ran.
+    pub level: OptLevel,
+    /// Opcodes rewritten to `Const` by folding.
+    pub folded: usize,
+    /// Conditional branches decided statically.
+    pub branches_resolved: usize,
+    /// Opcodes stranded unreachable by decided branches, removed.
+    pub unreachable_removed: usize,
+    /// Dead stores removed (L013 facts, applied).
+    pub dead_stores_removed: usize,
+    /// Dead pure opcodes removed by liveness.
+    pub dead_ops_removed: usize,
+    /// Statement bumps no assert can observe, removed.
+    pub bumps_removed: usize,
+    /// Writes upgraded to [`JournalMode::Elide`].
+    pub writes_elided: usize,
+    /// Writes upgraded to [`JournalMode::Journal`].
+    pub writes_journaled: usize,
+    /// Pure definitions sunk toward their first use.
+    pub sunk: usize,
+}
+
+impl OptReport {
+    /// Total opcodes removed by all passes.
+    pub fn ops_removed(&self) -> usize {
+        self.unreachable_removed
+            + self.dead_stores_removed
+            + self.dead_ops_removed
+            + self.bumps_removed
+    }
+}
+
+impl fmt::Display for OptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "opt level:            {}", self.level)?;
+        writeln!(f, "folded to const:      {}", self.folded)?;
+        writeln!(f, "branches resolved:    {}", self.branches_resolved)?;
+        writeln!(f, "unreachable removed:  {}", self.unreachable_removed)?;
+        writeln!(f, "dead stores removed:  {}", self.dead_stores_removed)?;
+        writeln!(f, "dead opcodes removed: {}", self.dead_ops_removed)?;
+        writeln!(f, "bumps removed:        {}", self.bumps_removed)?;
+        writeln!(
+            f,
+            "journal modes:        elide {} / journal {}",
+            self.writes_elided, self.writes_journaled
+        )?;
+        write!(f, "definitions sunk:     {}", self.sunk)
+    }
+}
+
+/// Optimize a compiled catalog in place. Every pass is followed by a full
+/// verifier run; the first post-pass violation aborts the pipeline (and
+/// names the pass's victim down to the opcode), leaving no unverified
+/// catalog in circulation.
+pub fn optimize(cc: &mut CompiledCatalog, level: OptLevel) -> Result<OptReport, VerifyError> {
+    let mut report = OptReport {
+        level,
+        ..OptReport::default()
+    };
+    if level >= OptLevel::O2 {
+        fold::run(cc, &mut report);
+        verify(cc)?;
+        dce::dead_store_pass(cc, &mut report);
+        verify(cc)?;
+    }
+    if level >= OptLevel::O1 {
+        dce::run(cc, &mut report);
+        verify(cc)?;
+        journal::run(cc, &mut report);
+        verify(cc)?;
+    }
+    if level >= OptLevel::O2 {
+        guards::run(cc, &mut report);
+        verify(cc)?;
+    }
+    Ok(report)
+}

@@ -8,7 +8,7 @@
 //! time, or cloning a single `SmSpec`.
 
 use lce_emulator::Value;
-use lce_spec::{ApiName, BinOp, ErrorCode, SmName, StateType, TransitionKind};
+use lce_spec::{ApiName, BinOp, ErrorCode, SmName, Span, StateType, TransitionKind};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -19,7 +19,7 @@ pub struct Sym(pub(crate) u32);
 /// Catalog-wide string pool. State-variable names, emit fields and write
 /// targets are interned once at lowering time so the hot path moves `u32`s,
 /// not `String`s.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Interner {
     strings: Vec<String>,
     map: HashMap<String, u32>,
@@ -41,6 +41,11 @@ impl Interner {
     #[inline]
     pub fn resolve(&self, sym: Sym) -> &str {
         &self.strings[sym.0 as usize]
+    }
+
+    /// Bounds-checked resolve, for the verifier.
+    pub fn get(&self, sym: Sym) -> Option<&str> {
+        self.strings.get(sym.0 as usize).map(|s| s.as_str())
     }
 
     /// Number of distinct interned strings.
@@ -75,6 +80,24 @@ impl BoolCtx {
             BoolCtx::BoolOp => "boolean operator on non-boolean",
         }
     }
+}
+
+/// How a `Write` opcode interacts with the undo journal. Lowering always
+/// emits [`JournalMode::Dynamic`]; the journal-elision analysis pass
+/// ([`crate::opt`]) upgrades writes to the static modes, and the verifier
+/// ([`crate::verify`]) independently proves each static mode sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// Decide at runtime: journal unless the target is the invocation's own
+    /// freshly-created instance (the interpreter-equivalent default).
+    Dynamic,
+    /// Never journal. Sound only inside create-transition bodies: the VM
+    /// rejects nested calls to creates, so a create body runs exclusively
+    /// on the instance `run_create` just marked as created.
+    Elide,
+    /// Always journal. Sound for any transition unreachable from a create
+    /// body, where the created-instance check can never be true.
+    Journal,
 }
 
 /// One opcode of the linear register machine. Register operands index the
@@ -231,7 +254,14 @@ pub enum Op {
     },
     /// Start of a source statement: advances the execution-order statement
     /// counter that assert failures report as `assert_index`.
-    Bump,
+    Bump {
+        /// Index into the transition's statement-span table (provenance
+        /// only; execution ignores it).
+        stmt: u32,
+    },
+    /// No operation. Never emitted by lowering; optimization passes park
+    /// deleted opcodes here until the pass's compaction step drops them.
+    Nop,
     /// `self.state[var] ← regs[src]`, with `strict_writes` coercion against
     /// the pre-resolved declaration.
     Write {
@@ -241,6 +271,8 @@ pub enum Op {
         src: u16,
         /// Index into the transition's write-declaration table.
         decl: u32,
+        /// Undo-journal policy, proven sound by the verifier.
+        journal: JournalMode,
     },
     /// Fail the transition with the pre-compiled error when `regs[pred]` is
     /// false (faults first if it is not a boolean).
@@ -323,7 +355,7 @@ pub struct CompiledParam {
 }
 
 /// One compiled transition: flattened body plus side tables.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledTransition {
     /// API name.
     pub name: ApiName,
@@ -343,10 +375,15 @@ pub struct CompiledTransition {
     pub sites: Vec<CallSite>,
     /// Write declarations.
     pub writes: Vec<WriteDecl>,
+    /// Source span of the transition declaration (diagnostics/lints).
+    pub span: Span,
+    /// Source span of each body statement, indexed by `Bump { stmt }` —
+    /// maps IR-level findings back to spec lines.
+    pub stmt_spans: Vec<Span>,
 }
 
 /// One compiled state machine: identity, templates, and its API jump table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledSm {
     /// Resource-type name.
     pub name: SmName,
@@ -364,7 +401,7 @@ pub struct CompiledSm {
 }
 
 /// A whole catalog lowered to executable form.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledCatalog {
     /// The string pool.
     pub interner: Interner,

@@ -1,0 +1,366 @@
+//! The IR verifier: every compiled program is statically checked before
+//! the VM may execute it.
+//!
+//! [`verify`] runs automatically at the end of [`crate::compile`] and
+//! again after every optimization pass, so no catalog this crate executes
+//! has skipped it. The checks:
+//!
+//! - **Register soundness** — abstract interpretation over the
+//!   per-transition register file ([`crate::opt::analysis::type_flow`])
+//!   proves every read is dominated by a definition. Register files are
+//!   pooled across invocations *without clearing*, so an uninitialized
+//!   read would observe stale values from an unrelated call — a silent
+//!   wrong answer, not a clean fault. The same pass proves every jump goes
+//!   forward to a real opcode boundary (termination), every table operand
+//!   is in bounds (no VM panics), and no short-circuit operator reached a
+//!   `Bin` opcode (the VM declares that arm unreachable).
+//! - **Dispatch exhaustiveness** — the top-level jump table, the per-SM
+//!   API indexes, and the sorted `api_names` answer are recomputed from
+//!   the compiled transitions and compared entry-for-entry, so runtime
+//!   dispatch provably agrees with the interpreter's name resolution
+//!   (first declaration wins in an SM; cross-SM ambiguity is
+//!   unsupported).
+//! - **Error-path totality** — every faulting opcode carries a
+//!   pre-compiled error continuation: assert opcodes must index a real
+//!   assert path, writes a real declaration, calls a real site table
+//!   entry. Combined with forward-only jumps this means every guard
+//!   failure reaches its error path without executing junk.
+//! - **Undo-journal completeness** — every store-mutating opcode's
+//!   [`JournalMode`] is checked against an independently recomputed
+//!   create-closure: `Elide` only inside create bodies (the VM rejects
+//!   creates as call targets, so a create body only ever runs on the
+//!   instance the invocation just minted), `Journal` only outside the
+//!   closure (where the created-instance probe is provably false). PR 6
+//!   shipped journal elision as a trusted runtime check; this makes the
+//!   static form a checked theorem.
+//! - **Argument-block purity** — the deferred argument blocks of `call`
+//!   statements share the caller's register file and run during argument
+//!   binding, so they must be statement-free (no writes, emits, asserts,
+//!   calls, or statement bumps) and must leave their declared result
+//!   register defined on every path.
+
+use crate::opt::analysis::{self, AbsTy};
+use crate::program::*;
+use lce_spec::{ApiName, SmName, TransitionKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where in a compiled transition a verification failure sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpAddr {
+    /// `(call-site, argument)` indices when inside a deferred argument
+    /// block; `None` for the main opcode sequence.
+    pub block: Option<(u32, u32)>,
+    /// Opcode index within that block.
+    pub pc: usize,
+}
+
+impl fmt::Display for OpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some((site, arg)) => write!(f, "site {} arg {} op {}", site, arg, self.pc),
+            None => write!(f, "op {}", self.pc),
+        }
+    }
+}
+
+/// A verification failure: a compiled program the VM must not execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The SM the offending program belongs to.
+    pub sm: SmName,
+    /// The transition, for per-transition failures.
+    pub transition: Option<ApiName>,
+    /// The offending opcode, for opcode-level failures.
+    pub addr: Option<OpAddr>,
+    /// What the checker proved wrong.
+    pub message: String,
+}
+
+impl VerifyError {
+    /// The opcode address and message, without the SM/transition prefix
+    /// (for embedding in errors that already carry those).
+    pub fn detail(&self) -> String {
+        match &self.addr {
+            Some(a) => format!("{}: {}", a, self.message),
+            None => self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.transition {
+            Some(t) => write!(f, "{}::{}: {}", self.sm, t, self.detail()),
+            None => write!(f, "{}: {}", self.sm, self.detail()),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// What the verifier proved, sized (`lce compile --verify`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Transitions checked.
+    pub transitions: usize,
+    /// Opcodes checked, including deferred argument blocks.
+    pub ops: usize,
+    /// Deferred argument blocks checked statement-free.
+    pub arg_blocks: usize,
+    /// Writes with a runtime journal decision.
+    pub writes_dynamic: usize,
+    /// Writes proven elidable (create bodies).
+    pub writes_elided: usize,
+    /// Writes proven unconditionally journaled (outside the create
+    /// closure).
+    pub writes_journaled: usize,
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "transitions verified: {}", self.transitions)?;
+        writeln!(f, "opcodes verified:     {}", self.ops)?;
+        writeln!(f, "argument blocks:      {}", self.arg_blocks)?;
+        write!(
+            f,
+            "journal modes:        dynamic {} / elide {} / journal {}",
+            self.writes_dynamic, self.writes_elided, self.writes_journaled
+        )
+    }
+}
+
+/// Verify a whole compiled catalog. See the module docs for the theorem
+/// list. Returns size statistics on success; the first violation
+/// otherwise, addressed down to the opcode.
+pub fn verify(cc: &CompiledCatalog) -> Result<VerifyReport, VerifyError> {
+    let catalog_err = |sm: &SmName, message: String| VerifyError {
+        sm: sm.clone(),
+        transition: None,
+        addr: None,
+        message,
+    };
+
+    // SM index: name → position, exact.
+    if cc.sm_index.len() != cc.sms.len() {
+        let name = cc
+            .sms
+            .first()
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| SmName::from("<empty>"));
+        return Err(catalog_err(
+            &name,
+            format!(
+                "sm_index has {} entries for {} SMs",
+                cc.sm_index.len(),
+                cc.sms.len()
+            ),
+        ));
+    }
+    for (i, sm) in cc.sms.iter().enumerate() {
+        if cc.sm_index.get(&sm.name) != Some(&(i as u32)) {
+            return Err(catalog_err(
+                &sm.name,
+                format!("sm_index does not map `{}` to position {}", sm.name, i),
+            ));
+        }
+    }
+
+    // Per-SM API index: first declaration wins, nothing extra, nothing
+    // missing, every entry in bounds.
+    for sm in &cc.sms {
+        let mut expected: HashMap<&str, u32> = HashMap::new();
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            expected.entry(t.name.as_str()).or_insert(ti as u32);
+        }
+        if sm.api_index.len() != expected.len() {
+            return Err(catalog_err(
+                &sm.name,
+                format!(
+                    "api_index has {} entries, expected {}",
+                    sm.api_index.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        for (api, &ti) in &sm.api_index {
+            if expected.get(api.as_str()) != Some(&ti) {
+                return Err(catalog_err(
+                    &sm.name,
+                    format!(
+                        "api_index maps `{}` to transition {}, violating \
+                         first-declaration-wins",
+                        api, ti
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Top-level dispatch: exactly the unambiguous APIs.
+    let mut declared_by: HashMap<&str, Vec<u32>> = HashMap::new();
+    for (si, sm) in cc.sms.iter().enumerate() {
+        for api in sm.api_index.keys() {
+            declared_by.entry(api.as_str()).or_default().push(si as u32);
+        }
+    }
+    for (api, sis) in &declared_by {
+        let entry = cc.dispatch.get(*api);
+        if sis.len() > 1 {
+            if entry.is_some() {
+                let sm = &cc.sms[sis[0] as usize].name;
+                return Err(catalog_err(
+                    sm,
+                    format!("dispatch resolves ambiguous API `{}`", api),
+                ));
+            }
+            continue;
+        }
+        let si = sis[0];
+        let expected = (si, cc.sms[si as usize].api_index[*api]);
+        if entry != Some(&expected) {
+            return Err(catalog_err(
+                &cc.sms[si as usize].name,
+                format!("dispatch entry for `{}` is missing or wrong", api),
+            ));
+        }
+    }
+    let expected_dispatch = declared_by.values().filter(|v| v.len() == 1).count();
+    if cc.dispatch.len() != expected_dispatch {
+        let name = cc
+            .sms
+            .first()
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| SmName::from("<empty>"));
+        return Err(catalog_err(
+            &name,
+            format!(
+                "dispatch has {} entries, expected {} unambiguous APIs",
+                cc.dispatch.len(),
+                expected_dispatch
+            ),
+        ));
+    }
+
+    // api_names: sorted, duplicates preserved.
+    let mut expected_names: Vec<String> = cc
+        .sms
+        .iter()
+        .flat_map(|sm| sm.transitions.iter().map(|t| t.name.as_str().to_string()))
+        .collect();
+    expected_names.sort();
+    if cc.api_names != expected_names {
+        let name = cc
+            .sms
+            .first()
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| SmName::from("<empty>"));
+        return Err(catalog_err(
+            &name,
+            "api_names is not the sorted multiset of transition names".to_string(),
+        ));
+    }
+
+    // Journal soundness needs the create-closure, computed independently
+    // of whatever pass stamped the modes.
+    let closure = analysis::create_closure(cc);
+
+    let mut report = VerifyReport::default();
+    for (si, sm) in cc.sms.iter().enumerate() {
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            report.transitions += 1;
+            let err = |addr: Option<OpAddr>, message: String| VerifyError {
+                sm: sm.name.clone(),
+                transition: Some(t.name.clone()),
+                addr,
+                message,
+            };
+            let empty = vec![AbsTy::EMPTY; t.n_regs as usize];
+
+            // Main code: full dataflow.
+            analysis::type_flow(cc, t, &t.code, empty.clone())
+                .map_err(|(pc, m)| err(Some(OpAddr { block: None, pc }), m))?;
+            report.ops += t.code.len();
+
+            // Journal modes against the recomputed closure.
+            for (pc, op) in t.code.iter().enumerate() {
+                if let Op::Write { journal, .. } = op {
+                    let at = Some(OpAddr { block: None, pc });
+                    match journal {
+                        JournalMode::Dynamic => report.writes_dynamic += 1,
+                        JournalMode::Elide => {
+                            if t.kind != TransitionKind::Create {
+                                return Err(err(
+                                    at,
+                                    "journal elision outside a create body (rollback \
+                                     could miss this write)"
+                                        .to_string(),
+                                ));
+                            }
+                            report.writes_elided += 1;
+                        }
+                        JournalMode::Journal => {
+                            if closure[si][ti] {
+                                return Err(err(
+                                    at,
+                                    "unconditional journaling inside the create closure \
+                                     (would journal the created instance)"
+                                        .to_string(),
+                                ));
+                            }
+                            report.writes_journaled += 1;
+                        }
+                    }
+                }
+            }
+
+            // Deferred argument blocks: statement-free, result defined.
+            for (s, site) in t.sites.iter().enumerate() {
+                for (a, block) in site.args.iter().enumerate() {
+                    report.arg_blocks += 1;
+                    let addr = |pc: usize| {
+                        Some(OpAddr {
+                            block: Some((s as u32, a as u32)),
+                            pc,
+                        })
+                    };
+                    for (pc, op) in block.code.iter().enumerate() {
+                        if matches!(
+                            op,
+                            Op::Bump { .. }
+                                | Op::Write { .. }
+                                | Op::Assert { .. }
+                                | Op::Emit { .. }
+                                | Op::Call { .. }
+                        ) {
+                            return Err(err(
+                                addr(pc),
+                                "statement opcode in a deferred argument block".to_string(),
+                            ));
+                        }
+                    }
+                    let flow = analysis::type_flow(cc, t, &block.code, empty.clone())
+                        .map_err(|(pc, m)| err(addr(pc), m))?;
+                    report.ops += block.code.len();
+                    let defined = flow
+                        .exit()
+                        .map(|st| {
+                            (block.result as usize) < st.len()
+                                && st[block.result as usize].is_defined()
+                        })
+                        .unwrap_or(false);
+                    if !defined {
+                        return Err(err(
+                            addr(block.code.len().saturating_sub(1)),
+                            format!(
+                                "argument result register r{} not defined on every path",
+                                block.result
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}

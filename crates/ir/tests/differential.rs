@@ -17,15 +17,17 @@
 use lce_cloud::{nimbus_provider, stratus_provider, DocFidelity, Provider};
 use lce_devops::run_program;
 use lce_devops::scenarios::{basic_functionality, fig3_nimbus, fig3_stratus, Scenario};
-use lce_emulator::{ApiCall, Backend, Value};
-use lce_ir::{compile, DualBackend};
+use lce_emulator::{ApiCall, Backend, Emulator, EmulatorConfig, Value};
+use lce_faults::store_digest;
+use lce_ir::{compile, optimize, CompiledEmulator, DualBackend, OptLevel};
 use lce_spec::{
-    check_catalog, parse_catalog, Catalog, Expr, SmBuilder, StateType, TransitionBuilder,
-    TransitionKind,
+    check_catalog, parse_catalog, ApiName, Catalog, Expr, Param, SmBuilder, StateType,
+    TransitionBuilder, TransitionKind,
 };
 use lce_synth::{synthesize, PipelineConfig};
 use lce_wrangle::wrangle_provider;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ------------------------------------------------------------------ rng
 
@@ -136,12 +138,8 @@ fn soup_value(rng: &mut Mix, ty: &StateType, harvested: &[Value]) -> Value {
     }
 }
 
-/// Drive `calls` semi-random invocations through a panic-on-divergence
-/// dual backend. Returns how many succeeded.
-fn call_soup(catalog: &Catalog, seed: u64, calls: usize) -> usize {
-    let mut rng = Mix(seed);
-    let mut dual = DualBackend::new(catalog).expect("catalog must compile");
-    // (api, sm id param, params) for every transition of every SM.
+/// (api, sm id param, params) for every transition of every SM.
+fn soup_menu(catalog: &Catalog) -> Vec<(ApiName, String, Vec<Param>)> {
     let mut menu = Vec::new();
     for sm in catalog.iter() {
         for t in &sm.transitions {
@@ -149,37 +147,56 @@ fn call_soup(catalog: &Catalog, seed: u64, calls: usize) -> usize {
         }
     }
     assert!(!menu.is_empty());
+    menu
+}
+
+/// One semi-random menu call, with the same rng consumption order as
+/// always (so the seeded soups stay stable). `None` asks the caller to
+/// probe a bogus API instead.
+fn soup_call(
+    rng: &mut Mix,
+    menu: &[(ApiName, String, Vec<Param>)],
+    harvested: &[Value],
+) -> Option<ApiCall> {
+    if rng.chance(3) {
+        return None;
+    }
+    let (api, id_param, params) = &menu[rng.below(menu.len())];
+    let mut call = ApiCall::new(api.as_str());
+    // The instance id: usually a harvested value, sometimes missing
+    // or bogus (create transitions ignore it).
+    if rng.chance(80) {
+        call = call.arg(
+            id_param.clone(),
+            soup_value(rng, &StateType::Ref(lce_spec::SmName::new("X")), harvested),
+        );
+    }
+    for p in params {
+        if p.optional && rng.chance(30) {
+            continue;
+        }
+        if rng.chance(8) {
+            continue; // omit a required parameter now and then
+        }
+        call = call.arg(p.name.clone(), soup_value(rng, &p.ty, harvested));
+    }
+    Some(call)
+}
+
+/// Drive `calls` semi-random invocations through a panic-on-divergence
+/// dual backend. Returns how many succeeded.
+fn call_soup(catalog: &Catalog, seed: u64, calls: usize) -> usize {
+    let mut rng = Mix(seed);
+    let mut dual = DualBackend::new(catalog).expect("catalog must compile");
+    let menu = soup_menu(catalog);
     let mut harvested: Vec<Value> = Vec::new();
     let mut ok = 0;
     for _ in 0..calls {
-        if rng.chance(3) {
+        let Some(call) = soup_call(&mut rng, &menu, &harvested) else {
             let resp = dual.invoke(&ApiCall::new(format!("Bogus{}", rng.below(10))));
             assert!(!resp.is_ok());
             continue;
-        }
-        let (api, id_param, params) = &menu[rng.below(menu.len())];
-        let mut call = ApiCall::new(api.as_str());
-        // The instance id: usually a harvested value, sometimes missing
-        // or bogus (create transitions ignore it).
-        if rng.chance(80) {
-            call = call.arg(
-                id_param.clone(),
-                soup_value(
-                    &mut rng,
-                    &StateType::Ref(lce_spec::SmName::new("X")),
-                    &harvested,
-                ),
-            );
-        }
-        for p in params {
-            if p.optional && rng.chance(30) {
-                continue;
-            }
-            if rng.chance(8) {
-                continue; // omit a required parameter now and then
-            }
-            call = call.arg(p.name.clone(), soup_value(&mut rng, &p.ty, &harvested));
-        }
+        };
         let resp = dual.invoke(&call);
         if resp.is_ok() {
             ok += 1;
@@ -352,5 +369,107 @@ proptest! {
             panic!("well-formed generated machine failed to compile");
         }
         call_soup(&catalog, soup_seed, 120);
+    }
+}
+
+// ------------------------------------------------ optimizer differentials
+
+/// A compiled engine at one optimization level.
+fn engine_at(catalog: &Catalog, level: OptLevel) -> CompiledEmulator {
+    let mut cc = compile(catalog).expect("catalog must compile");
+    optimize(&mut cc, level).expect("optimizer must accept verified code");
+    CompiledEmulator::from_compiled(Arc::new(cc), EmulatorConfig::framework())
+}
+
+/// An interpreter-vs-optimized-IR dual backend over one catalog.
+fn dual_at(catalog: &Catalog, level: OptLevel) -> DualBackend {
+    DualBackend::from_engines(
+        Emulator::with_config(catalog.clone(), EmulatorConfig::framework()),
+        engine_at(catalog, level),
+    )
+}
+
+/// Every golden scenario, interpreter vs optimized IR, at every level the
+/// optimizer has — the same panic-on-divergence sweep as the unoptimized
+/// tests, proving the passes preserve observable semantics end to end.
+#[test]
+fn golden_scenarios_stay_byte_identical_under_optimization() {
+    for (catalog, scenarios, label) in [
+        (nimbus_provider().catalog, fig3_nimbus(), "nimbus"),
+        (stratus_provider().catalog, fig3_stratus(), "stratus"),
+    ] {
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let mut calls = 0;
+            for (i, scenario) in scenarios.iter().enumerate() {
+                let mut dual =
+                    dual_at(&catalog, level).named(format!("{}-opt{}-{}", label, level, i));
+                let run = run_program(&scenario.program, &mut dual);
+                assert!(
+                    !run.steps.is_empty(),
+                    "{} opt{} scenario {} ran no steps",
+                    label,
+                    level,
+                    i
+                );
+                calls += dual.calls();
+            }
+            assert!(
+                calls > 30,
+                "{} opt{}: expected a substantial call count, got {}",
+                label,
+                level,
+                calls
+            );
+        }
+    }
+}
+
+/// The optimizer as its own oracle: `O0` and `O2` engines run the same
+/// random soup side by side; every response and every post-call store
+/// digest must stay byte-identical.
+#[test]
+fn random_soup_is_byte_identical_across_opt_levels() {
+    for (catalog, seed) in [
+        (nimbus_provider().catalog, 0x5eed_0011u64),
+        (stratus_provider().catalog, 0x5eed_0023u64),
+    ] {
+        let mut base = engine_at(&catalog, OptLevel::O0);
+        let mut opt = engine_at(&catalog, OptLevel::O2);
+        let menu = soup_menu(&catalog);
+        let mut rng = Mix(seed);
+        let mut harvested: Vec<Value> = Vec::new();
+        let mut ok = 0;
+        for i in 0..600 {
+            let call = match soup_call(&mut rng, &menu, &harvested) {
+                Some(call) => call,
+                None => ApiCall::new(format!("Bogus{}", rng.below(10))),
+            };
+            let a = base.invoke(&call);
+            let b = opt.invoke(&call);
+            assert_eq!(
+                format!("{:?}", a),
+                format!("{:?}", b),
+                "call {} diverged between O0 and O2: {:?}",
+                i,
+                call
+            );
+            assert_eq!(
+                store_digest(base.store()),
+                store_digest(opt.store()),
+                "store digest diverged after call {}: {:?}",
+                i,
+                call
+            );
+            if a.is_ok() {
+                ok += 1;
+                for v in a.fields.values() {
+                    if harvested.len() > 64 {
+                        harvested.remove(0);
+                    }
+                    harvested.push(v.clone());
+                }
+            }
+        }
+        assert!(ok > 0, "soup never succeeded — generator too weak");
     }
 }

@@ -1,0 +1,602 @@
+//! Seeded-defect tests for the IR verifier, plus the lowering-soundness
+//! property and the fire/quiet fixtures for the IR-emitted lint codes
+//! (L012/L013 — exempted from the spec-side registry coverage test, which
+//! points here).
+//!
+//! Each seeded-defect test clones a known-good compiled catalog, corrupts
+//! exactly one table or opcode the way a buggy lowering or optimization
+//! pass would, and asserts the verifier rejects it with an opcode-addressed
+//! diagnostic carrying the expected message. The defects cover every
+//! theorem class: register/type soundness, jump-target validity,
+//! table-index bounds, dispatch exhaustiveness, journal-mode soundness and
+//! arg-block statement-freedom.
+
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_ir::program::{CompiledCatalog, JournalMode, Op};
+use lce_ir::{compile, ir_lints, optimize, verify, OptLevel, VerifyError};
+use lce_spec::{
+    parse_catalog, BinOp, Catalog, Expr, Severity, SmBuilder, StateType, TransitionBuilder,
+    TransitionKind,
+};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------- fixture
+
+/// A machine exercising every verifier surface: a create body that calls
+/// a modify (putting `PrimeWidget` in the create closure), an assert with
+/// a short-circuit guard (jumps + assert table), and a call site with a
+/// deferred argument block.
+fn widget_catalog() -> Catalog {
+    Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm Widget {
+              service "wid";
+              states { depth: int = 0; tag: str?; }
+              transition CreateWidget(Tag: str?) kind create {
+                write(depth, 1);
+                write(tag, arg(Tag));
+                call(self_id(), PrimeWidget, []);
+              }
+              transition PrimeWidget() kind modify {
+                write(depth, read(depth) + 1);
+              }
+              transition SetDepth(N: int) kind modify {
+                assert(arg(N) >= 0 && arg(N) < 100) else ValidationError "out of range";
+                write(depth, arg(N));
+              }
+              transition PokeWidget(N: int) kind modify {
+                call(self_id(), SetDepth, [arg(N) + 1]);
+              }
+              transition DeleteWidget() kind destroy { }
+            }
+            "#,
+        )
+        .unwrap(),
+    )
+}
+
+fn compiled() -> CompiledCatalog {
+    compile(&widget_catalog()).expect("fixture must compile")
+}
+
+/// (sm index, transition index) of an API in the fixture.
+fn find(cc: &CompiledCatalog, api: &str) -> (usize, usize) {
+    for (si, sm) in cc.sms.iter().enumerate() {
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            if t.name.as_str() == api {
+                return (si, ti);
+            }
+        }
+    }
+    panic!("{} not in fixture", api);
+}
+
+/// Assert the verifier rejects `cc`, that the diagnostic carries the
+/// expected message fragment, and return the error for address checks.
+fn rejected(cc: &CompiledCatalog, fragment: &str) -> VerifyError {
+    let err = verify(cc).expect_err("seeded defect must be rejected");
+    assert!(
+        err.message.contains(fragment),
+        "expected `{}` in `{}`",
+        fragment,
+        err.message
+    );
+    err
+}
+
+// -------------------------------------------------- clean-catalog checks
+
+#[test]
+fn fixture_and_golden_catalogs_verify_clean_at_every_opt_level() {
+    for catalog in [
+        widget_catalog(),
+        nimbus_provider().catalog,
+        stratus_provider().catalog,
+    ] {
+        let cc = compile(&catalog).unwrap();
+        let report = verify(&cc).unwrap();
+        assert!(report.transitions > 0 && report.ops > 0);
+        assert!(report.to_string().contains("transitions verified"));
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let mut opt = cc.clone();
+            optimize(&mut opt, level).unwrap();
+            verify(&opt).unwrap_or_else(|e| {
+                panic!("opt level {} broke verification: {}", level, e.detail())
+            });
+        }
+    }
+}
+
+#[test]
+fn verify_report_counts_journal_modes() {
+    let mut cc = compiled();
+    let unopt = verify(&cc).unwrap();
+    assert_eq!(unopt.writes_elided + unopt.writes_journaled, 0);
+    assert!(unopt.writes_dynamic > 0);
+    optimize(&mut cc, OptLevel::O1).unwrap();
+    let opt = verify(&cc).unwrap();
+    // The fixture's create body writes are elidable; PokeWidget's callee
+    // is in no create closure... but SetDepth is called from PokeWidget
+    // only, so its write journals unconditionally.
+    assert!(opt.writes_elided > 0, "{}", opt);
+    assert!(opt.writes_journaled > 0, "{}", opt);
+}
+
+// ------------------------------------------------------- seeded defects
+
+#[test]
+fn backward_jump_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    // A pass that rewrote a jump without re-indexing would do this.
+    cc.sms[si].transitions[ti].code[2] = Op::Jump { target: 0 };
+    let err = rejected(&cc, "backward jump to op 0");
+    let addr = err.addr.expect("opcode-addressed");
+    assert_eq!((addr.block, addr.pc), (None, 2));
+    assert!(err.detail().contains("op 2"), "{}", err.detail());
+    assert!(err.to_string().contains("SetDepth"), "{}", err);
+}
+
+#[test]
+fn out_of_bounds_jump_target_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    let len = cc.sms[si].transitions[ti].code.len();
+    cc.sms[si].transitions[ti].code[2] = Op::Jump {
+        target: (len + 7) as u32,
+    };
+    rejected(&cc, "out of bounds");
+}
+
+#[test]
+fn unreachable_opcode_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PrimeWidget");
+    // Jump over opcode 1: nothing can reach it, and the verifier refuses
+    // to certify code it cannot type.
+    cc.sms[si].transitions[ti].code[0] = Op::Jump { target: 2 };
+    let err = rejected(&cc, "unreachable opcode");
+    assert_eq!(err.addr.unwrap().pc, 1);
+}
+
+#[test]
+fn uninitialized_register_read_is_rejected() {
+    // The register-pool hazard: files are recycled, never cleared, so a
+    // read before def would observe a stale value — a silent wrong
+    // answer, not a crash. The verifier proves init-before-use instead.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PrimeWidget");
+    let t = &mut cc.sms[si].transitions[ti];
+    t.n_regs += 1;
+    let fresh = t.n_regs - 1;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Write { .. }))
+        .unwrap();
+    if let Op::Write { src, .. } = &mut t.code[pc] {
+        *src = fresh;
+    }
+    let err = rejected(
+        &cc,
+        &format!("read of possibly-uninitialized register r{}", fresh),
+    );
+    assert_eq!(err.addr.unwrap().pc, pc);
+}
+
+#[test]
+fn type_confused_register_file_is_rejected() {
+    // A register index past the file is the other shape of type
+    // confusion: the defect a miscounted-allocation bug would produce.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PrimeWidget");
+    let t = &mut cc.sms[si].transitions[ti];
+    let big = t.n_regs + 3;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Write { .. }))
+        .unwrap();
+    if let Op::Write { src, .. } = &mut t.code[pc] {
+        *src = big;
+    }
+    rejected(&cc, &format!("register r{} exceeds file size", big));
+}
+
+#[test]
+fn dangling_constant_index_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "CreateWidget");
+    let t = &mut cc.sms[si].transitions[ti];
+    let n_consts = t.consts.len() as u32;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Const { .. }))
+        .unwrap();
+    if let Op::Const { idx, .. } = &mut t.code[pc] {
+        *idx = n_consts;
+    }
+    rejected(&cc, &format!("constant index {} out of bounds", n_consts));
+}
+
+#[test]
+fn non_total_error_path_is_rejected() {
+    // An assert whose error info points past the table would execute
+    // fine until the guard first fails — then fault with no compiled
+    // error to raise. Totality of error paths is checked statically.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    let t = &mut cc.sms[si].transitions[ti];
+    let n = t.asserts.len() as u32;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Assert { .. }))
+        .expect("fixture has an assert");
+    if let Op::Assert { info, .. } = &mut t.code[pc] {
+        *info = n;
+    }
+    let err = rejected(&cc, &format!("assert-path index {} out of bounds", n));
+    assert_eq!(err.addr.unwrap().pc, pc);
+}
+
+#[test]
+fn dangling_write_declaration_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    let t = &mut cc.sms[si].transitions[ti];
+    let n = t.writes.len() as u32;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Write { .. }))
+        .unwrap();
+    if let Op::Write { decl, .. } = &mut t.code[pc] {
+        *decl = n;
+    }
+    rejected(&cc, &format!("write-declaration index {} out of bounds", n));
+}
+
+#[test]
+fn dangling_call_site_index_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PokeWidget");
+    let t = &mut cc.sms[si].transitions[ti];
+    let n = t.sites.len() as u32;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Call { .. }))
+        .unwrap();
+    if let Op::Call { site, .. } = &mut t.code[pc] {
+        *site = n;
+    }
+    rejected(&cc, &format!("call-site index {} out of bounds", n));
+}
+
+#[test]
+fn dangling_statement_span_is_rejected() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    let t = &mut cc.sms[si].transitions[ti];
+    let n = t.stmt_spans.len() as u32;
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Bump { .. }))
+        .unwrap();
+    if let Op::Bump { stmt } = &mut t.code[pc] {
+        *stmt = n;
+    }
+    rejected(&cc, &format!("statement-span index {} out of bounds", n));
+}
+
+#[test]
+fn short_circuit_bin_is_rejected() {
+    // `&&`/`||` must lower to jumps (the right operand may fault and must
+    // not evaluate eagerly); a `Bin` carrying one is a lowering bug.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "SetDepth");
+    let t = &mut cc.sms[si].transitions[ti];
+    let pc = t
+        .code
+        .iter()
+        .position(|op| matches!(op, Op::Bin { .. }))
+        .expect("fixture has comparisons");
+    if let Op::Bin { op, .. } = &mut t.code[pc] {
+        *op = BinOp::And;
+    }
+    rejected(&cc, "short-circuit operator in `Bin`");
+}
+
+#[test]
+fn unjournaled_write_outside_create_is_rejected() {
+    // Elide is only sound where rollback deletes the whole instance
+    // anyway (a create body). Anywhere else a failed later statement
+    // could not restore this write.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PrimeWidget");
+    for op in &mut cc.sms[si].transitions[ti].code {
+        if let Op::Write { journal, .. } = op {
+            *journal = JournalMode::Elide;
+        }
+    }
+    let err = rejected(&cc, "journal elision outside a create body");
+    assert!(err.addr.is_some());
+}
+
+#[test]
+fn unconditional_journal_inside_create_closure_is_rejected() {
+    // PrimeWidget is called from CreateWidget's body, so it can run with
+    // the created-instance marker set; journaling unconditionally there
+    // would journal (and on rollback resurrect state for) the instance
+    // the journal is about to delete wholesale.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PrimeWidget");
+    for op in &mut cc.sms[si].transitions[ti].code {
+        if let Op::Write { journal, .. } = op {
+            *journal = JournalMode::Journal;
+        }
+    }
+    rejected(&cc, "unconditional journaling inside the create closure");
+}
+
+#[test]
+fn statement_opcode_in_arg_block_is_rejected() {
+    // Deferred argument blocks are expressions; a statement opcode inside
+    // one would run effects during argument evaluation.
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PokeWidget");
+    let block = &mut cc.sms[si].transitions[ti].sites[0].args[0];
+    block.code.push(Op::Bump { stmt: 0 });
+    let err = rejected(&cc, "statement opcode in a deferred argument block");
+    let addr = err.addr.unwrap();
+    assert_eq!(addr.block, Some((0, 0)));
+    assert!(err.detail().contains("site 0 arg 0"), "{}", err.detail());
+}
+
+#[test]
+fn arg_block_result_must_be_defined_on_every_path() {
+    let mut cc = compiled();
+    let (si, ti) = find(&cc, "PokeWidget");
+    let t = &mut cc.sms[si].transitions[ti];
+    t.n_regs += 1;
+    let fresh = t.n_regs - 1;
+    t.sites[0].args[0].result = fresh;
+    rejected(
+        &cc,
+        &format!(
+            "argument result register r{} not defined on every path",
+            fresh
+        ),
+    );
+}
+
+#[test]
+fn missing_dispatch_entry_is_rejected() {
+    let mut cc = compiled();
+    cc.dispatch
+        .remove("SetDepth")
+        .expect("fixture dispatches SetDepth");
+    rejected(&cc, "dispatch");
+}
+
+#[test]
+fn tampered_api_names_are_rejected() {
+    let mut cc = compiled();
+    cc.api_names.pop();
+    rejected(&cc, "api_names is not the sorted multiset");
+}
+
+#[test]
+fn tampered_sm_index_is_rejected() {
+    let mut cc = compiled();
+    let name = cc.sms[0].name.clone();
+    if let Some(v) = cc.sm_index.get_mut(&name) {
+        *v += 1;
+    }
+    rejected(&cc, "sm_index");
+}
+
+// ------------------------------------------------- IR lints (L012/L013)
+
+#[test]
+fn l012_fires_on_shadowed_transition() {
+    let catalog = Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm Disk {
+              service "blk";
+              states { size: int = 1; }
+              transition CreateDisk() kind create { }
+              transition ResizeDisk(N: int) kind modify { write(size, arg(N)); }
+              transition ResizeDisk() kind modify { write(size, 0); }
+              transition DeleteDisk() kind destroy { }
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let cc = compile(&catalog).unwrap();
+    let diags = ir_lints(&cc);
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "L012")
+        .expect("shadowed ResizeDisk must fire L012");
+    assert_eq!(hit.severity, Severity::Warn);
+    assert!(hit.message.contains("shadowed by an earlier declaration"));
+    assert!(hit.span.line > 0, "lint must land on a spec span");
+}
+
+#[test]
+fn l012_fires_on_ambiguous_uncalled_api_and_spares_called_ones() {
+    let catalog = Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm Alpha {
+              service "a";
+              states { n: int = 0; }
+              transition CreateAlpha() kind create { call(self_id(), Poke, []); }
+              transition Poke() kind modify { write(n, 1); }
+              transition Tickle() kind modify { write(n, 2); }
+              transition DeleteAlpha() kind destroy { }
+            }
+            sm Beta {
+              service "b";
+              states { n: int = 0; }
+              transition CreateBeta() kind create { }
+              transition Poke() kind modify { write(n, 1); }
+              transition Tickle() kind modify { write(n, 2); }
+              transition DeleteBeta() kind destroy { }
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let cc = compile(&catalog).unwrap();
+    // Both `Poke` and `Tickle` are ambiguous (absent from top-level
+    // dispatch), but a call site keeps `Poke` reachable via per-SM
+    // dispatch — only `Tickle` is dead.
+    assert!(!cc.dispatch.contains_key("Poke"));
+    let diags = ir_lints(&cc);
+    let l012: Vec<_> = diags.iter().filter(|d| d.code == "L012").collect();
+    assert_eq!(l012.len(), 2, "{:?}", l012);
+    assert!(l012
+        .iter()
+        .all(|d| d.transition.as_ref().map(|t| t.as_str()) == Some("Tickle")));
+    assert!(l012
+        .iter()
+        .all(|d| d.message.contains("ambiguous across SMs")));
+}
+
+#[test]
+fn l013_fires_on_dead_double_write_and_stays_quiet_when_observed() {
+    let fire = Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm Gauge {
+              service "g";
+              states { level: int = 0; }
+              transition CreateGauge() kind create { }
+              transition ResetGauge() kind modify {
+                write(level, 1);
+                write(level, 2);
+              }
+              transition DeleteGauge() kind destroy { }
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let cc = compile(&fire).unwrap();
+    let diags = ir_lints(&cc);
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "L013")
+        .expect("dead first write must fire L013");
+    assert_eq!(hit.severity, Severity::Warn);
+    assert!(hit.message.contains("overwritten before any possible read"));
+    assert!(hit.span.line > 0);
+
+    // A read between the writes observes the store: no lint.
+    let quiet = Catalog::from_specs(
+        parse_catalog(
+            r#"
+            sm Gauge {
+              service "g";
+              states { level: int = 0; mirror: int = 0; }
+              transition CreateGauge() kind create { }
+              transition ResetGauge() kind modify {
+                write(level, 1);
+                write(mirror, read(level));
+                write(level, 2);
+              }
+              transition DeleteGauge() kind destroy { }
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let cc = compile(&quiet).unwrap();
+    assert!(
+        ir_lints(&cc).iter().all(|d| d.code != "L013"),
+        "observed store must not lint"
+    );
+}
+
+#[test]
+fn golden_catalogs_are_lint_clean() {
+    for catalog in [nimbus_provider().catalog, stratus_provider().catalog] {
+        let cc = compile(&catalog).unwrap();
+        let diags = ir_lints(&cc);
+        assert!(diags.is_empty(), "{:?}", diags);
+    }
+}
+
+// ------------------------------------------------------- property tests
+
+/// A well-formed single machine with scalar state and simple transitions
+/// (mirrors the generator in `tests/differential.rs`).
+fn arb_sm() -> impl Strategy<Value = lce_spec::SmSpec> {
+    (
+        "[A-Z][a-zA-Z]{1,8}",
+        prop::collection::btree_map("[a-z][a-z0-9_]{0,8}", 0usize..3, 1..4usize),
+    )
+        .prop_map(|(name, states)| {
+            let ty_of = |pick: usize| match pick {
+                0 => StateType::Str,
+                1 => StateType::Int,
+                _ => StateType::Bool,
+            };
+            let mut b = SmBuilder::new(&name).service("prop").doc("generated");
+            for (var, pick) in &states {
+                b = b.state(var.clone(), ty_of(*pick));
+            }
+            b = b.transition(
+                TransitionBuilder::new(format!("Create{}", name), TransitionKind::Create)
+                    .doc("create")
+                    .build(),
+            );
+            b = b.transition(
+                TransitionBuilder::new(format!("Delete{}", name), TransitionKind::Destroy)
+                    .doc("destroy")
+                    .build(),
+            );
+            let mut describe =
+                TransitionBuilder::new(format!("Describe{}", name), TransitionKind::Describe);
+            for var in states.keys() {
+                describe = describe.emit(format!("F_{}", var), Expr::read(var.clone()));
+            }
+            b = b.transition(describe.build());
+            for (i, (var, pick)) in states.iter().enumerate() {
+                b = b.transition(
+                    TransitionBuilder::new(format!("Set{}{}", name, i), TransitionKind::Modify)
+                        .param("V", ty_of(*pick))
+                        .write(var.clone(), Expr::arg("V"))
+                        .build(),
+                );
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lowering soundness: every `compile()` output on a random valid
+    /// spec passes `verify()`, and stays verified through every
+    /// optimization level.
+    #[test]
+    fn lowered_programs_always_verify(sm in arb_sm()) {
+        let catalog = Catalog::from_specs([sm]);
+        let cc = compile(&catalog).expect("well-formed machine must compile");
+        verify(&cc).expect("lowering must produce verifiable code");
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let mut opt = cc.clone();
+            optimize(&mut opt, level).expect("optimizer must preserve verification");
+            verify(&opt).expect("optimized code must re-verify");
+        }
+    }
+}

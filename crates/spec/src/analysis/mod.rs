@@ -134,6 +134,21 @@ pub const REGISTRY: &[LintDescriptor] = &[
         severity: Severity::Warn,
         summary: "comparison of bare enum literals from provably disjoint enums",
     },
+    // L012/L013 are emitted by the IR-level analyses in `lce-ir`
+    // (`ir_lints`), which see the compiled program rather than the AST;
+    // they are registered here so severity policy and `--allow` handling
+    // stay in one place.
+    LintDescriptor {
+        code: "L012",
+        severity: Severity::Warn,
+        summary: "transition is unreachable: shadowed by an earlier declaration or \
+                  ambiguous across SMs with no call site",
+    },
+    LintDescriptor {
+        code: "L013",
+        severity: Severity::Warn,
+        summary: "dead effect: write is provably overwritten before any possible read",
+    },
 ];
 
 /// Look up a lint descriptor by code.

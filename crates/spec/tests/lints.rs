@@ -220,9 +220,17 @@ fn every_lint_stays_quiet_on_the_repaired_fixture() {
     }
 }
 
+/// Codes registered here but emitted by the IR-level analyses in `lce-ir`
+/// (`ir_lints`), which need a *compiled* catalog to fire. Their fire/quiet
+/// fixtures live in `crates/ir/tests/verify.rs`, next to the analyses.
+const IR_EMITTED: &[&str] = &["L012", "L013"];
+
 #[test]
 fn fixtures_cover_the_whole_registry() {
     for desc in REGISTRY {
+        if IR_EMITTED.contains(&desc.code) {
+            continue;
+        }
         assert!(
             CASES.iter().any(|c| c.code == desc.code),
             "no coverage fixture for {}",
@@ -231,7 +239,7 @@ fn fixtures_cover_the_whole_registry() {
     }
     assert_eq!(
         CASES.len(),
-        REGISTRY.len(),
+        REGISTRY.len() - IR_EMITTED.len(),
         "stale fixture for a removed lint"
     );
 }

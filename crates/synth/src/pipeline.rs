@@ -226,6 +226,14 @@ pub fn synthesize(
             catalog_findings = check_catalog_consistency(&accepted);
             if cfg.lint {
                 catalog_findings.extend(lint_feedback(lce_spec::lint_catalog(&accepted)));
+                // IR-level lints (L012/L013) see the *compiled* catalog:
+                // runtime dispatch reachability and dead effects across
+                // desugared control flow. A catalog that does not lower
+                // yet (mid-repair) just skips them; the deny-only filter
+                // in `lint_feedback` applies unchanged.
+                if let Ok(cc) = lce_ir::compile(&accepted) {
+                    catalog_findings.extend(lint_feedback(lce_ir::ir_lints(&cc)));
+                }
             }
             if catalog_findings.is_empty() || round == cfg.max_regen_rounds {
                 break;

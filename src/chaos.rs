@@ -28,7 +28,7 @@ use lce_devops::run_program;
 use lce_devops::scenarios::nimbus::basic_functionality;
 use lce_emulator::{Backend, Emulator, EmulatorConfig};
 use lce_faults::{no_sleep, store_digest, BackendFault, FaultPlan, FaultyBackend, RetryPolicy};
-use lce_ir::{compile, CompiledCatalog, CompiledEmulator, DualBackend, Engine};
+use lce_ir::{compile, optimize, CompiledCatalog, CompiledEmulator, DualBackend, Engine, OptLevel};
 use lce_obs::{parse_text, ObsHub};
 use lce_server::{serve, Client, ServerConfig, PROBE_ACCOUNT};
 use std::collections::BTreeMap;
@@ -62,6 +62,10 @@ pub struct ChaosConfig {
     /// excluded from [`ChaosReport::render`], so same-seed reports stay
     /// byte-identical across engines.
     pub engine: Engine,
+    /// Optimization level for the compiled engine (`ir`/`dual`). Also
+    /// excluded from the rendered report: the optimizer is semantics-
+    /// preserving, so reports must stay byte-identical across levels.
+    pub opt_level: OptLevel,
 }
 
 impl ChaosConfig {
@@ -77,6 +81,7 @@ impl ChaosConfig {
             server_threads: 8,
             metrics: false,
             engine: Engine::Interp,
+            opt_level: OptLevel::O0,
         }
     }
 
@@ -113,6 +118,12 @@ impl ChaosConfig {
     /// Select the execution engine serving the faulted accounts.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select the optimization level for the compiled engine.
+    pub fn with_opt(mut self, opt_level: OptLevel) -> Self {
+        self.opt_level = opt_level;
         self
     }
 
@@ -290,9 +301,13 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
     // Compile once per run; per-account compiled engines share the Arc.
     let compiled: Option<Arc<CompiledCatalog>> = match config.engine {
         Engine::Interp => None,
-        Engine::Ir | Engine::Dual => Some(Arc::new(
-            compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?,
-        )),
+        Engine::Ir | Engine::Dual => {
+            let mut cc =
+                compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?;
+            optimize(&mut cc, config.opt_level)
+                .map_err(|e| format!("optimizer broke the catalog: {}", e))?;
+            Some(Arc::new(cc))
+        }
     };
     let engine = config.engine;
     let factory_plan = Arc::clone(&plan);

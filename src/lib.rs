@@ -83,7 +83,9 @@ pub mod prelude {
     pub use lce_devops::{compare_runs, run_program, Arg, Program};
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
     pub use lce_faults::{store_digest, FaultPlan, FaultyBackend, RetryPolicy};
-    pub use lce_ir::{compile, CompiledEmulator, DualBackend, Engine};
+    pub use lce_ir::{
+        compile, ir_lints, optimize, verify, CompiledEmulator, DualBackend, Engine, OptLevel,
+    };
     pub use lce_obs::{ObsHub, ObservedBackend};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
 

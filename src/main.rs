@@ -6,10 +6,10 @@
 //! lce call    --catalog FILE [--state FILE] <Api> [Key=Value ...]
 //! lce run     --catalog FILE [--state FILE] --program FILE.json
 //! lce spec    --provider <nimbus|stratus> [--resource Name]
-//! lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>]
+//! lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
 //! lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-//! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>]
-//! lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--check]
+//! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+//! lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
 //! lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
 //! ```
 //!
@@ -20,10 +20,13 @@
 //! isolated emulator per account (`POST /<account>/<Api>`); `--engine`
 //! selects the execution engine: the spec interpreter, the compiled IR
 //! executor, or both in lock-step with divergence panics. `compile` lowers
-//! a catalog to the slot-based IR and prints size statistics (`--stats`),
-//! a disassembly listing (`--dump`), or differentially checks the compiled
-//! engine against the interpreter over the golden scenario suites
-//! (`--check`). `lint` runs the
+//! a catalog to the slot-based IR — every lowered program passes the
+//! verifier before it may execute — and prints size statistics
+//! (`--stats`), a disassembly listing (`--dump`, or `--dump-analysis`
+//! with per-opcode analysis facts), the verifier report (`--verify`), the
+//! optimizer report (`--opt [level]`), or differentially checks the
+//! compiled engine at the selected opt level against the interpreter over
+//! the golden scenario suites (`--check`). `lint` runs the
 //! static analyzer over a golden or synthesized catalog and exits non-zero
 //! when findings at or above the `--deny` threshold remain. `metrics`
 //! scrapes a running server's Prometheus endpoint (or reads a saved
@@ -73,10 +76,10 @@ USAGE:
   lce call    --catalog FILE [--state FILE] <Api> [Key=Value ...]
   lce run     --catalog FILE [--state FILE] --program FILE.json
   lce spec    --provider <nimbus|stratus> [--resource Name]
-  lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>]
+  lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
   lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>]
-  lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--check]
+  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+  lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
   lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]";
 
 /// Parse `--key value` flags and positional arguments.
@@ -105,13 +108,31 @@ fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
 fn needs_value(key: &str) -> bool {
     !matches!(
         key,
-        "d2c" | "no-align" | "metrics" | "deterministic" | "stats" | "dump" | "check"
+        "d2c"
+            | "no-align"
+            | "metrics"
+            | "deterministic"
+            | "stats"
+            | "dump"
+            | "dump-analysis"
+            | "check"
+            | "verify"
     )
 }
 
 fn engine_of(flags: &BTreeMap<String, String>) -> Result<Engine, String> {
     match flags.get("engine") {
         None => Ok(Engine::Interp),
+        Some(s) => s.parse(),
+    }
+}
+
+/// `--opt` with an optional level: absent ⇒ `O0`, bare `--opt` ⇒ the
+/// maximum level, `--opt 0|1|2|max` ⇒ that level.
+fn opt_of(flags: &BTreeMap<String, String>) -> Result<OptLevel, String> {
+    match flags.get("opt").map(|s| s.as_str()) {
+        None => Ok(OptLevel::O0),
+        Some("true") => Ok(OptLevel::MAX),
         Some(s) => s.parse(),
     }
 }
@@ -306,12 +327,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if metrics {
         config = config.with_observability(std::sync::Arc::new(ObsHub::new()));
     }
-    // Compile once; per-account compiled engines share the Arc.
+    // Compile (and optimize) once; per-account compiled engines share
+    // the Arc.
     let compiled = match engine {
         Engine::Interp => None,
-        Engine::Ir | Engine::Dual => Some(std::sync::Arc::new(
-            compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?,
-        )),
+        Engine::Ir | Engine::Dual => {
+            let mut cc =
+                compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?;
+            optimize(&mut cc, opt_of(&flags)?)
+                .map_err(|e| format!("optimizer broke the catalog: {}", e))?;
+            Some(std::sync::Arc::new(cc))
+        }
     };
     let handle = serve(config, move |_account| match engine {
         Engine::Interp => {
@@ -371,7 +397,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         .with_threads(threads)
         .with_accounts(accounts)
         .with_metrics(flags.contains_key("metrics"))
-        .with_engine(engine_of(&flags)?);
+        .with_engine(engine_of(&flags)?)
+        .with_opt(opt_of(&flags)?);
     if let Some(plan) = flags.get("plan") {
         config = config.with_plan(plan.clone());
     }
@@ -426,32 +453,53 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
 }
 
 /// Lower a catalog to the slot-based IR. Prints size statistics by
-/// default (or with `--stats`), an assembly-style listing under `--dump`,
-/// and under `--check` runs the golden scenario suites through
-/// [`DualBackend`] in record mode, reporting every divergence between the
-/// compiled engine and the interpreter and exiting non-zero if any exist.
+/// default (or with `--stats`), an assembly-style listing under `--dump`
+/// (annotated with per-opcode analysis facts under `--dump-analysis`),
+/// and a verifier report under `--verify` (compilation always verifies;
+/// the flag prints what was proven). `--opt [0|1|2|max]` runs the
+/// optimization pipeline — every pass re-verified — and prints its
+/// report. Under `--check` the golden scenario suites run through
+/// [`DualBackend`] in record mode at the selected opt level, reporting
+/// every divergence between the (optimized) compiled engine and the
+/// interpreter and exiting non-zero if any exist.
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     use learned_cloud_emulators::devops::scenarios::{
         basic_functionality, fig3_nimbus, fig3_stratus,
     };
-    use learned_cloud_emulators::ir::{disassemble, DivergencePolicy};
+    use learned_cloud_emulators::ir::{disassemble, disassemble_with_analysis, DivergencePolicy};
 
     let (flags, _) = parse_flags(args);
     let catalog = match flags.get("catalog") {
         Some(_) => load_catalog(&flags)?,
         None => provider_of(&flags)?.catalog,
     };
-    let cc = compile(&catalog).map_err(|e| format!("compile failed: {}", e))?;
-    if flags.contains_key("dump") {
+    let opt_level = opt_of(&flags)?;
+    let mut cc = compile(&catalog).map_err(|e| format!("compile failed: {}", e))?;
+    let opt_report =
+        optimize(&mut cc, opt_level).map_err(|e| format!("optimizer broke the catalog: {}", e))?;
+    if flags.contains_key("verify") {
+        // `compile` already ran the verifier (it refuses to return an
+        // unverifiable program) and `optimize` re-ran it after every
+        // pass; this re-checks the final catalog and prints the report.
+        let report = verify(&cc).map_err(|e| format!("verify failed: {}", e))?;
+        println!("{}", report);
+    }
+    if flags.contains_key("opt") {
+        println!("{}", opt_report);
+    }
+    if flags.contains_key("dump-analysis") {
+        print!("{}", disassemble_with_analysis(&cc));
+    } else if flags.contains_key("dump") {
         print!("{}", disassemble(&cc));
     }
-    if !flags.contains_key("dump") || flags.contains_key("stats") {
+    let dumped = flags.contains_key("dump") || flags.contains_key("dump-analysis");
+    if !dumped && !flags.contains_key("verify") || flags.contains_key("stats") {
         println!("{}", cc.stats());
     }
     if flags.contains_key("check") {
         // Both suites: against a provider catalog one exercises the full
         // behaviour surface and the other the error paths; both must be
-        // byte-identical across engines either way.
+        // byte-identical across engines either way — at every opt level.
         let mut suite: Vec<(String, Program)> =
             vec![("basic-functionality".to_string(), basic_functionality())];
         for s in fig3_nimbus() {
@@ -466,12 +514,15 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 s.program,
             ));
         }
+        let shared = std::sync::Arc::new(cc);
         let mut calls = 0usize;
         let mut divergences = 0usize;
         for (name, program) in &suite {
-            let mut dual = DualBackend::new(&catalog)
-                .map_err(|e| format!("compile failed: {}", e))?
-                .with_policy(DivergencePolicy::Record);
+            let mut dual = DualBackend::from_engines(
+                Emulator::new(catalog.clone()),
+                CompiledEmulator::from_compiled(shared.clone(), EmulatorConfig::framework()),
+            )
+            .with_policy(DivergencePolicy::Record);
             run_program(program, &mut dual);
             calls += dual.calls();
             for d in dual.divergences() {
@@ -480,9 +531,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             }
         }
         eprintln!(
-            "check: {} calls across {} scenario programs, {} divergence{}",
+            "check: {} calls across {} scenario programs at opt level {}, {} divergence{}",
             calls,
             suite.len(),
+            opt_level,
             divergences,
             if divergences == 1 { "" } else { "s" }
         );
@@ -590,7 +642,13 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             config = config.set(code, lce_spec::Severity::Allow);
         }
     }
-    let diags = config.apply(lce_spec::lint_catalog(&catalog));
+    let mut all = lce_spec::lint_catalog(&catalog);
+    // IR-level lints (L012/L013) need the compiled form; a catalog that
+    // does not lower (e.g. mid-repair synthesis output) just skips them.
+    if let Ok(cc) = compile(&catalog) {
+        all.extend(ir_lints(&cc));
+    }
+    let diags = config.apply(all);
     for d in &diags {
         println!("{}", d);
     }
