@@ -7,6 +7,11 @@
 //! identical traces against three engines — the interpreter, the compiled
 //! IR at `O0`, and the IR at the maximum optimization level — and reports
 //! throughput (calls/sec) and per-call latency percentiles (p50/p99).
+//! A fourth column, `ir_ro`, isolates what the effect analysis buys on
+//! the read path: the trace's stamped-`ReadOnly` calls are replayed
+//! against a primed store through the journal-free
+//! [`Backend::invoke_read`] fast path, and `ro_ratio_pct` compares that
+//! against the very same calls through the journaled `invoke` path.
 //! Replaying a fixed trace keeps the scenario driver's bookkeeping out of
 //! the timed region, so the numbers measure `Backend::invoke` and nothing
 //! else; the engines are byte-identical on these catalogs (the
@@ -19,11 +24,12 @@
 //! bench_ir [--iters N] [--out FILE] [--check FILE]
 //! ```
 //!
-//! `--check FILE` re-runs the benchmark and fails (exit 1) if either
+//! `--check FILE` re-runs the benchmark and fails (exit 1) if any
 //! compiled engine's throughput fell below two-thirds of the committed
-//! numbers, the measured `O0` speedup fell below 4x, or the optimized
-//! engine fell below 90% of the unoptimized one — the CI regression
-//! gates. (The committed file carries the ≥5x acceptance numbers and an
+//! numbers, the measured `O0` speedup fell below 4x, the optimized
+//! engine fell below 90% of the unoptimized one, or the journal-free
+//! read path fell below 90% of the journaled path on the same calls —
+//! the CI regression gates. (The committed file carries the ≥5x acceptance numbers and an
 //! opt-to-unopt ratio ≥ 1.0; single-vCPU runners swing absolute
 //! throughput by ±25% run to run, so the live floors only catch
 //! structural regressions, not scheduler noise.)
@@ -35,7 +41,7 @@ use lce_cloud::{nimbus_provider, stratus_provider};
 use lce_devops::scenarios::{basic_functionality, fig3_nimbus, fig3_stratus};
 use lce_devops::{run_program, Program};
 use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig};
-use lce_ir::{compile, optimize, CompiledEmulator, OptLevel};
+use lce_ir::{compile, ir_effects, optimize, CompiledEmulator, OptLevel};
 use lce_spec::Catalog;
 use std::sync::Arc;
 use std::time::Instant;
@@ -157,13 +163,72 @@ fn bench_engine<B: Backend>(mut backend: B, traces: &[Trace], iters: usize) -> E
     }
 }
 
+/// Replay just the stamped read calls against a primed (non-resetting)
+/// engine, either through the journal-free `invoke_read` fast path or the
+/// journaled `invoke` path. Read calls leave the store untouched (the
+/// effect soundness suite proves it), so no reset is needed between
+/// rounds and the two paths see identical state.
+fn bench_reads(
+    engine: &mut CompiledEmulator,
+    reads: &[ApiCall],
+    iters: usize,
+    journal_free: bool,
+) -> EngineResult {
+    const ROUNDS: usize = 5;
+    let mut go = |call: &ApiCall| match journal_free {
+        true => {
+            engine.invoke_read(call).expect("stamped read answers");
+        }
+        false => {
+            engine.invoke(call);
+        }
+    };
+    for call in reads {
+        go(call);
+    }
+    let per_round = iters.max(ROUNDS) / ROUNDS * 8;
+    let mut best = 0f64;
+    for _ in 0..ROUNDS {
+        let mut calls = 0usize;
+        let t = Instant::now();
+        for _ in 0..per_round {
+            for call in reads {
+                go(call);
+                calls += 1;
+            }
+        }
+        best = best.max(calls as f64 / t.elapsed().as_secs_f64());
+    }
+    let mut lat_ns = Vec::with_capacity(reads.len() * 64);
+    for _ in 0..64 {
+        for call in reads {
+            let t0 = Instant::now();
+            go(call);
+            lat_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    lat_ns.sort_unstable();
+    EngineResult {
+        calls_per_sec: best as u64,
+        p50_ns: percentile(&lat_ns, 0.50),
+        p99_ns: percentile(&lat_ns, 0.99),
+    }
+}
+
 struct SuiteResult {
     provider: &'static str,
     programs: usize,
     calls_per_iter: usize,
+    /// How many of the trace's calls carry a `ReadOnly` stamp (the `ir_ro`
+    /// workload).
+    read_calls: usize,
     interp: EngineResult,
     ir: EngineResult,
     ir_opt: EngineResult,
+    /// The stamped read calls through the journal-free fast path.
+    ir_ro: EngineResult,
+    /// The same read calls through the journaled `invoke` path.
+    ir_ro_journaled: EngineResult,
 }
 
 impl SuiteResult {
@@ -179,6 +244,11 @@ impl SuiteResult {
     fn opt_ratio(&self) -> f64 {
         self.ir_opt.calls_per_sec as f64 / (self.ir.calls_per_sec as f64).max(1.0)
     }
+
+    /// Journal-free reads over the same reads journaled.
+    fn ro_ratio(&self) -> f64 {
+        self.ir_ro.calls_per_sec as f64 / (self.ir_ro_journaled.calls_per_sec as f64).max(1.0)
+    }
 }
 
 fn bench_suite(
@@ -193,7 +263,10 @@ fn bench_suite(
     let mut ir = CompiledEmulator::new(catalog).expect("golden catalog compiles");
     let mut opt_cc = compile(catalog).expect("golden catalog compiles");
     optimize(&mut opt_cc, OptLevel::MAX).expect("golden catalog optimizes");
-    let mut ir_opt = CompiledEmulator::from_compiled(Arc::new(opt_cc), EmulatorConfig::framework());
+    let opt_cc = Arc::new(opt_cc);
+    let effects = ir_effects(&opt_cc);
+    let mut ir_opt =
+        CompiledEmulator::from_compiled(Arc::clone(&opt_cc), EmulatorConfig::framework());
     for engine in [&mut ir, &mut ir_opt] {
         for trace in &traces {
             engine.reset();
@@ -204,16 +277,44 @@ fn bench_suite(
         }
     }
     let calls_per_iter = traces.iter().map(|t| t.calls.len()).sum();
+
+    // The `ir_ro` workload: the trace's stamped read calls, replayed
+    // against an engine primed with the full trace's state. The fast path
+    // must agree with the journaled path call-for-call before it is timed.
+    let reads: Vec<ApiCall> = traces
+        .iter()
+        .flat_map(|t| &t.calls)
+        .filter(|c| effects.get(&c.api).is_some_and(|e| e.read_only))
+        .cloned()
+        .collect();
+    assert!(!reads.is_empty(), "{}: no stamped reads in trace", provider);
+    let mut ro_engine = CompiledEmulator::from_compiled(opt_cc, EmulatorConfig::framework());
+    for trace in &traces {
+        for call in &trace.calls {
+            ro_engine.invoke(call);
+        }
+    }
+    for call in &reads {
+        let fast = ro_engine.invoke_read(call).expect("stamped read answers");
+        let journaled = ro_engine.invoke(call);
+        assert_eq!(fast, journaled, "read paths diverged on {}", call.api);
+    }
+
     let interp = bench_engine(Emulator::new(catalog.clone()), &traces, iters);
     let ir = bench_engine(ir, &traces, iters);
     let ir_opt = bench_engine(ir_opt, &traces, iters);
+    let ir_ro_journaled = bench_reads(&mut ro_engine, &reads, iters, false);
+    let ir_ro = bench_reads(&mut ro_engine, &reads, iters, true);
     SuiteResult {
         provider,
         programs: suite.len(),
         calls_per_iter,
+        read_calls: reads.len(),
         interp,
         ir,
         ir_opt,
+        ir_ro,
+        ir_ro_journaled,
     }
 }
 
@@ -231,7 +332,14 @@ fn render(results: &[SuiteResult], iters: usize) -> String {
             "      \"calls_per_iter\": {},\n",
             s.calls_per_iter
         ));
-        for (name, e) in [("interp", &s.interp), ("ir", &s.ir), ("ir_opt", &s.ir_opt)] {
+        out.push_str(&format!("      \"read_calls\": {},\n", s.read_calls));
+        for (name, e) in [
+            ("interp", &s.interp),
+            ("ir", &s.ir),
+            ("ir_opt", &s.ir_opt),
+            ("ir_ro_journaled", &s.ir_ro_journaled),
+            ("ir_ro", &s.ir_ro),
+        ] {
             out.push_str(&format!(
                 "      \"{}\": {{ \"calls_per_sec\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
                 name, e.calls_per_sec, e.p50_ns, e.p99_ns
@@ -246,8 +354,12 @@ fn render(results: &[SuiteResult], iters: usize) -> String {
             (s.opt_speedup() * 100.0) as u64
         ));
         out.push_str(&format!(
-            "      \"opt_ratio_pct\": {}\n",
+            "      \"opt_ratio_pct\": {},\n",
             (s.opt_ratio() * 100.0) as u64
+        ));
+        out.push_str(&format!(
+            "      \"ro_ratio_pct\": {}\n",
+            (s.ro_ratio() * 100.0) as u64
         ));
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -323,7 +435,7 @@ fn main() {
         eprintln!(
             "{:8} interp {:>9} calls/s (p50 {:>6}ns p99 {:>7}ns)  ir {:>9} calls/s \
              (p50 {:>6}ns p99 {:>7}ns)  ir+opt {:>9} calls/s (p50 {:>6}ns p99 {:>7}ns)  \
-             speedup {:.1}x / {:.1}x",
+             ro reads {:>9} calls/s ({} reads, {:.2}x vs journaled)  speedup {:.1}x / {:.1}x",
             s.provider,
             s.interp.calls_per_sec,
             s.interp.p50_ns,
@@ -334,6 +446,9 @@ fn main() {
             s.ir_opt.calls_per_sec,
             s.ir_opt.p50_ns,
             s.ir_opt.p99_ns,
+            s.ir_ro.calls_per_sec,
+            s.read_calls,
+            s.ro_ratio(),
             s.speedup(),
             s.opt_speedup()
         );
@@ -351,7 +466,7 @@ fn main() {
         let committed = std::fs::read_to_string(&path).expect("read committed bench file");
         let mut failed = false;
         for s in &results {
-            for (engine, live) in [("ir", &s.ir), ("ir_opt", &s.ir_opt)] {
+            for (engine, live) in [("ir", &s.ir), ("ir_opt", &s.ir_opt), ("ir_ro", &s.ir_ro)] {
                 let Some(committed_cps) = extract(&committed, s.provider, engine, "calls_per_sec")
                 else {
                     eprintln!("check: {} {} missing from {}", s.provider, engine, path);
@@ -389,12 +504,25 @@ fn main() {
                 );
                 failed = true;
             }
+            // The journal-free read path must not regress the journaled
+            // path on the same calls. The committed file shows the
+            // measured win; the live floor tolerates scheduler noise.
+            if s.ro_ratio() < 0.9 {
+                eprintln!(
+                    "check FAIL: {} journal-free reads are {:.2}x the journaled path \
+                     (floor 0.9x)",
+                    s.provider,
+                    s.ro_ratio()
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);
         }
         eprintln!(
-            "check: throughput within 2/3 of {}, speedup >= 4x, opt ratio >= 0.9x",
+            "check: throughput within 2/3 of {}, speedup >= 4x, opt ratio >= 0.9x, \
+             ro ratio >= 0.9x",
             path
         );
     }

@@ -1,0 +1,54 @@
+//! CI gate: the effect analysis over both golden catalogs must produce a
+//! clean report with non-trivial proof populations — at least one API
+//! proven `ReadOnly` and at least one proven `RetrySafe` per catalog —
+//! and a conflict matrix that is neither complete nor empty (some pairs
+//! commute, some conflict). A regression here means either a catalog
+//! gained an unprovable effect or the analysis lost precision.
+
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_spec::{Catalog, CatalogEffects};
+
+fn check(name: &str, catalog: &Catalog) {
+    let fx = CatalogEffects::analyze(catalog);
+    let ro = fx.read_only_count();
+    let rs = fx.retry_safe_count();
+    assert!(ro >= 1, "{name}: no API proven ReadOnly");
+    assert!(rs >= 1, "{name}: no API proven RetrySafe");
+    assert!(
+        rs >= ro,
+        "{name}: every ReadOnly API is RetrySafe by definition"
+    );
+    // Every describe-kind dispatchable API in the goldens is a pure read.
+    for e in fx.dispatchable() {
+        if e.kind == lce_spec::TransitionKind::Describe {
+            assert!(e.read_only, "{name}: describe API {} not ReadOnly", e.api);
+        }
+    }
+    let m = fx.matrix();
+    assert!(!m.apis.is_empty(), "{name}: no dispatchable APIs");
+    assert!(
+        !m.conflicts.is_empty(),
+        "{name}: a real catalog must have conflicting pairs"
+    );
+    assert!(
+        m.commute_ratio() > 0.0,
+        "{name}: a real catalog must have commuting pairs"
+    );
+    // The retry-safe API set feeding --retry-static is non-empty and only
+    // names dispatchable APIs.
+    let safe = fx.retry_safe_apis();
+    assert!(!safe.is_empty(), "{name}: empty RetrySafe set");
+    for api in &safe {
+        assert!(fx.get(api).is_some(), "{name}: {api} not dispatchable");
+    }
+}
+
+#[test]
+fn nimbus_effects_are_clean_and_nontrivial() {
+    check("nimbus", &nimbus_provider().catalog);
+}
+
+#[test]
+fn stratus_effects_are_clean_and_nontrivial() {
+    check("stratus", &stratus_provider().catalog);
+}

@@ -16,6 +16,21 @@ pub trait Backend {
     /// Invoke one API call, mutating internal state.
     fn invoke(&mut self, call: &ApiCall) -> ApiResponse;
 
+    /// Serve one API call through a shared reference, if this backend can
+    /// *prove* the call leaves its state untouched.
+    ///
+    /// `None` means "not provably read-only here — use [`Self::invoke`]";
+    /// it is a routing decision, not an error. `Some(resp)` must be
+    /// byte-identical to what `invoke` would have returned, with no
+    /// observable state change. The default declines everything; the
+    /// compiled engine overrides it for transitions its effect analysis
+    /// stamped `ReadOnly`, which lets the serving router dispatch reads
+    /// under a shared lock.
+    fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+        let _ = call;
+        None
+    }
+
     /// Drop all resources, returning to a fresh account.
     fn reset(&mut self);
 
@@ -55,6 +70,9 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
     }
     fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
         (**self).invoke(call)
+    }
+    fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+        (**self).invoke_read(call)
     }
     fn reset(&mut self) {
         (**self).reset()
@@ -134,6 +152,14 @@ mod tests {
         assert!(plain.snapshot().is_none(), "default snapshot is None");
         let boxed: Box<dyn Backend> = Box::new(Echo { count: 0 });
         assert!(boxed.snapshot().is_none(), "Box forwards the default");
+    }
+
+    #[test]
+    fn invoke_read_defaults_to_none_and_forwards_through_box() {
+        let plain = Echo { count: 0 };
+        assert!(plain.invoke_read(&ApiCall::new("Echo")).is_none());
+        let boxed: Box<dyn Backend> = Box::new(Echo { count: 0 });
+        assert!(boxed.invoke_read(&ApiCall::new("Echo")).is_none());
     }
 
     #[test]

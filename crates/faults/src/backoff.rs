@@ -8,6 +8,7 @@
 //! instantaneous while production code wall-sleeps.
 
 use crate::rng::DetRng;
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -86,6 +87,12 @@ pub struct RetryPolicy {
     pub seed: u64,
     /// The sleep used between attempts.
     pub sleep: SleepFn,
+    /// APIs *proven* retry-safe by the static effect analysis
+    /// (`lce-effects`). `None` means no proofs are loaded and callers must
+    /// fall back to name-based idempotence heuristics; `Some` means
+    /// [`static_retry_safe`](RetryPolicy::static_retry_safe) answers from
+    /// proofs, so a wire-level retry needs no no-double-apply wrapper.
+    pub retry_safe_apis: Option<Arc<BTreeSet<String>>>,
 }
 
 impl std::fmt::Debug for RetryPolicy {
@@ -97,6 +104,10 @@ impl std::fmt::Debug for RetryPolicy {
             .field("retry_codes", &self.retry_codes)
             .field("retry_transport", &self.retry_transport)
             .field("seed", &self.seed)
+            .field(
+                "retry_safe_apis",
+                &self.retry_safe_apis.as_ref().map(|s| s.len()),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -113,6 +124,7 @@ impl RetryPolicy {
             retry_transport: true,
             seed,
             sleep: real_sleep(),
+            retry_safe_apis: None,
         }
     }
 
@@ -127,6 +139,7 @@ impl RetryPolicy {
             retry_transport: true,
             seed,
             sleep: no_sleep(),
+            retry_safe_apis: None,
         }
     }
 
@@ -151,6 +164,30 @@ impl RetryPolicy {
     /// `true` if `code` is in the transient set.
     pub fn should_retry_code(&self, code: &str) -> bool {
         self.retry_codes.iter().any(|c| c == code)
+    }
+
+    /// Load the set of APIs proven retry-safe by static effect analysis.
+    /// Callers that would otherwise gate wire-level retries on name-based
+    /// idempotence can consult
+    /// [`static_retry_safe`](RetryPolicy::static_retry_safe) instead.
+    pub fn with_retry_safe_apis(mut self, apis: BTreeSet<String>) -> Self {
+        self.retry_safe_apis = Some(Arc::new(apis));
+        self
+    }
+
+    /// `true` if static proofs are loaded (even an empty set counts: it
+    /// means the analysis ran and proved nothing, not that it never ran).
+    pub fn has_static_proofs(&self) -> bool {
+        self.retry_safe_apis.is_some()
+    }
+
+    /// `true` if `api` is statically proven retry-safe. Without loaded
+    /// proofs this is always `false` — absence of analysis is never
+    /// evidence of safety.
+    pub fn static_retry_safe(&self, api: &str) -> bool {
+        self.retry_safe_apis
+            .as_ref()
+            .is_some_and(|s| s.contains(api))
     }
 
     /// A fresh backoff stream for one logical operation. The extra salt
@@ -208,6 +245,28 @@ mod tests {
         assert!(p.retry_transport);
         assert!(!p.clone().without_transport_retry().retry_transport);
         assert_eq!(p.with_max_attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn static_retry_safety_requires_loaded_proofs() {
+        let p = RetryPolicy::new(1);
+        assert!(!p.has_static_proofs());
+        assert!(
+            !p.static_retry_safe("DescribeVpc"),
+            "no proofs loaded: nothing is statically safe"
+        );
+        let mut apis = BTreeSet::new();
+        apis.insert("DescribeVpc".to_string());
+        apis.insert("AttachVolume".to_string());
+        let p = p.with_retry_safe_apis(apis);
+        assert!(p.has_static_proofs());
+        assert!(p.static_retry_safe("DescribeVpc"));
+        assert!(p.static_retry_safe("AttachVolume"), "proofs beat naming");
+        assert!(!p.static_retry_safe("CreateVpc"));
+        // An empty proof set still counts as "analysis ran".
+        let empty = RetryPolicy::new(2).with_retry_safe_apis(BTreeSet::new());
+        assert!(empty.has_static_proofs());
+        assert!(!empty.static_retry_safe("DescribeVpc"));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! trait the interpreter implements, so it drops into the serving router,
 //! the fault harness and every experiment driver unchanged.
 
-use crate::exec::{finish_destroy, Chain, Journal, RegPool, Undo, Vm};
+use crate::effects::EffectStamps;
+use crate::exec::{finish_destroy, Chain, Journal, RegPool, RoVm, Undo, Vm};
 use crate::lower::{compile, CompileError};
 use crate::program::{CompiledCatalog, CompiledSm, CompiledTransition};
 use lce_emulator::{
@@ -23,6 +24,9 @@ use std::sync::Arc;
 pub struct CompiledEmulator {
     name: String,
     cc: Arc<CompiledCatalog>,
+    // Proofs from the effect analysis, computed once per compiled catalog;
+    // `ReadOnly` stamps gate the journal-free `invoke_read` path.
+    stamps: Arc<EffectStamps>,
     config: EmulatorConfig,
     store: ResourceStore,
     // Scratch buffers reused across invocations so the hot path does not
@@ -48,9 +52,11 @@ impl CompiledEmulator {
     /// Wrap an already-compiled catalog (compilation is per-catalog, not
     /// per-engine: clones share the `Arc`).
     pub fn from_compiled(cc: Arc<CompiledCatalog>, config: EmulatorConfig) -> Self {
+        let stamps = Arc::new(EffectStamps::compute(&cc));
         CompiledEmulator {
             name: "compiled".into(),
             cc,
+            stamps,
             config,
             store: ResourceStore::new(),
             journal_buf: Journal::default(),
@@ -69,6 +75,11 @@ impl CompiledEmulator {
     /// The compiled program.
     pub fn compiled(&self) -> &CompiledCatalog {
         &self.cc
+    }
+
+    /// The effect-analysis proof stamps for the compiled program.
+    pub fn stamps(&self) -> &EffectStamps {
+        &self.stamps
     }
 
     /// The live resource store (read-only).
@@ -145,6 +156,80 @@ impl CompiledEmulator {
             }
         }
         Ok(())
+    }
+
+    /// The `&self` read path: serve the call journal-free against the
+    /// shared store if — and only if — its transition carries a `ReadOnly`
+    /// proof stamp. Returns `None` (fall back to [`Backend::invoke`]) for
+    /// everything else, including unknown APIs, so error reporting stays on
+    /// the one path the differential suite already pins down.
+    fn invoke_read_inner(&self, call: &ApiCall) -> Option<ApiResponse> {
+        let &(sm_idx, t_idx) = self.cc.dispatch.get(call.api.as_str())?;
+        if !self.stamps.read_only(sm_idx, t_idx) {
+            return None;
+        }
+        let sm = &self.cc.sms[sm_idx as usize];
+        let t = &sm.transitions[t_idx as usize];
+        let mut args = Vec::new();
+        if let Err(e) = self.bind_args(sm, t, call, &mut args) {
+            return Some(ApiResponse::err(e));
+        }
+        // A create's footprint is never empty, so a `ReadOnly` transition
+        // always targets an existing instance — same resolution and errors
+        // as `run_on_instance`.
+        let coerced;
+        let id: &ResourceId = match call.args.get(&sm.id_param) {
+            Some(Value::Ref(id)) => id,
+            Some(Value::Str(s)) => {
+                coerced = ResourceId::new(s.clone());
+                &coerced
+            }
+            _ => {
+                return Some(ApiResponse::err(
+                    ApiError::new(
+                        codes::MISSING_PARAMETER,
+                        format!("required parameter `{}` is missing", sm.id_param),
+                    )
+                    .with_api(&t.name)
+                    .with_resource_type(&sm.name),
+                ));
+            }
+        };
+        match self.store.get(id) {
+            Some(inst) if inst.sm == sm.name => {}
+            _ => {
+                return Some(ApiResponse::err(
+                    ApiError::new(
+                        codes::NOT_FOUND,
+                        format!("the {} `{}` does not exist", sm.name, id),
+                    )
+                    .with_api(&t.name)
+                    .with_resource_type(&sm.name)
+                    .with_resource_id(id),
+                ));
+            }
+        }
+        let ro = RoVm {
+            cc: &self.cc,
+            config: &self.config,
+        };
+        let mut chain = Chain::new();
+        let mut pool = RegPool::new();
+        Some(
+            match ro.run_transition(
+                &self.store,
+                sm_idx,
+                t_idx,
+                id,
+                &args,
+                0,
+                &mut chain,
+                &mut pool,
+            ) {
+                Ok(emits) => ApiResponse::ok(emits),
+                Err(e) => ApiResponse::err(e),
+            },
+        )
     }
 
     fn invoke_inner(&mut self, call: &ApiCall) -> ApiResponse {
@@ -384,6 +469,10 @@ impl Backend for CompiledEmulator {
         self.invoke_inner(call)
     }
 
+    fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+        self.invoke_read_inner(call)
+    }
+
     fn reset(&mut self) {
         self.store = ResourceStore::new();
     }
@@ -619,6 +708,39 @@ mod tests {
         let resp = boxed.invoke(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"));
         assert!(resp.is_ok());
         assert!(boxed.snapshot().is_some());
+    }
+
+    #[test]
+    fn invoke_read_matches_invoke_on_stamped_reads() {
+        let catalog = world();
+        let mut ir = CompiledEmulator::new(&catalog).unwrap();
+        ir.invoke(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"));
+        let before = ir.store().clone();
+        for call in [
+            ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-000001"),
+            ApiCall::new("DescribeVpc").arg_str("VpcId", "vpc-ghost"),
+            ApiCall::new("DescribeVpc"),
+        ] {
+            let read = ir
+                .invoke_read(&call)
+                .expect("DescribeVpc carries a ReadOnly stamp");
+            assert_eq!(before, *ir.store(), "read path mutated the store");
+            let written = ir.invoke(&call);
+            assert_eq!(read, written, "paths diverged on {:?}", call.args);
+        }
+    }
+
+    #[test]
+    fn invoke_read_declines_writes_and_unknown_apis() {
+        let catalog = world();
+        let ir = CompiledEmulator::new(&catalog).unwrap();
+        assert!(ir
+            .invoke_read(&ApiCall::new("CreateVpc").arg_str("CidrBlock", "10.0.0.0/16"))
+            .is_none());
+        assert!(ir
+            .invoke_read(&ApiCall::new("DeleteVpc").arg_str("VpcId", "vpc-000001"))
+            .is_none());
+        assert!(ir.invoke_read(&ApiCall::new("LaunchRocket")).is_none());
     }
 
     #[test]

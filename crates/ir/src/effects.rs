@@ -1,0 +1,351 @@
+//! `lce-effects` — opcode-level footprint extraction (IR half).
+//!
+//! An independent re-derivation of the effect analysis in
+//! `lce_spec::analysis::effects`, reading the *compiled* program instead of
+//! the AST: `Read`/`Field`/`Write` opcodes, `ChildCount`/`Exists` probes,
+//! call-site tables and transition kinds. Both halves feed the same
+//! [`finalize`] closure and [`derive_proofs`] rules, so any disagreement
+//! between them ([`cross_validate`]) pinpoints a lowering bug — an effect
+//! the compiler dropped, duplicated or re-targeted — rather than a
+//! modelling difference.
+//!
+//! [`EffectStamps`] projects the proofs onto jump-table indices so the
+//! execution layer ([`crate::CompiledEmulator`]) can consult them in O(1):
+//! `ReadOnly` transitions run on the journal-free, `&store` read path
+//! behind [`Backend::invoke_read`](lce_emulator::Backend::invoke_read).
+
+use crate::program::{CompiledCatalog, CompiledSm, CompiledTransition, Op};
+use lce_spec::analysis::effects::{finalize, CatalogEffects, Footprint, RawEffects};
+use lce_spec::{ApiName, SmName, TransitionKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The wildcard qualifier, re-exported for symmetry with the spec half.
+pub use lce_spec::analysis::effects::WILDCARD;
+
+/// Record the effects of one opcode sequence into `fp`. Mirrors the AST
+/// walker in `lce_spec::analysis::effects::walk_expr` — change both
+/// together.
+fn walk_ops(cc: &CompiledCatalog, sm: &str, code: &[Op], fp: &mut Footprint) {
+    for op in code {
+        match op {
+            Op::Read { var, .. } => {
+                fp.reads
+                    .insert(format!("{sm}.{}", cc.interner.resolve(*var)));
+            }
+            Op::Field { var, .. } => {
+                fp.reads
+                    .insert(format!("{WILDCARD}.{}", cc.interner.resolve(*var)));
+            }
+            Op::Write { var, .. } => {
+                fp.writes
+                    .insert(format!("{sm}.{}", cc.interner.resolve(*var)));
+            }
+            Op::ChildCount { sm: idx, .. } => {
+                fp.structural
+                    .insert(cc.sm_names[*idx as usize].as_str().to_string());
+            }
+            Op::Exists { .. } => {
+                fp.structural.insert(WILDCARD.to_string());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compute the local (pre-closure) effects of one compiled transition.
+pub fn transition_effects(
+    cc: &CompiledCatalog,
+    sm: &CompiledSm,
+    t: &CompiledTransition,
+) -> RawEffects {
+    let mut fp = Footprint::default();
+    let s = sm.name.as_str();
+    walk_ops(cc, s, &t.code, &mut fp);
+    let mut calls = BTreeSet::new();
+    for site in &t.sites {
+        calls.insert(site.api.as_str().to_string());
+        for block in &site.args {
+            walk_ops(cc, s, &block.code, &mut fp);
+        }
+    }
+    match t.kind {
+        TransitionKind::Create => {
+            // The create prologue (`run_create`) mints the instance, bumps
+            // the per-SM id counter, clones the default state and resolves
+            // the containment parent — all outside the opcode stream.
+            fp.creates.insert(s.to_string());
+            if let Some((p, _)) = &sm.parent {
+                fp.structural.insert(p.as_str().to_string());
+            }
+        }
+        TransitionKind::Destroy => {
+            // `finish_destroy` scans for live children of any kind.
+            fp.destroys.insert(s.to_string());
+            fp.structural.insert(WILDCARD.to_string());
+        }
+        TransitionKind::Describe | TransitionKind::Modify => {}
+    }
+    RawEffects {
+        kind: t.kind,
+        // The compiled form does not carry the `internal` marker; it only
+        // affects reporting, never footprints or proofs.
+        internal: false,
+        local: fp,
+        calls,
+    }
+}
+
+/// Extract raw effects for every dispatch-reachable transition of a
+/// compiled catalog (shadowed declarations are skipped, exactly as the
+/// spec half skips them).
+pub fn extract_raw(cc: &CompiledCatalog) -> BTreeMap<(SmName, ApiName), RawEffects> {
+    let mut out = BTreeMap::new();
+    for sm in &cc.sms {
+        for (ti, t) in sm.transitions.iter().enumerate() {
+            if sm.api_index.get(t.name.as_str()) != Some(&(ti as u32)) {
+                continue; // shadowed, unreachable (L012)
+            }
+            out.insert(
+                (sm.name.clone(), t.name.clone()),
+                transition_effects(cc, sm, t),
+            );
+        }
+    }
+    out
+}
+
+/// Run the full effect analysis over a compiled catalog.
+pub fn ir_effects(cc: &CompiledCatalog) -> CatalogEffects {
+    finalize(extract_raw(cc))
+}
+
+/// Compare the spec-level and IR-level analyses of the same catalog.
+/// Returns one human-readable line per disagreement; empty means the
+/// lowering preserved every effect exactly. The `internal` marker is not
+/// compared (the IR does not carry it).
+pub fn cross_validate(spec: &CatalogEffects, ir: &CatalogEffects) -> Vec<String> {
+    let mut out = Vec::new();
+    let key = |e: &lce_spec::ApiEffects| (e.sm.clone(), e.api.clone());
+    let spec_map: BTreeMap<_, _> = spec.entries().iter().map(|e| (key(e), e)).collect();
+    let ir_map: BTreeMap<_, _> = ir.entries().iter().map(|e| (key(e), e)).collect();
+    for (k, se) in &spec_map {
+        let Some(ie) = ir_map.get(k) else {
+            out.push(format!("{}::{} present in spec, absent in IR", k.0, k.1));
+            continue;
+        };
+        if se.kind != ie.kind {
+            out.push(format!(
+                "{}::{} kind differs: spec {}, ir {}",
+                k.0, k.1, se.kind, ie.kind
+            ));
+        }
+        if se.local != ie.local {
+            out.push(format!(
+                "{}::{} local footprint differs:\n  spec: {}\n  ir:   {}",
+                k.0, k.1, se.local, ie.local
+            ));
+        }
+        if se.calls != ie.calls {
+            out.push(format!("{}::{} call sets differ", k.0, k.1));
+        }
+        if se.transitive != ie.transitive {
+            out.push(format!(
+                "{}::{} transitive footprint differs:\n  spec: {}\n  ir:   {}",
+                k.0, k.1, se.transitive, ie.transitive
+            ));
+        }
+        if (se.read_only, se.retry_safe) != (ie.read_only, ie.retry_safe) {
+            out.push(format!(
+                "{}::{} proofs differ: spec (ro={}, rs={}), ir (ro={}, rs={})",
+                k.0, k.1, se.read_only, se.retry_safe, ie.read_only, ie.retry_safe
+            ));
+        }
+    }
+    for k in ir_map.keys() {
+        if !spec_map.contains_key(k) {
+            out.push(format!("{}::{} present in IR, absent in spec", k.0, k.1));
+        }
+    }
+    out
+}
+
+/// Proof stamps projected onto jump-table indices, for O(1) consultation
+/// on the execution hot path.
+#[derive(Debug, Clone, Default)]
+pub struct EffectStamps {
+    read_only: Vec<Vec<bool>>,
+    retry_safe: Vec<Vec<bool>>,
+}
+
+impl EffectStamps {
+    /// Run the IR-level analysis and project the proofs onto
+    /// `(sm, transition)` indices. Shadowed transitions are stamped
+    /// `false` (they are unreachable anyway).
+    pub fn compute(cc: &CompiledCatalog) -> EffectStamps {
+        let fx = ir_effects(cc);
+        let mut read_only = Vec::with_capacity(cc.sms.len());
+        let mut retry_safe = Vec::with_capacity(cc.sms.len());
+        for sm in &cc.sms {
+            let mut ro = vec![false; sm.transitions.len()];
+            let mut rs = vec![false; sm.transitions.len()];
+            for (ti, t) in sm.transitions.iter().enumerate() {
+                if let Some(e) = fx.entry(sm.name.as_str(), t.name.as_str()) {
+                    if sm.api_index.get(t.name.as_str()) == Some(&(ti as u32)) {
+                        ro[ti] = e.read_only;
+                        rs[ti] = e.retry_safe;
+                    }
+                }
+            }
+            read_only.push(ro);
+            retry_safe.push(rs);
+        }
+        EffectStamps {
+            read_only,
+            retry_safe,
+        }
+    }
+
+    /// `true` if the transition at `(sm, t)` is proven `ReadOnly`.
+    #[inline]
+    pub fn read_only(&self, sm: u32, t: u32) -> bool {
+        self.read_only[sm as usize][t as usize]
+    }
+
+    /// `true` if the transition at `(sm, t)` is proven `RetrySafe`.
+    #[inline]
+    pub fn retry_safe(&self, sm: u32, t: u32) -> bool {
+        self.retry_safe[sm as usize][t as usize]
+    }
+
+    /// Number of transitions proven `ReadOnly`.
+    pub fn read_only_count(&self) -> usize {
+        self.read_only.iter().flatten().filter(|b| **b).count()
+    }
+
+    /// Number of transitions proven `RetrySafe`.
+    pub fn retry_safe_count(&self) -> usize {
+        self.retry_safe.iter().flatten().filter(|b| **b).count()
+    }
+
+    /// The `RetrySafe` API names reachable from top-level dispatch — the
+    /// set `lce-faults::RetryPolicy` consumes in `--retry-static` mode.
+    pub fn retry_safe_apis(&self, cc: &CompiledCatalog) -> BTreeSet<String> {
+        cc.dispatch
+            .iter()
+            .filter(|(_, &(s, t))| self.retry_safe(s, t))
+            .map(|(api, _)| api.clone())
+            .collect()
+    }
+
+    /// The `ReadOnly` API names reachable from top-level dispatch.
+    pub fn read_only_apis(&self, cc: &CompiledCatalog) -> BTreeSet<String> {
+        cc.dispatch
+            .iter()
+            .filter(|(_, &(s, t))| self.read_only(s, t))
+            .map(|(api, _)| api.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+    use lce_spec::{parse_catalog, Catalog};
+
+    fn catalog(src: &str) -> Catalog {
+        Catalog::from_specs(parse_catalog(src).unwrap())
+    }
+
+    const WORLD: &str = r#"
+        sm Vpc {
+          service "compute";
+          id_param "VpcId";
+          states { cidr: str; subnets: int = 0; }
+          transition CreateVpc(cidr: str) kind create { write(cidr, arg(cidr)); }
+          transition DescribeVpc() kind describe { emit(CidrBlock, read(cidr)); }
+          transition TallySubnet() kind modify internal {
+            write(subnets, read(subnets) + 1);
+          }
+          transition DeleteVpc() kind destroy { }
+        }
+        sm Subnet {
+          service "compute";
+          parent Vpc via vpc;
+          id_param "SubnetId";
+          states { vpc: ref(Vpc); }
+          transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+            assert(exists(arg(VpcId))) else NotFound "no such vpc";
+            write(vpc, arg(VpcId));
+            call(arg(VpcId), TallySubnet, []);
+          }
+          transition DescribeSubnet() kind describe {
+            emit(VpcId, read(vpc));
+            emit(Cidr, field(read(vpc), cidr));
+          }
+        }
+    "#;
+
+    #[test]
+    fn ir_and_spec_levels_agree_exactly() {
+        let c = catalog(WORLD);
+        let spec_fx = CatalogEffects::analyze(&c);
+        let ir_fx = ir_effects(&compile(&c).unwrap());
+        let diffs = cross_validate(&spec_fx, &ir_fx);
+        assert!(diffs.is_empty(), "{}", diffs.join("\n"));
+    }
+
+    #[test]
+    fn opcode_walk_sees_through_call_argument_blocks() {
+        let c = catalog(WORLD);
+        let fx = ir_effects(&compile(&c).unwrap());
+        let e = fx.entry("Subnet", "CreateSubnet").unwrap();
+        // exists() in the assert and the structural parent check.
+        assert!(e.local.structural.contains(WILDCARD));
+        assert!(e.local.structural.contains("Vpc"));
+        // The callee's counter write flows in through the closure.
+        assert!(e.transitive.writes.contains("Vpc.subnets"));
+    }
+
+    #[test]
+    fn field_reads_are_wildcard_qualified() {
+        let c = catalog(WORLD);
+        let fx = ir_effects(&compile(&c).unwrap());
+        let e = fx.entry("Subnet", "DescribeSubnet").unwrap();
+        assert!(e.local.reads.contains("*.cidr"));
+        assert!(e.local.reads.contains("Subnet.vpc"));
+        assert!(e.read_only && e.retry_safe);
+    }
+
+    #[test]
+    fn stamps_project_onto_dispatch_indices() {
+        let c = catalog(WORLD);
+        let cc = compile(&c).unwrap();
+        let stamps = EffectStamps::compute(&cc);
+        let at = |api: &str| *cc.dispatch.get(api).unwrap();
+        let (s, t) = at("DescribeVpc");
+        assert!(stamps.read_only(s, t) && stamps.retry_safe(s, t));
+        let (s, t) = at("CreateVpc");
+        assert!(!stamps.read_only(s, t) && !stamps.retry_safe(s, t));
+        let (s, t) = at("TallySubnet");
+        assert!(!stamps.read_only(s, t));
+        assert!(!stamps.retry_safe(s, t), "reads the counter it writes");
+        assert!(stamps.read_only_count() >= 2);
+        assert!(stamps.retry_safe_apis(&cc).contains("DescribeSubnet"));
+        assert!(stamps.read_only_apis(&cc).contains("DescribeVpc"));
+    }
+
+    #[test]
+    fn cross_validate_reports_synthetic_divergence() {
+        let c = catalog(WORLD);
+        let spec_fx = CatalogEffects::analyze(&c);
+        // Drop one SM from the compiled side to force key and footprint
+        // disagreements.
+        let mut pruned = c.clone();
+        pruned.remove(&lce_spec::SmName::new("Subnet"));
+        let ir_fx = ir_effects(&compile(&pruned).unwrap());
+        let diffs = cross_validate(&spec_fx, &ir_fx);
+        assert!(!diffs.is_empty());
+        assert!(diffs.iter().any(|d| d.contains("absent in IR")));
+    }
+}

@@ -141,6 +141,212 @@ impl FrameCtx<'_> {
     }
 }
 
+/// What a pure (store-independent) opcode did to the program counter.
+enum StepOutcome {
+    /// Executed; fall through to `pc + 1`.
+    Next,
+    /// Executed; jump to this opcode index.
+    Goto(usize),
+    /// Not a pure opcode — the caller owns it (store access or call).
+    NotPure,
+}
+
+/// Execute one store-independent opcode. Shared verbatim between the
+/// journalled executor ([`Vm`]) and the read-only executor ([`RoVm`]) so
+/// register, assert and emit semantics — including every fault message —
+/// cannot drift between the two paths.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn step_pure(
+    cc: &CompiledCatalog,
+    op: &Op,
+    regs: &mut [Value],
+    f: &FrameCtx<'_>,
+    chain: &[(u32, u32)],
+    emits: &mut Emits,
+    stmt_index: &mut usize,
+    this_index: &mut usize,
+) -> Result<StepOutcome, ApiError> {
+    match op {
+        Op::Const { dst, idx } => {
+            regs[*dst as usize] = f.t.consts[*idx as usize].clone();
+        }
+        Op::SelfId { dst } => {
+            regs[*dst as usize] = Value::Ref(f.self_id.clone());
+        }
+        Op::Arg { dst, slot } => {
+            regs[*dst as usize] = f.args[*slot as usize].clone();
+        }
+        Op::Not { dst, src } => {
+            let b = regs[*src as usize]
+                .as_bool()
+                .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, "`!` on non-boolean"))?;
+            regs[*dst as usize] = Value::Bool(!b);
+        }
+        Op::IsNull { dst, src } => {
+            regs[*dst as usize] = Value::Bool(regs[*src as usize].is_null());
+        }
+        Op::Len { dst, src } => {
+            regs[*dst as usize] = match &regs[*src as usize] {
+                Value::List(items) => Value::Int(items.len() as i64),
+                Value::Str(s) => Value::Int(s.chars().count() as i64),
+                other => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("`len` on {} value", other.type_name()),
+                    ))
+                }
+            };
+        }
+        Op::Bin { op, dst, a, b } => {
+            let va = &regs[*a as usize];
+            let vb = &regs[*b as usize];
+            regs[*dst as usize] = match op {
+                BinOp::Eq => Value::Bool(va.loose_eq(vb)),
+                BinOp::Ne => Value::Bool(!va.loose_eq(vb)),
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let (x, y) = match (va.as_int(), vb.as_int()) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                "ordered comparison on non-integers",
+                            ))
+                        }
+                    };
+                    Value::Bool(match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        _ => x >= y,
+                    })
+                }
+                BinOp::In => match vb {
+                    Value::List(items) => Value::Bool(items.iter().any(|i| va.loose_eq(i))),
+                    other => {
+                        return Err(f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("`in` on {} value", other.type_name()),
+                        ))
+                    }
+                },
+                BinOp::Add | BinOp::Sub => {
+                    let (x, y) = match (va.as_int(), vb.as_int()) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                "arithmetic on non-integers",
+                            ))
+                        }
+                    };
+                    Value::Int(if *op == BinOp::Add { x + y } else { x - y })
+                }
+                BinOp::And | BinOp::Or => {
+                    unreachable!("short-circuit operators lower to jumps")
+                }
+            };
+        }
+        Op::ListOf { dst, items } => {
+            let vals: Vec<Value> = items.iter().map(|r| regs[*r as usize].clone()).collect();
+            regs[*dst as usize] = Value::List(vals);
+        }
+        Op::Append { dst, list, item } => {
+            let iv = regs[*item as usize].clone();
+            regs[*dst as usize] = match regs[*list as usize].clone() {
+                Value::List(mut items) => {
+                    items.push(iv);
+                    Value::List(items)
+                }
+                other => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("`append` on {} value", other.type_name()),
+                    ))
+                }
+            };
+        }
+        Op::Remove { dst, list, item } => {
+            let iv = regs[*item as usize].clone();
+            regs[*dst as usize] = match regs[*list as usize].clone() {
+                Value::List(items) => {
+                    Value::List(items.into_iter().filter(|x| !x.loose_eq(&iv)).collect())
+                }
+                other => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!("`remove` on {} value", other.type_name()),
+                    ))
+                }
+            };
+        }
+        Op::Move { dst, src } => {
+            regs[*dst as usize] = regs[*src as usize].clone();
+        }
+        Op::Jump { target } => {
+            return Ok(StepOutcome::Goto(*target as usize));
+        }
+        Op::JumpIfFalse { cond, target, ctx } => {
+            let b = regs[*cond as usize]
+                .as_bool()
+                .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+            if !b {
+                return Ok(StepOutcome::Goto(*target as usize));
+            }
+        }
+        Op::JumpIfTrue { cond, target, ctx } => {
+            let b = regs[*cond as usize]
+                .as_bool()
+                .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+            if b {
+                return Ok(StepOutcome::Goto(*target as usize));
+            }
+        }
+        Op::CheckBool { src, ctx } => {
+            regs[*src as usize]
+                .as_bool()
+                .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
+        }
+        Op::Bump { .. } => {
+            *this_index = *stmt_index;
+            *stmt_index += 1;
+        }
+        Op::Nop => {}
+        Op::Assert { pred, info } => {
+            let ok = regs[*pred as usize].as_bool().ok_or_else(|| {
+                f.fault(chain, codes::INTERNAL_FAILURE, BoolCtx::Assert.message())
+            })?;
+            if !ok {
+                let a = &f.t.asserts[*info as usize];
+                let mut e = ApiError::new(a.code.as_str(), a.message.clone())
+                    .with_api(&f.t.name)
+                    .with_resource_type(&f.sm.name)
+                    .with_resource_id(f.self_id)
+                    .with_assert_index(*this_index);
+                e.context.call_chain = chain_names(cc, chain);
+                return Err(e);
+            }
+        }
+        Op::Emit { field, src } => {
+            let name = cc.interner.resolve(*field);
+            emits.insert(name.to_string(), regs[*src as usize].clone());
+        }
+        Op::Read { .. }
+        | Op::Field { .. }
+        | Op::ChildCount { .. }
+        | Op::Exists { .. }
+        | Op::Write { .. }
+        | Op::Call { .. } => return Ok(StepOutcome::NotPure),
+    }
+    Ok(StepOutcome::Next)
+}
+
 impl Vm<'_> {
     /// Run one compiled transition: the compiled counterpart of
     /// `lce_emulator::eval::run_transition`.
@@ -216,16 +422,27 @@ impl Vm<'_> {
         let mut pc = 0usize;
         let mut this_index = 0usize;
         while pc < code.len() {
+            match step_pure(
+                self.cc,
+                &code[pc],
+                regs,
+                f,
+                chain,
+                emits,
+                stmt_index,
+                &mut this_index,
+            )? {
+                StepOutcome::Goto(target) => {
+                    pc = target;
+                    continue;
+                }
+                StepOutcome::Next => {
+                    pc += 1;
+                    continue;
+                }
+                StepOutcome::NotPure => {}
+            }
             match &code[pc] {
-                Op::Const { dst, idx } => {
-                    regs[*dst as usize] = f.t.consts[*idx as usize].clone();
-                }
-                Op::SelfId { dst } => {
-                    regs[*dst as usize] = Value::Ref(f.self_id.clone());
-                }
-                Op::Arg { dst, slot } => {
-                    regs[*dst as usize] = f.args[*slot as usize].clone();
-                }
                 Op::Read { dst, var } => {
                     let inst = store.get(f.self_id).ok_or_else(|| {
                         f.fault(chain, codes::INTERNAL_FAILURE, "self instance vanished")
@@ -278,15 +495,6 @@ impl Vm<'_> {
                     let child = &self.cc.sm_names[*sm as usize];
                     regs[*dst as usize] = Value::Int(store.child_count(f.self_id, child) as i64);
                 }
-                Op::Not { dst, src } => {
-                    let b = regs[*src as usize].as_bool().ok_or_else(|| {
-                        f.fault(chain, codes::INTERNAL_FAILURE, "`!` on non-boolean")
-                    })?;
-                    regs[*dst as usize] = Value::Bool(!b);
-                }
-                Op::IsNull { dst, src } => {
-                    regs[*dst as usize] = Value::Bool(regs[*src as usize].is_null());
-                }
                 Op::Exists { dst, src } => {
                     let alive = match &regs[*src as usize] {
                         Value::Ref(id) => store.exists(id),
@@ -295,142 +503,6 @@ impl Vm<'_> {
                     };
                     regs[*dst as usize] = Value::Bool(alive);
                 }
-                Op::Len { dst, src } => {
-                    regs[*dst as usize] = match &regs[*src as usize] {
-                        Value::List(items) => Value::Int(items.len() as i64),
-                        Value::Str(s) => Value::Int(s.chars().count() as i64),
-                        other => {
-                            return Err(f.fault(
-                                chain,
-                                codes::INTERNAL_FAILURE,
-                                format!("`len` on {} value", other.type_name()),
-                            ))
-                        }
-                    };
-                }
-                Op::Bin { op, dst, a, b } => {
-                    let va = &regs[*a as usize];
-                    let vb = &regs[*b as usize];
-                    regs[*dst as usize] = match op {
-                        BinOp::Eq => Value::Bool(va.loose_eq(vb)),
-                        BinOp::Ne => Value::Bool(!va.loose_eq(vb)),
-                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                            let (x, y) = match (va.as_int(), vb.as_int()) {
-                                (Some(x), Some(y)) => (x, y),
-                                _ => {
-                                    return Err(f.fault(
-                                        chain,
-                                        codes::INTERNAL_FAILURE,
-                                        "ordered comparison on non-integers",
-                                    ))
-                                }
-                            };
-                            Value::Bool(match op {
-                                BinOp::Lt => x < y,
-                                BinOp::Le => x <= y,
-                                BinOp::Gt => x > y,
-                                _ => x >= y,
-                            })
-                        }
-                        BinOp::In => match vb {
-                            Value::List(items) => Value::Bool(items.iter().any(|i| va.loose_eq(i))),
-                            other => {
-                                return Err(f.fault(
-                                    chain,
-                                    codes::INTERNAL_FAILURE,
-                                    format!("`in` on {} value", other.type_name()),
-                                ))
-                            }
-                        },
-                        BinOp::Add | BinOp::Sub => {
-                            let (x, y) = match (va.as_int(), vb.as_int()) {
-                                (Some(x), Some(y)) => (x, y),
-                                _ => {
-                                    return Err(f.fault(
-                                        chain,
-                                        codes::INTERNAL_FAILURE,
-                                        "arithmetic on non-integers",
-                                    ))
-                                }
-                            };
-                            Value::Int(if *op == BinOp::Add { x + y } else { x - y })
-                        }
-                        BinOp::And | BinOp::Or => {
-                            unreachable!("short-circuit operators lower to jumps")
-                        }
-                    };
-                }
-                Op::ListOf { dst, items } => {
-                    let vals: Vec<Value> =
-                        items.iter().map(|r| regs[*r as usize].clone()).collect();
-                    regs[*dst as usize] = Value::List(vals);
-                }
-                Op::Append { dst, list, item } => {
-                    let iv = regs[*item as usize].clone();
-                    regs[*dst as usize] = match regs[*list as usize].clone() {
-                        Value::List(mut items) => {
-                            items.push(iv);
-                            Value::List(items)
-                        }
-                        other => {
-                            return Err(f.fault(
-                                chain,
-                                codes::INTERNAL_FAILURE,
-                                format!("`append` on {} value", other.type_name()),
-                            ))
-                        }
-                    };
-                }
-                Op::Remove { dst, list, item } => {
-                    let iv = regs[*item as usize].clone();
-                    regs[*dst as usize] = match regs[*list as usize].clone() {
-                        Value::List(items) => {
-                            Value::List(items.into_iter().filter(|x| !x.loose_eq(&iv)).collect())
-                        }
-                        other => {
-                            return Err(f.fault(
-                                chain,
-                                codes::INTERNAL_FAILURE,
-                                format!("`remove` on {} value", other.type_name()),
-                            ))
-                        }
-                    };
-                }
-                Op::Move { dst, src } => {
-                    regs[*dst as usize] = regs[*src as usize].clone();
-                }
-                Op::Jump { target } => {
-                    pc = *target as usize;
-                    continue;
-                }
-                Op::JumpIfFalse { cond, target, ctx } => {
-                    let b = regs[*cond as usize]
-                        .as_bool()
-                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
-                    if !b {
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Op::JumpIfTrue { cond, target, ctx } => {
-                    let b = regs[*cond as usize]
-                        .as_bool()
-                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
-                    if b {
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Op::CheckBool { src, ctx } => {
-                    regs[*src as usize]
-                        .as_bool()
-                        .ok_or_else(|| f.fault(chain, codes::INTERNAL_FAILURE, ctx.message()))?;
-                }
-                Op::Bump { .. } => {
-                    this_index = *stmt_index;
-                    *stmt_index += 1;
-                }
-                Op::Nop => {}
                 Op::Write {
                     var,
                     src,
@@ -494,30 +566,12 @@ impl Vm<'_> {
                         });
                     }
                 }
-                Op::Assert { pred, info } => {
-                    let ok = regs[*pred as usize].as_bool().ok_or_else(|| {
-                        f.fault(chain, codes::INTERNAL_FAILURE, BoolCtx::Assert.message())
-                    })?;
-                    if !ok {
-                        let a = &f.t.asserts[*info as usize];
-                        let mut e = ApiError::new(a.code.as_str(), a.message.clone())
-                            .with_api(&f.t.name)
-                            .with_resource_type(&f.sm.name)
-                            .with_resource_id(f.self_id)
-                            .with_assert_index(this_index);
-                        e.context.call_chain = chain_names(f.cc, chain);
-                        return Err(e);
-                    }
-                }
-                Op::Emit { field, src } => {
-                    let name = self.cc.interner.resolve(*field);
-                    emits.insert(name.to_string(), regs[*src as usize].clone());
-                }
                 Op::Call { target, site } => {
                     self.exec_call(
                         *target, *site, regs, store, journal, f, depth, chain, stmt_index, pool,
                     )?;
                 }
+                _ => unreachable!("step_pure handles every pure opcode"),
             }
             pc += 1;
         }
@@ -687,4 +741,314 @@ pub(crate) fn finish_destroy(
         journal.push(Undo::Remove { inst });
     }
     Ok(())
+}
+
+/// The journal-free executor for transitions the effect analysis proved
+/// `ReadOnly` ([`crate::EffectStamps`]). It runs against a *shared*
+/// [`ResourceStore`] reference: no undo journal, no rollback pass, and —
+/// because the store provably cannot change under it — the self instance
+/// is resolved once per frame instead of once per `Read` opcode.
+///
+/// Pure opcodes go through the same [`step_pure`] as the journalled
+/// executor; the store-touching arms mirror [`Vm::exec`] fault-for-fault.
+/// `Write` and destroy-calls are unreachable by stamp construction and
+/// fail loudly if the analysis is ever wrong.
+pub(crate) struct RoVm<'a> {
+    pub cc: &'a CompiledCatalog,
+    pub config: &'a EmulatorConfig,
+}
+
+impl RoVm<'_> {
+    /// Read-only counterpart of [`Vm::run_transition`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_transition(
+        &self,
+        store: &ResourceStore,
+        sm_idx: u32,
+        t_idx: u32,
+        self_id: &ResourceId,
+        args: &[Value],
+        depth: usize,
+        chain: &mut Chain,
+        pool: &mut RegPool,
+    ) -> Result<Emits, ApiError> {
+        let sm = &self.cc.sms[sm_idx as usize];
+        let t = &sm.transitions[t_idx as usize];
+        let frame = FrameCtx {
+            cc: self.cc,
+            sm,
+            t,
+            self_id,
+            args,
+        };
+        if depth > self.config.max_call_depth {
+            return Err(frame.fault(
+                chain,
+                codes::LIMIT_EXCEEDED,
+                format!("call depth exceeded {}", self.config.max_call_depth),
+            ));
+        }
+        chain.push((sm_idx, t_idx));
+        let mut emits = Emits::new();
+        let mut regs = pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(t.n_regs as usize, Value::Null);
+        let mut stmt_index = 0usize;
+        // Hoisted: the store cannot change during a read-only frame.
+        let self_inst = store.get(self_id);
+        let result = self.exec(
+            &t.code,
+            &mut regs,
+            store,
+            self_inst,
+            &frame,
+            depth,
+            chain,
+            &mut emits,
+            &mut stmt_index,
+            pool,
+        );
+        chain.pop();
+        pool.push(regs);
+        result.map(|_| emits)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &self,
+        code: &[Op],
+        regs: &mut [Value],
+        store: &ResourceStore,
+        self_inst: Option<&Instance>,
+        f: &FrameCtx<'_>,
+        depth: usize,
+        chain: &mut Chain,
+        emits: &mut Emits,
+        stmt_index: &mut usize,
+        pool: &mut RegPool,
+    ) -> Result<(), ApiError> {
+        let mut pc = 0usize;
+        let mut this_index = 0usize;
+        while pc < code.len() {
+            match step_pure(
+                self.cc,
+                &code[pc],
+                regs,
+                f,
+                chain,
+                emits,
+                stmt_index,
+                &mut this_index,
+            )? {
+                StepOutcome::Goto(target) => {
+                    pc = target;
+                    continue;
+                }
+                StepOutcome::Next => {
+                    pc += 1;
+                    continue;
+                }
+                StepOutcome::NotPure => {}
+            }
+            match &code[pc] {
+                Op::Read { dst, var } => {
+                    let inst = self_inst.ok_or_else(|| {
+                        f.fault(chain, codes::INTERNAL_FAILURE, "self instance vanished")
+                    })?;
+                    let name = self.cc.interner.resolve(*var);
+                    regs[*dst as usize] = inst.get(name).cloned().ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("read of undeclared state variable `{}`", name),
+                        )
+                    })?;
+                }
+                Op::Field { dst, obj, var } => {
+                    let name = self.cc.interner.resolve(*var);
+                    let id = match &regs[*obj as usize] {
+                        Value::Ref(id) => id.clone(),
+                        Value::Str(s) => ResourceId::new(s.clone()),
+                        Value::Null => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("field access `{}` on null reference", name),
+                            ))
+                        }
+                        other => {
+                            return Err(f.fault(
+                                chain,
+                                codes::INTERNAL_FAILURE,
+                                format!("field access on {} value", other.type_name()),
+                            ))
+                        }
+                    };
+                    let inst = store.get(&id).ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::NOT_FOUND,
+                            format!("resource {} does not exist", id),
+                        )
+                    })?;
+                    regs[*dst as usize] = inst.get(name).cloned().ok_or_else(|| {
+                        f.fault(
+                            chain,
+                            codes::INTERNAL_FAILURE,
+                            format!("`{}` has no state variable `{}`", inst.sm, name),
+                        )
+                    })?;
+                }
+                Op::ChildCount { dst, sm } => {
+                    let child = &self.cc.sm_names[*sm as usize];
+                    regs[*dst as usize] = Value::Int(store.child_count(f.self_id, child) as i64);
+                }
+                Op::Exists { dst, src } => {
+                    let alive = match &regs[*src as usize] {
+                        Value::Ref(id) => store.exists(id),
+                        Value::Str(s) => store.exists(&ResourceId::new(s.clone())),
+                        _ => false,
+                    };
+                    regs[*dst as usize] = Value::Bool(alive);
+                }
+                Op::Write { .. } => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        "write opcode reached the read-only path (effect analysis bug)",
+                    ));
+                }
+                Op::Call { target, site } => {
+                    self.exec_call(
+                        *target, *site, regs, store, self_inst, f, depth, chain, pool,
+                    )?;
+                }
+                _ => unreachable!("step_pure handles every pure opcode"),
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Read-only counterpart of [`Vm::exec_call`]. Callees resolve through
+    /// the same jump tables; the effect closure guarantees every runtime
+    /// candidate of a `ReadOnly` caller is itself write-free.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &self,
+        target: u16,
+        site: u32,
+        regs: &mut [Value],
+        store: &ResourceStore,
+        self_inst: Option<&Instance>,
+        f: &FrameCtx<'_>,
+        depth: usize,
+        chain: &mut Chain,
+        pool: &mut RegPool,
+    ) -> Result<(), ApiError> {
+        let site = &f.t.sites[site as usize];
+        let target_id = match &regs[target as usize] {
+            Value::Ref(id) => id.clone(),
+            Value::Str(s) => ResourceId::new(s.clone()),
+            other => {
+                return Err(f.fault(
+                    chain,
+                    codes::INTERNAL_FAILURE,
+                    format!("call target is not a reference ({})", other.type_name()),
+                ))
+            }
+        };
+        let target_sm_name = match store.get(&target_id) {
+            Some(inst) => inst.sm.clone(),
+            None => {
+                let mut e = ApiError::new(
+                    codes::NOT_FOUND,
+                    format!("resource {} does not exist", target_id),
+                )
+                .with_api(&site.api)
+                .with_resource_id(&target_id);
+                e.context.call_chain = chain_names(f.cc, chain);
+                return Err(e);
+            }
+        };
+        let callee_sm_idx = *self.cc.sm_index.get(&target_sm_name).ok_or_else(|| {
+            f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                format!("no specification for resource type `{}`", target_sm_name),
+            )
+        })?;
+        let callee_sm = &self.cc.sms[callee_sm_idx as usize];
+        let callee_t_idx = *callee_sm.api_index.get(site.api.as_str()).ok_or_else(|| {
+            f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                format!("`{}` declares no transition `{}`", target_sm_name, site.api),
+            )
+        })?;
+        let callee = &callee_sm.transitions[callee_t_idx as usize];
+        if callee.kind == TransitionKind::Create {
+            return Err(f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                "calls may not target create transitions",
+            ));
+        }
+        if callee.kind == TransitionKind::Destroy {
+            return Err(f.fault(
+                chain,
+                codes::INTERNAL_FAILURE,
+                "destroy call reached the read-only path (effect analysis bug)",
+            ));
+        }
+        let mut bound = vec![Value::Null; callee.params.len()];
+        for (i, param) in callee.params.iter().enumerate() {
+            let raw = match site.args.get(i) {
+                Some(block) => {
+                    let mut no_emits = Emits::new();
+                    let mut no_index = 0usize;
+                    self.exec(
+                        &block.code,
+                        regs,
+                        store,
+                        self_inst,
+                        f,
+                        depth,
+                        chain,
+                        &mut no_emits,
+                        &mut no_index,
+                        pool,
+                    )?;
+                    regs[block.result as usize].clone()
+                }
+                None if param.optional => Value::Null,
+                None => {
+                    return Err(f.fault(
+                        chain,
+                        codes::INTERNAL_FAILURE,
+                        format!(
+                            "call to `{}::{}` missing argument `{}`",
+                            target_sm_name, site.api, param.name
+                        ),
+                    ))
+                }
+            };
+            bound[i] = if self.config.strict_writes {
+                raw.coerce(&param.ty).unwrap_or(raw)
+            } else {
+                raw
+            };
+        }
+        self.run_transition(
+            store,
+            callee_sm_idx,
+            callee_t_idx,
+            &target_id,
+            &bound,
+            depth + 1,
+            chain,
+            pool,
+        )
+        .map(|_| ())
+    }
 }

@@ -59,6 +59,7 @@
 pub mod backend;
 pub mod disasm;
 pub mod dual;
+pub mod effects;
 mod exec;
 pub mod lints;
 pub mod lower;
@@ -69,6 +70,7 @@ pub mod verify;
 pub use backend::{CompiledEmulator, Engine};
 pub use disasm::{disassemble, disassemble_with_analysis};
 pub use dual::{Divergence, DivergencePolicy, DualBackend};
+pub use effects::{cross_validate, ir_effects, EffectStamps};
 pub use lints::ir_lints;
 pub use lower::{compile, CompileError};
 pub use opt::{optimize, OptLevel, OptReport};

@@ -1,0 +1,270 @@
+//! Soundness of the static effect analysis against runtime observation.
+//!
+//! The effect system makes falsifiable claims: an API's transitive write
+//! footprint bounds every state variable it can ever mutate, its
+//! creates/destroys sets bound the instance populations it can change, and
+//! a `ReadOnly` stamp promises the store digest is byte-identical across
+//! the call. This suite drives seeded random call soup (the same generator
+//! idiom as `tests/differential.rs`) through the compiled engine over both
+//! golden catalogs and checks every observed mutation against the declared
+//! footprint — an escape here means the analysis proved something false.
+
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_emulator::{ApiCall, Backend, EmulatorConfig, ResourceStore, Value};
+use lce_faults::store_digest;
+use lce_ir::{compile, ir_effects, CompiledEmulator};
+use lce_spec::{ApiName, Catalog, CatalogEffects, Footprint, Param, StateType};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+// ------------------------------------------------------------------ rng
+
+/// Self-contained splitmix64 so the soup is identical under any proptest
+/// or rand implementation.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, per_cent: u64) -> bool {
+        self.next() % 100 < per_cent
+    }
+}
+
+// ------------------------------------------------------------ generator
+
+fn soup_value(rng: &mut Mix, ty: &StateType, harvested: &[Value]) -> Value {
+    if !harvested.is_empty() && rng.chance(40) {
+        return harvested[rng.below(harvested.len())].clone();
+    }
+    match ty {
+        StateType::Str => Value::str(format!("s{}", rng.below(8))),
+        StateType::Int => Value::Int(rng.below(64) as i64),
+        StateType::Bool => Value::Bool(rng.chance(50)),
+        StateType::Enum(alts) if !alts.is_empty() => {
+            Value::Enum(alts[rng.below(alts.len())].clone())
+        }
+        StateType::Enum(_) => Value::Null,
+        StateType::Ref(_) => match harvested.is_empty() {
+            true => Value::str(format!("res-{:06x}", rng.below(0xffffff))),
+            false => harvested[rng.below(harvested.len())].clone(),
+        },
+        StateType::List(inner) => {
+            let n = rng.below(3);
+            Value::List((0..n).map(|_| soup_value(rng, inner, harvested)).collect())
+        }
+    }
+}
+
+fn soup_menu(catalog: &Catalog) -> Vec<(ApiName, String, Vec<Param>)> {
+    let mut menu = Vec::new();
+    for sm in catalog.iter() {
+        for t in &sm.transitions {
+            menu.push((t.name.clone(), sm.id_param.clone(), t.params.clone()));
+        }
+    }
+    assert!(!menu.is_empty());
+    menu
+}
+
+fn soup_call(
+    rng: &mut Mix,
+    menu: &[(ApiName, String, Vec<Param>)],
+    harvested: &[Value],
+) -> ApiCall {
+    let (api, id_param, params) = &menu[rng.below(menu.len())];
+    let mut call = ApiCall::new(api.as_str());
+    if rng.chance(85) {
+        call = call.arg(
+            id_param.clone(),
+            soup_value(rng, &StateType::Ref(lce_spec::SmName::new("X")), harvested),
+        );
+    }
+    for p in params {
+        if p.optional && rng.chance(30) {
+            continue;
+        }
+        if rng.chance(5) {
+            continue; // omit a required parameter now and then
+        }
+        call = call.arg(p.name.clone(), soup_value(rng, &p.ty, harvested));
+    }
+    call
+}
+
+// ------------------------------------------------------------- checking
+
+/// `true` if the footprint's write set covers a mutation of `var` on an
+/// instance of `sm` (exact or wildcard-qualified).
+fn writes_cover(fp: &Footprint, sm: &str, var: &str) -> bool {
+    fp.writes.contains(&format!("{}.{}", sm, var)) || fp.writes.contains(&format!("*.{}", var))
+}
+
+/// Compare the stores around one call against the API's declared
+/// transitive footprint. Panics on any escape.
+fn check_mutations(
+    api: &str,
+    effects: &CatalogEffects,
+    before: &ResourceStore,
+    after: &ResourceStore,
+) {
+    let before_ids: BTreeSet<_> = before.iter().map(|i| i.id.clone()).collect();
+    let after_ids: BTreeSet<_> = after.iter().map(|i| i.id.clone()).collect();
+    let entry = effects.get(api);
+    let mutated = |what: &str| -> ! {
+        panic!(
+            "{} mutated {} outside its declared footprint ({})",
+            api,
+            what,
+            entry.map_or("no effects entry".to_string(), |e| e.transitive.to_string()),
+        )
+    };
+    for id in after_ids.difference(&before_ids) {
+        let sm = after.get(id).expect("just listed").sm.as_str();
+        let Some(e) = entry else {
+            mutated(&format!("created {} ({})", id, sm))
+        };
+        if !e.transitive.creates.contains(sm) {
+            mutated(&format!("created {} ({})", id, sm));
+        }
+    }
+    for id in before_ids.difference(&after_ids) {
+        let sm = before.get(id).expect("just listed").sm.as_str();
+        let Some(e) = entry else {
+            mutated(&format!("destroyed {} ({})", id, sm))
+        };
+        if !e.transitive.destroys.contains(sm) {
+            mutated(&format!("destroyed {} ({})", id, sm));
+        }
+    }
+    for id in before_ids.intersection(&after_ids) {
+        let (a, b) = (before.get(id).unwrap(), after.get(id).unwrap());
+        assert_eq!(a.sm, b.sm, "{}: instance {} changed type", api, id);
+        for (var, old) in &a.state {
+            if b.state.get(var) != Some(old) {
+                let Some(e) = entry else {
+                    mutated(&format!("{}.{}", a.sm, var))
+                };
+                if !writes_cover(&e.transitive, a.sm.as_str(), var) {
+                    mutated(&format!("{}.{}", a.sm, var));
+                }
+            }
+        }
+        // A parent link only moves when the instance is created, so a
+        // surviving instance's link must be stable.
+        assert_eq!(a.parent, b.parent, "{}: {} was re-parented", api, id);
+    }
+}
+
+/// Drive `calls` soup invocations through the compiled engine, checking
+/// every observed mutation against the static footprints. Returns how many
+/// calls succeeded.
+fn soundness_soup(catalog: &Catalog, seed: u64, calls: usize) -> usize {
+    let cc = Arc::new(compile(catalog).expect("golden catalog must compile"));
+    let effects = ir_effects(&cc);
+    let mut emu = CompiledEmulator::from_compiled(Arc::clone(&cc), EmulatorConfig::framework());
+    let menu = soup_menu(catalog);
+    let mut rng = Mix(seed);
+    let mut harvested: Vec<Value> = Vec::new();
+    let mut ok = 0;
+    for _ in 0..calls {
+        let call = soup_call(&mut rng, &menu, &harvested);
+        let before = emu.store().clone();
+        let read_path = emu.invoke_read(&call);
+        let resp = emu.invoke(&call);
+        let after = emu.store();
+        check_mutations(&call.api, &effects, &before, after);
+        let stamped_read_only = effects.get(&call.api).is_some_and(|e| e.read_only);
+        if stamped_read_only {
+            assert_eq!(
+                store_digest(&before),
+                store_digest(after),
+                "{}: ReadOnly call changed the store digest",
+                call.api
+            );
+        }
+        if let Some(ro) = read_path {
+            assert!(
+                stamped_read_only,
+                "{}: invoke_read answered without a ReadOnly stamp",
+                call.api
+            );
+            assert_eq!(
+                format!("{:?}", ro),
+                format!("{:?}", resp),
+                "{}: journal-free read path diverged from invoke",
+                call.api
+            );
+        }
+        if resp.is_ok() {
+            ok += 1;
+            for v in resp.fields.values() {
+                if harvested.len() > 64 {
+                    harvested.remove(0);
+                }
+                harvested.push(v.clone());
+            }
+        }
+    }
+    ok
+}
+
+#[test]
+fn nimbus_mutations_stay_inside_declared_footprints() {
+    let catalog = nimbus_provider().catalog;
+    let mut ok = 0;
+    for seed in [1u64, 7, 2026] {
+        ok += soundness_soup(&catalog, seed, 400);
+    }
+    assert!(ok > 0, "soup never succeeded — generator too weak");
+}
+
+#[test]
+fn stratus_mutations_stay_inside_declared_footprints() {
+    let catalog = stratus_provider().catalog;
+    let mut ok = 0;
+    for seed in [3u64, 13, 4242] {
+        ok += soundness_soup(&catalog, seed, 400);
+    }
+    assert!(ok > 0, "soup never succeeded — generator too weak");
+}
+
+/// The golden scenarios exercise the high-traffic paths; make sure the
+/// read-only population is actually hit by the soup (a soundness suite
+/// that never executes a proven API proves nothing).
+#[test]
+fn soup_exercises_proven_read_only_apis() {
+    let catalog = nimbus_provider().catalog;
+    let cc = compile(&catalog).expect("nimbus compiles");
+    let effects = ir_effects(&cc);
+    let menu = soup_menu(&catalog);
+    let mut rng = Mix(0xeffec7);
+    let hit = (0..2000)
+        .map(|_| soup_call(&mut rng, &menu, &[]))
+        .filter(|c| effects.get(&c.api).is_some_and(|e| e.read_only))
+        .count();
+    assert!(hit > 50, "only {} read-only calls in 2000", hit);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random seeds beyond the pinned ones: footprint soundness is a
+    /// property of the analysis, not of three lucky schedules.
+    #[test]
+    fn footprints_bound_mutations_for_any_seed(seed in 0u64..1_000_000) {
+        let catalog = nimbus_provider().catalog;
+        soundness_soup(&catalog, seed, 120);
+    }
+}

@@ -112,6 +112,36 @@ impl<B: Backend> Backend for ObservedBackend<B> {
         resp
     }
 
+    fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+        let start = Instant::now();
+        let resp = self.inner.invoke_read(call)?;
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        // `&self` here, so the `&mut` counter caches are out of reach;
+        // fetch handles from the registries directly (same metrics, same
+        // labels — the registry dedupes, so both paths bump one counter).
+        let api: &str = &call.api;
+        let labels = [("api", api)];
+        self.global
+            .counter(API_CALLS, API_CALLS_HELP, Class::Schedule, &labels)
+            .inc();
+        self.account
+            .counter(API_CALLS, API_CALLS_HELP, Class::Schedule, &labels)
+            .inc();
+        if let Some(code) = resp.error_code() {
+            let labels = [("api", api), ("code", code)];
+            self.global
+                .counter(API_ERRORS, API_ERRORS_HELP, Class::Schedule, &labels)
+                .inc();
+            self.account
+                .counter(API_ERRORS, API_ERRORS_HELP, Class::Schedule, &labels)
+                .inc();
+        }
+        for h in &self.latency {
+            h.observe(elapsed_us);
+        }
+        Some(resp)
+    }
+
     fn reset(&mut self) {
         // Metrics are monotonic run evidence; a workload `_reset` clears
         // the store, not the tallies.
@@ -186,6 +216,53 @@ mod tests {
             );
         }
         assert_eq!(b.inner().calls, 4, "delegation untouched");
+    }
+
+    #[test]
+    fn read_path_is_tallied_like_the_write_path() {
+        struct Readable;
+        impl Backend for Readable {
+            fn name(&self) -> &str {
+                "readable"
+            }
+            fn invoke(&mut self, _call: &ApiCall) -> ApiResponse {
+                ApiResponse::ok(BTreeMap::new())
+            }
+            fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+                match call.api.as_str() {
+                    "Get" => Some(ApiResponse::ok(BTreeMap::new())),
+                    "GetMissing" => Some(ApiResponse::err(ApiError::new("NotFound", "nope"))),
+                    _ => None,
+                }
+            }
+            fn reset(&mut self) {}
+            fn api_names(&self) -> Vec<String> {
+                vec!["Get".into()]
+            }
+        }
+        let global = Arc::new(Registry::new());
+        let account = Arc::new(Registry::new());
+        let mut b = ObservedBackend::new(Readable, Arc::clone(&global), Arc::clone(&account));
+        assert!(b.invoke_read(&ApiCall::new("Get")).is_some());
+        assert!(b.invoke_read(&ApiCall::new("GetMissing")).is_some());
+        assert!(
+            b.invoke_read(&ApiCall::new("Put")).is_none(),
+            "declined reads are not tallied here — invoke will count them"
+        );
+        // The write path lands on the same counters afterwards.
+        b.invoke(&ApiCall::new("Get"));
+        for r in [&global, &account] {
+            assert_eq!(r.counter_value(API_CALLS, &[("api", "Get")]), Some(2));
+            assert_eq!(
+                r.counter_value(API_CALLS, &[("api", "GetMissing")]),
+                Some(1)
+            );
+            assert_eq!(r.counter_value(API_CALLS, &[("api", "Put")]), None);
+            assert_eq!(
+                r.counter_value(API_ERRORS, &[("api", "GetMissing"), ("code", "NotFound")]),
+                Some(1)
+            );
+        }
     }
 
     #[test]

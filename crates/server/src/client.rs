@@ -115,7 +115,11 @@ impl Client {
     /// (connect/accept/read faults) or the request was idempotent — which
     /// is exactly the guarantee of the default `WriteFaultScope`. Against
     /// a server that drops *mutating* responses mid-write, disable
-    /// transport retries ([`RetryPolicy::without_transport_retry`]).
+    /// transport retries ([`RetryPolicy::without_transport_retry`]); APIs
+    /// the policy carries static retry-safety proofs for
+    /// ([`RetryPolicy::with_retry_safe_apis`]) are still replayed — the
+    /// proof makes a blind re-send convergent even after the mutation
+    /// applied, with no no-double-apply wrapper needed.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
@@ -217,7 +221,9 @@ impl Client {
             }
             let resp = self.invoke_once(call);
             match resp.error_code() {
-                Some(TRANSPORT_ERROR) if policy.retry_transport => {
+                Some(TRANSPORT_ERROR)
+                    if policy.retry_transport || policy.static_retry_safe(&call.api) =>
+                {
                     // Whatever the failure was, the connection is suspect.
                     self.stream = None;
                     last = Some(resp);

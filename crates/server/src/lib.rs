@@ -41,7 +41,7 @@
 //! # fn catalog() -> lce_spec::Catalog { lce_spec::Catalog::new() }
 //! let catalog = catalog();
 //! let handle = serve(ServerConfig::default(), move |_account| {
-//!     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
+//!     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send + Sync>
 //! })
 //! .unwrap();
 //!
@@ -63,4 +63,4 @@ pub use http::{HttpLimits, Request, Response};
 pub use obs::ServeMetrics;
 pub use router::{BackendFactory, Router, PROBE_ACCOUNT};
 pub use serve::{serve, ServerConfig, ServerHandle};
-pub use wire::{is_idempotent, route_class};
+pub use wire::{is_idempotent, request_api, route_class};

@@ -1,15 +1,18 @@
 //! Multi-account routing: one independent [`Backend`] instance per account
 //! id, created on demand from a backend factory.
 //!
-//! Each account's backend sits behind its own `parking_lot::Mutex`, so
+//! Each account's backend sits behind its own `parking_lot::RwLock`, so
 //! calls from different accounts execute concurrently and never contend on
 //! a shared lock — only calls *within* one account serialize, which is
-//! exactly the consistency a single cloud account provides. The account
-//! map itself is behind an `RwLock` that is only write-locked on first
-//! sight of a new account id.
+//! exactly the consistency a single cloud account provides. Within an
+//! account, calls the backend can *prove* read-only
+//! ([`Backend::invoke_read`], stamped by the `lce-effects` analysis) share
+//! the lock in read mode and run concurrently; everything else takes the
+//! write lock. The account map itself is behind an `RwLock` that is only
+//! write-locked on first sight of a new account id.
 
 use lce_emulator::{ApiCall, ApiResponse, Backend, ResourceStore};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -17,7 +20,7 @@ use std::sync::Arc;
 /// passed in so wrappers (e.g. fault injection) can scope behaviour per
 /// account. The router's one up-front capability probe passes
 /// [`PROBE_ACCOUNT`].
-pub type BackendFactory = Box<dyn Fn(&str) -> Box<dyn Backend + Send> + Send + Sync>;
+pub type BackendFactory = Box<dyn Fn(&str) -> Box<dyn Backend + Send + Sync> + Send + Sync>;
 
 /// The reserved account id the router passes when probing the factory for
 /// the API list and backend name. Underscore-prefixed, so it can never
@@ -25,8 +28,9 @@ pub type BackendFactory = Box<dyn Fn(&str) -> Box<dyn Backend + Send> + Send + S
 /// leading underscores).
 pub const PROBE_ACCOUNT: &str = "_probe";
 
-/// A shareable handle to one account's backend.
-pub type AccountHandle = Arc<Mutex<Box<dyn Backend + Send>>>;
+/// A shareable handle to one account's backend. Proof-gated reads take the
+/// lock in shared mode; mutating calls take it exclusively.
+pub type AccountHandle = Arc<RwLock<Box<dyn Backend + Send + Sync>>>;
 
 /// Routes calls to per-account backend shards.
 pub struct Router {
@@ -73,7 +77,7 @@ impl Router {
         let mut map = self.accounts.write();
         Arc::clone(
             map.entry(id.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new((self.factory)(id)))),
+                .or_insert_with(|| Arc::new(RwLock::new((self.factory)(id)))),
         )
     }
 
@@ -85,15 +89,22 @@ impl Router {
             let map = self.accounts.read();
             Arc::clone(map.get(id)?)
         };
-        let backend = handle.lock();
+        let backend = handle.read();
         backend.snapshot()
     }
 
     /// Invoke one call on the account's backend. Holds only that account's
-    /// lock for the duration of the call.
+    /// lock for the duration of the call — in *shared* mode when the
+    /// backend proves the call read-only, exclusively otherwise.
     pub fn invoke(&self, account: &str, call: &ApiCall) -> ApiResponse {
         let handle = self.account(account);
-        let mut backend = handle.lock();
+        {
+            let backend = handle.read();
+            if let Some(resp) = backend.invoke_read(call) {
+                return resp;
+            }
+        }
+        let mut backend = handle.write();
         backend.invoke(call)
     }
 
@@ -103,7 +114,7 @@ impl Router {
     pub fn reset(&self, account: &str) -> bool {
         let existed = self.accounts.read().contains_key(account);
         let handle = self.account(account);
-        handle.lock().reset();
+        handle.write().reset();
         existed
     }
 
@@ -256,6 +267,66 @@ mod tests {
         r.invoke("a", &ApiCall::new("Bump"));
         // Counter has no store, so even an existing account returns None.
         assert!(r.snapshot("a").is_none());
+    }
+
+    /// A backend that proves `Get` read-only; responses say which path
+    /// served them so the test can observe the router's routing decision.
+    struct ReadAware {
+        n: i64,
+    }
+
+    impl ReadAware {
+        fn reply(&self, via: &str) -> ApiResponse {
+            let mut fields = Map::new();
+            fields.insert("N".to_string(), Value::Int(self.n));
+            fields.insert("Via".to_string(), Value::str(via));
+            ApiResponse::ok(fields)
+        }
+    }
+
+    impl Backend for ReadAware {
+        fn name(&self) -> &str {
+            "read-aware"
+        }
+        fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+            if call.api == "Bump" {
+                self.n += 1;
+            }
+            self.reply("write")
+        }
+        fn invoke_read(&self, call: &ApiCall) -> Option<ApiResponse> {
+            (call.api == "Get").then(|| self.reply("read"))
+        }
+        fn reset(&mut self) {
+            self.n = 0;
+        }
+        fn api_names(&self) -> Vec<String> {
+            vec!["Get".into(), "Bump".into()]
+        }
+    }
+
+    #[test]
+    fn proven_reads_dispatch_under_the_shared_lock() {
+        let r = Router::new(Box::new(|_account| Box::new(ReadAware { n: 0 })));
+        let bump = r.invoke("a", &ApiCall::new("Bump"));
+        assert_eq!(bump.field("Via"), Some(&Value::str("write")));
+        let get = r.invoke("a", &ApiCall::new("Get"));
+        assert_eq!(get.field("Via"), Some(&Value::str("read")));
+        assert_eq!(get.field("N"), Some(&Value::Int(1)));
+        // Many concurrent proven reads share the account lock; none blocks.
+        let r = Arc::new(r);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                r.invoke("a", &ApiCall::new("Get"))
+            }));
+        }
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.field("Via"), Some(&Value::str("read")));
+            assert_eq!(resp.field("N"), Some(&Value::Int(1)));
+        }
     }
 
     #[test]

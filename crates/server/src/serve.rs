@@ -28,6 +28,7 @@ use crossbeam::channel;
 use lce_emulator::Backend;
 use lce_faults::{FaultPlan, WireFault};
 use lce_obs::ObsHub;
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,6 +59,13 @@ pub struct ServerConfig {
     /// and is byte-for-byte identical to a server built without
     /// observability at all.
     pub obs: Option<Arc<ObsHub>>,
+    /// APIs proven retry-safe by the `lce-effects` static analysis. A
+    /// request invoking one of these counts as idempotent for
+    /// [`WriteFaultScope`](lce_faults::WriteFaultScope) purposes even when
+    /// its name says otherwise: the proof guarantees a blind wire-level
+    /// replay converges, so post-dispatch faults may hit it. `None` (the
+    /// default) keeps the name-based [`wire::is_idempotent`] gate alone.
+    pub retry_safe: Option<Arc<BTreeSet<String>>>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +77,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             faults: None,
             obs: None,
+            retry_safe: None,
         }
     }
 }
@@ -88,6 +97,14 @@ impl ServerConfig {
     /// faults are tallied and the `/_metrics` routes come alive.
     pub fn with_observability(mut self, hub: Arc<ObsHub>) -> Self {
         self.obs = Some(hub);
+        self
+    }
+
+    /// Load the set of APIs statically proven retry-safe, widening
+    /// write-point fault eligibility beyond the name-based idempotence
+    /// heuristic (proofs beat naming).
+    pub fn with_retry_safe_apis(mut self, apis: Arc<BTreeSet<String>>) -> Self {
+        self.retry_safe = Some(apis);
         self
     }
 }
@@ -165,7 +182,7 @@ impl std::fmt::Debug for ServerHandle {
 ///
 /// let catalog = Catalog::new();
 /// let handle = serve(ServerConfig::default(), move |_account| {
-///     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>
+///     Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send + Sync>
 /// })
 /// .unwrap();
 /// println!("listening on {}", handle.addr());
@@ -173,7 +190,7 @@ impl std::fmt::Debug for ServerHandle {
 /// ```
 pub fn serve<F>(config: ServerConfig, factory: F) -> std::io::Result<ServerHandle>
 where
-    F: Fn(&str) -> Box<dyn Backend + Send> + Send + Sync + 'static,
+    F: Fn(&str) -> Box<dyn Backend + Send + Sync> + Send + Sync + 'static,
 {
     serve_boxed(config, Box::new(factory))
 }
@@ -220,6 +237,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
         let read_timeout = config.read_timeout;
         let faults = config.faults.clone();
         let metrics = metrics.clone();
+        let retry_safe = config.retry_safe.clone();
         workers.push(
             thread::Builder::new()
                 .name(format!("lce-server-worker-{}", i))
@@ -234,6 +252,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                             &shutdown,
                             faults.as_deref(),
                             metrics.as_deref(),
+                            retry_safe.as_deref(),
                         );
                     }
                 })?,
@@ -310,6 +329,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     faults: Option<&FaultPlan>,
     metrics: Option<&ServeMetrics>,
+    retry_safe: Option<&BTreeSet<String>>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
@@ -345,8 +365,15 @@ fn handle_connection(
                     }
                 }
                 let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
-                let write_fault = faults
-                    .and_then(|plan| plan.decide_write(conn, req_seq, wire::is_idempotent(&req)));
+                // Name-based idempotence, widened by static retry-safety
+                // proofs: a proven API's response may be dropped
+                // post-dispatch because a blind replay converges.
+                let replay_safe = wire::is_idempotent(&req)
+                    || retry_safe
+                        .zip(wire::request_api(&req))
+                        .is_some_and(|(set, api)| set.contains(api));
+                let write_fault =
+                    faults.and_then(|plan| plan.decide_write(conn, req_seq, replay_safe));
                 req_seq += 1;
                 if let (Some(m), Some(fault)) = (metrics, &write_fault) {
                     m.write_fault(fault);

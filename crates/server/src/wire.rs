@@ -152,6 +152,22 @@ pub fn is_idempotent(req: &Request) -> bool {
     op == "_reset" || op.starts_with("Describe") || op.starts_with("List") || op.starts_with("Get")
 }
 
+/// The API operation named by a `POST /<account>/<Api>` invoke path, or
+/// `None` for control routes (`_reset`, `_store`, …), non-POST requests
+/// and malformed paths. This is what lets proof-carrying layers widen
+/// [`is_idempotent`]'s name heuristic with per-API static retry-safety.
+pub fn request_api(req: &Request) -> Option<&str> {
+    if req.method != "POST" {
+        return None;
+    }
+    let mut segments = req.path.trim_start_matches('/').split('/');
+    let (Some(_account), Some(op), None) = (segments.next(), segments.next(), segments.next())
+    else {
+        return None;
+    };
+    (!op.is_empty() && !op.starts_with('_')).then_some(op)
+}
+
 fn handle_get(path: &str, router: &Router) -> Response {
     let mut segments = path.trim_start_matches('/').split('/');
     if let (Some(account), Some("_store"), None) =
@@ -409,6 +425,20 @@ mod tests {
         req.path = "/acct/CreateVpc".into();
         req.method = "GET".into();
         assert!(is_idempotent(&req), "non-POST is never a mutation");
+    }
+
+    #[test]
+    fn request_api_extracts_invoke_ops_only() {
+        assert_eq!(
+            request_api(&post("/acct/AttachVolume", b"")),
+            Some("AttachVolume")
+        );
+        assert_eq!(request_api(&post("/acct/_reset", b"")), None);
+        assert_eq!(request_api(&post("/acct", b"")), None);
+        assert_eq!(request_api(&post("/acct/Api/extra", b"")), None);
+        let mut req = post("/acct/DescribeVpc", b"");
+        req.method = "GET".into();
+        assert_eq!(request_api(&req), None, "non-POST is never an invoke");
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn start_faulted_server(threads: usize, plan: FaultPlan) -> ServerHandle {
                 Emulator::new(catalog.clone()).named("served-golden"),
                 Arc::clone(&backend_plan),
                 account,
-            )) as Box<dyn Backend + Send>
+            )) as Box<dyn Backend + Send + Sync>
         },
     )
     .expect("bind ephemeral port")
@@ -249,7 +249,7 @@ fn scraped_fault_counters_equal_the_decided_schedule() {
                     account,
                 )
                 .with_fault_listener(listener_hub.fault_listener(account)),
-            ) as Box<dyn Backend + Send>
+            ) as Box<dyn Backend + Send + Sync>
         },
     )
     .expect("bind ephemeral port");

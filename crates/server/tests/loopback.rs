@@ -18,7 +18,7 @@ fn start_server(threads: usize) -> ServerHandle {
         },
         move |_account| {
             Box::new(lce_emulator::Emulator::new(catalog.clone()).named("served-golden"))
-                as Box<dyn Backend + Send>
+                as Box<dyn Backend + Send + Sync>
         },
     )
     .expect("bind ephemeral port")

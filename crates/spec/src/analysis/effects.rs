@@ -1,0 +1,992 @@
+//! `lce-effects` — whole-catalog static effect analysis (spec half).
+//!
+//! For every (SM, API) pair the pass computes a read/write [`Footprint`]:
+//! which state variables the transition may read or write, which resource
+//! kinds it may create or destroy, and which *structural* facts (child
+//! counts, reference liveness, containment) it may observe. Footprints are
+//! closed over the `call` graph ([`finalize`]) and three proof classes are
+//! derived ([`derive_proofs`]):
+//!
+//! * **ReadOnly** — the transitive write footprint is empty. The VM can run
+//!   the transition without an undo journal and the server can dispatch it
+//!   without taking the account write lock.
+//! * **RetrySafe** — re-executing the transition on its own post-state is
+//!   provably a no-op with an identical response, so a lost response can be
+//!   retried at the wire level without a no-double-apply wrapper.
+//! * **Commutativity** — two APIs whose footprints are disjoint
+//!   ([`conflict`]) can be reordered or run on separate shards; the
+//!   per-catalog [`ConflictMatrix`] is the input the ROADMAP's sharding and
+//!   COW-forking items consume.
+//!
+//! The analysis is deliberately *syntactic and conservative*: a variable
+//! read under a dead branch still counts as read. Soundness only requires
+//! footprints to over-approximate runtime behaviour (checked dynamically by
+//! the `lce-ir` effect oracle); precision only affects how many proofs fire.
+//!
+//! An independent opcode-level extractor in `lce-ir` produces the same
+//! [`RawEffects`] from compiled programs and feeds them through this
+//! module's [`finalize`]; `lce effects --check` cross-validates the two
+//! (any disagreement is a lowering bug, not a modelling choice).
+
+use super::Diagnostic;
+use crate::ast::{ApiName, Expr, SmName, SmSpec, Stmt, Transition, TransitionKind, UnOp};
+use crate::catalog::Catalog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The wildcard SM qualifier used for effects whose target SM cannot be
+/// resolved statically (cross-instance `field` reads, `exists` probes, the
+/// destroy-time containment scan).
+pub const WILDCARD: &str = "*";
+
+/// A read/write footprint. Variable entries are qualified `Sm.var` names
+/// (or `*.var` when the owning SM is statically unknown); `creates` /
+/// `destroys` hold SM names; `structural` holds SM names (or `*`) whose
+/// instance *population* the transition observes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Qualified state variables the transition may read.
+    pub reads: BTreeSet<String>,
+    /// Qualified state variables the transition may write.
+    pub writes: BTreeSet<String>,
+    /// SM kinds the transition may create instances of.
+    pub creates: BTreeSet<String>,
+    /// SM kinds the transition may destroy instances of.
+    pub destroys: BTreeSet<String>,
+    /// SM kinds whose live-instance population the transition observes
+    /// (`child_count`, `exists`, parent resolution, destroy guards).
+    pub structural: BTreeSet<String>,
+}
+
+impl Footprint {
+    /// Total number of entries across all five sets.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+            + self.writes.len()
+            + self.creates.len()
+            + self.destroys.len()
+            + self.structural.len()
+    }
+
+    /// `true` if every set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if the transition provably mutates nothing: no writes, no
+    /// creations, no destructions.
+    pub fn is_write_free(&self) -> bool {
+        self.writes.is_empty() && self.creates.is_empty() && self.destroys.is_empty()
+    }
+
+    /// Union `other` into `self`; returns `true` if anything was added.
+    pub fn union_with(&mut self, other: &Footprint) -> bool {
+        let before = self.len();
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+        self.creates.extend(other.creates.iter().cloned());
+        self.destroys.extend(other.destroys.iter().cloned());
+        self.structural.extend(other.structural.iter().cloned());
+        self.len() != before
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(", ");
+        let mut parts = Vec::new();
+        if !self.reads.is_empty() {
+            parts.push(format!("reads{{{}}}", set(&self.reads)));
+        }
+        if !self.writes.is_empty() {
+            parts.push(format!("writes{{{}}}", set(&self.writes)));
+        }
+        if !self.creates.is_empty() {
+            parts.push(format!("creates{{{}}}", set(&self.creates)));
+        }
+        if !self.destroys.is_empty() {
+            parts.push(format!("destroys{{{}}}", set(&self.destroys)));
+        }
+        if !self.structural.is_empty() {
+            parts.push(format!("structural{{{}}}", set(&self.structural)));
+        }
+        if parts.is_empty() {
+            f.write_str("∅")
+        } else {
+            f.write_str(&parts.join(" "))
+        }
+    }
+}
+
+/// Split a qualified `Sm.var` entry into its SM and variable parts.
+fn split_qualified(q: &str) -> (&str, &str) {
+    match q.split_once('.') {
+        Some((sm, var)) => (sm, var),
+        None => (WILDCARD, q),
+    }
+}
+
+/// First pair of qualified entries from `a` and `b` naming the same
+/// variable with compatible SM qualifiers (`*` matches any SM), if any.
+pub fn qualified_conflict<'a>(
+    a: &'a BTreeSet<String>,
+    b: &'a BTreeSet<String>,
+) -> Option<(&'a str, &'a str)> {
+    for qa in a {
+        let (sa, va) = split_qualified(qa);
+        for qb in b {
+            let (sb, vb) = split_qualified(qb);
+            if va == vb && (sa == sb || sa == WILDCARD || sb == WILDCARD) {
+                return Some((qa, qb));
+            }
+        }
+    }
+    None
+}
+
+/// First SM in `sms` whose variables appear in the qualified set `quals`
+/// (a `*.var` entry matches every SM), if any.
+fn sm_qualified_conflict<'a>(
+    sms: &'a BTreeSet<String>,
+    quals: &'a BTreeSet<String>,
+) -> Option<(&'a str, &'a str)> {
+    for q in quals {
+        let (sq, _) = split_qualified(q);
+        if sq == WILDCARD {
+            if let Some(sm) = sms.iter().next() {
+                return Some((sm, q));
+            }
+        } else if sms.contains(sq) {
+            return Some((sq, q));
+        }
+    }
+    None
+}
+
+/// First SM in `sms` whose population is observed by `structural`
+/// (a `*` entry observes every SM), if any.
+fn structural_conflict<'a>(
+    sms: &'a BTreeSet<String>,
+    structural: &'a BTreeSet<String>,
+) -> Option<&'a str> {
+    if structural.contains(WILDCARD) {
+        return sms.iter().next().map(|s| s.as_str());
+    }
+    sms.iter()
+        .find(|s| structural.contains(s.as_str()))
+        .map(|s| s.as_str())
+}
+
+/// The pre-closure effect record for one transition: its kind, its local
+/// footprint, and the API names it `call`s directly. Produced per level
+/// (AST walker here, opcode walker in `lce-ir`) and fed to [`finalize`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawEffects {
+    /// The transition's API category.
+    pub kind: TransitionKind,
+    /// `true` for internal bookkeeping transitions (affects reporting and
+    /// L016 only, never footprints).
+    pub internal: bool,
+    /// Effects of the transition body itself, before call-graph closure.
+    pub local: Footprint,
+    /// API names invoked via `call` statements.
+    pub calls: BTreeSet<String>,
+}
+
+/// Record `e`'s reads/structural observations into `fp`, qualifying
+/// self-reads with `sm`. Mirrored opcode-for-opcode by the `lce-ir`
+/// extractor — change both together.
+fn walk_expr(sm: &str, e: &Expr, fp: &mut Footprint) {
+    e.visit(&mut |e| match e {
+        Expr::Read(v) => {
+            fp.reads.insert(format!("{sm}.{v}"));
+        }
+        Expr::Field(_, v) => {
+            // The referenced instance's SM is not resolved statically; the
+            // IR level sees the same untyped register, so both report `*`.
+            fp.reads.insert(format!("{WILDCARD}.{v}"));
+        }
+        Expr::ChildCount(n) => {
+            fp.structural.insert(n.as_str().to_string());
+        }
+        Expr::Unary(UnOp::Exists, _) => {
+            fp.structural.insert(WILDCARD.to_string());
+        }
+        _ => {}
+    });
+}
+
+/// Compute the local (pre-closure) effects of one transition.
+pub fn transition_effects(sm: &SmSpec, t: &Transition) -> RawEffects {
+    let mut fp = Footprint::default();
+    let mut calls = BTreeSet::new();
+    let s = sm.name.as_str();
+    for st in t.all_stmts() {
+        match st {
+            Stmt::Write { state, value, .. } => {
+                fp.writes.insert(format!("{s}.{state}"));
+                walk_expr(s, value, &mut fp);
+            }
+            Stmt::Assert { pred, .. } | Stmt::If { pred, .. } => walk_expr(s, pred, &mut fp),
+            Stmt::Emit { value, .. } => walk_expr(s, value, &mut fp),
+            Stmt::Call {
+                target, api, args, ..
+            } => {
+                calls.insert(api.as_str().to_string());
+                walk_expr(s, target, &mut fp);
+                for a in args {
+                    walk_expr(s, a, &mut fp);
+                }
+            }
+        }
+    }
+    match t.kind {
+        TransitionKind::Create => {
+            // Instance insertion, the per-SM id counter bump, and default
+            // state initialisation happen in the runtime's create prologue,
+            // outside the body at both levels.
+            fp.creates.insert(s.to_string());
+            if let Some((p, _)) = &sm.parent {
+                // The create prologue resolves and liveness-checks the
+                // containment parent.
+                fp.structural.insert(p.as_str().to_string());
+            }
+        }
+        TransitionKind::Destroy => {
+            fp.destroys.insert(s.to_string());
+            // The destroy epilogue scans for live children of *any* kind
+            // (DependencyViolation guard), so destruction observes the
+            // whole population.
+            fp.structural.insert(WILDCARD.to_string());
+        }
+        TransitionKind::Describe | TransitionKind::Modify => {}
+    }
+    RawEffects {
+        kind: t.kind,
+        internal: t.internal,
+        local: fp,
+        calls,
+    }
+}
+
+/// Effects of one API after call-graph closure, with the derived proofs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiEffects {
+    /// The declaring SM.
+    pub sm: SmName,
+    /// The API name.
+    pub api: ApiName,
+    /// The transition's kind.
+    pub kind: TransitionKind,
+    /// `true` for internal bookkeeping transitions.
+    pub internal: bool,
+    /// Effects of the body itself.
+    pub local: Footprint,
+    /// Effects closed over every statically possible `call` chain.
+    pub transitive: Footprint,
+    /// API names called directly.
+    pub calls: BTreeSet<String>,
+    /// Proof: the transitive write footprint is empty.
+    pub read_only: bool,
+    /// Proof: re-execution on the post-state is a no-op.
+    pub retry_safe: bool,
+}
+
+/// Derive the proof classes from a transition's kind and transitive
+/// footprint. Shared verbatim by both analysis levels.
+///
+/// `ReadOnly` is simply [`Footprint::is_write_free`]. `RetrySafe` holds
+/// when `ReadOnly` does, or when a describe/modify transition (a) never
+/// creates or destroys instances — so every structural fact it observes is
+/// stable under its own execution — and (b) reads nothing it writes — so
+/// re-execution recomputes identical written values, identical assert
+/// verdicts and identical emits. Creates are never retry-safe (fresh id per
+/// attempt) and destroys are never retry-safe (the retry observes
+/// `NOT_FOUND`).
+pub fn derive_proofs(kind: TransitionKind, transitive: &Footprint) -> (bool, bool) {
+    let read_only = transitive.is_write_free();
+    let retry_safe = read_only
+        || (matches!(kind, TransitionKind::Describe | TransitionKind::Modify)
+            && transitive.creates.is_empty()
+            && transitive.destroys.is_empty()
+            && qualified_conflict(&transitive.reads, &transitive.writes).is_none());
+    (read_only, retry_safe)
+}
+
+/// The complete effect analysis of one catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEffects {
+    entries: Vec<ApiEffects>,
+}
+
+/// Close raw per-transition effects over the `call` graph and derive
+/// proofs.
+///
+/// Call resolution is name-based at both levels (runtime nested dispatch
+/// resolves by the *target instance's* SM, so every SM declaring the name
+/// is a candidate); the closure is a monotone fixpoint, so cycles in the
+/// call graph (denied by L008 but representable) still terminate.
+pub fn finalize(raw: BTreeMap<(SmName, ApiName), RawEffects>) -> CatalogEffects {
+    let mut by_api: BTreeMap<&str, Vec<&(SmName, ApiName)>> = BTreeMap::new();
+    for k in raw.keys() {
+        by_api.entry(k.1.as_str()).or_default().push(k);
+    }
+    let mut trans: BTreeMap<&(SmName, ApiName), Footprint> =
+        raw.iter().map(|(k, r)| (k, r.local.clone())).collect();
+    loop {
+        let mut changed = false;
+        for (k, r) in &raw {
+            let mut fp = trans[k].clone();
+            for api in &r.calls {
+                if let Some(cands) = by_api.get(api.as_str()) {
+                    for ck in cands {
+                        let callee = trans[*ck].clone();
+                        fp.union_with(&callee);
+                    }
+                }
+            }
+            if fp != trans[k] {
+                trans.insert(k, fp);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let entries = raw
+        .iter()
+        .map(|(k, r)| {
+            let transitive = trans[k].clone();
+            let (read_only, retry_safe) = derive_proofs(r.kind, &transitive);
+            ApiEffects {
+                sm: k.0.clone(),
+                api: k.1.clone(),
+                kind: r.kind,
+                internal: r.internal,
+                local: r.local.clone(),
+                transitive,
+                calls: r.calls.clone(),
+                read_only,
+                retry_safe,
+            }
+        })
+        .collect();
+    CatalogEffects { entries }
+}
+
+/// Extract the raw per-transition effects of a whole catalog. Shadowed
+/// transitions (a later declaration of an API name already declared in the
+/// same SM, L012) are skipped — dispatch can never reach them, at either
+/// level.
+pub fn raw_effects(catalog: &Catalog) -> BTreeMap<(SmName, ApiName), RawEffects> {
+    let mut out = BTreeMap::new();
+    for sm in catalog.iter() {
+        for (i, t) in sm.transitions.iter().enumerate() {
+            let first = sm
+                .transitions
+                .iter()
+                .position(|x| x.name == t.name)
+                .expect("t is in the list");
+            if first != i {
+                continue; // shadowed, unreachable
+            }
+            out.insert((sm.name.clone(), t.name.clone()), transition_effects(sm, t));
+        }
+    }
+    out
+}
+
+impl CatalogEffects {
+    /// Run the full analysis over a catalog.
+    pub fn analyze(catalog: &Catalog) -> CatalogEffects {
+        finalize(raw_effects(catalog))
+    }
+
+    /// All entries, sorted by (SM, API).
+    pub fn entries(&self) -> &[ApiEffects] {
+        &self.entries
+    }
+
+    /// The entry for a specific (SM, API) pair.
+    pub fn entry(&self, sm: &str, api: &str) -> Option<&ApiEffects> {
+        self.entries
+            .iter()
+            .find(|e| e.sm.as_str() == sm && e.api.as_str() == api)
+    }
+
+    /// The entry for an API name, when exactly one SM declares it (the
+    /// same condition under which top-level dispatch accepts the name).
+    pub fn get(&self, api: &str) -> Option<&ApiEffects> {
+        let mut it = self.entries.iter().filter(|e| e.api.as_str() == api);
+        let first = it.next()?;
+        if it.next().is_some() {
+            return None; // ambiguous across SMs
+        }
+        Some(first)
+    }
+
+    /// Entries reachable from top-level dispatch: API names declared by
+    /// exactly one SM.
+    pub fn dispatchable(&self) -> Vec<&ApiEffects> {
+        self.entries
+            .iter()
+            .filter(|e| self.get(e.api.as_str()).is_some())
+            .collect()
+    }
+
+    /// Count of entries proven `ReadOnly`.
+    pub fn read_only_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.read_only).count()
+    }
+
+    /// Count of entries proven `RetrySafe`.
+    pub fn retry_safe_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.retry_safe).count()
+    }
+
+    /// The set of `RetrySafe` API names reachable from top-level dispatch —
+    /// what `lce-faults::RetryPolicy` consumes in `--retry-static` mode.
+    pub fn retry_safe_apis(&self) -> BTreeSet<String> {
+        self.dispatchable()
+            .into_iter()
+            .filter(|e| e.retry_safe)
+            .map(|e| e.api.as_str().to_string())
+            .collect()
+    }
+
+    /// Build the pairwise commutativity matrix over dispatchable APIs.
+    pub fn matrix(&self) -> ConflictMatrix {
+        let apis = self.dispatchable();
+        let names: Vec<ApiName> = apis.iter().map(|e| e.api.clone()).collect();
+        let mut conflicts = Vec::new();
+        for (i, a) in apis.iter().enumerate() {
+            for (j, b) in apis.iter().enumerate().skip(i) {
+                if let Some(reason) = conflict(a, b) {
+                    conflicts.push((i, j, reason));
+                }
+            }
+        }
+        ConflictMatrix {
+            apis: names,
+            conflicts,
+        }
+    }
+
+    /// Render a human-readable explanation trace for one dispatchable API:
+    /// local footprint, call-graph contributions, transitive footprint, and
+    /// why each proof does or does not hold.
+    pub fn why(&self, api: &str) -> Option<String> {
+        let e = self.get(api)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}::{} (kind {}{})\n",
+            e.sm,
+            e.api,
+            e.kind,
+            if e.internal { ", internal" } else { "" }
+        ));
+        out.push_str(&format!("  local:      {}\n", e.local));
+        if e.calls.is_empty() {
+            out.push_str("  calls:      none\n");
+        } else {
+            for c in &e.calls {
+                let cands: Vec<&str> = self
+                    .entries
+                    .iter()
+                    .filter(|x| x.api.as_str() == c.as_str())
+                    .map(|x| x.sm.as_str())
+                    .collect();
+                out.push_str(&format!(
+                    "  calls:      {} -> {{{}}}\n",
+                    c,
+                    cands.join(", ")
+                ));
+            }
+        }
+        out.push_str(&format!("  transitive: {}\n", e.transitive));
+        if e.read_only {
+            out.push_str("  ReadOnly:   yes (transitive write footprint is empty)\n");
+        } else {
+            let mut muts: Vec<String> = Vec::new();
+            muts.extend(e.transitive.writes.iter().map(|w| format!("writes {w}")));
+            muts.extend(e.transitive.creates.iter().map(|c| format!("creates {c}")));
+            muts.extend(
+                e.transitive
+                    .destroys
+                    .iter()
+                    .map(|d| format!("destroys {d}")),
+            );
+            out.push_str(&format!("  ReadOnly:   no ({})\n", muts.join(", ")));
+        }
+        if e.read_only {
+            out.push_str("  RetrySafe:  yes (ReadOnly)\n");
+        } else if e.retry_safe {
+            out.push_str("  RetrySafe:  yes (no creates/destroys; reads disjoint from writes)\n");
+        } else {
+            let reason = if !matches!(e.kind, TransitionKind::Describe | TransitionKind::Modify) {
+                format!("kind {} is never retry-safe", e.kind)
+            } else if !e.transitive.creates.is_empty() || !e.transitive.destroys.is_empty() {
+                "creates/destroys instances".to_string()
+            } else if let Some((r, w)) =
+                qualified_conflict(&e.transitive.reads, &e.transitive.writes)
+            {
+                format!("reads {r} which overlaps written {w}")
+            } else {
+                "unprovable".to_string()
+            };
+            out.push_str(&format!("  RetrySafe:  no ({reason})\n"));
+        }
+        Some(out)
+    }
+}
+
+/// Decide whether two APIs conflict (fail to commute), returning a
+/// human-readable witness. `None` means every interleaving of the two
+/// reaches the same store state.
+///
+/// The rules, each conservative:
+/// 1. writes overlapping the other's reads or writes (classic data race);
+/// 2. both create the same SM kind (shared per-SM id counter, and the
+///    emitted ids differ by order);
+/// 3. creating/destroying a kind the other observes structurally
+///    (`child_count`, `exists`, parent checks, destroy guards);
+/// 4. destroying a kind whose variables the other touches (the touched
+///    instance may be the destroyed one).
+pub fn conflict(a: &ApiEffects, b: &ApiEffects) -> Option<String> {
+    let (fa, fb) = (&a.transitive, &b.transitive);
+    if let Some((x, y)) = qualified_conflict(&fa.writes, &fb.writes) {
+        return Some(format!("write/write overlap: {x} vs {y}"));
+    }
+    if let Some((x, y)) = qualified_conflict(&fa.writes, &fb.reads) {
+        return Some(format!("{} writes {x}, {} reads {y}", a.api, b.api));
+    }
+    if let Some((x, y)) = qualified_conflict(&fb.writes, &fa.reads) {
+        return Some(format!("{} writes {x}, {} reads {y}", b.api, a.api));
+    }
+    if let Some(c) = fa.creates.intersection(&fb.creates).next() {
+        return Some(format!("both create {c} (shared id counter)"));
+    }
+    let a_pop: BTreeSet<String> = fa.creates.union(&fa.destroys).cloned().collect();
+    let b_pop: BTreeSet<String> = fb.creates.union(&fb.destroys).cloned().collect();
+    if let Some(sm) = structural_conflict(&a_pop, &fb.structural) {
+        return Some(format!(
+            "{} changes the {sm} population, {} observes it structurally",
+            a.api, b.api
+        ));
+    }
+    if let Some(sm) = structural_conflict(&b_pop, &fa.structural) {
+        return Some(format!(
+            "{} changes the {sm} population, {} observes it structurally",
+            b.api, a.api
+        ));
+    }
+    let b_touch: BTreeSet<String> = fb.reads.union(&fb.writes).cloned().collect();
+    if let Some((sm, q)) = sm_qualified_conflict(&fa.destroys, &b_touch) {
+        return Some(format!("{} destroys {sm}, {} touches {q}", a.api, b.api));
+    }
+    let a_touch: BTreeSet<String> = fa.reads.union(&fa.writes).cloned().collect();
+    if let Some((sm, q)) = sm_qualified_conflict(&fb.destroys, &a_touch) {
+        return Some(format!("{} destroys {sm}, {} touches {q}", b.api, a.api));
+    }
+    None
+}
+
+/// The pairwise commutativity report over a catalog's dispatchable APIs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictMatrix {
+    /// Dispatchable API names, in entry order.
+    pub apis: Vec<ApiName>,
+    /// Conflicting pairs `(i, j, reason)` with `i <= j`, indices into
+    /// [`Self::apis`]. Pairs not listed commute.
+    pub conflicts: Vec<(usize, usize, String)>,
+}
+
+impl ConflictMatrix {
+    /// `true` if the pair of APIs commutes (unknown names conflict
+    /// conservatively).
+    pub fn commutes(&self, a: &str, b: &str) -> bool {
+        let (Some(i), Some(j)) = (
+            self.apis.iter().position(|x| x.as_str() == a),
+            self.apis.iter().position(|x| x.as_str() == b),
+        ) else {
+            return false;
+        };
+        let (i, j) = (i.min(j), i.max(j));
+        !self.conflicts.iter().any(|(x, y, _)| (*x, *y) == (i, j))
+    }
+
+    /// Number of unordered API pairs (including self-pairs).
+    pub fn pair_count(&self) -> usize {
+        let n = self.apis.len();
+        n * (n + 1) / 2
+    }
+
+    /// Fraction of pairs that commute, in `[0, 1]`.
+    pub fn commute_ratio(&self) -> f64 {
+        let pairs = self.pair_count();
+        if pairs == 0 {
+            return 1.0;
+        }
+        (pairs - self.conflicts.len()) as f64 / pairs as f64
+    }
+
+    /// Render the matrix as text: a per-API conflict-degree table plus
+    /// summary statistics.
+    pub fn render(&self) -> String {
+        let mut degree = vec![0usize; self.apis.len()];
+        for (i, j, _) in &self.conflicts {
+            degree[*i] += 1;
+            if i != j {
+                degree[*j] += 1;
+            }
+        }
+        let width = self
+            .apis
+            .iter()
+            .map(|a| a.as_str().len())
+            .max()
+            .unwrap_or(3)
+            .max(3);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:width$}  conflicts (of {})\n",
+            "api",
+            self.apis.len()
+        ));
+        for (i, api) in self.apis.iter().enumerate() {
+            out.push_str(&format!("{:width$}  {}\n", api.as_str(), degree[i]));
+        }
+        out.push_str(&format!(
+            "{} APIs, {} pairs, {} conflicting, commute ratio {:.3}\n",
+            self.apis.len(),
+            self.pair_count(),
+            self.conflicts.len(),
+            self.commute_ratio()
+        ));
+        out
+    }
+}
+
+/// `true` for API names the wire layer treats as idempotent (mirrors
+/// `lce-server`'s `wire::is_idempotent` POST rules: `Describe*`, `List*`,
+/// `Get*`).
+pub fn wire_idempotent_name(api: &str) -> bool {
+    api.starts_with("Describe") || api.starts_with("List") || api.starts_with("Get")
+}
+
+/// The effect lints: L014 (a `call` may dispatch to an SM the caller does
+/// not reference), L015 (a describe-kind transition with a non-empty write
+/// footprint), L016 (an API the wire layer retries as idempotent whose
+/// retry-safety is unprovable).
+pub fn check_catalog(catalog: &Catalog, diags: &mut Vec<Diagnostic>) {
+    let fx = CatalogEffects::analyze(catalog);
+    for sm in catalog.iter() {
+        let referenced: BTreeSet<String> = sm
+            .referenced_sms()
+            .into_iter()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        for (i, t) in sm.transitions.iter().enumerate() {
+            if sm.transitions.iter().position(|x| x.name == t.name) != Some(i) {
+                continue; // shadowed (L012 covers it)
+            }
+            for st in t.all_stmts() {
+                if let Stmt::Call { api, span, .. } = st {
+                    let mut cands: Vec<&str> = fx
+                        .entries()
+                        .iter()
+                        .filter(|e| e.api.as_str() == api.as_str())
+                        .map(|e| e.sm.as_str())
+                        .collect();
+                    cands.dedup();
+                    for cand in cands {
+                        if cand != sm.name.as_str() && !referenced.contains(cand) {
+                            diags.push(Diagnostic::new(
+                                "L014",
+                                &sm.name,
+                                Some(&t.name),
+                                *span,
+                                format!(
+                                    "call `{}` may dispatch to `{}`, which `{}` does not \
+                                     reference",
+                                    api, cand, sm.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            let Some(e) = fx.entry(sm.name.as_str(), t.name.as_str()) else {
+                continue;
+            };
+            if t.kind == TransitionKind::Describe && !e.transitive.is_write_free() {
+                diags.push(Diagnostic::new(
+                    "L015",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!(
+                        "describe-kind transition has a write footprint: {}",
+                        describe_mutations(&e.transitive)
+                    ),
+                ));
+            }
+            if !t.internal && wire_idempotent_name(t.name.as_str()) && !e.retry_safe {
+                diags.push(Diagnostic::new(
+                    "L016",
+                    &sm.name,
+                    Some(&t.name),
+                    t.span,
+                    format!(
+                        "`{}` is retried as idempotent at the wire level but retry-safety \
+                         is unprovable ({})",
+                        t.name,
+                        describe_mutations(&e.transitive)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn describe_mutations(fp: &Footprint) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.extend(fp.writes.iter().map(|w| format!("writes {w}")));
+    parts.extend(fp.creates.iter().map(|c| format!("creates {c}")));
+    parts.extend(fp.destroys.iter().map(|d| format!("destroys {d}")));
+    if parts.is_empty() {
+        if let Some((r, w)) = qualified_conflict(&fp.reads, &fp.writes) {
+            parts.push(format!("reads {r} overlapping written {w}"));
+        }
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_catalog;
+
+    fn catalog(src: &str) -> Catalog {
+        Catalog::from_specs(parse_catalog(src).unwrap())
+    }
+
+    const TOY: &str = r#"
+        sm Vpc {
+          service "compute";
+          id_param "VpcId";
+          states { cidr: str; tenancy: str = "default"; }
+          transition CreateVpc(cidr: str) kind create {
+            write(cidr, arg(cidr));
+          }
+          transition DescribeVpc() kind describe {
+            emit(CidrBlock, read(cidr));
+          }
+          transition ModifyTenancy(t: str) kind modify {
+            write(tenancy, arg(t));
+          }
+          transition GetCidrHistory() kind modify {
+            write(tenancy, read(cidr));
+            write(cidr, read(tenancy));
+          }
+          transition DeleteVpc() kind destroy { }
+        }
+        sm Subnet {
+          service "compute";
+          parent Vpc via vpc;
+          id_param "SubnetId";
+          states { vpc: ref(Vpc); bits: int = 0; }
+          transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+            write(vpc, arg(VpcId));
+            call(arg(VpcId), TallySubnet, []);
+          }
+          transition DescribeSubnet() kind describe {
+            emit(Vpc, read(vpc));
+          }
+        }
+    "#;
+
+    // TallySubnet is deliberately missing above so closure over an
+    // unresolved call is exercised; this richer catalog resolves it.
+    const LINKED: &str = r#"
+        sm Vpc {
+          service "compute";
+          id_param "VpcId";
+          states { cidr: str; subnets: int = 0; }
+          transition CreateVpc(cidr: str) kind create { write(cidr, arg(cidr)); }
+          transition TallySubnet() kind modify internal {
+            write(subnets, read(subnets) + 1);
+          }
+          transition DescribeVpc() kind describe { emit(CidrBlock, read(cidr)); }
+        }
+        sm Subnet {
+          service "compute";
+          parent Vpc via vpc;
+          id_param "SubnetId";
+          states { vpc: ref(Vpc); }
+          transition CreateSubnet(VpcId: ref(Vpc)) kind create {
+            write(vpc, arg(VpcId));
+            call(arg(VpcId), TallySubnet, []);
+          }
+        }
+    "#;
+
+    #[test]
+    fn describe_is_read_only_and_retry_safe() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let e = fx.get("DescribeVpc").unwrap();
+        assert!(e.read_only && e.retry_safe);
+        assert_eq!(
+            e.transitive.reads.iter().collect::<Vec<_>>(),
+            vec!["Vpc.cidr"]
+        );
+        assert!(e.transitive.is_write_free());
+    }
+
+    #[test]
+    fn blind_write_is_retry_safe_but_not_read_only() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let e = fx.get("ModifyTenancy").unwrap();
+        assert!(!e.read_only);
+        assert!(e.retry_safe, "writes only from args: re-execution no-ops");
+    }
+
+    #[test]
+    fn read_write_overlap_defeats_retry_safety() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let e = fx.get("GetCidrHistory").unwrap();
+        assert!(!e.read_only && !e.retry_safe, "swap is not idempotent");
+    }
+
+    #[test]
+    fn create_and_destroy_are_never_retry_safe() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        for api in ["CreateVpc", "DeleteVpc"] {
+            let e = fx.get(api).unwrap();
+            assert!(!e.read_only && !e.retry_safe, "{api}");
+        }
+        let e = fx.get("DeleteVpc").unwrap();
+        assert!(e.transitive.destroys.contains("Vpc"));
+        assert!(e.transitive.structural.contains(WILDCARD));
+    }
+
+    #[test]
+    fn create_records_parent_structure() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let e = fx.get("CreateSubnet").unwrap();
+        assert!(e.transitive.creates.contains("Subnet"));
+        assert!(e.transitive.structural.contains("Vpc"));
+    }
+
+    #[test]
+    fn closure_pulls_callee_effects() {
+        let fx = CatalogEffects::analyze(&catalog(LINKED));
+        let e = fx.get("CreateSubnet").unwrap();
+        assert!(
+            e.transitive.writes.contains("Vpc.subnets"),
+            "callee write must flow into the caller's transitive footprint"
+        );
+        assert!(e.local.writes.contains("Subnet.vpc"));
+        assert!(!e.local.writes.contains("Vpc.subnets"));
+    }
+
+    #[test]
+    fn conflict_matrix_separates_reads_from_writes() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let m = fx.matrix();
+        assert!(m.commutes("DescribeVpc", "DescribeSubnet"));
+        assert!(
+            !m.commutes("ModifyTenancy", "DescribeVpc") || {
+                // ModifyTenancy writes Vpc.tenancy; DescribeVpc reads Vpc.cidr
+                // only — they commute.
+                true
+            }
+        );
+        assert!(m.commutes("ModifyTenancy", "DescribeVpc"));
+        assert!(!m.commutes("ModifyTenancy", "GetCidrHistory"));
+        assert!(!m.commutes("CreateVpc", "CreateVpc"), "shared id counter");
+        assert!(
+            !m.commutes("DeleteVpc", "DescribeVpc"),
+            "destroyed instance"
+        );
+        assert!(!m.commutes("DeleteVpc", "CreateSubnet"), "containment");
+        assert!(m.commute_ratio() > 0.0 && m.commute_ratio() < 1.0);
+        assert!(m.render().contains("commute ratio"));
+    }
+
+    #[test]
+    fn wildcard_field_reads_conflict_with_any_sm_write() {
+        let a = ["*.cidr"].iter().map(|s| s.to_string()).collect();
+        let b = ["Vpc.cidr"].iter().map(|s| s.to_string()).collect();
+        assert!(qualified_conflict(&a, &b).is_some());
+        let c = ["Vpc.other"].iter().map(|s| s.to_string()).collect();
+        assert!(qualified_conflict(&a, &c).is_none());
+    }
+
+    #[test]
+    fn l015_fires_on_writing_describe() {
+        let c = catalog(
+            r#"
+            sm Box {
+              service "s"; id_param "BoxId";
+              states { hits: int = 0; }
+              transition DescribeBox() kind describe {
+                write(hits, read(hits) + 1);
+                emit(Hits, read(hits));
+              }
+            }
+            "#,
+        );
+        let mut diags = Vec::new();
+        check_catalog(&c, &mut diags);
+        assert!(diags.iter().any(|d| d.code == "L015"));
+        // The self-counter also defeats retry-safety of a Describe* name.
+        assert!(diags.iter().any(|d| d.code == "L016"));
+    }
+
+    #[test]
+    fn l014_fires_on_unreferenced_callee() {
+        let c = catalog(
+            r#"
+            sm A {
+              service "s"; id_param "AId";
+              states { peer: str; }
+              transition PokeA() kind modify {
+                call(read(peer), Tick, []);
+              }
+            }
+            sm B {
+              service "s"; id_param "BId";
+              states { n: int = 0; }
+              transition Tick() kind modify internal { write(n, arg(x)); }
+            }
+            "#,
+        );
+        let mut diags = Vec::new();
+        check_catalog(&c, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.code == "L014"),
+            "A calls Tick which only B declares, but A never references B"
+        );
+    }
+
+    #[test]
+    fn clean_catalog_produces_no_effect_lints() {
+        let mut diags = Vec::new();
+        check_catalog(&catalog(LINKED), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn why_trace_explains_verdicts() {
+        let fx = CatalogEffects::analyze(&catalog(TOY));
+        let w = fx.why("GetCidrHistory").unwrap();
+        assert!(w.contains("RetrySafe:  no"));
+        assert!(w.contains("overlaps"));
+        let w = fx.why("DescribeVpc").unwrap();
+        assert!(w.contains("ReadOnly:   yes"));
+        assert!(fx.why("NoSuchApi").is_none());
+    }
+}

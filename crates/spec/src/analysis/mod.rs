@@ -19,6 +19,7 @@
 
 pub mod dataflow;
 pub mod domain;
+pub mod effects;
 pub mod global;
 pub mod usedef;
 
@@ -149,6 +150,24 @@ pub const REGISTRY: &[LintDescriptor] = &[
         severity: Severity::Warn,
         summary: "dead effect: write is provably overwritten before any possible read",
     },
+    // L014–L016 come from the whole-catalog effect analysis (`effects`).
+    LintDescriptor {
+        code: "L014",
+        severity: Severity::Deny,
+        summary: "call may dispatch to an SM the caller does not reference \
+                  (undeclared cross-SM effect)",
+    },
+    LintDescriptor {
+        code: "L015",
+        severity: Severity::Deny,
+        summary: "describe-kind transition has a non-empty write footprint",
+    },
+    LintDescriptor {
+        code: "L016",
+        severity: Severity::Warn,
+        summary: "API is retried as idempotent at the wire level but retry-safety \
+                  is unprovable",
+    },
 ];
 
 /// Look up a lint descriptor by code.
@@ -263,6 +282,7 @@ pub fn lint_catalog(catalog: &Catalog) -> Vec<Diagnostic> {
         diags.extend(lint_sm(sm, Some(catalog)));
     }
     global::check_catalog(catalog, &mut diags);
+    effects::check_catalog(catalog, &mut diags);
     diags.sort_by(|a, b| {
         (&a.sm, &a.transition, &a.code, &a.message).cmp(&(
             &b.sm,

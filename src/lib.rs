@@ -84,13 +84,14 @@ pub mod prelude {
     pub use lce_emulator::{ApiCall, ApiResponse, Backend, Emulator, EmulatorConfig, Value};
     pub use lce_faults::{store_digest, FaultPlan, FaultyBackend, RetryPolicy};
     pub use lce_ir::{
-        compile, ir_lints, optimize, verify, CompiledEmulator, DualBackend, Engine, OptLevel,
+        compile, cross_validate, ir_effects, ir_lints, optimize, verify, CompiledEmulator,
+        DualBackend, Engine, OptLevel,
     };
     pub use lce_obs::{ObsHub, ObservedBackend};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
 
     pub use crate::chaos::{run_chaos, ChaosConfig, ChaosMetrics, ChaosReport};
-    pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, SmSpec};
+    pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, CatalogEffects, SmSpec};
     pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
     pub use lce_wrangle::wrangle_provider;
 }

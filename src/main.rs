@@ -8,7 +8,8 @@
 //! lce spec    --provider <nimbus|stratus> [--resource Name]
 //! lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
 //! lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-//! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+//! lce effects [--provider <nimbus|stratus> | --catalog FILE] [--matrix] [--why <Api>] [--check]
+//! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static]
 //! lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
 //! lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
 //! ```
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
         "lint" => cmd_lint(rest),
+        "effects" => cmd_effects(rest),
         "chaos" => cmd_chaos(rest),
         "compile" => cmd_compile(rest),
         "metrics" => cmd_metrics(rest),
@@ -78,7 +80,8 @@ USAGE:
   lce spec    --provider <nimbus|stratus> [--resource Name]
   lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
   lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
-  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+  lce effects [--provider <nimbus|stratus> | --catalog FILE] [--matrix] [--why <Api>] [--check]
+  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static]
   lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
   lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]";
 
@@ -117,6 +120,8 @@ fn needs_value(key: &str) -> bool {
             | "dump-analysis"
             | "check"
             | "verify"
+            | "matrix"
+            | "retry-static"
     )
 }
 
@@ -340,9 +345,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     };
     let handle = serve(config, move |_account| match engine {
-        Engine::Interp => {
-            Box::new(Emulator::new(catalog.clone()).named("served")) as Box<dyn Backend + Send>
-        }
+        Engine::Interp => Box::new(Emulator::new(catalog.clone()).named("served"))
+            as Box<dyn Backend + Send + Sync>,
         Engine::Ir => Box::new(
             CompiledEmulator::from_compiled(
                 compiled.clone().expect("compiled for ir engine"),
@@ -398,7 +402,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         .with_accounts(accounts)
         .with_metrics(flags.contains_key("metrics"))
         .with_engine(engine_of(&flags)?)
-        .with_opt(opt_of(&flags)?);
+        .with_opt(opt_of(&flags)?)
+        .with_retry_static(flags.contains_key("retry-static"));
     if let Some(plan) = flags.get("plan") {
         config = config.with_plan(plan.clone());
     }
@@ -666,6 +671,79 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             failing, threshold
         ));
     }
+    Ok(())
+}
+
+/// `lce effects`: the whole-catalog static effect analysis. The default
+/// output is one line per dispatchable API (kind, proofs, transitive
+/// footprint); `--why <Api>` prints the full derivation trace for one API,
+/// `--matrix` renders the pairwise commutativity matrix, and `--check`
+/// cross-validates the spec-level analysis against the independent
+/// IR-level extraction (any disagreement is a lowering bug) and requires
+/// nonzero proven populations.
+fn cmd_effects(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let catalog = match flags.get("catalog") {
+        Some(_) => load_catalog(&flags)?,
+        None => provider_of(&flags)?.catalog,
+    };
+    let effects = CatalogEffects::analyze(&catalog);
+    if let Some(api) = flags.get("why") {
+        let text = effects
+            .why(api)
+            .ok_or_else(|| format!("`{}` is not a dispatchable API", api))?;
+        print!("{}", text);
+        return Ok(());
+    }
+    if flags.contains_key("matrix") {
+        print!("{}", effects.matrix().render());
+        return Ok(());
+    }
+    if flags.contains_key("check") {
+        let cc = compile(&catalog).map_err(|e| format!("catalog failed to compile: {}", e))?;
+        let ir = ir_effects(&cc);
+        let disagreements = cross_validate(&effects, &ir);
+        for d in &disagreements {
+            eprintln!("disagree: {}", d);
+        }
+        if !disagreements.is_empty() {
+            return Err(format!(
+                "{} spec/IR effect disagreement(s) — the lowering changed observable effects",
+                disagreements.len()
+            ));
+        }
+        let dispatchable = effects.dispatchable().len();
+        let ro = effects.read_only_count();
+        let rs = effects.retry_safe_count();
+        if ro == 0 || rs == 0 {
+            return Err(format!(
+                "degenerate proof population: {} ReadOnly, {} RetrySafe",
+                ro, rs
+            ));
+        }
+        println!(
+            "effects: {} dispatchable APIs, {} ReadOnly, {} RetrySafe; spec and IR agree",
+            dispatchable, ro, rs
+        );
+        return Ok(());
+    }
+    for e in effects.dispatchable() {
+        let proofs = match (e.read_only, e.retry_safe) {
+            (true, _) => "RO+RS",
+            (false, true) => "RS   ",
+            (false, false) => "-    ",
+        };
+        println!(
+            "{:<36} {:<20} {:<9} {} {}",
+            e.api, e.sm, e.kind, proofs, e.transitive
+        );
+    }
+    println!(
+        "{} dispatchable APIs, {} ReadOnly, {} RetrySafe",
+        effects.dispatchable().len(),
+        effects.read_only_count(),
+        effects.retry_safe_count()
+    );
     Ok(())
 }
 

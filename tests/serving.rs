@@ -15,7 +15,7 @@ fn start_golden_server(threads: usize) -> ServerHandle {
             threads,
             ..ServerConfig::default()
         },
-        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>,
+        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send + Sync>,
     )
     .expect("bind ephemeral port")
 }
@@ -40,7 +40,7 @@ fn start_passthrough_faulted_server(threads: usize) -> ServerHandle {
                 Emulator::new(catalog.clone()),
                 Arc::clone(&plan),
                 account,
-            )) as Box<dyn Backend + Send>
+            )) as Box<dyn Backend + Send + Sync>
         },
     )
     .expect("bind ephemeral port")
@@ -224,7 +224,7 @@ fn observed_serving_scrape_equals_in_process_counters() {
             ..ServerConfig::default()
         }
         .with_observability(Arc::clone(&hub)),
-        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send>,
+        move |_account| Box::new(Emulator::new(catalog.clone())) as Box<dyn Backend + Send + Sync>,
     )
     .expect("bind ephemeral port");
     let addr = handle.addr();
