@@ -74,6 +74,21 @@ impl ResourceStore {
         }
     }
 
+    /// Iterate the monotonic id counters, in `SmName` order. Together with
+    /// [`ResourceStore::iter`] this is the complete observable content of a
+    /// store, which canonical store serialization depends on.
+    pub fn counters(&self) -> impl Iterator<Item = (&SmName, u64)> {
+        self.counters.iter().map(|(sm, n)| (sm, *n))
+    }
+
+    /// Restore one id counter (the inverse of [`ResourceStore::counters`],
+    /// used by store deserialization). Counters stay monotonic: a value
+    /// lower than the current one is ignored.
+    pub fn set_counter(&mut self, sm: SmName, value: u64) {
+        let e = self.counters.entry(sm).or_insert(0);
+        *e = (*e).max(value);
+    }
+
     /// Create an instance with default state for every declared variable.
     /// The caller runs the `create` transition body afterwards.
     pub fn instantiate(&mut self, spec: &SmSpec, id: ResourceId) -> &mut Instance {
@@ -224,5 +239,37 @@ mod tests {
         store.remove(&a);
         let b = store.fresh_id(&sm);
         assert_ne!(a, b, "ids must never be reused");
+    }
+
+    #[test]
+    fn counters_are_observable_and_restorable() {
+        let mut store = ResourceStore::new();
+        let vpc = SmName::new("Vpc");
+        let sub = SmName::new("Subnet");
+        store.fresh_id(&vpc);
+        store.fresh_id(&vpc);
+        store.fresh_id(&sub);
+        let observed: Vec<(SmName, u64)> =
+            store.counters().map(|(sm, n)| (sm.clone(), n)).collect();
+        assert_eq!(
+            observed,
+            vec![(sub.clone(), 1), (vpc.clone(), 2)],
+            "BTreeMap order, exact values"
+        );
+
+        let mut restored = ResourceStore::new();
+        for (sm, n) in &observed {
+            restored.set_counter(sm.clone(), *n);
+        }
+        let next = restored.fresh_id(&vpc);
+        assert_eq!(
+            next,
+            store.fresh_id(&vpc),
+            "restored counters continue the sequence"
+        );
+
+        // set_counter never moves a counter backwards.
+        restored.set_counter(vpc.clone(), 0);
+        assert_eq!(restored.fresh_id(&vpc), store.fresh_id(&vpc));
     }
 }

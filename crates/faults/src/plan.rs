@@ -223,14 +223,35 @@ impl FaultPlan {
         }
     }
 
+    /// A deliberately convergence-breaking preset: write-point faults on
+    /// **mutating** traffic only. A lost response to a mutating call leaves
+    /// the mutation applied, and the client must not blindly re-send it —
+    /// so chaos runs under this plan are expected to diverge. This is the
+    /// preset the trace-capture machinery uses to provoke real failing
+    /// traces on demand.
+    pub fn torn_writes(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            backend: BackendFaults::none(),
+            wire: WireFaults {
+                accept_reset_per_mille: 0,
+                read_reset_per_mille: 0,
+                write_truncate_per_mille: 150,
+                write_reset_per_mille: 300,
+                write_scope: WriteFaultScope::MutatingOnly,
+            },
+        }
+    }
+
     /// Look up a plan preset by name (`none`, `standard`/`default`,
-    /// `aggressive`, `backend-only`).
+    /// `aggressive`, `backend-only`, `torn-writes`).
     pub fn named(name: &str, seed: u64) -> Option<Self> {
         match name {
             "none" | "empty" => Some(FaultPlan::none(seed)),
             "standard" | "default" => Some(FaultPlan::standard(seed)),
             "aggressive" | "heavy" => Some(FaultPlan::aggressive(seed)),
             "backend-only" | "backend" => Some(FaultPlan::backend_only(seed)),
+            "torn-writes" | "torn" => Some(FaultPlan::torn_writes(seed)),
             _ => None,
         }
     }
@@ -285,6 +306,81 @@ impl FaultPlan {
             self.wire.write_reset_per_mille,
             scope,
         )
+    }
+
+    /// Serialize the plan (seed included) to a stable single-line `k=v`
+    /// spec, the form trace files embed. [`FaultPlan::parse_spec`] inverts
+    /// it exactly.
+    pub fn to_spec(&self) -> String {
+        let scope = match self.wire.write_scope {
+            WriteFaultScope::IdempotentOnly => "idempotent",
+            WriteFaultScope::MutatingOnly => "mutating",
+            WriteFaultScope::All => "all",
+        };
+        format!(
+            "seed={} err={} throttle={} latency={} maxms={} accept={} read={} \
+             wtrunc={} wreset={} wscope={}",
+            self.seed,
+            self.backend.error_per_mille,
+            self.backend.throttle_per_mille,
+            self.backend.latency_per_mille,
+            self.backend.max_latency_ms,
+            self.wire.accept_reset_per_mille,
+            self.wire.read_reset_per_mille,
+            self.wire.write_truncate_per_mille,
+            self.wire.write_reset_per_mille,
+            scope,
+        )
+    }
+
+    /// Parse a plan spec produced by [`FaultPlan::to_spec`]. Every key must
+    /// appear exactly once; unknown keys are rejected so a typo cannot
+    /// silently weaken a replayed schedule.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none(0);
+        let mut seen = std::collections::BTreeSet::new();
+        for part in spec.split_whitespace() {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad plan spec item (want k=v): {part}"))?;
+            if !seen.insert(key.to_string()) {
+                return Err(format!("duplicate plan spec key: {key}"));
+            }
+            let num = || -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad plan spec value for {key}: {e}"))
+            };
+            match key {
+                "seed" => plan.seed = num()?,
+                "err" => plan.backend.error_per_mille = num()? as u32,
+                "throttle" => plan.backend.throttle_per_mille = num()? as u32,
+                "latency" => plan.backend.latency_per_mille = num()? as u32,
+                "maxms" => plan.backend.max_latency_ms = num()?,
+                "accept" => plan.wire.accept_reset_per_mille = num()? as u32,
+                "read" => plan.wire.read_reset_per_mille = num()? as u32,
+                "wtrunc" => plan.wire.write_truncate_per_mille = num()? as u32,
+                "wreset" => plan.wire.write_reset_per_mille = num()? as u32,
+                "wscope" => {
+                    plan.wire.write_scope = match value {
+                        "idempotent" => WriteFaultScope::IdempotentOnly,
+                        "mutating" => WriteFaultScope::MutatingOnly,
+                        "all" => WriteFaultScope::All,
+                        other => return Err(format!("bad write scope: {other}")),
+                    }
+                }
+                other => return Err(format!("unknown plan spec key: {other}")),
+            }
+        }
+        for key in [
+            "seed", "err", "throttle", "latency", "maxms", "accept", "read", "wtrunc", "wreset",
+            "wscope",
+        ] {
+            if !seen.contains(key) {
+                return Err(format!("plan spec missing key: {key}"));
+            }
+        }
+        Ok(plan)
     }
 
     /// Decide the fault (if any) for the `seq`-th invocation of `api`
@@ -479,6 +575,66 @@ mod tests {
         );
         assert_eq!(WireFault::Reset.kind(), "reset");
         assert_eq!(WireFault::Truncate.kind(), "truncate");
+    }
+
+    #[test]
+    fn plan_specs_round_trip_every_preset() {
+        for seed in [0, 1, 7, u64::MAX] {
+            for name in [
+                "none",
+                "standard",
+                "aggressive",
+                "backend-only",
+                "torn-writes",
+            ] {
+                let plan = FaultPlan::named(name, seed).unwrap();
+                let spec = plan.to_spec();
+                let back =
+                    FaultPlan::parse_spec(&spec).unwrap_or_else(|e| panic!("{name}/{seed}: {e}"));
+                assert_eq!(back, plan, "{name}/{seed}: {spec}");
+                assert_eq!(back.to_spec(), spec);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_spec_parsing_rejects_malformed_input() {
+        let good = FaultPlan::standard(7).to_spec();
+        assert!(FaultPlan::parse_spec("").is_err(), "missing keys");
+        assert!(FaultPlan::parse_spec("seed=x").is_err(), "bad number");
+        assert!(
+            FaultPlan::parse_spec(&format!("{good} seed=7")).is_err(),
+            "dup key"
+        );
+        assert!(
+            FaultPlan::parse_spec(&format!("{good} zap=1")).is_err(),
+            "unknown key"
+        );
+        assert!(
+            FaultPlan::parse_spec(&good.replace("wscope=idempotent", "wscope=sideways")).is_err(),
+            "bad scope"
+        );
+    }
+
+    #[test]
+    fn torn_writes_faults_only_mutating_traffic() {
+        let p = FaultPlan::torn_writes(7);
+        assert!(p.has_wire_faults());
+        assert_eq!(p.backend, BackendFaults::none());
+        let mut mutating_hits = 0;
+        for conn in 0..500u64 {
+            assert_eq!(p.decide_invoke("a", "X", conn), None);
+            assert_eq!(p.decide_accept(conn), None);
+            assert_eq!(p.decide_read(conn, 0), None);
+            assert_eq!(p.decide_write(conn, 0, true), None, "idempotent is safe");
+            if p.decide_write(conn, 0, false).is_some() {
+                mutating_hits += 1;
+            }
+        }
+        assert!(
+            mutating_hits > 100,
+            "rates high enough to bite: {mutating_hits}"
+        );
     }
 
     #[test]

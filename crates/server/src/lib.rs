@@ -61,6 +61,6 @@ pub mod wire;
 pub use client::{Client, TRANSPORT_ERROR};
 pub use http::{HttpLimits, Request, Response};
 pub use obs::ServeMetrics;
-pub use router::{BackendFactory, Router, PROBE_ACCOUNT};
+pub use router::{BackendFactory, InvokeListener, Router, PROBE_ACCOUNT};
 pub use serve::{serve, ServerConfig, ServerHandle};
 pub use wire::{is_idempotent, request_api, route_class};

@@ -32,12 +32,19 @@ pub const PROBE_ACCOUNT: &str = "_probe";
 /// lock in shared mode; mutating calls take it exclusively.
 pub type AccountHandle = Arc<RwLock<Box<dyn Backend + Send + Sync>>>;
 
+/// A wire-level capture hook: observes `(account, call, response)` for every
+/// dispatched invocation, after it completes. Resets are reported as the
+/// pseudo-call `_reset`. Fired while the account's lock is held, so the
+/// observation order for one account is its true serialization order.
+pub type InvokeListener = Arc<dyn Fn(&str, &ApiCall, &ApiResponse) + Send + Sync>;
+
 /// Routes calls to per-account backend shards.
 pub struct Router {
     factory: BackendFactory,
     apis: Vec<String>,
     backend_name: String,
     accounts: RwLock<BTreeMap<String, AccountHandle>>,
+    listener: Option<InvokeListener>,
 }
 
 impl Router {
@@ -55,7 +62,14 @@ impl Router {
             apis,
             backend_name,
             accounts: RwLock::new(BTreeMap::new()),
+            listener: None,
         }
+    }
+
+    /// Attach a wire-level capture hook (see [`InvokeListener`]).
+    pub fn with_invoke_listener(mut self, listener: InvokeListener) -> Self {
+        self.listener = Some(listener);
+        self
     }
 
     /// `true` if the account id is well-formed: nonempty ASCII
@@ -101,11 +115,18 @@ impl Router {
         {
             let backend = handle.read();
             if let Some(resp) = backend.invoke_read(call) {
+                if let Some(listener) = &self.listener {
+                    listener(account, call, &resp);
+                }
                 return resp;
             }
         }
         let mut backend = handle.write();
-        backend.invoke(call)
+        let resp = backend.invoke(call);
+        if let Some(listener) = &self.listener {
+            listener(account, call, &resp);
+        }
+        resp
     }
 
     /// Reset the account to a fresh state. Returns `true` if the account
@@ -114,7 +135,15 @@ impl Router {
     pub fn reset(&self, account: &str) -> bool {
         let existed = self.accounts.read().contains_key(account);
         let handle = self.account(account);
-        handle.write().reset();
+        let mut backend = handle.write();
+        backend.reset();
+        if let Some(listener) = &self.listener {
+            listener(
+                account,
+                &ApiCall::new("_reset"),
+                &ApiResponse::ok(BTreeMap::new()),
+            );
+        }
         existed
     }
 
@@ -327,6 +356,37 @@ mod tests {
             assert_eq!(resp.field("Via"), Some(&Value::str("read")));
             assert_eq!(resp.field("N"), Some(&Value::Int(1)));
         }
+    }
+
+    #[test]
+    fn invoke_listener_observes_both_lock_paths_and_resets() {
+        use parking_lot::Mutex as PMutex;
+        let seen: Arc<PMutex<Vec<(String, String, Option<i64>)>>> =
+            Arc::new(PMutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let r = Router::new(Box::new(|_account| Box::new(ReadAware { n: 0 })))
+            .with_invoke_listener(Arc::new(move |account, call, resp| {
+                let n = resp.field("N").and_then(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    _ => None,
+                });
+                seen2
+                    .lock()
+                    .push((account.to_string(), call.api.clone(), n));
+            }));
+        r.invoke("a", &ApiCall::new("Bump")); // write path
+        r.invoke("a", &ApiCall::new("Get")); // proven-read path
+        r.reset("a"); // pseudo-call
+        r.invoke("b", &ApiCall::new("Get"));
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                ("a".to_string(), "Bump".to_string(), Some(1)),
+                ("a".to_string(), "Get".to_string(), Some(1)),
+                ("a".to_string(), "_reset".to_string(), None),
+                ("b".to_string(), "Get".to_string(), Some(0)),
+            ]
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::http::{self, HttpLimits, Response};
 use crate::obs::ServeMetrics;
-use crate::router::{BackendFactory, Router, PROBE_ACCOUNT};
+use crate::router::{BackendFactory, InvokeListener, Router, PROBE_ACCOUNT};
 use crate::wire;
 use crossbeam::channel;
 use lce_emulator::Backend;
@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `127.0.0.1:7583` (`:0` for an ephemeral port).
     pub addr: String,
@@ -66,6 +66,30 @@ pub struct ServerConfig {
     /// replay converges, so post-dispatch faults may hit it. `None` (the
     /// default) keeps the name-based [`wire::is_idempotent`] gate alone.
     pub retry_safe: Option<Arc<BTreeSet<String>>>,
+    /// Optional wire-level capture hook, fired by the router for every
+    /// dispatched invocation (and every reset, as the `_reset`
+    /// pseudo-call). `None` (the default) serves with no hook installed.
+    pub listener: Option<InvokeListener>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: `InvokeListener` is an `Arc<dyn Fn>`, which has no
+        // Debug; report its presence only.
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads)
+            .field("limits", &self.limits)
+            .field("read_timeout", &self.read_timeout)
+            .field("faults", &self.faults)
+            .field("obs", &self.obs.as_ref().map(|_| "ObsHub"))
+            .field("retry_safe", &self.retry_safe)
+            .field(
+                "listener",
+                &self.listener.as_ref().map(|_| "InvokeListener"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -78,6 +102,7 @@ impl Default for ServerConfig {
             faults: None,
             obs: None,
             retry_safe: None,
+            listener: None,
         }
     }
 }
@@ -105,6 +130,16 @@ impl ServerConfig {
     /// heuristic (proofs beat naming).
     pub fn with_retry_safe_apis(mut self, apis: Arc<BTreeSet<String>>) -> Self {
         self.retry_safe = Some(apis);
+        self
+    }
+
+    /// Attach a wire-level capture hook (see
+    /// [`InvokeListener`](crate::router::InvokeListener)): the router
+    /// reports every dispatched `(account, call, response)` triple to it,
+    /// including resets as the `_reset` pseudo-call, in each account's
+    /// true serialization order.
+    pub fn with_invoke_listener(mut self, listener: InvokeListener) -> Self {
+        self.listener = Some(listener);
         self
     }
 }
@@ -221,7 +256,11 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
         .as_ref()
         .map(|hub| Arc::new(ServeMetrics::new(Arc::clone(hub))));
 
-    let router = Arc::new(Router::new(factory));
+    let mut router = Router::new(factory);
+    if let Some(listener) = config.listener.clone() {
+        router = router.with_invoke_listener(listener);
+    }
+    let router = Arc::new(router);
     let shutdown = Arc::new(AtomicBool::new(false));
     let threads = config.threads.max(1);
     // Connections travel with their accept-order id so fault decisions

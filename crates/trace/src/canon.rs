@@ -1,0 +1,596 @@
+//! Canonical line-oriented text encoding for trace files.
+//!
+//! The wire format must be stable across engines, platforms, and releases:
+//! trace hashes are folded over these exact bytes, and committed golden
+//! traces are compared byte-for-byte in CI. The format is therefore
+//! hand-rolled rather than delegated to a serialization framework — every
+//! construct has exactly one rendering, values print as s-expressions with
+//! explicit type tags, and maps iterate in `BTreeMap` order.
+
+use lce_emulator::{ApiCall, ApiError, ApiResponse, Instance, ResourceId, ResourceStore, Value};
+use lce_spec::{ApiName, SmName};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// String escaping
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in a double-quoted token. Control
+/// characters get `\u{..}` so every trace line stays a single printable
+/// line (the hash folds per line).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a quoted string token.
+pub fn quote(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+/// A lexical token of the canonical format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A bare word: keyword, number, digest.
+    Atom(String),
+    /// A double-quoted, unescaped string literal.
+    Str(String),
+}
+
+/// Split one line into tokens. Fails on unterminated strings or bad escapes.
+pub fn tokenize(line: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(format!("unterminated string in line: {line}")),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('u') => {
+                                if chars.next() != Some('{') {
+                                    return Err("bad \\u escape: missing {".into());
+                                }
+                                let mut hex = String::new();
+                                loop {
+                                    match chars.next() {
+                                        Some('}') => break,
+                                        Some(h) => hex.push(h),
+                                        None => return Err("bad \\u escape: missing }".into()),
+                                    }
+                                }
+                                let n = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape {hex}: {e}"))?;
+                                s.push(
+                                    char::from_u32(n)
+                                        .ok_or_else(|| format!("bad codepoint {n:#x}"))?,
+                                );
+                            }
+                            other => return Err(format!("bad escape: \\{other:?}")),
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            _ => {
+                let mut a = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ' ' || c == '(' || c == ')' || c == '"' {
+                        break;
+                    }
+                    a.push(c);
+                    chars.next();
+                }
+                toks.push(Tok::Atom(a));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Cursor over a token slice, for recursive-descent parsing.
+pub struct Toks<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Toks<'a> {
+    /// Wrap a token slice.
+    pub fn new(toks: &'a [Tok]) -> Self {
+        Toks { toks, pos: 0 }
+    }
+
+    /// The next token without consuming it.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    /// Consume and return the next token.
+    pub fn take(&mut self) -> Result<&'a Tok, String> {
+        let t = self.toks.get(self.pos).ok_or("unexpected end of tokens")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consume an expected punctuation/keyword token.
+    pub fn expect(&mut self, want: &Tok) -> Result<(), String> {
+        let got = self.take()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    }
+
+    /// Consume an atom token and return its text.
+    pub fn atom(&mut self) -> Result<&'a str, String> {
+        match self.take()? {
+            Tok::Atom(a) => Ok(a),
+            other => Err(format!("expected atom, got {other:?}")),
+        }
+    }
+
+    /// Consume a string token and return its text.
+    pub fn string(&mut self) -> Result<&'a str, String> {
+        match self.take()? {
+            Tok::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// True when all tokens are consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+
+    /// Error unless all tokens are consumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(format!("trailing tokens: {:?}", &self.toks[self.pos..]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// Render a `Value` as a tagged s-expression, e.g. `(int 5)`,
+/// `(list (str "a") (null))`.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "(null)".into(),
+        Value::Int(n) => format!("(int {n})"),
+        Value::Bool(b) => format!("(bool {b})"),
+        Value::Str(s) => format!("(str {})", quote(s)),
+        Value::Enum(s) => format!("(enum {})", quote(s)),
+        Value::Ref(id) => format!("(ref {})", quote(id.as_str())),
+        Value::List(items) => {
+            let mut out = String::from("(list");
+            for item in items {
+                out.push(' ');
+                out.push_str(&encode_value(item));
+            }
+            out.push(')');
+            out
+        }
+    }
+}
+
+/// Parse one s-expression value from a token cursor.
+pub fn parse_value(t: &mut Toks) -> Result<Value, String> {
+    t.expect(&Tok::LParen)?;
+    let tag = t.atom()?.to_string();
+    let v = match tag.as_str() {
+        "null" => Value::Null,
+        "int" => Value::Int(
+            t.atom()?
+                .parse::<i64>()
+                .map_err(|e| format!("bad int: {e}"))?,
+        ),
+        "bool" => Value::Bool(match t.atom()? {
+            "true" => true,
+            "false" => false,
+            other => return Err(format!("bad bool: {other}")),
+        }),
+        "str" => Value::Str(t.string()?.to_string()),
+        "enum" => Value::Enum(t.string()?.to_string()),
+        "ref" => Value::Ref(ResourceId::new(t.string()?)),
+        "list" => {
+            let mut items = Vec::new();
+            while t.peek() != Some(&Tok::RParen) {
+                items.push(parse_value(t)?);
+            }
+            Value::List(items)
+        }
+        other => return Err(format!("unknown value tag: {other}")),
+    };
+    t.expect(&Tok::RParen)?;
+    Ok(v)
+}
+
+/// Parse a value from a standalone string (must consume all tokens).
+pub fn parse_value_str(s: &str) -> Result<Value, String> {
+    let toks = tokenize(s)?;
+    let mut t = Toks::new(&toks);
+    let v = parse_value(&mut t)?;
+    t.finish()?;
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Calls and responses
+// ---------------------------------------------------------------------------
+
+/// Render an `ApiCall` as `"Api" a "Name" (value) ...` argument lines are
+/// separate in trace files; this single-line form is used inside hashes and
+/// diagnostics.
+pub fn encode_call_args(call: &ApiCall) -> Vec<String> {
+    call.args
+        .iter()
+        .map(|(k, v)| format!("a {} {}", quote(k), encode_value(v)))
+        .collect()
+}
+
+/// Canonical multi-line rendering of an `ApiResponse`: `ok` plus `r` field
+/// lines, or `err` plus `ctx` context lines. Byte-equality of this encoding
+/// is the replay oracle's definition of "byte-equal responses".
+pub fn encode_response(resp: &ApiResponse) -> Vec<String> {
+    let mut lines = Vec::new();
+    match &resp.error {
+        None => {
+            lines.push("ok".to_string());
+            for (k, v) in &resp.fields {
+                lines.push(format!("r {} {}", quote(k), encode_value(v)));
+            }
+        }
+        Some(e) => {
+            lines.push(format!(
+                "err {} {}",
+                quote(e.code.as_str()),
+                quote(&e.message)
+            ));
+            if let Some(api) = &e.context.api {
+                lines.push(format!("ctx api {}", quote(&api.0)));
+            }
+            if let Some(rt) = &e.context.resource_type {
+                lines.push(format!("ctx rt {}", quote(&rt.0)));
+            }
+            if let Some(rid) = &e.context.resource_id {
+                lines.push(format!("ctx rid {}", quote(rid.as_str())));
+            }
+            if let Some(ai) = e.context.assert_index {
+                lines.push(format!("ctx ai {ai}"));
+            }
+            if !e.context.call_chain.is_empty() {
+                let mut line = String::from("ctx chain");
+                for a in &e.context.call_chain {
+                    line.push(' ');
+                    line.push_str(&quote(&a.0));
+                }
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+/// Single-string form of [`encode_response`], joined with `\n`. Two
+/// responses are byte-equal exactly when these strings are equal.
+pub fn response_bytes(resp: &ApiResponse) -> String {
+    encode_response(resp).join("\n")
+}
+
+/// Parse the lines produced by [`encode_response`]. Consumes lines from the
+/// slice starting at `*idx`; stops at the first line that does not belong
+/// to a response block.
+pub fn parse_response(lines: &[&str], idx: &mut usize) -> Result<ApiResponse, String> {
+    let head = *lines.get(*idx).ok_or("missing response line")?;
+    *idx += 1;
+    let toks = tokenize(head)?;
+    let mut t = Toks::new(&toks);
+    match t.atom()? {
+        "ok" => {
+            t.finish()?;
+            let mut fields = BTreeMap::new();
+            while let Some(line) = lines.get(*idx) {
+                if !line.starts_with("r ") {
+                    break;
+                }
+                let toks = tokenize(line)?;
+                let mut t = Toks::new(&toks);
+                t.expect(&Tok::Atom("r".into()))?;
+                let name = t.string()?.to_string();
+                let value = parse_value(&mut t)?;
+                t.finish()?;
+                fields.insert(name, value);
+                *idx += 1;
+            }
+            Ok(ApiResponse::ok(fields))
+        }
+        "err" => {
+            let code = t.string()?.to_string();
+            let message = t.string()?.to_string();
+            t.finish()?;
+            let mut err = ApiError::new(code, message);
+            while let Some(line) = lines.get(*idx) {
+                if !line.starts_with("ctx ") {
+                    break;
+                }
+                let toks = tokenize(line)?;
+                let mut t = Toks::new(&toks);
+                t.expect(&Tok::Atom("ctx".into()))?;
+                match t.atom()? {
+                    "api" => err.context.api = Some(ApiName(t.string()?.to_string())),
+                    "rt" => err.context.resource_type = Some(SmName(t.string()?.to_string())),
+                    "rid" => err.context.resource_id = Some(ResourceId::new(t.string()?)),
+                    "ai" => {
+                        err.context.assert_index = Some(
+                            t.atom()?
+                                .parse::<usize>()
+                                .map_err(|e| format!("bad assert index: {e}"))?,
+                        )
+                    }
+                    "chain" => {
+                        while !t.done() {
+                            err.context
+                                .call_chain
+                                .push(ApiName(t.string()?.to_string()));
+                        }
+                    }
+                    other => return Err(format!("unknown ctx field: {other}")),
+                }
+                t.finish()?;
+                *idx += 1;
+            }
+            Ok(ApiResponse::err(err))
+        }
+        other => Err(format!("expected ok/err, got {other}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+/// Canonical multi-line dump of a `ResourceStore`: instances (id order, the
+/// store's own `BTreeMap` order) then id counters.
+pub fn encode_store(store: &ResourceStore) -> Vec<String> {
+    let mut lines = vec!["store".to_string()];
+    for inst in store.iter() {
+        let parent = match &inst.parent {
+            None => "none".to_string(),
+            Some(p) => quote(p.as_str()),
+        };
+        lines.push(format!(
+            "inst {} {} parent {}",
+            quote(inst.id.as_str()),
+            quote(&inst.sm.0),
+            parent
+        ));
+        for (var, val) in &inst.state {
+            lines.push(format!("s {} {}", quote(var), encode_value(val)));
+        }
+    }
+    for (sm, n) in store.counters() {
+        lines.push(format!("counter {} {}", quote(&sm.0), n));
+    }
+    lines.push("endstore".to_string());
+    lines
+}
+
+/// Parse the lines produced by [`encode_store`], starting at `*idx` (which
+/// must point at the `store` line); leaves `*idx` past `endstore`.
+pub fn parse_store(lines: &[&str], idx: &mut usize) -> Result<ResourceStore, String> {
+    if lines.get(*idx).copied() != Some("store") {
+        return Err(format!("expected 'store', got {:?}", lines.get(*idx)));
+    }
+    *idx += 1;
+    let mut store = ResourceStore::new();
+    let mut current: Option<Instance> = None;
+    loop {
+        let line = *lines.get(*idx).ok_or("unterminated store block")?;
+        *idx += 1;
+        if line == "endstore" {
+            if let Some(inst) = current.take() {
+                store.put(inst);
+            }
+            return Ok(store);
+        }
+        let toks = tokenize(line)?;
+        let mut t = Toks::new(&toks);
+        match t.atom()? {
+            "inst" => {
+                if let Some(inst) = current.take() {
+                    store.put(inst);
+                }
+                let id = ResourceId::new(t.string()?);
+                let sm = SmName(t.string()?.to_string());
+                t.expect(&Tok::Atom("parent".into()))?;
+                let parent = match t.peek() {
+                    Some(Tok::Atom(a)) if a == "none" => {
+                        t.take()?;
+                        None
+                    }
+                    _ => Some(ResourceId::new(t.string()?)),
+                };
+                t.finish()?;
+                current = Some(Instance {
+                    id,
+                    sm,
+                    state: BTreeMap::new(),
+                    parent,
+                });
+            }
+            "s" => {
+                let var = t.string()?.to_string();
+                let val = parse_value(&mut t)?;
+                t.finish()?;
+                match &mut current {
+                    Some(inst) => {
+                        inst.state.insert(var, val);
+                    }
+                    None => return Err("state line outside an instance".into()),
+                }
+            }
+            "counter" => {
+                let sm = SmName(t.string()?.to_string());
+                let n = t
+                    .atom()?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad counter: {e}"))?;
+                t.finish()?;
+                if let Some(inst) = current.take() {
+                    store.put(inst);
+                }
+                store.set_counter(sm, n);
+            }
+            other => return Err(format!("unknown store line: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let enc = encode_value(&v);
+        assert_eq!(parse_value_str(&enc).unwrap(), v, "encoding: {enc}");
+    }
+
+    #[test]
+    fn values_round_trip_through_the_canonical_encoding() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Str("plain".into()));
+        roundtrip(Value::Str(
+            "with \"quotes\" and \\ and\nnewline\t\u{1}".into(),
+        ));
+        roundtrip(Value::Enum("available".into()));
+        roundtrip(Value::Ref(ResourceId::new("vpc-000001")));
+        roundtrip(Value::List(vec![
+            Value::Int(1),
+            Value::List(vec![Value::Null, Value::Str("x".into())]),
+            Value::Bool(false),
+        ]));
+    }
+
+    #[test]
+    fn escaping_is_invertible_on_awkward_strings() {
+        for s in ["", "\\", "\"", "\\\"", "\n\r\t", "\u{0}\u{1f}", "héllo ∀x"] {
+            let enc = quote(s);
+            let toks = tokenize(&enc).unwrap();
+            assert_eq!(toks, vec![Tok::Str(s.to_string())], "input: {s:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_full_error_context() {
+        let ok = ApiResponse::ok(BTreeMap::from([
+            ("VpcId".to_string(), Value::reference("vpc-000001")),
+            ("State".to_string(), Value::enum_val("available")),
+        ]));
+        let lines = encode_response(&ok);
+        let strs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let mut idx = 0;
+        assert_eq!(parse_response(&strs, &mut idx).unwrap(), ok);
+        assert_eq!(idx, strs.len());
+
+        let err = ApiResponse::err(
+            ApiError::new("DependencyViolation", "vpc has attached gateways")
+                .with_api(&ApiName("DeleteVpc".into()))
+                .with_resource_type(&SmName("Vpc".into()))
+                .with_resource_id(&ResourceId::new("vpc-000001"))
+                .with_assert_index(3),
+        );
+        let lines = encode_response(&err);
+        let strs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let mut idx = 0;
+        assert_eq!(parse_response(&strs, &mut idx).unwrap(), err);
+        assert_eq!(idx, strs.len());
+    }
+
+    #[test]
+    fn stores_round_trip_with_instances_counters_and_parents() {
+        let mut store = ResourceStore::new();
+        let sm = SmName("Vpc".into());
+        let id = store.fresh_id(&sm);
+        let mut inst = Instance {
+            id: id.clone(),
+            sm: sm.clone(),
+            state: BTreeMap::new(),
+            parent: None,
+        };
+        inst.set("State", Value::enum_val("available"));
+        inst.set("CidrBlock", Value::str("10.0.0.0/16"));
+        store.put(inst);
+        let sub = SmName("Subnet".into());
+        let sid = store.fresh_id(&sub);
+        let child = Instance {
+            id: sid.clone(),
+            sm: sub,
+            state: BTreeMap::from([("Zone".to_string(), Value::str("a"))]),
+            parent: Some(id.clone()),
+        };
+        store.put(child);
+
+        let lines = encode_store(&store);
+        let strs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let mut idx = 0;
+        let parsed = parse_store(&strs, &mut idx).unwrap();
+        assert_eq!(idx, strs.len());
+        assert_eq!(encode_store(&parsed), lines);
+        assert_eq!(
+            lce_faults::store_digest(&parsed),
+            lce_faults::store_digest(&store)
+        );
+        // Counters survive: the next fresh id must not collide.
+        let mut parsed = parsed;
+        let next = parsed.fresh_id(&sm);
+        assert_ne!(next, id);
+    }
+}

@@ -1,0 +1,45 @@
+//! `lce-trace`: canonical trace capture, deterministic replay, and ddmin
+//! minimization for learned cloud emulators.
+//!
+//! The paper's pitch rests on the emulator being *checkable*: synthesized
+//! state machines are only trustworthy if divergences are caught,
+//! reproduced, and pinned forever. This crate closes that loop:
+//!
+//! 1. **Record** ([`RecordingBackend`], [`record_calls`]): every call
+//!    through a (fault-injected) backend is captured — API, args, the
+//!    fault decision consumed from the [`FaultPlan`], `store_digest`
+//!    before/after, the effect footprint actually exercised, and the
+//!    response — folded into a stable trace hash.
+//! 2. **Replay** ([`replay`]): a trace file re-executes against any engine
+//!    (`interp`/`ir`/`dual`, any `--opt` level) and asserts byte-equal
+//!    responses, digests, faults, and effects.
+//! 3. **Minimize** ([`minimize`], [`ddmin`]): a failing run shrinks to a
+//!    1-minimal reproducing call sequence via classic delta debugging.
+//! 4. **Export** ([`export_test`]): a trace becomes a standalone,
+//!    committed Rust regression test.
+
+#![deny(missing_docs)]
+
+pub mod canon;
+pub mod ddmin;
+pub mod export;
+pub mod minimize;
+pub mod record;
+pub mod replay;
+pub mod schema;
+
+pub use canon::{encode_store, parse_store, response_bytes};
+pub use ddmin::{ddmin, is_one_minimal, DdminStats};
+pub use export::export_test;
+pub use minimize::{minimize, MinimizeOutcome, Subject};
+pub use record::{assemble, diff_stores, faults_rederive, new_sink, RecordingBackend, TraceSink};
+pub use replay::{
+    build_engine, build_faulted, record_calls, replay, resolve_catalog, BoxedBackend, Mismatch,
+    ReplayOptions, ReplayReport,
+};
+pub use schema::{catalog_digest, CallEffect, Trace, TraceCall, TraceHeader, TRACE_MAGIC};
+
+// Re-exports so generated regression tests depend only on this crate.
+pub use lce_faults::FaultPlan;
+pub use lce_ir::{Engine, OptLevel};
+pub use lce_spec::{parse_catalog, Catalog};

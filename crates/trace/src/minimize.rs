@@ -1,0 +1,278 @@
+//! Trace minimization: shrink a failing run to a 1-minimal reproducing
+//! call sequence with [`ddmin`](crate::ddmin::ddmin).
+//!
+//! The failure predicate is *differential*: a candidate subsequence
+//! reproduces the failure when a reference engine (the interpreter over
+//! the trace's own catalog) and a subject (another engine/opt level, or a
+//! suspected-defective catalog) disagree on any response or store digest.
+//! Both sides run under the trace's fault plan, so injected faults are
+//! identical on both and cancel out of the comparison — only genuine
+//! behavioural divergence survives.
+
+use crate::canon::response_bytes;
+use crate::ddmin::{ddmin, is_one_minimal, DdminStats};
+use crate::replay::{record_calls, resolve_catalog, BoxedBackend};
+use crate::schema::Trace;
+use lce_emulator::{ApiCall, Backend, Emulator, EmulatorConfig, ResourceStore};
+use lce_faults::{no_sleep, store_digest, FaultPlan, FaultyBackend};
+use lce_ir::{compile, optimize, CompiledCatalog, CompiledEmulator, Engine, OptLevel};
+use lce_spec::Catalog;
+use std::sync::Arc;
+
+/// What to compare the reference interpreter against.
+#[derive(Debug, Clone)]
+pub enum Subject {
+    /// Another engine/opt level over the *same* catalog (cross-engine
+    /// divergence hunting).
+    Engine(Engine, OptLevel),
+    /// The interpreter over a *different* catalog (defect localization:
+    /// e.g. a synthesized catalog vs the golden one).
+    Catalog(Catalog),
+}
+
+/// A reusable factory of fresh engine instances. Compilation happens once;
+/// every `build` call returns a pristine backend sharing the compiled
+/// artifact, which keeps the ddmin predicate cheap.
+struct EngineFactory {
+    catalog: Catalog,
+    engine: Engine,
+    compiled: Option<Arc<CompiledCatalog>>,
+}
+
+impl EngineFactory {
+    fn new(catalog: Catalog, engine: Engine, opt: OptLevel) -> Result<Self, String> {
+        let compiled = match engine {
+            Engine::Interp => None,
+            Engine::Ir | Engine::Dual => {
+                let mut cc = compile(&catalog).map_err(|e| format!("compile: {e:?}"))?;
+                optimize(&mut cc, opt).map_err(|e| format!("optimize: {e:?}"))?;
+                Some(Arc::new(cc))
+            }
+        };
+        Ok(EngineFactory {
+            catalog,
+            engine,
+            compiled,
+        })
+    }
+
+    fn build(&self) -> BoxedBackend {
+        let interp = || Emulator::with_config(self.catalog.clone(), EmulatorConfig::framework());
+        match self.engine {
+            Engine::Interp => Box::new(interp()),
+            Engine::Ir => Box::new(CompiledEmulator::from_compiled(
+                self.compiled.clone().unwrap(),
+                EmulatorConfig::framework(),
+            )),
+            Engine::Dual => Box::new(lce_ir::DualBackend::from_engines(
+                interp(),
+                CompiledEmulator::from_compiled(
+                    self.compiled.clone().unwrap(),
+                    EmulatorConfig::framework(),
+                ),
+            )),
+        }
+    }
+}
+
+fn digest_of(backend: &impl Backend) -> String {
+    match backend.snapshot() {
+        Some(store) => store_digest(&store),
+        None => store_digest(&ResourceStore::new()),
+    }
+}
+
+/// Run `calls` on two fresh faulted backends and report whether they
+/// diverge on any response bytes or any per-call store digest.
+fn runs_differ(
+    reference: &EngineFactory,
+    subject: &EngineFactory,
+    plan: &Arc<FaultPlan>,
+    scope: &str,
+    calls: &[ApiCall],
+) -> bool {
+    let mut a = FaultyBackend::new(reference.build(), plan.clone(), scope).with_sleeper(no_sleep());
+    let mut b = FaultyBackend::new(subject.build(), plan.clone(), scope).with_sleeper(no_sleep());
+    for call in calls {
+        if call.api == "_reset" {
+            a.reset();
+            b.reset();
+        } else {
+            let ra = a.invoke(call);
+            let rb = b.invoke(call);
+            if response_bytes(&ra) != response_bytes(&rb) {
+                return true;
+            }
+        }
+        if digest_of(&a) != digest_of(&b) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The 1-minimal reproducing call sequence.
+    pub core: Vec<ApiCall>,
+    /// The core re-recorded on the reference engine: a valid trace file
+    /// ready for `export-test`.
+    pub minimized: Trace,
+    /// ddmin run statistics.
+    pub stats: DdminStats,
+}
+
+/// Minimize `trace` against `subject`. The full call sequence must already
+/// reproduce a divergence between the reference interpreter and the
+/// subject; the result is guaranteed 1-minimal (checked, not assumed).
+pub fn minimize(
+    trace: &Trace,
+    catalog: Option<Catalog>,
+    subject: &Subject,
+) -> Result<MinimizeOutcome, String> {
+    let ref_catalog = resolve_catalog(trace, catalog)?;
+    let reference = EngineFactory::new(ref_catalog.clone(), Engine::Interp, OptLevel::O0)?;
+    let subject = match subject {
+        Subject::Engine(engine, opt) => EngineFactory::new(ref_catalog.clone(), *engine, *opt)?,
+        Subject::Catalog(c) => EngineFactory::new(c.clone(), Engine::Interp, OptLevel::O0)?,
+    };
+    let plan = Arc::new(trace.header.plan.clone());
+    let scope = trace.header.scope.clone();
+
+    let calls: Vec<ApiCall> = trace.calls.iter().map(|c| c.to_call()).collect();
+    let fails = |subset: &[ApiCall]| runs_differ(&reference, &subject, &plan, &scope, subset);
+    if !fails(&calls) {
+        return Err(
+            "the subject does not diverge from the reference on this trace; nothing to minimize"
+                .to_string(),
+        );
+    }
+
+    let (core, stats) = ddmin(&calls, fails);
+    debug_assert!(is_one_minimal(&core, fails));
+
+    let minimized = record_calls(
+        &trace.header.provider,
+        &ref_catalog,
+        &plan,
+        &scope,
+        Engine::Interp,
+        OptLevel::O0,
+        &core,
+    )?;
+    Ok(MinimizeOutcome {
+        core,
+        minimized,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::Value;
+    use lce_spec::SmName;
+
+    /// A defective Nimbus: DeleteVpc forgets its dependency checks — the
+    /// paper's §2 Moto bug, seeded deliberately.
+    fn defective_nimbus() -> Catalog {
+        let mut catalog = lce_cloud::nimbus_provider().catalog;
+        let src = lce_spec::print_sm(catalog.get(&SmName::new("Vpc")).unwrap());
+        let defective: Vec<&str> = src
+            .lines()
+            .filter(|l| !(l.contains("assert") && l.contains("DependencyViolation")))
+            .collect();
+        assert!(
+            defective.len() < src.lines().count(),
+            "the seeded defect must actually remove the dependency asserts"
+        );
+        let sm = lce_spec::parse_sm(&defective.join("\n")).expect("defective Vpc parses");
+        catalog.insert(sm);
+        catalog
+    }
+
+    fn failing_sequence() -> Vec<ApiCall> {
+        vec![
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+            ApiCall::new("CreateInternetGateway"),
+            ApiCall::new("AttachInternetGateway")
+                .arg("InternetGatewayId", Value::reference("ig-000001"))
+                .arg("VpcId", Value::reference("vpc-000001")),
+            ApiCall::new("DeleteVpc").arg("VpcId", Value::reference("vpc-000001")),
+        ]
+    }
+
+    #[test]
+    fn the_seeded_defect_is_localized_to_the_dependency_chain() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let plan = FaultPlan::none(3);
+        // The failing core leads, so its resource ids (`vpc-000001`,
+        // `ig-000001`) do not depend on how much noise survives; noise
+        // creates and describes are interleaved after it.
+        let mut calls = failing_sequence();
+        let delete = calls.pop().unwrap();
+        for i in 0..8 {
+            calls.push(
+                ApiCall::new("CreateVpc")
+                    .arg_str("CidrBlock", format!("172.{i}.0.0/16"))
+                    .arg_str("Region", "us-west"),
+            );
+        }
+        calls.push(delete);
+        for _ in 0..4 {
+            calls.push(ApiCall::new("DescribeVpc").arg("VpcId", Value::reference("vpc-000001")));
+        }
+
+        let trace = record_calls(
+            "nimbus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &calls,
+        )
+        .unwrap();
+        let outcome = minimize(&trace, None, &Subject::Catalog(defective_nimbus())).unwrap();
+        let apis: Vec<&str> = outcome.core.iter().map(|c| c.api.as_str()).collect();
+        // 1-minimal core: a create arming the id, the gateway, the attach
+        // arming the dependency, and the delete that trips the missing
+        // check. Every noise call is gone.
+        assert_eq!(
+            apis,
+            vec![
+                "CreateVpc",
+                "CreateInternetGateway",
+                "AttachInternetGateway",
+                "DeleteVpc"
+            ]
+        );
+        assert!(outcome.stats.final_len < outcome.stats.initial_len);
+        // The minimized trace is a real trace: it replays cleanly on the
+        // reference and still reproduces on the subject.
+        let report = crate::replay::replay(&outcome.minimized, None, Default::default()).unwrap();
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn minimize_refuses_a_trace_with_no_divergence() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let plan = FaultPlan::none(3);
+        let trace = record_calls(
+            "nimbus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &failing_sequence(),
+        )
+        .unwrap();
+        // Subject = ir over the same catalog: engines agree, nothing to do.
+        let err = minimize(&trace, None, &Subject::Engine(Engine::Ir, OptLevel::MAX)).unwrap_err();
+        assert!(err.contains("does not diverge"), "{err}");
+    }
+}

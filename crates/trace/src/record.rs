@@ -1,0 +1,380 @@
+//! Trace recording: a [`RecordingBackend`] wrapper that captures every
+//! invocation flowing through a (possibly fault-injected) backend into
+//! [`TraceCall`] records.
+//!
+//! The recorder sits *outside* the `FaultyBackend`, so it observes exactly
+//! what the client observes — injected errors included. It does not ask the
+//! fault layer what it did; instead it mirrors the plan's pure
+//! `decide_invoke` with its own invocation counter, which stays aligned
+//! with `FaultyBackend`'s because both count only `invoke` calls. Recorded
+//! fault decisions are therefore the decisions actually consumed.
+
+use crate::schema::{CallEffect, Trace, TraceCall, TraceHeader};
+use lce_emulator::{ApiCall, ApiResponse, Backend, ResourceStore};
+use lce_faults::{store_digest, BackendFault, FaultPlan};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared sink the recorder appends [`TraceCall`]s to. Cloneable so a
+/// serving factory can keep one handle per account while the router owns
+/// the backend.
+pub type TraceSink = Arc<Mutex<Vec<TraceCall>>>;
+
+/// Create an empty sink.
+pub fn new_sink() -> TraceSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Diff two store snapshots into the effect footprint the call exercised.
+/// Deterministic: creates/destroys in id order, writes in `(id, var)`
+/// order; parent re-wiring reports the pseudo-variable `@parent`.
+pub fn diff_stores(pre: &ResourceStore, post: &ResourceStore) -> CallEffect {
+    let mut effect = CallEffect::default();
+    for inst in post.iter() {
+        if pre.get(&inst.id).is_none() {
+            effect
+                .creates
+                .push((inst.id.as_str().to_string(), inst.sm.0.clone()));
+        }
+    }
+    for inst in pre.iter() {
+        match post.get(&inst.id) {
+            None => effect
+                .destroys
+                .push((inst.id.as_str().to_string(), inst.sm.0.clone())),
+            Some(after) => {
+                let vars: BTreeSet<&String> = inst.state.keys().chain(after.state.keys()).collect();
+                for var in vars {
+                    if inst.state.get(var) != after.state.get(var) {
+                        effect
+                            .writes
+                            .push((inst.id.as_str().to_string(), var.clone()));
+                    }
+                }
+                if inst.parent != after.parent {
+                    effect
+                        .writes
+                        .push((inst.id.as_str().to_string(), "@parent".to_string()));
+                }
+            }
+        }
+    }
+    effect
+}
+
+fn digest_of(snapshot: &Option<ResourceStore>) -> String {
+    match snapshot {
+        Some(store) => store_digest(store),
+        None => store_digest(&ResourceStore::new()),
+    }
+}
+
+/// A backend wrapper that records every invocation (and reset) into a
+/// [`TraceSink`], mirroring the fault plan's per-invocation decisions.
+pub struct RecordingBackend<B: Backend> {
+    inner: B,
+    plan: Arc<FaultPlan>,
+    scope: String,
+    seq: AtomicU64,
+    sink: TraceSink,
+}
+
+impl<B: Backend> RecordingBackend<B> {
+    /// Wrap `inner` (typically a `FaultyBackend` sharing `plan` and
+    /// `scope`), appending records to `sink`.
+    pub fn new(inner: B, plan: Arc<FaultPlan>, scope: impl Into<String>, sink: TraceSink) -> Self {
+        RecordingBackend {
+            inner,
+            plan,
+            scope: scope.into(),
+            seq: AtomicU64::new(0),
+            sink,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Number of records captured so far.
+    pub fn recorded(&self) -> usize {
+        self.sink.lock().unwrap().len()
+    }
+}
+
+impl<B: Backend> Backend for RecordingBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn invoke(&mut self, call: &ApiCall) -> ApiResponse {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.decide_invoke(&self.scope, &call.api, seq);
+        let pre = self.inner.snapshot();
+        let response = self.inner.invoke(call);
+        let post = self.inner.snapshot();
+        let effect = match (&pre, &post) {
+            (Some(a), Some(b)) => diff_stores(a, b),
+            _ => CallEffect::default(),
+        };
+        self.sink.lock().unwrap().push(TraceCall {
+            api: call.api.clone(),
+            args: call.args.clone(),
+            fault,
+            pre_digest: digest_of(&pre),
+            response: response.clone(),
+            effect,
+            post_digest: digest_of(&post),
+        });
+        response
+    }
+
+    // invoke_read stays at the default `None`: reads must flow through
+    // `invoke` so capture order is the true serialization order and the
+    // mirrored fault counter stays aligned with the fault layer's.
+
+    fn reset(&mut self) {
+        let pre = self.inner.snapshot();
+        self.inner.reset();
+        let post = self.inner.snapshot();
+        let effect = match (&pre, &post) {
+            (Some(a), Some(b)) => diff_stores(a, b),
+            _ => CallEffect::default(),
+        };
+        self.sink.lock().unwrap().push(TraceCall {
+            api: "_reset".to_string(),
+            args: Default::default(),
+            fault: None,
+            pre_digest: digest_of(&pre),
+            response: ApiResponse::ok(Default::default()),
+            effect,
+            post_digest: digest_of(&post),
+        });
+    }
+
+    fn api_names(&self) -> Vec<String> {
+        self.inner.api_names()
+    }
+
+    fn supports(&self, api: &str) -> bool {
+        self.inner.supports(api)
+    }
+
+    fn snapshot(&self) -> Option<ResourceStore> {
+        self.inner.snapshot()
+    }
+}
+
+/// Assemble a [`Trace`] from a drained sink plus provenance.
+pub fn assemble(
+    provider: impl Into<String>,
+    catalog_digest: String,
+    scope: impl Into<String>,
+    plan: &FaultPlan,
+    calls: Vec<TraceCall>,
+) -> Trace {
+    Trace {
+        header: TraceHeader {
+            provider: provider.into(),
+            catalog_digest,
+            scope: scope.into(),
+            plan: plan.clone(),
+        },
+        calls,
+    }
+}
+
+/// Sanity filter used by dump paths: a trace records faults it actually
+/// consumed, so every recorded fault decision must re-derive from the plan.
+pub fn faults_rederive(trace: &Trace) -> bool {
+    let mut seq = 0u64;
+    for call in &trace.calls {
+        if call.is_reset() {
+            continue;
+        }
+        let expect = trace
+            .header
+            .plan
+            .decide_invoke(&trace.header.scope, &call.api, seq);
+        if expect.as_ref().map(BackendFault::kind) != call.fault.as_ref().map(BackendFault::kind) {
+            return false;
+        }
+        seq += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::{Emulator, Value};
+    use lce_faults::{no_sleep, FaultyBackend};
+
+    /// The paper's §2 example as a call sequence; ids are chained from the
+    /// recorded responses so the sequence works on any backend.
+    fn dependency_violation_calls(backend: &mut impl Backend) -> Vec<ApiCall> {
+        let mut issued = Vec::new();
+        let mut run = |call: ApiCall| -> ApiResponse {
+            let resp = backend.invoke(&call);
+            issued.push(call);
+            resp
+        };
+        let vpc = run(ApiCall::new("CreateVpc")
+            .arg_str("CidrBlock", "10.0.0.0/16")
+            .arg_str("Region", "us-east"))
+        .field("VpcId")
+        .unwrap()
+        .clone();
+        let igw = run(ApiCall::new("CreateInternetGateway"))
+            .field("InternetGatewayId")
+            .unwrap()
+            .clone();
+        run(ApiCall::new("AttachInternetGateway")
+            .arg("InternetGatewayId", igw)
+            .arg("VpcId", vpc.clone()));
+        run(ApiCall::new("DeleteVpc").arg("VpcId", vpc));
+        issued
+    }
+
+    #[test]
+    fn recorder_is_transparent_and_captures_the_run() {
+        let plan = Arc::new(FaultPlan::none(7));
+        let sink = new_sink();
+        let mut plain = lce_cloud::nimbus_provider().golden_cloud();
+        let mut rec = RecordingBackend::new(
+            FaultyBackend::new(
+                lce_cloud::nimbus_provider().golden_cloud(),
+                plan.clone(),
+                "acct-0",
+            )
+            .with_sleeper(no_sleep()),
+            plan.clone(),
+            "acct-0",
+            sink.clone(),
+        );
+        for call in dependency_violation_calls(&mut plain) {
+            let b = rec.invoke(&call);
+            // Same call against a fresh golden must match the plain run's
+            // behaviour class; exact byte equality is covered by replay.
+            assert_eq!(b.is_ok(), call.api != "DeleteVpc", "{:?}", b.error);
+        }
+        let calls = sink.lock().unwrap().clone();
+        assert_eq!(calls.len(), 4);
+        assert_eq!(calls[0].api, "CreateVpc");
+        assert_eq!(calls[0].effect.creates.len(), 1);
+        assert_eq!(calls[0].effect.creates[0].1, "Vpc");
+        assert!(calls[0].fault.is_none());
+        assert_ne!(calls[0].pre_digest, calls[0].post_digest);
+        // The final DeleteVpc hits the dependency violation: no effect.
+        assert!(calls[3].response.error.is_some());
+        assert!(calls[3].effect.is_empty());
+        assert_eq!(calls[3].pre_digest, calls[3].post_digest);
+    }
+
+    #[test]
+    fn recorded_faults_mirror_the_fault_layer_exactly() {
+        let plan = Arc::new(FaultPlan::named("standard", 3).unwrap());
+        let sink = new_sink();
+        let mut rec = RecordingBackend::new(
+            FaultyBackend::new(
+                lce_cloud::nimbus_provider().golden_cloud(),
+                plan.clone(),
+                "acct-0",
+            )
+            .with_sleeper(no_sleep()),
+            plan.clone(),
+            "acct-0",
+            sink.clone(),
+        );
+        // Spray enough calls that the standard plan certainly fires.
+        for i in 0..200 {
+            let call = ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", format!("10.{}.0.0/16", i % 256))
+                .arg_str("Region", "us-east");
+            let resp = rec.invoke(&call);
+            let recorded = sink.lock().unwrap().last().unwrap().clone();
+            match &recorded.fault {
+                Some(BackendFault::TransientError) => {
+                    assert_eq!(resp.error_code(), Some(lce_faults::INJECTED_INTERNAL_ERROR));
+                    assert!(recorded.effect.is_empty(), "injected errors never mutate");
+                }
+                Some(BackendFault::Throttle) => {
+                    assert_eq!(resp.error_code(), Some(lce_faults::INJECTED_THROTTLE));
+                    assert!(recorded.effect.is_empty());
+                }
+                _ => assert!(resp.is_ok()),
+            }
+        }
+        let digest_trace = assemble(
+            "nimbus",
+            crate::schema::catalog_digest(&lce_cloud::nimbus_provider().catalog),
+            "acct-0",
+            &plan,
+            sink.lock().unwrap().clone(),
+        );
+        assert!(faults_rederive(&digest_trace));
+        let injected = digest_trace
+            .calls
+            .iter()
+            .filter(|c| c.fault.is_some())
+            .count();
+        assert!(injected > 0, "standard plan must fire over 200 calls");
+    }
+
+    #[test]
+    fn reset_is_recorded_as_a_pseudo_call_without_consuming_fault_slots() {
+        let plan = Arc::new(FaultPlan::named("standard", 3).unwrap());
+        let sink = new_sink();
+        let golden = lce_cloud::nimbus_provider().golden_cloud();
+        let mut rec = RecordingBackend::new(
+            FaultyBackend::new(golden, plan.clone(), "acct-0").with_sleeper(no_sleep()),
+            plan.clone(),
+            "acct-0",
+            sink.clone(),
+        );
+        let create = ApiCall::new("CreateVpc")
+            .arg_str("CidrBlock", "10.0.0.0/16")
+            .arg_str("Region", "us-east");
+        rec.invoke(&create);
+        rec.reset();
+        rec.invoke(&create);
+        let calls = sink.lock().unwrap().clone();
+        assert_eq!(calls.len(), 3);
+        assert!(calls[1].is_reset());
+        assert_eq!(calls[1].post_digest, store_digest(&ResourceStore::new()));
+        // The reset clears instances but the trace still rederives: resets
+        // do not advance the mirrored fault counter.
+        let trace = assemble(
+            "nimbus",
+            crate::schema::catalog_digest(&lce_cloud::nimbus_provider().catalog),
+            "acct-0",
+            &plan,
+            calls,
+        );
+        assert!(faults_rederive(&trace));
+    }
+
+    #[test]
+    fn diff_stores_reports_writes_and_parent_moves() {
+        let mut emu = Emulator::new(lce_cloud::nimbus_provider().catalog);
+        let resp = emu.invoke(
+            &ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+        );
+        let id = resp.field("VpcId").unwrap().as_ref_id().unwrap().clone();
+        let pre = emu.snapshot().unwrap();
+        let mut post = pre.clone();
+        post.get_mut(&id)
+            .unwrap()
+            .set("State", Value::enum_val("pending"));
+        let effect = diff_stores(&pre, &post);
+        assert!(effect.creates.is_empty() && effect.destroys.is_empty());
+        assert_eq!(
+            effect.writes,
+            vec![(id.as_str().to_string(), "State".to_string())]
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Deterministic trace replay: re-execute a recorded trace against any
+//! engine at any optimization level and assert byte-equal responses,
+//! digests, fault decisions, and effect footprints.
+
+use crate::record::diff_stores;
+use crate::schema::{catalog_digest, Trace};
+use lce_emulator::{Backend, Emulator, EmulatorConfig, ResourceStore};
+use lce_faults::{no_sleep, store_digest, FaultPlan, FaultyBackend};
+use lce_ir::{
+    compile, optimize, CompiledEmulator, DivergencePolicy, DualBackend, Engine, OptLevel,
+};
+use lce_spec::Catalog;
+use std::sync::Arc;
+
+/// A boxed engine backend, shippable across the replay helpers.
+pub type BoxedBackend = Box<dyn Backend + Send + Sync>;
+
+/// Build a fresh engine over `catalog`. The interpreter ignores `opt`;
+/// `ir` and `dual` compile and optimize at the requested level. All
+/// engines run under the framework config, matching
+/// [`lce_cloud::Provider::golden_cloud`].
+pub fn build_engine(
+    catalog: &Catalog,
+    engine: Engine,
+    opt: OptLevel,
+) -> Result<BoxedBackend, String> {
+    let interp = || Emulator::with_config(catalog.clone(), EmulatorConfig::framework());
+    let compiled = || -> Result<CompiledEmulator, String> {
+        let mut cc = compile(catalog).map_err(|e| format!("compile: {e:?}"))?;
+        optimize(&mut cc, opt).map_err(|e| format!("optimize: {e:?}"))?;
+        Ok(CompiledEmulator::from_compiled(
+            Arc::new(cc),
+            EmulatorConfig::framework(),
+        ))
+    };
+    Ok(match engine {
+        Engine::Interp => Box::new(interp()),
+        Engine::Ir => Box::new(compiled()?),
+        Engine::Dual => Box::new(
+            DualBackend::from_engines(interp(), compiled()?).with_policy(DivergencePolicy::Record),
+        ),
+    })
+}
+
+/// Build an engine wrapped in the trace's fault layer: the exact stack a
+/// recorded run saw (minus the wire).
+pub fn build_faulted(
+    catalog: &Catalog,
+    engine: Engine,
+    opt: OptLevel,
+    plan: Arc<FaultPlan>,
+    scope: &str,
+) -> Result<FaultyBackend<BoxedBackend>, String> {
+    Ok(
+        FaultyBackend::new(build_engine(catalog, engine, opt)?, plan, scope)
+            .with_sleeper(no_sleep()),
+    )
+}
+
+/// Resolve the catalog a trace was recorded against. Golden providers
+/// resolve by name; `custom` traces need the caller to supply the catalog
+/// (e.g. parsed from an embedded spec).
+pub fn resolve_catalog(trace: &Trace, supplied: Option<Catalog>) -> Result<Catalog, String> {
+    let catalog = match (trace.header.provider.as_str(), supplied) {
+        (_, Some(c)) => c,
+        ("nimbus", None) => lce_cloud::nimbus_provider().catalog,
+        ("stratus", None) => lce_cloud::stratus_provider().catalog,
+        (other, None) => {
+            return Err(format!(
+                "trace provider '{other}' is not a golden catalog; pass the catalog explicitly"
+            ))
+        }
+    };
+    Ok(catalog)
+}
+
+/// Replay options.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOptions {
+    /// Engine to replay on.
+    pub engine: Engine,
+    /// Optimization level for compiled engines.
+    pub opt: OptLevel,
+    /// Verify the catalog digest in the header before replaying. Disable
+    /// only when deliberately replaying against a *different* catalog
+    /// (e.g. a suspected-defective one).
+    pub check_catalog_digest: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            engine: Engine::Interp,
+            opt: OptLevel::O0,
+            check_catalog_digest: true,
+        }
+    }
+}
+
+/// One replay divergence, pinpointed to a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Call index within the trace.
+    pub index: usize,
+    /// API name at that index.
+    pub api: String,
+    /// Which facet diverged: `response`, `pre-digest`, `post-digest`,
+    /// `fault`, `effect`.
+    pub facet: &'static str,
+    /// The trace's recorded rendering.
+    pub expected: String,
+    /// The replay's rendering.
+    pub actual: String,
+}
+
+/// The outcome of replaying one trace on one engine.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Engine replayed on.
+    pub engine: Engine,
+    /// Optimization level used.
+    pub opt: OptLevel,
+    /// Number of calls replayed.
+    pub calls: usize,
+    /// All divergences found (empty means a byte-identical replay).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl ReplayReport {
+    /// True when the replay was byte-identical to the recording.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Stable human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replay engine={} opt={} calls={} mismatches={}\n",
+            self.engine,
+            self.opt,
+            self.calls,
+            self.mismatches.len()
+        );
+        for m in &self.mismatches {
+            out.push_str(&format!(
+                "  call {} {} {}: recorded {} / replayed {}\n",
+                m.index, m.api, m.facet, m.expected, m.actual
+            ));
+        }
+        out
+    }
+}
+
+fn digest_of(backend: &impl Backend) -> String {
+    match backend.snapshot() {
+        Some(store) => store_digest(&store),
+        None => store_digest(&ResourceStore::new()),
+    }
+}
+
+/// Replay `trace` against a freshly built engine and compare every facet
+/// of every call byte-for-byte. Returns the report; errors only on setup
+/// failures (unknown provider, catalog digest mismatch, compile errors).
+pub fn replay(
+    trace: &Trace,
+    catalog: Option<Catalog>,
+    opts: ReplayOptions,
+) -> Result<ReplayReport, String> {
+    let catalog = resolve_catalog(trace, catalog)?;
+    if opts.check_catalog_digest {
+        let actual = catalog_digest(&catalog);
+        if actual != trace.header.catalog_digest {
+            return Err(format!(
+                "catalog digest mismatch: trace was recorded against {}, replaying against {}",
+                trace.header.catalog_digest, actual
+            ));
+        }
+    }
+    let plan = Arc::new(trace.header.plan.clone());
+    let mut backend = build_faulted(&catalog, opts.engine, opts.opt, plan, &trace.header.scope)?;
+
+    let mut mismatches = Vec::new();
+    let mut push =
+        |index: usize, api: &str, facet: &'static str, expected: String, actual: String| {
+            if expected != actual {
+                mismatches.push(Mismatch {
+                    index,
+                    api: api.to_string(),
+                    facet,
+                    expected,
+                    actual,
+                });
+            }
+        };
+
+    for (i, c) in trace.calls.iter().enumerate() {
+        let pre_snapshot = backend.snapshot();
+        push(
+            i,
+            &c.api,
+            "pre-digest",
+            c.pre_digest.clone(),
+            digest_of(&backend),
+        );
+        let response = if c.is_reset() {
+            backend.reset();
+            lce_emulator::ApiResponse::ok(Default::default())
+        } else {
+            backend.invoke(&c.to_call())
+        };
+        push(
+            i,
+            &c.api,
+            "response",
+            crate::canon::response_bytes(&c.response),
+            crate::canon::response_bytes(&response),
+        );
+        let post_snapshot = backend.snapshot();
+        push(
+            i,
+            &c.api,
+            "post-digest",
+            c.post_digest.clone(),
+            digest_of(&backend),
+        );
+        if let (Some(pre), Some(post)) = (&pre_snapshot, &post_snapshot) {
+            let effect = diff_stores(pre, post);
+            if effect != c.effect {
+                push(
+                    i,
+                    &c.api,
+                    "effect",
+                    format!("{:?}", c.effect),
+                    format!("{effect:?}"),
+                );
+            }
+        }
+    }
+    // The fault stream is pure, so re-derive it once against the plan
+    // rather than per-call: a trace whose recorded faults do not re-derive
+    // was not produced by its own header.
+    if !crate::record::faults_rederive(trace) {
+        mismatches.push(Mismatch {
+            index: 0,
+            api: String::new(),
+            facet: "fault",
+            expected: "recorded fault stream".into(),
+            actual: "plan-derived fault stream".into(),
+        });
+    }
+
+    Ok(ReplayReport {
+        engine: opts.engine,
+        opt: opts.opt,
+        calls: trace.calls.len(),
+        mismatches,
+    })
+}
+
+/// Record a call sequence from scratch: run `calls` through a fresh
+/// faulted engine with a recorder attached, returning the trace.
+pub fn record_calls(
+    provider: &str,
+    catalog: &Catalog,
+    plan: &FaultPlan,
+    scope: &str,
+    engine: Engine,
+    opt: OptLevel,
+    calls: &[lce_emulator::ApiCall],
+) -> Result<Trace, String> {
+    let plan = Arc::new(plan.clone());
+    let sink = crate::record::new_sink();
+    let inner = build_faulted(catalog, engine, opt, plan.clone(), scope)?;
+    let mut rec = crate::record::RecordingBackend::new(inner, plan.clone(), scope, sink.clone());
+    for call in calls {
+        if call.api == "_reset" {
+            rec.reset();
+        } else {
+            rec.invoke(call);
+        }
+    }
+    let recorded = std::mem::take(&mut *sink.lock().unwrap());
+    Ok(crate::record::assemble(
+        provider,
+        catalog_digest(catalog),
+        scope,
+        &plan,
+        recorded,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::{ApiCall, Value};
+
+    fn scenario_calls() -> Vec<ApiCall> {
+        vec![
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.0.0.0/16")
+                .arg_str("Region", "us-east"),
+            ApiCall::new("CreateInternetGateway"),
+            ApiCall::new("DescribeVpc").arg("VpcId", Value::reference("vpc-000001")),
+            ApiCall::new("_reset"),
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", "10.9.0.0/16")
+                .arg_str("Region", "us-west"),
+        ]
+    }
+
+    #[test]
+    fn a_recorded_trace_replays_cleanly_on_every_engine_and_opt_level() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let plan = FaultPlan::named("standard", 11).unwrap();
+        let trace = record_calls(
+            "nimbus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &scenario_calls(),
+        )
+        .unwrap();
+        for engine in [Engine::Interp, Engine::Ir, Engine::Dual] {
+            for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+                let report = replay(
+                    &trace,
+                    None,
+                    ReplayOptions {
+                        engine,
+                        opt,
+                        check_catalog_digest: true,
+                    },
+                )
+                .unwrap();
+                assert!(
+                    report.ok(),
+                    "engine={engine} opt={opt}:\n{}",
+                    report.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_hash_is_a_record_replay_fixed_point() {
+        let catalog = lce_cloud::stratus_provider().catalog;
+        let plan = FaultPlan::none(5);
+        let calls = vec![ApiCall::new("_reset")];
+        let trace = record_calls(
+            "stratus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &calls,
+        )
+        .unwrap();
+        let rerecorded = record_calls(
+            "stratus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Ir,
+            OptLevel::MAX,
+            &calls,
+        )
+        .unwrap();
+        assert_eq!(trace.hash(), rerecorded.hash(), "engine-invariant hash");
+        assert_eq!(trace.encode(), rerecorded.encode());
+    }
+
+    #[test]
+    fn replay_flags_a_response_tampered_after_recording() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let plan = FaultPlan::none(1);
+        let mut trace = record_calls(
+            "nimbus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &scenario_calls(),
+        )
+        .unwrap();
+        trace.calls[0]
+            .response
+            .fields
+            .insert("VpcId".into(), Value::reference("vpc-ffffff"));
+        let report = replay(&trace, None, ReplayOptions::default()).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.mismatches[0].facet, "response");
+        assert_eq!(report.mismatches[0].index, 0);
+    }
+
+    #[test]
+    fn replay_refuses_a_mismatched_catalog_digest() {
+        let catalog = lce_cloud::nimbus_provider().catalog;
+        let plan = FaultPlan::none(1);
+        let mut trace = record_calls(
+            "nimbus",
+            &catalog,
+            &plan,
+            "acct-0",
+            Engine::Interp,
+            OptLevel::O0,
+            &[ApiCall::new("DescribeVpc").arg("VpcId", Value::reference("vpc-000001"))],
+        )
+        .unwrap();
+        trace.header.catalog_digest = "0000000000000000:0".into();
+        let err = replay(&trace, None, ReplayOptions::default()).unwrap_err();
+        assert!(err.contains("catalog digest mismatch"), "{err}");
+        // ...unless the check is explicitly disabled.
+        let report = replay(
+            &trace,
+            None,
+            ReplayOptions {
+                check_catalog_digest: false,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_store_digests_byte_identically() {
+        // The drive-by: the snapshot-based dump/load replay depends on.
+        let mut emu = Emulator::with_config(
+            lce_cloud::nimbus_provider().catalog,
+            EmulatorConfig::framework(),
+        );
+        for call in scenario_calls().iter().filter(|c| c.api != "_reset") {
+            emu.invoke(call);
+        }
+        let snap = emu.snapshot().unwrap();
+        let digest = store_digest(&snap);
+
+        // Restore into a fresh interpreter.
+        let mut fresh = Emulator::with_config(
+            lce_cloud::nimbus_provider().catalog,
+            EmulatorConfig::framework(),
+        );
+        fresh.set_store(snap.clone());
+        assert_eq!(store_digest(&fresh.snapshot().unwrap()), digest);
+
+        // Restore through the canonical text encoding (dump → load).
+        let lines = crate::canon::encode_store(&snap);
+        let strs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let mut idx = 0;
+        let reloaded = crate::canon::parse_store(&strs, &mut idx).unwrap();
+        assert_eq!(store_digest(&reloaded), digest);
+
+        // And into the compiled engine.
+        let mut cc = compile(&lce_cloud::nimbus_provider().catalog).unwrap();
+        optimize(&mut cc, OptLevel::MAX).unwrap();
+        let mut ir = CompiledEmulator::from_compiled(Arc::new(cc), EmulatorConfig::framework());
+        ir.set_store(reloaded);
+        assert_eq!(store_digest(&ir.snapshot().unwrap()), digest);
+    }
+}

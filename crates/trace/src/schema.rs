@@ -1,0 +1,437 @@
+//! The trace file schema: header, per-call records, and the stable trace
+//! hash folded over the canonical encoding.
+//!
+//! A trace is self-contained: it names the provider (or embeds the catalog
+//! digest), carries the full serialized `FaultPlan`, and records for every
+//! call the arguments, the fault decision consumed, the store digest before
+//! and after, the response bytes, and the effect footprint actually
+//! exercised. Replays on any engine must reproduce all of it byte-for-byte.
+
+use crate::canon::{
+    encode_response, encode_value, parse_response, parse_value, quote, tokenize, Tok, Toks,
+};
+use lce_emulator::{ApiCall, ApiResponse};
+use lce_faults::rng::fnv1a64;
+use lce_faults::{BackendFault, FaultPlan};
+use lce_spec::{print_sm, Catalog};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Magic first line of every trace file.
+pub const TRACE_MAGIC: &str = "lce-trace v1";
+
+/// The effect footprint a call actually exercised, derived by diffing the
+/// store snapshots around it. Instance ids are allocated deterministically
+/// by the store, so footprints are engine-invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallEffect {
+    /// Instances created: `(id, state machine)`.
+    pub creates: Vec<(String, String)>,
+    /// Instances destroyed: `(id, state machine)`.
+    pub destroys: Vec<(String, String)>,
+    /// State writes on surviving instances: `(id, variable)`. Parent
+    /// re-wiring is reported as the pseudo-variable `@parent`.
+    pub writes: Vec<(String, String)>,
+}
+
+impl CallEffect {
+    /// True when the call had no observable store effect.
+    pub fn is_empty(&self) -> bool {
+        self.creates.is_empty() && self.destroys.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// One recorded invocation. `api == "_reset"` marks a backend reset rather
+/// than an API dispatch; resets do not consume fault-schedule slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCall {
+    /// API name, or `_reset`.
+    pub api: String,
+    /// Resolved call arguments.
+    pub args: BTreeMap<String, lce_emulator::Value>,
+    /// The fault decision the plan produced for this invocation.
+    pub fault: Option<BackendFault>,
+    /// `store_digest` before the call.
+    pub pre_digest: String,
+    /// The response, compared byte-for-byte on replay.
+    pub response: ApiResponse,
+    /// Effect footprint actually exercised.
+    pub effect: CallEffect,
+    /// `store_digest` after the call.
+    pub post_digest: String,
+}
+
+impl TraceCall {
+    /// Reconstruct the `ApiCall` for replay.
+    pub fn to_call(&self) -> ApiCall {
+        let mut call = ApiCall::new(&self.api);
+        call.args = self.args.clone();
+        call
+    }
+
+    /// True for the reset pseudo-call.
+    pub fn is_reset(&self) -> bool {
+        self.api == "_reset"
+    }
+}
+
+/// Trace provenance: enough to rebuild the exact execution environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Provider name (`nimbus`, `stratus`) or `custom` for embedded
+    /// catalogs resolved out-of-band.
+    pub provider: String,
+    /// [`catalog_digest`] of the catalog the trace was recorded against.
+    pub catalog_digest: String,
+    /// The fault scope (account name) used when deciding faults.
+    pub scope: String,
+    /// The full fault plan, serialized into the trace.
+    pub plan: FaultPlan,
+}
+
+/// A complete recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Provenance header.
+    pub header: TraceHeader,
+    /// The recorded calls, in capture order.
+    pub calls: Vec<TraceCall>,
+}
+
+/// Stable digest of a catalog: FNV-1a folded over the sorted canonical
+/// `print_sm` renderings, formatted like `store_digest` (`hash:count`).
+pub fn catalog_digest(catalog: &Catalog) -> String {
+    let mut srcs: Vec<String> = catalog.iter().map(print_sm).collect();
+    srcs.sort();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for src in &srcs {
+        h ^= fnv1a64(src.as_bytes());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{:016x}:{}", h, srcs.len())
+}
+
+fn encode_fault(fault: &Option<BackendFault>) -> String {
+    match fault {
+        None => "fault none".to_string(),
+        Some(BackendFault::TransientError) => "fault transient-error".to_string(),
+        Some(BackendFault::Throttle) => "fault throttle".to_string(),
+        Some(BackendFault::Latency(d)) => format!("fault latency {}", d.as_millis()),
+    }
+}
+
+fn parse_fault(line: &str) -> Result<Option<BackendFault>, String> {
+    let toks = tokenize(line)?;
+    let mut t = Toks::new(&toks);
+    t.expect(&Tok::Atom("fault".into()))?;
+    let fault = match t.atom()? {
+        "none" => None,
+        "transient-error" => Some(BackendFault::TransientError),
+        "throttle" => Some(BackendFault::Throttle),
+        "latency" => {
+            let ms = t
+                .atom()?
+                .parse::<u64>()
+                .map_err(|e| format!("bad latency: {e}"))?;
+            Some(BackendFault::Latency(Duration::from_millis(ms)))
+        }
+        other => return Err(format!("unknown fault kind: {other}")),
+    };
+    t.finish()?;
+    Ok(fault)
+}
+
+impl Trace {
+    /// Render the trace body (everything except the trailing hash line).
+    fn body_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            TRACE_MAGIC.to_string(),
+            format!("provider {}", quote(&self.header.provider)),
+            format!("catalog {}", self.header.catalog_digest),
+            format!("scope {}", quote(&self.header.scope)),
+            format!("plan {}", self.header.plan.to_spec()),
+            format!("calls {}", self.calls.len()),
+        ];
+        for (i, c) in self.calls.iter().enumerate() {
+            lines.push(format!("call {} {}", i, quote(&c.api)));
+            for (k, v) in &c.args {
+                lines.push(format!("a {} {}", quote(k), encode_value(v)));
+            }
+            lines.push(encode_fault(&c.fault));
+            lines.push(format!("pre {}", c.pre_digest));
+            lines.extend(encode_response(&c.response));
+            for (id, sm) in &c.effect.creates {
+                lines.push(format!("fx create {} {}", quote(id), quote(sm)));
+            }
+            for (id, sm) in &c.effect.destroys {
+                lines.push(format!("fx destroy {} {}", quote(id), quote(sm)));
+            }
+            for (id, var) in &c.effect.writes {
+                lines.push(format!("fx write {} {}", quote(id), quote(var)));
+            }
+            lines.push(format!("post {}", c.post_digest));
+            lines.push("end".to_string());
+        }
+        lines
+    }
+
+    /// The stable trace hash: FNV-1a folded over every body line.
+    pub fn hash(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for line in self.body_lines() {
+            h ^= fnv1a64(line.as_bytes());
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Render the complete trace file, hash line included.
+    pub fn encode(&self) -> String {
+        let mut lines = self.body_lines();
+        lines.push(format!("trace-hash {}", self.hash()));
+        lines.push(String::new());
+        lines.join("\n")
+    }
+
+    /// Parse a trace file, verifying the trailing hash.
+    pub fn parse(src: &str) -> Result<Trace, String> {
+        fn take(lines: &[&str], idx: &mut usize, want: &str) -> Result<String, String> {
+            let line = *lines
+                .get(*idx)
+                .ok_or_else(|| format!("missing {want} line"))?;
+            *idx += 1;
+            line.strip_prefix(want)
+                .map(|r| r.trim_start().to_string())
+                .ok_or_else(|| format!("expected '{want} ...', got: {line}"))
+        }
+        let lines: Vec<&str> = src.lines().collect();
+        if lines.first().copied() != Some(TRACE_MAGIC) {
+            return Err(format!("not a trace file (expected '{TRACE_MAGIC}')"));
+        }
+        let mut idx = 1;
+        let next = |idx: &mut usize, want: &str| take(&lines, idx, want);
+
+        let provider = {
+            let rest = next(&mut idx, "provider")?;
+            let toks = tokenize(&rest)?;
+            let mut t = Toks::new(&toks);
+            let p = t.string()?.to_string();
+            t.finish()?;
+            p
+        };
+        let catalog_digest = next(&mut idx, "catalog")?;
+        let scope = {
+            let rest = next(&mut idx, "scope")?;
+            let toks = tokenize(&rest)?;
+            let mut t = Toks::new(&toks);
+            let s = t.string()?.to_string();
+            t.finish()?;
+            s
+        };
+        let plan = FaultPlan::parse_spec(&next(&mut idx, "plan")?)?;
+        let count: usize = next(&mut idx, "calls")?
+            .parse()
+            .map_err(|e| format!("bad call count: {e}"))?;
+
+        let mut calls = Vec::with_capacity(count);
+        for i in 0..count {
+            let head = next(&mut idx, "call")?;
+            let toks = tokenize(&head)?;
+            let mut t = Toks::new(&toks);
+            let got: usize = t
+                .atom()?
+                .parse()
+                .map_err(|e| format!("bad call index: {e}"))?;
+            if got != i {
+                return Err(format!("call index mismatch: expected {i}, got {got}"));
+            }
+            let api = t.string()?.to_string();
+            t.finish()?;
+
+            let mut args = BTreeMap::new();
+            while let Some(line) = lines.get(idx) {
+                if !line.starts_with("a ") {
+                    break;
+                }
+                let toks = tokenize(line)?;
+                let mut t = Toks::new(&toks);
+                t.expect(&Tok::Atom("a".into()))?;
+                let name = t.string()?.to_string();
+                let value = parse_value(&mut t)?;
+                t.finish()?;
+                args.insert(name, value);
+                idx += 1;
+            }
+
+            let fault = parse_fault(lines.get(idx).copied().ok_or("missing fault line")?)?;
+            idx += 1;
+            let pre_digest = next(&mut idx, "pre")?;
+            let response = parse_response(&lines, &mut idx)?;
+
+            let mut effect = CallEffect::default();
+            while let Some(line) = lines.get(idx) {
+                if !line.starts_with("fx ") {
+                    break;
+                }
+                let toks = tokenize(line)?;
+                let mut t = Toks::new(&toks);
+                t.expect(&Tok::Atom("fx".into()))?;
+                let kind = t.atom()?.to_string();
+                let a = t.string()?.to_string();
+                let b = t.string()?.to_string();
+                t.finish()?;
+                match kind.as_str() {
+                    "create" => effect.creates.push((a, b)),
+                    "destroy" => effect.destroys.push((a, b)),
+                    "write" => effect.writes.push((a, b)),
+                    other => return Err(format!("unknown effect kind: {other}")),
+                }
+                idx += 1;
+            }
+
+            let post_digest = next(&mut idx, "post")?;
+            let end = *lines.get(idx).ok_or("missing end line")?;
+            if end != "end" {
+                return Err(format!("expected 'end', got: {end}"));
+            }
+            idx += 1;
+
+            calls.push(TraceCall {
+                api,
+                args,
+                fault,
+                pre_digest,
+                response,
+                effect,
+                post_digest,
+            });
+        }
+
+        let recorded_hash = next(&mut idx, "trace-hash")?;
+        let trace = Trace {
+            header: TraceHeader {
+                provider,
+                catalog_digest,
+                scope,
+                plan,
+            },
+            calls,
+        };
+        let actual = trace.hash();
+        if recorded_hash != actual {
+            return Err(format!(
+                "trace hash mismatch: file says {recorded_hash}, content folds to {actual}"
+            ));
+        }
+        for line in lines[idx..].iter() {
+            if !line.trim().is_empty() {
+                return Err(format!("trailing content after trace-hash: {line}"));
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lce_emulator::Value;
+
+    fn sample_trace() -> Trace {
+        let plan = FaultPlan::named("standard", 7).unwrap();
+        Trace {
+            header: TraceHeader {
+                provider: "nimbus".into(),
+                catalog_digest: catalog_digest(&lce_cloud::nimbus_provider().catalog),
+                scope: "acct-0".into(),
+                plan,
+            },
+            calls: vec![
+                TraceCall {
+                    api: "CreateVpc".into(),
+                    args: BTreeMap::from([
+                        ("CidrBlock".to_string(), Value::str("10.0.0.0/16")),
+                        ("Region".to_string(), Value::enum_val("us-east-1")),
+                    ]),
+                    fault: None,
+                    pre_digest: "cbf29ce484222325:0".into(),
+                    response: ApiResponse::ok(BTreeMap::from([(
+                        "VpcId".to_string(),
+                        Value::reference("vpc-000000"),
+                    )])),
+                    effect: CallEffect {
+                        creates: vec![("vpc-000000".into(), "Vpc".into())],
+                        destroys: vec![],
+                        writes: vec![],
+                    },
+                    post_digest: "bd67b8d7464c6ab4:1".into(),
+                },
+                TraceCall {
+                    api: "_reset".into(),
+                    args: BTreeMap::new(),
+                    fault: None,
+                    pre_digest: "bd67b8d7464c6ab4:1".into(),
+                    response: ApiResponse::ok(BTreeMap::new()),
+                    effect: CallEffect {
+                        creates: vec![],
+                        destroys: vec![("vpc-000000".into(), "Vpc".into())],
+                        writes: vec![],
+                    },
+                    post_digest: "cbf29ce484222325:0".into(),
+                },
+                TraceCall {
+                    api: "DeleteVpc".into(),
+                    args: BTreeMap::from([("VpcId".to_string(), Value::reference("vpc-000000"))]),
+                    fault: Some(BackendFault::TransientError),
+                    pre_digest: "cbf29ce484222325:0".into(),
+                    response: ApiResponse::err(lce_emulator::ApiError::new(
+                        "InternalError",
+                        "injected transient internal error",
+                    )),
+                    effect: CallEffect::default(),
+                    post_digest: "cbf29ce484222325:0".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn traces_round_trip_byte_identically() {
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let parsed = Trace::parse(&encoded).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.encode(), encoded);
+        assert_eq!(parsed.hash(), trace.hash());
+    }
+
+    #[test]
+    fn tampering_breaks_the_trace_hash() {
+        let encoded = sample_trace().encode();
+        let tampered = encoded.replace("10.0.0.0/16", "10.1.0.0/16");
+        assert_ne!(encoded, tampered);
+        let err = Trace::parse(&tampered).unwrap_err();
+        assert!(err.contains("hash mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn catalog_digest_is_stable_and_discriminating() {
+        let nimbus = lce_cloud::nimbus_provider().catalog;
+        let stratus = lce_cloud::stratus_provider().catalog;
+        assert_eq!(catalog_digest(&nimbus), catalog_digest(&nimbus));
+        assert_ne!(catalog_digest(&nimbus), catalog_digest(&stratus));
+    }
+
+    #[test]
+    fn fault_lines_cover_every_variant() {
+        for f in [
+            None,
+            Some(BackendFault::TransientError),
+            Some(BackendFault::Throttle),
+            Some(BackendFault::Latency(Duration::from_millis(3))),
+        ] {
+            let line = encode_fault(&f);
+            assert_eq!(parse_fault(&line).unwrap(), f, "line: {line}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests (satellite): random call soup over both golden catalogs.
+//!
+//! 1. **Fixed point** — recording a trace, extracting its call sequence,
+//!    and re-recording that sequence reproduces the identical canonical
+//!    text (and therefore the identical trace hash).
+//! 2. **Engine invariance** — the re-recorded hash is the same whether the
+//!    sequence runs on the interpreter, the compiled engine (at any opt
+//!    level), or the lock-step dual backend: the trace format captures
+//!    behaviour, not execution strategy.
+//! 3. **Replay invariance** — the recorded trace replays byte-identically
+//!    on every engine/opt combination.
+//!
+//! The soup comes from `lce-align`'s random-program fuzzer, so sequences
+//! mix valid chains, dangling references, and argument-type abuse; the
+//! fault plan injects backend faults on top.
+
+use lce_align::{fuzz_corpus, FuzzConfig};
+use lce_devops::run_program;
+use lce_faults::FaultPlan;
+use lce_trace::{
+    assemble, build_faulted, catalog_digest, new_sink, record_calls, replay, Engine, OptLevel,
+    RecordingBackend, ReplayOptions, Trace,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const COMBOS: [(Engine, OptLevel); 4] = [
+    (Engine::Interp, OptLevel::O0),
+    (Engine::Ir, OptLevel::O0),
+    (Engine::Ir, OptLevel::O2),
+    (Engine::Dual, OptLevel::O2),
+];
+
+/// Record a random soup program end-to-end on the interpreter: the
+/// programs carry symbolic bindings, so they must flow through the DevOps
+/// runner; the recorder underneath captures the concrete call stream.
+fn record_soup(provider: &lce_cloud::Provider, seed: u64, len: usize) -> Trace {
+    let catalog = &provider.catalog;
+    let cfg = FuzzConfig {
+        program_len: len,
+        ..FuzzConfig::default()
+    };
+    let program = fuzz_corpus(catalog, &cfg, seed, 1).remove(0);
+    let plan = FaultPlan::named("backend-only", seed).expect("known plan");
+    let plan_arc = Arc::new(plan.clone());
+    let inner = build_faulted(
+        catalog,
+        Engine::Interp,
+        OptLevel::O0,
+        plan_arc.clone(),
+        "acct-0",
+    )
+    .expect("interp engine builds");
+    let sink = new_sink();
+    let mut recorder = RecordingBackend::new(inner, plan_arc, "acct-0", sink.clone());
+    run_program(&program, &mut recorder);
+    let calls = std::mem::take(&mut *sink.lock().unwrap());
+    assemble(
+        provider.name.clone(),
+        catalog_digest(catalog),
+        "acct-0",
+        &plan,
+        calls,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn soup_traces_are_recording_fixed_points_and_engine_invariant(
+        seed in any::<u64>(),
+        len in 4usize..12,
+        stratus in any::<bool>(),
+    ) {
+        let provider = if stratus {
+            lce_cloud::stratus_provider()
+        } else {
+            lce_cloud::nimbus_provider()
+        };
+        let recorded = record_soup(&provider, seed, len);
+        prop_assert!(!recorded.calls.is_empty(), "soup programs always dispatch");
+        let reference = recorded.encode();
+        let calls: Vec<_> = recorded.calls.iter().map(|c| c.to_call()).collect();
+        for (engine, opt) in COMBOS {
+            // Re-recording the concrete call stream on any engine at any
+            // opt level reproduces the identical canonical bytes…
+            let again = record_calls(
+                &recorded.header.provider,
+                &provider.catalog,
+                &recorded.header.plan,
+                &recorded.header.scope,
+                engine,
+                opt,
+                &calls,
+            )
+            .expect("re-record");
+            prop_assert_eq!(
+                &again.encode(),
+                &reference,
+                "re-record differs on engine={} opt={}",
+                engine,
+                opt
+            );
+            prop_assert_eq!(again.hash(), recorded.hash());
+            // …and the recorded trace replays byte-identically there too.
+            let report = replay(
+                &recorded,
+                None,
+                ReplayOptions { engine, opt, check_catalog_digest: true },
+            )
+            .expect("replay construction");
+            prop_assert!(
+                report.ok(),
+                "replay diverged on engine={} opt={}:\n{}",
+                engine,
+                opt,
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn soup_trace_text_round_trips_through_parse(
+        seed in any::<u64>(),
+        stratus in any::<bool>(),
+    ) {
+        let provider = if stratus {
+            lce_cloud::stratus_provider()
+        } else {
+            lce_cloud::nimbus_provider()
+        };
+        let recorded = record_soup(&provider, seed, 6);
+        let text = recorded.encode();
+        let parsed = Trace::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(parsed.encode(), text, "parse/encode fixed point");
+        prop_assert_eq!(parsed.hash(), recorded.hash());
+    }
+}

@@ -31,6 +31,7 @@ use lce_faults::{no_sleep, store_digest, BackendFault, FaultPlan, FaultyBackend,
 use lce_ir::{compile, optimize, CompiledCatalog, CompiledEmulator, DualBackend, Engine, OptLevel};
 use lce_obs::{parse_text, ObsHub};
 use lce_server::{serve, Client, ServerConfig, PROBE_ACCOUNT};
+use lce_trace::{assemble, catalog_digest, new_sink, RecordingBackend, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
@@ -75,6 +76,12 @@ pub struct ChaosConfig {
     /// sound: a blind wire replay of a proven mutation must not double-
     /// apply.
     pub retry_static: bool,
+    /// `--trace-out PATH`: record every account's backend-level call
+    /// stream, and when the run fails to converge, dump each diverged
+    /// account's canonical trace (seed, plan, call sequence, digests) to a
+    /// file. The first diverged account writes `PATH` itself; any further
+    /// ones write `PATH.<account>`. A converged run writes nothing.
+    pub trace_out: Option<String>,
 }
 
 impl ChaosConfig {
@@ -92,6 +99,7 @@ impl ChaosConfig {
             engine: Engine::Interp,
             opt_level: OptLevel::O0,
             retry_static: false,
+            trace_out: None,
         }
     }
 
@@ -140,6 +148,12 @@ impl ChaosConfig {
     /// Turn proof-gated wire retries on (`--retry-static`).
     pub fn with_retry_static(mut self, retry_static: bool) -> Self {
         self.retry_static = retry_static;
+        self
+    }
+
+    /// Dump diverged accounts' traces to `path` (`--trace-out`).
+    pub fn with_trace_out(mut self, path: impl Into<String>) -> Self {
+        self.trace_out = Some(path.into());
         self
     }
 
@@ -217,6 +231,11 @@ pub struct ChaosReport {
     pub outcomes: Vec<AccountOutcome>,
     /// Post-run scrapes ([`ChaosConfig::metrics`]); never rendered.
     pub metrics: Option<ChaosMetrics>,
+    /// `(account, file path)` of every trace dumped for a diverged account
+    /// ([`ChaosConfig::trace_out`]). Excluded from [`ChaosReport::render`]
+    /// — file paths are machine-local, and same-seed reports must stay
+    /// byte-identical with and without `--trace-out`.
+    pub traces: Vec<(String, String)>,
 }
 
 impl ChaosReport {
@@ -332,12 +351,21 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
             Some(Arc::new(cc))
         }
     };
+    // --trace-out: every real account's backend gets a recording wrapper
+    // around its fault layer; diverged accounts' sinks become trace files
+    // after the verdict. The recorder mirrors (never perturbs) the fault
+    // schedule, so recording cannot change what the run does.
+    let sinks: Option<Arc<Mutex<BTreeMap<String, TraceSink>>>> = config
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(BTreeMap::new())));
     let engine = config.engine;
     let factory_plan = Arc::clone(&plan);
     let factory_catalog = catalog.clone();
     let factory_compiled = compiled.clone();
     let factory_hub = hub.clone();
     let factory_tally = Arc::clone(&tally);
+    let factory_sinks = sinks.clone();
     let mut server_config = ServerConfig {
         threads: config.server_threads.max(1),
         ..ServerConfig::default()
@@ -387,7 +415,22 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
                     .or_insert(0) += 1;
             }));
         }
-        Box::new(faulty) as Box<dyn Backend + Send + Sync>
+        match factory_sinks.as_ref().filter(|_| account != PROBE_ACCOUNT) {
+            None => Box::new(faulty) as Box<dyn Backend + Send + Sync>,
+            Some(sinks) => {
+                let sink = new_sink();
+                sinks
+                    .lock()
+                    .unwrap()
+                    .insert(account.to_string(), sink.clone());
+                Box::new(RecordingBackend::new(
+                    faulty,
+                    Arc::clone(&factory_plan),
+                    account,
+                    sink,
+                )) as Box<dyn Backend + Send + Sync>
+            }
+        }
     })
     .map_err(|e| format!("failed to start chaos server: {}", e))?;
     let addr = handle.addr();
@@ -440,7 +483,33 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
         });
     }
 
-    // 5. With metrics on: scrape over the wire while the server is still
+    // 5. With --trace-out: every diverged account's recorded call stream
+    //    becomes a canonical trace file — a self-contained repro (seed,
+    //    plan, scope, calls, digests) that `lce trace replay` re-executes
+    //    and `lce trace minimize` shrinks. The first diverged account gets
+    //    the requested path; later ones get `path.<account>`.
+    let mut traces = Vec::new();
+    if let (Some(path), Some(sinks)) = (&config.trace_out, &sinks) {
+        let digest = catalog_digest(&catalog);
+        let sinks = sinks.lock().unwrap();
+        for outcome in outcomes.iter().filter(|o| !o.converged()) {
+            let calls = match sinks.get(&outcome.account) {
+                Some(sink) => sink.lock().unwrap().clone(),
+                None => continue, // diverged without ever being invoked
+            };
+            let trace = assemble("nimbus", digest.clone(), &outcome.account, &plan, calls);
+            let file = if traces.is_empty() {
+                path.clone()
+            } else {
+                format!("{}.{}", path, outcome.account)
+            };
+            std::fs::write(&file, trace.encode())
+                .map_err(|e| format!("failed to write trace {}: {}", file, e))?;
+            traces.push((outcome.account.clone(), file));
+        }
+    }
+
+    // 6. With metrics on: scrape over the wire while the server is still
     //    up, in a fixed order (accounts sorted, then global full, then
     //    global deterministic), and check the headline exactness property:
     //    the scraped `lce_faults_injected_total{kind}` counters equal the
@@ -458,6 +527,7 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
         program: format!("{} ({} steps)", program.name, program.steps.len()),
         outcomes,
         metrics,
+        traces,
     })
 }
 
@@ -582,6 +652,7 @@ mod tests {
                 },
             ],
             metrics: None,
+            traces: Vec::new(),
         };
         assert!(!report.converged());
         let text = report.render();
@@ -640,6 +711,90 @@ mod tests {
         assert!(a.converged(), "\n{}", a.render());
         let b = run_chaos(&config).unwrap();
         assert_eq!(a.render(), b.render(), "same seed, same bytes");
+    }
+
+    /// Whether this build's serde_json can round-trip the wire protocol;
+    /// offline stub builds cannot, and wire-crossing tests skip.
+    fn wire_works() -> bool {
+        let probe = lce_emulator::ApiResponse::ok(BTreeMap::new());
+        serde_json::to_vec(&probe)
+            .map_err(|e| e.to_string())
+            .and_then(|b| {
+                serde_json::from_slice::<lce_emulator::ApiResponse>(&b).map_err(|e| e.to_string())
+            })
+            .is_ok()
+    }
+
+    /// The torn-writes plan drops or truncates mutating responses
+    /// post-dispatch, which non-idempotent traffic cannot survive — so the
+    /// run fails to converge, and every diverged account's trace must land
+    /// on disk as a self-contained repro that replays cleanly on both
+    /// engines and whose fault stream rederives from the embedded plan.
+    #[test]
+    fn divergence_dumps_a_replayable_trace() {
+        if !wire_works() {
+            eprintln!("skipping: serde_json cannot round-trip the wire protocol");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("lce-chaos-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("failing.trace");
+        let config = ChaosConfig::new(21)
+            .with_threads(2)
+            .with_accounts(2)
+            .with_plan("torn-writes")
+            .with_trace_out(out.to_str().unwrap());
+        let report = run_chaos(&config).unwrap();
+        assert!(
+            !report.converged(),
+            "torn writes must break convergence\n{}",
+            report.render()
+        );
+        assert!(!report.traces.is_empty(), "diverged but no trace dumped");
+        assert_eq!(report.traces[0].1, out.to_str().unwrap());
+        assert!(
+            !report.render().contains(out.to_str().unwrap()),
+            "trace paths must stay out of the deterministic report"
+        );
+        for (account, path) in &report.traces {
+            let text = std::fs::read_to_string(path).unwrap();
+            let trace = lce_trace::Trace::parse(&text).unwrap();
+            assert_eq!(&trace.header.scope, account);
+            assert!(lce_trace::faults_rederive(&trace));
+            for (engine, opt) in [(Engine::Interp, OptLevel::O0), (Engine::Ir, OptLevel::MAX)] {
+                let opts = lce_trace::ReplayOptions {
+                    engine,
+                    opt,
+                    ..Default::default()
+                };
+                let replayed = lce_trace::replay(&trace, None, opts).unwrap();
+                assert!(replayed.ok(), "{}", replayed.render());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A converged run writes no trace files even when `--trace-out` is
+    /// set: the flag arms capture, divergence pulls the trigger.
+    #[test]
+    fn converged_runs_write_no_traces() {
+        if !wire_works() {
+            eprintln!("skipping: serde_json cannot round-trip the wire protocol");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("lce-chaos-clean-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("never.trace");
+        let config = ChaosConfig::new(5)
+            .with_threads(2)
+            .with_accounts(2)
+            .with_plan("none")
+            .with_trace_out(out.to_str().unwrap());
+        let report = run_chaos(&config).unwrap();
+        assert!(report.converged(), "\n{}", report.render());
+        assert!(report.traces.is_empty());
+        assert!(!out.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The engine never appears in the rendered report, and the compiled

@@ -26,6 +26,7 @@
 //! | [`faults`] | `lce-faults` | deterministic fault injection, retry/backoff, store fingerprints |
 //! | [`obs`] | `lce-obs` | lock-free observability: counters, histograms, Prometheus text |
 //! | [`ir`] | `lce-ir` | compiled execution: slot-based IR + register VM, interpreter as oracle |
+//! | [`trace`] | `lce-trace` | canonical trace capture, deterministic replay, ddmin minimization |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@ pub use lce_obs as obs;
 pub use lce_server as server;
 pub use lce_spec as spec;
 pub use lce_synth as synth;
+pub use lce_trace as trace;
 pub use lce_wrangle as wrangle;
 
 pub mod chaos;
@@ -93,5 +95,8 @@ pub mod prelude {
     pub use crate::chaos::{run_chaos, ChaosConfig, ChaosMetrics, ChaosReport};
     pub use lce_spec::{parse_catalog, parse_sm, print_sm, Catalog, CatalogEffects, SmSpec};
     pub use lce_synth::{synthesize, NoiseConfig, PipelineConfig};
+    pub use lce_trace::{
+        catalog_digest, export_test, minimize, replay, ReplayOptions, Subject, Trace,
+    };
     pub use lce_wrangle::wrangle_provider;
 }

@@ -12,6 +12,7 @@
 //! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static]
 //! lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
 //! lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
+//! lce trace   record|replay|minimize|export-test|corpus ... (see `lce trace --help`)
 //! ```
 //!
 //! `synth` learns an emulator from the provider's documentation and saves
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(rest),
         "compile" => cmd_compile(rest),
         "metrics" => cmd_metrics(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -81,9 +83,14 @@ USAGE:
   lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
   lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
   lce effects [--provider <nimbus|stratus> | --catalog FILE] [--matrix] [--why <Api>] [--check]
-  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static]
+  lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only|torn-writes>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static] [--trace-out PATH]
   lce compile [--provider <nimbus|stratus> | --catalog FILE] [--stats] [--dump] [--dump-analysis] [--verify] [--opt [0|1|2|max]] [--check]
-  lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]";
+  lce metrics (--addr HOST:PORT [--account A] | --file FILE) [--deterministic]
+  lce trace   record  --provider <nimbus|stratus> [--scenario NAME] [--plan P] [--seed N] [--scope S] [--engine E] [--opt L] [--out FILE]
+  lce trace   replay  FILE [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--catalog FILE] [--no-digest-check]
+  lce trace   minimize FILE [--subject-catalog FILE | --engine E [--opt L]] [--out FILE]
+  lce trace   export-test FILE --name TEST_NAME [--catalog FILE] [--out FILE]
+  lce trace   corpus  [--dir DIR] [--check]";
 
 /// Parse `--key value` flags and positional arguments.
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
@@ -122,6 +129,7 @@ fn needs_value(key: &str) -> bool {
             | "verify"
             | "matrix"
             | "retry-static"
+            | "no-digest-check"
     )
 }
 
@@ -407,6 +415,9 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     if let Some(plan) = flags.get("plan") {
         config = config.with_plan(plan.clone());
     }
+    if let Some(path) = flags.get("trace-out") {
+        config = config.with_trace_out(path.clone());
+    }
     // With metrics on, each run already enforces scrape == decided
     // schedule; across repeats we additionally pin the deterministic
     // scrape byte-for-byte when the config promises that.
@@ -450,10 +461,292 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             }
         );
     }
+    for (account, path) in &first.traces {
+        eprintln!("trace:   {} dumped to {}", account, path);
+    }
     if first.converged() {
         Ok(())
     } else {
         Err("chaos run did not converge".to_string())
+    }
+}
+
+/// `lce trace` — canonical trace capture, replay, minimization, export.
+///
+/// * `record` runs a named scenario program through a fresh faulted engine
+///   with a recorder attached and writes the canonical trace.
+/// * `replay` re-executes a trace file on any engine/opt level and reports
+///   every byte-level divergence from the recording.
+/// * `minimize` shrinks a trace whose replay diverges between the
+///   reference interpreter and a subject (another engine, or a suspected-
+///   defective catalog via `--subject-catalog`) to a 1-minimal core.
+/// * `export-test` renders a trace as a standalone Rust regression test.
+/// * `corpus` deterministically (re)generates the committed golden-trace
+///   corpus under `--dir` (default `traces/`); `--check` verifies the
+///   files on disk are byte-identical to a fresh regeneration.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(format!(
+            "usage: lce trace <record|replay|minimize|export-test|corpus>\n{}",
+            USAGE
+        ));
+    };
+    match sub.as_str() {
+        "record" => cmd_trace_record(rest),
+        "replay" => cmd_trace_replay(rest),
+        "minimize" => cmd_trace_minimize(rest),
+        "export-test" => cmd_trace_export_test(rest),
+        "corpus" => cmd_trace_corpus(rest),
+        other => Err(format!("unknown trace subcommand `{}`", other)),
+    }
+}
+
+/// Scenario programs a trace can be recorded from, per provider. Names are
+/// the program names; `basic-functionality` is Nimbus-only.
+fn scenario_programs(provider: &Provider) -> Vec<Program> {
+    use learned_cloud_emulators::devops::scenarios::{
+        basic_functionality, fig3_nimbus, fig3_stratus,
+    };
+    let mut programs = Vec::new();
+    match provider.name.as_str() {
+        "nimbus" => {
+            programs.push(basic_functionality());
+            programs.extend(fig3_nimbus().into_iter().map(|s| s.program));
+        }
+        _ => programs.extend(fig3_stratus().into_iter().map(|s| s.program)),
+    }
+    programs
+}
+
+/// Record one scenario program through a recorder-wrapped faulted engine.
+fn record_scenario(
+    provider: &Provider,
+    program: &Program,
+    plan: &FaultPlan,
+    scope: &str,
+    engine: Engine,
+    opt: OptLevel,
+) -> Result<Trace, String> {
+    use learned_cloud_emulators::trace::{assemble, build_faulted, new_sink, RecordingBackend};
+    let plan_arc = std::sync::Arc::new(plan.clone());
+    let inner = build_faulted(&provider.catalog, engine, opt, plan_arc.clone(), scope)?;
+    let sink = new_sink();
+    let mut recorder = RecordingBackend::new(inner, plan_arc, scope, sink.clone());
+    run_program(program, &mut recorder);
+    let calls = std::mem::take(&mut *sink.lock().unwrap());
+    Ok(assemble(
+        provider.name.clone(),
+        catalog_digest(&provider.catalog),
+        scope,
+        plan,
+        calls,
+    ))
+}
+
+fn cmd_trace_record(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let provider = provider_of(&flags)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let plan_name = flags.get("plan").map(|s| s.as_str()).unwrap_or("none");
+    let plan = FaultPlan::named(plan_name, seed)
+        .ok_or_else(|| format!("unknown fault plan `{}`", plan_name))?;
+    let scope = flags.get("scope").map(|s| s.as_str()).unwrap_or("acct-0");
+    let wanted = flags
+        .get("scenario")
+        .map(|s| s.as_str())
+        .unwrap_or("basic-functionality");
+    let programs = scenario_programs(&provider);
+    let program = programs.iter().find(|p| p.name == wanted).ok_or_else(|| {
+        format!(
+            "unknown scenario `{}` for {} (available: {})",
+            wanted,
+            provider.name,
+            programs
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let trace = record_scenario(
+        &provider,
+        program,
+        &plan,
+        scope,
+        engine_of(&flags)?,
+        opt_of(&flags)?,
+    )?;
+    let text = trace.encode();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| e.to_string())?;
+            eprintln!(
+                "recorded {} calls (hash {}) to {}",
+                trace.calls.len(),
+                trace.hash(),
+                path
+            );
+        }
+        None => print!("{}", text),
+    }
+    Ok(())
+}
+
+/// Load a trace file plus the optional `--catalog` override shared by the
+/// replay/minimize/export subcommands.
+fn load_trace(
+    flags: &BTreeMap<String, String>,
+    positional: &[String],
+) -> Result<(Trace, Option<Catalog>), String> {
+    let path = positional
+        .first()
+        .ok_or("a trace FILE argument is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
+    let trace = Trace::parse(&text).map_err(|e| format!("{}: {}", path, e))?;
+    let catalog = flags
+        .get("catalog")
+        .map(|_| load_catalog(flags))
+        .transpose()?;
+    Ok((trace, catalog))
+}
+
+fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let (trace, catalog) = load_trace(&flags, &positional)?;
+    let report = replay(
+        &trace,
+        catalog,
+        ReplayOptions {
+            engine: engine_of(&flags)?,
+            opt: opt_of(&flags)?,
+            check_catalog_digest: !flags.contains_key("no-digest-check"),
+        },
+    )?;
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} replay mismatch(es)", report.mismatches.len()))
+    }
+}
+
+fn cmd_trace_minimize(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let (trace, catalog) = load_trace(&flags, &positional)?;
+    let subject = match flags.get("subject-catalog") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Subject::Catalog(Catalog::from_json(&json).map_err(|e| e.to_string())?)
+        }
+        // Without a suspect catalog, hunt cross-engine divergence: the
+        // interpreter against the requested engine (default: fully
+        // optimized compiled execution).
+        None => match flags.get("engine") {
+            Some(_) => Subject::Engine(engine_of(&flags)?, opt_of(&flags)?),
+            None => Subject::Engine(Engine::Ir, OptLevel::MAX),
+        },
+    };
+    let outcome = minimize(&trace, catalog, &subject)?;
+    eprintln!(
+        "minimized {} calls -> {} (1-minimal, {} predicate runs)",
+        outcome.stats.initial_len, outcome.stats.final_len, outcome.stats.tests
+    );
+    for call in &outcome.core {
+        eprintln!("  {}", call.api);
+    }
+    let text = outcome.minimized.encode();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| e.to_string())?;
+            eprintln!("minimized trace written to {}", path);
+        }
+        None => print!("{}", text),
+    }
+    Ok(())
+}
+
+fn cmd_trace_export_test(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let (trace, catalog) = load_trace(&flags, &positional)?;
+    let name = flags.get("name").ok_or("--name TEST_NAME is required")?;
+    let source = export_test(&trace, name, catalog.as_ref())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &source).map_err(|e| e.to_string())?;
+            eprintln!("regression test written to {}", path);
+        }
+        None => print!("{}", source),
+    }
+    Ok(())
+}
+
+/// The deterministic corpus definition: every scenario program of both
+/// golden providers, recorded fault-free on the interpreter under scope
+/// `acct-0`. File names are `<provider>-<program>.trace`.
+fn corpus_traces() -> Result<Vec<(String, Trace)>, String> {
+    let mut out = Vec::new();
+    for provider in [nimbus_provider(), stratus_provider()] {
+        for program in scenario_programs(&provider) {
+            let trace = record_scenario(
+                &provider,
+                &program,
+                &FaultPlan::none(0),
+                "acct-0",
+                Engine::Interp,
+                OptLevel::O0,
+            )?;
+            out.push((format!("{}-{}.trace", provider.name, program.name), trace));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_trace_corpus(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let dir = flags.get("dir").map(|s| s.as_str()).unwrap_or("traces");
+    let corpus = corpus_traces()?;
+    if flags.contains_key("check") {
+        let mut stale = Vec::new();
+        for (file, trace) in &corpus {
+            let path = format!("{}/{}", dir, file);
+            match std::fs::read_to_string(&path) {
+                Err(_) => stale.push(format!("{} is missing", path)),
+                Ok(text) if text != trace.encode() => {
+                    stale.push(format!("{} differs from regeneration", path))
+                }
+                Ok(_) => {}
+            }
+        }
+        if stale.is_empty() {
+            println!(
+                "corpus: {} traces under {} match regeneration byte-for-byte",
+                corpus.len(),
+                dir
+            );
+            Ok(())
+        } else {
+            for s in &stale {
+                eprintln!("stale: {}", s);
+            }
+            Err(format!(
+                "{} corpus file(s) out of date — rerun `lce trace corpus --dir {}`",
+                stale.len(),
+                dir
+            ))
+        }
+    } else {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        for (file, trace) in &corpus {
+            let path = format!("{}/{}", dir, file);
+            std::fs::write(&path, trace.encode()).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} ({} calls)", path, trace.calls.len());
+        }
+        println!("corpus: {} traces written to {}", corpus.len(), dir);
+        Ok(())
     }
 }
 

@@ -1,0 +1,171 @@
+//! End-to-end minimization acceptance: a seeded ~100-call failing run
+//! shrinks to its known minimal reproducing sequence, and the exported
+//! regression test's replay logic passes on the clean goldens while
+//! failing on the seeded defect.
+//!
+//! The seeded defect is the paper's §2 Moto bug: `DeleteVpc` silently
+//! dropping its dependency checks. The minimal repro is the four-call
+//! dependency chain — create a VPC, create a gateway, attach it, delete
+//! the VPC — and nothing else in a 100-call run should survive ddmin.
+
+use lce_spec::SmName;
+use learned_cloud_emulators::prelude::*;
+use learned_cloud_emulators::trace::{export_test, is_one_minimal, minimize, Subject};
+
+/// Nimbus with the dependency asserts stripped from `Vpc` — `DeleteVpc`
+/// succeeds even with an attached gateway.
+fn defective_nimbus() -> Catalog {
+    let mut catalog = nimbus_provider().catalog;
+    let src = print_sm(catalog.get(&SmName::new("Vpc")).unwrap());
+    let defective: Vec<&str> = src
+        .lines()
+        .filter(|l| !(l.contains("assert") && l.contains("DependencyViolation")))
+        .collect();
+    assert!(
+        defective.len() < src.lines().count(),
+        "the seeded defect must actually remove the dependency asserts"
+    );
+    catalog.insert(parse_sm(&defective.join("\n")).expect("defective Vpc parses"));
+    catalog
+}
+
+/// A 100-call chaos-style run: the four-call dependency chain up front,
+/// buried under 96 calls of unrelated noise.
+fn hundred_call_run() -> Vec<ApiCall> {
+    let mut calls = vec![
+        ApiCall::new("CreateVpc")
+            .arg_str("CidrBlock", "10.0.0.0/16")
+            .arg_str("Region", "us-east"),
+        ApiCall::new("CreateInternetGateway"),
+        ApiCall::new("AttachInternetGateway")
+            .arg("InternetGatewayId", Value::reference("ig-000001"))
+            .arg("VpcId", Value::reference("vpc-000001")),
+        ApiCall::new("DeleteVpc").arg("VpcId", Value::reference("vpc-000001")),
+    ];
+    for i in 0..86 {
+        calls.push(
+            ApiCall::new("CreateVpc")
+                .arg_str("CidrBlock", format!("172.{}.0.0/16", i % 250))
+                .arg_str("Region", if i % 2 == 0 { "us-east" } else { "us-west" }),
+        );
+    }
+    for _ in 0..10 {
+        calls.push(ApiCall::new("DescribeVpc").arg("VpcId", Value::reference("vpc-000002")));
+    }
+    assert_eq!(calls.len(), 100);
+    calls
+}
+
+#[test]
+fn a_hundred_call_failing_run_minimizes_to_the_dependency_chain() {
+    use learned_cloud_emulators::trace::record_calls;
+    let catalog = nimbus_provider().catalog;
+    let plan = FaultPlan::none(17);
+    let trace = record_calls(
+        "nimbus",
+        &catalog,
+        &plan,
+        "acct-0",
+        Engine::Interp,
+        OptLevel::O0,
+        &hundred_call_run(),
+    )
+    .unwrap();
+    assert_eq!(trace.calls.len(), 100);
+
+    let subject = Subject::Catalog(defective_nimbus());
+    let outcome = minimize(&trace, None, &subject).unwrap();
+    assert_eq!(outcome.stats.initial_len, 100);
+    let apis: Vec<&str> = outcome.core.iter().map(|c| c.api.as_str()).collect();
+    assert_eq!(
+        apis,
+        vec![
+            "CreateVpc",
+            "CreateInternetGateway",
+            "AttachInternetGateway",
+            "DeleteVpc"
+        ],
+        "ddmin must recover exactly the seeded dependency chain"
+    );
+
+    // The guarantee is checked, not assumed: dropping any single call from
+    // the core stops reproducing the divergence.
+    let reference = nimbus_provider().catalog;
+    let defective = defective_nimbus();
+    let diverges = |subset: &[ApiCall]| {
+        let mut golden = Emulator::with_config(reference.clone(), EmulatorConfig::framework());
+        let mut broken = Emulator::with_config(defective.clone(), EmulatorConfig::framework());
+        subset.iter().any(|call| {
+            let a = golden.invoke(call);
+            let b = broken.invoke(call);
+            a.is_ok() != b.is_ok() || a.fields != b.fields
+        })
+    };
+    assert!(is_one_minimal(&outcome.core, diverges));
+
+    // The minimized trace is a valid recording of the golden behaviour:
+    // byte-identical replay on the interpreter and the optimized IR.
+    for (engine, opt) in [(Engine::Interp, OptLevel::O0), (Engine::Ir, OptLevel::MAX)] {
+        let report = replay(
+            &outcome.minimized,
+            None,
+            ReplayOptions {
+                engine,
+                opt,
+                check_catalog_digest: true,
+            },
+        )
+        .unwrap();
+        assert!(report.ok(), "engine={}: {}", engine, report.render());
+    }
+}
+
+#[test]
+fn the_exported_test_passes_on_goldens_and_fails_on_the_defect() {
+    use learned_cloud_emulators::trace::record_calls;
+    let catalog = nimbus_provider().catalog;
+    let plan = FaultPlan::none(3);
+    let trace = record_calls(
+        "nimbus",
+        &catalog,
+        &plan,
+        "acct-0",
+        Engine::Interp,
+        OptLevel::O0,
+        &hundred_call_run()[..4],
+    )
+    .unwrap();
+
+    // The exported source is a self-contained `#[test]` replaying on both
+    // engines; its compile-and-run gate is the committed
+    // `tests/trace_regression_*.rs` files, which cargo builds and runs in
+    // this very suite. Here we pin its replay logic directionally.
+    let source = export_test(&trace, "delete_vpc_dependency_chain", None).unwrap();
+    assert!(source.contains("#[test]"));
+    assert!(source.contains("fn delete_vpc_dependency_chain()"));
+    assert!(
+        source.contains(&trace.hash()),
+        "provenance hash is embedded"
+    );
+
+    // Passes on the clean golden catalog (what the generated test runs)…
+    let clean = replay(&trace, None, ReplayOptions::default()).unwrap();
+    assert!(clean.ok(), "{}", clean.render());
+
+    // …and fails on the seeded defect: the recorded DependencyViolation
+    // never materializes, so the replay flags the DeleteVpc response.
+    let broken = replay(
+        &trace,
+        Some(defective_nimbus()),
+        ReplayOptions {
+            check_catalog_digest: false,
+            ..ReplayOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!broken.ok(), "the defect must be caught");
+    assert!(broken
+        .mismatches
+        .iter()
+        .any(|m| m.api == "DeleteVpc" && m.facet == "response"));
+}
