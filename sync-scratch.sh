@@ -1,0 +1,56 @@
+#!/bin/sh
+# Sync the repo into the offline scratch workspace (stub externals) so the
+# suite can build/test without network access. Lives at repo root; the
+# scratch tree itself is under the gitignored target/.
+set -e
+SRC=/root/repo
+WS=/root/repo/target/scratch/ws
+mkdir -p "$WS"
+python3 - "$SRC" "$WS" <<'PY'
+import os, shutil, sys, filecmp
+src, ws = sys.argv[1], sys.argv[2]
+EXCLUDE = {'target', '.git', 'sync-scratch.sh'}
+src_files = set()
+for root, dirs, files in os.walk(src):
+    rel = os.path.relpath(root, src)
+    if rel == '.':
+        dirs[:] = [d for d in dirs if d not in EXCLUDE]
+    for f in files:
+        if rel == '.' and f in EXCLUDE:
+            continue
+        src_files.add(os.path.normpath(os.path.join(rel, f)))
+for rel in src_files:
+    s, d = os.path.join(src, rel), os.path.join(ws, rel)
+    os.makedirs(os.path.dirname(d), exist_ok=True)
+    if not (os.path.exists(d) and filecmp.cmp(s, d, shallow=False)):
+        shutil.copy2(s, d)
+# Delete stale files in ws not present in src (keep target/, .git/).
+for root, dirs, files in os.walk(ws):
+    rel = os.path.relpath(root, ws)
+    if rel == '.':
+        dirs[:] = [d for d in dirs if d not in ('target', '.git')]
+    for f in files:
+        r = os.path.normpath(os.path.join(rel, f))
+        if r not in src_files:
+            os.remove(os.path.join(root, f))
+PY
+# Patch workspace externals to the stub crates.
+python3 - "$WS/Cargo.toml" <<'PY'
+import sys
+p = sys.argv[1]
+s = open(p).read()
+subs = {
+ 'rand = "0.8"': 'rand = { path = "../stubs/rand" }',
+ 'proptest = "1"': 'proptest = { path = "../stubs/proptest" }',
+ 'criterion = "0.5"': 'criterion = { path = "../stubs/criterion" }',
+ 'crossbeam = "0.8"': 'crossbeam = { path = "../stubs/crossbeam" }',
+ 'parking_lot = "0.12"': 'parking_lot = { path = "../stubs/parking_lot" }',
+ 'bytes = "1"': 'bytes = { path = "../stubs/bytes" }',
+ 'serde = { version = "1", features = ["derive"] }': 'serde = { path = "../stubs/serde", features = ["derive"] }',
+ 'serde_json = "1"': 'serde_json = { path = "../stubs/serde_json" }',
+}
+for a, b in subs.items():
+    assert a in s, a
+    s = s.replace(a, b)
+open(p, "w").write("# Scratch copy of the root manifest for offline builds (stub externals).\n\n" + s)
+PY
