@@ -1,0 +1,254 @@
+//! The serve-bench regression gate: re-measure closed-loop throughput
+//! (and, when committed, open-loop SLO goodput) and fail if either drops
+//! below 2/3 of its committed `BENCH_serve.json` floor.
+//!
+//! The committed file proves the acceptance numbers (absolute req/s and
+//! tail latency per catalog, plus the event-core-vs-blocking-pool
+//! goodput speedup); the live gate only enforces the 2/3 floors, so a
+//! noisy CI neighbour cannot fail the build while a real regression
+//! still does. The pool-side numbers are a committed historical baseline
+//! — the blocking pool no longer exists in the tree to re-measure.
+
+use crate::run::{run_load, LoadConfig};
+use crate::schedule::{LoadMode, LoadSpec};
+use lce_ir::{Engine, OptLevel};
+
+/// A committed open-loop goodput floor: the offered schedule and the
+/// on-time throughput the event core must still deliver against it.
+#[derive(Debug, Clone)]
+struct CommittedOpen {
+    rate_per_conn: u64,
+    slo_ms: u64,
+    goodput_per_s: u64,
+}
+
+/// One provider's committed floors, as read from `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+struct CommittedSuite {
+    provider: String,
+    conns: usize,
+    ops_per_conn: usize,
+    threads: usize,
+    req_per_s: u64,
+    open: Option<CommittedOpen>,
+}
+
+/// Parse the committed bench file. Uses `serde_json::Value` accessors
+/// only, so it works against any backend that can parse real JSON.
+fn parse_committed(text: &str) -> Result<Vec<CommittedSuite>, String> {
+    let root: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("bench file is not JSON: {:?}", e))?;
+    let suites = root
+        .get("suites")
+        .and_then(|s| s.as_array())
+        .ok_or("bench file has no `suites` array")?;
+    let mut out = Vec::with_capacity(suites.len());
+    for suite in suites {
+        let provider = suite
+            .get("provider")
+            .and_then(|p| p.as_str())
+            .ok_or("suite missing `provider`")?
+            .to_string();
+        let num = |key: &str| -> Result<u64, String> {
+            suite
+                .get("event")
+                .and_then(|e| e.get(key))
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("suite `{}` missing event.{}", provider, key))
+        };
+        let open = match suite.get("open") {
+            None => None,
+            Some(open) => {
+                let onum = |key: &str| -> Result<u64, String> {
+                    open.get(key)
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| format!("suite `{}` missing open.{}", provider, key))
+                };
+                Some(CommittedOpen {
+                    rate_per_conn: onum("rate_per_conn")?,
+                    slo_ms: onum("slo_ms")?,
+                    goodput_per_s: open
+                        .get("event")
+                        .and_then(|e| e.get("goodput_per_s"))
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| {
+                            format!("suite `{}` missing open.event.goodput_per_s", provider)
+                        })?,
+                })
+            }
+        };
+        out.push(CommittedSuite {
+            open,
+            conns: suite
+                .get("conns")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("suite `{}` missing conns", provider))?
+                as usize,
+            ops_per_conn: suite
+                .get("ops_per_conn")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("suite `{}` missing ops_per_conn", provider))?
+                as usize,
+            threads: num("threads")? as usize,
+            req_per_s: num("req_per_s")?,
+            provider,
+        });
+    }
+    if out.is_empty() {
+        return Err("bench file has no suites".to_string());
+    }
+    Ok(out)
+}
+
+/// Re-run every committed suite's closed-loop workload and gate each
+/// measured throughput at 2/3 of its committed floor. Returns a
+/// human-readable verdict on success; the error carries every failing
+/// suite.
+pub fn check_bench(path: &str, engine: Engine, opt_level: OptLevel) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
+    let committed = parse_committed(&text)?;
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    for suite in &committed {
+        let config = LoadConfig {
+            spec: LoadSpec {
+                provider: suite.provider.clone(),
+                conns: suite.conns,
+                ops_per_conn: suite.ops_per_conn,
+                ..LoadSpec::default()
+            },
+            server_threads: suite.threads,
+            engine,
+            opt_level,
+            ..LoadConfig::default()
+        };
+        let measured = run_load(&config)?;
+        let floor = suite.req_per_s * 2 / 3;
+        let live = measured.req_per_s as u64;
+        let verdict = if live >= floor { "ok" } else { "FAIL" };
+        report.push_str(&format!(
+            "{}: {} req/s vs committed {} (floor {}) p99={}us ... {}\n",
+            suite.provider, live, suite.req_per_s, floor, measured.p99_us, verdict
+        ));
+        if live < floor {
+            failures.push(format!(
+                "{}: {} req/s is below 2/3 of committed {} ({})",
+                suite.provider, live, suite.req_per_s, floor
+            ));
+        }
+        let Some(open) = &suite.open else {
+            continue;
+        };
+        let open_config = LoadConfig {
+            spec: LoadSpec {
+                mode: LoadMode::Open,
+                rate_per_conn: open.rate_per_conn,
+                ..config.spec.clone()
+            },
+            slo_us: open.slo_ms * 1000,
+            ..config
+        };
+        let measured = run_load(&open_config)?;
+        let floor = open.goodput_per_s * 2 / 3;
+        let live = measured.goodput_per_s as u64;
+        let verdict = if live >= floor { "ok" } else { "FAIL" };
+        report.push_str(&format!(
+            "{} open: {}/s goodput ({}ms SLO) vs committed {} (floor {}) p50={}us ... {}\n",
+            suite.provider, live, open.slo_ms, open.goodput_per_s, floor, measured.p50_us, verdict
+        ));
+        if live < floor {
+            failures.push(format!(
+                "{} open: {}/s goodput is below 2/3 of committed {} ({})",
+                suite.provider, live, open.goodput_per_s, floor
+            ));
+        }
+    }
+    if failures.is_empty() {
+        report.push_str(&format!("check: throughput within 2/3 of {}\n", path));
+        Ok(report)
+    } else {
+        Err(format!(
+            "{}check FAIL:\n  {}",
+            report,
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_works() -> bool {
+        serde_json::from_str::<serde_json::Value>("{\"a\":1}").is_ok()
+    }
+
+    #[test]
+    fn committed_file_parses() {
+        if !wire_works() {
+            eprintln!("skipping: serde_json cannot parse JSON");
+            return;
+        }
+        let text = r#"{
+            "bench": "serve-load",
+            "suites": [
+                {
+                    "provider": "nimbus",
+                    "conns": 64,
+                    "ops_per_conn": 100,
+                    "event": { "threads": 4, "req_per_s": 12345, "p50_us": 10, "p90_us": 20, "p99_us": 30 },
+                    "open": {
+                        "rate_per_conn": 50,
+                        "slo_ms": 100,
+                        "event": { "goodput_per_s": 3100 },
+                        "pool": { "goodput_per_s": 176 }
+                    }
+                }
+            ]
+        }"#;
+        let suites = parse_committed(text).unwrap();
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0].provider, "nimbus");
+        assert_eq!(suites[0].conns, 64);
+        assert_eq!(suites[0].threads, 4);
+        assert_eq!(suites[0].req_per_s, 12345);
+        let open = suites[0].open.as_ref().expect("open section parsed");
+        assert_eq!(open.rate_per_conn, 50);
+        assert_eq!(open.slo_ms, 100);
+        assert_eq!(open.goodput_per_s, 3100);
+    }
+
+    #[test]
+    fn open_section_is_optional_but_strict() {
+        if !wire_works() {
+            eprintln!("skipping: serde_json cannot parse JSON");
+            return;
+        }
+        let no_open = r#"{"suites": [{"provider": "nimbus", "conns": 1, "ops_per_conn": 1,
+            "event": {"threads": 1, "req_per_s": 1}}]}"#;
+        assert!(parse_committed(no_open).unwrap()[0].open.is_none());
+        let bad_open = r#"{"suites": [{"provider": "nimbus", "conns": 1, "ops_per_conn": 1,
+            "event": {"threads": 1, "req_per_s": 1},
+            "open": {"rate_per_conn": 50}}]}"#;
+        let err = parse_committed(bad_open).unwrap_err();
+        assert!(err.contains("open.slo_ms"), "got: {}", err);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        assert!(parse_committed("not json").is_err());
+        assert!(parse_committed("{\"suites\": []}").is_err());
+        assert!(parse_committed("{\"suites\": [{\"provider\": \"nimbus\"}]}").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = check_bench(
+            "/nonexistent/BENCH_serve.json",
+            Engine::Interp,
+            OptLevel::O0,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,45 @@
+#![deny(missing_docs)]
+
+//! # lce-load — deterministic serving-load generation
+//!
+//! A traffic generator for [`lce-server`](lce_server): seeded, mixed
+//! read/write DevOps workloads over the golden catalogs, driven **raw
+//! over the wire** (the generator owns its HTTP/JSON encoding, so the
+//! workload it emits is independent of any serde backend), with per-op
+//! latency collected into [`lce_obs`] histograms and summarized as
+//! p50/p90/p99 plus sustained request throughput.
+//!
+//! Two loop disciplines:
+//!
+//! * **Closed loop** — each connection sends a request, waits for the
+//!   response, then sends the next. Response fields feed later steps'
+//!   `FieldOf` references, so the traffic preserves DevOps workflow
+//!   semantics (create → reference → mutate → read back) and the final
+//!   per-account stores are schedule-determined. Throughput here measures
+//!   the server's request turnaround under a fixed concurrency.
+//! * **Open loop** — each connection emits requests on a seeded arrival
+//!   schedule regardless of response progress (a sender/receiver thread
+//!   pair per connection), and latency is measured from the *scheduled*
+//!   send time, so queueing delay is charged to the server — the
+//!   coordinated-omission-free discipline. Cross-step references are
+//!   resolved to fixed placeholders at generation time (you cannot
+//!   reference a response you have not waited for), so open-loop traffic
+//!   is workflow-shaped but not workflow-coupled.
+//!
+//! Everything the generator decides — program picks, step order, open-loop
+//! arrival offsets — is a pure function of the seed, captured in a
+//! [`schedule::Schedule`] whose digest (and the whole deterministic
+//! section of a [`run::LoadReport`]) is byte-identical across runs,
+//! server thread counts, and execution engines.
+//!
+//! [`check`] gates a measured run against the committed
+//! `BENCH_serve.json` floors (CI's serve-bench job).
+
+pub mod check;
+pub mod run;
+pub mod schedule;
+pub mod wire;
+
+pub use check::check_bench;
+pub use run::{run_load, LoadConfig, LoadReport};
+pub use schedule::{LoadMode, LoadSpec, Schedule};

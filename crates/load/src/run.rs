@@ -1,0 +1,695 @@
+//! Drive a generated [`Schedule`](crate::schedule::Schedule) against an
+//! in-process `lce-server` and report latency, throughput, and the
+//! deterministic outcome fingerprint.
+//!
+//! The server is spawned exactly the way `lce serve` spawns one (same
+//! engine factory, same fault wiring), so what the generator measures is
+//! the serving stack the CLI ships, not a test double.
+
+use crate::schedule::{Fnv64, LoadMode, LoadSpec, Schedule};
+use crate::wire::{render_json, render_literal, request_bytes, RawConn, RawResponse};
+use lce_cloud::{nimbus_provider, stratus_provider};
+use lce_devops::Arg;
+use lce_emulator::{Backend, Emulator, EmulatorConfig};
+use lce_faults::{no_sleep, store_digest, FaultPlan, FaultyBackend, RetryPolicy};
+use lce_ir::{compile, CompiledCatalog, CompiledEmulator, DualBackend, Engine, OptLevel};
+use lce_obs::{Class, ObsHub};
+use lce_server::{serve, ServerConfig, ServerHandle, PROBE_ACCOUNT};
+use lce_spec::Catalog;
+use lce_trace::{assemble, catalog_digest, new_sink, RecordingBackend, TraceSink};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How to run a load generation session.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// What traffic to generate.
+    pub spec: LoadSpec,
+    /// Server shard (event loop) thread count.
+    pub server_threads: usize,
+    /// Execution engine serving the catalog.
+    pub engine: Engine,
+    /// Optimization level for compiled engines.
+    pub opt_level: OptLevel,
+    /// Fault plan preset name (`standard`, `aggressive`, ...); `None`
+    /// serves fault-free.
+    pub plan: Option<String>,
+    /// Retry budget per op in closed mode (first try included). Open mode
+    /// never retries — a retry would perturb the arrival schedule.
+    pub max_attempts: u32,
+    /// Observability hub the latency histogram lands in. `None` creates a
+    /// private hub (the report still carries the percentiles).
+    pub hub: Option<Arc<ObsHub>>,
+    /// Record every account's dispatched call stream and write one
+    /// canonical trace file per account (`<dir>/<account>.trace`) after
+    /// the run. Each file is a self-contained repro (provider, catalog
+    /// digest, plan, calls, store digests) that `lce trace replay`
+    /// re-executes — the divergence-triage artifact the soak suite
+    /// demands. The recorder mirrors (never perturbs) the fault schedule.
+    pub trace_out: Option<String>,
+    /// Goodput deadline, microseconds: an op counts toward goodput only if
+    /// it was answered within this long of being (scheduled to be) sent.
+    ///
+    /// Raw completed-ops/elapsed flatters an architecture that starves
+    /// connections and then answers their backlog in a burst after the
+    /// senders give up the schedule — the burst pushes completion req/s
+    /// up while every one of those answers arrived too late to matter.
+    /// Goodput is the honest throughput at N *concurrent* connections:
+    /// answers that arrived while the asker was still asking.
+    pub slo_us: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            spec: LoadSpec::default(),
+            server_threads: 4,
+            engine: Engine::Interp,
+            opt_level: OptLevel::default(),
+            plan: None,
+            max_attempts: 4,
+            hub: None,
+            trace_out: None,
+            slo_us: 100_000,
+        }
+    }
+}
+
+/// Per-account outcome: op counts and the two fingerprints that must be
+/// schedule-determined (closed loop, fault-free).
+#[derive(Debug, Clone)]
+pub struct AccountLoad {
+    /// Account id (`acct-N`).
+    pub account: String,
+    /// Ops scheduled for this account.
+    pub ops: usize,
+    /// Ops that got an HTTP response with no transport failure.
+    pub responses: usize,
+    /// Ops that failed at the transport layer (all retries exhausted, or
+    /// open-loop connection death).
+    pub transport_errors: usize,
+    /// FNV-1a over every response's status code and body bytes, in op
+    /// order.
+    pub response_digest: String,
+    /// Canonical digest of the account's final resource store.
+    pub store_digest: String,
+}
+
+/// What one load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The generating spec.
+    pub spec: LoadSpec,
+    /// Engine that served the run (timing section only).
+    pub engine: Engine,
+    /// Server shard threads (timing section only).
+    pub server_threads: usize,
+    /// Fault plan name, or `"none"`.
+    pub plan: String,
+    /// Digest of the generated schedule.
+    pub schedule_digest: String,
+    /// One entry per connection/account, in account order.
+    pub accounts: Vec<AccountLoad>,
+    /// Wall-clock duration of the traffic phase.
+    pub elapsed: Duration,
+    /// Total ops driven.
+    pub total_ops: usize,
+    /// Closed-loop retries across all connections.
+    pub retries: u64,
+    /// Sustained throughput over the traffic phase.
+    pub req_per_s: f64,
+    /// The goodput deadline this run was measured against, microseconds.
+    pub slo_us: u64,
+    /// Ops answered within [`LoadConfig::slo_us`] of their (scheduled)
+    /// send instant.
+    pub goodput_ops: usize,
+    /// On-time answers per second of the traffic phase: the throughput
+    /// the server actually delivered to connections still waiting for it.
+    pub goodput_per_s: f64,
+    /// Latency percentiles, microseconds, from the raw per-op samples.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// The deterministic section: everything here is a pure function of
+    /// (spec, plan) — independent of engine, server thread count, machine
+    /// speed, and scheduling. This is what the determinism suite pins
+    /// byte-for-byte. Fault plans inject by wire arrival order, which is
+    /// racy under concurrency, so response digests are only listed when
+    /// serving fault-free.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        out.push_str("lce-load deterministic report\n");
+        out.push_str(&format!("provider: {}\n", self.spec.provider));
+        out.push_str(&format!("mode:     {}\n", self.spec.mode.name()));
+        out.push_str(&format!("seed:     {}\n", self.spec.seed));
+        out.push_str(&format!(
+            "conns:    {} x {} ops\n",
+            self.spec.conns, self.spec.ops_per_conn
+        ));
+        out.push_str(&format!("plan:     {}\n", self.plan));
+        out.push_str(&format!("schedule: {}\n", self.schedule_digest));
+        let fault_free = self.plan == "none";
+        for acct in &self.accounts {
+            if fault_free && self.spec.mode == LoadMode::Closed {
+                out.push_str(&format!(
+                    "{}: ops={} responses={} errors={} resp={} store={}\n",
+                    acct.account,
+                    acct.ops,
+                    acct.responses,
+                    acct.transport_errors,
+                    acct.response_digest,
+                    acct.store_digest
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{}: ops={} store={}\n",
+                    acct.account, acct.ops, acct.store_digest
+                ));
+            }
+        }
+        out
+    }
+
+    /// The full report: deterministic section plus the timing section
+    /// (which is honest about being machine- and run-specific).
+    pub fn render(&self) -> String {
+        let mut out = self.render_deterministic();
+        out.push_str("--- timing (machine-specific) ---\n");
+        out.push_str(&format!("engine:   {}\n", self.engine));
+        out.push_str(&format!("threads:  {}\n", self.server_threads));
+        out.push_str(&format!("elapsed:  {:.3}s\n", self.elapsed.as_secs_f64()));
+        out.push_str(&format!("ops:      {}\n", self.total_ops));
+        out.push_str(&format!("retries:  {}\n", self.retries));
+        out.push_str(&format!("req/s:    {:.0}\n", self.req_per_s));
+        out.push_str(&format!(
+            "goodput:  {:.0}/s ({}/{} ops within {}ms)\n",
+            self.goodput_per_s,
+            self.goodput_ops,
+            self.total_ops,
+            self.slo_us / 1000
+        ));
+        out.push_str(&format!(
+            "latency:  p50={}us p90={}us p99={}us\n",
+            self.p50_us, self.p90_us, self.p99_us
+        ));
+        out
+    }
+}
+
+/// One connection's raw results, merged into the report after join.
+struct ConnOutcome {
+    responses: usize,
+    transport_errors: usize,
+    retries: u64,
+    response_digest: String,
+    latencies_us: Vec<u64>,
+}
+
+/// Generate the schedule for `config.spec` and drive it. Returns an error
+/// only for infrastructure failures (unknown provider/plan, compile
+/// failure, bind failure, thread panic); per-op transport failures are
+/// counted in the report.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
+    let schedule = Schedule::generate(&config.spec)?;
+    let catalog = catalog_of(&config.spec.provider)?;
+    let plan: Option<Arc<FaultPlan>> = match &config.plan {
+        None => None,
+        Some(name) => Some(Arc::new(
+            FaultPlan::named(name, config.spec.seed)
+                .ok_or_else(|| format!("unknown fault plan `{}`", name))?,
+        )),
+    };
+    let sinks: Option<Arc<Mutex<BTreeMap<String, TraceSink>>>> = config
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(BTreeMap::new())));
+    let handle = spawn_server(config, &catalog, plan.clone(), sinks.clone())?;
+    let addr = handle.addr();
+
+    let hub = config
+        .hub
+        .clone()
+        .unwrap_or_else(|| Arc::new(ObsHub::new()));
+
+    // All connections connect first, then release together: the measured
+    // window contains only traffic, not connection ramp.
+    let barrier = Arc::new(Barrier::new(schedule.conns.len() + 1));
+    let policy = retry_policy(config);
+    let mut workers = Vec::with_capacity(schedule.conns.len());
+    for conn in schedule.conns.iter().cloned() {
+        let barrier = Arc::clone(&barrier);
+        let policy = policy.clone();
+        let mode = config.spec.mode;
+        workers.push(
+            thread::Builder::new()
+                .name(format!("lce-load-{}", conn.account))
+                .spawn(move || match mode {
+                    LoadMode::Closed => closed_loop(addr, &conn, &policy, &barrier),
+                    LoadMode::Open => open_loop(addr, &conn, &barrier),
+                })
+                .map_err(|e| format!("spawn failed: {}", e))?,
+        );
+    }
+    barrier.wait();
+    let started = Instant::now();
+    let mut outcomes = Vec::with_capacity(workers.len());
+    for worker in workers {
+        outcomes.push(
+            worker
+                .join()
+                .map_err(|_| "load worker panicked".to_string())??,
+        );
+    }
+    let elapsed = started.elapsed();
+
+    // Fingerprint final stores while the server is still up, then stop it.
+    let mut accounts = Vec::with_capacity(schedule.conns.len());
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut retries = 0u64;
+    let latency_hist = hub.global().histogram(
+        "lce_load_latency_us",
+        "Per-op load-generator latency in microseconds",
+        Class::Timing,
+        &[
+            ("provider", &config.spec.provider),
+            ("mode", config.spec.mode.name()),
+        ],
+    );
+    for (conn, outcome) in schedule.conns.iter().zip(outcomes) {
+        let store = handle
+            .router()
+            .snapshot(&conn.account)
+            .unwrap_or_else(lce_emulator::ResourceStore::new);
+        for &lat in &outcome.latencies_us {
+            latency_hist.observe(lat);
+        }
+        retries += outcome.retries;
+        latencies.extend(outcome.latencies_us);
+        accounts.push(AccountLoad {
+            account: conn.account.clone(),
+            ops: conn.ops(),
+            responses: outcome.responses,
+            transport_errors: outcome.transport_errors,
+            response_digest: outcome.response_digest,
+            store_digest: store_digest(&store),
+        });
+    }
+    if let (Some(dir), Some(sinks)) = (&config.trace_out, &sinks) {
+        let digest = catalog_digest(&catalog);
+        let trace_plan = plan
+            .as_ref()
+            .map(|p| (**p).clone())
+            .unwrap_or_else(|| FaultPlan::none(config.spec.seed));
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {}", dir, e))?;
+        let sinks = sinks.lock().unwrap();
+        for (account, sink) in sinks.iter() {
+            let calls = sink.lock().unwrap().clone();
+            let trace = assemble(
+                config.spec.provider.clone(),
+                digest.clone(),
+                account,
+                &trace_plan,
+                calls,
+            );
+            let file = format!("{}/{}.trace", dir, account);
+            std::fs::write(&file, trace.encode())
+                .map_err(|e| format!("failed to write trace {}: {}", file, e))?;
+        }
+    }
+    handle.shutdown();
+
+    latencies.sort_unstable();
+    let total_ops = schedule.total_ops();
+    let goodput_ops = latencies.partition_point(|&l| l <= config.slo_us);
+    Ok(LoadReport {
+        spec: config.spec.clone(),
+        engine: config.engine,
+        server_threads: config.server_threads,
+        plan: config.plan.clone().unwrap_or_else(|| "none".to_string()),
+        schedule_digest: schedule.digest(),
+        accounts,
+        elapsed,
+        total_ops,
+        retries,
+        req_per_s: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        slo_us: config.slo_us,
+        goodput_ops,
+        goodput_per_s: goodput_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: percentile(&latencies, 50),
+        p90_us: percentile(&latencies, 90),
+        p99_us: percentile(&latencies, 99),
+    })
+}
+
+/// The golden catalog for a provider name.
+pub fn catalog_of(provider: &str) -> Result<Catalog, String> {
+    match provider {
+        "nimbus" => Ok(nimbus_provider().catalog),
+        "stratus" => Ok(stratus_provider().catalog),
+        other => Err(format!("unknown provider `{}` (nimbus|stratus)", other)),
+    }
+}
+
+/// Spawn the serving stack exactly like `lce serve` / `lce chaos` do:
+/// per-account engine from a shared compiled catalog, wrapped in a
+/// `FaultyBackend` (no-op sleeper) when a plan is loaded, wire faults
+/// from the same plan.
+fn spawn_server(
+    config: &LoadConfig,
+    catalog: &Catalog,
+    plan: Option<Arc<FaultPlan>>,
+    sinks: Option<Arc<Mutex<BTreeMap<String, TraceSink>>>>,
+) -> Result<ServerHandle, String> {
+    let compiled: Option<Arc<CompiledCatalog>> = match config.engine {
+        Engine::Interp => None,
+        Engine::Ir | Engine::Dual => {
+            let mut cc =
+                compile(catalog).map_err(|e| format!("catalog failed to compile: {}", e))?;
+            lce_ir::optimize(&mut cc, config.opt_level)
+                .map_err(|e| format!("optimizer broke the catalog: {}", e))?;
+            Some(Arc::new(cc))
+        }
+    };
+    let mut server_config = ServerConfig {
+        threads: config.server_threads.max(1),
+        ..ServerConfig::default()
+    };
+    if let Some(plan) = &plan {
+        server_config = server_config.with_faults(Arc::clone(plan));
+    }
+    let engine = config.engine;
+    let seed = config.spec.seed;
+    let factory_catalog = catalog.clone();
+    let factory_plan = plan;
+    let factory_sinks = sinks;
+    serve(server_config, move |account| {
+        let golden: Box<dyn Backend + Send + Sync> = match engine {
+            Engine::Interp => Box::new(Emulator::new(factory_catalog.clone()).named("loaded")),
+            Engine::Ir => Box::new(
+                CompiledEmulator::from_compiled(
+                    compiled.clone().expect("compiled for ir engine"),
+                    EmulatorConfig::framework(),
+                )
+                .named("loaded"),
+            ),
+            Engine::Dual => Box::new(
+                DualBackend::from_engines(
+                    Emulator::new(factory_catalog.clone()),
+                    CompiledEmulator::from_compiled(
+                        compiled.clone().expect("compiled for dual engine"),
+                        EmulatorConfig::framework(),
+                    ),
+                )
+                .named("loaded"),
+            ),
+        };
+        let backend: Box<dyn Backend + Send + Sync> = match &factory_plan {
+            None => golden,
+            Some(plan) => Box::new(
+                FaultyBackend::new(golden, Arc::clone(plan), account).with_sleeper(no_sleep()),
+            ),
+        };
+        match factory_sinks.as_ref().filter(|_| account != PROBE_ACCOUNT) {
+            None => backend,
+            Some(sinks) => {
+                let sink = new_sink();
+                sinks
+                    .lock()
+                    .unwrap()
+                    .insert(account.to_string(), sink.clone());
+                let record_plan = factory_plan
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(FaultPlan::none(seed)));
+                Box::new(RecordingBackend::new(backend, record_plan, account, sink))
+            }
+        }
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// The closed-loop retry policy: the standard transient-code set with the
+/// configured attempt budget, never wall-sleeping (load generation
+/// measures the server, not the backoff curve).
+fn retry_policy(config: &LoadConfig) -> RetryPolicy {
+    RetryPolicy::new(config.spec.seed)
+        .with_max_attempts(config.max_attempts)
+        .with_sleep(no_sleep())
+}
+
+/// Render one step's body against the binding environment.
+fn render_body(step_args: &[(String, Arg)], env: &BTreeMap<String, serde_json::Value>) -> String {
+    let mut parts = Vec::with_capacity(step_args.len());
+    for (name, arg) in step_args {
+        let value = match arg {
+            Arg::Lit(v) => render_literal(v),
+            Arg::FieldOf(binding, field) => env
+                .get(binding)
+                .and_then(|fields| fields.get(field))
+                .map(render_json)
+                // Unresolvable reference (response unparseable, or open
+                // loop): a fixed placeholder keeps the request well-formed
+                // and schedule-determined.
+                .unwrap_or_else(|| "\"unresolved\"".to_string()),
+        };
+        parts.push(format!("\"{}\":{}", crate::wire::json_escape(name), value));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Pull the `fields` object and error code (if any) out of a response
+/// body. Best-effort: a backend whose serializer emits non-JSON yields
+/// `(None, None)` and reference resolution falls back to placeholders.
+fn parse_response(body: &[u8]) -> (Option<serde_json::Value>, Option<String>) {
+    let Ok(value) = serde_json::from_slice::<serde_json::Value>(body) else {
+        return (None, None);
+    };
+    let code = value
+        .get("error")
+        .filter(|e| !e.is_null())
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .map(|s| s.to_string());
+    (value.get("fields").cloned(), code)
+}
+
+/// Closed loop: send, wait, resolve references, send the next. Transport
+/// errors reconnect and (within budget) resend; transient API error codes
+/// resend on the same connection.
+fn closed_loop(
+    addr: SocketAddr,
+    conn: &crate::schedule::ConnSchedule,
+    policy: &RetryPolicy,
+    barrier: &Barrier,
+) -> Result<ConnOutcome, String> {
+    let mut raw = RawConn::connect(addr).map_err(|e| format!("connect failed: {}", e))?;
+    barrier.wait();
+    let mut outcome = ConnOutcome {
+        responses: 0,
+        transport_errors: 0,
+        retries: 0,
+        response_digest: String::new(),
+        latencies_us: Vec::new(),
+    };
+    let mut digest = Fnv64::new();
+    for program in &conn.programs {
+        let mut env: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+        for step in &program.steps {
+            let body = render_body(&step.args, &env);
+            let request = request_bytes(&conn.account, &step.api, &body);
+            let started = Instant::now();
+            let mut response: Option<RawResponse> = None;
+            for attempt in 1..=policy.max_attempts {
+                let sent = raw.send(&request).and_then(|_| raw.read_response());
+                match sent {
+                    Ok(resp) => {
+                        if resp.close {
+                            raw = RawConn::connect(addr)
+                                .map_err(|e| format!("reconnect failed: {}", e))?;
+                        }
+                        let (_, code) = parse_response(&resp.body);
+                        let transient =
+                            code.as_deref().is_some_and(|c| policy.should_retry_code(c));
+                        if transient && attempt < policy.max_attempts {
+                            outcome.retries += 1;
+                            continue;
+                        }
+                        response = Some(resp);
+                        break;
+                    }
+                    Err(_) => {
+                        // Transport death mid-exchange. Reconnect either
+                        // way; resend only if the policy retries transport
+                        // errors and budget remains.
+                        raw = RawConn::connect(addr)
+                            .map_err(|e| format!("reconnect failed: {}", e))?;
+                        if policy.retry_transport && attempt < policy.max_attempts {
+                            outcome.retries += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                }
+            }
+            outcome
+                .latencies_us
+                .push(started.elapsed().as_micros() as u64);
+            match response {
+                Some(resp) => {
+                    outcome.responses += 1;
+                    digest.write(&(resp.status as u64).to_le_bytes());
+                    digest.write(&resp.body);
+                    if let Some(bind) = &step.bind {
+                        let (fields, _) = parse_response(&resp.body);
+                        if let Some(fields) = fields {
+                            env.insert(bind.clone(), fields);
+                        }
+                    }
+                }
+                None => outcome.transport_errors += 1,
+            }
+        }
+    }
+    outcome.response_digest = format!("{:016x}", digest.finish());
+    Ok(outcome)
+}
+
+/// Open loop: a sender thread fires on the seeded arrival schedule while
+/// this thread reaps responses; latency is charged from the *scheduled*
+/// send instant, so server-side queueing counts (no coordinated
+/// omission). References resolve to placeholders — nothing waits for a
+/// response.
+fn open_loop(
+    addr: SocketAddr,
+    conn: &crate::schedule::ConnSchedule,
+    barrier: &Barrier,
+) -> Result<ConnOutcome, String> {
+    let mut reader = RawConn::connect(addr).map_err(|e| format!("connect failed: {}", e))?;
+    let mut writer = reader
+        .try_clone()
+        .map_err(|e| format!("clone failed: {}", e))?;
+
+    // Pre-render every request: open-loop bodies are fully determined at
+    // generation time (the empty env maps every FieldOf to a placeholder).
+    let env = BTreeMap::new();
+    let mut requests = Vec::with_capacity(conn.ops());
+    for program in &conn.programs {
+        for step in &program.steps {
+            requests.push(request_bytes(
+                &conn.account,
+                &step.api,
+                &render_body(&step.args, &env),
+            ));
+        }
+    }
+    let offsets = conn.send_offsets_us.clone();
+    let total = requests.len();
+
+    barrier.wait();
+    let start = Instant::now();
+    let sender = thread::spawn(move || -> std::io::Result<()> {
+        for (request, &offset) in requests.iter().zip(&offsets) {
+            let due = Duration::from_micros(offset);
+            let now = start.elapsed();
+            if due > now {
+                thread::sleep(due - now);
+            }
+            writer.send(request)?;
+        }
+        Ok(())
+    });
+
+    let mut outcome = ConnOutcome {
+        responses: 0,
+        transport_errors: 0,
+        retries: 0,
+        response_digest: String::new(),
+        latencies_us: Vec::new(),
+    };
+    let mut digest = Fnv64::new();
+    for i in 0..total {
+        match reader.read_response() {
+            Ok(resp) => {
+                outcome.responses += 1;
+                // Charged from the scheduled send time, not the actual
+                // write: queueing delay lands on the server's bill.
+                let scheduled = conn.send_offsets_us[i];
+                let lat = (start.elapsed().as_micros() as u64).saturating_sub(scheduled);
+                outcome.latencies_us.push(lat);
+                digest.write(&(resp.status as u64).to_le_bytes());
+                digest.write(&resp.body);
+                if resp.close {
+                    outcome.transport_errors += total - i - 1;
+                    break;
+                }
+            }
+            Err(_) => {
+                outcome.transport_errors += total - i;
+                break;
+            }
+        }
+    }
+    let _ = sender.join().map_err(|_| "sender panicked".to_string())?;
+    outcome.response_digest = format!("{:016x}", digest.finish());
+    Ok(outcome)
+}
+
+/// Nearest-rank percentile over an ascending sample vector.
+fn percentile(sorted_us: &[u64], q: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us[(sorted_us.len() - 1) * q / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50), 50);
+        assert_eq!(percentile(&samples, 90), 90);
+        assert_eq!(percentile(&samples, 99), 99);
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+    }
+
+    #[test]
+    fn body_rendering_resolves_and_falls_back() {
+        let env: BTreeMap<String, serde_json::Value> = [(
+            "vpc".to_string(),
+            serde_json::from_str("{\"VpcId\":\"vpc-1\"}").unwrap(),
+        )]
+        .into_iter()
+        .collect();
+        let args = vec![
+            ("A".to_string(), Arg::str("x")),
+            ("B".to_string(), Arg::field("vpc", "VpcId")),
+            ("C".to_string(), Arg::field("vpc", "Missing")),
+            ("D".to_string(), Arg::field("nope", "F")),
+        ];
+        assert_eq!(
+            render_body(&args, &env),
+            "{\"A\":\"x\",\"B\":\"vpc-1\",\"C\":\"unresolved\",\"D\":\"unresolved\"}"
+        );
+    }
+
+    #[test]
+    fn unknown_provider_and_plan_are_reported() {
+        assert!(catalog_of("cumulus").is_err());
+        let config = LoadConfig {
+            plan: Some("bogus".to_string()),
+            ..LoadConfig::default()
+        };
+        assert!(run_load(&config).unwrap_err().contains("bogus"));
+    }
+}

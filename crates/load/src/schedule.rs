@@ -1,0 +1,314 @@
+//! Seeded workload schedules: which programs each connection runs, in
+//! what order, and (open loop) when each request goes out.
+//!
+//! Generation is pure: the same [`LoadSpec`] always yields the same
+//! [`Schedule`], byte for byte, on every platform — the RNG is a fixed
+//! SplitMix64 and arrival jitter is integer-only. The digest over the
+//! canonical schedule text is what the determinism suite (and the
+//! deterministic section of a load report) pins.
+
+use lce_devops::scenarios::nimbus::{basic_functionality, fig3_nimbus};
+use lce_devops::scenarios::stratus::fig3_stratus;
+use lce_devops::Program;
+
+/// Loop discipline (see the crate docs for the distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Request → response → next request, per connection.
+    Closed,
+    /// Seeded arrival schedule per connection, independent of responses.
+    Open,
+}
+
+impl LoadMode {
+    /// Stable lowercase name (used in reports and digests).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open => "open",
+        }
+    }
+}
+
+impl std::str::FromStr for LoadMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "closed" => Ok(LoadMode::Closed),
+            "open" => Ok(LoadMode::Open),
+            other => Err(format!("unknown load mode `{}` (closed|open)", other)),
+        }
+    }
+}
+
+/// What workload to generate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Golden catalog provider: `nimbus` or `stratus`.
+    pub provider: String,
+    /// Master seed: drives program picks and open-loop arrivals.
+    pub seed: u64,
+    /// Concurrent connections; connection `i` speaks for account
+    /// `acct-i`, so accounts never share a connection.
+    pub conns: usize,
+    /// API calls per connection (whole programs are appended until the
+    /// budget is reached, then the last program is truncated — references
+    /// only ever point backwards, so truncation is safe).
+    pub ops_per_conn: usize,
+    /// Loop discipline.
+    pub mode: LoadMode,
+    /// Open loop: target request rate per connection, ops/second.
+    pub rate_per_conn: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            provider: "nimbus".to_string(),
+            seed: 42,
+            conns: 64,
+            ops_per_conn: 100,
+            mode: LoadMode::Closed,
+            rate_per_conn: 200,
+        }
+    }
+}
+
+/// One connection's workload: the account it speaks for, the programs it
+/// runs in order, and (open mode) the absolute send offset of every step.
+#[derive(Debug, Clone)]
+pub struct ConnSchedule {
+    /// Account id (`acct-N` for connection `N`).
+    pub account: String,
+    /// Programs executed back to back; bindings are program-scoped.
+    pub programs: Vec<Program>,
+    /// Open mode: one µs-from-start send offset per step, nondecreasing.
+    /// Empty in closed mode.
+    pub send_offsets_us: Vec<u64>,
+}
+
+impl ConnSchedule {
+    /// Total steps across this connection's programs.
+    pub fn ops(&self) -> usize {
+        self.programs.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// A fully generated workload: per-connection program sequences plus the
+/// spec that produced them.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The generating spec.
+    pub spec: LoadSpec,
+    /// One entry per connection.
+    pub conns: Vec<ConnSchedule>,
+}
+
+impl Schedule {
+    /// Generate the schedule for `spec`. Fails only on an unknown
+    /// provider name.
+    pub fn generate(spec: &LoadSpec) -> Result<Schedule, String> {
+        let pool = scenario_pool(&spec.provider)?;
+        let mut conns = Vec::with_capacity(spec.conns);
+        for c in 0..spec.conns {
+            // Independent stream per connection: reordering connections
+            // or changing the count never perturbs another connection's
+            // picks.
+            let mut rng =
+                SplitMix64::new(spec.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut programs: Vec<Program> = Vec::new();
+            let mut ops = 0;
+            while ops < spec.ops_per_conn {
+                let mut program = pool[(rng.next() % pool.len() as u64) as usize].clone();
+                let budget = spec.ops_per_conn - ops;
+                program.steps.truncate(budget);
+                ops += program.len();
+                programs.push(program);
+            }
+            let send_offsets_us = match spec.mode {
+                LoadMode::Closed => Vec::new(),
+                LoadMode::Open => {
+                    // Uniformly jittered arrivals around the target mean
+                    // gap, integer-only so the schedule is platform-exact.
+                    let mean_us = 1_000_000 / spec.rate_per_conn.max(1);
+                    let mut at = 0u64;
+                    (0..ops)
+                        .map(|_| {
+                            at += mean_us / 2 + rng.next() % mean_us.max(1);
+                            at
+                        })
+                        .collect()
+                }
+            };
+            conns.push(ConnSchedule {
+                account: format!("acct-{}", c),
+                programs,
+                send_offsets_us,
+            });
+        }
+        Ok(Schedule {
+            spec: spec.clone(),
+            conns,
+        })
+    }
+
+    /// Total steps across all connections.
+    pub fn total_ops(&self) -> usize {
+        self.conns.iter().map(ConnSchedule::ops).sum()
+    }
+
+    /// FNV-1a digest of the canonical schedule text: provider, seed,
+    /// mode, every connection's program/step sequence, and (open mode)
+    /// every arrival offset. Two schedules digest equal iff they describe
+    /// the same workload.
+    pub fn digest(&self) -> String {
+        let mut h = Fnv64::new();
+        h.write(b"lce-load");
+        h.write(self.spec.provider.as_bytes());
+        h.write(&self.spec.seed.to_le_bytes());
+        h.write(self.spec.mode.name().as_bytes());
+        h.write(&(self.spec.conns as u64).to_le_bytes());
+        h.write(&(self.spec.ops_per_conn as u64).to_le_bytes());
+        for conn in &self.conns {
+            h.write(conn.account.as_bytes());
+            for program in &conn.programs {
+                h.write(program.name.as_bytes());
+                for step in &program.steps {
+                    h.write(step.api.as_bytes());
+                    for (name, _) in &step.args {
+                        h.write(name.as_bytes());
+                    }
+                }
+            }
+            for off in &conn.send_offsets_us {
+                h.write(&off.to_le_bytes());
+            }
+        }
+        format!("{:016x}", h.finish())
+    }
+}
+
+/// The seeded program pool for a provider: the Fig. 3 evaluation matrix
+/// (12 mixed read/write programs), plus the §5 basic-functionality
+/// program for nimbus.
+pub fn scenario_pool(provider: &str) -> Result<Vec<Program>, String> {
+    match provider {
+        "nimbus" => {
+            let mut pool = vec![basic_functionality()];
+            pool.extend(fig3_nimbus().into_iter().map(|s| s.program));
+            Ok(pool)
+        }
+        "stratus" => Ok(fig3_stratus().into_iter().map(|s| s.program).collect()),
+        other => Err(format!("unknown provider `{}` (nimbus|stratus)", other)),
+    }
+}
+
+/// SplitMix64: tiny, seedable, platform-exact.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a, 64-bit.
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separate fields so ("ab","c") and ("a","bc") digest apart.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule_digest() {
+        let spec = LoadSpec {
+            conns: 8,
+            ops_per_conn: 25,
+            ..LoadSpec::default()
+        };
+        let a = Schedule::generate(&spec).unwrap();
+        let b = Schedule::generate(&spec).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.total_ops(), 8 * 25);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Schedule::generate(&LoadSpec::default()).unwrap();
+        let b = Schedule::generate(&LoadSpec {
+            seed: 43,
+            ..LoadSpec::default()
+        })
+        .unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn ops_budget_is_exact_even_mid_program() {
+        for ops in [1, 3, 7, 100] {
+            let spec = LoadSpec {
+                conns: 3,
+                ops_per_conn: ops,
+                ..LoadSpec::default()
+            };
+            let s = Schedule::generate(&spec).unwrap();
+            for conn in &s.conns {
+                assert_eq!(conn.ops(), ops);
+            }
+        }
+    }
+
+    #[test]
+    fn open_mode_offsets_are_nondecreasing_and_seeded() {
+        let spec = LoadSpec {
+            mode: LoadMode::Open,
+            conns: 2,
+            ops_per_conn: 50,
+            rate_per_conn: 1000,
+            ..LoadSpec::default()
+        };
+        let s = Schedule::generate(&spec).unwrap();
+        for conn in &s.conns {
+            assert_eq!(conn.send_offsets_us.len(), conn.ops());
+            assert!(conn.send_offsets_us.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let again = Schedule::generate(&spec).unwrap();
+        assert_eq!(s.digest(), again.digest());
+        assert_eq!(s.conns[0].send_offsets_us, again.conns[0].send_offsets_us);
+    }
+
+    #[test]
+    fn both_providers_have_pools() {
+        assert!(scenario_pool("nimbus").unwrap().len() >= 13);
+        assert!(scenario_pool("stratus").unwrap().len() >= 12);
+        assert!(scenario_pool("cumulus").is_err());
+    }
+}

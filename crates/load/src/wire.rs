@@ -1,0 +1,231 @@
+//! The generator's own wire encoding: raw HTTP/1.1 requests with
+//! hand-rendered JSON bodies, and a minimal blocking response reader.
+//!
+//! Owning the encoding (instead of going through a serde serializer)
+//! keeps the emitted workload a pure function of the schedule: the bytes
+//! on the wire are the same no matter which serde backend the build
+//! linked. Responses are *parsed* with `serde_json` where possible — to
+//! resolve `FieldOf` references and classify API errors — but every
+//! latency/throughput measurement needs only the HTTP framing.
+
+use lce_emulator::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Escape a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a literal emulator [`Value`] as the JSON fragment the server's
+/// argument decoder accepts: scalars and lists map to plain JSON,
+/// enums/refs to their serde object forms.
+pub fn render_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => "null".to_string(),
+        Value::List(items) => {
+            let inner: Vec<String> = items.iter().map(render_literal).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Enum(name) => format!("{{\"Enum\":\"{}\"}}", json_escape(name)),
+        Value::Ref(id) => format!("{{\"Ref\":\"{}\"}}", json_escape(id.as_str())),
+    }
+}
+
+/// Render a parsed `serde_json` value back to JSON text. Used to re-embed
+/// a response field into the next request; written by hand so it works
+/// identically against any serde backend that exposes the `Value` enum.
+pub fn render_json(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Null => "null".to_string(),
+        serde_json::Value::Bool(b) => b.to_string(),
+        serde_json::Value::Number(n) => n.to_string(),
+        serde_json::Value::String(s) => format!("\"{}\"", json_escape(s)),
+        serde_json::Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        serde_json::Value::Object(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Build one `POST /<account>/<api>` request with the given JSON body.
+pub fn request_bytes(account: &str, api: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST /{}/{} HTTP/1.1\r\nHost: lce-load\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        account,
+        api,
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct RawResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// `true` if the server advertised `Connection: close`.
+    pub close: bool,
+}
+
+/// A blocking raw connection with a response reassembly buffer.
+pub struct RawConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RawConn {
+    /// Connect with a bounded timeout and no delayed ACK coalescing.
+    pub fn connect(addr: SocketAddr) -> io::Result<RawConn> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(RawConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Write one fully encoded request.
+    pub fn send(&mut self, request: &[u8]) -> io::Result<()> {
+        self.stream.write_all(request)
+    }
+
+    /// A clone of the underlying stream (open-loop sender/receiver pairs).
+    pub fn try_clone(&self) -> io::Result<RawConn> {
+        Ok(RawConn {
+            stream: self.stream.try_clone()?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Read exactly one response (headers + `Content-Length` body).
+    pub fn read_response(&mut self) -> io::Result<RawResponse> {
+        // Reassemble until the blank line.
+        let header_end = loop {
+            if let Some(pos) = find_crlfcrlf(&self.buf) {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line: {:?}", status_line),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
+            }
+        }
+        let body_start = header_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(RawResponse {
+            status,
+            body,
+            close,
+        })
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        match self.stream.read(&mut chunk)? {
+            0 => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            )),
+            n => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_render_as_plain_json() {
+        assert_eq!(render_literal(&Value::Str("a\"b".into())), "\"a\\\"b\"");
+        assert_eq!(render_literal(&Value::Int(-3)), "-3");
+        assert_eq!(render_literal(&Value::Bool(true)), "true");
+        assert_eq!(render_literal(&Value::Null), "null");
+        assert_eq!(
+            render_literal(&Value::List(vec![Value::Int(1), Value::Str("x".into())])),
+            "[1,\"x\"]"
+        );
+        assert_eq!(render_literal(&Value::enum_val("On")), "{\"Enum\":\"On\"}");
+    }
+
+    #[test]
+    fn requests_carry_exact_content_length() {
+        let req = request_bytes("acct-0", "CreateVpc", "{\"CidrBlock\":\"10.0.0.0/16\"}");
+        let text = String::from_utf8(req).unwrap();
+        assert!(text.starts_with("POST /acct-0/CreateVpc HTTP/1.1\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+    }
+
+    #[test]
+    fn json_rerender_round_trips_through_the_parser() {
+        let text = "{\"a\":[1,true,null,\"s\"],\"b\":{\"c\":-2}}";
+        let parsed: serde_json::Value = serde_json::from_str(text).unwrap();
+        let re = render_json(&parsed);
+        let reparsed: serde_json::Value = serde_json::from_str(&re).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+}

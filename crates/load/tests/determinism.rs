@@ -1,0 +1,138 @@
+//! The lce-load determinism suite: the same seed must yield a
+//! byte-identical workload schedule and a byte-identical deterministic
+//! report, no matter how many shard threads serve it or which execution
+//! engine answers the calls.
+//!
+//! Everything here drives the server raw over the wire — the generator
+//! owns its request encoding — so the suite runs identically whether or
+//! not the linked serde backend can serialize the server's response
+//! types.
+
+use lce_ir::{Engine, OptLevel};
+use lce_load::{run_load, LoadConfig, LoadMode, LoadSpec, Schedule};
+
+fn small_spec(mode: LoadMode) -> LoadSpec {
+    LoadSpec {
+        provider: "nimbus".to_string(),
+        seed: 1234,
+        conns: 4,
+        ops_per_conn: 12,
+        mode,
+        rate_per_conn: 2000,
+    }
+}
+
+fn run_with(spec: &LoadSpec, server_threads: usize, engine: Engine) -> lce_load::LoadReport {
+    run_load(&LoadConfig {
+        spec: spec.clone(),
+        server_threads,
+        engine,
+        opt_level: OptLevel::MAX,
+        plan: None,
+        max_attempts: 4,
+        hub: None,
+        ..LoadConfig::default()
+    })
+    .expect("load run is infrastructure-clean")
+}
+
+#[test]
+fn same_seed_same_schedule_bytes() {
+    for mode in [LoadMode::Closed, LoadMode::Open] {
+        let spec = small_spec(mode);
+        let a = Schedule::generate(&spec).unwrap();
+        let b = Schedule::generate(&spec).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        // The digest covers the whole canonical text, but pin the raw
+        // fields too so a digest-collision bug can't mask a drift.
+        for (ca, cb) in a.conns.iter().zip(&b.conns) {
+            assert_eq!(ca.account, cb.account);
+            assert_eq!(ca.send_offsets_us, cb.send_offsets_us);
+            let names_a: Vec<&str> = ca.programs.iter().map(|p| p.name.as_str()).collect();
+            let names_b: Vec<&str> = cb.programs.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(names_a, names_b);
+        }
+    }
+}
+
+#[test]
+fn closed_loop_report_is_identical_across_thread_counts() {
+    let spec = small_spec(LoadMode::Closed);
+    let one = run_with(&spec, 1, Engine::Interp);
+    let four = run_with(&spec, 4, Engine::Interp);
+    assert_eq!(
+        one.render_deterministic(),
+        four.render_deterministic(),
+        "shard count leaked into the deterministic report"
+    );
+    assert_eq!(one.retries, 0, "fault-free runs never retry");
+}
+
+#[test]
+fn closed_loop_report_is_identical_across_engines() {
+    let spec = small_spec(LoadMode::Closed);
+    let interp = run_with(&spec, 2, Engine::Interp);
+    let ir = run_with(&spec, 2, Engine::Ir);
+    assert_eq!(
+        interp.render_deterministic(),
+        ir.render_deterministic(),
+        "engine choice leaked into the deterministic report"
+    );
+}
+
+#[test]
+fn closed_loop_report_repeats_byte_for_byte() {
+    let spec = small_spec(LoadMode::Closed);
+    let a = run_with(&spec, 2, Engine::Interp);
+    let b = run_with(&spec, 2, Engine::Interp);
+    assert_eq!(a.render_deterministic(), b.render_deterministic());
+    // Ops were all served: every connection got a response per op.
+    for acct in &a.accounts {
+        assert_eq!(acct.responses, acct.ops);
+        assert_eq!(acct.transport_errors, 0);
+    }
+}
+
+#[test]
+fn open_loop_stores_are_schedule_determined() {
+    // Open mode resolves references to placeholders at generation time
+    // and pipelines on one connection per account, so the final stores —
+    // though not the latencies — are still a pure function of the seed.
+    let spec = small_spec(LoadMode::Open);
+    let a = run_with(&spec, 1, Engine::Interp);
+    let b = run_with(&spec, 4, Engine::Interp);
+    assert_eq!(a.render_deterministic(), b.render_deterministic());
+    assert_eq!(a.total_ops, 4 * 12);
+}
+
+#[test]
+fn different_seeds_change_the_deterministic_report() {
+    let spec = small_spec(LoadMode::Closed);
+    let other = LoadSpec {
+        seed: 4321,
+        ..spec.clone()
+    };
+    let a = run_with(&spec, 2, Engine::Interp);
+    let b = run_with(&other, 2, Engine::Interp);
+    assert_ne!(a.schedule_digest, b.schedule_digest);
+    assert_ne!(a.render_deterministic(), b.render_deterministic());
+}
+
+#[test]
+fn timing_section_is_separate_from_the_deterministic_section() {
+    let spec = small_spec(LoadMode::Closed);
+    let report = run_with(&spec, 2, Engine::Interp);
+    let det = report.render_deterministic();
+    let full = report.render();
+    assert!(full.starts_with(&det), "full report embeds the det section");
+    assert!(
+        !det.contains("req/s"),
+        "timings stay out of the det section"
+    );
+    assert!(
+        !det.contains("engine"),
+        "engine stays out of the det section"
+    );
+    assert!(full.contains("req/s"));
+    assert!(full.contains("p99"));
+}

@@ -1,0 +1,138 @@
+//! Chaos-under-load soak: drive the chaos fault plans through lce-load's
+//! closed-loop traffic at high concurrency and assert the retry stack
+//! converges every account to its fault-free store digest — and that the
+//! run leaves replayable trace dumps behind for divergence triage.
+//!
+//! These tests cross the wire with real retry classification (transient
+//! error codes must be readable out of response bodies), so they skip on
+//! builds whose serde backend cannot round-trip the wire protocol.
+
+use lce_ir::{Engine, OptLevel};
+use lce_load::{run_load, LoadConfig, LoadMode, LoadSpec};
+use lce_trace::{replay, ReplayOptions, Trace};
+use std::collections::BTreeMap;
+
+/// Whether this build's serde_json can round-trip the wire protocol;
+/// offline stub builds cannot, and wire-crossing tests skip.
+fn wire_works() -> bool {
+    let probe = lce_emulator::ApiResponse::ok(BTreeMap::new());
+    serde_json::to_vec(&probe)
+        .map_err(|e| e.to_string())
+        .and_then(|b| {
+            serde_json::from_slice::<lce_emulator::ApiResponse>(&b).map_err(|e| e.to_string())
+        })
+        .is_ok()
+}
+
+fn soak_spec() -> LoadSpec {
+    LoadSpec {
+        provider: "nimbus".to_string(),
+        seed: 7,
+        conns: 16,
+        ops_per_conn: 30,
+        mode: LoadMode::Closed,
+        rate_per_conn: 0,
+    }
+}
+
+fn config(plan: Option<&str>, max_attempts: u32) -> LoadConfig {
+    LoadConfig {
+        spec: soak_spec(),
+        server_threads: 4,
+        engine: Engine::Interp,
+        opt_level: OptLevel::O0,
+        plan: plan.map(str::to_string),
+        max_attempts,
+        hub: None,
+        trace_out: None,
+        ..LoadConfig::default()
+    }
+}
+
+#[test]
+fn standard_chaos_converges_to_the_fault_free_stores() {
+    if !wire_works() {
+        eprintln!("skipping: serde_json cannot round-trip the wire protocol");
+        return;
+    }
+    let baseline = run_load(&config(None, 1)).expect("fault-free run");
+    // The chaos retry budget: transient codes and transport faults are
+    // retried until the plan runs out of scheduled failures for the op.
+    let chaotic = run_load(&config(Some("standard"), 25)).expect("chaos run");
+    assert_eq!(baseline.accounts.len(), chaotic.accounts.len());
+    for (clean, faulted) in baseline.accounts.iter().zip(&chaotic.accounts) {
+        assert_eq!(clean.account, faulted.account);
+        assert_eq!(
+            faulted.transport_errors, 0,
+            "{}: retries must absorb every injected transport fault",
+            faulted.account
+        );
+        assert_eq!(
+            clean.store_digest, faulted.store_digest,
+            "{}: chaos-under-load failed to converge to the fault-free store",
+            faulted.account
+        );
+    }
+    assert!(
+        chaotic.retries > 0,
+        "the standard plan at 16 conns x 30 ops must actually inject"
+    );
+}
+
+#[test]
+fn backend_only_chaos_converges_on_the_ir_engine() {
+    if !wire_works() {
+        eprintln!("skipping: serde_json cannot round-trip the wire protocol");
+        return;
+    }
+    let baseline = run_load(&config(None, 1)).expect("fault-free run");
+    let mut chaos = config(Some("backend-only"), 25);
+    chaos.engine = Engine::Ir;
+    chaos.opt_level = OptLevel::MAX;
+    let chaotic = run_load(&chaos).expect("chaos run");
+    for (clean, faulted) in baseline.accounts.iter().zip(&chaotic.accounts) {
+        assert_eq!(
+            clean.store_digest, faulted.store_digest,
+            "{}: compiled engine diverged under backend faults",
+            faulted.account
+        );
+    }
+}
+
+#[test]
+fn soak_trace_dumps_are_replayable() {
+    // No wire_works guard: the canonical trace format and the replay
+    // engine never cross serde, so the dump/replay loop must hold even on
+    // builds where retry classification is blind.
+    let dir = std::env::temp_dir().join(format!("lce-load-soak-{}", std::process::id()));
+    let mut chaos = config(Some("standard"), 25);
+    chaos.spec.conns = 4;
+    chaos.spec.ops_per_conn = 15;
+    chaos.trace_out = Some(dir.to_str().unwrap().to_string());
+    let report = run_load(&chaos).expect("chaos run with trace-out");
+
+    for acct in &report.accounts {
+        let path = dir.join(format!("{}.trace", acct.account));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing trace dump {}: {}", path.display(), e));
+        let trace = Trace::parse(&text).expect("dump parses as a canonical trace");
+        assert_eq!(trace.header.scope, acct.account);
+        assert!(
+            !trace.calls.is_empty(),
+            "{}: a loaded account must have recorded calls",
+            acct.account
+        );
+        // The dump is a self-contained repro: replaying it against a
+        // fresh faulted engine reproduces every response, fault decision,
+        // and store digest byte-for-byte.
+        let replayed = replay(&trace, None, ReplayOptions::default())
+            .expect("replay sets up from the dump alone");
+        assert!(
+            replayed.ok(),
+            "{}: trace dump failed to replay:\n{}",
+            acct.account,
+            replayed.render()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,10 +21,15 @@
 //!   (`POST /<account>/_reset`, `GET /_health`, `GET /_apis`).
 //! * [`router`] — multi-account sharding: one backend instance per
 //!   account behind its own lock, so accounts never contend.
-//! * [`serve`](mod@serve) — a bounded worker pool fed by a crossbeam
-//!   channel, with graceful shutdown, connection drain, and optional
-//!   deterministic wire-fault injection (accept/read/write points driven
-//!   by an `lce_faults::FaultPlan` via [`ServerConfig::faults`]).
+//! * [`serve`](mod@serve) — an accept loop feeding the event-driven
+//!   shard core (`lce-net`): each shard thread runs a readiness poller
+//!   (raw epoll on Linux) over its own set of nonblocking connections,
+//!   accounts pin to the shard that first served them, and graceful
+//!   shutdown drains in-flight keep-alive work. Deterministic wire-fault
+//!   injection (accept/read/write points driven by an
+//!   `lce_faults::FaultPlan` via [`ServerConfig::faults`]) fires at the
+//!   same decision sequence as the original blocking core, so recorded
+//!   chaos schedules stay valid.
 //! * [`client`] — the blocking remote `Backend`, with optional seeded
 //!   retry/backoff ([`Client::with_retry`]).
 //! * [`obs`] — optional observability: with an `lce_obs::ObsHub` attached
@@ -53,6 +58,7 @@
 
 pub mod client;
 pub mod http;
+pub(crate) mod net;
 pub mod obs;
 pub mod router;
 pub mod serve;

@@ -1,0 +1,384 @@
+//! The nonblocking connection state machine.
+//!
+//! [`Conn`] is a line-for-line translation of the old blocking worker's
+//! `handle_connection` loop into close-after-flush form. The decision
+//! sequence is identical — parse-drain buffered requests first, then read
+//! one chunk per readiness event, with the three wire-fault hooks fired at
+//! exactly the same points and keyed by the same `(conn, seq)` pairs — so
+//! a chaos schedule decided against the blocking core decides identically
+//! here. What changes is only *when* bytes leave: where the blocking loop
+//! did a synchronous `write_all` and `return`, this machine queues the
+//! encoded bytes into `out`, sets `closing`, and lets the shard flush the
+//! tail as the socket drains. Every blocking-core `return` after a
+//! successful write therefore becomes `closing = true`, preserving the
+//! byte stream the peer observes.
+
+use crate::http::{self, HttpLimits, Request, Response};
+use crate::net::poll::Interest;
+use crate::obs::ServeMetrics;
+use crate::router::Router;
+use crate::wire;
+use lce_faults::{FaultPlan, WireFault};
+use std::collections::{BTreeSet, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Account → owning shard. First claim wins: the shard that parses an
+/// account's first request pins the account, and every later connection
+/// for it migrates there, so one account's dispatches never contend
+/// across cores.
+pub(crate) type PinTable = Arc<Mutex<HashMap<String, usize>>>;
+
+/// Everything a shard thread shares with its connections.
+pub(crate) struct ShardCtx {
+    /// This shard's index (the pin table's value space).
+    pub shard: usize,
+    pub router: Arc<Router>,
+    pub limits: HttpLimits,
+    pub read_timeout: Duration,
+    pub shutdown: Arc<AtomicBool>,
+    /// Set by the acceptor after its final hand-off; shards may only exit
+    /// once no more connections can arrive.
+    pub accept_done: Arc<AtomicBool>,
+    pub faults: Option<Arc<FaultPlan>>,
+    pub metrics: Option<Arc<ServeMetrics>>,
+    pub retry_safe: Option<Arc<BTreeSet<String>>>,
+    pub pins: PinTable,
+}
+
+impl ShardCtx {
+    fn shutdown_now(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Time one closure's run in µs, only when metrics are on (same contract
+/// as the old blocking worker's `timed`).
+fn timed<T>(metrics: Option<&ServeMetrics>, phase: &str, f: impl FnOnce() -> T) -> T {
+    let start = metrics.map(|_| Instant::now());
+    let out = f();
+    if let (Some(m), Some(start)) = (metrics, start) {
+        m.observe_phase(phase, start.elapsed().as_micros() as u64);
+    }
+    out
+}
+
+/// The account segment of a request path, when there is one: the first
+/// path segment iff it is a valid account id (so `/_health`, `/_apis`
+/// and `/_metrics` never pin).
+fn account_of(path: &str) -> Option<&str> {
+    let seg = path.strip_prefix('/')?.split('/').next().unwrap_or("");
+    if Router::valid_account_id(seg) {
+        Some(seg)
+    } else {
+        None
+    }
+}
+
+/// A request that must finish on another shard: the account turned out
+/// to be pinned elsewhere.
+pub(crate) struct Migration {
+    /// The shard that owns the account.
+    pub target: usize,
+    /// The already-parsed request, carried along so the target processes
+    /// it without re-parsing.
+    pub request: Request,
+}
+
+/// One nonblocking connection (see module docs).
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Accept-order id: the poller token and the fault-decision key.
+    pub(crate) id: u64,
+    buf: bytes::BytesMut,
+    out: Vec<u8>,
+    out_pos: usize,
+    read_events: u64,
+    req_seq: u64,
+    pub(crate) last_activity: Instant,
+    /// Close once `out` drains; set wherever the blocking core returned.
+    pub(crate) closing: bool,
+    /// The account-pinning decision for this connection has been made
+    /// (either it stays here or it was shipped to its owner).
+    pinned: bool,
+    /// Interest currently registered with the poller.
+    pub(crate) registered: Interest,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, id: u64) -> Conn {
+        Conn {
+            stream,
+            id,
+            buf: bytes::BytesMut::with_capacity(8 * 1024),
+            out: Vec::new(),
+            out_pos: 0,
+            read_events: 0,
+            req_seq: 0,
+            last_activity: Instant::now(),
+            closing: false,
+            pinned: false,
+            registered: Interest::READ,
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Nothing buffered in either direction (shutdown-drain candidate).
+    pub(crate) fn idle(&self) -> bool {
+        self.buf.is_empty() && !self.wants_write()
+    }
+
+    /// The connection is finished and fully flushed: drop it.
+    pub(crate) fn done(&self) -> bool {
+        self.closing && !self.wants_write()
+    }
+
+    /// What the poller should watch for right now. No reads once closing
+    /// (the blocking core never read again after deciding to close), and
+    /// writes only while there is a tail to flush.
+    pub(crate) fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing,
+            writable: self.wants_write(),
+        }
+    }
+
+    fn queue(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// One readiness-event's worth of input: read a single chunk (the
+    /// blocking core read once per loop iteration, and level-triggered
+    /// polling re-reports until drained), fire the read-point fault hook,
+    /// then parse-drain.
+    pub(crate) fn on_readable(&mut self, ctx: &ShardCtx) -> Option<Migration> {
+        if self.closing {
+            return None;
+        }
+        let mut chunk = [0u8; 8 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. The buffer can only hold a partial request here
+                // (complete ones were drained after the previous read),
+                // and the blocking core dropped partials at EOF too.
+                self.closing = true;
+                return None;
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                self.last_activity = Instant::now();
+                let event = self.read_events;
+                self.read_events += 1;
+                if let Some(plan) = &ctx.faults {
+                    if plan.decide_read(self.id, event).is_some() {
+                        // Read-point reset: drop with the request still in
+                        // the parse buffer — nothing was dispatched.
+                        if let Some(m) = &ctx.metrics {
+                            m.read_fault();
+                        }
+                        self.closing = true;
+                        return None;
+                    }
+                }
+            }
+            // Spurious wakeup (sweep backend reports everything ready) or
+            // a retryable blip: the next event retries the read.
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                return None;
+            }
+            Err(_) => {
+                self.closing = true;
+                return None;
+            }
+        }
+        self.drain(ctx)
+    }
+
+    /// Parse and serve every complete buffered request (pipelining),
+    /// stopping at a partial request, a close decision, or a migration.
+    pub(crate) fn drain(&mut self, ctx: &ShardCtx) -> Option<Migration> {
+        while !self.closing {
+            let metrics = ctx.metrics.as_deref();
+            let parsed = timed(metrics, "parse", || {
+                http::parse_request(&mut self.buf, &ctx.limits)
+            });
+            match parsed {
+                Err(e) => {
+                    self.queue(&http::encode_response(&e.to_response()));
+                    self.closing = true;
+                }
+                Ok(Some(req)) => {
+                    if !self.pinned && !ctx.shutdown_now() {
+                        if let Some(target) = self.resolve_pin(&req, ctx) {
+                            if target != ctx.shard {
+                                // The account lives on another shard; ship
+                                // the whole connection there before any
+                                // decision for this request fires.
+                                // Decisions are pure in (conn, seq), so
+                                // relocation cannot change them.
+                                return Some(Migration {
+                                    target,
+                                    request: req,
+                                });
+                            }
+                        }
+                    }
+                    self.handle_request(req, ctx);
+                }
+                Ok(None) => break,
+            }
+        }
+        None
+    }
+
+    /// Pin this connection's account (first claim wins) and report the
+    /// owning shard. Requests without an account segment resolve to
+    /// nothing and are served wherever they landed.
+    fn resolve_pin(&mut self, req: &Request, ctx: &ShardCtx) -> Option<usize> {
+        let account = account_of(&req.path)?;
+        let target = {
+            let mut pins = ctx.pins.lock().unwrap_or_else(|e| e.into_inner());
+            *pins.entry(account.to_string()).or_insert(ctx.shard)
+        };
+        self.pinned = true;
+        Some(target)
+    }
+
+    /// Serve one parsed request: the write-fault decision, the dispatch
+    /// and the response queueing, in exactly the blocking core's order.
+    pub(crate) fn handle_request(&mut self, req: Request, ctx: &ShardCtx) {
+        self.last_activity = Instant::now();
+        let metrics = ctx.metrics.as_deref();
+        if self.req_seq > 0 {
+            if let Some(m) = metrics {
+                m.connection_reused();
+            }
+        }
+        let shutdown = ctx.shutdown_now();
+        let keep_alive = req.wants_keep_alive() && !shutdown;
+        // Name-based idempotence, widened by static retry-safety proofs: a
+        // proven API's response may be dropped post-dispatch because a
+        // blind replay converges.
+        let replay_safe = wire::is_idempotent(&req)
+            || ctx
+                .retry_safe
+                .as_deref()
+                .zip(wire::request_api(&req))
+                .is_some_and(|(set, api)| set.contains(api));
+        let write_fault = ctx
+            .faults
+            .as_deref()
+            .and_then(|plan| plan.decide_write(self.id, self.req_seq, replay_safe));
+        self.req_seq += 1;
+        if let (Some(m), Some(fault)) = (metrics, &write_fault) {
+            m.write_fault(fault);
+        }
+        let obs = metrics.map(ServeMetrics::hub).map(Arc::as_ref);
+        if write_fault == Some(WireFault::Reset) {
+            // Write-point reset models a server that died between commit
+            // and reply: dispatch the request, then close without queueing
+            // any response byte (earlier responses still flush).
+            let _ = wire::handle_observed(&req, &ctx.router, obs);
+            self.closing = true;
+            return;
+        }
+        let resp = timed(metrics, "dispatch", || {
+            wire::handle_observed(&req, &ctx.router, obs)
+        });
+        let resp = Response { keep_alive, ..resp };
+        let encoded = http::encode_response(&resp);
+        if write_fault == Some(WireFault::Truncate) {
+            // Queue half the response, then close once it flushes.
+            self.queue(&encoded[..encoded.len() / 2]);
+            self.closing = true;
+            return;
+        }
+        self.queue(&encoded);
+        if !keep_alive {
+            if shutdown && req.wants_keep_alive() {
+                if let Some(m) = metrics {
+                    m.connection_drained();
+                }
+            }
+            self.closing = true;
+        }
+    }
+
+    /// Push queued bytes into the socket until it refuses more. Returns
+    /// `false` when the connection is dead and must be dropped now
+    /// (pending bytes are lost, exactly as a failed blocking `write_all`
+    /// lost them).
+    pub(crate) fn flush(&mut self, ctx: &ShardCtx) -> bool {
+        if !self.wants_write() {
+            return true;
+        }
+        let metrics = ctx.metrics.as_deref();
+        let start = metrics.map(|_| Instant::now());
+        let mut alive = true;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    alive = false;
+                    break;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        if let (Some(m), Some(start)) = (metrics, start) {
+            m.observe_phase("write", start.elapsed().as_micros() as u64);
+        }
+        if self.out_pos >= self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        alive
+    }
+
+    /// Idle past the read timeout: `408` if a partial request was
+    /// buffered, then close (blocking-core parity).
+    pub(crate) fn expire(&mut self) {
+        if !self.buf.is_empty() {
+            let timeout = Response {
+                status: 408,
+                body: b"{\"error\":\"request timed out\"}".to_vec(),
+                content_type: "application/json",
+                keep_alive: false,
+            };
+            self.queue(&http::encode_response(&timeout));
+        }
+        self.closing = true;
+    }
+
+    /// `true` once this connection has been idle past `read_timeout`.
+    pub(crate) fn timed_out(&self, read_timeout: Duration) -> bool {
+        !self.closing && self.last_activity.elapsed() >= read_timeout
+    }
+
+    /// Mark the pin decision as already made (set on migrated connections
+    /// so the target shard never re-consults the pin table).
+    pub(crate) fn mark_pinned(&mut self) {
+        self.pinned = true;
+    }
+}

@@ -1,0 +1,323 @@
+//! The event-driven server core (`lce-net`).
+//!
+//! The old blocking thread-per-connection pool is replaced by
+//! shared-nothing **shards**: each shard thread owns a readiness poller
+//! ([`poll::Poller`] — raw epoll on Linux, a portable sweep elsewhere),
+//! a private set of connections, and an inbox fed by the acceptor. The
+//! acceptor routes fresh connections round-robin (`conn % shards`), and
+//! the first parsed request *pins* the account: the pin table maps each
+//! account to the shard that first served it, and any connection that
+//! turns out to speak for an account pinned elsewhere migrates — carried
+//! whole, with its parsed request and fault counters — to the owning
+//! shard. After that, all of an account's traffic dispatches from one
+//! core, the per-account `RwLock` is never contended across shards, and
+//! reads proven `ReadOnly` by `lce-effects` dispatch under an
+//! uncontended shared lock.
+//!
+//! Fault parity: all wire-fault decisions are pure functions of the
+//! connection id and per-connection event/request counters, and those
+//! counters travel with the connection, so a chaos schedule decided
+//! against the blocking core decides identically here (see [`conn`]).
+
+pub(crate) mod conn;
+pub(crate) mod poll;
+pub(crate) mod sys;
+
+use conn::{Conn, Migration, ShardCtx};
+use poll::{Interest, Poller};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Poller token reserved for the shard's wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Poller timeout: the cadence of shutdown checks and read-timeout scans
+/// (the blocking core's poll interval).
+const TICK: Duration = Duration::from_millis(25);
+
+/// How long a shard keeps flushing queued response tails to unwilling
+/// sockets after shutdown before force-closing them.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Work handed to a shard by the acceptor or a peer shard.
+pub(crate) enum Incoming {
+    /// A freshly accepted connection with its accept-order id.
+    Fresh(TcpStream, u64),
+    /// A connection migrating to this shard (its account is pinned here),
+    /// carrying the request that triggered the move.
+    Moved(Box<Conn>, crate::http::Request),
+}
+
+/// The write end of a shard's wake pipe: one byte unblocks the poller.
+#[derive(Clone)]
+pub(crate) struct Waker(Arc<UnixStream>);
+
+impl Waker {
+    /// Wake the shard. Best-effort: a full pipe means a wake is already
+    /// pending, which is all a wake means.
+    pub(crate) fn wake(&self) {
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// One shard's address: where to enqueue work and how to wake it.
+#[derive(Clone)]
+pub(crate) struct ShardHandle {
+    tx: mpsc::Sender<Incoming>,
+    waker: Waker,
+}
+
+impl ShardHandle {
+    /// Wake the shard's poller without enqueueing work (shutdown nudge).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Enqueue and wake. Returns the work back if the shard is gone.
+    pub(crate) fn send(&self, work: Incoming) -> Result<(), Incoming> {
+        match self.tx.send(work) {
+            Ok(()) => {
+                self.waker.wake();
+                Ok(())
+            }
+            Err(mpsc::SendError(w)) => Err(w),
+        }
+    }
+}
+
+/// Spawn `n` shard threads. Returns their handles (for the acceptor and
+/// for cross-shard migration) and join handles.
+pub(crate) fn spawn_shards(
+    n: usize,
+    ctx_for: impl Fn(usize) -> ShardCtx,
+) -> std::io::Result<(Vec<ShardHandle>, Vec<thread::JoinHandle<()>>)> {
+    let mut handles = Vec::with_capacity(n);
+    let mut pipes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<Incoming>();
+        handles.push(ShardHandle {
+            tx,
+            waker: Waker(Arc::new(wake_tx)),
+        });
+        pipes.push((rx, wake_rx));
+    }
+    let mut threads = Vec::with_capacity(n);
+    for (i, (inbox, wake_rx)) in pipes.into_iter().enumerate() {
+        let ctx = ctx_for(i);
+        let peers = handles.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("lce-server-shard-{}", i))
+                .spawn(move || run_shard(ctx, inbox, wake_rx, peers))?,
+        );
+    }
+    Ok((handles, threads))
+}
+
+/// The shard event loop: poll, absorb inbox work, serve readiness
+/// events, tick timeouts and the shutdown drain.
+fn run_shard(
+    ctx: ShardCtx,
+    inbox: mpsc::Receiver<Incoming>,
+    wake_rx: UnixStream,
+    peers: Vec<ShardHandle>,
+) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let _ = poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events = Vec::new();
+    let mut shutdown_seen: Option<Instant> = None;
+    // Work observed by the exit probe, to be absorbed next iteration.
+    let mut carry: Option<Incoming> = None;
+    loop {
+        let _ = poller.wait(&mut events, TICK);
+        drain_wake(&wake_rx);
+
+        // Inbox first: fresh and migrated connections.
+        if let Some(work) = carry.take() {
+            absorb(work, &mut conns, &mut poller, &ctx);
+        }
+        while let Ok(work) = inbox.try_recv() {
+            absorb(work, &mut conns, &mut poller, &ctx);
+        }
+
+        // Readiness events.
+        for ev in events.iter().copied() {
+            if ev.token == WAKE_TOKEN {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.readable {
+                if let Some(Migration { target, request }) = conn.on_readable(&ctx) {
+                    let conn = conns.remove(&ev.token).unwrap();
+                    poller.deregister(conn.fd());
+                    if let Err(Incoming::Moved(conn, request)) =
+                        peers[target].send(Incoming::Moved(Box::new(conn), request))
+                    {
+                        // The owner is gone (shutdown race): serve in
+                        // place rather than dropping the connection.
+                        absorb(
+                            Incoming::Moved(conn, request),
+                            &mut conns,
+                            &mut poller,
+                            &ctx,
+                        );
+                    }
+                    continue;
+                }
+            }
+            settle(&mut conns, &mut poller, ev.token, &ctx);
+        }
+
+        if !ctx.shutdown.load(Ordering::SeqCst) {
+            // Tick: read timeouts.
+            let expired: Vec<u64> = conns
+                .values()
+                .filter(|c| c.timed_out(ctx.read_timeout))
+                .map(|c| c.id)
+                .collect();
+            for id in expired {
+                if let Some(conn) = conns.get_mut(&id) {
+                    conn.expire();
+                }
+                settle(&mut conns, &mut poller, id, &ctx);
+            }
+            continue;
+        }
+
+        // Shutdown drain. Serve any complete buffered requests (they
+        // answer with `Connection: close`), count idle connections as
+        // drained, drop mid-request ones, and keep flushing queued tails
+        // until the deadline.
+        let started = *shutdown_seen.get_or_insert_with(Instant::now);
+        let force = started.elapsed() >= DRAIN_DEADLINE;
+        for id in conns.keys().copied().collect::<Vec<u64>>() {
+            let conn = conns.get_mut(&id).unwrap();
+            if !conn.closing {
+                // Final read pass: a request that reached the kernel
+                // buffer before shutdown is in-flight work, not an idle
+                // connection. Pull it in and serve it — the response goes
+                // out `Connection: close`, exactly as the blocking pool
+                // finished its worker's last exchange. Without this read
+                // the close would RST unread bytes and lose the reply.
+                if let Some(Migration { request, .. }) = conn.on_readable(&ctx) {
+                    conn.handle_request(request, &ctx);
+                }
+            }
+            if !conn.closing {
+                if let Some(Migration { request, .. }) = conn.drain(&ctx) {
+                    // Migrations are disabled under shutdown; if one
+                    // slipped through the race, serve it in place.
+                    conn.handle_request(request, &ctx);
+                }
+            }
+            if !conn.closing {
+                if conn.idle() {
+                    if let Some(m) = &ctx.metrics {
+                        m.connection_drained();
+                    }
+                    conn.closing = true;
+                } else if !conn.wants_write() {
+                    // Mid-request with nothing left to send: the blocking
+                    // core dropped these on shutdown without a drain count.
+                    conn.closing = true;
+                }
+            }
+            settle(&mut conns, &mut poller, id, &ctx);
+            if force {
+                if let Some(conn) = conns.remove(&id) {
+                    poller.deregister(conn.fd());
+                }
+            }
+        }
+        if ctx.accept_done.load(Ordering::SeqCst) && conns.is_empty() {
+            // Probe the inbox one last time so a connection handed off
+            // concurrently with shutdown is still drained, not leaked.
+            match inbox.try_recv() {
+                Ok(work) => carry = Some(work),
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Take in one unit of inbox work: register a fresh connection or finish
+/// absorbing a migrated one (serve its carried request, then whatever
+/// else its buffer already holds).
+fn absorb(work: Incoming, conns: &mut HashMap<u64, Conn>, poller: &mut Poller, ctx: &ShardCtx) {
+    match work {
+        Incoming::Fresh(stream, id) => {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                // Blocking-core parity: a connection handed over after
+                // shutdown never gets a read — it parses nothing and
+                // counts as drained.
+                if let Some(m) = &ctx.metrics {
+                    m.connection_drained();
+                }
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            let conn = Conn::new(stream, id);
+            let _ = poller.register(conn.fd(), conn.id, conn.registered);
+            conns.insert(conn.id, conn);
+        }
+        Incoming::Moved(mut conn, request) => {
+            conn.mark_pinned();
+            conn.handle_request(request, ctx);
+            let mig = conn.drain(ctx);
+            debug_assert!(mig.is_none(), "migrated connections are pinned");
+            if !conn.flush(ctx) || conn.done() {
+                return;
+            }
+            conn.registered = conn.desired_interest();
+            let _ = poller.register(conn.fd(), conn.id, conn.registered);
+            conns.insert(conn.id, *conn);
+        }
+    }
+}
+
+/// Flush, then reconcile a connection's poller registration with its
+/// desired interest — or drop it if it is finished or dead.
+fn settle(conns: &mut HashMap<u64, Conn>, poller: &mut Poller, id: u64, ctx: &ShardCtx) {
+    let Some(conn) = conns.get_mut(&id) else {
+        return;
+    };
+    if !conn.flush(ctx) || conn.done() {
+        let conn = conns.remove(&id).unwrap();
+        poller.deregister(conn.fd());
+        return;
+    }
+    let want = conn.desired_interest();
+    if want != conn.registered {
+        let _ = poller.rearm(conn.fd(), conn.id, want);
+        conn.registered = want;
+    }
+}
+
+/// Swallow pending wake bytes so the pipe never fills.
+fn drain_wake(wake_rx: &UnixStream) {
+    let mut sink = [0u8; 64];
+    loop {
+        match (&*wake_rx).read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

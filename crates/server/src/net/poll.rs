@@ -1,0 +1,223 @@
+//! The readiness poller behind each shard's event loop.
+//!
+//! Two interchangeable backends sit behind [`Poller`]:
+//!
+//! * **Epoll** — level-triggered `epoll` via the raw syscalls in
+//!   [`super::sys`], on Linux x86_64/aarch64. Level triggering is what
+//!   makes the fault decision sequence line up with the old blocking
+//!   core: the loop reads exactly one chunk per readiness event, and the
+//!   kernel re-reports the socket until it is drained, mirroring the
+//!   blocking loop's read-once-then-parse iteration.
+//! * **Sweep** — a portable fallback for targets without the syscall
+//!   backend: every registered source is reported ready on a short tick
+//!   and the nonblocking I/O calls sort out the spurious wakeups
+//!   (`WouldBlock` is ignored everywhere). Strictly slower, never wrong.
+//!
+//! Both backends speak the same vocabulary: register a source with a
+//! `u64` token and an interest, later receive per-token readiness
+//! events.
+
+use super::sys;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::{Duration, Instant};
+
+/// What a registered source wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the source has bytes to read (or EOF/error).
+    pub readable: bool,
+    /// Wake when the source can accept more written bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub(crate) const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    fn to_epoll(self) -> u32 {
+        let mut ev = 0;
+        if self.readable {
+            ev |= sys::EV_IN;
+        }
+        if self.writable {
+            ev |= sys::EV_OUT;
+        }
+        ev
+    }
+}
+
+/// One readiness report. Write readiness carries no payload beyond the
+/// wakeup itself — the loop flushes pending output on every event — so
+/// only read readiness is surfaced explicitly (it gates the read path
+/// and its fault/event counters).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the source was registered with.
+    pub token: u64,
+    /// Bytes (or EOF/error/hangup) are waiting to be read.
+    pub readable: bool,
+}
+
+/// A level-triggered readiness poller (see module docs).
+pub(crate) enum Poller {
+    Epoll(Epoll),
+    Sweep(Sweep),
+}
+
+impl Poller {
+    /// Build the best available backend for this target.
+    pub(crate) fn new() -> io::Result<Poller> {
+        if sys::EPOLL_AVAILABLE {
+            Epoll::new().map(Poller::Epoll)
+        } else {
+            Ok(Poller::Sweep(Sweep::default()))
+        }
+    }
+
+    /// Start watching `fd` under `token`.
+    pub(crate) fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            Poller::Epoll(p) => p.ctl(sys::EPOLL_CTL_ADD, fd, token, interest),
+            Poller::Sweep(p) => {
+                p.sources.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the interest of a watched `fd`.
+    pub(crate) fn rearm(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            Poller::Epoll(p) => p.ctl(sys::EPOLL_CTL_MOD, fd, token, interest),
+            Poller::Sweep(p) => {
+                for s in &mut p.sources {
+                    if s.0 == fd {
+                        s.2 = interest;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stop watching `fd`. Dropping the only descriptor also deregisters
+    /// it from epoll; this exists for the sweep backend and for sources
+    /// that outlive their registration (migrated connections).
+    pub(crate) fn deregister(&mut self, fd: RawFd) {
+        match self {
+            Poller::Epoll(p) => {
+                let _ = p.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::READ);
+            }
+            Poller::Sweep(p) => p.sources.retain(|s| s.0 != fd),
+        }
+    }
+
+    /// Wait up to `timeout` for readiness, appending into `events`.
+    pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        match self {
+            Poller::Epoll(p) => p.wait(events, timeout),
+            Poller::Sweep(p) => p.wait(events, timeout),
+        }
+    }
+}
+
+/// The kernel-backed poller: an owned `epoll` instance.
+pub(crate) struct Epoll {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let ret = sys::epoll_create1();
+        if ret < 0 {
+            return Err(io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(Epoll {
+            epfd: ret as RawFd,
+            buf: vec![sys::EpollEvent::zeroed(); 256],
+        })
+    }
+
+    fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.to_epoll(),
+            data: token,
+        };
+        let ret = sys::epoll_ctl(self.epfd, op, fd, &mut ev);
+        if ret < 0 {
+            return Err(io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = loop {
+            let ret = sys::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as i32,
+                timeout_ms,
+            );
+            if ret == sys::EINTR {
+                continue;
+            }
+            if ret < 0 {
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            break ret as usize;
+        };
+        for ev in &self.buf[..n] {
+            let bits = ev.events;
+            events.push(Event {
+                token: ev.data,
+                // Errors and hangups surface through the read path, which
+                // maps them onto the same close decisions the blocking
+                // core took.
+                readable: bits & (sys::EV_IN | sys::EV_ERR | sys::EV_HUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // Close via an OwnedFd so no raw `close` syscall binding is
+        // needed.
+        use std::os::fd::{FromRawFd, OwnedFd};
+        let _ = unsafe { OwnedFd::from_raw_fd(self.epfd) };
+    }
+}
+
+/// Portable fallback: report every source ready on a short tick.
+#[derive(Default)]
+pub(crate) struct Sweep {
+    sources: Vec<(RawFd, u64, Interest)>,
+}
+
+impl Sweep {
+    /// How long one sweep tick sleeps. Short enough that spurious-wakeup
+    /// serving stays responsive, long enough not to spin a core.
+    const TICK: Duration = Duration::from_millis(2);
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout.min(Self::TICK);
+        // With no sources there is nothing to report; just honour the
+        // tick so the caller's shutdown/inbox checks run.
+        std::thread::sleep(deadline.saturating_duration_since(Instant::now()));
+        for (_, token, interest) in &self.sources {
+            events.push(Event {
+                token: *token,
+                readable: interest.readable,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,261 @@
+//! Raw Linux syscall bindings for the event core: `epoll` and the two
+//! socket-buffer knobs the tests use to force partial writes.
+//!
+//! The crate is dependency-free by design (no `libc`, no `mio`), so on
+//! Linux the poller invokes the kernel directly via inline assembly.
+//! Everything here is gated to `linux` on `x86_64`/`aarch64` (and off
+//! under miri, which cannot execute inline asm); other targets fall back
+//! to the portable sweep poller in [`super::poll`], which never calls
+//! into this module.
+
+#![allow(dead_code)]
+
+/// `true` when the real epoll backend is available on this target.
+pub(crate) const EPOLL_AVAILABLE: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+));
+
+/// Readable interest (`EPOLLIN`).
+pub(crate) const EV_IN: u32 = 0x001;
+/// Writable interest (`EPOLLOUT`).
+pub(crate) const EV_OUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`), always reported.
+pub(crate) const EV_ERR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`), always reported.
+pub(crate) const EV_HUP: u32 = 0x010;
+
+pub(crate) const EPOLL_CTL_ADD: i32 = 1;
+pub(crate) const EPOLL_CTL_DEL: i32 = 2;
+pub(crate) const EPOLL_CTL_MOD: i32 = 3;
+
+/// One `struct epoll_event`. The kernel packs this to 12 bytes on x86_64
+/// and keeps natural (16-byte) layout everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    /// Ready-event bitmask (`EV_*`).
+    pub events: u32,
+    /// Caller-chosen token, reported back verbatim.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub(crate) fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+mod imp {
+    use super::EpollEvent;
+
+    const SYS_EPOLL_WAIT: u64 = 232;
+    const SYS_EPOLL_CTL: u64 = 233;
+    const SYS_EPOLL_CREATE1: u64 = 291;
+    const SYS_SETSOCKOPT: u64 = 54;
+
+    /// One raw syscall; returns the kernel's value (negative errno on
+    /// failure).
+    unsafe fn syscall5(nr: u64, a: u64, b: u64, c: u64, d: u64, e: u64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    pub(crate) fn epoll_create1() -> i64 {
+        unsafe { syscall5(SYS_EPOLL_CREATE1, 0, 0, 0, 0, 0) }
+    }
+
+    pub(crate) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i64 {
+        unsafe {
+            syscall5(
+                SYS_EPOLL_CTL,
+                epfd as u64,
+                op as u64,
+                fd as u64,
+                event as u64,
+                0,
+            )
+        }
+    }
+
+    pub(crate) fn epoll_wait(
+        epfd: i32,
+        events: *mut EpollEvent,
+        max_events: i32,
+        timeout_ms: i32,
+    ) -> i64 {
+        unsafe {
+            syscall5(
+                SYS_EPOLL_WAIT,
+                epfd as u64,
+                events as u64,
+                max_events as u64,
+                timeout_ms as u64,
+                0,
+            )
+        }
+    }
+
+    pub(crate) fn setsockopt(fd: i32, level: i32, name: i32, value: i32) -> i64 {
+        let v: i32 = value;
+        unsafe {
+            syscall5(
+                SYS_SETSOCKOPT,
+                fd as u64,
+                level as u64,
+                name as u64,
+                &v as *const i32 as u64,
+                std::mem::size_of::<i32>() as u64,
+            )
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64", not(miri)))]
+mod imp {
+    use super::EpollEvent;
+
+    const SYS_EPOLL_CREATE1: u64 = 20;
+    const SYS_EPOLL_CTL: u64 = 21;
+    const SYS_EPOLL_PWAIT: u64 = 22;
+    const SYS_SETSOCKOPT: u64 = 208;
+
+    unsafe fn syscall6(nr: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack)
+        );
+        ret
+    }
+
+    pub(crate) fn epoll_create1() -> i64 {
+        unsafe { syscall6(SYS_EPOLL_CREATE1, 0, 0, 0, 0, 0, 0) }
+    }
+
+    pub(crate) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i64 {
+        unsafe {
+            syscall6(
+                SYS_EPOLL_CTL,
+                epfd as u64,
+                op as u64,
+                fd as u64,
+                event as u64,
+                0,
+                0,
+            )
+        }
+    }
+
+    pub(crate) fn epoll_wait(
+        epfd: i32,
+        events: *mut EpollEvent,
+        max_events: i32,
+        timeout_ms: i32,
+    ) -> i64 {
+        // aarch64 has no plain epoll_wait; epoll_pwait with a null sigmask
+        // is the kernel's own compatibility spelling.
+        unsafe {
+            syscall6(
+                SYS_EPOLL_PWAIT,
+                epfd as u64,
+                events as u64,
+                max_events as u64,
+                timeout_ms as u64,
+                0,
+                8,
+            )
+        }
+    }
+
+    pub(crate) fn setsockopt(fd: i32, level: i32, name: i32, value: i32) -> i64 {
+        let v: i32 = value;
+        unsafe {
+            syscall6(
+                SYS_SETSOCKOPT,
+                fd as u64,
+                level as u64,
+                name as u64,
+                &v as *const i32 as u64,
+                std::mem::size_of::<i32>() as u64,
+                0,
+            )
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+)))]
+mod imp {
+    //! Stubs for targets without the raw-syscall backend: every entry
+    //! reports `ENOSYS`; the poller never routes here because
+    //! [`super::EPOLL_AVAILABLE`] is false.
+    use super::EpollEvent;
+
+    const ENOSYS: i64 = -38;
+
+    pub(crate) fn epoll_create1() -> i64 {
+        ENOSYS
+    }
+    pub(crate) fn epoll_ctl(_epfd: i32, _op: i32, _fd: i32, _event: *mut EpollEvent) -> i64 {
+        ENOSYS
+    }
+    pub(crate) fn epoll_wait(
+        _epfd: i32,
+        _events: *mut EpollEvent,
+        _max: i32,
+        _timeout_ms: i32,
+    ) -> i64 {
+        ENOSYS
+    }
+    pub(crate) fn setsockopt(_fd: i32, _level: i32, _name: i32, _value: i32) -> i64 {
+        ENOSYS
+    }
+}
+
+pub(crate) use imp::{epoll_create1, epoll_ctl, epoll_wait};
+
+const SOL_SOCKET: i32 = 1;
+const SO_SNDBUF: i32 = 7;
+const SO_RCVBUF: i32 = 8;
+
+/// `EINTR`, the one errno the wait loop retries on.
+pub(crate) const EINTR: i64 = -4;
+
+/// Shrink (or grow) a socket's kernel send buffer. Test hook: a tiny
+/// send buffer forces the event loop through its partial-write path.
+/// Returns `false` where the syscall backend is unavailable.
+pub(crate) fn set_send_buffer(fd: i32, bytes: usize) -> bool {
+    EPOLL_AVAILABLE && imp::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, bytes as i32) == 0
+}
+
+/// Shrink (or grow) a socket's kernel receive buffer (see
+/// [`set_send_buffer`]).
+pub(crate) fn set_recv_buffer(fd: i32, bytes: usize) -> bool {
+    EPOLL_AVAILABLE && imp::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, bytes as i32) == 0
+}

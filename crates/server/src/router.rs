@@ -361,8 +361,8 @@ mod tests {
     #[test]
     fn invoke_listener_observes_both_lock_paths_and_resets() {
         use parking_lot::Mutex as PMutex;
-        let seen: Arc<PMutex<Vec<(String, String, Option<i64>)>>> =
-            Arc::new(PMutex::new(Vec::new()));
+        type Seen = Vec<(String, String, Option<i64>)>;
+        let seen: Arc<PMutex<Seen>> = Arc::new(PMutex::new(Vec::new()));
         let seen2 = Arc::clone(&seen);
         let r = Router::new(Box::new(|_account| Box::new(ReadAware { n: 0 })))
             .with_invoke_listener(Arc::new(move |account, call, resp| {

@@ -1,13 +1,18 @@
-//! The connection server: a `TcpListener` accept loop feeding a bounded
-//! crossbeam channel drained by a fixed pool of worker threads.
+//! The connection server: a `TcpListener` accept loop feeding the
+//! event-driven shard core in [`crate::net`].
 //!
 //! * The accept loop runs nonblocking and polls a shutdown flag, so
 //!   [`ServerHandle::shutdown`] takes effect within one poll interval.
-//! * Workers drain already-accepted connections before exiting (graceful
-//!   drain): dropping the channel sender after the accept loop stops turns
-//!   the workers' `recv()` into a clean termination signal.
-//! * Keep-alive connections poll the shutdown flag between requests; the
-//!   last response before closing advertises `Connection: close`.
+//!   It assigns connection ids in accept order and routes each
+//!   connection to shard `conn % threads`; the first parsed request may
+//!   then migrate the connection to the shard that owns its account
+//!   (see [`crate::net`] for the pinning story).
+//! * Shards drain on shutdown: idle keep-alive connections close (and
+//!   count as drained), complete buffered requests are still served with
+//!   `Connection: close`, and queued response tails keep flushing until
+//!   a drain deadline.
+//! * Keep-alive connections observe the shutdown flag between requests;
+//!   the last response before closing advertises `Connection: close`.
 //!
 //! When [`ServerConfig::faults`] carries a [`FaultPlan`], the server
 //! injects wire-level faults at three points, all decided deterministically
@@ -19,24 +24,27 @@
 //! * **write** — the response is truncated mid-write or dropped entirely,
 //!   *after* dispatch — which is why the plan's `WriteFaultScope` gates
 //!   these to idempotent requests by default.
+//!
+//! The decision sequence is identical to the original blocking core's:
+//! read events and request sequence numbers count the same things at the
+//! same points, so recorded chaos schedules stay valid.
 
-use crate::http::{self, HttpLimits, Response};
+use crate::http::HttpLimits;
+use crate::net::{self, conn::ShardCtx, Incoming, ShardHandle};
 use crate::obs::ServeMetrics;
 use crate::router::{BackendFactory, InvokeListener, Router, PROBE_ACCOUNT};
-use crate::wire;
-use crossbeam::channel;
 use lce_emulator::Backend;
-use lce_faults::{FaultPlan, WireFault};
+use lce_faults::FaultPlan;
 use lce_obs::ObsHub;
-use std::collections::BTreeSet;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{BTreeSet, HashMap};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// How often blocked reads and the accept loop re-check the shutdown flag.
+/// How often the accept loop re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Server configuration.
@@ -44,7 +52,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 pub struct ServerConfig {
     /// Address to bind, e.g. `127.0.0.1:7583` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Worker thread count (concurrent connection limit).
+    /// Shard (event loop) thread count.
     pub threads: usize,
     /// HTTP parsing limits.
     pub limits: HttpLimits,
@@ -64,12 +72,17 @@ pub struct ServerConfig {
     /// [`WriteFaultScope`](lce_faults::WriteFaultScope) purposes even when
     /// its name says otherwise: the proof guarantees a blind wire-level
     /// replay converges, so post-dispatch faults may hit it. `None` (the
-    /// default) keeps the name-based [`wire::is_idempotent`] gate alone.
+    /// default) keeps the name-based [`wire::is_idempotent`](crate::wire::is_idempotent) gate alone.
     pub retry_safe: Option<Arc<BTreeSet<String>>>,
     /// Optional wire-level capture hook, fired by the router for every
     /// dispatched invocation (and every reset, as the `_reset`
     /// pseudo-call). `None` (the default) serves with no hook installed.
     pub listener: Option<InvokeListener>,
+    /// Test hook: shrink each accepted socket's kernel send buffer to
+    /// this many bytes, forcing the event core through its partial-write
+    /// path. `None` (the default) leaves the kernel default alone.
+    /// Ignored on targets without the raw-syscall backend.
+    pub sock_send_buf: Option<usize>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -88,6 +101,7 @@ impl std::fmt::Debug for ServerConfig {
                 "listener",
                 &self.listener.as_ref().map(|_| "InvokeListener"),
             )
+            .field("sock_send_buf", &self.sock_send_buf)
             .finish()
     }
 }
@@ -103,6 +117,7 @@ impl Default for ServerConfig {
             obs: None,
             retry_safe: None,
             listener: None,
+            sock_send_buf: None,
         }
     }
 }
@@ -150,7 +165,8 @@ pub struct ServerHandle {
     router: Arc<Router>,
     shutdown: Arc<AtomicBool>,
     accept: Option<thread::JoinHandle<()>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    shards: Vec<thread::JoinHandle<()>>,
+    shard_handles: Vec<ShardHandle>,
 }
 
 impl ServerHandle {
@@ -164,7 +180,7 @@ impl ServerHandle {
         &self.router
     }
 
-    /// Signal shutdown and wait for the accept loop and all workers to
+    /// Signal shutdown and wait for the accept loop and all shards to
     /// drain their connections and exit.
     pub fn shutdown(mut self) {
         self.stop();
@@ -182,10 +198,16 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shard_handles {
+            shard.wake();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        for shard in &self.shard_handles {
+            shard.wake();
+        }
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
     }
@@ -201,7 +223,7 @@ impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
@@ -262,46 +284,29 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
     }
     let router = Arc::new(router);
     let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_done = Arc::new(AtomicBool::new(false));
+    let pins = Arc::new(Mutex::new(HashMap::new()));
     let threads = config.threads.max(1);
-    // Connections travel with their accept-order id so fault decisions
-    // are tied to a stable, schedule-independent key.
-    let (tx, rx) = channel::bounded::<(TcpStream, u64)>(threads * 2);
 
-    let mut workers = Vec::with_capacity(threads);
-    for i in 0..threads {
-        let rx = rx.clone();
-        let router = Arc::clone(&router);
-        let shutdown = Arc::clone(&shutdown);
-        let limits = config.limits.clone();
-        let read_timeout = config.read_timeout;
-        let faults = config.faults.clone();
-        let metrics = metrics.clone();
-        let retry_safe = config.retry_safe.clone();
-        workers.push(
-            thread::Builder::new()
-                .name(format!("lce-server-worker-{}", i))
-                .spawn(move || {
-                    while let Ok((stream, conn)) = rx.recv() {
-                        handle_connection(
-                            stream,
-                            conn,
-                            &router,
-                            &limits,
-                            read_timeout,
-                            &shutdown,
-                            faults.as_deref(),
-                            metrics.as_deref(),
-                            retry_safe.as_deref(),
-                        );
-                    }
-                })?,
-        );
-    }
-    drop(rx);
+    let (shard_handles, shard_threads) = net::spawn_shards(threads, |shard| ShardCtx {
+        shard,
+        router: Arc::clone(&router),
+        limits: config.limits.clone(),
+        read_timeout: config.read_timeout,
+        shutdown: Arc::clone(&shutdown),
+        accept_done: Arc::clone(&accept_done),
+        faults: config.faults.clone(),
+        metrics: metrics.clone(),
+        retry_safe: config.retry_safe.clone(),
+        pins: Arc::clone(&pins),
+    })?;
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_finished = Arc::clone(&accept_done);
     let accept_faults = config.faults.clone();
     let accept_metrics = metrics.clone();
+    let accept_shards = shard_handles.clone();
+    let sock_send_buf = config.sock_send_buf;
     let accept = thread::Builder::new()
         .name("lce-server-accept".to_string())
         .spawn(move || {
@@ -312,6 +317,9 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        // Connections travel with their accept-order id so
+                        // fault decisions are tied to a stable,
+                        // schedule-independent key.
                         let conn = next_conn;
                         next_conn += 1;
                         if let Some(m) = &accept_metrics {
@@ -329,10 +337,15 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                                 continue;
                             }
                         }
-                        // Hand the worker a blocking socket regardless of
-                        // what it inherited from the listener.
-                        let _ = stream.set_nonblocking(false);
-                        if tx.send((stream, conn)).is_err() {
+                        let _ = stream.set_nonblocking(true);
+                        if let Some(bytes) = sock_send_buf {
+                            let _ = crate::net::sys::set_send_buffer(stream.as_raw_fd(), bytes);
+                        }
+                        let shard = (conn % accept_shards.len() as u64) as usize;
+                        if accept_shards[shard]
+                            .send(Incoming::Fresh(stream, conn))
+                            .is_err()
+                        {
                             break;
                         }
                     }
@@ -342,8 +355,12 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
                     Err(_) => thread::sleep(POLL_INTERVAL),
                 }
             }
-            // Dropping the sender lets idle workers exit their recv loop.
-            drop(tx);
+            // No more hand-offs can happen; shards may exit once their
+            // inboxes drain.
+            accept_finished.store(true, Ordering::SeqCst);
+            for shard in &accept_shards {
+                shard.wake();
+            }
         })?;
 
     Ok(ServerHandle {
@@ -351,158 +368,7 @@ fn serve_boxed(config: ServerConfig, factory: BackendFactory) -> std::io::Result
         router,
         shutdown,
         accept: Some(accept),
-        workers,
+        shards: shard_threads,
+        shard_handles,
     })
-}
-
-/// Serve one connection: parse → dispatch → respond, honouring keep-alive
-/// and pipelining, until EOF, error, timeout, shutdown or an injected
-/// wire fault.
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut stream: TcpStream,
-    conn: u64,
-    router: &Router,
-    limits: &HttpLimits,
-    read_timeout: Duration,
-    shutdown: &AtomicBool,
-    faults: Option<&FaultPlan>,
-    metrics: Option<&ServeMetrics>,
-    retry_safe: Option<&BTreeSet<String>>,
-) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let obs = metrics.map(ServeMetrics::hub).map(Arc::as_ref);
-    // Time one closure's run in µs, only when metrics are on.
-    let timed = |phase: &str, f: &mut dyn FnMut()| {
-        let start = metrics.map(|_| Instant::now());
-        f();
-        if let (Some(m), Some(start)) = (metrics, start) {
-            m.observe_phase(phase, start.elapsed().as_micros() as u64);
-        }
-    };
-    let mut buf = bytes::BytesMut::with_capacity(8 * 1024);
-    let mut last_activity = Instant::now();
-    let mut read_events: u64 = 0;
-    let mut req_seq: u64 = 0;
-    loop {
-        // Drain complete buffered requests first (pipelining).
-        let mut parsed = Ok(None);
-        timed("parse", &mut || {
-            parsed = http::parse_request(&mut buf, limits)
-        });
-        match parsed {
-            Err(e) => {
-                let _ = stream.write_all(&http::encode_response(&e.to_response()));
-                return;
-            }
-            Ok(Some(req)) => {
-                last_activity = Instant::now();
-                if req_seq > 0 {
-                    if let Some(m) = metrics {
-                        m.connection_reused();
-                    }
-                }
-                let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
-                // Name-based idempotence, widened by static retry-safety
-                // proofs: a proven API's response may be dropped
-                // post-dispatch because a blind replay converges.
-                let replay_safe = wire::is_idempotent(&req)
-                    || retry_safe
-                        .zip(wire::request_api(&req))
-                        .is_some_and(|(set, api)| set.contains(api));
-                let write_fault =
-                    faults.and_then(|plan| plan.decide_write(conn, req_seq, replay_safe));
-                req_seq += 1;
-                if let (Some(m), Some(fault)) = (metrics, &write_fault) {
-                    m.write_fault(fault);
-                }
-                if write_fault == Some(WireFault::Reset) {
-                    // Write-point reset models a server that died between
-                    // commit and reply: dispatch the request, then drop
-                    // the connection without writing any response byte.
-                    let _ = wire::handle_observed(&req, router, obs);
-                    return;
-                }
-                let mut resp = Response::error(500, "unreachable");
-                timed("dispatch", &mut || {
-                    resp = wire::handle_observed(&req, router, obs)
-                });
-                resp.keep_alive = keep_alive;
-                let encoded = http::encode_response(&resp);
-                if write_fault == Some(WireFault::Truncate) {
-                    // Write half the response, then drop the connection.
-                    let half = encoded.len() / 2;
-                    let _ = stream.write_all(&encoded[..half]);
-                    let _ = stream.flush();
-                    return;
-                }
-                let mut write_ok = true;
-                timed("write", &mut || {
-                    write_ok = stream.write_all(&encoded).is_ok()
-                });
-                if !write_ok {
-                    return;
-                }
-                if !keep_alive {
-                    if shutdown.load(Ordering::SeqCst) && req.wants_keep_alive() {
-                        if let Some(m) = metrics {
-                            m.connection_drained();
-                        }
-                    }
-                    return;
-                }
-                continue;
-            }
-            Ok(None) => {}
-        }
-        if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
-            if let Some(m) = metrics {
-                m.connection_drained();
-            }
-            return;
-        }
-        let mut chunk = [0u8; 8 * 1024];
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                last_activity = Instant::now();
-                let event = read_events;
-                read_events += 1;
-                if let Some(plan) = faults {
-                    if plan.decide_read(conn, event).is_some() {
-                        // Read-point reset: drop with the request still in
-                        // the parse buffer — nothing was dispatched.
-                        if let Some(m) = metrics {
-                            m.read_fault();
-                        }
-                        return;
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                if last_activity.elapsed() >= read_timeout {
-                    if !buf.is_empty() {
-                        let timeout = Response {
-                            status: 408,
-                            body: b"{\"error\":\"request timed out\"}".to_vec(),
-                            content_type: "application/json",
-                            keep_alive: false,
-                        };
-                        let _ = stream.write_all(&http::encode_response(&timeout));
-                    }
-                    return;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
 }

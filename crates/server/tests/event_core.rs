@@ -1,0 +1,273 @@
+//! Conformance tests for the readiness-based event core, raw over the
+//! wire and free of any serde round-trip: adversarial partial reads,
+//! kernel-forced short writes, cross-shard pinning migration, and the
+//! graceful shutdown drain.
+//!
+//! The oracle throughout is `POST /<account>/_reset`, whose hand-rendered
+//! response embeds the account name — so a response stream can be checked
+//! for completeness *and order* against the request stream without
+//! parsing any serde-encoded body.
+
+use lce_cloud::nimbus_provider;
+use lce_emulator::Backend;
+use lce_obs::{ObsHub, CONNECTIONS};
+use lce_server::{serve, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let catalog = nimbus_provider().catalog;
+    serve(config, move |_account| {
+        Box::new(lce_emulator::Emulator::new(catalog.clone()).named("served-golden"))
+            as Box<dyn Backend + Send + Sync>
+    })
+    .expect("bind ephemeral port")
+}
+
+fn reset_request(account: &str) -> Vec<u8> {
+    format!(
+        "POST /{}/_reset HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        account
+    )
+    .into_bytes()
+}
+
+/// Read exactly one `Content-Length`-framed response off the stream.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<(u16, String)> {
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-response",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-body",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    buf.drain(..body_start + content_length);
+    Ok((status, body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The readiness loop never drops or reorders pipelined requests,
+    /// however adversarially the bytes arrive: the client writes the
+    /// whole pipeline in arbitrary chunk splits with pauses between them
+    /// (forcing partial reads mid-header, mid-pipeline, everywhere), the
+    /// accounts cycle (forcing cross-shard pinning migrations mid-batch),
+    /// and a tiny kernel send buffer forces the response path through
+    /// short writes. Every request must come back 200, in request order.
+    #[test]
+    fn pipelined_requests_never_drop_or_reorder(
+        accounts in proptest::collection::vec(0usize..5, 1..24),
+        cuts in proptest::collection::vec(1usize..2048, 0..8),
+        threads in 1usize..5,
+        shrink_sndbuf in any::<bool>(),
+    ) {
+        let handle = start_server(ServerConfig {
+            threads,
+            read_timeout: Duration::from_secs(5),
+            sock_send_buf: shrink_sndbuf.then_some(1024),
+            ..ServerConfig::default()
+        });
+
+        let mut wire = Vec::new();
+        for &a in &accounts {
+            wire.extend_from_slice(&reset_request(&format!("acct-{}", a)));
+        }
+
+        // Turn the cut points into ascending split offsets.
+        let mut splits: Vec<usize> = cuts.iter().map(|&c| c % wire.len().max(1)).collect();
+        splits.sort_unstable();
+        splits.dedup();
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut last = 0;
+        for &split in &splits {
+            if split > last {
+                stream.write_all(&wire[last..split]).unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+                last = split;
+            }
+        }
+        stream.write_all(&wire[last..]).unwrap();
+
+        let mut buf = Vec::new();
+        for (i, &a) in accounts.iter().enumerate() {
+            let (status, body) = read_response(&mut stream, &mut buf)
+                .unwrap_or_else(|e| panic!("response {} of {} never arrived: {}", i, accounts.len(), e));
+            prop_assert_eq!(status, 200);
+            let want = format!("\"account\":\"acct-{}\"", a);
+            prop_assert!(
+                body.contains(&want),
+                "response {} out of order: wanted {} in {:?}", i, want, body
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+/// A request already buffered on a keep-alive connection when shutdown
+/// begins is served before the connection closes: graceful drain parity
+/// with the blocking pool, which finished each worker's in-flight
+/// exchange. The drain must also count the connection in the `drained`
+/// series and unblock `shutdown()` promptly.
+#[test]
+fn shutdown_drains_buffered_keep_alive_requests() {
+    let hub = Arc::new(ObsHub::new());
+    let handle = start_server(
+        ServerConfig {
+            threads: 2,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        }
+        .with_observability(Arc::clone(&hub)),
+    );
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = Vec::new();
+
+    // Establish the keep-alive session with a served exchange.
+    stream.write_all(&reset_request("acct-drain")).unwrap();
+    let (status, _) = read_response(&mut stream, &mut buf).unwrap();
+    assert_eq!(status, 200);
+
+    // Queue one more full request, then shut down without reading it.
+    stream.write_all(&reset_request("acct-drain")).unwrap();
+    let stopper = std::thread::spawn(move || handle.shutdown());
+
+    // Blocking-pool parity: the in-flight exchange finishes — the
+    // buffered request is answered (with `Connection: close`) rather than
+    // reset, even though shutdown won the race to the flag.
+    let (status, body) =
+        read_response(&mut stream, &mut buf).expect("buffered request served during drain");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"account\":\"acct-drain\""));
+    // ... and then the drain closes the connection.
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).unwrap_or(0),
+        0,
+        "drain closed the connection cleanly"
+    );
+    stopper.join().expect("shutdown returned");
+
+    let drained = hub
+        .global()
+        .counter_value(CONNECTIONS, &[("event", "drained")])
+        .unwrap_or(0);
+    assert!(drained >= 1, "drain must count the kept-alive connection");
+}
+
+/// A connection that arrives after shutdown began is dropped (counted as
+/// drained) rather than served or leaked — and shutdown still returns.
+#[test]
+fn connections_arriving_during_shutdown_are_dropped_not_leaked() {
+    let handle = start_server(ServerConfig {
+        threads: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Race a burst of fresh connections against shutdown. Whichever side
+    // of the accept-flag flip each lands on, every connection must end in
+    // a definite close (response or EOF) and shutdown must return.
+    let racer = std::thread::spawn(move || {
+        for _ in 0..8 {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = s.write_all(&reset_request("acct-late"));
+                let mut sink = Vec::new();
+                let _ = s.read_to_end(&mut sink);
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    handle.shutdown();
+    racer.join().expect("late connections all resolved");
+}
+
+/// One account stays pinned to one shard while other traffic churns:
+/// interleaved requests from many concurrent connections to the same
+/// account are all served, strictly serialized per connection.
+#[test]
+fn concurrent_connections_to_one_account_all_complete() {
+    let handle = start_server(ServerConfig {
+        threads: 4,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                let mut buf = Vec::new();
+                for i in 0..10 {
+                    // Even workers hammer the shared account (pinned to
+                    // one shard); odd workers churn their own.
+                    let account = if w % 2 == 0 {
+                        "acct-shared".to_string()
+                    } else {
+                        format!("acct-own-{}", w)
+                    };
+                    stream.write_all(&reset_request(&account)).unwrap();
+                    let (status, body) = read_response(&mut stream, &mut buf)
+                        .unwrap_or_else(|e| panic!("worker {} op {}: {}", w, i, e));
+                    assert_eq!(status, 200);
+                    assert!(body.contains(&format!("\"account\":\"{}\"", account)));
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker completed");
+    }
+    handle.shutdown();
+}

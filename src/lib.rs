@@ -27,6 +27,7 @@
 //! | [`obs`] | `lce-obs` | lock-free observability: counters, histograms, Prometheus text |
 //! | [`ir`] | `lce-ir` | compiled execution: slot-based IR + register VM, interpreter as oracle |
 //! | [`trace`] | `lce-trace` | canonical trace capture, deterministic replay, ddmin minimization |
+//! | [`load`] | `lce-load` | deterministic open/closed-loop traffic generation + serving-perf gate |
 //!
 //! ## Quickstart
 //!
@@ -67,6 +68,7 @@ pub use lce_emulator as emulator;
 pub use lce_faults as faults;
 pub use lce_gym as gym;
 pub use lce_ir as ir;
+pub use lce_load as load;
 pub use lce_metrics as metrics;
 pub use lce_obs as obs;
 pub use lce_server as server;
@@ -89,6 +91,7 @@ pub mod prelude {
         compile, cross_validate, ir_effects, ir_lints, optimize, verify, CompiledEmulator,
         DualBackend, Engine, OptLevel,
     };
+    pub use lce_load::{check_bench, run_load, LoadConfig, LoadMode, LoadSpec};
     pub use lce_obs::{ObsHub, ObservedBackend};
     pub use lce_server::{serve, Client as RemoteClient, ServerConfig, ServerHandle};
 

@@ -7,6 +7,7 @@
 //! lce run     --catalog FILE [--state FILE] --program FILE.json
 //! lce spec    --provider <nimbus|stratus> [--resource Name]
 //! lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+//! lce load    [--provider <nimbus|stratus>] [--seed N] [--conns N] [--ops N] [--mode <closed|open>] [--rate N] [--threads N] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--plan P] [--max-attempts N] [--slo-ms N] [--deterministic] [--trace-out DIR] | --check [FILE]
 //! lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
 //! lce effects [--provider <nimbus|stratus> | --catalog FILE] [--matrix] [--why <Api>] [--check]
 //! lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static]
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "spec" => cmd_spec(rest),
         "serve" => cmd_serve(rest),
+        "load" => cmd_load(rest),
         "lint" => cmd_lint(rest),
         "effects" => cmd_effects(rest),
         "chaos" => cmd_chaos(rest),
@@ -81,6 +83,7 @@ USAGE:
   lce run     --catalog FILE [--state FILE] --program FILE.json
   lce spec    --provider <nimbus|stratus> [--resource Name]
   lce serve   --catalog FILE [--addr HOST:PORT] [--threads N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]]
+  lce load    [--provider <nimbus|stratus>] [--seed N] [--conns N] [--ops N] [--mode <closed|open>] [--rate N] [--threads N] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--plan P] [--max-attempts N] [--slo-ms N] [--deterministic] [--trace-out DIR] | --check [FILE]
   lce lint    [--provider <nimbus|stratus> | --catalog FILE] [--deny <warn|deny>] [--allow CODES]
   lce effects [--provider <nimbus|stratus> | --catalog FILE] [--matrix] [--why <Api>] [--check]
   lce chaos   [--seed N] [--threads N] [--accounts N] [--plan <none|standard|aggressive|backend-only|torn-writes>] [--repeat N] [--metrics] [--engine <interp|ir|dual>] [--opt [0|1|2|max]] [--retry-static] [--trace-out PATH]
@@ -375,7 +378,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "lce-server listening on http://{} ({} workers, {} engine)",
+        "lce-server listening on http://{} ({} shards, {} engine)",
         handle.addr(),
         threads,
         engine
@@ -389,6 +392,61 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!("  GET  /<account>/_metrics Prometheus text (one account)");
     }
     handle.join();
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse().map_err(|_| format!("bad --{} value", key)))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    if flags.contains_key("check") {
+        // `lce load --check [FILE]`: re-measure the committed suites and
+        // gate at 2/3 of their committed throughput floors.
+        let path = positional
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let report = check_bench(&path, engine_of(&flags)?, opt_of(&flags)?)?;
+        print!("{}", report);
+        return Ok(());
+    }
+    let spec = LoadSpec {
+        provider: flags
+            .get("provider")
+            .cloned()
+            .unwrap_or_else(|| "nimbus".to_string()),
+        seed: parse_num("seed", 42)?,
+        conns: parse_num("conns", 64)? as usize,
+        ops_per_conn: parse_num("ops", 100)? as usize,
+        mode: flags
+            .get("mode")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(LoadMode::Closed),
+        rate_per_conn: parse_num("rate", 200)?,
+    };
+    let config = LoadConfig {
+        spec,
+        server_threads: parse_num("threads", 4)? as usize,
+        engine: engine_of(&flags)?,
+        opt_level: opt_of(&flags)?,
+        plan: flags.get("plan").cloned(),
+        max_attempts: parse_num("max-attempts", 4)? as u32,
+        hub: None,
+        trace_out: flags.get("trace-out").cloned(),
+        slo_us: parse_num("slo-ms", 100)? * 1000,
+    };
+    let report = run_load(&config)?;
+    if flags.contains_key("deterministic") {
+        print!("{}", report.render_deterministic());
+    } else {
+        print!("{}", report.render());
+    }
     Ok(())
 }
 
